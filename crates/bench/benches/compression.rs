@@ -1,0 +1,94 @@
+//! Experiment E8 — §4 template packet compression.
+//!
+//! "Performance testing packets often look similar to one another. …
+//! By exploiting the similarities across packets, we could achieve a
+//! high compression ratio."
+//!
+//! Measured: encode/decode throughput on (a) template traffic differing
+//! only in a sequence number — the paper's motivating workload — and
+//! (b) incompressible random traffic, at small and full frame sizes.
+//! The shape: template traffic encodes to a few dozen bytes regardless
+//! of frame size; random traffic passes through at ~1× with one byte of
+//! overhead.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::{Rng, SeedableRng};
+use rnl_device::traffgen::{StreamSpec, TrafficGen};
+use rnl_net::addr::MacAddr;
+use rnl_net::time::Duration;
+use rnl_tunnel::compress::{Compressor, Decompressor};
+
+fn template_stream(payload_len: usize, n: usize) -> Vec<Vec<u8>> {
+    let spec = StreamSpec {
+        name: "bench".to_string(),
+        port: 0,
+        dst_mac: MacAddr::derived(9, 0),
+        src_ip: "10.0.0.1".parse().expect("valid"),
+        dst_ip: "10.0.0.2".parse().expect("valid"),
+        src_port: 7000,
+        dst_port: 7001,
+        payload_len,
+        count: n as u64,
+        interval: Duration::from_micros(1),
+    };
+    (0..n as u64)
+        .map(|seq| TrafficGen::frame_for(&spec, MacAddr::derived(8, 0), seq))
+        .collect()
+}
+
+fn random_stream(len: usize, n: usize) -> Vec<Vec<u8>> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+    (0..n)
+        .map(|_| (0..len).map(|_| rng.gen()).collect())
+        .collect()
+}
+
+fn encode_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compress_encode");
+    for (label, frames) in [
+        ("template_64", template_stream(22, 64)),
+        ("template_1500", template_stream(1458, 64)),
+        ("random_1500", random_stream(1500, 64)),
+    ] {
+        let bytes: u64 = frames.iter().map(|f| f.len() as u64).sum();
+        group.throughput(Throughput::Bytes(bytes));
+        group.bench_with_input(BenchmarkId::from_parameter(label), &frames, |b, frames| {
+            b.iter(|| {
+                let mut enc = Compressor::new();
+                let mut total = 0usize;
+                for f in frames {
+                    total += enc.encode(std::hint::black_box(f)).len();
+                }
+                std::hint::black_box(total)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn roundtrip_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compress_roundtrip");
+    let frames = template_stream(1458, 64);
+    let bytes: u64 = frames.iter().map(|f| f.len() as u64).sum();
+    group.throughput(Throughput::Bytes(bytes));
+    group.bench_function("template_1500", |b| {
+        b.iter(|| {
+            let mut enc = Compressor::new();
+            let mut dec = Decompressor::new();
+            for f in &frames {
+                let encoded = enc.encode(f);
+                let decoded = dec.decode(&encoded).expect("sync");
+                debug_assert_eq!(&decoded, f);
+            }
+            std::hint::black_box(enc.ratio())
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(50).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = encode_throughput, roundtrip_throughput
+}
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Experiment E5 (bench form) — cost of running the Fig. 5 failover
+//! lab.
+//!
+//! The *result* of the experiment (virtual-time convergence after the
+//! active switch dies) is printed by `cargo run -p rnl-bench --bin
+//! experiments`; this bench measures the simulator-side cost: building
+//! and converging the full 7-device lab, and simulating one second of
+//! lab time at steady state — the numbers that bound how much nightly
+//! testing a CI box can afford.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rnl_core::scenarios::{fig5_failover_lab, Fig5Options};
+use rnl_net::time::Duration;
+
+fn build_and_converge(c: &mut Criterion) {
+    c.bench_function("fig5_build_and_converge", |b| {
+        b.iter(|| {
+            let lab = fig5_failover_lab(Fig5Options::default()).expect("lab");
+            std::hint::black_box(lab.labs.server().stats().frames_routed)
+        });
+    });
+}
+
+fn steady_state_second(c: &mut Criterion) {
+    c.bench_function("fig5_one_virtual_second", |b| {
+        let lab = fig5_failover_lab(Fig5Options::default()).expect("lab");
+        let mut labs = lab.labs;
+        b.iter(|| {
+            labs.run(Duration::from_secs(1)).expect("run");
+            std::hint::black_box(labs.server().stats().frames_routed)
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(4)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = build_and_converge, steady_state_second
+}
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Experiment E7 — the Fig. 7 layer-1 switch bypass.
+//!
+//! "During performance testing (selectable by user), the layer 1 switch
+//! can be programmed to directly bridge the two ports. Alternatively,
+//! the layer 1 switch could connect the router port to RIS, which is in
+//! turn connected to the Internet."
+//!
+//! Measured: per-frame cost of (a) the L1 direct bridge — a table
+//! lookup, no frame touch — vs (b) the full tunnel path through the
+//! route server. The paper's expectation to reproduce: direct bridging
+//! provides "full link bandwidth", i.e. orders of magnitude more
+//! headroom than the software tunnel.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rnl_bench::{bench_frame, RelayRig};
+use rnl_l1switch::{L1Output, L1Switch};
+
+fn direct_bridge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_paths");
+    for size in [64usize, 1518] {
+        let frame = bench_frame(size);
+        group.throughput(Throughput::Bytes(frame.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("l1_direct_bridge", size),
+            &frame,
+            |b, frame| {
+                let mut sw = L1Switch::new(2);
+                sw.bridge(0, 1).expect("bridge");
+                b.iter(|| {
+                    // Layer 1 never touches the frame; the only work is the
+                    // patch lookup. The frame is black-boxed to keep the
+                    // comparison honest about what each path carries.
+                    let out = sw.ingress(std::hint::black_box(0));
+                    debug_assert_eq!(out, L1Output::Port(1));
+                    std::hint::black_box((out, frame.len()))
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("tunnel_via_server", size),
+            &frame,
+            |b, frame| {
+                let mut rig = RelayRig::new(21);
+                b.iter(|| rig.relay_one(std::hint::black_box(frame)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(60).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = direct_bridge
+}
+criterion_main!(benches);

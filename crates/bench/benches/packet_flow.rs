@@ -1,0 +1,105 @@
+//! Experiment E4 — the Fig. 4 packet path.
+//!
+//! "When a packet is sent from a router port, RIS captures the packet,
+//! wraps it inside an Internet packet with the unique router and port
+//! id, and sends it to the route server. The route server unwraps the
+//! packet … looks up the routing matrix … wraps the captured packet …
+//! and sends it to the RIS sitting in front of the destination router."
+//!
+//! Measured: one-frame relay latency through the route server and relay
+//! throughput, across the standard frame-size ladder, uncompressed vs
+//! template-compressed tunnels. The paper claims no absolute numbers;
+//! the shape to reproduce is per-frame cost that is flat-ish in frame
+//! size (header-dominated) and a visible compression win for
+//! template traffic.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rnl_bench::{bench_frame, RelayRig};
+use rnl_net::time::{Duration, Instant};
+use rnl_tunnel::compress::{Compressor, Decompressor};
+use rnl_tunnel::msg::{Msg, PortId};
+use rnl_tunnel::transport::Transport;
+
+const FRAME_SIZES: [usize; 5] = [64, 256, 512, 1024, 1518];
+
+fn relay_latency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_relay");
+    for size in FRAME_SIZES {
+        let frame = bench_frame(size);
+        group.throughput(Throughput::Bytes(frame.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("uncompressed", size),
+            &frame,
+            |b, frame| {
+                let mut rig = RelayRig::new(7);
+                b.iter(|| rig.relay_one(std::hint::black_box(frame)));
+            },
+        );
+    }
+    group.finish();
+}
+
+/// The same path with template compression on the tunnel: repeated
+/// near-identical frames shrink to their diffs before crossing.
+fn relay_compressed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_relay_compressed");
+    for size in [256usize, 1518] {
+        let frame = bench_frame(size);
+        group.throughput(Throughput::Bytes(frame.len() as u64));
+        group.bench_with_input(BenchmarkId::new("compressed", size), &frame, |b, frame| {
+            let mut rig = RelayRig::new(8);
+            let mut enc = Compressor::new();
+            let mut dec = Decompressor::new();
+            let mut now = Instant::EPOCH;
+            b.iter(|| {
+                now += Duration::from_micros(10);
+                let encoded = enc.encode(std::hint::black_box(frame));
+                rig.a
+                    .send(
+                        &Msg::DataCompressed {
+                            router: rig.ra,
+                            port: PortId(0),
+                            encoded,
+                        },
+                        now,
+                    )
+                    .expect("send");
+                rig.server.poll(now);
+                // The server decompresses and relays plain Data; the far
+                // side decoder stays in sync on its own stream.
+                let msgs = rig.b.poll(now).expect("recv");
+                let _ = &mut dec;
+                std::hint::black_box(msgs)
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Wire-format overhead in isolation: encode+decode of a Data message.
+fn codec_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tunnel_codec");
+    for size in FRAME_SIZES {
+        let frame = bench_frame(size);
+        let msg = Msg::Data {
+            router: rnl_tunnel::msg::RouterId(1),
+            port: PortId(0),
+            frame,
+        };
+        group.throughput(Throughput::Elements(1));
+        group.bench_with_input(BenchmarkId::new("encode_decode", size), &msg, |b, msg| {
+            b.iter(|| {
+                let bytes = std::hint::black_box(msg).encode();
+                Msg::decode(std::hint::black_box(&bytes)).expect("decode")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(60).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = relay_latency, relay_compressed, codec_overhead
+}
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Experiment E11 (bench form) — the reservation calendar under load.
+//!
+//! The utilization/cost *result* (shared cloud vs per-project dedicated
+//! labs) is printed by the `experiments` binary; this bench measures the
+//! calendar's operational cost — reservation admission and
+//! next-free-slot search with a realistic booking backlog — since the
+//! web server performs these on every Fig. 2 calendar interaction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rnl_net::time::{Duration, Instant};
+use rnl_server::reserve::Calendar;
+use rnl_tunnel::msg::RouterId;
+
+fn hours(h: u64) -> Duration {
+    Duration::from_secs(h * 3600)
+}
+
+fn at(h: u64) -> Instant {
+    Instant::EPOCH + hours(h)
+}
+
+/// A calendar with `n` existing bookings across 20 routers.
+fn loaded_calendar(n: u64) -> Calendar {
+    let mut cal = Calendar::new();
+    for i in 0..n {
+        let router = RouterId((i % 20) as u32);
+        let start = at(i * 3);
+        cal.reserve(
+            &format!("user{}", i % 7),
+            &[router],
+            start,
+            start + hours(2),
+        )
+        .expect("non-overlapping by construction");
+    }
+    cal
+}
+
+fn reserve_admission(c: &mut Criterion) {
+    let mut group = c.benchmark_group("calendar");
+    for n in [100u64, 1000] {
+        group.bench_with_input(BenchmarkId::new("reserve", n), &n, |b, &n| {
+            let cal = loaded_calendar(n);
+            let routers: Vec<RouterId> = (0..5).map(RouterId).collect();
+            let far_future = at(n * 3 + 1000);
+            b.iter_batched(
+                || cal_clone(&cal, n),
+                |mut cal| {
+                    cal.reserve("bench", &routers, far_future, far_future + hours(1))
+                        .expect("free slot")
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+        group.bench_with_input(BenchmarkId::new("next_free_slot", n), &n, |b, &n| {
+            let cal = loaded_calendar(n);
+            let routers: Vec<RouterId> = (0..5).map(RouterId).collect();
+            b.iter(|| {
+                std::hint::black_box(cal.next_free_slot(
+                    std::hint::black_box(&routers),
+                    hours(4),
+                    Instant::EPOCH,
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Calendars are not Clone; rebuild (cost excluded via iter_batched).
+fn cal_clone(_template: &Calendar, n: u64) -> Calendar {
+    loaded_calendar(n)
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = reserve_admission
+}
+criterion_main!(benches);

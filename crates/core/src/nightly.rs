@@ -1,0 +1,218 @@
+//! The automated ("nightly") configuration-test harness (§3.2).
+//!
+//! "Similar to a nightly unit test commonly used in software
+//! development, RNL enables these automated tests to be run regularly
+//! whenever a topology or configuration change happens. In our example,
+//! the policy violation could be caught during the nightly run after
+//! the link addition, instead of waiting to be discovered after a
+//! security breach."
+//!
+//! A [`NightlySuite`] is a list of [`PolicyProbe`]s. Each probe uses the
+//! web-services primitives end to end: start a capture on the
+//! observation port, inject a crafted packet at the injection port, run
+//! the lab, and judge the captured traffic against the expectation
+//! (reachability required, or reachability forbidden). The suite report
+//! is "the log file in the morning".
+
+use rnl_net::addr::MacAddr;
+use rnl_net::build;
+use rnl_net::time::Duration;
+use rnl_tunnel::msg::{PortId, RouterId};
+use std::net::Ipv4Addr;
+
+use crate::{LabError, RemoteNetworkLabs};
+
+/// What a probe asserts about the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Expectation {
+    /// The probe must arrive (connectivity requirement).
+    Reachable,
+    /// The probe must NOT arrive (security policy).
+    Unreachable,
+}
+
+/// One automated connectivity/policy probe.
+#[derive(Debug, Clone)]
+pub struct PolicyProbe {
+    /// Shown in the report.
+    pub name: String,
+    /// Port the crafted packet is injected into (delivered *to* the
+    /// device as if it arrived on the wire), e.g. R1.1.
+    pub inject_at: (RouterId, PortId),
+    /// Destination MAC for the injected frame (the device that should
+    /// route it — its interface MAC).
+    pub dst_mac: MacAddr,
+    /// Source MAC to forge (the "host" sending the probe).
+    pub src_mac: MacAddr,
+    pub src_ip: Ipv4Addr,
+    pub dst_ip: Ipv4Addr,
+    /// UDP destination port of the probe.
+    pub dst_port: u16,
+    /// Port monitored for the probe's arrival, e.g. R2.1.
+    pub capture_at: (RouterId, PortId),
+    /// What the policy says.
+    pub expect: Expectation,
+    /// Virtual time to let the probe propagate.
+    pub wait: Duration,
+}
+
+/// A distinctive payload marker so captures can identify probe packets.
+pub const PROBE_MARKER: &[u8] = b"RNL-NIGHTLY-PROBE";
+
+impl PolicyProbe {
+    /// Build the probe frame.
+    fn frame(&self) -> Vec<u8> {
+        build::udp_frame(
+            self.src_mac,
+            self.dst_mac,
+            self.src_ip,
+            self.dst_ip,
+            30999,
+            self.dst_port,
+            PROBE_MARKER,
+            64,
+        )
+    }
+}
+
+/// Outcome of one probe.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProbeResult {
+    pub name: String,
+    pub passed: bool,
+    /// Human-readable explanation for the morning log.
+    pub detail: String,
+}
+
+/// Outcome of a suite run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NightlyReport {
+    pub results: Vec<ProbeResult>,
+}
+
+impl NightlyReport {
+    /// Whether every probe passed.
+    pub fn all_passed(&self) -> bool {
+        self.results.iter().all(|r| r.passed)
+    }
+
+    /// (passed, failed) counts.
+    pub fn counts(&self) -> (usize, usize) {
+        let passed = self.results.iter().filter(|r| r.passed).count();
+        (passed, self.results.len() - passed)
+    }
+
+    /// The morning log.
+    pub fn render(&self) -> String {
+        let (passed, failed) = self.counts();
+        let mut out = format!("nightly run: {passed} passed, {failed} failed\n");
+        for r in &self.results {
+            out.push_str(&format!(
+                "  [{}] {} — {}\n",
+                if r.passed { "PASS" } else { "FAIL" },
+                r.name,
+                r.detail
+            ));
+        }
+        out
+    }
+}
+
+/// A list of probes run against one deployed lab.
+#[derive(Debug, Clone, Default)]
+pub struct NightlySuite {
+    probes: Vec<PolicyProbe>,
+}
+
+impl NightlySuite {
+    /// Empty suite.
+    pub fn new() -> NightlySuite {
+        NightlySuite::default()
+    }
+
+    /// Add a probe.
+    pub fn add(&mut self, probe: PolicyProbe) -> &mut Self {
+        self.probes.push(probe);
+        self
+    }
+
+    /// Number of probes.
+    pub fn len(&self) -> usize {
+        self.probes.len()
+    }
+
+    /// True when the suite is empty.
+    pub fn is_empty(&self) -> bool {
+        self.probes.is_empty()
+    }
+
+    /// Run every probe against the deployed lab.
+    pub fn run(&self, labs: &mut RemoteNetworkLabs) -> Result<NightlyReport, LabError> {
+        let mut results = Vec::with_capacity(self.probes.len());
+        for probe in &self.probes {
+            results.push(run_probe(labs, probe)?);
+        }
+        Ok(NightlyReport { results })
+    }
+}
+
+/// Execute one probe: capture → inject → run → judge.
+pub fn run_probe(
+    labs: &mut RemoteNetworkLabs,
+    probe: &PolicyProbe,
+) -> Result<ProbeResult, LabError> {
+    let (cap_router, cap_port) = probe.capture_at;
+    labs.server_mut().captures_mut().clear(cap_router, cap_port);
+    labs.server_mut().captures_mut().start(cap_router, cap_port);
+    labs.inject(probe.inject_at.0, probe.inject_at.1, probe.frame())?;
+    labs.run(probe.wait)?;
+
+    // Did any frame carrying the probe marker cross the monitored wire?
+    let arrived = labs
+        .server()
+        .captures()
+        .captured(cap_router, cap_port)
+        .iter()
+        .any(|f| {
+            f.frame
+                .windows(PROBE_MARKER.len())
+                .any(|w| w == PROBE_MARKER)
+        });
+    labs.server_mut().captures_mut().stop(cap_router, cap_port);
+
+    let (passed, detail) = match (probe.expect, arrived) {
+        (Expectation::Reachable, true) => (true, "probe arrived as required".to_string()),
+        (Expectation::Reachable, false) => (
+            false,
+            "probe did not arrive (connectivity broken)".to_string(),
+        ),
+        (Expectation::Unreachable, false) => (true, "probe blocked as required".to_string()),
+        (Expectation::Unreachable, true) => (
+            false,
+            "SECURITY POLICY VIOLATION: probe reached the forbidden subnet".to_string(),
+        ),
+    };
+    Ok(ProbeResult {
+        name: probe.name.clone(),
+        passed,
+        detail,
+    })
+}
+
+/// The Fig. 6 probe: "generate a packet destined to subnet B on port
+/// R1.1 … capture packets at port R2.1 to see if the packet has made
+/// through."
+pub fn fig6_probe(r1: RouterId, r2: RouterId, r1_mac: MacAddr, host_a_mac: MacAddr) -> PolicyProbe {
+    PolicyProbe {
+        name: "subnet A must not reach subnet B".to_string(),
+        inject_at: (r1, PortId(0)),
+        dst_mac: r1_mac,
+        src_mac: host_a_mac,
+        src_ip: crate::scenarios::FIG6_PROBE_SRC.parse().expect("valid"),
+        dst_ip: crate::scenarios::FIG6_PROBE_DST.parse().expect("valid"),
+        dst_port: 4321,
+        capture_at: (r2, PortId(0)),
+        expect: Expectation::Unreachable,
+        wait: Duration::from_secs(3),
+    }
+}

@@ -1,0 +1,350 @@
+//! Prebuilt labs for the paper's worked examples.
+//!
+//! * [`Fig5FailoverLab`] — the §3.1 configuration-testing use case: two
+//!   Catalyst 6500s with FWSMs monitoring each other over a failover
+//!   VLAN, bridging an intranet segment to an Internet-facing router.
+//! * [`Fig6PolicyLab`] — the §3.2 automated-test use case: four routers,
+//!   a subnet-A-to-subnet-B deny policy enforced at R1.2/R2.2, and a
+//!   future R3–R4 link that silently bypasses it.
+//!
+//! Both builders return the facade *plus* every id a test needs, so the
+//! examples, the integration tests and the benchmarks all drive exactly
+//! the same labs.
+
+use rnl_device::host::Host;
+use rnl_device::router::{AclDir, Router};
+use rnl_device::stp::Timing;
+use rnl_device::switch::{PortMode, Switch};
+use rnl_net::time::{Duration, Instant};
+use rnl_server::design::Design;
+use rnl_server::matrix::DeploymentId;
+use rnl_tunnel::msg::{PortId, RouterId};
+
+use crate::{LabError, RemoteNetworkLabs, SiteId};
+
+/// The Fig. 5 failover lab, deployed and ready.
+pub struct Fig5FailoverLab {
+    pub labs: RemoteNetworkLabs,
+    pub site: SiteId,
+    /// Catalyst A (FWSM unit 1, priority 110 — initially active).
+    pub swa: RouterId,
+    /// Catalyst B (FWSM unit 2, priority 100 — initially standby).
+    pub swb: RouterId,
+    /// Plain L2 switch forming the intranet segment.
+    pub intranet_sw: RouterId,
+    /// Plain L2 switch forming the outside segment.
+    pub outside_sw: RouterId,
+    /// The Internet-facing router.
+    pub router: RouterId,
+    /// S1: server on the Internet side.
+    pub s1: RouterId,
+    /// S2: server on the intranet.
+    pub s2: RouterId,
+    pub deployment: DeploymentId,
+    /// RIS-local ids, for direct device inspection.
+    pub local: Fig5Locals,
+}
+
+/// RIS-local device ids of the Fig. 5 lab, in creation order.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig5Locals {
+    pub swa: u32,
+    pub swb: u32,
+    pub intranet_sw: u32,
+    pub outside_sw: u32,
+    pub router: u32,
+    pub s1: u32,
+    pub s2: u32,
+}
+
+/// Knobs for building the Fig. 5 lab.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig5Options {
+    /// Configure `firewall bpdu-forward` on both FWSMs (the step the
+    /// Catalyst manual warns is easily missed).
+    pub bpdu_forward: bool,
+    /// Wire the failover VLAN between the switches (without it, both
+    /// FWSMs go split-brain active).
+    pub failover_wired: bool,
+}
+
+impl Default for Fig5Options {
+    fn default() -> Fig5Options {
+        Fig5Options {
+            bpdu_forward: true,
+            failover_wired: true,
+        }
+    }
+}
+
+/// VLAN numbers used by the Fig. 5 lab (10/11 are the paper's failover
+/// pair; 20/30 the bridged inside/outside).
+pub mod fig5_vlans {
+    pub const FAILOVER: u16 = 10;
+    pub const INSIDE: u16 = 20;
+    pub const OUTSIDE: u16 = 30;
+}
+
+/// Build, deploy and converge the Fig. 5 failover lab.
+pub fn fig5_failover_lab(options: Fig5Options) -> Result<Fig5FailoverLab, LabError> {
+    use fig5_vlans::*;
+    let mut labs = RemoteNetworkLabs::new_unreserved();
+    let site = labs.add_site("fig5-lab");
+    let t = Timing::fast();
+    let now = Instant::EPOCH;
+
+    // Catalyst A: ports 0=inside, 1=outside, 2=failover.
+    let mut swa = Switch::with_timing("swa", 101, 3, t, now);
+    swa.install_fwsm(1, 110);
+    swa.set_port_mode(0, PortMode::Access(INSIDE));
+    swa.set_port_mode(1, PortMode::Access(OUTSIDE));
+    swa.set_port_mode(2, PortMode::Access(FAILOVER));
+    swa.set_fwsm_vlan_pair(INSIDE, OUTSIDE, now);
+    {
+        let fwsm = swa.fwsm_mut().expect("installed");
+        fwsm.set_failover_vlan(FAILOVER);
+        fwsm.set_bpdu_forward(options.bpdu_forward);
+    }
+
+    let mut swb = Switch::with_timing("swb", 102, 3, t, now);
+    swb.install_fwsm(2, 100);
+    swb.set_port_mode(0, PortMode::Access(INSIDE));
+    swb.set_port_mode(1, PortMode::Access(OUTSIDE));
+    swb.set_port_mode(2, PortMode::Access(FAILOVER));
+    swb.set_fwsm_vlan_pair(INSIDE, OUTSIDE, now);
+    {
+        let fwsm = swb.fwsm_mut().expect("installed");
+        fwsm.set_failover_vlan(FAILOVER);
+        fwsm.set_bpdu_forward(options.bpdu_forward);
+    }
+
+    // Segment switches (plain, default VLAN 1 everywhere).
+    let intranet_sw = Switch::with_timing("intranet", 103, 4, t, now);
+    let outside_sw = Switch::with_timing("outside", 104, 4, t, now);
+
+    // The router: fa0/0 inside-bridged subnet, fa0/1 the Internet.
+    let mut router = Router::new("gw", 105, 2);
+    router.set_interface_ip(0, "10.20.0.1/16".parse().expect("valid"));
+    router.set_interface_ip(1, "198.51.100.1/24".parse().expect("valid"));
+
+    // S1 on the Internet, S2 on the intranet.
+    let mut s1 = Host::new("s1", 106);
+    s1.set_ip("198.51.100.5/24".parse().expect("valid"));
+    s1.set_gateway("198.51.100.1".parse().expect("valid"));
+    let mut s2 = Host::new("s2", 107);
+    s2.set_ip("10.20.0.5/16".parse().expect("valid"));
+    s2.set_gateway("10.20.0.1".parse().expect("valid"));
+
+    let local = Fig5Locals {
+        swa: labs.add_device(site, Box::new(swa), "Catalyst 6500 + FWSM (A)")?,
+        swb: labs.add_device(site, Box::new(swb), "Catalyst 6500 + FWSM (B)")?,
+        intranet_sw: labs.add_device(site, Box::new(intranet_sw), "intranet segment switch")?,
+        outside_sw: labs.add_device(site, Box::new(outside_sw), "outside segment switch")?,
+        router: labs.add_device(site, Box::new(router), "Internet router")?,
+        s1: labs.add_device(site, Box::new(s1), "server S1 (Internet)")?,
+        s2: labs.add_device(site, Box::new(s2), "server S2 (intranet)")?,
+    };
+    let ids = labs.join_labs(site)?;
+    let (swa, swb, intranet, outside, router, s1, s2) =
+        (ids[0], ids[1], ids[2], ids[3], ids[4], ids[5], ids[6]);
+
+    let mut design = Design::new("fig5-failover");
+    for id in [swa, swb, intranet, outside, router, s1, s2] {
+        design.add_device(id);
+    }
+    let c = |d: &mut Design, a: (RouterId, u16), b: (RouterId, u16)| {
+        d.connect((a.0, PortId(a.1)), (b.0, PortId(b.1)))
+            .expect("valid wiring")
+    };
+    // Intranet segment: S2 + both catalysts' inside ports.
+    c(&mut design, (s2, 0), (intranet, 0));
+    c(&mut design, (swa, 0), (intranet, 1));
+    c(&mut design, (swb, 0), (intranet, 2));
+    // Outside segment: router + both catalysts' outside ports.
+    c(&mut design, (router, 0), (outside, 0));
+    c(&mut design, (swa, 1), (outside, 1));
+    c(&mut design, (swb, 1), (outside, 2));
+    // Internet side.
+    c(&mut design, (router, 1), (s1, 0));
+    // Failover VLAN interconnect.
+    if options.failover_wired {
+        c(&mut design, (swa, 2), (swb, 2));
+    }
+    labs.save_design(design);
+    let deployment = labs.deploy("netadmin", "fig5-failover")?;
+
+    // Let spanning tree and the failover election converge.
+    labs.run(Duration::from_secs(3))?;
+
+    Ok(Fig5FailoverLab {
+        labs,
+        site,
+        swa,
+        swb,
+        intranet_sw: intranet,
+        outside_sw: outside,
+        router,
+        s1,
+        s2,
+        deployment,
+        local,
+    })
+}
+
+/// The Fig. 6 policy lab, deployed with the *initial* topology (no
+/// R3–R4 link).
+pub struct Fig6PolicyLab {
+    pub labs: RemoteNetworkLabs,
+    pub site: SiteId,
+    pub r1: RouterId,
+    pub r2: RouterId,
+    pub r3: RouterId,
+    pub r4: RouterId,
+    /// Host on subnet A (10.1.0.0/16), attached to R1 port 0 ("R1.1").
+    pub host_a: RouterId,
+    /// Host on subnet B (10.2.0.0/16), attached to R2 port 0 ("R2.1").
+    pub host_b: RouterId,
+    pub deployment: DeploymentId,
+    /// The design name, for redeploys after the link addition.
+    pub design_name: &'static str,
+}
+
+/// Port naming follows the paper: R1.1 = `(r1, 0)` faces subnet A,
+/// R1.2 = `(r1, 1)` faces R2, R1.3 = `(r1, 2)` faces R3, and
+/// symmetrically for R2/R4.
+pub fn fig6_policy_lab(with_r3_r4_link: bool) -> Result<Fig6PolicyLab, LabError> {
+    let mut labs = RemoteNetworkLabs::new_unreserved();
+    let site = labs.add_site("fig6-lab");
+
+    // R1: 0 = subnet A, 1 = to R2, 2 = to R3.
+    let mut r1 = Router::new("r1", 201, 3);
+    r1.set_interface_ip(0, "10.1.0.1/16".parse().expect("valid"));
+    r1.set_interface_ip(1, "192.168.12.1/24".parse().expect("valid"));
+    r1.set_interface_ip(2, "192.168.13.1/24".parse().expect("valid"));
+    // The security policy: subnet A cannot talk to subnet B, enforced
+    // at interface R1.2 (outbound) …
+    r1.add_acl_rule(
+        102,
+        rnl_device::acl::Rule::deny_net_to_net(
+            "10.1.0.0/16".parse().expect("valid"),
+            "10.2.0.0/16".parse().expect("valid"),
+        ),
+    );
+    r1.add_acl_rule(102, rnl_device::acl::Rule::permit_any());
+    r1.bind_acl(1, 102, AclDir::Out);
+
+    // R2: 0 = subnet B, 1 = to R1, 2 = to R4.
+    let mut r2 = Router::new("r2", 202, 3);
+    r2.set_interface_ip(0, "10.2.0.1/16".parse().expect("valid"));
+    r2.set_interface_ip(1, "192.168.12.2/24".parse().expect("valid"));
+    r2.set_interface_ip(2, "192.168.24.2/24".parse().expect("valid"));
+    // … and at R2.2 (inbound from R1).
+    r2.add_acl_rule(
+        102,
+        rnl_device::acl::Rule::deny_net_to_net(
+            "10.1.0.0/16".parse().expect("valid"),
+            "10.2.0.0/16".parse().expect("valid"),
+        ),
+    );
+    r2.add_acl_rule(102, rnl_device::acl::Rule::permit_any());
+    r2.bind_acl(1, 102, AclDir::In);
+
+    // R3: 0 = to R1, 1 = to R4.
+    let mut r3 = Router::new("r3", 203, 2);
+    r3.set_interface_ip(0, "192.168.13.3/24".parse().expect("valid"));
+    r3.set_interface_ip(1, "192.168.34.3/24".parse().expect("valid"));
+
+    // R4: 0 = to R2, 1 = to R3.
+    let mut r4 = Router::new("r4", 204, 2);
+    r4.set_interface_ip(0, "192.168.24.4/24".parse().expect("valid"));
+    r4.set_interface_ip(1, "192.168.34.4/24".parse().expect("valid"));
+
+    // Routing, initial topology: A↔B via the R1–R2 link.
+    r1.add_route(
+        "10.2.0.0/16".parse().expect("valid"),
+        "192.168.12.2".parse().expect("valid"),
+    );
+    r2.add_route(
+        "10.1.0.0/16".parse().expect("valid"),
+        "192.168.12.1".parse().expect("valid"),
+    );
+    if with_r3_r4_link {
+        // The future link: traffic is re-routed through R3 and R4,
+        // "thus violating the security policy."
+        r1.add_route(
+            "10.2.0.0/24".parse().expect("valid"),
+            "192.168.13.3".parse().expect("valid"),
+        );
+        r3.add_route(
+            "10.2.0.0/16".parse().expect("valid"),
+            "192.168.34.4".parse().expect("valid"),
+        );
+        r4.add_route(
+            "10.2.0.0/16".parse().expect("valid"),
+            "192.168.24.2".parse().expect("valid"),
+        );
+        r4.add_route(
+            "10.1.0.0/16".parse().expect("valid"),
+            "192.168.34.3".parse().expect("valid"),
+        );
+        r3.add_route(
+            "10.1.0.0/16".parse().expect("valid"),
+            "192.168.13.1".parse().expect("valid"),
+        );
+    }
+
+    let mut host_a = Host::new("host-a", 205);
+    host_a.set_ip("10.1.0.5/16".parse().expect("valid"));
+    host_a.set_gateway("10.1.0.1".parse().expect("valid"));
+    let mut host_b = Host::new("host-b", 206);
+    host_b.set_ip("10.2.0.5/16".parse().expect("valid"));
+    host_b.set_gateway("10.2.0.1".parse().expect("valid"));
+
+    labs.add_device(site, Box::new(r1), "router R1")?;
+    labs.add_device(site, Box::new(r2), "router R2")?;
+    labs.add_device(site, Box::new(r3), "router R3")?;
+    labs.add_device(site, Box::new(r4), "router R4")?;
+    labs.add_device(site, Box::new(host_a), "host on subnet A")?;
+    labs.add_device(site, Box::new(host_b), "host on subnet B")?;
+    let ids = labs.join_labs(site)?;
+    let (r1, r2, r3, r4, host_a, host_b) = (ids[0], ids[1], ids[2], ids[3], ids[4], ids[5]);
+
+    let mut design = Design::new("fig6-policy");
+    for id in [r1, r2, r3, r4, host_a, host_b] {
+        design.add_device(id);
+    }
+    let c = |d: &mut Design, a: (RouterId, u16), b: (RouterId, u16)| {
+        d.connect((a.0, PortId(a.1)), (b.0, PortId(b.1)))
+            .expect("valid wiring")
+    };
+    c(&mut design, (host_a, 0), (r1, 0)); // R1.1
+    c(&mut design, (r1, 1), (r2, 1)); // R1.2 — R2.2
+    c(&mut design, (r1, 2), (r3, 0)); // R1.3 — R3
+    c(&mut design, (r2, 2), (r4, 0)); // R2 — R4
+    c(&mut design, (host_b, 0), (r2, 0)); // R2.1
+    if with_r3_r4_link {
+        c(&mut design, (r3, 1), (r4, 1)); // the new link
+    }
+    labs.save_design(design);
+    let deployment = labs.deploy("netadmin", "fig6-policy")?;
+    labs.run(Duration::from_millis(500))?;
+
+    Ok(Fig6PolicyLab {
+        labs,
+        site,
+        r1,
+        r2,
+        r3,
+        r4,
+        host_a,
+        host_b,
+        deployment,
+        design_name: "fig6-policy",
+    })
+}
+
+/// The IP the Fig. 6 nightly test probes from (a host on subnet A).
+pub const FIG6_PROBE_SRC: &str = "10.1.0.5";
+
+/// The IP the Fig. 6 nightly test probes toward (a host on subnet B).
+pub const FIG6_PROBE_DST: &str = "10.2.0.5";

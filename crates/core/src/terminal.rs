@@ -1,0 +1,225 @@
+//! VT100-ish terminal emulation for the console pane.
+//!
+//! "The web user interface also implements VT100 terminal emulation. If
+//! available and if the reservation is valid, the users could directly
+//! login to the console port of the router from the browser." (§2.1)
+//!
+//! Device consoles in this repository return plain text, but real
+//! router consoles emit carriage returns, backspaces and ANSI escape
+//! sequences; a web console pane has to normalize all of that into
+//! lines of text. [`Terminal`] is that normalizer: feed it raw console
+//! bytes, read back clean scrollback. It handles `\r\n` and bare `\r`
+//! (carriage return overwrites the line), backspace (`\x08`), tabs, and
+//! strips ANSI CSI/OSC escape sequences.
+
+/// Maximum retained scrollback lines; older lines are discarded.
+pub const SCROLLBACK_LIMIT: usize = 10_000;
+
+/// The terminal state machine.
+#[derive(Debug, Default)]
+pub struct Terminal {
+    /// Completed lines.
+    scrollback: Vec<String>,
+    /// The line being built, as a character cell vector (CR may rewind
+    /// and overwrite).
+    current: Vec<char>,
+    /// Write position within `current`.
+    cursor: usize,
+    /// Escape-sequence parser state.
+    escape: EscapeState,
+}
+
+#[derive(Debug, Default, PartialEq, Eq)]
+enum EscapeState {
+    #[default]
+    Ground,
+    /// Saw ESC, deciding the sequence type.
+    Escape,
+    /// Inside CSI (`ESC [ … final-byte`).
+    Csi,
+    /// Inside OSC (`ESC ] … BEL or ESC \`).
+    Osc,
+}
+
+impl Terminal {
+    /// A fresh, empty terminal.
+    pub fn new() -> Terminal {
+        Terminal::default()
+    }
+
+    /// Feed raw console output.
+    pub fn feed(&mut self, text: &str) {
+        for c in text.chars() {
+            self.feed_char(c);
+        }
+    }
+
+    fn feed_char(&mut self, c: char) {
+        match self.escape {
+            EscapeState::Escape => {
+                self.escape = match c {
+                    '[' => EscapeState::Csi,
+                    ']' => EscapeState::Osc,
+                    // Single-character escapes (ESC c, ESC 7, …): done.
+                    _ => EscapeState::Ground,
+                };
+                return;
+            }
+            EscapeState::Csi => {
+                // CSI ends at a "final byte" in 0x40..=0x7e.
+                if ('\u{40}'..='\u{7e}').contains(&c) {
+                    self.escape = EscapeState::Ground;
+                }
+                return;
+            }
+            EscapeState::Osc => {
+                if c == '\u{7}' {
+                    self.escape = EscapeState::Ground;
+                }
+                // (ESC \ terminators re-enter Escape then Ground.)
+                if c == '\u{1b}' {
+                    self.escape = EscapeState::Escape;
+                }
+                return;
+            }
+            EscapeState::Ground => {}
+        }
+        match c {
+            '\u{1b}' => self.escape = EscapeState::Escape,
+            '\n' => {
+                let line: String = self.current.iter().collect();
+                self.push_line(line);
+                self.current.clear();
+                self.cursor = 0;
+            }
+            '\r' => self.cursor = 0,
+            '\u{8}' => self.cursor = self.cursor.saturating_sub(1),
+            '\t' => {
+                // Advance to the next 8-column stop.
+                let next = (self.cursor / 8 + 1) * 8;
+                while self.cursor < next {
+                    self.put(' ');
+                }
+            }
+            c if (c as u32) < 0x20 => {} // other control chars: ignore
+            c => self.put(c),
+        }
+    }
+
+    fn put(&mut self, c: char) {
+        if self.cursor < self.current.len() {
+            self.current[self.cursor] = c;
+        } else {
+            self.current.push(c);
+        }
+        self.cursor += 1;
+    }
+
+    fn push_line(&mut self, line: String) {
+        if self.scrollback.len() == SCROLLBACK_LIMIT {
+            self.scrollback.remove(0);
+        }
+        self.scrollback.push(line);
+    }
+
+    /// Completed scrollback lines.
+    pub fn lines(&self) -> &[String] {
+        &self.scrollback
+    }
+
+    /// The unfinished line (the prompt, typically).
+    pub fn pending(&self) -> String {
+        self.current.iter().collect()
+    }
+
+    /// Render the whole pane: scrollback + pending line.
+    pub fn render(&self) -> String {
+        let mut out = self.scrollback.join("\n");
+        if !out.is_empty() && (!self.current.is_empty()) {
+            out.push('\n');
+        }
+        out.push_str(&self.pending());
+        out
+    }
+
+    /// Drop everything (the pane's clear button).
+    pub fn clear(&mut self) {
+        self.scrollback.clear();
+        self.current.clear();
+        self.cursor = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_lines_accumulate() {
+        let mut t = Terminal::new();
+        t.feed("Router> enable\nRouter# ");
+        assert_eq!(t.lines(), &["Router> enable".to_string()]);
+        assert_eq!(t.pending(), "Router# ");
+        assert_eq!(t.render(), "Router> enable\nRouter# ");
+    }
+
+    #[test]
+    fn crlf_and_bare_cr() {
+        let mut t = Terminal::new();
+        t.feed("hello\r\n");
+        assert_eq!(t.lines(), &["hello".to_string()]);
+        // Bare CR rewinds and overwrites — progress-bar style.
+        t.feed("loading 10%\rloading 99%\n");
+        assert_eq!(t.lines()[1], "loading 99%");
+    }
+
+    #[test]
+    fn backspace_edits_the_line() {
+        let mut t = Terminal::new();
+        t.feed("shw\u{8}ow ver\n");
+        assert_eq!(t.lines(), &["show ver".to_string()]);
+    }
+
+    #[test]
+    fn ansi_escapes_are_stripped() {
+        let mut t = Terminal::new();
+        t.feed("\u{1b}[2J\u{1b}[1;1H\u{1b}[31mRED\u{1b}[0m plain\n");
+        assert_eq!(t.lines(), &["RED plain".to_string()]);
+        // OSC (window title) sequences too.
+        t.feed("\u{1b}]0;router console\u{7}prompt\n");
+        assert_eq!(t.lines()[1], "prompt");
+    }
+
+    #[test]
+    fn tabs_expand_to_stops() {
+        let mut t = Terminal::new();
+        t.feed("ab\tc\n");
+        assert_eq!(t.lines(), &["ab      c".to_string()]);
+    }
+
+    #[test]
+    fn cr_overwrite_keeps_tail_of_longer_line() {
+        let mut t = Terminal::new();
+        t.feed("abcdef\rXY\n");
+        assert_eq!(t.lines(), &["XYcdef".to_string()]);
+    }
+
+    #[test]
+    fn scrollback_is_bounded() {
+        let mut t = Terminal::new();
+        for i in 0..(SCROLLBACK_LIMIT + 10) {
+            t.feed(&format!("line {i}\n"));
+        }
+        assert_eq!(t.lines().len(), SCROLLBACK_LIMIT);
+        assert_eq!(t.lines()[0], "line 10");
+    }
+
+    #[test]
+    fn clear_empties_the_pane() {
+        let mut t = Terminal::new();
+        t.feed("x\ny");
+        t.clear();
+        assert!(t.lines().is_empty());
+        assert_eq!(t.render(), "");
+    }
+}

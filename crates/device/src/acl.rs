@@ -1,0 +1,347 @@
+//! Numbered access control lists, IOS-extended-ACL style.
+//!
+//! These are the packet filters of the paper's Fig. 6: "This policy is
+//! easy to enforce by setting up a packet filter at interface R1.2 and
+//! R2.2." Rules match protocol, source/destination prefixes and optional
+//! L4 ports; the first matching rule wins; a miss hits the implicit
+//! `deny ip any any` at the end.
+
+use std::fmt;
+use std::net::Ipv4Addr;
+
+use rnl_net::addr::Cidr;
+use rnl_net::build::{Classified, L4};
+use rnl_net::ipv4;
+
+/// What a matching rule does with the packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    Permit,
+    Deny,
+}
+
+/// Protocol selector in a rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtoMatch {
+    /// `ip` — any IPv4 packet.
+    Any,
+    Icmp,
+    Tcp,
+    Udp,
+}
+
+impl ProtoMatch {
+    fn matches(self, proto: ipv4::Protocol) -> bool {
+        match self {
+            ProtoMatch::Any => true,
+            ProtoMatch::Icmp => proto == ipv4::Protocol::Icmp,
+            ProtoMatch::Tcp => proto == ipv4::Protocol::Tcp,
+            ProtoMatch::Udp => proto == ipv4::Protocol::Udp,
+        }
+    }
+
+    fn keyword(self) -> &'static str {
+        match self {
+            ProtoMatch::Any => "ip",
+            ProtoMatch::Icmp => "icmp",
+            ProtoMatch::Tcp => "tcp",
+            ProtoMatch::Udp => "udp",
+        }
+    }
+}
+
+/// Address selector: `any` or a prefix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AddrMatch {
+    Any,
+    Net(Cidr),
+}
+
+impl AddrMatch {
+    fn matches(self, addr: Ipv4Addr) -> bool {
+        match self {
+            AddrMatch::Any => true,
+            AddrMatch::Net(net) => net.contains(addr),
+        }
+    }
+}
+
+impl fmt::Display for AddrMatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AddrMatch::Any => write!(f, "any"),
+            AddrMatch::Net(net) => write!(f, "{net}"),
+        }
+    }
+}
+
+/// Optional destination-port selector (TCP/UDP rules only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PortMatch {
+    Any,
+    Eq(u16),
+}
+
+impl PortMatch {
+    fn matches(self, port: u16) -> bool {
+        match self {
+            PortMatch::Any => true,
+            PortMatch::Eq(p) => p == port,
+        }
+    }
+}
+
+/// One rule line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rule {
+    pub action: Action,
+    pub proto: ProtoMatch,
+    pub src: AddrMatch,
+    pub dst: AddrMatch,
+    pub dst_port: PortMatch,
+}
+
+impl Rule {
+    /// `permit ip any any` — the classic final allow.
+    pub fn permit_any() -> Rule {
+        Rule {
+            action: Action::Permit,
+            proto: ProtoMatch::Any,
+            src: AddrMatch::Any,
+            dst: AddrMatch::Any,
+            dst_port: PortMatch::Any,
+        }
+    }
+
+    /// `deny ip <src> <dst>`.
+    pub fn deny_net_to_net(src: Cidr, dst: Cidr) -> Rule {
+        Rule {
+            action: Action::Deny,
+            proto: ProtoMatch::Any,
+            src: AddrMatch::Net(src),
+            dst: AddrMatch::Net(dst),
+            dst_port: PortMatch::Any,
+        }
+    }
+
+    fn matches(&self, header: &ipv4::Repr, l4: &L4) -> bool {
+        if !self.proto.matches(header.protocol) {
+            return false;
+        }
+        if !self.src.matches(header.src) || !self.dst.matches(header.dst) {
+            return false;
+        }
+        match self.dst_port {
+            PortMatch::Any => true,
+            PortMatch::Eq(want) => match l4 {
+                L4::Udp { dst_port, .. } => PortMatch::Eq(want).matches(*dst_port),
+                L4::Tcp { repr, .. } => PortMatch::Eq(want).matches(repr.dst_port),
+                _ => false,
+            },
+        }
+    }
+
+    /// Render as the CLI line that would create this rule.
+    pub fn to_cli(&self, list_id: u16) -> String {
+        let action = match self.action {
+            Action::Permit => "permit",
+            Action::Deny => "deny",
+        };
+        let mut line = format!(
+            "access-list {list_id} {action} {} {} {}",
+            self.proto.keyword(),
+            self.src,
+            self.dst
+        );
+        if let PortMatch::Eq(p) = self.dst_port {
+            line.push_str(&format!(" eq {p}"));
+        }
+        line
+    }
+}
+
+/// A numbered list of rules with first-match semantics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Acl {
+    rules: Vec<Rule>,
+    /// Hit counter per rule, for `show access-lists`.
+    hits: Vec<u64>,
+}
+
+impl Acl {
+    /// An empty list (which denies everything, per the implicit deny).
+    pub fn new() -> Acl {
+        Acl::default()
+    }
+
+    /// Append a rule.
+    pub fn push(&mut self, rule: Rule) {
+        self.rules.push(rule);
+        self.hits.push(0);
+    }
+
+    /// Number of explicit rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// True when no explicit rules exist.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// The rules in order.
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+
+    /// Hit counts parallel to [`Acl::rules`].
+    pub fn hits(&self) -> &[u64] {
+        &self.hits
+    }
+
+    /// Evaluate a classified IPv4 packet. Non-IPv4 traffic (ARP, BPDUs) is
+    /// not subject to IP ACLs and is always permitted here; L2 filtering
+    /// (the FWSM BPDU knob) happens elsewhere.
+    pub fn evaluate(&mut self, class: &Classified) -> Action {
+        let (header, l4) = match class {
+            Classified::Ipv4 { header, l4 } => (header, l4),
+            Classified::Vlan { inner, .. } => match inner.as_ref() {
+                Classified::Ipv4 { header, l4 } => (header, l4),
+                _ => return Action::Permit,
+            },
+            _ => return Action::Permit,
+        };
+        for (idx, rule) in self.rules.iter().enumerate() {
+            if rule.matches(header, l4) {
+                self.hits[idx] += 1;
+                return rule.action;
+            }
+        }
+        // Implicit deny ip any any.
+        Action::Deny
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rnl_net::addr::MacAddr;
+    use rnl_net::build;
+
+    const A: MacAddr = MacAddr([2, 0, 0, 0, 0, 1]);
+    const B: MacAddr = MacAddr([2, 0, 0, 0, 0, 2]);
+
+    fn ping(src: &str, dst: &str) -> Classified {
+        let frame = build::icmp_echo_request(
+            A,
+            B,
+            src.parse().unwrap(),
+            dst.parse().unwrap(),
+            1,
+            1,
+            b"",
+            64,
+        );
+        build::classify(&frame).unwrap().1
+    }
+
+    fn udp(src: &str, dst: &str, port: u16) -> Classified {
+        let frame = build::udp_frame(
+            A,
+            B,
+            src.parse().unwrap(),
+            dst.parse().unwrap(),
+            999,
+            port,
+            b"x",
+            64,
+        );
+        build::classify(&frame).unwrap().1
+    }
+
+    #[test]
+    fn empty_acl_denies_ip() {
+        let mut acl = Acl::new();
+        assert_eq!(acl.evaluate(&ping("10.0.0.1", "10.0.1.1")), Action::Deny);
+    }
+
+    #[test]
+    fn first_match_wins() {
+        let mut acl = Acl::new();
+        acl.push(Rule::deny_net_to_net(
+            "10.1.0.0/16".parse().unwrap(),
+            "10.2.0.0/16".parse().unwrap(),
+        ));
+        acl.push(Rule::permit_any());
+        // Matching the deny.
+        assert_eq!(acl.evaluate(&ping("10.1.0.5", "10.2.0.7")), Action::Deny);
+        // Falling through to the permit.
+        assert_eq!(acl.evaluate(&ping("10.3.0.5", "10.2.0.7")), Action::Permit);
+        assert_eq!(acl.hits(), &[1, 1]);
+    }
+
+    #[test]
+    fn port_match_applies_to_udp_and_tcp_only() {
+        let mut acl = Acl::new();
+        acl.push(Rule {
+            action: Action::Permit,
+            proto: ProtoMatch::Udp,
+            src: AddrMatch::Any,
+            dst: AddrMatch::Any,
+            dst_port: PortMatch::Eq(53),
+        });
+        assert_eq!(acl.evaluate(&udp("1.1.1.1", "2.2.2.2", 53)), Action::Permit);
+        assert_eq!(acl.evaluate(&udp("1.1.1.1", "2.2.2.2", 80)), Action::Deny);
+        // ICMP never matches a UDP rule; implicit deny.
+        assert_eq!(acl.evaluate(&ping("1.1.1.1", "2.2.2.2")), Action::Deny);
+    }
+
+    #[test]
+    fn non_ip_is_not_filtered() {
+        let mut acl = Acl::new(); // would deny all IP
+        let arp = build::arp_request(A, "10.0.0.1".parse().unwrap(), "10.0.0.2".parse().unwrap());
+        let class = build::classify(&arp).unwrap().1;
+        assert_eq!(acl.evaluate(&class), Action::Permit);
+    }
+
+    #[test]
+    fn vlan_encapsulated_ip_is_filtered() {
+        let mut acl = Acl::new();
+        acl.push(Rule::permit_any());
+        // Build a tagged ping by hand.
+        let plain = build::icmp_echo_request(
+            A,
+            B,
+            "10.0.0.1".parse().unwrap(),
+            "10.0.0.2".parse().unwrap(),
+            1,
+            1,
+            b"",
+            64,
+        );
+        let eth = rnl_net::ethernet::Frame::new_checked(&plain[..]).unwrap();
+        let tagged = build::vlan_frame(A, B, 10, rnl_net::addr::EtherType::Ipv4, eth.payload());
+        let class = build::classify(&tagged).unwrap().1;
+        assert_eq!(acl.evaluate(&class), Action::Permit);
+    }
+
+    #[test]
+    fn cli_rendering() {
+        let rule = Rule {
+            action: Action::Deny,
+            proto: ProtoMatch::Tcp,
+            src: AddrMatch::Net("10.1.0.0/16".parse().unwrap()),
+            dst: AddrMatch::Any,
+            dst_port: PortMatch::Eq(80),
+        };
+        assert_eq!(
+            rule.to_cli(101),
+            "access-list 101 deny tcp 10.1.0.0/16 any eq 80"
+        );
+        assert_eq!(
+            Rule::permit_any().to_cli(1),
+            "access-list 1 permit ip any any"
+        );
+    }
+}

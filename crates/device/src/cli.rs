@@ -1,0 +1,204 @@
+//! Shared machinery for the IOS-style command-line interfaces.
+//!
+//! The paper leans on the router CLI twice: it is the error-prone human
+//! interface motivating configuration testing in the first place, and it
+//! is how RNL's web server dumps and restores configurations ("the user
+//! interface also attempts to save the router configuration by dumping
+//! the configuration file from its console port"). Every simulated device
+//! therefore speaks a small but genuine CLI with EXEC/privileged/config
+//! modes, and `show running-config` output is replayable line-by-line.
+
+use std::str::FromStr;
+
+use rnl_net::addr::Cidr;
+
+use crate::acl::{Action, AddrMatch, PortMatch, ProtoMatch, Rule};
+
+/// The CLI mode stack, Cisco-style.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Mode {
+    /// `Router>` — user EXEC.
+    #[default]
+    UserExec,
+    /// `Router#` — privileged EXEC (after `enable`).
+    Privileged,
+    /// `Router(config)#` — global configuration.
+    Config,
+    /// `Router(config-if)#` — interface configuration, holding the port.
+    ConfigIf(usize),
+    /// `Router(config-router)#` — routing-protocol configuration
+    /// (`router rip`).
+    ConfigRouterRip,
+}
+
+impl Mode {
+    /// The prompt suffix for this mode.
+    pub fn prompt_suffix(self) -> &'static str {
+        match self {
+            Mode::UserExec => ">",
+            Mode::Privileged => "#",
+            Mode::Config => "(config)#",
+            Mode::ConfigIf(_) => "(config-if)#",
+            Mode::ConfigRouterRip => "(config-router)#",
+        }
+    }
+}
+
+/// Split a command line into whitespace-separated tokens.
+pub fn tokenize(line: &str) -> Vec<&str> {
+    line.split_whitespace().collect()
+}
+
+/// Case-insensitive, prefix-tolerant keyword match (IOS accepts
+/// unambiguous abbreviations; we accept any prefix of length ≥ 2, or an
+/// exact match for shorter keywords).
+pub fn kw(token: &str, keyword: &str) -> bool {
+    let token = token.to_ascii_lowercase();
+    if token.len() < 2 {
+        return token == keyword;
+    }
+    keyword.starts_with(&token)
+}
+
+/// The standard unrecognized-command reply.
+pub fn invalid() -> String {
+    "% Invalid input detected\n".to_string()
+}
+
+/// The reply when a command needs a higher privilege mode.
+pub fn wrong_mode() -> String {
+    "% Command not available in this mode\n".to_string()
+}
+
+/// Parse `A.B.C.D E.F.G.H` (address + netmask) into a CIDR.
+pub fn parse_addr_mask(addr: &str, mask: &str) -> Option<Cidr> {
+    let addr: std::net::Ipv4Addr = addr.parse().ok()?;
+    let mask: std::net::Ipv4Addr = mask.parse().ok()?;
+    let mask_bits = u32::from(mask);
+    let prefix_len = mask_bits.leading_ones() as u8;
+    // Reject non-contiguous masks.
+    if mask_bits != 0 && mask_bits.count_ones() != u32::from(prefix_len) {
+        return None;
+    }
+    Cidr::new(addr, prefix_len).ok()
+}
+
+/// Parse an address selector: `any`, `A.B.C.D/len`, `host A.B.C.D`
+/// followed by nothing, or `A.B.C.D MASK`. Returns the selector and how
+/// many tokens were consumed.
+pub fn parse_addr_match(tokens: &[&str]) -> Option<(AddrMatch, usize)> {
+    match tokens.first()? {
+        t if kw(t, "any") => Some((AddrMatch::Any, 1)),
+        t if kw(t, "host") => {
+            let addr: std::net::Ipv4Addr = tokens.get(1)?.parse().ok()?;
+            Some((AddrMatch::Net(Cidr::new(addr, 32).ok()?), 2))
+        }
+        t if t.contains('/') => Some((AddrMatch::Net(Cidr::from_str(t).ok()?), 1)),
+        t => {
+            // addr + mask form
+            let mask = tokens.get(1)?;
+            let cidr = parse_addr_mask(t, mask)?;
+            Some((AddrMatch::Net(cidr), 2))
+        }
+    }
+}
+
+/// Parse the tail of an `access-list` command:
+/// `<id> permit|deny <proto> <src> <dst> [eq <port>]`.
+/// Returns the list id and the rule.
+pub fn parse_access_list(tokens: &[&str]) -> Option<(u16, Rule)> {
+    let id: u16 = tokens.first()?.parse().ok()?;
+    let action = match tokens.get(1)? {
+        t if kw(t, "permit") => Action::Permit,
+        t if kw(t, "deny") => Action::Deny,
+        _ => return None,
+    };
+    let proto = match tokens.get(2)? {
+        t if kw(t, "ip") => ProtoMatch::Any,
+        t if kw(t, "icmp") => ProtoMatch::Icmp,
+        t if kw(t, "tcp") => ProtoMatch::Tcp,
+        t if kw(t, "udp") => ProtoMatch::Udp,
+        _ => return None,
+    };
+    let rest = &tokens[3..];
+    let (src, used_src) = parse_addr_match(rest)?;
+    let rest = &rest[used_src..];
+    let (dst, used_dst) = parse_addr_match(rest)?;
+    let rest = &rest[used_dst..];
+    let dst_port = match rest {
+        [] => PortMatch::Any,
+        [eq, port] if kw(eq, "eq") => PortMatch::Eq(port.parse().ok()?),
+        _ => return None,
+    };
+    Some((
+        id,
+        Rule {
+            action,
+            proto,
+            src,
+            dst,
+            dst_port,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_prefixes() {
+        assert!(kw("conf", "configure"));
+        assert!(kw("CONFIGURE", "configure"));
+        assert!(!kw("confx", "configure"));
+        // Single letters only match exactly.
+        assert!(!kw("c", "configure"));
+    }
+
+    #[test]
+    fn addr_mask_parsing() {
+        let c = parse_addr_mask("10.1.0.0", "255.255.0.0").unwrap();
+        assert_eq!(c.to_string(), "10.1.0.0/16");
+        // Non-contiguous mask rejected.
+        assert!(parse_addr_mask("10.1.0.0", "255.0.255.0").is_none());
+    }
+
+    #[test]
+    fn addr_match_forms() {
+        assert_eq!(parse_addr_match(&["any"]).unwrap().1, 1);
+        let (m, used) = parse_addr_match(&["host", "10.0.0.1"]).unwrap();
+        assert_eq!(used, 2);
+        assert_eq!(m, AddrMatch::Net("10.0.0.1/32".parse().unwrap()));
+        let (m, used) = parse_addr_match(&["10.1.0.0/16"]).unwrap();
+        assert_eq!(used, 1);
+        assert_eq!(m, AddrMatch::Net("10.1.0.0/16".parse().unwrap()));
+        let (_, used) = parse_addr_match(&["10.1.0.0", "255.255.0.0"]).unwrap();
+        assert_eq!(used, 2);
+    }
+
+    #[test]
+    fn access_list_roundtrip_through_cli_text() {
+        let line = "access-list 101 deny tcp 10.1.0.0/16 any eq 80";
+        let tokens = tokenize(line);
+        let (id, rule) = parse_access_list(&tokens[1..]).unwrap();
+        assert_eq!(id, 101);
+        assert_eq!(rule.to_cli(101), line);
+    }
+
+    #[test]
+    fn access_list_with_masks() {
+        let tokens = tokenize("101 permit udp 10.1.0.0 255.255.0.0 host 10.2.0.1 eq 53");
+        let (id, rule) = parse_access_list(&tokens).unwrap();
+        assert_eq!(id, 101);
+        assert_eq!(rule.proto, ProtoMatch::Udp);
+        assert_eq!(rule.dst_port, PortMatch::Eq(53));
+    }
+
+    #[test]
+    fn malformed_access_lists_rejected() {
+        assert!(parse_access_list(&tokenize("101 frobnicate ip any any")).is_none());
+        assert!(parse_access_list(&tokenize("101 permit ip any")).is_none());
+        assert!(parse_access_list(&tokenize("x permit ip any any")).is_none());
+        assert!(parse_access_list(&tokenize("101 permit ip any any eq")).is_none());
+    }
+}

@@ -1,0 +1,152 @@
+//! The [`Device`] trait: the contract every piece of lab equipment
+//! presents to RNL, mirroring what a physical box offers — ports, a
+//! console, a power switch, and flashable firmware.
+
+use core::fmt;
+
+use rnl_net::time::Instant;
+
+/// Index of a port on a device, 0-based.
+pub type PortIndex = usize;
+
+/// A frame a device wants transmitted out one of its ports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Emission {
+    /// The egress port.
+    pub port: PortIndex,
+    /// The complete Ethernet frame (no preamble/FCS).
+    pub frame: Vec<u8>,
+}
+
+impl Emission {
+    /// Convenience constructor.
+    pub fn new(port: PortIndex, frame: Vec<u8>) -> Emission {
+        Emission { port, frame }
+    }
+}
+
+/// Physical link state of a port, as a cable-pull simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkState {
+    Up,
+    Down,
+}
+
+/// Errors from device management operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeviceError {
+    /// A port index beyond `num_ports()`.
+    InvalidPort(PortIndex),
+    /// The device is powered off.
+    PoweredOff,
+    /// A firmware image name the device does not recognize.
+    UnknownFirmware(String),
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceError::InvalidPort(p) => write!(f, "invalid port index {p}"),
+            DeviceError::PoweredOff => write!(f, "device is powered off"),
+            DeviceError::UnknownFirmware(v) => write!(f, "unknown firmware image {v:?}"),
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {}
+
+/// A piece of lab equipment. See the crate docs for the polling model.
+///
+/// Implementations must be deterministic: identical call sequences produce
+/// identical emissions and console output.
+pub trait Device: Send {
+    /// The marketing model string shown in the RNL inventory, e.g.
+    /// `"Catalyst 6500"` or `"7200 Series Router"`.
+    fn model(&self) -> &str;
+
+    /// The configured hostname.
+    fn hostname(&self) -> &str;
+
+    /// Number of network ports (excluding the console).
+    fn num_ports(&self) -> usize;
+
+    /// Interface name of a port as the CLI knows it.
+    fn port_name(&self, port: PortIndex) -> String {
+        format!("Ethernet0/{port}")
+    }
+
+    /// Whether the device is powered on.
+    fn powered(&self) -> bool;
+
+    /// Power the device on or off. Powering off drops all volatile state
+    /// (MAC tables, ARP caches, running config reverts to startup config
+    /// at next power-on), exactly what yanking the cord does to a router.
+    fn set_power(&mut self, on: bool, now: Instant);
+
+    /// Physical link state of a port.
+    fn link_state(&self, port: PortIndex) -> LinkState;
+
+    /// Connect or disconnect the virtual cable on a port.
+    fn set_link_state(&mut self, port: PortIndex, state: LinkState, now: Instant);
+
+    /// Deliver a received frame to a port. Returns frames to transmit.
+    fn on_frame(&mut self, port: PortIndex, frame: &[u8], now: Instant) -> Vec<Emission>;
+
+    /// Advance timers to `now`. Returns frames to transmit (hello BPDUs,
+    /// failover hellos, pending ARP retries, generator traffic, …).
+    fn tick(&mut self, now: Instant) -> Vec<Emission>;
+
+    /// Feed one line to the console and collect its output, as if typed at
+    /// the (virtual) serial port. The trailing newline is implied.
+    fn console(&mut self, line: &str, now: Instant) -> String;
+
+    /// The currently running firmware version string.
+    fn firmware(&self) -> String;
+
+    /// Flash a different firmware image. Takes effect immediately (the
+    /// simulators reboot instantly); configuration is preserved, behaviour
+    /// quirks change.
+    fn flash_firmware(&mut self, version: &str, now: Instant) -> Result<(), DeviceError>;
+}
+
+/// Blanket helpers available on all devices.
+pub trait DeviceExt: Device {
+    /// Feed a multi-line script to the console, returning concatenated
+    /// output. Used to restore saved configurations.
+    fn console_script(&mut self, script: &str, now: Instant) -> String {
+        let mut out = String::new();
+        for line in script.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('!') {
+                continue;
+            }
+            out.push_str(&self.console(line, now));
+        }
+        out
+    }
+}
+
+impl<T: Device + ?Sized> DeviceExt for T {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emission_constructor() {
+        let e = Emission::new(3, vec![1, 2, 3]);
+        assert_eq!(e.port, 3);
+        assert_eq!(e.frame, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(
+            DeviceError::InvalidPort(9).to_string(),
+            "invalid port index 9"
+        );
+        assert!(DeviceError::UnknownFirmware("x".into())
+            .to_string()
+            .contains('x'));
+    }
+}

@@ -1,0 +1,197 @@
+//! Firmware images and their behavioural quirks.
+//!
+//! "There are many firmware versions for a router (Cisco is well known
+//! for the many versions of IOS), and each behaves slightly different. A
+//! design may work on paper, but it may not on routers with a particular
+//! version of the firmware." — §1 of the paper. RNL's answer is to let
+//! users flash any version onto the real device; our simulators answer
+//! the same way: each model ships a registry of versions whose *quirks*
+//! change observable behaviour, so the firmware-matters experiments (E14)
+//! have something real to measure.
+
+/// Behaviour toggles that differ across firmware versions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Quirks {
+    /// Whether the FWSM supports forwarding BPDUs at all. The Fig. 5
+    /// configuration manual warns "a switch software that supports BPDU
+    /// forwarding should be used" — on images without support, the
+    /// `firewall bpdu-forward` command is rejected.
+    pub fwsm_bpdu_forward_supported: bool,
+    /// Whether spanning tree is enabled by default on boot.
+    pub stp_enabled_by_default: bool,
+    /// Maximum rules accepted per access list (older images were smaller).
+    pub max_acl_rules: usize,
+    /// Some images default newly-configured interfaces to shutdown.
+    pub default_interface_shutdown: bool,
+}
+
+/// One flashable image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Firmware {
+    /// Version string as the CLI reports it, e.g. `12.2(18)SXF`.
+    pub version: String,
+    pub quirks: Quirks,
+}
+
+/// The images available for a device model.
+#[derive(Debug, Clone)]
+pub struct Registry {
+    images: Vec<Firmware>,
+    /// Index of the factory-default image.
+    default: usize,
+}
+
+impl Registry {
+    /// Build a registry; `default` indexes into `images`.
+    pub fn new(images: Vec<Firmware>, default: usize) -> Registry {
+        assert!(default < images.len(), "default image must exist");
+        Registry { images, default }
+    }
+
+    /// The factory-default image.
+    pub fn default_image(&self) -> &Firmware {
+        &self.images[self.default]
+    }
+
+    /// Find an image by version string.
+    pub fn find(&self, version: &str) -> Option<&Firmware> {
+        self.images.iter().find(|f| f.version == version)
+    }
+
+    /// All image version strings, for `show flash`.
+    pub fn versions(&self) -> impl Iterator<Item = &str> {
+        self.images.iter().map(|f| f.version.as_str())
+    }
+
+    /// The registry for Catalyst-6500-class switches. The older SXD image
+    /// predates FWSM BPDU forwarding — flashing it reproduces the Fig. 5
+    /// pitfall no matter how the FWSM is configured.
+    pub fn catalyst6500() -> Registry {
+        Registry::new(
+            vec![
+                Firmware {
+                    version: "12.2(14)SXD".to_string(),
+                    quirks: Quirks {
+                        fwsm_bpdu_forward_supported: false,
+                        stp_enabled_by_default: true,
+                        max_acl_rules: 128,
+                        default_interface_shutdown: false,
+                    },
+                },
+                Firmware {
+                    version: "12.2(18)SXF".to_string(),
+                    quirks: Quirks {
+                        fwsm_bpdu_forward_supported: true,
+                        stp_enabled_by_default: true,
+                        max_acl_rules: 512,
+                        default_interface_shutdown: false,
+                    },
+                },
+                Firmware {
+                    version: "12.2(33)SXI".to_string(),
+                    quirks: Quirks {
+                        fwsm_bpdu_forward_supported: true,
+                        stp_enabled_by_default: true,
+                        max_acl_rules: 4096,
+                        default_interface_shutdown: false,
+                    },
+                },
+            ],
+            1,
+        )
+    }
+
+    /// The registry for 7200-class routers.
+    pub fn router7200() -> Registry {
+        Registry::new(
+            vec![
+                Firmware {
+                    version: "12.2(8)T".to_string(),
+                    quirks: Quirks {
+                        fwsm_bpdu_forward_supported: false,
+                        stp_enabled_by_default: false,
+                        max_acl_rules: 64,
+                        default_interface_shutdown: true,
+                    },
+                },
+                Firmware {
+                    version: "12.4(25)".to_string(),
+                    quirks: Quirks {
+                        fwsm_bpdu_forward_supported: false,
+                        stp_enabled_by_default: false,
+                        max_acl_rules: 1024,
+                        default_interface_shutdown: true,
+                    },
+                },
+                Firmware {
+                    version: "15.1(4)M".to_string(),
+                    quirks: Quirks {
+                        fwsm_bpdu_forward_supported: false,
+                        stp_enabled_by_default: false,
+                        max_acl_rules: 4096,
+                        default_interface_shutdown: false,
+                    },
+                },
+            ],
+            1,
+        )
+    }
+
+    /// A single-image registry for simple devices (hosts, generators).
+    pub fn fixed(version: &str) -> Registry {
+        Registry::new(
+            vec![Firmware {
+                version: version.to_string(),
+                quirks: Quirks {
+                    fwsm_bpdu_forward_supported: false,
+                    stp_enabled_by_default: false,
+                    max_acl_rules: usize::MAX,
+                    default_interface_shutdown: false,
+                },
+            }],
+            0,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalyst_registry_has_three_images_with_distinct_quirks() {
+        let reg = Registry::catalyst6500();
+        assert_eq!(reg.versions().count(), 3);
+        assert!(
+            !reg.find("12.2(14)SXD")
+                .unwrap()
+                .quirks
+                .fwsm_bpdu_forward_supported
+        );
+        assert!(
+            reg.find("12.2(18)SXF")
+                .unwrap()
+                .quirks
+                .fwsm_bpdu_forward_supported
+        );
+        assert_eq!(reg.default_image().version, "12.2(18)SXF");
+    }
+
+    #[test]
+    fn unknown_version_not_found() {
+        assert!(Registry::router7200().find("13.0").is_none());
+    }
+
+    #[test]
+    fn fixed_registry() {
+        let reg = Registry::fixed("1.0");
+        assert_eq!(reg.default_image().version, "1.0");
+        assert_eq!(reg.versions().count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "default image must exist")]
+    fn bad_default_panics() {
+        Registry::new(vec![], 0);
+    }
+}

@@ -1,0 +1,624 @@
+//! The Firewall Services Module — the star of the paper's Fig. 5.
+//!
+//! A [`Fwsm`] lives inside a [`crate::switch::Switch`] (as the real module
+//! occupies a Catalyst 6500 slot) and transparently bridges a pair of
+//! VLANs, applying stateful filtering as frames cross. Two FWSMs monitor
+//! each other's health over a dedicated failover VLAN using
+//! [`rnl_net::fhp`] hellos: the active unit bridges, the standby blocks,
+//! and losing hellos for the hold time triggers a takeover.
+//!
+//! The module reproduces both Fig. 5 behaviours the paper calls out:
+//!
+//! * **Correct failover** — kill the active switch and the standby takes
+//!   over within the hold time.
+//! * **The BPDU pitfall** — "the manual states that a switch software
+//!   that supports BPDU forwarding should be used and that the user must
+//!   configure the FWSM to allow BPDUs. Both steps could be easily missed"
+//!   — when BPDUs are not forwarded across the bridged pair, the two
+//!   switches cannot see each other's spanning tree and a forwarding loop
+//!   (broadcast storm) forms as soon as both modules bridge at once.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use rnl_net::addr::MacAddr;
+use rnl_net::build::{Classified, L4};
+use rnl_net::fhp::{Hello, Role};
+use rnl_net::ipv4;
+use rnl_net::time::{Duration, Instant};
+
+use crate::acl::{Acl, Action};
+
+/// Default interval between failover hellos.
+pub const DEFAULT_HELLO_INTERVAL: Duration = Duration::from_millis(500);
+
+/// Hellos missed before a standby takes over (hold = 3 × interval).
+pub const HOLD_MULTIPLIER: u64 = 3;
+
+/// Idle lifetime of a connection-table entry.
+pub const CONN_IDLE_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Direction of a frame crossing the firewalled VLAN pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// From the trusted (inside) VLAN toward the outside.
+    InsideToOutside,
+    /// From the outside VLAN toward the inside.
+    OutsideToInside,
+}
+
+/// A connection-table key: 5-tuple normalized per direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct ConnKey {
+    src: Ipv4Addr,
+    dst: Ipv4Addr,
+    proto: u8,
+    src_port: u16,
+    dst_port: u16,
+}
+
+impl ConnKey {
+    fn reversed(self) -> ConnKey {
+        ConnKey {
+            src: self.dst,
+            dst: self.src,
+            proto: self.proto,
+            src_port: self.dst_port,
+            dst_port: self.src_port,
+        }
+    }
+}
+
+/// What the FWSM decided about a frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Bridge the frame into the paired VLAN.
+    Forward,
+    /// Drop it.
+    Drop,
+}
+
+/// Per-module counters, for `show firewall`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FwsmStats {
+    pub forwarded: u64,
+    pub dropped_standby: u64,
+    pub dropped_acl: u64,
+    pub dropped_bpdu: u64,
+    pub takeovers: u64,
+}
+
+/// The firewall service module state machine.
+#[derive(Debug)]
+pub struct Fwsm {
+    unit_id: u32,
+    /// The bridged VLAN pair (inside, outside); `None` until configured.
+    vlan_pair: Option<(u16, u16)>,
+    /// VLAN carrying failover hellos; `None` disables failover monitoring.
+    failover_vlan: Option<u16>,
+    failover_enabled: bool,
+    priority: u8,
+    role: Role,
+    /// Allow spanning-tree BPDUs to cross the bridged pair.
+    bpdu_forward: bool,
+    /// ACL applied to outside→inside traffic without a matching
+    /// connection.
+    outside_acl: Acl,
+    conn_table: HashMap<ConnKey, Instant>,
+    hello_interval: Duration,
+    last_hello_sent: Option<Instant>,
+    peer_last_seen: Option<Instant>,
+    peer_role: Option<Role>,
+    serial: u32,
+    stats: FwsmStats,
+}
+
+impl Fwsm {
+    /// Create a module. Units start active until they hear a better peer;
+    /// the pair resolves to one active / one standby within a hello
+    /// exchange.
+    pub fn new(unit_id: u32, priority: u8) -> Fwsm {
+        Fwsm {
+            unit_id,
+            vlan_pair: None,
+            failover_vlan: None,
+            failover_enabled: false,
+            priority,
+            role: Role::Active,
+            bpdu_forward: false,
+            outside_acl: Acl::new(),
+            conn_table: HashMap::new(),
+            hello_interval: DEFAULT_HELLO_INTERVAL,
+            last_hello_sent: None,
+            peer_last_seen: None,
+            peer_role: None,
+            serial: 0,
+            stats: FwsmStats::default(),
+        }
+    }
+
+    /// The unit identifier.
+    pub fn unit_id(&self) -> u32 {
+        self.unit_id
+    }
+
+    /// Current role.
+    pub fn role(&self) -> Role {
+        self.role
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> FwsmStats {
+        self.stats
+    }
+
+    /// Configure the bridged VLAN pair.
+    pub fn set_vlan_pair(&mut self, inside: u16, outside: u16) {
+        self.vlan_pair = Some((inside, outside));
+    }
+
+    /// The configured pair.
+    pub fn vlan_pair(&self) -> Option<(u16, u16)> {
+        self.vlan_pair
+    }
+
+    /// Configure the failover VLAN and enable monitoring.
+    pub fn set_failover_vlan(&mut self, vlan: u16) {
+        self.failover_vlan = Some(vlan);
+        self.failover_enabled = true;
+    }
+
+    /// The failover VLAN.
+    pub fn failover_vlan(&self) -> Option<u16> {
+        self.failover_vlan
+    }
+
+    /// Whether failover is enabled.
+    pub fn failover_enabled(&self) -> bool {
+        self.failover_enabled
+    }
+
+    /// Set the failover priority (higher wins active election).
+    pub fn set_priority(&mut self, priority: u8) {
+        self.priority = priority;
+    }
+
+    /// The failover priority.
+    pub fn priority(&self) -> u8 {
+        self.priority
+    }
+
+    /// Allow or block BPDU forwarding across the pair.
+    pub fn set_bpdu_forward(&mut self, allow: bool) {
+        self.bpdu_forward = allow;
+    }
+
+    /// Whether BPDUs cross the pair.
+    pub fn bpdu_forward(&self) -> bool {
+        self.bpdu_forward
+    }
+
+    /// Replace the outside→inside ACL.
+    pub fn set_outside_acl(&mut self, acl: Acl) {
+        self.outside_acl = acl;
+    }
+
+    /// If `vlan` is one half of the bridged pair, the other half and the
+    /// crossing direction.
+    pub fn crossing(&self, vlan: u16) -> Option<(u16, Direction)> {
+        let (inside, outside) = self.vlan_pair?;
+        if vlan == inside {
+            Some((outside, Direction::InsideToOutside))
+        } else if vlan == outside {
+            Some((inside, Direction::OutsideToInside))
+        } else {
+            None
+        }
+    }
+
+    /// Decide whether a frame may cross the bridged pair.
+    pub fn decide(&mut self, class: &Classified, dir: Direction, now: Instant) -> Verdict {
+        if self.role != Role::Active {
+            self.stats.dropped_standby += 1;
+            return Verdict::Drop;
+        }
+        match class {
+            Classified::Bpdu(_) => {
+                if self.bpdu_forward {
+                    self.stats.forwarded += 1;
+                    Verdict::Forward
+                } else {
+                    self.stats.dropped_bpdu += 1;
+                    Verdict::Drop
+                }
+            }
+            Classified::Ipv4 { header, l4 } => self.decide_ip(class, header, l4, dir, now),
+            // ARP must flow for the bridged segment to function at all.
+            Classified::Arp(_) => {
+                self.stats.forwarded += 1;
+                Verdict::Forward
+            }
+            _ => {
+                self.stats.forwarded += 1;
+                Verdict::Forward
+            }
+        }
+    }
+
+    fn decide_ip(
+        &mut self,
+        class: &Classified,
+        header: &ipv4::Repr,
+        l4: &L4,
+        dir: Direction,
+        now: Instant,
+    ) -> Verdict {
+        let key = conn_key(header, l4);
+        match dir {
+            Direction::InsideToOutside => {
+                // Trusted side initiates freely; track so replies return.
+                self.conn_table.insert(key, now);
+                self.stats.forwarded += 1;
+                Verdict::Forward
+            }
+            Direction::OutsideToInside => {
+                // Allowed if it matches a live connection…
+                if let Some(started) = self.conn_table.get(&key.reversed()) {
+                    if now.since(*started) <= CONN_IDLE_TIMEOUT {
+                        // Refresh the entry.
+                        self.conn_table.insert(key.reversed(), now);
+                        self.stats.forwarded += 1;
+                        return Verdict::Forward;
+                    }
+                }
+                // …or the outside ACL explicitly permits it.
+                match self.outside_acl.evaluate(class) {
+                    Action::Permit => {
+                        self.stats.forwarded += 1;
+                        Verdict::Forward
+                    }
+                    Action::Deny => {
+                        self.stats.dropped_acl += 1;
+                        Verdict::Drop
+                    }
+                }
+            }
+        }
+    }
+
+    /// Process a failover hello received on the failover VLAN.
+    pub fn on_hello(&mut self, hello: &Hello, now: Instant) {
+        if !self.failover_enabled || hello.unit_id == self.unit_id {
+            return;
+        }
+        self.peer_last_seen = Some(now);
+        self.peer_role = Some(hello.role);
+        // Split-brain resolution: if both claim active, the higher
+        // priority (then the lower unit id) keeps the role.
+        if self.role == Role::Active && hello.role == Role::Active {
+            let peer_wins = (hello.priority, std::cmp::Reverse(hello.unit_id))
+                > (self.priority, std::cmp::Reverse(self.unit_id));
+            if peer_wins {
+                self.role = Role::Standby;
+                self.conn_table.clear();
+            }
+        }
+    }
+
+    /// Advance timers; returns a hello to transmit on the failover VLAN
+    /// when one is due.
+    pub fn tick(&mut self, now: Instant) -> Option<Hello> {
+        if !self.failover_enabled {
+            return None;
+        }
+        // Takeover check: a standby that lost its peer becomes active.
+        let hold = self.hello_interval.saturating_mul(HOLD_MULTIPLIER);
+        if self.role == Role::Standby {
+            let peer_alive = matches!(self.peer_last_seen, Some(seen) if now.since(seen) <= hold);
+            if !peer_alive && self.peer_last_seen.is_some() {
+                self.role = Role::Active;
+                self.stats.takeovers += 1;
+            }
+        }
+        // Expire idle connections opportunistically.
+        self.conn_table
+            .retain(|_, last| now.since(*last) <= CONN_IDLE_TIMEOUT);
+
+        let due = match self.last_hello_sent {
+            None => true,
+            Some(last) => now.since(last) >= self.hello_interval,
+        };
+        if due {
+            self.last_hello_sent = Some(now);
+            self.serial = self.serial.wrapping_add(1);
+            Some(Hello {
+                unit_id: self.unit_id,
+                role: self.role,
+                priority: self.priority,
+                serial: self.serial,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Source MAC the module uses on the failover VLAN.
+    pub fn failover_mac(&self) -> MacAddr {
+        MacAddr::derived(0xf00 + self.unit_id, 0xff)
+    }
+
+    /// Source IP the module uses on the failover VLAN (link-local style).
+    pub fn failover_ip(&self) -> Ipv4Addr {
+        let b = self.unit_id.to_be_bytes();
+        Ipv4Addr::new(169, 254, b[2], b[3].max(1))
+    }
+}
+
+fn conn_key(header: &ipv4::Repr, l4: &L4) -> ConnKey {
+    let (src_port, dst_port) = match l4 {
+        L4::Udp {
+            src_port, dst_port, ..
+        } => (*src_port, *dst_port),
+        L4::Tcp { repr, .. } => (repr.src_port, repr.dst_port),
+        L4::Icmp(rnl_net::icmp::Repr::EchoRequest { ident, .. })
+        | L4::Icmp(rnl_net::icmp::Repr::EchoReply { ident, .. }) => (*ident, *ident),
+        _ => (0, 0),
+    };
+    // ICMP replies must match the request's entry, so direction-normalize
+    // echo traffic by using the ident on both sides.
+    ConnKey {
+        src: header.src,
+        dst: header.dst,
+        proto: header.protocol.to_u8(),
+        src_port,
+        dst_port,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rnl_net::build;
+
+    const A: MacAddr = MacAddr([2, 0, 0, 0, 0, 1]);
+    const B: MacAddr = MacAddr([2, 0, 0, 0, 0, 2]);
+    const IN_IP: &str = "10.1.0.5";
+    const OUT_IP: &str = "198.51.100.7";
+
+    fn ping_req(src: &str, dst: &str) -> Classified {
+        let f = build::icmp_echo_request(
+            A,
+            B,
+            src.parse().unwrap(),
+            dst.parse().unwrap(),
+            9,
+            1,
+            b"",
+            64,
+        );
+        build::classify(&f).unwrap().1
+    }
+
+    fn ping_reply(src: &str, dst: &str) -> Classified {
+        let msg = rnl_net::icmp::Repr::EchoReply {
+            ident: 9,
+            seq_no: 1,
+            data: vec![],
+        };
+        let mut l4 = vec![0u8; msg.buffer_len()];
+        msg.emit(&mut l4).unwrap();
+        let ip = ipv4::Repr {
+            src: src.parse().unwrap(),
+            dst: dst.parse().unwrap(),
+            protocol: ipv4::Protocol::Icmp,
+            ttl: 64,
+            ident: 0,
+            dont_frag: false,
+            payload_len: l4.len(),
+        };
+        let f = build::ipv4_frame(B, A, &ip, &l4);
+        build::classify(&f).unwrap().1
+    }
+
+    fn t(ms: u64) -> Instant {
+        Instant::EPOCH + Duration::from_millis(ms)
+    }
+
+    #[test]
+    fn inside_out_allowed_and_reply_tracked() {
+        let mut fw = Fwsm::new(1, 100);
+        fw.set_vlan_pair(20, 30);
+        let req = ping_req(IN_IP, OUT_IP);
+        assert_eq!(
+            fw.decide(&req, Direction::InsideToOutside, t(0)),
+            Verdict::Forward
+        );
+        // The reply from outside matches the tracked connection.
+        let rep = ping_reply(OUT_IP, IN_IP);
+        assert_eq!(
+            fw.decide(&rep, Direction::OutsideToInside, t(10)),
+            Verdict::Forward
+        );
+    }
+
+    #[test]
+    fn unsolicited_outside_traffic_blocked_without_acl() {
+        let mut fw = Fwsm::new(1, 100);
+        fw.set_vlan_pair(20, 30);
+        let probe = ping_req(OUT_IP, IN_IP);
+        assert_eq!(
+            fw.decide(&probe, Direction::OutsideToInside, t(0)),
+            Verdict::Drop
+        );
+        assert_eq!(fw.stats().dropped_acl, 1);
+    }
+
+    #[test]
+    fn outside_acl_can_open_pinholes() {
+        let mut fw = Fwsm::new(1, 100);
+        fw.set_vlan_pair(20, 30);
+        let mut acl = Acl::new();
+        acl.push(crate::acl::Rule::permit_any());
+        fw.set_outside_acl(acl);
+        let probe = ping_req(OUT_IP, IN_IP);
+        assert_eq!(
+            fw.decide(&probe, Direction::OutsideToInside, t(0)),
+            Verdict::Forward
+        );
+    }
+
+    #[test]
+    fn connection_entries_expire() {
+        let mut fw = Fwsm::new(1, 100);
+        fw.set_vlan_pair(20, 30);
+        fw.decide(&ping_req(IN_IP, OUT_IP), Direction::InsideToOutside, t(0));
+        let rep = ping_reply(OUT_IP, IN_IP);
+        let late = Instant::EPOCH + CONN_IDLE_TIMEOUT + Duration::from_secs(1);
+        assert_eq!(
+            fw.decide(&rep, Direction::OutsideToInside, late),
+            Verdict::Drop
+        );
+    }
+
+    #[test]
+    fn standby_bridges_nothing() {
+        let mut fw = Fwsm::new(2, 50);
+        fw.set_vlan_pair(20, 30);
+        fw.set_failover_vlan(10);
+        // A higher-priority active peer demotes us.
+        fw.on_hello(
+            &Hello {
+                unit_id: 1,
+                role: Role::Active,
+                priority: 200,
+                serial: 1,
+            },
+            t(0),
+        );
+        assert_eq!(fw.role(), Role::Standby);
+        assert_eq!(
+            fw.decide(&ping_req(IN_IP, OUT_IP), Direction::InsideToOutside, t(1)),
+            Verdict::Drop
+        );
+        assert_eq!(fw.stats().dropped_standby, 1);
+    }
+
+    #[test]
+    fn bpdu_forwarding_is_opt_in() {
+        let mut fw = Fwsm::new(1, 100);
+        fw.set_vlan_pair(20, 30);
+        let bpdu = {
+            let repr = rnl_net::bpdu::Repr::Tcn;
+            let f = build::bpdu_frame(A, &repr);
+            build::classify(&f).unwrap().1
+        };
+        assert_eq!(
+            fw.decide(&bpdu, Direction::InsideToOutside, t(0)),
+            Verdict::Drop
+        );
+        assert_eq!(fw.stats().dropped_bpdu, 1);
+        fw.set_bpdu_forward(true);
+        assert_eq!(
+            fw.decide(&bpdu, Direction::InsideToOutside, t(1)),
+            Verdict::Forward
+        );
+    }
+
+    #[test]
+    fn standby_takes_over_when_hellos_stop() {
+        let mut fw = Fwsm::new(2, 50);
+        fw.set_failover_vlan(10);
+        fw.on_hello(
+            &Hello {
+                unit_id: 1,
+                role: Role::Active,
+                priority: 200,
+                serial: 1,
+            },
+            t(0),
+        );
+        assert_eq!(fw.role(), Role::Standby);
+        // Keep hearing the peer: still standby.
+        fw.on_hello(
+            &Hello {
+                unit_id: 1,
+                role: Role::Active,
+                priority: 200,
+                serial: 2,
+            },
+            t(400),
+        );
+        fw.tick(t(900));
+        assert_eq!(fw.role(), Role::Standby);
+        // Peer dies at t=400; hold = 1500ms ⇒ takeover after t=1900.
+        fw.tick(t(2000));
+        assert_eq!(fw.role(), Role::Active);
+        assert_eq!(fw.stats().takeovers, 1);
+    }
+
+    #[test]
+    fn split_brain_resolved_by_priority_then_unit_id() {
+        let mut a = Fwsm::new(1, 100);
+        let mut b = Fwsm::new(2, 100);
+        a.set_failover_vlan(10);
+        b.set_failover_vlan(10);
+        // Equal priority: lower unit id wins.
+        a.on_hello(
+            &Hello {
+                unit_id: 2,
+                role: Role::Active,
+                priority: 100,
+                serial: 1,
+            },
+            t(0),
+        );
+        b.on_hello(
+            &Hello {
+                unit_id: 1,
+                role: Role::Active,
+                priority: 100,
+                serial: 1,
+            },
+            t(0),
+        );
+        assert_eq!(a.role(), Role::Active);
+        assert_eq!(b.role(), Role::Standby);
+    }
+
+    #[test]
+    fn hello_cadence() {
+        let mut fw = Fwsm::new(1, 100);
+        fw.set_failover_vlan(10);
+        assert!(fw.tick(t(0)).is_some());
+        assert!(fw.tick(t(100)).is_none());
+        let h = fw.tick(t(500)).unwrap();
+        assert_eq!(h.unit_id, 1);
+        assert_eq!(h.serial, 2);
+    }
+
+    #[test]
+    fn own_hello_ignored() {
+        let mut fw = Fwsm::new(1, 100);
+        fw.set_failover_vlan(10);
+        fw.on_hello(
+            &Hello {
+                unit_id: 1,
+                role: Role::Active,
+                priority: 0,
+                serial: 9,
+            },
+            t(0),
+        );
+        assert_eq!(fw.role(), Role::Active);
+        assert!(fw.peer_last_seen.is_none());
+    }
+
+    #[test]
+    fn crossing_maps_vlans() {
+        let mut fw = Fwsm::new(1, 100);
+        fw.set_vlan_pair(20, 30);
+        assert_eq!(fw.crossing(20), Some((30, Direction::InsideToOutside)));
+        assert_eq!(fw.crossing(30), Some((20, Direction::OutsideToInside)));
+        assert_eq!(fw.crossing(40), None);
+    }
+}

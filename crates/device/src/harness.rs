@@ -1,0 +1,343 @@
+//! An in-process lab harness: devices wired port-to-port, driven on a
+//! virtual clock.
+//!
+//! This is the "physical patch panel" equivalent — used by device-level
+//! tests and by experiments that need a lab without the RNL tunnel stack
+//! in between (it is also the reference behaviour the tunnel-based wiring
+//! must reproduce for experiment E12). Frames emitted by a device are
+//! queued and delivered to the far end of the wire on the same step,
+//! with a per-step amplification guard that turns forwarding loops
+//! (Fig. 5's misconfiguration) into a detectable *storm* instead of an
+//! infinite loop.
+
+use std::collections::VecDeque;
+
+use rnl_net::time::{Duration, Instant};
+
+use crate::device::{Device, Emission, LinkState, PortIndex};
+
+/// Identifies a device within the harness.
+pub type DeviceId = usize;
+
+/// One end of a wire.
+pub type Endpoint = (DeviceId, PortIndex);
+
+#[derive(Debug, Clone, Copy)]
+struct Wire {
+    a: Endpoint,
+    b: Endpoint,
+}
+
+impl Wire {
+    fn other_end(&self, from: Endpoint) -> Option<Endpoint> {
+        if self.a == from {
+            Some(self.b)
+        } else if self.b == from {
+            Some(self.a)
+        } else {
+            None
+        }
+    }
+}
+
+/// Counters the experiments read.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HarnessStats {
+    /// Frames delivered across wires in total.
+    pub frames_delivered: u64,
+    /// Frames delivered during the most recent step.
+    pub frames_last_step: u64,
+    /// Frames dropped because the per-step guard tripped.
+    pub frames_dropped_guard: u64,
+}
+
+/// The harness. See the module docs.
+pub struct LabHarness {
+    devices: Vec<Box<dyn Device>>,
+    wires: Vec<Wire>,
+    now: Instant,
+    stats: HarnessStats,
+    /// Per-step delivery budget; exceeding it marks a storm.
+    step_budget: u64,
+    storm_detected: bool,
+}
+
+impl LabHarness {
+    /// An empty lab at the epoch.
+    pub fn new() -> LabHarness {
+        LabHarness {
+            devices: Vec::new(),
+            wires: Vec::new(),
+            now: Instant::EPOCH,
+            stats: HarnessStats::default(),
+            step_budget: 10_000,
+            storm_detected: false,
+        }
+    }
+
+    /// Add a device; returns its id.
+    pub fn add_device(&mut self, device: Box<dyn Device>) -> DeviceId {
+        self.devices.push(device);
+        self.devices.len() - 1
+    }
+
+    /// Access a device.
+    pub fn device(&self, id: DeviceId) -> &dyn Device {
+        self.devices[id].as_ref()
+    }
+
+    /// Mutable access to a device (console, power, reconfiguration).
+    pub fn device_mut(&mut self, id: DeviceId) -> &mut dyn Device {
+        self.devices[id].as_mut()
+    }
+
+    /// Connect two device ports with a virtual wire.
+    ///
+    /// # Panics
+    /// Panics when an endpoint is already wired or out of range — silent
+    /// miswiring is exactly the physical-lab failure RNL exists to
+    /// remove.
+    pub fn connect(&mut self, a: Endpoint, b: Endpoint) {
+        assert!(a != b, "cannot wire a port to itself");
+        for &ep in &[a, b] {
+            let (dev, port) = ep;
+            assert!(dev < self.devices.len(), "device {dev} does not exist");
+            assert!(
+                port < self.devices[dev].num_ports(),
+                "port {port} out of range"
+            );
+            assert!(
+                !self.wires.iter().any(|w| w.a == ep || w.b == ep),
+                "port {ep:?} is already wired"
+            );
+        }
+        self.wires.push(Wire { a, b });
+    }
+
+    /// Remove the wire attached to `ep` (cable pull). The device link
+    /// states are updated on both ends.
+    pub fn disconnect(&mut self, ep: Endpoint) {
+        if let Some(pos) = self.wires.iter().position(|w| w.a == ep || w.b == ep) {
+            let wire = self.wires.remove(pos);
+            let now = self.now;
+            for (dev, port) in [wire.a, wire.b] {
+                self.devices[dev].set_link_state(port, LinkState::Down, now);
+            }
+        }
+    }
+
+    /// The virtual clock.
+    pub fn now(&self) -> Instant {
+        self.now
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> HarnessStats {
+        self.stats
+    }
+
+    /// Whether a forwarding storm has been observed (per-step delivery
+    /// guard exceeded at least once).
+    pub fn storm_detected(&self) -> bool {
+        self.storm_detected
+    }
+
+    /// Set the per-step delivery budget used by the storm guard.
+    pub fn set_step_budget(&mut self, budget: u64) {
+        self.step_budget = budget;
+    }
+
+    /// Advance the clock by `dt` and run one step: every device ticks,
+    /// then all frames (including chains of responses) are delivered
+    /// until quiescence or until the step budget trips.
+    pub fn step(&mut self, dt: Duration) {
+        self.now += dt;
+        let now = self.now;
+        let mut queue: VecDeque<(Endpoint, Vec<u8>)> = VecDeque::new();
+
+        for (id, device) in self.devices.iter_mut().enumerate() {
+            for Emission { port, frame } in device.tick(now) {
+                queue.push_back(((id, port), frame));
+            }
+        }
+
+        let mut delivered_this_step = 0u64;
+        while let Some((from, frame)) = queue.pop_front() {
+            if delivered_this_step >= self.step_budget {
+                self.storm_detected = true;
+                self.stats.frames_dropped_guard += queue.len() as u64 + 1;
+                queue.clear();
+                break;
+            }
+            let Some(to) = self.wires.iter().find_map(|w| w.other_end(from)) else {
+                continue; // unwired port: frame falls on the floor
+            };
+            delivered_this_step += 1;
+            let (dev, port) = to;
+            for Emission {
+                port: out_port,
+                frame: out_frame,
+            } in self.devices[dev].on_frame(port, &frame, now)
+            {
+                queue.push_back((((dev), out_port), out_frame));
+            }
+        }
+        self.stats.frames_delivered += delivered_this_step;
+        self.stats.frames_last_step = delivered_this_step;
+    }
+
+    /// Run `steps` steps of `dt` each.
+    pub fn run(&mut self, steps: usize, dt: Duration) {
+        for _ in 0..steps {
+            self.step(dt);
+        }
+    }
+
+    /// Run until `predicate` returns true or `max_steps` elapse; returns
+    /// whether the predicate fired.
+    pub fn run_until(
+        &mut self,
+        dt: Duration,
+        max_steps: usize,
+        mut predicate: impl FnMut(&LabHarness) -> bool,
+    ) -> bool {
+        for _ in 0..max_steps {
+            self.step(dt);
+            if predicate(self) {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+impl Default for LabHarness {
+    fn default() -> LabHarness {
+        LabHarness::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::host::Host;
+    use crate::stp::Timing;
+    use crate::switch::Switch;
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    /// Two hosts on one switch can ping each other.
+    #[test]
+    fn ping_across_a_switch() {
+        let mut lab = LabHarness::new();
+        let mut s1 = Host::new("s1", 11);
+        s1.set_ip("10.0.0.1/24".parse().unwrap());
+        let mut s2 = Host::new("s2", 12);
+        s2.set_ip("10.0.0.2/24".parse().unwrap());
+        let mut sw = Switch::with_timing("sw", 1, 4, Timing::fast(), Instant::EPOCH);
+        sw.set_stp_enabled(false, Instant::EPOCH);
+
+        let h1 = lab.add_device(Box::new(s1));
+        let h2 = lab.add_device(Box::new(s2));
+        let swid = lab.add_device(Box::new(sw));
+        lab.connect((h1, 0), (swid, 0));
+        lab.connect((h2, 0), (swid, 1));
+
+        lab.device_mut(h1)
+            .console("ping 10.0.0.2 count 3", Instant::EPOCH);
+        lab.run(30, ms(100));
+        let now = lab.now();
+        let out = lab.device_mut(h1).console("show ping", now);
+        assert!(out.contains("3 sent, 3 received"), "got: {out}");
+    }
+
+    /// With STP converged, two switches joined by two parallel wires do
+    /// not storm; with STP disabled on both, the same topology storms.
+    #[test]
+    fn storm_guard_catches_l2_loop() {
+        // Case 1: STP on (default) — no storm.
+        let mut lab = LabHarness::new();
+        let a = lab.add_device(Box::new(Switch::with_timing(
+            "a",
+            1,
+            3,
+            Timing::fast(),
+            Instant::EPOCH,
+        )));
+        let b = lab.add_device(Box::new(Switch::with_timing(
+            "b",
+            2,
+            3,
+            Timing::fast(),
+            Instant::EPOCH,
+        )));
+        let mut h = Host::new("h", 30);
+        h.set_ip("10.0.0.1/24".parse().unwrap());
+        let hid = lab.add_device(Box::new(h));
+        lab.connect((a, 0), (b, 0));
+        lab.connect((a, 1), (b, 1));
+        lab.connect((a, 2), (hid, 0));
+        // Let STP converge, then broadcast (ping an absent host → ARP
+        // broadcasts).
+        lab.run(100, ms(10));
+        let now = lab.now();
+        lab.device_mut(hid).console("ping 10.0.0.99 count 2", now);
+        lab.run(100, ms(10));
+        assert!(!lab.storm_detected(), "STP must break the loop");
+
+        // Case 2: STP off — storm.
+        let mut lab = LabHarness::new();
+        let mut sa = Switch::with_timing("a", 1, 3, Timing::fast(), Instant::EPOCH);
+        sa.set_stp_enabled(false, Instant::EPOCH);
+        let mut sb = Switch::with_timing("b", 2, 3, Timing::fast(), Instant::EPOCH);
+        sb.set_stp_enabled(false, Instant::EPOCH);
+        let a = lab.add_device(Box::new(sa));
+        let b = lab.add_device(Box::new(sb));
+        let mut h = Host::new("h", 30);
+        h.set_ip("10.0.0.1/24".parse().unwrap());
+        let hid = lab.add_device(Box::new(h));
+        lab.connect((a, 0), (b, 0));
+        lab.connect((a, 1), (b, 1));
+        lab.connect((a, 2), (hid, 0));
+        lab.set_step_budget(2_000);
+        let now = lab.now();
+        lab.device_mut(hid).console("ping 10.0.0.99 count 1", now);
+        lab.run(50, ms(10));
+        assert!(lab.storm_detected(), "an unprotected loop must storm");
+    }
+
+    #[test]
+    fn disconnect_takes_links_down() {
+        let mut lab = LabHarness::new();
+        let mut h = Host::new("h", 30);
+        h.set_ip("10.0.0.1/24".parse().unwrap());
+        let hid = lab.add_device(Box::new(h));
+        let sw = lab.add_device(Box::new({
+            let mut s = Switch::with_timing("sw", 1, 2, Timing::fast(), Instant::EPOCH);
+            s.set_stp_enabled(false, Instant::EPOCH);
+            s
+        }));
+        lab.connect((hid, 0), (sw, 0));
+        lab.disconnect((hid, 0));
+        assert_eq!(lab.device(hid).link_state(0), LinkState::Down);
+        assert_eq!(lab.device(sw).link_state(0), LinkState::Down);
+        // Frames no longer flow.
+        let now = lab.now();
+        lab.device_mut(hid).console("ping 10.0.0.2 count 1", now);
+        lab.run(5, ms(10));
+        assert_eq!(lab.stats().frames_delivered, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "already wired")]
+    fn double_wiring_a_port_panics() {
+        let mut lab = LabHarness::new();
+        let a = lab.add_device(Box::new(Host::new("a", 1)));
+        let b = lab.add_device(Box::new(Host::new("b", 2)));
+        let c = lab.add_device(Box::new(Host::new("c", 3)));
+        lab.connect((a, 0), (b, 0));
+        lab.connect((a, 0), (c, 0));
+    }
+}

@@ -1,0 +1,976 @@
+//! Host/server endpoints — the S1 and S2 of the paper's Fig. 5.
+//!
+//! A [`Host`] is a single-NIC machine with an IP address and default
+//! gateway that can ping, fire UDP probes, and log everything it
+//! receives. In the paper's use cases these are the observation points:
+//! "she can send probe packets and observe whether traffic is routed
+//! correctly." The console is a flat shell (no IOS modes) — hosts are
+//! servers, not routers.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use rnl_net::addr::{Cidr, MacAddr};
+use rnl_net::build::{self, Classified, L4};
+use rnl_net::time::{Duration, Instant};
+use rnl_net::{arp, icmp};
+
+use crate::cli;
+use crate::device::{Device, DeviceError, Emission, LinkState, PortIndex};
+
+/// Interval between echo requests of a ping session.
+pub const PING_INTERVAL: Duration = Duration::from_millis(1000);
+
+/// ARP retry interval for hosts.
+pub const ARP_RETRY: Duration = Duration::from_secs(1);
+
+/// Outcome of one echo in a ping session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EchoResult {
+    pub seq_no: u16,
+    pub rtt: Duration,
+}
+
+/// An in-progress or completed ping session.
+#[derive(Debug, Clone)]
+pub struct PingSession {
+    pub target: Ipv4Addr,
+    pub count: u16,
+    pub sent: u16,
+    pub received: Vec<EchoResult>,
+    /// ICMP errors received in response (unreachables etc.), as
+    /// (icmp type description, code).
+    pub errors: Vec<String>,
+    ident: u16,
+    next_at: Instant,
+    sent_at: HashMap<u16, Instant>,
+    interval: Duration,
+}
+
+impl PingSession {
+    /// True once every request has been sent and answered or timed out
+    /// is irrelevant (sessions do not retransmit).
+    pub fn finished(&self) -> bool {
+        self.sent >= self.count
+            && (self.received.len() + self.errors.len() >= self.count as usize
+                || self.sent == self.count)
+    }
+
+    /// Fraction of echoes answered, 0.0–1.0.
+    pub fn success_rate(&self) -> f64 {
+        if self.sent == 0 {
+            return 0.0;
+        }
+        self.received.len() as f64 / f64::from(self.sent)
+    }
+}
+
+/// One traceroute hop result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Hop {
+    /// A router answered with time-exceeded.
+    Router(Ipv4Addr),
+    /// No answer within the per-hop timeout.
+    Timeout,
+}
+
+/// An in-progress or completed traceroute.
+#[derive(Debug, Clone)]
+pub struct TracerouteSession {
+    pub target: Ipv4Addr,
+    pub hops: Vec<Hop>,
+    pub reached: bool,
+    max_hops: u8,
+    current_ttl: u8,
+    probe_sent_at: Option<Instant>,
+    hop_timeout: Duration,
+}
+
+impl TracerouteSession {
+    /// Whether the trace is over (target reached or hop budget spent).
+    pub fn finished(&self) -> bool {
+        self.reached || self.hops.len() >= self.max_hops as usize
+    }
+}
+
+/// UDP ports traceroute probes target (hosts answer these, and only
+/// these, with port-unreachable).
+pub const TRACEROUTE_PORT_BASE: u16 = 33434;
+const TRACEROUTE_PORT_MAX: u16 = TRACEROUTE_PORT_BASE + 100;
+
+/// A record of a packet the host received (its "tcpdump").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Received {
+    Udp {
+        src: Ipv4Addr,
+        src_port: u16,
+        dst_port: u16,
+        payload: Vec<u8>,
+    },
+    IcmpEcho {
+        src: Ipv4Addr,
+        ident: u16,
+        seq_no: u16,
+    },
+    IcmpError {
+        src: Ipv4Addr,
+        description: String,
+    },
+}
+
+/// A server endpoint with one NIC.
+pub struct Host {
+    hostname: String,
+    device_num: u32,
+    powered: bool,
+    link: LinkState,
+    ip: Option<Cidr>,
+    gateway: Option<Ipv4Addr>,
+    arp_cache: HashMap<Ipv4Addr, (MacAddr, Instant)>,
+    arp_inflight: HashMap<Ipv4Addr, Instant>,
+    pending: Vec<(Ipv4Addr, Vec<u8>)>,
+    ping: Option<PingSession>,
+    ping_counter: u16,
+    traceroute: Option<TracerouteSession>,
+    received: Vec<Received>,
+    udp_to_send: Vec<(Ipv4Addr, u16, Vec<u8>)>,
+}
+
+impl Host {
+    /// Create a powered-on host with no address.
+    pub fn new(hostname: &str, device_num: u32) -> Host {
+        Host {
+            hostname: hostname.to_string(),
+            device_num,
+            powered: true,
+            link: LinkState::Up,
+            ip: None,
+            gateway: None,
+            arp_cache: HashMap::new(),
+            arp_inflight: HashMap::new(),
+            pending: Vec::new(),
+            ping: None,
+            ping_counter: 0,
+            traceroute: None,
+            received: Vec::new(),
+            udp_to_send: Vec::new(),
+        }
+    }
+
+    /// The host's MAC address.
+    pub fn mac(&self) -> MacAddr {
+        MacAddr::derived(self.device_num, 0)
+    }
+
+    /// Assign the address (console: `ip address A/len`).
+    pub fn set_ip(&mut self, cidr: Cidr) {
+        self.ip = Some(cidr);
+    }
+
+    /// The assigned address.
+    pub fn ip(&self) -> Option<Cidr> {
+        self.ip
+    }
+
+    /// Set the default gateway (console: `gateway G`).
+    pub fn set_gateway(&mut self, gw: Ipv4Addr) {
+        self.gateway = Some(gw);
+    }
+
+    /// Begin a ping session; any previous session is replaced.
+    pub fn start_ping(&mut self, target: Ipv4Addr, count: u16, now: Instant) {
+        self.start_ping_with_interval(target, count, PING_INTERVAL, now);
+    }
+
+    /// Begin a ping session with a custom send interval (fast tests).
+    pub fn start_ping_with_interval(
+        &mut self,
+        target: Ipv4Addr,
+        count: u16,
+        interval: Duration,
+        now: Instant,
+    ) {
+        self.ping_counter = self.ping_counter.wrapping_add(1);
+        self.ping = Some(PingSession {
+            target,
+            count,
+            sent: 0,
+            received: Vec::new(),
+            errors: Vec::new(),
+            ident: self.ping_counter,
+            next_at: now,
+            sent_at: HashMap::new(),
+            interval,
+        });
+    }
+
+    /// The current/last ping session.
+    pub fn ping_session(&self) -> Option<&PingSession> {
+        self.ping.as_ref()
+    }
+
+    /// Begin a traceroute (UDP probes with increasing TTL).
+    pub fn start_traceroute(&mut self, target: Ipv4Addr, max_hops: u8, now: Instant) {
+        self.start_traceroute_with_timeout(target, max_hops, Duration::from_secs(1), now);
+    }
+
+    /// Begin a traceroute with a custom per-hop timeout (fast tests).
+    pub fn start_traceroute_with_timeout(
+        &mut self,
+        target: Ipv4Addr,
+        max_hops: u8,
+        hop_timeout: Duration,
+        now: Instant,
+    ) {
+        let _ = now;
+        self.traceroute = Some(TracerouteSession {
+            target,
+            hops: Vec::new(),
+            reached: false,
+            max_hops,
+            current_ttl: 1,
+            probe_sent_at: None,
+            hop_timeout,
+        });
+    }
+
+    /// The current/last traceroute.
+    pub fn traceroute_session(&self) -> Option<&TracerouteSession> {
+        self.traceroute.as_ref()
+    }
+
+    /// Queue a one-shot UDP probe (sent on the next tick).
+    pub fn send_udp(&mut self, dst: Ipv4Addr, dst_port: u16, payload: &[u8]) {
+        self.udp_to_send.push((dst, dst_port, payload.to_vec()));
+    }
+
+    /// Everything the host has received.
+    pub fn received(&self) -> &[Received] {
+        &self.received
+    }
+
+    /// Drop the receive log.
+    pub fn clear_received(&mut self) {
+        self.received.clear();
+    }
+
+    /// Resolve the L3 next hop for a destination: on-link targets
+    /// directly, everything else via the gateway.
+    fn next_hop(&self, dst: Ipv4Addr) -> Option<Ipv4Addr> {
+        let cidr = self.ip?;
+        if cidr.contains(dst) {
+            Some(dst)
+        } else {
+            self.gateway
+        }
+    }
+
+    /// Transmit an IP packet, resolving the next hop MAC via ARP.
+    fn transmit(
+        &mut self,
+        ip_packet: Vec<u8>,
+        dst: Ipv4Addr,
+        now: Instant,
+        out: &mut Vec<Emission>,
+    ) {
+        let Some(hop) = self.next_hop(dst) else {
+            return;
+        };
+        let Some(cidr) = self.ip else { return };
+        if let Some((mac, _)) = self.arp_cache.get(&hop) {
+            out.push(Emission::new(
+                0,
+                build::ethernet_frame(self.mac(), *mac, rnl_net::addr::EtherType::Ipv4, &ip_packet),
+            ));
+            return;
+        }
+        self.pending.push((hop, ip_packet));
+        if let std::collections::hash_map::Entry::Vacant(e) = self.arp_inflight.entry(hop) {
+            e.insert(now);
+            out.push(Emission::new(
+                0,
+                build::arp_request(self.mac(), cidr.addr(), hop),
+            ));
+        }
+    }
+
+    fn build_ip(
+        &self,
+        dst: Ipv4Addr,
+        protocol: rnl_net::ipv4::Protocol,
+        l4: &[u8],
+    ) -> Option<Vec<u8>> {
+        self.build_ip_ttl(dst, protocol, l4, 64)
+    }
+
+    fn build_ip_ttl(
+        &self,
+        dst: Ipv4Addr,
+        protocol: rnl_net::ipv4::Protocol,
+        l4: &[u8],
+        ttl: u8,
+    ) -> Option<Vec<u8>> {
+        let src = self.ip?.addr();
+        let ip = rnl_net::ipv4::Repr {
+            src,
+            dst,
+            protocol,
+            ttl,
+            ident: 0,
+            dont_frag: false,
+            payload_len: l4.len(),
+        };
+        let mut packet = vec![0u8; ip.buffer_len()];
+        let mut view = rnl_net::ipv4::Packet::new_unchecked(&mut packet[..]);
+        ip.emit(&mut view);
+        view.payload_mut().copy_from_slice(l4);
+        Some(packet)
+    }
+}
+
+impl Device for Host {
+    fn model(&self) -> &str {
+        "Linux Server"
+    }
+
+    fn hostname(&self) -> &str {
+        &self.hostname
+    }
+
+    fn num_ports(&self) -> usize {
+        1
+    }
+
+    fn port_name(&self, _port: PortIndex) -> String {
+        "eth0".to_string()
+    }
+
+    fn powered(&self) -> bool {
+        self.powered
+    }
+
+    fn set_power(&mut self, on: bool, _now: Instant) {
+        self.powered = on;
+        if !on {
+            self.arp_cache.clear();
+            self.arp_inflight.clear();
+            self.pending.clear();
+            self.ping = None;
+            self.traceroute = None;
+            self.received.clear();
+        }
+    }
+
+    fn link_state(&self, _port: PortIndex) -> LinkState {
+        self.link
+    }
+
+    fn set_link_state(&mut self, _port: PortIndex, state: LinkState, _now: Instant) {
+        self.link = state;
+    }
+
+    fn on_frame(&mut self, port: PortIndex, frame: &[u8], now: Instant) -> Vec<Emission> {
+        let mut out = Vec::new();
+        if !self.powered || port != 0 || self.link != LinkState::Up {
+            return out;
+        }
+        let Ok((eth, class)) = build::classify(frame) else {
+            return out;
+        };
+        if eth.dst != self.mac() && !eth.dst.is_multicast() {
+            return out;
+        }
+        match class {
+            Classified::Arp(repr) => {
+                if repr.sender_ip != Ipv4Addr::UNSPECIFIED {
+                    self.arp_cache
+                        .insert(repr.sender_ip, (repr.sender_mac, now));
+                    self.arp_inflight.remove(&repr.sender_ip);
+                    let (ready, rest): (Vec<_>, Vec<_>) = std::mem::take(&mut self.pending)
+                        .into_iter()
+                        .partition(|(hop, _)| *hop == repr.sender_ip);
+                    self.pending = rest;
+                    for (hop, packet) in ready {
+                        out.push(Emission::new(
+                            0,
+                            build::ethernet_frame(
+                                self.mac(),
+                                repr.sender_mac,
+                                rnl_net::addr::EtherType::Ipv4,
+                                &packet,
+                            ),
+                        ));
+                        let _ = hop;
+                    }
+                }
+                if repr.operation == arp::Operation::Request
+                    && matches!(self.ip, Some(cidr) if cidr.addr() == repr.target_ip)
+                {
+                    out.push(Emission::new(0, build::arp_reply(&repr, self.mac())));
+                }
+            }
+            Classified::Ipv4 { header, l4 } => {
+                let for_me = matches!(self.ip, Some(cidr) if cidr.addr() == header.dst)
+                    || header.dst.is_broadcast();
+                if !for_me {
+                    return out;
+                }
+                match l4 {
+                    L4::Icmp(icmp::Repr::EchoRequest {
+                        ident,
+                        seq_no,
+                        data,
+                    }) => {
+                        self.received.push(Received::IcmpEcho {
+                            src: header.src,
+                            ident,
+                            seq_no,
+                        });
+                        let reply = icmp::Repr::EchoReply {
+                            ident,
+                            seq_no,
+                            data,
+                        };
+                        let mut l4buf = vec![0u8; reply.buffer_len()];
+                        reply.emit(&mut l4buf).expect("sized");
+                        if let Some(packet) =
+                            self.build_ip(header.src, rnl_net::ipv4::Protocol::Icmp, &l4buf)
+                        {
+                            self.transmit(packet, header.src, now, &mut out);
+                        }
+                    }
+                    L4::Icmp(icmp::Repr::EchoReply { ident, seq_no, .. }) => {
+                        if let Some(session) = self.ping.as_mut() {
+                            if session.ident == ident {
+                                if let Some(sent_at) = session.sent_at.remove(&seq_no) {
+                                    session.received.push(EchoResult {
+                                        seq_no,
+                                        rtt: now.since(sent_at),
+                                    });
+                                }
+                            }
+                        }
+                    }
+                    L4::Icmp(icmp::Repr::DstUnreachable { code, .. }) => {
+                        // A port-unreachable from the traceroute target
+                        // terminates the trace.
+                        if let Some(tr) = self.traceroute.as_mut() {
+                            if !tr.finished()
+                                && header.src == tr.target
+                                && code == icmp::UNREACH_PORT
+                            {
+                                tr.hops.push(Hop::Router(header.src));
+                                tr.reached = true;
+                                tr.probe_sent_at = None;
+                            }
+                        }
+                        let desc = format!("unreachable (code {code}) from {}", header.src);
+                        if let Some(session) = self.ping.as_mut() {
+                            session.errors.push(desc.clone());
+                        }
+                        self.received.push(Received::IcmpError {
+                            src: header.src,
+                            description: desc,
+                        });
+                    }
+                    L4::Icmp(icmp::Repr::TimeExceeded { .. }) => {
+                        if let Some(tr) = self.traceroute.as_mut() {
+                            if !tr.finished() && tr.probe_sent_at.is_some() {
+                                tr.hops.push(Hop::Router(header.src));
+                                tr.current_ttl = tr.current_ttl.saturating_add(1);
+                                tr.probe_sent_at = None;
+                            }
+                        }
+                        let desc = format!("time exceeded from {}", header.src);
+                        if let Some(session) = self.ping.as_mut() {
+                            session.errors.push(desc.clone());
+                        }
+                        self.received.push(Received::IcmpError {
+                            src: header.src,
+                            description: desc,
+                        });
+                    }
+                    L4::Udp {
+                        src_port: src_port_,
+                        dst_port,
+                        payload,
+                    } => {
+                        // Traceroute probes get the RFC port-unreachable.
+                        if (TRACEROUTE_PORT_BASE..TRACEROUTE_PORT_MAX).contains(&dst_port) {
+                            let invoking = vec![0u8; rnl_net::ipv4::MIN_HEADER_LEN + 8];
+                            let msg = icmp::Repr::DstUnreachable {
+                                code: icmp::UNREACH_PORT,
+                                invoking,
+                            };
+                            let mut l4buf = vec![0u8; msg.buffer_len()];
+                            msg.emit(&mut l4buf).expect("sized");
+                            if let Some(packet) =
+                                self.build_ip(header.src, rnl_net::ipv4::Protocol::Icmp, &l4buf)
+                            {
+                                self.transmit(packet, header.src, now, &mut out);
+                            }
+                        }
+                        self.received.push(Received::Udp {
+                            src: header.src,
+                            src_port: src_port_,
+                            dst_port,
+                            payload,
+                        });
+                    }
+                    _ => {}
+                }
+            }
+            _ => {}
+        }
+        out
+    }
+
+    fn tick(&mut self, now: Instant) -> Vec<Emission> {
+        let mut out = Vec::new();
+        if !self.powered || self.link != LinkState::Up {
+            return out;
+        }
+        // Outstanding one-shot UDP probes.
+        for (dst, dst_port, payload) in std::mem::take(&mut self.udp_to_send) {
+            let Some(cidr) = self.ip else { continue };
+            let udp_repr = rnl_net::udp::Repr {
+                src_port: 30000,
+                dst_port,
+                payload_len: payload.len(),
+            };
+            let mut l4 = vec![0u8; udp_repr.buffer_len()];
+            udp_repr.emit(
+                &mut rnl_net::udp::Packet::new_unchecked(&mut l4[..]),
+                cidr.addr(),
+                dst,
+                &payload,
+            );
+            if let Some(packet) = self.build_ip(dst, rnl_net::ipv4::Protocol::Udp, &l4) {
+                self.transmit(packet, dst, now, &mut out);
+            }
+        }
+        // Ping session progress.
+        if let Some(mut session) = self.ping.take() {
+            if session.sent < session.count && now >= session.next_at {
+                session.sent += 1;
+                let seq_no = session.sent;
+                session.sent_at.insert(seq_no, now);
+                session.next_at = now + session.interval;
+                let msg = icmp::Repr::EchoRequest {
+                    ident: session.ident,
+                    seq_no,
+                    data: b"rnl-ping".to_vec(),
+                };
+                let mut l4 = vec![0u8; msg.buffer_len()];
+                msg.emit(&mut l4).expect("sized");
+                if let Some(packet) =
+                    self.build_ip(session.target, rnl_net::ipv4::Protocol::Icmp, &l4)
+                {
+                    self.transmit(packet, session.target, now, &mut out);
+                }
+            }
+            self.ping = Some(session);
+        }
+        // Traceroute progress: send the next probe or time a hop out.
+        if let Some(mut tr) = self.traceroute.take() {
+            if !tr.finished() {
+                match tr.probe_sent_at {
+                    Some(sent) if now.since(sent) > tr.hop_timeout => {
+                        tr.hops.push(Hop::Timeout);
+                        tr.current_ttl = tr.current_ttl.saturating_add(1);
+                        tr.probe_sent_at = None;
+                    }
+                    None => {
+                        let dst_port = TRACEROUTE_PORT_BASE + u16::from(tr.current_ttl);
+                        let udp_repr = rnl_net::udp::Repr {
+                            src_port: 30001,
+                            dst_port,
+                            payload_len: 8,
+                        };
+                        if let Some(cidr) = self.ip {
+                            let mut l4 = vec![0u8; udp_repr.buffer_len()];
+                            udp_repr.emit(
+                                &mut rnl_net::udp::Packet::new_unchecked(&mut l4[..]),
+                                cidr.addr(),
+                                tr.target,
+                                &[0xde; 8],
+                            );
+                            if let Some(packet) = self.build_ip_ttl(
+                                tr.target,
+                                rnl_net::ipv4::Protocol::Udp,
+                                &l4,
+                                tr.current_ttl,
+                            ) {
+                                self.transmit(packet, tr.target, now, &mut out);
+                                tr.probe_sent_at = Some(now);
+                            }
+                        }
+                    }
+                    Some(_) => {}
+                }
+            }
+            self.traceroute = Some(tr);
+        }
+        // ARP retries (single retry cadence; hosts are patient).
+        let mut retry: Vec<Ipv4Addr> = Vec::new();
+        for (hop, last) in self.arp_inflight.iter_mut() {
+            if now.since(*last) >= ARP_RETRY {
+                *last = now;
+                retry.push(*hop);
+            }
+        }
+        for hop in retry {
+            if let Some(cidr) = self.ip {
+                out.push(Emission::new(
+                    0,
+                    build::arp_request(self.mac(), cidr.addr(), hop),
+                ));
+            }
+        }
+        out
+    }
+
+    fn console(&mut self, line: &str, now: Instant) -> String {
+        if !self.powered {
+            return String::new();
+        }
+        let tokens = cli::tokenize(line);
+        match tokens.as_slice() {
+            ["ip", "address", spec] => match spec.parse::<Cidr>() {
+                Ok(cidr) => {
+                    self.set_ip(cidr);
+                    String::new()
+                }
+                Err(_) => "usage: ip address A.B.C.D/len\n".to_string(),
+            },
+            ["gateway", gw] => match gw.parse() {
+                Ok(gw) => {
+                    self.set_gateway(gw);
+                    String::new()
+                }
+                Err(_) => "usage: gateway A.B.C.D\n".to_string(),
+            },
+            ["ping", target] => match target.parse() {
+                Ok(target) => {
+                    self.start_ping(target, 5, now);
+                    format!("PING {target}: 5 echo requests queued\n")
+                }
+                Err(_) => "usage: ping A.B.C.D [count N]\n".to_string(),
+            },
+            ["ping", target, "count", n] => match (target.parse(), n.parse()) {
+                (Ok(target), Ok(count)) => {
+                    self.start_ping(target, count, now);
+                    format!("PING {target}: {count} echo requests queued\n")
+                }
+                _ => "usage: ping A.B.C.D [count N]\n".to_string(),
+            },
+            ["send", "udp", dst, port, payload] => match (dst.parse(), port.parse()) {
+                (Ok(dst), Ok(port)) => {
+                    self.send_udp(dst, port, payload.as_bytes());
+                    String::new()
+                }
+                _ => "usage: send udp A.B.C.D PORT TEXT\n".to_string(),
+            },
+            ["traceroute", target] => match target.parse() {
+                Ok(target) => {
+                    self.start_traceroute(target, 16, now);
+                    format!("traceroute to {target}, 16 hops max\n")
+                }
+                Err(_) => "usage: traceroute A.B.C.D\n".to_string(),
+            },
+            ["show", "traceroute"] => match &self.traceroute {
+                Some(tr) => {
+                    let mut out = format!("traceroute to {}\n", tr.target);
+                    for (i, hop) in tr.hops.iter().enumerate() {
+                        match hop {
+                            Hop::Router(ip) => out.push_str(&format!(" {:>2}  {ip}\n", i + 1)),
+                            Hop::Timeout => out.push_str(&format!(" {:>2}  *\n", i + 1)),
+                        }
+                    }
+                    if tr.reached {
+                        out.push_str("reached\n");
+                    } else if tr.finished() {
+                        out.push_str("hop budget exhausted\n");
+                    }
+                    out
+                }
+                None => "no traceroute session\n".to_string(),
+            },
+            ["show", "ping"] => match &self.ping {
+                Some(s) => {
+                    let mut line = format!(
+                        "{} sent, {} received, {} errors\n",
+                        s.sent,
+                        s.received.len(),
+                        s.errors.len()
+                    );
+                    if !s.received.is_empty() {
+                        let rtts: Vec<u64> = s.received.iter().map(|e| e.rtt.as_micros()).collect();
+                        let min = rtts.iter().min().expect("nonempty");
+                        let max = rtts.iter().max().expect("nonempty");
+                        let avg = rtts.iter().sum::<u64>() / rtts.len() as u64;
+                        line.push_str(&format!(
+                            "rtt min/avg/max = {:.1}/{:.1}/{:.1} ms\n",
+                            *min as f64 / 1000.0,
+                            avg as f64 / 1000.0,
+                            *max as f64 / 1000.0,
+                        ));
+                    }
+                    line
+                }
+                None => "no ping session\n".to_string(),
+            },
+            ["show", "received"] => {
+                let mut out = String::new();
+                for r in &self.received {
+                    match r {
+                        Received::Udp {
+                            src,
+                            src_port,
+                            dst_port,
+                            payload,
+                        } => {
+                            out.push_str(&format!(
+                                "UDP {src}:{src_port} -> :{dst_port} ({} bytes)\n",
+                                payload.len()
+                            ));
+                        }
+                        Received::IcmpEcho { src, ident, seq_no } => {
+                            out.push_str(&format!(
+                                "ICMP echo from {src} id={ident} seq={seq_no}\n"
+                            ));
+                        }
+                        Received::IcmpError { description, .. } => {
+                            out.push_str(&format!("ICMP error: {description}\n"));
+                        }
+                    }
+                }
+                out
+            }
+            ["show", "ip"] => format!(
+                "ip {} gateway {}\n",
+                self.ip
+                    .map(|c| c.to_string())
+                    .unwrap_or_else(|| "unset".into()),
+                self.gateway
+                    .map(|g| g.to_string())
+                    .unwrap_or_else(|| "unset".into()),
+            ),
+            _ => "unknown command\n".to_string(),
+        }
+    }
+
+    fn firmware(&self) -> String {
+        "linux-5.x".to_string()
+    }
+
+    fn flash_firmware(&mut self, version: &str, _now: Instant) -> Result<(), DeviceError> {
+        Err(DeviceError::UnknownFirmware(version.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> Instant {
+        Instant::EPOCH + Duration::from_millis(ms)
+    }
+
+    fn configured_host() -> Host {
+        let mut h = Host::new("s1", 50);
+        h.set_ip("10.0.0.5/24".parse().unwrap());
+        h.set_gateway("10.0.0.1".parse().unwrap());
+        h
+    }
+
+    #[test]
+    fn answers_arp_and_replies_to_ping() {
+        let mut h = configured_host();
+        let peer = MacAddr([2, 0, 0, 0, 0, 0x99]);
+        // ARP for the host's address.
+        let req = build::arp_request(
+            peer,
+            "10.0.0.9".parse().unwrap(),
+            "10.0.0.5".parse().unwrap(),
+        );
+        let out = h.on_frame(0, &req, t(0));
+        assert_eq!(out.len(), 1);
+        assert!(matches!(
+            build::classify(&out[0].frame).unwrap().1,
+            Classified::Arp(arp::Repr {
+                operation: arp::Operation::Reply,
+                ..
+            })
+        ));
+        // Ping it: reply comes back immediately (ARP cache warm from the
+        // request).
+        let ping = build::icmp_echo_request(
+            peer,
+            h.mac(),
+            "10.0.0.9".parse().unwrap(),
+            "10.0.0.5".parse().unwrap(),
+            3,
+            1,
+            b"hi",
+            64,
+        );
+        let out = h.on_frame(0, &ping, t(1));
+        assert_eq!(out.len(), 1);
+        match build::classify(&out[0].frame).unwrap().1 {
+            Classified::Ipv4 {
+                l4: L4::Icmp(icmp::Repr::EchoReply { ident, .. }),
+                ..
+            } => {
+                assert_eq!(ident, 3)
+            }
+            other => panic!("expected reply, got {other:?}"),
+        }
+        assert!(matches!(h.received()[0], Received::IcmpEcho { .. }));
+    }
+
+    #[test]
+    fn ping_session_on_link_resolves_target_directly() {
+        let mut h = configured_host();
+        h.start_ping("10.0.0.7".parse().unwrap(), 2, t(0));
+        let out = h.tick(t(0));
+        // First tick: ARP for the on-link target itself.
+        assert_eq!(out.len(), 1);
+        match build::classify(&out[0].frame).unwrap().1 {
+            Classified::Arp(repr) => {
+                assert_eq!(repr.target_ip, "10.0.0.7".parse::<Ipv4Addr>().unwrap())
+            }
+            other => panic!("expected ARP, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ping_session_off_link_goes_via_gateway() {
+        let mut h = configured_host();
+        h.start_ping("192.168.9.9".parse().unwrap(), 1, t(0));
+        let out = h.tick(t(0));
+        match build::classify(&out[0].frame).unwrap().1 {
+            Classified::Arp(repr) => {
+                assert_eq!(repr.target_ip, "10.0.0.1".parse::<Ipv4Addr>().unwrap())
+            }
+            other => panic!("expected ARP for gateway, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn full_ping_roundtrip_between_two_hosts() {
+        let mut a = configured_host();
+        let mut b = Host::new("s2", 51);
+        b.set_ip("10.0.0.7/24".parse().unwrap());
+        a.start_ping_with_interval(
+            "10.0.0.7".parse().unwrap(),
+            2,
+            Duration::from_millis(10),
+            t(0),
+        );
+        // Run both, wiring port0<->port0.
+        let mut frames_to_b: Vec<Vec<u8>> = Vec::new();
+        let mut frames_to_a: Vec<Vec<u8>> = Vec::new();
+        for ms in 0..100u64 {
+            let now = t(ms);
+            for e in a.tick(now) {
+                frames_to_b.push(e.frame);
+            }
+            for e in b.tick(now) {
+                frames_to_a.push(e.frame);
+            }
+            for f in std::mem::take(&mut frames_to_b) {
+                for e in b.on_frame(0, &f, now) {
+                    frames_to_a.push(e.frame);
+                }
+            }
+            for f in std::mem::take(&mut frames_to_a) {
+                for e in a.on_frame(0, &f, now) {
+                    frames_to_b.push(e.frame);
+                }
+            }
+        }
+        let session = a.ping_session().unwrap();
+        assert_eq!(session.sent, 2);
+        assert_eq!(
+            session.received.len(),
+            2,
+            "both echoes answered: {session:?}"
+        );
+        assert!(session.success_rate() > 0.99);
+    }
+
+    #[test]
+    fn udp_probe_received_and_logged() {
+        let mut a = configured_host();
+        let mut b = Host::new("s2", 51);
+        b.set_ip("10.0.0.7/24".parse().unwrap());
+        a.send_udp("10.0.0.7".parse().unwrap(), 4444, b"probe!");
+        // tick → ARP; feed to b; reply to a; next tick flushes UDP.
+        let arp_req = a.tick(t(0));
+        let arp_rep = b.on_frame(0, &arp_req[0].frame, t(1));
+        let flushed = a.on_frame(0, &arp_rep[0].frame, t(2));
+        assert_eq!(flushed.len(), 1);
+        b.on_frame(0, &flushed[0].frame, t(3));
+        assert_eq!(
+            b.received(),
+            &[Received::Udp {
+                src: "10.0.0.5".parse().unwrap(),
+                src_port: 30000,
+                dst_port: 4444,
+                payload: b"probe!".to_vec(),
+            }]
+        );
+    }
+
+    #[test]
+    fn ping_errors_recorded() {
+        let mut h = configured_host();
+        h.start_ping("192.168.1.1".parse().unwrap(), 1, t(0));
+        // Simulate the gateway answering with net-unreachable.
+        let gw_mac = MacAddr([2, 0, 0, 0, 0, 0x01]);
+        let msg = icmp::Repr::DstUnreachable {
+            code: icmp::UNREACH_NET,
+            invoking: vec![0; 28],
+        };
+        let mut l4 = vec![0u8; msg.buffer_len()];
+        msg.emit(&mut l4).unwrap();
+        let ip = rnl_net::ipv4::Repr {
+            src: "10.0.0.1".parse().unwrap(),
+            dst: "10.0.0.5".parse().unwrap(),
+            protocol: rnl_net::ipv4::Protocol::Icmp,
+            ttl: 64,
+            ident: 0,
+            dont_frag: false,
+            payload_len: l4.len(),
+        };
+        let frame = build::ipv4_frame(gw_mac, h.mac(), &ip, &l4);
+        h.on_frame(0, &frame, t(1));
+        assert_eq!(h.ping_session().unwrap().errors.len(), 1);
+    }
+
+    #[test]
+    fn console_commands() {
+        let mut h = Host::new("s1", 50);
+        assert_eq!(h.console("ip address 10.0.0.5/24", t(0)), "");
+        assert_eq!(h.console("gateway 10.0.0.1", t(0)), "");
+        assert!(h.console("ping 10.0.0.9", t(0)).contains("PING"));
+        assert!(h.console("show ping", t(0)).contains("0 received"));
+        assert!(h.console("show ip", t(0)).contains("10.0.0.5/24"));
+        assert!(h.console("frobnicate", t(0)).contains("unknown"));
+    }
+
+    #[test]
+    fn powered_off_host_is_inert() {
+        let mut h = configured_host();
+        h.set_power(false, t(0));
+        let peer = MacAddr([2, 0, 0, 0, 0, 0x99]);
+        let req = build::arp_request(
+            peer,
+            "10.0.0.9".parse().unwrap(),
+            "10.0.0.5".parse().unwrap(),
+        );
+        assert!(h.on_frame(0, &req, t(1)).is_empty());
+        assert!(h.tick(t(2)).is_empty());
+    }
+}

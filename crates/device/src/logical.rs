@@ -1,0 +1,312 @@
+//! Logical routers — the §4 sharing extension.
+//!
+//! "Some commercial routers [Cisco IOS XR, Juniper] support router
+//! virtualization already (referred to as a logical router). For these
+//! routers, we plan to enhance RIS to multiplex/de-multiplex traffic so
+//! that a user could reserve a slice of the router, in addition to
+//! being able to reserve the whole physical router."
+//!
+//! A [`LogicalChassis`] is one physical box carved into slices. Each
+//! slice has its own control plane (a full [`Router`] instance — as on
+//! the real platforms, logical routers have independent configurations
+//! and consoles) and owns a disjoint range of the chassis's physical
+//! ports. [`SliceHandle`]s implement [`Device`], so the RIS registers
+//! every slice as its own router — which is exactly the multiplexing
+//! the paper describes: frames are tagged with the *slice's* unique id
+//! on the tunnel, and two users can hold reservations on different
+//! slices of one chassis at the same time.
+//!
+//! The shared-fate realities of one chassis are preserved: power is
+//! chassis-wide (killing the box kills every slice) and firmware is
+//! chassis-wide (flashing through any slice reflashes them all).
+
+use std::sync::{Arc, Mutex};
+
+use rnl_net::time::Instant;
+
+use crate::device::{Device, DeviceError, Emission, LinkState, PortIndex};
+use crate::router::Router;
+
+struct ChassisInner {
+    slices: Vec<Router>,
+    /// Per-slice physical port count (ports are allocated contiguously).
+    ports_per_slice: usize,
+    powered: bool,
+}
+
+/// A physical chassis hosting logical routers.
+pub struct LogicalChassis {
+    inner: Arc<Mutex<ChassisInner>>,
+    num_slices: usize,
+    ports_per_slice: usize,
+}
+
+impl LogicalChassis {
+    /// Create a chassis with `num_slices` logical routers of
+    /// `ports_per_slice` ports each. `device_num` seeds MAC derivation;
+    /// each slice gets its own distinct MAC space.
+    pub fn new(
+        hostname_prefix: &str,
+        device_num: u32,
+        num_slices: usize,
+        ports_per_slice: usize,
+    ) -> LogicalChassis {
+        let slices = (0..num_slices)
+            .map(|i| {
+                Router::new(
+                    &format!("{hostname_prefix}-lr{i}"),
+                    device_num + i as u32,
+                    ports_per_slice,
+                )
+            })
+            .collect();
+        LogicalChassis {
+            inner: Arc::new(Mutex::new(ChassisInner {
+                slices,
+                ports_per_slice,
+                powered: true,
+            })),
+            num_slices,
+            ports_per_slice,
+        }
+    }
+
+    /// Number of slices.
+    pub fn num_slices(&self) -> usize {
+        self.num_slices
+    }
+
+    /// Physical ports per slice.
+    pub fn ports_per_slice(&self) -> usize {
+        self.ports_per_slice
+    }
+
+    /// The handle for one slice, registrable with a RIS as its own
+    /// router.
+    pub fn slice(&self, index: usize) -> SliceHandle {
+        assert!(index < self.num_slices, "slice {index} out of range");
+        let hostname_cache = {
+            let inner = self.inner.lock().expect("chassis lock");
+            inner.slices[index].hostname().to_string()
+        };
+        SliceHandle {
+            inner: Arc::clone(&self.inner),
+            index,
+            hostname_cache,
+        }
+    }
+
+    /// Chassis-wide power (the shared failure domain).
+    pub fn set_chassis_power(&self, on: bool, now: Instant) {
+        let mut inner = self.inner.lock().expect("chassis lock");
+        inner.powered = on;
+        for slice in &mut inner.slices {
+            slice.set_power(on, now);
+        }
+    }
+
+    /// Whether the chassis has power.
+    pub fn chassis_powered(&self) -> bool {
+        self.inner.lock().expect("chassis lock").powered
+    }
+}
+
+/// One logical router of a [`LogicalChassis`], as a [`Device`].
+pub struct SliceHandle {
+    inner: Arc<Mutex<ChassisInner>>,
+    index: usize,
+    /// Snapshot of the slice's hostname, refreshed on every mutating
+    /// call (the `Device` trait hands out `&str`, which cannot borrow
+    /// through the chassis mutex).
+    hostname_cache: String,
+}
+
+impl SliceHandle {
+    /// Which slice this handle drives.
+    pub fn slice_index(&self) -> usize {
+        self.index
+    }
+
+    fn with<R>(&self, f: impl FnOnce(&mut Router) -> R) -> R {
+        let mut inner = self.inner.lock().expect("chassis lock");
+        let idx = self.index;
+        f(&mut inner.slices[idx])
+    }
+
+    fn refresh_hostname(&mut self) {
+        self.hostname_cache = self.with(|r| r.hostname().to_string());
+    }
+
+    /// Configure the slice's interface address (programmatic setup, as
+    /// on a real logical router's console).
+    pub fn set_interface_ip(&self, port: PortIndex, cidr: rnl_net::addr::Cidr) {
+        self.with(|r| r.set_interface_ip(port, cidr));
+    }
+
+    /// Add a static route on the slice.
+    pub fn add_route(&self, prefix: rnl_net::addr::Cidr, next_hop: std::net::Ipv4Addr) {
+        self.with(|r| r.add_route(prefix, next_hop));
+    }
+}
+
+impl Device for SliceHandle {
+    fn model(&self) -> &str {
+        "12000 Series (logical router slice)"
+    }
+
+    fn hostname(&self) -> &str {
+        &self.hostname_cache
+    }
+
+    fn num_ports(&self) -> usize {
+        self.inner.lock().expect("chassis lock").ports_per_slice
+    }
+
+    fn port_name(&self, port: PortIndex) -> String {
+        format!("GigabitEthernet{}/{port}", self.index)
+    }
+
+    fn powered(&self) -> bool {
+        self.with(|r| r.powered())
+    }
+
+    fn set_power(&mut self, on: bool, now: Instant) {
+        // Power is chassis-wide on real logical-router platforms: a
+        // SetPower against any slice cycles the box.
+        {
+            let mut inner = self.inner.lock().expect("chassis lock");
+            inner.powered = on;
+            for slice in &mut inner.slices {
+                slice.set_power(on, now);
+            }
+        }
+        self.refresh_hostname();
+    }
+
+    fn link_state(&self, port: PortIndex) -> LinkState {
+        self.with(|r| r.link_state(port))
+    }
+
+    fn set_link_state(&mut self, port: PortIndex, state: LinkState, now: Instant) {
+        self.with(|r| r.set_link_state(port, state, now));
+    }
+
+    fn on_frame(&mut self, port: PortIndex, frame: &[u8], now: Instant) -> Vec<Emission> {
+        self.with(|r| r.on_frame(port, frame, now))
+    }
+
+    fn tick(&mut self, now: Instant) -> Vec<Emission> {
+        self.with(|r| r.tick(now))
+    }
+
+    fn console(&mut self, line: &str, now: Instant) -> String {
+        let out = self.with(|r| r.console(line, now));
+        self.refresh_hostname();
+        out
+    }
+
+    fn firmware(&self) -> String {
+        self.with(|r| r.firmware())
+    }
+
+    fn flash_firmware(&mut self, version: &str, now: Instant) -> Result<(), DeviceError> {
+        // Firmware is chassis-wide: flashing through one slice reflashes
+        // every logical router (and reboots them all) — a real
+        // operational hazard of slice sharing worth reproducing.
+        let mut inner = self.inner.lock().expect("chassis lock");
+        for slice in &mut inner.slices {
+            slice.flash_firmware(version, now)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rnl_net::build::{self, Classified};
+
+    fn t(ms: u64) -> Instant {
+        Instant::EPOCH + rnl_net::time::Duration::from_millis(ms)
+    }
+
+    #[test]
+    fn slices_have_independent_control_planes() {
+        let chassis = LogicalChassis::new("core", 300, 2, 2);
+        let mut s0 = chassis.slice(0);
+        let mut s1 = chassis.slice(1);
+        s0.console("enable", t(0));
+        s0.console("configure terminal", t(0));
+        s0.console("hostname alice-lr", t(0));
+        s0.console("end", t(0));
+        s1.console("enable", t(0));
+        assert_eq!(s0.hostname(), "alice-lr");
+        assert_eq!(s1.hostname(), "core-lr1");
+        // Interfaces are independent too.
+        s0.set_interface_ip(0, "10.0.0.1/24".parse().unwrap());
+        let out0 = s0.console("show interfaces", t(1));
+        let out1 = s1.console("show interfaces", t(1));
+        assert!(out0.contains("10.0.0.1"), "{out0}");
+        assert!(!out1.contains("10.0.0.1"), "{out1}");
+    }
+
+    #[test]
+    fn slices_route_independently() {
+        let chassis = LogicalChassis::new("core", 310, 2, 2);
+        let mut s0 = chassis.slice(0);
+        s0.set_interface_ip(0, "10.0.0.1/24".parse().unwrap());
+        let mut s1 = chassis.slice(1);
+        s1.set_interface_ip(0, "10.9.0.1/24".parse().unwrap());
+        // ARP for slice 0's address answered only by slice 0.
+        let req = build::arp_request(
+            rnl_net::addr::MacAddr([2, 0, 0, 0, 0, 0x55]),
+            "10.0.0.9".parse().unwrap(),
+            "10.0.0.1".parse().unwrap(),
+        );
+        let out0 = s0.on_frame(0, &req, t(0));
+        assert_eq!(out0.len(), 1);
+        assert!(matches!(
+            build::classify(&out0[0].frame).unwrap().1,
+            Classified::Arp(_)
+        ));
+        let out1 = s1.on_frame(0, &req, t(0));
+        assert!(out1.is_empty(), "slice 1 must not answer for slice 0");
+    }
+
+    #[test]
+    fn chassis_power_is_shared_fate() {
+        let chassis = LogicalChassis::new("core", 320, 2, 1);
+        let mut s0 = chassis.slice(0);
+        let s1 = chassis.slice(1);
+        assert!(s1.powered());
+        // Powering "the router" off through slice 0 kills slice 1 too.
+        s0.set_power(false, t(0));
+        assert!(!s1.powered());
+        assert!(!chassis.chassis_powered());
+        s0.set_power(true, t(1));
+        assert!(s1.powered());
+    }
+
+    #[test]
+    fn firmware_is_chassis_wide() {
+        let chassis = LogicalChassis::new("core", 330, 2, 1);
+        let mut s0 = chassis.slice(0);
+        let s1 = chassis.slice(1);
+        s0.flash_firmware("15.1(4)M", t(0)).unwrap();
+        assert_eq!(s1.firmware(), "15.1(4)M");
+        // Unknown image rejected atomically-enough (first failure stops).
+        assert!(s0.flash_firmware("nope", t(1)).is_err());
+    }
+
+    #[test]
+    fn slice_macs_do_not_collide() {
+        let chassis = LogicalChassis::new("core", 340, 2, 2);
+        let s0 = chassis.slice(0);
+        let s1 = chassis.slice(1);
+        // Distinct MAC spaces per slice: ARP replies carry different
+        // sender MACs (device_num offset per slice).
+        let m0 = s0.with(|r| r.interface_mac(0));
+        let m1 = s1.with(|r| r.interface_mac(0));
+        assert_ne!(m0, m1);
+    }
+}

@@ -1,0 +1,185 @@
+//! The MAC learning table of an L2 switch, keyed by (VLAN, address), with
+//! aging and the fast-aging mode 802.1D prescribes after a topology change.
+
+use std::collections::HashMap;
+
+use rnl_net::addr::MacAddr;
+use rnl_net::time::{Duration, Instant};
+
+use crate::device::PortIndex;
+
+/// Default address aging time (IEEE default: 300 s).
+pub const DEFAULT_AGING: Duration = Duration::from_secs(300);
+
+/// Aging time while a topology change is in effect (forward-delay, 15 s).
+pub const TC_AGING: Duration = Duration::from_secs(15);
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    port: PortIndex,
+    learned_at: Instant,
+}
+
+/// A learned-address table.
+#[derive(Debug, Default)]
+pub struct MacTable {
+    entries: HashMap<(u16, MacAddr), Entry>,
+    /// While `Some(until)`, entries age with [`TC_AGING`].
+    fast_aging_until: Option<Instant>,
+}
+
+impl MacTable {
+    /// An empty table.
+    pub fn new() -> MacTable {
+        MacTable::default()
+    }
+
+    /// Record that `mac` was seen on `port` in `vlan`. Re-learning moves
+    /// the entry (station relocation) and refreshes its age.
+    pub fn learn(&mut self, vlan: u16, mac: MacAddr, port: PortIndex, now: Instant) {
+        // Group addresses are never learned.
+        if !mac.is_unicast() {
+            return;
+        }
+        self.entries.insert(
+            (vlan, mac),
+            Entry {
+                port,
+                learned_at: now,
+            },
+        );
+    }
+
+    /// Look up the egress port for `mac` in `vlan`, ignoring expired
+    /// entries.
+    pub fn lookup(&self, vlan: u16, mac: MacAddr, now: Instant) -> Option<PortIndex> {
+        let entry = self.entries.get(&(vlan, mac))?;
+        if now.since(entry.learned_at) > self.aging(now) {
+            None
+        } else {
+            Some(entry.port)
+        }
+    }
+
+    /// Drop expired entries. Called from the owning switch's tick.
+    pub fn expire(&mut self, now: Instant) {
+        let aging = self.aging(now);
+        self.entries.retain(|_, e| now.since(e.learned_at) <= aging);
+        if matches!(self.fast_aging_until, Some(until) if now >= until) {
+            self.fast_aging_until = None;
+        }
+    }
+
+    /// Forget every address learned on `port` (cable pulled / port
+    /// blocked).
+    pub fn flush_port(&mut self, port: PortIndex) {
+        self.entries.retain(|_, e| e.port != port);
+    }
+
+    /// Forget everything.
+    pub fn flush(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Enter fast aging until `until`, per 802.1D topology-change handling.
+    pub fn set_fast_aging(&mut self, until: Instant) {
+        self.fast_aging_until = Some(until);
+    }
+
+    /// Number of live entries (including possibly-expired ones not yet
+    /// swept).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no addresses are known.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate over entries as (vlan, mac, port) for `show mac
+    /// address-table`.
+    pub fn iter(&self) -> impl Iterator<Item = (u16, MacAddr, PortIndex)> + '_ {
+        self.entries
+            .iter()
+            .map(|((vlan, mac), e)| (*vlan, *mac, e.port))
+    }
+
+    fn aging(&self, now: Instant) -> Duration {
+        match self.fast_aging_until {
+            Some(until) if now < until => TC_AGING,
+            _ => DEFAULT_AGING,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MAC_A: MacAddr = MacAddr([2, 0, 0, 0, 0, 0xa]);
+    const MAC_B: MacAddr = MacAddr([2, 0, 0, 0, 0, 0xb]);
+
+    fn at(secs: u64) -> Instant {
+        Instant::EPOCH + Duration::from_secs(secs)
+    }
+
+    #[test]
+    fn learn_and_lookup() {
+        let mut t = MacTable::new();
+        t.learn(1, MAC_A, 3, at(0));
+        assert_eq!(t.lookup(1, MAC_A, at(1)), Some(3));
+        // Different VLAN is a different entry space.
+        assert_eq!(t.lookup(2, MAC_A, at(1)), None);
+    }
+
+    #[test]
+    fn relearning_moves_station() {
+        let mut t = MacTable::new();
+        t.learn(1, MAC_A, 3, at(0));
+        t.learn(1, MAC_A, 5, at(1));
+        assert_eq!(t.lookup(1, MAC_A, at(2)), Some(5));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn entries_age_out() {
+        let mut t = MacTable::new();
+        t.learn(1, MAC_A, 3, at(0));
+        assert_eq!(t.lookup(1, MAC_A, at(299)), Some(3));
+        assert_eq!(t.lookup(1, MAC_A, at(301)), None);
+        t.expire(at(301));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn fast_aging_after_topology_change() {
+        let mut t = MacTable::new();
+        t.learn(1, MAC_A, 3, at(0));
+        t.set_fast_aging(at(100));
+        // 15s aging now applies.
+        assert_eq!(t.lookup(1, MAC_A, at(16)), None);
+        // After the TC window, normal aging resumes for new entries.
+        t.learn(1, MAC_B, 4, at(120));
+        t.expire(at(120));
+        assert_eq!(t.lookup(1, MAC_B, at(140)), Some(4));
+    }
+
+    #[test]
+    fn group_addresses_never_learned() {
+        let mut t = MacTable::new();
+        t.learn(1, MacAddr::BROADCAST, 3, at(0));
+        t.learn(1, MacAddr::STP_MULTICAST, 3, at(0));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn flush_port_forgets_only_that_port() {
+        let mut t = MacTable::new();
+        t.learn(1, MAC_A, 3, at(0));
+        t.learn(1, MAC_B, 4, at(0));
+        t.flush_port(3);
+        assert_eq!(t.lookup(1, MAC_A, at(0)), None);
+        assert_eq!(t.lookup(1, MAC_B, at(0)), Some(4));
+    }
+}

@@ -1,0 +1,414 @@
+//! The RIPv2 process a [`crate::router::Router`] can run.
+//!
+//! A deliberately classic distance-vector implementation: periodic full
+//! updates to 224.0.0.9, metric = hop count with 16 as infinity, route
+//! timeout at 6× the update interval, and split horizon (routes are
+//! never advertised out the interface they were learned on). Timers are
+//! configurable so tests converge in virtual milliseconds.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use rnl_net::addr::Cidr;
+use rnl_net::rip::{self, Entry};
+use rnl_net::time::{Duration, Instant};
+
+use crate::device::PortIndex;
+
+/// A route learned via RIP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RipRoute {
+    pub prefix: Cidr,
+    pub next_hop: Ipv4Addr,
+    pub metric: u32,
+    /// Interface the route was learned on (split horizon).
+    pub ingress: PortIndex,
+    pub learned_at: Instant,
+}
+
+/// The per-router RIP state.
+#[derive(Debug)]
+pub struct RipProcess {
+    enabled: bool,
+    /// Networks this process participates in (interfaces whose address
+    /// falls in one of these advertise + listen).
+    networks: Vec<Cidr>,
+    routes: HashMap<(Ipv4Addr, u8), RipRoute>,
+    update_interval: Duration,
+    timeout: Duration,
+    last_update: Option<Instant>,
+}
+
+impl Default for RipProcess {
+    fn default() -> RipProcess {
+        RipProcess::new()
+    }
+}
+
+impl RipProcess {
+    /// A disabled process with RFC-default timers (30 s / 180 s).
+    pub fn new() -> RipProcess {
+        RipProcess {
+            enabled: false,
+            networks: Vec::new(),
+            routes: HashMap::new(),
+            update_interval: Duration::from_secs(30),
+            timeout: Duration::from_secs(180),
+            last_update: None,
+        }
+    }
+
+    /// Enable (CLI `router rip`).
+    pub fn enable(&mut self) {
+        self.enabled = true;
+    }
+
+    /// Disable and flush (CLI `no router rip`).
+    pub fn disable(&mut self) {
+        self.enabled = false;
+        self.networks.clear();
+        self.routes.clear();
+        self.last_update = None;
+    }
+
+    /// Whether the process runs.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Add a participating network (CLI `network …`).
+    pub fn add_network(&mut self, network: Cidr) {
+        if !self.networks.contains(&network) {
+            self.networks.push(network);
+        }
+    }
+
+    /// The configured networks.
+    pub fn networks(&self) -> &[Cidr] {
+        &self.networks
+    }
+
+    /// Scale the timers (tests use milliseconds). Timeout is pinned to
+    /// 6× the update interval, as the RFC ratio.
+    pub fn set_update_interval(&mut self, interval: Duration) {
+        self.update_interval = interval;
+        self.timeout = Duration::from_micros(interval.as_micros() * 6);
+    }
+
+    /// Whether an interface address participates.
+    pub fn participates(&self, addr: Ipv4Addr) -> bool {
+        self.enabled && self.networks.iter().any(|n| n.contains(addr))
+    }
+
+    /// Current RIP routes (live ones only).
+    pub fn routes(&self) -> impl Iterator<Item = &RipRoute> {
+        self.routes.values()
+    }
+
+    /// Look up the best live RIP route containing `dst`.
+    pub fn route_for(&self, dst: Ipv4Addr) -> Option<&RipRoute> {
+        self.routes
+            .values()
+            .filter(|r| r.prefix.contains(dst))
+            .max_by_key(|r| (r.prefix.prefix_len(), std::cmp::Reverse(r.metric)))
+    }
+
+    /// Drop every route learned via `ingress` — called when that
+    /// interface loses link, as real routers flush connected-interface
+    /// routes immediately instead of waiting for the timeout.
+    pub fn flush_ingress(&mut self, ingress: PortIndex) -> bool {
+        let before = self.routes.len();
+        self.routes.retain(|_, r| r.ingress != ingress);
+        self.routes.len() != before
+    }
+
+    /// Expire aged routes; returns whether anything changed.
+    pub fn expire(&mut self, now: Instant) -> bool {
+        let timeout = self.timeout;
+        let before = self.routes.len();
+        self.routes
+            .retain(|_, r| now.since(r.learned_at) <= timeout);
+        self.routes.len() != before
+    }
+
+    /// Whether a periodic update is due (and mark it sent).
+    pub fn update_due(&mut self, now: Instant) -> bool {
+        if !self.enabled {
+            return false;
+        }
+        let due = match self.last_update {
+            None => true,
+            Some(last) => now.since(last) >= self.update_interval,
+        };
+        if due {
+            self.last_update = Some(now);
+        }
+        due
+    }
+
+    /// Build the advertisement for one egress interface, applying split
+    /// horizon. `locals` are this router's own advertisable prefixes
+    /// (connected + static), always metric 1.
+    pub fn advertisement(&self, egress: PortIndex, locals: &[Cidr]) -> Vec<Entry> {
+        let mut entries: Vec<Entry> = locals
+            .iter()
+            .map(|c| Entry {
+                prefix: c.network(),
+                mask: c.netmask(),
+                next_hop: Ipv4Addr::UNSPECIFIED,
+                metric: 1,
+            })
+            .collect();
+        for r in self.routes.values() {
+            if r.ingress == egress {
+                continue; // split horizon
+            }
+            if entries.len() >= rip::MAX_ENTRIES {
+                break;
+            }
+            entries.push(Entry {
+                prefix: r.prefix.network(),
+                mask: r.prefix.netmask(),
+                next_hop: Ipv4Addr::UNSPECIFIED,
+                metric: r.metric,
+            });
+        }
+        entries
+    }
+
+    /// Process one received response entry. `own_prefixes` are networks
+    /// this router is directly connected to (never learned from
+    /// neighbors). Returns whether the table changed.
+    pub fn learn(
+        &mut self,
+        entry: &Entry,
+        sender: Ipv4Addr,
+        ingress: PortIndex,
+        own_prefixes: &[Cidr],
+        now: Instant,
+    ) -> bool {
+        let mask_bits = u32::from(entry.mask).leading_ones() as u8;
+        let Ok(prefix) = Cidr::new(entry.prefix, mask_bits) else {
+            return false;
+        };
+        // Never learn our own connected networks.
+        if own_prefixes
+            .iter()
+            .any(|c| c.network() == prefix.network() && c.prefix_len() == prefix.prefix_len())
+        {
+            return false;
+        }
+        let metric = (entry.metric + 1).min(rip::INFINITY);
+        let key = (prefix.network(), prefix.prefix_len());
+        match self.routes.get(&key) {
+            // Poison or timeout from the current next hop removes it.
+            _ if metric >= rip::INFINITY => {
+                if matches!(self.routes.get(&key), Some(r) if r.next_hop == sender) {
+                    self.routes.remove(&key);
+                    return true;
+                }
+                false
+            }
+            Some(existing) if existing.next_hop == sender => {
+                // Refresh (and track metric changes) from the same
+                // neighbor.
+                let changed = existing.metric != metric;
+                self.routes.insert(
+                    key,
+                    RipRoute {
+                        prefix,
+                        next_hop: sender,
+                        metric,
+                        ingress,
+                        learned_at: now,
+                    },
+                );
+                changed
+            }
+            Some(existing) if metric < existing.metric => {
+                self.routes.insert(
+                    key,
+                    RipRoute {
+                        prefix,
+                        next_hop: sender,
+                        metric,
+                        ingress,
+                        learned_at: now,
+                    },
+                );
+                true
+            }
+            Some(_) => false,
+            None => {
+                self.routes.insert(
+                    key,
+                    RipRoute {
+                        prefix,
+                        next_hop: sender,
+                        metric,
+                        ingress,
+                        learned_at: now,
+                    },
+                );
+                true
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> Instant {
+        Instant::EPOCH + Duration::from_secs(s)
+    }
+
+    fn entry(prefix: &str, mask: &str, metric: u32) -> Entry {
+        Entry {
+            prefix: prefix.parse().unwrap(),
+            mask: mask.parse().unwrap(),
+            next_hop: Ipv4Addr::UNSPECIFIED,
+            metric,
+        }
+    }
+
+    #[test]
+    fn learns_and_prefers_lower_metric() {
+        let mut rip = RipProcess::new();
+        rip.enable();
+        let own = ["10.0.0.0/24".parse().unwrap()];
+        let e = entry("10.9.0.0", "255.255.0.0", 3);
+        assert!(rip.learn(&e, "10.0.0.2".parse().unwrap(), 0, &own, t(0)));
+        assert_eq!(
+            rip.route_for("10.9.1.1".parse().unwrap()).unwrap().metric,
+            4
+        );
+        // A worse offer from another neighbor is ignored…
+        assert!(!rip.learn(
+            &entry("10.9.0.0", "255.255.0.0", 9),
+            "10.0.0.3".parse().unwrap(),
+            1,
+            &own,
+            t(1)
+        ));
+        // …a better one wins.
+        assert!(rip.learn(
+            &entry("10.9.0.0", "255.255.0.0", 1),
+            "10.0.0.3".parse().unwrap(),
+            1,
+            &own,
+            t(1)
+        ));
+        assert_eq!(
+            rip.route_for("10.9.1.1".parse().unwrap()).unwrap().metric,
+            2
+        );
+    }
+
+    #[test]
+    fn own_networks_never_learned() {
+        let mut rip = RipProcess::new();
+        rip.enable();
+        let own = ["10.0.0.0/24".parse().unwrap()];
+        assert!(!rip.learn(
+            &entry("10.0.0.0", "255.255.255.0", 1),
+            "10.0.0.2".parse().unwrap(),
+            0,
+            &own,
+            t(0)
+        ));
+        assert!(rip.routes().next().is_none());
+    }
+
+    #[test]
+    fn poison_removes_only_from_the_owning_neighbor() {
+        let mut rip = RipProcess::new();
+        rip.enable();
+        let own = [];
+        rip.learn(
+            &entry("10.9.0.0", "255.255.0.0", 2),
+            "1.1.1.1".parse().unwrap(),
+            0,
+            &own,
+            t(0),
+        );
+        // Poison from a different neighbor: ignored.
+        assert!(!rip.learn(
+            &entry("10.9.0.0", "255.255.0.0", 16),
+            "2.2.2.2".parse().unwrap(),
+            1,
+            &own,
+            t(1)
+        ));
+        assert!(rip.route_for("10.9.0.1".parse().unwrap()).is_some());
+        // Poison from the owner: removed.
+        assert!(rip.learn(
+            &entry("10.9.0.0", "255.255.0.0", 16),
+            "1.1.1.1".parse().unwrap(),
+            0,
+            &own,
+            t(1)
+        ));
+        assert!(rip.route_for("10.9.0.1".parse().unwrap()).is_none());
+    }
+
+    #[test]
+    fn routes_expire() {
+        let mut rip = RipProcess::new();
+        rip.enable();
+        rip.set_update_interval(Duration::from_secs(1)); // timeout 6 s
+        rip.learn(
+            &entry("10.9.0.0", "255.255.0.0", 2),
+            "1.1.1.1".parse().unwrap(),
+            0,
+            &[],
+            t(0),
+        );
+        assert!(!rip.expire(t(5)));
+        assert!(rip.expire(t(7)));
+        assert!(rip.route_for("10.9.0.1".parse().unwrap()).is_none());
+    }
+
+    #[test]
+    fn split_horizon_in_advertisements() {
+        let mut rip = RipProcess::new();
+        rip.enable();
+        rip.learn(
+            &entry("10.9.0.0", "255.255.0.0", 2),
+            "1.1.1.1".parse().unwrap(),
+            0,
+            &[],
+            t(0),
+        );
+        let locals = ["10.0.0.0/24".parse().unwrap()];
+        // Out the learning interface: only locals.
+        let out0 = rip.advertisement(0, &locals);
+        assert_eq!(out0.len(), 1);
+        // Out another interface: locals + the learned route.
+        let out1 = rip.advertisement(1, &locals);
+        assert_eq!(out1.len(), 2);
+        assert!(out1.iter().any(|e| e.metric == 3));
+    }
+
+    #[test]
+    fn update_cadence() {
+        let mut rip = RipProcess::new();
+        rip.enable();
+        rip.set_update_interval(Duration::from_secs(2));
+        assert!(rip.update_due(t(0)));
+        assert!(!rip.update_due(t(1)));
+        assert!(rip.update_due(t(2)));
+    }
+
+    #[test]
+    fn participation_requires_network_match() {
+        let mut rip = RipProcess::new();
+        rip.enable();
+        rip.add_network("192.168.0.0/16".parse().unwrap());
+        assert!(rip.participates("192.168.12.1".parse().unwrap()));
+        assert!(!rip.participates("10.0.0.1".parse().unwrap()));
+        rip.disable();
+        assert!(!rip.participates("192.168.12.1".parse().unwrap()));
+    }
+}

@@ -1,0 +1,1596 @@
+//! The L3 router model (7200-class) — the R1–R4 of the paper's Fig. 6.
+//!
+//! A [`Router`] owns a set of IP interfaces, forwards IPv4 by
+//! longest-prefix match over connected networks and static routes,
+//! resolves next hops with ARP (queueing packets while a resolution is in
+//! flight), answers ICMP echo on its own addresses, generates the
+//! standard ICMP errors (TTL exceeded, net/host unreachable,
+//! administratively prohibited) and applies numbered ACLs per interface
+//! and direction — the packet filters the Fig. 6 policy test exercises.
+
+use std::collections::{BTreeMap, HashMap};
+use std::net::Ipv4Addr;
+
+use rnl_net::addr::{Cidr, MacAddr};
+use rnl_net::build::{self, Classified, L4};
+use rnl_net::time::{Duration, Instant};
+use rnl_net::{arp, icmp, ipv4};
+
+use crate::acl::{Acl, Action};
+use crate::cli::{self, Mode};
+use crate::device::{Device, DeviceError, Emission, LinkState, PortIndex};
+use crate::firmware::{Firmware, Registry};
+use crate::rip::RipProcess;
+
+/// ARP cache entry lifetime.
+pub const ARP_TIMEOUT: Duration = Duration::from_secs(300);
+
+/// Interval between retries for an unresolved next hop.
+pub const ARP_RETRY: Duration = Duration::from_secs(1);
+
+/// Retries before the queued packets are dropped.
+pub const ARP_MAX_TRIES: u32 = 3;
+
+/// Direction an ACL is bound to on an interface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AclDir {
+    In,
+    Out,
+}
+
+#[derive(Debug)]
+struct Interface {
+    ip: Option<Cidr>,
+    enabled: bool,
+    link: LinkState,
+    acl_in: Option<u16>,
+    acl_out: Option<u16>,
+}
+
+impl Interface {
+    fn usable(&self) -> bool {
+        self.enabled && self.link == LinkState::Up
+    }
+}
+
+/// A static route: destination prefix via next hop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StaticRoute {
+    pub prefix: Cidr,
+    pub next_hop: Ipv4Addr,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ArpEntry {
+    mac: MacAddr,
+    learned_at: Instant,
+}
+
+#[derive(Debug)]
+struct PendingPacket {
+    next_hop: Ipv4Addr,
+    egress: PortIndex,
+    /// The untransmitted IPv4 packet (starting at the IP header).
+    ip_packet: Vec<u8>,
+}
+
+#[derive(Debug)]
+struct ArpInFlight {
+    egress: PortIndex,
+    last_try: Instant,
+    tries: u32,
+}
+
+/// Forwarding counters, for `show interfaces` and the experiments.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RouterStats {
+    pub rx_frames: u64,
+    pub forwarded: u64,
+    pub delivered_local: u64,
+    pub dropped_acl: u64,
+    pub dropped_no_route: u64,
+    pub dropped_ttl: u64,
+    pub dropped_other: u64,
+}
+
+/// An IPv4 router with static routing, ARP and per-interface ACLs.
+pub struct Router {
+    hostname: String,
+    /// Hostname the chassis reverts to on a cold boot without a saved
+    /// startup configuration.
+    factory_hostname: String,
+    model: String,
+    device_num: u32,
+    powered: bool,
+    interfaces: Vec<Interface>,
+    routes: Vec<StaticRoute>,
+    acls: BTreeMap<u16, Acl>,
+    arp_cache: HashMap<Ipv4Addr, ArpEntry>,
+    arp_inflight: HashMap<Ipv4Addr, ArpInFlight>,
+    pending: Vec<PendingPacket>,
+    registry: Registry,
+    firmware: Firmware,
+    mode: Mode,
+    startup_config: Option<String>,
+    stats: RouterStats,
+    ident_counter: u16,
+    /// The RIPv2 process (disabled until `router rip`).
+    rip: RipProcess,
+}
+
+impl Router {
+    /// Create a powered-on router with `num_ports` interfaces, links up,
+    /// no addresses. Whether fresh interfaces start shut down depends on
+    /// the firmware image (a real IOS quirk).
+    pub fn new(hostname: &str, device_num: u32, num_ports: usize) -> Router {
+        let registry = Registry::router7200();
+        let firmware = registry.default_image().clone();
+        let start_enabled = !firmware.quirks.default_interface_shutdown;
+        Router {
+            hostname: hostname.to_string(),
+            factory_hostname: hostname.to_string(),
+            model: "7200 Series Router".to_string(),
+            device_num,
+            powered: true,
+            interfaces: (0..num_ports)
+                .map(|_| Interface {
+                    ip: None,
+                    enabled: start_enabled,
+                    link: LinkState::Up,
+                    acl_in: None,
+                    acl_out: None,
+                })
+                .collect(),
+            routes: Vec::new(),
+            acls: BTreeMap::new(),
+            arp_cache: HashMap::new(),
+            arp_inflight: HashMap::new(),
+            pending: Vec::new(),
+            registry,
+            firmware,
+            mode: Mode::default(),
+            startup_config: None,
+            stats: RouterStats::default(),
+            ident_counter: 0,
+            rip: RipProcess::new(),
+        }
+    }
+
+    /// Forwarding counters.
+    pub fn stats(&self) -> RouterStats {
+        self.stats
+    }
+
+    /// The MAC of an interface.
+    pub fn interface_mac(&self, port: PortIndex) -> MacAddr {
+        MacAddr::derived(self.device_num, port as u16)
+    }
+
+    /// Programmatically assign an address (CLI: `ip address …`) and bring
+    /// the interface up.
+    pub fn set_interface_ip(&mut self, port: PortIndex, cidr: Cidr) {
+        self.interfaces[port].ip = Some(cidr);
+        self.interfaces[port].enabled = true;
+    }
+
+    /// Programmatically add a static route (CLI: `ip route …`).
+    pub fn add_route(&mut self, prefix: Cidr, next_hop: Ipv4Addr) {
+        self.routes.push(StaticRoute { prefix, next_hop });
+    }
+
+    /// Define or extend a numbered ACL programmatically.
+    pub fn add_acl_rule(&mut self, id: u16, rule: crate::acl::Rule) {
+        self.acls.entry(id).or_default().push(rule);
+    }
+
+    /// Bind an ACL to an interface direction programmatically.
+    pub fn bind_acl(&mut self, port: PortIndex, id: u16, dir: AclDir) {
+        match dir {
+            AclDir::In => self.interfaces[port].acl_in = Some(id),
+            AclDir::Out => self.interfaces[port].acl_out = Some(id),
+        }
+    }
+
+    /// The IP of an interface.
+    pub fn interface_ip(&self, port: PortIndex) -> Option<Cidr> {
+        self.interfaces[port].ip
+    }
+
+    /// The RIP process (read access).
+    pub fn rip(&self) -> &RipProcess {
+        &self.rip
+    }
+
+    /// Mutable RIP access (programmatic enable/network/timers).
+    pub fn rip_mut(&mut self) -> &mut RipProcess {
+        &mut self.rip
+    }
+
+    /// This router's directly connected prefixes plus static-route
+    /// prefixes — what RIP advertises.
+    fn advertisable_prefixes(&self) -> Vec<Cidr> {
+        let mut out: Vec<Cidr> = self
+            .interfaces
+            .iter()
+            .filter(|i| i.usable())
+            .filter_map(|i| i.ip)
+            .collect();
+        out.extend(self.routes.iter().map(|r| r.prefix));
+        out
+    }
+
+    fn owns_ip(&self, addr: Ipv4Addr) -> Option<PortIndex> {
+        self.interfaces
+            .iter()
+            .position(|i| matches!(i.ip, Some(cidr) if cidr.addr() == addr))
+    }
+
+    /// Longest-prefix-match lookup: returns (egress port, next hop).
+    fn route_for(&self, dst: Ipv4Addr) -> Option<(PortIndex, Ipv4Addr)> {
+        let mut best: Option<(u8, PortIndex, Ipv4Addr)> = None;
+        // Connected networks: next hop is the destination itself.
+        for (idx, intf) in self.interfaces.iter().enumerate() {
+            if !intf.usable() {
+                continue;
+            }
+            if let Some(cidr) = intf.ip {
+                if cidr.contains(dst) && best.is_none_or(|(len, _, _)| cidr.prefix_len() > len) {
+                    best = Some((cidr.prefix_len(), idx, dst));
+                }
+            }
+        }
+        // Static routes; the next hop must be on a connected network.
+        for route in &self.routes {
+            if !route.prefix.contains(dst) {
+                continue;
+            }
+            if best.is_some_and(|(len, _, _)| len >= route.prefix.prefix_len()) {
+                continue;
+            }
+            let egress = self
+                .interfaces
+                .iter()
+                .position(|i| i.usable() && matches!(i.ip, Some(c) if c.contains(route.next_hop)));
+            if let Some(egress) = egress {
+                best = Some((route.prefix.prefix_len(), egress, route.next_hop));
+            }
+        }
+        // RIP routes: lowest preference at equal prefix length.
+        if let Some(r) = self.rip.route_for(dst) {
+            if best.is_none_or(|(len, _, _)| r.prefix.prefix_len() > len) {
+                let egress = self
+                    .interfaces
+                    .iter()
+                    .position(|i| i.usable() && matches!(i.ip, Some(c) if c.contains(r.next_hop)));
+                if let Some(egress) = egress {
+                    return Some((egress, r.next_hop));
+                }
+            }
+        }
+        best.map(|(_, port, hop)| (port, hop))
+    }
+
+    fn acl_check(&mut self, port: PortIndex, dir: AclDir, class: &Classified) -> Action {
+        let id = match dir {
+            AclDir::In => self.interfaces[port].acl_in,
+            AclDir::Out => self.interfaces[port].acl_out,
+        };
+        match id.and_then(|id| self.acls.get_mut(&id)) {
+            Some(acl) => acl.evaluate(class),
+            // No ACL bound: permit.
+            None => Action::Permit,
+        }
+    }
+
+    /// Transmit an IP packet out `egress` toward `next_hop`, resolving
+    /// the MAC or queueing behind an ARP exchange.
+    fn transmit(
+        &mut self,
+        egress: PortIndex,
+        next_hop: Ipv4Addr,
+        ip_packet: Vec<u8>,
+        now: Instant,
+        out: &mut Vec<Emission>,
+    ) {
+        if !self.interfaces[egress].usable() {
+            self.stats.dropped_other += 1;
+            return;
+        }
+        let src_mac = self.interface_mac(egress);
+        if let Some(entry) = self.arp_cache.get(&next_hop) {
+            if now.since(entry.learned_at) <= ARP_TIMEOUT {
+                let frame = build::ethernet_frame(
+                    src_mac,
+                    entry.mac,
+                    rnl_net::addr::EtherType::Ipv4,
+                    &ip_packet,
+                );
+                out.push(Emission::new(egress, frame));
+                return;
+            }
+        }
+        // Unresolved: queue the packet and kick off (or join) an ARP
+        // exchange.
+        self.pending.push(PendingPacket {
+            next_hop,
+            egress,
+            ip_packet,
+        });
+        if let std::collections::hash_map::Entry::Vacant(e) = self.arp_inflight.entry(next_hop) {
+            e.insert(ArpInFlight {
+                egress,
+                last_try: now,
+                tries: 1,
+            });
+            if let Some(cidr) = self.interfaces[egress].ip {
+                out.push(Emission::new(
+                    egress,
+                    build::arp_request(src_mac, cidr.addr(), next_hop),
+                ));
+            }
+        }
+    }
+
+    /// Build and route an ICMP error/reply originating at this router.
+    fn originate_icmp(
+        &mut self,
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+        msg: &icmp::Repr,
+        now: Instant,
+        out: &mut Vec<Emission>,
+    ) {
+        let mut l4 = vec![0u8; msg.buffer_len()];
+        msg.emit(&mut l4).expect("sized buffer");
+        self.ident_counter = self.ident_counter.wrapping_add(1);
+        let ip = ipv4::Repr {
+            src,
+            dst,
+            protocol: ipv4::Protocol::Icmp,
+            ttl: 64,
+            ident: self.ident_counter,
+            dont_frag: false,
+            payload_len: l4.len(),
+        };
+        let mut packet = vec![0u8; ip.buffer_len()];
+        let mut view = ipv4::Packet::new_unchecked(&mut packet[..]);
+        ip.emit(&mut view);
+        view.payload_mut().copy_from_slice(&l4);
+        if let Some((egress, next_hop)) = self.route_for(dst) {
+            self.transmit(egress, next_hop, packet, now, out);
+        }
+    }
+
+    /// The "IP header + 8 bytes" an ICMP error must quote.
+    fn invoking_slice(ip_payload: &[u8]) -> Vec<u8> {
+        let take = ip_payload.len().min(ipv4::MIN_HEADER_LEN + 8);
+        ip_payload[..take].to_vec()
+    }
+
+    fn handle_arp(
+        &mut self,
+        port: PortIndex,
+        repr: &arp::Repr,
+        now: Instant,
+        out: &mut Vec<Emission>,
+    ) {
+        // Opportunistically learn the sender.
+        if repr.sender_ip != Ipv4Addr::UNSPECIFIED {
+            self.arp_cache.insert(
+                repr.sender_ip,
+                ArpEntry {
+                    mac: repr.sender_mac,
+                    learned_at: now,
+                },
+            );
+            self.arp_inflight.remove(&repr.sender_ip);
+            // Flush any packets queued behind this resolution.
+            let (ready, rest): (Vec<PendingPacket>, Vec<PendingPacket>) =
+                std::mem::take(&mut self.pending)
+                    .into_iter()
+                    .partition(|p| p.next_hop == repr.sender_ip);
+            self.pending = rest;
+            for p in ready {
+                self.transmit(p.egress, p.next_hop, p.ip_packet, now, out);
+            }
+        }
+        if repr.operation == arp::Operation::Request {
+            if let Some(owned) = self.owns_ip(repr.target_ip) {
+                if owned == port {
+                    out.push(Emission::new(
+                        port,
+                        build::arp_reply(repr, self.interface_mac(port)),
+                    ));
+                }
+            }
+        }
+    }
+
+    /// Process received RIP traffic on a participating interface.
+    fn handle_rip(
+        &mut self,
+        port: PortIndex,
+        sender: Ipv4Addr,
+        payload: &[u8],
+        now: Instant,
+        out: &mut Vec<Emission>,
+    ) {
+        let Ok(msg) = rnl_net::rip::Packet::parse(payload) else {
+            return;
+        };
+        match msg.command {
+            rnl_net::rip::Command::Response => {
+                let own: Vec<Cidr> = self.interfaces.iter().filter_map(|i| i.ip).collect();
+                for entry in &msg.entries {
+                    self.rip.learn(entry, sender, port, &own, now);
+                }
+            }
+            rnl_net::rip::Command::Request => {
+                // Answer with the full table, unicast to the asker.
+                let Some(cidr) = self.interfaces[port].ip else {
+                    return;
+                };
+                let locals = self.advertisable_prefixes();
+                let entries = self.rip.advertisement(port, &locals);
+                let reply = rnl_net::rip::Packet {
+                    command: rnl_net::rip::Command::Response,
+                    entries,
+                };
+                let mut body = vec![0u8; reply.buffer_len()];
+                reply.emit(&mut body).expect("sized");
+                // Route the unicast reply through the normal transmit
+                // path (ARP etc.).
+                let udp_repr = rnl_net::udp::Repr {
+                    src_port: rnl_net::rip::RIP_PORT,
+                    dst_port: rnl_net::rip::RIP_PORT,
+                    payload_len: body.len(),
+                };
+                let mut l4 = vec![0u8; udp_repr.buffer_len()];
+                udp_repr.emit(
+                    &mut rnl_net::udp::Packet::new_unchecked(&mut l4[..]),
+                    cidr.addr(),
+                    sender,
+                    &body,
+                );
+                let ip = ipv4::Repr {
+                    src: cidr.addr(),
+                    dst: sender,
+                    protocol: ipv4::Protocol::Udp,
+                    ttl: 1,
+                    ident: 0,
+                    dont_frag: false,
+                    payload_len: l4.len(),
+                };
+                let mut packet = vec![0u8; ip.buffer_len()];
+                let mut view = ipv4::Packet::new_unchecked(&mut packet[..]);
+                ip.emit(&mut view);
+                view.payload_mut().copy_from_slice(&l4);
+                self.transmit(port, sender, packet, now, out);
+            }
+        }
+    }
+
+    fn handle_local(
+        &mut self,
+        header: &ipv4::Repr,
+        l4: &L4,
+        ip_payload: &[u8],
+        now: Instant,
+        out: &mut Vec<Emission>,
+    ) {
+        self.stats.delivered_local += 1;
+        match l4 {
+            L4::Icmp(msg) => {
+                if let Some(reply) = msg.reply() {
+                    self.originate_icmp(header.dst, header.src, &reply, now, out);
+                }
+            }
+            L4::Udp { .. } => {
+                // No UDP services on a router: port unreachable.
+                let msg = icmp::Repr::DstUnreachable {
+                    code: icmp::UNREACH_PORT,
+                    invoking: Self::invoking_slice(ip_payload),
+                };
+                self.originate_icmp(header.dst, header.src, &msg, now, out);
+            }
+            _ => {}
+        }
+    }
+
+    fn forward(
+        &mut self,
+        ingress: PortIndex,
+        header: &ipv4::Repr,
+        class: &Classified,
+        ip_payload: &[u8],
+        now: Instant,
+        out: &mut Vec<Emission>,
+    ) {
+        let ingress_ip = self.interfaces[ingress].ip.map(|c| c.addr());
+        let Some((egress, next_hop)) = self.route_for(header.dst) else {
+            self.stats.dropped_no_route += 1;
+            if let Some(src) = ingress_ip {
+                let msg = icmp::Repr::DstUnreachable {
+                    code: icmp::UNREACH_NET,
+                    invoking: Self::invoking_slice(ip_payload),
+                };
+                self.originate_icmp(src, header.src, &msg, now, out);
+            }
+            return;
+        };
+        // Outbound ACL on the egress interface.
+        if self.acl_check(egress, AclDir::Out, class) == Action::Deny {
+            self.stats.dropped_acl += 1;
+            if let Some(src) = ingress_ip {
+                let msg = icmp::Repr::DstUnreachable {
+                    code: icmp::UNREACH_ADMIN,
+                    invoking: Self::invoking_slice(ip_payload),
+                };
+                self.originate_icmp(src, header.src, &msg, now, out);
+            }
+            return;
+        }
+        // TTL.
+        let mut packet = ip_payload.to_vec();
+        {
+            let mut view = ipv4::Packet::new_unchecked(&mut packet[..]);
+            if !view.decrement_ttl() {
+                self.stats.dropped_ttl += 1;
+                if let Some(src) = ingress_ip {
+                    let msg = icmp::Repr::TimeExceeded {
+                        invoking: Self::invoking_slice(ip_payload),
+                    };
+                    self.originate_icmp(src, header.src, &msg, now, out);
+                }
+                return;
+            }
+        }
+        self.stats.forwarded += 1;
+        self.transmit(egress, next_hop, packet, now, out);
+    }
+}
+
+impl Device for Router {
+    fn model(&self) -> &str {
+        &self.model
+    }
+
+    fn hostname(&self) -> &str {
+        &self.hostname
+    }
+
+    fn num_ports(&self) -> usize {
+        self.interfaces.len()
+    }
+
+    fn port_name(&self, port: PortIndex) -> String {
+        format!("FastEthernet0/{port}")
+    }
+
+    fn powered(&self) -> bool {
+        self.powered
+    }
+
+    fn set_power(&mut self, on: bool, now: Instant) {
+        if on && !self.powered {
+            self.powered = true;
+            self.hostname = self.factory_hostname.clone();
+            let num_ports = self.interfaces.len();
+            let start_enabled = !self.firmware.quirks.default_interface_shutdown;
+            self.interfaces = (0..num_ports)
+                .map(|_| Interface {
+                    ip: None,
+                    enabled: start_enabled,
+                    link: LinkState::Up,
+                    acl_in: None,
+                    acl_out: None,
+                })
+                .collect();
+            self.routes.clear();
+            self.acls.clear();
+            self.arp_cache.clear();
+            self.arp_inflight.clear();
+            self.pending.clear();
+            self.mode = Mode::default();
+            self.stats = RouterStats::default();
+            self.rip = RipProcess::new();
+            if let Some(cfg) = self.startup_config.clone() {
+                self.apply_script(&cfg, now);
+            }
+        } else if !on {
+            self.powered = false;
+        }
+    }
+
+    fn link_state(&self, port: PortIndex) -> LinkState {
+        self.interfaces[port].link
+    }
+
+    fn set_link_state(&mut self, port: PortIndex, state: LinkState, _now: Instant) {
+        self.interfaces[port].link = state;
+        if state == LinkState::Down {
+            // Carrier loss invalidates everything learned over the wire.
+            self.rip.flush_ingress(port);
+        }
+    }
+
+    fn on_frame(&mut self, port: PortIndex, frame: &[u8], now: Instant) -> Vec<Emission> {
+        let mut out = Vec::new();
+        if !self.powered || port >= self.interfaces.len() || !self.interfaces[port].usable() {
+            return out;
+        }
+        self.stats.rx_frames += 1;
+        let Ok((eth, class)) = build::classify(frame) else {
+            self.stats.dropped_other += 1;
+            return out;
+        };
+        // Routers only accept frames addressed to them (or group frames).
+        let my_mac = self.interface_mac(port);
+        if eth.dst != my_mac && !eth.dst.is_multicast() {
+            self.stats.dropped_other += 1;
+            return out;
+        }
+        match &class {
+            Classified::Arp(repr) => self.handle_arp(port, repr, now, &mut out),
+            Classified::Ipv4 { header, l4 } => {
+                // Inbound ACL first — the Fig. 6 filters live here.
+                if self.acl_check(port, AclDir::In, &class) == Action::Deny {
+                    self.stats.dropped_acl += 1;
+                    if let Some(cidr) = self.interfaces[port].ip {
+                        let view = rnl_net::ethernet::Frame::new_unchecked(frame);
+                        let msg = icmp::Repr::DstUnreachable {
+                            code: icmp::UNREACH_ADMIN,
+                            invoking: Self::invoking_slice(view.payload()),
+                        };
+                        self.originate_icmp(cidr.addr(), header.src, &msg, now, &mut out);
+                    }
+                    return out;
+                }
+                // RIP control traffic terminates at the process.
+                if let L4::Udp {
+                    dst_port: rnl_net::rip::RIP_PORT,
+                    payload,
+                    ..
+                } = l4
+                {
+                    let participates = matches!(
+                        self.interfaces[port].ip,
+                        Some(cidr) if self.rip.participates(cidr.addr())
+                    );
+                    if participates {
+                        self.handle_rip(port, header.src, payload, now, &mut out);
+                        return out;
+                    }
+                }
+                let view = rnl_net::ethernet::Frame::new_unchecked(frame);
+                // Strip Ethernet padding: bound by the IP total length.
+                let ip_packet: &[u8] = match ipv4::Packet::new_checked(view.payload()) {
+                    Ok(p) => {
+                        let total = p.total_len() as usize;
+                        &view.payload()[..total]
+                    }
+                    Err(_) => view.payload(),
+                };
+                if self.owns_ip(header.dst).is_some() {
+                    self.handle_local(header, l4, ip_packet, now, &mut out);
+                } else if header.dst.is_broadcast() || header.dst.is_multicast() {
+                    // Routers do not forward broadcasts.
+                    self.stats.dropped_other += 1;
+                } else {
+                    self.forward(port, header, &class, ip_packet, now, &mut out);
+                }
+            }
+            _ => {
+                // Not IP, not ARP: routers drop it (they do not bridge).
+                self.stats.dropped_other += 1;
+            }
+        }
+        out
+    }
+
+    fn tick(&mut self, now: Instant) -> Vec<Emission> {
+        let mut out = Vec::new();
+        if !self.powered {
+            return out;
+        }
+        // RIP: periodic advertisements and route expiry.
+        self.rip.expire(now);
+        if self.rip.update_due(now) {
+            let locals = self.advertisable_prefixes();
+            for port in 0..self.interfaces.len() {
+                let Some(cidr) = self.interfaces[port].ip else {
+                    continue;
+                };
+                if !self.interfaces[port].usable() || !self.rip.participates(cidr.addr()) {
+                    continue;
+                }
+                let entries = self.rip.advertisement(port, &locals);
+                let msg = rnl_net::rip::Packet {
+                    command: rnl_net::rip::Command::Response,
+                    entries,
+                };
+                let mut payload = vec![0u8; msg.buffer_len()];
+                msg.emit(&mut payload).expect("sized");
+                out.push(Emission::new(
+                    port,
+                    build::udp_frame(
+                        self.interface_mac(port),
+                        MacAddr(rnl_net::rip::RIP_MCAST_MAC),
+                        cidr.addr(),
+                        rnl_net::rip::RIP_MCAST_IP,
+                        rnl_net::rip::RIP_PORT,
+                        rnl_net::rip::RIP_PORT,
+                        &payload,
+                        1,
+                    ),
+                ));
+            }
+        }
+        // ARP retries and expiry of hopeless resolutions.
+        let mut gave_up: Vec<Ipv4Addr> = Vec::new();
+        let mut retries: Vec<(Ipv4Addr, PortIndex)> = Vec::new();
+        for (hop, fl) in self.arp_inflight.iter_mut() {
+            if now.since(fl.last_try) >= ARP_RETRY {
+                if fl.tries >= ARP_MAX_TRIES {
+                    gave_up.push(*hop);
+                } else {
+                    fl.tries += 1;
+                    fl.last_try = now;
+                    retries.push((*hop, fl.egress));
+                }
+            }
+        }
+        for (hop, egress) in retries {
+            if let Some(cidr) = self.interfaces[egress].ip {
+                out.push(Emission::new(
+                    egress,
+                    build::arp_request(self.interface_mac(egress), cidr.addr(), hop),
+                ));
+            }
+        }
+        for hop in gave_up {
+            self.arp_inflight.remove(&hop);
+            self.pending.retain(|p| p.next_hop != hop);
+            self.stats.dropped_other += 1;
+        }
+        // ARP cache aging.
+        self.arp_cache
+            .retain(|_, e| now.since(e.learned_at) <= ARP_TIMEOUT);
+        out
+    }
+
+    fn console(&mut self, line: &str, now: Instant) -> String {
+        if !self.powered {
+            return String::new();
+        }
+        let tokens = cli::tokenize(line);
+        let Some(first) = tokens.first() else {
+            return String::new();
+        };
+
+        if cli::kw(first, "end") {
+            self.mode = Mode::Privileged;
+            return String::new();
+        }
+        if cli::kw(first, "exit") {
+            self.mode = match self.mode {
+                Mode::ConfigIf(_) | Mode::ConfigRouterRip => Mode::Config,
+                Mode::Config => Mode::Privileged,
+                _ => Mode::UserExec,
+            };
+            return String::new();
+        }
+
+        match self.mode {
+            Mode::UserExec => {
+                if cli::kw(first, "enable") {
+                    self.mode = Mode::Privileged;
+                    String::new()
+                } else if cli::kw(first, "show") {
+                    self.exec_show(&tokens[1..])
+                } else {
+                    cli::wrong_mode()
+                }
+            }
+            Mode::Privileged => {
+                if cli::kw(first, "configure") {
+                    self.mode = Mode::Config;
+                    String::new()
+                } else if cli::kw(first, "show") {
+                    self.exec_show(&tokens[1..])
+                } else if cli::kw(first, "write") || cli::kw(first, "copy") {
+                    self.startup_config = Some(self.running_config());
+                    "Building configuration...\n[OK]\n".to_string()
+                } else if cli::kw(first, "reload") {
+                    self.set_power(false, now);
+                    self.set_power(true, now);
+                    "Reloading...\n".to_string()
+                } else if cli::kw(first, "disable") {
+                    self.mode = Mode::UserExec;
+                    String::new()
+                } else {
+                    cli::invalid()
+                }
+            }
+            Mode::Config => self.exec_config(&tokens),
+            Mode::ConfigIf(port) => {
+                let result = self.exec_config_if(port, &tokens);
+                if result == cli::invalid() {
+                    self.exec_config(&tokens)
+                } else {
+                    result
+                }
+            }
+            Mode::ConfigRouterRip => {
+                let result = self.exec_config_rip(&tokens);
+                if result == cli::invalid() {
+                    self.exec_config(&tokens)
+                } else {
+                    result
+                }
+            }
+        }
+    }
+
+    fn firmware(&self) -> String {
+        self.firmware.version.clone()
+    }
+
+    fn flash_firmware(&mut self, version: &str, now: Instant) -> Result<(), DeviceError> {
+        let image = self
+            .registry
+            .find(version)
+            .ok_or_else(|| DeviceError::UnknownFirmware(version.to_string()))?
+            .clone();
+        self.firmware = image;
+        self.set_power(false, now);
+        self.set_power(true, now);
+        Ok(())
+    }
+}
+
+impl Router {
+    /// Replay a configuration script (from privileged EXEC).
+    pub fn apply_script(&mut self, script: &str, _now: Instant) {
+        self.mode = Mode::Config;
+        for line in script.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('!') {
+                continue;
+            }
+            let tokens = cli::tokenize(line);
+            if let Some(first) = tokens.first() {
+                if cli::kw(first, "end") {
+                    break;
+                }
+            }
+            match self.mode {
+                Mode::Config => {
+                    self.exec_config(&tokens);
+                }
+                Mode::ConfigIf(port) => {
+                    let r = self.exec_config_if(port, &tokens);
+                    if r == cli::invalid() {
+                        self.exec_config(&tokens);
+                    }
+                }
+                Mode::ConfigRouterRip => {
+                    if let Some(first) = tokens.first() {
+                        if cli::kw(first, "exit") {
+                            self.mode = Mode::Config;
+                            continue;
+                        }
+                    }
+                    let r = self.exec_config_rip(&tokens);
+                    if r == cli::invalid() {
+                        self.exec_config(&tokens);
+                    }
+                }
+                _ => {}
+            }
+        }
+        self.mode = Mode::Privileged;
+    }
+
+    /// Render the running configuration as replayable CLI text.
+    pub fn running_config(&self) -> String {
+        let mut cfg = String::new();
+        cfg.push_str("!\n");
+        cfg.push_str(&format!("hostname {}\n", self.hostname));
+        cfg.push_str("!\n");
+        for (id, acl) in &self.acls {
+            for rule in acl.rules() {
+                cfg.push_str(&rule.to_cli(*id));
+                cfg.push('\n');
+            }
+        }
+        for (idx, intf) in self.interfaces.iter().enumerate() {
+            cfg.push_str(&format!("interface FastEthernet0/{idx}\n"));
+            if let Some(cidr) = intf.ip {
+                cfg.push_str(&format!(" ip address {} {}\n", cidr.addr(), cidr.netmask()));
+            }
+            if let Some(id) = intf.acl_in {
+                cfg.push_str(&format!(" ip access-group {id} in\n"));
+            }
+            if let Some(id) = intf.acl_out {
+                cfg.push_str(&format!(" ip access-group {id} out\n"));
+            }
+            if intf.enabled {
+                cfg.push_str(" no shutdown\n");
+            } else {
+                cfg.push_str(" shutdown\n");
+            }
+            cfg.push_str("!\n");
+        }
+        for route in &self.routes {
+            cfg.push_str(&format!(
+                "ip route {} {} {}\n",
+                route.prefix.network(),
+                route.prefix.netmask(),
+                route.next_hop
+            ));
+        }
+        if self.rip.enabled() {
+            cfg.push_str("router rip\n");
+            for network in self.rip.networks() {
+                cfg.push_str(&format!(" network {network}\n"));
+            }
+            cfg.push_str("exit\n");
+        }
+        cfg.push_str("end\n");
+        cfg
+    }
+
+    fn exec_show(&mut self, tokens: &[&str]) -> String {
+        match tokens.first() {
+            Some(t) if cli::kw(t, "running-config") => self.running_config(),
+            Some(t) if cli::kw(t, "version") => {
+                format!(
+                    "{} Software, Version {}\n",
+                    self.model, self.firmware.version
+                )
+            }
+            Some(t) if cli::kw(t, "ip") => match tokens.get(1) {
+                Some(s) if cli::kw(s, "route") => {
+                    let mut out = String::new();
+                    for (idx, intf) in self.interfaces.iter().enumerate() {
+                        if let Some(cidr) = intf.ip {
+                            out.push_str(&format!(
+                                "C  {} is directly connected, FastEthernet0/{idx}\n",
+                                Cidr::new(cidr.network(), cidr.prefix_len()).expect("valid"),
+                            ));
+                        }
+                    }
+                    for r in &self.routes {
+                        out.push_str(&format!("S  {} via {}\n", r.prefix, r.next_hop));
+                    }
+                    let mut rip_rows: Vec<_> = self.rip.routes().collect();
+                    rip_rows.sort_by_key(|r| (r.prefix.network(), r.prefix.prefix_len()));
+                    for r in rip_rows {
+                        out.push_str(&format!(
+                            "R  {} via {} metric {}\n",
+                            r.prefix, r.next_hop, r.metric
+                        ));
+                    }
+                    out
+                }
+                _ => cli::invalid(),
+            },
+            Some(t) if cli::kw(t, "arp") => {
+                let mut rows: Vec<_> = self.arp_cache.iter().map(|(ip, e)| (*ip, e.mac)).collect();
+                rows.sort();
+                let mut out = String::from("Address          Hardware Addr\n");
+                for (ip, mac) in rows {
+                    out.push_str(&format!("{ip:<16} {mac}\n"));
+                }
+                out
+            }
+            Some(t) if cli::kw(t, "access-lists") => {
+                let mut out = String::new();
+                for (id, acl) in &self.acls {
+                    for (rule, hits) in acl.rules().iter().zip(acl.hits()) {
+                        out.push_str(&format!("{} ({hits} matches)\n", rule.to_cli(*id)));
+                    }
+                }
+                out
+            }
+            Some(t) if cli::kw(t, "interfaces") => {
+                let mut out = String::new();
+                for (idx, intf) in self.interfaces.iter().enumerate() {
+                    out.push_str(&format!(
+                        "FastEthernet0/{idx} is {}, address {}\n",
+                        if intf.usable() { "up" } else { "down" },
+                        intf.ip
+                            .map(|c| c.to_string())
+                            .unwrap_or_else(|| "unassigned".into()),
+                    ));
+                }
+                out
+            }
+            Some(t) if cli::kw(t, "flash") => {
+                let mut out = String::new();
+                for v in self.registry.versions() {
+                    out.push_str(&format!("{v}\n"));
+                }
+                out
+            }
+            _ => cli::invalid(),
+        }
+    }
+
+    fn exec_config(&mut self, tokens: &[&str]) -> String {
+        match tokens.first() {
+            Some(t) if cli::kw(t, "hostname") => match tokens.get(1) {
+                Some(name) => {
+                    self.hostname = name.to_string();
+                    String::new()
+                }
+                None => cli::invalid(),
+            },
+            Some(t) if cli::kw(t, "interface") => {
+                match tokens
+                    .get(1)
+                    .and_then(|n| parse_if_name(n, self.interfaces.len()))
+                {
+                    Some(port) => {
+                        self.mode = Mode::ConfigIf(port);
+                        String::new()
+                    }
+                    None => cli::invalid(),
+                }
+            }
+            Some(t) if cli::kw(t, "router") => match tokens.get(1) {
+                Some(p) if cli::kw(p, "rip") => {
+                    self.rip.enable();
+                    self.mode = Mode::ConfigRouterRip;
+                    String::new()
+                }
+                _ => cli::invalid(),
+            },
+            Some(t) if cli::kw(t, "access-list") => match cli::parse_access_list(&tokens[1..]) {
+                Some((id, rule)) => {
+                    let max = self.firmware.quirks.max_acl_rules;
+                    let acl = self.acls.entry(id).or_default();
+                    if acl.len() >= max {
+                        return "% Access list is full on this image\n".to_string();
+                    }
+                    acl.push(rule);
+                    String::new()
+                }
+                None => cli::invalid(),
+            },
+            Some(t) if cli::kw(t, "ip") => match tokens.get(1) {
+                Some(s) if cli::kw(s, "route") => {
+                    match (
+                        tokens.get(2),
+                        tokens.get(3),
+                        tokens.get(4).and_then(|v| v.parse().ok()),
+                    ) {
+                        (Some(net), Some(mask), Some(hop)) => {
+                            match cli::parse_addr_mask(net, mask) {
+                                Some(prefix) => {
+                                    self.routes.push(StaticRoute {
+                                        prefix,
+                                        next_hop: hop,
+                                    });
+                                    String::new()
+                                }
+                                None => cli::invalid(),
+                            }
+                        }
+                        _ => cli::invalid(),
+                    }
+                }
+                _ => cli::invalid(),
+            },
+            Some(t) if cli::kw(t, "no") => match (tokens.get(1), tokens.get(2)) {
+                (Some(r), Some(p)) if cli::kw(r, "router") && cli::kw(p, "rip") => {
+                    self.rip.disable();
+                    String::new()
+                }
+                (Some(i), Some(r)) if cli::kw(i, "ip") && cli::kw(r, "route") => {
+                    if let (Some(net), Some(mask), Some(hop)) = (
+                        tokens.get(3),
+                        tokens.get(4),
+                        tokens.get(5).and_then(|v| v.parse::<Ipv4Addr>().ok()),
+                    ) {
+                        if let Some(prefix) = cli::parse_addr_mask(net, mask) {
+                            self.routes
+                                .retain(|x| !(x.prefix == prefix && x.next_hop == hop));
+                            return String::new();
+                        }
+                    }
+                    cli::invalid()
+                }
+                _ => cli::invalid(),
+            },
+            _ => cli::invalid(),
+        }
+    }
+
+    fn exec_config_if(&mut self, port: PortIndex, tokens: &[&str]) -> String {
+        match tokens.first() {
+            Some(t) if cli::kw(t, "ip") => match tokens.get(1) {
+                Some(s) if cli::kw(s, "address") => match (tokens.get(2), tokens.get(3)) {
+                    (Some(addr), Some(mask)) => match cli::parse_addr_mask(addr, mask) {
+                        Some(cidr) => {
+                            self.interfaces[port].ip = Some(cidr);
+                            String::new()
+                        }
+                        None => cli::invalid(),
+                    },
+                    _ => cli::invalid(),
+                },
+                Some(s) if cli::kw(s, "access-group") => {
+                    match (tokens.get(2).and_then(|v| v.parse().ok()), tokens.get(3)) {
+                        (Some(id), Some(dir)) if cli::kw(dir, "in") => {
+                            self.interfaces[port].acl_in = Some(id);
+                            String::new()
+                        }
+                        (Some(id), Some(dir)) if cli::kw(dir, "out") => {
+                            self.interfaces[port].acl_out = Some(id);
+                            String::new()
+                        }
+                        _ => cli::invalid(),
+                    }
+                }
+                _ => cli::invalid(),
+            },
+            Some(t) if cli::kw(t, "shutdown") => {
+                self.interfaces[port].enabled = false;
+                String::new()
+            }
+            Some(t) if cli::kw(t, "no") => match tokens.get(1) {
+                Some(s) if cli::kw(s, "shutdown") => {
+                    self.interfaces[port].enabled = true;
+                    String::new()
+                }
+                _ => cli::invalid(),
+            },
+            _ => cli::invalid(),
+        }
+    }
+}
+
+impl Router {
+    /// Commands in `(config-router)#` mode.
+    fn exec_config_rip(&mut self, tokens: &[&str]) -> String {
+        match tokens.first() {
+            Some(t) if cli::kw(t, "timers") => {
+                // `timers basic <update-secs> [...]` — the IOS knob for
+                // the update interval (invalid/flush follow the RFC
+                // ratio automatically here).
+                match (
+                    tokens.get(1),
+                    tokens.get(2).and_then(|v| v.parse::<u64>().ok()),
+                ) {
+                    (Some(b), Some(update)) if cli::kw(b, "basic") && update > 0 => {
+                        self.rip.set_update_interval(Duration::from_secs(update));
+                        String::new()
+                    }
+                    _ => cli::invalid(),
+                }
+            }
+            Some(t) if cli::kw(t, "network") => {
+                let Some(spec) = tokens.get(1) else {
+                    return cli::invalid();
+                };
+                // Accept `A.B.C.D/len`, `A.B.C.D MASK`, or a bare
+                // classful address as IOS does.
+                let cidr = if spec.contains('/') {
+                    spec.parse::<Cidr>().ok()
+                } else if let Some(mask) = tokens.get(2) {
+                    cli::parse_addr_mask(spec, mask)
+                } else {
+                    spec.parse::<Ipv4Addr>().ok().and_then(|addr| {
+                        let len = match addr.octets()[0] {
+                            0..=127 => 8,
+                            128..=191 => 16,
+                            _ => 24,
+                        };
+                        Cidr::new(addr, len).ok()
+                    })
+                };
+                match cidr {
+                    Some(cidr) => {
+                        self.rip.add_network(cidr);
+                        String::new()
+                    }
+                    None => cli::invalid(),
+                }
+            }
+            _ => cli::invalid(),
+        }
+    }
+}
+
+/// Parse `FastEthernet0/N`, `fa0/N`, `f0/N`.
+fn parse_if_name(name: &str, num_ports: usize) -> Option<PortIndex> {
+    let lower = name.to_ascii_lowercase();
+    let rest = lower
+        .strip_prefix("fastethernet0/")
+        .or_else(|| lower.strip_prefix("fa0/"))
+        .or_else(|| lower.strip_prefix("f0/"))?;
+    let idx: usize = rest.parse().ok()?;
+    (idx < num_ports).then_some(idx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rnl_net::addr::EtherType;
+
+    const HOST_MAC: MacAddr = MacAddr([2, 0, 0, 0, 0, 0x11]);
+
+    fn t(ms: u64) -> Instant {
+        Instant::EPOCH + Duration::from_millis(ms)
+    }
+
+    /// R with fa0/0 = 10.0.0.1/24, fa0/1 = 10.0.1.1/24.
+    fn two_net_router() -> Router {
+        let mut r = Router::new("r1", 1, 2);
+        r.set_interface_ip(0, "10.0.0.1/24".parse().unwrap());
+        r.set_interface_ip(1, "10.0.1.1/24".parse().unwrap());
+        r
+    }
+
+    fn arp_reply_from(ip: &str, mac: MacAddr, router_mac: MacAddr, router_ip: &str) -> Vec<u8> {
+        let repr = arp::Repr {
+            operation: arp::Operation::Reply,
+            sender_mac: mac,
+            sender_ip: ip.parse().unwrap(),
+            target_mac: router_mac,
+            target_ip: router_ip.parse().unwrap(),
+        };
+        let mut body = vec![0u8; repr.buffer_len()];
+        repr.emit(&mut arp::Packet::new_unchecked(&mut body[..]));
+        build::ethernet_frame(mac, router_mac, EtherType::Arp, &body)
+    }
+
+    #[test]
+    fn answers_arp_for_own_interface() {
+        let mut r = two_net_router();
+        let req = build::arp_request(
+            HOST_MAC,
+            "10.0.0.5".parse().unwrap(),
+            "10.0.0.1".parse().unwrap(),
+        );
+        let out = r.on_frame(0, &req, t(0));
+        assert_eq!(out.len(), 1);
+        let (_, class) = build::classify(&out[0].frame).unwrap();
+        match class {
+            Classified::Arp(repr) => {
+                assert_eq!(repr.operation, arp::Operation::Reply);
+                assert_eq!(repr.sender_ip, "10.0.0.1".parse::<Ipv4Addr>().unwrap());
+                assert_eq!(repr.sender_mac, r.interface_mac(0));
+                assert_eq!(repr.target_mac, HOST_MAC);
+            }
+            other => panic!("expected ARP reply, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ignores_arp_for_other_hosts() {
+        let mut r = two_net_router();
+        let req = build::arp_request(
+            HOST_MAC,
+            "10.0.0.5".parse().unwrap(),
+            "10.0.0.99".parse().unwrap(),
+        );
+        assert!(r.on_frame(0, &req, t(0)).is_empty());
+    }
+
+    #[test]
+    fn replies_to_ping_on_own_address() {
+        let mut r = two_net_router();
+        // Teach the router the host's MAC first.
+        r.on_frame(
+            0,
+            &arp_reply_from("10.0.0.5", HOST_MAC, r.interface_mac(0), "10.0.0.1"),
+            t(0),
+        );
+        let ping = build::icmp_echo_request(
+            HOST_MAC,
+            r.interface_mac(0),
+            "10.0.0.5".parse().unwrap(),
+            "10.0.0.1".parse().unwrap(),
+            7,
+            1,
+            b"abc",
+            64,
+        );
+        let out = r.on_frame(0, &ping, t(1));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].port, 0);
+        match build::classify(&out[0].frame).unwrap().1 {
+            Classified::Ipv4 {
+                header,
+                l4: L4::Icmp(icmp::Repr::EchoReply { ident, data, .. }),
+            } => {
+                assert_eq!(header.src, "10.0.0.1".parse::<Ipv4Addr>().unwrap());
+                assert_eq!(header.dst, "10.0.0.5".parse::<Ipv4Addr>().unwrap());
+                assert_eq!(ident, 7);
+                assert_eq!(data, b"abc");
+            }
+            other => panic!("expected echo reply, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn forwards_between_connected_networks_with_arp_resolution() {
+        let mut r = two_net_router();
+        let dst_mac = MacAddr([2, 0, 0, 0, 0, 0x22]);
+        let ping = build::icmp_echo_request(
+            HOST_MAC,
+            r.interface_mac(0),
+            "10.0.0.5".parse().unwrap(),
+            "10.0.1.9".parse().unwrap(),
+            1,
+            1,
+            b"",
+            64,
+        );
+        // First attempt: router must ARP for 10.0.1.9 on fa0/1.
+        let out = r.on_frame(0, &ping, t(0));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].port, 1);
+        match build::classify(&out[0].frame).unwrap().1 {
+            Classified::Arp(repr) => {
+                assert_eq!(repr.operation, arp::Operation::Request);
+                assert_eq!(repr.target_ip, "10.0.1.9".parse::<Ipv4Addr>().unwrap());
+            }
+            other => panic!("expected ARP request, got {other:?}"),
+        }
+        // The target answers: queued packet flushes with decremented TTL.
+        let out = r.on_frame(
+            1,
+            &arp_reply_from("10.0.1.9", dst_mac, r.interface_mac(1), "10.0.1.1"),
+            t(1),
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].port, 1);
+        match build::classify(&out[0].frame).unwrap().1 {
+            Classified::Ipv4 {
+                header,
+                l4: L4::Icmp(icmp::Repr::EchoRequest { .. }),
+            } => {
+                assert_eq!(header.ttl, 63, "TTL must be decremented");
+            }
+            other => panic!("expected forwarded ping, got {other:?}"),
+        }
+        assert_eq!(r.stats().forwarded, 1);
+    }
+
+    #[test]
+    fn static_route_forwarding() {
+        let mut r = two_net_router();
+        r.add_route(
+            "192.168.0.0/16".parse().unwrap(),
+            "10.0.1.254".parse().unwrap(),
+        );
+        let ping = build::icmp_echo_request(
+            HOST_MAC,
+            r.interface_mac(0),
+            "10.0.0.5".parse().unwrap(),
+            "192.168.3.4".parse().unwrap(),
+            1,
+            1,
+            b"",
+            64,
+        );
+        let out = r.on_frame(0, &ping, t(0));
+        // ARPs for the next hop, not the final destination.
+        match build::classify(&out[0].frame).unwrap().1 {
+            Classified::Arp(repr) => {
+                assert_eq!(repr.target_ip, "10.0.1.254".parse::<Ipv4Addr>().unwrap());
+            }
+            other => panic!("expected ARP for next hop, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn no_route_generates_net_unreachable() {
+        let mut r = two_net_router();
+        r.on_frame(
+            0,
+            &arp_reply_from("10.0.0.5", HOST_MAC, r.interface_mac(0), "10.0.0.1"),
+            t(0),
+        );
+        let ping = build::icmp_echo_request(
+            HOST_MAC,
+            r.interface_mac(0),
+            "10.0.0.5".parse().unwrap(),
+            "172.16.0.1".parse().unwrap(),
+            1,
+            1,
+            b"",
+            64,
+        );
+        let out = r.on_frame(0, &ping, t(1));
+        assert_eq!(out.len(), 1);
+        match build::classify(&out[0].frame).unwrap().1 {
+            Classified::Ipv4 {
+                l4: L4::Icmp(icmp::Repr::DstUnreachable { code, .. }),
+                ..
+            } => {
+                assert_eq!(code, icmp::UNREACH_NET);
+            }
+            other => panic!("expected unreachable, got {other:?}"),
+        }
+        assert_eq!(r.stats().dropped_no_route, 1);
+    }
+
+    #[test]
+    fn inbound_acl_denies_with_admin_prohibited() {
+        let mut r = two_net_router();
+        r.on_frame(
+            0,
+            &arp_reply_from("10.0.0.5", HOST_MAC, r.interface_mac(0), "10.0.0.1"),
+            t(0),
+        );
+        r.add_acl_rule(
+            101,
+            crate::acl::Rule::deny_net_to_net(
+                "10.0.0.0/24".parse().unwrap(),
+                "10.0.1.0/24".parse().unwrap(),
+            ),
+        );
+        r.add_acl_rule(101, crate::acl::Rule::permit_any());
+        r.bind_acl(0, 101, AclDir::In);
+        let ping = build::icmp_echo_request(
+            HOST_MAC,
+            r.interface_mac(0),
+            "10.0.0.5".parse().unwrap(),
+            "10.0.1.9".parse().unwrap(),
+            1,
+            1,
+            b"",
+            64,
+        );
+        let out = r.on_frame(0, &ping, t(1));
+        assert_eq!(r.stats().dropped_acl, 1);
+        assert_eq!(out.len(), 1);
+        match build::classify(&out[0].frame).unwrap().1 {
+            Classified::Ipv4 {
+                l4: L4::Icmp(icmp::Repr::DstUnreachable { code, .. }),
+                ..
+            } => {
+                assert_eq!(code, icmp::UNREACH_ADMIN);
+            }
+            other => panic!("expected admin prohibited, got {other:?}"),
+        }
+        // But traffic the ACL permits still flows (ARP request emitted).
+        let ok_ping = build::icmp_echo_request(
+            HOST_MAC,
+            r.interface_mac(0),
+            "10.0.2.5".parse().unwrap(), // not matching the deny
+            "10.0.1.9".parse().unwrap(),
+            1,
+            1,
+            b"",
+            64,
+        );
+        let out = r.on_frame(0, &ok_ping, t(2));
+        assert!(matches!(
+            build::classify(&out[0].frame).unwrap().1,
+            Classified::Arp(_)
+        ));
+    }
+
+    #[test]
+    fn ttl_expiry_generates_time_exceeded() {
+        let mut r = two_net_router();
+        r.on_frame(
+            0,
+            &arp_reply_from("10.0.0.5", HOST_MAC, r.interface_mac(0), "10.0.0.1"),
+            t(0),
+        );
+        let ping = build::icmp_echo_request(
+            HOST_MAC,
+            r.interface_mac(0),
+            "10.0.0.5".parse().unwrap(),
+            "10.0.1.9".parse().unwrap(),
+            1,
+            1,
+            b"",
+            1, // TTL 1: expires here
+        );
+        let out = r.on_frame(0, &ping, t(1));
+        assert_eq!(r.stats().dropped_ttl, 1);
+        match build::classify(&out[0].frame).unwrap().1 {
+            Classified::Ipv4 {
+                l4: L4::Icmp(icmp::Repr::TimeExceeded { .. }),
+                ..
+            } => {}
+            other => panic!("expected time exceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn arp_retries_then_gives_up() {
+        let mut r = two_net_router();
+        let ping = build::icmp_echo_request(
+            HOST_MAC,
+            r.interface_mac(0),
+            "10.0.0.5".parse().unwrap(),
+            "10.0.1.9".parse().unwrap(),
+            1,
+            1,
+            b"",
+            64,
+        );
+        let out = r.on_frame(0, &ping, t(0));
+        assert_eq!(out.len(), 1); // initial ARP
+                                  // Two more retries at 1 s spacing…
+        assert_eq!(r.tick(t(1100)).len(), 1);
+        assert_eq!(r.tick(t(2200)).len(), 1);
+        // …then the resolution is abandoned and the queue cleared.
+        assert!(r.tick(t(3300)).is_empty());
+        assert!(r.pending.is_empty());
+        assert!(r.arp_inflight.is_empty());
+    }
+
+    #[test]
+    fn frames_for_other_macs_ignored() {
+        let mut r = two_net_router();
+        let other = MacAddr([2, 9, 9, 9, 9, 9]);
+        let ping = build::icmp_echo_request(
+            HOST_MAC,
+            other,
+            "10.0.0.5".parse().unwrap(),
+            "10.0.0.1".parse().unwrap(),
+            1,
+            1,
+            b"",
+            64,
+        );
+        assert!(r.on_frame(0, &ping, t(0)).is_empty());
+        assert_eq!(r.stats().dropped_other, 1);
+    }
+
+    #[test]
+    fn cli_config_roundtrip() {
+        let mut r = Router::new("r0", 7, 2);
+        r.apply_script(
+            "hostname fig6-r1\n\
+             access-list 102 deny ip 10.1.0.0 255.255.0.0 10.2.0.0 255.255.0.0\n\
+             access-list 102 permit ip any any\n\
+             interface FastEthernet0/0\n ip address 10.0.0.1 255.255.255.0\n no shutdown\n\
+             interface FastEthernet0/1\n ip address 10.0.1.1 255.255.255.0\n ip access-group 102 out\n no shutdown\n\
+             ip route 192.168.0.0 255.255.0.0 10.0.1.254\n",
+            t(0),
+        );
+        let dump = r.running_config();
+        let mut r2 = Router::new("rx", 8, 2);
+        r2.apply_script(&dump, t(0));
+        assert_eq!(r2.running_config(), dump);
+        assert_eq!(r2.hostname(), "fig6-r1");
+        assert_eq!(r2.interface_ip(0), Some("10.0.0.1/24".parse().unwrap()));
+        assert_eq!(r2.routes.len(), 1);
+    }
+
+    #[test]
+    fn firmware_quirk_controls_default_shutdown() {
+        let mut r = Router::new("r1", 1, 1);
+        r.console("enable", t(0));
+        r.console("reload", t(0));
+        assert!(!r.interfaces[0].enabled, "12.4(25) boots interfaces shut");
+        r.flash_firmware("15.1(4)M", t(1)).unwrap();
+        assert!(r.interfaces[0].enabled, "15.1(4)M boots interfaces up");
+    }
+
+    #[test]
+    fn show_commands_render() {
+        let mut r = two_net_router();
+        r.add_route("0.0.0.0/0".parse().unwrap(), "10.0.1.254".parse().unwrap());
+        r.console("enable", t(0));
+        assert!(r
+            .console("show ip route", t(0))
+            .contains("directly connected"));
+        assert!(r.console("show ip route", t(0)).contains("via 10.0.1.254"));
+        assert!(r.console("show version", t(0)).contains("7200"));
+        assert!(r
+            .console("show interfaces", t(0))
+            .contains("FastEthernet0/0"));
+    }
+}

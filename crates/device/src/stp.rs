@@ -1,0 +1,786 @@
+//! IEEE 802.1D spanning tree, as run by [`crate::switch::Switch`].
+//!
+//! This is a faithful-in-shape implementation of the classic (pre-RSTP)
+//! protocol: root election by priority vector, root/designated/blocked
+//! port roles, listening → learning → forwarding progression gated by the
+//! forward delay, BPDU information aging by max-age, and topology-change
+//! notification with fast MAC aging. It is what makes the paper's Fig. 5
+//! scenario meaningful — two switches bridged through FWSMs must see each
+//! other's BPDUs to break the loop, and a misconfigured FWSM that eats
+//! BPDUs produces exactly the "transient loop" the paper warns about.
+
+use rnl_net::bpdu::{self, BridgeId, PriorityVector};
+use rnl_net::time::{Duration, Instant};
+
+use crate::device::PortIndex;
+
+/// Protocol timing parameters. IEEE defaults are seconds-scale; tests and
+/// benchmarks may shrink them uniformly (they only interact as ratios).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Timing {
+    pub hello_time: Duration,
+    pub max_age: Duration,
+    pub forward_delay: Duration,
+}
+
+impl Default for Timing {
+    fn default() -> Timing {
+        Timing {
+            hello_time: Duration::from_secs(2),
+            max_age: Duration::from_secs(20),
+            forward_delay: Duration::from_secs(15),
+        }
+    }
+}
+
+impl Timing {
+    /// A uniformly scaled-down timing set for fast tests: hello 20 ms,
+    /// max-age 200 ms, forward-delay 150 ms.
+    pub fn fast() -> Timing {
+        Timing {
+            hello_time: Duration::from_millis(20),
+            max_age: Duration::from_millis(200),
+            forward_delay: Duration::from_millis(150),
+        }
+    }
+}
+
+/// The role recomputation assigns to a port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PortRole {
+    /// Best path toward the root bridge.
+    Root,
+    /// This bridge forwards for the attached segment.
+    Designated,
+    /// Redundant path; kept blocked.
+    NonDesignated,
+}
+
+/// The forwarding state of a port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PortState {
+    /// Link down or port administratively excluded.
+    Disabled,
+    /// Receiving BPDUs only.
+    Blocking,
+    /// Preparing to forward; not learning yet.
+    Listening,
+    /// Learning addresses; not forwarding data.
+    Learning,
+    /// Fully forwarding.
+    Forwarding,
+}
+
+impl PortState {
+    /// Whether data frames may be forwarded out/in this port.
+    pub fn forwards(self) -> bool {
+        matches!(self, PortState::Forwarding)
+    }
+
+    /// Whether source addresses may be learned on this port.
+    pub fn learns(self) -> bool {
+        matches!(self, PortState::Learning | PortState::Forwarding)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct StoredInfo {
+    vector: PriorityVector,
+    message_age: u16,
+    received_at: Instant,
+}
+
+#[derive(Debug)]
+struct Port {
+    link_up: bool,
+    path_cost: u32,
+    role: PortRole,
+    state: PortState,
+    /// When the current state was entered (for forward-delay progression).
+    state_since: Instant,
+    best: Option<StoredInfo>,
+    /// Send a TCA in the next config BPDU out this port.
+    ack_pending: bool,
+}
+
+impl Port {
+    fn new(now: Instant) -> Port {
+        Port {
+            link_up: true,
+            path_cost: 19, // 100 Mb/s default cost
+            role: PortRole::Designated,
+            state: PortState::Blocking,
+            state_since: now,
+            best: None,
+            ack_pending: false,
+        }
+    }
+}
+
+/// Output of an STP poll: BPDUs to transmit and housekeeping signals for
+/// the owning switch.
+#[derive(Debug, Default)]
+pub struct StpOutput {
+    /// BPDUs to emit, as (port, message) pairs.
+    pub bpdus: Vec<(PortIndex, bpdu::Repr)>,
+    /// True when the switch should fast-age its MAC table.
+    pub fast_age: bool,
+    /// Ports whose state changed (switch flushes MACs on ports leaving
+    /// Forwarding).
+    pub state_changes: Vec<(PortIndex, PortState)>,
+}
+
+/// One bridge's spanning-tree instance.
+#[derive(Debug)]
+pub struct Stp {
+    bridge_id: BridgeId,
+    timing: Timing,
+    ports: Vec<Port>,
+    enabled: bool,
+    last_hello: Option<Instant>,
+    /// We owe the root a TCN (retransmitted each hello until acked).
+    tcn_pending: bool,
+    /// While `Some(until)`, we are root and propagate the TC flag.
+    tc_until: Option<Instant>,
+    /// Set when a received config BPDU carried TC (non-root bridges).
+    rx_tc_until: Option<Instant>,
+}
+
+impl Stp {
+    /// Create an instance with all ports blocking.
+    pub fn new(bridge_id: BridgeId, num_ports: usize, timing: Timing, now: Instant) -> Stp {
+        let mut stp = Stp {
+            bridge_id,
+            timing,
+            ports: (0..num_ports).map(|_| Port::new(now)).collect(),
+            enabled: true,
+            last_hello: None,
+            tcn_pending: false,
+            tc_until: None,
+            rx_tc_until: None,
+        };
+        // A fresh bridge believes it is root: start its ports listening.
+        stp.recompute(now);
+        stp
+    }
+
+    /// This bridge's identifier.
+    pub fn bridge_id(&self) -> BridgeId {
+        self.bridge_id
+    }
+
+    /// Change the bridge priority (CLI `spanning-tree priority`). Takes
+    /// effect at the next recomputation.
+    pub fn set_priority(&mut self, priority: u16, now: Instant) {
+        self.bridge_id.priority = priority;
+        self.recompute(now);
+    }
+
+    /// Globally enable/disable the protocol. Disabled ⇒ every linked port
+    /// forwards unconditionally (how loops are born).
+    pub fn set_enabled(&mut self, enabled: bool, now: Instant) {
+        self.enabled = enabled;
+        if !enabled {
+            for port in &mut self.ports {
+                port.state = if port.link_up {
+                    PortState::Forwarding
+                } else {
+                    PortState::Disabled
+                };
+                port.state_since = now;
+                port.best = None;
+            }
+        } else {
+            for port in &mut self.ports {
+                port.state = if port.link_up {
+                    PortState::Blocking
+                } else {
+                    PortState::Disabled
+                };
+                port.state_since = now;
+            }
+            self.recompute(now);
+        }
+    }
+
+    /// Whether the protocol is running.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Current state of a port.
+    pub fn port_state(&self, port: PortIndex) -> PortState {
+        self.ports[port].state
+    }
+
+    /// Current role of a port.
+    pub fn port_role(&self, port: PortIndex) -> PortRole {
+        self.ports[port].role
+    }
+
+    /// Set a port's path cost (CLI `spanning-tree cost`).
+    pub fn set_path_cost(&mut self, port: PortIndex, cost: u32, now: Instant) {
+        self.ports[port].path_cost = cost;
+        self.recompute(now);
+    }
+
+    /// Whether the port is participating (link up from this instance's
+    /// point of view).
+    pub fn link_up(&self, port: PortIndex) -> bool {
+        self.ports[port].link_up
+    }
+
+    /// React to a link transition. Idempotent: re-asserting the current
+    /// state is a no-op (so periodic membership syncs never reset port
+    /// timers).
+    pub fn set_link(&mut self, port: PortIndex, up: bool, now: Instant) -> StpOutput {
+        let mut out = StpOutput::default();
+        if self.ports[port].link_up == up {
+            return out;
+        }
+        let was_forwarding = self.ports[port].state.forwards();
+        self.ports[port].link_up = up;
+        if up {
+            self.ports[port].state = if self.enabled {
+                PortState::Blocking
+            } else {
+                PortState::Forwarding
+            };
+        } else {
+            self.ports[port].state = PortState::Disabled;
+            self.ports[port].best = None;
+        }
+        self.ports[port].state_since = now;
+        out.state_changes.push((port, self.ports[port].state));
+        if self.enabled {
+            self.recompute(now);
+            if was_forwarding && !up {
+                self.notify_topology_change(now, &mut out);
+            }
+        }
+        out
+    }
+
+    /// The bridge this instance currently believes to be root.
+    pub fn root_id(&self) -> BridgeId {
+        self.best_root_vector().root
+    }
+
+    /// True when this bridge is the root.
+    pub fn is_root(&self) -> bool {
+        self.root_id() == self.bridge_id
+    }
+
+    /// The port leading toward the root (`None` on the root bridge).
+    pub fn root_port(&self) -> Option<PortIndex> {
+        self.ports
+            .iter()
+            .position(|p| p.role == PortRole::Root && p.state != PortState::Disabled)
+    }
+
+    /// Whether a topology change is currently propagating (switch uses
+    /// this to decide MAC fast aging).
+    pub fn topology_change_active(&self, now: Instant) -> bool {
+        matches!(self.tc_until, Some(u) if now < u)
+            || matches!(self.rx_tc_until, Some(u) if now < u)
+    }
+
+    /// Process a received BPDU.
+    pub fn on_bpdu(&mut self, port: PortIndex, repr: &bpdu::Repr, now: Instant) -> StpOutput {
+        let mut out = StpOutput::default();
+        if !self.enabled || port >= self.ports.len() || !self.ports[port].link_up {
+            return out;
+        }
+        match repr {
+            bpdu::Repr::Tcn => {
+                // A downstream bridge reports a change. Per 802.1D, TCNs
+                // are only meaningful on the designated port of the
+                // segment they arrive on — a TCN heard on a root or
+                // blocked port (possible when a transparent firewall
+                // bridges segments) is ignored, which is also what stops
+                // relayed TCNs from circulating through such bridges.
+                if self.ports[port].role != PortRole::Designated {
+                    return out;
+                }
+                self.ports[port].ack_pending = true;
+                if self.is_root() {
+                    self.tc_until = Some(now + self.timing.max_age + self.timing.forward_delay);
+                } else {
+                    // Relay rootward at the next hello (timer-based, as
+                    // the standard prescribes — never immediately, which
+                    // would amplify).
+                    self.tcn_pending = true;
+                }
+                // Ack with a config BPDU carrying TCA.
+                let msg = self.config_bpdu_for(port, now);
+                self.ports[port].ack_pending = false;
+                out.bpdus.push((port, msg));
+            }
+            bpdu::Repr::Config {
+                tca, message_age, ..
+            } => {
+                let vector = PriorityVector::from_config(repr).expect("config bpdu");
+                let tc_flag = matches!(repr, bpdu::Repr::Config { tc: true, .. });
+                let stored = StoredInfo {
+                    vector,
+                    message_age: *message_age,
+                    received_at: now,
+                };
+                let replace = match &self.ports[port].best {
+                    Some(existing) => {
+                        vector <= existing.vector || existing.vector.bridge == vector.bridge
+                    }
+                    None => true,
+                };
+                if replace {
+                    self.ports[port].best = Some(stored);
+                    self.recompute(now);
+                }
+                if *tca {
+                    self.tcn_pending = false;
+                }
+                if tc_flag {
+                    self.rx_tc_until = Some(now + self.timing.max_age + self.timing.forward_delay);
+                    out.fast_age = true;
+                }
+            }
+        }
+        out
+    }
+
+    /// Advance timers: hello transmission, state progression, info aging.
+    pub fn tick(&mut self, now: Instant) -> StpOutput {
+        let mut out = StpOutput::default();
+        if !self.enabled {
+            return out;
+        }
+
+        // Age out stored BPDU information.
+        let max_age = self.timing.max_age;
+        let mut aged = false;
+        for port in &mut self.ports {
+            if let Some(info) = &port.best {
+                if now.since(info.received_at) > max_age {
+                    port.best = None;
+                    aged = true;
+                }
+            }
+        }
+        if aged {
+            self.recompute(now);
+        }
+
+        // Progress listening → learning → forwarding.
+        let fd = self.timing.forward_delay;
+        let i_am_root = self.is_root_inner();
+        let tc_deadline = now + self.timing.max_age + fd;
+        for (idx, port) in self.ports.iter_mut().enumerate() {
+            if !port.link_up {
+                continue;
+            }
+            let next = match (port.role, port.state) {
+                (PortRole::NonDesignated, _) => None,
+                (_, PortState::Listening) if now.since(port.state_since) >= fd => {
+                    Some(PortState::Learning)
+                }
+                (_, PortState::Learning) if now.since(port.state_since) >= fd => {
+                    Some(PortState::Forwarding)
+                }
+                _ => None,
+            };
+            if let Some(next) = next {
+                port.state = next;
+                port.state_since = now;
+                out.state_changes.push((idx, next));
+                if next == PortState::Forwarding {
+                    // A port newly entering forwarding is a topology change.
+                    if i_am_root {
+                        self.tc_until = Some(tc_deadline);
+                    } else {
+                        self.tcn_pending = true;
+                    }
+                }
+            }
+        }
+
+        // Hello transmission.
+        let due = match self.last_hello {
+            None => true,
+            Some(last) => now.since(last) >= self.timing.hello_time,
+        };
+        if due {
+            self.last_hello = Some(now);
+            // Designated ports send config BPDUs; the root originates, any
+            // other bridge relays its root information.
+            let can_send = self.is_root_inner() || self.root_port().is_some();
+            if can_send {
+                for idx in 0..self.ports.len() {
+                    let p = &self.ports[idx];
+                    if p.link_up && p.role == PortRole::Designated && p.state != PortState::Disabled
+                    {
+                        let msg = self.config_bpdu_for(idx, now);
+                        self.ports[idx].ack_pending = false;
+                        out.bpdus.push((idx, msg));
+                    }
+                }
+            }
+            // Retransmit a pending TCN toward the root.
+            if self.tcn_pending {
+                if let Some(rp) = self.root_port() {
+                    out.bpdus.push((rp, bpdu::Repr::Tcn));
+                }
+            }
+        }
+
+        out.fast_age = self.topology_change_active(now);
+        out
+    }
+
+    fn is_root_inner(&self) -> bool {
+        self.best_root_vector().root == self.bridge_id
+    }
+
+    /// The best root vector visible to this bridge (own id as fallback).
+    fn best_root_vector(&self) -> PriorityVector {
+        let own = PriorityVector {
+            root: self.bridge_id,
+            root_path_cost: 0,
+            bridge: self.bridge_id,
+            port_id: 0,
+        };
+        self.ports
+            .iter()
+            .filter(|p| p.link_up)
+            .filter_map(|p| p.best.as_ref())
+            .map(|info| PriorityVector {
+                root: info.vector.root,
+                root_path_cost: info.vector.root_path_cost,
+                bridge: info.vector.bridge,
+                port_id: info.vector.port_id,
+            })
+            .chain(Some(own))
+            .min()
+            .expect("chain is never empty")
+    }
+
+    /// Root path cost through the chosen root port.
+    fn root_path_cost(&self) -> u32 {
+        match self.root_port_candidate() {
+            Some((idx, info)) => info.vector.root_path_cost + self.ports[idx].path_cost,
+            None => 0,
+        }
+    }
+
+    fn root_port_candidate(&self) -> Option<(PortIndex, StoredInfo)> {
+        let root = self.best_root_vector().root;
+        if root == self.bridge_id {
+            return None;
+        }
+        self.ports
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.link_up)
+            .filter_map(|(i, p)| p.best.map(|b| (i, b)))
+            .filter(|(_, b)| b.vector.root == root)
+            .min_by_key(|(i, b)| {
+                (
+                    b.vector.root_path_cost + self.ports[*i].path_cost,
+                    b.vector.bridge,
+                    b.vector.port_id,
+                    *i,
+                )
+            })
+    }
+
+    /// Recompute roles after any information change, adjusting states.
+    fn recompute(&mut self, now: Instant) {
+        if !self.enabled {
+            return;
+        }
+        let root_vec = self.best_root_vector();
+        let i_am_root = root_vec.root == self.bridge_id;
+        let root_port = self.root_port_candidate().map(|(i, _)| i);
+        let my_cost = self.root_path_cost();
+
+        for idx in 0..self.ports.len() {
+            let new_role = if i_am_root {
+                PortRole::Designated
+            } else if Some(idx) == root_port {
+                PortRole::Root
+            } else {
+                // Designated if our advertisement would beat what is heard
+                // on the segment.
+                let ours = PriorityVector {
+                    root: root_vec.root,
+                    root_path_cost: my_cost,
+                    bridge: self.bridge_id,
+                    port_id: port_identifier(idx),
+                };
+                match &self.ports[idx].best {
+                    Some(info) if info.vector < ours => PortRole::NonDesignated,
+                    _ => PortRole::Designated,
+                }
+            };
+
+            let port = &mut self.ports[idx];
+            if port.role != new_role {
+                port.role = new_role;
+                if port.link_up {
+                    port.state = match new_role {
+                        PortRole::NonDesignated => PortState::Blocking,
+                        // Root/Designated must earn forwarding through the
+                        // listening/learning delays, unless already there.
+                        _ if port.state == PortState::Forwarding => PortState::Forwarding,
+                        _ => PortState::Listening,
+                    };
+                    port.state_since = now;
+                }
+            } else if port.link_up
+                && new_role != PortRole::NonDesignated
+                && port.state == PortState::Blocking
+            {
+                port.state = PortState::Listening;
+                port.state_since = now;
+            }
+        }
+    }
+
+    fn notify_topology_change(&mut self, now: Instant, out: &mut StpOutput) {
+        if self.is_root_inner() {
+            self.tc_until = Some(now + self.timing.max_age + self.timing.forward_delay);
+        } else {
+            self.tcn_pending = true;
+            if let Some(rp) = self.root_port() {
+                out.bpdus.push((rp, bpdu::Repr::Tcn));
+            }
+        }
+    }
+
+    fn config_bpdu_for(&self, port: PortIndex, now: Instant) -> bpdu::Repr {
+        let root_vec = self.best_root_vector();
+        let message_age = if self.is_root_inner() {
+            0
+        } else {
+            self.root_port_candidate()
+                .map(|(_, b)| b.message_age.saturating_add(256))
+                .unwrap_or(256)
+        };
+        let tc = self.topology_change_active(now);
+        bpdu::Repr::Config {
+            tc,
+            tca: self.ports[port].ack_pending,
+            root: root_vec.root,
+            root_path_cost: self.root_path_cost(),
+            bridge: self.bridge_id,
+            port_id: port_identifier(port),
+            message_age,
+            max_age: (self.timing.max_age.as_secs().max(1) * 256) as u16,
+            hello_time: (self.timing.hello_time.as_secs().max(1) * 256) as u16,
+            forward_delay: (self.timing.forward_delay.as_secs().max(1) * 256) as u16,
+        }
+    }
+}
+
+/// 802.1D port identifier: default priority 0x80 in the high byte.
+fn port_identifier(port: PortIndex) -> u16 {
+    0x8000 | ((port as u16 + 1) & 0x0fff)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bid(prio: u16, last: u8) -> BridgeId {
+        BridgeId {
+            priority: prio,
+            mac: [2, 0, 0, 0, 0, last],
+        }
+    }
+
+    /// Drive two bridges joined port0↔port0, exchanging all BPDUs, until
+    /// `until`; step gives the simulated tick interval.
+    fn converge_pair(a: &mut Stp, b: &mut Stp, until: Instant, step: Duration) {
+        let mut now = Instant::EPOCH;
+        while now < until {
+            let out_a = a.tick(now);
+            let out_b = b.tick(now);
+            // Only port 0 is wired; hellos on port 1 fall on the floor.
+            for (port, msg) in out_a.bpdus {
+                if port == 0 {
+                    b.on_bpdu(0, &msg, now);
+                }
+            }
+            for (port, msg) in out_b.bpdus {
+                if port == 0 {
+                    a.on_bpdu(0, &msg, now);
+                }
+            }
+            now += step;
+        }
+    }
+
+    #[test]
+    fn lower_bridge_id_wins_root_election() {
+        let t = Timing::fast();
+        let mut a = Stp::new(bid(0x1000, 1), 2, t, Instant::EPOCH);
+        let mut b = Stp::new(bid(0x8000, 2), 2, t, Instant::EPOCH);
+        converge_pair(
+            &mut a,
+            &mut b,
+            Instant::EPOCH + Duration::from_secs(2),
+            Duration::from_millis(10),
+        );
+        assert!(a.is_root());
+        assert!(!b.is_root());
+        assert_eq!(b.root_id(), bid(0x1000, 1));
+        assert_eq!(b.root_port(), Some(0));
+    }
+
+    #[test]
+    fn both_sides_eventually_forward_on_point_to_point() {
+        let t = Timing::fast();
+        let mut a = Stp::new(bid(0x1000, 1), 2, t, Instant::EPOCH);
+        let mut b = Stp::new(bid(0x8000, 2), 2, t, Instant::EPOCH);
+        converge_pair(
+            &mut a,
+            &mut b,
+            Instant::EPOCH + Duration::from_secs(2),
+            Duration::from_millis(10),
+        );
+        assert_eq!(a.port_state(0), PortState::Forwarding);
+        assert_eq!(b.port_state(0), PortState::Forwarding);
+    }
+
+    /// Three bridges in a triangle: exactly one port ends up blocked.
+    #[test]
+    fn triangle_blocks_exactly_one_port() {
+        let t = Timing::fast();
+        // Port wiring: a.0–b.0, b.1–c.1, c.0–a.1
+        let mut bridges = [
+            Stp::new(bid(0x1000, 1), 2, t, Instant::EPOCH),
+            Stp::new(bid(0x2000, 2), 2, t, Instant::EPOCH),
+            Stp::new(bid(0x3000, 3), 2, t, Instant::EPOCH),
+        ];
+        let wires: [((usize, usize), (usize, usize)); 3] =
+            [((0, 0), (1, 0)), ((1, 1), (2, 1)), ((2, 0), (0, 1))];
+        let mut now = Instant::EPOCH;
+        let until = Instant::EPOCH + Duration::from_secs(3);
+        while now < until {
+            let mut inflight: Vec<(usize, usize, bpdu::Repr)> = Vec::new();
+            for (i, bridge) in bridges.iter_mut().enumerate() {
+                for (port, msg) in bridge.tick(now).bpdus {
+                    for ((d1, p1), (d2, p2)) in wires {
+                        if (d1, p1) == (i, port) {
+                            inflight.push((d2, p2, msg));
+                        } else if (d2, p2) == (i, port) {
+                            inflight.push((d1, p1, msg));
+                        }
+                    }
+                }
+            }
+            for (dev, port, msg) in inflight {
+                bridges[dev].on_bpdu(port, &msg, now);
+            }
+            now += Duration::from_millis(10);
+        }
+        assert!(bridges[0].is_root());
+        let mut blocked = 0;
+        let mut forwarding = 0;
+        for bridge in &bridges {
+            for p in 0..2 {
+                match bridge.port_state(p) {
+                    PortState::Blocking => blocked += 1,
+                    PortState::Forwarding => forwarding += 1,
+                    s => panic!("unsettled state {s:?}"),
+                }
+            }
+        }
+        assert_eq!(blocked, 1, "a ring must block exactly one port");
+        assert_eq!(forwarding, 5);
+    }
+
+    #[test]
+    fn root_failure_triggers_reconvergence() {
+        let t = Timing::fast();
+        let mut a = Stp::new(bid(0x1000, 1), 2, t, Instant::EPOCH);
+        let mut b = Stp::new(bid(0x8000, 2), 2, t, Instant::EPOCH);
+        converge_pair(
+            &mut a,
+            &mut b,
+            Instant::EPOCH + Duration::from_secs(2),
+            Duration::from_millis(10),
+        );
+        assert!(!b.is_root());
+        // Root goes silent; b's stored info must age out within max_age
+        // and b must claim root.
+        let mut now = Instant::EPOCH + Duration::from_secs(2);
+        let until = now + Duration::from_secs(1);
+        while now < until {
+            b.tick(now);
+            now += Duration::from_millis(10);
+        }
+        assert!(b.is_root(), "surviving bridge should elect itself root");
+    }
+
+    #[test]
+    fn disabling_stp_forwards_everything() {
+        let mut s = Stp::new(bid(0x8000, 1), 3, Timing::fast(), Instant::EPOCH);
+        assert_eq!(s.port_state(0), PortState::Listening);
+        s.set_enabled(false, Instant::EPOCH);
+        for p in 0..3 {
+            assert_eq!(s.port_state(p), PortState::Forwarding);
+        }
+    }
+
+    #[test]
+    fn link_down_disables_port() {
+        let mut s = Stp::new(bid(0x8000, 1), 2, Timing::fast(), Instant::EPOCH);
+        s.set_link(0, false, Instant::EPOCH);
+        assert_eq!(s.port_state(0), PortState::Disabled);
+        s.set_link(0, true, Instant::EPOCH + Duration::from_millis(1));
+        // The port re-enters the tree; as (believed) root our ports go
+        // straight to listening and must re-earn forwarding.
+        assert_eq!(s.port_state(0), PortState::Listening);
+    }
+
+    #[test]
+    fn isolated_bridge_believes_it_is_root_and_forwards() {
+        let t = Timing::fast();
+        let mut s = Stp::new(bid(0x8000, 9), 2, t, Instant::EPOCH);
+        let mut now = Instant::EPOCH;
+        while now < Instant::EPOCH + Duration::from_secs(1) {
+            s.tick(now);
+            now += Duration::from_millis(10);
+        }
+        assert!(s.is_root());
+        assert_eq!(s.port_state(0), PortState::Forwarding);
+        assert_eq!(s.port_state(1), PortState::Forwarding);
+    }
+
+    #[test]
+    fn topology_change_sets_fast_age() {
+        let t = Timing::fast();
+        let mut a = Stp::new(bid(0x1000, 1), 2, t, Instant::EPOCH);
+        let mut b = Stp::new(bid(0x8000, 2), 2, t, Instant::EPOCH);
+        converge_pair(
+            &mut a,
+            &mut b,
+            Instant::EPOCH + Duration::from_secs(2),
+            Duration::from_millis(10),
+        );
+        // Take b's second (forwarding, designated) port down: b sends TCN.
+        let now = Instant::EPOCH + Duration::from_secs(2);
+        let out = b.set_link(1, false, now);
+        let tcns: Vec<_> = out
+            .bpdus
+            .iter()
+            .filter(|(_, m)| matches!(m, bpdu::Repr::Tcn))
+            .collect();
+        assert_eq!(tcns.len(), 1, "TCN must go out the root port");
+        // Root receives it and begins TC propagation.
+        let (port, msg) = &out.bpdus[0];
+        assert_eq!(*port, 0);
+        a.on_bpdu(0, msg, now);
+        assert!(a.topology_change_active(now + Duration::from_millis(1)));
+    }
+}

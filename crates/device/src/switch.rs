@@ -1,0 +1,1457 @@
+//! The L2 switch model (Catalyst-6500 class when carrying an FWSM).
+//!
+//! A [`Switch`] is a VLAN-aware learning bridge running 802.1D spanning
+//! tree, with an optional [`Fwsm`] transparently bridging one VLAN pair.
+//! Frames are stored untagged internally, with the ingress VLAN resolved
+//! from the port mode (access VLAN, or 802.1Q tag / native VLAN on
+//! trunks) and re-tagged on egress as each port requires — so tagged
+//! frames crossing an RNL virtual wire stay bit-faithful end to end.
+//!
+//! The FWSM hook treats the module exactly like the real transparent
+//! firewall: frames (and, when permitted, BPDUs) arriving in one half of
+//! the bridged pair are re-flooded into the other half after the module's
+//! verdict. Because the switch's own spanning tree only discovers the
+//! module path through BPDUs that cross it, blocking BPDU forwarding
+//! hides redundant module paths from STP — the exact misconfiguration
+//! the paper's Fig. 5 lab exists to catch, observable here as a broadcast
+//! storm once both modules bridge at once.
+
+use rnl_net::addr::{EtherType, MacAddr};
+use rnl_net::bpdu::BridgeId;
+use rnl_net::build::{self, Classified, L4};
+use rnl_net::ethernet::Frame;
+use rnl_net::time::Instant;
+use rnl_net::{fhp, vlan};
+
+use crate::acl::Acl;
+use crate::cli::{self, Mode};
+use crate::device::{Device, DeviceError, Emission, LinkState, PortIndex};
+use crate::firmware::{Firmware, Registry};
+use crate::fwsm::Fwsm;
+use crate::mac_table::MacTable;
+use crate::stp::{Stp, Timing};
+
+/// How a port treats VLAN tags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PortMode {
+    /// Untagged member of one VLAN.
+    Access(u16),
+    /// Carries all VLANs; `native` travels untagged.
+    Trunk { native: u16 },
+}
+
+#[derive(Debug)]
+struct SwitchPort {
+    mode: PortMode,
+    link: LinkState,
+    /// `no shutdown` state.
+    enabled: bool,
+}
+
+impl SwitchPort {
+    fn usable(&self) -> bool {
+        self.link == LinkState::Up && self.enabled
+    }
+
+    /// Whether frames of `vlan` may use this port, and if so whether they
+    /// egress tagged.
+    fn carries(&self, vlan: u16) -> Option<bool> {
+        match self.mode {
+            PortMode::Access(v) if v == vlan => Some(false),
+            PortMode::Access(_) => None,
+            PortMode::Trunk { native } => Some(vlan != native),
+        }
+    }
+}
+
+/// Forwarding counters, for `show interfaces counters` and the storm
+/// detector in tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SwitchStats {
+    pub rx_frames: u64,
+    pub tx_frames: u64,
+    pub flooded: u64,
+    pub dropped: u64,
+}
+
+/// A VLAN-aware learning bridge with spanning tree and an optional FWSM.
+pub struct Switch {
+    hostname: String,
+    /// Hostname the chassis reverts to on a cold boot without a saved
+    /// startup configuration.
+    factory_hostname: String,
+    model: String,
+    device_num: u32,
+    powered: bool,
+    ports: Vec<SwitchPort>,
+    mac_table: MacTable,
+    /// One spanning-tree instance per VLAN (PVST), keyed by VLAN id.
+    /// Instances are created lazily as VLANs appear on ports or in
+    /// received BPDUs; a port participates in an instance only while it
+    /// carries that VLAN.
+    stps: std::collections::BTreeMap<u16, Stp>,
+    stp_timing: Timing,
+    stp_priority: u16,
+    stp_enabled_configured: bool,
+    fwsm: Option<Fwsm>,
+    acls: std::collections::BTreeMap<u16, Acl>,
+    /// ACL id bound to the FWSM outside interface (kept for config dump).
+    fwsm_acl_id: Option<u16>,
+    registry: Registry,
+    firmware: Firmware,
+    mode: Mode,
+    startup_config: Option<String>,
+    stats: SwitchStats,
+}
+
+impl Switch {
+    /// Create a powered-on switch with `num_ports` ports, all access
+    /// VLAN 1, links up.
+    pub fn new(hostname: &str, device_num: u32, num_ports: usize, now: Instant) -> Switch {
+        Switch::with_timing(hostname, device_num, num_ports, Timing::default(), now)
+    }
+
+    /// Create with custom STP timing (tests use [`Timing::fast`]).
+    pub fn with_timing(
+        hostname: &str,
+        device_num: u32,
+        num_ports: usize,
+        timing: Timing,
+        now: Instant,
+    ) -> Switch {
+        let registry = Registry::catalyst6500();
+        let firmware = registry.default_image().clone();
+        let stp_priority = 0x8000;
+        let stp_enabled = firmware.quirks.stp_enabled_by_default;
+        let mut sw = Switch {
+            hostname: hostname.to_string(),
+            factory_hostname: hostname.to_string(),
+            model: "Catalyst 6500".to_string(),
+            device_num,
+            powered: true,
+            ports: (0..num_ports)
+                .map(|_| SwitchPort {
+                    mode: PortMode::Access(1),
+                    link: LinkState::Up,
+                    enabled: true,
+                })
+                .collect(),
+            mac_table: MacTable::new(),
+            stps: std::collections::BTreeMap::new(),
+            stp_timing: timing,
+            stp_priority,
+            stp_enabled_configured: stp_enabled,
+            fwsm: None,
+            acls: std::collections::BTreeMap::new(),
+            fwsm_acl_id: None,
+            registry,
+            firmware,
+            mode: Mode::default(),
+            startup_config: None,
+            stats: SwitchStats::default(),
+        };
+        sw.ensure_stp(1, now);
+        sw
+    }
+
+    /// Install a firewall service module (one per chassis).
+    pub fn install_fwsm(&mut self, unit_id: u32, priority: u8) {
+        self.fwsm = Some(Fwsm::new(unit_id, priority));
+    }
+
+    /// Configure the module's bridged VLAN pair and sync the spanning-
+    /// tree bridge legs (the programmatic form of `firewall vlan-pair`).
+    pub fn set_fwsm_vlan_pair(&mut self, inside: u16, outside: u16, now: Instant) {
+        if let Some(fwsm) = self.fwsm.as_mut() {
+            fwsm.set_vlan_pair(inside, outside);
+        }
+        self.resync_legs(now);
+    }
+
+    /// Access the module, if installed.
+    pub fn fwsm(&self) -> Option<&Fwsm> {
+        self.fwsm.as_ref()
+    }
+
+    /// Mutable access to the module, for programmatic configuration.
+    pub fn fwsm_mut(&mut self) -> Option<&mut Fwsm> {
+        self.fwsm.as_mut()
+    }
+
+    /// Forwarding counters.
+    pub fn stats(&self) -> SwitchStats {
+        self.stats
+    }
+
+    /// The VLAN-1 spanning-tree instance (read access for assertions on
+    /// default-VLAN labs).
+    pub fn stp(&self) -> &Stp {
+        self.stps.get(&1).expect("VLAN 1 instance always exists")
+    }
+
+    /// The spanning-tree instance of a specific VLAN, if one has been
+    /// instantiated.
+    pub fn stp_for_vlan(&self, vlan: u16) -> Option<&Stp> {
+        self.stps.get(&vlan)
+    }
+
+    /// Programmatically enable/disable spanning tree on every VLAN (the
+    /// CLI equivalent is `[no] spanning-tree`). Disabling is how test
+    /// labs reproduce unprotected L2 loops.
+    pub fn set_stp_enabled(&mut self, enabled: bool, now: Instant) {
+        self.stp_enabled_configured = enabled;
+        for stp in self.stps.values_mut() {
+            stp.set_enabled(enabled, now);
+        }
+    }
+
+    /// Get or create the spanning-tree instance for a VLAN, with port
+    /// membership synced to the current port modes.
+    /// Index of the internal FWSM bridge-leg port within each VLAN's
+    /// spanning-tree instance. The transparent firewall module is a
+    /// bridge in its own right: each bridged VLAN's tree gets one port
+    /// facing the module, so redundant module paths are visible to STP
+    /// exactly when BPDUs may cross (the Fig. 5 configuration knob).
+    fn leg_index(&self) -> PortIndex {
+        self.ports.len()
+    }
+
+    fn vlan_in_fwsm_pair(&self, vlan: u16) -> bool {
+        matches!(
+            self.fwsm.as_ref().and_then(|f| f.vlan_pair()),
+            Some((i, o)) if vlan == i || vlan == o
+        )
+    }
+
+    fn ensure_stp(&mut self, vlan: u16, now: Instant) -> &mut Stp {
+        if !self.stps.contains_key(&vlan) {
+            let mut stp = Stp::new(
+                BridgeId {
+                    priority: self.stp_priority,
+                    mac: MacAddr::derived(self.device_num, vlan).0,
+                },
+                self.ports.len() + 1, // +1: the FWSM leg slot
+                self.stp_timing,
+                now,
+            );
+            stp.set_enabled(self.stp_enabled_configured, now);
+            for idx in 0..self.ports.len() {
+                let member = self.ports[idx].carries(vlan).is_some() && self.ports[idx].usable();
+                stp.set_link(idx, member, now);
+            }
+            let leg_member = self.vlan_in_fwsm_pair(vlan);
+            let leg = self.ports.len();
+            stp.set_link(leg, leg_member, now);
+            self.stps.insert(vlan, stp);
+        }
+        self.stps.get_mut(&vlan).expect("just ensured")
+    }
+
+    /// Re-sync the FWSM leg membership of every instance after the
+    /// bridged pair changes.
+    fn resync_legs(&mut self, now: Instant) {
+        let leg = self.leg_index();
+        let vlans: Vec<u16> = self.stps.keys().copied().collect();
+        for vlan in vlans {
+            let member = self.vlan_in_fwsm_pair(vlan);
+            self.stps
+                .get_mut(&vlan)
+                .expect("listed")
+                .set_link(leg, member, now);
+        }
+        // The pair's VLANs need instances even before any port carries
+        // them.
+        if let Some((i, o)) = self.fwsm.as_ref().and_then(|f| f.vlan_pair()) {
+            self.ensure_stp(i, now);
+            self.ensure_stp(o, now);
+        }
+    }
+
+    /// Whether the FWSM leg of `vlan`'s instance is forwarding (true
+    /// when the VLAN runs no spanning tree).
+    fn leg_forwards(&self, vlan: u16) -> bool {
+        match self.stps.get(&vlan) {
+            Some(stp) if stp.enabled() => stp.port_state(self.ports.len()).forwards(),
+            _ => true,
+        }
+    }
+
+    /// Re-sync one port's membership across all instances after a mode,
+    /// shutdown or link change, and make sure its own VLAN has an
+    /// instance.
+    fn resync_port(&mut self, port: PortIndex, now: Instant) {
+        let usable = self.ports[port].usable();
+        let vlans: Vec<u16> = self.stps.keys().copied().collect();
+        for vlan in vlans {
+            let member = self.ports[port].carries(vlan).is_some() && usable;
+            self.stps
+                .get_mut(&vlan)
+                .expect("listed")
+                .set_link(port, member, now);
+        }
+        let own = match self.ports[port].mode {
+            PortMode::Access(v) => v,
+            PortMode::Trunk { native } => native,
+        };
+        self.ensure_stp(own, now);
+        if !usable {
+            self.mac_table.flush_port(port);
+        }
+    }
+
+    /// Whether data of `vlan` may be forwarded in/out of `port`. VLANs
+    /// with no spanning-tree instance are unprotected (PVST semantics).
+    fn port_forwards(&self, port: PortIndex, vlan: u16) -> bool {
+        match self.stps.get(&vlan) {
+            Some(stp) if stp.enabled() => stp.port_state(port).forwards(),
+            _ => true,
+        }
+    }
+
+    /// Whether source addresses of `vlan` may be learned on `port`.
+    fn port_learns(&self, port: PortIndex, vlan: u16) -> bool {
+        match self.stps.get(&vlan) {
+            Some(stp) if stp.enabled() => stp.port_state(port).learns(),
+            _ => true,
+        }
+    }
+
+    /// Configure a port's VLAN mode programmatically (the CLI equivalent
+    /// is `switchport …`). Spanning-tree membership follows the mode.
+    pub fn set_port_mode(&mut self, port: PortIndex, mode: PortMode) {
+        self.ports[port].mode = mode;
+        self.resync_port(port, Instant::EPOCH);
+    }
+
+    /// The bridge MAC used as STP bridge id and per-port BPDU source.
+    fn port_mac(&self, port: PortIndex) -> MacAddr {
+        MacAddr::derived(self.device_num, port as u16)
+    }
+
+    /// Emit `frame` (untagged) into `vlan`, to every eligible port except
+    /// `exclude`, honoring spanning-tree state and retagging per port.
+    fn flood(
+        &mut self,
+        vlan: u16,
+        frame: &[u8],
+        exclude: Option<PortIndex>,
+        out: &mut Vec<Emission>,
+    ) {
+        for idx in 0..self.ports.len() {
+            if Some(idx) == exclude {
+                continue;
+            }
+            if !self.ports[idx].usable() || !self.port_forwards(idx, vlan) {
+                continue;
+            }
+            if let Some(tagged) = self.ports[idx].carries(vlan) {
+                out.push(Emission::new(idx, encapsulate(frame, vlan, tagged)));
+                self.stats.tx_frames += 1;
+            }
+        }
+        self.stats.flooded += 1;
+    }
+
+    /// Deliver `frame` (untagged) toward `dst` within `vlan`: unicast out
+    /// the learned port or flood.
+    fn deliver(
+        &mut self,
+        vlan: u16,
+        dst: MacAddr,
+        frame: &[u8],
+        exclude: Option<PortIndex>,
+        now: Instant,
+        out: &mut Vec<Emission>,
+    ) {
+        if dst.is_unicast() {
+            if let Some(port) = self.mac_table.lookup(vlan, dst, now) {
+                if Some(port) != exclude
+                    && self.ports[port].usable()
+                    && self.port_forwards(port, vlan)
+                {
+                    if let Some(tagged) = self.ports[port].carries(vlan) {
+                        out.push(Emission::new(port, encapsulate(frame, vlan, tagged)));
+                        self.stats.tx_frames += 1;
+                        return;
+                    }
+                }
+                // Learned port unusable: fall through to flood.
+            }
+        }
+        self.flood(vlan, frame, exclude, out);
+    }
+
+    /// Apply one VLAN instance's STP output bundle: emit (per-port
+    /// encapsulated) BPDUs, flush MACs, fast-age. BPDUs addressed to the
+    /// FWSM leg are returned for cross-delivery into the paired VLAN's
+    /// instance.
+    fn apply_stp_output(
+        &mut self,
+        vlan: u16,
+        output: crate::stp::StpOutput,
+        now: Instant,
+        out: &mut Vec<Emission>,
+    ) -> Vec<(u16, rnl_net::bpdu::Repr)> {
+        let leg = self.leg_index();
+        let mut crossings = Vec::new();
+        for (port, repr) in output.bpdus {
+            if port == leg {
+                crossings.push((vlan, repr));
+                continue;
+            }
+            if self.ports[port].usable() {
+                if let Some(tagged) = self.ports[port].carries(vlan) {
+                    let frame = build::bpdu_frame(self.port_mac(port), &repr);
+                    out.push(Emission::new(port, encapsulate(&frame, vlan, tagged)));
+                    self.stats.tx_frames += 1;
+                }
+            }
+        }
+        for (port, state) in output.state_changes {
+            if !state.forwards() {
+                self.mac_table.flush_port(port);
+            }
+        }
+        if output.fast_age {
+            self.mac_table
+                .set_fast_aging(now + self.stp_timing.max_age + self.stp_timing.forward_delay);
+        }
+        crossings
+    }
+
+    /// Deliver leg BPDUs through the FWSM into the paired VLAN's
+    /// instance, chasing any follow-up emissions (TCN acks) until the
+    /// exchange quiesces.
+    fn deliver_leg_bpdus(
+        &mut self,
+        mut queue: Vec<(u16, rnl_net::bpdu::Repr)>,
+        now: Instant,
+        out: &mut Vec<Emission>,
+    ) {
+        // Each BPDU crosses at most once per hop and acks do not chain,
+        // but cap the exchange defensively.
+        let mut budget = 64;
+        while let Some((from_vlan, repr)) = queue.pop() {
+            if budget == 0 {
+                break;
+            }
+            budget -= 1;
+            let Some(fwsm) = self.fwsm.as_mut() else {
+                continue;
+            };
+            let Some((paired, dir)) = fwsm.crossing(from_vlan) else {
+                continue;
+            };
+            // The module filters BPDUs on the wire between the legs.
+            if fwsm.decide(&Classified::Bpdu(repr), dir, now) != crate::fwsm::Verdict::Forward {
+                continue;
+            }
+            let leg = self.leg_index();
+            let output = self.ensure_stp(paired, now).on_bpdu(leg, &repr, now);
+            let more = self.apply_stp_output(paired, output, now, out);
+            queue.extend(more);
+        }
+    }
+
+    /// Run the FWSM crossing for a frame that arrived in `vlan`.
+    #[allow(clippy::too_many_arguments)]
+    fn fwsm_cross(
+        &mut self,
+        vlan: u16,
+        src: MacAddr,
+        dst: MacAddr,
+        frame: &[u8],
+        ingress: PortIndex,
+        class: &Classified,
+        now: Instant,
+        out: &mut Vec<Emission>,
+    ) {
+        let Some(fwsm) = self.fwsm.as_ref() else {
+            return;
+        };
+        let Some((paired, dir)) = fwsm.crossing(vlan) else {
+            return;
+        };
+        // Both bridge legs of the module wire must be forwarding — this
+        // is where spanning tree (when BPDUs may cross) breaks redundant
+        // module paths.
+        if !self.leg_forwards(vlan) || !self.leg_forwards(paired) {
+            self.stats.dropped += 1;
+            return;
+        }
+        let fwsm = self.fwsm.as_mut().expect("checked");
+        if fwsm.decide(class, dir, now) == crate::fwsm::Verdict::Forward {
+            // The module bridges: the station becomes reachable from the
+            // paired VLAN through this port.
+            self.mac_table.learn(paired, src, ingress, now);
+            self.deliver(paired, dst, frame, Some(ingress), now, out);
+        } else {
+            self.stats.dropped += 1;
+        }
+    }
+
+    /// Reset volatile state to factory defaults (used by power cycling).
+    fn cold_boot(&mut self, now: Instant) {
+        self.hostname = self.factory_hostname.clone();
+        let num_ports = self.ports.len();
+        self.ports = (0..num_ports)
+            .map(|_| SwitchPort {
+                mode: PortMode::Access(1),
+                link: LinkState::Up,
+                enabled: true,
+            })
+            .collect();
+        self.mac_table.flush();
+        self.stp_priority = 0x8000;
+        self.stp_enabled_configured = self.firmware.quirks.stp_enabled_by_default;
+        self.stps.clear();
+        self.ensure_stp(1, now);
+        let _ = num_ports;
+        let fwsm_identity = self.fwsm.as_ref().map(|f| (f.unit_id(), f.priority()));
+        self.fwsm = fwsm_identity.map(|(id, prio)| Fwsm::new(id, prio));
+        self.acls.clear();
+        self.fwsm_acl_id = None;
+        self.mode = Mode::default();
+        self.stats = SwitchStats::default();
+    }
+
+    /// Render the running configuration as replayable CLI text.
+    pub fn running_config(&self) -> String {
+        let mut cfg = String::new();
+        cfg.push_str("!\n");
+        cfg.push_str(&format!("hostname {}\n", self.hostname));
+        cfg.push_str("!\n");
+        if !self.stp_enabled_configured {
+            cfg.push_str("no spanning-tree\n");
+        } else if self.stp_priority != 0x8000 {
+            cfg.push_str(&format!("spanning-tree priority {}\n", self.stp_priority));
+        }
+        for (id, acl) in &self.acls {
+            for rule in acl.rules() {
+                cfg.push_str(&rule.to_cli(*id));
+                cfg.push('\n');
+            }
+        }
+        for (idx, port) in self.ports.iter().enumerate() {
+            cfg.push_str(&format!("interface Ethernet0/{idx}\n"));
+            match port.mode {
+                PortMode::Access(v) => {
+                    if v != 1 {
+                        cfg.push_str(&format!(" switchport access vlan {v}\n"));
+                    }
+                }
+                PortMode::Trunk { native } => {
+                    cfg.push_str(" switchport mode trunk\n");
+                    if native != 1 {
+                        cfg.push_str(&format!(" switchport trunk native vlan {native}\n"));
+                    }
+                }
+            }
+            if !port.enabled {
+                cfg.push_str(" shutdown\n");
+            }
+            cfg.push_str("!\n");
+        }
+        if let Some(fwsm) = &self.fwsm {
+            if let Some((inside, outside)) = fwsm.vlan_pair() {
+                cfg.push_str(&format!("firewall vlan-pair {inside} {outside}\n"));
+            }
+            if fwsm.bpdu_forward() {
+                cfg.push_str("firewall bpdu-forward\n");
+            }
+            if let Some(id) = self.fwsm_acl_id {
+                cfg.push_str(&format!("firewall acl-outside {id}\n"));
+            }
+            if let Some(v) = fwsm.failover_vlan() {
+                cfg.push_str(&format!("failover vlan {v}\n"));
+            }
+            if fwsm.priority() != 100 {
+                cfg.push_str(&format!("failover priority {}\n", fwsm.priority()));
+            }
+        }
+        cfg.push_str("end\n");
+        cfg
+    }
+
+    fn exec_show(&mut self, tokens: &[&str], _now: Instant) -> String {
+        match tokens.first() {
+            Some(t) if cli::kw(t, "running-config") => self.running_config(),
+            Some(t) if cli::kw(t, "version") => format!(
+                "{} Software, Version {}\n{} uptime is (simulated)\n",
+                self.model, self.firmware.version, self.hostname
+            ),
+            Some(t) if cli::kw(t, "spanning-tree") => {
+                let mut out = String::new();
+                if !self.stp_enabled_configured {
+                    out.push_str("Spanning tree is disabled\n");
+                    return out;
+                }
+                for (vlan, stp) in &self.stps {
+                    out.push_str(&format!("VLAN{vlan:04}\n"));
+                    out.push_str(&format!(
+                        "  Root ID priority {} address {}\n",
+                        stp.root_id().priority,
+                        MacAddr(stp.root_id().mac),
+                    ));
+                    out.push_str(&format!(
+                        "  Bridge ID priority {} (this bridge {})\n",
+                        stp.bridge_id().priority,
+                        if stp.is_root() {
+                            "is root"
+                        } else {
+                            "is not root"
+                        },
+                    ));
+                    for idx in 0..self.ports.len() {
+                        if !stp.link_up(idx) {
+                            continue;
+                        }
+                        out.push_str(&format!(
+                            "  Ethernet0/{idx}  {:?}  {:?}\n",
+                            stp.port_role(idx),
+                            stp.port_state(idx),
+                        ));
+                    }
+                }
+                out
+            }
+            Some(t) if cli::kw(t, "mac") => {
+                let mut rows: Vec<_> = self.mac_table.iter().collect();
+                rows.sort();
+                let mut out = String::from("Vlan  Mac Address        Port\n");
+                for (vlan, mac, port) in rows {
+                    out.push_str(&format!("{vlan:<5} {mac}  Ethernet0/{port}\n"));
+                }
+                out
+            }
+            Some(t) if cli::kw(t, "firewall") => match &self.fwsm {
+                Some(fwsm) => format!(
+                    "FWSM unit {} role {:?} priority {} bpdu-forward {} stats {:?}\n",
+                    fwsm.unit_id(),
+                    fwsm.role(),
+                    fwsm.priority(),
+                    fwsm.bpdu_forward(),
+                    fwsm.stats(),
+                ),
+                None => "% No firewall module installed\n".to_string(),
+            },
+            Some(t) if cli::kw(t, "interfaces") => {
+                let mut out = String::new();
+                for (idx, port) in self.ports.iter().enumerate() {
+                    out.push_str(&format!(
+                        "Ethernet0/{idx} is {}, {}\n",
+                        if port.link == LinkState::Up {
+                            "up"
+                        } else {
+                            "down"
+                        },
+                        if port.enabled {
+                            "enabled"
+                        } else {
+                            "administratively down"
+                        },
+                    ));
+                }
+                out
+            }
+            Some(t) if cli::kw(t, "flash") => {
+                let mut out = String::new();
+                for v in self.registry.versions() {
+                    out.push_str(&format!("{v}\n"));
+                }
+                out
+            }
+            _ => cli::invalid(),
+        }
+    }
+
+    fn exec_config(&mut self, tokens: &[&str], now: Instant) -> String {
+        match tokens.first() {
+            Some(t) if cli::kw(t, "hostname") => {
+                if let Some(name) = tokens.get(1) {
+                    self.hostname = name.to_string();
+                    String::new()
+                } else {
+                    cli::invalid()
+                }
+            }
+            Some(t) if cli::kw(t, "interface") => {
+                match tokens
+                    .get(1)
+                    .and_then(|name| parse_port_name(name, self.ports.len()))
+                {
+                    Some(port) => {
+                        self.mode = Mode::ConfigIf(port);
+                        String::new()
+                    }
+                    None => cli::invalid(),
+                }
+            }
+            Some(t) if cli::kw(t, "spanning-tree") => match tokens.get(1) {
+                Some(p) if cli::kw(p, "priority") => {
+                    match tokens.get(2).and_then(|v| v.parse().ok()) {
+                        Some(prio) => {
+                            self.stp_priority = prio;
+                            for stp in self.stps.values_mut() {
+                                stp.set_priority(prio, now);
+                            }
+                            String::new()
+                        }
+                        None => cli::invalid(),
+                    }
+                }
+                None => {
+                    self.set_stp_enabled(true, now);
+                    String::new()
+                }
+                _ => cli::invalid(),
+            },
+            Some(t) if cli::kw(t, "no") => match tokens.get(1) {
+                Some(s) if cli::kw(s, "spanning-tree") => {
+                    self.set_stp_enabled(false, now);
+                    String::new()
+                }
+                Some(s) if cli::kw(s, "firewall") => {
+                    if let (Some(f), Some(b)) = (self.fwsm.as_mut(), tokens.get(2)) {
+                        if cli::kw(b, "bpdu-forward") {
+                            f.set_bpdu_forward(false);
+                            return String::new();
+                        }
+                    }
+                    cli::invalid()
+                }
+                _ => cli::invalid(),
+            },
+            Some(t) if cli::kw(t, "access-list") => match cli::parse_access_list(&tokens[1..]) {
+                Some((id, rule)) => {
+                    let acl = self.acls.entry(id).or_default();
+                    if acl.len() >= self.firmware.quirks.max_acl_rules {
+                        return "% Access list is full on this image\n".to_string();
+                    }
+                    acl.push(rule);
+                    String::new()
+                }
+                None => cli::invalid(),
+            },
+            Some(t) if cli::kw(t, "firewall") => {
+                let Some(fwsm) = self.fwsm.as_mut() else {
+                    return "% No firewall module installed\n".to_string();
+                };
+                match tokens.get(1) {
+                    Some(s) if cli::kw(s, "vlan-pair") => {
+                        match (
+                            tokens.get(2).and_then(|v| v.parse().ok()),
+                            tokens.get(3).and_then(|v| v.parse().ok()),
+                        ) {
+                            (Some(i), Some(o)) => {
+                                fwsm.set_vlan_pair(i, o);
+                                self.resync_legs(now);
+                                String::new()
+                            }
+                            _ => cli::invalid(),
+                        }
+                    }
+                    Some(s) if cli::kw(s, "bpdu-forward") => {
+                        if !self.firmware.quirks.fwsm_bpdu_forward_supported {
+                            return "% BPDU forwarding not supported by this image\n".to_string();
+                        }
+                        fwsm.set_bpdu_forward(true);
+                        String::new()
+                    }
+                    Some(s) if cli::kw(s, "acl-outside") => {
+                        match tokens.get(2).and_then(|v| v.parse::<u16>().ok()) {
+                            Some(id) => match self.acls.get(&id) {
+                                Some(acl) => {
+                                    fwsm.set_outside_acl(acl.clone());
+                                    self.fwsm_acl_id = Some(id);
+                                    String::new()
+                                }
+                                None => "% Access list not defined\n".to_string(),
+                            },
+                            None => cli::invalid(),
+                        }
+                    }
+                    _ => cli::invalid(),
+                }
+            }
+            Some(t) if cli::kw(t, "failover") => {
+                let Some(fwsm) = self.fwsm.as_mut() else {
+                    return "% No firewall module installed\n".to_string();
+                };
+                match tokens.get(1) {
+                    Some(s) if cli::kw(s, "vlan") => {
+                        match tokens.get(2).and_then(|v| v.parse().ok()) {
+                            Some(v) => {
+                                fwsm.set_failover_vlan(v);
+                                String::new()
+                            }
+                            None => cli::invalid(),
+                        }
+                    }
+                    Some(s) if cli::kw(s, "priority") => {
+                        match tokens.get(2).and_then(|v| v.parse().ok()) {
+                            Some(p) => {
+                                fwsm.set_priority(p);
+                                String::new()
+                            }
+                            None => cli::invalid(),
+                        }
+                    }
+                    _ => cli::invalid(),
+                }
+            }
+            _ => cli::invalid(),
+        }
+    }
+
+    fn exec_config_if(&mut self, port: PortIndex, tokens: &[&str], now: Instant) -> String {
+        match tokens.first() {
+            Some(t) if cli::kw(t, "switchport") => match tokens.get(1) {
+                Some(s) if cli::kw(s, "access") => {
+                    match (tokens.get(2), tokens.get(3).and_then(|v| v.parse().ok())) {
+                        (Some(v), Some(vlan)) if cli::kw(v, "vlan") => {
+                            self.ports[port].mode = PortMode::Access(vlan);
+                            self.resync_port(port, now);
+                            String::new()
+                        }
+                        _ => cli::invalid(),
+                    }
+                }
+                Some(s) if cli::kw(s, "mode") => match tokens.get(2) {
+                    Some(m) if cli::kw(m, "trunk") => {
+                        self.ports[port].mode = PortMode::Trunk { native: 1 };
+                        self.resync_port(port, now);
+                        String::new()
+                    }
+                    Some(m) if cli::kw(m, "access") => {
+                        self.ports[port].mode = PortMode::Access(1);
+                        self.resync_port(port, now);
+                        String::new()
+                    }
+                    _ => cli::invalid(),
+                },
+                Some(s) if cli::kw(s, "trunk") => {
+                    match (
+                        tokens.get(2),
+                        tokens.get(3),
+                        tokens.get(4).and_then(|v| v.parse().ok()),
+                    ) {
+                        (Some(n), Some(v), Some(native))
+                            if cli::kw(n, "native") && cli::kw(v, "vlan") =>
+                        {
+                            self.ports[port].mode = PortMode::Trunk { native };
+                            self.resync_port(port, now);
+                            String::new()
+                        }
+                        _ => cli::invalid(),
+                    }
+                }
+                _ => cli::invalid(),
+            },
+            Some(t) if cli::kw(t, "shutdown") => {
+                self.ports[port].enabled = false;
+                self.resync_port(port, now);
+                String::new()
+            }
+            Some(t) if cli::kw(t, "no") => match tokens.get(1) {
+                Some(s) if cli::kw(s, "shutdown") => {
+                    self.ports[port].enabled = true;
+                    self.resync_port(port, now);
+                    String::new()
+                }
+                _ => cli::invalid(),
+            },
+            _ => cli::invalid(),
+        }
+    }
+}
+
+/// Parse `Ethernet0/N`, `e0/N`, etc.
+fn parse_port_name(name: &str, num_ports: usize) -> Option<PortIndex> {
+    let lower = name.to_ascii_lowercase();
+    let rest = lower
+        .strip_prefix("ethernet0/")
+        .or_else(|| lower.strip_prefix("e0/"))?;
+    let idx: usize = rest.parse().ok()?;
+    (idx < num_ports).then_some(idx)
+}
+
+/// Re-encapsulate an untagged frame for egress: add an 802.1Q tag when
+/// the port requires one.
+fn encapsulate(frame: &[u8], vlan: u16, tagged: bool) -> Vec<u8> {
+    if !tagged {
+        return frame.to_vec();
+    }
+    let view = Frame::new_unchecked(frame);
+    build::vlan_frame(
+        view.src_addr(),
+        view.dst_addr(),
+        vlan,
+        EtherType::from_u16(view.type_len()),
+        view.payload(),
+    )
+}
+
+/// Decapsulate an ingress frame: resolve its VLAN from the port mode and
+/// return the untagged inner frame. `None` means the frame is dropped
+/// (e.g. tagged frame on an access port).
+fn decapsulate(frame: &[u8], mode: PortMode) -> Option<(u16, Vec<u8>)> {
+    let view = Frame::new_checked(frame).ok()?;
+    let is_tagged = view.ethertype() == Some(EtherType::Vlan);
+    match (mode, is_tagged) {
+        (PortMode::Access(v), false) => Some((v, frame.to_vec())),
+        (PortMode::Access(_), true) => None,
+        (PortMode::Trunk { native }, false) => Some((native, frame.to_vec())),
+        (PortMode::Trunk { .. }, true) => {
+            let tag = vlan::Tag::new_checked(view.payload()).ok()?;
+            let repr = vlan::Repr::parse(&tag).ok()?;
+            let inner = build::ethernet_frame(
+                view.src_addr(),
+                view.dst_addr(),
+                repr.inner_ethertype,
+                tag.payload(),
+            );
+            Some((repr.vid, inner))
+        }
+    }
+}
+
+impl Device for Switch {
+    fn model(&self) -> &str {
+        &self.model
+    }
+
+    fn hostname(&self) -> &str {
+        &self.hostname
+    }
+
+    fn num_ports(&self) -> usize {
+        self.ports.len()
+    }
+
+    fn port_name(&self, port: PortIndex) -> String {
+        format!("Ethernet0/{port}")
+    }
+
+    fn powered(&self) -> bool {
+        self.powered
+    }
+
+    fn set_power(&mut self, on: bool, now: Instant) {
+        if on && !self.powered {
+            self.powered = true;
+            self.cold_boot(now);
+            if let Some(cfg) = self.startup_config.clone() {
+                self.apply_script(&cfg, now);
+            }
+        } else if !on {
+            self.powered = false;
+        }
+    }
+
+    fn link_state(&self, port: PortIndex) -> LinkState {
+        self.ports[port].link
+    }
+
+    fn set_link_state(&mut self, port: PortIndex, state: LinkState, now: Instant) {
+        self.ports[port].link = state;
+        // TCNs triggered by the change are emitted on the next tick.
+        self.resync_port(port, now);
+    }
+
+    fn on_frame(&mut self, port: PortIndex, frame: &[u8], now: Instant) -> Vec<Emission> {
+        let mut out = Vec::new();
+        if !self.powered || port >= self.ports.len() || !self.ports[port].usable() {
+            return out;
+        }
+        self.stats.rx_frames += 1;
+
+        let Some((vlan, untagged)) = decapsulate(frame, self.ports[port].mode) else {
+            self.stats.dropped += 1;
+            return out;
+        };
+        let Ok((eth, class)) = build::classify(&untagged) else {
+            self.stats.dropped += 1;
+            return out;
+        };
+
+        // Spanning-tree control traffic terminates here when STP runs:
+        // bridges never forward BPDUs; the FWSM wire is represented by
+        // the per-VLAN leg ports instead.
+        if let Classified::Bpdu(repr) = &class {
+            if self.stp_enabled_configured {
+                let output = self.ensure_stp(vlan, now).on_bpdu(port, repr, now);
+                let crossings = self.apply_stp_output(vlan, output, now, &mut out);
+                self.deliver_leg_bpdus(crossings, now, &mut out);
+                return out;
+            }
+            // STP disabled: BPDUs are just multicast data; fall through.
+        }
+
+        // Ports learn only in learning/forwarding states.
+        if self.port_learns(port, vlan) {
+            self.mac_table.learn(vlan, eth.src, port, now);
+        }
+        if !self.port_forwards(port, vlan) {
+            self.stats.dropped += 1;
+            return out;
+        }
+
+        // The failover VLAN taps hellos into the local module.
+        if let Some(fwsm) = self.fwsm.as_mut() {
+            if Some(vlan) == fwsm.failover_vlan() {
+                if let Classified::Ipv4 {
+                    l4:
+                        L4::Udp {
+                            dst_port, payload, ..
+                        },
+                    ..
+                } = &class
+                {
+                    if *dst_port == fhp::FHP_PORT {
+                        if let Ok(hello) = fhp::Hello::parse(payload) {
+                            fwsm.on_hello(&hello, now);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Normal bridging within the ingress VLAN.
+        self.deliver(vlan, eth.dst, &untagged, Some(port), now, &mut out);
+        // And across the firewall module, when configured.
+        self.fwsm_cross(
+            vlan, eth.src, eth.dst, &untagged, port, &class, now, &mut out,
+        );
+        out
+    }
+
+    fn tick(&mut self, now: Instant) -> Vec<Emission> {
+        let mut out = Vec::new();
+        if !self.powered {
+            return out;
+        }
+        self.mac_table.expire(now);
+        let vlans: Vec<u16> = self.stps.keys().copied().collect();
+        let mut crossings = Vec::new();
+        for vlan in vlans {
+            let output = self.stps.get_mut(&vlan).expect("listed").tick(now);
+            crossings.extend(self.apply_stp_output(vlan, output, now, &mut out));
+        }
+        self.deliver_leg_bpdus(crossings, now, &mut out);
+
+        // Failover hellos are flooded into the failover VLAN.
+        if let Some(fwsm) = self.fwsm.as_mut() {
+            if let Some(hello) = fwsm.tick(now) {
+                if let Some(fo_vlan) = fwsm.failover_vlan() {
+                    let frame =
+                        build::fhp_hello_frame(fwsm.failover_mac(), fwsm.failover_ip(), &hello);
+                    self.flood(fo_vlan, &frame, None, &mut out);
+                }
+            }
+        }
+        out
+    }
+
+    fn console(&mut self, line: &str, now: Instant) -> String {
+        if !self.powered {
+            return String::new();
+        }
+        let tokens = cli::tokenize(line);
+        let Some(first) = tokens.first() else {
+            return String::new();
+        };
+
+        // Mode-independent commands.
+        if cli::kw(first, "end") {
+            self.mode = Mode::Privileged;
+            return String::new();
+        }
+        if cli::kw(first, "exit") {
+            self.mode = match self.mode {
+                Mode::ConfigIf(_) => Mode::Config,
+                Mode::Config => Mode::Privileged,
+                _ => Mode::UserExec,
+            };
+            return String::new();
+        }
+
+        match self.mode {
+            Mode::UserExec => {
+                if cli::kw(first, "enable") {
+                    self.mode = Mode::Privileged;
+                    String::new()
+                } else if cli::kw(first, "show") {
+                    self.exec_show(&tokens[1..], now)
+                } else {
+                    cli::wrong_mode()
+                }
+            }
+            Mode::Privileged => {
+                if cli::kw(first, "configure") {
+                    self.mode = Mode::Config;
+                    String::new()
+                } else if cli::kw(first, "show") {
+                    self.exec_show(&tokens[1..], now)
+                } else if cli::kw(first, "write") || cli::kw(first, "copy") {
+                    self.startup_config = Some(self.running_config());
+                    "Building configuration...\n[OK]\n".to_string()
+                } else if cli::kw(first, "reload") {
+                    self.set_power(false, now);
+                    self.set_power(true, now);
+                    "Reloading...\n".to_string()
+                } else if cli::kw(first, "disable") {
+                    self.mode = Mode::UserExec;
+                    String::new()
+                } else {
+                    cli::invalid()
+                }
+            }
+            // Switches have no routing-protocol mode; treat it as global
+            // config (unreachable in practice).
+            Mode::Config | Mode::ConfigRouterRip => self.exec_config(&tokens, now),
+            Mode::ConfigIf(port) => {
+                // Allow falling back to global config commands.
+                let result = self.exec_config_if(port, &tokens, now);
+                if result == cli::invalid() {
+                    self.exec_config(&tokens, now)
+                } else {
+                    result
+                }
+            }
+        }
+    }
+
+    fn firmware(&self) -> String {
+        self.firmware.version.clone()
+    }
+
+    fn flash_firmware(&mut self, version: &str, now: Instant) -> Result<(), DeviceError> {
+        let image = self
+            .registry
+            .find(version)
+            .ok_or_else(|| DeviceError::UnknownFirmware(version.to_string()))?
+            .clone();
+        self.firmware = image;
+        // Flashing implies a reload; configuration is re-derived from
+        // startup config under the new image's defaults.
+        self.set_power(false, now);
+        self.set_power(true, now);
+        Ok(())
+    }
+}
+
+impl Switch {
+    /// Replay a configuration script through the console (from privileged
+    /// EXEC, entering config mode automatically).
+    pub fn apply_script(&mut self, script: &str, now: Instant) {
+        self.mode = Mode::Config;
+        for line in script.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('!') {
+                continue;
+            }
+            self.console(line, now);
+        }
+        self.mode = Mode::Privileged;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rnl_net::time::Duration;
+
+    fn t(ms: u64) -> Instant {
+        Instant::EPOCH + Duration::from_millis(ms)
+    }
+
+    /// A switch with STP disabled for plain bridging tests.
+    fn plain_switch(n: usize) -> Switch {
+        let mut sw = Switch::with_timing("sw1", 1, n, Timing::fast(), Instant::EPOCH);
+        sw.set_stp_enabled(false, Instant::EPOCH);
+        sw
+    }
+
+    const H1: MacAddr = MacAddr([2, 0, 0, 0, 0, 0x11]);
+    const H2: MacAddr = MacAddr([2, 0, 0, 0, 0, 0x22]);
+
+    fn data_frame(src: MacAddr, dst: MacAddr) -> Vec<u8> {
+        build::ethernet_frame(src, dst, EtherType::Other(0x1234), b"payload")
+    }
+
+    #[test]
+    fn unknown_unicast_floods_then_unicasts_after_learning() {
+        let mut sw = plain_switch(4);
+        // H1 on port 0 talks to H2 (unknown): flood to 1,2,3.
+        let out = sw.on_frame(0, &data_frame(H1, H2), t(0));
+        assert_eq!(out.len(), 3);
+        // H2 answers from port 2: unicast back to port 0 only.
+        let out = sw.on_frame(2, &data_frame(H2, H1), t(1));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].port, 0);
+        // Now H1→H2 is also unicast.
+        let out = sw.on_frame(0, &data_frame(H1, H2), t(2));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].port, 2);
+    }
+
+    #[test]
+    fn vlans_isolate_traffic() {
+        let mut sw = plain_switch(4);
+        sw.set_port_mode(0, PortMode::Access(10));
+        sw.set_port_mode(1, PortMode::Access(10));
+        sw.set_port_mode(2, PortMode::Access(20));
+        sw.set_port_mode(3, PortMode::Access(20));
+        let out = sw.on_frame(0, &data_frame(H1, MacAddr::BROADCAST), t(0));
+        let ports: Vec<_> = out.iter().map(|e| e.port).collect();
+        assert_eq!(ports, vec![1], "broadcast stays within VLAN 10");
+    }
+
+    #[test]
+    fn trunk_tags_non_native_vlans() {
+        let mut sw = plain_switch(3);
+        sw.set_port_mode(0, PortMode::Access(10));
+        sw.set_port_mode(1, PortMode::Trunk { native: 1 });
+        sw.set_port_mode(2, PortMode::Access(10));
+        let out = sw.on_frame(0, &data_frame(H1, MacAddr::BROADCAST), t(0));
+        assert_eq!(out.len(), 2);
+        let trunk_frame = out.iter().find(|e| e.port == 1).unwrap();
+        let view = Frame::new_checked(&trunk_frame.frame[..]).unwrap();
+        assert_eq!(view.ethertype(), Some(EtherType::Vlan));
+        let tag = vlan::Tag::new_checked(view.payload()).unwrap();
+        assert_eq!(tag.vid(), 10);
+        // The access copy is untagged.
+        let access_frame = out.iter().find(|e| e.port == 2).unwrap();
+        let view = Frame::new_checked(&access_frame.frame[..]).unwrap();
+        assert_ne!(view.ethertype(), Some(EtherType::Vlan));
+    }
+
+    #[test]
+    fn tagged_ingress_on_trunk_resolves_vlan() {
+        let mut sw = plain_switch(3);
+        sw.set_port_mode(0, PortMode::Trunk { native: 1 });
+        sw.set_port_mode(1, PortMode::Access(30));
+        sw.set_port_mode(2, PortMode::Access(31));
+        let inner = data_frame(H1, MacAddr::BROADCAST);
+        let inner_view = Frame::new_checked(&inner[..]).unwrap();
+        let tagged = build::vlan_frame(
+            H1,
+            MacAddr::BROADCAST,
+            30,
+            EtherType::Other(0x1234),
+            inner_view.payload(),
+        );
+        let out = sw.on_frame(0, &tagged, t(0));
+        let ports: Vec<_> = out.iter().map(|e| e.port).collect();
+        assert_eq!(
+            ports,
+            vec![1],
+            "vid 30 goes only to the vlan-30 access port"
+        );
+    }
+
+    #[test]
+    fn tagged_frame_on_access_port_dropped() {
+        let mut sw = plain_switch(2);
+        let tagged = build::vlan_frame(H1, H2, 10, EtherType::Other(0x1234), b"x");
+        let out = sw.on_frame(0, &tagged, t(0));
+        assert!(out.is_empty());
+        assert_eq!(sw.stats().dropped, 1);
+    }
+
+    #[test]
+    fn shutdown_port_neither_receives_nor_transmits() {
+        let mut sw = plain_switch(3);
+        sw.console("enable", t(0));
+        sw.console("configure terminal", t(0));
+        sw.console("interface Ethernet0/1", t(0));
+        sw.console("shutdown", t(0));
+        sw.console("end", t(0));
+        let out = sw.on_frame(0, &data_frame(H1, MacAddr::BROADCAST), t(1));
+        let ports: Vec<_> = out.iter().map(|e| e.port).collect();
+        assert_eq!(ports, vec![2]);
+        // Frames arriving on the shut port are dropped.
+        assert!(sw.on_frame(1, &data_frame(H2, H1), t(2)).is_empty());
+    }
+
+    #[test]
+    fn powered_off_switch_is_inert_and_reboot_restores_startup_config() {
+        let mut sw = plain_switch(2);
+        sw.console("enable", t(0));
+        sw.console("configure terminal", t(0));
+        sw.console("hostname lab-sw", t(0));
+        sw.console("interface e0/0", t(0));
+        sw.console("switchport access vlan 42", t(0));
+        sw.console("end", t(0));
+        sw.console("write memory", t(0));
+        // Change something without saving.
+        sw.console("configure terminal", t(0));
+        sw.console("hostname scratch", t(0));
+        sw.console("end", t(0));
+        assert_eq!(sw.hostname(), "scratch");
+
+        sw.set_power(false, t(1));
+        assert!(sw.on_frame(0, &data_frame(H1, H2), t(2)).is_empty());
+        assert_eq!(sw.console("show version", t(2)), "");
+
+        sw.set_power(true, t(3));
+        assert_eq!(sw.hostname(), "lab-sw", "startup config restored");
+        match sw.ports[0].mode {
+            PortMode::Access(v) => assert_eq!(v, 42),
+            _ => panic!("port mode lost"),
+        }
+    }
+
+    #[test]
+    fn running_config_roundtrip() {
+        let mut sw = Switch::with_timing("sw1", 1, 4, Timing::fast(), Instant::EPOCH);
+        sw.install_fwsm(1, 110);
+        sw.apply_script(
+            "hostname fig5-a\n\
+             spanning-tree priority 4096\n\
+             access-list 101 permit icmp any any\n\
+             interface Ethernet0/0\n switchport access vlan 20\n\
+             interface Ethernet0/1\n switchport access vlan 30\n\
+             interface Ethernet0/2\n switchport mode trunk\n\
+             interface Ethernet0/3\n shutdown\n\
+             firewall vlan-pair 20 30\n\
+             firewall bpdu-forward\n\
+             firewall acl-outside 101\n\
+             failover vlan 10\n\
+             failover priority 110\n",
+            t(0),
+        );
+        let dump = sw.running_config();
+        // Replay the dump into a fresh switch: configs must converge.
+        let mut sw2 = Switch::with_timing("sw2", 2, 4, Timing::fast(), Instant::EPOCH);
+        sw2.install_fwsm(2, 100);
+        sw2.apply_script(&dump, t(0));
+        assert_eq!(sw2.running_config(), dump);
+        assert_eq!(sw2.hostname(), "fig5-a");
+        assert!(sw2.fwsm().unwrap().bpdu_forward());
+        assert_eq!(sw2.fwsm().unwrap().vlan_pair(), Some((20, 30)));
+    }
+
+    #[test]
+    fn old_firmware_rejects_bpdu_forward() {
+        let mut sw = Switch::with_timing("sw1", 1, 2, Timing::fast(), Instant::EPOCH);
+        sw.install_fwsm(1, 100);
+        sw.flash_firmware("12.2(14)SXD", t(0)).unwrap();
+        sw.console("enable", t(1));
+        sw.console("configure terminal", t(1));
+        let reply = sw.console("firewall bpdu-forward", t(1));
+        assert!(reply.contains("not supported"), "got: {reply}");
+        assert!(!sw.fwsm().unwrap().bpdu_forward());
+        // The newer image accepts it.
+        sw.flash_firmware("12.2(33)SXI", t(2)).unwrap();
+        sw.install_fwsm(1, 100); // module survives reflash in the lab
+        sw.console("enable", t(3));
+        sw.console("configure terminal", t(3));
+        assert_eq!(sw.console("firewall bpdu-forward", t(3)), "");
+        assert!(sw.fwsm().unwrap().bpdu_forward());
+    }
+
+    #[test]
+    fn unknown_firmware_rejected() {
+        let mut sw = plain_switch(2);
+        assert_eq!(
+            sw.flash_firmware("9.9", t(0)),
+            Err(DeviceError::UnknownFirmware("9.9".to_string()))
+        );
+    }
+
+    #[test]
+    fn fwsm_bridges_vlan_pair_when_active() {
+        let mut sw = plain_switch(4);
+        sw.install_fwsm(1, 100);
+        sw.set_port_mode(0, PortMode::Access(20)); // inside
+        sw.set_port_mode(1, PortMode::Access(30)); // outside
+        sw.set_port_mode(2, PortMode::Access(30)); // outside
+        sw.fwsm_mut().unwrap().set_vlan_pair(20, 30);
+        // An inside ping crosses into VLAN 30 and floods its ports.
+        let frame = build::icmp_echo_request(
+            H1,
+            H2,
+            "10.1.0.5".parse().unwrap(),
+            "198.51.100.7".parse().unwrap(),
+            1,
+            1,
+            b"",
+            64,
+        );
+        let out = sw.on_frame(0, &frame, t(0));
+        let mut ports: Vec<_> = out.iter().map(|e| e.port).collect();
+        ports.sort_unstable();
+        assert_eq!(ports, vec![1, 2]);
+    }
+
+    #[test]
+    fn fwsm_blocks_unsolicited_outside_traffic() {
+        let mut sw = plain_switch(3);
+        sw.install_fwsm(1, 100);
+        sw.set_port_mode(0, PortMode::Access(20));
+        sw.set_port_mode(1, PortMode::Access(30));
+        sw.fwsm_mut().unwrap().set_vlan_pair(20, 30);
+        let probe = build::icmp_echo_request(
+            H2,
+            H1,
+            "198.51.100.7".parse().unwrap(),
+            "10.1.0.5".parse().unwrap(),
+            1,
+            1,
+            b"",
+            64,
+        );
+        let out = sw.on_frame(1, &probe, t(0));
+        assert!(
+            out.is_empty(),
+            "nothing in vlan 30, nothing crossed: {out:?}"
+        );
+        assert_eq!(sw.fwsm().unwrap().stats().dropped_acl, 1);
+    }
+
+    #[test]
+    fn show_commands_render() {
+        let mut sw = plain_switch(2);
+        sw.console("enable", t(0));
+        assert!(sw.console("show version", t(0)).contains("Catalyst 6500"));
+        assert!(sw.console("show spanning-tree", t(0)).contains("disabled"));
+        assert!(sw.console("show interfaces", t(0)).contains("Ethernet0/0"));
+        assert!(sw.console("show flash", t(0)).contains("12.2(18)SXF"));
+        assert!(sw.console("show bogus", t(0)).contains("Invalid"));
+    }
+
+    #[test]
+    fn stp_blocks_parallel_link_between_two_switches() {
+        // Two switches joined by TWO parallel wires: STP must block one
+        // end, leaving exactly one usable path (no storm).
+        let mut a = Switch::with_timing("a", 1, 3, Timing::fast(), Instant::EPOCH);
+        let mut b = Switch::with_timing("b", 2, 3, Timing::fast(), Instant::EPOCH);
+        // wires: a.0–b.0 and a.1–b.1
+        let mut now = Instant::EPOCH;
+        for _ in 0..300 {
+            let mut transfers: Vec<(u8, PortIndex, Vec<u8>)> = Vec::new();
+            for (tag, sw) in [(0u8, &mut a), (1u8, &mut b)] {
+                for e in sw.tick(now) {
+                    if e.port <= 1 {
+                        transfers.push((tag ^ 1, e.port, e.frame));
+                    }
+                }
+            }
+            while let Some((dev, port, frame)) = transfers.pop() {
+                let target = if dev == 0 { &mut a } else { &mut b };
+                for e in target.on_frame(port, &frame, now) {
+                    if e.port <= 1 {
+                        transfers.push((dev ^ 1, e.port, e.frame));
+                    }
+                }
+            }
+            now += Duration::from_millis(10);
+        }
+        let a_fwd = (0..2).filter(|&p| a.stp().port_state(p).forwards()).count();
+        let b_fwd = (0..2).filter(|&p| b.stp().port_state(p).forwards()).count();
+        // Root (lower bridge id) forwards both; the other blocks one.
+        assert_eq!(a_fwd + b_fwd, 3, "one of four wire-ends must block");
+    }
+}

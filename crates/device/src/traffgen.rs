@@ -1,0 +1,342 @@
+//! An IXIA-style traffic generator device.
+//!
+//! The paper's Fig. 6 discussion offers the user a choice: drive tests
+//! through the route server's software packet generation, "or the user
+//! could also hook up an IXIA traffic generator to port R1.1 and R2.1 to
+//! achieve the same goal." This device is that option: configured
+//! *streams* emit packets cloned from a template at a fixed rate, each
+//! differing only in an incrementing sequence number stamped into the
+//! payload — the cross-packet similarity §4's compression work exploits.
+//! Every frame arriving at a generator port is captured for inspection.
+
+use std::net::Ipv4Addr;
+
+use rnl_net::addr::MacAddr;
+use rnl_net::build;
+use rnl_net::time::{Duration, Instant};
+
+use crate::device::{Device, DeviceError, Emission, LinkState, PortIndex};
+
+/// Definition of one generated stream.
+#[derive(Debug, Clone)]
+pub struct StreamSpec {
+    /// Stream label for bookkeeping.
+    pub name: String,
+    /// Generator port the stream transmits on.
+    pub port: PortIndex,
+    /// Destination MAC of every frame.
+    pub dst_mac: MacAddr,
+    pub src_ip: Ipv4Addr,
+    pub dst_ip: Ipv4Addr,
+    pub src_port: u16,
+    pub dst_port: u16,
+    /// UDP payload size; the first 4 bytes carry the sequence number,
+    /// the rest is the template fill byte.
+    pub payload_len: usize,
+    /// Total packets to emit (`u64::MAX` ≈ unbounded).
+    pub count: u64,
+    /// Inter-packet gap.
+    pub interval: Duration,
+}
+
+#[derive(Debug)]
+struct StreamState {
+    spec: StreamSpec,
+    sent: u64,
+    next_at: Instant,
+}
+
+/// A captured frame with its arrival port and timestamp.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Capture {
+    pub port: PortIndex,
+    pub at: Instant,
+    pub frame: Vec<u8>,
+}
+
+/// The generator device.
+pub struct TrafficGen {
+    hostname: String,
+    device_num: u32,
+    powered: bool,
+    links: Vec<LinkState>,
+    streams: Vec<StreamState>,
+    captured: Vec<Capture>,
+    /// Cap on retained captures (old ones are discarded first).
+    capture_limit: usize,
+    tx_count: u64,
+    rx_count: u64,
+}
+
+impl TrafficGen {
+    /// A generator with `num_ports` ports.
+    pub fn new(hostname: &str, device_num: u32, num_ports: usize) -> TrafficGen {
+        TrafficGen {
+            hostname: hostname.to_string(),
+            device_num,
+            powered: true,
+            links: vec![LinkState::Up; num_ports],
+            streams: Vec::new(),
+            captured: Vec::new(),
+            capture_limit: 100_000,
+            tx_count: 0,
+            rx_count: 0,
+        }
+    }
+
+    /// The MAC used as the source of generated frames on `port`.
+    pub fn port_mac(&self, port: PortIndex) -> MacAddr {
+        MacAddr::derived(self.device_num, port as u16)
+    }
+
+    /// Install a stream; emission starts at the next tick.
+    pub fn add_stream(&mut self, spec: StreamSpec, now: Instant) {
+        self.streams.push(StreamState {
+            spec,
+            sent: 0,
+            next_at: now,
+        });
+    }
+
+    /// Remove all streams.
+    pub fn clear_streams(&mut self) {
+        self.streams.clear();
+    }
+
+    /// Frames captured so far.
+    pub fn captured(&self) -> &[Capture] {
+        &self.captured
+    }
+
+    /// Total packets transmitted / received.
+    pub fn counters(&self) -> (u64, u64) {
+        (self.tx_count, self.rx_count)
+    }
+
+    /// Drop the capture buffer.
+    pub fn clear_captured(&mut self) {
+        self.captured.clear();
+    }
+
+    /// Build the `seq`-th frame of a stream — exposed so the compression
+    /// experiment can generate identical template traffic without a
+    /// device instance.
+    pub fn frame_for(spec: &StreamSpec, src_mac: MacAddr, seq: u64) -> Vec<u8> {
+        let mut payload = vec![0xa5u8; spec.payload_len.max(4)];
+        payload[0..4].copy_from_slice(&(seq as u32).to_be_bytes());
+        build::udp_frame(
+            src_mac,
+            spec.dst_mac,
+            spec.src_ip,
+            spec.dst_ip,
+            spec.src_port,
+            spec.dst_port,
+            &payload,
+            64,
+        )
+    }
+}
+
+impl Device for TrafficGen {
+    fn model(&self) -> &str {
+        "IXIA Traffic Generator"
+    }
+
+    fn hostname(&self) -> &str {
+        &self.hostname
+    }
+
+    fn num_ports(&self) -> usize {
+        self.links.len()
+    }
+
+    fn port_name(&self, port: PortIndex) -> String {
+        format!("tx/rx {port}")
+    }
+
+    fn powered(&self) -> bool {
+        self.powered
+    }
+
+    fn set_power(&mut self, on: bool, _now: Instant) {
+        self.powered = on;
+        if !on {
+            self.streams.clear();
+            self.captured.clear();
+        }
+    }
+
+    fn link_state(&self, port: PortIndex) -> LinkState {
+        self.links[port]
+    }
+
+    fn set_link_state(&mut self, port: PortIndex, state: LinkState, _now: Instant) {
+        self.links[port] = state;
+    }
+
+    fn on_frame(&mut self, port: PortIndex, frame: &[u8], now: Instant) -> Vec<Emission> {
+        if !self.powered || port >= self.links.len() || self.links[port] != LinkState::Up {
+            return Vec::new();
+        }
+        self.rx_count += 1;
+        if self.captured.len() >= self.capture_limit {
+            self.captured.remove(0);
+        }
+        self.captured.push(Capture {
+            port,
+            at: now,
+            frame: frame.to_vec(),
+        });
+        Vec::new()
+    }
+
+    fn tick(&mut self, now: Instant) -> Vec<Emission> {
+        let mut out = Vec::new();
+        if !self.powered {
+            return out;
+        }
+        for state in &mut self.streams {
+            while state.sent < state.spec.count && now >= state.next_at {
+                let port = state.spec.port;
+                if self.links.get(port).copied() != Some(LinkState::Up) {
+                    break;
+                }
+                let frame = TrafficGen::frame_for(
+                    &state.spec,
+                    MacAddr::derived(self.device_num, port as u16),
+                    state.sent,
+                );
+                out.push(Emission::new(port, frame));
+                state.sent += 1;
+                state.next_at += state.spec.interval;
+                self.tx_count += 1;
+            }
+        }
+        out
+    }
+
+    fn console(&mut self, line: &str, _now: Instant) -> String {
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        match tokens.as_slice() {
+            ["show", "counters"] => {
+                format!(
+                    "tx {} rx {} captured {}\n",
+                    self.tx_count,
+                    self.rx_count,
+                    self.captured.len()
+                )
+            }
+            ["clear"] => {
+                self.captured.clear();
+                self.tx_count = 0;
+                self.rx_count = 0;
+                String::new()
+            }
+            _ => "commands: show counters | clear\n".to_string(),
+        }
+    }
+
+    fn firmware(&self) -> String {
+        "ixos-1.0".to_string()
+    }
+
+    fn flash_firmware(&mut self, version: &str, _now: Instant) -> Result<(), DeviceError> {
+        Err(DeviceError::UnknownFirmware(version.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> Instant {
+        Instant::EPOCH + Duration::from_millis(ms)
+    }
+
+    fn spec(count: u64, interval_ms: u64) -> StreamSpec {
+        StreamSpec {
+            name: "s0".to_string(),
+            port: 0,
+            dst_mac: MacAddr([2, 0, 0, 0, 0, 0x42]),
+            src_ip: "10.0.0.100".parse().unwrap(),
+            dst_ip: "10.0.1.100".parse().unwrap(),
+            src_port: 7000,
+            dst_port: 7001,
+            payload_len: 64,
+            count,
+            interval: Duration::from_millis(interval_ms),
+        }
+    }
+
+    #[test]
+    fn emits_at_configured_rate_until_count() {
+        let mut g = TrafficGen::new("gen", 90, 2);
+        g.add_stream(spec(3, 10), t(0));
+        assert_eq!(g.tick(t(0)).len(), 1);
+        assert_eq!(g.tick(t(5)).len(), 0);
+        assert_eq!(g.tick(t(10)).len(), 1);
+        // Catch-up: a late tick emits the remaining packet, then stops.
+        assert_eq!(g.tick(t(100)).len(), 1);
+        assert_eq!(g.tick(t(200)).len(), 0);
+        assert_eq!(g.counters().0, 3);
+    }
+
+    #[test]
+    fn frames_differ_only_in_sequence_number() {
+        let s = spec(10, 1);
+        let mac = MacAddr([2, 0, 0, 0, 0, 1]);
+        let f0 = TrafficGen::frame_for(&s, mac, 0);
+        let f1 = TrafficGen::frame_for(&s, mac, 1);
+        assert_eq!(f0.len(), f1.len());
+        let diff: Vec<usize> = (0..f0.len()).filter(|&i| f0[i] != f1[i]).collect();
+        // Differences: 4 payload sequence bytes + 2 UDP checksum bytes.
+        assert!(
+            diff.len() <= 6,
+            "template frames should be near-identical: {diff:?}"
+        );
+    }
+
+    #[test]
+    fn captures_received_frames() {
+        let mut g = TrafficGen::new("gen", 90, 1);
+        let frame = build::ethernet_frame(
+            MacAddr([2, 0, 0, 0, 0, 1]),
+            MacAddr([2, 0, 0, 0, 0, 2]),
+            rnl_net::addr::EtherType::Other(0xbeef),
+            b"x",
+        );
+        g.on_frame(0, &frame, t(5));
+        assert_eq!(g.captured().len(), 1);
+        assert_eq!(g.captured()[0].at, t(5));
+        assert_eq!(g.captured()[0].frame, frame);
+        assert_eq!(g.counters().1, 1);
+    }
+
+    #[test]
+    fn generated_frames_parse_as_udp() {
+        let s = spec(1, 1);
+        let frame = TrafficGen::frame_for(&s, MacAddr([2, 0, 0, 0, 0, 1]), 7);
+        match build::classify(&frame).unwrap().1 {
+            build::Classified::Ipv4 {
+                l4: build::L4::Udp {
+                    dst_port, payload, ..
+                },
+                ..
+            } => {
+                assert_eq!(dst_port, 7001);
+                assert_eq!(&payload[0..4], &7u32.to_be_bytes());
+            }
+            other => panic!("expected UDP, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn down_link_pauses_stream() {
+        let mut g = TrafficGen::new("gen", 90, 1);
+        g.add_stream(spec(5, 10), t(0));
+        g.set_link_state(0, LinkState::Down, t(0));
+        assert!(g.tick(t(0)).is_empty());
+        g.set_link_state(0, LinkState::Up, t(20));
+        assert!(!g.tick(t(20)).is_empty());
+    }
+}

@@ -1,0 +1,199 @@
+//! Property tests on the device simulators: structural invariants that
+//! must hold for arbitrary traffic and console input.
+
+use proptest::prelude::*;
+use rnl_device::device::Device;
+use rnl_device::host::Host;
+use rnl_device::router::Router;
+use rnl_device::stp::Timing;
+use rnl_device::switch::{PortMode, Switch};
+use rnl_net::addr::MacAddr;
+use rnl_net::build::{self, Classified, L4};
+use rnl_net::time::{Duration, Instant};
+
+fn arb_mac() -> impl Strategy<Value = MacAddr> {
+    any::<[u8; 6]>().prop_map(MacAddr)
+}
+
+/// A plausible-but-arbitrary Ethernet frame: random addresses, random
+/// EtherType, random payload.
+fn arb_frame() -> impl Strategy<Value = Vec<u8>> {
+    (
+        arb_mac(),
+        arb_mac(),
+        any::<u16>(),
+        proptest::collection::vec(any::<u8>(), 0..200),
+    )
+        .prop_map(|(src, dst, et, payload)| {
+            build::ethernet_frame(
+                src,
+                dst,
+                rnl_net::addr::EtherType::from_u16(et.max(0x600)),
+                &payload,
+            )
+        })
+}
+
+/// Raw bytes that may not even be a frame.
+fn arb_bytes() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(any::<u8>(), 0..256)
+}
+
+proptest! {
+    /// A switch never reflects a frame out its ingress port, and every
+    /// frame it emits is valid Ethernet.
+    #[test]
+    fn switch_never_reflects_and_emits_valid_frames(
+        frames in proptest::collection::vec((arb_frame(), 0usize..4), 1..24)
+    ) {
+        let mut sw = Switch::with_timing("sw", 1, 4, Timing::fast(), Instant::EPOCH);
+        sw.set_stp_enabled(false, Instant::EPOCH);
+        let mut now = Instant::EPOCH;
+        for (frame, port) in frames {
+            now += Duration::from_millis(1);
+            for e in sw.on_frame(port, &frame, now) {
+                prop_assert_ne!(e.port, port, "frame reflected out ingress");
+                prop_assert!(e.port < 4);
+                prop_assert!(build::classify(&e.frame).is_ok(), "emitted garbage");
+            }
+        }
+    }
+
+    /// Arbitrary bytes delivered to any device port never panic and
+    /// never produce emissions that fail to parse.
+    #[test]
+    fn devices_survive_arbitrary_bytes(
+        inputs in proptest::collection::vec((arb_bytes(), 0usize..4), 1..16)
+    ) {
+        let mut sw = Switch::with_timing("sw", 1, 4, Timing::fast(), Instant::EPOCH);
+        let mut r = Router::new("r", 2, 4);
+        r.set_interface_ip(0, "10.0.0.1/24".parse().unwrap());
+        let mut h = Host::new("h", 3);
+        h.set_ip("10.0.0.2/24".parse().unwrap());
+        let mut now = Instant::EPOCH;
+        for (bytes, port) in inputs {
+            now += Duration::from_millis(1);
+            for e in sw.on_frame(port, &bytes, now) {
+                prop_assert!(build::classify(&e.frame).is_ok());
+            }
+            for e in r.on_frame(port, &bytes, now) {
+                prop_assert!(build::classify(&e.frame).is_ok());
+            }
+            for e in h.on_frame(0, &bytes, now) {
+                prop_assert!(build::classify(&e.frame).is_ok());
+            }
+        }
+    }
+
+    /// Forwarded IPv4 always leaves a router with a strictly smaller TTL
+    /// and a valid checksum.
+    #[test]
+    fn router_decrements_ttl_on_forward(ttl in 2u8..255, payload in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let mut r = Router::new("r", 2, 2);
+        r.set_interface_ip(0, "10.0.0.1/24".parse().unwrap());
+        r.set_interface_ip(1, "10.0.1.1/24".parse().unwrap());
+        // Pre-resolve the next hop so forwarding happens immediately.
+        let dst_mac = MacAddr([2, 0, 0, 0, 0, 0x22]);
+        let arp_reply = {
+            let repr = rnl_net::arp::Repr {
+                operation: rnl_net::arp::Operation::Reply,
+                sender_mac: dst_mac,
+                sender_ip: "10.0.1.9".parse().unwrap(),
+                target_mac: r.interface_mac(1),
+                target_ip: "10.0.1.1".parse().unwrap(),
+            };
+            let mut body = vec![0u8; repr.buffer_len()];
+            repr.emit(&mut rnl_net::arp::Packet::new_unchecked(&mut body[..]));
+            build::ethernet_frame(dst_mac, r.interface_mac(1), rnl_net::addr::EtherType::Arp, &body)
+        };
+        r.on_frame(1, &arp_reply, Instant::EPOCH);
+
+        let frame = build::udp_frame(
+            MacAddr([2, 0, 0, 0, 0, 0x11]),
+            r.interface_mac(0),
+            "10.0.0.5".parse().unwrap(),
+            "10.0.1.9".parse().unwrap(),
+            1000,
+            2000,
+            &payload,
+            ttl,
+        );
+        let out = r.on_frame(0, &frame, Instant::EPOCH + Duration::from_millis(1));
+        prop_assert_eq!(out.len(), 1);
+        match build::classify(&out[0].frame).unwrap().1 {
+            Classified::Ipv4 { header, l4: L4::Udp { .. } } => {
+                prop_assert_eq!(header.ttl, ttl - 1);
+            }
+            other => prop_assert!(false, "expected forwarded UDP, got {other:?}"),
+        }
+    }
+
+    /// Console lines of arbitrary printable text never panic any device
+    /// and leave it able to answer `show version`-class queries.
+    #[test]
+    fn consoles_survive_fuzzed_input(lines in proptest::collection::vec("[ -~]{0,60}", 1..24)) {
+        let mut sw = Switch::with_timing("sw", 1, 2, Timing::fast(), Instant::EPOCH);
+        sw.install_fwsm(1, 100);
+        let mut r = Router::new("r", 2, 2);
+        let mut h = Host::new("h", 3);
+        let now = Instant::EPOCH;
+        for line in &lines {
+            let _ = sw.console(line, now);
+            let _ = r.console(line, now);
+            let _ = h.console(line, now);
+        }
+        // The devices still respond coherently afterwards.
+        sw.console("end", now);
+        prop_assert!(sw.console("show version", now).contains("Catalyst")
+            || !sw.console("show version", now).contains("Command not available"));
+        r.console("end", now);
+        let v = r.console("show version", now);
+        prop_assert!(v.contains("7200") || v.contains("Invalid") || v.contains("Command"));
+    }
+
+    /// Switch config dump → replay → dump is a fixed point for random
+    /// port configurations.
+    #[test]
+    fn switch_config_dump_is_replayable(
+        modes in proptest::collection::vec(
+            prop_oneof![
+                (1u16..100).prop_map(PortMode::Access),
+                (1u16..100).prop_map(|native| PortMode::Trunk { native }),
+            ],
+            4,
+        ),
+        prio in (0u16..0xf000),
+    ) {
+        let mut sw = Switch::with_timing("sw", 1, 4, Timing::fast(), Instant::EPOCH);
+        for (i, mode) in modes.iter().enumerate() {
+            sw.set_port_mode(i, *mode);
+        }
+        sw.console("enable", Instant::EPOCH);
+        sw.console("configure terminal", Instant::EPOCH);
+        sw.console(&format!("spanning-tree priority {prio}"), Instant::EPOCH);
+        sw.console("end", Instant::EPOCH);
+        let dump = sw.running_config();
+
+        let mut sw2 = Switch::with_timing("sw2", 2, 4, Timing::fast(), Instant::EPOCH);
+        sw2.apply_script(&dump, Instant::EPOCH);
+        prop_assert_eq!(sw2.running_config(), dump);
+    }
+
+    /// Router config dump → replay → dump likewise.
+    #[test]
+    fn router_config_dump_is_replayable(
+        ips in proptest::collection::vec(proptest::option::of((1u8..224, 0u8..255, 1u8..255, 8u8..31)), 3),
+    ) {
+        let mut r = Router::new("r", 7, 3);
+        for (i, ip) in ips.iter().enumerate() {
+            if let Some((a, b, c, len)) = ip {
+                let cidr = format!("{a}.{b}.{c}.1/{len}");
+                r.set_interface_ip(i, cidr.parse().unwrap());
+            }
+        }
+        let dump = r.running_config();
+        let mut r2 = Router::new("rx", 8, 3);
+        r2.apply_script(&dump, Instant::EPOCH);
+        prop_assert_eq!(r2.running_config(), dump);
+    }
+}

@@ -1,0 +1,258 @@
+//! # rnl-l1switch — a programmable layer-1 cross-connect
+//!
+//! The §4/Fig. 7 performance-testing aid: "For equipment located at the
+//! same physical location, we can add a layer 1 switch, such as MRV's
+//! Media Cross Connect product, to provide full link bandwidth. … During
+//! performance testing (selectable by user), the layer 1 switch can be
+//! programmed to directly bridge the two ports. Alternatively, the layer
+//! 1 switch could connect the router port to RIS, which is in turn
+//! connected to the Internet."
+//!
+//! An [`L1Switch`] is a pure patch panel: each device-facing port is
+//! either cross-connected to another device port (the full-bandwidth
+//! direct bridge) or patched through to an uplink (a RIS NIC). It never
+//! inspects frames — layer 1 has no opinions about bits — so the only
+//! observable differences from a cable are the counters.
+
+use std::collections::HashMap;
+
+/// Where a device-facing port is currently patched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PortTarget {
+    /// Not patched; frames are dropped (dark fiber).
+    Dark,
+    /// Directly bridged to another device port.
+    Port(usize),
+    /// Patched through to RIS uplink `n`.
+    Uplink(usize),
+}
+
+/// Where a frame entering the switch leaves it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum L1Output {
+    /// Out another device port (the direct bridge).
+    Port(usize),
+    /// Out an uplink toward the RIS.
+    Uplink(usize),
+    /// Nowhere — the ingress port is dark.
+    Dropped,
+}
+
+/// Programming failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum L1Error {
+    /// Port index out of range.
+    InvalidPort(usize),
+    /// The port is already patched; unpatch first.
+    PortBusy(usize),
+    /// A port cannot be bridged to itself.
+    SelfBridge(usize),
+}
+
+impl std::fmt::Display for L1Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            L1Error::InvalidPort(p) => write!(f, "invalid port {p}"),
+            L1Error::PortBusy(p) => write!(f, "port {p} is already patched"),
+            L1Error::SelfBridge(p) => write!(f, "port {p} cannot bridge to itself"),
+        }
+    }
+}
+
+impl std::error::Error for L1Error {}
+
+/// Counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct L1Stats {
+    /// Frames bridged port-to-port.
+    pub bridged: u64,
+    /// Frames sent to/accepted from uplinks.
+    pub uplinked: u64,
+    /// Frames dropped on dark ports.
+    pub dropped: u64,
+}
+
+/// The cross-connect.
+#[derive(Debug)]
+pub struct L1Switch {
+    targets: Vec<PortTarget>,
+    /// Reverse map: uplink → device port.
+    uplink_to_port: HashMap<usize, usize>,
+    stats: L1Stats,
+}
+
+impl L1Switch {
+    /// A switch with `num_ports` device-facing ports, all dark.
+    pub fn new(num_ports: usize) -> L1Switch {
+        L1Switch {
+            targets: vec![PortTarget::Dark; num_ports],
+            uplink_to_port: HashMap::new(),
+            stats: L1Stats::default(),
+        }
+    }
+
+    /// Number of device-facing ports.
+    pub fn num_ports(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Current patch target of a port.
+    pub fn target(&self, port: usize) -> Option<PortTarget> {
+        self.targets.get(port).copied()
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> L1Stats {
+        self.stats
+    }
+
+    fn check(&self, port: usize) -> Result<(), L1Error> {
+        if port >= self.targets.len() {
+            return Err(L1Error::InvalidPort(port));
+        }
+        Ok(())
+    }
+
+    /// Program the direct bridge between two ports — the full-bandwidth
+    /// performance-testing path.
+    pub fn bridge(&mut self, a: usize, b: usize) -> Result<(), L1Error> {
+        self.check(a)?;
+        self.check(b)?;
+        if a == b {
+            return Err(L1Error::SelfBridge(a));
+        }
+        for p in [a, b] {
+            if self.targets[p] != PortTarget::Dark {
+                return Err(L1Error::PortBusy(p));
+            }
+        }
+        self.targets[a] = PortTarget::Port(b);
+        self.targets[b] = PortTarget::Port(a);
+        Ok(())
+    }
+
+    /// Patch a device port through to a RIS uplink — the tunnel path.
+    pub fn patch_to_uplink(&mut self, port: usize, uplink: usize) -> Result<(), L1Error> {
+        self.check(port)?;
+        if self.targets[port] != PortTarget::Dark {
+            return Err(L1Error::PortBusy(port));
+        }
+        if self.uplink_to_port.contains_key(&uplink) {
+            return Err(L1Error::PortBusy(port));
+        }
+        self.targets[port] = PortTarget::Uplink(uplink);
+        self.uplink_to_port.insert(uplink, port);
+        Ok(())
+    }
+
+    /// Unpatch a port (and its partner, for bridges).
+    pub fn unpatch(&mut self, port: usize) -> Result<(), L1Error> {
+        self.check(port)?;
+        match self.targets[port] {
+            PortTarget::Dark => {}
+            PortTarget::Port(other) => {
+                self.targets[other] = PortTarget::Dark;
+                self.targets[port] = PortTarget::Dark;
+            }
+            PortTarget::Uplink(uplink) => {
+                self.uplink_to_port.remove(&uplink);
+                self.targets[port] = PortTarget::Dark;
+            }
+        }
+        Ok(())
+    }
+
+    /// A frame enters a device-facing port; where does it leave?
+    /// The frame itself is untouched — this is layer 1.
+    pub fn ingress(&mut self, port: usize) -> L1Output {
+        match self.targets.get(port) {
+            Some(PortTarget::Port(other)) => {
+                self.stats.bridged += 1;
+                L1Output::Port(*other)
+            }
+            Some(PortTarget::Uplink(uplink)) => {
+                self.stats.uplinked += 1;
+                L1Output::Uplink(*uplink)
+            }
+            _ => {
+                self.stats.dropped += 1;
+                L1Output::Dropped
+            }
+        }
+    }
+
+    /// A frame arrives from a RIS uplink; which device port does it
+    /// leave on?
+    pub fn from_uplink(&mut self, uplink: usize) -> L1Output {
+        match self.uplink_to_port.get(&uplink) {
+            Some(&port) => {
+                self.stats.uplinked += 1;
+                L1Output::Port(port)
+            }
+            None => {
+                self.stats.dropped += 1;
+                L1Output::Dropped
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direct_bridge_is_symmetric() {
+        let mut sw = L1Switch::new(4);
+        sw.bridge(0, 2).unwrap();
+        assert_eq!(sw.ingress(0), L1Output::Port(2));
+        assert_eq!(sw.ingress(2), L1Output::Port(0));
+        assert_eq!(sw.stats().bridged, 2);
+    }
+
+    #[test]
+    fn uplink_patch_roundtrip() {
+        let mut sw = L1Switch::new(2);
+        sw.patch_to_uplink(1, 7).unwrap();
+        assert_eq!(sw.ingress(1), L1Output::Uplink(7));
+        assert_eq!(sw.from_uplink(7), L1Output::Port(1));
+        assert_eq!(sw.stats().uplinked, 2);
+    }
+
+    #[test]
+    fn dark_ports_drop() {
+        let mut sw = L1Switch::new(2);
+        assert_eq!(sw.ingress(0), L1Output::Dropped);
+        assert_eq!(sw.from_uplink(9), L1Output::Dropped);
+        assert_eq!(sw.stats().dropped, 2);
+    }
+
+    #[test]
+    fn programming_errors() {
+        let mut sw = L1Switch::new(3);
+        assert_eq!(sw.bridge(0, 0), Err(L1Error::SelfBridge(0)));
+        assert_eq!(sw.bridge(0, 9), Err(L1Error::InvalidPort(9)));
+        sw.bridge(0, 1).unwrap();
+        assert_eq!(sw.bridge(0, 2), Err(L1Error::PortBusy(0)));
+        assert_eq!(sw.patch_to_uplink(1, 0), Err(L1Error::PortBusy(1)));
+    }
+
+    #[test]
+    fn repatching_between_modes() {
+        // The user-selectable switchover of Fig. 7: tunnel mode for
+        // configuration testing, direct bridge for performance runs.
+        let mut sw = L1Switch::new(2);
+        sw.patch_to_uplink(0, 0).unwrap();
+        sw.patch_to_uplink(1, 1).unwrap();
+        // Switch to performance mode.
+        sw.unpatch(0).unwrap();
+        sw.unpatch(1).unwrap();
+        sw.bridge(0, 1).unwrap();
+        assert_eq!(sw.ingress(0), L1Output::Port(1));
+        // And back.
+        sw.unpatch(0).unwrap();
+        assert_eq!(sw.target(1), Some(PortTarget::Dark));
+        sw.patch_to_uplink(0, 0).unwrap();
+        assert_eq!(sw.ingress(0), L1Output::Uplink(0));
+    }
+}

@@ -1,0 +1,288 @@
+//! Address and protocol-number types: MAC addresses, EtherTypes, CIDR
+//! prefixes.
+
+use core::fmt;
+use core::str::FromStr;
+use std::net::Ipv4Addr;
+
+use crate::error::{Error, Result};
+
+/// An IEEE 802 MAC address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MacAddr(pub [u8; 6]);
+
+impl MacAddr {
+    /// The broadcast address `ff:ff:ff:ff:ff:ff`.
+    pub const BROADCAST: MacAddr = MacAddr([0xff; 6]);
+    /// The all-zero address, used as a placeholder in ARP requests.
+    pub const ZERO: MacAddr = MacAddr([0; 6]);
+    /// The 802.1D spanning-tree multicast group `01:80:c2:00:00:00`.
+    pub const STP_MULTICAST: MacAddr = MacAddr([0x01, 0x80, 0xc2, 0x00, 0x00, 0x00]);
+
+    /// Parse from a 6-byte slice.
+    pub fn from_bytes(data: &[u8]) -> Result<MacAddr> {
+        if data.len() != 6 {
+            return Err(Error::Malformed);
+        }
+        let mut b = [0u8; 6];
+        b.copy_from_slice(data);
+        Ok(MacAddr(b))
+    }
+
+    /// Raw bytes of the address.
+    pub fn as_bytes(&self) -> &[u8; 6] {
+        &self.0
+    }
+
+    /// True for group (multicast or broadcast) addresses.
+    pub fn is_multicast(&self) -> bool {
+        self.0[0] & 0x01 != 0
+    }
+
+    /// True for the all-ones broadcast address.
+    pub fn is_broadcast(&self) -> bool {
+        *self == Self::BROADCAST
+    }
+
+    /// True for unicast (non-group, non-zero) addresses.
+    pub fn is_unicast(&self) -> bool {
+        !self.is_multicast() && *self != Self::ZERO
+    }
+
+    /// Deterministically derive a locally-administered unicast MAC from a
+    /// device id and port index. Used by the device simulators so runs are
+    /// reproducible.
+    pub fn derived(device: u32, port: u16) -> MacAddr {
+        let d = device.to_be_bytes();
+        let p = port.to_be_bytes();
+        // 0x02 = locally administered, unicast.
+        MacAddr([0x02, 0x52, d[1], d[2] ^ d[0], d[3], p[1].wrapping_add(p[0])])
+    }
+}
+
+impl fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = self.0;
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            b[0], b[1], b[2], b[3], b[4], b[5]
+        )
+    }
+}
+
+impl FromStr for MacAddr {
+    type Err = Error;
+
+    fn from_str(s: &str) -> Result<MacAddr> {
+        let mut b = [0u8; 6];
+        let mut parts = s.split(':');
+        for slot in b.iter_mut() {
+            let part = parts.next().ok_or(Error::Malformed)?;
+            *slot = u8::from_str_radix(part, 16).map_err(|_| Error::Malformed)?;
+        }
+        if parts.next().is_some() {
+            return Err(Error::Malformed);
+        }
+        Ok(MacAddr(b))
+    }
+}
+
+/// An Ethernet protocol number (the two-byte EtherType field).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EtherType {
+    Ipv4,
+    Arp,
+    /// 802.1Q VLAN tag protocol identifier.
+    Vlan,
+    Ipv6,
+    /// Anything else, preserved verbatim.
+    Other(u16),
+}
+
+impl EtherType {
+    /// Decode from the wire value.
+    pub fn from_u16(v: u16) -> EtherType {
+        match v {
+            0x0800 => EtherType::Ipv4,
+            0x0806 => EtherType::Arp,
+            0x8100 => EtherType::Vlan,
+            0x86dd => EtherType::Ipv6,
+            other => EtherType::Other(other),
+        }
+    }
+
+    /// Encode to the wire value.
+    pub fn to_u16(self) -> u16 {
+        match self {
+            EtherType::Ipv4 => 0x0800,
+            EtherType::Arp => 0x0806,
+            EtherType::Vlan => 0x8100,
+            EtherType::Ipv6 => 0x86dd,
+            EtherType::Other(other) => other,
+        }
+    }
+}
+
+impl fmt::Display for EtherType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EtherType::Ipv4 => write!(f, "IPv4"),
+            EtherType::Arp => write!(f, "ARP"),
+            EtherType::Vlan => write!(f, "802.1Q"),
+            EtherType::Ipv6 => write!(f, "IPv6"),
+            EtherType::Other(v) => write!(f, "0x{v:04x}"),
+        }
+    }
+}
+
+/// An IPv4 prefix in CIDR notation, e.g. `10.1.0.0/16`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Cidr {
+    addr: Ipv4Addr,
+    prefix_len: u8,
+}
+
+impl Cidr {
+    /// Create a prefix. `prefix_len` must be `<= 32`.
+    pub fn new(addr: Ipv4Addr, prefix_len: u8) -> Result<Cidr> {
+        if prefix_len > 32 {
+            return Err(Error::Malformed);
+        }
+        Ok(Cidr { addr, prefix_len })
+    }
+
+    /// The address part as given (not necessarily the network address).
+    pub fn addr(&self) -> Ipv4Addr {
+        self.addr
+    }
+
+    /// Prefix length in bits.
+    pub fn prefix_len(&self) -> u8 {
+        self.prefix_len
+    }
+
+    /// The netmask as an address, e.g. `/24` → `255.255.255.0`.
+    pub fn netmask(&self) -> Ipv4Addr {
+        Ipv4Addr::from(self.mask_bits())
+    }
+
+    /// The network address (address with host bits cleared).
+    pub fn network(&self) -> Ipv4Addr {
+        Ipv4Addr::from(u32::from(self.addr) & self.mask_bits())
+    }
+
+    /// The directed broadcast address of this network.
+    pub fn broadcast(&self) -> Ipv4Addr {
+        Ipv4Addr::from(u32::from(self.addr) | !self.mask_bits())
+    }
+
+    /// Whether `other` falls inside this prefix.
+    pub fn contains(&self, other: Ipv4Addr) -> bool {
+        u32::from(other) & self.mask_bits() == u32::from(self.network())
+    }
+
+    fn mask_bits(&self) -> u32 {
+        if self.prefix_len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - self.prefix_len as u32)
+        }
+    }
+}
+
+impl fmt::Display for Cidr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.addr, self.prefix_len)
+    }
+}
+
+impl FromStr for Cidr {
+    type Err = Error;
+
+    fn from_str(s: &str) -> Result<Cidr> {
+        let (addr, len) = s.split_once('/').ok_or(Error::Malformed)?;
+        let addr: Ipv4Addr = addr.parse().map_err(|_| Error::Malformed)?;
+        let len: u8 = len.parse().map_err(|_| Error::Malformed)?;
+        Cidr::new(addr, len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mac_display_roundtrip() {
+        let mac: MacAddr = "02:52:00:01:00:03".parse().unwrap();
+        assert_eq!(mac.to_string(), "02:52:00:01:00:03");
+        assert!(mac.is_unicast());
+        assert!(!mac.is_multicast());
+    }
+
+    #[test]
+    fn mac_parse_rejects_garbage() {
+        assert!("not-a-mac".parse::<MacAddr>().is_err());
+        assert!("02:52:00:01:00".parse::<MacAddr>().is_err());
+        assert!("02:52:00:01:00:03:04".parse::<MacAddr>().is_err());
+        assert!("zz:52:00:01:00:03".parse::<MacAddr>().is_err());
+    }
+
+    #[test]
+    fn mac_classification() {
+        assert!(MacAddr::BROADCAST.is_broadcast());
+        assert!(MacAddr::BROADCAST.is_multicast());
+        assert!(MacAddr::STP_MULTICAST.is_multicast());
+        assert!(!MacAddr::STP_MULTICAST.is_broadcast());
+        assert!(!MacAddr::ZERO.is_unicast());
+    }
+
+    #[test]
+    fn derived_macs_are_unique_per_port() {
+        let a = MacAddr::derived(1, 0);
+        let b = MacAddr::derived(1, 1);
+        let c = MacAddr::derived(2, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert!(a.is_unicast());
+    }
+
+    #[test]
+    fn ethertype_roundtrip() {
+        for v in [0x0800u16, 0x0806, 0x8100, 0x86dd, 0x1234] {
+            assert_eq!(EtherType::from_u16(v).to_u16(), v);
+        }
+    }
+
+    #[test]
+    fn cidr_membership() {
+        let net: Cidr = "10.1.0.0/16".parse().unwrap();
+        assert!(net.contains("10.1.255.3".parse().unwrap()));
+        assert!(!net.contains("10.2.0.1".parse().unwrap()));
+        assert_eq!(net.netmask(), Ipv4Addr::new(255, 255, 0, 0));
+        assert_eq!(net.broadcast(), Ipv4Addr::new(10, 1, 255, 255));
+    }
+
+    #[test]
+    fn cidr_host_prefix_and_default_route() {
+        let host: Cidr = "192.168.1.7/32".parse().unwrap();
+        assert!(host.contains("192.168.1.7".parse().unwrap()));
+        assert!(!host.contains("192.168.1.8".parse().unwrap()));
+
+        let default = Cidr::new(Ipv4Addr::UNSPECIFIED, 0).unwrap();
+        assert!(default.contains("8.8.8.8".parse().unwrap()));
+    }
+
+    #[test]
+    fn cidr_rejects_long_prefix() {
+        assert!(Cidr::new(Ipv4Addr::LOCALHOST, 33).is_err());
+        assert!("10.0.0.0/40".parse::<Cidr>().is_err());
+    }
+
+    #[test]
+    fn cidr_network_clears_host_bits() {
+        let c: Cidr = "10.1.2.3/24".parse().unwrap();
+        assert_eq!(c.network(), Ipv4Addr::new(10, 1, 2, 0));
+        assert_eq!(c.addr(), Ipv4Addr::new(10, 1, 2, 3));
+    }
+}

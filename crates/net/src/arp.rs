@@ -1,0 +1,263 @@
+//! ARP for IPv4 over Ethernet (RFC 826).
+
+use std::net::Ipv4Addr;
+
+use crate::addr::MacAddr;
+use crate::error::{Error, Result};
+
+/// Wire length of an Ethernet/IPv4 ARP packet.
+pub const PACKET_LEN: usize = 28;
+
+/// ARP operation codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Operation {
+    Request,
+    Reply,
+}
+
+impl Operation {
+    fn from_u16(v: u16) -> Result<Operation> {
+        match v {
+            1 => Ok(Operation::Request),
+            2 => Ok(Operation::Reply),
+            _ => Err(Error::Unsupported),
+        }
+    }
+
+    fn to_u16(self) -> u16 {
+        match self {
+            Operation::Request => 1,
+            Operation::Reply => 2,
+        }
+    }
+}
+
+mod field {
+    use core::ops::Range;
+    pub const HTYPE: Range<usize> = 0..2;
+    pub const PTYPE: Range<usize> = 2..4;
+    pub const HLEN: usize = 4;
+    pub const PLEN: usize = 5;
+    pub const OPER: Range<usize> = 6..8;
+    pub const SHA: Range<usize> = 8..14;
+    pub const SPA: Range<usize> = 14..18;
+    pub const THA: Range<usize> = 18..24;
+    pub const TPA: Range<usize> = 24..28;
+}
+
+/// A zero-copy view of an ARP packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> Packet<T> {
+    /// Wrap without validation.
+    pub const fn new_unchecked(buffer: T) -> Packet<T> {
+        Packet { buffer }
+    }
+
+    /// Wrap and validate length.
+    pub fn new_checked(buffer: T) -> Result<Packet<T>> {
+        let packet = Packet::new_unchecked(buffer);
+        packet.check_len()?;
+        Ok(packet)
+    }
+
+    /// Ensure the buffer holds a full ARP packet.
+    pub fn check_len(&self) -> Result<()> {
+        if self.buffer.as_ref().len() < PACKET_LEN {
+            Err(Error::Truncated)
+        } else {
+            Ok(())
+        }
+    }
+
+    fn u16_at(&self, range: core::ops::Range<usize>) -> u16 {
+        let b = &self.buffer.as_ref()[range];
+        u16::from_be_bytes([b[0], b[1]])
+    }
+
+    /// Hardware type (1 = Ethernet).
+    pub fn hardware_type(&self) -> u16 {
+        self.u16_at(field::HTYPE)
+    }
+
+    /// Protocol type (0x0800 = IPv4).
+    pub fn protocol_type(&self) -> u16 {
+        self.u16_at(field::PTYPE)
+    }
+
+    /// Operation field.
+    pub fn operation(&self) -> Result<Operation> {
+        Operation::from_u16(self.u16_at(field::OPER))
+    }
+
+    /// Sender hardware address.
+    pub fn sender_mac(&self) -> MacAddr {
+        MacAddr::from_bytes(&self.buffer.as_ref()[field::SHA]).expect("checked length")
+    }
+
+    /// Sender protocol address.
+    pub fn sender_ip(&self) -> Ipv4Addr {
+        let b = &self.buffer.as_ref()[field::SPA];
+        Ipv4Addr::new(b[0], b[1], b[2], b[3])
+    }
+
+    /// Target hardware address.
+    pub fn target_mac(&self) -> MacAddr {
+        MacAddr::from_bytes(&self.buffer.as_ref()[field::THA]).expect("checked length")
+    }
+
+    /// Target protocol address.
+    pub fn target_ip(&self) -> Ipv4Addr {
+        let b = &self.buffer.as_ref()[field::TPA];
+        Ipv4Addr::new(b[0], b[1], b[2], b[3])
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> Packet<T> {
+    fn set_u16(&mut self, range: core::ops::Range<usize>, v: u16) {
+        self.buffer.as_mut()[range].copy_from_slice(&v.to_be_bytes());
+    }
+
+    fn set_fixed(&mut self) {
+        self.set_u16(field::HTYPE, 1);
+        self.set_u16(field::PTYPE, 0x0800);
+        self.buffer.as_mut()[field::HLEN] = 6;
+        self.buffer.as_mut()[field::PLEN] = 4;
+    }
+}
+
+/// Owned representation of an Ethernet/IPv4 ARP packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Repr {
+    pub operation: Operation,
+    pub sender_mac: MacAddr,
+    pub sender_ip: Ipv4Addr,
+    pub target_mac: MacAddr,
+    pub target_ip: Ipv4Addr,
+}
+
+impl Repr {
+    /// Parse a checked packet, requiring Ethernet/IPv4 types.
+    pub fn parse<T: AsRef<[u8]>>(packet: &Packet<T>) -> Result<Repr> {
+        packet.check_len()?;
+        if packet.hardware_type() != 1 || packet.protocol_type() != 0x0800 {
+            return Err(Error::Unsupported);
+        }
+        let b = packet.buffer.as_ref();
+        if b[field::HLEN] != 6 || b[field::PLEN] != 4 {
+            return Err(Error::Malformed);
+        }
+        Ok(Repr {
+            operation: packet.operation()?,
+            sender_mac: packet.sender_mac(),
+            sender_ip: packet.sender_ip(),
+            target_mac: packet.target_mac(),
+            target_ip: packet.target_ip(),
+        })
+    }
+
+    /// Length of the emitted packet.
+    pub const fn buffer_len(&self) -> usize {
+        PACKET_LEN
+    }
+
+    /// Emit into a buffer of at least [`PACKET_LEN`] bytes.
+    pub fn emit<T: AsRef<[u8]> + AsMut<[u8]>>(&self, packet: &mut Packet<T>) {
+        packet.set_fixed();
+        packet.set_u16(field::OPER, self.operation.to_u16());
+        packet.buffer.as_mut()[field::SHA].copy_from_slice(self.sender_mac.as_bytes());
+        packet.buffer.as_mut()[field::SPA].copy_from_slice(&self.sender_ip.octets());
+        packet.buffer.as_mut()[field::THA].copy_from_slice(self.target_mac.as_bytes());
+        packet.buffer.as_mut()[field::TPA].copy_from_slice(&self.target_ip.octets());
+    }
+
+    /// The ARP request `who has target_ip? tell sender_ip`.
+    pub fn request(sender_mac: MacAddr, sender_ip: Ipv4Addr, target_ip: Ipv4Addr) -> Repr {
+        Repr {
+            operation: Operation::Request,
+            sender_mac,
+            sender_ip,
+            target_mac: MacAddr::ZERO,
+            target_ip,
+        }
+    }
+
+    /// The matching reply from the owner of `target_ip` in the request.
+    pub fn reply_to(&self, own_mac: MacAddr) -> Repr {
+        Repr {
+            operation: Operation::Reply,
+            sender_mac: own_mac,
+            sender_ip: self.target_ip,
+            target_mac: self.sender_mac,
+            target_ip: self.sender_ip,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_reply_roundtrip() {
+        let req = Repr::request(
+            MacAddr::derived(1, 0),
+            "10.0.0.1".parse().unwrap(),
+            "10.0.0.2".parse().unwrap(),
+        );
+        let mut buf = [0u8; PACKET_LEN];
+        req.emit(&mut Packet::new_unchecked(&mut buf[..]));
+        let parsed = Repr::parse(&Packet::new_checked(&buf[..]).unwrap()).unwrap();
+        assert_eq!(parsed, req);
+
+        let reply = parsed.reply_to(MacAddr::derived(2, 0));
+        assert_eq!(reply.operation, Operation::Reply);
+        assert_eq!(reply.sender_ip, req.target_ip);
+        assert_eq!(reply.target_mac, req.sender_mac);
+        assert_eq!(reply.target_ip, req.sender_ip);
+    }
+
+    #[test]
+    fn non_ethernet_rejected() {
+        let req = Repr::request(
+            MacAddr::derived(1, 0),
+            Ipv4Addr::LOCALHOST,
+            Ipv4Addr::LOCALHOST,
+        );
+        let mut buf = [0u8; PACKET_LEN];
+        req.emit(&mut Packet::new_unchecked(&mut buf[..]));
+        buf[0] = 0;
+        buf[1] = 6; // IEEE 802 hardware type
+        assert_eq!(
+            Repr::parse(&Packet::new_checked(&buf[..]).unwrap()),
+            Err(Error::Unsupported)
+        );
+    }
+
+    #[test]
+    fn unknown_operation_rejected() {
+        let req = Repr::request(
+            MacAddr::derived(1, 0),
+            Ipv4Addr::LOCALHOST,
+            Ipv4Addr::LOCALHOST,
+        );
+        let mut buf = [0u8; PACKET_LEN];
+        req.emit(&mut Packet::new_unchecked(&mut buf[..]));
+        buf[7] = 9;
+        assert_eq!(
+            Repr::parse(&Packet::new_checked(&buf[..]).unwrap()),
+            Err(Error::Unsupported)
+        );
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        assert_eq!(
+            Packet::new_checked(&[0u8; PACKET_LEN - 1][..]).unwrap_err(),
+            Error::Truncated
+        );
+    }
+}

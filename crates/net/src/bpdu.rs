@@ -1,0 +1,299 @@
+//! IEEE 802.1D spanning-tree BPDUs, carried in 802.3 frames with an LLC
+//! header (DSAP/SSAP `0x42`, UI control).
+//!
+//! BPDUs are the paper's canonical example of why RNL must virtualize the
+//! wire at layer 2: "an Ethernet switch will exchange BPDU messages with
+//! neighboring switches during its topology discovery. We have to capture
+//! and replay these messages as if the two switches are directly
+//! connected." The Fig. 5 failover pitfall (FWSM must be configured to
+//! allow BPDUs) also hinges on these frames.
+
+use crate::error::{Error, Result};
+
+/// LLC header for STP: DSAP 0x42, SSAP 0x42, control 0x03 (UI).
+pub const LLC_HEADER: [u8; 3] = [0x42, 0x42, 0x03];
+
+/// Length of a configuration BPDU body (after LLC).
+pub const CONFIG_BPDU_LEN: usize = 35;
+
+/// Length of a topology-change-notification BPDU body.
+pub const TCN_BPDU_LEN: usize = 4;
+
+/// A bridge identifier: 2-byte priority + 6-byte MAC, compared numerically
+/// (lower wins root election).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BridgeId {
+    pub priority: u16,
+    pub mac: [u8; 6],
+}
+
+impl BridgeId {
+    /// Encode to the 8-byte wire form.
+    pub fn to_bytes(self) -> [u8; 8] {
+        let mut b = [0u8; 8];
+        b[0..2].copy_from_slice(&self.priority.to_be_bytes());
+        b[2..8].copy_from_slice(&self.mac);
+        b
+    }
+
+    /// Decode from the 8-byte wire form.
+    pub fn from_bytes(data: &[u8]) -> Result<BridgeId> {
+        if data.len() < 8 {
+            return Err(Error::Truncated);
+        }
+        let mut mac = [0u8; 6];
+        mac.copy_from_slice(&data[2..8]);
+        Ok(BridgeId {
+            priority: u16::from_be_bytes([data[0], data[1]]),
+            mac,
+        })
+    }
+}
+
+/// The spanning-tree messages switches exchange.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Repr {
+    /// Configuration BPDU: the root advertisement flooded down the tree.
+    Config {
+        /// Topology-change flag.
+        tc: bool,
+        /// Topology-change-acknowledgment flag.
+        tca: bool,
+        root: BridgeId,
+        /// Cost from the sending bridge to the root.
+        root_path_cost: u32,
+        bridge: BridgeId,
+        /// Identifier of the port the BPDU was sent from.
+        port_id: u16,
+        /// Age of this information in 1/256ths of a second.
+        message_age: u16,
+        /// Lifetime bound for the information.
+        max_age: u16,
+        hello_time: u16,
+        forward_delay: u16,
+    },
+    /// Topology change notification, sent toward the root.
+    Tcn,
+}
+
+impl Repr {
+    /// Parse a BPDU from the bytes following the 802.3 length field
+    /// (i.e. starting at the LLC header).
+    pub fn parse(data: &[u8]) -> Result<Repr> {
+        if data.len() < LLC_HEADER.len() + TCN_BPDU_LEN {
+            return Err(Error::Truncated);
+        }
+        if data[0..3] != LLC_HEADER {
+            return Err(Error::Unsupported);
+        }
+        let b = &data[3..];
+        // Protocol identifier (0) and version (0).
+        if b[0] != 0 || b[1] != 0 || b[2] != 0 {
+            return Err(Error::Malformed);
+        }
+        match b[3] {
+            0x80 => Ok(Repr::Tcn),
+            0x00 => {
+                if b.len() < CONFIG_BPDU_LEN {
+                    return Err(Error::Truncated);
+                }
+                let flags = b[4];
+                Ok(Repr::Config {
+                    tc: flags & 0x01 != 0,
+                    tca: flags & 0x80 != 0,
+                    root: BridgeId::from_bytes(&b[5..13])?,
+                    root_path_cost: u32::from_be_bytes([b[13], b[14], b[15], b[16]]),
+                    bridge: BridgeId::from_bytes(&b[17..25])?,
+                    port_id: u16::from_be_bytes([b[25], b[26]]),
+                    message_age: u16::from_be_bytes([b[27], b[28]]),
+                    max_age: u16::from_be_bytes([b[29], b[30]]),
+                    hello_time: u16::from_be_bytes([b[31], b[32]]),
+                    forward_delay: u16::from_be_bytes([b[33], b[34]]),
+                })
+            }
+            _ => Err(Error::Unsupported),
+        }
+    }
+
+    /// Length of the emitted LLC + BPDU body.
+    pub fn buffer_len(&self) -> usize {
+        LLC_HEADER.len()
+            + match self {
+                Repr::Config { .. } => CONFIG_BPDU_LEN,
+                Repr::Tcn => TCN_BPDU_LEN,
+            }
+    }
+
+    /// Emit LLC header + BPDU into `buf`; returns the emitted length.
+    pub fn emit(&self, buf: &mut [u8]) -> Result<usize> {
+        let len = self.buffer_len();
+        if buf.len() < len {
+            return Err(Error::Truncated);
+        }
+        buf[0..3].copy_from_slice(&LLC_HEADER);
+        let b = &mut buf[3..len];
+        b.fill(0);
+        match self {
+            Repr::Tcn => {
+                b[3] = 0x80;
+            }
+            Repr::Config {
+                tc,
+                tca,
+                root,
+                root_path_cost,
+                bridge,
+                port_id,
+                message_age,
+                max_age,
+                hello_time,
+                forward_delay,
+            } => {
+                b[3] = 0x00;
+                b[4] = u8::from(*tc) | (u8::from(*tca) << 7);
+                b[5..13].copy_from_slice(&root.to_bytes());
+                b[13..17].copy_from_slice(&root_path_cost.to_be_bytes());
+                b[17..25].copy_from_slice(&bridge.to_bytes());
+                b[25..27].copy_from_slice(&port_id.to_be_bytes());
+                b[27..29].copy_from_slice(&message_age.to_be_bytes());
+                b[29..31].copy_from_slice(&max_age.to_be_bytes());
+                b[31..33].copy_from_slice(&hello_time.to_be_bytes());
+                b[33..35].copy_from_slice(&forward_delay.to_be_bytes());
+            }
+        }
+        Ok(len)
+    }
+}
+
+/// Compare two (root, cost, bridge, port) vectors per 802.1D: the lower
+/// vector is the better spanning-tree priority.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct PriorityVector {
+    pub root: BridgeId,
+    pub root_path_cost: u32,
+    pub bridge: BridgeId,
+    pub port_id: u16,
+}
+
+impl PriorityVector {
+    /// Extract the priority vector from a configuration BPDU.
+    pub fn from_config(repr: &Repr) -> Option<PriorityVector> {
+        match repr {
+            Repr::Config {
+                root,
+                root_path_cost,
+                bridge,
+                port_id,
+                ..
+            } => Some(PriorityVector {
+                root: *root,
+                root_path_cost: *root_path_cost,
+                bridge: *bridge,
+                port_id: *port_id,
+            }),
+            Repr::Tcn => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_config() -> Repr {
+        Repr::Config {
+            tc: false,
+            tca: true,
+            root: BridgeId {
+                priority: 0x8000,
+                mac: [2, 0, 0, 0, 0, 1],
+            },
+            root_path_cost: 19,
+            bridge: BridgeId {
+                priority: 0x8000,
+                mac: [2, 0, 0, 0, 0, 9],
+            },
+            port_id: 0x8001,
+            message_age: 256,
+            max_age: 20 * 256,
+            hello_time: 2 * 256,
+            forward_delay: 15 * 256,
+        }
+    }
+
+    #[test]
+    fn config_roundtrip() {
+        let repr = sample_config();
+        let mut buf = vec![0u8; repr.buffer_len()];
+        let n = repr.emit(&mut buf).unwrap();
+        assert_eq!(n, LLC_HEADER.len() + CONFIG_BPDU_LEN);
+        assert_eq!(Repr::parse(&buf).unwrap(), repr);
+    }
+
+    #[test]
+    fn tcn_roundtrip() {
+        let repr = Repr::Tcn;
+        let mut buf = vec![0u8; repr.buffer_len()];
+        repr.emit(&mut buf).unwrap();
+        assert_eq!(Repr::parse(&buf).unwrap(), Repr::Tcn);
+    }
+
+    #[test]
+    fn non_stp_llc_rejected() {
+        let mut buf = vec![0u8; 40];
+        sample_config().emit(&mut buf).unwrap();
+        buf[0] = 0xaa; // SNAP SAP, not STP
+        assert_eq!(Repr::parse(&buf), Err(Error::Unsupported));
+    }
+
+    #[test]
+    fn bridge_id_ordering_prefers_low_priority_then_low_mac() {
+        let hi = BridgeId {
+            priority: 0x8000,
+            mac: [2, 0, 0, 0, 0, 1],
+        };
+        let lo = BridgeId {
+            priority: 0x1000,
+            mac: [0xff; 6],
+        };
+        assert!(lo < hi);
+        let a = BridgeId {
+            priority: 0x8000,
+            mac: [2, 0, 0, 0, 0, 1],
+        };
+        let b = BridgeId {
+            priority: 0x8000,
+            mac: [2, 0, 0, 0, 0, 2],
+        };
+        assert!(a < b);
+    }
+
+    #[test]
+    fn priority_vector_ordering() {
+        let root = BridgeId {
+            priority: 0,
+            mac: [1; 6],
+        };
+        let better = PriorityVector {
+            root,
+            root_path_cost: 4,
+            bridge: root,
+            port_id: 1,
+        };
+        let worse = PriorityVector {
+            root,
+            root_path_cost: 19,
+            bridge: root,
+            port_id: 1,
+        };
+        assert!(better < worse);
+    }
+
+    #[test]
+    fn truncated_config_rejected() {
+        let repr = sample_config();
+        let mut buf = vec![0u8; repr.buffer_len()];
+        repr.emit(&mut buf).unwrap();
+        assert_eq!(Repr::parse(&buf[..20]), Err(Error::Truncated));
+    }
+}

@@ -1,0 +1,519 @@
+//! Convenience constructors and a frame classifier.
+//!
+//! The view/`Repr` types in the sibling modules are allocation-free but
+//! verbose for callers that just want "a ping from A to B". These helpers
+//! assemble complete Ethernet frames into fresh `Vec<u8>`s and classify
+//! received frames into the protocol stack the lab devices care about.
+
+use std::net::Ipv4Addr;
+
+use crate::addr::{EtherType, MacAddr};
+use crate::arp;
+use crate::bpdu;
+use crate::error::{Error, Result};
+use crate::ethernet::{self, Frame};
+use crate::fhp;
+use crate::icmp;
+use crate::ipv4;
+use crate::tcp;
+use crate::udp;
+use crate::vlan;
+
+/// Pad a frame to the 60-byte minimum a real wire would enforce.
+fn pad(mut frame: Vec<u8>) -> Vec<u8> {
+    if frame.len() < ethernet::MIN_FRAME_LEN {
+        frame.resize(ethernet::MIN_FRAME_LEN, 0);
+    }
+    frame
+}
+
+/// Build an Ethernet II frame around an opaque payload.
+pub fn ethernet_frame(src: MacAddr, dst: MacAddr, ethertype: EtherType, payload: &[u8]) -> Vec<u8> {
+    let mut buf = vec![0u8; ethernet::HEADER_LEN + payload.len()];
+    let mut frame = Frame::new_unchecked(&mut buf[..]);
+    ethernet::Repr {
+        dst,
+        src,
+        ethertype,
+    }
+    .emit(&mut frame);
+    frame.payload_mut().copy_from_slice(payload);
+    pad(buf)
+}
+
+/// Wrap an inner Ethernet payload in an 802.1Q tag.
+pub fn vlan_frame(
+    src: MacAddr,
+    dst: MacAddr,
+    vid: u16,
+    inner_ethertype: EtherType,
+    payload: &[u8],
+) -> Vec<u8> {
+    let mut body = vec![0u8; vlan::HEADER_LEN + payload.len()];
+    let mut tag = vlan::Tag::new_unchecked(&mut body[..]);
+    vlan::Repr {
+        pcp: 0,
+        dei: false,
+        vid,
+        inner_ethertype,
+    }
+    .emit(&mut tag);
+    tag.payload_mut().copy_from_slice(payload);
+    ethernet_frame(src, dst, EtherType::Vlan, &body)
+}
+
+/// Build a broadcast ARP request frame.
+pub fn arp_request(src_mac: MacAddr, src_ip: Ipv4Addr, target_ip: Ipv4Addr) -> Vec<u8> {
+    let repr = arp::Repr::request(src_mac, src_ip, target_ip);
+    let mut body = vec![0u8; repr.buffer_len()];
+    repr.emit(&mut arp::Packet::new_unchecked(&mut body[..]));
+    ethernet_frame(src_mac, MacAddr::BROADCAST, EtherType::Arp, &body)
+}
+
+/// Build a unicast ARP reply frame.
+pub fn arp_reply(repr: &arp::Repr, own_mac: MacAddr) -> Vec<u8> {
+    let reply = repr.reply_to(own_mac);
+    let mut body = vec![0u8; reply.buffer_len()];
+    reply.emit(&mut arp::Packet::new_unchecked(&mut body[..]));
+    ethernet_frame(own_mac, reply.target_mac, EtherType::Arp, &body)
+}
+
+/// Build a complete IPv4-in-Ethernet frame around an L4 payload.
+pub fn ipv4_frame(
+    src_mac: MacAddr,
+    dst_mac: MacAddr,
+    ip: &ipv4::Repr,
+    l4_payload: &[u8],
+) -> Vec<u8> {
+    debug_assert_eq!(ip.payload_len, l4_payload.len());
+    let mut body = vec![0u8; ip.buffer_len()];
+    let mut packet = ipv4::Packet::new_unchecked(&mut body[..]);
+    ip.emit(&mut packet);
+    packet.payload_mut().copy_from_slice(l4_payload);
+    ethernet_frame(src_mac, dst_mac, EtherType::Ipv4, &body)
+}
+
+/// Build an ICMP echo-request frame (a "ping").
+#[allow(clippy::too_many_arguments)]
+pub fn icmp_echo_request(
+    src_mac: MacAddr,
+    dst_mac: MacAddr,
+    src_ip: Ipv4Addr,
+    dst_ip: Ipv4Addr,
+    ident: u16,
+    seq_no: u16,
+    data: &[u8],
+    ttl: u8,
+) -> Vec<u8> {
+    let msg = icmp::Repr::EchoRequest {
+        ident,
+        seq_no,
+        data: data.to_vec(),
+    };
+    let mut l4 = vec![0u8; msg.buffer_len()];
+    msg.emit(&mut l4).expect("sized buffer");
+    let ip = ipv4::Repr {
+        src: src_ip,
+        dst: dst_ip,
+        protocol: ipv4::Protocol::Icmp,
+        ttl,
+        ident: seq_no,
+        dont_frag: false,
+        payload_len: l4.len(),
+    };
+    ipv4_frame(src_mac, dst_mac, &ip, &l4)
+}
+
+/// Build a UDP-in-IPv4-in-Ethernet frame.
+#[allow(clippy::too_many_arguments)]
+pub fn udp_frame(
+    src_mac: MacAddr,
+    dst_mac: MacAddr,
+    src_ip: Ipv4Addr,
+    dst_ip: Ipv4Addr,
+    src_port: u16,
+    dst_port: u16,
+    payload: &[u8],
+    ttl: u8,
+) -> Vec<u8> {
+    let udp_repr = udp::Repr {
+        src_port,
+        dst_port,
+        payload_len: payload.len(),
+    };
+    let mut l4 = vec![0u8; udp_repr.buffer_len()];
+    // The length field must be set before payload_mut() is usable; emit
+    // handles the ordering internally.
+    udp_repr.emit(
+        &mut udp::Packet::new_unchecked(&mut l4[..]),
+        src_ip,
+        dst_ip,
+        payload,
+    );
+    let ip = ipv4::Repr {
+        src: src_ip,
+        dst: dst_ip,
+        protocol: ipv4::Protocol::Udp,
+        ttl,
+        ident: 0,
+        dont_frag: false,
+        payload_len: l4.len(),
+    };
+    ipv4_frame(src_mac, dst_mac, &ip, &l4)
+}
+
+/// Build a TCP-in-IPv4-in-Ethernet frame.
+#[allow(clippy::too_many_arguments)]
+pub fn tcp_frame(
+    src_mac: MacAddr,
+    dst_mac: MacAddr,
+    src_ip: Ipv4Addr,
+    dst_ip: Ipv4Addr,
+    tcp_repr: &tcp::Repr,
+    payload: &[u8],
+    ttl: u8,
+) -> Vec<u8> {
+    let mut l4 = vec![0u8; tcp_repr.buffer_len()];
+    tcp_repr.emit(
+        &mut tcp::Packet::new_unchecked(&mut l4[..]),
+        src_ip,
+        dst_ip,
+        payload,
+    );
+    let ip = ipv4::Repr {
+        src: src_ip,
+        dst: dst_ip,
+        protocol: ipv4::Protocol::Tcp,
+        ttl,
+        ident: 0,
+        dont_frag: false,
+        payload_len: l4.len(),
+    };
+    ipv4_frame(src_mac, dst_mac, &ip, &l4)
+}
+
+/// Build an 802.3 + LLC spanning-tree BPDU frame.
+pub fn bpdu_frame(src_mac: MacAddr, repr: &bpdu::Repr) -> Vec<u8> {
+    let mut body = vec![0u8; repr.buffer_len()];
+    repr.emit(&mut body).expect("sized buffer");
+    // 802.3: the type field carries the payload length.
+    let mut buf = vec![0u8; ethernet::HEADER_LEN + body.len()];
+    let mut frame = Frame::new_unchecked(&mut buf[..]);
+    frame.set_dst_addr(MacAddr::STP_MULTICAST);
+    frame.set_src_addr(src_mac);
+    frame.set_type_len(body.len() as u16);
+    frame.payload_mut().copy_from_slice(&body);
+    pad(buf)
+}
+
+/// Build an FHP failover hello as a UDP broadcast on the failover VLAN.
+pub fn fhp_hello_frame(src_mac: MacAddr, src_ip: Ipv4Addr, hello: &fhp::Hello) -> Vec<u8> {
+    let mut body = vec![0u8; hello.buffer_len()];
+    hello.emit(&mut body).expect("sized buffer");
+    udp_frame(
+        src_mac,
+        MacAddr::BROADCAST,
+        src_ip,
+        Ipv4Addr::BROADCAST,
+        fhp::FHP_PORT,
+        fhp::FHP_PORT,
+        &body,
+        1,
+    )
+}
+
+/// The protocol layers of a received frame, decoded as far as this crate
+/// understands them. Devices switch on this instead of re-parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Classified {
+    /// A spanning-tree BPDU.
+    Bpdu(bpdu::Repr),
+    /// An ARP packet.
+    Arp(arp::Repr),
+    /// An IPv4 packet, with the L4 classification nested inside.
+    Ipv4 { header: ipv4::Repr, l4: L4 },
+    /// An 802.1Q-tagged frame; `inner` classifies the encapsulated frame
+    /// as if untagged.
+    Vlan { vid: u16, inner: Box<Classified> },
+    /// Anything else: valid Ethernet, unknown payload.
+    Unknown,
+}
+
+/// Layer-4 classification within an IPv4 packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum L4 {
+    Icmp(icmp::Repr),
+    Udp {
+        src_port: u16,
+        dst_port: u16,
+        payload: Vec<u8>,
+    },
+    Tcp {
+        repr: tcp::Repr,
+        payload: Vec<u8>,
+    },
+    Other,
+}
+
+/// Classify an Ethernet frame as deeply as possible.
+///
+/// Returns `Err` only when the outer Ethernet frame itself is invalid;
+/// malformed inner layers degrade to [`Classified::Unknown`] because a
+/// device must still be able to switch such frames at L2.
+pub fn classify(frame_bytes: &[u8]) -> Result<(ethernet::Repr, Classified)> {
+    let frame = Frame::new_checked(frame_bytes)?;
+    let dst = frame.dst_addr();
+    let src = frame.src_addr();
+
+    if frame.is_length_typed() {
+        let classified = match bpdu::Repr::parse(frame.payload()) {
+            Ok(repr) => Classified::Bpdu(repr),
+            Err(_) => Classified::Unknown,
+        };
+        // Synthesize an EtherType-less representation for uniformity: BPDU
+        // consumers only need addresses.
+        return Ok((
+            ethernet::Repr {
+                dst,
+                src,
+                ethertype: EtherType::Other(0),
+            },
+            classified,
+        ));
+    }
+
+    let ethertype = frame.ethertype().ok_or(Error::Malformed)?;
+    let classified = classify_payload(ethertype, frame.payload());
+    Ok((
+        ethernet::Repr {
+            dst,
+            src,
+            ethertype,
+        },
+        classified,
+    ))
+}
+
+fn classify_payload(ethertype: EtherType, payload: &[u8]) -> Classified {
+    match ethertype {
+        EtherType::Arp => {
+            match arp::Packet::new_checked(payload).and_then(|p| arp::Repr::parse(&p)) {
+                Ok(repr) => Classified::Arp(repr),
+                Err(_) => Classified::Unknown,
+            }
+        }
+        EtherType::Ipv4 => match ipv4::Packet::new_checked(payload) {
+            Ok(packet) => match ipv4::Repr::parse(&packet) {
+                Ok(header) => {
+                    let l4 = classify_l4(&header, packet.payload());
+                    Classified::Ipv4 { header, l4 }
+                }
+                Err(_) => Classified::Unknown,
+            },
+            Err(_) => Classified::Unknown,
+        },
+        EtherType::Vlan => match vlan::Tag::new_checked(payload)
+            .and_then(|t| vlan::Repr::parse(&t).map(|r| (r, t)))
+        {
+            Ok((repr, tag)) => Classified::Vlan {
+                vid: repr.vid,
+                inner: Box::new(classify_payload(repr.inner_ethertype, tag.payload())),
+            },
+            Err(_) => Classified::Unknown,
+        },
+        _ => Classified::Unknown,
+    }
+}
+
+fn classify_l4(header: &ipv4::Repr, payload: &[u8]) -> L4 {
+    match header.protocol {
+        ipv4::Protocol::Icmp => match icmp::Repr::parse(payload) {
+            Ok(repr) => L4::Icmp(repr),
+            Err(_) => L4::Other,
+        },
+        ipv4::Protocol::Udp => match udp::Packet::new_checked(payload)
+            .and_then(|p| udp::Repr::parse(&p, header.src, header.dst).map(|r| (r, p)))
+        {
+            Ok((repr, packet)) => L4::Udp {
+                src_port: repr.src_port,
+                dst_port: repr.dst_port,
+                payload: packet.payload().to_vec(),
+            },
+            Err(_) => L4::Other,
+        },
+        ipv4::Protocol::Tcp => match tcp::Packet::new_checked(payload)
+            .and_then(|p| tcp::Repr::parse(&p, header.src, header.dst).map(|r| (r, p)))
+        {
+            Ok((repr, packet)) => L4::Tcp {
+                repr,
+                payload: packet.payload().to_vec(),
+            },
+            Err(_) => L4::Other,
+        },
+        _ => L4::Other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bpdu::BridgeId;
+
+    const A_MAC: MacAddr = MacAddr([2, 0, 0, 0, 0, 1]);
+    const B_MAC: MacAddr = MacAddr([2, 0, 0, 0, 0, 2]);
+    const A_IP: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+    const B_IP: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
+
+    #[test]
+    fn classify_ping() {
+        let frame = icmp_echo_request(A_MAC, B_MAC, A_IP, B_IP, 7, 1, b"x", 64);
+        assert!(frame.len() >= ethernet::MIN_FRAME_LEN);
+        let (eth, class) = classify(&frame).unwrap();
+        assert_eq!(eth.src, A_MAC);
+        assert_eq!(eth.ethertype, EtherType::Ipv4);
+        match class {
+            Classified::Ipv4 {
+                header,
+                l4: L4::Icmp(icmp::Repr::EchoRequest { ident, .. }),
+            } => {
+                assert_eq!(header.src, A_IP);
+                assert_eq!(header.dst, B_IP);
+                assert_eq!(ident, 7);
+            }
+            other => panic!("unexpected classification: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn classify_arp() {
+        let frame = arp_request(A_MAC, A_IP, B_IP);
+        let (eth, class) = classify(&frame).unwrap();
+        assert_eq!(eth.dst, MacAddr::BROADCAST);
+        match class {
+            Classified::Arp(repr) => {
+                assert_eq!(repr.operation, arp::Operation::Request);
+                assert_eq!(repr.target_ip, B_IP);
+            }
+            other => panic!("unexpected classification: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn classify_udp_and_tcp() {
+        let frame = udp_frame(A_MAC, B_MAC, A_IP, B_IP, 1234, 53, b"hello", 64);
+        match classify(&frame).unwrap().1 {
+            Classified::Ipv4 {
+                l4:
+                    L4::Udp {
+                        src_port,
+                        dst_port,
+                        payload,
+                    },
+                ..
+            } => {
+                assert_eq!((src_port, dst_port), (1234, 53));
+                assert_eq!(payload, b"hello");
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+
+        let tr = tcp::Repr {
+            src_port: 40000,
+            dst_port: 22,
+            seq_number: 1,
+            ack_number: 0,
+            flags: tcp::Flags::SYN,
+            window: 1024,
+            payload_len: 0,
+        };
+        let frame = tcp_frame(A_MAC, B_MAC, A_IP, B_IP, &tr, b"", 64);
+        match classify(&frame).unwrap().1 {
+            Classified::Ipv4 {
+                l4: L4::Tcp { repr, .. },
+                ..
+            } => {
+                assert!(repr.flags.syn);
+                assert_eq!(repr.dst_port, 22);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn classify_bpdu() {
+        let repr = bpdu::Repr::Config {
+            tc: false,
+            tca: false,
+            root: BridgeId {
+                priority: 0x8000,
+                mac: *A_MAC.as_bytes(),
+            },
+            root_path_cost: 0,
+            bridge: BridgeId {
+                priority: 0x8000,
+                mac: *A_MAC.as_bytes(),
+            },
+            port_id: 0x8001,
+            message_age: 0,
+            max_age: 20 * 256,
+            hello_time: 2 * 256,
+            forward_delay: 15 * 256,
+        };
+        let frame = bpdu_frame(A_MAC, &repr);
+        let (eth, class) = classify(&frame).unwrap();
+        assert_eq!(eth.dst, MacAddr::STP_MULTICAST);
+        assert_eq!(class, Classified::Bpdu(repr));
+    }
+
+    #[test]
+    fn classify_vlan_tagged_ping() {
+        // Build an untagged ping, then re-wrap its L3 payload in a tag.
+        let plain = icmp_echo_request(A_MAC, B_MAC, A_IP, B_IP, 1, 1, b"", 64);
+        let plain_frame = Frame::new_checked(&plain[..]).unwrap();
+        // The padded frame payload includes pad bytes; IPv4 parsing bounds
+        // itself by total_len so they are harmless.
+        let frame = vlan_frame(A_MAC, B_MAC, 10, EtherType::Ipv4, plain_frame.payload());
+        match classify(&frame).unwrap().1 {
+            Classified::Vlan { vid, inner } => {
+                assert_eq!(vid, 10);
+                assert!(matches!(*inner, Classified::Ipv4 { .. }));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn classify_fhp_hello() {
+        let hello = fhp::Hello {
+            unit_id: 1,
+            role: fhp::Role::Active,
+            priority: 10,
+            serial: 3,
+        };
+        let frame = fhp_hello_frame(A_MAC, A_IP, &hello);
+        match classify(&frame).unwrap().1 {
+            Classified::Ipv4 {
+                l4: L4::Udp {
+                    dst_port, payload, ..
+                },
+                ..
+            } => {
+                assert_eq!(dst_port, fhp::FHP_PORT);
+                assert_eq!(fhp::Hello::parse(&payload).unwrap(), hello);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_inner_layers_degrade_to_unknown() {
+        let frame = ethernet_frame(A_MAC, B_MAC, EtherType::Ipv4, &[0xff; 10]);
+        let (_, class) = classify(&frame).unwrap();
+        assert_eq!(class, Classified::Unknown);
+    }
+
+    #[test]
+    fn truncated_ethernet_is_an_error() {
+        assert_eq!(classify(&[0u8; 5]).unwrap_err(), Error::Truncated);
+    }
+}

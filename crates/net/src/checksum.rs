@@ -1,0 +1,82 @@
+//! The Internet checksum (RFC 1071) used by IPv4, ICMP, UDP and TCP.
+
+use std::net::Ipv4Addr;
+
+/// Fold a 32-bit accumulator down to the 16-bit ones-complement sum.
+fn fold(mut acc: u32) -> u16 {
+    while acc >> 16 != 0 {
+        acc = (acc & 0xffff) + (acc >> 16);
+    }
+    acc as u16
+}
+
+/// Sum a byte slice as a sequence of big-endian 16-bit words (odd trailing
+/// byte padded with zero), without final complement. Composable: sums of
+/// separate regions may be added together before [`finish`].
+pub fn sum(data: &[u8]) -> u32 {
+    let mut acc = 0u32;
+    let mut chunks = data.chunks_exact(2);
+    for chunk in &mut chunks {
+        acc += u32::from(u16::from_be_bytes([chunk[0], chunk[1]]));
+    }
+    if let [last] = chunks.remainder() {
+        acc += u32::from(u16::from_be_bytes([*last, 0]));
+    }
+    acc
+}
+
+/// Complement a partial [`sum`] into the final checksum value.
+pub fn finish(acc: u32) -> u16 {
+    !fold(acc)
+}
+
+/// Checksum over one contiguous region.
+pub fn checksum(data: &[u8]) -> u16 {
+    finish(sum(data))
+}
+
+/// Partial sum of the IPv4 pseudo-header used by UDP and TCP.
+pub fn pseudo_header(src: Ipv4Addr, dst: Ipv4Addr, protocol: u8, length: u16) -> u32 {
+    sum(&src.octets()) + sum(&dst.octets()) + u32::from(protocol) + u32::from(length)
+}
+
+/// Verify a region whose checksum field is already filled in: the total sum
+/// must fold to `0xffff` (i.e. the complement folds to zero).
+pub fn verify(data: &[u8]) -> bool {
+    fold(sum(data)) == 0xffff
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc1071_example() {
+        // The worked example from RFC 1071 §3.
+        let data = [0x00u8, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        assert_eq!(fold(sum(&data)), 0xddf2);
+        assert_eq!(checksum(&data), !0xddf2);
+    }
+
+    #[test]
+    fn odd_length_pads_with_zero() {
+        assert_eq!(sum(&[0xab]), sum(&[0xab, 0x00]));
+    }
+
+    #[test]
+    fn verify_accepts_valid_region() {
+        let mut data = vec![
+            0x45u8, 0x00, 0x00, 0x14, 0x00, 0x00, 0x00, 0x00, 0x40, 0x01, 0, 0,
+        ];
+        let csum = checksum(&data);
+        data[10..12].copy_from_slice(&csum.to_be_bytes());
+        assert!(verify(&data));
+        data[0] ^= 0x10;
+        assert!(!verify(&data));
+    }
+
+    #[test]
+    fn empty_region_checksums_to_all_ones() {
+        assert_eq!(checksum(&[]), 0xffff);
+    }
+}

@@ -1,0 +1,37 @@
+//! Error type shared by all parsers in this crate.
+
+use core::fmt;
+
+/// Errors produced when parsing or emitting wire formats.
+///
+/// Parsers in this crate never panic on untrusted input; any structural
+/// problem is reported through this enum instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Error {
+    /// The buffer is too short to hold the claimed structure.
+    Truncated,
+    /// A field holds a value that the format forbids (bad version, bad
+    /// header length, reserved bits set where they must not be, …).
+    Malformed,
+    /// A checksum did not verify.
+    Checksum,
+    /// The structure is valid but uses a feature this crate does not
+    /// implement (e.g. an unknown ARP hardware type).
+    Unsupported,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Truncated => write!(f, "buffer truncated"),
+            Error::Malformed => write!(f, "malformed field"),
+            Error::Checksum => write!(f, "checksum mismatch"),
+            Error::Unsupported => write!(f, "unsupported feature"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Shorthand result alias used throughout `rnl-net`.
+pub type Result<T> = core::result::Result<T, Error>;

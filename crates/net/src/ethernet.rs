@@ -1,0 +1,212 @@
+//! Ethernet II frames (and the length-typed 802.3 variant used by BPDUs).
+//!
+//! RNL tunnels carry the complete frame from the destination-address byte
+//! onward (no preamble and no FCS, matching what libpcap delivers), so this
+//! module's notion of "frame" is exactly the unit that crosses a virtual
+//! wire.
+
+use crate::addr::{EtherType, MacAddr};
+use crate::error::{Error, Result};
+
+/// Minimum length of a frame header: dst(6) + src(6) + type(2).
+pub const HEADER_LEN: usize = 14;
+
+/// Minimum payload a real wire would carry (frames are padded to 64 bytes
+/// on the wire, 60 without FCS). The simulators do not require padding but
+/// the builders apply it for realism.
+pub const MIN_FRAME_LEN: usize = 60;
+
+/// Maximum standard (non-jumbo) frame length without FCS.
+pub const MAX_FRAME_LEN: usize = 1514;
+
+mod field {
+    use core::ops::{Range, RangeFrom};
+    pub const DST: Range<usize> = 0..6;
+    pub const SRC: Range<usize> = 6..12;
+    pub const ETHERTYPE: Range<usize> = 12..14;
+    pub const PAYLOAD: RangeFrom<usize> = 14..;
+}
+
+/// A zero-copy view of an Ethernet frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> Frame<T> {
+    /// Wrap a buffer without checking its length.
+    pub const fn new_unchecked(buffer: T) -> Frame<T> {
+        Frame { buffer }
+    }
+
+    /// Wrap a buffer, ensuring it is long enough for the fixed header.
+    pub fn new_checked(buffer: T) -> Result<Frame<T>> {
+        let frame = Frame::new_unchecked(buffer);
+        frame.check_len()?;
+        Ok(frame)
+    }
+
+    /// Ensure the buffer can hold at least the header.
+    pub fn check_len(&self) -> Result<()> {
+        if self.buffer.as_ref().len() < HEADER_LEN {
+            Err(Error::Truncated)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Consume the view, returning the underlying buffer.
+    pub fn into_inner(self) -> T {
+        self.buffer
+    }
+
+    /// Destination MAC address.
+    pub fn dst_addr(&self) -> MacAddr {
+        MacAddr::from_bytes(&self.buffer.as_ref()[field::DST]).expect("checked length")
+    }
+
+    /// Source MAC address.
+    pub fn src_addr(&self) -> MacAddr {
+        MacAddr::from_bytes(&self.buffer.as_ref()[field::SRC]).expect("checked length")
+    }
+
+    /// The raw two-byte type/length field.
+    pub fn type_len(&self) -> u16 {
+        let b = &self.buffer.as_ref()[field::ETHERTYPE];
+        u16::from_be_bytes([b[0], b[1]])
+    }
+
+    /// The EtherType, when this is an Ethernet II frame (`type_len >= 1536`).
+    /// 802.3 length-typed frames (BPDUs) report `None`.
+    pub fn ethertype(&self) -> Option<EtherType> {
+        let v = self.type_len();
+        if v >= 0x0600 {
+            Some(EtherType::from_u16(v))
+        } else {
+            None
+        }
+    }
+
+    /// True if this is an 802.3 length-typed frame (LLC follows), which is
+    /// how 802.1D spanning-tree BPDUs are carried.
+    pub fn is_length_typed(&self) -> bool {
+        self.type_len() < 0x0600
+    }
+
+    /// Payload following the 14-byte header.
+    pub fn payload(&self) -> &[u8] {
+        &self.buffer.as_ref()[field::PAYLOAD]
+    }
+
+    /// The whole frame as bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        self.buffer.as_ref()
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> Frame<T> {
+    /// Set the destination address.
+    pub fn set_dst_addr(&mut self, addr: MacAddr) {
+        self.buffer.as_mut()[field::DST].copy_from_slice(addr.as_bytes());
+    }
+
+    /// Set the source address.
+    pub fn set_src_addr(&mut self, addr: MacAddr) {
+        self.buffer.as_mut()[field::SRC].copy_from_slice(addr.as_bytes());
+    }
+
+    /// Set the type/length field.
+    pub fn set_type_len(&mut self, value: u16) {
+        self.buffer.as_mut()[field::ETHERTYPE].copy_from_slice(&value.to_be_bytes());
+    }
+
+    /// Mutable payload.
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        &mut self.buffer.as_mut()[field::PAYLOAD]
+    }
+}
+
+/// Owned representation of an Ethernet II header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Repr {
+    pub dst: MacAddr,
+    pub src: MacAddr,
+    pub ethertype: EtherType,
+}
+
+impl Repr {
+    /// Parse the header of a checked frame. Fails on 802.3 length-typed
+    /// frames, which have no EtherType (use [`Frame::is_length_typed`]).
+    pub fn parse<T: AsRef<[u8]>>(frame: &Frame<T>) -> Result<Repr> {
+        frame.check_len()?;
+        let ethertype = frame.ethertype().ok_or(Error::Unsupported)?;
+        Ok(Repr {
+            dst: frame.dst_addr(),
+            src: frame.src_addr(),
+            ethertype,
+        })
+    }
+
+    /// Length of the emitted header.
+    pub const fn buffer_len(&self) -> usize {
+        HEADER_LEN
+    }
+
+    /// Write the header into a frame buffer.
+    pub fn emit<T: AsRef<[u8]> + AsMut<[u8]>>(&self, frame: &mut Frame<T>) {
+        frame.set_dst_addr(self.dst);
+        frame.set_src_addr(self.src);
+        frame.set_type_len(self.ethertype.to_u16());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<u8> {
+        let mut buf = vec![0u8; HEADER_LEN + 4];
+        let mut f = Frame::new_unchecked(&mut buf[..]);
+        Repr {
+            dst: MacAddr::BROADCAST,
+            src: MacAddr::derived(7, 2),
+            ethertype: EtherType::Arp,
+        }
+        .emit(&mut f);
+        f.payload_mut().copy_from_slice(&[1, 2, 3, 4]);
+        buf
+    }
+
+    #[test]
+    fn parse_emit_roundtrip() {
+        let buf = sample();
+        let f = Frame::new_checked(&buf[..]).unwrap();
+        let r = Repr::parse(&f).unwrap();
+        assert_eq!(r.dst, MacAddr::BROADCAST);
+        assert_eq!(r.src, MacAddr::derived(7, 2));
+        assert_eq!(r.ethertype, EtherType::Arp);
+        assert_eq!(f.payload(), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn short_buffer_is_rejected() {
+        assert_eq!(
+            Frame::new_checked(&[0u8; 13][..]).unwrap_err(),
+            Error::Truncated
+        );
+        assert!(Frame::new_checked(&[0u8; 14][..]).is_ok());
+    }
+
+    #[test]
+    fn length_typed_frames_have_no_ethertype() {
+        let mut buf = sample();
+        {
+            let mut f = Frame::new_unchecked(&mut buf[..]);
+            f.set_type_len(0x0026); // 802.3 length
+        }
+        let f = Frame::new_checked(&buf[..]).unwrap();
+        assert!(f.is_length_typed());
+        assert_eq!(f.ethertype(), None);
+        assert_eq!(Repr::parse(&f).unwrap_err(), Error::Unsupported);
+    }
+}

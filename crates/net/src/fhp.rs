@@ -1,0 +1,148 @@
+//! FHP — the failover hello protocol spoken by the FWSM-style firewall
+//! modules over their dedicated failover VLANs (Fig. 5 of the paper: "They
+//! are interconnected on VLAN 10 and 11 so that they can monitor each
+//! other for health").
+//!
+//! The real Catalyst/FWSM failover protocol is proprietary; this is a
+//! faithful-in-shape substitute: periodic hellos carrying unit id, role
+//! (active/standby), priority and a monotonically increasing serial, sent
+//! as UDP datagrams to a well-known port on the failover VLAN. Losing
+//! hellos for `hold_time` triggers a takeover — the behaviour the Fig. 5
+//! lab exists to exercise.
+
+use crate::error::{Error, Result};
+
+/// UDP port FHP hellos are addressed to.
+pub const FHP_PORT: u16 = 3851;
+
+/// Wire length of an FHP hello.
+pub const HELLO_LEN: usize = 16;
+
+/// Magic prefix identifying FHP datagrams.
+pub const MAGIC: [u8; 4] = *b"FHP1";
+
+/// The role a failover unit currently claims.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    Active,
+    Standby,
+}
+
+impl Role {
+    fn to_u8(self) -> u8 {
+        match self {
+            Role::Active => 1,
+            Role::Standby => 2,
+        }
+    }
+
+    fn from_u8(v: u8) -> Result<Role> {
+        match v {
+            1 => Ok(Role::Active),
+            2 => Ok(Role::Standby),
+            _ => Err(Error::Malformed),
+        }
+    }
+}
+
+/// An FHP hello message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hello {
+    /// Failover unit identifier (stable per chassis).
+    pub unit_id: u32,
+    /// Claimed role.
+    pub role: Role,
+    /// Failover priority; higher wins when both claim active.
+    pub priority: u8,
+    /// Monotonic hello counter, used to detect restarts.
+    pub serial: u32,
+}
+
+impl Hello {
+    /// Parse a hello from a UDP payload.
+    pub fn parse(data: &[u8]) -> Result<Hello> {
+        if data.len() < HELLO_LEN {
+            return Err(Error::Truncated);
+        }
+        if data[0..4] != MAGIC {
+            return Err(Error::Unsupported);
+        }
+        Ok(Hello {
+            unit_id: u32::from_be_bytes([data[4], data[5], data[6], data[7]]),
+            role: Role::from_u8(data[8])?,
+            priority: data[9],
+            serial: u32::from_be_bytes([data[12], data[13], data[14], data[15]]),
+        })
+    }
+
+    /// Length of the emitted hello.
+    pub const fn buffer_len(&self) -> usize {
+        HELLO_LEN
+    }
+
+    /// Emit into `buf`; returns the emitted length.
+    pub fn emit(&self, buf: &mut [u8]) -> Result<usize> {
+        if buf.len() < HELLO_LEN {
+            return Err(Error::Truncated);
+        }
+        buf[0..4].copy_from_slice(&MAGIC);
+        buf[4..8].copy_from_slice(&self.unit_id.to_be_bytes());
+        buf[8] = self.role.to_u8();
+        buf[9] = self.priority;
+        buf[10] = 0;
+        buf[11] = 0;
+        buf[12..16].copy_from_slice(&self.serial.to_be_bytes());
+        Ok(HELLO_LEN)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hello_roundtrip() {
+        let hello = Hello {
+            unit_id: 77,
+            role: Role::Standby,
+            priority: 100,
+            serial: 424242,
+        };
+        let mut buf = [0u8; HELLO_LEN];
+        assert_eq!(hello.emit(&mut buf).unwrap(), HELLO_LEN);
+        assert_eq!(Hello::parse(&buf).unwrap(), hello);
+    }
+
+    #[test]
+    fn wrong_magic_rejected() {
+        let hello = Hello {
+            unit_id: 1,
+            role: Role::Active,
+            priority: 1,
+            serial: 1,
+        };
+        let mut buf = [0u8; HELLO_LEN];
+        hello.emit(&mut buf).unwrap();
+        buf[0] = b'X';
+        assert_eq!(Hello::parse(&buf), Err(Error::Unsupported));
+    }
+
+    #[test]
+    fn bad_role_rejected() {
+        let hello = Hello {
+            unit_id: 1,
+            role: Role::Active,
+            priority: 1,
+            serial: 1,
+        };
+        let mut buf = [0u8; HELLO_LEN];
+        hello.emit(&mut buf).unwrap();
+        buf[8] = 9;
+        assert_eq!(Hello::parse(&buf), Err(Error::Malformed));
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        assert_eq!(Hello::parse(&MAGIC), Err(Error::Truncated));
+    }
+}

@@ -1,0 +1,235 @@
+//! ICMPv4 (RFC 792): echo request/reply plus the unreachable and
+//! time-exceeded errors the simulated routers generate.
+
+use crate::checksum;
+use crate::error::{Error, Result};
+
+/// Minimum ICMP message length (header only).
+pub const HEADER_LEN: usize = 8;
+
+/// The ICMP messages the lab devices understand.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Repr {
+    EchoRequest {
+        ident: u16,
+        seq_no: u16,
+        data: Vec<u8>,
+    },
+    EchoReply {
+        ident: u16,
+        seq_no: u16,
+        data: Vec<u8>,
+    },
+    /// Destination unreachable; `code` distinguishes net/host/port/
+    /// admin-prohibited, `invoking` holds the original IP header + 8 bytes.
+    DstUnreachable { code: u8, invoking: Vec<u8> },
+    /// TTL exceeded in transit.
+    TimeExceeded { invoking: Vec<u8> },
+}
+
+/// Destination-unreachable code: network unreachable.
+pub const UNREACH_NET: u8 = 0;
+/// Destination-unreachable code: host unreachable.
+pub const UNREACH_HOST: u8 = 1;
+/// Destination-unreachable code: port unreachable.
+pub const UNREACH_PORT: u8 = 3;
+/// Destination-unreachable code: communication administratively prohibited
+/// (what an ACL deny generates).
+pub const UNREACH_ADMIN: u8 = 13;
+
+impl Repr {
+    /// Parse an ICMP message, verifying its checksum.
+    pub fn parse(data: &[u8]) -> Result<Repr> {
+        if data.len() < HEADER_LEN {
+            return Err(Error::Truncated);
+        }
+        if !checksum::verify(data) {
+            return Err(Error::Checksum);
+        }
+        let ty = data[0];
+        let code = data[1];
+        let rest = &data[4..];
+        match (ty, code) {
+            (8, 0) | (0, 0) => {
+                let ident = u16::from_be_bytes([rest[0], rest[1]]);
+                let seq_no = u16::from_be_bytes([rest[2], rest[3]]);
+                let body = rest[4..].to_vec();
+                if ty == 8 {
+                    Ok(Repr::EchoRequest {
+                        ident,
+                        seq_no,
+                        data: body,
+                    })
+                } else {
+                    Ok(Repr::EchoReply {
+                        ident,
+                        seq_no,
+                        data: body,
+                    })
+                }
+            }
+            (3, code) => Ok(Repr::DstUnreachable {
+                code,
+                invoking: rest[4..].to_vec(),
+            }),
+            (11, 0) => Ok(Repr::TimeExceeded {
+                invoking: rest[4..].to_vec(),
+            }),
+            _ => Err(Error::Unsupported),
+        }
+    }
+
+    /// Length of the emitted message.
+    pub fn buffer_len(&self) -> usize {
+        match self {
+            Repr::EchoRequest { data, .. } | Repr::EchoReply { data, .. } => {
+                HEADER_LEN + data.len()
+            }
+            Repr::DstUnreachable { invoking, .. } | Repr::TimeExceeded { invoking } => {
+                HEADER_LEN + invoking.len()
+            }
+        }
+    }
+
+    /// Emit the message (with checksum) into `buf`, which must be at least
+    /// [`Repr::buffer_len`] long. Returns the emitted length.
+    pub fn emit(&self, buf: &mut [u8]) -> Result<usize> {
+        let len = self.buffer_len();
+        if buf.len() < len {
+            return Err(Error::Truncated);
+        }
+        let out = &mut buf[..len];
+        out.fill(0);
+        match self {
+            Repr::EchoRequest {
+                ident,
+                seq_no,
+                data,
+            }
+            | Repr::EchoReply {
+                ident,
+                seq_no,
+                data,
+            } => {
+                out[0] = if matches!(self, Repr::EchoRequest { .. }) {
+                    8
+                } else {
+                    0
+                };
+                out[4..6].copy_from_slice(&ident.to_be_bytes());
+                out[6..8].copy_from_slice(&seq_no.to_be_bytes());
+                out[8..].copy_from_slice(data);
+            }
+            Repr::DstUnreachable { code, invoking } => {
+                out[0] = 3;
+                out[1] = *code;
+                out[8..].copy_from_slice(invoking);
+            }
+            Repr::TimeExceeded { invoking } => {
+                out[0] = 11;
+                out[8..].copy_from_slice(invoking);
+            }
+        }
+        let csum = checksum::checksum(out);
+        out[2..4].copy_from_slice(&csum.to_be_bytes());
+        Ok(len)
+    }
+
+    /// Build the reply to an echo request; `None` for other messages.
+    pub fn reply(&self) -> Option<Repr> {
+        match self {
+            Repr::EchoRequest {
+                ident,
+                seq_no,
+                data,
+            } => Some(Repr::EchoReply {
+                ident: *ident,
+                seq_no: *seq_no,
+                data: data.clone(),
+            }),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(repr: Repr) {
+        let mut buf = vec![0u8; repr.buffer_len()];
+        let n = repr.emit(&mut buf).unwrap();
+        assert_eq!(n, buf.len());
+        assert_eq!(Repr::parse(&buf).unwrap(), repr);
+    }
+
+    #[test]
+    fn echo_roundtrip() {
+        roundtrip(Repr::EchoRequest {
+            ident: 0x42,
+            seq_no: 7,
+            data: b"abcdefgh".to_vec(),
+        });
+        roundtrip(Repr::EchoReply {
+            ident: 0x42,
+            seq_no: 7,
+            data: vec![],
+        });
+    }
+
+    #[test]
+    fn error_messages_roundtrip() {
+        roundtrip(Repr::DstUnreachable {
+            code: UNREACH_ADMIN,
+            invoking: vec![0x45; 28],
+        });
+        roundtrip(Repr::TimeExceeded {
+            invoking: vec![1; 28],
+        });
+    }
+
+    #[test]
+    fn echo_request_reply_pairing() {
+        let req = Repr::EchoRequest {
+            ident: 1,
+            seq_no: 2,
+            data: vec![9],
+        };
+        let rep = req.reply().unwrap();
+        assert_eq!(
+            rep,
+            Repr::EchoReply {
+                ident: 1,
+                seq_no: 2,
+                data: vec![9]
+            }
+        );
+        assert!(rep.reply().is_none());
+    }
+
+    #[test]
+    fn bad_checksum_rejected() {
+        let req = Repr::EchoRequest {
+            ident: 1,
+            seq_no: 2,
+            data: vec![],
+        };
+        let mut buf = vec![0u8; req.buffer_len()];
+        req.emit(&mut buf).unwrap();
+        buf[5] ^= 1;
+        assert_eq!(Repr::parse(&buf), Err(Error::Checksum));
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        assert_eq!(Repr::parse(&[8, 0, 0]), Err(Error::Truncated));
+    }
+
+    #[test]
+    fn unknown_type_rejected() {
+        let mut buf = vec![13u8, 0, 0, 0, 0, 0, 0, 0];
+        let csum = checksum::checksum(&buf);
+        buf[2..4].copy_from_slice(&csum.to_be_bytes());
+        assert_eq!(Repr::parse(&buf), Err(Error::Unsupported));
+    }
+}

@@ -1,0 +1,338 @@
+//! IPv4 headers (RFC 791) with checksum generation and validation.
+
+use std::net::Ipv4Addr;
+
+use crate::checksum;
+use crate::error::{Error, Result};
+
+/// Minimum header length (no options).
+pub const MIN_HEADER_LEN: usize = 20;
+
+/// IP protocol numbers used in RNL labs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Protocol {
+    Icmp,
+    Tcp,
+    Udp,
+    Other(u8),
+}
+
+impl Protocol {
+    /// Decode from the wire value.
+    pub fn from_u8(v: u8) -> Protocol {
+        match v {
+            1 => Protocol::Icmp,
+            6 => Protocol::Tcp,
+            17 => Protocol::Udp,
+            other => Protocol::Other(other),
+        }
+    }
+
+    /// Encode to the wire value.
+    pub fn to_u8(self) -> u8 {
+        match self {
+            Protocol::Icmp => 1,
+            Protocol::Tcp => 6,
+            Protocol::Udp => 17,
+            Protocol::Other(v) => v,
+        }
+    }
+}
+
+mod field {
+    use core::ops::Range;
+    pub const VER_IHL: usize = 0;
+    pub const DSCP_ECN: usize = 1;
+    pub const LENGTH: Range<usize> = 2..4;
+    pub const IDENT: Range<usize> = 4..6;
+    pub const FLAGS_FRAG: Range<usize> = 6..8;
+    pub const TTL: usize = 8;
+    pub const PROTOCOL: usize = 9;
+    pub const CHECKSUM: Range<usize> = 10..12;
+    pub const SRC: Range<usize> = 12..16;
+    pub const DST: Range<usize> = 16..20;
+}
+
+/// A zero-copy view of an IPv4 packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> Packet<T> {
+    /// Wrap without validation.
+    pub const fn new_unchecked(buffer: T) -> Packet<T> {
+        Packet { buffer }
+    }
+
+    /// Wrap and validate structure: version, header length, total length.
+    pub fn new_checked(buffer: T) -> Result<Packet<T>> {
+        let packet = Packet::new_unchecked(buffer);
+        packet.check_len()?;
+        Ok(packet)
+    }
+
+    /// Validate version, header length and total length against the buffer.
+    pub fn check_len(&self) -> Result<()> {
+        let data = self.buffer.as_ref();
+        if data.len() < MIN_HEADER_LEN {
+            return Err(Error::Truncated);
+        }
+        if self.version() != 4 {
+            return Err(Error::Malformed);
+        }
+        let hl = self.header_len();
+        if hl < MIN_HEADER_LEN || data.len() < hl {
+            return Err(Error::Malformed);
+        }
+        let total = self.total_len() as usize;
+        if total < hl || data.len() < total {
+            return Err(Error::Truncated);
+        }
+        Ok(())
+    }
+
+    /// IP version (top nibble of the first byte).
+    pub fn version(&self) -> u8 {
+        self.buffer.as_ref()[field::VER_IHL] >> 4
+    }
+
+    /// Header length in bytes.
+    pub fn header_len(&self) -> usize {
+        usize::from(self.buffer.as_ref()[field::VER_IHL] & 0x0f) * 4
+    }
+
+    /// Total packet length claimed by the header.
+    pub fn total_len(&self) -> u16 {
+        let b = &self.buffer.as_ref()[field::LENGTH];
+        u16::from_be_bytes([b[0], b[1]])
+    }
+
+    /// Identification field.
+    pub fn ident(&self) -> u16 {
+        let b = &self.buffer.as_ref()[field::IDENT];
+        u16::from_be_bytes([b[0], b[1]])
+    }
+
+    /// Don't-fragment flag.
+    pub fn dont_frag(&self) -> bool {
+        self.buffer.as_ref()[field::FLAGS_FRAG.start] & 0x40 != 0
+    }
+
+    /// Time to live.
+    pub fn ttl(&self) -> u8 {
+        self.buffer.as_ref()[field::TTL]
+    }
+
+    /// The payload protocol.
+    pub fn protocol(&self) -> Protocol {
+        Protocol::from_u8(self.buffer.as_ref()[field::PROTOCOL])
+    }
+
+    /// Header checksum field.
+    pub fn header_checksum(&self) -> u16 {
+        let b = &self.buffer.as_ref()[field::CHECKSUM];
+        u16::from_be_bytes([b[0], b[1]])
+    }
+
+    /// Source address.
+    pub fn src_addr(&self) -> Ipv4Addr {
+        let b = &self.buffer.as_ref()[field::SRC];
+        Ipv4Addr::new(b[0], b[1], b[2], b[3])
+    }
+
+    /// Destination address.
+    pub fn dst_addr(&self) -> Ipv4Addr {
+        let b = &self.buffer.as_ref()[field::DST];
+        Ipv4Addr::new(b[0], b[1], b[2], b[3])
+    }
+
+    /// Verify the header checksum.
+    pub fn verify_checksum(&self) -> bool {
+        checksum::verify(&self.buffer.as_ref()[..self.header_len()])
+    }
+
+    /// Payload after the header, bounded by the total-length field.
+    pub fn payload(&self) -> &[u8] {
+        let hl = self.header_len();
+        let total = self.total_len() as usize;
+        &self.buffer.as_ref()[hl..total]
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> Packet<T> {
+    fn set_u16(&mut self, range: core::ops::Range<usize>, v: u16) {
+        self.buffer.as_mut()[range].copy_from_slice(&v.to_be_bytes());
+    }
+
+    /// Set TTL (used by routers when forwarding).
+    pub fn set_ttl(&mut self, ttl: u8) {
+        self.buffer.as_mut()[field::TTL] = ttl;
+    }
+
+    /// Recompute and store the header checksum.
+    pub fn fill_checksum(&mut self) {
+        self.set_u16(field::CHECKSUM, 0);
+        let hl = self.header_len();
+        let csum = checksum::checksum(&self.buffer.as_ref()[..hl]);
+        self.set_u16(field::CHECKSUM, csum);
+    }
+
+    /// Decrement TTL and refresh the checksum, as a forwarding router does.
+    /// Returns `false` when the TTL has expired (packet must be dropped).
+    pub fn decrement_ttl(&mut self) -> bool {
+        let ttl = self.buffer.as_ref()[field::TTL];
+        if ttl <= 1 {
+            return false;
+        }
+        self.set_ttl(ttl - 1);
+        self.fill_checksum();
+        true
+    }
+
+    /// Mutable payload.
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        let hl = self.header_len();
+        let total = self.total_len() as usize;
+        &mut self.buffer.as_mut()[hl..total]
+    }
+}
+
+/// Owned representation of an IPv4 header (options unsupported).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Repr {
+    pub src: Ipv4Addr,
+    pub dst: Ipv4Addr,
+    pub protocol: Protocol,
+    pub ttl: u8,
+    pub ident: u16,
+    pub dont_frag: bool,
+    pub payload_len: usize,
+}
+
+impl Repr {
+    /// Parse a checked packet, verifying the checksum.
+    pub fn parse<T: AsRef<[u8]>>(packet: &Packet<T>) -> Result<Repr> {
+        packet.check_len()?;
+        if !packet.verify_checksum() {
+            return Err(Error::Checksum);
+        }
+        Ok(Repr {
+            src: packet.src_addr(),
+            dst: packet.dst_addr(),
+            protocol: packet.protocol(),
+            ttl: packet.ttl(),
+            ident: packet.ident(),
+            dont_frag: packet.dont_frag(),
+            payload_len: packet.total_len() as usize - packet.header_len(),
+        })
+    }
+
+    /// Total emitted length: header + payload.
+    pub const fn buffer_len(&self) -> usize {
+        MIN_HEADER_LEN + self.payload_len
+    }
+
+    /// Emit the header (no options) and fill the checksum. The caller then
+    /// writes `payload_len` bytes of payload via [`Packet::payload_mut`].
+    pub fn emit<T: AsRef<[u8]> + AsMut<[u8]>>(&self, packet: &mut Packet<T>) {
+        let buf = packet.buffer.as_mut();
+        buf[field::VER_IHL] = 0x45;
+        buf[field::DSCP_ECN] = 0;
+        packet.set_u16(field::LENGTH, (MIN_HEADER_LEN + self.payload_len) as u16);
+        packet.set_u16(field::IDENT, self.ident);
+        packet.set_u16(field::FLAGS_FRAG, if self.dont_frag { 0x4000 } else { 0 });
+        packet.buffer.as_mut()[field::TTL] = self.ttl;
+        packet.buffer.as_mut()[field::PROTOCOL] = self.protocol.to_u8();
+        packet.buffer.as_mut()[field::SRC].copy_from_slice(&self.src.octets());
+        packet.buffer.as_mut()[field::DST].copy_from_slice(&self.dst.octets());
+        packet.fill_checksum();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_repr() -> Repr {
+        Repr {
+            src: "10.0.0.1".parse().unwrap(),
+            dst: "10.0.1.1".parse().unwrap(),
+            protocol: Protocol::Udp,
+            ttl: 64,
+            ident: 0x1234,
+            dont_frag: true,
+            payload_len: 8,
+        }
+    }
+
+    fn emitted() -> Vec<u8> {
+        let repr = sample_repr();
+        let mut buf = vec![0u8; repr.buffer_len()];
+        let mut p = Packet::new_unchecked(&mut buf[..]);
+        repr.emit(&mut p);
+        p.payload_mut().copy_from_slice(b"payload!");
+        buf
+    }
+
+    #[test]
+    fn parse_emit_roundtrip() {
+        let buf = emitted();
+        let p = Packet::new_checked(&buf[..]).unwrap();
+        let r = Repr::parse(&p).unwrap();
+        assert_eq!(r, sample_repr());
+        assert_eq!(p.payload(), b"payload!");
+    }
+
+    #[test]
+    fn corrupted_checksum_detected() {
+        let mut buf = emitted();
+        buf[13] ^= 0xff; // flip a source-address byte
+        let p = Packet::new_checked(&buf[..]).unwrap();
+        assert_eq!(Repr::parse(&p), Err(Error::Checksum));
+    }
+
+    #[test]
+    fn ttl_decrement_refreshes_checksum() {
+        let mut buf = emitted();
+        {
+            let mut p = Packet::new_unchecked(&mut buf[..]);
+            assert!(p.decrement_ttl());
+        }
+        let p = Packet::new_checked(&buf[..]).unwrap();
+        assert_eq!(p.ttl(), 63);
+        assert!(p.verify_checksum());
+    }
+
+    #[test]
+    fn ttl_expiry() {
+        let mut buf = emitted();
+        let mut p = Packet::new_unchecked(&mut buf[..]);
+        p.set_ttl(1);
+        assert!(!p.decrement_ttl());
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let mut buf = emitted();
+        buf[0] = 0x65; // version 6
+        assert_eq!(Packet::new_checked(&buf[..]).unwrap_err(), Error::Malformed);
+    }
+
+    #[test]
+    fn total_len_beyond_buffer_rejected() {
+        let mut buf = emitted();
+        buf[2] = 0xff;
+        buf[3] = 0xff;
+        assert_eq!(Packet::new_checked(&buf[..]).unwrap_err(), Error::Truncated);
+    }
+
+    #[test]
+    fn payload_respects_total_len() {
+        // Frame padding after the IP datagram must not leak into payload().
+        let mut buf = emitted();
+        buf.extend_from_slice(&[0u8; 10]); // Ethernet pad bytes
+        let p = Packet::new_checked(&buf[..]).unwrap();
+        assert_eq!(p.payload(), b"payload!");
+    }
+}

@@ -1,0 +1,196 @@
+//! RIPv2 (RFC 2453) — the distance-vector routing protocol the lab
+//! routers can run.
+//!
+//! The paper's Fig. 6 scenario turns on routing *changing underneath a
+//! static security policy* ("when a new link is added between R3 and
+//! R4 … packets from subnet A are routed through R3 and R4"). With a
+//! dynamic routing protocol in the lab, that re-routing happens by
+//! itself — which is precisely why the paper wants configuration tests
+//! run "whenever a topology or configuration change happens". This
+//! module is the wire format; the protocol state machine lives in
+//! `rnl_device::router`.
+
+use std::net::Ipv4Addr;
+
+use crate::error::{Error, Result};
+
+/// UDP port RIP speaks on.
+pub const RIP_PORT: u16 = 520;
+
+/// The RIPv2 multicast group.
+pub const RIP_MCAST_IP: Ipv4Addr = Ipv4Addr::new(224, 0, 0, 9);
+
+/// The multicast MAC for 224.0.0.9.
+pub const RIP_MCAST_MAC: [u8; 6] = [0x01, 0x00, 0x5e, 0x00, 0x00, 0x09];
+
+/// Metric meaning "unreachable".
+pub const INFINITY: u32 = 16;
+
+/// Maximum entries per RIP message (RFC limit: 25).
+pub const MAX_ENTRIES: usize = 25;
+
+/// RIP command field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Command {
+    /// Ask for the full table.
+    Request,
+    /// Advertise routes.
+    Response,
+}
+
+/// One route entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Entry {
+    pub prefix: Ipv4Addr,
+    pub mask: Ipv4Addr,
+    /// 0.0.0.0 ⇒ "via the sender".
+    pub next_hop: Ipv4Addr,
+    /// 1..=16; 16 = unreachable (route poisoning).
+    pub metric: u32,
+}
+
+/// A RIP message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet {
+    pub command: Command,
+    pub entries: Vec<Entry>,
+}
+
+const HEADER_LEN: usize = 4;
+const ENTRY_LEN: usize = 20;
+
+impl Packet {
+    /// Parse from a UDP payload.
+    pub fn parse(data: &[u8]) -> Result<Packet> {
+        if data.len() < HEADER_LEN {
+            return Err(Error::Truncated);
+        }
+        let command = match data[0] {
+            1 => Command::Request,
+            2 => Command::Response,
+            _ => return Err(Error::Unsupported),
+        };
+        if data[1] != 2 {
+            // RIPv1 and others unsupported.
+            return Err(Error::Unsupported);
+        }
+        let body = &data[HEADER_LEN..];
+        if !body.len().is_multiple_of(ENTRY_LEN) {
+            return Err(Error::Malformed);
+        }
+        let count = body.len() / ENTRY_LEN;
+        if count > MAX_ENTRIES {
+            return Err(Error::Malformed);
+        }
+        let mut entries = Vec::with_capacity(count);
+        for chunk in body.chunks_exact(ENTRY_LEN) {
+            let afi = u16::from_be_bytes([chunk[0], chunk[1]]);
+            if afi != 2 {
+                return Err(Error::Unsupported);
+            }
+            let metric = u32::from_be_bytes([chunk[16], chunk[17], chunk[18], chunk[19]]);
+            if metric == 0 || metric > INFINITY {
+                return Err(Error::Malformed);
+            }
+            entries.push(Entry {
+                prefix: Ipv4Addr::new(chunk[4], chunk[5], chunk[6], chunk[7]),
+                mask: Ipv4Addr::new(chunk[8], chunk[9], chunk[10], chunk[11]),
+                next_hop: Ipv4Addr::new(chunk[12], chunk[13], chunk[14], chunk[15]),
+                metric,
+            });
+        }
+        Ok(Packet { command, entries })
+    }
+
+    /// Emitted length.
+    pub fn buffer_len(&self) -> usize {
+        HEADER_LEN + self.entries.len() * ENTRY_LEN
+    }
+
+    /// Emit into `buf`; returns the emitted length.
+    pub fn emit(&self, buf: &mut [u8]) -> Result<usize> {
+        let len = self.buffer_len();
+        if buf.len() < len {
+            return Err(Error::Truncated);
+        }
+        buf[0] = match self.command {
+            Command::Request => 1,
+            Command::Response => 2,
+        };
+        buf[1] = 2; // version
+        buf[2] = 0;
+        buf[3] = 0;
+        for (i, e) in self.entries.iter().enumerate() {
+            let chunk = &mut buf[HEADER_LEN + i * ENTRY_LEN..HEADER_LEN + (i + 1) * ENTRY_LEN];
+            chunk[0..2].copy_from_slice(&2u16.to_be_bytes()); // AFI = IP
+            chunk[2..4].copy_from_slice(&0u16.to_be_bytes()); // route tag
+            chunk[4..8].copy_from_slice(&e.prefix.octets());
+            chunk[8..12].copy_from_slice(&e.mask.octets());
+            chunk[12..16].copy_from_slice(&e.next_hop.octets());
+            chunk[16..20].copy_from_slice(&e.metric.to_be_bytes());
+        }
+        Ok(len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Packet {
+        Packet {
+            command: Command::Response,
+            entries: vec![
+                Entry {
+                    prefix: Ipv4Addr::new(10, 1, 0, 0),
+                    mask: Ipv4Addr::new(255, 255, 0, 0),
+                    next_hop: Ipv4Addr::UNSPECIFIED,
+                    metric: 1,
+                },
+                Entry {
+                    prefix: Ipv4Addr::new(192, 168, 34, 0),
+                    mask: Ipv4Addr::new(255, 255, 255, 0),
+                    next_hop: Ipv4Addr::new(192, 168, 13, 3),
+                    metric: 16,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let p = sample();
+        let mut buf = vec![0u8; p.buffer_len()];
+        assert_eq!(p.emit(&mut buf).unwrap(), 4 + 2 * 20);
+        assert_eq!(Packet::parse(&buf).unwrap(), p);
+    }
+
+    #[test]
+    fn empty_response_roundtrip() {
+        let p = Packet {
+            command: Command::Request,
+            entries: vec![],
+        };
+        let mut buf = vec![0u8; p.buffer_len()];
+        p.emit(&mut buf).unwrap();
+        assert_eq!(Packet::parse(&buf).unwrap(), p);
+    }
+
+    #[test]
+    fn rejects_bad_version_command_metric() {
+        let p = sample();
+        let mut buf = vec![0u8; p.buffer_len()];
+        p.emit(&mut buf).unwrap();
+        let mut v1 = buf.clone();
+        v1[1] = 1;
+        assert_eq!(Packet::parse(&v1), Err(Error::Unsupported));
+        let mut badcmd = buf.clone();
+        badcmd[0] = 7;
+        assert_eq!(Packet::parse(&badcmd), Err(Error::Unsupported));
+        let mut badmetric = buf.clone();
+        badmetric[4 + 16..4 + 20].copy_from_slice(&17u32.to_be_bytes());
+        assert_eq!(Packet::parse(&badmetric), Err(Error::Malformed));
+        // Ragged body.
+        assert_eq!(Packet::parse(&buf[..10]), Err(Error::Malformed));
+    }
+}

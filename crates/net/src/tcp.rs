@@ -1,0 +1,326 @@
+//! TCP segment headers (RFC 793). The lab devices do not terminate TCP —
+//! they filter and forward it — so only header parsing/emission and flag
+//! handling are needed; no state machine lives here. (The stateful firewall
+//! in `rnl-device` builds its connection tracking on top of these flags.)
+
+use std::net::Ipv4Addr;
+
+use crate::checksum;
+use crate::error::{Error, Result};
+use crate::ipv4::Protocol;
+
+/// Minimum TCP header length (no options).
+pub const MIN_HEADER_LEN: usize = 20;
+
+mod field {
+    use core::ops::Range;
+    pub const SRC_PORT: Range<usize> = 0..2;
+    pub const DST_PORT: Range<usize> = 2..4;
+    pub const SEQ: Range<usize> = 4..8;
+    pub const ACK: Range<usize> = 8..12;
+    pub const DATA_OFF: usize = 12;
+    pub const FLAGS: usize = 13;
+    pub const WINDOW: Range<usize> = 14..16;
+    pub const CHECKSUM: Range<usize> = 16..18;
+}
+
+/// TCP flag bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Flags {
+    pub fin: bool,
+    pub syn: bool,
+    pub rst: bool,
+    pub psh: bool,
+    pub ack: bool,
+    pub urg: bool,
+}
+
+impl Flags {
+    /// Decode from the flags byte.
+    pub fn from_u8(v: u8) -> Flags {
+        Flags {
+            fin: v & 0x01 != 0,
+            syn: v & 0x02 != 0,
+            rst: v & 0x04 != 0,
+            psh: v & 0x08 != 0,
+            ack: v & 0x10 != 0,
+            urg: v & 0x20 != 0,
+        }
+    }
+
+    /// Encode to the flags byte.
+    pub fn to_u8(self) -> u8 {
+        u8::from(self.fin)
+            | u8::from(self.syn) << 1
+            | u8::from(self.rst) << 2
+            | u8::from(self.psh) << 3
+            | u8::from(self.ack) << 4
+            | u8::from(self.urg) << 5
+    }
+
+    /// A bare SYN (connection initiation) — what stateful firewalls watch.
+    pub const SYN: Flags = Flags {
+        fin: false,
+        syn: true,
+        rst: false,
+        psh: false,
+        ack: false,
+        urg: false,
+    };
+    /// SYN+ACK.
+    pub const SYN_ACK: Flags = Flags {
+        fin: false,
+        syn: true,
+        rst: false,
+        psh: false,
+        ack: true,
+        urg: false,
+    };
+    /// Bare ACK.
+    pub const ACK: Flags = Flags {
+        fin: false,
+        syn: false,
+        rst: false,
+        psh: false,
+        ack: true,
+        urg: false,
+    };
+    /// RST.
+    pub const RST: Flags = Flags {
+        fin: false,
+        syn: false,
+        rst: true,
+        psh: false,
+        ack: false,
+        urg: false,
+    };
+}
+
+/// A zero-copy view of a TCP segment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> Packet<T> {
+    /// Wrap without validation.
+    pub const fn new_unchecked(buffer: T) -> Packet<T> {
+        Packet { buffer }
+    }
+
+    /// Wrap and validate lengths.
+    pub fn new_checked(buffer: T) -> Result<Packet<T>> {
+        let packet = Packet::new_unchecked(buffer);
+        packet.check_len()?;
+        Ok(packet)
+    }
+
+    /// Validate header presence and the data-offset field.
+    pub fn check_len(&self) -> Result<()> {
+        let data = self.buffer.as_ref();
+        if data.len() < MIN_HEADER_LEN {
+            return Err(Error::Truncated);
+        }
+        let hl = self.header_len();
+        if hl < MIN_HEADER_LEN {
+            return Err(Error::Malformed);
+        }
+        if data.len() < hl {
+            return Err(Error::Truncated);
+        }
+        Ok(())
+    }
+
+    fn u16_at(&self, range: core::ops::Range<usize>) -> u16 {
+        let b = &self.buffer.as_ref()[range];
+        u16::from_be_bytes([b[0], b[1]])
+    }
+
+    fn u32_at(&self, range: core::ops::Range<usize>) -> u32 {
+        let b = &self.buffer.as_ref()[range];
+        u32::from_be_bytes([b[0], b[1], b[2], b[3]])
+    }
+
+    /// Source port.
+    pub fn src_port(&self) -> u16 {
+        self.u16_at(field::SRC_PORT)
+    }
+
+    /// Destination port.
+    pub fn dst_port(&self) -> u16 {
+        self.u16_at(field::DST_PORT)
+    }
+
+    /// Sequence number.
+    pub fn seq_number(&self) -> u32 {
+        self.u32_at(field::SEQ)
+    }
+
+    /// Acknowledgment number.
+    pub fn ack_number(&self) -> u32 {
+        self.u32_at(field::ACK)
+    }
+
+    /// Header length in bytes, from the data-offset field.
+    pub fn header_len(&self) -> usize {
+        usize::from(self.buffer.as_ref()[field::DATA_OFF] >> 4) * 4
+    }
+
+    /// Flag bits.
+    pub fn flags(&self) -> Flags {
+        Flags::from_u8(self.buffer.as_ref()[field::FLAGS])
+    }
+
+    /// Receive window.
+    pub fn window(&self) -> u16 {
+        self.u16_at(field::WINDOW)
+    }
+
+    /// Payload after the header.
+    pub fn payload(&self) -> &[u8] {
+        &self.buffer.as_ref()[self.header_len()..]
+    }
+
+    /// Verify the checksum over pseudo-header + segment.
+    pub fn verify_checksum(&self, src: Ipv4Addr, dst: Ipv4Addr) -> bool {
+        let data = self.buffer.as_ref();
+        let acc = checksum::pseudo_header(src, dst, Protocol::Tcp.to_u8(), data.len() as u16)
+            + checksum::sum(data);
+        checksum::finish(acc) == 0
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> Packet<T> {
+    fn set_u16(&mut self, range: core::ops::Range<usize>, v: u16) {
+        self.buffer.as_mut()[range].copy_from_slice(&v.to_be_bytes());
+    }
+
+    /// Mutable payload.
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        let hl = self.header_len();
+        &mut self.buffer.as_mut()[hl..]
+    }
+
+    /// Compute and store the checksum.
+    pub fn fill_checksum(&mut self, src: Ipv4Addr, dst: Ipv4Addr) {
+        self.set_u16(field::CHECKSUM, 0);
+        let data = self.buffer.as_ref();
+        let acc = checksum::pseudo_header(src, dst, Protocol::Tcp.to_u8(), data.len() as u16)
+            + checksum::sum(data);
+        let csum = checksum::finish(acc);
+        self.set_u16(field::CHECKSUM, csum);
+    }
+}
+
+/// Owned representation of a TCP header (no options).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Repr {
+    pub src_port: u16,
+    pub dst_port: u16,
+    pub seq_number: u32,
+    pub ack_number: u32,
+    pub flags: Flags,
+    pub window: u16,
+    pub payload_len: usize,
+}
+
+impl Repr {
+    /// Parse a checked segment and verify the checksum.
+    pub fn parse<T: AsRef<[u8]>>(packet: &Packet<T>, src: Ipv4Addr, dst: Ipv4Addr) -> Result<Repr> {
+        packet.check_len()?;
+        if !packet.verify_checksum(src, dst) {
+            return Err(Error::Checksum);
+        }
+        Ok(Repr {
+            src_port: packet.src_port(),
+            dst_port: packet.dst_port(),
+            seq_number: packet.seq_number(),
+            ack_number: packet.ack_number(),
+            flags: packet.flags(),
+            window: packet.window(),
+            payload_len: packet.buffer.as_ref().len() - packet.header_len(),
+        })
+    }
+
+    /// Emitted length: 20-byte header + payload.
+    pub const fn buffer_len(&self) -> usize {
+        MIN_HEADER_LEN + self.payload_len
+    }
+
+    /// Emit header + payload and fill the checksum.
+    pub fn emit<T: AsRef<[u8]> + AsMut<[u8]>>(
+        &self,
+        packet: &mut Packet<T>,
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+        payload: &[u8],
+    ) {
+        debug_assert_eq!(payload.len(), self.payload_len);
+        packet.set_u16(field::SRC_PORT, self.src_port);
+        packet.set_u16(field::DST_PORT, self.dst_port);
+        packet.buffer.as_mut()[field::SEQ].copy_from_slice(&self.seq_number.to_be_bytes());
+        packet.buffer.as_mut()[field::ACK].copy_from_slice(&self.ack_number.to_be_bytes());
+        packet.buffer.as_mut()[field::DATA_OFF] = 5 << 4;
+        packet.buffer.as_mut()[field::FLAGS] = self.flags.to_u8();
+        packet.set_u16(field::WINDOW, self.window);
+        packet.set_u16(16..18, 0);
+        packet.set_u16(18..20, 0); // urgent pointer
+        packet.payload_mut().copy_from_slice(payload);
+        packet.fill_checksum(src, dst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: Ipv4Addr = Ipv4Addr::new(192, 168, 1, 1);
+    const DST: Ipv4Addr = Ipv4Addr::new(192, 168, 2, 1);
+
+    fn sample() -> (Repr, Vec<u8>) {
+        let repr = Repr {
+            src_port: 40000,
+            dst_port: 80,
+            seq_number: 0xdeadbeef,
+            ack_number: 0,
+            flags: Flags::SYN,
+            window: 8192,
+            payload_len: 3,
+        };
+        let mut buf = vec![0u8; repr.buffer_len()];
+        repr.emit(&mut Packet::new_unchecked(&mut buf[..]), SRC, DST, b"GET");
+        (repr, buf)
+    }
+
+    #[test]
+    fn roundtrip() {
+        let (repr, buf) = sample();
+        let p = Packet::new_checked(&buf[..]).unwrap();
+        assert_eq!(Repr::parse(&p, SRC, DST).unwrap(), repr);
+        assert_eq!(p.payload(), b"GET");
+    }
+
+    #[test]
+    fn flags_roundtrip_all_combinations() {
+        for bits in 0..=0x3f_u8 {
+            assert_eq!(Flags::from_u8(bits).to_u8(), bits);
+        }
+    }
+
+    #[test]
+    fn checksum_failure_detected() {
+        let (_, mut buf) = sample();
+        buf[4] ^= 0x01;
+        let p = Packet::new_checked(&buf[..]).unwrap();
+        assert_eq!(Repr::parse(&p, SRC, DST), Err(Error::Checksum));
+    }
+
+    #[test]
+    fn bad_data_offset_rejected() {
+        let (_, mut buf) = sample();
+        buf[12] = 2 << 4;
+        assert_eq!(Packet::new_checked(&buf[..]).unwrap_err(), Error::Malformed);
+        buf[12] = 15 << 4;
+        assert_eq!(Packet::new_checked(&buf[..]).unwrap_err(), Error::Truncated);
+    }
+}

@@ -1,0 +1,174 @@
+//! Virtual time for the deterministic simulation core.
+//!
+//! Everything in RNL's simulated substrate — STP timers, failover hold
+//! times, traffic-generator rates, capture timestamps, WAN impairment — is
+//! driven by a virtual clock so that tests and benchmarks are reproducible.
+//! Real wall-clock time exists only at the edges (the TCP transport).
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Sub};
+
+/// A span of virtual time, in microseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Duration {
+    micros: u64,
+}
+
+impl Duration {
+    /// Zero-length span.
+    pub const ZERO: Duration = Duration { micros: 0 };
+
+    /// From microseconds.
+    pub const fn from_micros(micros: u64) -> Duration {
+        Duration { micros }
+    }
+
+    /// From milliseconds.
+    pub const fn from_millis(millis: u64) -> Duration {
+        Duration {
+            micros: millis * 1_000,
+        }
+    }
+
+    /// From whole seconds.
+    pub const fn from_secs(secs: u64) -> Duration {
+        Duration {
+            micros: secs * 1_000_000,
+        }
+    }
+
+    /// Total microseconds.
+    pub const fn as_micros(self) -> u64 {
+        self.micros
+    }
+
+    /// Total milliseconds, truncating.
+    pub const fn as_millis(self) -> u64 {
+        self.micros / 1_000
+    }
+
+    /// Total seconds, truncating.
+    pub const fn as_secs(self) -> u64 {
+        self.micros / 1_000_000
+    }
+
+    /// Saturating multiplication by an integer factor.
+    pub const fn saturating_mul(self, factor: u64) -> Duration {
+        Duration {
+            micros: self.micros.saturating_mul(factor),
+        }
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+    fn add(self, rhs: Duration) -> Duration {
+        Duration {
+            micros: self.micros + rhs.micros,
+        }
+    }
+}
+
+impl Sub for Duration {
+    type Output = Duration;
+    fn sub(self, rhs: Duration) -> Duration {
+        Duration {
+            micros: self.micros.saturating_sub(rhs.micros),
+        }
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.micros.is_multiple_of(1_000_000) {
+            write!(f, "{}s", self.micros / 1_000_000)
+        } else if self.micros.is_multiple_of(1_000) {
+            write!(f, "{}ms", self.micros / 1_000)
+        } else {
+            write!(f, "{}us", self.micros)
+        }
+    }
+}
+
+/// A point in virtual time, microseconds since simulation start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Instant {
+    micros: u64,
+}
+
+impl Instant {
+    /// The simulation epoch.
+    pub const EPOCH: Instant = Instant { micros: 0 };
+
+    /// From microseconds since the epoch.
+    pub const fn from_micros(micros: u64) -> Instant {
+        Instant { micros }
+    }
+
+    /// Microseconds since the epoch.
+    pub const fn as_micros(self) -> u64 {
+        self.micros
+    }
+
+    /// Time elapsed since an earlier instant (saturating at zero).
+    pub fn since(self, earlier: Instant) -> Duration {
+        Duration::from_micros(self.micros.saturating_sub(earlier.micros))
+    }
+}
+
+impl Add<Duration> for Instant {
+    type Output = Instant;
+    fn add(self, rhs: Duration) -> Instant {
+        Instant {
+            micros: self.micros + rhs.micros,
+        }
+    }
+}
+
+impl AddAssign<Duration> for Instant {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.micros += rhs.micros;
+    }
+}
+
+impl Sub<Instant> for Instant {
+    type Output = Duration;
+    fn sub(self, rhs: Instant) -> Duration {
+        self.since(rhs)
+    }
+}
+
+impl fmt::Display for Instant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{}us", self.micros)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let t0 = Instant::EPOCH;
+        let t1 = t0 + Duration::from_secs(2);
+        assert_eq!(t1.since(t0), Duration::from_millis(2000));
+        assert_eq!(t0.since(t1), Duration::ZERO); // saturates
+        assert_eq!(t1 - t0, Duration::from_micros(2_000_000));
+    }
+
+    #[test]
+    fn conversions() {
+        let d = Duration::from_millis(1500);
+        assert_eq!(d.as_secs(), 1);
+        assert_eq!(d.as_millis(), 1500);
+        assert_eq!(d.as_micros(), 1_500_000);
+    }
+
+    #[test]
+    fn display_picks_natural_unit() {
+        assert_eq!(Duration::from_secs(3).to_string(), "3s");
+        assert_eq!(Duration::from_millis(20).to_string(), "20ms");
+        assert_eq!(Duration::from_micros(7).to_string(), "7us");
+    }
+}

@@ -1,0 +1,232 @@
+//! UDP (RFC 768) with pseudo-header checksums.
+
+use std::net::Ipv4Addr;
+
+use crate::checksum;
+use crate::error::{Error, Result};
+use crate::ipv4::Protocol;
+
+/// UDP header length.
+pub const HEADER_LEN: usize = 8;
+
+mod field {
+    use core::ops::Range;
+    pub const SRC_PORT: Range<usize> = 0..2;
+    pub const DST_PORT: Range<usize> = 2..4;
+    pub const LENGTH: Range<usize> = 4..6;
+    pub const CHECKSUM: Range<usize> = 6..8;
+}
+
+/// A zero-copy view of a UDP datagram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> Packet<T> {
+    /// Wrap without validation.
+    pub const fn new_unchecked(buffer: T) -> Packet<T> {
+        Packet { buffer }
+    }
+
+    /// Wrap and validate the length fields.
+    pub fn new_checked(buffer: T) -> Result<Packet<T>> {
+        let packet = Packet::new_unchecked(buffer);
+        packet.check_len()?;
+        Ok(packet)
+    }
+
+    /// Validate header presence and the internal length field.
+    pub fn check_len(&self) -> Result<()> {
+        let data = self.buffer.as_ref();
+        if data.len() < HEADER_LEN {
+            return Err(Error::Truncated);
+        }
+        let len = self.len() as usize;
+        if len < HEADER_LEN {
+            return Err(Error::Malformed);
+        }
+        if data.len() < len {
+            return Err(Error::Truncated);
+        }
+        Ok(())
+    }
+
+    fn u16_at(&self, range: core::ops::Range<usize>) -> u16 {
+        let b = &self.buffer.as_ref()[range];
+        u16::from_be_bytes([b[0], b[1]])
+    }
+
+    /// Source port.
+    pub fn src_port(&self) -> u16 {
+        self.u16_at(field::SRC_PORT)
+    }
+
+    /// Destination port.
+    pub fn dst_port(&self) -> u16 {
+        self.u16_at(field::DST_PORT)
+    }
+
+    /// The datagram length field (header + payload).
+    pub fn len(&self) -> u16 {
+        self.u16_at(field::LENGTH)
+    }
+
+    /// Whether the datagram has zero payload bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len() as usize == HEADER_LEN
+    }
+
+    /// Payload bytes, bounded by the length field.
+    pub fn payload(&self) -> &[u8] {
+        &self.buffer.as_ref()[HEADER_LEN..self.len() as usize]
+    }
+
+    /// Verify the checksum against the pseudo-header. A zero checksum means
+    /// "not computed" and is accepted, per RFC 768.
+    pub fn verify_checksum(&self, src: Ipv4Addr, dst: Ipv4Addr) -> bool {
+        if self.u16_at(field::CHECKSUM) == 0 {
+            return true;
+        }
+        let len = self.len();
+        let region = &self.buffer.as_ref()[..len as usize];
+        let acc =
+            checksum::pseudo_header(src, dst, Protocol::Udp.to_u8(), len) + checksum::sum(region);
+        checksum::finish(acc) == 0
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> Packet<T> {
+    fn set_u16(&mut self, range: core::ops::Range<usize>, v: u16) {
+        self.buffer.as_mut()[range].copy_from_slice(&v.to_be_bytes());
+    }
+
+    /// Mutable payload.
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        let len = self.len() as usize;
+        &mut self.buffer.as_mut()[HEADER_LEN..len]
+    }
+
+    /// Compute and store the checksum (never emits the "uncomputed" zero:
+    /// an all-zero result is transmitted as 0xffff, per RFC 768).
+    pub fn fill_checksum(&mut self, src: Ipv4Addr, dst: Ipv4Addr) {
+        self.set_u16(field::CHECKSUM, 0);
+        let len = self.len();
+        let acc = checksum::pseudo_header(src, dst, Protocol::Udp.to_u8(), len)
+            + checksum::sum(&self.buffer.as_ref()[..len as usize]);
+        let mut csum = checksum::finish(acc);
+        if csum == 0 {
+            csum = 0xffff;
+        }
+        self.set_u16(field::CHECKSUM, csum);
+    }
+}
+
+/// Owned representation of a UDP datagram header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Repr {
+    pub src_port: u16,
+    pub dst_port: u16,
+    pub payload_len: usize,
+}
+
+impl Repr {
+    /// Parse a checked datagram and verify its checksum.
+    pub fn parse<T: AsRef<[u8]>>(packet: &Packet<T>, src: Ipv4Addr, dst: Ipv4Addr) -> Result<Repr> {
+        packet.check_len()?;
+        if !packet.verify_checksum(src, dst) {
+            return Err(Error::Checksum);
+        }
+        Ok(Repr {
+            src_port: packet.src_port(),
+            dst_port: packet.dst_port(),
+            payload_len: packet.len() as usize - HEADER_LEN,
+        })
+    }
+
+    /// Emitted length: header + payload.
+    pub const fn buffer_len(&self) -> usize {
+        HEADER_LEN + self.payload_len
+    }
+
+    /// Emit header + payload and fill the checksum.
+    pub fn emit<T: AsRef<[u8]> + AsMut<[u8]>>(
+        &self,
+        packet: &mut Packet<T>,
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+        payload: &[u8],
+    ) {
+        debug_assert_eq!(payload.len(), self.payload_len);
+        packet.set_u16(field::SRC_PORT, self.src_port);
+        packet.set_u16(field::DST_PORT, self.dst_port);
+        packet.set_u16(field::LENGTH, (HEADER_LEN + payload.len()) as u16);
+        packet.payload_mut().copy_from_slice(payload);
+        packet.fill_checksum(src, dst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+    const DST: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
+
+    fn emitted(payload: &[u8]) -> Vec<u8> {
+        let repr = Repr {
+            src_port: 5000,
+            dst_port: 53,
+            payload_len: payload.len(),
+        };
+        let mut buf = vec![0u8; repr.buffer_len()];
+        repr.emit(&mut Packet::new_unchecked(&mut buf[..]), SRC, DST, payload);
+        buf
+    }
+
+    #[test]
+    fn roundtrip() {
+        let buf = emitted(b"query");
+        let p = Packet::new_checked(&buf[..]).unwrap();
+        let r = Repr::parse(&p, SRC, DST).unwrap();
+        assert_eq!(r.src_port, 5000);
+        assert_eq!(r.dst_port, 53);
+        assert_eq!(p.payload(), b"query");
+    }
+
+    #[test]
+    fn checksum_covers_pseudo_header() {
+        let buf = emitted(b"query");
+        let p = Packet::new_checked(&buf[..]).unwrap();
+        // Same bytes, wrong addresses: checksum must fail.
+        assert_eq!(
+            Repr::parse(&p, SRC, Ipv4Addr::new(10, 0, 0, 3)),
+            Err(Error::Checksum)
+        );
+    }
+
+    #[test]
+    fn zero_checksum_accepted() {
+        let mut buf = emitted(b"x");
+        buf[6] = 0;
+        buf[7] = 0;
+        let p = Packet::new_checked(&buf[..]).unwrap();
+        assert!(Repr::parse(&p, SRC, DST).is_ok());
+    }
+
+    #[test]
+    fn length_field_shorter_than_header_rejected() {
+        let mut buf = emitted(b"x");
+        buf[4] = 0;
+        buf[5] = 4;
+        assert_eq!(Packet::new_checked(&buf[..]).unwrap_err(), Error::Malformed);
+    }
+
+    #[test]
+    fn empty_payload() {
+        let buf = emitted(b"");
+        let p = Packet::new_checked(&buf[..]).unwrap();
+        assert!(p.is_empty());
+        assert_eq!(p.payload(), b"");
+    }
+}

@@ -1,0 +1,177 @@
+//! IEEE 802.1Q VLAN tags.
+//!
+//! A tagged frame carries `TPID(0x8100) | PCP/DEI/VID | inner EtherType`
+//! where this module views the four bytes following the source address:
+//! two bytes of tag control information and the encapsulated type/length.
+//! Trunk links between RNL switches use these tags; the tunnel must carry
+//! them bit-exact (experiment E12).
+
+use crate::addr::EtherType;
+use crate::error::{Error, Result};
+
+/// Length of the tag body this module parses: TCI(2) + inner type(2).
+pub const HEADER_LEN: usize = 4;
+
+/// Maximum valid VLAN id (0x000 and 0xfff are reserved).
+pub const MAX_VID: u16 = 4094;
+
+/// A zero-copy view of the bytes following an outer `0x8100` EtherType.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tag<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> Tag<T> {
+    /// Wrap without length validation.
+    pub const fn new_unchecked(buffer: T) -> Tag<T> {
+        Tag { buffer }
+    }
+
+    /// Wrap and validate the length.
+    pub fn new_checked(buffer: T) -> Result<Tag<T>> {
+        let tag = Tag::new_unchecked(buffer);
+        tag.check_len()?;
+        Ok(tag)
+    }
+
+    /// Ensure the buffer holds the 4-byte tag body.
+    pub fn check_len(&self) -> Result<()> {
+        if self.buffer.as_ref().len() < HEADER_LEN {
+            Err(Error::Truncated)
+        } else {
+            Ok(())
+        }
+    }
+
+    fn tci(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[0], b[1]])
+    }
+
+    /// Priority code point (0-7).
+    pub fn pcp(&self) -> u8 {
+        (self.tci() >> 13) as u8
+    }
+
+    /// Drop-eligible indicator.
+    pub fn dei(&self) -> bool {
+        self.tci() & 0x1000 != 0
+    }
+
+    /// VLAN identifier (0-4095).
+    pub fn vid(&self) -> u16 {
+        self.tci() & 0x0fff
+    }
+
+    /// The encapsulated EtherType.
+    pub fn inner_ethertype(&self) -> EtherType {
+        let b = self.buffer.as_ref();
+        EtherType::from_u16(u16::from_be_bytes([b[2], b[3]]))
+    }
+
+    /// Payload after the tag (the inner frame body).
+    pub fn payload(&self) -> &[u8] {
+        &self.buffer.as_ref()[HEADER_LEN..]
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> Tag<T> {
+    fn set_tci(&mut self, tci: u16) {
+        self.buffer.as_mut()[0..2].copy_from_slice(&tci.to_be_bytes());
+    }
+
+    /// Set the inner EtherType.
+    pub fn set_inner_ethertype(&mut self, ty: EtherType) {
+        self.buffer.as_mut()[2..4].copy_from_slice(&ty.to_u16().to_be_bytes());
+    }
+
+    /// Mutable payload after the tag.
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        &mut self.buffer.as_mut()[HEADER_LEN..]
+    }
+}
+
+/// Owned representation of a VLAN tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Repr {
+    pub pcp: u8,
+    pub dei: bool,
+    pub vid: u16,
+    pub inner_ethertype: EtherType,
+}
+
+impl Repr {
+    /// Parse a checked tag, rejecting reserved VIDs.
+    pub fn parse<T: AsRef<[u8]>>(tag: &Tag<T>) -> Result<Repr> {
+        tag.check_len()?;
+        let vid = tag.vid();
+        if vid == 0 || vid > MAX_VID {
+            return Err(Error::Malformed);
+        }
+        Ok(Repr {
+            pcp: tag.pcp(),
+            dei: tag.dei(),
+            vid,
+            inner_ethertype: tag.inner_ethertype(),
+        })
+    }
+
+    /// Length of the emitted tag body.
+    pub const fn buffer_len(&self) -> usize {
+        HEADER_LEN
+    }
+
+    /// Write the tag body.
+    pub fn emit<T: AsRef<[u8]> + AsMut<[u8]>>(&self, tag: &mut Tag<T>) {
+        let tci =
+            (u16::from(self.pcp & 0x7) << 13) | (u16::from(self.dei) << 12) | (self.vid & 0x0fff);
+        tag.set_tci(tci);
+        tag.set_inner_ethertype(self.inner_ethertype);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tag_roundtrip() {
+        let repr = Repr {
+            pcp: 5,
+            dei: true,
+            vid: 10,
+            inner_ethertype: EtherType::Ipv4,
+        };
+        let mut buf = [0u8; HEADER_LEN];
+        repr.emit(&mut Tag::new_unchecked(&mut buf[..]));
+        let parsed = Repr::parse(&Tag::new_checked(&buf[..]).unwrap()).unwrap();
+        assert_eq!(parsed, repr);
+    }
+
+    #[test]
+    fn reserved_vids_rejected() {
+        for vid in [0u16, 4095] {
+            let repr = Repr {
+                pcp: 0,
+                dei: false,
+                vid,
+                inner_ethertype: EtherType::Ipv4,
+            };
+            let mut buf = [0u8; HEADER_LEN];
+            // emit masks nothing about reserved vids; parse enforces them
+            repr.emit(&mut Tag::new_unchecked(&mut buf[..]));
+            assert_eq!(
+                Repr::parse(&Tag::new_checked(&buf[..]).unwrap()),
+                Err(Error::Malformed)
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_tag_rejected() {
+        assert_eq!(
+            Tag::new_checked(&[0u8; 3][..]).unwrap_err(),
+            Error::Truncated
+        );
+    }
+}

@@ -1,0 +1,165 @@
+//! Property tests: for every wire format, parse ∘ emit = identity, and
+//! parsers never panic on arbitrary bytes.
+
+use proptest::prelude::*;
+use rnl_net::addr::{EtherType, MacAddr};
+use rnl_net::bpdu::{self, BridgeId};
+use rnl_net::{arp, build, checksum, ethernet, fhp, icmp, ipv4, tcp, udp, vlan};
+use std::net::Ipv4Addr;
+
+fn arb_mac() -> impl Strategy<Value = MacAddr> {
+    any::<[u8; 6]>().prop_map(MacAddr)
+}
+
+fn arb_ip() -> impl Strategy<Value = Ipv4Addr> {
+    any::<u32>().prop_map(Ipv4Addr::from)
+}
+
+proptest! {
+    #[test]
+    fn ethernet_roundtrip(dst in arb_mac(), src in arb_mac(), et in 0x0600u16.., payload in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let frame = build::ethernet_frame(src, dst, EtherType::from_u16(et), &payload);
+        let view = ethernet::Frame::new_checked(&frame[..]).unwrap();
+        let repr = ethernet::Repr::parse(&view).unwrap();
+        prop_assert_eq!(repr.dst, dst);
+        prop_assert_eq!(repr.src, src);
+        prop_assert_eq!(repr.ethertype.to_u16(), et);
+        // Padding may extend the payload but never truncates it.
+        prop_assert_eq!(&view.payload()[..payload.len()], &payload[..]);
+    }
+
+    #[test]
+    fn ipv4_roundtrip(src in arb_ip(), dst in arb_ip(), ttl in 1u8.., ident: u16, df: bool, payload in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let repr = ipv4::Repr {
+            src, dst,
+            protocol: ipv4::Protocol::Udp,
+            ttl, ident, dont_frag: df,
+            payload_len: payload.len(),
+        };
+        let mut buf = vec![0u8; repr.buffer_len()];
+        let mut p = ipv4::Packet::new_unchecked(&mut buf[..]);
+        repr.emit(&mut p);
+        p.payload_mut().copy_from_slice(&payload);
+        let view = ipv4::Packet::new_checked(&buf[..]).unwrap();
+        prop_assert_eq!(ipv4::Repr::parse(&view).unwrap(), repr);
+        prop_assert_eq!(view.payload(), &payload[..]);
+    }
+
+    #[test]
+    fn udp_roundtrip(src in arb_ip(), dst in arb_ip(), sp: u16, dp: u16, payload in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let repr = udp::Repr { src_port: sp, dst_port: dp, payload_len: payload.len() };
+        let mut buf = vec![0u8; repr.buffer_len()];
+        repr.emit(&mut udp::Packet::new_unchecked(&mut buf[..]), src, dst, &payload);
+        let view = udp::Packet::new_checked(&buf[..]).unwrap();
+        let parsed = udp::Repr::parse(&view, src, dst).unwrap();
+        prop_assert_eq!(parsed, repr);
+        prop_assert_eq!(view.payload(), &payload[..]);
+    }
+
+    #[test]
+    fn tcp_roundtrip(src in arb_ip(), dst in arb_ip(), sp: u16, dp: u16, seq: u32, ack: u32, flag_bits in 0u8..=0x3f, window: u16, payload in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let repr = tcp::Repr {
+            src_port: sp, dst_port: dp,
+            seq_number: seq, ack_number: ack,
+            flags: tcp::Flags::from_u8(flag_bits),
+            window,
+            payload_len: payload.len(),
+        };
+        let mut buf = vec![0u8; repr.buffer_len()];
+        repr.emit(&mut tcp::Packet::new_unchecked(&mut buf[..]), src, dst, &payload);
+        let view = tcp::Packet::new_checked(&buf[..]).unwrap();
+        prop_assert_eq!(tcp::Repr::parse(&view, src, dst).unwrap(), repr);
+    }
+
+    #[test]
+    fn arp_roundtrip(smac in arb_mac(), sip in arb_ip(), tmac in arb_mac(), tip in arb_ip(), is_req: bool) {
+        let repr = arp::Repr {
+            operation: if is_req { arp::Operation::Request } else { arp::Operation::Reply },
+            sender_mac: smac, sender_ip: sip,
+            target_mac: tmac, target_ip: tip,
+        };
+        let mut buf = vec![0u8; repr.buffer_len()];
+        repr.emit(&mut arp::Packet::new_unchecked(&mut buf[..]));
+        prop_assert_eq!(arp::Repr::parse(&arp::Packet::new_checked(&buf[..]).unwrap()).unwrap(), repr);
+    }
+
+    #[test]
+    fn vlan_roundtrip(pcp in 0u8..8, dei: bool, vid in 1u16..=4094, et: u16) {
+        let repr = vlan::Repr { pcp, dei, vid, inner_ethertype: EtherType::from_u16(et) };
+        let mut buf = [0u8; vlan::HEADER_LEN];
+        repr.emit(&mut vlan::Tag::new_unchecked(&mut buf[..]));
+        prop_assert_eq!(vlan::Repr::parse(&vlan::Tag::new_checked(&buf[..]).unwrap()).unwrap(), repr);
+    }
+
+    #[test]
+    fn bpdu_config_roundtrip(
+        tc: bool, tca: bool,
+        rp: u16, rmac: [u8; 6], cost: u32,
+        bp: u16, bmac: [u8; 6], port: u16,
+        age: u16, max_age: u16, hello: u16, fwd: u16,
+    ) {
+        let repr = bpdu::Repr::Config {
+            tc, tca,
+            root: BridgeId { priority: rp, mac: rmac },
+            root_path_cost: cost,
+            bridge: BridgeId { priority: bp, mac: bmac },
+            port_id: port,
+            message_age: age, max_age, hello_time: hello, forward_delay: fwd,
+        };
+        let mut buf = vec![0u8; repr.buffer_len()];
+        repr.emit(&mut buf).unwrap();
+        prop_assert_eq!(bpdu::Repr::parse(&buf).unwrap(), repr);
+    }
+
+    #[test]
+    fn icmp_echo_roundtrip(ident: u16, seq: u16, data in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let repr = icmp::Repr::EchoRequest { ident, seq_no: seq, data };
+        let mut buf = vec![0u8; repr.buffer_len()];
+        repr.emit(&mut buf).unwrap();
+        prop_assert_eq!(icmp::Repr::parse(&buf).unwrap(), repr);
+    }
+
+    #[test]
+    fn fhp_roundtrip(unit: u32, active: bool, prio: u8, serial: u32) {
+        let hello = fhp::Hello {
+            unit_id: unit,
+            role: if active { fhp::Role::Active } else { fhp::Role::Standby },
+            priority: prio,
+            serial,
+        };
+        let mut buf = [0u8; fhp::HELLO_LEN];
+        hello.emit(&mut buf).unwrap();
+        prop_assert_eq!(fhp::Hello::parse(&buf).unwrap(), hello);
+    }
+
+    #[test]
+    fn classify_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = build::classify(&bytes);
+    }
+
+    #[test]
+    fn checksum_detects_single_bit_flips(data in proptest::collection::vec(any::<u8>(), 2..64).prop_filter("word aligned", |d| d.len() % 2 == 0), byte_idx: usize, bit in 0u8..8) {
+        let mut region = data.clone();
+        let csum = checksum::checksum(&region);
+        // Append the checksum and verify.
+        region.extend_from_slice(&csum.to_be_bytes());
+        prop_assert!(checksum::verify(&region));
+        // RFC1071 is weak against some multi-bit errors, but any single-bit
+        // flip is always caught.
+        let idx = byte_idx % data.len();
+        region[idx] ^= 1 << bit;
+        prop_assert!(!checksum::verify(&region));
+    }
+
+    #[test]
+    fn ipv4_parse_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        if let Ok(p) = ipv4::Packet::new_checked(&bytes[..]) {
+            let _ = ipv4::Repr::parse(&p);
+        }
+    }
+
+    #[test]
+    fn bpdu_parse_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let _ = bpdu::Repr::parse(&bytes);
+    }
+}

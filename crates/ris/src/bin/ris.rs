@@ -1,0 +1,76 @@
+//! The deployable Router Interface Software: the process running on the
+//! PC in front of the equipment.
+//!
+//! ```text
+//! cargo run -p rnl-ris --bin ris -- /path/to/ris.conf
+//! ```
+//!
+//! Reads the Fig.-3-style configuration file (see
+//! [`rnl_ris::config`]), instantiates the simulated equipment it
+//! fronts, dials the route server (outbound only — firewall friendly),
+//! joins the labs, and runs the packet-forwarding loop until killed.
+//! Virtual time maps 1:1 to wall time in this process.
+
+use std::time::Instant as WallInstant;
+
+use rnl_net::time::Instant;
+use rnl_ris::config::RisConfig;
+use rnl_ris::Ris;
+use rnl_tunnel::transport::TcpTransport;
+
+fn main() {
+    let path = std::env::args().nth(1).unwrap_or_else(|| {
+        eprintln!("usage: ris <config-file>");
+        std::process::exit(2);
+    });
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        eprintln!("ris: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    let config = RisConfig::parse(&text).unwrap_or_else(|e| {
+        eprintln!("ris: {e}");
+        std::process::exit(2);
+    });
+
+    eprintln!("ris: {} dialing {} …", config.pc_name, config.server);
+    let transport = TcpTransport::connect(config.server).unwrap_or_else(|e| {
+        eprintln!("ris: cannot reach the route server: {e}");
+        std::process::exit(1);
+    });
+
+    let mut ris = Ris::new(&config.pc_name, Box::new(transport));
+    ris.set_compression(config.compression);
+    let devices = config.build_devices(1).unwrap_or_else(|e| {
+        eprintln!("ris: {e}");
+        std::process::exit(2);
+    });
+    for (device, spec) in devices.into_iter().zip(&config.devices) {
+        let local = ris.add_device(device, &spec.description);
+        eprintln!("ris: fronting {} (local id {local})", spec.name);
+    }
+
+    let start = WallInstant::now();
+    let now = move || Instant::from_micros(start.elapsed().as_micros() as u64);
+    ris.join_labs(now()).unwrap_or_else(|e| {
+        eprintln!("ris: join failed: {e}");
+        std::process::exit(1);
+    });
+    eprintln!("ris: joined labs; entering packet forwarding mode");
+
+    let mut last_heartbeat = now();
+    loop {
+        if let Err(e) = ris.poll(now()) {
+            eprintln!("ris: {e}; exiting");
+            std::process::exit(1);
+        }
+        let t = now();
+        if t.since(last_heartbeat) >= rnl_net::time::Duration::from_secs(10) {
+            last_heartbeat = t;
+            if ris.heartbeat(t).is_err() {
+                eprintln!("ris: lost the route server; exiting");
+                std::process::exit(1);
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_micros(500));
+    }
+}

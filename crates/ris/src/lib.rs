@@ -1,0 +1,669 @@
+//! # rnl-ris — the Router Interface Software
+//!
+//! "There is a piece of software running on each PC sitting in front of
+//! a router. … It has two jobs: capturing the physical configuration
+//! information and route packets to/from the router ports and the
+//! back-end server." (§2.2)
+//!
+//! A [`Ris`] owns the devices plugged into its (virtual) NICs, the
+//! Fig.-3-style port mapping describing them, and one [`Transport`] to
+//! the route server. After [`Ris::join_labs`] it enters packet-forwarding
+//! mode: every frame a device emits is wrapped in a [`Msg::Data`] (or
+//! [`Msg::DataCompressed`]) carrying the server-assigned router and port
+//! ids; every data message arriving from the server is unwrapped and
+//! delivered to the matching device port. Console, power, link and
+//! firmware management ride the same connection.
+//!
+//! The RIS never accepts inbound connections — it dials the route server
+//! and keeps that TCP session open, which is what lets equipment behind
+//! corporate firewalls join the labs.
+
+pub mod config;
+pub mod mapping;
+
+use std::collections::HashMap;
+
+use rnl_device::device::{Device, LinkState};
+use rnl_net::time::Instant;
+use rnl_tunnel::compress::{Compressor, Decompressor};
+use rnl_tunnel::msg::{Msg, PortId, RegisterInfo, RouterId, RouterInfo};
+use rnl_tunnel::transport::{Transport, TransportError};
+
+pub use mapping::auto_mapping;
+
+/// RIS failure.
+#[derive(Debug)]
+pub enum RisError {
+    /// The tunnel failed.
+    Transport(TransportError),
+    /// A data/management message referenced a router this RIS does not
+    /// front.
+    UnknownRouter(RouterId),
+    /// A compressed frame failed to decode (stream desynchronization).
+    Compression(rnl_tunnel::compress::CompressError),
+}
+
+impl std::fmt::Display for RisError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RisError::Transport(e) => write!(f, "transport: {e}"),
+            RisError::UnknownRouter(id) => write!(f, "unknown router {id}"),
+            RisError::Compression(e) => write!(f, "compression: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RisError {}
+
+impl From<TransportError> for RisError {
+    fn from(e: TransportError) -> RisError {
+        RisError::Transport(e)
+    }
+}
+
+/// Counters, for the experiments and `show`-style introspection.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RisStats {
+    /// Frames captured from device ports and sent to the server.
+    pub frames_up: u64,
+    /// Frames received from the server and replayed into device ports.
+    pub frames_down: u64,
+    /// Console lines proxied.
+    pub console_lines: u64,
+    /// Bytes sent up (after compression, when enabled).
+    pub bytes_up: u64,
+}
+
+struct RisDevice {
+    device: Box<dyn Device>,
+    info: RouterInfo,
+}
+
+/// One interface PC fronting one or more devices.
+pub struct Ris {
+    pc_name: String,
+    devices: Vec<RisDevice>,
+    transport: Box<dyn Transport>,
+    /// local id → server-assigned global id.
+    assignments: HashMap<u32, RouterId>,
+    /// global id → device index.
+    reverse: HashMap<RouterId, usize>,
+    /// Compress upstream data frames (§4).
+    compression: bool,
+    compressors: HashMap<(RouterId, PortId), Compressor>,
+    decompressors: HashMap<(RouterId, PortId), Decompressor>,
+    stats: RisStats,
+    heartbeat_seq: u64,
+}
+
+impl Ris {
+    /// A RIS with no devices yet, holding an un-joined connection.
+    pub fn new(pc_name: &str, transport: Box<dyn Transport>) -> Ris {
+        Ris {
+            pc_name: pc_name.to_string(),
+            devices: Vec::new(),
+            transport,
+            assignments: HashMap::new(),
+            reverse: HashMap::new(),
+            compression: false,
+            compressors: HashMap::new(),
+            decompressors: HashMap::new(),
+            stats: RisStats::default(),
+            heartbeat_seq: 0,
+        }
+    }
+
+    /// Plug a device into this PC. `description` is what the inventory
+    /// shows; the port mapping (NIC names, image regions) is derived
+    /// automatically — the equivalent of the lab manager filling in
+    /// Fig. 3. Returns the RIS-local id.
+    pub fn add_device(&mut self, device: Box<dyn Device>, description: &str) -> u32 {
+        let local_id = self.devices.len() as u32;
+        let info = mapping::auto_mapping(local_id, device.as_ref(), description);
+        self.devices.push(RisDevice { device, info });
+        local_id
+    }
+
+    /// Enable upstream template compression.
+    pub fn set_compression(&mut self, on: bool) {
+        self.compression = on;
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> RisStats {
+        self.stats
+    }
+
+    /// Whether registration completed.
+    pub fn registered(&self) -> bool {
+        !self.assignments.is_empty()
+    }
+
+    /// The server-assigned id for a local device, once registered.
+    pub fn router_id(&self, local_id: u32) -> Option<RouterId> {
+        self.assignments.get(&local_id).copied()
+    }
+
+    /// Direct access to a fronted device (inspection in tests; a real
+    /// deployment would not have this, but a simulated lab does).
+    pub fn device_mut(&mut self, local_id: u32) -> Option<&mut dyn Device> {
+        match self.devices.get_mut(local_id as usize) {
+            Some(d) => Some(d.device.as_mut()),
+            None => None,
+        }
+    }
+
+    /// Immutable access to a fronted device.
+    pub fn device(&self, local_id: u32) -> Option<&dyn Device> {
+        match self.devices.get(local_id as usize) {
+            Some(d) => Some(d.device.as_ref()),
+            None => None,
+        }
+    }
+
+    /// Send the registration ("Join Labs", §2.2). The server answers
+    /// with a [`Msg::RegisterAck`] processed by [`Ris::poll`].
+    pub fn join_labs(&mut self, now: Instant) -> Result<(), RisError> {
+        let info = RegisterInfo {
+            pc_name: self.pc_name.clone(),
+            routers: self.devices.iter().map(|d| d.info.clone()).collect(),
+        };
+        self.transport.send(&Msg::Register(info), now)?;
+        Ok(())
+    }
+
+    /// One poll cycle: drain the tunnel, apply management and data
+    /// messages, tick every device, forward emissions upstream.
+    pub fn poll(&mut self, now: Instant) -> Result<(), RisError> {
+        for msg in self.transport.poll(now)? {
+            self.handle_msg(msg, now)?;
+        }
+        // Tick devices and capture their transmissions.
+        for idx in 0..self.devices.len() {
+            let emissions = self.devices[idx].device.tick(now);
+            let local_id = self.devices[idx].info.local_id;
+            for e in emissions {
+                self.capture_and_send(local_id, e.port, e.frame, now)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Replace a dead transport and re-join the labs ("RIS initiates
+    /// and maintains a TCP connection to the route server"): previous id
+    /// assignments are discarded — the server hands out fresh unique ids
+    /// on re-registration — and per-stream compression state resets so
+    /// the new session starts synchronized.
+    pub fn reconnect(
+        &mut self,
+        transport: Box<dyn Transport>,
+        now: Instant,
+    ) -> Result<(), RisError> {
+        self.transport = transport;
+        self.assignments.clear();
+        self.reverse.clear();
+        self.compressors.clear();
+        self.decompressors.clear();
+        self.join_labs(now)
+    }
+
+    /// Whether the tunnel is still believed up.
+    pub fn connected(&self) -> bool {
+        self.transport.is_connected()
+    }
+
+    /// Send a heartbeat (liveness for the server's inventory).
+    pub fn heartbeat(&mut self, now: Instant) -> Result<(), RisError> {
+        self.heartbeat_seq += 1;
+        self.transport.send(
+            &Msg::Heartbeat {
+                seq: self.heartbeat_seq,
+            },
+            now,
+        )?;
+        Ok(())
+    }
+
+    fn handle_msg(&mut self, msg: Msg, now: Instant) -> Result<(), RisError> {
+        match msg {
+            Msg::RegisterAck(assignments) => {
+                for a in assignments {
+                    self.assignments.insert(a.local_id, a.router);
+                    self.reverse.insert(a.router, a.local_id as usize);
+                }
+            }
+            Msg::Data {
+                router,
+                port,
+                frame,
+            } => {
+                self.deliver(router, port, frame, now)?;
+            }
+            Msg::DataCompressed {
+                router,
+                port,
+                encoded,
+            } => {
+                let frame = self
+                    .decompressors
+                    .entry((router, port))
+                    .or_default()
+                    .decode(&encoded)
+                    .map_err(RisError::Compression)?;
+                self.deliver(router, port, frame, now)?;
+            }
+            Msg::Console { router, line } => {
+                let idx = self.device_index(router)?;
+                let output = self.devices[idx].device.console(&line, now);
+                self.stats.console_lines += 1;
+                self.transport
+                    .send(&Msg::ConsoleReply { router, output }, now)?;
+            }
+            Msg::SetPower { router, on } => {
+                let idx = self.device_index(router)?;
+                self.devices[idx].device.set_power(on, now);
+            }
+            Msg::SetLink { router, port, up } => {
+                let idx = self.device_index(router)?;
+                let state = if up { LinkState::Up } else { LinkState::Down };
+                self.devices[idx]
+                    .device
+                    .set_link_state(port.0 as usize, state, now);
+            }
+            Msg::Flash { router, version } => {
+                let idx = self.device_index(router)?;
+                let result = self.devices[idx].device.flash_firmware(&version, now);
+                let (ok, message) = match result {
+                    Ok(()) => (true, String::new()),
+                    Err(e) => (false, e.to_string()),
+                };
+                self.transport.send(
+                    &Msg::FlashResult {
+                        router,
+                        ok,
+                        message,
+                    },
+                    now,
+                )?;
+            }
+            // Upstream-only messages arriving here are protocol misuse;
+            // ignore rather than kill the forwarding loop.
+            Msg::Register(_) | Msg::ConsoleReply { .. } | Msg::FlashResult { .. } => {}
+            Msg::Heartbeat { .. } => {}
+        }
+        Ok(())
+    }
+
+    fn device_index(&self, router: RouterId) -> Result<usize, RisError> {
+        self.reverse
+            .get(&router)
+            .copied()
+            .ok_or(RisError::UnknownRouter(router))
+    }
+
+    /// Unwrap a frame from the server and replay it into the device port
+    /// ("RIS unwraps the packet and sends it to the destination port").
+    fn deliver(
+        &mut self,
+        router: RouterId,
+        port: PortId,
+        frame: Vec<u8>,
+        now: Instant,
+    ) -> Result<(), RisError> {
+        let idx = self.device_index(router)?;
+        self.stats.frames_down += 1;
+        let emissions = self.devices[idx]
+            .device
+            .on_frame(port.0 as usize, &frame, now);
+        let local_id = self.devices[idx].info.local_id;
+        for e in emissions {
+            self.capture_and_send(local_id, e.port, e.frame, now)?;
+        }
+        Ok(())
+    }
+
+    /// Wrap a captured frame with its unique ids and send it upstream.
+    fn capture_and_send(
+        &mut self,
+        local_id: u32,
+        port: usize,
+        frame: Vec<u8>,
+        now: Instant,
+    ) -> Result<(), RisError> {
+        // Frames captured before registration completes are dropped, as
+        // libpcap frames before the tunnel exists would be.
+        let Some(&router) = self.assignments.get(&local_id) else {
+            return Ok(());
+        };
+        let port = PortId(port as u16);
+        let msg = if self.compression {
+            let encoded = self
+                .compressors
+                .entry((router, port))
+                .or_default()
+                .encode(&frame);
+            self.stats.bytes_up += encoded.len() as u64;
+            Msg::DataCompressed {
+                router,
+                port,
+                encoded,
+            }
+        } else {
+            self.stats.bytes_up += frame.len() as u64;
+            Msg::Data {
+                router,
+                port,
+                frame,
+            }
+        };
+        self.stats.frames_up += 1;
+        self.transport.send(&msg, now)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rnl_device::host::Host;
+    use rnl_net::time::Duration;
+    use rnl_tunnel::msg::Assignment;
+    use rnl_tunnel::transport::mem_pair_perfect;
+
+    fn t(ms: u64) -> Instant {
+        Instant::EPOCH + Duration::from_millis(ms)
+    }
+
+    fn host(name: &str, num: u32, ip: &str) -> Box<Host> {
+        let mut h = Host::new(name, num);
+        h.set_ip(ip.parse().unwrap());
+        Box::new(h)
+    }
+
+    /// A RIS with one host, joined and acked as RouterId(100).
+    fn joined_ris() -> (Ris, rnl_tunnel::transport::MemTransport) {
+        let (ris_side, mut server_side) = mem_pair_perfect(1);
+        let mut ris = Ris::new("pc1", Box::new(ris_side));
+        ris.add_device(host("s1", 10, "10.0.0.1/24"), "test server");
+        ris.join_labs(t(0)).unwrap();
+        // Server receives the registration…
+        let msgs = server_side.poll(t(0)).unwrap();
+        assert!(matches!(&msgs[0], Msg::Register(info) if info.pc_name == "pc1"));
+        // …and acks.
+        server_side
+            .send(
+                &Msg::RegisterAck(vec![Assignment {
+                    local_id: 0,
+                    router: RouterId(100),
+                }]),
+                t(0),
+            )
+            .unwrap();
+        ris.poll(t(0)).unwrap();
+        assert!(ris.registered());
+        (ris, server_side)
+    }
+
+    #[test]
+    fn registration_includes_port_mapping() {
+        let (ris_side, mut server_side) = mem_pair_perfect(2);
+        let mut ris = Ris::new("pc1", Box::new(ris_side));
+        ris.add_device(host("s1", 10, "10.0.0.1/24"), "probe server");
+        ris.join_labs(t(0)).unwrap();
+        match &server_side.poll(t(0)).unwrap()[0] {
+            Msg::Register(info) => {
+                assert_eq!(info.routers.len(), 1);
+                let r = &info.routers[0];
+                assert_eq!(r.description, "probe server");
+                assert_eq!(r.model, "Linux Server");
+                assert_eq!(r.ports.len(), 1);
+                assert!(!r.ports[0].nic.is_empty());
+            }
+            other => panic!("expected Register, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn frames_from_server_reach_the_device_and_replies_return() {
+        let (mut ris, mut server_side) = joined_ris();
+        // The server injects an ARP request for the host's address.
+        let arp = rnl_net::build::arp_request(
+            rnl_net::addr::MacAddr([2, 9, 9, 9, 9, 9]),
+            "10.0.0.2".parse().unwrap(),
+            "10.0.0.1".parse().unwrap(),
+        );
+        server_side
+            .send(
+                &Msg::Data {
+                    router: RouterId(100),
+                    port: PortId(0),
+                    frame: arp,
+                },
+                t(1),
+            )
+            .unwrap();
+        ris.poll(t(1)).unwrap();
+        // The host's ARP reply comes back wrapped with the right ids.
+        let up = server_side.poll(t(1)).unwrap();
+        assert_eq!(up.len(), 1);
+        match &up[0] {
+            Msg::Data {
+                router,
+                port,
+                frame,
+            } => {
+                assert_eq!(*router, RouterId(100));
+                assert_eq!(*port, PortId(0));
+                assert!(matches!(
+                    rnl_net::build::classify(frame).unwrap().1,
+                    rnl_net::build::Classified::Arp(_)
+                ));
+            }
+            other => panic!("expected Data, got {other:?}"),
+        }
+        assert_eq!(ris.stats().frames_down, 1);
+        assert_eq!(ris.stats().frames_up, 1);
+    }
+
+    #[test]
+    fn console_proxying() {
+        let (mut ris, mut server_side) = joined_ris();
+        server_side
+            .send(
+                &Msg::Console {
+                    router: RouterId(100),
+                    line: "show ip".to_string(),
+                },
+                t(1),
+            )
+            .unwrap();
+        ris.poll(t(1)).unwrap();
+        match &server_side.poll(t(1)).unwrap()[0] {
+            Msg::ConsoleReply { router, output } => {
+                assert_eq!(*router, RouterId(100));
+                assert!(output.contains("10.0.0.1/24"), "got: {output}");
+            }
+            other => panic!("expected ConsoleReply, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn power_and_link_management() {
+        let (mut ris, mut server_side) = joined_ris();
+        server_side
+            .send(
+                &Msg::SetPower {
+                    router: RouterId(100),
+                    on: false,
+                },
+                t(1),
+            )
+            .unwrap();
+        ris.poll(t(1)).unwrap();
+        assert!(!ris.device(0).unwrap().powered());
+        server_side
+            .send(
+                &Msg::SetPower {
+                    router: RouterId(100),
+                    on: true,
+                },
+                t(2),
+            )
+            .unwrap();
+        server_side
+            .send(
+                &Msg::SetLink {
+                    router: RouterId(100),
+                    port: PortId(0),
+                    up: false,
+                },
+                t(2),
+            )
+            .unwrap();
+        ris.poll(t(2)).unwrap();
+        assert!(ris.device(0).unwrap().powered());
+        assert_eq!(ris.device(0).unwrap().link_state(0), LinkState::Down);
+    }
+
+    #[test]
+    fn flash_reports_result() {
+        let (mut ris, mut server_side) = joined_ris();
+        // Hosts reject flashing; the error must surface as FlashResult.
+        server_side
+            .send(
+                &Msg::Flash {
+                    router: RouterId(100),
+                    version: "2.0".to_string(),
+                },
+                t(1),
+            )
+            .unwrap();
+        ris.poll(t(1)).unwrap();
+        match &server_side.poll(t(1)).unwrap()[0] {
+            Msg::FlashResult { ok, message, .. } => {
+                assert!(!ok);
+                assert!(message.contains("2.0"));
+            }
+            other => panic!("expected FlashResult, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn data_for_unknown_router_is_an_error() {
+        let (mut ris, mut server_side) = joined_ris();
+        server_side
+            .send(
+                &Msg::Data {
+                    router: RouterId(999),
+                    port: PortId(0),
+                    frame: vec![0; 60],
+                },
+                t(1),
+            )
+            .unwrap();
+        assert!(matches!(
+            ris.poll(t(1)),
+            Err(RisError::UnknownRouter(RouterId(999)))
+        ));
+    }
+
+    #[test]
+    fn compressed_upstream_when_enabled() {
+        let (mut ris, mut server_side) = joined_ris();
+        ris.set_compression(true);
+        // Make the host emit: ping an unresolvable address → ARP
+        // requests each second (template-like repetition).
+        ris.device_mut(0)
+            .unwrap()
+            .console("ping 10.0.0.9 count 5", t(1));
+        for ms in [1000u64, 2000, 3000, 4000, 5000] {
+            ris.poll(t(ms)).unwrap();
+        }
+        let ups = server_side.poll(t(5000)).unwrap();
+        assert!(!ups.is_empty());
+        assert!(
+            ups.iter().all(|m| matches!(m, Msg::DataCompressed { .. })),
+            "all upstream frames should be compressed"
+        );
+        // Later identical ARPs compress well below frame size.
+        match ups.last().unwrap() {
+            Msg::DataCompressed { encoded, .. } => {
+                assert!(
+                    encoded.len() < 30,
+                    "repeat ARP should be tiny: {}",
+                    encoded.len()
+                )
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn frames_before_registration_are_dropped() {
+        let (ris_side, mut server_side) = mem_pair_perfect(3);
+        let mut ris = Ris::new("pc1", Box::new(ris_side));
+        ris.add_device(host("s1", 10, "10.0.0.1/24"), "server");
+        // Not joined: device activity produces no upstream data.
+        ris.device_mut(0)
+            .unwrap()
+            .console("ping 10.0.0.9 count 1", t(0));
+        ris.poll(t(1000)).unwrap();
+        assert!(server_side.poll(t(1000)).unwrap().is_empty());
+        assert_eq!(ris.stats().frames_up, 0);
+    }
+}
+
+#[cfg(test)]
+mod reconnect_tests {
+    use super::*;
+    use rnl_device::host::Host;
+    use rnl_net::time::Duration;
+    use rnl_tunnel::msg::Assignment;
+    use rnl_tunnel::transport::mem_pair_perfect;
+
+    fn t(ms: u64) -> Instant {
+        Instant::EPOCH + Duration::from_millis(ms)
+    }
+
+    #[test]
+    fn reconnect_rejoins_with_fresh_ids() {
+        let (ris_side, mut server_side) = mem_pair_perfect(77);
+        let mut ris = Ris::new("pc", Box::new(ris_side));
+        let mut h = Host::new("h", 1);
+        h.set_ip("10.0.0.1/24".parse().unwrap());
+        ris.add_device(Box::new(h), "host");
+        ris.join_labs(t(0)).unwrap();
+        let _ = server_side.poll(t(0)).unwrap();
+        server_side
+            .send(
+                &Msg::RegisterAck(vec![Assignment {
+                    local_id: 0,
+                    router: RouterId(5),
+                }]),
+                t(0),
+            )
+            .unwrap();
+        ris.poll(t(0)).unwrap();
+        assert_eq!(ris.router_id(0), Some(RouterId(5)));
+
+        // The uplink dies; a new transport pair replaces it.
+        let (new_ris_side, mut new_server_side) = mem_pair_perfect(78);
+        ris.reconnect(Box::new(new_ris_side), t(1000)).unwrap();
+        assert!(!ris.registered(), "old ids must be forgotten");
+        // The new server side sees a fresh registration…
+        let msgs = new_server_side.poll(t(1000)).unwrap();
+        assert!(matches!(&msgs[0], Msg::Register(_)));
+        // …and its ack installs new ids.
+        new_server_side
+            .send(
+                &Msg::RegisterAck(vec![Assignment {
+                    local_id: 0,
+                    router: RouterId(42),
+                }]),
+                t(1000),
+            )
+            .unwrap();
+        ris.poll(t(1000)).unwrap();
+        assert_eq!(ris.router_id(0), Some(RouterId(42)));
+    }
+}

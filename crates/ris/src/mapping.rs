@@ -1,0 +1,79 @@
+//! Port-mapping construction — the programmatic equivalent of Fig. 3.
+//!
+//! In the paper, a lab manager fills in a form per router: a description
+//! and image for the device, and for each port a description, the NIC it
+//! is wired to, and a clickable rectangle on the back-panel picture.
+//! Here the same record is built from the device itself: NIC names are
+//! assigned `nic0…nicN`, port descriptions come from the device's own
+//! interface names, and image regions are laid out left-to-right along
+//! the back panel.
+
+use rnl_device::device::Device;
+use rnl_tunnel::msg::{ImageRegion, PortInfo, RouterInfo};
+
+/// Nominal back-panel image width the auto-layout assumes.
+pub const PANEL_WIDTH: u16 = 640;
+
+/// Nominal back-panel image height.
+pub const PANEL_HEIGHT: u16 = 120;
+
+/// Build the Fig.-3 record for a device: one NIC per port, regions laid
+/// out in a row across the panel image.
+pub fn auto_mapping(local_id: u32, device: &dyn Device, description: &str) -> RouterInfo {
+    let n = device.num_ports().max(1) as u16;
+    let slot_w = PANEL_WIDTH / n;
+    let ports = (0..device.num_ports())
+        .map(|p| PortInfo {
+            description: device.port_name(p),
+            nic: format!("nic{p}"),
+            region: ImageRegion {
+                x: slot_w * p as u16 + slot_w / 4,
+                y: PANEL_HEIGHT / 3,
+                w: slot_w / 2,
+                h: PANEL_HEIGHT / 3,
+            },
+        })
+        .collect();
+    RouterInfo {
+        local_id,
+        description: description.to_string(),
+        model: device.model().to_string(),
+        image: format!(
+            "{}-back.png",
+            device.model().to_lowercase().replace(' ', "-")
+        ),
+        ports,
+        console_com: Some(format!("COM{}", local_id + 1)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rnl_device::router::Router;
+
+    #[test]
+    fn regions_do_not_overlap_and_fit_the_panel() {
+        let r = Router::new("r1", 1, 4);
+        let info = auto_mapping(0, &r, "a 4-port router");
+        assert_eq!(info.ports.len(), 4);
+        assert_eq!(info.model, "7200 Series Router");
+        assert_eq!(info.image, "7200-series-router-back.png");
+        for w in info.ports.windows(2) {
+            let a = &w[0].region;
+            let b = &w[1].region;
+            assert!(a.x + a.w <= b.x, "regions overlap: {a:?} {b:?}");
+        }
+        let last = &info.ports.last().unwrap().region;
+        assert!(last.x + last.w <= PANEL_WIDTH);
+    }
+
+    #[test]
+    fn port_descriptions_use_device_names() {
+        let r = Router::new("r1", 1, 2);
+        let info = auto_mapping(3, &r, "desc");
+        assert_eq!(info.ports[0].description, "FastEthernet0/0");
+        assert_eq!(info.ports[1].nic, "nic1");
+        assert_eq!(info.console_com.as_deref(), Some("COM4"));
+    }
+}

@@ -1,0 +1,145 @@
+//! The deployable back end: the process that would run at
+//! `netlabs.accenture.com`.
+//!
+//! Two listening sockets:
+//!
+//! * `--ris-port` (default 4510) — RIS tunnel sessions. Interface PCs
+//!   dial in, register their equipment, and enter packet-forwarding
+//!   mode.
+//! * `--api-port` (default 4511) — the web-services API. Each connection
+//!   sends newline-delimited JSON requests (the `rnl_server::web` wire
+//!   format) and receives one JSON reply line per request — the surface
+//!   an HTTP/browser front end would wrap.
+//!
+//! ```text
+//! cargo run -p rnl-server --bin routeserver -- --ris-port 4510 --api-port 4511
+//! ```
+//!
+//! Virtual time maps 1:1 to wall time in this process.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::mpsc;
+use std::time::Instant as WallInstant;
+
+use rnl_net::time::Instant;
+use rnl_server::{web, RouteServer};
+use rnl_tunnel::transport::TcpTransport;
+
+enum Event {
+    RisSession(TcpStream),
+    ApiRequest {
+        line: String,
+        reply: mpsc::Sender<String>,
+    },
+}
+
+fn main() {
+    let mut ris_port = 4510u16;
+    let mut api_port = 4511u16;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--ris-port" => {
+                ris_port = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--ris-port needs a number"));
+            }
+            "--api-port" => {
+                api_port = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--api-port needs a number"));
+            }
+            other => usage(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    let start = WallInstant::now();
+    let now = move || Instant::from_micros(start.elapsed().as_micros() as u64);
+
+    let (tx, rx) = mpsc::channel::<Event>();
+
+    // Acceptor: RIS tunnel sessions.
+    let ris_listener = TcpListener::bind(("0.0.0.0", ris_port)).expect("bind RIS port");
+    eprintln!("routeserver: RIS sessions on :{ris_port}");
+    {
+        let tx = tx.clone();
+        std::thread::spawn(move || {
+            for stream in ris_listener.incoming().flatten() {
+                if tx.send(Event::RisSession(stream)).is_err() {
+                    return;
+                }
+            }
+        });
+    }
+
+    // Acceptor: API connections (one thread per client; line-oriented).
+    let api_listener = TcpListener::bind(("0.0.0.0", api_port)).expect("bind API port");
+    eprintln!("routeserver: web-services API on :{api_port}");
+    std::thread::spawn(move || {
+        for stream in api_listener.incoming().flatten() {
+            let tx = tx.clone();
+            std::thread::spawn(move || serve_api_client(stream, tx));
+        }
+    });
+
+    // The single-threaded core loop: sessions, relay, API dispatch.
+    let mut server = RouteServer::new();
+    loop {
+        while let Ok(event) = rx.try_recv() {
+            match event {
+                Event::RisSession(stream) => match TcpTransport::from_stream(stream) {
+                    Ok(transport) => {
+                        let sid = server.attach(Box::new(transport));
+                        eprintln!("routeserver: RIS session {sid:?} attached");
+                    }
+                    Err(e) => eprintln!("routeserver: bad session: {e}"),
+                },
+                Event::ApiRequest { line, reply } => {
+                    let response = web::handle_json(&mut server, &line, now());
+                    let _ = reply.send(response);
+                }
+            }
+        }
+        server.poll(now());
+        std::thread::sleep(std::time::Duration::from_micros(500));
+    }
+}
+
+fn serve_api_client(stream: TcpStream, tx: mpsc::Sender<Event>) {
+    let peer = stream.peer_addr().ok();
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (reply_tx, reply_rx) = mpsc::channel();
+        if tx
+            .send(Event::ApiRequest {
+                line,
+                reply: reply_tx,
+            })
+            .is_err()
+        {
+            break;
+        }
+        let Ok(response) = reply_rx.recv() else { break };
+        if writeln!(writer, "{response}").is_err() {
+            break;
+        }
+    }
+    eprintln!("routeserver: API client {peer:?} disconnected");
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("routeserver: {msg}");
+    eprintln!("usage: routeserver [--ris-port N] [--api-port N]");
+    std::process::exit(2);
+}

@@ -1,0 +1,378 @@
+//! Topology designs — what the Fig. 2 design plane edits.
+//!
+//! A [`Design`] is the saved artifact of a design session: the routers
+//! dragged from the inventory and the port-to-port connections drawn
+//! between them. "The users can save their topology design, load
+//! previous designs or start multiple simultaneous design sessions. The
+//! design data is stored in the web server, but the users could export
+//! the data to their local drive if desired." — the [`DesignStore`]
+//! holds them server-side; [`Design::to_json`]/[`Design::from_json`] are
+//! the export format.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use rnl_tunnel::msg::{PortId, RouterId};
+
+use crate::json::Json;
+
+/// One drawn connection between two router ports.
+pub type Link = ((RouterId, PortId), (RouterId, PortId));
+
+/// Design validation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DesignError {
+    /// A link references a router not added to the design.
+    UnknownDevice(RouterId),
+    /// A port appears in more than one link (a port takes one cable).
+    PortInUse(RouterId, PortId),
+    /// A port wired to itself.
+    SelfLoop(RouterId, PortId),
+    /// The JSON form did not parse or had missing fields.
+    BadSerialization(String),
+}
+
+impl std::fmt::Display for DesignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DesignError::UnknownDevice(r) => write!(f, "router {r} is not in the design"),
+            DesignError::PortInUse(r, p) => write!(f, "port {r}:{p} is already connected"),
+            DesignError::SelfLoop(r, p) => write!(f, "port {r}:{p} cannot connect to itself"),
+            DesignError::BadSerialization(m) => write!(f, "bad design serialization: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DesignError {}
+
+/// A saved test-lab topology.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Design {
+    pub name: String,
+    /// Routers dragged into the design plane, with optional saved
+    /// configuration text per router (§2.1 config auto-dump).
+    devices: BTreeMap<RouterId, Option<String>>,
+    links: Vec<Link>,
+}
+
+impl Design {
+    /// An empty design plane.
+    pub fn new(name: &str) -> Design {
+        Design {
+            name: name.to_string(),
+            ..Design::default()
+        }
+    }
+
+    /// Drag a router from the inventory into the design.
+    pub fn add_device(&mut self, router: RouterId) {
+        self.devices.entry(router).or_insert(None);
+    }
+
+    /// The routers used by this design.
+    pub fn devices(&self) -> impl Iterator<Item = RouterId> + '_ {
+        self.devices.keys().copied()
+    }
+
+    /// Whether the design uses `router`.
+    pub fn uses(&self, router: RouterId) -> bool {
+        self.devices.contains_key(&router)
+    }
+
+    /// The drawn links.
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// Record a configuration dump for a router (what the web server
+    /// saves from the console when a design with a valid reservation is
+    /// saved).
+    pub fn set_saved_config(
+        &mut self,
+        router: RouterId,
+        config: String,
+    ) -> Result<(), DesignError> {
+        match self.devices.get_mut(&router) {
+            Some(slot) => {
+                *slot = Some(config);
+                Ok(())
+            }
+            None => Err(DesignError::UnknownDevice(router)),
+        }
+    }
+
+    /// The saved configuration for a router, if any.
+    pub fn saved_config(&self, router: RouterId) -> Option<&str> {
+        self.devices.get(&router).and_then(|c| c.as_deref())
+    }
+
+    /// Connect two ports ("the user first click on a port on the first
+    /// router, then drag the line to another port on the second
+    /// router").
+    pub fn connect(
+        &mut self,
+        a: (RouterId, PortId),
+        b: (RouterId, PortId),
+    ) -> Result<(), DesignError> {
+        if a == b {
+            return Err(DesignError::SelfLoop(a.0, a.1));
+        }
+        for end in [a, b] {
+            if !self.devices.contains_key(&end.0) {
+                return Err(DesignError::UnknownDevice(end.0));
+            }
+            if self.port_in_use(end) {
+                return Err(DesignError::PortInUse(end.0, end.1));
+            }
+        }
+        self.links.push((a, b));
+        Ok(())
+    }
+
+    /// Remove the link touching an endpoint.
+    pub fn disconnect(&mut self, end: (RouterId, PortId)) {
+        self.links.retain(|(a, b)| *a != end && *b != end);
+    }
+
+    /// Remove a device and every link touching it.
+    pub fn remove_device(&mut self, router: RouterId) {
+        self.devices.remove(&router);
+        self.links.retain(|(a, b)| a.0 != router && b.0 != router);
+    }
+
+    fn port_in_use(&self, end: (RouterId, PortId)) -> bool {
+        self.links.iter().any(|(a, b)| *a == end || *b == end)
+    }
+
+    /// Structural validation (used before deploy).
+    pub fn validate(&self) -> Result<(), DesignError> {
+        let mut seen: BTreeSet<(RouterId, PortId)> = BTreeSet::new();
+        for (a, b) in &self.links {
+            for end in [a, b] {
+                if !self.devices.contains_key(&end.0) {
+                    return Err(DesignError::UnknownDevice(end.0));
+                }
+                if !seen.insert(*end) {
+                    return Err(DesignError::PortInUse(end.0, end.1));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Export to the JSON interchange form.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", Json::str(self.name.clone())),
+            (
+                "devices",
+                Json::Arr(
+                    self.devices
+                        .iter()
+                        .map(|(id, cfg)| {
+                            Json::obj([
+                                ("id", Json::num(id.0)),
+                                ("config", cfg.clone().map(Json::Str).unwrap_or(Json::Null)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "links",
+                Json::Arr(
+                    self.links
+                        .iter()
+                        .map(|((ar, ap), (br, bp))| {
+                            Json::Arr(vec![
+                                Json::num(ar.0),
+                                Json::num(u32::from(ap.0)),
+                                Json::num(br.0),
+                                Json::num(u32::from(bp.0)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Import from the JSON interchange form.
+    pub fn from_json(json: &Json) -> Result<Design, DesignError> {
+        let bad = |m: &str| DesignError::BadSerialization(m.to_string());
+        let name = json
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad("missing name"))?
+            .to_string();
+        let mut design = Design::new(&name);
+        for dev in json
+            .get("devices")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| bad("missing devices"))?
+        {
+            let id = dev
+                .get("id")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| bad("bad device id"))? as u32;
+            design.add_device(RouterId(id));
+            if let Some(cfg) = dev.get("config").and_then(Json::as_str) {
+                design
+                    .set_saved_config(RouterId(id), cfg.to_string())
+                    .expect("device just added");
+            }
+        }
+        for link in json
+            .get("links")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| bad("missing links"))?
+        {
+            let parts = link.as_arr().ok_or_else(|| bad("bad link"))?;
+            if parts.len() != 4 {
+                return Err(bad("bad link arity"));
+            }
+            let nums: Vec<u64> = parts
+                .iter()
+                .map(|p| p.as_u64().ok_or_else(|| bad("bad link element")))
+                .collect::<Result<_, _>>()?;
+            design
+                .connect(
+                    (RouterId(nums[0] as u32), PortId(nums[1] as u16)),
+                    (RouterId(nums[2] as u32), PortId(nums[3] as u16)),
+                )
+                .map_err(|e| DesignError::BadSerialization(e.to_string()))?;
+        }
+        Ok(design)
+    }
+}
+
+/// Server-side storage of named designs.
+#[derive(Debug, Default)]
+pub struct DesignStore {
+    designs: BTreeMap<String, Design>,
+}
+
+impl DesignStore {
+    /// Empty store.
+    pub fn new() -> DesignStore {
+        DesignStore::default()
+    }
+
+    /// Save (overwrite) a design under its name.
+    pub fn save(&mut self, design: Design) {
+        self.designs.insert(design.name.clone(), design);
+    }
+
+    /// Load a design by name.
+    pub fn load(&self, name: &str) -> Option<&Design> {
+        self.designs.get(name)
+    }
+
+    /// Mutable access (config auto-dump updates saved designs).
+    pub fn load_mut(&mut self, name: &str) -> Option<&mut Design> {
+        self.designs.get_mut(name)
+    }
+
+    /// Delete a design.
+    pub fn delete(&mut self, name: &str) -> bool {
+        self.designs.remove(name).is_some()
+    }
+
+    /// All saved design names.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.designs.keys().map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: u32) -> RouterId {
+        RouterId(n)
+    }
+
+    fn p(n: u16) -> PortId {
+        PortId(n)
+    }
+
+    #[test]
+    fn connect_validates_endpoints() {
+        let mut d = Design::new("t");
+        d.add_device(r(1));
+        d.add_device(r(2));
+        d.connect((r(1), p(0)), (r(2), p(0))).unwrap();
+        // Port reuse rejected.
+        assert_eq!(
+            d.connect((r(1), p(0)), (r(2), p(1))),
+            Err(DesignError::PortInUse(r(1), p(0)))
+        );
+        // Unknown device rejected.
+        assert_eq!(
+            d.connect((r(3), p(0)), (r(2), p(1))),
+            Err(DesignError::UnknownDevice(r(3)))
+        );
+        // Self loop rejected.
+        assert_eq!(
+            d.connect((r(1), p(1)), (r(1), p(1))),
+            Err(DesignError::SelfLoop(r(1), p(1)))
+        );
+        // Same router, different ports is fine (loopback cable).
+        d.connect((r(1), p(1)), (r(1), p(2))).unwrap();
+        assert!(d.validate().is_ok());
+    }
+
+    #[test]
+    fn disconnect_and_remove() {
+        let mut d = Design::new("t");
+        d.add_device(r(1));
+        d.add_device(r(2));
+        d.connect((r(1), p(0)), (r(2), p(0))).unwrap();
+        d.disconnect((r(2), p(0)));
+        assert!(d.links().is_empty());
+        d.connect((r(1), p(0)), (r(2), p(0))).unwrap();
+        d.remove_device(r(2));
+        assert!(d.links().is_empty());
+        assert!(!d.uses(r(2)));
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_everything() {
+        let mut d = Design::new("fig5");
+        d.add_device(r(10));
+        d.add_device(r(11));
+        d.add_device(r(12));
+        d.connect((r(10), p(0)), (r(11), p(0))).unwrap();
+        d.connect((r(10), p(1)), (r(12), p(3))).unwrap();
+        d.set_saved_config(r(10), "hostname swa\nend\n".to_string())
+            .unwrap();
+        let encoded = d.to_json().encode();
+        let parsed = Design::from_json(&Json::parse(&encoded).unwrap()).unwrap();
+        assert_eq!(parsed, d);
+    }
+
+    #[test]
+    fn from_json_rejects_malformed() {
+        for bad in [
+            r#"{}"#,
+            r#"{"name":"x"}"#,
+            r#"{"name":"x","devices":[],"links":[[1,2,3]]}"#,
+            r#"{"name":"x","devices":[],"links":[[1,0,2,0]]}"#, // unknown devices
+        ] {
+            let json = Json::parse(bad).unwrap();
+            assert!(Design::from_json(&json).is_err(), "should reject {bad}");
+        }
+    }
+
+    #[test]
+    fn store_save_load_delete() {
+        let mut store = DesignStore::new();
+        let mut d = Design::new("lab-a");
+        d.add_device(r(1));
+        store.save(d.clone());
+        assert_eq!(store.load("lab-a"), Some(&d));
+        assert_eq!(store.names().collect::<Vec<_>>(), vec!["lab-a"]);
+        assert!(store.delete("lab-a"));
+        assert!(!store.delete("lab-a"));
+        assert!(store.load("lab-a").is_none());
+    }
+}

@@ -1,0 +1,214 @@
+//! Server-side traffic generation streams (§2.3 / §3.2).
+//!
+//! Single packets are injected with [`crate::RouteServer::inject`]; this
+//! module adds what the paper's IXIA-replacement needs for load tests:
+//! *streams* — template packets emitted at a fixed rate into one router
+//! port, each stamped with an incrementing sequence number. Combined
+//! with the capture hub, a user gets a software traffic generator and
+//! analyzer "without specialized equipment", on any wire, in one
+//! direction only.
+
+use std::net::Ipv4Addr;
+
+use rnl_net::addr::MacAddr;
+use rnl_net::build;
+use rnl_net::time::{Duration, Instant};
+use rnl_tunnel::msg::{PortId, RouterId};
+
+/// Identifies a running stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StreamId(pub u64);
+
+/// Definition of a generated stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamConfig {
+    /// Port the packets are delivered into.
+    pub router: RouterId,
+    pub port: PortId,
+    /// Frame header fields of the template.
+    pub src_mac: MacAddr,
+    pub dst_mac: MacAddr,
+    pub src_ip: Ipv4Addr,
+    pub dst_ip: Ipv4Addr,
+    pub src_port: u16,
+    pub dst_port: u16,
+    /// UDP payload length; the first 4 bytes carry the sequence number.
+    pub payload_len: usize,
+    /// Total packets (`u64::MAX` ≈ until stopped).
+    pub count: u64,
+    /// Inter-packet gap.
+    pub interval: Duration,
+}
+
+#[derive(Debug)]
+struct StreamState {
+    config: StreamConfig,
+    sent: u64,
+    next_at: Instant,
+}
+
+/// The generation module: a set of active streams polled by the route
+/// server's main loop.
+#[derive(Debug, Default)]
+pub struct Generator {
+    streams: Vec<(StreamId, StreamState)>,
+    next_id: u64,
+}
+
+impl Generator {
+    /// Empty generator.
+    pub fn new() -> Generator {
+        Generator::default()
+    }
+
+    /// Start a stream; emission begins at the next poll.
+    pub fn start(&mut self, config: StreamConfig, now: Instant) -> StreamId {
+        let id = StreamId(self.next_id);
+        self.next_id += 1;
+        self.streams.push((
+            id,
+            StreamState {
+                config,
+                sent: 0,
+                next_at: now,
+            },
+        ));
+        id
+    }
+
+    /// Stop a stream; returns whether it existed.
+    pub fn stop(&mut self, id: StreamId) -> bool {
+        let before = self.streams.len();
+        self.streams.retain(|(sid, _)| *sid != id);
+        self.streams.len() != before
+    }
+
+    /// Number of live streams (finished streams are reaped on poll).
+    pub fn active(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// Packets sent so far on a stream.
+    pub fn sent(&self, id: StreamId) -> Option<u64> {
+        self.streams
+            .iter()
+            .find(|(sid, _)| *sid == id)
+            .map(|(_, s)| s.sent)
+    }
+
+    /// Produce everything due at `now` as (router, port, frame) triples.
+    pub fn poll(&mut self, now: Instant) -> Vec<(RouterId, PortId, Vec<u8>)> {
+        let mut out = Vec::new();
+        for (_, state) in &mut self.streams {
+            while state.sent < state.config.count && now >= state.next_at {
+                out.push((
+                    state.config.router,
+                    state.config.port,
+                    frame_for(&state.config, state.sent),
+                ));
+                state.sent += 1;
+                state.next_at += state.config.interval;
+            }
+        }
+        self.streams.retain(|(_, s)| s.sent < s.config.count);
+        out
+    }
+}
+
+/// Build the `seq`-th frame of a stream.
+pub fn frame_for(config: &StreamConfig, seq: u64) -> Vec<u8> {
+    let mut payload = vec![0x5au8; config.payload_len.max(4)];
+    payload[0..4].copy_from_slice(&(seq as u32).to_be_bytes());
+    build::udp_frame(
+        config.src_mac,
+        config.dst_mac,
+        config.src_ip,
+        config.dst_ip,
+        config.src_port,
+        config.dst_port,
+        &payload,
+        64,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> Instant {
+        Instant::EPOCH + Duration::from_millis(ms)
+    }
+
+    fn config(count: u64, interval_ms: u64) -> StreamConfig {
+        StreamConfig {
+            router: RouterId(1),
+            port: PortId(0),
+            src_mac: MacAddr([2, 0, 0, 0, 0, 1]),
+            dst_mac: MacAddr([2, 0, 0, 0, 0, 2]),
+            src_ip: "10.0.0.1".parse().unwrap(),
+            dst_ip: "10.0.0.2".parse().unwrap(),
+            src_port: 5000,
+            dst_port: 5001,
+            payload_len: 32,
+            count,
+            interval: Duration::from_millis(interval_ms),
+        }
+    }
+
+    #[test]
+    fn emits_at_rate_and_reaps_finished_streams() {
+        let mut g = Generator::new();
+        let id = g.start(config(3, 10), t(0));
+        assert_eq!(g.poll(t(0)).len(), 1);
+        assert_eq!(g.poll(t(5)).len(), 0);
+        assert_eq!(g.poll(t(10)).len(), 1);
+        assert_eq!(g.sent(id), Some(2));
+        assert_eq!(g.poll(t(30)).len(), 1);
+        // Stream complete: reaped.
+        assert_eq!(g.active(), 0);
+        assert_eq!(g.sent(id), None);
+    }
+
+    #[test]
+    fn stop_kills_a_stream() {
+        let mut g = Generator::new();
+        let id = g.start(config(u64::MAX, 10), t(0));
+        g.poll(t(0));
+        assert!(g.stop(id));
+        assert!(!g.stop(id));
+        assert!(g.poll(t(100)).is_empty());
+    }
+
+    #[test]
+    fn frames_carry_sequence_numbers() {
+        let cfg = config(10, 1);
+        let f0 = frame_for(&cfg, 0);
+        let f7 = frame_for(&cfg, 7);
+        match rnl_net::build::classify(&f7).unwrap().1 {
+            rnl_net::build::Classified::Ipv4 {
+                l4:
+                    rnl_net::build::L4::Udp {
+                        payload, dst_port, ..
+                    },
+                ..
+            } => {
+                assert_eq!(dst_port, 5001);
+                assert_eq!(&payload[0..4], &7u32.to_be_bytes());
+            }
+            other => panic!("expected UDP, got {other:?}"),
+        }
+        assert_eq!(f0.len(), f7.len());
+    }
+
+    #[test]
+    fn concurrent_streams_are_independent() {
+        let mut g = Generator::new();
+        g.start(config(2, 10), t(0));
+        let mut cfg2 = config(2, 20);
+        cfg2.port = PortId(1);
+        g.start(cfg2, t(0));
+        let frames = g.poll(t(0));
+        assert_eq!(frames.len(), 2);
+        assert_ne!(frames[0].1, frames[1].1);
+    }
+}

@@ -1,0 +1,180 @@
+//! The router inventory — the left-hand column of the Fig. 2 web UI.
+//!
+//! The route server "is responsible for keeping track of all available
+//! routers in RNL, some of which (those specialized equipment defined by
+//! users) could come and go at any time" (§2.3). Each record pairs the
+//! lab manager's Fig.-3 registration data with the server-assigned
+//! global id and the session the equipment is reachable through.
+
+use std::collections::BTreeMap;
+
+use rnl_net::time::{Duration, Instant};
+use rnl_tunnel::msg::{RouterId, RouterInfo};
+
+/// Identifies one connected RIS session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SessionId(pub u64);
+
+/// Heartbeat silence after which a router is shown offline.
+pub const OFFLINE_AFTER: Duration = Duration::from_secs(30);
+
+/// One router in the inventory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InventoryRecord {
+    pub id: RouterId,
+    /// Which RIS session fronts this router.
+    pub session: SessionId,
+    /// The interface PC's name.
+    pub pc_name: String,
+    /// The Fig.-3 registration (description, model, image, ports,
+    /// console).
+    pub info: RouterInfo,
+    /// Last heartbeat or data activity on the owning session.
+    pub last_seen: Instant,
+}
+
+impl InventoryRecord {
+    /// Whether the router counts as online at `now`.
+    pub fn online(&self, now: Instant) -> bool {
+        now.since(self.last_seen) <= OFFLINE_AFTER
+    }
+}
+
+/// The inventory.
+#[derive(Debug, Default)]
+pub struct Inventory {
+    records: BTreeMap<RouterId, InventoryRecord>,
+    next_id: u32,
+}
+
+impl Inventory {
+    /// Empty inventory.
+    pub fn new() -> Inventory {
+        Inventory::default()
+    }
+
+    /// Register a router from a RIS registration; assigns and returns
+    /// its global id.
+    pub fn register(
+        &mut self,
+        session: SessionId,
+        pc_name: &str,
+        info: RouterInfo,
+        now: Instant,
+    ) -> RouterId {
+        let id = RouterId(self.next_id);
+        self.next_id += 1;
+        self.records.insert(
+            id,
+            InventoryRecord {
+                id,
+                session,
+                pc_name: pc_name.to_string(),
+                info,
+                last_seen: now,
+            },
+        );
+        id
+    }
+
+    /// Remove every router fronted by a session (the RIS disconnected —
+    /// "those specialized equipment defined by users could come and go
+    /// at any time").
+    pub fn remove_session(&mut self, session: SessionId) -> Vec<RouterId> {
+        let gone: Vec<RouterId> = self
+            .records
+            .values()
+            .filter(|r| r.session == session)
+            .map(|r| r.id)
+            .collect();
+        for id in &gone {
+            self.records.remove(id);
+        }
+        gone
+    }
+
+    /// Refresh liveness for every router on a session.
+    pub fn touch_session(&mut self, session: SessionId, now: Instant) {
+        for record in self.records.values_mut() {
+            if record.session == session {
+                record.last_seen = now;
+            }
+        }
+    }
+
+    /// Look up a record.
+    pub fn get(&self, id: RouterId) -> Option<&InventoryRecord> {
+        self.records.get(&id)
+    }
+
+    /// The session fronting a router.
+    pub fn session_of(&self, id: RouterId) -> Option<SessionId> {
+        self.records.get(&id).map(|r| r.session)
+    }
+
+    /// All records, ordered by id (the inventory listing).
+    pub fn list(&self) -> impl Iterator<Item = &InventoryRecord> {
+        self.records.values()
+    }
+
+    /// Number of routers known.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when the inventory is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn info(desc: &str) -> RouterInfo {
+        RouterInfo {
+            local_id: 0,
+            description: desc.to_string(),
+            model: "7200".to_string(),
+            image: "x.png".to_string(),
+            ports: vec![],
+            console_com: None,
+        }
+    }
+
+    fn t(s: u64) -> Instant {
+        Instant::EPOCH + Duration::from_secs(s)
+    }
+
+    #[test]
+    fn register_assigns_sequential_ids() {
+        let mut inv = Inventory::new();
+        let a = inv.register(SessionId(1), "pc1", info("a"), t(0));
+        let b = inv.register(SessionId(1), "pc1", info("b"), t(0));
+        assert_ne!(a, b);
+        assert_eq!(inv.len(), 2);
+        assert_eq!(inv.get(a).unwrap().info.description, "a");
+    }
+
+    #[test]
+    fn session_removal_purges_its_routers_only() {
+        let mut inv = Inventory::new();
+        let a = inv.register(SessionId(1), "pc1", info("a"), t(0));
+        let b = inv.register(SessionId(2), "pc2", info("b"), t(0));
+        let gone = inv.remove_session(SessionId(1));
+        assert_eq!(gone, vec![a]);
+        assert!(inv.get(a).is_none());
+        assert!(inv.get(b).is_some());
+    }
+
+    #[test]
+    fn liveness_tracking() {
+        let mut inv = Inventory::new();
+        let a = inv.register(SessionId(1), "pc1", info("a"), t(0));
+        assert!(inv.get(a).unwrap().online(t(10)));
+        assert!(!inv.get(a).unwrap().online(t(31)));
+        inv.touch_session(SessionId(1), t(40));
+        assert!(inv.get(a).unwrap().online(t(60)));
+    }
+}

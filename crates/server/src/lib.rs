@@ -1,0 +1,910 @@
+//! # rnl-server — the RNL back end (web server + route server)
+//!
+//! "The central back-end server at netlabs.accenture.com is responsible
+//! for coordinating all communications in RNL. It has two roles: web
+//! server and route server. The web server is responsible for
+//! communicating with a user's browser during a design session … The
+//! route server is responsible for routing packets from one router port
+//! to another based on the user design." (§2)
+//!
+//! [`RouteServer`] is both roles in one process (as in the paper's
+//! initial release): it accepts RIS sessions, assigns unique router and
+//! port ids, keeps the [`inventory::Inventory`], stores
+//! [`design::Design`]s, enforces the [`reserve::Calendar`], installs
+//! deployments into the [`matrix::RoutingMatrix`], relays every data
+//! frame along the Fig. 4 path, taps monitored ports into the
+//! [`capture::CaptureHub`], and proxies console/power/firmware
+//! management. The [`web`] module exposes the same operations as the
+//! paper's web-services API (JSON in, JSON out); [`shard`] provides the
+//! §4 per-user route-server scaling.
+
+pub mod capture;
+pub mod design;
+pub mod generate;
+pub mod inventory;
+pub mod json;
+pub mod matrix;
+pub mod reserve;
+pub mod shard;
+pub mod web;
+
+use std::collections::{BTreeMap, HashMap};
+
+use rnl_net::time::Instant;
+use rnl_tunnel::compress::{CompressError, Compressor, Decompressor};
+use rnl_tunnel::msg::{Assignment, Msg, PortId, RouterId};
+use rnl_tunnel::transport::{Transport, TransportError};
+
+use capture::{CaptureDir, CaptureHub};
+use design::{Design, DesignError, DesignStore};
+use generate::{Generator, StreamConfig, StreamId};
+use inventory::{Inventory, SessionId};
+use matrix::{DeploymentId, MatrixError, RoutingMatrix};
+use reserve::{Calendar, ReservationId, ReserveError};
+
+/// Route-server failure.
+#[derive(Debug)]
+pub enum ServerError {
+    /// A session's transport failed (the session is dropped).
+    Transport(TransportError),
+    /// Deployment refused by the matrix (router busy).
+    Matrix(MatrixError),
+    /// Deployment refused by the calendar.
+    Reservation(String),
+    /// The design is structurally invalid.
+    Design(DesignError),
+    /// A referenced design does not exist.
+    UnknownDesign(String),
+    /// A referenced router is not in the inventory (or offline).
+    UnknownRouter(RouterId),
+    /// Compressed stream desynchronization.
+    Compression(CompressError),
+}
+
+impl std::fmt::Display for ServerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServerError::Transport(e) => write!(f, "transport: {e}"),
+            ServerError::Matrix(e) => write!(f, "matrix: {e}"),
+            ServerError::Reservation(m) => write!(f, "reservation: {m}"),
+            ServerError::Design(e) => write!(f, "design: {e}"),
+            ServerError::UnknownDesign(n) => write!(f, "unknown design {n:?}"),
+            ServerError::UnknownRouter(r) => write!(f, "unknown router {r}"),
+            ServerError::Compression(e) => write!(f, "compression: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+impl From<MatrixError> for ServerError {
+    fn from(e: MatrixError) -> ServerError {
+        ServerError::Matrix(e)
+    }
+}
+
+impl From<DesignError> for ServerError {
+    fn from(e: DesignError) -> ServerError {
+        ServerError::Design(e)
+    }
+}
+
+impl From<ReserveError> for ServerError {
+    fn from(e: ReserveError) -> ServerError {
+        ServerError::Reservation(e.to_string())
+    }
+}
+
+/// Counters for the experiments (E4, E9).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Frames relayed port-to-port through the matrix.
+    pub frames_routed: u64,
+    /// Frames arriving on ports with no matrix entry (unwired — dropped
+    /// exactly as an unplugged cable drops them).
+    pub frames_unrouted: u64,
+    /// Payload bytes relayed.
+    pub bytes_relayed: u64,
+    /// Frames injected by the generation module.
+    pub frames_injected: u64,
+}
+
+/// Record of one live deployment.
+#[derive(Debug, Clone)]
+pub struct DeploymentRecord {
+    pub id: DeploymentId,
+    pub user: String,
+    pub design_name: String,
+    pub routers: Vec<RouterId>,
+}
+
+struct Session {
+    transport: Box<dyn Transport>,
+    pc_name: Option<String>,
+    alive: bool,
+}
+
+/// The back-end server. Single-threaded and poll-driven; wrap it in a
+/// thread with a real clock for TCP deployments (see the examples).
+pub struct RouteServer {
+    sessions: BTreeMap<SessionId, Session>,
+    next_session: u64,
+    inventory: Inventory,
+    matrix: RoutingMatrix,
+    calendar: Calendar,
+    designs: DesignStore,
+    captures: CaptureHub,
+    deployments: HashMap<DeploymentId, DeploymentRecord>,
+    /// Console output per router, drained by the facade.
+    console_mail: HashMap<RouterId, Vec<String>>,
+    /// Flash results per router.
+    flash_mail: HashMap<RouterId, Vec<(bool, String)>>,
+    /// Decoders for RIS→server compressed streams.
+    decompressors: HashMap<(RouterId, PortId), Decompressor>,
+    /// Encoders for server→RIS compressed streams (when downstream
+    /// compression is on).
+    compressors: HashMap<(RouterId, PortId), Compressor>,
+    /// Compress relayed frames toward the RIS (§4; off by default).
+    compress_downstream: bool,
+    /// The §2.3 traffic-generation module.
+    generator: Generator,
+    /// Whether deploy requires a covering reservation. On by default —
+    /// this is a shared facility; tests may relax it.
+    enforce_reservations: bool,
+    stats: ServerStats,
+}
+
+impl Default for RouteServer {
+    fn default() -> RouteServer {
+        RouteServer::new()
+    }
+}
+
+impl RouteServer {
+    /// A fresh server with an empty inventory.
+    pub fn new() -> RouteServer {
+        RouteServer {
+            sessions: BTreeMap::new(),
+            next_session: 0,
+            inventory: Inventory::new(),
+            matrix: RoutingMatrix::new(),
+            calendar: Calendar::new(),
+            designs: DesignStore::new(),
+            captures: CaptureHub::default(),
+            deployments: HashMap::new(),
+            console_mail: HashMap::new(),
+            flash_mail: HashMap::new(),
+            decompressors: HashMap::new(),
+            compressors: HashMap::new(),
+            compress_downstream: false,
+            generator: Generator::new(),
+            enforce_reservations: true,
+            stats: ServerStats::default(),
+        }
+    }
+
+    /// Relax or enforce the reservation check at deploy time.
+    pub fn set_enforce_reservations(&mut self, on: bool) {
+        self.enforce_reservations = on;
+    }
+
+    /// Compress relayed frames on the server→RIS leg (§4's bandwidth
+    /// mitigation; the RIS transparently decompresses).
+    pub fn set_compress_downstream(&mut self, on: bool) {
+        self.compress_downstream = on;
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> ServerStats {
+        self.stats
+    }
+
+    /// The inventory (the Fig. 2 left column).
+    pub fn inventory(&self) -> &Inventory {
+        &self.inventory
+    }
+
+    /// The reservation calendar.
+    pub fn calendar(&self) -> &Calendar {
+        &self.calendar
+    }
+
+    /// Mutable calendar access (reservation management).
+    pub fn calendar_mut(&mut self) -> &mut Calendar {
+        &mut self.calendar
+    }
+
+    /// The design store.
+    pub fn designs(&self) -> &DesignStore {
+        &self.designs
+    }
+
+    /// Mutable design-store access.
+    pub fn designs_mut(&mut self) -> &mut DesignStore {
+        &mut self.designs
+    }
+
+    /// The capture hub.
+    pub fn captures(&self) -> &CaptureHub {
+        &self.captures
+    }
+
+    /// Mutable capture hub (start/stop monitoring).
+    pub fn captures_mut(&mut self) -> &mut CaptureHub {
+        &mut self.captures
+    }
+
+    /// Live deployments.
+    pub fn deployments(&self) -> impl Iterator<Item = &DeploymentRecord> {
+        self.deployments.values()
+    }
+
+    /// Accept a new RIS connection.
+    pub fn attach(&mut self, transport: Box<dyn Transport>) -> SessionId {
+        let id = SessionId(self.next_session);
+        self.next_session += 1;
+        self.sessions.insert(
+            id,
+            Session {
+                transport,
+                pc_name: None,
+                alive: true,
+            },
+        );
+        id
+    }
+
+    /// One poll cycle: drain every session, relay data, apply
+    /// registrations, collect mailboxes, drop dead sessions.
+    pub fn poll(&mut self, now: Instant) {
+        let ids: Vec<SessionId> = self.sessions.keys().copied().collect();
+        for sid in ids {
+            let msgs = match self.sessions.get_mut(&sid) {
+                Some(session) if session.alive => match session.transport.poll(now) {
+                    Ok(msgs) => msgs,
+                    Err(_) => {
+                        session.alive = false;
+                        Vec::new()
+                    }
+                },
+                _ => Vec::new(),
+            };
+            if !msgs.is_empty() {
+                self.inventory.touch_session(sid, now);
+            }
+            for msg in msgs {
+                self.handle_msg(sid, msg, now);
+            }
+        }
+        // Emit due generator traffic into its target ports.
+        for (router, port, frame) in self.generator.poll(now) {
+            // Streams whose router vanished just stop producing effect.
+            let _ = self.inject(router, port, frame, now);
+        }
+        // Purge dead sessions and their inventory.
+        let dead: Vec<SessionId> = self
+            .sessions
+            .iter()
+            .filter(|(_, s)| !s.alive || !s.transport.is_connected())
+            .map(|(id, _)| *id)
+            .collect();
+        for sid in dead {
+            self.sessions.remove(&sid);
+            self.inventory.remove_session(sid);
+        }
+    }
+
+    fn handle_msg(&mut self, sid: SessionId, msg: Msg, now: Instant) {
+        match msg {
+            Msg::Register(info) => {
+                let mut assignments = Vec::new();
+                for router in info.routers {
+                    let local_id = router.local_id;
+                    let id = self.inventory.register(sid, &info.pc_name, router, now);
+                    assignments.push(Assignment {
+                        local_id,
+                        router: id,
+                    });
+                }
+                if let Some(session) = self.sessions.get_mut(&sid) {
+                    session.pc_name = Some(info.pc_name);
+                    let _ = session.transport.send(&Msg::RegisterAck(assignments), now);
+                }
+            }
+            Msg::Data {
+                router,
+                port,
+                frame,
+            } => {
+                self.route_frame(router, port, frame, now);
+            }
+            Msg::DataCompressed {
+                router,
+                port,
+                encoded,
+            } => {
+                let frame = match self
+                    .decompressors
+                    .entry((router, port))
+                    .or_default()
+                    .decode(&encoded)
+                {
+                    Ok(frame) => frame,
+                    // A desynchronized stream is a session-level fault;
+                    // count the frame as unroutable and move on.
+                    Err(_) => {
+                        self.stats.frames_unrouted += 1;
+                        return;
+                    }
+                };
+                self.route_frame(router, port, frame, now);
+            }
+            Msg::ConsoleReply { router, output } => {
+                self.console_mail.entry(router).or_default().push(output);
+            }
+            Msg::FlashResult {
+                router,
+                ok,
+                message,
+            } => {
+                self.flash_mail
+                    .entry(router)
+                    .or_default()
+                    .push((ok, message));
+            }
+            Msg::Heartbeat { .. } => {
+                self.inventory.touch_session(sid, now);
+            }
+            // Server-to-RIS messages arriving upstream are ignored.
+            Msg::RegisterAck(_)
+            | Msg::Console { .. }
+            | Msg::SetPower { .. }
+            | Msg::SetLink { .. }
+            | Msg::Flash { .. } => {}
+        }
+    }
+
+    /// The Fig. 4 packet path: unwrap → matrix lookup → wrap → forward.
+    fn route_frame(&mut self, router: RouterId, port: PortId, frame: Vec<u8>, now: Instant) {
+        self.captures
+            .tap(router, port, CaptureDir::FromPort, &frame, now);
+        let Some((dst_router, dst_port)) = self.matrix.lookup((router, port)) else {
+            self.stats.frames_unrouted += 1;
+            return;
+        };
+        self.captures
+            .tap(dst_router, dst_port, CaptureDir::ToPort, &frame, now);
+        self.stats.bytes_relayed += frame.len() as u64;
+        let msg = if self.compress_downstream {
+            let encoded = self
+                .compressors
+                .entry((dst_router, dst_port))
+                .or_default()
+                .encode(&frame);
+            Msg::DataCompressed {
+                router: dst_router,
+                port: dst_port,
+                encoded,
+            }
+        } else {
+            Msg::Data {
+                router: dst_router,
+                port: dst_port,
+                frame,
+            }
+        };
+        if self.send_to_router(dst_router, msg, now) {
+            self.stats.frames_routed += 1;
+        } else {
+            self.stats.frames_unrouted += 1;
+        }
+    }
+
+    fn send_to_router(&mut self, router: RouterId, msg: Msg, now: Instant) -> bool {
+        let Some(sid) = self.inventory.session_of(router) else {
+            return false;
+        };
+        let Some(session) = self.sessions.get_mut(&sid) else {
+            return false;
+        };
+        session.transport.send(&msg, now).is_ok()
+    }
+
+    // -----------------------------------------------------------------
+    // Reservation / deployment lifecycle
+    // -----------------------------------------------------------------
+
+    /// Book the routers of a saved design.
+    pub fn reserve_design(
+        &mut self,
+        user: &str,
+        design_name: &str,
+        start: Instant,
+        end: Instant,
+    ) -> Result<ReservationId, ServerError> {
+        let design = self
+            .designs
+            .load(design_name)
+            .ok_or_else(|| ServerError::UnknownDesign(design_name.to_string()))?;
+        let routers: Vec<RouterId> = design.devices().collect();
+        Ok(self.calendar.reserve(user, &routers, start, end)?)
+    }
+
+    /// Deploy a saved design: validate, check the reservation, install
+    /// the routing matrix, and auto-restore saved configurations.
+    pub fn deploy(
+        &mut self,
+        user: &str,
+        design_name: &str,
+        now: Instant,
+    ) -> Result<DeploymentId, ServerError> {
+        let design = self
+            .designs
+            .load(design_name)
+            .ok_or_else(|| ServerError::UnknownDesign(design_name.to_string()))?
+            .clone();
+        self.deploy_design(user, &design, now)
+    }
+
+    /// Deploy an unsaved design directly.
+    pub fn deploy_design(
+        &mut self,
+        user: &str,
+        design: &Design,
+        now: Instant,
+    ) -> Result<DeploymentId, ServerError> {
+        design.validate()?;
+        let routers: Vec<RouterId> = design.devices().collect();
+        for &router in &routers {
+            if self.inventory.get(router).is_none() {
+                return Err(ServerError::UnknownRouter(router));
+            }
+        }
+        if self.enforce_reservations && !self.calendar.covers(user, &routers, now) {
+            return Err(ServerError::Reservation(format!(
+                "user {user:?} holds no reservation covering all routers now"
+            )));
+        }
+        let id = self.matrix.deploy(&routers, design.links())?;
+        self.deployments.insert(
+            id,
+            DeploymentRecord {
+                id,
+                user: user.to_string(),
+                design_name: design.name.clone(),
+                routers: routers.clone(),
+            },
+        );
+        // Auto-restore saved configurations ("If a router configuration
+        // is saved, when the users deploy the design, the configuration
+        // file is loaded automatically").
+        for &router in &routers {
+            if let Some(config) = design.saved_config(router) {
+                let config = config.to_string();
+                self.restore_config(router, &config, now);
+            }
+        }
+        Ok(id)
+    }
+
+    /// Tear a deployment down, freeing its routers.
+    pub fn teardown(&mut self, id: DeploymentId) -> bool {
+        self.deployments.remove(&id);
+        self.matrix.teardown(id)
+    }
+
+    /// The matrix (read access for assertions).
+    pub fn matrix(&self) -> &RoutingMatrix {
+        &self.matrix
+    }
+
+    // -----------------------------------------------------------------
+    // Console, power, firmware
+    // -----------------------------------------------------------------
+
+    /// Send one console line to a router (the VT100 pane of §2.1).
+    pub fn console(
+        &mut self,
+        router: RouterId,
+        line: &str,
+        now: Instant,
+    ) -> Result<(), ServerError> {
+        if self.inventory.get(router).is_none() {
+            return Err(ServerError::UnknownRouter(router));
+        }
+        self.send_to_router(
+            router,
+            Msg::Console {
+                router,
+                line: line.to_string(),
+            },
+            now,
+        );
+        Ok(())
+    }
+
+    /// Drain collected console output for a router.
+    pub fn console_replies(&mut self, router: RouterId) -> Vec<String> {
+        self.console_mail.remove(&router).unwrap_or_default()
+    }
+
+    /// Replay a configuration dump onto a router's console.
+    pub fn restore_config(&mut self, router: RouterId, config: &str, now: Instant) {
+        self.send_to_router(
+            router,
+            Msg::Console {
+                router,
+                line: "enable".to_string(),
+            },
+            now,
+        );
+        self.send_to_router(
+            router,
+            Msg::Console {
+                router,
+                line: "configure terminal".to_string(),
+            },
+            now,
+        );
+        for line in config.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('!') {
+                continue;
+            }
+            self.send_to_router(
+                router,
+                Msg::Console {
+                    router,
+                    line: line.to_string(),
+                },
+                now,
+            );
+        }
+        self.send_to_router(
+            router,
+            Msg::Console {
+                router,
+                line: "end".to_string(),
+            },
+            now,
+        );
+    }
+
+    /// Ask a router for its running configuration (the §2.1 auto-dump;
+    /// the reply lands in [`RouteServer::console_replies`]).
+    pub fn request_config_dump(&mut self, router: RouterId, now: Instant) {
+        self.send_to_router(
+            router,
+            Msg::Console {
+                router,
+                line: "enable".to_string(),
+            },
+            now,
+        );
+        self.send_to_router(
+            router,
+            Msg::Console {
+                router,
+                line: "show running-config".to_string(),
+            },
+            now,
+        );
+    }
+
+    /// Power a router on/off. Carrier follows power: every port of the
+    /// router that is wired in the matrix has its far end's link state
+    /// updated too, exactly as the far NIC would see the light go out
+    /// when a physical box loses power.
+    pub fn set_power(&mut self, router: RouterId, on: bool, now: Instant) {
+        self.send_to_router(router, Msg::SetPower { router, on }, now);
+        let peers: Vec<(RouterId, PortId)> = self
+            .inventory
+            .get(router)
+            .map(|rec| {
+                (0..rec.info.ports.len() as u16)
+                    .filter_map(|p| self.matrix.lookup((router, PortId(p))))
+                    .collect()
+            })
+            .unwrap_or_default();
+        for (peer_router, peer_port) in peers {
+            self.set_link(peer_router, peer_port, on, now);
+        }
+    }
+
+    /// Connect/disconnect a port's virtual cable.
+    pub fn set_link(&mut self, router: RouterId, port: PortId, up: bool, now: Instant) {
+        self.send_to_router(router, Msg::SetLink { router, port, up }, now);
+    }
+
+    /// Flash a firmware image.
+    pub fn flash(&mut self, router: RouterId, version: &str, now: Instant) {
+        self.send_to_router(
+            router,
+            Msg::Flash {
+                router,
+                version: version.to_string(),
+            },
+            now,
+        );
+    }
+
+    /// Drain flash results for a router.
+    pub fn flash_results(&mut self, router: RouterId) -> Vec<(bool, String)> {
+        self.flash_mail.remove(&router).unwrap_or_default()
+    }
+
+    // -----------------------------------------------------------------
+    // Traffic generation
+    // -----------------------------------------------------------------
+
+    /// Start a generated stream into a router port; frames flow on
+    /// subsequent polls.
+    pub fn start_stream(
+        &mut self,
+        config: StreamConfig,
+        now: Instant,
+    ) -> Result<StreamId, ServerError> {
+        if self.inventory.get(config.router).is_none() {
+            return Err(ServerError::UnknownRouter(config.router));
+        }
+        Ok(self.generator.start(config, now))
+    }
+
+    /// Stop a stream.
+    pub fn stop_stream(&mut self, id: StreamId) -> bool {
+        self.generator.stop(id)
+    }
+
+    /// Packets sent so far on a live stream.
+    pub fn stream_sent(&self, id: StreamId) -> Option<u64> {
+        self.generator.sent(id)
+    }
+
+    /// Inject a generated frame into one router port ("it can generate
+    /// traffic in only one direction, i.e., even though two ports are
+    /// connected in the test lab, only one port sees the generated
+    /// traffic").
+    pub fn inject(
+        &mut self,
+        router: RouterId,
+        port: PortId,
+        frame: Vec<u8>,
+        now: Instant,
+    ) -> Result<(), ServerError> {
+        if self.inventory.get(router).is_none() {
+            return Err(ServerError::UnknownRouter(router));
+        }
+        self.captures
+            .tap(router, port, CaptureDir::ToPort, &frame, now);
+        self.stats.frames_injected += 1;
+        self.send_to_router(
+            router,
+            Msg::Data {
+                router,
+                port,
+                frame,
+            },
+            now,
+        );
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rnl_device::host::Host;
+    use rnl_net::time::Duration;
+    use rnl_ris::Ris;
+    use rnl_tunnel::transport::mem_pair_perfect;
+
+    fn t(ms: u64) -> Instant {
+        Instant::EPOCH + Duration::from_millis(ms)
+    }
+
+    fn host(name: &str, num: u32, ip: &str, gw: Option<&str>) -> Box<Host> {
+        let mut h = Host::new(name, num);
+        h.set_ip(ip.parse().unwrap());
+        if let Some(gw) = gw {
+            h.set_gateway(gw.parse().unwrap());
+        }
+        Box::new(h)
+    }
+
+    /// Server + one RIS fronting two hosts on the same subnet,
+    /// registered and deployed port-to-port without reservations.
+    fn two_host_lab() -> (RouteServer, Ris, RouterId, RouterId) {
+        let mut server = RouteServer::new();
+        server.set_enforce_reservations(false);
+        let (ris_side, server_side) = mem_pair_perfect(11);
+        server.attach(Box::new(server_side));
+        let mut ris = Ris::new("pc1", Box::new(ris_side));
+        ris.add_device(host("s1", 21, "10.0.0.1/24", None), "server s1");
+        ris.add_device(host("s2", 22, "10.0.0.2/24", None), "server s2");
+        ris.join_labs(t(0)).unwrap();
+        server.poll(t(0));
+        ris.poll(t(0)).unwrap();
+        let r1 = ris.router_id(0).unwrap();
+        let r2 = ris.router_id(1).unwrap();
+
+        let mut design = Design::new("pair");
+        design.add_device(r1);
+        design.add_device(r2);
+        design.connect((r1, PortId(0)), (r2, PortId(0))).unwrap();
+        server.deploy_design("alice", &design, t(0)).unwrap();
+        (server, ris, r1, r2)
+    }
+
+    /// Run server+RIS poll cycles over a time range.
+    fn run(server: &mut RouteServer, ris: &mut Ris, from_ms: u64, to_ms: u64, step_ms: u64) {
+        let mut ms = from_ms;
+        while ms <= to_ms {
+            ris.poll(t(ms)).unwrap();
+            server.poll(t(ms));
+            // Second RIS poll so server replies land promptly.
+            ris.poll(t(ms)).unwrap();
+            ms += step_ms;
+        }
+    }
+
+    #[test]
+    fn registration_populates_inventory() {
+        let (server, _ris, r1, r2) = two_host_lab();
+        assert_eq!(server.inventory().len(), 2);
+        assert_eq!(server.inventory().get(r1).unwrap().pc_name, "pc1");
+        assert_eq!(
+            server.inventory().get(r2).unwrap().info.description,
+            "server s2"
+        );
+    }
+
+    #[test]
+    fn ping_flows_through_the_routing_matrix() {
+        let (mut server, mut ris, _r1, _r2) = two_host_lab();
+        ris.device_mut(0)
+            .unwrap()
+            .console("ping 10.0.0.2 count 3", t(0));
+        run(&mut server, &mut ris, 0, 5000, 100);
+        let out = ris.device_mut(0).unwrap().console("show ping", t(5000));
+        assert!(out.contains("3 sent, 3 received"), "got: {out}");
+        assert!(server.stats().frames_routed >= 6, "{:?}", server.stats());
+    }
+
+    #[test]
+    fn teardown_cuts_the_wire() {
+        let (mut server, mut ris, _r1, _r2) = two_host_lab();
+        let id = server.deployments().next().unwrap().id;
+        assert!(server.teardown(id));
+        ris.device_mut(0)
+            .unwrap()
+            .console("ping 10.0.0.2 count 2", t(0));
+        run(&mut server, &mut ris, 0, 3000, 100);
+        let out = ris.device_mut(0).unwrap().console("show ping", t(3000));
+        assert!(out.contains("0 received"), "got: {out}");
+        assert!(server.stats().frames_unrouted > 0);
+    }
+
+    #[test]
+    fn reservations_gate_deploys() {
+        let mut server = RouteServer::new();
+        let (ris_side, server_side) = mem_pair_perfect(12);
+        server.attach(Box::new(server_side));
+        let mut ris = Ris::new("pc1", Box::new(ris_side));
+        ris.add_device(host("s1", 21, "10.0.0.1/24", None), "s1");
+        ris.join_labs(t(0)).unwrap();
+        server.poll(t(0));
+        ris.poll(t(0)).unwrap();
+        let r1 = ris.router_id(0).unwrap();
+
+        let mut design = Design::new("solo");
+        design.add_device(r1);
+        server.designs_mut().save(design.clone());
+
+        // No reservation: refused.
+        assert!(matches!(
+            server.deploy("alice", "solo", t(1000)),
+            Err(ServerError::Reservation(_))
+        ));
+        // Reserve, deploy inside the window.
+        server
+            .reserve_design("alice", "solo", t(0), t(10_000))
+            .unwrap();
+        let id = server.deploy("alice", "solo", t(1000)).unwrap();
+        // Another user cannot deploy the same router even with the
+        // matrix free — mutual exclusion via the matrix.
+        server.teardown(id);
+        assert!(matches!(
+            server.deploy("bob", "solo", t(2000)),
+            Err(ServerError::Reservation(_))
+        ));
+    }
+
+    #[test]
+    fn capture_sees_both_directions() {
+        let (mut server, mut ris, r1, r2) = two_host_lab();
+        server.captures_mut().start(r2, PortId(0));
+        ris.device_mut(0)
+            .unwrap()
+            .console("ping 10.0.0.2 count 1", t(0));
+        run(&mut server, &mut ris, 0, 2000, 100);
+        let captured = server.captures().captured(r2, PortId(0));
+        assert!(!captured.is_empty());
+        let to_port = captured
+            .iter()
+            .filter(|f| f.dir == CaptureDir::ToPort)
+            .count();
+        let from_port = captured
+            .iter()
+            .filter(|f| f.dir == CaptureDir::FromPort)
+            .count();
+        assert!(to_port >= 1, "request/ARP toward the port");
+        assert!(from_port >= 1, "reply/ARP from the port");
+        let _ = r1;
+    }
+
+    #[test]
+    fn console_roundtrip_through_server() {
+        let (mut server, mut ris, r1, _) = two_host_lab();
+        server.console(r1, "show ip", t(0)).unwrap();
+        run(&mut server, &mut ris, 0, 200, 100);
+        let replies = server.console_replies(r1);
+        assert!(
+            replies.iter().any(|r| r.contains("10.0.0.1/24")),
+            "{replies:?}"
+        );
+    }
+
+    #[test]
+    fn injection_reaches_only_the_target_port() {
+        let (mut server, mut ris, _r1, r2) = two_host_lab();
+        // Build a UDP probe addressed to s2.
+        let s2_mac = rnl_net::addr::MacAddr::derived(22, 0);
+        let frame = rnl_net::build::udp_frame(
+            rnl_net::addr::MacAddr([2, 0xee, 0, 0, 0, 1]),
+            s2_mac,
+            "10.0.0.250".parse().unwrap(),
+            "10.0.0.2".parse().unwrap(),
+            5555,
+            6666,
+            b"generated",
+            64,
+        );
+        server.inject(r2, PortId(0), frame, t(0)).unwrap();
+        run(&mut server, &mut ris, 0, 200, 100);
+        let received = ris.device_mut(1).unwrap().console("show received", t(200));
+        assert!(
+            received.contains(":6666"),
+            "s2 should see the probe: {received}"
+        );
+        let s1_received = ris.device_mut(0).unwrap().console("show received", t(200));
+        assert!(
+            !s1_received.contains("6666"),
+            "only one port sees generated traffic"
+        );
+    }
+
+    #[test]
+    fn unknown_router_operations_fail() {
+        let mut server = RouteServer::new();
+        assert!(matches!(
+            server.console(RouterId(99), "enable", t(0)),
+            Err(ServerError::UnknownRouter(_))
+        ));
+        assert!(matches!(
+            server.inject(RouterId(99), PortId(0), vec![0; 60], t(0)),
+            Err(ServerError::UnknownRouter(_))
+        ));
+    }
+
+    #[test]
+    fn deploying_busy_routers_fails() {
+        let (mut server, _ris, r1, r2) = two_host_lab();
+        let mut design2 = Design::new("second");
+        design2.add_device(r1);
+        design2.add_device(r2);
+        assert!(matches!(
+            server.deploy_design("bob", &design2, t(0)),
+            Err(ServerError::Matrix(MatrixError::RouterBusy { .. }))
+        ));
+    }
+}

@@ -1,0 +1,200 @@
+//! The routing matrix (§2.3).
+//!
+//! "When the users deploy a test lab, a routing matrix is built in the
+//! route server corresponding to the users' design. Although several
+//! test labs could be deployed at the same time either by the same or
+//! by a different user, the routers used in each deployed test lab have
+//! to be mutually exclusive; therefore, their contribution to the
+//! routing matrix should not overlap."
+
+use std::collections::HashMap;
+
+use rnl_tunnel::msg::{PortId, RouterId};
+
+use crate::design::Link;
+
+/// Identifies one deployed lab.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DeploymentId(pub u64);
+
+/// Why a deployment was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MatrixError {
+    /// A router is already part of another deployed lab.
+    RouterBusy {
+        router: RouterId,
+        deployment: DeploymentId,
+    },
+}
+
+impl std::fmt::Display for MatrixError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MatrixError::RouterBusy { router, deployment } => {
+                write!(
+                    f,
+                    "router {router} is in use by deployment {}",
+                    deployment.0
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for MatrixError {}
+
+/// The port-to-port connection table for all concurrently deployed labs.
+#[derive(Debug, Default)]
+pub struct RoutingMatrix {
+    /// Bidirectional port mapping; both directions are stored.
+    links: HashMap<(RouterId, PortId), (RouterId, PortId)>,
+    /// Which deployment owns each router (mutual exclusion).
+    owner: HashMap<RouterId, DeploymentId>,
+    deployments: HashMap<DeploymentId, Vec<Link>>,
+    next_id: u64,
+}
+
+impl RoutingMatrix {
+    /// Empty matrix.
+    pub fn new() -> RoutingMatrix {
+        RoutingMatrix::default()
+    }
+
+    /// Install a deployed lab: `routers` is every router the design
+    /// uses (even unwired ones — they are still exclusively held), and
+    /// `links` the drawn connections.
+    pub fn deploy(
+        &mut self,
+        routers: &[RouterId],
+        links: &[Link],
+    ) -> Result<DeploymentId, MatrixError> {
+        for &router in routers {
+            if let Some(&deployment) = self.owner.get(&router) {
+                return Err(MatrixError::RouterBusy { router, deployment });
+            }
+        }
+        let id = DeploymentId(self.next_id);
+        self.next_id += 1;
+        for &router in routers {
+            self.owner.insert(router, id);
+        }
+        for &(a, b) in links {
+            self.links.insert(a, b);
+            self.links.insert(b, a);
+        }
+        self.deployments.insert(id, links.to_vec());
+        Ok(id)
+    }
+
+    /// Tear a lab down, freeing its routers and removing its links.
+    pub fn teardown(&mut self, id: DeploymentId) -> bool {
+        let Some(links) = self.deployments.remove(&id) else {
+            return false;
+        };
+        for (a, b) in links {
+            self.links.remove(&a);
+            self.links.remove(&b);
+        }
+        self.owner.retain(|_, d| *d != id);
+        true
+    }
+
+    /// The matrix lookup on the packet path: where is this port wired?
+    pub fn lookup(&self, from: (RouterId, PortId)) -> Option<(RouterId, PortId)> {
+        self.links.get(&from).copied()
+    }
+
+    /// The deployment currently holding a router.
+    pub fn owner_of(&self, router: RouterId) -> Option<DeploymentId> {
+        self.owner.get(&router).copied()
+    }
+
+    /// Links of a live deployment.
+    pub fn links_of(&self, id: DeploymentId) -> Option<&[Link]> {
+        self.deployments.get(&id).map(Vec::as_slice)
+    }
+
+    /// Number of live deployments.
+    pub fn active_deployments(&self) -> usize {
+        self.deployments.len()
+    }
+
+    /// Number of installed (directed) matrix entries.
+    pub fn len(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Whether no lab is deployed.
+    pub fn is_empty(&self) -> bool {
+        self.links.is_empty() && self.deployments.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ep(r: u32, p: u16) -> (RouterId, PortId) {
+        (RouterId(r), PortId(p))
+    }
+
+    #[test]
+    fn lookup_is_bidirectional() {
+        let mut m = RoutingMatrix::new();
+        let id = m
+            .deploy(&[RouterId(1), RouterId(2)], &[(ep(1, 0), ep(2, 3))])
+            .unwrap();
+        assert_eq!(m.lookup(ep(1, 0)), Some(ep(2, 3)));
+        assert_eq!(m.lookup(ep(2, 3)), Some(ep(1, 0)));
+        assert_eq!(m.lookup(ep(1, 1)), None);
+        assert_eq!(m.owner_of(RouterId(1)), Some(id));
+    }
+
+    #[test]
+    fn mutual_exclusion_enforced() {
+        let mut m = RoutingMatrix::new();
+        let id = m.deploy(&[RouterId(1), RouterId(2)], &[]).unwrap();
+        // Overlapping router set refused, even with no links.
+        assert_eq!(
+            m.deploy(&[RouterId(2), RouterId(3)], &[]),
+            Err(MatrixError::RouterBusy {
+                router: RouterId(2),
+                deployment: id
+            })
+        );
+        // Disjoint set is fine: "several test labs could be deployed at
+        // the same time".
+        m.deploy(&[RouterId(3), RouterId(4)], &[(ep(3, 0), ep(4, 0))])
+            .unwrap();
+        assert_eq!(m.active_deployments(), 2);
+    }
+
+    #[test]
+    fn teardown_frees_everything() {
+        let mut m = RoutingMatrix::new();
+        let id = m
+            .deploy(&[RouterId(1), RouterId(2)], &[(ep(1, 0), ep(2, 0))])
+            .unwrap();
+        assert!(m.teardown(id));
+        assert!(!m.teardown(id));
+        assert!(m.is_empty());
+        assert_eq!(m.lookup(ep(1, 0)), None);
+        // Routers are reusable afterwards.
+        m.deploy(&[RouterId(1)], &[]).unwrap();
+    }
+
+    #[test]
+    fn teardown_leaves_other_deployments_untouched() {
+        let mut m = RoutingMatrix::new();
+        let a = m
+            .deploy(&[RouterId(1), RouterId(2)], &[(ep(1, 0), ep(2, 0))])
+            .unwrap();
+        let b = m
+            .deploy(&[RouterId(3), RouterId(4)], &[(ep(3, 0), ep(4, 0))])
+            .unwrap();
+        m.teardown(a);
+        assert_eq!(m.lookup(ep(3, 0)), Some(ep(4, 0)));
+        assert_eq!(m.owner_of(RouterId(3)), Some(b));
+        assert_eq!(m.owner_of(RouterId(1)), None);
+    }
+}

@@ -1,0 +1,303 @@
+//! The reservation calendar (§2.1).
+//!
+//! "The reserve button on the user interface would bring up a calendar
+//! similar to that in Microsoft Outlook, which lists all routers used in
+//! the current design and, for each router, its current schedule. The
+//! users could select the next free period for all routers and make a
+//! reservation." Since routers are exclusive while deployed, the
+//! calendar is what turns one pool of shared equipment into many
+//! sequential test labs — the cost story of the whole paper. The
+//! utilization accounting here feeds experiment E11.
+
+use std::collections::BTreeMap;
+
+use rnl_net::time::{Duration, Instant};
+use rnl_tunnel::msg::RouterId;
+
+/// A reservation identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ReservationId(pub u64);
+
+/// One booked period on one or more routers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reservation {
+    pub id: ReservationId,
+    pub user: String,
+    pub routers: Vec<RouterId>,
+    pub start: Instant,
+    pub end: Instant,
+}
+
+/// Why a reservation was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReserveError {
+    /// Another user holds (part of) the window on this router.
+    Conflict {
+        router: RouterId,
+        with: ReservationId,
+    },
+    /// `end <= start`.
+    EmptyWindow,
+}
+
+impl std::fmt::Display for ReserveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReserveError::Conflict { router, with } => {
+                write!(
+                    f,
+                    "router {router} already reserved (reservation {})",
+                    with.0
+                )
+            }
+            ReserveError::EmptyWindow => write!(f, "reservation window is empty"),
+        }
+    }
+}
+
+impl std::error::Error for ReserveError {}
+
+/// The calendar: bookings per router.
+#[derive(Debug, Default)]
+pub struct Calendar {
+    reservations: BTreeMap<ReservationId, Reservation>,
+    next_id: u64,
+}
+
+impl Calendar {
+    /// Empty calendar.
+    pub fn new() -> Calendar {
+        Calendar::default()
+    }
+
+    /// Book `routers` for `[start, end)` as `user`. All-or-nothing.
+    pub fn reserve(
+        &mut self,
+        user: &str,
+        routers: &[RouterId],
+        start: Instant,
+        end: Instant,
+    ) -> Result<ReservationId, ReserveError> {
+        if end <= start {
+            return Err(ReserveError::EmptyWindow);
+        }
+        for &router in routers {
+            if let Some(existing) = self.conflicting(router, start, end) {
+                return Err(ReserveError::Conflict {
+                    router,
+                    with: existing,
+                });
+            }
+        }
+        let id = ReservationId(self.next_id);
+        self.next_id += 1;
+        self.reservations.insert(
+            id,
+            Reservation {
+                id,
+                user: user.to_string(),
+                routers: routers.to_vec(),
+                start,
+                end,
+            },
+        );
+        Ok(id)
+    }
+
+    /// Cancel a reservation.
+    pub fn cancel(&mut self, id: ReservationId) -> bool {
+        self.reservations.remove(&id).is_some()
+    }
+
+    /// The reservation covering `router` at `at` held by `user`, if any.
+    pub fn holder(&self, router: RouterId, at: Instant) -> Option<&Reservation> {
+        self.reservations
+            .values()
+            .find(|r| r.routers.contains(&router) && r.start <= at && at < r.end)
+    }
+
+    /// Whether `user` holds all of `routers` at `at`.
+    pub fn covers(&self, user: &str, routers: &[RouterId], at: Instant) -> bool {
+        routers
+            .iter()
+            .all(|&router| matches!(self.holder(router, at), Some(r) if r.user == user))
+    }
+
+    fn conflicting(&self, router: RouterId, start: Instant, end: Instant) -> Option<ReservationId> {
+        self.reservations
+            .values()
+            .find(|r| r.routers.contains(&router) && r.start < end && start < r.end)
+            .map(|r| r.id)
+    }
+
+    /// The schedule of one router, sorted by start (what the Fig.-2
+    /// calendar pane shows).
+    pub fn schedule(&self, router: RouterId) -> Vec<&Reservation> {
+        let mut rows: Vec<&Reservation> = self
+            .reservations
+            .values()
+            .filter(|r| r.routers.contains(&router))
+            .collect();
+        rows.sort_by_key(|r| r.start);
+        rows
+    }
+
+    /// "Select the next free period for all routers": the earliest
+    /// instant ≥ `after` at which every router in `routers` is free for
+    /// `duration`.
+    pub fn next_free_slot(
+        &self,
+        routers: &[RouterId],
+        duration: Duration,
+        after: Instant,
+    ) -> Instant {
+        let mut candidate = after;
+        'outer: loop {
+            let end = candidate + duration;
+            for &router in routers {
+                if let Some(id) = self.conflicting(router, candidate, end) {
+                    // Jump past the blocking reservation and retry.
+                    candidate = self.reservations[&id].end;
+                    continue 'outer;
+                }
+            }
+            return candidate;
+        }
+    }
+
+    /// Fraction of `[window_start, window_end)` during which `router`
+    /// was reserved — the utilization experiment E11 measures this for
+    /// the shared pool vs. dedicated labs.
+    pub fn utilization(&self, router: RouterId, window_start: Instant, window_end: Instant) -> f64 {
+        let window = window_end.since(window_start).as_micros();
+        if window == 0 {
+            return 0.0;
+        }
+        let booked: u64 = self
+            .reservations
+            .values()
+            .filter(|r| r.routers.contains(&router))
+            .map(|r| {
+                let s = r.start.max(window_start);
+                let e = r.end.min(window_end);
+                e.since(s).as_micros()
+            })
+            .sum();
+        booked as f64 / window as f64
+    }
+
+    /// Total number of live reservations.
+    pub fn len(&self) -> usize {
+        self.reservations.len()
+    }
+
+    /// True when no reservations exist.
+    pub fn is_empty(&self) -> bool {
+        self.reservations.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: u32) -> RouterId {
+        RouterId(n)
+    }
+
+    fn t(h: u64) -> Instant {
+        Instant::EPOCH + Duration::from_secs(h * 3600)
+    }
+
+    fn hours(h: u64) -> Duration {
+        Duration::from_secs(h * 3600)
+    }
+
+    #[test]
+    fn overlapping_reservations_conflict() {
+        let mut cal = Calendar::new();
+        let id = cal.reserve("alice", &[r(1), r(2)], t(0), t(2)).unwrap();
+        // Disjoint window is fine.
+        cal.reserve("bob", &[r(1)], t(2), t(4)).unwrap();
+        // Overlap on r2 conflicts.
+        assert_eq!(
+            cal.reserve("bob", &[r(2), r(3)], t(1), t(3)),
+            Err(ReserveError::Conflict {
+                router: r(2),
+                with: id
+            })
+        );
+        // All-or-nothing: r3 was not booked by the failed attempt.
+        cal.reserve("carol", &[r(3)], t(0), t(8)).unwrap();
+    }
+
+    #[test]
+    fn empty_window_rejected() {
+        let mut cal = Calendar::new();
+        assert_eq!(
+            cal.reserve("a", &[r(1)], t(2), t(2)),
+            Err(ReserveError::EmptyWindow)
+        );
+    }
+
+    #[test]
+    fn coverage_checks_user_and_time() {
+        let mut cal = Calendar::new();
+        cal.reserve("alice", &[r(1), r(2)], t(0), t(2)).unwrap();
+        assert!(cal.covers("alice", &[r(1), r(2)], t(1)));
+        assert!(!cal.covers("bob", &[r(1)], t(1)), "wrong user");
+        assert!(!cal.covers("alice", &[r(1)], t(3)), "expired");
+        assert!(
+            !cal.covers("alice", &[r(1), r(9)], t(1)),
+            "unreserved router"
+        );
+    }
+
+    #[test]
+    fn cancel_frees_the_window() {
+        let mut cal = Calendar::new();
+        let id = cal.reserve("alice", &[r(1)], t(0), t(10)).unwrap();
+        assert!(cal.cancel(id));
+        assert!(!cal.cancel(id));
+        cal.reserve("bob", &[r(1)], t(0), t(10)).unwrap();
+    }
+
+    #[test]
+    fn next_free_slot_skips_bookings() {
+        let mut cal = Calendar::new();
+        cal.reserve("a", &[r(1)], t(1), t(3)).unwrap();
+        cal.reserve("b", &[r(2)], t(4), t(6)).unwrap();
+        // A 2-hour slot for both routers: 0–1 is too short before a's
+        // booking? No — slot [0,2) conflicts with r1's [1,3). Next try
+        // after t3: [3,5) conflicts with r2's [4,6). Next after t6 fits.
+        let slot = cal.next_free_slot(&[r(1), r(2)], hours(2), t(0));
+        assert_eq!(slot, t(6));
+        // A 1-hour slot fits at t0.
+        assert_eq!(cal.next_free_slot(&[r(1), r(2)], hours(1), t(0)), t(0));
+    }
+
+    #[test]
+    fn schedule_is_sorted() {
+        let mut cal = Calendar::new();
+        cal.reserve("b", &[r(1)], t(5), t(6)).unwrap();
+        cal.reserve("a", &[r(1)], t(1), t(2)).unwrap();
+        let sched = cal.schedule(r(1));
+        assert_eq!(sched.len(), 2);
+        assert_eq!(sched[0].user, "a");
+        assert_eq!(sched[1].user, "b");
+    }
+
+    #[test]
+    fn utilization_accounting() {
+        let mut cal = Calendar::new();
+        cal.reserve("a", &[r(1)], t(0), t(6)).unwrap();
+        cal.reserve("b", &[r(1)], t(12), t(18)).unwrap();
+        let u = cal.utilization(r(1), t(0), t(24));
+        assert!((u - 0.5).abs() < 1e-9, "12 of 24 hours booked: {u}");
+        // Window clipping.
+        let u = cal.utilization(r(1), t(3), t(9));
+        assert!((u - 0.5).abs() < 1e-9, "3 of 6 hours booked: {u}");
+        // Unbooked router.
+        assert_eq!(cal.utilization(r(9), t(0), t(24)), 0.0);
+    }
+}

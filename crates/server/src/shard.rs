@@ -1,0 +1,184 @@
+//! Per-user route-server sharding (§4, "Ongoing work").
+//!
+//! "To simplify implementation, we funnel all traffic through the
+//! central route server in the initial release, so the route server can
+//! easily become the bottleneck. To scale the route server, we are
+//! looking into a distributed architecture for the next release. Since
+//! the routing matrices between different users do not overlap, we can
+//! have one route server per user."
+//!
+//! A [`ShardSet`] owns one independent [`RouteServer`] per user.
+//! Equipment is attached to the shard of the user who will drive it (in
+//! the sharded world each user's RISes dial that user's server), and
+//! [`ShardSet::run_parallel`] drives every shard's poll loop on its own
+//! OS thread — which is exactly where the scaling win over the central
+//! funnel comes from (experiment E9).
+
+use std::collections::BTreeMap;
+use std::thread;
+
+use rnl_net::time::{Duration, Instant};
+
+use crate::{RouteServer, ServerStats};
+
+/// A set of per-user route servers.
+#[derive(Default)]
+pub struct ShardSet {
+    shards: BTreeMap<String, RouteServer>,
+}
+
+impl ShardSet {
+    /// Empty set.
+    pub fn new() -> ShardSet {
+        ShardSet::default()
+    }
+
+    /// The shard for `user`, created on first touch.
+    pub fn shard_mut(&mut self, user: &str) -> &mut RouteServer {
+        self.shards.entry(user.to_string()).or_default()
+    }
+
+    /// Read access to a shard.
+    pub fn shard(&self, user: &str) -> Option<&RouteServer> {
+        self.shards.get(user)
+    }
+
+    /// Number of shards.
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// True when no shard exists.
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+
+    /// Aggregate counters across shards.
+    pub fn total_stats(&self) -> ServerStats {
+        let mut total = ServerStats::default();
+        for shard in self.shards.values() {
+            let s = shard.stats();
+            total.frames_routed += s.frames_routed;
+            total.frames_unrouted += s.frames_unrouted;
+            total.bytes_relayed += s.bytes_relayed;
+            total.frames_injected += s.frames_injected;
+        }
+        total
+    }
+
+    /// Poll every shard sequentially (the degenerate, single-threaded
+    /// mode — useful as the baseline in E9).
+    pub fn poll_all(&mut self, now: Instant) {
+        for shard in self.shards.values_mut() {
+            shard.poll(now);
+        }
+    }
+
+    /// Drive every shard's poll loop on its own thread for `steps`
+    /// virtual steps of `dt` each, then hand the servers back. This is
+    /// the §4 distributed architecture: shards share nothing, so they
+    /// parallelize perfectly.
+    pub fn run_parallel(self, steps: u64, dt: Duration) -> ShardSet {
+        let handles: Vec<thread::JoinHandle<(String, RouteServer)>> = self
+            .shards
+            .into_iter()
+            .map(|(user, mut server)| {
+                thread::spawn(move || {
+                    let mut now = Instant::EPOCH;
+                    for _ in 0..steps {
+                        now += dt;
+                        server.poll(now);
+                    }
+                    (user, server)
+                })
+            })
+            .collect();
+        let mut shards = BTreeMap::new();
+        for handle in handles {
+            let (user, server) = handle.join().expect("shard thread panicked");
+            shards.insert(user, server);
+        }
+        ShardSet { shards }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::Design;
+    use rnl_device::host::Host;
+    use rnl_ris::Ris;
+    use rnl_tunnel::msg::PortId;
+    use rnl_tunnel::transport::mem_pair_perfect;
+
+    fn t(ms: u64) -> Instant {
+        Instant::EPOCH + Duration::from_millis(ms)
+    }
+
+    /// Attach a two-host lab to a shard; returns the RIS to drive.
+    fn lab_on_shard(server: &mut RouteServer, seed: u64, base: u32) -> Ris {
+        server.set_enforce_reservations(false);
+        let (ris_side, server_side) = mem_pair_perfect(seed);
+        server.attach(Box::new(server_side));
+        let mut ris = Ris::new(&format!("pc{base}"), Box::new(ris_side));
+        let mut h1 = Host::new("a", base);
+        h1.set_ip("10.0.0.1/24".parse().unwrap());
+        let mut h2 = Host::new("b", base + 1);
+        h2.set_ip("10.0.0.2/24".parse().unwrap());
+        ris.add_device(Box::new(h1), "host a");
+        ris.add_device(Box::new(h2), "host b");
+        ris.join_labs(t(0)).unwrap();
+        server.poll(t(0));
+        ris.poll(t(0)).unwrap();
+        let r1 = ris.router_id(0).unwrap();
+        let r2 = ris.router_id(1).unwrap();
+        let mut d = Design::new("pair");
+        d.add_device(r1);
+        d.add_device(r2);
+        d.connect((r1, PortId(0)), (r2, PortId(0))).unwrap();
+        server.deploy_design("user", &d, t(0)).unwrap();
+        ris
+    }
+
+    #[test]
+    fn shards_are_isolated() {
+        let mut set = ShardSet::new();
+        let mut ris_a = lab_on_shard(set.shard_mut("alice"), 1, 10);
+        let mut ris_b = lab_on_shard(set.shard_mut("bob"), 2, 20);
+        assert_eq!(set.len(), 2);
+        // Drive pings on both shards.
+        ris_a
+            .device_mut(0)
+            .unwrap()
+            .console("ping 10.0.0.2 count 2", t(0));
+        ris_b
+            .device_mut(0)
+            .unwrap()
+            .console("ping 10.0.0.2 count 2", t(0));
+        for ms in (0..4000).step_by(100) {
+            ris_a.poll(t(ms)).unwrap();
+            ris_b.poll(t(ms)).unwrap();
+            set.poll_all(t(ms));
+            ris_a.poll(t(ms)).unwrap();
+            ris_b.poll(t(ms)).unwrap();
+        }
+        let out = ris_a.device_mut(0).unwrap().console("show ping", t(4000));
+        assert!(out.contains("2 received"), "alice's shard: {out}");
+        let out = ris_b.device_mut(0).unwrap().console("show ping", t(4000));
+        assert!(out.contains("2 received"), "bob's shard: {out}");
+        // Both shards routed frames; totals aggregate.
+        let total = set.total_stats();
+        assert!(total.frames_routed >= 8);
+        assert!(set.shard("alice").unwrap().stats().frames_routed > 0);
+    }
+
+    #[test]
+    fn run_parallel_returns_all_shards() {
+        let mut set = ShardSet::new();
+        set.shard_mut("a");
+        set.shard_mut("b");
+        set.shard_mut("c");
+        let set = set.run_parallel(10, Duration::from_millis(1));
+        assert_eq!(set.len(), 3);
+    }
+}

@@ -1,0 +1,633 @@
+//! The web-services API (§2, "Programmable interface").
+//!
+//! "Although we currently only support a web user interface, we are
+//! developing a web services interface which will allow a test to be
+//! fully automated. The web services interface will support everything
+//! that is doable in the web interface through a mouse, including router
+//! reservation and connecting router ports. In addition, it will also
+//! support packet generation and packet capture in and out of any router
+//! port."
+//!
+//! [`Request`] is the typed surface; [`handle`] dispatches one request
+//! against a [`RouteServer`]. [`handle_json`] is the wire form: a JSON
+//! object with an `"op"` field in, a JSON object with `"ok"` out — what
+//! an HTTP front end would expose one URL per op. The nightly-test
+//! harness in `rnl-core` drives everything through this module, which is
+//! the point: topology setup, configuration, testing and teardown with
+//! no mouse anywhere.
+
+use rnl_net::time::{Duration, Instant};
+use rnl_tunnel::msg::{PortId, RouterId};
+
+use crate::design::Design;
+use crate::generate::{StreamConfig, StreamId};
+use crate::json::Json;
+use crate::matrix::DeploymentId;
+use crate::{RouteServer, ServerError};
+use rnl_net::addr::MacAddr;
+
+/// A typed API request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// The Fig. 2 inventory column.
+    ListInventory,
+    /// Names of saved designs.
+    ListDesigns,
+    /// Create and save an empty design.
+    CreateDesign { name: String },
+    /// Drag a router into a saved design.
+    AddDevice { design: String, router: RouterId },
+    /// Draw a connection between two ports of a saved design.
+    ConnectPorts {
+        design: String,
+        a: (RouterId, PortId),
+        b: (RouterId, PortId),
+    },
+    /// Export a design as JSON.
+    ExportDesign { name: String },
+    /// Import a design from JSON (the user's local copy).
+    ImportDesign { json: Json },
+    /// Reserve all routers of a design.
+    Reserve {
+        user: String,
+        design: String,
+        start: Instant,
+        end: Instant,
+    },
+    /// The calendar's next window where every router of the design is
+    /// free for `duration`.
+    NextFreeSlot {
+        design: String,
+        duration: Duration,
+        after: Instant,
+    },
+    /// Deploy a saved design.
+    Deploy { user: String, design: String },
+    /// Tear a deployment down.
+    Teardown { deployment: DeploymentId },
+    /// One console line to a router.
+    Console { router: RouterId, line: String },
+    /// Drain console output.
+    ConsoleReplies { router: RouterId },
+    /// Power control.
+    SetPower { router: RouterId, on: bool },
+    /// Flash firmware.
+    Flash { router: RouterId, version: String },
+    /// Drain flash results.
+    FlashResults { router: RouterId },
+    /// Inject a frame into one port (one-directional generation).
+    Inject {
+        router: RouterId,
+        port: PortId,
+        frame: Vec<u8>,
+    },
+    /// Start a generated traffic stream into a port (§2.3's generation
+    /// module as a service).
+    StartStream { config: StreamConfig },
+    /// Stop a stream.
+    StopStream { stream: StreamId },
+    /// Packets sent so far on a stream (None once finished).
+    StreamStatus { stream: StreamId },
+    /// Start monitoring a port.
+    CaptureStart { router: RouterId, port: PortId },
+    /// Stop monitoring a port.
+    CaptureStop { router: RouterId, port: PortId },
+    /// Fetch (and keep) captured frames of a port.
+    Captured { router: RouterId, port: PortId },
+}
+
+/// A typed API response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    Ok,
+    Error(String),
+    Inventory(Vec<InventoryEntry>),
+    Designs(Vec<String>),
+    DesignJson(Json),
+    Reservation(u64),
+    Slot(Instant),
+    Deployment(u64),
+    ConsoleOutput(Vec<String>),
+    FlashOutcomes(Vec<(bool, String)>),
+    Frames(Vec<(Instant, Vec<u8>)>),
+    Stream(u64),
+    StreamSent(Option<u64>),
+}
+
+/// One inventory row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InventoryEntry {
+    pub router: RouterId,
+    pub description: String,
+    pub model: String,
+    pub num_ports: usize,
+    pub pc_name: String,
+    pub online: bool,
+}
+
+/// Dispatch one typed request.
+pub fn handle(server: &mut RouteServer, request: Request, now: Instant) -> Response {
+    match handle_inner(server, request, now) {
+        Ok(response) => response,
+        Err(e) => Response::Error(e.to_string()),
+    }
+}
+
+fn handle_inner(
+    server: &mut RouteServer,
+    request: Request,
+    now: Instant,
+) -> Result<Response, ServerError> {
+    Ok(match request {
+        Request::ListInventory => Response::Inventory(
+            server
+                .inventory()
+                .list()
+                .map(|r| InventoryEntry {
+                    router: r.id,
+                    description: r.info.description.clone(),
+                    model: r.info.model.clone(),
+                    num_ports: r.info.ports.len(),
+                    pc_name: r.pc_name.clone(),
+                    online: r.online(now),
+                })
+                .collect(),
+        ),
+        Request::ListDesigns => {
+            Response::Designs(server.designs().names().map(String::from).collect())
+        }
+        Request::CreateDesign { name } => {
+            server.designs_mut().save(Design::new(&name));
+            Response::Ok
+        }
+        Request::AddDevice { design, router } => {
+            if server.inventory().get(router).is_none() {
+                return Err(ServerError::UnknownRouter(router));
+            }
+            let d = server
+                .designs_mut()
+                .load_mut(&design)
+                .ok_or(ServerError::UnknownDesign(design))?;
+            d.add_device(router);
+            Response::Ok
+        }
+        Request::ConnectPorts { design, a, b } => {
+            let d = server
+                .designs_mut()
+                .load_mut(&design)
+                .ok_or(ServerError::UnknownDesign(design))?;
+            d.connect(a, b)?;
+            Response::Ok
+        }
+        Request::ExportDesign { name } => {
+            let d = server
+                .designs()
+                .load(&name)
+                .ok_or(ServerError::UnknownDesign(name))?;
+            Response::DesignJson(d.to_json())
+        }
+        Request::ImportDesign { json } => {
+            let d = Design::from_json(&json)?;
+            server.designs_mut().save(d);
+            Response::Ok
+        }
+        Request::Reserve {
+            user,
+            design,
+            start,
+            end,
+        } => {
+            let id = server.reserve_design(&user, &design, start, end)?;
+            Response::Reservation(id.0)
+        }
+        Request::NextFreeSlot {
+            design,
+            duration,
+            after,
+        } => {
+            let d = server
+                .designs()
+                .load(&design)
+                .ok_or(ServerError::UnknownDesign(design))?;
+            let routers: Vec<RouterId> = d.devices().collect();
+            Response::Slot(server.calendar().next_free_slot(&routers, duration, after))
+        }
+        Request::Deploy { user, design } => {
+            let id = server.deploy(&user, &design, now)?;
+            Response::Deployment(id.0)
+        }
+        Request::Teardown { deployment } => {
+            server.teardown(deployment);
+            Response::Ok
+        }
+        Request::Console { router, line } => {
+            server.console(router, &line, now)?;
+            Response::Ok
+        }
+        Request::ConsoleReplies { router } => {
+            Response::ConsoleOutput(server.console_replies(router))
+        }
+        Request::SetPower { router, on } => {
+            server.set_power(router, on, now);
+            Response::Ok
+        }
+        Request::Flash { router, version } => {
+            server.flash(router, &version, now);
+            Response::Ok
+        }
+        Request::FlashResults { router } => Response::FlashOutcomes(server.flash_results(router)),
+        Request::Inject {
+            router,
+            port,
+            frame,
+        } => {
+            server.inject(router, port, frame, now)?;
+            Response::Ok
+        }
+        Request::StartStream { config } => {
+            let id = server.start_stream(config, now)?;
+            Response::Stream(id.0)
+        }
+        Request::StopStream { stream } => {
+            server.stop_stream(stream);
+            Response::Ok
+        }
+        Request::StreamStatus { stream } => Response::StreamSent(server.stream_sent(stream)),
+        Request::CaptureStart { router, port } => {
+            server.captures_mut().start(router, port);
+            Response::Ok
+        }
+        Request::CaptureStop { router, port } => {
+            server.captures_mut().stop(router, port);
+            Response::Ok
+        }
+        Request::Captured { router, port } => Response::Frames(
+            server
+                .captures()
+                .captured(router, port)
+                .iter()
+                .map(|f| (f.at, f.frame.clone()))
+                .collect(),
+        ),
+    })
+}
+
+// ---------------------------------------------------------------------
+// JSON wire form
+// ---------------------------------------------------------------------
+
+fn hex_encode(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push_str(&format!("{b:02x}"));
+    }
+    out
+}
+
+fn hex_decode(s: &str) -> Option<Vec<u8>> {
+    if !s.len().is_multiple_of(2) {
+        return None;
+    }
+    (0..s.len() / 2)
+        .map(|i| u8::from_str_radix(&s[2 * i..2 * i + 2], 16).ok())
+        .collect()
+}
+
+/// Parse a JSON request object into a typed [`Request`].
+pub fn parse_request(json: &Json) -> Result<Request, String> {
+    let op = json.get("op").and_then(Json::as_str).ok_or("missing op")?;
+    let router = || -> Result<RouterId, String> {
+        Ok(RouterId(
+            json.get("router")
+                .and_then(Json::as_u64)
+                .ok_or("missing router")? as u32,
+        ))
+    };
+    let port = || -> Result<PortId, String> {
+        Ok(PortId(
+            json.get("port")
+                .and_then(Json::as_u64)
+                .ok_or("missing port")? as u16,
+        ))
+    };
+    let string = |key: &str| -> Result<String, String> {
+        Ok(json
+            .get(key)
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("missing {key}"))?
+            .to_string())
+    };
+    let number = |key: &str| -> Result<u64, String> {
+        json.get(key)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("missing {key}"))
+    };
+    Ok(match op {
+        "list_inventory" => Request::ListInventory,
+        "list_designs" => Request::ListDesigns,
+        "create_design" => Request::CreateDesign {
+            name: string("name")?,
+        },
+        "add_device" => Request::AddDevice {
+            design: string("design")?,
+            router: router()?,
+        },
+        "connect_ports" => Request::ConnectPorts {
+            design: string("design")?,
+            a: (
+                RouterId(number("a_router")? as u32),
+                PortId(number("a_port")? as u16),
+            ),
+            b: (
+                RouterId(number("b_router")? as u32),
+                PortId(number("b_port")? as u16),
+            ),
+        },
+        "export_design" => Request::ExportDesign {
+            name: string("name")?,
+        },
+        "import_design" => Request::ImportDesign {
+            json: json.get("design").cloned().ok_or("missing design")?,
+        },
+        "reserve" => Request::Reserve {
+            user: string("user")?,
+            design: string("design")?,
+            start: Instant::from_micros(number("start_us")?),
+            end: Instant::from_micros(number("end_us")?),
+        },
+        "next_free_slot" => Request::NextFreeSlot {
+            design: string("design")?,
+            duration: Duration::from_micros(number("duration_us")?),
+            after: Instant::from_micros(number("after_us")?),
+        },
+        "deploy" => Request::Deploy {
+            user: string("user")?,
+            design: string("design")?,
+        },
+        "teardown" => Request::Teardown {
+            deployment: DeploymentId(number("deployment")?),
+        },
+        "console" => Request::Console {
+            router: router()?,
+            line: string("line")?,
+        },
+        "console_replies" => Request::ConsoleReplies { router: router()? },
+        "set_power" => Request::SetPower {
+            router: router()?,
+            on: json.get("on").and_then(Json::as_bool).ok_or("missing on")?,
+        },
+        "flash" => Request::Flash {
+            router: router()?,
+            version: string("version")?,
+        },
+        "flash_results" => Request::FlashResults { router: router()? },
+        "inject" => Request::Inject {
+            router: router()?,
+            port: port()?,
+            frame: hex_decode(&string("frame_hex")?).ok_or("bad frame_hex")?,
+        },
+        "start_stream" => {
+            let mac = |key: &str| -> Result<MacAddr, String> {
+                string(key)?.parse().map_err(|_| format!("bad {key}"))
+            };
+            let ip = |key: &str| -> Result<std::net::Ipv4Addr, String> {
+                string(key)?.parse().map_err(|_| format!("bad {key}"))
+            };
+            Request::StartStream {
+                config: StreamConfig {
+                    router: router()?,
+                    port: port()?,
+                    src_mac: mac("src_mac")?,
+                    dst_mac: mac("dst_mac")?,
+                    src_ip: ip("src_ip")?,
+                    dst_ip: ip("dst_ip")?,
+                    src_port: number("src_port")? as u16,
+                    dst_port: number("dst_port")? as u16,
+                    payload_len: number("payload_len")? as usize,
+                    count: number("count")?,
+                    interval: Duration::from_micros(number("interval_us")?),
+                },
+            }
+        }
+        "stop_stream" => Request::StopStream {
+            stream: StreamId(number("stream")?),
+        },
+        "stream_status" => Request::StreamStatus {
+            stream: StreamId(number("stream")?),
+        },
+        "capture_start" => Request::CaptureStart {
+            router: router()?,
+            port: port()?,
+        },
+        "capture_stop" => Request::CaptureStop {
+            router: router()?,
+            port: port()?,
+        },
+        "captured" => Request::Captured {
+            router: router()?,
+            port: port()?,
+        },
+        other => return Err(format!("unknown op {other:?}")),
+    })
+}
+
+/// Encode a typed [`Response`] as a JSON object.
+pub fn encode_response(response: &Response) -> Json {
+    match response {
+        Response::Ok => Json::obj([("ok", Json::Bool(true))]),
+        Response::Error(message) => Json::obj([
+            ("ok", Json::Bool(false)),
+            ("error", Json::str(message.clone())),
+        ]),
+        Response::Inventory(rows) => Json::obj([
+            ("ok", Json::Bool(true)),
+            (
+                "inventory",
+                Json::Arr(
+                    rows.iter()
+                        .map(|r| {
+                            Json::obj([
+                                ("router", Json::num(r.router.0)),
+                                ("description", Json::str(r.description.clone())),
+                                ("model", Json::str(r.model.clone())),
+                                ("ports", Json::num(r.num_ports as u32)),
+                                ("pc", Json::str(r.pc_name.clone())),
+                                ("online", Json::Bool(r.online)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]),
+        Response::Designs(names) => Json::obj([
+            ("ok", Json::Bool(true)),
+            (
+                "designs",
+                Json::Arr(names.iter().map(|n| Json::str(n.clone())).collect()),
+            ),
+        ]),
+        Response::DesignJson(design) => {
+            Json::obj([("ok", Json::Bool(true)), ("design", design.clone())])
+        }
+        Response::Reservation(id) => Json::obj([
+            ("ok", Json::Bool(true)),
+            ("reservation", Json::num(*id as u32)),
+        ]),
+        Response::Slot(at) => Json::obj([
+            ("ok", Json::Bool(true)),
+            ("slot_us", Json::Num(at.as_micros() as f64)),
+        ]),
+        Response::Deployment(id) => Json::obj([
+            ("ok", Json::Bool(true)),
+            ("deployment", Json::num(*id as u32)),
+        ]),
+        Response::ConsoleOutput(lines) => Json::obj([
+            ("ok", Json::Bool(true)),
+            (
+                "output",
+                Json::Arr(lines.iter().map(|l| Json::str(l.clone())).collect()),
+            ),
+        ]),
+        Response::FlashOutcomes(rows) => Json::obj([
+            ("ok", Json::Bool(true)),
+            (
+                "results",
+                Json::Arr(
+                    rows.iter()
+                        .map(|(ok, m)| {
+                            Json::obj([("ok", Json::Bool(*ok)), ("message", Json::str(m.clone()))])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]),
+        Response::Stream(id) => {
+            Json::obj([("ok", Json::Bool(true)), ("stream", Json::num(*id as u32))])
+        }
+        Response::StreamSent(sent) => Json::obj([
+            ("ok", Json::Bool(true)),
+            (
+                "sent",
+                sent.map(|n| Json::Num(n as f64)).unwrap_or(Json::Null),
+            ),
+        ]),
+        Response::Frames(frames) => Json::obj([
+            ("ok", Json::Bool(true)),
+            (
+                "frames",
+                Json::Arr(
+                    frames
+                        .iter()
+                        .map(|(at, frame)| {
+                            Json::obj([
+                                ("at_us", Json::Num(at.as_micros() as f64)),
+                                ("frame_hex", Json::str(hex_encode(frame))),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]),
+    }
+}
+
+/// The full wire path: JSON string in, JSON string out.
+pub fn handle_json(server: &mut RouteServer, request: &str, now: Instant) -> String {
+    let response = match Json::parse(request) {
+        Ok(json) => match parse_request(&json) {
+            Ok(req) => handle(server, req, now),
+            Err(message) => Response::Error(message),
+        },
+        Err(e) => Response::Error(e.to_string()),
+    };
+    encode_response(&response).encode()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> Instant {
+        Instant::EPOCH + Duration::from_millis(ms)
+    }
+
+    #[test]
+    fn create_connect_export_via_typed_api() {
+        let mut server = RouteServer::new();
+        // Designs can be edited before any hardware exists, except
+        // AddDevice which validates against the inventory.
+        assert_eq!(
+            handle(
+                &mut server,
+                Request::CreateDesign { name: "lab".into() },
+                t(0)
+            ),
+            Response::Ok
+        );
+        assert!(matches!(
+            handle(
+                &mut server,
+                Request::AddDevice {
+                    design: "lab".into(),
+                    router: RouterId(1)
+                },
+                t(0)
+            ),
+            Response::Error(_)
+        ));
+        assert_eq!(
+            handle(&mut server, Request::ListDesigns, t(0)),
+            Response::Designs(vec!["lab".to_string()])
+        );
+    }
+
+    #[test]
+    fn json_wire_roundtrip() {
+        let mut server = RouteServer::new();
+        let reply = handle_json(&mut server, r#"{"op":"create_design","name":"lab"}"#, t(0));
+        assert_eq!(reply, r#"{"ok":true}"#);
+        let reply = handle_json(&mut server, r#"{"op":"list_designs"}"#, t(0));
+        assert!(reply.contains("lab"));
+        let reply = handle_json(&mut server, r#"{"op":"export_design","name":"lab"}"#, t(0));
+        assert!(reply.contains("\"design\""));
+        // Unknown op and malformed JSON degrade to structured errors.
+        let reply = handle_json(&mut server, r#"{"op":"frobnicate"}"#, t(0));
+        assert!(reply.contains("\"ok\":false"));
+        let reply = handle_json(&mut server, "not json", t(0));
+        assert!(reply.contains("\"ok\":false"));
+    }
+
+    #[test]
+    fn hex_roundtrip() {
+        let bytes = vec![0x00, 0xff, 0x10, 0xab];
+        assert_eq!(hex_decode(&hex_encode(&bytes)), Some(bytes));
+        assert_eq!(hex_decode("abc"), None);
+        assert_eq!(hex_decode("zz"), None);
+    }
+
+    #[test]
+    fn import_then_export_design_json() {
+        let mut server = RouteServer::new();
+        let design_json =
+            r#"{"op":"import_design","design":{"name":"imported","devices":[],"links":[]}}"#;
+        let reply = handle_json(&mut server, design_json, t(0));
+        assert_eq!(reply, r#"{"ok":true}"#);
+        let reply = handle_json(
+            &mut server,
+            r#"{"op":"export_design","name":"imported"}"#,
+            t(0),
+        );
+        assert!(reply.contains("imported"));
+    }
+
+    #[test]
+    fn inject_rejects_bad_hex() {
+        let mut server = RouteServer::new();
+        let reply = handle_json(
+            &mut server,
+            r#"{"op":"inject","router":0,"port":0,"frame_hex":"xy"}"#,
+            t(0),
+        );
+        assert!(reply.contains("bad frame_hex"));
+    }
+}

@@ -1,0 +1,149 @@
+//! Property tests on the back-end data structures: the JSON codec, the
+//! design interchange format, the reservation calendar's no-overlap
+//! invariant and the routing matrix's symmetry/exclusivity invariants.
+
+use proptest::prelude::*;
+use rnl_net::time::{Duration, Instant};
+use rnl_server::design::Design;
+use rnl_server::json::Json;
+use rnl_server::matrix::RoutingMatrix;
+use rnl_server::reserve::Calendar;
+use rnl_tunnel::msg::{PortId, RouterId};
+
+fn arb_json(depth: u32) -> BoxedStrategy<Json> {
+    let leaf = prop_oneof![
+        Just(Json::Null),
+        any::<bool>().prop_map(Json::Bool),
+        // Stick to integers exactly representable in f64 so equality is
+        // well-defined through the text form.
+        (-1_000_000i64..1_000_000).prop_map(|n| Json::Num(n as f64)),
+        "[ -~]{0,16}".prop_map(Json::Str),
+    ];
+    leaf.prop_recursive(depth, 64, 8, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..6).prop_map(Json::Arr),
+            proptest::collection::btree_map("[a-z]{1,8}", inner, 0..6).prop_map(Json::Obj),
+        ]
+    })
+    .boxed()
+}
+
+proptest! {
+    #[test]
+    fn json_encode_parse_identity(value in arb_json(3)) {
+        let encoded = value.encode();
+        prop_assert_eq!(Json::parse(&encoded).unwrap(), value);
+    }
+
+    #[test]
+    fn json_parse_never_panics(text in "\\PC{0,128}") {
+        let _ = Json::parse(&text);
+    }
+
+    #[test]
+    fn design_json_roundtrip(
+        devices in proptest::collection::btree_set(0u32..64, 1..10),
+        link_seed in proptest::collection::vec((any::<u8>(), any::<u8>()), 0..12),
+    ) {
+        let mut d = Design::new("prop");
+        let devices: Vec<RouterId> = devices.into_iter().map(RouterId).collect();
+        for &id in &devices {
+            d.add_device(id);
+        }
+        // Draw links between random (device, port) pairs; invalid ones
+        // (port reuse, self loop) are rejected by the API and skipped.
+        for (a, b) in link_seed {
+            let ea = (devices[a as usize % devices.len()], PortId(u16::from(a % 8)));
+            let eb = (devices[b as usize % devices.len()], PortId(u16::from(b % 8) + 8));
+            let _ = d.connect(ea, eb);
+        }
+        prop_assert!(d.validate().is_ok());
+        let parsed = Design::from_json(&Json::parse(&d.to_json().encode()).unwrap()).unwrap();
+        prop_assert_eq!(parsed, d);
+    }
+
+    /// After any sequence of reserve/cancel operations, no router is
+    /// ever double-booked at any instant.
+    #[test]
+    fn calendar_never_double_books(
+        ops in proptest::collection::vec(
+            (0u8..2, 0u32..6, 0u64..200, 1u64..50, 0u8..4),
+            1..40,
+        )
+    ) {
+        let mut cal = Calendar::new();
+        let mut live: Vec<rnl_server::reserve::ReservationId> = Vec::new();
+        for (op, router, start, len, user) in ops {
+            match op {
+                0 => {
+                    let start = Instant::EPOCH + Duration::from_secs(start * 3600);
+                    let end = start + Duration::from_secs(len * 3600);
+                    if let Ok(id) = cal.reserve(
+                        &format!("u{user}"),
+                        &[RouterId(router), RouterId(router + 1)],
+                        start,
+                        end,
+                    ) {
+                        live.push(id);
+                    }
+                }
+                _ => {
+                    if let Some(id) = live.pop() {
+                        cal.cancel(id);
+                    }
+                }
+            }
+        }
+        // Invariant: per router, the schedule has no overlapping pair.
+        for router in 0..8u32 {
+            let schedule = cal.schedule(RouterId(router));
+            for pair in schedule.windows(2) {
+                prop_assert!(
+                    pair[0].end <= pair[1].start,
+                    "overlap on router {router}: {:?} vs {:?}",
+                    pair[0],
+                    pair[1]
+                );
+            }
+        }
+    }
+
+    /// After any sequence of deploy/teardown operations, the matrix is
+    /// symmetric and router ownership matches live deployments exactly.
+    #[test]
+    fn matrix_stays_symmetric_and_exclusive(
+        ops in proptest::collection::vec((any::<bool>(), 0u32..12, 0u32..12), 1..40)
+    ) {
+        let mut m = RoutingMatrix::new();
+        let mut live: Vec<(rnl_server::matrix::DeploymentId, Vec<RouterId>)> = Vec::new();
+        for (deploy, a, b) in ops {
+            if deploy && a != b {
+                let routers = vec![RouterId(a), RouterId(b)];
+                let links = vec![((RouterId(a), PortId(0)), (RouterId(b), PortId(0)))];
+                if let Ok(id) = m.deploy(&routers, &links) {
+                    live.push((id, routers));
+                }
+            } else if let Some((id, _)) = live.pop() {
+                prop_assert!(m.teardown(id));
+            }
+        }
+        // Symmetry of every live link.
+        for (id, routers) in &live {
+            for &(ea, eb) in m.links_of(*id).unwrap() {
+                prop_assert_eq!(m.lookup(ea), Some(eb));
+                prop_assert_eq!(m.lookup(eb), Some(ea));
+            }
+            for &r in routers {
+                prop_assert_eq!(m.owner_of(r), Some(*id));
+            }
+        }
+        prop_assert_eq!(m.active_deployments(), live.len());
+        // No router is owned by a dead deployment.
+        let live_ids: Vec<_> = live.iter().map(|(id, _)| *id).collect();
+        for r in 0..12u32 {
+            if let Some(owner) = m.owner_of(RouterId(r)) {
+                prop_assert!(live_ids.contains(&owner), "stale owner {owner:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,335 @@
+//! Template packet compression (§4 of the paper).
+//!
+//! "Performance testing packets often look similar to one another. They
+//! are often generated from the same template, where each packet may
+//! have a slight different marking, for example, having a different
+//! sequence number. By exploiting the similarities across packets, we
+//! could achieve a high compression ratio."
+//!
+//! The encoder keeps a small ring of recently seen frames per stream.
+//! Each new frame is diffed against every same-length frame in the ring;
+//! if the densest match patches in fewer bytes than a literal, the frame
+//! is sent as `(base index, byte patches)`. The decoder keeps an
+//! identical ring (appending every decoded frame), so the two stay
+//! synchronized as long as the stream is lossless and ordered — which
+//! the TCP tunnel guarantees.
+
+use std::collections::VecDeque;
+
+/// Frames remembered as potential templates.
+pub const RING_CAPACITY: usize = 8;
+
+/// Encoding failure (decoder side).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompressError {
+    /// The encoded bytes do not parse.
+    Malformed,
+    /// A delta references a template the ring no longer holds —
+    /// encoder/decoder desynchronization.
+    UnknownTemplate,
+}
+
+impl std::fmt::Display for CompressError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompressError::Malformed => write!(f, "compressed frame malformed"),
+            CompressError::UnknownTemplate => write!(f, "unknown template reference"),
+        }
+    }
+}
+
+impl std::error::Error for CompressError {}
+
+const TAG_LITERAL: u8 = 0;
+const TAG_DELTA: u8 = 1;
+
+/// One contiguous run of differing bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Patch {
+    offset: u16,
+    bytes: Vec<u8>,
+}
+
+fn diff_patches(base: &[u8], frame: &[u8]) -> Vec<Patch> {
+    debug_assert_eq!(base.len(), frame.len());
+    let mut patches = Vec::new();
+    let mut i = 0;
+    while i < frame.len() {
+        if base[i] != frame[i] {
+            let start = i;
+            // Extend the run; absorb gaps of up to 2 equal bytes to keep
+            // patch-count overhead low.
+            let mut end = i + 1;
+            let mut gap = 0;
+            let mut last_diff = i;
+            while end < frame.len() && gap <= 2 {
+                if base[end] != frame[end] {
+                    last_diff = end;
+                    gap = 0;
+                } else {
+                    gap += 1;
+                }
+                end += 1;
+            }
+            let run_end = last_diff + 1;
+            patches.push(Patch {
+                offset: start as u16,
+                bytes: frame[start..run_end].to_vec(),
+            });
+            i = run_end;
+        } else {
+            i += 1;
+        }
+    }
+    patches
+}
+
+fn patches_encoded_len(patches: &[Patch]) -> usize {
+    // tag + base idx + u16 count + per patch (u16 offset + u16 len + bytes)
+    4 + patches.iter().map(|p| 4 + p.bytes.len()).sum::<usize>()
+}
+
+/// The synchronized template ring used by both encoder and decoder.
+#[derive(Debug, Default)]
+pub struct TemplateRing {
+    frames: VecDeque<Vec<u8>>,
+}
+
+impl TemplateRing {
+    fn push(&mut self, frame: Vec<u8>) {
+        if self.frames.len() == RING_CAPACITY {
+            self.frames.pop_back();
+        }
+        self.frames.push_front(frame);
+    }
+}
+
+/// Per-stream encoder.
+#[derive(Debug, Default)]
+pub struct Compressor {
+    ring: TemplateRing,
+    bytes_in: u64,
+    bytes_out: u64,
+}
+
+impl Compressor {
+    /// Fresh encoder.
+    pub fn new() -> Compressor {
+        Compressor::default()
+    }
+
+    /// Encode a frame. The result starts with a tag byte: literal frames
+    /// pass through with one byte of overhead; template hits shrink to
+    /// their byte diffs.
+    pub fn encode(&mut self, frame: &[u8]) -> Vec<u8> {
+        let mut best: Option<(usize, Vec<Patch>)> = None;
+        for (idx, base) in self.ring.frames.iter().enumerate() {
+            if base.len() != frame.len() {
+                continue;
+            }
+            let patches = diff_patches(base, frame);
+            let cost = patches_encoded_len(&patches);
+            match &best {
+                Some((_, existing)) if patches_encoded_len(existing) <= cost => {}
+                _ => best = Some((idx, patches)),
+            }
+        }
+        let out = match best {
+            Some((idx, patches)) if patches_encoded_len(&patches) < frame.len() + 1 => {
+                let mut out = Vec::with_capacity(patches_encoded_len(&patches));
+                out.push(TAG_DELTA);
+                out.push(idx as u8);
+                out.extend_from_slice(&(patches.len() as u16).to_be_bytes());
+                for p in &patches {
+                    out.extend_from_slice(&p.offset.to_be_bytes());
+                    out.extend_from_slice(&(p.bytes.len() as u16).to_be_bytes());
+                    out.extend_from_slice(&p.bytes);
+                }
+                out
+            }
+            _ => {
+                let mut out = Vec::with_capacity(frame.len() + 1);
+                out.push(TAG_LITERAL);
+                out.extend_from_slice(frame);
+                out
+            }
+        };
+        self.bytes_in += frame.len() as u64;
+        self.bytes_out += out.len() as u64;
+        self.ring.push(frame.to_vec());
+        out
+    }
+
+    /// Cumulative compression ratio: input bytes / output bytes (> 1
+    /// means the stream shrank).
+    pub fn ratio(&self) -> f64 {
+        if self.bytes_out == 0 {
+            return 1.0;
+        }
+        self.bytes_in as f64 / self.bytes_out as f64
+    }
+
+    /// (bytes in, bytes out).
+    pub fn counters(&self) -> (u64, u64) {
+        (self.bytes_in, self.bytes_out)
+    }
+}
+
+/// Per-stream decoder, mirror of [`Compressor`].
+#[derive(Debug, Default)]
+pub struct Decompressor {
+    ring: TemplateRing,
+}
+
+impl Decompressor {
+    /// Fresh decoder.
+    pub fn new() -> Decompressor {
+        Decompressor::default()
+    }
+
+    /// Decode one encoded frame, updating the template ring.
+    pub fn decode(&mut self, encoded: &[u8]) -> Result<Vec<u8>, CompressError> {
+        let (&tag, rest) = encoded.split_first().ok_or(CompressError::Malformed)?;
+        let frame = match tag {
+            TAG_LITERAL => rest.to_vec(),
+            TAG_DELTA => {
+                let (&base_idx, rest) = rest.split_first().ok_or(CompressError::Malformed)?;
+                let base = self
+                    .ring
+                    .frames
+                    .get(base_idx as usize)
+                    .ok_or(CompressError::UnknownTemplate)?;
+                let mut frame = base.clone();
+                if rest.len() < 2 {
+                    return Err(CompressError::Malformed);
+                }
+                let count = u16::from_be_bytes([rest[0], rest[1]]) as usize;
+                let mut pos = 2;
+                for _ in 0..count {
+                    if rest.len() < pos + 4 {
+                        return Err(CompressError::Malformed);
+                    }
+                    let offset = u16::from_be_bytes([rest[pos], rest[pos + 1]]) as usize;
+                    let len = u16::from_be_bytes([rest[pos + 2], rest[pos + 3]]) as usize;
+                    pos += 4;
+                    if rest.len() < pos + len || offset + len > frame.len() {
+                        return Err(CompressError::Malformed);
+                    }
+                    frame[offset..offset + len].copy_from_slice(&rest[pos..pos + len]);
+                    pos += len;
+                }
+                if pos != rest.len() {
+                    return Err(CompressError::Malformed);
+                }
+                frame
+            }
+            _ => return Err(CompressError::Malformed),
+        };
+        self.ring.push(frame.clone());
+        Ok(frame)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn template_frame(seq: u32, len: usize) -> Vec<u8> {
+        let mut f = vec![0xa5u8; len];
+        f[20..24].copy_from_slice(&seq.to_be_bytes());
+        f
+    }
+
+    #[test]
+    fn roundtrip_template_stream() {
+        let mut enc = Compressor::new();
+        let mut dec = Decompressor::new();
+        for seq in 0..100 {
+            let frame = template_frame(seq, 200);
+            let encoded = enc.encode(&frame);
+            assert_eq!(dec.decode(&encoded).unwrap(), frame);
+        }
+        assert!(
+            enc.ratio() > 5.0,
+            "template traffic should compress well: {}",
+            enc.ratio()
+        );
+    }
+
+    #[test]
+    fn first_frame_is_literal() {
+        let mut enc = Compressor::new();
+        let frame = template_frame(0, 100);
+        let encoded = enc.encode(&frame);
+        assert_eq!(encoded[0], TAG_LITERAL);
+        assert_eq!(encoded.len(), 101);
+    }
+
+    #[test]
+    fn random_traffic_does_not_shrink_much_but_roundtrips() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let mut enc = Compressor::new();
+        let mut dec = Decompressor::new();
+        for _ in 0..50 {
+            let len = rng.gen_range(60..300);
+            let frame: Vec<u8> = (0..len).map(|_| rng.gen()).collect();
+            let encoded = enc.encode(&frame);
+            assert_eq!(dec.decode(&encoded).unwrap(), frame);
+        }
+        assert!(
+            enc.ratio() <= 1.01,
+            "random traffic cannot compress: {}",
+            enc.ratio()
+        );
+    }
+
+    #[test]
+    fn mixed_sizes_roundtrip() {
+        let mut enc = Compressor::new();
+        let mut dec = Decompressor::new();
+        for (i, len) in [60usize, 1514, 60, 200, 1514, 60].iter().enumerate() {
+            let frame = template_frame(i as u32, *len);
+            let encoded = enc.encode(&frame);
+            assert_eq!(dec.decode(&encoded).unwrap(), frame);
+        }
+    }
+
+    #[test]
+    fn desync_detected() {
+        let mut enc = Compressor::new();
+        let mut dec = Decompressor::new();
+        // Encoder builds up a ring the decoder never saw.
+        let f0 = template_frame(0, 100);
+        enc.encode(&f0);
+        let encoded = enc.encode(&template_frame(1, 100));
+        // This is a delta against a template the decoder lacks.
+        assert_eq!(dec.decode(&encoded), Err(CompressError::UnknownTemplate));
+    }
+
+    #[test]
+    fn malformed_input_rejected() {
+        let mut dec = Decompressor::new();
+        assert_eq!(dec.decode(&[]), Err(CompressError::Malformed));
+        assert_eq!(dec.decode(&[9, 1, 2]), Err(CompressError::Malformed));
+        // Delta with truncated patch table.
+        assert_eq!(
+            dec.decode(&[TAG_DELTA, 0]),
+            Err(CompressError::UnknownTemplate)
+        );
+    }
+
+    #[test]
+    fn patch_gap_absorption_produces_few_patches() {
+        let base = vec![0u8; 100];
+        let mut frame = vec![0u8; 100];
+        // Differences at 10, 12, 14 — gaps of 1 → absorbed into one run.
+        frame[10] = 1;
+        frame[12] = 1;
+        frame[14] = 1;
+        let patches = diff_patches(&base, &frame);
+        assert_eq!(patches.len(), 1);
+        assert_eq!(patches[0].offset, 10);
+        assert_eq!(patches[0].bytes.len(), 5);
+    }
+}

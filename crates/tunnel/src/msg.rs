@@ -1,0 +1,494 @@
+//! The RIS ↔ route-server message vocabulary and its binary encoding.
+//!
+//! Every message is encoded to an explicit, versioned binary layout: a
+//! one-byte type tag followed by type-specific fields, all integers
+//! big-endian, strings and byte blobs length-prefixed. The layout is
+//! hand-rolled (rather than derived) because it *is* the protocol the
+//! paper describes — the thing a third-party RIS implementation would
+//! interoperate with.
+
+use crate::codec::{Reader, Writer};
+
+/// Globally unique id the route server assigns to a router (§2.2: "The
+/// route server will assign a unique id to each router").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RouterId(pub u32);
+
+/// Port index within a router; combined with [`RouterId`] it uniquely
+/// identifies the port when communicating with the route server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PortId(pub u16);
+
+impl std::fmt::Display for RouterId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl std::fmt::Display for PortId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// The rectangle on the router's picture that maps to a port (Fig. 3:
+/// "The lab manager can define the active region by simply drawing a
+/// rectangle on the router image").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ImageRegion {
+    pub x: u16,
+    pub y: u16,
+    pub w: u16,
+    pub h: u16,
+}
+
+/// Everything a lab manager specifies about one port (§2.2's three
+/// required items).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PortInfo {
+    /// "A description of what the port is", shown on hover.
+    pub description: String,
+    /// "The network interface adapter the router port is connected to."
+    pub nic: String,
+    /// The clickable region on the router image.
+    pub region: ImageRegion,
+}
+
+/// A router as described in the RIS configuration file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouterInfo {
+    /// RIS-local identifier; the server maps it to a global [`RouterId`].
+    pub local_id: u32,
+    /// Inventory description ("what kind of equipment it is").
+    pub description: String,
+    /// Device model string.
+    pub model: String,
+    /// Name of the back-panel picture used in the web UI.
+    pub image: String,
+    pub ports: Vec<PortInfo>,
+    /// COM port the console is wired to, when console access exists.
+    pub console_com: Option<String>,
+}
+
+/// The registration a RIS submits when the lab manager clicks
+/// "Join Labs".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegisterInfo {
+    /// Identifies the interface PC.
+    pub pc_name: String,
+    pub routers: Vec<RouterInfo>,
+}
+
+/// Server reply to registration: global id per RIS-local router.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Assignment {
+    pub local_id: u32,
+    pub router: RouterId,
+}
+
+/// A message on the RIS ↔ route-server tunnel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Msg {
+    /// RIS → server: join the labs.
+    Register(RegisterInfo),
+    /// Server → RIS: ids assigned.
+    RegisterAck(Vec<Assignment>),
+    /// A complete captured L2 frame, either direction.
+    Data {
+        router: RouterId,
+        port: PortId,
+        frame: Vec<u8>,
+    },
+    /// A template-compressed frame (see [`crate::compress`]). The stream
+    /// is identified by (router, port); both sides keep a synchronized
+    /// template ring per stream.
+    DataCompressed {
+        router: RouterId,
+        port: PortId,
+        encoded: Vec<u8>,
+    },
+    /// Server → RIS: one console line for a router.
+    Console { router: RouterId, line: String },
+    /// RIS → server: console output.
+    ConsoleReply { router: RouterId, output: String },
+    /// Server → RIS: power a router on/off (lab deploy/teardown and
+    /// failure injection).
+    SetPower { router: RouterId, on: bool },
+    /// Server → RIS: connect/disconnect the virtual cable on a port.
+    SetLink {
+        router: RouterId,
+        port: PortId,
+        up: bool,
+    },
+    /// Server → RIS: flash a firmware image.
+    Flash { router: RouterId, version: String },
+    /// RIS → server: result of a flash request.
+    FlashResult {
+        router: RouterId,
+        ok: bool,
+        message: String,
+    },
+    /// Liveness, either direction.
+    Heartbeat { seq: u64 },
+}
+
+/// Error decoding a message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Ran out of bytes.
+    Truncated,
+    /// Unknown type tag or invalid field.
+    Malformed,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "message truncated"),
+            DecodeError::Malformed => write!(f, "message malformed"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+mod tag {
+    pub const REGISTER: u8 = 1;
+    pub const REGISTER_ACK: u8 = 2;
+    pub const DATA: u8 = 3;
+    pub const DATA_COMPRESSED: u8 = 4;
+    pub const CONSOLE: u8 = 5;
+    pub const CONSOLE_REPLY: u8 = 6;
+    pub const SET_POWER: u8 = 7;
+    pub const SET_LINK: u8 = 8;
+    pub const FLASH: u8 = 9;
+    pub const FLASH_RESULT: u8 = 10;
+    pub const HEARTBEAT: u8 = 11;
+}
+
+impl Msg {
+    /// Encode into a byte vector (without the outer length prefix, which
+    /// [`crate::codec::FrameCodec`] adds).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        match self {
+            Msg::Register(info) => {
+                w.u8(tag::REGISTER);
+                w.string(&info.pc_name);
+                w.u16(info.routers.len() as u16);
+                for r in &info.routers {
+                    w.u32(r.local_id);
+                    w.string(&r.description);
+                    w.string(&r.model);
+                    w.string(&r.image);
+                    w.u16(r.ports.len() as u16);
+                    for p in &r.ports {
+                        w.string(&p.description);
+                        w.string(&p.nic);
+                        w.u16(p.region.x);
+                        w.u16(p.region.y);
+                        w.u16(p.region.w);
+                        w.u16(p.region.h);
+                    }
+                    match &r.console_com {
+                        Some(com) => {
+                            w.u8(1);
+                            w.string(com);
+                        }
+                        None => w.u8(0),
+                    }
+                }
+            }
+            Msg::RegisterAck(assignments) => {
+                w.u8(tag::REGISTER_ACK);
+                w.u16(assignments.len() as u16);
+                for a in assignments {
+                    w.u32(a.local_id);
+                    w.u32(a.router.0);
+                }
+            }
+            Msg::Data {
+                router,
+                port,
+                frame,
+            } => {
+                w.u8(tag::DATA);
+                w.u32(router.0);
+                w.u16(port.0);
+                w.bytes(frame);
+            }
+            Msg::DataCompressed {
+                router,
+                port,
+                encoded,
+            } => {
+                w.u8(tag::DATA_COMPRESSED);
+                w.u32(router.0);
+                w.u16(port.0);
+                w.bytes(encoded);
+            }
+            Msg::Console { router, line } => {
+                w.u8(tag::CONSOLE);
+                w.u32(router.0);
+                w.string(line);
+            }
+            Msg::ConsoleReply { router, output } => {
+                w.u8(tag::CONSOLE_REPLY);
+                w.u32(router.0);
+                w.string(output);
+            }
+            Msg::SetPower { router, on } => {
+                w.u8(tag::SET_POWER);
+                w.u32(router.0);
+                w.u8(u8::from(*on));
+            }
+            Msg::SetLink { router, port, up } => {
+                w.u8(tag::SET_LINK);
+                w.u32(router.0);
+                w.u16(port.0);
+                w.u8(u8::from(*up));
+            }
+            Msg::Flash { router, version } => {
+                w.u8(tag::FLASH);
+                w.u32(router.0);
+                w.string(version);
+            }
+            Msg::FlashResult {
+                router,
+                ok,
+                message,
+            } => {
+                w.u8(tag::FLASH_RESULT);
+                w.u32(router.0);
+                w.u8(u8::from(*ok));
+                w.string(message);
+            }
+            Msg::Heartbeat { seq } => {
+                w.u8(tag::HEARTBEAT);
+                w.u64(*seq);
+            }
+        }
+        w.into_inner()
+    }
+
+    /// Decode a message from exactly the bytes produced by
+    /// [`Msg::encode`]. Trailing bytes are rejected.
+    pub fn decode(data: &[u8]) -> Result<Msg, DecodeError> {
+        let mut r = Reader::new(data);
+        let msg = match r.u8()? {
+            tag::REGISTER => {
+                let pc_name = r.string()?;
+                let n = r.u16()?;
+                let mut routers = Vec::with_capacity(n as usize);
+                for _ in 0..n {
+                    let local_id = r.u32()?;
+                    let description = r.string()?;
+                    let model = r.string()?;
+                    let image = r.string()?;
+                    let np = r.u16()?;
+                    let mut ports = Vec::with_capacity(np as usize);
+                    for _ in 0..np {
+                        ports.push(PortInfo {
+                            description: r.string()?,
+                            nic: r.string()?,
+                            region: ImageRegion {
+                                x: r.u16()?,
+                                y: r.u16()?,
+                                w: r.u16()?,
+                                h: r.u16()?,
+                            },
+                        });
+                    }
+                    let console_com = match r.u8()? {
+                        0 => None,
+                        1 => Some(r.string()?),
+                        _ => return Err(DecodeError::Malformed),
+                    };
+                    routers.push(RouterInfo {
+                        local_id,
+                        description,
+                        model,
+                        image,
+                        ports,
+                        console_com,
+                    });
+                }
+                Msg::Register(RegisterInfo { pc_name, routers })
+            }
+            tag::REGISTER_ACK => {
+                let n = r.u16()?;
+                let mut assignments = Vec::with_capacity(n as usize);
+                for _ in 0..n {
+                    assignments.push(Assignment {
+                        local_id: r.u32()?,
+                        router: RouterId(r.u32()?),
+                    });
+                }
+                Msg::RegisterAck(assignments)
+            }
+            tag::DATA => Msg::Data {
+                router: RouterId(r.u32()?),
+                port: PortId(r.u16()?),
+                frame: r.bytes()?,
+            },
+            tag::DATA_COMPRESSED => Msg::DataCompressed {
+                router: RouterId(r.u32()?),
+                port: PortId(r.u16()?),
+                encoded: r.bytes()?,
+            },
+            tag::CONSOLE => Msg::Console {
+                router: RouterId(r.u32()?),
+                line: r.string()?,
+            },
+            tag::CONSOLE_REPLY => Msg::ConsoleReply {
+                router: RouterId(r.u32()?),
+                output: r.string()?,
+            },
+            tag::SET_POWER => Msg::SetPower {
+                router: RouterId(r.u32()?),
+                on: r.u8()? != 0,
+            },
+            tag::SET_LINK => Msg::SetLink {
+                router: RouterId(r.u32()?),
+                port: PortId(r.u16()?),
+                up: r.u8()? != 0,
+            },
+            tag::FLASH => Msg::Flash {
+                router: RouterId(r.u32()?),
+                version: r.string()?,
+            },
+            tag::FLASH_RESULT => Msg::FlashResult {
+                router: RouterId(r.u32()?),
+                ok: r.u8()? != 0,
+                message: r.string()?,
+            },
+            tag::HEARTBEAT => Msg::Heartbeat { seq: r.u64()? },
+            _ => return Err(DecodeError::Malformed),
+        };
+        if !r.is_empty() {
+            return Err(DecodeError::Malformed);
+        }
+        Ok(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(msg: Msg) {
+        let bytes = msg.encode();
+        assert_eq!(Msg::decode(&bytes).unwrap(), msg);
+    }
+
+    fn sample_register() -> Msg {
+        Msg::Register(RegisterInfo {
+            pc_name: "lab-pc-7".to_string(),
+            routers: vec![RouterInfo {
+                local_id: 3,
+                description: "Catalyst 6500 with FWSM".to_string(),
+                model: "Catalyst 6500".to_string(),
+                image: "cat6500-back.png".to_string(),
+                ports: vec![
+                    PortInfo {
+                        description: "GigabitEthernet1/1".to_string(),
+                        nic: "eth1".to_string(),
+                        region: ImageRegion {
+                            x: 10,
+                            y: 20,
+                            w: 30,
+                            h: 15,
+                        },
+                    },
+                    PortInfo {
+                        description: "GigabitEthernet1/2".to_string(),
+                        nic: "eth2".to_string(),
+                        region: ImageRegion {
+                            x: 45,
+                            y: 20,
+                            w: 30,
+                            h: 15,
+                        },
+                    },
+                ],
+                console_com: Some("COM1".to_string()),
+            }],
+        })
+    }
+
+    #[test]
+    fn all_variants_roundtrip() {
+        roundtrip(sample_register());
+        roundtrip(Msg::RegisterAck(vec![
+            Assignment {
+                local_id: 3,
+                router: RouterId(17),
+            },
+            Assignment {
+                local_id: 4,
+                router: RouterId(18),
+            },
+        ]));
+        roundtrip(Msg::Data {
+            router: RouterId(1),
+            port: PortId(2),
+            frame: vec![0xab; 60],
+        });
+        roundtrip(Msg::DataCompressed {
+            router: RouterId(1),
+            port: PortId(2),
+            encoded: vec![1, 2, 3],
+        });
+        roundtrip(Msg::Console {
+            router: RouterId(9),
+            line: "show running-config".to_string(),
+        });
+        roundtrip(Msg::ConsoleReply {
+            router: RouterId(9),
+            output: "hostname r9\n".to_string(),
+        });
+        roundtrip(Msg::SetPower {
+            router: RouterId(5),
+            on: false,
+        });
+        roundtrip(Msg::SetLink {
+            router: RouterId(5),
+            port: PortId(1),
+            up: true,
+        });
+        roundtrip(Msg::Flash {
+            router: RouterId(2),
+            version: "12.2(18)SXF".to_string(),
+        });
+        roundtrip(Msg::FlashResult {
+            router: RouterId(2),
+            ok: false,
+            message: "unknown image".to_string(),
+        });
+        roundtrip(Msg::Heartbeat { seq: u64::MAX });
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut bytes = Msg::Heartbeat { seq: 7 }.encode();
+        bytes.push(0);
+        assert_eq!(Msg::decode(&bytes), Err(DecodeError::Malformed));
+    }
+
+    #[test]
+    fn truncation_rejected_everywhere() {
+        let bytes = sample_register().encode();
+        for cut in 0..bytes.len() {
+            assert!(
+                Msg::decode(&bytes[..cut]).is_err(),
+                "decode of {cut}-byte prefix should fail"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        assert_eq!(Msg::decode(&[0xff]), Err(DecodeError::Malformed));
+        assert_eq!(Msg::decode(&[]), Err(DecodeError::Truncated));
+    }
+}

@@ -1,0 +1,408 @@
+//! Message transports between RIS and the route server.
+//!
+//! Two implementations of one [`Transport`] trait:
+//!
+//! * [`MemTransport`] — an in-process pair joined by channels, with a
+//!   per-direction [`crate::impair::ImpairModel`] deciding
+//!   delivery times on the virtual clock. Deterministic; used by tests,
+//!   experiments and the simulated "geographically distributed"
+//!   deployments. Messages still pass through the real binary codec, so
+//!   the wire format is exercised end to end.
+//! * [`TcpTransport`] — a real `std::net` TCP connection with
+//!   non-blocking reads and buffered writes. The RIS side always
+//!   *initiates* the connection ("The PC always initiates the connection
+//!   to the back-end server, so that, even if the routers are sitting
+//!   behind a corporate firewall, they can still be connected").
+
+use std::collections::VecDeque;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+
+use crossbeam_channel::{unbounded, Receiver, Sender};
+use rnl_net::time::Instant;
+
+use crate::codec::FrameCodec;
+use crate::impair::{ImpairModel, Impairment};
+use crate::msg::{DecodeError, Msg};
+
+/// Transport failure.
+#[derive(Debug)]
+pub enum TransportError {
+    /// The peer is gone.
+    Closed,
+    /// Underlying I/O error.
+    Io(std::io::Error),
+    /// The byte stream did not decode.
+    Protocol(DecodeError),
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::Closed => write!(f, "transport closed"),
+            TransportError::Io(e) => write!(f, "transport I/O error: {e}"),
+            TransportError::Protocol(e) => write!(f, "protocol error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+impl From<std::io::Error> for TransportError {
+    fn from(e: std::io::Error) -> TransportError {
+        TransportError::Io(e)
+    }
+}
+
+/// A bidirectional, ordered message channel.
+pub trait Transport: Send {
+    /// Enqueue a message. `now` is the sender's virtual clock (used by
+    /// impairment models; the TCP transport ignores it).
+    fn send(&mut self, msg: &Msg, now: Instant) -> Result<(), TransportError>;
+
+    /// Non-blocking receive of everything deliverable at `now`.
+    fn poll(&mut self, now: Instant) -> Result<Vec<Msg>, TransportError>;
+
+    /// Whether the link is still believed up.
+    fn is_connected(&self) -> bool;
+}
+
+// ---------------------------------------------------------------------
+// In-memory transport
+// ---------------------------------------------------------------------
+
+/// One endpoint of an in-memory transport pair.
+pub struct MemTransport {
+    tx: Sender<(Instant, Vec<u8>)>,
+    rx: Receiver<(Instant, Vec<u8>)>,
+    impair: ImpairModel,
+    /// Messages received from the channel but not yet due.
+    inbox: VecDeque<(Instant, Vec<u8>)>,
+    codec: FrameCodec,
+    connected: bool,
+}
+
+/// Create a connected pair with independent per-direction impairment.
+/// `seed` derives both directions' RNG streams.
+pub fn mem_pair(a_to_b: Impairment, b_to_a: Impairment, seed: u64) -> (MemTransport, MemTransport) {
+    let (tx_ab, rx_ab) = unbounded();
+    let (tx_ba, rx_ba) = unbounded();
+    let a = MemTransport {
+        tx: tx_ab,
+        rx: rx_ba,
+        impair: ImpairModel::new(a_to_b, seed.wrapping_mul(2).wrapping_add(1)),
+        inbox: VecDeque::new(),
+        codec: FrameCodec::new(),
+        connected: true,
+    };
+    let b = MemTransport {
+        tx: tx_ba,
+        rx: rx_ab,
+        impair: ImpairModel::new(b_to_a, seed.wrapping_mul(2).wrapping_add(2)),
+        inbox: VecDeque::new(),
+        codec: FrameCodec::new(),
+        connected: true,
+    };
+    (a, b)
+}
+
+/// A perfect in-memory pair (no delay, no loss).
+pub fn mem_pair_perfect(seed: u64) -> (MemTransport, MemTransport) {
+    mem_pair(Impairment::PERFECT, Impairment::PERFECT, seed)
+}
+
+impl Transport for MemTransport {
+    fn send(&mut self, msg: &Msg, now: Instant) -> Result<(), TransportError> {
+        if !self.connected {
+            return Err(TransportError::Closed);
+        }
+        // The impairment model may drop the message entirely.
+        if let Some(deliver_at) = self.impair.schedule(now) {
+            let bytes = FrameCodec::encode(msg);
+            self.tx.send((deliver_at, bytes)).map_err(|_| {
+                self.connected = false;
+                TransportError::Closed
+            })?;
+        }
+        Ok(())
+    }
+
+    fn poll(&mut self, now: Instant) -> Result<Vec<Msg>, TransportError> {
+        // Pull everything pending off the channel into the time-ordered
+        // inbox (senders schedule FIFO, so arrival order == time order).
+        while let Ok(item) = self.rx.try_recv() {
+            self.inbox.push_back(item);
+        }
+        let mut msgs = Vec::new();
+        while matches!(self.inbox.front(), Some((at, _)) if *at <= now) {
+            let (_, bytes) = self.inbox.pop_front().expect("peeked");
+            self.codec.feed(&bytes);
+            while let Some(msg) = self.codec.next_msg().map_err(TransportError::Protocol)? {
+                msgs.push(msg);
+            }
+        }
+        Ok(msgs)
+    }
+
+    fn is_connected(&self) -> bool {
+        self.connected
+    }
+}
+
+impl MemTransport {
+    /// Replace the impairment profile mid-run (the §3.5 knob).
+    pub fn set_impairment(&mut self, profile: Impairment) {
+        self.impair.set_profile(profile);
+    }
+
+    /// Sever the link (simulates the interface PC losing its uplink).
+    pub fn disconnect(&mut self) {
+        self.connected = false;
+    }
+}
+
+// ---------------------------------------------------------------------
+// TCP transport
+// ---------------------------------------------------------------------
+
+/// A framed TCP connection.
+pub struct TcpTransport {
+    stream: TcpStream,
+    codec: FrameCodec,
+    /// Bytes accepted by `send` but not yet accepted by the kernel.
+    tx_backlog: Vec<u8>,
+    connected: bool,
+    read_buf: [u8; 64 * 1024],
+}
+
+impl TcpTransport {
+    /// Dial out to the route server (the RIS direction — always
+    /// outbound, for firewall traversal).
+    pub fn connect(addr: SocketAddr) -> Result<TcpTransport, TransportError> {
+        let stream = TcpStream::connect(addr)?;
+        TcpTransport::from_stream(stream)
+    }
+
+    /// Wrap an accepted connection (the route-server direction).
+    pub fn from_stream(stream: TcpStream) -> Result<TcpTransport, TransportError> {
+        stream.set_nonblocking(true)?;
+        stream.set_nodelay(true)?;
+        Ok(TcpTransport {
+            stream,
+            codec: FrameCodec::new(),
+            tx_backlog: Vec::new(),
+            connected: true,
+            read_buf: [0; 64 * 1024],
+        })
+    }
+
+    /// Accept one connection from a listener (blocking).
+    pub fn accept(listener: &TcpListener) -> Result<TcpTransport, TransportError> {
+        let (stream, _) = listener.accept()?;
+        TcpTransport::from_stream(stream)
+    }
+
+    fn flush_backlog(&mut self) -> Result<(), TransportError> {
+        while !self.tx_backlog.is_empty() {
+            match self.stream.write(&self.tx_backlog) {
+                Ok(0) => {
+                    self.connected = false;
+                    return Err(TransportError::Closed);
+                }
+                Ok(n) => {
+                    self.tx_backlog.drain(..n);
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    self.connected = false;
+                    return Err(e.into());
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Transport for TcpTransport {
+    fn send(&mut self, msg: &Msg, _now: Instant) -> Result<(), TransportError> {
+        if !self.connected {
+            return Err(TransportError::Closed);
+        }
+        self.tx_backlog.extend_from_slice(&FrameCodec::encode(msg));
+        self.flush_backlog()
+    }
+
+    fn poll(&mut self, _now: Instant) -> Result<Vec<Msg>, TransportError> {
+        if !self.connected {
+            return Err(TransportError::Closed);
+        }
+        // Opportunistically drain any backlogged writes.
+        self.flush_backlog()?;
+        loop {
+            match self.stream.read(&mut self.read_buf) {
+                Ok(0) => {
+                    self.connected = false;
+                    break;
+                }
+                Ok(n) => {
+                    let (buf, codec) = (&self.read_buf[..n], &mut self.codec);
+                    codec.feed(buf);
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    self.connected = false;
+                    return Err(e.into());
+                }
+            }
+        }
+        self.codec.drain().map_err(TransportError::Protocol)
+    }
+
+    fn is_connected(&self) -> bool {
+        self.connected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msg::{PortId, RouterId};
+    use rnl_net::time::Duration;
+
+    fn t(ms: u64) -> Instant {
+        Instant::EPOCH + Duration::from_millis(ms)
+    }
+
+    fn data(n: u8) -> Msg {
+        Msg::Data {
+            router: RouterId(1),
+            port: PortId(0),
+            frame: vec![n; 64],
+        }
+    }
+
+    #[test]
+    fn mem_pair_roundtrip_both_directions() {
+        let (mut a, mut b) = mem_pair_perfect(1);
+        a.send(&data(1), t(0)).unwrap();
+        b.send(&data(2), t(0)).unwrap();
+        assert_eq!(b.poll(t(0)).unwrap(), vec![data(1)]);
+        assert_eq!(a.poll(t(0)).unwrap(), vec![data(2)]);
+    }
+
+    #[test]
+    fn mem_pair_respects_delay() {
+        let profile = Impairment {
+            delay: Duration::from_millis(40),
+            jitter: Duration::ZERO,
+            loss: 0.0,
+        };
+        let (mut a, mut b) = mem_pair(profile, Impairment::PERFECT, 2);
+        a.send(&data(1), t(0)).unwrap();
+        assert!(b.poll(t(39)).unwrap().is_empty(), "too early");
+        assert_eq!(b.poll(t(40)).unwrap(), vec![data(1)]);
+    }
+
+    #[test]
+    fn mem_pair_loses_packets_per_profile() {
+        let profile = Impairment {
+            delay: Duration::ZERO,
+            jitter: Duration::ZERO,
+            loss: 0.5,
+        };
+        let (mut a, mut b) = mem_pair(profile, Impairment::PERFECT, 3);
+        for i in 0..200 {
+            a.send(&data(i as u8), t(i)).unwrap();
+        }
+        let received = b.poll(t(1000)).unwrap().len();
+        assert!(received > 50 && received < 150, "got {received}");
+    }
+
+    #[test]
+    fn mem_disconnect_reports_closed() {
+        let (mut a, _b) = mem_pair_perfect(4);
+        a.disconnect();
+        assert!(matches!(
+            a.send(&data(1), t(0)),
+            Err(TransportError::Closed)
+        ));
+        assert!(!a.is_connected());
+    }
+
+    #[test]
+    fn mem_ordering_preserved_under_jitter() {
+        let profile = Impairment {
+            delay: Duration::from_millis(5),
+            jitter: Duration::from_millis(30),
+            loss: 0.0,
+        };
+        let (mut a, mut b) = mem_pair(profile, Impairment::PERFECT, 5);
+        for i in 0..50u8 {
+            a.send(&data(i), t(u64::from(i))).unwrap();
+        }
+        let msgs = b.poll(t(10_000)).unwrap();
+        assert_eq!(msgs.len(), 50);
+        for (i, m) in msgs.iter().enumerate() {
+            assert_eq!(*m, data(i as u8), "reordered at {i}");
+        }
+    }
+
+    #[test]
+    fn tcp_roundtrip_over_loopback() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        // The RIS side dials out.
+        let client = std::thread::spawn(move || {
+            let mut t_client = TcpTransport::connect(addr).unwrap();
+            t_client.send(&data(1), Instant::EPOCH).unwrap();
+            // Wait for the reply.
+            for _ in 0..1000 {
+                let msgs = t_client.poll(Instant::EPOCH).unwrap();
+                if !msgs.is_empty() {
+                    return msgs;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            Vec::new()
+        });
+        let mut t_server = TcpTransport::accept(&listener).unwrap();
+        let mut got = Vec::new();
+        for _ in 0..1000 {
+            got = t_server.poll(Instant::EPOCH).unwrap();
+            if !got.is_empty() {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert_eq!(got, vec![data(1)]);
+        t_server.send(&data(9), Instant::EPOCH).unwrap();
+        assert_eq!(client.join().unwrap(), vec![data(9)]);
+    }
+
+    #[test]
+    fn tcp_detects_peer_close() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut t_client = TcpTransport::connect(addr).unwrap();
+        let t_server = TcpTransport::accept(&listener).unwrap();
+        drop(t_server);
+        // Polling eventually observes the close.
+        let mut closed = false;
+        for _ in 0..1000 {
+            match t_client.poll(Instant::EPOCH) {
+                Ok(_) if !t_client.is_connected() => {
+                    closed = true;
+                    break;
+                }
+                Err(_) => {
+                    closed = true;
+                    break;
+                }
+                Ok(_) => std::thread::sleep(std::time::Duration::from_millis(1)),
+            }
+        }
+        assert!(closed, "peer close not detected");
+    }
+}

@@ -1,0 +1,198 @@
+//! The §3.4 training use case.
+//!
+//! "Existing training environments … because it is difficult to change
+//! the wiring, they only offer a small number of topologies. With RNL,
+//! we are no longer bounded by a few, but instead, we can experiment
+//! with a variety of topologies to gain a full understanding of the
+//! effects of router configuration."
+//!
+//! One pool of four routers and two hosts is rewired — deploy, exercise,
+//! tear down — through three different topologies in one session, with
+//! no one walking to a rack: a chain, a star, and a ring with a
+//! redundant path whose behaviour under link failure the trainee can
+//! watch live (RIP re-convergence).
+//!
+//! Run with: `cargo run --example training_lab`
+
+use rnl::device::host::Host;
+use rnl::device::router::Router;
+use rnl::net::time::{Duration, Instant};
+use rnl::server::design::Design;
+use rnl::tunnel::msg::{PortId, RouterId};
+use rnl::RemoteNetworkLabs;
+
+fn main() {
+    let mut labs = RemoteNetworkLabs::new_unreserved();
+    let site = labs.add_site("training-room");
+
+    // The equipment pool: four RIP-speaking routers, two student hosts.
+    for (i, name) in ["r1", "r2", "r3", "r4"].iter().enumerate() {
+        let mut r = Router::new(name, 300 + i as u32, 4);
+        r.rip_mut().enable();
+        r.rip_mut().set_update_interval(Duration::from_millis(200));
+        r.rip_mut().add_network("10.0.0.0/8".parse().unwrap());
+        labs.add_device(site, Box::new(r), &format!("training router {name}"))
+            .unwrap();
+    }
+    let mut ha = Host::new("student-a", 310);
+    ha.set_ip("10.10.0.5/24".parse().unwrap());
+    ha.set_gateway("10.10.0.1".parse().unwrap());
+    let mut hb = Host::new("student-b", 311);
+    hb.set_ip("10.20.0.5/24".parse().unwrap());
+    hb.set_gateway("10.20.0.1".parse().unwrap());
+    labs.add_device(site, Box::new(ha), "student host A")
+        .unwrap();
+    labs.add_device(site, Box::new(hb), "student host B")
+        .unwrap();
+    let ids = labs.join_labs(site).unwrap();
+    let (r, hosts) = ids.split_at(4);
+
+    // Exercise 1: a simple chain A—r1—r2—B.
+    let d = run_exercise(&mut labs, "chain", r, hosts, &[(0, 1, 1, 1)]);
+    labs.teardown(d);
+    // Exercise 2: a longer chain through all four routers.
+    let d = run_exercise(
+        &mut labs,
+        "long-chain",
+        r,
+        hosts,
+        &[(0, 1, 1, 1), (1, 2, 2, 1), (2, 3, 2, 2)],
+    );
+    labs.teardown(d);
+    // Exercise 3: a ring with a redundant path (r1–r2 direct plus
+    // r1–r3–r4–r2), then a live link failure.
+    let deployment = run_exercise(
+        &mut labs,
+        "ring",
+        r,
+        hosts,
+        &[(0, 1, 1, 1), (0, 2, 2, 1), (2, 3, 2, 2), (3, 1, 3, 2)],
+    );
+    println!("\n-- live failure drill on the ring --");
+    labs.server_mut()
+        .set_link(r[0], PortId(1), false, Instant::EPOCH);
+    labs.server_mut()
+        .set_link(r[1], PortId(1), false, Instant::EPOCH);
+    // Distance-vector re-convergence: stale routes age out (6 s at the
+    // 1 s update timers), then the ring path propagates back in.
+    labs.run(Duration::from_secs(15)).unwrap();
+    labs.device_mut(site, 4)
+        .unwrap()
+        .console("ping 10.20.0.5 count 3", Instant::EPOCH);
+    labs.run(Duration::from_secs(6)).unwrap();
+    let out = labs.console(hosts[0], "show ping").unwrap();
+    println!(
+        "after killing the direct link, A still reaches B: {}",
+        out.trim()
+    );
+    assert!(
+        out.contains("3 received"),
+        "redundant path must carry traffic"
+    );
+    labs.teardown(deployment);
+    println!("\nthree topologies, one failure drill, zero cable changes.");
+}
+
+/// Deploy a topology from the pool, prove A↔B connectivity, and return
+/// the deployment (caller tears down, except the last exercise which
+/// keeps it for the failure drill).
+fn run_exercise(
+    labs: &mut RemoteNetworkLabs,
+    name: &str,
+    r: &[RouterId],
+    hosts: &[RouterId],
+    router_links: &[(usize, usize, u16, u16)],
+) -> rnl::server::matrix::DeploymentId {
+    println!("\n== exercise: {name} ==");
+    // Address the topology: host nets hang off the first and last
+    // routers in every exercise; transit nets are per-link.
+    let first = 0;
+    let last = router_links
+        .iter()
+        .map(|&(_, b, _, _)| b)
+        .max()
+        .unwrap_or(0);
+    for (i, router) in r.iter().enumerate() {
+        // Reset to a clean config (power cycle wipes the old exercise).
+        labs.set_power(*router, false);
+        labs.run(Duration::from_millis(50)).unwrap();
+        labs.set_power(*router, true);
+        labs.run(Duration::from_millis(50)).unwrap();
+        for line in [
+            "enable",
+            "configure terminal",
+            "router rip",
+            "timers basic 1",
+            "network 10.0.0.0/8",
+            "exit",
+        ] {
+            labs.console(*router, line).unwrap();
+        }
+        if i == first {
+            labs.console(*router, "interface FastEthernet0/0").unwrap();
+            labs.console(*router, "ip address 10.10.0.1 255.255.255.0")
+                .unwrap();
+            labs.console(*router, "no shutdown").unwrap();
+            labs.console(*router, "exit").unwrap();
+        }
+        if i == last {
+            labs.console(*router, "interface FastEthernet0/0").unwrap();
+            labs.console(*router, "ip address 10.20.0.1 255.255.255.0")
+                .unwrap();
+            labs.console(*router, "no shutdown").unwrap();
+            labs.console(*router, "exit").unwrap();
+        }
+        labs.console(*router, "end").unwrap();
+    }
+    // Transit addressing per link.
+    for (n, &(a, b, pa, pb)) in router_links.iter().enumerate() {
+        for (idx, port) in [(a, pa), (b, pb)] {
+            let host_octet = if idx == a { 1 } else { 2 };
+            for line in [
+                "enable".to_string(),
+                "configure terminal".to_string(),
+                format!("interface FastEthernet0/{port}"),
+                format!("ip address 10.{}.{n}.{host_octet} 255.255.255.0", 100 + n),
+                "no shutdown".to_string(),
+                "end".to_string(),
+            ] {
+                labs.console(r[idx], &line).unwrap();
+            }
+        }
+    }
+
+    let mut design = Design::new(name);
+    for id in r.iter().chain(hosts) {
+        design.add_device(*id);
+    }
+    design
+        .connect((hosts[0], PortId(0)), (r[first], PortId(0)))
+        .unwrap();
+    design
+        .connect((hosts[1], PortId(0)), (r[last], PortId(0)))
+        .unwrap();
+    for &(a, b, pa, pb) in router_links {
+        design
+            .connect((r[a], PortId(pa)), (r[b], PortId(pb)))
+            .unwrap();
+    }
+    labs.save_design(design);
+    let deployment = labs.deploy("trainee", name).unwrap();
+    labs.run(Duration::from_secs(3)).unwrap(); // RIP convergence
+
+    labs.device_mut(rnl::SiteId(0), 4)
+        .unwrap()
+        .console("ping 10.20.0.5 count 3", Instant::EPOCH);
+    labs.run(Duration::from_secs(6)).unwrap();
+    let out = labs.console(hosts[0], "show ping").unwrap();
+    println!(
+        "A → B over {}-router path: {}",
+        last - first + 1,
+        out.trim()
+    );
+    assert!(
+        out.contains("3 received"),
+        "exercise {name} must pass: {out}"
+    );
+    deployment
+}

@@ -1,0 +1,151 @@
+//! Experiment E14 — configuration dump/restore and firmware flashing
+//! (§2.1).
+//!
+//! "When a user with a valid reservation saves a design, the user
+//! interface also attempts to save the router configuration by dumping
+//! the configuration file from its console port. … If a router
+//! configuration is saved, when the users deploy the design, the
+//! configuration file is loaded automatically."
+//!
+//! "RNL even allows users to program different versions of the firmware
+//! onto test equipment, for example, to test the behavior under the many
+//! different versions of IOS."
+
+use rnl::device::router::Router;
+use rnl::device::switch::Switch;
+use rnl::net::time::{Duration, Instant};
+use rnl::server::design::Design;
+use rnl::RemoteNetworkLabs;
+
+/// Configure a router over its (tunneled) console, dump the config,
+/// wipe the router, redeploy with the saved config: the configuration
+/// must come back.
+#[test]
+fn config_dump_and_auto_restore_on_deploy() {
+    let mut labs = RemoteNetworkLabs::new_unreserved();
+    let site = labs.add_site("pc");
+    labs.add_device(site, Box::new(Router::new("r", 1, 2)), "router")
+        .unwrap();
+    let ids = labs.join_labs(site).unwrap();
+    let r = ids[0];
+
+    // Configure through the console, exactly as a user would.
+    for line in [
+        "enable",
+        "configure terminal",
+        "hostname production-edge",
+        "interface FastEthernet0/0",
+        "ip address 203.0.113.1 255.255.255.0",
+        "no shutdown",
+        "exit",
+        "ip route 0.0.0.0 0.0.0.0 203.0.113.254",
+        "end",
+    ] {
+        labs.console(r, line).unwrap();
+    }
+    // Dump (the web server's auto-save on design save).
+    let dump = labs.dump_config(r).unwrap();
+    assert!(dump.contains("hostname production-edge"), "{dump}");
+    assert!(
+        dump.contains("ip address 203.0.113.1 255.255.255.0"),
+        "{dump}"
+    );
+    assert!(
+        dump.contains("ip route 0.0.0.0 0.0.0.0 203.0.113.254"),
+        "{dump}"
+    );
+
+    // Store it in the design.
+    let mut design = Design::new("with-config");
+    design.add_device(r);
+    design.set_saved_config(r, dump.clone()).unwrap();
+    labs.save_design(design);
+
+    // Another user wrecked the box in the meantime (power cycle loses
+    // the running config — it was never written to startup).
+    labs.set_power(r, false);
+    labs.run(Duration::from_millis(100)).unwrap();
+    labs.set_power(r, true);
+    labs.run(Duration::from_millis(100)).unwrap();
+    let wiped = labs.console(r, "show running-config");
+    // After the cold boot the console is back at user EXEC; `show`
+    // works there.
+    let wiped = wiped.unwrap();
+    assert!(
+        !wiped.contains("production-edge"),
+        "config must be gone: {wiped}"
+    );
+
+    // Deploying the saved design restores it automatically.
+    labs.deploy("alice", "with-config").unwrap();
+    labs.run(Duration::from_millis(500)).unwrap();
+    let restored = labs.console(r, "show running-config").unwrap();
+    assert!(restored.contains("hostname production-edge"), "{restored}");
+    assert!(restored.contains("203.0.113.1"), "{restored}");
+}
+
+/// Flashing firmware through the cloud changes observable behaviour
+/// (the SXD image cannot forward BPDUs through the FWSM).
+#[test]
+fn firmware_flash_changes_behaviour() {
+    let mut labs = RemoteNetworkLabs::new_unreserved();
+    let site = labs.add_site("pc");
+    let mut sw = Switch::new("cat", 1, 3, Instant::EPOCH);
+    sw.install_fwsm(1, 100);
+    labs.add_device(site, Box::new(sw), "catalyst").unwrap();
+    let ids = labs.join_labs(site).unwrap();
+    let sw = ids[0];
+
+    // Default image accepts the command.
+    labs.console(sw, "enable").unwrap();
+    labs.console(sw, "configure terminal").unwrap();
+    let reply = labs.console(sw, "firewall bpdu-forward").unwrap();
+    assert!(!reply.contains("not supported"), "{reply}");
+    labs.console(sw, "end").unwrap();
+
+    // Flash the old image; the same command is now rejected.
+    labs.flash(sw, "12.2(14)SXD").unwrap();
+    let version = labs.console(sw, "show version").unwrap();
+    assert!(version.contains("12.2(14)SXD"), "{version}");
+    labs.console(sw, "enable").unwrap();
+    labs.console(sw, "configure terminal").unwrap();
+    let reply = labs.console(sw, "firewall bpdu-forward").unwrap();
+    assert!(
+        reply.contains("not supported"),
+        "old image must refuse: {reply}"
+    );
+
+    // Unknown images are reported as failures.
+    assert!(labs.flash(sw, "99.9(9)XX").is_err());
+}
+
+/// `write memory` persists across power cycles; unsaved changes do not.
+#[test]
+fn startup_config_semantics_through_the_cloud() {
+    let mut labs = RemoteNetworkLabs::new_unreserved();
+    let site = labs.add_site("pc");
+    labs.add_device(site, Box::new(Router::new("r", 1, 1)), "router")
+        .unwrap();
+    let r = labs.join_labs(site).unwrap()[0];
+
+    labs.console(r, "enable").unwrap();
+    labs.console(r, "configure terminal").unwrap();
+    labs.console(r, "hostname saved-name").unwrap();
+    labs.console(r, "end").unwrap();
+    labs.console(r, "write memory").unwrap();
+    labs.console(r, "configure terminal").unwrap();
+    labs.console(r, "hostname scratch-name").unwrap();
+    labs.console(r, "end").unwrap();
+
+    labs.set_power(r, false);
+    labs.run(Duration::from_millis(50)).unwrap();
+    labs.set_power(r, true);
+    labs.run(Duration::from_millis(50)).unwrap();
+
+    let out = labs.console(r, "show running-config").unwrap();
+    assert!(
+        out.contains("hostname saved-name"),
+        "saved config survives: {out}"
+    );
+    assert!(!out.contains("scratch-name"), "unsaved change lost: {out}");
+}

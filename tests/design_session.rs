@@ -1,0 +1,200 @@
+//! Experiment E2 — the Fig. 2 design session, driven entirely through
+//! the web-services API (the "everything doable through a mouse" claim,
+//! minus the mouse).
+
+use rnl::device::host::Host;
+use rnl::net::time::{Duration, Instant};
+use rnl::server::json::Json;
+use rnl::server::web::{Request, Response};
+use rnl::tunnel::msg::{PortId, RouterId};
+use rnl::RemoteNetworkLabs;
+
+fn cloud_with_two_hosts() -> (RemoteNetworkLabs, Vec<RouterId>) {
+    let mut labs = RemoteNetworkLabs::new();
+    let site = labs.add_site("pc1");
+    let mut h1 = Host::new("s1", 1);
+    h1.set_ip("10.0.0.1/24".parse().unwrap());
+    let mut h2 = Host::new("s2", 2);
+    h2.set_ip("10.0.0.2/24".parse().unwrap());
+    labs.add_device(site, Box::new(h1), "server s1").unwrap();
+    labs.add_device(site, Box::new(h2), "server s2").unwrap();
+    let ids = labs.join_labs(site).unwrap();
+    (labs, ids)
+}
+
+#[test]
+fn full_design_session_via_api() {
+    let (mut labs, ids) = cloud_with_two_hosts();
+
+    // Inventory listing (the left column of Fig. 2).
+    match labs.api(Request::ListInventory) {
+        Response::Inventory(rows) => {
+            assert_eq!(rows.len(), 2);
+            assert!(rows.iter().all(|r| r.online));
+            assert_eq!(rows[0].model, "Linux Server");
+        }
+        other => panic!("unexpected: {other:?}"),
+    }
+
+    // Create a design, drag devices in, connect ports.
+    assert_eq!(
+        labs.api(Request::CreateDesign { name: "lab".into() }),
+        Response::Ok
+    );
+    for &id in &ids {
+        assert_eq!(
+            labs.api(Request::AddDevice {
+                design: "lab".into(),
+                router: id
+            }),
+            Response::Ok
+        );
+    }
+    assert_eq!(
+        labs.api(Request::ConnectPorts {
+            design: "lab".into(),
+            a: (ids[0], PortId(0)),
+            b: (ids[1], PortId(0)),
+        }),
+        Response::Ok
+    );
+    // Connecting an already-used port is refused (one cable per port).
+    assert!(matches!(
+        labs.api(Request::ConnectPorts {
+            design: "lab".into(),
+            a: (ids[0], PortId(0)),
+            b: (ids[1], PortId(0)),
+        }),
+        Response::Error(_)
+    ));
+
+    // Reservation calendar: find the next free slot, book it.
+    let now = labs.now();
+    let slot = match labs.api(Request::NextFreeSlot {
+        design: "lab".into(),
+        duration: Duration::from_secs(3600),
+        after: now,
+    }) {
+        Response::Slot(at) => at,
+        other => panic!("unexpected: {other:?}"),
+    };
+    assert_eq!(slot, now, "empty calendar: immediately free");
+    match labs.api(Request::Reserve {
+        user: "alice".into(),
+        design: "lab".into(),
+        start: slot,
+        end: slot + Duration::from_secs(3600),
+    }) {
+        Response::Reservation(_) => {}
+        other => panic!("unexpected: {other:?}"),
+    }
+    // A conflicting reservation is refused; the next free slot moves.
+    assert!(matches!(
+        labs.api(Request::Reserve {
+            user: "bob".into(),
+            design: "lab".into(),
+            start: slot,
+            end: slot + Duration::from_secs(60),
+        }),
+        Response::Error(_)
+    ));
+    match labs.api(Request::NextFreeSlot {
+        design: "lab".into(),
+        duration: Duration::from_secs(60),
+        after: now,
+    }) {
+        Response::Slot(at) => assert_eq!(at, now + Duration::from_secs(3600)),
+        other => panic!("unexpected: {other:?}"),
+    }
+
+    // Deploy within the reservation; the lab carries traffic.
+    let deployment = match labs.api(Request::Deploy {
+        user: "alice".into(),
+        design: "lab".into(),
+    }) {
+        Response::Deployment(id) => id,
+        other => panic!("unexpected: {other:?}"),
+    };
+    labs.device_mut(rnl::SiteId(0), 0)
+        .unwrap()
+        .console("ping 10.0.0.2 count 2", Instant::EPOCH);
+    labs.run(Duration::from_secs(4)).unwrap();
+    let out = labs.console(ids[0], "show ping").unwrap();
+    assert!(out.contains("2 received"), "deployed lab works: {out}");
+
+    // Teardown; the wire is gone.
+    assert_eq!(
+        labs.api(Request::Teardown {
+            deployment: rnl::server::matrix::DeploymentId(deployment)
+        }),
+        Response::Ok
+    );
+    assert_eq!(labs.server().matrix().active_deployments(), 0);
+}
+
+#[test]
+fn design_export_import_roundtrip_via_json_api() {
+    let (mut labs, ids) = cloud_with_two_hosts();
+    labs.api(Request::CreateDesign {
+        name: "exportme".into(),
+    });
+    labs.api(Request::AddDevice {
+        design: "exportme".into(),
+        router: ids[0],
+    });
+    labs.api(Request::AddDevice {
+        design: "exportme".into(),
+        router: ids[1],
+    });
+    labs.api(Request::ConnectPorts {
+        design: "exportme".into(),
+        a: (ids[0], PortId(0)),
+        b: (ids[1], PortId(0)),
+    });
+
+    // Export to "the user's local drive".
+    let exported = match labs.api(Request::ExportDesign {
+        name: "exportme".into(),
+    }) {
+        Response::DesignJson(json) => json.encode(),
+        other => panic!("unexpected: {other:?}"),
+    };
+    // Re-import under a fresh server (a different RNL deployment).
+    let (mut labs2, _) = cloud_with_two_hosts();
+    let reply = labs2.api_json(&format!(r#"{{"op":"import_design","design":{exported}}}"#));
+    assert!(reply.contains("\"ok\":true"), "{reply}");
+    let reply = labs2.api_json(r#"{"op":"list_designs"}"#);
+    assert!(reply.contains("exportme"), "{reply}");
+}
+
+#[test]
+fn design_survives_json_reparse_identically() {
+    let (mut labs, ids) = cloud_with_two_hosts();
+    labs.api(Request::CreateDesign { name: "d".into() });
+    labs.api(Request::AddDevice {
+        design: "d".into(),
+        router: ids[0],
+    });
+    let a = match labs.api(Request::ExportDesign { name: "d".into() }) {
+        Response::DesignJson(json) => json,
+        other => panic!("unexpected: {other:?}"),
+    };
+    let reparsed = Json::parse(&a.encode()).unwrap();
+    assert_eq!(a, reparsed);
+}
+
+#[test]
+fn console_via_api() {
+    let (mut labs, ids) = cloud_with_two_hosts();
+    labs.api(Request::Console {
+        router: ids[0],
+        line: "show ip".into(),
+    });
+    labs.run(Duration::from_millis(200)).unwrap();
+    match labs.api(Request::ConsoleReplies { router: ids[0] }) {
+        Response::ConsoleOutput(lines) => {
+            assert!(lines.iter().any(|l| l.contains("10.0.0.1/24")), "{lines:?}")
+        }
+        other => panic!("unexpected: {other:?}"),
+    }
+}

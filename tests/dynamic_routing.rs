@@ -1,0 +1,255 @@
+//! RIPv2 in the cloud — the dynamic face of the Fig. 6 story.
+//!
+//! §3.2's nightly tests exist because routing changes underneath static
+//! security policy "whenever a topology or configuration change
+//! happens". With RIP running, the re-routing needs no operator at all:
+//! cut the R1–R2 link and the ring re-converges through R3–R4 — past
+//! the packet filters — by itself. The nightly probe catches it.
+
+use rnl::core::nightly::{fig6_probe, NightlySuite};
+use rnl::device::acl::Rule;
+use rnl::device::host::Host;
+use rnl::device::router::{AclDir, Router};
+use rnl::net::time::{Duration, Instant};
+use rnl::server::design::Design;
+use rnl::tunnel::msg::{PortId, RouterId};
+use rnl::RemoteNetworkLabs;
+
+/// Fast RIP timers for tests: updates every 200 ms, timeout 1.2 s.
+const RIP_INTERVAL: Duration = Duration::from_millis(200);
+
+struct RipRing {
+    labs: RemoteNetworkLabs,
+    r1: RouterId,
+    r2: RouterId,
+}
+
+/// The Fig. 6 ring with RIP everywhere and the A→B deny at R1.2/R2.2 —
+/// but *no static routes at all*: reachability comes from RIP.
+fn rip_ring() -> RipRing {
+    let mut labs = RemoteNetworkLabs::new_unreserved();
+    let site = labs.add_site("rip-lab");
+
+    let build_router = |name: &str, num: u32, ports: usize| -> Router {
+        let mut r = Router::new(name, num, ports);
+        r.rip_mut().enable();
+        r.rip_mut().set_update_interval(RIP_INTERVAL);
+        r.rip_mut().add_network("10.0.0.0/8".parse().unwrap());
+        r.rip_mut().add_network("192.168.0.0/16".parse().unwrap());
+        r
+    };
+    // R1: 0 = subnet A, 1 = to R2, 2 = to R3.
+    let mut r1 = build_router("r1", 201, 3);
+    r1.set_interface_ip(0, "10.1.0.1/16".parse().unwrap());
+    r1.set_interface_ip(1, "192.168.12.1/24".parse().unwrap());
+    r1.set_interface_ip(2, "192.168.13.1/24".parse().unwrap());
+    r1.add_acl_rule(
+        102,
+        Rule::deny_net_to_net(
+            "10.1.0.0/16".parse().unwrap(),
+            "10.2.0.0/16".parse().unwrap(),
+        ),
+    );
+    r1.add_acl_rule(102, Rule::permit_any());
+    r1.bind_acl(1, 102, AclDir::Out);
+    // R2: 0 = subnet B, 1 = to R1, 2 = to R4.
+    let mut r2 = build_router("r2", 202, 3);
+    r2.set_interface_ip(0, "10.2.0.1/16".parse().unwrap());
+    r2.set_interface_ip(1, "192.168.12.2/24".parse().unwrap());
+    r2.set_interface_ip(2, "192.168.24.2/24".parse().unwrap());
+    r2.add_acl_rule(
+        102,
+        Rule::deny_net_to_net(
+            "10.1.0.0/16".parse().unwrap(),
+            "10.2.0.0/16".parse().unwrap(),
+        ),
+    );
+    r2.add_acl_rule(102, Rule::permit_any());
+    r2.bind_acl(1, 102, AclDir::In);
+    // R3 and R4 complete the ring.
+    let mut r3 = build_router("r3", 203, 2);
+    r3.set_interface_ip(0, "192.168.13.3/24".parse().unwrap());
+    r3.set_interface_ip(1, "192.168.34.3/24".parse().unwrap());
+    let mut r4 = build_router("r4", 204, 2);
+    r4.set_interface_ip(0, "192.168.24.4/24".parse().unwrap());
+    r4.set_interface_ip(1, "192.168.34.4/24".parse().unwrap());
+
+    let mut host_a = Host::new("host-a", 205);
+    host_a.set_ip("10.1.0.5/16".parse().unwrap());
+    host_a.set_gateway("10.1.0.1".parse().unwrap());
+    let mut host_b = Host::new("host-b", 206);
+    host_b.set_ip("10.2.0.5/16".parse().unwrap());
+    host_b.set_gateway("10.2.0.1".parse().unwrap());
+
+    labs.add_device(site, Box::new(r1), "R1").unwrap();
+    labs.add_device(site, Box::new(r2), "R2").unwrap();
+    labs.add_device(site, Box::new(r3), "R3").unwrap();
+    labs.add_device(site, Box::new(r4), "R4").unwrap();
+    labs.add_device(site, Box::new(host_a), "host A").unwrap();
+    labs.add_device(site, Box::new(host_b), "host B").unwrap();
+    let ids = labs.join_labs(site).unwrap();
+    let (r1, r2, r3, r4, ha, hb) = (ids[0], ids[1], ids[2], ids[3], ids[4], ids[5]);
+
+    let mut design = Design::new("rip-ring");
+    for id in [r1, r2, r3, r4, ha, hb] {
+        design.add_device(id);
+    }
+    let mut c = |a: (RouterId, u16), b: (RouterId, u16)| {
+        design
+            .connect((a.0, PortId(a.1)), (b.0, PortId(b.1)))
+            .unwrap()
+    };
+    c((ha, 0), (r1, 0));
+    c((r1, 1), (r2, 1)); // the filtered direct link
+    c((r1, 2), (r3, 0));
+    c((r2, 2), (r4, 0));
+    c((r3, 1), (r4, 1)); // the ring's far side
+    c((hb, 0), (r2, 0));
+    labs.save_design(design);
+    labs.deploy("netadmin", "rip-ring").unwrap();
+    // Let RIP converge (a few update cycles around the ring).
+    labs.run(Duration::from_secs(3)).unwrap();
+    RipRing { labs, r1, r2 }
+}
+
+#[test]
+fn rip_learns_the_whole_ring() {
+    let mut ring = rip_ring();
+    ring.labs.console(ring.r1, "enable").unwrap();
+    let table = ring.labs.console(ring.r1, "show ip route").unwrap();
+    // R1 must know subnet B via RIP (through R2, metric 2) and the far
+    // transit nets.
+    assert!(
+        table.contains("R  10.2.0.0/16 via 192.168.12.2 metric 2"),
+        "{table}"
+    );
+    assert!(table.contains("192.168.24.0/24"), "{table}");
+    assert!(table.contains("192.168.34.0/24"), "{table}");
+}
+
+#[test]
+fn policy_holds_while_the_direct_link_is_up() {
+    let mut ring = rip_ring();
+    let mut suite = NightlySuite::new();
+    suite.add(fig6_probe(
+        ring.r1,
+        ring.r2,
+        rnl::net::addr::MacAddr::derived(201, 0),
+        rnl::net::addr::MacAddr::derived(205, 0),
+    ));
+    let report = suite.run(&mut ring.labs).unwrap();
+    assert!(report.all_passed(), "{}", report.render());
+}
+
+#[test]
+fn link_failure_reroutes_past_the_filter_and_nightly_catches_it() {
+    let mut ring = rip_ring();
+    // The R1–R2 link dies (cable pull on both ends, as the route server
+    // does when a cable is removed).
+    ring.labs
+        .server_mut()
+        .set_link(ring.r1, PortId(1), false, Instant::EPOCH);
+    ring.labs
+        .server_mut()
+        .set_link(ring.r2, PortId(1), false, Instant::EPOCH);
+    // RIP times the direct route out and re-converges via R3–R4.
+    ring.labs.run(Duration::from_secs(4)).unwrap();
+
+    ring.labs.console(ring.r1, "enable").unwrap();
+    let table = ring.labs.console(ring.r1, "show ip route").unwrap();
+    assert!(
+        table.contains("R  10.2.0.0/16 via 192.168.13.3"),
+        "route must now point at R3: {table}"
+    );
+
+    // The filters sat on the dead link; the new path bypasses them.
+    let mut suite = NightlySuite::new();
+    suite.add(fig6_probe(
+        ring.r1,
+        ring.r2,
+        rnl::net::addr::MacAddr::derived(201, 0),
+        rnl::net::addr::MacAddr::derived(205, 0),
+    ));
+    let report = suite.run(&mut ring.labs).unwrap();
+    assert!(
+        !report.all_passed(),
+        "the automatic re-route must violate the policy:\n{}",
+        report.render()
+    );
+    assert!(
+        report.render().contains("SECURITY POLICY VIOLATION"),
+        "{}",
+        report.render()
+    );
+}
+
+#[test]
+fn rip_config_survives_dump_and_replay() {
+    let mut ring = rip_ring();
+    ring.labs.console(ring.r1, "enable").unwrap();
+    let dump = ring.labs.dump_config(ring.r1).unwrap();
+    assert!(dump.contains("router rip"), "{dump}");
+    assert!(dump.contains("network 10.0.0.0/8"), "{dump}");
+    // Replay into a fresh device: RIP comes back enabled.
+    let mut fresh = Router::new("fresh", 250, 3);
+    fresh.apply_script(&dump, Instant::EPOCH);
+    assert!(fresh.rip().enabled());
+    assert_eq!(fresh.rip().networks().len(), 2);
+}
+
+#[test]
+fn traceroute_shows_the_path_change_and_the_filter_bypass() {
+    let mut ring = rip_ring();
+    // Traceroute from host B toward host A. On the direct path the
+    // trace maps R2 and R1 — and then goes dark: host A's terminating
+    // port-unreachable is itself subnet-A→subnet-B traffic, which the
+    // filters on the direct link deny. The policy is visibly working.
+    ring.labs
+        .device_mut(rnl::SiteId(0), 5)
+        .unwrap()
+        .console("traceroute 10.1.0.5", Instant::EPOCH);
+    ring.labs.run(Duration::from_secs(8)).unwrap();
+    let hb = ring
+        .labs
+        .device_mut(rnl::SiteId(0), 5)
+        .unwrap()
+        .console("show traceroute", Instant::EPOCH);
+    assert!(
+        hb.contains("10.2.0.1"),
+        "first hop is R2's subnet-B leg: {hb}"
+    );
+    assert!(
+        hb.contains("192.168.12.1"),
+        "second hop is R1 via the direct link: {hb}"
+    );
+    assert!(
+        !hb.contains("reached"),
+        "the filter must block the terminating reply: {hb}"
+    );
+
+    // Cut the direct link; RIP re-routes via R4–R3 — and now the trace
+    // completes, because the alternate path bypasses the filters.
+    ring.labs
+        .server_mut()
+        .set_link(ring.r1, PortId(1), false, Instant::EPOCH);
+    ring.labs
+        .server_mut()
+        .set_link(ring.r2, PortId(1), false, Instant::EPOCH);
+    ring.labs.run(Duration::from_secs(4)).unwrap();
+    ring.labs
+        .device_mut(rnl::SiteId(0), 5)
+        .unwrap()
+        .console("traceroute 10.1.0.5", Instant::EPOCH);
+    ring.labs.run(Duration::from_secs(12)).unwrap();
+    let hb = ring
+        .labs
+        .device_mut(rnl::SiteId(0), 5)
+        .unwrap()
+        .console("show traceroute", Instant::EPOCH);
+    assert!(hb.contains("192.168.24.4"), "path now crosses R4: {hb}");
+    assert!(hb.contains("192.168.34.3"), "and R3: {hb}");
+    assert!(
+        hb.contains("reached"),
+        "the bypass completes the trace: {hb}"
+    );
+}

@@ -1,0 +1,164 @@
+//! Experiment E5 — the Fig. 5 FWSM failover lab.
+//!
+//! "Two Cisco Catalyst 6500 series switches with a Firewall Services
+//! Module (FWSM) are used to provide switch redundancy. They are
+//! interconnected on VLAN 10 and 11 so that they can monitor each other
+//! for health. … She can also shutdown one switch or disable all of its
+//! links to simulate a switch failure and observe whether the failover
+//! mechanism is triggered."
+//!
+//! Three behaviours are verified:
+//! 1. steady state — intranet↔Internet traffic flows through the active
+//!    FWSM;
+//! 2. failover — killing the active switch promotes the standby within
+//!    the hold time and traffic resumes;
+//! 3. the BPDU pitfall — with BPDU forwarding misconfigured *and* the
+//!    failover VLAN cut (split brain), both modules bridge at once and
+//!    the redundant path turns into a forwarding loop / broadcast storm,
+//!    the transient the paper says is "difficult to capture using
+//!    simulation or static analysis techniques".
+
+use rnl::core::scenarios::{fig5_failover_lab, Fig5Options};
+use rnl::net::time::{Duration, Instant};
+
+/// Read the FWSM role of a catalyst through its console.
+fn fwsm_role(labs: &mut rnl::RemoteNetworkLabs, router: rnl::tunnel::msg::RouterId) -> String {
+    labs.console(router, "enable").expect("console");
+    labs.console(router, "show firewall").expect("console")
+}
+
+#[test]
+fn steady_state_traffic_flows_through_active_fwsm() {
+    let lab = fig5_failover_lab(Fig5Options::default()).expect("lab builds");
+    let mut labs = lab.labs;
+
+    // The failover election must have settled: A active, B standby.
+    let role_a = fwsm_role(&mut labs, lab.swa);
+    let role_b = fwsm_role(&mut labs, lab.swb);
+    assert!(role_a.contains("Active"), "swa: {role_a}");
+    assert!(role_b.contains("Standby"), "swb: {role_b}");
+
+    // S2 (intranet) pings S1 (Internet) through the bridged firewall
+    // and the router.
+    labs.device_mut(lab.site, lab.local.s2)
+        .unwrap()
+        .console("ping 198.51.100.5 count 5", Instant::EPOCH);
+    labs.run(Duration::from_secs(8)).unwrap();
+    let out = labs.console(lab.s2, "show ping").unwrap();
+    assert!(
+        out.contains("5 sent, 5 received"),
+        "steady state ping: {out}"
+    );
+}
+
+#[test]
+fn killing_active_switch_triggers_failover_and_traffic_resumes() {
+    let lab = fig5_failover_lab(Fig5Options::default()).expect("lab builds");
+    let mut labs = lab.labs;
+
+    // Prove the path works, then kill the active switch.
+    labs.device_mut(lab.site, lab.local.s2)
+        .unwrap()
+        .console("ping 198.51.100.5 count 3", Instant::EPOCH);
+    labs.run(Duration::from_secs(5)).unwrap();
+    let out = labs.console(lab.s2, "show ping").unwrap();
+    assert!(out.contains("3 received"), "pre-failure: {out}");
+
+    labs.set_power(lab.swa, false);
+    // Give the standby the hold time (3 × 500 ms) plus margin.
+    labs.run(Duration::from_secs(4)).unwrap();
+    let role_b = fwsm_role(&mut labs, lab.swb);
+    assert!(
+        role_b.contains("Active"),
+        "standby must take over: {role_b}"
+    );
+
+    // Traffic resumes through switch B.
+    labs.device_mut(lab.site, lab.local.s2)
+        .unwrap()
+        .console("ping 198.51.100.5 count 5", Instant::EPOCH);
+    labs.run(Duration::from_secs(10)).unwrap();
+    let out = labs.console(lab.s2, "show ping").unwrap();
+    assert!(
+        out.contains("5 sent, 5 received"),
+        "post-failover traffic must flow via swb: {out}"
+    );
+    // And the takeover is visible in the module counters.
+    let role_b = fwsm_role(&mut labs, lab.swb);
+    assert!(role_b.contains("takeovers: 1"), "counter: {role_b}");
+}
+
+#[test]
+fn split_brain_without_bpdu_forwarding_storms() {
+    // The misconfiguration: BPDU forwarding off AND the failover VLAN
+    // never wired, so both FWSMs claim active and bridge the ring.
+    let lab = fig5_failover_lab(Fig5Options {
+        bpdu_forward: false,
+        failover_wired: false,
+    })
+    .expect("lab builds");
+    let mut labs = lab.labs;
+
+    // Both modules believe they are active (no hellos ever heard).
+    let role_a = fwsm_role(&mut labs, lab.swa);
+    let role_b = fwsm_role(&mut labs, lab.swb);
+    assert!(role_a.contains("Active"), "swa: {role_a}");
+    assert!(role_b.contains("Active"), "swb: {role_b}");
+
+    // A single ARP broadcast from S2 enters the ring and circulates:
+    // the route server's relay counter keeps climbing long after the
+    // stimulus stopped — the broadcast storm.
+    let before = labs.server().stats().frames_routed;
+    labs.device_mut(lab.site, lab.local.s2)
+        .unwrap()
+        .console("ping 10.20.0.99 count 1", Instant::EPOCH);
+    labs.run(Duration::from_secs(2)).unwrap();
+    let mid = labs.server().stats().frames_routed;
+    labs.run(Duration::from_secs(2)).unwrap();
+    let after = labs.server().stats().frames_routed;
+    let first_window = mid - before;
+    let second_window = after - mid;
+    assert!(
+        second_window > first_window / 2 && second_window > 200,
+        "storm should sustain: first {first_window}, second {second_window}"
+    );
+}
+
+#[test]
+fn bpdu_forwarding_lets_stp_break_the_split_brain_loop() {
+    // Same split brain, but BPDUs cross the modules: spanning tree sees
+    // the ring and blocks it, so the storm decays.
+    let lab = fig5_failover_lab(Fig5Options {
+        bpdu_forward: true,
+        failover_wired: false,
+    })
+    .expect("lab builds");
+    let mut labs = lab.labs;
+    // Let STP re-converge over the module paths.
+    labs.run(Duration::from_secs(3)).unwrap();
+
+    labs.device_mut(lab.site, lab.local.s2)
+        .unwrap()
+        .console("ping 10.20.0.99 count 1", Instant::EPOCH);
+    labs.run(Duration::from_secs(2)).unwrap();
+    let mid = labs.server().stats().frames_routed;
+    labs.run(Duration::from_secs(2)).unwrap();
+    let after = labs.server().stats().frames_routed;
+    // Residual traffic is just STP hellos and FWSM chatter — far below
+    // storm rates.
+    assert!(
+        after - mid < 2_000,
+        "no storm with BPDU forwarding: {} frames in 2s",
+        after - mid
+    );
+}
+
+#[test]
+fn fig5_lab_uses_real_switch_models() {
+    // The lab is made of the same Switch model unit tests exercise —
+    // no scenario-specific shortcuts.
+    let lab = fig5_failover_lab(Fig5Options::default()).expect("lab builds");
+    let mut labs = lab.labs;
+    let out = labs.console(lab.swa, "show version").unwrap();
+    assert!(out.contains("Catalyst 6500"), "{out}");
+}

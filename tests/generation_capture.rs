@@ -1,0 +1,168 @@
+//! Experiment E4 (functional face) — the §3.2 test-automation claims
+//! about software generation and capture:
+//!
+//! "RNL gives the users the full visibility on every wire in the test.
+//! … we are not constrained by the number of observation points … RNL
+//! can generate traffic on any wire and it can generate traffic in only
+//! one direction."
+
+use rnl::device::host::Host;
+use rnl::net::build::{self, Classified, L4};
+use rnl::net::time::Duration;
+use rnl::server::design::Design;
+use rnl::server::generate::StreamConfig;
+use rnl::tunnel::msg::PortId;
+use rnl::RemoteNetworkLabs;
+
+fn lab_with_host_pair() -> (
+    RemoteNetworkLabs,
+    rnl::SiteId,
+    Vec<rnl::tunnel::msg::RouterId>,
+) {
+    let mut labs = RemoteNetworkLabs::new_unreserved();
+    let site = labs.add_site("pc");
+    let mut h1 = Host::new("s1", 1);
+    h1.set_ip("10.0.0.1/24".parse().unwrap());
+    let mut h2 = Host::new("s2", 2);
+    h2.set_ip("10.0.0.2/24".parse().unwrap());
+    labs.add_device(site, Box::new(h1), "s1").unwrap();
+    labs.add_device(site, Box::new(h2), "s2").unwrap();
+    let ids = labs.join_labs(site).unwrap();
+    let mut design = Design::new("gen");
+    design.add_device(ids[0]);
+    design.add_device(ids[1]);
+    design
+        .connect((ids[0], PortId(0)), (ids[1], PortId(0)))
+        .unwrap();
+    labs.save_design(design);
+    labs.deploy("tester", "gen").unwrap();
+    (labs, site, ids)
+}
+
+fn stream_to(router: rnl::tunnel::msg::RouterId, dst_num: u32, count: u64) -> StreamConfig {
+    StreamConfig {
+        router,
+        port: PortId(0),
+        src_mac: rnl::net::addr::MacAddr([2, 0xee, 0, 0, 0, 9]),
+        dst_mac: rnl::net::addr::MacAddr::derived(dst_num, 0),
+        src_ip: "10.0.0.99".parse().unwrap(),
+        dst_ip: format!("10.0.0.{dst_num}").parse().unwrap(),
+        src_port: 6000,
+        dst_port: 6001,
+        payload_len: 64,
+        count,
+        interval: Duration::from_millis(20),
+    }
+}
+
+#[test]
+fn streams_deliver_in_sequence_to_one_port_only() {
+    let (mut labs, _site, ids) = lab_with_host_pair();
+    let now = labs.now();
+    // Generate 10 packets into s2's port (router id ids[1], addressed to
+    // host number 2).
+    let id = labs
+        .server_mut()
+        .start_stream(stream_to(ids[1], 2, 10), now)
+        .unwrap();
+    labs.run(Duration::from_secs(1)).unwrap();
+    assert_eq!(
+        labs.server().stream_sent(id),
+        None,
+        "stream finished and reaped"
+    );
+
+    // s2 saw all ten probes, in order.
+    let received = labs.console(ids[1], "show received").unwrap();
+    let udp_count = received.matches(":6001").count();
+    assert_eq!(udp_count, 10, "all packets delivered: {received}");
+    // s1 — the other end of the same wire — saw none (one-directional).
+    let other = labs.console(ids[0], "show received").unwrap();
+    assert!(
+        !other.contains(":6001"),
+        "only one port sees generated traffic: {other}"
+    );
+    assert_eq!(labs.server().stats().frames_injected, 10);
+}
+
+#[test]
+fn capture_observes_generated_stream_with_sequence_numbers() {
+    let (mut labs, _site, ids) = lab_with_host_pair();
+    labs.server_mut().captures_mut().start(ids[1], PortId(0));
+    let now = labs.now();
+    labs.server_mut()
+        .start_stream(stream_to(ids[1], 2, 5), now)
+        .unwrap();
+    labs.run(Duration::from_millis(500)).unwrap();
+
+    let frames = labs.server().captures().captured(ids[1], PortId(0));
+    let mut seqs = Vec::new();
+    for f in frames {
+        if let Ok((
+            _,
+            Classified::Ipv4 {
+                l4:
+                    L4::Udp {
+                        dst_port: 6001,
+                        payload,
+                        ..
+                    },
+                ..
+            },
+        )) = build::classify(&f.frame)
+        {
+            seqs.push(u32::from_be_bytes([
+                payload[0], payload[1], payload[2], payload[3],
+            ]));
+        }
+    }
+    assert_eq!(
+        seqs,
+        vec![0, 1, 2, 3, 4],
+        "ordered sequence numbers on the wire"
+    );
+}
+
+#[test]
+fn streams_are_stoppable_mid_flight() {
+    let (mut labs, _site, ids) = lab_with_host_pair();
+    let now = labs.now();
+    let id = labs
+        .server_mut()
+        .start_stream(stream_to(ids[1], 2, u64::MAX), now)
+        .unwrap();
+    labs.run(Duration::from_millis(200)).unwrap();
+    let sent_before = labs.server().stream_sent(id).unwrap();
+    assert!(sent_before > 0);
+    assert!(labs.server_mut().stop_stream(id));
+    labs.run(Duration::from_millis(200)).unwrap();
+    assert_eq!(labs.server().stream_sent(id), None);
+    let injected = labs.server().stats().frames_injected;
+    labs.run(Duration::from_millis(200)).unwrap();
+    assert_eq!(
+        labs.server().stats().frames_injected,
+        injected,
+        "no traffic after stop"
+    );
+}
+
+#[test]
+fn stream_via_json_api() {
+    let (mut labs, _site, ids) = lab_with_host_pair();
+    let req = format!(
+        concat!(
+            r#"{{"op":"start_stream","router":{},"port":0,"#,
+            r#""src_mac":"02:ee:00:00:00:09","dst_mac":"{}","#,
+            r#""src_ip":"10.0.0.99","dst_ip":"10.0.0.2","#,
+            r#""src_port":6000,"dst_port":6001,"payload_len":64,"#,
+            r#""count":3,"interval_us":20000}}"#
+        ),
+        ids[1].0,
+        rnl::net::addr::MacAddr::derived(2, 0),
+    );
+    let reply = labs.api_json(&req);
+    assert!(reply.contains("\"stream\""), "{reply}");
+    labs.run(Duration::from_millis(300)).unwrap();
+    let received = labs.console(ids[1], "show received").unwrap();
+    assert_eq!(received.matches(":6001").count(), 3, "{received}");
+}

@@ -1,0 +1,117 @@
+//! Experiment E6 — the Fig. 6 automated security-policy test.
+//!
+//! "Suppose there is a security requirement that subnet A cannot talk
+//! to subnet B. This policy is easy to enforce by setting up a packet
+//! filter at interface R1.2 and R2.2. However, when a new link is added
+//! between R3 and R4 in the future, packets from subnet A are routed
+//! through R3 and R4 to reach subnet B, thus violating the security
+//! policy."
+//!
+//! The nightly probe injects a packet for subnet B at port R1.1 and
+//! captures at port R2.1: before the link addition the policy holds;
+//! after it, the violation is flagged.
+
+use rnl::core::nightly::{fig6_probe, Expectation, NightlySuite, PolicyProbe};
+use rnl::core::scenarios::fig6_policy_lab;
+use rnl::net::addr::MacAddr;
+use rnl::net::time::Duration;
+use rnl::tunnel::msg::PortId;
+
+#[test]
+fn policy_holds_on_initial_topology() {
+    let lab = fig6_policy_lab(false).expect("lab builds");
+    let mut labs = lab.labs;
+    let probe = fig6_probe(
+        lab.r1,
+        lab.r2,
+        MacAddr::derived(201, 0), // R1's fa0/0 — where the probe is addressed
+        MacAddr::derived(205, 0), // host A's MAC, forged as the source
+    );
+    let mut suite = NightlySuite::new();
+    suite.add(probe);
+    let report = suite.run(&mut labs).expect("suite runs");
+    assert!(report.all_passed(), "nightly log:\n{}", report.render());
+}
+
+#[test]
+fn link_addition_violates_policy_and_nightly_catches_it() {
+    let lab = fig6_policy_lab(true).expect("lab builds");
+    let mut labs = lab.labs;
+    let probe = fig6_probe(
+        lab.r1,
+        lab.r2,
+        MacAddr::derived(201, 0),
+        MacAddr::derived(205, 0),
+    );
+    let mut suite = NightlySuite::new();
+    suite.add(probe);
+    let report = suite.run(&mut labs).expect("suite runs");
+    assert!(!report.all_passed(), "the violation must be flagged");
+    assert!(
+        report.render().contains("SECURITY POLICY VIOLATION"),
+        "nightly log:\n{}",
+        report.render()
+    );
+}
+
+#[test]
+fn legitimate_traffic_still_flows_under_the_policy() {
+    // The deny is A→B only; a host on a transit network can reach B.
+    let lab = fig6_policy_lab(false).expect("lab builds");
+    let mut labs = lab.labs;
+    let probe = PolicyProbe {
+        name: "transit net may reach subnet B".to_string(),
+        inject_at: (lab.r1, PortId(0)),
+        dst_mac: MacAddr::derived(201, 0),
+        src_mac: MacAddr::derived(205, 0),
+        src_ip: "10.3.0.9".parse().unwrap(), // NOT subnet A
+        dst_ip: "10.2.0.5".parse().unwrap(),
+        dst_port: 4321,
+        capture_at: (lab.r2, PortId(0)),
+        expect: Expectation::Reachable,
+        wait: Duration::from_secs(3),
+    };
+    let mut suite = NightlySuite::new();
+    suite.add(probe);
+    let report = suite.run(&mut labs).expect("suite runs");
+    assert!(report.all_passed(), "nightly log:\n{}", report.render());
+}
+
+#[test]
+fn denied_probe_triggers_admin_prohibited_from_r1() {
+    // Observing the filter acting: R1 answers the denied probe with an
+    // ICMP administratively-prohibited toward subnet A.
+    let lab = fig6_policy_lab(false).expect("lab builds");
+    let mut labs = lab.labs;
+    // Monitor the R1.1 wire for the ICMP error.
+    labs.server_mut().captures_mut().start(lab.r1, PortId(0));
+    let frame = rnl::net::build::udp_frame(
+        MacAddr::derived(205, 0),
+        MacAddr::derived(201, 0),
+        "10.1.0.5".parse().unwrap(),
+        "10.2.0.5".parse().unwrap(),
+        30999,
+        4321,
+        b"denied probe",
+        64,
+    );
+    labs.inject(lab.r1, PortId(0), frame).unwrap();
+    labs.run(Duration::from_secs(3)).unwrap();
+    let frames = labs.server().captures().captured(lab.r1, PortId(0));
+    let saw_admin_prohibited = frames.iter().any(|f| {
+        matches!(
+            rnl::net::build::classify(&f.frame),
+            Ok((
+                _,
+                rnl::net::build::Classified::Ipv4 {
+                    l4: rnl::net::build::L4::Icmp(rnl::net::icmp::Repr::DstUnreachable {
+                        code: rnl::net::icmp::UNREACH_ADMIN,
+                        ..
+                    }),
+                    ..
+                }
+            ))
+        )
+    });
+    assert!(saw_admin_prohibited, "R1 must reject with admin-prohibited");
+}

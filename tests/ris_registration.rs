@@ -1,0 +1,134 @@
+//! Experiment E3 — the Fig. 3 lab-manager workflow: defining the port
+//! mapping, joining the labs, unique id assignment, and equipment that
+//! "could come and go at any time".
+
+use rnl::device::host::Host;
+use rnl::device::router::Router;
+use rnl::device::switch::Switch;
+use rnl::net::time::{Duration, Instant};
+use rnl::ris::mapping::{auto_mapping, PANEL_WIDTH};
+use rnl::ris::Ris;
+use rnl::server::inventory::OFFLINE_AFTER;
+use rnl::server::RouteServer;
+use rnl::tunnel::transport::mem_pair_perfect;
+use rnl::RemoteNetworkLabs;
+
+#[test]
+fn registration_carries_the_full_fig3_record() {
+    let mut labs = RemoteNetworkLabs::new_unreserved();
+    let site = labs.add_site("lab-pc-7");
+    let r = Router::new("r1", 5, 4);
+    labs.add_device(site, Box::new(r), "a 4-port edge router")
+        .unwrap();
+    let ids = labs.join_labs(site).unwrap();
+    let record = labs.server().inventory().get(ids[0]).unwrap().clone();
+
+    assert_eq!(record.pc_name, "lab-pc-7");
+    assert_eq!(record.info.description, "a 4-port edge router");
+    assert_eq!(record.info.model, "7200 Series Router");
+    assert_eq!(record.info.ports.len(), 4);
+    // Each port: description, NIC binding, clickable image region.
+    for (i, p) in record.info.ports.iter().enumerate() {
+        assert_eq!(p.description, format!("FastEthernet0/{i}"));
+        assert_eq!(p.nic, format!("nic{i}"));
+        assert!(p.region.w > 0 && p.region.h > 0);
+        assert!(p.region.x + p.region.w <= PANEL_WIDTH);
+    }
+    // Console COM mapping present.
+    assert!(record.info.console_com.is_some());
+}
+
+#[test]
+fn ids_are_unique_across_pcs_and_routers() {
+    let mut labs = RemoteNetworkLabs::new_unreserved();
+    let pc1 = labs.add_site("pc1");
+    let pc2 = labs.add_site("pc2");
+    for i in 0..3 {
+        let mut h = Host::new(&format!("h{i}"), i);
+        h.set_ip(format!("10.0.0.{}/24", i + 1).parse().unwrap());
+        labs.add_device(pc1, Box::new(h), "host").unwrap();
+    }
+    labs.add_device(
+        pc2,
+        Box::new(Switch::new("sw", 9, 8, Instant::EPOCH)),
+        "switch",
+    )
+    .unwrap();
+    let ids1 = labs.join_labs(pc1).unwrap();
+    let ids2 = labs.join_labs(pc2).unwrap();
+    let mut all: Vec<u32> = ids1.iter().chain(ids2.iter()).map(|r| r.0).collect();
+    let before = all.len();
+    all.sort_unstable();
+    all.dedup();
+    assert_eq!(all.len(), before, "router ids must be globally unique");
+    assert_eq!(labs.server().inventory().len(), 4);
+}
+
+#[test]
+fn disconnecting_a_session_removes_its_equipment() {
+    // "those specialized equipment defined by users could come and go
+    // at any time" — a dropped RIS session purges its inventory rows.
+    let mut server = RouteServer::new();
+    let (ris_side, server_side) = mem_pair_perfect(42);
+    server.attach(Box::new(server_side));
+    let mut ris = Ris::new("volatile-pc", Box::new(ris_side));
+    let mut h = Host::new("h", 1);
+    h.set_ip("10.0.0.1/24".parse().unwrap());
+    ris.add_device(Box::new(h), "comes and goes");
+    let t0 = Instant::EPOCH;
+    ris.join_labs(t0).unwrap();
+    server.poll(t0);
+    assert_eq!(server.inventory().len(), 1);
+
+    // The RIS loses its uplink.
+    drop(ris);
+    // MemTransport disconnection surfaces on the next poll via the
+    // channel closing (sender dropped).
+    let later = t0 + Duration::from_secs(1);
+    server.poll(later);
+    server.poll(later);
+    // The inventory may keep the row until the server notices; after a
+    // poll that observes the dead transport, the row must be gone or
+    // marked offline past the heartbeat horizon.
+    let still_there = server.inventory().len();
+    if still_there > 0 {
+        let rec = server.inventory().list().next().unwrap();
+        assert!(
+            !rec.online(later + OFFLINE_AFTER + Duration::from_secs(1)),
+            "stale equipment must at least show offline"
+        );
+    }
+}
+
+#[test]
+fn mapping_regions_lay_out_left_to_right() {
+    let sw = Switch::new("sw", 1, 8, Instant::EPOCH);
+    let info = auto_mapping(0, &sw, "an 8-port switch");
+    for pair in info.ports.windows(2) {
+        assert!(pair[0].region.x < pair[1].region.x);
+    }
+}
+
+#[test]
+fn heartbeats_keep_equipment_online() {
+    let mut server = RouteServer::new();
+    let (ris_side, server_side) = mem_pair_perfect(43);
+    server.attach(Box::new(server_side));
+    let mut ris = Ris::new("pc", Box::new(ris_side));
+    let mut h = Host::new("h", 1);
+    h.set_ip("10.0.0.1/24".parse().unwrap());
+    ris.add_device(Box::new(h), "host");
+    let t0 = Instant::EPOCH;
+    ris.join_labs(t0).unwrap();
+    server.poll(t0);
+    ris.poll(t0).unwrap();
+    let id = ris.router_id(0).unwrap();
+
+    // Without heartbeats the record goes offline…
+    let later = t0 + OFFLINE_AFTER + Duration::from_secs(5);
+    assert!(!server.inventory().get(id).unwrap().online(later));
+    // …a heartbeat refreshes it.
+    ris.heartbeat(later).unwrap();
+    server.poll(later);
+    assert!(server.inventory().get(id).unwrap().online(later));
+}
