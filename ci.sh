@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Offline CI gate: build, test, format, lint. Run from the repo root.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+export CARGO_NET_OFFLINE=true
+
+cargo build --release --offline --workspace
+cargo test -q --offline --workspace
+cargo fmt --all --check
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "ci: all checks passed"

@@ -1,0 +1,342 @@
+//! Offline stand-in for the `criterion` crate (0.5 API subset).
+//!
+//! Implements enough of the criterion API for this workspace's benches
+//! to compile and produce useful wall-clock numbers without registry
+//! access: `Criterion`, `BenchmarkGroup`, `Bencher` (`iter` /
+//! `iter_batched`), `Throughput`, `BenchmarkId`, `BatchSize`, and the
+//! `criterion_group!` / `criterion_main!` macros. No statistics, plots,
+//! or baselines — each benchmark reports a mean time per iteration and,
+//! when a throughput is set, a derived rate.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// How batched inputs are grouped (accepted, not acted on).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+}
+
+/// Units for derived throughput reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier: function name plus optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Just the parameter as the id.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher<'a> {
+    elapsed: Duration,
+    iters: u64,
+    budget: &'a BenchConfig,
+}
+
+impl Bencher<'_> {
+    /// Time `routine` repeatedly until the measurement budget is spent.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run untimed for the configured window.
+        let warm_deadline = Instant::now() + self.budget.warm_up_time;
+        while Instant::now() < warm_deadline {
+            std::hint::black_box(routine());
+        }
+        let deadline = Instant::now() + self.budget.measurement_time;
+        let min_iters = self.budget.sample_size as u64;
+        let mut iters = 0u64;
+        let start = Instant::now();
+        while iters < min_iters || Instant::now() < deadline {
+            std::hint::black_box(routine());
+            iters += 1;
+            if iters >= min_iters && Instant::now() >= deadline {
+                break;
+            }
+        }
+        self.elapsed = start.elapsed();
+        self.iters = iters;
+    }
+
+    /// Time `routine` over fresh inputs built by `setup`; setup cost is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let warm_deadline = Instant::now() + self.budget.warm_up_time;
+        while Instant::now() < warm_deadline {
+            let input = setup();
+            std::hint::black_box(routine(input));
+        }
+        let deadline = Instant::now() + self.budget.measurement_time;
+        let min_iters = self.budget.sample_size as u64;
+        let mut iters = 0u64;
+        let mut timed = Duration::ZERO;
+        loop {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            timed += start.elapsed();
+            iters += 1;
+            if iters >= min_iters && Instant::now() >= deadline {
+                break;
+            }
+        }
+        self.elapsed = timed;
+        self.iters = iters;
+    }
+}
+
+#[derive(Debug, Clone)]
+struct BenchConfig {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        BenchConfig {
+            sample_size: 20,
+            measurement_time: Duration::from_millis(200),
+            warm_up_time: Duration::from_millis(20),
+        }
+    }
+}
+
+fn report(label: &str, elapsed: Duration, iters: u64, throughput: Option<Throughput>) {
+    if iters == 0 {
+        println!("{label:<50} no iterations");
+        return;
+    }
+    let per_iter = elapsed.as_nanos() as f64 / iters as f64;
+    let mut line = format!("{label:<50} {:>12.1} ns/iter", per_iter);
+    if let Some(tp) = throughput {
+        let secs = elapsed.as_secs_f64().max(1e-12);
+        match tp {
+            Throughput::Bytes(b) => {
+                let rate = (b as f64 * iters as f64) / secs / (1024.0 * 1024.0);
+                line.push_str(&format!("  {rate:>10.1} MiB/s"));
+            }
+            Throughput::Elements(e) => {
+                let rate = (e as f64 * iters as f64) / secs;
+                line.push_str(&format!("  {rate:>12.0} elem/s"));
+            }
+        }
+    }
+    println!("{line}");
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Clone, Default)]
+pub struct Criterion {
+    config: BenchConfig,
+}
+
+impl Criterion {
+    /// Set the target number of samples (used as a minimum iteration count).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.config.sample_size = n;
+        self
+    }
+
+    /// Set the measurement window per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    /// Set the warm-up window per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.config.warm_up_time = d;
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            config: self.config.clone(),
+            _criterion: self,
+        }
+    }
+
+    /// Run a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+            budget: &self.config,
+        };
+        f(&mut b);
+        report(&name.to_string(), b.elapsed, b.iters, None);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput setting.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    config: BenchConfig,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-iteration throughput used for rate reporting.
+    pub fn throughput(&mut self, tp: Throughput) -> &mut Self {
+        self.throughput = Some(tp);
+        self
+    }
+
+    /// Override the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n;
+        self
+    }
+
+    /// Override the measurement window for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    /// Run a benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+            budget: &self.config,
+        };
+        f(&mut b);
+        let label = format!("{}/{}", self.name, id);
+        report(&label, b.elapsed, b.iters, self.throughput);
+        self
+    }
+
+    /// Run a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Display,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+            budget: &self.config,
+        };
+        f(&mut b, input);
+        let label = format!("{}/{}", self.name, id);
+        report(&label, b.elapsed, b.iters, self.throughput);
+        self
+    }
+
+    /// Close the group (no-op; kept for API parity).
+    pub fn finish(&mut self) {}
+}
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Define a benchmark group function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define the bench binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_and_counts() {
+        let mut c = Criterion::default()
+            .sample_size(5)
+            .measurement_time(Duration::from_millis(5))
+            .warm_up_time(Duration::from_millis(1));
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Bytes(64));
+        let mut ran = 0u64;
+        group.bench_function(BenchmarkId::new("count", 1), |b| {
+            b.iter(|| ran += 1);
+        });
+        group.finish();
+        assert!(ran >= 5);
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(2))
+            .warm_up_time(Duration::from_millis(1));
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput);
+        });
+    }
+}

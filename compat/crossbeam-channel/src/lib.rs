@@ -1,0 +1,95 @@
+//! Offline stand-in for `crossbeam-channel` (0.5 API subset).
+//!
+//! Wraps `std::sync::mpsc` behind the crossbeam names this workspace
+//! uses: `unbounded()`, `Sender` (clonable), `Receiver` with
+//! `try_recv`/`recv`. Sufficient for the in-memory tunnel transport.
+
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+
+pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+
+/// Sending half of an unbounded channel.
+pub struct Sender<T> {
+    inner: mpsc::Sender<T>,
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        Sender {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<T> Sender<T> {
+    /// Queue a message; fails only if every receiver is gone.
+    pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+        self.inner.send(msg)
+    }
+}
+
+/// Receiving half of an unbounded channel.
+///
+/// `std::sync::mpsc::Receiver` is `!Sync`; a mutex wrapper restores the
+/// shareability crossbeam receivers offer.
+pub struct Receiver<T> {
+    inner: Arc<Mutex<mpsc::Receiver<T>>>,
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        Receiver {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        self.inner.lock().expect("channel poisoned").try_recv()
+    }
+
+    /// Blocking receive.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        self.inner.lock().expect("channel poisoned").recv()
+    }
+}
+
+/// Create an unbounded channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let (tx, rx) = mpsc::channel();
+    (
+        Sender { inner: tx },
+        Receiver {
+            inner: Arc::new(Mutex::new(rx)),
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_empty() {
+        let (tx, rx) = unbounded();
+        tx.send(5u32).unwrap();
+        tx.send(6).unwrap();
+        assert_eq!(rx.try_recv(), Ok(5));
+        assert_eq!(rx.try_recv(), Ok(6));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn clones_share_the_queue() {
+        let (tx, rx) = unbounded();
+        let tx2 = tx.clone();
+        tx2.send("hi").unwrap();
+        drop(tx);
+        drop(tx2);
+        assert_eq!(rx.recv(), Ok("hi"));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+}

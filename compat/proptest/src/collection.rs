@@ -1,0 +1,131 @@
+//! Collection strategies: `vec`, `btree_map`, `btree_set`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRunner;
+use std::collections::{BTreeMap, BTreeSet};
+use std::ops::{Range, RangeInclusive};
+
+/// Accepted size arguments: a fixed count or a range of counts.
+pub trait SizeRange {
+    /// Draw a concrete element count.
+    fn pick(&self, runner: &mut TestRunner) -> usize;
+}
+
+impl SizeRange for usize {
+    fn pick(&self, _runner: &mut TestRunner) -> usize {
+        *self
+    }
+}
+
+impl SizeRange for Range<usize> {
+    fn pick(&self, runner: &mut TestRunner) -> usize {
+        assert!(self.start < self.end, "empty size range");
+        self.start + runner.below(self.end - self.start)
+    }
+}
+
+impl SizeRange for RangeInclusive<usize> {
+    fn pick(&self, runner: &mut TestRunner) -> usize {
+        assert!(self.start() <= self.end(), "empty size range");
+        self.start() + runner.below(self.end() - self.start() + 1)
+    }
+}
+
+/// Strategy yielding `Vec<S::Value>` with a size drawn from `Z`.
+pub struct VecStrategy<S, Z> {
+    element: S,
+    size: Z,
+}
+
+impl<S: Strategy, Z: SizeRange> Strategy for VecStrategy<S, Z> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, runner: &mut TestRunner) -> Self::Value {
+        let n = self.size.pick(runner);
+        (0..n).map(|_| self.element.sample(runner)).collect()
+    }
+}
+
+/// Vector of `element` values with the given size.
+pub fn vec<S: Strategy, Z: SizeRange>(element: S, size: Z) -> VecStrategy<S, Z> {
+    VecStrategy { element, size }
+}
+
+/// Strategy yielding `BTreeMap<K::Value, V::Value>`.
+pub struct BTreeMapStrategy<K, V, Z> {
+    key: K,
+    value: V,
+    size: Z,
+}
+
+impl<K, V, Z> Strategy for BTreeMapStrategy<K, V, Z>
+where
+    K: Strategy,
+    K::Value: Ord,
+    V: Strategy,
+    Z: SizeRange,
+{
+    type Value = BTreeMap<K::Value, V::Value>;
+
+    fn sample(&self, runner: &mut TestRunner) -> Self::Value {
+        let target = self.size.pick(runner);
+        let mut map = BTreeMap::new();
+        // Key collisions shrink the map; retry a bounded number of times
+        // to approach the target size.
+        for _ in 0..target.saturating_mul(8) {
+            if map.len() >= target {
+                break;
+            }
+            map.insert(self.key.sample(runner), self.value.sample(runner));
+        }
+        map
+    }
+}
+
+/// Map from `key`-drawn keys to `value`-drawn values.
+pub fn btree_map<K, V, Z>(key: K, value: V, size: Z) -> BTreeMapStrategy<K, V, Z>
+where
+    K: Strategy,
+    K::Value: Ord,
+    V: Strategy,
+    Z: SizeRange,
+{
+    BTreeMapStrategy { key, value, size }
+}
+
+/// Strategy yielding `BTreeSet<S::Value>`.
+pub struct BTreeSetStrategy<S, Z> {
+    element: S,
+    size: Z,
+}
+
+impl<S, Z> Strategy for BTreeSetStrategy<S, Z>
+where
+    S: Strategy,
+    S::Value: Ord,
+    Z: SizeRange,
+{
+    type Value = BTreeSet<S::Value>;
+
+    fn sample(&self, runner: &mut TestRunner) -> Self::Value {
+        let target = self.size.pick(runner);
+        let mut set = BTreeSet::new();
+        for _ in 0..target.saturating_mul(8) {
+            if set.len() >= target {
+                break;
+            }
+            set.insert(self.element.sample(runner));
+        }
+        set
+    }
+}
+
+/// Set of `element`-drawn values.
+pub fn btree_set<S, Z>(element: S, size: Z) -> BTreeSetStrategy<S, Z>
+where
+    S: Strategy,
+    S::Value: Ord,
+    Z: SizeRange,
+{
+    BTreeSetStrategy { element, size }
+}

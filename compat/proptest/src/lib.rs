@@ -1,0 +1,226 @@
+//! Offline stand-in for the `proptest` crate (API subset).
+//!
+//! The build environment has no registry access, so this workspace-local
+//! crate supplies the pieces the test suite uses: the [`Strategy`] trait
+//! with `prop_map` / `prop_filter` / `prop_recursive` / `boxed`,
+//! `any::<T>()`, integer-range and string-pattern strategies, tuple and
+//! collection strategies, `Just`, `prop_oneof!`, and the `proptest!` /
+//! `prop_assert*` macros.
+//!
+//! Differences from real proptest: no shrinking (a failing case reports
+//! its case number and message but not a minimized input), a fixed case
+//! count per test, and string "regex" strategies limited to the
+//! character-class + repetition subset the tests rely on
+//! (`[a-z]{1,8}`-style classes and `\PC`). Sampling is deterministic:
+//! the RNG seed is derived from the test name, so failures reproduce.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+pub use arbitrary::any;
+pub use strategy::{BoxedStrategy, Just, Strategy, Union};
+pub use test_runner::{TestCaseError, TestRunner};
+
+/// Everything a test file normally imports.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{TestCaseError, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Number of cases each `proptest!` test runs.
+pub const DEFAULT_CASES: u32 = 64;
+
+/// Build a union strategy choosing uniformly among the arms.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( $crate::strategy::Strategy::boxed($arm) ),+
+        ])
+    };
+}
+
+/// Fail the current test case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fail the current test case unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = &$left;
+        let right = &$right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = &$left;
+        let right = &$right;
+        $crate::prop_assert!(left == right, $($fmt)+);
+    }};
+}
+
+/// Fail the current test case if the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = &$left;
+        let right = &$right;
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = &$left;
+        let right = &$right;
+        $crate::prop_assert!(left != right, $($fmt)+);
+    }};
+}
+
+/// Bind test parameters by sampling their strategies.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bindings {
+    ($runner:ident;) => {};
+    ($runner:ident; $x:ident in $s:expr) => {
+        let $x = $crate::strategy::Strategy::sample(&($s), &mut $runner);
+    };
+    ($runner:ident; $x:ident in $s:expr, $($rest:tt)*) => {
+        let $x = $crate::strategy::Strategy::sample(&($s), &mut $runner);
+        $crate::__proptest_bindings!($runner; $($rest)*);
+    };
+    ($runner:ident; $x:ident: $t:ty) => {
+        let $x: $t = $crate::strategy::Strategy::sample(&$crate::arbitrary::any::<$t>(), &mut $runner);
+    };
+    ($runner:ident; $x:ident: $t:ty, $($rest:tt)*) => {
+        let $x: $t = $crate::strategy::Strategy::sample(&$crate::arbitrary::any::<$t>(), &mut $runner);
+        $crate::__proptest_bindings!($runner; $($rest)*);
+    };
+}
+
+/// Define property tests: each parameter is drawn from its strategy and
+/// the body runs for [`DEFAULT_CASES`] deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    () => {};
+    (
+        $(#[$meta:meta])*
+        fn $name:ident($($params:tt)*) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let mut runner =
+                $crate::test_runner::TestRunner::deterministic(stringify!($name));
+            for case in 0..$crate::DEFAULT_CASES {
+                let result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $crate::__proptest_bindings!(runner; $($params)*);
+                        $body;
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(e) = result {
+                    panic!("proptest case {} of {} failed: {}", case, stringify!($name), e);
+                }
+            }
+        }
+        $crate::proptest! { $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        /// Doc comments on tests must be accepted by the macro.
+        #[test]
+        fn mixed_param_forms(a in 0u8..10, b: u16, s in "[a-z]{1,4}", flag: bool) {
+            prop_assert!(a < 10);
+            prop_assert!(!s.is_empty() && s.len() <= 4);
+            prop_assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+            let _ = (b, flag);
+        }
+
+        #[test]
+        fn tuples_vecs_and_oneof(
+            items in crate::collection::vec((any::<u8>(), 0u32..5), 0..8),
+            pick in prop_oneof![Just(1u8), Just(2u8), 3u8..=9],
+        ) {
+            prop_assert!(items.len() < 8);
+            for (_, x) in &items {
+                prop_assert!(*x < 5);
+            }
+            prop_assert!((1..=9).contains(&pick));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = TestRunner::deterministic("x");
+        let mut b = TestRunner::deterministic("x");
+        let s = crate::collection::vec(any::<u32>(), 3..6);
+        assert_eq!(s.sample(&mut a), s.sample(&mut b));
+    }
+
+    #[test]
+    fn recursive_strategy_is_bounded() {
+        #[derive(Debug, Clone, PartialEq)]
+        enum Tree {
+            Leaf(u8),
+            Node(Vec<Tree>),
+        }
+        fn depth(t: &Tree) -> u32 {
+            match t {
+                Tree::Leaf(_) => 1,
+                Tree::Node(kids) => 1 + kids.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let strat = any::<u8>()
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 16, 4, |inner| {
+                crate::collection::vec(inner, 0..4).prop_map(Tree::Node)
+            });
+        let mut runner = TestRunner::deterministic("tree");
+        for _ in 0..200 {
+            let t = strat.sample(&mut runner);
+            assert!(depth(&t) <= 4, "depth {} exceeds bound", depth(&t));
+        }
+    }
+
+    #[test]
+    fn filter_respects_predicate() {
+        let strat = (0u32..1000).prop_filter("even", |v| v % 2 == 0);
+        let mut runner = TestRunner::deterministic("filter");
+        for _ in 0..100 {
+            assert_eq!(strat.sample(&mut runner) % 2, 0);
+        }
+    }
+}

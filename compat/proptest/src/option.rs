@@ -1,0 +1,26 @@
+//! `option::of` — optional values.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRunner;
+
+/// Strategy yielding `Option<S::Value>` (None about a quarter of the time).
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn sample(&self, runner: &mut TestRunner) -> Self::Value {
+        if runner.chance(0.25) {
+            None
+        } else {
+            Some(self.inner.sample(runner))
+        }
+    }
+}
+
+/// Optionally a value from `inner`.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}

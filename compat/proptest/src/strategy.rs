@@ -1,0 +1,281 @@
+//! The [`Strategy`] trait and its combinators.
+
+use crate::test_runner::TestRunner;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeFrom, RangeInclusive};
+use std::sync::Arc;
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, runner: &mut TestRunner) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keep only values satisfying `pred`. Panics after too many
+    /// consecutive rejections (no shrinking machinery to lean on).
+    fn prop_filter<F>(self, reason: &'static str, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            reason,
+            pred,
+        }
+    }
+
+    /// Build a bounded recursive strategy: starting from `self` as the
+    /// leaf, apply `recurse` up to `depth` times, choosing between leaf
+    /// and recursive form at each level.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let leaf = self.boxed();
+        let mut current = leaf.clone();
+        for _ in 0..depth {
+            let deeper = recurse(current).boxed();
+            current = Union::new(vec![leaf.clone(), deeper]).boxed();
+        }
+        current
+    }
+
+    /// Type-erase into a clonable, shareable strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            inner: Arc::new(self),
+        }
+    }
+}
+
+trait DynStrategy<T> {
+    fn sample_dyn(&self, runner: &mut TestRunner) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn sample_dyn(&self, runner: &mut TestRunner) -> S::Value {
+        self.sample(runner)
+    }
+}
+
+/// A type-erased strategy (`Strategy::boxed`).
+pub struct BoxedStrategy<T> {
+    inner: Arc<dyn DynStrategy<T>>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn sample(&self, runner: &mut TestRunner) -> T {
+        self.inner.sample_dyn(runner)
+    }
+}
+
+/// Always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _runner: &mut TestRunner) -> T {
+        self.0.clone()
+    }
+}
+
+/// `prop_map` adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn sample(&self, runner: &mut TestRunner) -> O {
+        (self.f)(self.inner.sample(runner))
+    }
+}
+
+/// `prop_filter` adapter.
+pub struct Filter<S, F> {
+    inner: S,
+    reason: &'static str,
+    pred: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+
+    fn sample(&self, runner: &mut TestRunner) -> S::Value {
+        for _ in 0..10_000 {
+            let v = self.inner.sample(runner);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter gave up: {}", self.reason);
+    }
+}
+
+/// Uniform choice among same-typed strategies (`prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// A union over the given arms; must be non-empty.
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Union<T> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Union {
+            arms: self.arms.clone(),
+        }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn sample(&self, runner: &mut TestRunner) -> T {
+        let idx = runner.below(self.arms.len());
+        self.arms[idx].sample(runner)
+    }
+}
+
+/// Integers that range strategies can produce.
+pub trait IntValue: Copy + PartialOrd {
+    /// Largest representable value.
+    const MAX_VALUE: Self;
+    /// Uniform draw in `[lo, hi]` inclusive.
+    fn draw(runner: &mut TestRunner, lo: Self, hi: Self) -> Self;
+    /// Predecessor, for converting exclusive ends; panics on empty range.
+    fn pred(self) -> Self;
+}
+
+macro_rules! impl_int_value {
+    ($($t:ty),*) => {$(
+        impl IntValue for $t {
+            const MAX_VALUE: Self = <$t>::MAX;
+
+            fn draw(runner: &mut TestRunner, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "empty integer range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                if span == 0 {
+                    return runner.next_u64() as $t;
+                }
+                let v = (runner.next_u64() as u128) % span;
+                (lo as i128 + v as i128) as $t
+            }
+
+            fn pred(self) -> Self {
+                self.checked_sub(1).expect("empty integer range")
+            }
+        }
+    )*};
+}
+
+impl_int_value!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<T: IntValue> Strategy for Range<T> {
+    type Value = T;
+
+    fn sample(&self, runner: &mut TestRunner) -> T {
+        T::draw(runner, self.start, self.end.pred())
+    }
+}
+
+impl<T: IntValue> Strategy for RangeInclusive<T> {
+    type Value = T;
+
+    fn sample(&self, runner: &mut TestRunner) -> T {
+        T::draw(runner, *self.start(), *self.end())
+    }
+}
+
+impl<T: IntValue> Strategy for RangeFrom<T> {
+    type Value = T;
+
+    fn sample(&self, runner: &mut TestRunner) -> T {
+        T::draw(runner, self.start, T::MAX_VALUE)
+    }
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn sample(&self, runner: &mut TestRunner) -> String {
+        crate::string::sample_pattern(self, runner)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident . $idx:tt),+ ;))+) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn sample(&self, runner: &mut TestRunner) -> Self::Value {
+                ($(self.$idx.sample(runner),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy! {
+    (A.0;)
+    (A.0, B.1;)
+    (A.0, B.1, C.2;)
+    (A.0, B.1, C.2, D.3;)
+    (A.0, B.1, C.2, D.3, E.4;)
+    (A.0, B.1, C.2, D.3, E.4, F.5;)
+}
+
+/// Marker used by `any::<T>()`.
+pub struct Any<T> {
+    pub(crate) _marker: PhantomData<T>,
+}

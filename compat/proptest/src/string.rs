@@ -1,0 +1,176 @@
+//! String strategies from a small regex subset.
+//!
+//! Real proptest compiles full regexes; this stand-in supports the
+//! subset the workspace's tests use: literal characters, character
+//! classes with ranges (`[a-z]`, `[ -~]`), the `\PC`
+//! any-non-control-character escape, and `{n}` / `{m,n}` repetition.
+
+use crate::test_runner::TestRunner;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    /// Inclusive code-point ranges to choose among.
+    Class(Vec<(u32, u32)>),
+    /// One literal character.
+    Literal(char),
+    /// Any non-control character (`\PC`).
+    NonControl,
+}
+
+// Sample pools for `\PC`: printable ASCII plus a spread of wider
+// planes, so UTF-8 handling gets exercised without emitting controls
+// or surrogates.
+const NON_CONTROL_POOLS: &[(u32, u32)] = &[
+    (0x20, 0x7e),
+    (0xa1, 0x2ff),
+    (0x370, 0x1fff),
+    (0x2010, 0x2027),
+    (0x1f300, 0x1f5ff),
+];
+
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Vec<(u32, u32)> {
+    let mut ranges = Vec::new();
+    let mut pending: Option<char> = None;
+    loop {
+        let c = chars.next().expect("unterminated character class");
+        match c {
+            ']' => {
+                if let Some(p) = pending {
+                    ranges.push((p as u32, p as u32));
+                }
+                break;
+            }
+            '-' if pending.is_some() && chars.peek() != Some(&']') => {
+                let lo = pending.take().unwrap();
+                let hi = chars.next().expect("unterminated range");
+                assert!(lo <= hi, "inverted class range");
+                ranges.push((lo as u32, hi as u32));
+            }
+            '\\' => {
+                if let Some(p) = pending {
+                    ranges.push((p as u32, p as u32));
+                }
+                pending = Some(chars.next().expect("dangling escape"));
+            }
+            other => {
+                if let Some(p) = pending {
+                    ranges.push((p as u32, p as u32));
+                }
+                pending = Some(other);
+            }
+        }
+    }
+    assert!(!ranges.is_empty(), "empty character class");
+    ranges
+}
+
+fn parse_repeat(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> (usize, usize) {
+    if chars.peek() != Some(&'{') {
+        return (1, 1);
+    }
+    chars.next();
+    let mut body = String::new();
+    loop {
+        match chars.next().expect("unterminated repetition") {
+            '}' => break,
+            c => body.push(c),
+        }
+    }
+    match body.split_once(',') {
+        Some((lo, hi)) => (
+            lo.trim().parse().expect("bad repetition bound"),
+            hi.trim().parse().expect("bad repetition bound"),
+        ),
+        None => {
+            let n = body.trim().parse().expect("bad repetition count");
+            (n, n)
+        }
+    }
+}
+
+fn sample_from_ranges(ranges: &[(u32, u32)], runner: &mut TestRunner) -> char {
+    let total: u32 = ranges.iter().map(|(lo, hi)| hi - lo + 1).sum();
+    let mut pick = runner.below(total as usize) as u32;
+    for &(lo, hi) in ranges {
+        let size = hi - lo + 1;
+        if pick < size {
+            return char::from_u32(lo + pick).expect("invalid code point in class");
+        }
+        pick -= size;
+    }
+    unreachable!()
+}
+
+/// Generate a string matching `pattern` (see module docs for the
+/// supported subset). Panics on unsupported syntax.
+pub fn sample_pattern(pattern: &str, runner: &mut TestRunner) -> String {
+    let mut chars = pattern.chars().peekable();
+    let mut out = String::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '[' => Atom::Class(parse_class(&mut chars)),
+            '\\' => match chars.next().expect("dangling escape") {
+                'P' => {
+                    let cat = chars.next().expect("missing \\P category");
+                    assert_eq!(cat, 'C', "only \\PC is supported");
+                    Atom::NonControl
+                }
+                esc => Atom::Literal(esc),
+            },
+            other => Atom::Literal(other),
+        };
+        let (lo, hi) = parse_repeat(&mut chars);
+        let count = lo + runner.below(hi - lo + 1);
+        for _ in 0..count {
+            match &atom {
+                Atom::Class(ranges) => out.push(sample_from_ranges(ranges, runner)),
+                Atom::Literal(ch) => out.push(*ch),
+                Atom::NonControl => out.push(sample_from_ranges(NON_CONTROL_POOLS, runner)),
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn printable_ascii_class() {
+        let mut runner = TestRunner::deterministic("ascii");
+        for _ in 0..200 {
+            let s = sample_pattern("[ -~]{0,16}", &mut runner);
+            assert!(s.len() <= 16);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn lowercase_class_with_min() {
+        let mut runner = TestRunner::deterministic("lower");
+        for _ in 0..200 {
+            let s = sample_pattern("[a-z]{1,8}", &mut runner);
+            assert!((1..=8).contains(&s.chars().count()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn non_control_escape() {
+        let mut runner = TestRunner::deterministic("pc");
+        for _ in 0..200 {
+            let s = sample_pattern("\\PC{0,128}", &mut runner);
+            assert!(s.chars().count() <= 128);
+            assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn literals_and_exact_counts() {
+        let mut runner = TestRunner::deterministic("lit");
+        assert_eq!(sample_pattern("abc", &mut runner), "abc");
+        let s = sample_pattern("x{3}", &mut runner);
+        assert_eq!(s, "xxx");
+    }
+}

@@ -1,0 +1,63 @@
+//! The deterministic case runner behind `proptest!`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Failure raised by `prop_assert*` inside a test case.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// A failed case with an explanation.
+    pub fn fail(message: impl Into<String>) -> TestCaseError {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Source of randomness for strategy sampling. Seeded from the test
+/// name so every run of a given test sees the same cases.
+pub struct TestRunner {
+    rng: StdRng,
+}
+
+impl TestRunner {
+    /// Runner seeded from `name` (FNV-1a).
+    pub fn deterministic(name: &str) -> TestRunner {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRunner {
+            rng: StdRng::seed_from_u64(hash),
+        }
+    }
+
+    /// Next raw 64 bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+
+    /// Uniform draw in `[0, n)`; `n` must be nonzero.
+    pub fn below(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0);
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// Bernoulli draw.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.rng.gen_bool(p)
+    }
+}

@@ -1,0 +1,217 @@
+//! Offline stand-in for the `rand` crate (0.8 API subset).
+//!
+//! The build environment has no registry access, so this workspace-local
+//! crate supplies the pieces the codebase actually uses: `rngs::StdRng`,
+//! `SeedableRng::seed_from_u64`, and `Rng::{gen, gen_bool, gen_range}`
+//! over integer ranges. The generator is SplitMix64 — statistically
+//! solid for simulation purposes and fully deterministic per seed.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Seedable random number generators.
+pub trait SeedableRng: Sized {
+    /// Construct from a 64-bit seed. Same seed ⇒ same stream.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling interface, mirroring `rand::Rng`.
+pub trait Rng {
+    /// Next raw 64 bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Sample a value of type `T` uniformly over its whole domain.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::from_u64(self.next_u64())
+    }
+
+    /// Bernoulli draw with probability `p` of `true`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        // 53 random bits → uniform f64 in [0, 1).
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+
+    /// Uniform sample from a range (`a..b` or `a..=b`).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: UniformInt,
+        R: IntRange<T>,
+    {
+        let (lo, hi_inclusive) = range.bounds();
+        T::sample(self, lo, hi_inclusive)
+    }
+}
+
+/// Types `gen()` can produce.
+pub trait Standard {
+    /// Build a value from 64 uniform bits.
+    fn from_u64(bits: u64) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn from_u64(bits: u64) -> Self {
+                bits as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    fn from_u64(bits: u64) -> Self {
+        bits & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn from_u64(bits: u64) -> Self {
+        (bits >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Integer types usable with `gen_range`.
+pub trait UniformInt: Copy + PartialOrd {
+    /// Uniform sample in `[lo, hi]` (inclusive).
+    fn sample<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn sample<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                if span == 0 {
+                    // Full-width range: every bit pattern is valid.
+                    return Standard::from_u64(rng.next_u64());
+                }
+                // Modulo bias is < 2^-64 * span; negligible for the
+                // simulation workloads in this repo.
+                let v = (rng.next_u64() as u128) % span;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Range forms accepted by `gen_range`.
+pub trait IntRange<T> {
+    /// Return `(low, high_inclusive)`.
+    fn bounds(&self) -> (T, T);
+}
+
+impl<T: UniformInt + BoundedInt> IntRange<T> for Range<T> {
+    fn bounds(&self) -> (T, T) {
+        (self.start, self.end.prev())
+    }
+}
+
+impl<T: UniformInt> IntRange<T> for RangeInclusive<T> {
+    fn bounds(&self) -> (T, T) {
+        (*self.start(), *self.end())
+    }
+}
+
+/// Helper for converting exclusive range ends to inclusive ones.
+pub trait BoundedInt {
+    /// The predecessor value (`end - 1`).
+    fn prev(self) -> Self;
+}
+
+macro_rules! impl_bounded_int {
+    ($($t:ty),*) => {$(
+        impl BoundedInt for $t {
+            fn prev(self) -> Self {
+                self.checked_sub(1).expect("gen_range: empty range")
+            }
+        }
+    )*};
+}
+
+impl_bounded_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Concrete RNGs.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic 64-bit generator (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_bool_rate_close_to_p() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 100_000;
+        let hits = (0..n).filter(|_| rng.gen_bool(0.25)).count();
+        let rate = hits as f64 / n as f64;
+        assert!((rate - 0.25).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds_and_covers() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = rng.gen_range(0usize..10);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        for _ in 0..1000 {
+            let v = rng.gen_range(5u64..=6);
+            assert!((5..=6).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gen_produces_all_primitive_kinds() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let _: u8 = rng.gen();
+        let _: u64 = rng.gen();
+        let b: f64 = rng.gen();
+        assert!((0.0..1.0).contains(&b));
+    }
+}

@@ -59,6 +59,7 @@ fn relay_compressed(c: &mut Criterion) {
                         &Msg::DataCompressed {
                             router: rig.ra,
                             port: PortId(0),
+                            span: rnl_tunnel::msg::Span::NONE,
                             encoded,
                         },
                         now,
@@ -84,6 +85,7 @@ fn codec_overhead(c: &mut Criterion) {
         let msg = Msg::Data {
             router: rnl_tunnel::msg::RouterId(1),
             port: PortId(0),
+            span: rnl_tunnel::msg::Span::NONE,
             frame,
         };
         group.throughput(Throughput::Elements(1));

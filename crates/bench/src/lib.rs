@@ -91,6 +91,7 @@ impl RelayRig {
                 &Msg::Data {
                     router: self.ra,
                     port: PortId(0),
+                    span: rnl_tunnel::msg::Span::NONE,
                     frame: frame.to_vec(),
                 },
                 self.now,
@@ -173,6 +174,7 @@ impl MultiRelayRig {
                     &Msg::Data {
                         router: *ra,
                         port: PortId(0),
+                        span: rnl_tunnel::msg::Span::NONE,
                         frame: frame.to_vec(),
                     },
                     self.now,

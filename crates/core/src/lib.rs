@@ -33,6 +33,7 @@ pub mod terminal;
 
 use rnl_device::device::Device;
 use rnl_net::time::{Duration, Instant};
+use rnl_obs::{merge_trace, EventJournal, FrameEvent, MetricsRegistry, TraceId};
 use rnl_ris::{Ris, RisError};
 use rnl_server::design::Design;
 use rnl_server::matrix::DeploymentId;
@@ -41,7 +42,7 @@ use rnl_server::web::{self, Request, Response};
 use rnl_server::{RouteServer, ServerError};
 use rnl_tunnel::impair::Impairment;
 use rnl_tunnel::msg::{PortId, RouterId};
-use rnl_tunnel::transport::mem_pair;
+use rnl_tunnel::transport::{mem_pair, TransportMetrics};
 
 /// Identifies a site (one interface PC) within the facade.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -145,7 +146,13 @@ impl RemoteNetworkLabs {
     /// `impairment` in both directions (§3.5 / §4 delay-and-jitter).
     pub fn add_site_with_impairment(&mut self, pc_name: &str, impairment: Impairment) -> SiteId {
         self.seed = self.seed.wrapping_mul(6364136223846793005).wrapping_add(1);
-        let (ris_side, server_side) = mem_pair(impairment, impairment, self.seed);
+        let (ris_side, mut server_side) = mem_pair(impairment, impairment, self.seed);
+        // The server-side transport reports per-site codec sizes and
+        // impairment delays into the server's registry.
+        server_side.attach_metrics(TransportMetrics::from_registry(
+            self.server.obs(),
+            &[("site", pc_name)],
+        ));
         self.server.attach(Box::new(server_side));
         self.sites.push(Ris::new(pc_name, Box::new(ris_side)));
         SiteId(self.sites.len() - 1)
@@ -242,6 +249,37 @@ impl RemoteNetworkLabs {
     /// the physical-lab equivalent of walking up to the box).
     pub fn device_mut(&mut self, site: SiteId, local_id: u32) -> Option<&mut dyn Device> {
         self.sites.get_mut(site.0)?.device_mut(local_id)
+    }
+
+    // -----------------------------------------------------------------
+    // Observability
+    // -----------------------------------------------------------------
+
+    /// The back end's metrics registry (relay counters, per-wire
+    /// latency, per-site tunnel metrics).
+    pub fn server_obs(&self) -> &MetricsRegistry {
+        self.server.obs()
+    }
+
+    /// One site's metrics registry (per-NIC counters, compression
+    /// ratio, destination-side wire latency).
+    pub fn site_obs(&self, site: SiteId) -> Option<&MetricsRegistry> {
+        self.sites.get(site.0).map(|r| r.obs())
+    }
+
+    /// One site's frame-path journal.
+    pub fn site_journal(&self, site: SiteId) -> Option<&EventJournal> {
+        self.sites.get(site.0).map(|r| r.journal())
+    }
+
+    /// All events for one frame's TraceId, merged across the server and
+    /// every site journal and ordered by virtual time — the Fig. 4
+    /// hop-by-hop path (RIS rx → encode → server relay → matrix →
+    /// RIS tx) reconstructed after the fact.
+    pub fn trace(&self, trace: TraceId) -> Vec<FrameEvent> {
+        let mut journals: Vec<&EventJournal> = vec![self.server.journal()];
+        journals.extend(self.sites.iter().map(|r| r.journal()));
+        merge_trace(&journals, trace)
     }
 
     // -----------------------------------------------------------------

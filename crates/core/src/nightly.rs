@@ -17,6 +17,7 @@
 use rnl_net::addr::MacAddr;
 use rnl_net::build;
 use rnl_net::time::Duration;
+use rnl_obs::counter_deltas;
 use rnl_tunnel::msg::{PortId, RouterId};
 use std::net::Ipv4Addr;
 
@@ -85,9 +86,13 @@ pub struct ProbeResult {
 }
 
 /// Outcome of a suite run.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct NightlyReport {
     pub results: Vec<ProbeResult>,
+    /// Server counters that grew during the run, as
+    /// (`name{labels}`, delta) pairs — what the run cost the relay path
+    /// (frames routed/unrouted per reason, bytes, per-wire traffic).
+    pub metrics: Vec<(String, u64)>,
 }
 
 impl NightlyReport {
@@ -113,6 +118,12 @@ impl NightlyReport {
                 r.name,
                 r.detail
             ));
+        }
+        if !self.metrics.is_empty() {
+            out.push_str("  metrics deltas:\n");
+            for (series, delta) in &self.metrics {
+                out.push_str(&format!("    {series} +{delta}\n"));
+            }
         }
         out
     }
@@ -146,13 +157,17 @@ impl NightlySuite {
         self.probes.is_empty()
     }
 
-    /// Run every probe against the deployed lab.
+    /// Run every probe against the deployed lab. The report captures
+    /// the server counters that grew during the run alongside the
+    /// pass/fail results.
     pub fn run(&self, labs: &mut RemoteNetworkLabs) -> Result<NightlyReport, LabError> {
+        let before = labs.server_obs().snapshot();
         let mut results = Vec::with_capacity(self.probes.len());
         for probe in &self.probes {
             results.push(run_probe(labs, probe)?);
         }
-        Ok(NightlyReport { results })
+        let metrics = counter_deltas(&before, &labs.server_obs().snapshot());
+        Ok(NightlyReport { results, metrics })
     }
 }
 

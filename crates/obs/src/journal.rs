@@ -1,0 +1,251 @@
+//! The bounded event journal: a ring buffer of typed frame-path events.
+//!
+//! Each component (route server, every RIS) owns one journal and
+//! records the hops it witnesses. A frame's full Fig-4 journey is
+//! reconstructed by [`merge_trace`]-ing the journals and sorting by
+//! virtual timestamp.
+
+use crate::trace::TraceId;
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// Why the route server failed to relay a frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MissReason {
+    /// The (router, port) endpoint has no entry in the routing matrix —
+    /// no deployed lab connects it.
+    NoMatrixEntry,
+    /// The matrix routed the frame to a router whose RIS session is not
+    /// connected.
+    NoSession,
+    /// A compressed payload failed to decode (template ring desync).
+    DecodeError,
+}
+
+impl MissReason {
+    /// Stable label used on the `reason` metric dimension.
+    pub fn label(self) -> &'static str {
+        match self {
+            MissReason::NoMatrixEntry => "no-matrix-entry",
+            MissReason::NoSession => "no-session",
+            MissReason::DecodeError => "decode-error",
+        }
+    }
+}
+
+/// One step of a frame's journey along the Fig-4 path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Hop {
+    /// Frame captured from a device port at RIS ingress.
+    RisRx,
+    /// Frame wrapped (and possibly compressed) for the tunnel.
+    Encode,
+    /// Data message arrived at the route server.
+    ServerRx,
+    /// Routing-matrix lookup succeeded.
+    MatrixHit,
+    /// Frame could not be relayed.
+    MatrixMiss(MissReason),
+    /// Frame sent onward to the destination RIS.
+    ServerTx,
+    /// Frame delivered into the destination device port.
+    RisTx,
+}
+
+impl Hop {
+    /// Stable display name for reports and assertions.
+    pub fn name(self) -> &'static str {
+        match self {
+            Hop::RisRx => "ris-rx",
+            Hop::Encode => "encode",
+            Hop::ServerRx => "server-rx",
+            Hop::MatrixHit => "matrix-hit",
+            Hop::MatrixMiss(_) => "matrix-miss",
+            Hop::ServerTx => "server-tx",
+            Hop::RisTx => "ris-tx",
+        }
+    }
+
+    /// Position along the Fig-4 pipeline. Used to break timestamp ties
+    /// when merging journals: a deterministic simulation can complete
+    /// several hops within one virtual-clock microsecond.
+    pub fn stage(self) -> u8 {
+        match self {
+            Hop::RisRx => 0,
+            Hop::Encode => 1,
+            Hop::ServerRx => 2,
+            Hop::MatrixHit | Hop::MatrixMiss(_) => 3,
+            Hop::ServerTx => 4,
+            Hop::RisTx => 5,
+        }
+    }
+}
+
+/// One recorded event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameEvent {
+    /// The frame's trace identity.
+    pub trace: TraceId,
+    /// Virtual-clock microseconds when the hop happened.
+    pub t_us: u64,
+    /// Which hop this is.
+    pub hop: Hop,
+    /// Router id the hop concerns (raw `RouterId.0`).
+    pub router: u32,
+    /// Port id the hop concerns (raw `PortId.0`).
+    pub port: u16,
+    /// Payload size at this hop (frame bytes, or encoded bytes for
+    /// `Encode`).
+    pub bytes: u32,
+}
+
+#[derive(Debug)]
+struct JournalInner {
+    capacity: usize,
+    events: VecDeque<FrameEvent>,
+    dropped: u64,
+}
+
+/// A bounded ring of [`FrameEvent`]s. Cloning shares the buffer.
+#[derive(Debug, Clone)]
+pub struct EventJournal {
+    inner: Arc<Mutex<JournalInner>>,
+}
+
+impl EventJournal {
+    /// Journal holding at most `capacity` events; older events are
+    /// evicted (and counted) once full.
+    pub fn new(capacity: usize) -> EventJournal {
+        assert!(capacity > 0, "journal capacity must be nonzero");
+        EventJournal {
+            inner: Arc::new(Mutex::new(JournalInner {
+                capacity,
+                events: VecDeque::with_capacity(capacity),
+                dropped: 0,
+            })),
+        }
+    }
+
+    /// Record one event. Untraced events (`TraceId::NONE`) are ignored.
+    pub fn record(&self, event: FrameEvent) {
+        if !event.trace.is_some() {
+            return;
+        }
+        let mut inner = self.inner.lock().expect("journal poisoned");
+        if inner.events.len() == inner.capacity {
+            inner.events.pop_front();
+            inner.dropped += 1;
+        }
+        inner.events.push_back(event);
+    }
+
+    /// All buffered events, oldest first.
+    pub fn events(&self) -> Vec<FrameEvent> {
+        self.inner
+            .lock()
+            .expect("journal poisoned")
+            .events
+            .iter()
+            .copied()
+            .collect()
+    }
+
+    /// Buffered events for one trace, oldest first.
+    pub fn trace(&self, trace: TraceId) -> Vec<FrameEvent> {
+        self.inner
+            .lock()
+            .expect("journal poisoned")
+            .events
+            .iter()
+            .filter(|e| e.trace == trace)
+            .copied()
+            .collect()
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("journal poisoned").events.len()
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// How many events have been evicted to make room.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().expect("journal poisoned").dropped
+    }
+}
+
+/// Stitch one trace's events from several journals into a single
+/// time-ordered path. Timestamp ties are broken by [`Hop::stage`] (all
+/// hops of a frame can share one virtual microsecond when transports
+/// are unimpaired); the sort is otherwise stable, so same-stage events
+/// keep their per-journal order.
+pub fn merge_trace(journals: &[&EventJournal], trace: TraceId) -> Vec<FrameEvent> {
+    let mut merged: Vec<FrameEvent> = journals.iter().flat_map(|j| j.trace(trace)).collect();
+    merged.sort_by_key(|e| (e.t_us, e.hop.stage()));
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(trace: u64, t_us: u64, hop: Hop) -> FrameEvent {
+        FrameEvent {
+            trace: TraceId(trace),
+            t_us,
+            hop,
+            router: 1,
+            port: 0,
+            bytes: 64,
+        }
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let j = EventJournal::new(3);
+        for i in 1..=5 {
+            j.record(ev(i, i, Hop::RisRx));
+        }
+        assert_eq!(j.len(), 3);
+        assert_eq!(j.dropped(), 2);
+        let traces: Vec<u64> = j.events().iter().map(|e| e.trace.0).collect();
+        assert_eq!(traces, vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn untraced_events_are_ignored() {
+        let j = EventJournal::new(4);
+        j.record(ev(0, 1, Hop::RisRx));
+        assert!(j.is_empty());
+    }
+
+    #[test]
+    fn per_trace_filtering() {
+        let j = EventJournal::new(8);
+        j.record(ev(7, 1, Hop::RisRx));
+        j.record(ev(8, 2, Hop::RisRx));
+        j.record(ev(7, 3, Hop::Encode));
+        let t7 = j.trace(TraceId(7));
+        assert_eq!(t7.len(), 2);
+        assert_eq!(t7[0].hop, Hop::RisRx);
+        assert_eq!(t7[1].hop, Hop::Encode);
+    }
+
+    #[test]
+    fn merge_orders_across_journals() {
+        let a = EventJournal::new(8);
+        let b = EventJournal::new(8);
+        a.record(ev(9, 10, Hop::RisRx));
+        b.record(ev(9, 20, Hop::ServerRx));
+        a.record(ev(9, 30, Hop::RisTx));
+        b.record(ev(5, 15, Hop::ServerRx));
+        let path = merge_trace(&[&a, &b], TraceId(9));
+        let hops: Vec<&str> = path.iter().map(|e| e.hop.name()).collect();
+        assert_eq!(hops, vec!["ris-rx", "server-rx", "ris-tx"]);
+        assert!(path.windows(2).all(|w| w[0].t_us <= w[1].t_us));
+    }
+}

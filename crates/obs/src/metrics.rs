@@ -1,0 +1,530 @@
+//! The metrics registry: counters, gauges, fixed-bucket histograms.
+//!
+//! Handles returned by the registry are cheap clones sharing atomic
+//! storage; hot paths cache them and update without locking. The
+//! registry's mutex guards only the name → metric table, taken when a
+//! metric is first registered (or re-looked-up by name).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Standard latency ladder in virtual microseconds: 50µs to 1s.
+pub const LATENCY_BUCKETS_US: [u64; 12] = [
+    50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 1_000_000,
+];
+
+/// Standard frame/message size ladder in bytes.
+pub const SIZE_BUCKETS: [u64; 8] = [64, 128, 256, 512, 1_024, 1_518, 4_096, 16_384];
+
+/// Monotone event counter.
+#[derive(Clone, Debug)]
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Add one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// Last-write-wins floating-point value.
+#[derive(Clone, Debug)]
+pub struct Gauge {
+    bits: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    /// Set the value.
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Debug)]
+struct HistogramInner {
+    /// Inclusive upper bounds, strictly increasing. Values above the
+    /// last bound land in the implicit overflow (+Inf) bucket.
+    bounds: Vec<u64>,
+    /// One count per bound plus the overflow bucket.
+    counts: Vec<AtomicU64>,
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+/// Fixed-bucket histogram over `u64` observations (virtual µs, bytes).
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    inner: Arc<HistogramInner>,
+}
+
+impl Histogram {
+    /// Record one observation.
+    pub fn observe(&self, v: u64) {
+        let idx = self
+            .inner
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.inner.bounds.len());
+        self.inner.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.inner.sum.fetch_add(v, Ordering::Relaxed);
+        self.inner.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total observations so far.
+    pub fn count(&self) -> u64 {
+        self.inner.count.load(Ordering::Relaxed)
+    }
+
+    /// Point-in-time copy of the histogram state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.inner.bounds.clone(),
+            counts: self
+                .inner
+                .counts
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            sum: self.inner.sum.load(Ordering::Relaxed),
+            count: self.inner.count.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Frozen histogram state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Inclusive upper bounds; the overflow bucket is implicit.
+    pub bounds: Vec<u64>,
+    /// Per-bucket counts; `counts.len() == bounds.len() + 1`, the last
+    /// entry being the overflow bucket.
+    pub counts: Vec<u64>,
+    /// Sum of all observations.
+    pub sum: u64,
+    /// Number of observations.
+    pub count: u64,
+}
+
+impl HistogramSnapshot {
+    /// Cumulative counts per bound (Prometheus `le` semantics), ending
+    /// with the +Inf bucket, which equals `count`.
+    pub fn cumulative(&self) -> Vec<u64> {
+        let mut acc = 0;
+        self.counts
+            .iter()
+            .map(|&c| {
+                acc += c;
+                acc
+            })
+            .collect()
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// Sorted label pairs identifying one series of a metric family.
+type LabelSet = Vec<(String, String)>;
+
+fn label_set(labels: &[(&str, &str)]) -> LabelSet {
+    let mut set: LabelSet = labels
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+    set.sort();
+    set
+}
+
+/// Shared registry of named metrics. Cloning shares storage.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsRegistry {
+    table: Arc<Mutex<BTreeMap<(String, LabelSet), Metric>>>,
+}
+
+impl MetricsRegistry {
+    /// Fresh, empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Get or create a counter.
+    ///
+    /// # Panics
+    /// If the name + label set is already registered as another kind.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        let key = (name.to_string(), label_set(labels));
+        let mut table = self.table.lock().expect("metrics registry poisoned");
+        match table.entry(key).or_insert_with(|| {
+            Metric::Counter(Counter {
+                cell: Arc::new(AtomicU64::new(0)),
+            })
+        }) {
+            Metric::Counter(c) => c.clone(),
+            _ => panic!("metric {name} already registered with a different type"),
+        }
+    }
+
+    /// Get or create a gauge.
+    ///
+    /// # Panics
+    /// If the name + label set is already registered as another kind.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        let key = (name.to_string(), label_set(labels));
+        let mut table = self.table.lock().expect("metrics registry poisoned");
+        match table.entry(key).or_insert_with(|| {
+            Metric::Gauge(Gauge {
+                bits: Arc::new(AtomicU64::new(0f64.to_bits())),
+            })
+        }) {
+            Metric::Gauge(g) => g.clone(),
+            _ => panic!("metric {name} already registered with a different type"),
+        }
+    }
+
+    /// Get or create a histogram with the given bucket bounds (strictly
+    /// increasing). Bounds are fixed at first registration.
+    ///
+    /// # Panics
+    /// If the name + label set is already registered as another kind.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)], bounds: &[u64]) -> Histogram {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        let key = (name.to_string(), label_set(labels));
+        let mut table = self.table.lock().expect("metrics registry poisoned");
+        match table.entry(key).or_insert_with(|| {
+            Metric::Histogram(Histogram {
+                inner: Arc::new(HistogramInner {
+                    bounds: bounds.to_vec(),
+                    counts: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+                    sum: AtomicU64::new(0),
+                    count: AtomicU64::new(0),
+                }),
+            })
+        }) {
+            Metric::Histogram(h) => h.clone(),
+            _ => panic!("metric {name} already registered with a different type"),
+        }
+    }
+
+    /// Sum a counter family across all label sets (0 if absent).
+    pub fn counter_sum(&self, name: &str) -> u64 {
+        let table = self.table.lock().expect("metrics registry poisoned");
+        table
+            .iter()
+            .filter(|((n, _), _)| n == name)
+            .map(|(_, m)| match m {
+                Metric::Counter(c) => c.get(),
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Point-in-time copy of every registered metric, sorted by name
+    /// then label set.
+    pub fn snapshot(&self) -> Snapshot {
+        let table = self.table.lock().expect("metrics registry poisoned");
+        Snapshot {
+            metrics: table
+                .iter()
+                .map(|((name, labels), metric)| MetricPoint {
+                    name: name.clone(),
+                    labels: labels.clone(),
+                    value: match metric {
+                        Metric::Counter(c) => MetricValue::Counter(c.get()),
+                        Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+                        Metric::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+                    },
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One series in a snapshot.
+#[derive(Clone, Debug)]
+pub struct MetricPoint {
+    /// Metric family name.
+    pub name: String,
+    /// Sorted label pairs.
+    pub labels: Vec<(String, String)>,
+    /// The frozen value.
+    pub value: MetricValue,
+}
+
+impl MetricPoint {
+    /// `name{k="v",...}` identity, stable across runs.
+    pub fn series_id(&self) -> String {
+        if self.labels.is_empty() {
+            return self.name.clone();
+        }
+        let labels: Vec<String> = self
+            .labels
+            .iter()
+            .map(|(k, v)| format!("{k}=\"{v}\""))
+            .collect();
+        format!("{}{{{}}}", self.name, labels.join(","))
+    }
+}
+
+/// A frozen metric value.
+#[derive(Clone, Debug)]
+pub enum MetricValue {
+    /// Counter total.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(f64),
+    /// Full histogram state.
+    Histogram(HistogramSnapshot),
+}
+
+/// Point-in-time state of a whole registry, deterministically ordered.
+#[derive(Clone, Debug, Default)]
+pub struct Snapshot {
+    /// All series, sorted by (name, labels).
+    pub metrics: Vec<MetricPoint>,
+}
+
+impl Snapshot {
+    /// Look up one series by name and exact label set.
+    pub fn get(&self, name: &str, labels: &[(&str, &str)]) -> Option<&MetricValue> {
+        let want = label_set(labels);
+        self.metrics
+            .iter()
+            .find(|p| p.name == name && p.labels == want)
+            .map(|p| &p.value)
+    }
+
+    /// Counter value for a series (0 if absent or not a counter).
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> u64 {
+        match self.get(name, labels) {
+            Some(MetricValue::Counter(v)) => *v,
+            _ => 0,
+        }
+    }
+}
+
+/// Per-series counter increases from `before` to `after`, as
+/// `(series id, delta)`, skipping series that did not grow.
+pub fn counter_deltas(before: &Snapshot, after: &Snapshot) -> Vec<(String, u64)> {
+    let old: BTreeMap<String, u64> = before
+        .metrics
+        .iter()
+        .filter_map(|p| match p.value {
+            MetricValue::Counter(v) => Some((p.series_id(), v)),
+            _ => None,
+        })
+        .collect();
+    after
+        .metrics
+        .iter()
+        .filter_map(|p| match p.value {
+            MetricValue::Counter(v) => {
+                let base = old.get(&p.series_id()).copied().unwrap_or(0);
+                let delta = v.saturating_sub(base);
+                (delta > 0).then(|| (p.series_id(), delta))
+            }
+            _ => None,
+        })
+        .collect()
+}
+
+/// Render a snapshot in the Prometheus text exposition format.
+pub fn render_prometheus(snapshot: &Snapshot) -> String {
+    let mut out = String::new();
+    let mut last_name = "";
+    for point in &snapshot.metrics {
+        let labels = |extra: Option<(&str, String)>| -> String {
+            let mut pairs: Vec<String> = point
+                .labels
+                .iter()
+                .map(|(k, v)| format!("{k}=\"{v}\""))
+                .collect();
+            if let Some((k, v)) = extra {
+                pairs.push(format!("{k}=\"{v}\""));
+            }
+            if pairs.is_empty() {
+                String::new()
+            } else {
+                format!("{{{}}}", pairs.join(","))
+            }
+        };
+        if point.name != last_name {
+            let kind = match point.value {
+                MetricValue::Counter(_) => "counter",
+                MetricValue::Gauge(_) => "gauge",
+                MetricValue::Histogram(_) => "histogram",
+            };
+            out.push_str(&format!("# TYPE {} {}\n", point.name, kind));
+            last_name = &point.name;
+        }
+        match &point.value {
+            MetricValue::Counter(v) => {
+                out.push_str(&format!("{}{} {}\n", point.name, labels(None), v));
+            }
+            MetricValue::Gauge(v) => {
+                out.push_str(&format!("{}{} {}\n", point.name, labels(None), v));
+            }
+            MetricValue::Histogram(h) => {
+                let cumulative = h.cumulative();
+                for (i, bound) in h.bounds.iter().enumerate() {
+                    out.push_str(&format!(
+                        "{}_bucket{} {}\n",
+                        point.name,
+                        labels(Some(("le", bound.to_string()))),
+                        cumulative[i]
+                    ));
+                }
+                out.push_str(&format!(
+                    "{}_bucket{} {}\n",
+                    point.name,
+                    labels(Some(("le", "+Inf".to_string()))),
+                    h.count
+                ));
+                out.push_str(&format!("{}_sum{} {}\n", point.name, labels(None), h.sum));
+                out.push_str(&format!(
+                    "{}_count{} {}\n",
+                    point.name,
+                    labels(None),
+                    h.count
+                ));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_semantics() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("rnl_test_total", &[]);
+        assert_eq!(c.get(), 0);
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        // Re-registration returns the same storage.
+        assert_eq!(reg.counter("rnl_test_total", &[]).get(), 5);
+        // Distinct label sets are distinct series.
+        let labeled = reg.counter("rnl_test_total", &[("reason", "x")]);
+        labeled.add(2);
+        assert_eq!(labeled.get(), 2);
+        assert_eq!(reg.counter_sum("rnl_test_total"), 7);
+    }
+
+    #[test]
+    fn gauge_semantics() {
+        let reg = MetricsRegistry::new();
+        let g = reg.gauge("rnl_test_ratio", &[]);
+        assert_eq!(g.get(), 0.0);
+        g.set(3.25);
+        assert_eq!(g.get(), 3.25);
+        g.set(1.0);
+        assert_eq!(reg.gauge("rnl_test_ratio", &[]).get(), 1.0);
+    }
+
+    #[test]
+    fn histogram_bucketing_and_overflow() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("rnl_test_us", &[], &[10, 100, 1000]);
+        for v in [5, 10, 11, 100, 5000] {
+            h.observe(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.counts, vec![2, 2, 0, 1]);
+        assert_eq!(snap.count, 5);
+        assert_eq!(snap.sum, 5 + 10 + 11 + 100 + 5000);
+        assert_eq!(snap.cumulative(), vec![2, 4, 4, 5]);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_queryable() {
+        let reg = MetricsRegistry::new();
+        reg.counter("rnl_b_total", &[]).add(2);
+        reg.counter("rnl_a_total", &[("k", "v")]).add(1);
+        reg.gauge("rnl_c", &[]).set(9.0);
+        let snap = reg.snapshot();
+        let names: Vec<&str> = snap.metrics.iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(names, vec!["rnl_a_total", "rnl_b_total", "rnl_c"]);
+        assert_eq!(snap.counter("rnl_a_total", &[("k", "v")]), 1);
+        assert_eq!(snap.counter("rnl_b_total", &[]), 2);
+        assert!(snap.get("rnl_missing", &[]).is_none());
+    }
+
+    #[test]
+    fn deltas_report_only_growth() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("rnl_a_total", &[]);
+        let b = reg.counter("rnl_b_total", &[]);
+        a.add(5);
+        let before = reg.snapshot();
+        a.add(3);
+        b.add(0);
+        let after = reg.snapshot();
+        assert_eq!(
+            counter_deltas(&before, &after),
+            vec![("rnl_a_total".to_string(), 3)]
+        );
+    }
+
+    #[test]
+    fn prometheus_rendering() {
+        let reg = MetricsRegistry::new();
+        reg.counter("rnl_frames_total", &[("wire", "r1p0-r2p0")])
+            .add(7);
+        reg.gauge("rnl_ratio", &[]).set(2.5);
+        let h = reg.histogram("rnl_lat_us", &[], &[50, 100]);
+        h.observe(60);
+        h.observe(60);
+        h.observe(999);
+        let text = render_prometheus(&reg.snapshot());
+        assert!(text.contains("# TYPE rnl_frames_total counter"));
+        assert!(text.contains("rnl_frames_total{wire=\"r1p0-r2p0\"} 7"));
+        assert!(text.contains("rnl_ratio 2.5"));
+        assert!(text.contains("rnl_lat_us_bucket{le=\"50\"} 0"));
+        assert!(text.contains("rnl_lat_us_bucket{le=\"100\"} 2"));
+        assert!(text.contains("rnl_lat_us_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("rnl_lat_us_sum 1119"));
+        assert!(text.contains("rnl_lat_us_count 3"));
+    }
+
+    #[test]
+    fn clones_share_storage_across_threads() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("rnl_shared_total", &[]);
+        let reg2 = reg.clone();
+        let handle = std::thread::spawn(move || {
+            reg2.counter("rnl_shared_total", &[]).add(10);
+        });
+        c.add(1);
+        handle.join().unwrap();
+        assert_eq!(c.get(), 11);
+    }
+}

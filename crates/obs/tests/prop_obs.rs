@@ -1,0 +1,49 @@
+//! Property tests for the metrics registry's histogram invariants.
+
+use proptest::prelude::*;
+use rnl_obs::{MetricsRegistry, LATENCY_BUCKETS_US, SIZE_BUCKETS};
+
+proptest! {
+    /// For any observation sequence: bucket counts sum to the total,
+    /// cumulative buckets are monotone and end at the total, and a
+    /// snapshot equals the snapshot of a fresh histogram replaying the
+    /// same observations.
+    #[test]
+    fn histogram_invariants(values in proptest::collection::vec(0u64..2_000_000, 0..200)) {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("rnl_prop_us", &[], &LATENCY_BUCKETS_US);
+        for &v in &values {
+            h.observe(v);
+        }
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.counts.iter().sum::<u64>(), snap.count);
+        prop_assert_eq!(snap.count, values.len() as u64);
+        prop_assert_eq!(snap.sum, values.iter().sum::<u64>());
+        let cumulative = snap.cumulative();
+        prop_assert!(cumulative.windows(2).all(|w| w[0] <= w[1]));
+        prop_assert_eq!(*cumulative.last().unwrap(), snap.count);
+
+        let replay = MetricsRegistry::new().histogram("rnl_prop_us", &[], &LATENCY_BUCKETS_US);
+        for &v in &values {
+            replay.observe(v);
+        }
+        prop_assert_eq!(replay.snapshot(), snap);
+    }
+
+    /// Every observation lands in exactly the first bucket whose bound
+    /// contains it, regardless of the ladder in use.
+    #[test]
+    fn bucket_placement_matches_bounds(value in 0u64..100_000, pick_sizes: bool) {
+        let bounds: &[u64] = if pick_sizes { &SIZE_BUCKETS } else { &LATENCY_BUCKETS_US };
+        let h = MetricsRegistry::new().histogram("rnl_prop_place", &[], bounds);
+        h.observe(value);
+        let snap = h.snapshot();
+        let expected = bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(bounds.len());
+        for (i, &c) in snap.counts.iter().enumerate() {
+            prop_assert_eq!(c, u64::from(i == expected), "bucket {} of {:?}", i, bounds);
+        }
+    }
+}

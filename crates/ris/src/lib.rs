@@ -25,6 +25,10 @@ use std::collections::HashMap;
 
 use rnl_device::device::{Device, LinkState};
 use rnl_net::time::Instant;
+use rnl_obs::{
+    Counter, EventJournal, FrameEvent, Gauge, Histogram, Hop, MetricsRegistry, Span, TraceIdGen,
+    LATENCY_BUCKETS_US,
+};
 use rnl_tunnel::compress::{Compressor, Decompressor};
 use rnl_tunnel::msg::{Msg, PortId, RegisterInfo, RouterId, RouterInfo};
 use rnl_tunnel::transport::{Transport, TransportError};
@@ -61,7 +65,8 @@ impl From<TransportError> for RisError {
     }
 }
 
-/// Counters, for the experiments and `show`-style introspection.
+/// Counters, for the experiments and `show`-style introspection. A
+/// point-in-time view computed from the RIS's [`MetricsRegistry`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RisStats {
     /// Frames captured from device ports and sent to the server.
@@ -79,6 +84,13 @@ struct RisDevice {
     info: RouterInfo,
 }
 
+/// Cached per-NIC counter handles (one pair per fronted port).
+#[derive(Clone)]
+struct NicMetrics {
+    frames_up: Counter,
+    frames_down: Counter,
+}
+
 /// One interface PC fronting one or more devices.
 pub struct Ris {
     pc_name: String,
@@ -92,14 +104,42 @@ pub struct Ris {
     compression: bool,
     compressors: HashMap<(RouterId, PortId), Compressor>,
     decompressors: HashMap<(RouterId, PortId), Decompressor>,
-    stats: RisStats,
     heartbeat_seq: u64,
+    /// All RIS metrics live here; [`RisStats`] is a view of it.
+    obs: MetricsRegistry,
+    /// Bounded ring of traced frame events (RIS-side hops).
+    journal: EventJournal,
+    /// Stamps a fresh [`rnl_obs::TraceId`] on every captured frame.
+    trace_gen: TraceIdGen,
+    /// Per-NIC handles, keyed by (local device id, port index).
+    nic_metrics: HashMap<(u32, u16), NicMetrics>,
+    m_frames_up: Counter,
+    m_frames_down: Counter,
+    m_console_lines: Counter,
+    m_bytes_up: Counter,
+    m_comp_in: Counter,
+    m_comp_out: Counter,
+    m_comp_ratio: Gauge,
+    m_wire_latency: Histogram,
 }
 
 impl Ris {
     /// A RIS with no devices yet, holding an un-joined connection.
     pub fn new(pc_name: &str, transport: Box<dyn Transport>) -> Ris {
+        let obs = MetricsRegistry::new();
         Ris {
+            m_frames_up: obs.counter("rnl_ris_frames_up_total", &[]),
+            m_frames_down: obs.counter("rnl_ris_frames_down_total", &[]),
+            m_console_lines: obs.counter("rnl_ris_console_lines_total", &[]),
+            m_bytes_up: obs.counter("rnl_ris_bytes_up_total", &[]),
+            m_comp_in: obs.counter("rnl_ris_compress_bytes_in_total", &[]),
+            m_comp_out: obs.counter("rnl_ris_compress_bytes_out_total", &[]),
+            m_comp_ratio: obs.gauge("rnl_ris_compression_ratio", &[]),
+            m_wire_latency: obs.histogram("rnl_ris_wire_latency_us", &[], &LATENCY_BUCKETS_US),
+            obs,
+            journal: EventJournal::new(4096),
+            trace_gen: TraceIdGen::new(pc_name),
+            nic_metrics: HashMap::new(),
             pc_name: pc_name.to_string(),
             devices: Vec::new(),
             transport,
@@ -108,7 +148,6 @@ impl Ris {
             compression: false,
             compressors: HashMap::new(),
             decompressors: HashMap::new(),
-            stats: RisStats::default(),
             heartbeat_seq: 0,
         }
     }
@@ -129,9 +168,25 @@ impl Ris {
         self.compression = on;
     }
 
-    /// Counters.
+    /// Counters, computed from the metrics registry.
     pub fn stats(&self) -> RisStats {
-        self.stats
+        RisStats {
+            frames_up: self.m_frames_up.get(),
+            frames_down: self.m_frames_down.get(),
+            console_lines: self.m_console_lines.get(),
+            bytes_up: self.m_bytes_up.get(),
+        }
+    }
+
+    /// The RIS's metrics registry (per-NIC counters, compression ratio,
+    /// destination-side wire latency).
+    pub fn obs(&self) -> &MetricsRegistry {
+        &self.obs
+    }
+
+    /// The frame-path event journal (RIS-side hops).
+    pub fn journal(&self) -> &EventJournal {
+        &self.journal
     }
 
     /// Whether registration completed.
@@ -235,13 +290,15 @@ impl Ris {
             Msg::Data {
                 router,
                 port,
+                span,
                 frame,
             } => {
-                self.deliver(router, port, frame, now)?;
+                self.deliver(router, port, span, frame, now)?;
             }
             Msg::DataCompressed {
                 router,
                 port,
+                span,
                 encoded,
             } => {
                 let frame = self
@@ -250,12 +307,12 @@ impl Ris {
                     .or_default()
                     .decode(&encoded)
                     .map_err(RisError::Compression)?;
-                self.deliver(router, port, frame, now)?;
+                self.deliver(router, port, span, frame, now)?;
             }
             Msg::Console { router, line } => {
                 let idx = self.device_index(router)?;
                 let output = self.devices[idx].device.console(&line, now);
-                self.stats.console_lines += 1;
+                self.m_console_lines.inc();
                 self.transport
                     .send(&Msg::ConsoleReply { router, output }, now)?;
             }
@@ -301,17 +358,55 @@ impl Ris {
             .ok_or(RisError::UnknownRouter(router))
     }
 
+    /// Cheap `Arc`-clones of the per-NIC counters, labelled with the
+    /// Fig.-3 NIC name, registering them on first use of the port.
+    fn nic_metrics_for(&mut self, idx: usize, port: u16) -> NicMetrics {
+        let local_id = self.devices[idx].info.local_id;
+        if let Some(m) = self.nic_metrics.get(&(local_id, port)) {
+            return m.clone();
+        }
+        let nic = self.devices[idx]
+            .info
+            .ports
+            .get(port as usize)
+            .map(|p| p.nic.clone())
+            .unwrap_or_else(|| format!("d{local_id}p{port}"));
+        let labels = [("nic", nic.as_str())];
+        let m = NicMetrics {
+            frames_up: self.obs.counter("rnl_ris_nic_frames_up_total", &labels),
+            frames_down: self.obs.counter("rnl_ris_nic_frames_down_total", &labels),
+        };
+        self.nic_metrics.insert((local_id, port), m.clone());
+        m
+    }
+
     /// Unwrap a frame from the server and replay it into the device port
     /// ("RIS unwraps the packet and sends it to the destination port").
     fn deliver(
         &mut self,
         router: RouterId,
         port: PortId,
+        span: Span,
         frame: Vec<u8>,
         now: Instant,
     ) -> Result<(), RisError> {
         let idx = self.device_index(router)?;
-        self.stats.frames_down += 1;
+        self.m_frames_down.inc();
+        self.nic_metrics_for(idx, port.0).frames_down.inc();
+        self.journal.record(FrameEvent {
+            trace: span.trace,
+            t_us: now.as_micros(),
+            hop: Hop::RisTx,
+            router: router.0,
+            port: port.0,
+            bytes: frame.len() as u32,
+        });
+        if span.is_some() {
+            // End-to-end wire latency: source-RIS ingress stamp →
+            // destination-RIS delivery, on the shared virtual clock.
+            self.m_wire_latency
+                .observe(now.as_micros().saturating_sub(span.origin_us));
+        }
         let emissions = self.devices[idx]
             .device
             .on_frame(port.0 as usize, &frame, now);
@@ -336,27 +431,74 @@ impl Ris {
             return Ok(());
         };
         let port = PortId(port as u16);
+        // Stamp the frame at ingress: this TraceId rides the tunnel all
+        // the way to the destination RIS (Fig. 4), so journals across
+        // the stack can reconstruct the hop-by-hop path.
+        let span = Span {
+            trace: self.trace_gen.allocate(),
+            origin_us: now.as_micros(),
+        };
+        let idx = self
+            .reverse
+            .get(&router)
+            .copied()
+            .unwrap_or(local_id as usize);
+        self.nic_metrics_for(idx, port.0).frames_up.inc();
+        self.journal.record(FrameEvent {
+            trace: span.trace,
+            t_us: now.as_micros(),
+            hop: Hop::RisRx,
+            router: router.0,
+            port: port.0,
+            bytes: frame.len() as u32,
+        });
+        let frame_len = frame.len();
         let msg = if self.compression {
             let encoded = self
                 .compressors
                 .entry((router, port))
                 .or_default()
                 .encode(&frame);
-            self.stats.bytes_up += encoded.len() as u64;
+            self.m_bytes_up.add(encoded.len() as u64);
+            self.m_comp_in.add(frame_len as u64);
+            self.m_comp_out.add(encoded.len() as u64);
+            // Aggregate ratio across every upstream compressed stream.
+            let (bytes_in, bytes_out) = (self.m_comp_in.get(), self.m_comp_out.get());
+            if bytes_out > 0 {
+                self.m_comp_ratio.set(bytes_in as f64 / bytes_out as f64);
+            }
+            self.journal.record(FrameEvent {
+                trace: span.trace,
+                t_us: now.as_micros(),
+                hop: Hop::Encode,
+                router: router.0,
+                port: port.0,
+                bytes: encoded.len() as u32,
+            });
             Msg::DataCompressed {
                 router,
                 port,
+                span,
                 encoded,
             }
         } else {
-            self.stats.bytes_up += frame.len() as u64;
+            self.m_bytes_up.add(frame_len as u64);
+            self.journal.record(FrameEvent {
+                trace: span.trace,
+                t_us: now.as_micros(),
+                hop: Hop::Encode,
+                router: router.0,
+                port: port.0,
+                bytes: frame_len as u32,
+            });
             Msg::Data {
                 router,
                 port,
+                span,
                 frame,
             }
         };
-        self.stats.frames_up += 1;
+        self.m_frames_up.inc();
         self.transport.send(&msg, now)?;
         Ok(())
     }
@@ -437,6 +579,7 @@ mod tests {
                 &Msg::Data {
                     router: RouterId(100),
                     port: PortId(0),
+                    span: Span::NONE,
                     frame: arp,
                 },
                 t(1),
@@ -450,9 +593,11 @@ mod tests {
             Msg::Data {
                 router,
                 port,
+                span,
                 frame,
             } => {
                 assert_eq!(*router, RouterId(100));
+                assert!(span.trace.is_some(), "upstream frames carry a trace id");
                 assert_eq!(*port, PortId(0));
                 assert!(matches!(
                     rnl_net::build::classify(frame).unwrap().1,
@@ -556,6 +701,7 @@ mod tests {
                 &Msg::Data {
                     router: RouterId(999),
                     port: PortId(0),
+                    span: Span::NONE,
                     frame: vec![0; 60],
                 },
                 t(1),

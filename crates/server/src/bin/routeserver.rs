@@ -10,6 +10,9 @@
 //!   sends newline-delimited JSON requests (the `rnl_server::web` wire
 //!   format) and receives one JSON reply line per request — the surface
 //!   an HTTP/browser front end would wrap.
+//! * `--metrics-port` (default 4512) — Prometheus-style text exposition.
+//!   Any connection (an HTTP GET or a bare `nc`) receives the current
+//!   snapshot of every `rnl_*` metric and the connection closes.
 //!
 //! ```text
 //! cargo run -p rnl-server --bin routeserver -- --ris-port 4510 --api-port 4511
@@ -37,6 +40,7 @@ enum Event {
 fn main() {
     let mut ris_port = 4510u16;
     let mut api_port = 4511u16;
+    let mut metrics_port = 4512u16;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -51,6 +55,12 @@ fn main() {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage("--api-port needs a number"));
+            }
+            "--metrics-port" => {
+                metrics_port = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--metrics-port needs a number"));
             }
             other => usage(&format!("unknown argument {other:?}")),
         }
@@ -87,6 +97,19 @@ fn main() {
 
     // The single-threaded core loop: sessions, relay, API dispatch.
     let mut server = RouteServer::new();
+
+    // Metrics exposition: the registry clone shares storage with the
+    // server's, so this thread serves live values without touching the
+    // core loop.
+    let registry = server.obs().clone();
+    let metrics_listener = TcpListener::bind(("0.0.0.0", metrics_port)).expect("bind metrics port");
+    eprintln!("routeserver: metrics exposition on :{metrics_port}");
+    std::thread::spawn(move || {
+        for stream in metrics_listener.incoming().flatten() {
+            serve_metrics_client(stream, &registry);
+        }
+    });
+
     loop {
         while let Ok(event) = rx.try_recv() {
             match event {
@@ -138,8 +161,32 @@ fn serve_api_client(stream: TcpStream, tx: mpsc::Sender<Event>) {
     eprintln!("routeserver: API client {peer:?} disconnected");
 }
 
+/// Answer one scrape: an HTTP response if the peer spoke HTTP (a
+/// request line ending in a blank line), otherwise the bare text body.
+fn serve_metrics_client(mut stream: TcpStream, registry: &rnl_obs::MetricsRegistry) {
+    let body = rnl_obs::render_prometheus(&registry.snapshot());
+    let mut probe = [0u8; 4];
+    let spoke_http = {
+        use std::io::Read;
+        stream
+            .set_read_timeout(Some(std::time::Duration::from_millis(50)))
+            .ok();
+        matches!(stream.read(&mut probe), Ok(n) if n >= 3 && &probe[..3] == b"GET")
+    };
+    let _ = if spoke_http {
+        write!(
+            stream,
+            "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\n\r\n{}",
+            body.len(),
+            body
+        )
+    } else {
+        write!(stream, "{body}")
+    };
+}
+
 fn usage(msg: &str) -> ! {
     eprintln!("routeserver: {msg}");
-    eprintln!("usage: routeserver [--ris-port N] [--api-port N]");
+    eprintln!("usage: routeserver [--ris-port N] [--api-port N] [--metrics-port N]");
     std::process::exit(2);
 }

@@ -31,6 +31,10 @@ pub mod web;
 use std::collections::{BTreeMap, HashMap};
 
 use rnl_net::time::Instant;
+use rnl_obs::{
+    Counter, EventJournal, FrameEvent, Histogram, Hop, MetricsRegistry, MissReason, Span, TraceId,
+    LATENCY_BUCKETS_US,
+};
 use rnl_tunnel::compress::{CompressError, Compressor, Decompressor};
 use rnl_tunnel::msg::{Assignment, Msg, PortId, RouterId};
 use rnl_tunnel::transport::{Transport, TransportError};
@@ -95,18 +99,31 @@ impl From<ReserveError> for ServerError {
     }
 }
 
-/// Counters for the experiments (E4, E9).
+/// Counters for the experiments (E4, E9). A point-in-time view computed
+/// from the server's [`MetricsRegistry`]; the registry is the single
+/// source of truth.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServerStats {
     /// Frames relayed port-to-port through the matrix.
     pub frames_routed: u64,
     /// Frames arriving on ports with no matrix entry (unwired — dropped
-    /// exactly as an unplugged cable drops them).
+    /// exactly as an unplugged cable drops them), summed over every
+    /// `reason` label of `rnl_server_frames_unrouted_total`.
     pub frames_unrouted: u64,
     /// Payload bytes relayed.
     pub bytes_relayed: u64,
     /// Frames injected by the generation module.
     pub frames_injected: u64,
+}
+
+/// Cached metric handles for one matrix wire (source port → destination
+/// port). Handles are `Arc`-shared with the registry, so updates here
+/// are lock-free.
+#[derive(Clone)]
+struct WireMetrics {
+    frames: Counter,
+    bytes: Counter,
+    latency_us: Histogram,
 }
 
 /// Record of one live deployment.
@@ -151,7 +168,20 @@ pub struct RouteServer {
     /// Whether deploy requires a covering reservation. On by default —
     /// this is a shared facility; tests may relax it.
     enforce_reservations: bool,
-    stats: ServerStats,
+    /// All server metrics live here; [`ServerStats`] is a view of it.
+    obs: MetricsRegistry,
+    /// Bounded ring of traced frame events (Fig. 4 hops).
+    journal: EventJournal,
+    /// Cached handles for the hot relay path, keyed by source port.
+    wire_metrics: HashMap<(RouterId, PortId), WireMetrics>,
+    /// Cached per-deployment relay counters.
+    deployment_frames: HashMap<DeploymentId, Counter>,
+    m_frames_routed: Counter,
+    m_bytes_relayed: Counter,
+    m_frames_injected: Counter,
+    m_unrouted_no_matrix: Counter,
+    m_unrouted_no_session: Counter,
+    m_unrouted_decode: Counter,
 }
 
 impl Default for RouteServer {
@@ -163,7 +193,24 @@ impl Default for RouteServer {
 impl RouteServer {
     /// A fresh server with an empty inventory.
     pub fn new() -> RouteServer {
+        let obs = MetricsRegistry::new();
+        let unrouted = |reason: MissReason| {
+            obs.counter(
+                "rnl_server_frames_unrouted_total",
+                &[("reason", reason.label())],
+            )
+        };
         RouteServer {
+            m_frames_routed: obs.counter("rnl_server_frames_routed_total", &[]),
+            m_bytes_relayed: obs.counter("rnl_server_bytes_relayed_total", &[]),
+            m_frames_injected: obs.counter("rnl_server_frames_injected_total", &[]),
+            m_unrouted_no_matrix: unrouted(MissReason::NoMatrixEntry),
+            m_unrouted_no_session: unrouted(MissReason::NoSession),
+            m_unrouted_decode: unrouted(MissReason::DecodeError),
+            obs,
+            journal: EventJournal::new(4096),
+            wire_metrics: HashMap::new(),
+            deployment_frames: HashMap::new(),
             sessions: BTreeMap::new(),
             next_session: 0,
             inventory: Inventory::new(),
@@ -179,7 +226,6 @@ impl RouteServer {
             compress_downstream: false,
             generator: Generator::new(),
             enforce_reservations: true,
-            stats: ServerStats::default(),
         }
     }
 
@@ -194,9 +240,25 @@ impl RouteServer {
         self.compress_downstream = on;
     }
 
-    /// Counters.
+    /// Counters, computed from the metrics registry.
     pub fn stats(&self) -> ServerStats {
-        self.stats
+        ServerStats {
+            frames_routed: self.m_frames_routed.get(),
+            frames_unrouted: self.obs.counter_sum("rnl_server_frames_unrouted_total"),
+            bytes_relayed: self.m_bytes_relayed.get(),
+            frames_injected: self.m_frames_injected.get(),
+        }
+    }
+
+    /// The server's metrics registry. Cloning shares the underlying
+    /// storage, so exposition threads can snapshot it concurrently.
+    pub fn obs(&self) -> &MetricsRegistry {
+        &self.obs
+    }
+
+    /// The frame-path event journal (server-side hops).
+    pub fn journal(&self) -> &EventJournal {
+        &self.journal
     }
 
     /// The inventory (the Fig. 2 left column).
@@ -314,13 +376,15 @@ impl RouteServer {
             Msg::Data {
                 router,
                 port,
+                span,
                 frame,
             } => {
-                self.route_frame(router, port, frame, now);
+                self.route_frame(router, port, span, frame, now);
             }
             Msg::DataCompressed {
                 router,
                 port,
+                span,
                 encoded,
             } => {
                 let frame = match self
@@ -333,11 +397,11 @@ impl RouteServer {
                     // A desynchronized stream is a session-level fault;
                     // count the frame as unroutable and move on.
                     Err(_) => {
-                        self.stats.frames_unrouted += 1;
+                        self.frame_unrouted(router, port, MissReason::DecodeError, span.trace, now);
                         return;
                     }
                 };
-                self.route_frame(router, port, frame, now);
+                self.route_frame(router, port, span, frame, now);
             }
             Msg::ConsoleReply { router, output } => {
                 self.console_mail.entry(router).or_default().push(output);
@@ -364,17 +428,113 @@ impl RouteServer {
         }
     }
 
+    /// The one place an unroutable frame is counted, whatever the
+    /// reason: the counter carries a `reason` label and the journal
+    /// gets a [`Hop::MatrixMiss`] so traces show where frames died.
+    fn frame_unrouted(
+        &mut self,
+        router: RouterId,
+        port: PortId,
+        reason: MissReason,
+        trace: TraceId,
+        now: Instant,
+    ) {
+        match reason {
+            MissReason::NoMatrixEntry => self.m_unrouted_no_matrix.inc(),
+            MissReason::NoSession => self.m_unrouted_no_session.inc(),
+            MissReason::DecodeError => self.m_unrouted_decode.inc(),
+        }
+        self.journal.record(FrameEvent {
+            trace,
+            t_us: now.as_micros(),
+            hop: Hop::MatrixMiss(reason),
+            router: router.0,
+            port: port.0,
+            bytes: 0,
+        });
+    }
+
+    /// Cheap `Arc`-clones of the per-wire handles, registering them on
+    /// first sight of the wire.
+    fn wire_metrics_for(
+        &mut self,
+        src: (RouterId, PortId),
+        dst: (RouterId, PortId),
+    ) -> WireMetrics {
+        if let Some(m) = self.wire_metrics.get(&src) {
+            return m.clone();
+        }
+        let wire = format!("r{}p{}-r{}p{}", src.0 .0, src.1 .0, dst.0 .0, dst.1 .0);
+        let labels = [("wire", wire.as_str())];
+        let m = WireMetrics {
+            frames: self.obs.counter("rnl_server_wire_frames_total", &labels),
+            bytes: self.obs.counter("rnl_server_wire_bytes_total", &labels),
+            latency_us: self.obs.histogram(
+                "rnl_server_wire_latency_us",
+                &labels,
+                &LATENCY_BUCKETS_US,
+            ),
+        };
+        self.wire_metrics.insert(src, m.clone());
+        m
+    }
+
     /// The Fig. 4 packet path: unwrap → matrix lookup → wrap → forward.
-    fn route_frame(&mut self, router: RouterId, port: PortId, frame: Vec<u8>, now: Instant) {
+    fn route_frame(
+        &mut self,
+        router: RouterId,
+        port: PortId,
+        span: Span,
+        frame: Vec<u8>,
+        now: Instant,
+    ) {
+        self.journal.record(FrameEvent {
+            trace: span.trace,
+            t_us: now.as_micros(),
+            hop: Hop::ServerRx,
+            router: router.0,
+            port: port.0,
+            bytes: frame.len() as u32,
+        });
         self.captures
             .tap(router, port, CaptureDir::FromPort, &frame, now);
         let Some((dst_router, dst_port)) = self.matrix.lookup((router, port)) else {
-            self.stats.frames_unrouted += 1;
+            self.frame_unrouted(router, port, MissReason::NoMatrixEntry, span.trace, now);
             return;
         };
+        self.journal.record(FrameEvent {
+            trace: span.trace,
+            t_us: now.as_micros(),
+            hop: Hop::MatrixHit,
+            router: dst_router.0,
+            port: dst_port.0,
+            bytes: frame.len() as u32,
+        });
         self.captures
             .tap(dst_router, dst_port, CaptureDir::ToPort, &frame, now);
-        self.stats.bytes_relayed += frame.len() as u64;
+        let bytes = frame.len() as u64;
+        self.m_bytes_relayed.add(bytes);
+        let wire = self.wire_metrics_for((router, port), (dst_router, dst_port));
+        wire.frames.inc();
+        wire.bytes.add(bytes);
+        if span.is_some() {
+            // Upstream leg latency: RIS ingress stamp → relay, on the
+            // shared virtual clock.
+            wire.latency_us
+                .observe(now.as_micros().saturating_sub(span.origin_us));
+        }
+        if let Some(dep) = self.matrix.owner_of(router) {
+            let obs = &self.obs;
+            self.deployment_frames
+                .entry(dep)
+                .or_insert_with(|| {
+                    obs.counter(
+                        "rnl_server_deployment_frames_total",
+                        &[("deployment", &dep.0.to_string())],
+                    )
+                })
+                .inc();
+        }
         let msg = if self.compress_downstream {
             let encoded = self
                 .compressors
@@ -384,19 +544,30 @@ impl RouteServer {
             Msg::DataCompressed {
                 router: dst_router,
                 port: dst_port,
+                span,
                 encoded,
             }
         } else {
             Msg::Data {
                 router: dst_router,
                 port: dst_port,
+                span,
                 frame,
             }
         };
-        if self.send_to_router(dst_router, msg, now) {
-            self.stats.frames_routed += 1;
+        let sent = self.send_to_router(dst_router, msg, now);
+        if sent {
+            self.m_frames_routed.inc();
+            self.journal.record(FrameEvent {
+                trace: span.trace,
+                t_us: now.as_micros(),
+                hop: Hop::ServerTx,
+                router: dst_router.0,
+                port: dst_port.0,
+                bytes: bytes as u32,
+            });
         } else {
-            self.stats.frames_unrouted += 1;
+            self.frame_unrouted(dst_router, dst_port, MissReason::NoSession, span.trace, now);
         }
     }
 
@@ -676,12 +847,13 @@ impl RouteServer {
         }
         self.captures
             .tap(router, port, CaptureDir::ToPort, &frame, now);
-        self.stats.frames_injected += 1;
+        self.m_frames_injected.inc();
         self.send_to_router(
             router,
             Msg::Data {
                 router,
                 port,
+                span: Span::NONE,
                 frame,
             },
             now,
@@ -782,6 +954,66 @@ mod tests {
         let out = ris.device_mut(0).unwrap().console("show ping", t(3000));
         assert!(out.contains("0 received"), "got: {out}");
         assert!(server.stats().frames_unrouted > 0);
+    }
+
+    /// Regression: every unrouted frame is counted exactly once, in one
+    /// place, with a `reason` label — previously three call sites bumped
+    /// a bare counter and the causes were indistinguishable.
+    #[test]
+    fn unrouted_frames_carry_a_reason_label() {
+        let (mut server, mut ris, _r1, _r2) = two_host_lab();
+        let id = server.deployments().next().unwrap().id;
+        server.teardown(id);
+        ris.device_mut(0)
+            .unwrap()
+            .console("ping 10.0.0.2 count 2", t(0));
+        run(&mut server, &mut ris, 0, 3000, 100);
+        let snap = server.obs().snapshot();
+        let no_matrix = snap.counter(
+            "rnl_server_frames_unrouted_total",
+            &[("reason", "no-matrix-entry")],
+        );
+        assert!(
+            no_matrix > 0,
+            "torn-down wire drops count as no-matrix-entry"
+        );
+        // The aggregate view equals the per-reason sum: nothing is
+        // double-counted and nothing bypasses the labelled counter.
+        assert_eq!(server.stats().frames_unrouted, no_matrix);
+        assert_eq!(
+            snap.counter(
+                "rnl_server_frames_unrouted_total",
+                &[("reason", "no-session")]
+            ),
+            0
+        );
+    }
+
+    /// Regression: a desynchronized compressed stream is counted as
+    /// `reason="decode-error"`, not lumped in with matrix misses.
+    #[test]
+    fn decode_errors_are_their_own_unrouted_reason() {
+        let (mut server, _ris, r1, _r2) = two_host_lab();
+        let sid = server.sessions.keys().copied().next().unwrap();
+        server.handle_msg(
+            sid,
+            Msg::DataCompressed {
+                router: r1,
+                port: PortId(0),
+                span: Span::NONE,
+                encoded: vec![9, 1, 2],
+            },
+            t(10),
+        );
+        let snap = server.obs().snapshot();
+        assert_eq!(
+            snap.counter(
+                "rnl_server_frames_unrouted_total",
+                &[("reason", "decode-error")]
+            ),
+            1
+        );
+        assert_eq!(server.stats().frames_unrouted, 1);
     }
 
     #[test]

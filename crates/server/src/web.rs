@@ -94,6 +94,8 @@ pub enum Request {
     CaptureStop { router: RouterId, port: PortId },
     /// Fetch (and keep) captured frames of a port.
     Captured { router: RouterId, port: PortId },
+    /// Snapshot every server metric (counters, gauges, histograms).
+    GetMetrics,
 }
 
 /// A typed API response.
@@ -112,6 +114,9 @@ pub enum Response {
     Frames(Vec<(Instant, Vec<u8>)>),
     Stream(u64),
     StreamSent(Option<u64>),
+    /// A metrics snapshot, already in wire form (see
+    /// [`metrics_to_json`]).
+    Metrics(Json),
 }
 
 /// One inventory row.
@@ -269,7 +274,61 @@ fn handle_inner(
                 .map(|f| (f.at, f.frame.clone()))
                 .collect(),
         ),
+        Request::GetMetrics => Response::Metrics(metrics_to_json(&server.obs().snapshot())),
     })
+}
+
+/// Encode a metrics snapshot as a JSON array, one object per series:
+/// counters as `{"metric","labels","counter"}`, gauges as `"gauge"`,
+/// histograms as `"buckets"` (cumulative, paired with `"le"` bounds),
+/// `"sum"` and `"count"`.
+pub fn metrics_to_json(snapshot: &rnl_obs::Snapshot) -> Json {
+    use rnl_obs::MetricValue;
+    Json::Arr(
+        snapshot
+            .metrics
+            .iter()
+            .map(|point| {
+                let labels = Json::Obj(
+                    point
+                        .labels
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::str(v.clone())))
+                        .collect(),
+                );
+                let mut fields = vec![
+                    ("metric".to_string(), Json::str(point.name.clone())),
+                    ("labels".to_string(), labels),
+                ];
+                match &point.value {
+                    MetricValue::Counter(v) => {
+                        fields.push(("counter".to_string(), Json::Num(*v as f64)));
+                    }
+                    MetricValue::Gauge(v) => {
+                        fields.push(("gauge".to_string(), Json::Num(*v)));
+                    }
+                    MetricValue::Histogram(h) => {
+                        fields.push((
+                            "le".to_string(),
+                            Json::Arr(h.bounds.iter().map(|&b| Json::Num(b as f64)).collect()),
+                        ));
+                        fields.push((
+                            "buckets".to_string(),
+                            Json::Arr(
+                                h.cumulative()
+                                    .iter()
+                                    .map(|&c| Json::Num(c as f64))
+                                    .collect(),
+                            ),
+                        ));
+                        fields.push(("sum".to_string(), Json::Num(h.sum as f64)));
+                        fields.push(("count".to_string(), Json::Num(h.count as f64)));
+                    }
+                }
+                Json::Obj(fields.into_iter().collect())
+            })
+            .collect(),
+    )
 }
 
 // ---------------------------------------------------------------------
@@ -427,6 +486,7 @@ pub fn parse_request(json: &Json) -> Result<Request, String> {
             router: router()?,
             port: port()?,
         },
+        "get_metrics" => Request::GetMetrics,
         other => return Err(format!("unknown op {other:?}")),
     })
 }
@@ -511,6 +571,9 @@ pub fn encode_response(response: &Response) -> Json {
                 sent.map(|n| Json::Num(n as f64)).unwrap_or(Json::Null),
             ),
         ]),
+        Response::Metrics(metrics) => {
+            Json::obj([("ok", Json::Bool(true)), ("metrics", metrics.clone())])
+        }
         Response::Frames(frames) => Json::obj([
             ("ok", Json::Bool(true)),
             (
@@ -595,6 +658,31 @@ mod tests {
         assert!(reply.contains("\"ok\":false"));
         let reply = handle_json(&mut server, "not json", t(0));
         assert!(reply.contains("\"ok\":false"));
+    }
+
+    #[test]
+    fn get_metrics_returns_live_series() {
+        let mut server = RouteServer::new();
+        // Touch a counter so the snapshot is non-empty beyond zeros.
+        server
+            .obs()
+            .counter("rnl_server_frames_routed_total", &[])
+            .add(3);
+        let reply = handle_json(&mut server, r#"{"op":"get_metrics"}"#, t(0));
+        assert!(reply.contains("\"ok\":true"), "{reply}");
+        assert!(
+            reply.contains("rnl_server_frames_routed_total"),
+            "snapshot should list the counter: {reply}"
+        );
+        let parsed = Json::parse(&reply).unwrap();
+        let metrics = parsed.get("metrics").and_then(Json::as_arr).unwrap();
+        let routed = metrics
+            .iter()
+            .find(|m| {
+                m.get("metric").and_then(Json::as_str) == Some("rnl_server_frames_routed_total")
+            })
+            .expect("series present");
+        assert_eq!(routed.get("counter").and_then(Json::as_u64), Some(3));
     }
 
     #[test]

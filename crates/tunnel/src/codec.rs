@@ -219,6 +219,7 @@ mod tests {
             Msg::Data {
                 router: RouterId(1),
                 port: PortId(0),
+                span: crate::msg::Span::NONE,
                 frame: vec![9; 100],
             },
             Msg::Console {

@@ -9,6 +9,8 @@
 
 use crate::codec::{Reader, Writer};
 
+pub use rnl_obs::{Span, TraceId};
+
 /// Globally unique id the route server assigns to a router (§2.2: "The
 /// route server will assign a unique id to each router").
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -93,10 +95,14 @@ pub enum Msg {
     Register(RegisterInfo),
     /// Server → RIS: ids assigned.
     RegisterAck(Vec<Assignment>),
-    /// A complete captured L2 frame, either direction.
+    /// A complete captured L2 frame, either direction. `span` carries
+    /// the frame's trace identity and virtual origin timestamp
+    /// ([`Span::NONE`] when untraced), so per-wire latency and the full
+    /// hop path can be reconstructed downstream.
     Data {
         router: RouterId,
         port: PortId,
+        span: Span,
         frame: Vec<u8>,
     },
     /// A template-compressed frame (see [`crate::compress`]). The stream
@@ -105,6 +111,7 @@ pub enum Msg {
     DataCompressed {
         router: RouterId,
         port: PortId,
+        span: Span,
         encoded: Vec<u8>,
     },
     /// Server → RIS: one console line for a router.
@@ -210,21 +217,27 @@ impl Msg {
             Msg::Data {
                 router,
                 port,
+                span,
                 frame,
             } => {
                 w.u8(tag::DATA);
                 w.u32(router.0);
                 w.u16(port.0);
+                w.u64(span.trace.0);
+                w.u64(span.origin_us);
                 w.bytes(frame);
             }
             Msg::DataCompressed {
                 router,
                 port,
+                span,
                 encoded,
             } => {
                 w.u8(tag::DATA_COMPRESSED);
                 w.u32(router.0);
                 w.u16(port.0);
+                w.u64(span.trace.0);
+                w.u64(span.origin_us);
                 w.bytes(encoded);
             }
             Msg::Console { router, line } => {
@@ -329,11 +342,19 @@ impl Msg {
             tag::DATA => Msg::Data {
                 router: RouterId(r.u32()?),
                 port: PortId(r.u16()?),
+                span: Span {
+                    trace: TraceId(r.u64()?),
+                    origin_us: r.u64()?,
+                },
                 frame: r.bytes()?,
             },
             tag::DATA_COMPRESSED => Msg::DataCompressed {
                 router: RouterId(r.u32()?),
                 port: PortId(r.u16()?),
+                span: Span {
+                    trace: TraceId(r.u64()?),
+                    origin_us: r.u64()?,
+                },
                 encoded: r.bytes()?,
             },
             tag::CONSOLE => Msg::Console {
@@ -432,11 +453,25 @@ mod tests {
         roundtrip(Msg::Data {
             router: RouterId(1),
             port: PortId(2),
+            span: Span::NONE,
+            frame: vec![0xab; 60],
+        });
+        roundtrip(Msg::Data {
+            router: RouterId(1),
+            port: PortId(2),
+            span: Span {
+                trace: TraceId(0xdead_beef_0000_0001),
+                origin_us: 123_456,
+            },
             frame: vec![0xab; 60],
         });
         roundtrip(Msg::DataCompressed {
             router: RouterId(1),
             port: PortId(2),
+            span: Span {
+                trace: TraceId(42),
+                origin_us: 7,
+            },
             encoded: vec![1, 2, 3],
         });
         roundtrip(Msg::Console {

@@ -20,10 +20,51 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 
 use crossbeam_channel::{unbounded, Receiver, Sender};
 use rnl_net::time::Instant;
+use rnl_obs::{Counter, Histogram, MetricsRegistry, LATENCY_BUCKETS_US, SIZE_BUCKETS};
 
 use crate::codec::FrameCodec;
 use crate::impair::{ImpairModel, Impairment};
 use crate::msg::{DecodeError, Msg};
+
+/// Optional metric handles a transport updates on its hot path. All
+/// handles default to absent; [`TransportMetrics::from_registry`] wires
+/// the standard set. Kept as plain `Option`s so an uninstrumented
+/// transport costs nothing but a null check.
+#[derive(Default)]
+pub struct TransportMetrics {
+    /// Size of each encoded wire message sent (framed bytes).
+    pub encoded_bytes: Option<Histogram>,
+    /// Size of each wire message received (framed bytes).
+    pub decoded_bytes: Option<Histogram>,
+    /// Impairment-applied one-way delay per delivered message, virtual µs.
+    pub impair_delay_us: Option<Histogram>,
+    /// Messages dropped by the impairment model.
+    pub dropped: Option<Counter>,
+}
+
+impl TransportMetrics {
+    /// The standard transport metric set, labeled (e.g. by site).
+    pub fn from_registry(registry: &MetricsRegistry, labels: &[(&str, &str)]) -> TransportMetrics {
+        TransportMetrics {
+            encoded_bytes: Some(registry.histogram(
+                "rnl_tunnel_encoded_msg_bytes",
+                labels,
+                &SIZE_BUCKETS,
+            )),
+            decoded_bytes: Some(registry.histogram(
+                "rnl_tunnel_decoded_msg_bytes",
+                labels,
+                &SIZE_BUCKETS,
+            )),
+            impair_delay_us: Some(registry.histogram(
+                "rnl_tunnel_impair_delay_us",
+                labels,
+                &LATENCY_BUCKETS_US,
+            )),
+            dropped: Some(registry.counter("rnl_tunnel_impair_dropped_total", labels)),
+        }
+    }
+}
 
 /// Transport failure.
 #[derive(Debug)]
@@ -80,6 +121,7 @@ pub struct MemTransport {
     inbox: VecDeque<(Instant, Vec<u8>)>,
     codec: FrameCodec,
     connected: bool,
+    metrics: TransportMetrics,
 }
 
 /// Create a connected pair with independent per-direction impairment.
@@ -94,6 +136,7 @@ pub fn mem_pair(a_to_b: Impairment, b_to_a: Impairment, seed: u64) -> (MemTransp
         inbox: VecDeque::new(),
         codec: FrameCodec::new(),
         connected: true,
+        metrics: TransportMetrics::default(),
     };
     let b = MemTransport {
         tx: tx_ba,
@@ -102,6 +145,7 @@ pub fn mem_pair(a_to_b: Impairment, b_to_a: Impairment, seed: u64) -> (MemTransp
         inbox: VecDeque::new(),
         codec: FrameCodec::new(),
         connected: true,
+        metrics: TransportMetrics::default(),
     };
     (a, b)
 }
@@ -119,10 +163,18 @@ impl Transport for MemTransport {
         // The impairment model may drop the message entirely.
         if let Some(deliver_at) = self.impair.schedule(now) {
             let bytes = FrameCodec::encode(msg);
+            if let Some(h) = &self.metrics.encoded_bytes {
+                h.observe(bytes.len() as u64);
+            }
+            if let Some(h) = &self.metrics.impair_delay_us {
+                h.observe(deliver_at.since(now).as_micros());
+            }
             self.tx.send((deliver_at, bytes)).map_err(|_| {
                 self.connected = false;
                 TransportError::Closed
             })?;
+        } else if let Some(c) = &self.metrics.dropped {
+            c.inc();
         }
         Ok(())
     }
@@ -136,6 +188,9 @@ impl Transport for MemTransport {
         let mut msgs = Vec::new();
         while matches!(self.inbox.front(), Some((at, _)) if *at <= now) {
             let (_, bytes) = self.inbox.pop_front().expect("peeked");
+            if let Some(h) = &self.metrics.decoded_bytes {
+                h.observe(bytes.len() as u64);
+            }
             self.codec.feed(&bytes);
             while let Some(msg) = self.codec.next_msg().map_err(TransportError::Protocol)? {
                 msgs.push(msg);
@@ -153,6 +208,11 @@ impl MemTransport {
     /// Replace the impairment profile mid-run (the §3.5 knob).
     pub fn set_impairment(&mut self, profile: Impairment) {
         self.impair.set_profile(profile);
+    }
+
+    /// Attach metric handles; subsequent sends/polls update them.
+    pub fn attach_metrics(&mut self, metrics: TransportMetrics) {
+        self.metrics = metrics;
     }
 
     /// Sever the link (simulates the interface PC losing its uplink).
@@ -173,6 +233,7 @@ pub struct TcpTransport {
     tx_backlog: Vec<u8>,
     connected: bool,
     read_buf: [u8; 64 * 1024],
+    metrics: TransportMetrics,
 }
 
 impl TcpTransport {
@@ -193,7 +254,15 @@ impl TcpTransport {
             tx_backlog: Vec::new(),
             connected: true,
             read_buf: [0; 64 * 1024],
+            metrics: TransportMetrics::default(),
         })
+    }
+
+    /// Attach metric handles; subsequent sends update them. (Receive
+    /// sizes are not attributed per message on TCP: the kernel hands
+    /// back arbitrary chunks.)
+    pub fn attach_metrics(&mut self, metrics: TransportMetrics) {
+        self.metrics = metrics;
     }
 
     /// Accept one connection from a listener (blocking).
@@ -229,7 +298,11 @@ impl Transport for TcpTransport {
         if !self.connected {
             return Err(TransportError::Closed);
         }
-        self.tx_backlog.extend_from_slice(&FrameCodec::encode(msg));
+        let bytes = FrameCodec::encode(msg);
+        if let Some(h) = &self.metrics.encoded_bytes {
+            h.observe(bytes.len() as u64);
+        }
+        self.tx_backlog.extend_from_slice(&bytes);
         self.flush_backlog()
     }
 
@@ -279,6 +352,7 @@ mod tests {
         Msg::Data {
             router: RouterId(1),
             port: PortId(0),
+            span: crate::msg::Span::NONE,
             frame: vec![n; 64],
         }
     }
@@ -347,6 +421,70 @@ mod tests {
         for (i, m) in msgs.iter().enumerate() {
             assert_eq!(*m, data(i as u8), "reordered at {i}");
         }
+    }
+
+    #[test]
+    fn mem_transport_records_metrics() {
+        let registry = MetricsRegistry::new();
+        let profile = Impairment {
+            delay: Duration::from_millis(3),
+            jitter: Duration::ZERO,
+            loss: 0.0,
+        };
+        let (mut a, mut b) = mem_pair(profile, Impairment::PERFECT, 11);
+        a.attach_metrics(TransportMetrics::from_registry(
+            &registry,
+            &[("side", "ris")],
+        ));
+        b.attach_metrics(TransportMetrics::from_registry(
+            &registry,
+            &[("side", "server")],
+        ));
+        for i in 0..4 {
+            a.send(&data(i), t(u64::from(i))).unwrap();
+        }
+        assert_eq!(b.poll(t(1_000)).unwrap().len(), 4);
+        let snap = registry.snapshot();
+        let sent = snap.get("rnl_tunnel_encoded_msg_bytes", &[("side", "ris")]);
+        match sent {
+            Some(rnl_obs::MetricValue::Histogram(h)) => {
+                assert_eq!(h.count, 4);
+                assert!(h.sum > 0);
+            }
+            other => panic!("missing encode histogram: {other:?}"),
+        }
+        match snap.get("rnl_tunnel_impair_delay_us", &[("side", "ris")]) {
+            Some(rnl_obs::MetricValue::Histogram(h)) => {
+                assert_eq!(h.count, 4);
+                assert_eq!(h.sum, 4 * 3_000);
+            }
+            other => panic!("missing delay histogram: {other:?}"),
+        }
+        match snap.get("rnl_tunnel_decoded_msg_bytes", &[("side", "server")]) {
+            Some(rnl_obs::MetricValue::Histogram(h)) => assert_eq!(h.count, 4),
+            other => panic!("missing decode histogram: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mem_transport_counts_impairment_drops() {
+        let registry = MetricsRegistry::new();
+        let profile = Impairment {
+            delay: Duration::ZERO,
+            jitter: Duration::ZERO,
+            loss: 1.0,
+        };
+        let (mut a, _b) = mem_pair(profile, Impairment::PERFECT, 12);
+        a.attach_metrics(TransportMetrics::from_registry(&registry, &[]));
+        for i in 0..5 {
+            a.send(&data(i), t(0)).unwrap();
+        }
+        assert_eq!(
+            registry
+                .snapshot()
+                .counter("rnl_tunnel_impair_dropped_total", &[]),
+            5
+        );
     }
 
     #[test]

@@ -5,18 +5,24 @@
 use proptest::prelude::*;
 use rnl_tunnel::codec::FrameCodec;
 use rnl_tunnel::compress::{Compressor, Decompressor};
-use rnl_tunnel::msg::{Assignment, Msg, PortId, RegisterInfo, RouterId, RouterInfo};
+use rnl_tunnel::msg::{Assignment, Msg, PortId, RegisterInfo, RouterId, RouterInfo, Span, TraceId};
 
 fn arb_msg() -> impl Strategy<Value = Msg> {
     prop_oneof![
         (
             any::<u32>(),
             any::<u16>(),
+            any::<u64>(),
+            any::<u64>(),
             proptest::collection::vec(any::<u8>(), 0..512)
         )
-            .prop_map(|(r, p, frame)| Msg::Data {
+            .prop_map(|(r, p, trace, origin, frame)| Msg::Data {
                 router: RouterId(r),
                 port: PortId(p),
+                span: Span {
+                    trace: TraceId(trace),
+                    origin_us: origin
+                },
                 frame
             }),
         (any::<u32>(), "[ -~]{0,64}").prop_map(|(r, line)| Msg::Console {

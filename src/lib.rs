@@ -15,6 +15,8 @@
 //!   flashable firmware.
 //! * [`tunnel`] — wire virtualization: tunnel protocol, transports, WAN
 //!   impairment, template compression.
+//! * [`obs`] — observability: metrics registry, frame-path tracing,
+//!   event journal, Prometheus exposition.
 //! * [`ris`] — the Router Interface Software fronting each device.
 //! * [`server`] — the back end: inventory, designs, reservations,
 //!   routing matrix, capture/generation, web-services API, sharding.
@@ -28,6 +30,7 @@ pub use rnl_core as core;
 pub use rnl_device as device;
 pub use rnl_l1switch as l1switch;
 pub use rnl_net as net;
+pub use rnl_obs as obs;
 pub use rnl_ris as ris;
 pub use rnl_server as server;
 pub use rnl_tunnel as tunnel;
