@@ -8,6 +8,16 @@ export CARGO_NET_OFFLINE=true
 cargo build --release --offline --workspace
 cargo test -q --offline --workspace
 cargo fmt --all --check
-cargo clippy --offline --workspace --all-targets -- -D warnings
+# Workspace-wide lint, plus a curated subset of stricter lints that are
+# cheap to keep clean everywhere.
+cargo clippy --offline --workspace --all-targets -- -D warnings \
+    -D clippy::dbg_macro -D clippy::todo -D clippy::unimplemented
+# The frame-relay hot path must not panic: ban unwrap/expect outright in
+# the hot-path crates' non-test code (--lib excludes #[cfg(test)];
+# --no-deps keeps the stricter bar off the other crates).
+cargo clippy --offline --no-deps -p rnl-tunnel -p rnl-ris -p rnl-server --lib -- \
+    -D warnings -D clippy::unwrap_used -D clippy::expect_used
+# Source-level gate over the hot-path files (allowlist: tools/srclint-allow.txt).
+cargo run -q --offline -p rnl-bench --bin srclint
 
 echo "ci: all checks passed"

@@ -1,0 +1,717 @@
+//! The check registry: every lint the analyzer knows, grouped by layer,
+//! each with a stable `RNL0xxx` code.
+//!
+//! | layer  | codes    | what they catch                                   |
+//! |--------|----------|---------------------------------------------------|
+//! | graph  | RNL01xx  | wiring-shape mistakes visible without any config  |
+//! | L2     | RNL02xx  | VLAN/MAC/spanning-tree mistakes                   |
+//! | L3     | RNL03xx  | addressing and routing mistakes                   |
+//! | policy | RNL04xx  | ACL and firewall rule mistakes                    |
+//!
+//! Checks only fire on evidence the caller actually supplied: a device
+//! without a saved config produces no config-level findings (just the
+//! RNL0001 note), so a bare topology still gets the full graph layer.
+
+use std::collections::BTreeMap;
+
+use rnl_device::acl::{AddrMatch, PortMatch, ProtoMatch, Rule};
+use rnl_device::switch::PortMode;
+use rnl_tunnel::msg::{PortId, RouterId};
+
+use crate::diag::{Diagnostic, Severity};
+use crate::model::{AnalysisInput, DeviceKind};
+
+/// Which layer a check inspects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Layer {
+    Graph,
+    L2,
+    L3,
+    Policy,
+}
+
+impl Layer {
+    /// Lowercase label for catalogs.
+    pub fn label(self) -> &'static str {
+        match self {
+            Layer::Graph => "graph",
+            Layer::L2 => "l2",
+            Layer::L3 => "l3",
+            Layer::Policy => "policy",
+        }
+    }
+}
+
+/// One registered check.
+pub struct CheckDef {
+    /// Stable diagnostic code.
+    pub code: &'static str,
+    pub layer: Layer,
+    /// Severity of the findings this check emits.
+    pub severity: Severity,
+    /// One-line catalog description.
+    pub summary: &'static str,
+    /// The check itself.
+    pub run: fn(&AnalysisInput, &mut Vec<Diagnostic>),
+}
+
+/// The full registry, in emission order.
+pub const REGISTRY: &[CheckDef] = &[
+    CheckDef {
+        code: CONFIG_MISSING,
+        layer: Layer::Graph,
+        severity: Severity::Info,
+        summary: "device has no saved config; config-level checks are skipped for it",
+        run: check_config_missing,
+    },
+    CheckDef {
+        code: ISOLATED_DEVICE,
+        layer: Layer::Graph,
+        severity: Severity::Warning,
+        summary: "device is in the design but no wire touches it",
+        run: check_isolated_device,
+    },
+    CheckDef {
+        code: HOST_TO_HOST_WIRE,
+        layer: Layer::Graph,
+        severity: Severity::Warning,
+        summary: "wire connects two hosts directly, with no network device between them",
+        run: check_host_to_host_wire,
+    },
+    CheckDef {
+        code: CAPACITY_EXCEEDED,
+        layer: Layer::Graph,
+        severity: Severity::Error,
+        summary: "design uses more devices than the inventory holds",
+        run: check_capacity,
+    },
+    CheckDef {
+        code: PORT_OUT_OF_RANGE,
+        layer: Layer::Graph,
+        severity: Severity::Error,
+        summary: "wire endpoint names a port the device does not have",
+        run: check_port_range,
+    },
+    CheckDef {
+        code: VLAN_MISMATCH,
+        layer: Layer::L2,
+        severity: Severity::Warning,
+        summary: "switchports on the two ends of a wire put untagged traffic in different VLANs",
+        run: check_vlan_mismatch,
+    },
+    CheckDef {
+        code: DUPLICATE_MAC,
+        layer: Layer::L2,
+        severity: Severity::Warning,
+        summary: "the same interface MAC appears on more than one device",
+        run: check_duplicate_mac,
+    },
+    CheckDef {
+        code: STP_LOOP_RISK,
+        layer: Layer::L2,
+        severity: Severity::Warning,
+        summary: "switches form a physical loop and none of them runs spanning tree",
+        run: check_stp_loop,
+    },
+    CheckDef {
+        code: SUBNET_MISMATCH,
+        layer: Layer::L3,
+        severity: Severity::Warning,
+        summary: "interfaces on the two ends of a wire are in different subnets",
+        run: check_subnet_mismatch,
+    },
+    CheckDef {
+        code: DUPLICATE_IP,
+        layer: Layer::L3,
+        severity: Severity::Error,
+        summary: "the same IP address is configured on more than one interface",
+        run: check_duplicate_ip,
+    },
+    CheckDef {
+        code: RIP_NO_INTERFACE,
+        layer: Layer::L3,
+        severity: Severity::Warning,
+        summary: "RIP network statement covers none of the device's interfaces",
+        run: check_rip_coverage,
+    },
+    CheckDef {
+        code: NEXT_HOP_UNREACHABLE,
+        layer: Layer::L3,
+        severity: Severity::Warning,
+        summary: "static route next hop is not reachable over any wired interface",
+        run: check_next_hop,
+    },
+    CheckDef {
+        code: SHADOWED_ACL_RULE,
+        layer: Layer::Policy,
+        severity: Severity::Warning,
+        summary: "ACL rule can never match because an earlier rule covers it",
+        run: check_shadowed_rules,
+    },
+    CheckDef {
+        code: UNDEFINED_ACL_REF,
+        layer: Layer::Policy,
+        severity: Severity::Error,
+        summary: "config references an ACL or interface that is not defined",
+        run: check_undefined_refs,
+    },
+    CheckDef {
+        code: CONTRADICTORY_RULES,
+        layer: Layer::Policy,
+        severity: Severity::Warning,
+        summary: "two rules match exactly the same traffic with opposite verdicts",
+        run: check_contradictions,
+    },
+    CheckDef {
+        code: FWSM_NO_BPDU_FORWARD,
+        layer: Layer::Policy,
+        severity: Severity::Warning,
+        summary: "FWSM bridges a VLAN pair without forwarding BPDUs (the Fig. 5 pitfall)",
+        run: check_fwsm_bpdu,
+    },
+];
+
+pub const CONFIG_MISSING: &str = "RNL0001";
+pub const ISOLATED_DEVICE: &str = "RNL0101";
+pub const HOST_TO_HOST_WIRE: &str = "RNL0102";
+pub const CAPACITY_EXCEEDED: &str = "RNL0103";
+pub const PORT_OUT_OF_RANGE: &str = "RNL0104";
+pub const VLAN_MISMATCH: &str = "RNL0201";
+pub const DUPLICATE_MAC: &str = "RNL0202";
+pub const STP_LOOP_RISK: &str = "RNL0203";
+pub const SUBNET_MISMATCH: &str = "RNL0301";
+pub const DUPLICATE_IP: &str = "RNL0302";
+pub const RIP_NO_INTERFACE: &str = "RNL0303";
+pub const NEXT_HOP_UNREACHABLE: &str = "RNL0304";
+pub const SHADOWED_ACL_RULE: &str = "RNL0401";
+pub const UNDEFINED_ACL_REF: &str = "RNL0402";
+pub const CONTRADICTORY_RULES: &str = "RNL0403";
+pub const FWSM_NO_BPDU_FORWARD: &str = "RNL0404";
+
+// ---------------------------------------------------------------------
+// Graph layer
+// ---------------------------------------------------------------------
+
+fn check_config_missing(input: &AnalysisInput, out: &mut Vec<Diagnostic>) {
+    for dev in &input.devices {
+        if dev.config.is_none() && dev.kind != DeviceKind::Host {
+            out.push(
+                Diagnostic::new(
+                    CONFIG_MISSING,
+                    Severity::Info,
+                    format!(
+                        "{} has no saved config; config-level checks skipped",
+                        dev.kind.label()
+                    ),
+                )
+                .on(dev.id),
+            );
+        }
+    }
+}
+
+fn check_isolated_device(input: &AnalysisInput, out: &mut Vec<Diagnostic>) {
+    for dev in &input.devices {
+        if !input.is_wired(dev.id) {
+            out.push(
+                Diagnostic::new(
+                    ISOLATED_DEVICE,
+                    Severity::Warning,
+                    format!(
+                        "{} is in the design but nothing is wired to it",
+                        dev.kind.label()
+                    ),
+                )
+                .on(dev.id),
+            );
+        }
+    }
+}
+
+fn check_host_to_host_wire(input: &AnalysisInput, out: &mut Vec<Diagnostic>) {
+    for (a, b) in &input.wires {
+        let kinds = (
+            input.device(a.0).map(|d| d.kind),
+            input.device(b.0).map(|d| d.kind),
+        );
+        if kinds == (Some(DeviceKind::Host), Some(DeviceKind::Host)) {
+            out.push(
+                Diagnostic::new(
+                    HOST_TO_HOST_WIRE,
+                    Severity::Warning,
+                    format!(
+                        "host wired directly to host {} with no network device between",
+                        b.0
+                    ),
+                )
+                .at(a.0, a.1),
+            );
+        }
+    }
+}
+
+fn check_capacity(input: &AnalysisInput, out: &mut Vec<Diagnostic>) {
+    if let Some(capacity) = input.inventory_capacity {
+        if input.devices.len() > capacity {
+            out.push(Diagnostic::new(
+                CAPACITY_EXCEEDED,
+                Severity::Error,
+                format!(
+                    "design uses {} devices but the inventory holds only {capacity}",
+                    input.devices.len()
+                ),
+            ));
+        }
+    }
+}
+
+fn check_port_range(input: &AnalysisInput, out: &mut Vec<Diagnostic>) {
+    for (a, b) in &input.wires {
+        for end in [a, b] {
+            let Some(dev) = input.device(end.0) else {
+                continue;
+            };
+            if let Some(ports) = dev.ports {
+                if end.1 .0 >= ports {
+                    out.push(
+                        Diagnostic::new(
+                            PORT_OUT_OF_RANGE,
+                            Severity::Error,
+                            format!(
+                                "wire uses port {} but the {} has only {ports} ports",
+                                end.1,
+                                dev.kind.label()
+                            ),
+                        )
+                        .at(end.0, end.1),
+                    );
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// L2 layer
+// ---------------------------------------------------------------------
+
+/// The VLAN a port puts *untagged* traffic into, when configured.
+fn untagged_vlan(input: &AnalysisInput, end: (RouterId, PortId)) -> Option<u16> {
+    let config = input.device(end.0)?.config.as_ref()?;
+    match config.interfaces.get(&end.1 .0)?.switchport? {
+        PortMode::Access(vlan) => Some(vlan),
+        PortMode::Trunk { native } => Some(native),
+    }
+}
+
+fn check_vlan_mismatch(input: &AnalysisInput, out: &mut Vec<Diagnostic>) {
+    for (a, b) in &input.wires {
+        if let (Some(va), Some(vb)) = (untagged_vlan(input, *a), untagged_vlan(input, *b)) {
+            if va != vb {
+                out.push(
+                    Diagnostic::new(
+                        VLAN_MISMATCH,
+                        Severity::Warning,
+                        format!(
+                            "untagged traffic lands in VLAN {va} here but VLAN {vb} on {}:{}",
+                            b.0, b.1
+                        ),
+                    )
+                    .at(a.0, a.1),
+                );
+            }
+        }
+    }
+}
+
+fn check_duplicate_mac(input: &AnalysisInput, out: &mut Vec<Diagnostic>) {
+    let mut seen: Vec<([u8; 6], RouterId)> = Vec::new();
+    for dev in &input.devices {
+        for mac in &dev.macs {
+            seen.push((mac.0, dev.id));
+        }
+    }
+    seen.sort();
+    for pair in seen.windows(2) {
+        let ((mac, first), (other, second)) = (pair[0], pair[1]);
+        if mac == other && first != second {
+            let text = mac
+                .iter()
+                .map(|b| format!("{b:02x}"))
+                .collect::<Vec<_>>()
+                .join(":");
+            out.push(
+                Diagnostic::new(
+                    DUPLICATE_MAC,
+                    Severity::Warning,
+                    format!("interface MAC {text} is also present on {first}"),
+                )
+                .on(second),
+            );
+        }
+    }
+}
+
+fn check_stp_loop(input: &AnalysisInput, out: &mut Vec<Diagnostic>) {
+    // Union-find over the switch-to-switch subgraph: only switches
+    // bridge L2, so only their wires can form a broadcast loop.
+    let switches: Vec<RouterId> = input
+        .devices
+        .iter()
+        .filter(|d| d.kind == DeviceKind::Switch)
+        .map(|d| d.id)
+        .collect();
+    let index: BTreeMap<RouterId, usize> =
+        switches.iter().enumerate().map(|(i, &r)| (r, i)).collect();
+    let mut parent: Vec<usize> = (0..switches.len()).collect();
+    fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+        if parent[x] != x {
+            let root = find(parent, parent[x]);
+            parent[x] = root;
+        }
+        parent[x]
+    }
+    let mut cyclic_roots: Vec<usize> = Vec::new();
+    for (a, b) in &input.wires {
+        let (Some(&ia), Some(&ib)) = (index.get(&a.0), index.get(&b.0)) else {
+            continue;
+        };
+        let (ra, rb) = (find(&mut parent, ia), find(&mut parent, ib));
+        if ra == rb {
+            cyclic_roots.push(ra);
+        } else {
+            parent[ra] = rb;
+        }
+    }
+    for root in cyclic_roots {
+        let root = find(&mut parent, root);
+        let members: Vec<RouterId> = switches
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| find(&mut parent, i) == root)
+            .map(|(_, &r)| r)
+            .collect();
+        // A switch with no saved config is assumed to run spanning tree
+        // (the device default); only configs stating `no spanning-tree`
+        // count as incapable.
+        let all_stp_off = members.iter().all(|id| {
+            input
+                .device(*id)
+                .and_then(|d| d.config.as_ref())
+                .is_some_and(|c| !c.stp_enabled)
+        });
+        if all_stp_off {
+            let names = members
+                .iter()
+                .map(|r| format!("{r}"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            out.push(
+                Diagnostic::new(
+                    STP_LOOP_RISK,
+                    Severity::Warning,
+                    format!(
+                        "switches {names} form a physical loop and every one has spanning tree disabled"
+                    ),
+                )
+                .on(members[0]),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// L3 layer
+// ---------------------------------------------------------------------
+
+fn check_subnet_mismatch(input: &AnalysisInput, out: &mut Vec<Diagnostic>) {
+    for (a, b) in &input.wires {
+        let ip = |end: &(RouterId, PortId)| {
+            input
+                .device(end.0)?
+                .config
+                .as_ref()?
+                .interfaces
+                .get(&end.1 .0)?
+                .ip
+        };
+        if let (Some(ia), Some(ib)) = (ip(a), ip(b)) {
+            if ia.network() != ib.network() || ia.prefix_len() != ib.prefix_len() {
+                out.push(
+                    Diagnostic::new(
+                        SUBNET_MISMATCH,
+                        Severity::Warning,
+                        format!(
+                            "wire endpoints are in different subnets: {ia} here, {ib} on {}:{}",
+                            b.0, b.1
+                        ),
+                    )
+                    .at(a.0, a.1),
+                );
+            }
+        }
+    }
+}
+
+fn check_duplicate_ip(input: &AnalysisInput, out: &mut Vec<Diagnostic>) {
+    let mut seen: Vec<(std::net::Ipv4Addr, RouterId, u16)> = Vec::new();
+    for dev in &input.devices {
+        let Some(config) = dev.config.as_ref() else {
+            continue;
+        };
+        for (&idx, iface) in &config.interfaces {
+            if let Some(ip) = iface.ip {
+                seen.push((ip.addr(), dev.id, idx));
+            }
+        }
+    }
+    seen.sort();
+    for pair in seen.windows(2) {
+        let ((ip, r1, p1), (other, r2, p2)) = (pair[0], pair[1]);
+        if ip == other {
+            out.push(
+                Diagnostic::new(
+                    DUPLICATE_IP,
+                    Severity::Error,
+                    format!("IP address {ip} is also configured on {r1}:p{p1}"),
+                )
+                .at(r2, PortId(p2)),
+            );
+        }
+    }
+}
+
+fn check_rip_coverage(input: &AnalysisInput, out: &mut Vec<Diagnostic>) {
+    for dev in &input.devices {
+        let Some(config) = dev.config.as_ref() else {
+            continue;
+        };
+        if !config.rip_enabled {
+            continue;
+        }
+        for network in &config.rip_networks {
+            if !config.rip_network_covers_interface(network) {
+                out.push(
+                    Diagnostic::new(
+                        RIP_NO_INTERFACE,
+                        Severity::Warning,
+                        format!("RIP network {network} covers none of the configured interfaces"),
+                    )
+                    .on(dev.id),
+                );
+            }
+        }
+    }
+}
+
+fn check_next_hop(input: &AnalysisInput, out: &mut Vec<Diagnostic>) {
+    for dev in &input.devices {
+        let Some(config) = dev.config.as_ref() else {
+            continue;
+        };
+        for (prefix, hop) in &config.static_routes {
+            let via = config
+                .interfaces
+                .iter()
+                .find(|(_, i)| i.ip.is_some_and(|ip| ip.contains(*hop)));
+            match via {
+                None => out.push(
+                    Diagnostic::new(
+                        NEXT_HOP_UNREACHABLE,
+                        Severity::Warning,
+                        format!(
+                            "static route to {prefix} points at {hop}, which is on none of the device's subnets"
+                        ),
+                    )
+                    .on(dev.id),
+                ),
+                Some((&idx, _)) if !input.port_wired(dev.id, PortId(idx)) => out.push(
+                    Diagnostic::new(
+                        NEXT_HOP_UNREACHABLE,
+                        Severity::Warning,
+                        format!(
+                            "static route to {prefix} points at {hop}, but the port facing it is not wired"
+                        ),
+                    )
+                    .at(dev.id, PortId(idx)),
+                ),
+                Some(_) => {}
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Policy layer
+// ---------------------------------------------------------------------
+
+fn proto_covers(a: ProtoMatch, b: ProtoMatch) -> bool {
+    a == ProtoMatch::Any || a == b
+}
+
+fn addr_covers(a: AddrMatch, b: AddrMatch) -> bool {
+    match (a, b) {
+        (AddrMatch::Any, _) => true,
+        (AddrMatch::Net(_), AddrMatch::Any) => false,
+        (AddrMatch::Net(x), AddrMatch::Net(y)) => {
+            x.prefix_len() <= y.prefix_len() && x.contains(y.network())
+        }
+    }
+}
+
+fn port_covers(a: PortMatch, b: PortMatch) -> bool {
+    a == PortMatch::Any || a == b
+}
+
+/// Whether every packet rule `b` matches is also matched by rule `a`.
+fn rule_covers(a: &Rule, b: &Rule) -> bool {
+    proto_covers(a.proto, b.proto)
+        && addr_covers(a.src, b.src)
+        && addr_covers(a.dst, b.dst)
+        && port_covers(a.dst_port, b.dst_port)
+}
+
+fn same_match(a: &Rule, b: &Rule) -> bool {
+    a.proto == b.proto && a.src == b.src && a.dst == b.dst && a.dst_port == b.dst_port
+}
+
+fn for_each_acl(input: &AnalysisInput, mut f: impl FnMut(RouterId, u16, &[Rule])) {
+    for dev in &input.devices {
+        if let Some(config) = dev.config.as_ref() {
+            for (&id, rules) in &config.acls {
+                f(dev.id, id, rules);
+            }
+        }
+    }
+}
+
+fn check_shadowed_rules(input: &AnalysisInput, out: &mut Vec<Diagnostic>) {
+    for_each_acl(input, |device, id, rules| {
+        for (j, later) in rules.iter().enumerate() {
+            for (i, earlier) in rules[..j].iter().enumerate() {
+                // Exact-match/opposite-action pairs are reported as
+                // contradictions (RNL0403), not shadows.
+                if same_match(earlier, later) && earlier.action != later.action {
+                    continue;
+                }
+                if rule_covers(earlier, later) {
+                    out.push(
+                        Diagnostic::new(
+                            SHADOWED_ACL_RULE,
+                            Severity::Warning,
+                            format!(
+                                "rule {} of access-list {id} (`{}`) can never match: rule {} (`{}`) covers it",
+                                j + 1,
+                                later.to_cli(id),
+                                i + 1,
+                                earlier.to_cli(id),
+                            ),
+                        )
+                        .on(device),
+                    );
+                    break;
+                }
+            }
+        }
+    });
+}
+
+fn check_contradictions(input: &AnalysisInput, out: &mut Vec<Diagnostic>) {
+    for_each_acl(input, |device, id, rules| {
+        for (j, later) in rules.iter().enumerate() {
+            if rules[..j]
+                .iter()
+                .any(|e| same_match(e, later) && e.action != later.action)
+            {
+                out.push(
+                    Diagnostic::new(
+                        CONTRADICTORY_RULES,
+                        Severity::Warning,
+                        format!(
+                            "access-list {id} contains `{}` after a rule matching the same traffic with the opposite verdict",
+                            later.to_cli(id)
+                        ),
+                    )
+                    .on(device),
+                );
+            }
+        }
+    });
+}
+
+fn check_undefined_refs(input: &AnalysisInput, out: &mut Vec<Diagnostic>) {
+    for dev in &input.devices {
+        let Some(config) = dev.config.as_ref() else {
+            continue;
+        };
+        for (&idx, iface) in &config.interfaces {
+            for (id, dir) in [(iface.acl_in, "in"), (iface.acl_out, "out")] {
+                if let Some(id) = id {
+                    if !config.acls.contains_key(&id) {
+                        out.push(
+                            Diagnostic::new(
+                                UNDEFINED_ACL_REF,
+                                Severity::Error,
+                                format!(
+                                    "`ip access-group {id} {dir}` references access-list {id}, which is not defined"
+                                ),
+                            )
+                            .at(dev.id, PortId(idx)),
+                        );
+                    }
+                }
+            }
+            if let Some(ports) = dev.ports {
+                if idx >= ports {
+                    out.push(
+                        Diagnostic::new(
+                            UNDEFINED_ACL_REF,
+                            Severity::Error,
+                            format!(
+                                "config has an interface section for port {idx}, but the device has only {ports} ports"
+                            ),
+                        )
+                        .at(dev.id, PortId(idx)),
+                    );
+                }
+            }
+        }
+        if let Some(fwsm) = config.fwsm.as_ref() {
+            if let Some(id) = fwsm.outside_acl {
+                if !config.acls.contains_key(&id) {
+                    out.push(
+                        Diagnostic::new(
+                            UNDEFINED_ACL_REF,
+                            Severity::Error,
+                            format!(
+                                "`firewall acl-outside {id}` references access-list {id}, which is not defined"
+                            ),
+                        )
+                        .on(dev.id),
+                    );
+                }
+            }
+        }
+    }
+}
+
+fn check_fwsm_bpdu(input: &AnalysisInput, out: &mut Vec<Diagnostic>) {
+    for dev in &input.devices {
+        let Some(fwsm) = dev.config.as_ref().and_then(|c| c.fwsm.as_ref()) else {
+            continue;
+        };
+        if !fwsm.bpdu_forward {
+            out.push(
+                Diagnostic::new(
+                    FWSM_NO_BPDU_FORWARD,
+                    Severity::Warning,
+                    format!(
+                        "FWSM bridges VLANs {}/{} without `firewall bpdu-forward`: spanning tree cannot see through the firewall",
+                        fwsm.inside, fwsm.outside
+                    ),
+                )
+                .on(dev.id),
+            );
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! The analyzer's input model: a design's devices and wires plus
+//! whatever the caller knows about each device (inventory kind, port
+//! count, parsed saved config).
+//!
+//! The model is deliberately independent of `rnl-server`: the server
+//! converts its `Design` + `Inventory` into an [`AnalysisInput`] for the
+//! deploy gate, while the offline `rnl-lint` CLI builds one from an
+//! exported design JSON with no inventory at all (kinds are then
+//! inferred from config content).
+
+use rnl_device::confparse::{KindHint, ParsedConfig};
+use rnl_net::addr::MacAddr;
+use rnl_tunnel::msg::{PortId, RouterId};
+
+/// What kind of equipment a design node is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeviceKind {
+    Router,
+    Switch,
+    Host,
+    Unknown,
+}
+
+impl DeviceKind {
+    /// Classify from an inventory model string (`"7200 Series Router"`,
+    /// `"Catalyst 6500"`, `"Linux Server"`).
+    pub fn from_model(model: &str) -> DeviceKind {
+        let lower = model.to_ascii_lowercase();
+        if lower.contains("router") {
+            DeviceKind::Router
+        } else if lower.contains("catalyst") || lower.contains("switch") {
+            DeviceKind::Switch
+        } else if lower.contains("server") || lower.contains("host") || lower.contains("linux") {
+            DeviceKind::Host
+        } else {
+            DeviceKind::Unknown
+        }
+    }
+
+    /// Classify from parsed config content (the offline-CLI fallback).
+    pub fn from_hint(hint: KindHint) -> DeviceKind {
+        match hint {
+            KindHint::Router => DeviceKind::Router,
+            KindHint::Switch => DeviceKind::Switch,
+            KindHint::Unknown => DeviceKind::Unknown,
+        }
+    }
+
+    /// Lowercase label for messages.
+    pub fn label(self) -> &'static str {
+        match self {
+            DeviceKind::Router => "router",
+            DeviceKind::Switch => "switch",
+            DeviceKind::Host => "host",
+            DeviceKind::Unknown => "device",
+        }
+    }
+}
+
+/// One design node as the analyzer sees it. Fields the caller cannot
+/// know are `None`/empty and the checks needing them stay silent.
+#[derive(Debug, Clone)]
+pub struct DeviceInput {
+    pub id: RouterId,
+    pub kind: DeviceKind,
+    /// Port count, when the inventory knows it.
+    pub ports: Option<u16>,
+    /// Interface MACs, when the caller knows them (lab harnesses do;
+    /// the web server does not).
+    pub macs: Vec<MacAddr>,
+    /// Parsed saved config, when the design carries one.
+    pub config: Option<ParsedConfig>,
+}
+
+impl DeviceInput {
+    /// A device about which nothing but the id is known.
+    pub fn bare(id: RouterId) -> DeviceInput {
+        DeviceInput {
+            id,
+            kind: DeviceKind::Unknown,
+            ports: None,
+            macs: Vec::new(),
+            config: None,
+        }
+    }
+}
+
+/// The full analyzer input.
+#[derive(Debug, Clone, Default)]
+pub struct AnalysisInput {
+    /// Design name, echoed into the report.
+    pub design: String,
+    pub devices: Vec<DeviceInput>,
+    /// The drawn wires.
+    pub wires: Vec<((RouterId, PortId), (RouterId, PortId))>,
+    /// Devices available in the inventory, when known (the capacity
+    /// check).
+    pub inventory_capacity: Option<usize>,
+}
+
+impl AnalysisInput {
+    /// Look a device up by id.
+    pub fn device(&self, id: RouterId) -> Option<&DeviceInput> {
+        self.devices.iter().find(|d| d.id == id)
+    }
+
+    /// Whether any wire touches the given device.
+    pub fn is_wired(&self, id: RouterId) -> bool {
+        self.wires.iter().any(|(a, b)| a.0 == id || b.0 == id)
+    }
+
+    /// Whether any wire touches the given device:port.
+    pub fn port_wired(&self, id: RouterId, port: PortId) -> bool {
+        self.wires
+            .iter()
+            .any(|(a, b)| *a == (id, port) || *b == (id, port))
+    }
+}

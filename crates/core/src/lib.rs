@@ -314,6 +314,28 @@ impl RemoteNetworkLabs {
         Ok(self.server.deploy_design(user, design, now)?)
     }
 
+    /// Deploy a saved design with the static-analysis gate overridden.
+    pub fn deploy_forced(&mut self, user: &str, design: &str) -> Result<DeploymentId, LabError> {
+        let now = self.now;
+        Ok(self.server.deploy_forced(user, design, now)?)
+    }
+
+    /// Deploy an unsaved design with the static-analysis gate
+    /// overridden.
+    pub fn deploy_design_forced(
+        &mut self,
+        user: &str,
+        design: &Design,
+    ) -> Result<DeploymentId, LabError> {
+        let now = self.now;
+        Ok(self.server.deploy_design_forced(user, design, now)?)
+    }
+
+    /// Run pre-deploy static analysis over a saved design.
+    pub fn analyze_design(&self, design: &str) -> Result<rnl_server::lint::Report, LabError> {
+        Ok(self.server.analyze_saved_design(design)?)
+    }
+
     /// Tear a deployment down.
     pub fn teardown(&mut self, id: DeploymentId) -> bool {
         self.server.teardown(id)

@@ -93,6 +93,10 @@ pub struct NightlyReport {
     /// (`name{labels}`, delta) pairs — what the run cost the relay path
     /// (frames routed/unrouted per reason, bytes, per-wire traffic).
     pub metrics: Vec<(String, u64)>,
+    /// Pre-deploy static-analysis summaries, one line per saved design
+    /// (`"<design>: <summary>"`), so the morning log also reports lint
+    /// drift when a topology or configuration changed.
+    pub lint: Vec<String>,
 }
 
 impl NightlyReport {
@@ -123,6 +127,12 @@ impl NightlyReport {
             out.push_str("  metrics deltas:\n");
             for (series, delta) in &self.metrics {
                 out.push_str(&format!("    {series} +{delta}\n"));
+            }
+        }
+        if !self.lint.is_empty() {
+            out.push_str("  pre-deploy analysis:\n");
+            for line in &self.lint {
+                out.push_str(&format!("    {line}\n"));
             }
         }
         out
@@ -167,7 +177,25 @@ impl NightlySuite {
             results.push(run_probe(labs, probe)?);
         }
         let metrics = counter_deltas(&before, &labs.server_obs().snapshot());
-        Ok(NightlyReport { results, metrics })
+        // Re-analyze every saved design so the morning log flags lint
+        // drift alongside probe failures.
+        let names: Vec<String> = labs
+            .server()
+            .designs()
+            .names()
+            .map(str::to_string)
+            .collect();
+        let mut lint = Vec::with_capacity(names.len());
+        for name in names {
+            if let Ok(report) = labs.server().analyze_saved_design(&name) {
+                lint.push(format!("{name}: {}", report.summary()));
+            }
+        }
+        Ok(NightlyReport {
+            results,
+            metrics,
+            lint,
+        })
     }
 }
 

@@ -1,0 +1,275 @@
+//! Integration tests for the pre-deploy static analyzer (rnl-lint):
+//! the paper scenarios analyze clean, seeded configuration faults
+//! produce the expected diagnostic codes, and the deploy gate rejects
+//! Error findings unless forced.
+
+use rnl_core::nightly::NightlySuite;
+use rnl_core::scenarios::{fig5_failover_lab, fig6_policy_lab, Fig5Options};
+use rnl_core::{LabError, RemoteNetworkLabs};
+use rnl_server::design::Design;
+use rnl_server::lint::Severity;
+use rnl_server::web::{parse_request, Request, Response};
+use rnl_server::{lint, ServerError};
+use rnl_tunnel::msg::{PortId, RouterId};
+
+// -------------------------------------------------------------------
+// Paper scenarios analyze without errors
+// -------------------------------------------------------------------
+
+#[test]
+fn fig5_failover_design_analyzes_without_errors() {
+    let lab = fig5_failover_lab(Fig5Options {
+        bpdu_forward: true,
+        failover_wired: true,
+    })
+    .expect("fig5 lab");
+    let report = lab.labs.analyze_design("fig5-failover").expect("analyze");
+    assert!(!report.has_errors(), "{}", report.render());
+}
+
+#[test]
+fn fig6_policy_design_analyzes_without_errors() {
+    let lab = fig6_policy_lab(true).expect("fig6 lab");
+    let report = lab.labs.analyze_design("fig6-policy").expect("analyze");
+    assert!(!report.has_errors(), "{}", report.render());
+}
+
+#[test]
+fn fig6_with_dumped_configs_analyzes_without_errors() {
+    // Dump every router's real running config into the design — the
+    // full §2.1 save path — and re-analyze with configs present.
+    let mut lab = fig6_policy_lab(false).expect("fig6 lab");
+    for router in [lab.r1, lab.r2, lab.r3, lab.r4] {
+        let text = lab.labs.dump_config(router).expect("dump");
+        lab.labs
+            .server_mut()
+            .designs_mut()
+            .load_mut("fig6-policy")
+            .expect("saved design")
+            .set_saved_config(router, text)
+            .expect("design member");
+    }
+    let report = lab.labs.analyze_design("fig6-policy").expect("analyze");
+    assert!(!report.has_errors(), "{}", report.render());
+    // The analyzer saw real router configs; the only config-less
+    // devices are the hosts, which don't warrant a config-missing note.
+    assert_eq!(report.count(Severity::Info), 0, "{}", report.render());
+}
+
+// -------------------------------------------------------------------
+// Seeded faults produce the expected codes
+// -------------------------------------------------------------------
+
+fn fault_design(configs: &[(u32, &str)]) -> Design {
+    let mut design = Design::new("seeded-fault");
+    for &(id, _) in configs {
+        design.add_device(RouterId(id));
+    }
+    if configs.len() >= 2 {
+        design
+            .connect(
+                (RouterId(configs[0].0), PortId(0)),
+                (RouterId(configs[1].0), PortId(0)),
+            )
+            .expect("wire");
+    }
+    for &(id, text) in configs {
+        design
+            .set_saved_config(RouterId(id), text.to_string())
+            .expect("member");
+    }
+    design
+}
+
+#[test]
+fn seeded_subnet_mismatch_reports_rnl0301() {
+    let design = fault_design(&[
+        (
+            1,
+            "interface FastEthernet0/0\n ip address 192.168.12.1 255.255.255.0\n!\n",
+        ),
+        (
+            2,
+            "interface FastEthernet0/0\n ip address 192.168.99.2 255.255.255.0\n!\n",
+        ),
+    ]);
+    let report = lint::analyze_design(&design, None);
+    assert!(
+        report
+            .diagnostics
+            .iter()
+            .any(|d| d.code == rnl_analysis::checks::SUBNET_MISMATCH),
+        "{}",
+        report.render()
+    );
+}
+
+#[test]
+fn seeded_shadowed_acl_reports_rnl0401() {
+    let config = "\
+interface FastEthernet0/0
+ ip address 10.1.0.1 255.255.0.0
+ ip access-group 102 out
+!
+access-list 102 permit ip any any
+access-list 102 deny ip 10.1.0.0 255.255.0.0 10.2.0.0 255.255.0.0
+";
+    let design = fault_design(&[(1, config)]);
+    let report = lint::analyze_design(&design, None);
+    assert!(
+        report
+            .diagnostics
+            .iter()
+            .any(|d| d.code == rnl_analysis::checks::SHADOWED_ACL_RULE),
+        "{}",
+        report.render()
+    );
+}
+
+#[test]
+fn seeded_duplicate_ip_reports_rnl0302_as_error() {
+    let text = "interface FastEthernet0/0\n ip address 10.0.0.1 255.255.255.0\n!\n";
+    let design = fault_design(&[(1, text), (2, text)]);
+    let report = lint::analyze_design(&design, None);
+    assert!(report.has_errors(), "{}", report.render());
+    assert!(report
+        .diagnostics
+        .iter()
+        .any(|d| d.code == rnl_analysis::checks::DUPLICATE_IP));
+}
+
+// -------------------------------------------------------------------
+// Deploy gate: reject on Error findings, force overrides
+// -------------------------------------------------------------------
+
+/// A deployable two-router lab whose design carries duplicate-IP saved
+/// configs (an Error finding) — structurally valid, so only the
+/// analyzer objects.
+fn lab_with_bad_design() -> Result<(RemoteNetworkLabs, &'static str), LabError> {
+    use rnl_device::router::Router;
+    let mut labs = RemoteNetworkLabs::new_unreserved();
+    let site = labs.add_site("lint-site");
+    let mut a = Router::new("ra", 11, 2);
+    a.set_interface_ip(0, "10.0.0.1/24".parse().expect("valid"));
+    let mut b = Router::new("rb", 12, 2);
+    b.set_interface_ip(0, "10.0.0.2/24".parse().expect("valid"));
+    labs.add_device(site, Box::new(a), "router A")?;
+    labs.add_device(site, Box::new(b), "router B")?;
+    let ids = labs.join_labs(site)?;
+
+    let mut design = Design::new("dup-ip-lab");
+    design.add_device(ids[0]);
+    design.add_device(ids[1]);
+    design
+        .connect((ids[0], PortId(0)), (ids[1], PortId(0)))
+        .expect("wire");
+    let text = "interface FastEthernet0/0\n ip address 10.0.0.1 255.255.255.0\n!\n";
+    for &id in &ids {
+        design
+            .set_saved_config(id, text.to_string())
+            .expect("member");
+    }
+    labs.save_design(design);
+    Ok((labs, "dup-ip-lab"))
+}
+
+#[test]
+fn deploy_rejects_error_findings_and_force_overrides() {
+    let (mut labs, name) = lab_with_bad_design().expect("lab");
+
+    // Plain deploy is rejected by the analyzer.
+    let err = labs.deploy("alice", name).expect_err("gate must reject");
+    let LabError::Server(ServerError::Lint(report)) = err else {
+        panic!("expected lint rejection, got {err}");
+    };
+    assert!(report.contains("RNL0302"), "{report}");
+    assert!(labs.server().deployments().next().is_none());
+
+    // Forced deploy goes through.
+    let id = labs.deploy_forced("alice", name).expect("forced deploy");
+    assert!(labs
+        .server()
+        .deployments()
+        .any(|d| d.id == id && d.design_name == name));
+
+    // The analyzer counters moved: runs, findings, and one rejection.
+    let snap = labs.server_obs().snapshot();
+    assert!(snap.counter("rnl_server_lint_runs_total", &[]) >= 2);
+    assert_eq!(
+        snap.counter("rnl_server_lint_deploys_rejected_total", &[]),
+        1
+    );
+    assert!(snap.counter("rnl_server_lint_findings_total", &[("severity", "error")]) >= 2);
+}
+
+#[test]
+fn web_deploy_honors_force_flag() {
+    let (mut labs, name) = lab_with_bad_design().expect("lab");
+
+    // Over the web API without force: an error response.
+    let response = labs.api(Request::Deploy {
+        user: "alice".into(),
+        design: name.into(),
+        force: false,
+    });
+    let Response::Error(message) = response else {
+        panic!("expected error, got {response:?}");
+    };
+    assert!(message.contains("pre-deploy analysis"), "{message}");
+
+    // With force: deployment id returned.
+    let response = labs.api(Request::Deploy {
+        user: "alice".into(),
+        design: name.into(),
+        force: true,
+    });
+    assert!(matches!(response, Response::Deployment(_)), "{response:?}");
+}
+
+#[test]
+fn web_analyze_design_op_returns_diagnostics() {
+    let (mut labs, name) = lab_with_bad_design().expect("lab");
+    let reply = labs.api_json(&format!(
+        "{{\"op\":\"analyze_design\",\"design\":\"{name}\"}}"
+    ));
+    assert!(reply.contains("\"ok\":true"), "{reply}");
+    assert!(reply.contains("\"RNL0302\""), "{reply}");
+    assert!(reply.contains("\"errors\":1"), "{reply}");
+
+    // The wire parser accepts an optional force flag on deploy.
+    let req = parse_request(
+        &rnl_server::json::Json::parse(
+            "{\"op\":\"deploy\",\"user\":\"a\",\"design\":\"d\",\"force\":true}",
+        )
+        .expect("json"),
+    )
+    .expect("request");
+    assert_eq!(
+        req,
+        Request::Deploy {
+            user: "a".into(),
+            design: "d".into(),
+            force: true,
+        }
+    );
+}
+
+// -------------------------------------------------------------------
+// Nightly report embeds the analysis summary
+// -------------------------------------------------------------------
+
+#[test]
+fn nightly_report_includes_lint_summaries() {
+    let mut lab = fig6_policy_lab(false).expect("fig6 lab");
+    let suite = NightlySuite::new();
+    let report = suite.run(&mut lab.labs).expect("nightly run");
+    assert_eq!(report.lint.len(), 1, "{:?}", report.lint);
+    assert!(
+        report.lint[0].starts_with("fig6-policy: "),
+        "{:?}",
+        report.lint
+    );
+    let log = report.render();
+    assert!(log.contains("pre-deploy analysis:"), "{log}");
+    assert!(log.contains("fig6-policy:"), "{log}");
+}

@@ -1,0 +1,429 @@
+//! Static parsing of saved configuration dumps (config introspection).
+//!
+//! The §2.1 auto-dump saves each device's `show running-config` text
+//! into the design. This module turns that text back into structured
+//! state *without* instantiating a device: the rnl-lint analyzer reads
+//! the result to check VLANs, subnets, routes and ACLs before a single
+//! frame is relayed. The grammar is exactly what [`crate::router`] and
+//! [`crate::switch`] emit and replay, parsed with the same [`crate::cli`]
+//! helpers, so anything a device will accept on restore is understood
+//! here.
+
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+
+use rnl_net::addr::Cidr;
+
+use crate::acl::Rule;
+use crate::cli::{kw, parse_access_list, parse_addr_mask, tokenize};
+use crate::switch::PortMode;
+
+/// What kind of device a config most plausibly belongs to, judged from
+/// the commands it contains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KindHint {
+    Router,
+    Switch,
+    Unknown,
+}
+
+/// Parsed state of one interface section.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct InterfaceConfig {
+    /// `ip address A M` (router interfaces).
+    pub ip: Option<Cidr>,
+    /// `ip access-group N in`.
+    pub acl_in: Option<u16>,
+    /// `ip access-group N out`.
+    pub acl_out: Option<u16>,
+    /// `switchport …` mode (switch ports).
+    pub switchport: Option<PortMode>,
+    /// Administratively down.
+    pub shutdown: bool,
+}
+
+/// Parsed FWSM stanza of a switch config.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FwsmConfig {
+    /// `firewall vlan-pair <inside> <outside>`.
+    pub inside: u16,
+    pub outside: u16,
+    /// `firewall bpdu-forward` present.
+    pub bpdu_forward: bool,
+    /// `firewall acl-outside N`.
+    pub outside_acl: Option<u16>,
+    /// `failover vlan V`.
+    pub failover_vlan: Option<u16>,
+}
+
+/// Everything the analyzer needs from one saved config.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedConfig {
+    pub hostname: Option<String>,
+    /// Interface sections keyed by port index (`FastEthernet0/N`,
+    /// `Ethernet0/N`, `fa0/N`, `e0/N` all name port N).
+    pub interfaces: BTreeMap<u16, InterfaceConfig>,
+    /// Numbered access lists, in rule order.
+    pub acls: BTreeMap<u16, Vec<Rule>>,
+    /// `ip route NET MASK NEXTHOP` lines.
+    pub static_routes: Vec<(Cidr, Ipv4Addr)>,
+    /// `router rip` present.
+    pub rip_enabled: bool,
+    /// `network …` statements under `router rip`.
+    pub rip_networks: Vec<Cidr>,
+    /// False after `no spanning-tree`.
+    pub stp_enabled: bool,
+    /// `spanning-tree priority N` (default 0x8000).
+    pub stp_priority: u16,
+    pub fwsm: Option<FwsmConfig>,
+}
+
+impl Default for ParsedConfig {
+    fn default() -> ParsedConfig {
+        ParsedConfig {
+            hostname: None,
+            interfaces: BTreeMap::new(),
+            acls: BTreeMap::new(),
+            static_routes: Vec::new(),
+            rip_enabled: false,
+            rip_networks: Vec::new(),
+            stp_enabled: true,
+            stp_priority: 0x8000,
+            fwsm: None,
+        }
+    }
+}
+
+impl ParsedConfig {
+    /// Classify the config by the commands present. Switch-only
+    /// commands win over router-only ones because a Catalyst config can
+    /// legitimately carry `access-list` lines too.
+    pub fn kind_hint(&self) -> KindHint {
+        let switchy = self.interfaces.values().any(|i| i.switchport.is_some())
+            || self.fwsm.is_some()
+            || !self.stp_enabled
+            || self.stp_priority != 0x8000;
+        if switchy {
+            return KindHint::Switch;
+        }
+        let routery = self.interfaces.values().any(|i| i.ip.is_some())
+            || !self.static_routes.is_empty()
+            || self.rip_enabled;
+        if routery {
+            KindHint::Router
+        } else {
+            KindHint::Unknown
+        }
+    }
+
+    /// Whether a RIP network statement covers any configured interface
+    /// address.
+    pub fn rip_network_covers_interface(&self, network: &Cidr) -> bool {
+        self.interfaces
+            .values()
+            .filter_map(|i| i.ip)
+            .any(|ip| network.contains(ip.addr()))
+    }
+}
+
+/// Interface names both device families emit: `FastEthernet0/N`,
+/// `Ethernet0/N` and their `fa0/N` / `f0/N` / `e0/N` abbreviations.
+fn parse_if_index(name: &str) -> Option<u16> {
+    let lower = name.to_ascii_lowercase();
+    let rest = ["fastethernet0/", "fa0/", "f0/", "ethernet0/", "e0/"]
+        .iter()
+        .find_map(|p| lower.strip_prefix(p))?;
+    rest.parse().ok()
+}
+
+/// A RIP `network` statement: `a.b.c.d/len`, `a.b.c.d MASK`, or a bare
+/// classful address (the IOS form).
+fn parse_rip_network(tokens: &[&str]) -> Option<Cidr> {
+    match tokens {
+        [one] => {
+            if let Ok(cidr) = one.parse::<Cidr>() {
+                return Some(cidr);
+            }
+            let addr: Ipv4Addr = one.parse().ok()?;
+            let len = match addr.octets()[0] {
+                0..=127 => 8,
+                128..=191 => 16,
+                _ => 24,
+            };
+            Cidr::new(addr, len).ok()
+        }
+        [addr, mask] => parse_addr_mask(addr, mask),
+        _ => None,
+    }
+}
+
+/// Parse one saved `show running-config` dump. Unrecognized lines are
+/// skipped (a device being restored would report them as invalid and
+/// carry on), so the parser never fails: a garbage input yields an
+/// empty [`ParsedConfig`].
+pub fn parse_config(text: &str) -> ParsedConfig {
+    #[derive(Clone, Copy)]
+    enum Section {
+        Top,
+        Interface(u16),
+        Rip,
+    }
+    let mut out = ParsedConfig::default();
+    let mut section = Section::Top;
+    for raw in text.lines() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('!') {
+            // A bare `!` ends an interface section in IOS output.
+            section = Section::Top;
+            continue;
+        }
+        let tokens = tokenize(line);
+        let Some(&head) = tokens.first() else {
+            continue;
+        };
+        // Section openers and top-level commands reset the section even
+        // when the previous one was not `!`-terminated.
+        if kw(head, "interface") {
+            if let Some(idx) = tokens.get(1).and_then(|n| parse_if_index(n)) {
+                out.interfaces.entry(idx).or_default();
+                section = Section::Interface(idx);
+            } else {
+                section = Section::Top;
+            }
+            continue;
+        }
+        if kw(head, "router") && tokens.get(1).is_some_and(|t| kw(t, "rip")) {
+            out.rip_enabled = true;
+            section = Section::Rip;
+            continue;
+        }
+        if kw(head, "end") || kw(head, "exit") {
+            section = Section::Top;
+            continue;
+        }
+        match section {
+            Section::Interface(idx) => {
+                let iface = out.interfaces.entry(idx).or_default();
+                match tokens.as_slice() {
+                    [ip, addr_kw, addr, mask] if kw(ip, "ip") && kw(addr_kw, "address") => {
+                        iface.ip = parse_addr_mask(addr, mask);
+                    }
+                    [ip, group, id, dir] if kw(ip, "ip") && kw(group, "access-group") => {
+                        if let Ok(id) = id.parse::<u16>() {
+                            if kw(dir, "in") {
+                                iface.acl_in = Some(id);
+                            } else if kw(dir, "out") {
+                                iface.acl_out = Some(id);
+                            }
+                        }
+                    }
+                    [sw, acc, vlan_kw, v]
+                        if kw(sw, "switchport") && kw(acc, "access") && kw(vlan_kw, "vlan") =>
+                    {
+                        if let Ok(v) = v.parse::<u16>() {
+                            iface.switchport = Some(PortMode::Access(v));
+                        }
+                    }
+                    [sw, mode, which] if kw(sw, "switchport") && kw(mode, "mode") => {
+                        if kw(which, "trunk") {
+                            iface.switchport = Some(PortMode::Trunk { native: 1 });
+                        } else if kw(which, "access") {
+                            iface.switchport = Some(PortMode::Access(1));
+                        }
+                    }
+                    [sw, trunk, native_kw, vlan_kw, n]
+                        if kw(sw, "switchport")
+                            && kw(trunk, "trunk")
+                            && kw(native_kw, "native")
+                            && kw(vlan_kw, "vlan") =>
+                    {
+                        if let Ok(n) = n.parse::<u16>() {
+                            iface.switchport = Some(PortMode::Trunk { native: n });
+                        }
+                    }
+                    [shut] if kw(shut, "shutdown") => iface.shutdown = true,
+                    [no, shut] if kw(no, "no") && kw(shut, "shutdown") => iface.shutdown = false,
+                    _ => {}
+                }
+            }
+            Section::Rip => {
+                if kw(head, "network") {
+                    if let Some(net) = parse_rip_network(&tokens[1..]) {
+                        out.rip_networks.push(net);
+                    }
+                }
+                // `timers basic N` and anything else under rip: ignored.
+            }
+            Section::Top => match tokens.as_slice() {
+                [h, name] if kw(h, "hostname") => out.hostname = Some((*name).to_string()),
+                [al, ..] if kw(al, "access-list") => {
+                    if let Some((id, rule)) = parse_access_list(&tokens[1..]) {
+                        out.acls.entry(id).or_default().push(rule);
+                    }
+                }
+                [ip, route, net, mask, hop] if kw(ip, "ip") && kw(route, "route") => {
+                    if let (Some(prefix), Ok(next_hop)) =
+                        (parse_addr_mask(net, mask), hop.parse::<Ipv4Addr>())
+                    {
+                        out.static_routes.push((prefix, next_hop));
+                    }
+                }
+                [no, st] if kw(no, "no") && kw(st, "spanning-tree") => {
+                    out.stp_enabled = false;
+                }
+                [st, prio, n] if kw(st, "spanning-tree") && kw(prio, "priority") => {
+                    if let Ok(p) = n.parse::<u16>() {
+                        out.stp_priority = p;
+                    }
+                }
+                [fw, pair, inside, outside] if kw(fw, "firewall") && kw(pair, "vlan-pair") => {
+                    if let (Ok(i), Ok(o)) = (inside.parse::<u16>(), outside.parse::<u16>()) {
+                        let fwsm = out.fwsm.get_or_insert(FwsmConfig {
+                            inside: i,
+                            outside: o,
+                            bpdu_forward: false,
+                            outside_acl: None,
+                            failover_vlan: None,
+                        });
+                        fwsm.inside = i;
+                        fwsm.outside = o;
+                    }
+                }
+                [fw, bpdu] if kw(fw, "firewall") && kw(bpdu, "bpdu-forward") => {
+                    if let Some(fwsm) = out.fwsm.as_mut() {
+                        fwsm.bpdu_forward = true;
+                    }
+                }
+                [fw, acl, id] if kw(fw, "firewall") && kw(acl, "acl-outside") => {
+                    if let (Some(fwsm), Ok(id)) = (out.fwsm.as_mut(), id.parse::<u16>()) {
+                        fwsm.outside_acl = Some(id);
+                    }
+                }
+                [fo, vlan_kw, v] if kw(fo, "failover") && kw(vlan_kw, "vlan") => {
+                    if let (Some(fwsm), Ok(v)) = (out.fwsm.as_mut(), v.parse::<u16>()) {
+                        fwsm.failover_vlan = Some(v);
+                    }
+                }
+                _ => {}
+            },
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::router::Router;
+    use crate::switch::Switch;
+    use rnl_net::time::Instant;
+
+    #[test]
+    fn roundtrips_a_router_running_config() {
+        let mut r = Router::new("r1", 201, 3);
+        r.set_interface_ip(0, "10.1.0.1/16".parse().unwrap());
+        r.set_interface_ip(1, "192.168.12.1/24".parse().unwrap());
+        r.add_acl_rule(
+            102,
+            Rule::deny_net_to_net(
+                "10.1.0.0/16".parse().unwrap(),
+                "10.2.0.0/16".parse().unwrap(),
+            ),
+        );
+        r.add_acl_rule(102, Rule::permit_any());
+        r.bind_acl(1, 102, crate::router::AclDir::Out);
+        r.add_route(
+            "10.2.0.0/16".parse().unwrap(),
+            "192.168.12.2".parse().unwrap(),
+        );
+        let parsed = parse_config(&r.running_config());
+        assert_eq!(parsed.hostname.as_deref(), Some("r1"));
+        assert_eq!(parsed.kind_hint(), KindHint::Router);
+        assert_eq!(
+            parsed.interfaces[&0].ip,
+            Some("10.1.0.1/16".parse().unwrap())
+        );
+        assert_eq!(parsed.interfaces[&1].acl_out, Some(102));
+        assert_eq!(parsed.acls[&102].len(), 2);
+        assert_eq!(
+            parsed.static_routes,
+            vec![(
+                "10.2.0.0/16".parse().unwrap(),
+                "192.168.12.2".parse().unwrap()
+            )]
+        );
+        assert!(!parsed.rip_enabled);
+    }
+
+    #[test]
+    fn roundtrips_a_switch_running_config_with_fwsm() {
+        let mut sw = Switch::new("swa", 101, 3, Instant::EPOCH);
+        sw.install_fwsm(1, 110);
+        sw.set_port_mode(0, PortMode::Access(20));
+        sw.set_port_mode(1, PortMode::Access(30));
+        sw.set_port_mode(2, PortMode::Trunk { native: 5 });
+        sw.set_fwsm_vlan_pair(20, 30, Instant::EPOCH);
+        if let Some(fwsm) = sw.fwsm_mut() {
+            fwsm.set_failover_vlan(10);
+            fwsm.set_bpdu_forward(true);
+        }
+        let parsed = parse_config(&sw.running_config());
+        assert_eq!(parsed.hostname.as_deref(), Some("swa"));
+        assert_eq!(parsed.kind_hint(), KindHint::Switch);
+        assert_eq!(parsed.interfaces[&0].switchport, Some(PortMode::Access(20)));
+        assert_eq!(
+            parsed.interfaces[&2].switchport,
+            Some(PortMode::Trunk { native: 5 })
+        );
+        let fwsm = parsed.fwsm.expect("fwsm stanza");
+        assert_eq!((fwsm.inside, fwsm.outside), (20, 30));
+        assert!(fwsm.bpdu_forward);
+        assert_eq!(fwsm.failover_vlan, Some(10));
+        assert!(parsed.stp_enabled);
+    }
+
+    #[test]
+    fn parses_rip_and_stp_state() {
+        let text = "hostname rt\n\
+                    !\n\
+                    no spanning-tree\n\
+                    interface FastEthernet0/0\n \
+                    ip address 10.0.0.1 255.255.255.0\n \
+                    shutdown\n\
+                    !\n\
+                    router rip\n \
+                    network 10.0.0.0/24\n \
+                    network 172.16.0.0 255.255.0.0\n \
+                    network 10.0.0.0\n\
+                    end\n";
+        let parsed = parse_config(text);
+        assert!(parsed.rip_enabled);
+        assert_eq!(
+            parsed.rip_networks,
+            vec![
+                "10.0.0.0/24".parse().unwrap(),
+                "172.16.0.0/16".parse().unwrap(),
+                "10.0.0.0/8".parse().unwrap(),
+            ]
+        );
+        assert!(!parsed.stp_enabled);
+        assert!(parsed.interfaces[&0].shutdown);
+        assert!(parsed.rip_network_covers_interface(&"10.0.0.0/24".parse().unwrap()));
+        assert!(!parsed.rip_network_covers_interface(&"192.168.0.0/16".parse().unwrap()));
+    }
+
+    #[test]
+    fn garbage_yields_empty_config() {
+        let parsed = parse_config("not a config\n%$#@!\ninterface wat\n");
+        assert_eq!(parsed, ParsedConfig::default());
+        assert_eq!(parsed.kind_hint(), KindHint::Unknown);
+    }
+
+    #[test]
+    fn abbreviated_interface_names_resolve() {
+        for name in ["FastEthernet0/2", "fa0/2", "f0/2", "Ethernet0/2", "e0/2"] {
+            assert_eq!(parse_if_index(name), Some(2), "{name}");
+        }
+        assert_eq!(parse_if_index("Serial1/0"), None);
+    }
+}

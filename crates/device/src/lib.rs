@@ -34,6 +34,7 @@
 
 pub mod acl;
 pub mod cli;
+pub mod confparse;
 pub mod device;
 pub mod firmware;
 pub mod fwsm;

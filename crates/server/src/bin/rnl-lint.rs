@@ -1,0 +1,75 @@
+//! `rnl-lint` — offline pre-deploy analysis of an exported design.
+//!
+//! Usage: `rnl-lint [--json] <design.json>...` or `rnl-lint --catalog`.
+//!
+//! Reads design files in the web API's `export_design` format, runs the
+//! same analyzer the server's deploy gate uses (without an inventory, so
+//! device kinds are inferred from saved config text), and prints each
+//! report. Exit status: 0 when no design has Error findings, 1 when any
+//! does, 2 on usage or parse failure.
+
+use std::process::ExitCode;
+
+use rnl_server::design::Design;
+use rnl_server::json::Json;
+use rnl_server::lint;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: rnl-lint [--json] <design.json>...");
+    eprintln!("       rnl-lint --catalog");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--catalog") {
+        for (code, layer, severity, summary) in rnl_analysis::catalog() {
+            println!("{code}  {layer:<7} {severity:<8} {summary}");
+        }
+        return ExitCode::SUCCESS;
+    }
+    let as_json = args.iter().any(|a| a == "--json");
+    let paths: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    if paths.is_empty() {
+        return usage();
+    }
+    let mut any_errors = false;
+    for path in paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("rnl-lint: {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let json = match Json::parse(&text) {
+            Ok(json) => json,
+            Err(e) => {
+                eprintln!("rnl-lint: {path}: bad JSON: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        // Accept both a bare exported design and a full `export_design`
+        // response envelope ({"ok":true,"design":{...}}).
+        let design_json = json.get("design").cloned().unwrap_or(json);
+        let design = match Design::from_json(&design_json) {
+            Ok(design) => design,
+            Err(e) => {
+                eprintln!("rnl-lint: {path}: not a design: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let report = lint::analyze_design(&design, None);
+        if as_json {
+            println!("{}", report.to_json());
+        } else {
+            print!("{}", report.render());
+        }
+        any_errors |= report.has_errors();
+    }
+    if any_errors {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

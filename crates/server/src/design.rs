@@ -218,7 +218,7 @@ impl Design {
             if let Some(cfg) = dev.get("config").and_then(Json::as_str) {
                 design
                     .set_saved_config(RouterId(id), cfg.to_string())
-                    .expect("device just added");
+                    .map_err(|e| DesignError::BadSerialization(e.to_string()))?;
             }
         }
         for link in json

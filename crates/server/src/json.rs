@@ -344,7 +344,10 @@ impl<'a> Parser<'a> {
                     // Consume one UTF-8 scalar.
                     let rest = std::str::from_utf8(&self.bytes[self.pos..])
                         .map_err(|_| self.err("invalid UTF-8"))?;
-                    let c = rest.chars().next().expect("nonempty");
+                    let c = rest
+                        .chars()
+                        .next()
+                        .ok_or_else(|| self.err("truncated string"))?;
                     if (c as u32) < 0x20 {
                         return Err(self.err("control character in string"));
                     }

@@ -23,6 +23,7 @@ pub mod design;
 pub mod generate;
 pub mod inventory;
 pub mod json;
+pub mod lint;
 pub mod matrix;
 pub mod reserve;
 pub mod shard;
@@ -63,6 +64,9 @@ pub enum ServerError {
     UnknownRouter(RouterId),
     /// Compressed stream desynchronization.
     Compression(CompressError),
+    /// Pre-deploy static analysis found Error-severity diagnostics (the
+    /// string is the rendered report). Deploy with force to override.
+    Lint(String),
 }
 
 impl std::fmt::Display for ServerError {
@@ -75,6 +79,7 @@ impl std::fmt::Display for ServerError {
             ServerError::UnknownDesign(n) => write!(f, "unknown design {n:?}"),
             ServerError::UnknownRouter(r) => write!(f, "unknown router {r}"),
             ServerError::Compression(e) => write!(f, "compression: {e}"),
+            ServerError::Lint(report) => write!(f, "rejected by pre-deploy analysis:\n{report}"),
         }
     }
 }
@@ -601,30 +606,118 @@ impl RouteServer {
         Ok(self.calendar.reserve(user, &routers, start, end)?)
     }
 
+    /// Run the pre-deploy static analyzer over a design against this
+    /// server's inventory, recording analyzer metrics.
+    pub fn analyze_design(&self, design: &Design) -> rnl_analysis::Report {
+        let report = lint::analyze_design(design, Some(&self.inventory));
+        self.obs.counter("rnl_server_lint_runs_total", &[]).inc();
+        for severity in [
+            rnl_analysis::Severity::Error,
+            rnl_analysis::Severity::Warning,
+            rnl_analysis::Severity::Info,
+        ] {
+            let n = report.count(severity) as u64;
+            if n > 0 {
+                self.obs
+                    .counter(
+                        "rnl_server_lint_findings_total",
+                        &[("severity", severity.label())],
+                    )
+                    .add(n);
+            }
+        }
+        report
+    }
+
+    /// Analyze a saved design by name.
+    pub fn analyze_saved_design(
+        &self,
+        design_name: &str,
+    ) -> Result<rnl_analysis::Report, ServerError> {
+        let design = self
+            .designs
+            .load(design_name)
+            .ok_or_else(|| ServerError::UnknownDesign(design_name.to_string()))?;
+        Ok(self.analyze_design(design))
+    }
+
     /// Deploy a saved design: validate, check the reservation, install
     /// the routing matrix, and auto-restore saved configurations.
+    /// Rejected if static analysis reports Error-severity findings; use
+    /// [`RouteServer::deploy_forced`] to override.
     pub fn deploy(
         &mut self,
         user: &str,
         design_name: &str,
         now: Instant,
     ) -> Result<DeploymentId, ServerError> {
+        self.deploy_with_force(user, design_name, now, false)
+    }
+
+    /// [`RouteServer::deploy`] with the analysis gate overridden.
+    pub fn deploy_forced(
+        &mut self,
+        user: &str,
+        design_name: &str,
+        now: Instant,
+    ) -> Result<DeploymentId, ServerError> {
+        self.deploy_with_force(user, design_name, now, true)
+    }
+
+    fn deploy_with_force(
+        &mut self,
+        user: &str,
+        design_name: &str,
+        now: Instant,
+        force: bool,
+    ) -> Result<DeploymentId, ServerError> {
         let design = self
             .designs
             .load(design_name)
             .ok_or_else(|| ServerError::UnknownDesign(design_name.to_string()))?
             .clone();
-        self.deploy_design(user, &design, now)
+        self.deploy_design_with_force(user, &design, now, force)
     }
 
-    /// Deploy an unsaved design directly.
+    /// Deploy an unsaved design directly (same analysis gate as
+    /// [`RouteServer::deploy`]).
     pub fn deploy_design(
         &mut self,
         user: &str,
         design: &Design,
         now: Instant,
     ) -> Result<DeploymentId, ServerError> {
+        self.deploy_design_with_force(user, design, now, false)
+    }
+
+    /// [`RouteServer::deploy_design`] with the analysis gate overridden.
+    pub fn deploy_design_forced(
+        &mut self,
+        user: &str,
+        design: &Design,
+        now: Instant,
+    ) -> Result<DeploymentId, ServerError> {
+        self.deploy_design_with_force(user, design, now, true)
+    }
+
+    fn deploy_design_with_force(
+        &mut self,
+        user: &str,
+        design: &Design,
+        now: Instant,
+        force: bool,
+    ) -> Result<DeploymentId, ServerError> {
         design.validate()?;
+        // Pre-deploy static analysis: Error findings block unless
+        // forced ("shift the cost of a bad configuration from lab time
+        // to design time").
+        let report = self.analyze_design(design);
+        if report.has_errors() && !force {
+            self.obs
+                .counter("rnl_server_lint_deploys_rejected_total", &[])
+                .inc();
+            return Err(ServerError::Lint(report.render()));
+        }
         let routers: Vec<RouterId> = design.devices().collect();
         for &router in &routers {
             if self.inventory.get(router).is_none() {

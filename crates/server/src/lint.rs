@@ -1,0 +1,109 @@
+//! Bridge from the server's [`Design`] + [`Inventory`] to the
+//! `rnl-analysis` input model.
+//!
+//! The analyzer itself knows nothing about the server; this module owns
+//! the conversion so both the deploy gate and the web `analyze_design`
+//! operation (and the offline `rnl-lint` binary, which passes no
+//! inventory) produce identical reports for the same design.
+
+pub use rnl_analysis::{AnalysisInput, Report, Severity};
+
+use rnl_analysis::{analyze, DeviceInput, DeviceKind};
+use rnl_device::confparse::parse_config;
+
+use crate::design::Design;
+use crate::inventory::Inventory;
+
+/// Build an [`AnalysisInput`] from a design plus whatever the inventory
+/// knows. With no inventory (the offline CLI), device kinds fall back to
+/// what the saved config text implies and the capacity check stays
+/// silent.
+pub fn input_from_design(design: &Design, inventory: Option<&Inventory>) -> AnalysisInput {
+    let devices = design
+        .devices()
+        .map(|id| {
+            let mut input = DeviceInput::bare(id);
+            if let Some(rec) = inventory.and_then(|inv| inv.get(id)) {
+                input.kind = DeviceKind::from_model(&rec.info.model);
+                input.ports = Some(rec.info.ports.len() as u16);
+            }
+            if let Some(text) = design.saved_config(id) {
+                let parsed = parse_config(text);
+                if input.kind == DeviceKind::Unknown {
+                    input.kind = DeviceKind::from_hint(parsed.kind_hint());
+                }
+                input.config = Some(parsed);
+            }
+            input
+        })
+        .collect();
+    AnalysisInput {
+        design: design.name.clone(),
+        devices,
+        wires: design.links().to_vec(),
+        inventory_capacity: inventory.map(Inventory::len),
+    }
+}
+
+/// Analyze a design against an optional inventory.
+pub fn analyze_design(design: &Design, inventory: Option<&Inventory>) -> Report {
+    analyze(&input_from_design(design, inventory))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rnl_analysis::{checks, Severity};
+
+    use rnl_tunnel::msg::{PortId, RouterId};
+
+    #[test]
+    fn design_without_inventory_infers_kinds_from_config() {
+        let mut design = Design::new("lint-me");
+        let (a, b) = (RouterId(1), RouterId(2));
+        design.add_device(a);
+        design.add_device(b);
+        design.connect((a, PortId(0)), (b, PortId(0))).unwrap();
+        design
+            .set_saved_config(
+                a,
+                "interface FastEthernet0/0\n ip address 10.0.0.1 255.255.255.0\n!\n".to_string(),
+            )
+            .unwrap();
+        design
+            .set_saved_config(
+                b,
+                "interface FastEthernet0/0\n ip address 10.9.0.2 255.255.255.0\n!\n".to_string(),
+            )
+            .unwrap();
+        let report = analyze_design(&design, None);
+        assert!(
+            report
+                .diagnostics
+                .iter()
+                .any(|d| d.code == checks::SUBNET_MISMATCH),
+            "{}",
+            report.render()
+        );
+        // No inventory: the capacity check stays silent.
+        assert!(!report
+            .diagnostics
+            .iter()
+            .any(|d| d.code == checks::CAPACITY_EXCEEDED));
+    }
+
+    #[test]
+    fn duplicate_ips_reported_as_errors_through_the_bridge() {
+        let mut design = Design::new("dup-ip");
+        let (a, b) = (RouterId(1), RouterId(2));
+        design.add_device(a);
+        design.add_device(b);
+        design.connect((a, PortId(0)), (b, PortId(0))).unwrap();
+        let text = "interface FastEthernet0/0\n ip address 10.0.0.1 255.255.255.0\n!\n";
+        design.set_saved_config(a, text.to_string()).unwrap();
+        design.set_saved_config(b, text.to_string()).unwrap();
+        let report = analyze_design(&design, None);
+        assert!(report.has_errors(), "{}", report.render());
+        assert_eq!(report.count(Severity::Error), 1);
+    }
+}

@@ -95,8 +95,11 @@ impl ShardSet {
             .collect();
         let mut shards = BTreeMap::new();
         for handle in handles {
-            let (user, server) = handle.join().expect("shard thread panicked");
-            shards.insert(user, server);
+            // A panicked shard thread loses that shard's servers; the
+            // remaining shards are still returned.
+            if let Ok((user, server)) = handle.join() {
+                shards.insert(user, server);
+            }
         }
         ShardSet { shards }
     }

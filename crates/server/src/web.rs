@@ -61,8 +61,15 @@ pub enum Request {
         duration: Duration,
         after: Instant,
     },
-    /// Deploy a saved design.
-    Deploy { user: String, design: String },
+    /// Deploy a saved design. `force` overrides the pre-deploy
+    /// analysis gate (Error findings otherwise reject the deploy).
+    Deploy {
+        user: String,
+        design: String,
+        force: bool,
+    },
+    /// Run pre-deploy static analysis over a saved design.
+    AnalyzeDesign { design: String },
     /// Tear a deployment down.
     Teardown { deployment: DeploymentId },
     /// One console line to a router.
@@ -117,6 +124,45 @@ pub enum Response {
     /// A metrics snapshot, already in wire form (see
     /// [`metrics_to_json`]).
     Metrics(Json),
+    /// A static-analysis report, already in wire form (see
+    /// [`report_to_json`]).
+    Analysis(Json),
+}
+
+/// Encode an analysis report for the wire.
+pub fn report_to_json(report: &rnl_analysis::Report) -> Json {
+    Json::obj([
+        ("design", Json::str(report.design.clone())),
+        (
+            "errors",
+            Json::num(report.count(rnl_analysis::Severity::Error) as u32),
+        ),
+        (
+            "warnings",
+            Json::num(report.count(rnl_analysis::Severity::Warning) as u32),
+        ),
+        (
+            "infos",
+            Json::num(report.count(rnl_analysis::Severity::Info) as u32),
+        ),
+        (
+            "diagnostics",
+            Json::Arr(
+                report
+                    .diagnostics
+                    .iter()
+                    .map(|d| {
+                        Json::obj([
+                            ("code", Json::str(d.code.to_string())),
+                            ("severity", Json::str(d.severity.label().to_string())),
+                            ("span", Json::str(d.span())),
+                            ("message", Json::str(d.message.clone())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
 }
 
 /// One inventory row.
@@ -217,9 +263,21 @@ fn handle_inner(
             let routers: Vec<RouterId> = d.devices().collect();
             Response::Slot(server.calendar().next_free_slot(&routers, duration, after))
         }
-        Request::Deploy { user, design } => {
-            let id = server.deploy(&user, &design, now)?;
+        Request::Deploy {
+            user,
+            design,
+            force,
+        } => {
+            let id = if force {
+                server.deploy_forced(&user, &design, now)?
+            } else {
+                server.deploy(&user, &design, now)?
+            };
             Response::Deployment(id.0)
+        }
+        Request::AnalyzeDesign { design } => {
+            let report = server.analyze_saved_design(&design)?;
+            Response::Analysis(report_to_json(&report))
         }
         Request::Teardown { deployment } => {
             server.teardown(deployment);
@@ -422,6 +480,10 @@ pub fn parse_request(json: &Json) -> Result<Request, String> {
         "deploy" => Request::Deploy {
             user: string("user")?,
             design: string("design")?,
+            force: json.get("force").and_then(Json::as_bool).unwrap_or(false),
+        },
+        "analyze_design" => Request::AnalyzeDesign {
+            design: string("design")?,
         },
         "teardown" => Request::Teardown {
             deployment: DeploymentId(number("deployment")?),
@@ -573,6 +635,9 @@ pub fn encode_response(response: &Response) -> Json {
         ]),
         Response::Metrics(metrics) => {
             Json::obj([("ok", Json::Bool(true)), ("metrics", metrics.clone())])
+        }
+        Response::Analysis(report) => {
+            Json::obj([("ok", Json::Bool(true)), ("analysis", report.clone())])
         }
         Response::Frames(frames) => Json::obj([
             ("ok", Json::Bool(true)),

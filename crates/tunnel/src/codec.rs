@@ -100,7 +100,8 @@ impl<'a> Reader<'a> {
 
     pub fn u64(&mut self) -> Result<u64, DecodeError> {
         let b = self.take(8)?;
-        Ok(u64::from_be_bytes(b.try_into().expect("8 bytes")))
+        let bytes: [u8; 8] = b.try_into().map_err(|_| DecodeError::Malformed)?;
+        Ok(u64::from_be_bytes(bytes))
     }
 
     /// Length-prefixed byte blob.

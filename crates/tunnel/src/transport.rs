@@ -186,8 +186,10 @@ impl Transport for MemTransport {
             self.inbox.push_back(item);
         }
         let mut msgs = Vec::new();
-        while matches!(self.inbox.front(), Some((at, _)) if *at <= now) {
-            let (_, bytes) = self.inbox.pop_front().expect("peeked");
+        while self.inbox.front().is_some_and(|(at, _)| *at <= now) {
+            let Some((_, bytes)) = self.inbox.pop_front() else {
+                break;
+            };
             if let Some(h) = &self.metrics.decoded_bytes {
                 h.observe(bytes.len() as u64);
             }

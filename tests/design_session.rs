@@ -111,6 +111,7 @@ fn full_design_session_via_api() {
     let deployment = match labs.api(Request::Deploy {
         user: "alice".into(),
         design: "lab".into(),
+        force: false,
     }) {
         Response::Deployment(id) => id,
         other => panic!("unexpected: {other:?}"),
