@@ -19,5 +19,11 @@ cargo clippy --offline --no-deps -p rnl-tunnel -p rnl-ris -p rnl-server --lib --
     -D warnings -D clippy::unwrap_used -D clippy::expect_used
 # Source-level gate over the hot-path files (allowlist: tools/srclint-allow.txt).
 cargo run -q --offline -p rnl-bench --bin srclint
+# Fault-injection / resilience suites, named explicitly so a filtering
+# change in the workspace run can never silently drop them: the seeded
+# chaos property test over the transport fault harness, and the E17
+# flap-recovery-vs-grace-window integration test.
+cargo test -q --offline -p rnl-tunnel --test chaos
+cargo test -q --offline -p rnl --test resilience
 
 echo "ci: all checks passed"

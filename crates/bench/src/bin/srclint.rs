@@ -20,7 +20,9 @@ use std::process::ExitCode;
 const HOT_PATHS: &[&str] = &[
     "crates/server/src/lib.rs",
     "crates/ris/src/lib.rs",
+    "crates/ris/src/supervisor.rs",
     "crates/tunnel/src/transport.rs",
+    "crates/tunnel/src/faults.rs",
 ];
 
 /// Panic-prone constructs the gate rejects.

@@ -44,6 +44,7 @@ impl RelayRig {
         for (t, name) in [(&mut a, "pc-a"), (&mut b, "pc-b")] {
             let info = rnl_tunnel::msg::RegisterInfo {
                 pc_name: name.to_string(),
+                epoch: Default::default(),
                 routers: vec![rnl_tunnel::msg::RouterInfo {
                     local_id: 0,
                     description: "bench port".to_string(),
@@ -129,6 +130,7 @@ impl MultiRelayRig {
             for (t, name) in [(&mut a, "a"), (&mut b, "b")] {
                 let info = rnl_tunnel::msg::RegisterInfo {
                     pc_name: format!("pc-{i}-{name}"),
+                    epoch: Default::default(),
                     routers: vec![rnl_tunnel::msg::RouterInfo {
                         local_id: 0,
                         description: "bench".to_string(),

@@ -34,7 +34,7 @@ pub mod terminal;
 use rnl_device::device::Device;
 use rnl_net::time::{Duration, Instant};
 use rnl_obs::{merge_trace, EventJournal, FrameEvent, MetricsRegistry, TraceId};
-use rnl_ris::{Ris, RisError};
+use rnl_ris::{BackoffConfig, Dialer, Ris, RisError, Supervisor};
 use rnl_server::design::Design;
 use rnl_server::matrix::DeploymentId;
 use rnl_server::reserve::ReservationId;
@@ -42,7 +42,7 @@ use rnl_server::web::{self, Request, Response};
 use rnl_server::{RouteServer, ServerError};
 use rnl_tunnel::impair::Impairment;
 use rnl_tunnel::msg::{PortId, RouterId};
-use rnl_tunnel::transport::{mem_pair, TransportMetrics};
+use rnl_tunnel::transport::{mem_pair, Transport, TransportError, TransportMetrics};
 
 /// Identifies a site (one interface PC) within the facade.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -88,10 +88,53 @@ impl From<RisError> for LabError {
 /// virtual time per poll cycle.
 pub const DEFAULT_STEP: Duration = Duration::from_millis(10);
 
+/// One interface PC inside the facade: its RIS, the supervisor that
+/// keeps it joined across uplink outages, and the dialing profile the
+/// facade uses to build replacement tunnels.
+struct Site {
+    ris: Ris,
+    supervisor: Supervisor,
+    /// WAN profile applied (both directions) to every dialed tunnel.
+    impairment: Impairment,
+    pc_name: String,
+    /// Scheduled uplink cuts: `(cut at, down for)`.
+    pending_flaps: Vec<(Instant, Duration)>,
+    /// While `Some`, dial attempts fail until the clock passes it.
+    link_down_until: Option<Instant>,
+}
+
+/// Dials fresh in-memory tunnels for one facade site, attaching the
+/// server side exactly like [`RemoteNetworkLabs::add_site_with_impairment`]
+/// does — unless the site's link is administratively down (a flap in
+/// progress), in which case the dial fails and the supervisor backs off.
+struct FacadeDialer<'a> {
+    server: &'a mut RouteServer,
+    seed: &'a mut u64,
+    impairment: Impairment,
+    pc_name: &'a str,
+    link_down_until: Option<Instant>,
+}
+
+impl Dialer for FacadeDialer<'_> {
+    fn dial(&mut self, now: Instant) -> Result<Box<dyn Transport>, TransportError> {
+        if self.link_down_until.is_some_and(|until| now < until) {
+            return Err(TransportError::Closed);
+        }
+        *self.seed = self.seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let (ris_side, mut server_side) = mem_pair(self.impairment, self.impairment, *self.seed);
+        server_side.attach_metrics(TransportMetrics::from_registry(
+            self.server.obs(),
+            &[("site", self.pc_name)],
+        ));
+        self.server.attach(Box::new(server_side));
+        Ok(Box::new(ris_side))
+    }
+}
+
 /// The whole network cloud in one value: back end + sites.
 pub struct RemoteNetworkLabs {
     server: RouteServer,
-    sites: Vec<Ris>,
+    sites: Vec<Site>,
     now: Instant,
     seed: u64,
 }
@@ -154,7 +197,23 @@ impl RemoteNetworkLabs {
             &[("site", pc_name)],
         ));
         self.server.attach(Box::new(server_side));
-        self.sites.push(Ris::new(pc_name, Box::new(ris_side)));
+        // The supervisor's reconnect counters live on the server
+        // registry so one scrape shows every site's resilience story.
+        self.seed = self.seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let supervisor = Supervisor::new(
+            self.seed,
+            BackoffConfig::default(),
+            self.server.obs(),
+            &[("site", pc_name)],
+        );
+        self.sites.push(Site {
+            ris: Ris::new(pc_name, Box::new(ris_side)),
+            supervisor,
+            impairment,
+            pc_name: pc_name.to_string(),
+            pending_flaps: Vec::new(),
+            link_down_until: None,
+        });
         SiteId(self.sites.len() - 1)
     }
 
@@ -165,31 +224,31 @@ impl RemoteNetworkLabs {
         device: Box<dyn Device>,
         description: &str,
     ) -> Result<u32, LabError> {
-        let ris = self
+        let site = self
             .sites
             .get_mut(site.0)
             .ok_or(LabError::UnknownSite(site))?;
-        Ok(ris.add_device(device, description))
+        Ok(site.ris.add_device(device, description))
     }
 
     /// Join a site to the labs and run the registration handshake to
     /// completion; returns the global ids assigned, in local-id order.
     pub fn join_labs(&mut self, site: SiteId) -> Result<Vec<RouterId>, LabError> {
         let now = self.now;
-        let ris = self
+        let site_ref = self
             .sites
             .get_mut(site.0)
             .ok_or(LabError::UnknownSite(site))?;
-        ris.join_labs(now)?;
+        site_ref.ris.join_labs(now)?;
         // Registration + ack may cross impaired links; allow a generous
         // virtual-time budget.
         for _ in 0..200 {
             self.step(DEFAULT_STEP)?;
-            if self.sites[site.0].registered() {
+            if self.sites[site.0].ris.registered() {
                 break;
             }
         }
-        let ris = &self.sites[site.0];
+        let ris = &self.sites[site.0].ris;
         let mut ids = Vec::new();
         let mut local = 0;
         while let Some(id) = ris.router_id(local) {
@@ -199,20 +258,102 @@ impl RemoteNetworkLabs {
         Ok(ids)
     }
 
-    /// Advance the virtual clock one step: poll all sites, the server,
-    /// and the sites again (so server replies land within the step).
+    /// Advance the virtual clock one step: trigger due flaps, supervise
+    /// every site (poll while healthy, redial when due), poll the
+    /// server, and poll the sites again (so server replies land within
+    /// the step).
     pub fn step(&mut self, dt: Duration) -> Result<(), LabError> {
         self.now += dt;
         let now = self.now;
-        for ris in &mut self.sites {
-            ris.poll(now)?;
+        for site in &mut self.sites {
+            // Cut uplinks whose scheduled flap is due; the supervisor
+            // redials once the link-down window passes.
+            let mut i = 0;
+            while i < site.pending_flaps.len() {
+                if site.pending_flaps[i].0 <= now {
+                    let (_, down_for) = site.pending_flaps.remove(i);
+                    site.ris.sever();
+                    let until = now + down_for;
+                    site.link_down_until =
+                        Some(site.link_down_until.map_or(until, |u| u.max(until)));
+                } else {
+                    i += 1;
+                }
+            }
+            if site.link_down_until.is_some_and(|until| now >= until) {
+                site.link_down_until = None;
+            }
+            let mut dialer = FacadeDialer {
+                server: &mut self.server,
+                seed: &mut self.seed,
+                impairment: site.impairment,
+                pc_name: &site.pc_name,
+                link_down_until: site.link_down_until,
+            };
+            site.supervisor.tick(&mut site.ris, &mut dialer, now)?;
         }
         self.server.poll(now);
-        for ris in &mut self.sites {
-            ris.poll(now)?;
+        for site in &mut self.sites {
+            // A transport death here is next step's supervision problem;
+            // masking it would hide nothing (the server already graced
+            // the session).
+            match site.ris.poll(now) {
+                Ok(()) | Err(RisError::Transport(_)) => {}
+                Err(e) => return Err(e.into()),
+            }
         }
         self.server.poll(now);
         Ok(())
+    }
+
+    // -----------------------------------------------------------------
+    // Fault injection: uplink flaps
+    // -----------------------------------------------------------------
+
+    /// Cut a site's uplink now. The tunnel stays un-dialable for
+    /// `down_for` of virtual time, after which the site's supervisor
+    /// redials, rejoins with a rotated epoch, and (within the server's
+    /// grace window) re-adopts its routers and deployments.
+    pub fn flap_site(&mut self, site: SiteId, down_for: Duration) -> Result<(), LabError> {
+        let now = self.now;
+        let s = self
+            .sites
+            .get_mut(site.0)
+            .ok_or(LabError::UnknownSite(site))?;
+        s.ris.sever();
+        let until = now + down_for;
+        s.link_down_until = Some(s.link_down_until.map_or(until, |u| u.max(until)));
+        Ok(())
+    }
+
+    /// Schedule a flap: at virtual time `at`, the site's uplink is cut
+    /// for `down_for`. Deterministic fault injection for experiments —
+    /// flaps fire inside [`RemoteNetworkLabs::step`] on the shared
+    /// clock, never from wall time.
+    pub fn schedule_flap(
+        &mut self,
+        site: SiteId,
+        at: Instant,
+        down_for: Duration,
+    ) -> Result<(), LabError> {
+        let s = self
+            .sites
+            .get_mut(site.0)
+            .ok_or(LabError::UnknownSite(site))?;
+        s.pending_flaps.push((at, down_for));
+        Ok(())
+    }
+
+    /// Whether a site's supervisor is currently riding out an outage.
+    pub fn site_in_outage(&self, site: SiteId) -> bool {
+        self.sites
+            .get(site.0)
+            .is_some_and(|s| s.supervisor.in_outage())
+    }
+
+    /// Whether a site's tunnel is believed up right now.
+    pub fn site_connected(&self, site: SiteId) -> bool {
+        self.sites.get(site.0).is_some_and(|s| s.ris.connected())
     }
 
     /// Run the cloud for `duration` of virtual time in `DEFAULT_STEP`
@@ -232,11 +373,11 @@ impl RemoteNetworkLabs {
 
     /// Enable RIS→server template compression for one site (§4).
     pub fn set_site_compression(&mut self, site: SiteId, on: bool) -> Result<(), LabError> {
-        let ris = self
+        let site = self
             .sites
             .get_mut(site.0)
             .ok_or(LabError::UnknownSite(site))?;
-        ris.set_compression(on);
+        site.ris.set_compression(on);
         Ok(())
     }
 
@@ -248,7 +389,7 @@ impl RemoteNetworkLabs {
     /// Mutable access to a device behind a site (test instrumentation —
     /// the physical-lab equivalent of walking up to the box).
     pub fn device_mut(&mut self, site: SiteId, local_id: u32) -> Option<&mut dyn Device> {
-        self.sites.get_mut(site.0)?.device_mut(local_id)
+        self.sites.get_mut(site.0)?.ris.device_mut(local_id)
     }
 
     // -----------------------------------------------------------------
@@ -264,12 +405,12 @@ impl RemoteNetworkLabs {
     /// One site's metrics registry (per-NIC counters, compression
     /// ratio, destination-side wire latency).
     pub fn site_obs(&self, site: SiteId) -> Option<&MetricsRegistry> {
-        self.sites.get(site.0).map(|r| r.obs())
+        self.sites.get(site.0).map(|s| s.ris.obs())
     }
 
     /// One site's frame-path journal.
     pub fn site_journal(&self, site: SiteId) -> Option<&EventJournal> {
-        self.sites.get(site.0).map(|r| r.journal())
+        self.sites.get(site.0).map(|s| s.ris.journal())
     }
 
     /// All events for one frame's TraceId, merged across the server and
@@ -278,7 +419,7 @@ impl RemoteNetworkLabs {
     /// RIS tx) reconstructed after the fact.
     pub fn trace(&self, trace: TraceId) -> Vec<FrameEvent> {
         let mut journals: Vec<&EventJournal> = vec![self.server.journal()];
-        journals.extend(self.sites.iter().map(|r| r.journal()));
+        journals.extend(self.sites.iter().map(|s| s.ris.journal()));
         merge_trace(&journals, trace)
     }
 

@@ -97,6 +97,10 @@ pub struct NightlyReport {
     /// (`"<design>: <summary>"`), so the morning log also reports lint
     /// drift when a topology or configuration changed.
     pub lint: Vec<String>,
+    /// Resilience summary lines (session disconnects, re-adoptions,
+    /// reaps, reconnect attempts, shed frames) — nonzero activity only,
+    /// so a quiet night stays a quiet log.
+    pub resilience: Vec<String>,
 }
 
 impl NightlyReport {
@@ -132,6 +136,12 @@ impl NightlyReport {
         if !self.lint.is_empty() {
             out.push_str("  pre-deploy analysis:\n");
             for line in &self.lint {
+                out.push_str(&format!("    {line}\n"));
+            }
+        }
+        if !self.resilience.is_empty() {
+            out.push_str("  resilience:\n");
+            for line in &self.resilience {
                 out.push_str(&format!("    {line}\n"));
             }
         }
@@ -191,10 +201,35 @@ impl NightlySuite {
                 lint.push(format!("{name}: {}", report.summary()));
             }
         }
+        // Resilience counters: anything nonzero means sessions flapped
+        // (or worse) during the night and belongs in the morning log.
+        let obs = labs.server_obs();
+        let mut resilience = Vec::new();
+        for (name, label) in [
+            ("rnl_server_session_disconnects_total", "disconnects"),
+            ("rnl_server_session_readopted_total", "re-adopted"),
+            ("rnl_server_session_reaped_total", "reaped"),
+            ("rnl_server_register_imposter_total", "imposters rejected"),
+            ("rnl_ris_reconnect_attempts_total", "reconnect attempts"),
+            ("rnl_ris_reconnect_success_total", "reconnects succeeded"),
+        ] {
+            let v = obs.counter_sum(name);
+            if v > 0 {
+                resilience.push(format!("{label}: {v}"));
+            }
+        }
+        let shed = obs.snapshot().counter(
+            "rnl_server_frames_unrouted_total",
+            &[("reason", "session-graced")],
+        );
+        if shed > 0 {
+            resilience.push(format!("frames shed during grace: {shed}"));
+        }
         Ok(NightlyReport {
             results,
             metrics,
             lint,
+            resilience,
         })
     }
 }

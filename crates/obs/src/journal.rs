@@ -18,6 +18,10 @@ pub enum MissReason {
     /// The matrix routed the frame to a router whose RIS session is not
     /// connected.
     NoSession,
+    /// The matrix routed the frame to a router whose RIS session is in
+    /// its flap-grace window — the frame is shed (counted, not errored)
+    /// while the session is expected back.
+    SessionGraced,
     /// A compressed payload failed to decode (template ring desync).
     DecodeError,
 }
@@ -28,6 +32,7 @@ impl MissReason {
         match self {
             MissReason::NoMatrixEntry => "no-matrix-entry",
             MissReason::NoSession => "no-session",
+            MissReason::SessionGraced => "session-graced",
             MissReason::DecodeError => "decode-error",
         }
     }

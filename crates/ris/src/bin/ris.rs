@@ -7,16 +7,19 @@
 //!
 //! Reads the Fig.-3-style configuration file (see
 //! [`rnl_ris::config`]), instantiates the simulated equipment it
-//! fronts, dials the route server (outbound only — firewall friendly),
-//! joins the labs, and runs the packet-forwarding loop until killed.
-//! Virtual time maps 1:1 to wall time in this process.
+//! fronts, and runs the packet-forwarding loop until killed. The
+//! connection to the route server is *supervised*: the process starts
+//! disconnected and the [`rnl_ris::Supervisor`] dials (outbound only —
+//! firewall friendly) with jittered exponential backoff, rejoining and
+//! re-registering after every outage instead of exiting. Virtual time
+//! maps 1:1 to wall time in this process.
 
 use std::time::Instant as WallInstant;
 
-use rnl_net::time::Instant;
+use rnl_net::time::{Duration, Instant};
 use rnl_ris::config::RisConfig;
-use rnl_ris::Ris;
-use rnl_tunnel::transport::TcpTransport;
+use rnl_ris::{BackoffConfig, Ris, RisError, Supervisor, TcpDialer};
+use rnl_tunnel::transport::ClosedTransport;
 
 fn main() {
     let path = std::env::args().nth(1).unwrap_or_else(|| {
@@ -32,13 +35,10 @@ fn main() {
         std::process::exit(2);
     });
 
-    eprintln!("ris: {} dialing {} …", config.pc_name, config.server);
-    let transport = TcpTransport::connect(config.server).unwrap_or_else(|e| {
-        eprintln!("ris: cannot reach the route server: {e}");
-        std::process::exit(1);
-    });
-
-    let mut ris = Ris::new(&config.pc_name, Box::new(transport));
+    // Start disconnected; the supervisor owns every dial, including the
+    // first, so a route server that is down at boot is an outage to
+    // ride out, not a fatal error.
+    let mut ris = Ris::new(&config.pc_name, Box::new(ClosedTransport));
     ris.set_compression(config.compression);
     let devices = config.build_devices(1).unwrap_or_else(|e| {
         eprintln!("ris: {e}");
@@ -51,25 +51,50 @@ fn main() {
 
     let start = WallInstant::now();
     let now = move || Instant::from_micros(start.elapsed().as_micros() as u64);
-    ris.join_labs(now()).unwrap_or_else(|e| {
-        eprintln!("ris: join failed: {e}");
-        std::process::exit(1);
-    });
-    eprintln!("ris: joined labs; entering packet forwarding mode");
 
+    let mut dialer = TcpDialer {
+        addr: config.server,
+    };
+    // Seed from the PC name so two RIS boxes do not thunder in lockstep;
+    // determinism only matters under the virtual clock, not here.
+    let seed = config
+        .pc_name
+        .bytes()
+        .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3)
+        });
+    let mut supervisor = Supervisor::new(seed, BackoffConfig::default(), ris.obs(), &[]);
+    eprintln!(
+        "ris: {} supervising uplink to {} …",
+        config.pc_name, config.server
+    );
+
+    let mut was_connected = false;
     let mut last_heartbeat = now();
     loop {
-        if let Err(e) = ris.poll(now()) {
-            eprintln!("ris: {e}; exiting");
-            std::process::exit(1);
-        }
         let t = now();
-        if t.since(last_heartbeat) >= rnl_net::time::Duration::from_secs(10) {
-            last_heartbeat = t;
-            if ris.heartbeat(t).is_err() {
-                eprintln!("ris: lost the route server; exiting");
+        match supervisor.tick(&mut ris, &mut dialer, t) {
+            Ok(true) => {
+                eprintln!("ris: joined labs (epoch {:?})", ris.epoch());
+                last_heartbeat = t;
+            }
+            Ok(false) => {}
+            // Application-level faults are bugs; do not mask them.
+            Err(e @ (RisError::UnknownRouter(_) | RisError::Compression(_))) => {
+                eprintln!("ris: {e}; exiting");
                 std::process::exit(1);
             }
+            Err(RisError::Transport(_)) => {}
+        }
+        let connected = ris.connected();
+        if was_connected && !connected {
+            eprintln!("ris: lost the route server; redialing with backoff");
+        }
+        was_connected = connected;
+        if connected && t.since(last_heartbeat) >= Duration::from_secs(10) {
+            last_heartbeat = t;
+            // A failed heartbeat is just an outage the next tick sees.
+            let _ = ris.heartbeat(t);
         }
         std::thread::sleep(std::time::Duration::from_micros(500));
     }

@@ -20,8 +20,10 @@
 
 pub mod config;
 pub mod mapping;
+pub mod supervisor;
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use rnl_device::device::{Device, LinkState};
 use rnl_net::time::Instant;
@@ -30,10 +32,34 @@ use rnl_obs::{
     LATENCY_BUCKETS_US,
 };
 use rnl_tunnel::compress::{Compressor, Decompressor};
-use rnl_tunnel::msg::{Msg, PortId, RegisterInfo, RouterId, RouterInfo};
-use rnl_tunnel::transport::{Transport, TransportError};
+use rnl_tunnel::msg::{Msg, PortId, RegisterInfo, RouterId, RouterInfo, SessionEpoch};
+use rnl_tunnel::transport::{ClosedTransport, Transport, TransportError};
 
 pub use mapping::auto_mapping;
+pub use supervisor::{BackoffConfig, Dialer, Supervisor, TcpDialer};
+
+/// Process-wide salt so two RIS instances with the same `pc_name` still
+/// get distinct session tokens (deterministic in creation order).
+static TOKEN_SALT: AtomicU64 = AtomicU64::new(0);
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Derive this instance's session token: FNV-1a over the PC name, mixed
+/// with the process-wide salt. The token identifies the *instance*
+/// across reconnects; the epoch generation counts the reconnects.
+fn session_token(pc_name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in pc_name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    splitmix64(h ^ splitmix64(TOKEN_SALT.fetch_add(1, Ordering::Relaxed)))
+}
 
 /// RIS failure.
 #[derive(Debug)]
@@ -105,6 +131,10 @@ pub struct Ris {
     compressors: HashMap<(RouterId, PortId), Compressor>,
     decompressors: HashMap<(RouterId, PortId), Decompressor>,
     heartbeat_seq: u64,
+    /// Identifies this instance (token) and its reconnect count
+    /// (generation) to the server, so a rejoin can be told apart from an
+    /// imposter claiming the same PC name.
+    epoch: SessionEpoch,
     /// All RIS metrics live here; [`RisStats`] is a view of it.
     obs: MetricsRegistry,
     /// Bounded ring of traced frame events (RIS-side hops).
@@ -149,6 +179,10 @@ impl Ris {
             compressors: HashMap::new(),
             decompressors: HashMap::new(),
             heartbeat_seq: 0,
+            epoch: SessionEpoch {
+                token: session_token(pc_name),
+                generation: 1,
+            },
         }
     }
 
@@ -221,6 +255,7 @@ impl Ris {
     pub fn join_labs(&mut self, now: Instant) -> Result<(), RisError> {
         let info = RegisterInfo {
             pc_name: self.pc_name.clone(),
+            epoch: self.epoch,
             routers: self.devices.iter().map(|d| d.info.clone()).collect(),
         };
         self.transport.send(&Msg::Register(info), now)?;
@@ -247,8 +282,13 @@ impl Ris {
     /// Replace a dead transport and re-join the labs ("RIS initiates
     /// and maintains a TCP connection to the route server"): previous id
     /// assignments are discarded — the server hands out fresh unique ids
-    /// on re-registration — and per-stream compression state resets so
-    /// the new session starts synchronized.
+    /// on re-registration (or re-adopts a graced session's ids when the
+    /// epoch proves it is the same instance) — and per-stream
+    /// compression state resets so the new session starts synchronized.
+    /// The epoch generation rotates, and an immediate heartbeat rides
+    /// behind the registration so the server's last-activity stamp is
+    /// fresh the moment the rejoin lands, not a full heartbeat interval
+    /// later.
     pub fn reconnect(
         &mut self,
         transport: Box<dyn Transport>,
@@ -259,7 +299,16 @@ impl Ris {
         self.reverse.clear();
         self.compressors.clear();
         self.decompressors.clear();
-        self.join_labs(now)
+        self.epoch.generation += 1;
+        self.join_labs(now)?;
+        self.heartbeat(now)
+    }
+
+    /// Drop the transport (the uplink died or is being abandoned): the
+    /// RIS holds a permanently-closed placeholder until a supervisor
+    /// dials a replacement.
+    pub fn sever(&mut self) {
+        self.transport = Box::new(ClosedTransport);
     }
 
     /// Whether the tunnel is still believed up.
@@ -267,12 +316,19 @@ impl Ris {
         self.transport.is_connected()
     }
 
-    /// Send a heartbeat (liveness for the server's inventory).
+    /// This instance's session epoch (token + reconnect generation).
+    pub fn epoch(&self) -> SessionEpoch {
+        self.epoch
+    }
+
+    /// Send a heartbeat (liveness for the server's inventory), stamped
+    /// with the current epoch generation.
     pub fn heartbeat(&mut self, now: Instant) -> Result<(), RisError> {
         self.heartbeat_seq += 1;
         self.transport.send(
             &Msg::Heartbeat {
                 seq: self.heartbeat_seq,
+                epoch: self.epoch.generation,
             },
             now,
         )?;

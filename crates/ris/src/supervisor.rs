@@ -1,0 +1,369 @@
+//! Supervised reconnection for a RIS.
+//!
+//! The paper keeps the tunnel up by fiat ("RIS initiates and maintains a
+//! TCP connection to the route server") but says nothing about *how* a
+//! PC behind a flaky consumer uplink maintains it. This module is that
+//! loop: a [`Supervisor`] watches a [`Ris`], and when the tunnel dies it
+//! redials through a [`Dialer`] with jittered exponential backoff on the
+//! virtual clock — seeded, so a given flap schedule produces the same
+//! attempt schedule every run. On success it drives [`Ris::reconnect`],
+//! which rotates the session epoch, re-registers, and heartbeats
+//! immediately, letting the server re-adopt a graced session.
+//!
+//! Everything observable is a metric: attempts, successes, failures, the
+//! backoff currently in force, and a histogram of outage durations
+//! (uplink death → successful rejoin).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rnl_net::time::{Duration, Instant};
+use rnl_obs::{Counter, Gauge, Histogram, MetricsRegistry, LATENCY_BUCKETS_US};
+use rnl_tunnel::transport::{TcpTransport, Transport, TransportError};
+
+use crate::{Ris, RisError};
+
+/// Produces a fresh transport to the route server on demand. Abstracted
+/// so tests and the simulated facade can dial in-memory pairs while the
+/// binary dials TCP.
+pub trait Dialer {
+    /// Attempt one connection. A transport error here is an expected,
+    /// retryable outcome (the server may simply be unreachable).
+    fn dial(&mut self, now: Instant) -> Result<Box<dyn Transport>, TransportError>;
+}
+
+/// Dials the route server over TCP (the production path).
+pub struct TcpDialer {
+    /// Route-server address.
+    pub addr: std::net::SocketAddr,
+}
+
+impl Dialer for TcpDialer {
+    fn dial(&mut self, _now: Instant) -> Result<Box<dyn Transport>, TransportError> {
+        Ok(Box::new(TcpTransport::connect(self.addr)?))
+    }
+}
+
+/// Jittered exponential backoff parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct BackoffConfig {
+    /// Delay after the first failed attempt.
+    pub base: Duration,
+    /// Ceiling on the un-jittered delay.
+    pub max: Duration,
+    /// Growth factor between consecutive failures.
+    pub multiplier: u64,
+    /// Symmetric jitter as a fraction of the delay (0.2 → ±20%). Kept
+    /// within `[0, 1]`; values outside are clamped.
+    pub jitter: f64,
+}
+
+impl Default for BackoffConfig {
+    fn default() -> BackoffConfig {
+        BackoffConfig {
+            base: Duration::from_millis(500),
+            max: Duration::from_secs(30),
+            multiplier: 2,
+            jitter: 0.2,
+        }
+    }
+}
+
+/// Drives a RIS's reconnect loop on the virtual clock.
+pub struct Supervisor {
+    cfg: BackoffConfig,
+    rng: StdRng,
+    /// Un-jittered delay the *next* failure will schedule.
+    current_delay: Duration,
+    /// When the next dial attempt is due (None while healthy).
+    next_attempt: Option<Instant>,
+    /// When the current outage began (None while healthy).
+    outage_start: Option<Instant>,
+    m_attempts: Counter,
+    m_success: Counter,
+    m_failures: Counter,
+    m_backoff_ms: Gauge,
+    m_outage_us: Histogram,
+}
+
+impl Supervisor {
+    /// A supervisor with its own seeded RNG. Metrics are registered on
+    /// `registry` with `labels` (e.g. `[("site", pc_name)]`), so the
+    /// reconnect counters surface wherever that registry is exported.
+    pub fn new(
+        seed: u64,
+        cfg: BackoffConfig,
+        registry: &MetricsRegistry,
+        labels: &[(&str, &str)],
+    ) -> Supervisor {
+        Supervisor {
+            cfg,
+            rng: StdRng::seed_from_u64(seed),
+            current_delay: cfg.base,
+            next_attempt: None,
+            outage_start: None,
+            m_attempts: registry.counter("rnl_ris_reconnect_attempts_total", labels),
+            m_success: registry.counter("rnl_ris_reconnect_success_total", labels),
+            m_failures: registry.counter("rnl_ris_reconnect_failures_total", labels),
+            m_backoff_ms: registry.gauge("rnl_ris_reconnect_backoff_ms", labels),
+            m_outage_us: registry.histogram(
+                "rnl_ris_outage_duration_us",
+                labels,
+                &LATENCY_BUCKETS_US,
+            ),
+        }
+    }
+
+    /// Whether the supervisor currently believes the tunnel is down.
+    pub fn in_outage(&self) -> bool {
+        self.outage_start.is_some()
+    }
+
+    /// When the next dial attempt is due, while in outage.
+    pub fn next_attempt(&self) -> Option<Instant> {
+        self.next_attempt
+    }
+
+    /// One supervision step: poll the RIS while healthy; detect outages;
+    /// when a (jittered, backed-off) attempt is due, dial and rejoin.
+    ///
+    /// Returns `Ok(true)` exactly when a reconnect completed this tick.
+    /// Transport errors are absorbed into the outage state machine;
+    /// application-level errors (unknown router, compression
+    /// desynchronization) bubble up — supervision must not mask bugs.
+    pub fn tick(
+        &mut self,
+        ris: &mut Ris,
+        dialer: &mut dyn Dialer,
+        now: Instant,
+    ) -> Result<bool, RisError> {
+        if ris.connected() {
+            match ris.poll(now) {
+                Ok(()) => return Ok(false),
+                Err(RisError::Transport(_)) => self.note_outage(now),
+                Err(e) => return Err(e),
+            }
+        } else {
+            self.note_outage(now);
+        }
+        let Some(due) = self.next_attempt else {
+            return Ok(false);
+        };
+        if now < due {
+            return Ok(false);
+        }
+        self.m_attempts.inc();
+        let attempt = dialer
+            .dial(now)
+            .map_err(RisError::Transport)
+            .and_then(|t| ris.reconnect(t, now));
+        match attempt {
+            Ok(()) => {
+                self.m_success.inc();
+                if let Some(started) = self.outage_start.take() {
+                    self.m_outage_us.observe(now.since(started).as_micros());
+                }
+                self.next_attempt = None;
+                self.current_delay = self.cfg.base;
+                self.m_backoff_ms.set(0.0);
+                Ok(true)
+            }
+            Err(RisError::Transport(_)) => {
+                self.m_failures.inc();
+                let delay = self.jittered(self.current_delay);
+                self.next_attempt = Some(now + delay);
+                self.m_backoff_ms.set(delay.as_micros() as f64 / 1_000.0);
+                let grown = self.current_delay.saturating_mul(self.cfg.multiplier);
+                self.current_delay = if grown.as_micros() > self.cfg.max.as_micros() {
+                    self.cfg.max
+                } else {
+                    grown
+                };
+                Ok(false)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Record the start of an outage and schedule an *immediate* first
+    /// attempt (backoff only kicks in after a failure).
+    fn note_outage(&mut self, now: Instant) {
+        if self.outage_start.is_none() {
+            self.outage_start = Some(now);
+            self.current_delay = self.cfg.base;
+            self.next_attempt = Some(now);
+        }
+    }
+
+    /// Apply symmetric jitter: `delay ± jitter·delay`, drawn from this
+    /// supervisor's seeded RNG.
+    fn jittered(&mut self, delay: Duration) -> Duration {
+        let us = delay.as_micros();
+        let frac = self.cfg.jitter.clamp(0.0, 1.0);
+        let half_span = (us as f64 * frac) as u64;
+        if half_span == 0 {
+            return delay;
+        }
+        let offset = self.rng.gen_range(0..=2 * half_span);
+        Duration::from_micros((us + offset).saturating_sub(half_span))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rnl_tunnel::transport::{mem_pair_perfect, ClosedTransport, MemTransport};
+
+    fn t(ms: u64) -> Instant {
+        Instant::EPOCH + Duration::from_millis(ms)
+    }
+
+    /// A dialer that fails until `up_at`, then hands out mem-pair ends
+    /// (keeping the server sides so the link stays alive).
+    struct FlakyDialer {
+        up_at: Instant,
+        seed: u64,
+        server_sides: Vec<MemTransport>,
+    }
+
+    impl Dialer for FlakyDialer {
+        fn dial(&mut self, now: Instant) -> Result<Box<dyn Transport>, TransportError> {
+            if now < self.up_at {
+                return Err(TransportError::Closed);
+            }
+            self.seed += 1;
+            let (ris_side, server_side) = mem_pair_perfect(self.seed);
+            self.server_sides.push(server_side);
+            Ok(Box::new(ris_side))
+        }
+    }
+
+    fn severed_ris() -> Ris {
+        Ris::new("pc-sup", Box::new(ClosedTransport))
+    }
+
+    #[test]
+    fn backoff_schedule_is_seed_deterministic() {
+        let cfg = BackoffConfig::default();
+        let schedule = |seed: u64| -> Vec<u64> {
+            let registry = MetricsRegistry::new();
+            let mut sup = Supervisor::new(seed, cfg, &registry, &[]);
+            let mut ris = severed_ris();
+            let mut dialer = FlakyDialer {
+                up_at: t(u64::MAX / 2_000),
+                seed: 0,
+                server_sides: Vec::new(),
+            };
+            let mut attempts = Vec::new();
+            let mut now = t(0);
+            for _ in 0..2_000 {
+                let due = sup.next_attempt();
+                let _ = sup.tick(&mut ris, &mut dialer, now).unwrap();
+                if let Some(d) = due {
+                    if d <= now && attempts.last() != Some(&now.as_micros()) {
+                        attempts.push(now.as_micros());
+                    }
+                }
+                now += Duration::from_millis(10);
+                if attempts.len() >= 8 {
+                    break;
+                }
+            }
+            attempts
+        };
+        let a = schedule(42);
+        let b = schedule(42);
+        let c = schedule(43);
+        assert!(a.len() >= 4, "not enough attempts observed: {a:?}");
+        assert_eq!(a, b, "same seed must give the same schedule");
+        assert_ne!(a, c, "different seeds should jitter differently");
+    }
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let cfg = BackoffConfig {
+            base: Duration::from_millis(100),
+            max: Duration::from_millis(800),
+            multiplier: 2,
+            jitter: 0.0,
+        };
+        let registry = MetricsRegistry::new();
+        let mut sup = Supervisor::new(1, cfg, &registry, &[]);
+        let mut ris = severed_ris();
+        let mut dialer = FlakyDialer {
+            up_at: t(u64::MAX / 2_000),
+            seed: 0,
+            server_sides: Vec::new(),
+        };
+        // First tick: outage noted, immediate attempt, fails → 100ms.
+        sup.tick(&mut ris, &mut dialer, t(0)).unwrap();
+        assert_eq!(sup.next_attempt(), Some(t(100)));
+        sup.tick(&mut ris, &mut dialer, t(100)).unwrap();
+        assert_eq!(sup.next_attempt(), Some(t(300))); // +200
+        sup.tick(&mut ris, &mut dialer, t(300)).unwrap();
+        assert_eq!(sup.next_attempt(), Some(t(700))); // +400
+        sup.tick(&mut ris, &mut dialer, t(700)).unwrap();
+        assert_eq!(sup.next_attempt(), Some(t(1500))); // +800 (capped)
+        sup.tick(&mut ris, &mut dialer, t(1500)).unwrap();
+        assert_eq!(sup.next_attempt(), Some(t(2300))); // still +800
+        assert_eq!(
+            registry
+                .snapshot()
+                .counter("rnl_ris_reconnect_failures_total", &[]),
+            5
+        );
+    }
+
+    #[test]
+    fn recovery_rejoins_and_records_outage() {
+        let registry = MetricsRegistry::new();
+        let cfg = BackoffConfig {
+            base: Duration::from_millis(100),
+            max: Duration::from_secs(1),
+            multiplier: 2,
+            jitter: 0.0,
+        };
+        let mut sup = Supervisor::new(7, cfg, &registry, &[]);
+        let mut ris = severed_ris();
+        let gen_before = ris.epoch().generation;
+        let mut dialer = FlakyDialer {
+            up_at: t(250),
+            seed: 100,
+            server_sides: Vec::new(),
+        };
+        let mut now = t(0);
+        let mut recovered_at = None;
+        for _ in 0..200 {
+            if sup.tick(&mut ris, &mut dialer, now).unwrap() {
+                recovered_at = Some(now);
+                break;
+            }
+            now += Duration::from_millis(10);
+        }
+        let recovered_at = recovered_at.expect("never recovered");
+        assert!(recovered_at >= t(250));
+        assert!(ris.connected());
+        assert!(!sup.in_outage());
+        assert!(ris.epoch().generation > gen_before, "epoch must rotate");
+        // The new server side saw Register then an immediate Heartbeat.
+        let server_side = dialer.server_sides.last_mut().expect("no link made");
+        let msgs = server_side.poll(recovered_at).unwrap();
+        assert!(
+            matches!(&msgs[0], rnl_tunnel::msg::Msg::Register(info) if info.epoch.generation > gen_before)
+        );
+        assert!(
+            msgs.iter()
+                .any(|m| matches!(m, rnl_tunnel::msg::Msg::Heartbeat { .. })),
+            "rejoin must heartbeat immediately: {msgs:?}"
+        );
+        let snap = registry.snapshot();
+        assert!(snap.counter("rnl_ris_reconnect_attempts_total", &[]) >= 2);
+        assert_eq!(snap.counter("rnl_ris_reconnect_success_total", &[]), 1);
+        match snap.get("rnl_ris_outage_duration_us", &[]) {
+            Some(rnl_obs::MetricValue::Histogram(h)) => {
+                assert_eq!(h.count, 1);
+                assert!(h.sum >= 250_000, "outage shorter than the downtime");
+            }
+            other => panic!("missing outage histogram: {other:?}"),
+        }
+    }
+}

@@ -41,6 +41,7 @@ fn main() {
     let mut ris_port = 4510u16;
     let mut api_port = 4511u16;
     let mut metrics_port = 4512u16;
+    let mut grace_secs = rnl_server::DEFAULT_GRACE_WINDOW.as_secs();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -61,6 +62,12 @@ fn main() {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage("--metrics-port needs a number"));
+            }
+            "--grace-window" => {
+                grace_secs = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--grace-window needs seconds"));
             }
             other => usage(&format!("unknown argument {other:?}")),
         }
@@ -97,6 +104,8 @@ fn main() {
 
     // The single-threaded core loop: sessions, relay, API dispatch.
     let mut server = RouteServer::new();
+    server.set_grace_window(rnl_net::time::Duration::from_secs(grace_secs));
+    eprintln!("routeserver: session flap grace window {grace_secs}s");
 
     // Metrics exposition: the registry clone shares storage with the
     // server's, so this thread serves live values without touching the
@@ -187,6 +196,8 @@ fn serve_metrics_client(mut stream: TcpStream, registry: &rnl_obs::MetricsRegist
 
 fn usage(msg: &str) -> ! {
     eprintln!("routeserver: {msg}");
-    eprintln!("usage: routeserver [--ris-port N] [--api-port N] [--metrics-port N]");
+    eprintln!(
+        "usage: routeserver [--ris-port N] [--api-port N] [--metrics-port N] [--grace-window SECS]"
+    );
     std::process::exit(2);
 }

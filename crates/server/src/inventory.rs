@@ -93,6 +93,28 @@ impl Inventory {
         gone
     }
 
+    /// Re-adopt one router from a graced session: the record owned by
+    /// `old` whose registration-local id matches moves to `new` with its
+    /// global id *unchanged*, so matrix entries and deployments keep
+    /// pointing at the same router. Returns `None` when the old session
+    /// fronted no such router (the re-registration added hardware).
+    pub fn rebind(
+        &mut self,
+        old: SessionId,
+        new: SessionId,
+        info: &RouterInfo,
+        now: Instant,
+    ) -> Option<RouterId> {
+        let record = self
+            .records
+            .values_mut()
+            .find(|r| r.session == old && r.info.local_id == info.local_id)?;
+        record.session = new;
+        record.info = info.clone();
+        record.last_seen = now;
+        Some(record.id)
+    }
+
     /// Refresh liveness for every router on a session.
     pub fn touch_session(&mut self, session: SessionId, now: Instant) {
         for record in self.records.values_mut() {
@@ -166,6 +188,24 @@ mod tests {
         assert_eq!(gone, vec![a]);
         assert!(inv.get(a).is_none());
         assert!(inv.get(b).is_some());
+    }
+
+    #[test]
+    fn rebind_moves_session_and_keeps_global_id() {
+        let mut inv = Inventory::new();
+        let a = inv.register(SessionId(1), "pc1", info("a"), t(0));
+        let rebound = inv
+            .rebind(SessionId(1), SessionId(9), &info("a-rejoined"), t(5))
+            .unwrap();
+        assert_eq!(rebound, a, "global id must survive re-adoption");
+        let rec = inv.get(a).unwrap();
+        assert_eq!(rec.session, SessionId(9));
+        assert_eq!(rec.info.description, "a-rejoined");
+        assert_eq!(rec.last_seen, t(5));
+        // Nothing left on the old session to rebind.
+        assert!(inv
+            .rebind(SessionId(1), SessionId(9), &info("x"), t(6))
+            .is_none());
     }
 
     #[test]

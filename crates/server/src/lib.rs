@@ -31,13 +31,13 @@ pub mod web;
 
 use std::collections::{BTreeMap, HashMap};
 
-use rnl_net::time::Instant;
+use rnl_net::time::{Duration, Instant};
 use rnl_obs::{
-    Counter, EventJournal, FrameEvent, Histogram, Hop, MetricsRegistry, MissReason, Span, TraceId,
-    LATENCY_BUCKETS_US,
+    Counter, EventJournal, FrameEvent, Gauge, Histogram, Hop, MetricsRegistry, MissReason, Span,
+    TraceId, LATENCY_BUCKETS_US,
 };
 use rnl_tunnel::compress::{CompressError, Compressor, Decompressor};
-use rnl_tunnel::msg::{Assignment, Msg, PortId, RouterId};
+use rnl_tunnel::msg::{Assignment, Msg, PortId, RouterId, SessionEpoch};
 use rnl_tunnel::transport::{Transport, TransportError};
 
 use capture::{CaptureDir, CaptureHub};
@@ -140,10 +140,34 @@ pub struct DeploymentRecord {
     pub routers: Vec<RouterId>,
 }
 
+/// Grace applied to a disconnected session before it is reaped. Long
+/// enough for a supervised RIS to ride out a router reboot or an ISP
+/// blip; short enough that genuinely dead hardware frees its
+/// reservation promptly.
+pub const DEFAULT_GRACE_WINDOW: Duration = Duration::from_secs(10);
+
 struct Session {
     transport: Box<dyn Transport>,
     pc_name: Option<String>,
     alive: bool,
+    /// The epoch the RIS registered with; proves a later rejoin comes
+    /// from the same instance (token) and is newer (generation).
+    epoch: Option<SessionEpoch>,
+    /// When the transport died, starting the flap-grace window. `None`
+    /// while healthy.
+    graced_at: Option<Instant>,
+}
+
+/// What became of a frame handed to [`RouteServer::send_to_router`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SendOutcome {
+    /// Accepted by the destination session's transport.
+    Sent,
+    /// The destination session is in its flap-grace window; the frame
+    /// was shed, not errored.
+    Graced,
+    /// No live session fronts the router.
+    Gone,
 }
 
 /// The back-end server. Single-threaded and poll-driven; wrap it in a
@@ -181,12 +205,22 @@ pub struct RouteServer {
     wire_metrics: HashMap<(RouterId, PortId), WireMetrics>,
     /// Cached per-deployment relay counters.
     deployment_frames: HashMap<DeploymentId, Counter>,
+    /// How long a disconnected session keeps its inventory, matrix
+    /// entries and reservation before being reaped.
+    grace_window: Duration,
     m_frames_routed: Counter,
     m_bytes_relayed: Counter,
     m_frames_injected: Counter,
     m_unrouted_no_matrix: Counter,
     m_unrouted_no_session: Counter,
+    m_unrouted_graced: Counter,
     m_unrouted_decode: Counter,
+    m_session_disconnects: Counter,
+    m_sessions_readopted: Counter,
+    m_sessions_reaped: Counter,
+    m_register_imposters: Counter,
+    m_sessions_graced: Gauge,
+    m_session_recovery_us: Histogram,
 }
 
 impl Default for RouteServer {
@@ -211,7 +245,19 @@ impl RouteServer {
             m_frames_injected: obs.counter("rnl_server_frames_injected_total", &[]),
             m_unrouted_no_matrix: unrouted(MissReason::NoMatrixEntry),
             m_unrouted_no_session: unrouted(MissReason::NoSession),
+            m_unrouted_graced: unrouted(MissReason::SessionGraced),
             m_unrouted_decode: unrouted(MissReason::DecodeError),
+            m_session_disconnects: obs.counter("rnl_server_session_disconnects_total", &[]),
+            m_sessions_readopted: obs.counter("rnl_server_session_readopted_total", &[]),
+            m_sessions_reaped: obs.counter("rnl_server_session_reaped_total", &[]),
+            m_register_imposters: obs.counter("rnl_server_register_imposter_total", &[]),
+            m_sessions_graced: obs.gauge("rnl_server_sessions_graced", &[]),
+            m_session_recovery_us: obs.histogram(
+                "rnl_server_session_recovery_us",
+                &[],
+                &LATENCY_BUCKETS_US,
+            ),
+            grace_window: DEFAULT_GRACE_WINDOW,
             obs,
             journal: EventJournal::new(4096),
             wire_metrics: HashMap::new(),
@@ -243,6 +289,17 @@ impl RouteServer {
     /// mitigation; the RIS transparently decompresses).
     pub fn set_compress_downstream(&mut self, on: bool) {
         self.compress_downstream = on;
+    }
+
+    /// Configure the flap-grace window (how long a disconnected session
+    /// keeps its deployment before being reaped).
+    pub fn set_grace_window(&mut self, window: Duration) {
+        self.grace_window = window;
+    }
+
+    /// The configured flap-grace window.
+    pub fn grace_window(&self) -> Duration {
+        self.grace_window
     }
 
     /// Counters, computed from the metrics registry.
@@ -316,13 +373,16 @@ impl RouteServer {
                 transport,
                 pc_name: None,
                 alive: true,
+                epoch: None,
+                graced_at: None,
             },
         );
         id
     }
 
     /// One poll cycle: drain every session, relay data, apply
-    /// registrations, collect mailboxes, drop dead sessions.
+    /// registrations, collect mailboxes, grace newly-dead sessions, and
+    /// reap sessions whose grace expired.
     pub fn poll(&mut self, now: Instant) {
         let ids: Vec<SessionId> = self.sessions.keys().copied().collect();
         for sid in ids {
@@ -348,33 +408,152 @@ impl RouteServer {
             // Streams whose router vanished just stop producing effect.
             let _ = self.inject(router, port, frame, now);
         }
-        // Purge dead sessions and their inventory.
-        let dead: Vec<SessionId> = self
+        // Newly-dead sessions enter the flap grace window rather than
+        // being reaped at first disconnect: the inventory, matrix and
+        // reservation stay intact while the RIS supervisor redials.
+        let disconnected: Vec<SessionId> = self
             .sessions
             .iter()
-            .filter(|(_, s)| !s.alive || !s.transport.is_connected())
+            .filter(|(_, s)| s.graced_at.is_none() && (!s.alive || !s.transport.is_connected()))
             .map(|(id, _)| *id)
             .collect();
-        for sid in dead {
-            self.sessions.remove(&sid);
-            self.inventory.remove_session(sid);
+        for sid in disconnected {
+            self.enter_grace(sid, now);
         }
+        // Grace expiry: the session is not coming back; reap it and free
+        // its hardware.
+        let expired: Vec<SessionId> = self
+            .sessions
+            .iter()
+            .filter(|(_, s)| {
+                s.graced_at
+                    .is_some_and(|at| now.since(at) > self.grace_window)
+            })
+            .map(|(id, _)| *id)
+            .collect();
+        for sid in expired {
+            self.reap_session(sid);
+        }
+    }
+
+    /// Mark a session disconnected and start its grace window. Frames
+    /// routed to its routers are shed (counted as `session-graced`)
+    /// until it is re-adopted or reaped.
+    fn enter_grace(&mut self, sid: SessionId, now: Instant) {
+        if let Some(session) = self.sessions.get_mut(&sid) {
+            session.alive = false;
+            session.graced_at = Some(now);
+            self.m_session_disconnects.inc();
+            self.note_graced();
+        }
+    }
+
+    /// Reap a session whose grace expired: remove its routers from the
+    /// inventory, tear down any deployment that used them, and purge
+    /// per-router state.
+    fn reap_session(&mut self, sid: SessionId) {
+        self.sessions.remove(&sid);
+        let gone = self.inventory.remove_session(sid);
+        self.purge_routers(&gone);
+        self.m_sessions_reaped.inc();
+        self.note_graced();
+    }
+
+    /// Tear down deployments owning `routers` and drop their per-router
+    /// server-side state.
+    fn purge_routers(&mut self, routers: &[RouterId]) {
+        for &router in routers {
+            if let Some(dep) = self.matrix.owner_of(router) {
+                self.teardown(dep);
+            }
+            self.console_mail.remove(&router);
+            self.flash_mail.remove(&router);
+            self.compressors.retain(|(r, _), _| *r != router);
+            self.decompressors.retain(|(r, _), _| *r != router);
+        }
+    }
+
+    fn note_graced(&self) {
+        let graced = self
+            .sessions
+            .values()
+            .filter(|s| s.graced_at.is_some())
+            .count();
+        self.m_sessions_graced.set(graced as f64);
     }
 
     fn handle_msg(&mut self, sid: SessionId, msg: Msg, now: Instant) {
         match msg {
             Msg::Register(info) => {
+                // Is this a rejoin of a graced session for the same PC?
+                // The epoch decides: same token and a strictly higher
+                // generation is the session coming back; anything else
+                // claiming a graced PC's name is an imposter and gets a
+                // fresh registration instead of the old hardware.
+                let graced = self
+                    .sessions
+                    .iter()
+                    .find(|(id, s)| {
+                        **id != sid
+                            && s.graced_at.is_some()
+                            && s.pc_name.as_deref() == Some(info.pc_name.as_str())
+                    })
+                    .map(|(id, s)| (*id, s.epoch, s.graced_at));
+                let readopt = match graced {
+                    Some((old_sid, Some(old_epoch), graced_at))
+                        if info.epoch.token == old_epoch.token
+                            && info.epoch.generation > old_epoch.generation =>
+                    {
+                        Some((old_sid, graced_at))
+                    }
+                    Some(_) => {
+                        self.m_register_imposters.inc();
+                        None
+                    }
+                    None => None,
+                };
                 let mut assignments = Vec::new();
-                for router in info.routers {
-                    let local_id = router.local_id;
-                    let id = self.inventory.register(sid, &info.pc_name, router, now);
-                    assignments.push(Assignment {
-                        local_id,
-                        router: id,
-                    });
+                if let Some((old_sid, graced_at)) = readopt {
+                    for router in info.routers {
+                        let local_id = router.local_id;
+                        let id = match self.inventory.rebind(old_sid, sid, &router, now) {
+                            Some(id) => id,
+                            // New hardware on the rejoined RIS.
+                            None => self.inventory.register(sid, &info.pc_name, router, now),
+                        };
+                        // Compression rings restart from scratch on the
+                        // new connection; a stale ring would desync.
+                        self.compressors.retain(|(r, _), _| *r != id);
+                        self.decompressors.retain(|(r, _), _| *r != id);
+                        assignments.push(Assignment {
+                            local_id,
+                            router: id,
+                        });
+                    }
+                    // Routers the rejoin no longer fronts are gone for
+                    // good: free them and their deployments.
+                    let leftover = self.inventory.remove_session(old_sid);
+                    self.purge_routers(&leftover);
+                    self.sessions.remove(&old_sid);
+                    self.m_sessions_readopted.inc();
+                    if let Some(at) = graced_at {
+                        self.m_session_recovery_us
+                            .observe(now.since(at).as_micros());
+                    }
+                    self.note_graced();
+                } else {
+                    for router in info.routers {
+                        let local_id = router.local_id;
+                        let id = self.inventory.register(sid, &info.pc_name, router, now);
+                        assignments.push(Assignment {
+                            local_id,
+                            router: id,
+                        });
+                    }
                 }
                 if let Some(session) = self.sessions.get_mut(&sid) {
                     session.pc_name = Some(info.pc_name);
+                    session.epoch = Some(info.epoch);
                     let _ = session.transport.send(&Msg::RegisterAck(assignments), now);
                 }
             }
@@ -447,6 +626,7 @@ impl RouteServer {
         match reason {
             MissReason::NoMatrixEntry => self.m_unrouted_no_matrix.inc(),
             MissReason::NoSession => self.m_unrouted_no_session.inc(),
+            MissReason::SessionGraced => self.m_unrouted_graced.inc(),
             MissReason::DecodeError => self.m_unrouted_decode.inc(),
         }
         self.journal.record(FrameEvent {
@@ -560,30 +740,50 @@ impl RouteServer {
                 frame,
             }
         };
-        let sent = self.send_to_router(dst_router, msg, now);
-        if sent {
-            self.m_frames_routed.inc();
-            self.journal.record(FrameEvent {
-                trace: span.trace,
-                t_us: now.as_micros(),
-                hop: Hop::ServerTx,
-                router: dst_router.0,
-                port: dst_port.0,
-                bytes: bytes as u32,
-            });
-        } else {
-            self.frame_unrouted(dst_router, dst_port, MissReason::NoSession, span.trace, now);
+        match self.send_to_router(dst_router, msg, now) {
+            SendOutcome::Sent => {
+                self.m_frames_routed.inc();
+                self.journal.record(FrameEvent {
+                    trace: span.trace,
+                    t_us: now.as_micros(),
+                    hop: Hop::ServerTx,
+                    router: dst_router.0,
+                    port: dst_port.0,
+                    bytes: bytes as u32,
+                });
+            }
+            SendOutcome::Graced => {
+                self.frame_unrouted(
+                    dst_router,
+                    dst_port,
+                    MissReason::SessionGraced,
+                    span.trace,
+                    now,
+                );
+            }
+            SendOutcome::Gone => {
+                self.frame_unrouted(dst_router, dst_port, MissReason::NoSession, span.trace, now);
+            }
         }
     }
 
-    fn send_to_router(&mut self, router: RouterId, msg: Msg, now: Instant) -> bool {
+    fn send_to_router(&mut self, router: RouterId, msg: Msg, now: Instant) -> SendOutcome {
         let Some(sid) = self.inventory.session_of(router) else {
-            return false;
+            return SendOutcome::Gone;
         };
         let Some(session) = self.sessions.get_mut(&sid) else {
-            return false;
+            return SendOutcome::Gone;
         };
-        session.transport.send(&msg, now).is_ok()
+        // A graced session's transport is dead but the session is
+        // expected back: shed the frame quietly rather than treating it
+        // as a routing error.
+        if session.graced_at.is_some() || !session.alive {
+            return SendOutcome::Graced;
+        }
+        match session.transport.send(&msg, now) {
+            Ok(()) => SendOutcome::Sent,
+            Err(_) => SendOutcome::Gone,
+        }
     }
 
     // -----------------------------------------------------------------
@@ -1231,5 +1431,153 @@ mod tests {
             server.deploy_design("bob", &design2, t(0)),
             Err(ServerError::Matrix(MatrixError::RouterBusy { .. }))
         ));
+    }
+
+    fn graced_gauge(server: &RouteServer) -> f64 {
+        let snap = server.obs().snapshot();
+        match snap.get("rnl_server_sessions_graced", &[]) {
+            Some(rnl_obs::MetricValue::Gauge(g)) => *g,
+            other => panic!("missing sessions_graced gauge: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn disconnect_graces_rather_than_reaps() {
+        let (mut server, mut ris, _r1, _r2) = two_host_lab();
+        let dep = server.deployments().next().unwrap().id;
+        ris.sever();
+        server.poll(t(1000));
+        // Inventory, matrix and deployment survive the disconnect.
+        assert_eq!(server.inventory().len(), 2);
+        assert!(server.deployments().any(|d| d.id == dep));
+        assert_eq!(graced_gauge(&server), 1.0);
+        let snap = server.obs().snapshot();
+        assert_eq!(snap.counter("rnl_server_session_disconnects_total", &[]), 1);
+        assert_eq!(snap.counter("rnl_server_session_reaped_total", &[]), 0);
+    }
+
+    #[test]
+    fn rejoin_within_grace_readopts_router_ids_and_deployment() {
+        let (mut server, mut ris, r1, r2) = two_host_lab();
+        let dep = server.deployments().next().unwrap().id;
+        ris.sever();
+        server.poll(t(1000));
+        // Rejoin well inside the default 10 s grace window.
+        let (ris_side, server_side) = mem_pair_perfect(13);
+        server.attach(Box::new(server_side));
+        ris.reconnect(Box::new(ris_side), t(2000)).unwrap();
+        server.poll(t(2000));
+        ris.poll(t(2000)).unwrap();
+        // Same global ids: the matrix and deployment never noticed.
+        assert_eq!(ris.router_id(0), Some(r1));
+        assert_eq!(ris.router_id(1), Some(r2));
+        assert_eq!(server.inventory().len(), 2);
+        assert!(server.deployments().any(|d| d.id == dep));
+        assert_eq!(graced_gauge(&server), 0.0);
+        let snap = server.obs().snapshot();
+        assert_eq!(snap.counter("rnl_server_session_readopted_total", &[]), 1);
+        assert_eq!(snap.counter("rnl_server_session_reaped_total", &[]), 0);
+        // Traffic flows again over the re-adopted session.
+        ris.device_mut(0)
+            .unwrap()
+            .console("ping 10.0.0.2 count 3", t(2000));
+        run(&mut server, &mut ris, 2000, 7000, 100);
+        let out = ris.device_mut(0).unwrap().console("show ping", t(7000));
+        assert!(out.contains("3 sent, 3 received"), "got: {out}");
+    }
+
+    #[test]
+    fn grace_expiry_reaps_session_and_deployment() {
+        let (mut server, mut ris, _r1, _r2) = two_host_lab();
+        ris.sever();
+        server.poll(t(1000));
+        assert_eq!(graced_gauge(&server), 1.0);
+        // Past the 10 s default window the session is gone for good.
+        server.poll(t(12_000));
+        assert!(server.inventory().is_empty());
+        assert_eq!(server.deployments().count(), 0);
+        assert_eq!(graced_gauge(&server), 0.0);
+        let snap = server.obs().snapshot();
+        assert_eq!(snap.counter("rnl_server_session_reaped_total", &[]), 1);
+    }
+
+    #[test]
+    fn imposter_with_wrong_epoch_cannot_steal_graced_hardware() {
+        let (mut server, mut ris, r1, r2) = two_host_lab();
+        ris.sever();
+        server.poll(t(1000));
+        // A different RIS instance claims the same PC name. Its epoch
+        // token cannot match, so it registers as new hardware.
+        let (imp_side, server_side) = mem_pair_perfect(17);
+        server.attach(Box::new(server_side));
+        let mut imposter = Ris::new("pc1", Box::new(imp_side));
+        imposter.add_device(host("x1", 31, "10.0.9.1/24", None), "server x1");
+        imposter.join_labs(t(2000)).unwrap();
+        server.poll(t(2000));
+        imposter.poll(t(2000)).unwrap();
+        let snap = server.obs().snapshot();
+        assert_eq!(snap.counter("rnl_server_register_imposter_total", &[]), 1);
+        assert_eq!(snap.counter("rnl_server_session_readopted_total", &[]), 0);
+        // Fresh id; the graced routers are untouched and still graced.
+        let new_id = imposter.router_id(0).unwrap();
+        assert!(new_id != r1 && new_id != r2);
+        assert_eq!(server.inventory().len(), 3);
+        assert_eq!(graced_gauge(&server), 1.0);
+    }
+
+    #[test]
+    fn frames_to_graced_session_shed_as_session_graced() {
+        // Two RIS sessions, one wire across them; the far side flaps.
+        let mut server = RouteServer::new();
+        server.set_enforce_reservations(false);
+        let (a_side, sa) = mem_pair_perfect(19);
+        server.attach(Box::new(sa));
+        let mut ris_a = Ris::new("pca", Box::new(a_side));
+        ris_a.add_device(host("s1", 41, "10.0.1.1/24", None), "server s1");
+        ris_a.join_labs(t(0)).unwrap();
+        let (b_side, sb) = mem_pair_perfect(23);
+        server.attach(Box::new(sb));
+        let mut ris_b = Ris::new("pcb", Box::new(b_side));
+        ris_b.add_device(host("s2", 42, "10.0.1.2/24", None), "server s2");
+        ris_b.join_labs(t(0)).unwrap();
+        server.poll(t(0));
+        ris_a.poll(t(0)).unwrap();
+        ris_b.poll(t(0)).unwrap();
+        let r1 = ris_a.router_id(0).unwrap();
+        let r2 = ris_b.router_id(0).unwrap();
+        let mut design = Design::new("cross");
+        design.add_device(r1);
+        design.add_device(r2);
+        design.connect((r1, PortId(0)), (r2, PortId(0))).unwrap();
+        let dep = server.deploy_design("alice", &design, t(0)).unwrap();
+
+        ris_b.sever();
+        server.poll(t(100));
+        ris_a
+            .device_mut(0)
+            .unwrap()
+            .console("ping 10.0.1.2 count 2", t(100));
+        let mut ms = 100;
+        while ms <= 3000 {
+            ris_a.poll(t(ms)).unwrap();
+            server.poll(t(ms));
+            ms += 100;
+        }
+        let snap = server.obs().snapshot();
+        let shed = snap.counter(
+            "rnl_server_frames_unrouted_total",
+            &[("reason", "session-graced")],
+        );
+        assert!(shed > 0, "frames to the graced session are shed");
+        assert_eq!(
+            snap.counter(
+                "rnl_server_frames_unrouted_total",
+                &[("reason", "no-session")],
+            ),
+            0,
+            "a graced session is not a routing error"
+        );
+        // The wire itself stays deployed throughout.
+        assert!(server.deployments().any(|d| d.id == dep));
     }
 }

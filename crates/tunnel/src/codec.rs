@@ -216,7 +216,7 @@ mod tests {
     #[test]
     fn framing_reassembles_across_arbitrary_chunking() {
         let msgs = vec![
-            Msg::Heartbeat { seq: 1 },
+            Msg::Heartbeat { seq: 1, epoch: 0 },
             Msg::Data {
                 router: RouterId(1),
                 port: PortId(0),
@@ -255,8 +255,8 @@ mod tests {
     #[test]
     fn drain_returns_all_buffered() {
         let mut codec = FrameCodec::new();
-        codec.feed(&FrameCodec::encode(&Msg::Heartbeat { seq: 1 }));
-        codec.feed(&FrameCodec::encode(&Msg::Heartbeat { seq: 2 }));
+        codec.feed(&FrameCodec::encode(&Msg::Heartbeat { seq: 1, epoch: 0 }));
+        codec.feed(&FrameCodec::encode(&Msg::Heartbeat { seq: 2, epoch: 0 }));
         let msgs = codec.drain().unwrap();
         assert_eq!(msgs.len(), 2);
     }

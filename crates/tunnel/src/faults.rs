@@ -1,0 +1,204 @@
+//! Deterministic fault injection for the in-memory tunnel.
+//!
+//! The paper's §4 singles out the Internet tunnel as the fragile link;
+//! this module makes that fragility a first-class, *reproducible* test
+//! input. A [`FaultPlan`] is a virtual-time schedule of windows during
+//! which one endpoint of a [`crate::transport::MemTransport`] misbehaves:
+//!
+//! * [`FaultKind::Stall`] — the link stops moving bytes but stays up
+//!   (a congested or bufferbloated path); traffic sent during the window
+//!   is held and released, in order, when the window closes.
+//! * [`FaultKind::Partition`] — the link silently eats traffic (a
+//!   mid-path partition); sends succeed but nothing arrives, and every
+//!   eaten frame is counted.
+//! * [`FaultKind::Cut`] — the connection drops (modem reset, NAT rebind);
+//!   the endpoint reports closed from the window start onward and a new
+//!   transport must be dialed.
+//!
+//! Plans are plain data on the virtual clock, so a chaos schedule either
+//! hand-written or generated from a seed replays identically every run.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rnl_net::time::{Duration, Instant};
+
+/// What the link does to traffic inside a fault window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Bytes stop flowing but the connection survives; held traffic is
+    /// released in order when the window ends.
+    Stall,
+    /// Traffic is silently dropped (counted) while the connection stays
+    /// nominally up.
+    Partition,
+    /// The connection is severed at the window start; it does not heal.
+    Cut,
+}
+
+/// One scheduled misbehavior window `[from, until)` on the virtual
+/// clock. For [`FaultKind::Cut`] only `from` matters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultWindow {
+    pub from: Instant,
+    pub until: Instant,
+    pub kind: FaultKind,
+}
+
+impl FaultWindow {
+    /// Whether `now` falls inside the window.
+    pub fn contains(&self, now: Instant) -> bool {
+        self.from <= now && now < self.until
+    }
+}
+
+/// A deterministic schedule of fault windows for one transport
+/// endpoint.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    windows: Vec<FaultWindow>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults — the default for every transport).
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Add one window.
+    pub fn add(&mut self, window: FaultWindow) -> &mut Self {
+        self.windows.push(window);
+        self
+    }
+
+    /// Convenience: schedule a window of `kind` starting at `from` and
+    /// lasting `duration`.
+    pub fn schedule(&mut self, kind: FaultKind, from: Instant, duration: Duration) -> &mut Self {
+        self.add(FaultWindow {
+            from,
+            until: from + duration,
+            kind,
+        })
+    }
+
+    /// The scheduled windows.
+    pub fn windows(&self) -> &[FaultWindow] {
+        &self.windows
+    }
+
+    /// True when nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// The fault in force at `now`, if any. [`FaultKind::Cut`] wins over
+    /// everything (the link is gone); otherwise the first matching
+    /// window applies.
+    pub fn active(&self, now: Instant) -> Option<FaultKind> {
+        if self.cut_by(now) {
+            return Some(FaultKind::Cut);
+        }
+        self.windows
+            .iter()
+            .find(|w| w.kind != FaultKind::Cut && w.contains(now))
+            .map(|w| w.kind)
+    }
+
+    /// Whether a cut window has started at or before `now` (cuts do not
+    /// heal — the transport stays dead until replaced).
+    pub fn cut_by(&self, now: Instant) -> bool {
+        self.windows
+            .iter()
+            .any(|w| w.kind == FaultKind::Cut && w.from <= now)
+    }
+
+    /// Generate a seeded random schedule of `count` non-cut windows
+    /// (stalls and partitions) inside `[start, start + horizon)`. Window
+    /// lengths are uniform in `[1, max_len]`. Identical seeds produce
+    /// identical schedules — the reproducibility contract chaos tests
+    /// rely on.
+    pub fn random(
+        seed: u64,
+        start: Instant,
+        horizon: Duration,
+        count: usize,
+        max_len: Duration,
+    ) -> FaultPlan {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut plan = FaultPlan::new();
+        let horizon_us = horizon.as_micros().max(1);
+        let max_len_us = max_len.as_micros().max(1);
+        for _ in 0..count {
+            let from = start + Duration::from_micros(rng.gen_range(0..horizon_us));
+            let len = Duration::from_micros(rng.gen_range(1..=max_len_us));
+            let kind = if rng.gen_bool(0.5) {
+                FaultKind::Stall
+            } else {
+                FaultKind::Partition
+            };
+            plan.add(FaultWindow {
+                from,
+                until: from + len,
+                kind,
+            });
+        }
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> Instant {
+        Instant::EPOCH + Duration::from_millis(ms)
+    }
+
+    #[test]
+    fn windows_apply_inside_their_interval_only() {
+        let mut plan = FaultPlan::new();
+        plan.schedule(FaultKind::Stall, t(100), Duration::from_millis(50));
+        assert_eq!(plan.active(t(99)), None);
+        assert_eq!(plan.active(t(100)), Some(FaultKind::Stall));
+        assert_eq!(plan.active(t(149)), Some(FaultKind::Stall));
+        assert_eq!(plan.active(t(150)), None);
+    }
+
+    #[test]
+    fn cut_is_permanent_and_dominates() {
+        let mut plan = FaultPlan::new();
+        plan.schedule(FaultKind::Partition, t(0), Duration::from_millis(500));
+        plan.schedule(FaultKind::Cut, t(200), Duration::from_millis(1));
+        assert_eq!(plan.active(t(100)), Some(FaultKind::Partition));
+        assert_eq!(plan.active(t(200)), Some(FaultKind::Cut));
+        // Long after the cut "window": still cut.
+        assert_eq!(plan.active(t(10_000)), Some(FaultKind::Cut));
+        assert!(plan.cut_by(t(10_000)));
+    }
+
+    #[test]
+    fn random_plans_are_seed_deterministic() {
+        let a = FaultPlan::random(
+            9,
+            t(0),
+            Duration::from_secs(10),
+            8,
+            Duration::from_millis(300),
+        );
+        let b = FaultPlan::random(
+            9,
+            t(0),
+            Duration::from_secs(10),
+            8,
+            Duration::from_millis(300),
+        );
+        assert_eq!(a.windows(), b.windows());
+        let c = FaultPlan::random(
+            10,
+            t(0),
+            Duration::from_secs(10),
+            8,
+            Duration::from_millis(300),
+        );
+        assert_ne!(a.windows(), c.windows());
+    }
+}

@@ -16,15 +16,21 @@
 //!   and a deterministic in-memory transport for tests and experiments.
 //! * [`impair`] — WAN delay/jitter/loss injection (§3.5: "RNL can inject
 //!   delay and jitter to simulate any wide area links").
+//! * [`faults`] — deterministic, virtual-time fault schedules (stalls,
+//!   partitions, cuts) for reproducing tunnel churn in tests.
 //! * [`compress`] — template packet compression (§4: "By exploiting the
 //!   similarities across packets, we could achieve a high compression
 //!   ratio").
 
 pub mod codec;
 pub mod compress;
+pub mod faults;
 pub mod impair;
 pub mod msg;
 pub mod transport;
 
+pub use faults::{FaultKind, FaultPlan, FaultWindow};
 pub use msg::{Msg, PortId, RouterId};
-pub use transport::{MemTransport, TcpTransport, Transport, TransportError};
+pub use transport::{
+    ClosedTransport, MemTransport, OverflowPolicy, TcpTransport, Transport, TransportError,
+};

@@ -72,12 +72,27 @@ pub struct RouterInfo {
     pub console_com: Option<String>,
 }
 
+/// The session identity a RIS presents across reconnects. The `token`
+/// is a stable per-process secret proving a re-registration comes from
+/// the same RIS that owned the graced session (and not an imposter
+/// reusing the PC name); the `generation` is bumped on every reconnect
+/// so the server can order rejoins and discard stale replays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SessionEpoch {
+    /// Stable per-RIS-instance secret.
+    pub token: u64,
+    /// Reconnect count; strictly increases across rejoins.
+    pub generation: u64,
+}
+
 /// The registration a RIS submits when the lab manager clicks
 /// "Join Labs".
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RegisterInfo {
     /// Identifies the interface PC.
     pub pc_name: String,
+    /// Session identity across reconnects (rejoin vs. imposter).
+    pub epoch: SessionEpoch,
     pub routers: Vec<RouterInfo>,
 }
 
@@ -135,8 +150,10 @@ pub enum Msg {
         ok: bool,
         message: String,
     },
-    /// Liveness, either direction.
-    Heartbeat { seq: u64 },
+    /// Liveness, either direction. RIS→server heartbeats carry the
+    /// sender's current epoch generation so the server's liveness
+    /// bookkeeping can ignore beats from a superseded connection.
+    Heartbeat { seq: u64, epoch: u64 },
 }
 
 /// Error decoding a message.
@@ -182,6 +199,8 @@ impl Msg {
             Msg::Register(info) => {
                 w.u8(tag::REGISTER);
                 w.string(&info.pc_name);
+                w.u64(info.epoch.token);
+                w.u64(info.epoch.generation);
                 w.u16(info.routers.len() as u16);
                 for r in &info.routers {
                     w.u32(r.local_id);
@@ -276,9 +295,10 @@ impl Msg {
                 w.u8(u8::from(*ok));
                 w.string(message);
             }
-            Msg::Heartbeat { seq } => {
+            Msg::Heartbeat { seq, epoch } => {
                 w.u8(tag::HEARTBEAT);
                 w.u64(*seq);
+                w.u64(*epoch);
             }
         }
         w.into_inner()
@@ -291,6 +311,10 @@ impl Msg {
         let msg = match r.u8()? {
             tag::REGISTER => {
                 let pc_name = r.string()?;
+                let epoch = SessionEpoch {
+                    token: r.u64()?,
+                    generation: r.u64()?,
+                };
                 let n = r.u16()?;
                 let mut routers = Vec::with_capacity(n as usize);
                 for _ in 0..n {
@@ -326,7 +350,11 @@ impl Msg {
                         console_com,
                     });
                 }
-                Msg::Register(RegisterInfo { pc_name, routers })
+                Msg::Register(RegisterInfo {
+                    pc_name,
+                    epoch,
+                    routers,
+                })
             }
             tag::REGISTER_ACK => {
                 let n = r.u16()?;
@@ -383,7 +411,10 @@ impl Msg {
                 ok: r.u8()? != 0,
                 message: r.string()?,
             },
-            tag::HEARTBEAT => Msg::Heartbeat { seq: r.u64()? },
+            tag::HEARTBEAT => Msg::Heartbeat {
+                seq: r.u64()?,
+                epoch: r.u64()?,
+            },
             _ => return Err(DecodeError::Malformed),
         };
         if !r.is_empty() {
@@ -405,6 +436,10 @@ mod tests {
     fn sample_register() -> Msg {
         Msg::Register(RegisterInfo {
             pc_name: "lab-pc-7".to_string(),
+            epoch: SessionEpoch {
+                token: 0xfeed_f00d_dead_beef,
+                generation: 3,
+            },
             routers: vec![RouterInfo {
                 local_id: 3,
                 description: "Catalyst 6500 with FWSM".to_string(),
@@ -500,12 +535,15 @@ mod tests {
             ok: false,
             message: "unknown image".to_string(),
         });
-        roundtrip(Msg::Heartbeat { seq: u64::MAX });
+        roundtrip(Msg::Heartbeat {
+            seq: u64::MAX,
+            epoch: 17,
+        });
     }
 
     #[test]
     fn trailing_garbage_rejected() {
-        let mut bytes = Msg::Heartbeat { seq: 7 }.encode();
+        let mut bytes = Msg::Heartbeat { seq: 7, epoch: 0 }.encode();
         bytes.push(0);
         assert_eq!(Msg::decode(&bytes), Err(DecodeError::Malformed));
     }

@@ -18,11 +18,12 @@ use std::collections::VecDeque;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 
-use crossbeam_channel::{unbounded, Receiver, Sender};
+use crossbeam_channel::{unbounded, Receiver, Sender, TryRecvError};
 use rnl_net::time::Instant;
-use rnl_obs::{Counter, Histogram, MetricsRegistry, LATENCY_BUCKETS_US, SIZE_BUCKETS};
+use rnl_obs::{Counter, Gauge, Histogram, MetricsRegistry, LATENCY_BUCKETS_US, SIZE_BUCKETS};
 
 use crate::codec::FrameCodec;
+use crate::faults::{FaultKind, FaultPlan};
 use crate::impair::{ImpairModel, Impairment};
 use crate::msg::{DecodeError, Msg};
 
@@ -40,6 +41,16 @@ pub struct TransportMetrics {
     pub impair_delay_us: Option<Histogram>,
     /// Messages dropped by the impairment model.
     pub dropped: Option<Counter>,
+    /// Current transmit backlog (bytes accepted but not yet on the wire).
+    pub backlog_bytes: Option<Gauge>,
+    /// Messages dropped because the backlog hit its high-water mark
+    /// under [`OverflowPolicy::DropNewest`].
+    pub backlog_dropped: Option<Counter>,
+    /// Connections declared dead because the backlog hit its high-water
+    /// mark under [`OverflowPolicy::Disconnect`].
+    pub backlog_disconnects: Option<Counter>,
+    /// Messages eaten by an injected fault window (partitions).
+    pub fault_dropped: Option<Counter>,
 }
 
 impl TransportMetrics {
@@ -62,8 +73,29 @@ impl TransportMetrics {
                 &LATENCY_BUCKETS_US,
             )),
             dropped: Some(registry.counter("rnl_tunnel_impair_dropped_total", labels)),
+            backlog_bytes: Some(registry.gauge("rnl_tunnel_backlog_bytes", labels)),
+            backlog_dropped: Some(registry.counter("rnl_tunnel_backlog_dropped_total", labels)),
+            backlog_disconnects: Some(
+                registry.counter("rnl_tunnel_backlog_disconnects_total", labels),
+            ),
+            fault_dropped: Some(registry.counter("rnl_tunnel_fault_dropped_total", labels)),
         }
     }
+}
+
+/// What a transport does with a new message when accepting it would push
+/// the transmit backlog past the high-water mark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OverflowPolicy {
+    /// Refuse (drop) the newest message, count it, and stay connected —
+    /// the same contract as an impairment-model loss. Data frames are
+    /// best-effort on a real network anyway; shedding newest load keeps
+    /// a stalled peer from taking the whole process down with it.
+    #[default]
+    DropNewest,
+    /// Declare the peer dead: a peer that cannot drain a full high-water
+    /// mark of backlog is indistinguishable from a hung one.
+    Disconnect,
 }
 
 /// Transport failure.
@@ -122,6 +154,14 @@ pub struct MemTransport {
     codec: FrameCodec,
     connected: bool,
     metrics: TransportMetrics,
+    /// Scheduled misbehavior for this endpoint's *send* direction.
+    faults: FaultPlan,
+    /// Frames held while a stall window is in force, released in order
+    /// when it ends.
+    stall_buf: VecDeque<Vec<u8>>,
+    /// Frames eaten by partition windows (also mirrored to the optional
+    /// `fault_dropped` metric handle).
+    fault_drops: u64,
 }
 
 /// Create a connected pair with independent per-direction impairment.
@@ -137,6 +177,9 @@ pub fn mem_pair(a_to_b: Impairment, b_to_a: Impairment, seed: u64) -> (MemTransp
         codec: FrameCodec::new(),
         connected: true,
         metrics: TransportMetrics::default(),
+        faults: FaultPlan::new(),
+        stall_buf: VecDeque::new(),
+        fault_drops: 0,
     };
     let b = MemTransport {
         tx: tx_ba,
@@ -146,6 +189,9 @@ pub fn mem_pair(a_to_b: Impairment, b_to_a: Impairment, seed: u64) -> (MemTransp
         codec: FrameCodec::new(),
         connected: true,
         metrics: TransportMetrics::default(),
+        faults: FaultPlan::new(),
+        stall_buf: VecDeque::new(),
+        fault_drops: 0,
     };
     (a, b)
 }
@@ -157,33 +203,51 @@ pub fn mem_pair_perfect(seed: u64) -> (MemTransport, MemTransport) {
 
 impl Transport for MemTransport {
     fn send(&mut self, msg: &Msg, now: Instant) -> Result<(), TransportError> {
+        self.pump(now);
         if !self.connected {
             return Err(TransportError::Closed);
         }
-        // The impairment model may drop the message entirely.
-        if let Some(deliver_at) = self.impair.schedule(now) {
-            let bytes = FrameCodec::encode(msg);
-            if let Some(h) = &self.metrics.encoded_bytes {
-                h.observe(bytes.len() as u64);
-            }
-            if let Some(h) = &self.metrics.impair_delay_us {
-                h.observe(deliver_at.since(now).as_micros());
-            }
-            self.tx.send((deliver_at, bytes)).map_err(|_| {
-                self.connected = false;
-                TransportError::Closed
-            })?;
-        } else if let Some(c) = &self.metrics.dropped {
-            c.inc();
+        let bytes = FrameCodec::encode(msg);
+        if let Some(h) = &self.metrics.encoded_bytes {
+            h.observe(bytes.len() as u64);
         }
-        Ok(())
+        match self.faults.active(now) {
+            Some(FaultKind::Stall) => {
+                // The link is up but not moving bytes: hold the frame for
+                // in-order release when the window closes.
+                self.stall_buf.push_back(bytes);
+                Ok(())
+            }
+            Some(FaultKind::Partition) => {
+                // Mid-path partition: the send "succeeds" but the frame
+                // is eaten — and counted, so chaos tests can account for
+                // every frame.
+                self.fault_drops += 1;
+                if let Some(c) = &self.metrics.fault_dropped {
+                    c.inc();
+                }
+                Ok(())
+            }
+            // Cut was handled by pump() above; anything else delivers.
+            _ => self.dispatch(bytes, now),
+        }
     }
 
     fn poll(&mut self, now: Instant) -> Result<Vec<Msg>, TransportError> {
+        self.pump(now);
         // Pull everything pending off the channel into the time-ordered
         // inbox (senders schedule FIFO, so arrival order == time order).
-        while let Ok(item) = self.rx.try_recv() {
-            self.inbox.push_back(item);
+        loop {
+            match self.rx.try_recv() {
+                Ok(item) => self.inbox.push_back(item),
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => {
+                    // Peer endpoint dropped; anything buffered is already
+                    // in the inbox, so drain it before reporting closed.
+                    self.connected = false;
+                    break;
+                }
+            }
         }
         let mut msgs = Vec::new();
         while self.inbox.front().is_some_and(|(at, _)| *at <= now) {
@@ -197,6 +261,9 @@ impl Transport for MemTransport {
             while let Some(msg) = self.codec.next_msg().map_err(TransportError::Protocol)? {
                 msgs.push(msg);
             }
+        }
+        if msgs.is_empty() && !self.connected {
+            return Err(TransportError::Closed);
         }
         Ok(msgs)
     }
@@ -221,20 +288,107 @@ impl MemTransport {
     pub fn disconnect(&mut self) {
         self.connected = false;
     }
+
+    /// Install a fault schedule for this endpoint's send direction.
+    pub fn set_faults(&mut self, plan: FaultPlan) {
+        self.faults = plan;
+    }
+
+    /// Frames eaten by partition windows so far.
+    pub fn fault_drops(&self) -> u64 {
+        self.fault_drops
+    }
+
+    /// `(delivered, dropped)` counters from the impairment model.
+    pub fn impair_counters(&self) -> (u64, u64) {
+        self.impair.counters()
+    }
+
+    /// Frames currently held by an in-force stall window.
+    pub fn stalled(&self) -> usize {
+        self.stall_buf.len()
+    }
+
+    /// Apply any fault state in force at `now`: a started cut severs the
+    /// link, and a stall window that has ended releases its held frames
+    /// in order *before* any new traffic is scheduled (FIFO preserved).
+    fn pump(&mut self, now: Instant) {
+        if self.faults.cut_by(now) {
+            self.connected = false;
+        }
+        if !matches!(self.faults.active(now), Some(FaultKind::Stall)) {
+            while let Some(bytes) = self.stall_buf.pop_front() {
+                // Delivery errors here mean the peer is gone; the next
+                // send/poll reports it.
+                let _ = self.dispatch(bytes, now);
+            }
+        }
+    }
+
+    /// Schedule one encoded frame through the impairment model (which
+    /// may drop it) and hand it to the channel.
+    fn dispatch(&mut self, bytes: Vec<u8>, now: Instant) -> Result<(), TransportError> {
+        if let Some(deliver_at) = self.impair.schedule(now) {
+            if let Some(h) = &self.metrics.impair_delay_us {
+                h.observe(deliver_at.since(now).as_micros());
+            }
+            self.tx.send((deliver_at, bytes)).map_err(|_| {
+                self.connected = false;
+                TransportError::Closed
+            })?;
+        } else if let Some(c) = &self.metrics.dropped {
+            c.inc();
+        }
+        Ok(())
+    }
+}
+
+/// A transport that is permanently closed: every operation reports
+/// [`TransportError::Closed`]. Used as the placeholder a supervised RIS
+/// holds between connection attempts, so "no link yet" and "link died"
+/// flow through the same code path.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ClosedTransport;
+
+impl Transport for ClosedTransport {
+    fn send(&mut self, _msg: &Msg, _now: Instant) -> Result<(), TransportError> {
+        Err(TransportError::Closed)
+    }
+
+    fn poll(&mut self, _now: Instant) -> Result<Vec<Msg>, TransportError> {
+        Err(TransportError::Closed)
+    }
+
+    fn is_connected(&self) -> bool {
+        false
+    }
 }
 
 // ---------------------------------------------------------------------
 // TCP transport
 // ---------------------------------------------------------------------
 
+/// Default transmit high-water mark: 4 MiB of backlogged wire bytes,
+/// a few seconds of heavy lab traffic on a consumer uplink.
+pub const DEFAULT_TX_HWM: usize = 4 << 20;
+
 /// A framed TCP connection.
 pub struct TcpTransport {
     stream: TcpStream,
     codec: FrameCodec,
     /// Bytes accepted by `send` but not yet accepted by the kernel.
-    tx_backlog: Vec<u8>,
+    /// A ring buffer so partial flushes are O(bytes written), not
+    /// O(backlog) per write.
+    tx_backlog: VecDeque<u8>,
+    /// Backlog cap; crossing it applies `overflow`.
+    tx_hwm: usize,
+    overflow: OverflowPolicy,
     connected: bool,
     read_buf: [u8; 64 * 1024],
+    /// Error discovered while returning earlier messages (e.g. a
+    /// truncated frame behind a batch of good ones); surfaced on the
+    /// next poll.
+    pending_error: Option<TransportError>,
     metrics: TransportMetrics,
 }
 
@@ -253,9 +407,12 @@ impl TcpTransport {
         Ok(TcpTransport {
             stream,
             codec: FrameCodec::new(),
-            tx_backlog: Vec::new(),
+            tx_backlog: VecDeque::new(),
+            tx_hwm: DEFAULT_TX_HWM,
+            overflow: OverflowPolicy::default(),
             connected: true,
             read_buf: [0; 64 * 1024],
+            pending_error: None,
             metrics: TransportMetrics::default(),
         })
     }
@@ -273,11 +430,37 @@ impl TcpTransport {
         TcpTransport::from_stream(stream)
     }
 
+    /// Cap the transmit backlog at `bytes` and pick what happens to a
+    /// send that would cross it.
+    pub fn set_backlog_limit(&mut self, bytes: usize, policy: OverflowPolicy) {
+        self.tx_hwm = bytes;
+        self.overflow = policy;
+    }
+
+    /// Bytes accepted by `send` but not yet handed to the kernel.
+    pub fn backlog_len(&self) -> usize {
+        self.tx_backlog.len()
+    }
+
+    fn note_backlog(&self) {
+        if let Some(g) = &self.metrics.backlog_bytes {
+            g.set(self.tx_backlog.len() as f64);
+        }
+    }
+
     fn flush_backlog(&mut self) -> Result<(), TransportError> {
         while !self.tx_backlog.is_empty() {
-            match self.stream.write(&self.tx_backlog) {
+            // Write the contiguous head of the ring; draining from the
+            // front just advances the head pointer, so a long stall costs
+            // O(bytes written), not O(backlog) per wakeup.
+            let written = {
+                let (head, _) = self.tx_backlog.as_slices();
+                self.stream.write(head)
+            };
+            match written {
                 Ok(0) => {
                     self.connected = false;
+                    self.note_backlog();
                     return Err(TransportError::Closed);
                 }
                 Ok(n) => {
@@ -287,28 +470,61 @@ impl TcpTransport {
                 Err(e) if e.kind() == ErrorKind::Interrupted => continue,
                 Err(e) => {
                     self.connected = false;
+                    self.note_backlog();
                     return Err(e.into());
                 }
             }
         }
+        self.note_backlog();
         Ok(())
     }
 }
 
 impl Transport for TcpTransport {
+    /// Accept-vs-fail contract: `Ok(())` means the whole frame is on the
+    /// wire, in the bounded backlog, or — at the high-water mark under
+    /// [`OverflowPolicy::DropNewest`] — dropped and counted, exactly like
+    /// an impairment loss. `Err` means the transport is dead and this
+    /// message will never be delivered (pre-existing backlog dies with
+    /// the connection). Frames are only ever enqueued whole, so the peer
+    /// never observes a torn frame from a failed send.
     fn send(&mut self, msg: &Msg, _now: Instant) -> Result<(), TransportError> {
         if !self.connected {
             return Err(TransportError::Closed);
         }
+        // Flush existing backlog *before* accepting the new frame: if the
+        // connection turns out to be dead the caller learns it now, with
+        // this message unambiguously not accepted.
+        self.flush_backlog()?;
         let bytes = FrameCodec::encode(msg);
+        if self.tx_backlog.len() + bytes.len() > self.tx_hwm {
+            match self.overflow {
+                OverflowPolicy::DropNewest => {
+                    if let Some(c) = &self.metrics.backlog_dropped {
+                        c.inc();
+                    }
+                    return Ok(());
+                }
+                OverflowPolicy::Disconnect => {
+                    if let Some(c) = &self.metrics.backlog_disconnects {
+                        c.inc();
+                    }
+                    self.connected = false;
+                    return Err(TransportError::Closed);
+                }
+            }
+        }
         if let Some(h) = &self.metrics.encoded_bytes {
             h.observe(bytes.len() as u64);
         }
-        self.tx_backlog.extend_from_slice(&bytes);
+        self.tx_backlog.extend(bytes);
         self.flush_backlog()
     }
 
     fn poll(&mut self, _now: Instant) -> Result<Vec<Msg>, TransportError> {
+        if let Some(e) = self.pending_error.take() {
+            return Err(e);
+        }
         if !self.connected {
             return Err(TransportError::Closed);
         }
@@ -332,7 +548,20 @@ impl Transport for TcpTransport {
                 }
             }
         }
-        self.codec.drain().map_err(TransportError::Protocol)
+        let msgs = self.codec.drain().map_err(TransportError::Protocol)?;
+        if !self.connected && self.codec.buffered() > 0 {
+            // The peer died mid-frame. A clean close leaves an empty
+            // codec; leftover bytes mean truncation, and callers deserve
+            // to know the difference. If good messages arrived in the
+            // same batch, deliver them first and report the truncation on
+            // the next poll.
+            let err = TransportError::Protocol(DecodeError::Truncated);
+            if msgs.is_empty() {
+                return Err(err);
+            }
+            self.pending_error = Some(err);
+        }
+        Ok(msgs)
     }
 
     fn is_connected(&self) -> bool {
@@ -519,6 +748,262 @@ mod tests {
         assert_eq!(got, vec![data(1)]);
         t_server.send(&data(9), Instant::EPOCH).unwrap();
         assert_eq!(client.join().unwrap(), vec![data(9)]);
+    }
+
+    #[test]
+    fn mem_stall_holds_then_releases_in_order() {
+        let (mut a, mut b) = mem_pair_perfect(21);
+        let mut plan = FaultPlan::new();
+        plan.schedule(FaultKind::Stall, t(10), Duration::from_millis(20));
+        a.set_faults(plan);
+        a.send(&data(1), t(5)).unwrap();
+        a.send(&data(2), t(12)).unwrap();
+        a.send(&data(3), t(15)).unwrap();
+        assert_eq!(a.stalled(), 2);
+        // While the stall is in force, only the pre-stall frame arrives.
+        assert_eq!(b.poll(t(20)).unwrap(), vec![data(1)]);
+        // Sending after the window flushes held frames first (FIFO).
+        a.send(&data(4), t(30)).unwrap();
+        assert_eq!(a.stalled(), 0);
+        assert_eq!(b.poll(t(30)).unwrap(), vec![data(2), data(3), data(4)]);
+    }
+
+    #[test]
+    fn mem_partition_eats_and_counts() {
+        let registry = MetricsRegistry::new();
+        let (mut a, mut b) = mem_pair_perfect(22);
+        a.attach_metrics(TransportMetrics::from_registry(&registry, &[]));
+        let mut plan = FaultPlan::new();
+        plan.schedule(FaultKind::Partition, t(10), Duration::from_millis(10));
+        a.set_faults(plan);
+        a.send(&data(1), t(0)).unwrap();
+        a.send(&data(2), t(15)).unwrap(); // eaten
+        a.send(&data(3), t(25)).unwrap();
+        assert_eq!(b.poll(t(25)).unwrap(), vec![data(1), data(3)]);
+        assert_eq!(a.fault_drops(), 1);
+        assert_eq!(
+            registry
+                .snapshot()
+                .counter("rnl_tunnel_fault_dropped_total", &[]),
+            1
+        );
+    }
+
+    #[test]
+    fn mem_cut_severs_permanently() {
+        let (mut a, _b) = mem_pair_perfect(23);
+        let mut plan = FaultPlan::new();
+        plan.schedule(FaultKind::Cut, t(10), Duration::from_millis(1));
+        a.set_faults(plan);
+        a.send(&data(1), t(5)).unwrap();
+        assert!(matches!(
+            a.send(&data(2), t(10)),
+            Err(TransportError::Closed)
+        ));
+        assert!(!a.is_connected());
+        assert!(matches!(
+            a.send(&data(3), t(1_000)),
+            Err(TransportError::Closed)
+        ));
+    }
+
+    #[test]
+    fn mem_peer_drop_drains_before_reporting_closed() {
+        let (mut a, mut b) = mem_pair_perfect(24);
+        a.send(&data(1), t(0)).unwrap();
+        drop(a);
+        // The in-flight frame is still delivered...
+        assert_eq!(b.poll(t(0)).unwrap(), vec![data(1)]);
+        // ...and only then does the endpoint report the close.
+        assert!(matches!(b.poll(t(1)), Err(TransportError::Closed)));
+        assert!(!b.is_connected());
+    }
+
+    #[test]
+    fn closed_transport_is_always_closed() {
+        let mut c = ClosedTransport;
+        assert!(!c.is_connected());
+        assert!(matches!(
+            c.send(&data(1), t(0)),
+            Err(TransportError::Closed)
+        ));
+        assert!(matches!(c.poll(t(0)), Err(TransportError::Closed)));
+    }
+
+    /// The ISSUE's stalled-peer scenario: the peer accepts the connection
+    /// and then never reads. The backlog must stay capped at the
+    /// high-water mark with the overflow policy applied and counted.
+    #[test]
+    fn tcp_backlog_bounded_under_stalled_peer() {
+        let registry = MetricsRegistry::new();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut t_client = TcpTransport::connect(addr).unwrap();
+        t_client.attach_metrics(TransportMetrics::from_registry(&registry, &[]));
+        // Small HWM so the kernel socket buffer can't hide the cap.
+        let hwm = 16 * 1024;
+        t_client.set_backlog_limit(hwm, OverflowPolicy::DropNewest);
+        let (_peer, _) = listener.accept().unwrap(); // accepted, never read
+        let big = Msg::Data {
+            router: RouterId(1),
+            port: PortId(0),
+            span: crate::msg::Span::NONE,
+            frame: vec![0xab; 4096],
+        };
+        for _ in 0..8_000 {
+            t_client.send(&big, Instant::EPOCH).unwrap();
+        }
+        assert!(
+            t_client.backlog_len() <= hwm,
+            "backlog {} exceeds hwm {hwm}",
+            t_client.backlog_len()
+        );
+        assert!(t_client.is_connected(), "DropNewest must not disconnect");
+        let snap = registry.snapshot();
+        let dropped = snap.counter("rnl_tunnel_backlog_dropped_total", &[]);
+        assert!(dropped > 0, "overflow never counted");
+        match snap.get("rnl_tunnel_backlog_bytes", &[]) {
+            Some(rnl_obs::MetricValue::Gauge(v)) => {
+                assert!(*v <= hwm as f64);
+            }
+            other => panic!("missing backlog gauge: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tcp_backlog_disconnect_policy() {
+        let registry = MetricsRegistry::new();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut t_client = TcpTransport::connect(addr).unwrap();
+        t_client.attach_metrics(TransportMetrics::from_registry(&registry, &[]));
+        t_client.set_backlog_limit(16 * 1024, OverflowPolicy::Disconnect);
+        let (_peer, _) = listener.accept().unwrap(); // accepted, never read
+        let big = Msg::Data {
+            router: RouterId(1),
+            port: PortId(0),
+            span: crate::msg::Span::NONE,
+            frame: vec![0xcd; 4096],
+        };
+        let mut disconnected = false;
+        for _ in 0..8_000 {
+            if t_client.send(&big, Instant::EPOCH).is_err() {
+                disconnected = true;
+                break;
+            }
+        }
+        assert!(disconnected, "Disconnect policy never tripped");
+        assert!(!t_client.is_connected());
+        assert_eq!(
+            registry
+                .snapshot()
+                .counter("rnl_tunnel_backlog_disconnects_total", &[]),
+            1
+        );
+    }
+
+    /// Peer death mid-frame must surface as a truncation error, not a
+    /// silent discard of the partial frame.
+    #[test]
+    fn tcp_eof_mid_frame_reports_truncation() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut t_client = TcpTransport::connect(addr).unwrap();
+        let (mut peer, _) = listener.accept().unwrap();
+        // One whole frame, then the first half of a second one, then EOF.
+        let whole = FrameCodec::encode(&data(1));
+        let torn = FrameCodec::encode(&data(2));
+        peer.write_all(&whole).unwrap();
+        peer.write_all(&torn[..torn.len() / 2]).unwrap();
+        drop(peer);
+        // Poll until the close is observed. The complete frame must be
+        // delivered; the truncation must surface as a Protocol error.
+        let mut got = Vec::new();
+        let mut saw_truncation = false;
+        for _ in 0..1_000 {
+            match t_client.poll(Instant::EPOCH) {
+                Ok(msgs) => {
+                    got.extend(msgs);
+                    if !t_client.is_connected() {
+                        // Next poll must report the stashed truncation.
+                        match t_client.poll(Instant::EPOCH) {
+                            Err(TransportError::Protocol(DecodeError::Truncated)) => {
+                                saw_truncation = true;
+                            }
+                            other => panic!("expected truncation, got {other:?}"),
+                        }
+                        break;
+                    }
+                }
+                Err(TransportError::Protocol(DecodeError::Truncated)) => {
+                    saw_truncation = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert_eq!(got, vec![data(1)]);
+        assert!(saw_truncation, "partial frame silently discarded");
+    }
+
+    /// Clean close (no partial frame) must NOT report truncation — the
+    /// distinction is the point.
+    #[test]
+    fn tcp_clean_eof_is_not_truncation() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut t_client = TcpTransport::connect(addr).unwrap();
+        let (mut peer, _) = listener.accept().unwrap();
+        peer.write_all(&FrameCodec::encode(&data(1))).unwrap();
+        drop(peer);
+        let mut got = Vec::new();
+        for _ in 0..1_000 {
+            match t_client.poll(Instant::EPOCH) {
+                Ok(msgs) => {
+                    got.extend(msgs);
+                    if !t_client.is_connected() {
+                        // Follow-up poll reports plain Closed, not Protocol.
+                        assert!(matches!(
+                            t_client.poll(Instant::EPOCH),
+                            Err(TransportError::Closed)
+                        ));
+                        break;
+                    }
+                }
+                Err(e) => panic!("clean close produced {e}"),
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert_eq!(got, vec![data(1)]);
+    }
+
+    /// The send contract: after an `Err`, the transport is dead and the
+    /// message was not accepted; `Ok` means accepted (wire or backlog).
+    #[test]
+    fn tcp_send_contract_on_dead_connection() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut t_client = TcpTransport::connect(addr).unwrap();
+        let (peer, _) = listener.accept().unwrap();
+        peer.shutdown(std::net::Shutdown::Both).unwrap();
+        drop(peer);
+        // Eventually a send fails; from then on the transport stays dead
+        // and every further send is refused (never half-accepted).
+        let mut died = false;
+        for _ in 0..10_000 {
+            if t_client.send(&data(1), Instant::EPOCH).is_err() {
+                died = true;
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert!(died, "send never observed the dead peer");
+        assert!(!t_client.is_connected());
+        assert!(matches!(
+            t_client.send(&data(2), Instant::EPOCH),
+            Err(TransportError::Closed)
+        ));
     }
 
     #[test]

@@ -5,7 +5,9 @@
 use proptest::prelude::*;
 use rnl_tunnel::codec::FrameCodec;
 use rnl_tunnel::compress::{Compressor, Decompressor};
-use rnl_tunnel::msg::{Assignment, Msg, PortId, RegisterInfo, RouterId, RouterInfo, Span, TraceId};
+use rnl_tunnel::msg::{
+    Assignment, Msg, PortId, RegisterInfo, RouterId, RouterInfo, SessionEpoch, Span, TraceId,
+};
 
 fn arb_msg() -> impl Strategy<Value = Msg> {
     prop_oneof![
@@ -42,7 +44,7 @@ fn arb_msg() -> impl Strategy<Value = Msg> {
             port: PortId(p),
             up
         }),
-        any::<u64>().prop_map(|seq| Msg::Heartbeat { seq }),
+        (any::<u64>(), any::<u64>()).prop_map(|(seq, epoch)| Msg::Heartbeat { seq, epoch }),
         proptest::collection::vec((any::<u32>(), any::<u32>()), 0..8).prop_map(|v| {
             Msg::RegisterAck(
                 v.into_iter()
@@ -53,10 +55,16 @@ fn arb_msg() -> impl Strategy<Value = Msg> {
                     .collect(),
             )
         }),
-        ("[ -~]{0,32}", proptest::collection::vec(any::<u32>(), 0..4)).prop_map(
-            |(pc_name, ids)| {
+        (
+            "[ -~]{0,32}",
+            any::<u64>(),
+            any::<u64>(),
+            proptest::collection::vec(any::<u32>(), 0..4)
+        )
+            .prop_map(|(pc_name, token, generation, ids)| {
                 Msg::Register(RegisterInfo {
                     pc_name,
+                    epoch: SessionEpoch { token, generation },
                     routers: ids
                         .into_iter()
                         .map(|id| RouterInfo {
@@ -69,8 +77,7 @@ fn arb_msg() -> impl Strategy<Value = Msg> {
                         })
                         .collect(),
                 })
-            }
-        ),
+            }),
     ]
 }
 

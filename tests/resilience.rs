@@ -1,0 +1,189 @@
+//! Experiment E17 — flap recovery vs. the grace window.
+//!
+//! A RIS uplink that flaps for less than the server's grace window must
+//! not cost the user their lab: the session is graced (matrix,
+//! inventory, and deployment intact; frames shed and counted), the RIS
+//! supervisor redials with jittered exponential backoff, rejoins with a
+//! rotated epoch, and the server re-adopts the session — pings resume
+//! over the very same deployment. A flap longer than the grace window
+//! is a real departure: the session is reaped and its hardware freed.
+//! Everything runs on the virtual clock, so the whole story is
+//! deterministic.
+
+use rnl::device::host::Host;
+use rnl::net::time::Duration;
+use rnl::obs::render_prometheus;
+use rnl::server::design::Design;
+use rnl::tunnel::msg::{PortId, RouterId};
+use rnl::{RemoteNetworkLabs, SiteId};
+
+fn host(name: &str, num: u32, ip: &str) -> Box<Host> {
+    let mut h = Host::new(name, num);
+    h.set_ip(ip.parse().unwrap());
+    Box::new(h)
+}
+
+/// Two sites, one host each, one deployed wire across them.
+fn cross_site_lab() -> (
+    RemoteNetworkLabs,
+    SiteId,
+    SiteId,
+    RouterId,
+    RouterId,
+    rnl::server::matrix::DeploymentId,
+) {
+    let mut labs = RemoteNetworkLabs::new_unreserved();
+    let hq = labs.add_site("hq");
+    let edge = labs.add_site("edge");
+    labs.add_device(hq, host("s1", 1, "10.0.0.1/24"), "hq host")
+        .unwrap();
+    labs.add_device(edge, host("s2", 2, "10.0.0.2/24"), "edge host")
+        .unwrap();
+    let a = labs.join_labs(hq).unwrap()[0];
+    let b = labs.join_labs(edge).unwrap()[0];
+    let mut design = Design::new("cross");
+    design.add_device(a);
+    design.add_device(b);
+    design.connect((a, PortId(0)), (b, PortId(0))).unwrap();
+    let dep = labs.deploy_design("alice", &design).unwrap();
+    (labs, hq, edge, a, b, dep)
+}
+
+fn ping(labs: &mut RemoteNetworkLabs, site: SiteId, from: RouterId, count: u32) -> String {
+    let now = labs.now();
+    labs.device_mut(site, 0)
+        .unwrap()
+        .console(&format!("ping 10.0.0.2 count {count}"), now);
+    labs.run(Duration::from_secs(5)).unwrap();
+    labs.console(from, "show ping").unwrap()
+}
+
+#[test]
+fn flap_shorter_than_grace_recovers_the_deployment() {
+    let (mut labs, hq, edge, a, b, dep) = cross_site_lab();
+    let out = ping(&mut labs, hq, a, 3);
+    assert!(out.contains("3 sent, 3 received"), "baseline: {out}");
+
+    // Cut the edge uplink for 2 s — well under the 10 s default grace.
+    labs.flap_site(edge, Duration::from_secs(2)).unwrap();
+    labs.run(Duration::from_secs(1)).unwrap();
+    assert!(!labs.site_connected(edge));
+    assert!(labs.site_in_outage(edge));
+    // The lab survives the disconnect untouched.
+    assert!(labs.server().deployments().any(|d| d.id == dep));
+    assert_eq!(labs.server().inventory().len(), 2);
+
+    // Frames routed toward the graced session are shed, not errored.
+    let out = ping(&mut labs, hq, a, 2);
+    assert!(out.contains("0 received"), "during outage: {out}");
+    let snap = labs.server_obs().snapshot();
+    assert!(
+        snap.counter(
+            "rnl_server_frames_unrouted_total",
+            &[("reason", "session-graced")],
+        ) > 0,
+        "shed frames are counted under their own reason"
+    );
+    assert_eq!(
+        snap.counter(
+            "rnl_server_frames_unrouted_total",
+            &[("reason", "no-session")]
+        ),
+        0
+    );
+
+    // Link restores; the supervisor redials, rejoins, re-adopts.
+    labs.run(Duration::from_secs(6)).unwrap();
+    assert!(labs.site_connected(edge), "supervisor must have redialed");
+    assert!(!labs.site_in_outage(edge));
+    let snap = labs.server_obs().snapshot();
+    assert_eq!(snap.counter("rnl_server_session_readopted_total", &[]), 1);
+    assert_eq!(snap.counter("rnl_server_session_reaped_total", &[]), 0);
+    assert!(
+        snap.counter("rnl_ris_reconnect_attempts_total", &[("site", "edge")]) >= 1,
+        "attempts surface per site"
+    );
+    assert_eq!(
+        snap.counter("rnl_ris_reconnect_success_total", &[("site", "edge")]),
+        1
+    );
+    // Same deployment, same global ids — the user never noticed.
+    assert!(labs.server().deployments().any(|d| d.id == dep));
+    assert_eq!(labs.server().inventory().len(), 2);
+    assert!(labs.server().inventory().get(b).is_some());
+    let out = ping(&mut labs, hq, a, 3);
+    assert!(out.contains("3 sent, 3 received"), "after rejoin: {out}");
+}
+
+#[test]
+fn flap_longer_than_grace_reaps_the_session() {
+    let (mut labs, _hq, edge, _a, b, dep) = cross_site_lab();
+    labs.server_mut().set_grace_window(Duration::from_secs(2));
+
+    // Down for 8 s against a 2 s grace window.
+    labs.flap_site(edge, Duration::from_secs(8)).unwrap();
+    labs.run(Duration::from_secs(4)).unwrap();
+    // Grace expired: session reaped, deployment torn down, router gone.
+    assert!(!labs.server().deployments().any(|d| d.id == dep));
+    assert!(labs.server().inventory().get(b).is_none());
+    let snap = labs.server_obs().snapshot();
+    assert_eq!(snap.counter("rnl_server_session_reaped_total", &[]), 1);
+    assert_eq!(snap.counter("rnl_server_session_readopted_total", &[]), 0);
+
+    // The box eventually dials back in — as *new* hardware. (The
+    // backoff has grown past the 8 s outage by now; give the next
+    // jittered attempt room to land.)
+    labs.run(Duration::from_secs(18)).unwrap();
+    assert!(labs.site_connected(edge));
+    assert_eq!(labs.server().inventory().len(), 2);
+    assert!(
+        labs.server().inventory().get(b).is_none(),
+        "a reaped router id is never reused"
+    );
+    let snap = labs.server_obs().snapshot();
+    assert_eq!(snap.counter("rnl_server_session_readopted_total", &[]), 0);
+}
+
+/// The supervisor's backoff runs on a seeded RNG over the virtual
+/// clock: the same scenario replays to the same attempt counts.
+#[test]
+fn reconnect_schedule_is_deterministic() {
+    let run_once = || {
+        let (mut labs, _hq, edge, _a, _b, _dep) = cross_site_lab();
+        labs.flap_site(edge, Duration::from_secs(4)).unwrap();
+        labs.run(Duration::from_secs(9)).unwrap();
+        let snap = labs.server_obs().snapshot();
+        (
+            snap.counter("rnl_ris_reconnect_attempts_total", &[("site", "edge")]),
+            snap.counter("rnl_ris_reconnect_failures_total", &[("site", "edge")]),
+            snap.counter("rnl_ris_reconnect_success_total", &[("site", "edge")]),
+        )
+    };
+    let first = run_once();
+    let second = run_once();
+    assert_eq!(first, second, "same seed, same schedule");
+    assert!(first.0 >= 2, "the dead window forces failed attempts");
+    assert_eq!(first.2, 1);
+}
+
+/// The whole resilience story is scrapable: one Prometheus exposition
+/// carries the backoff counters, grace-window counters, and shed-frame
+/// reasons.
+#[test]
+fn resilience_counters_reach_the_prometheus_endpoint() {
+    let (mut labs, hq, edge, a, _b, _dep) = cross_site_lab();
+    labs.flap_site(edge, Duration::from_secs(2)).unwrap();
+    let _ = ping(&mut labs, hq, a, 2);
+    labs.run(Duration::from_secs(6)).unwrap();
+    let text = render_prometheus(&labs.server_obs().snapshot());
+    for needle in [
+        "rnl_ris_reconnect_attempts_total",
+        "rnl_ris_reconnect_success_total",
+        "rnl_server_session_disconnects_total",
+        "rnl_server_session_readopted_total",
+        "rnl_server_sessions_graced",
+        r#"reason="session-graced""#,
+    ] {
+        assert!(text.contains(needle), "missing {needle} in:\n{text}");
+    }
+}
