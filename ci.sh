@@ -19,11 +19,13 @@ cargo clippy --offline --no-deps -p rnl-tunnel -p rnl-ris -p rnl-server --lib --
     -D warnings -D clippy::unwrap_used -D clippy::expect_used
 # Source-level gate over the hot-path files (allowlist: tools/srclint-allow.txt).
 cargo run -q --offline -p rnl-bench --bin srclint
-# Fault-injection / resilience suites, named explicitly so a filtering
-# change in the workspace run can never silently drop them: the seeded
-# chaos property test over the transport fault harness, and the E17
-# flap-recovery-vs-grace-window integration test.
+# Fault-injection / resilience / recovery suites, named explicitly so a
+# filtering change in the workspace run can never silently drop them:
+# the seeded chaos property test over the transport fault harness, the
+# E17 flap-recovery-vs-grace-window integration test, and the E18
+# crash-recovery-via-WAL integration test.
 cargo test -q --offline -p rnl-tunnel --test chaos
 cargo test -q --offline -p rnl --test resilience
+cargo test -q --offline -p rnl --test recovery
 
 echo "ci: all checks passed"

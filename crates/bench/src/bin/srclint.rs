@@ -19,6 +19,8 @@ use std::process::ExitCode;
 /// Files whose non-test code must stay panic-free.
 const HOT_PATHS: &[&str] = &[
     "crates/server/src/lib.rs",
+    "crates/server/src/journal.rs",
+    "crates/server/src/snapshot.rs",
     "crates/ris/src/lib.rs",
     "crates/ris/src/supervisor.rs",
     "crates/tunnel/src/transport.rs",

@@ -36,6 +36,7 @@ use rnl_net::time::{Duration, Instant};
 use rnl_obs::{merge_trace, EventJournal, FrameEvent, MetricsRegistry, TraceId};
 use rnl_ris::{BackoffConfig, Dialer, Ris, RisError, Supervisor};
 use rnl_server::design::Design;
+use rnl_server::journal::{CrashPoint, MemJournal, SharedStore};
 use rnl_server::matrix::DeploymentId;
 use rnl_server::reserve::ReservationId;
 use rnl_server::web::{self, Request, Response};
@@ -113,11 +114,13 @@ struct FacadeDialer<'a> {
     impairment: Impairment,
     pc_name: &'a str,
     link_down_until: Option<Instant>,
+    /// The back end crashed and has not been recovered: nobody answers.
+    server_down: bool,
 }
 
 impl Dialer for FacadeDialer<'_> {
     fn dial(&mut self, now: Instant) -> Result<Box<dyn Transport>, TransportError> {
-        if self.link_down_until.is_some_and(|until| now < until) {
+        if self.server_down || self.link_down_until.is_some_and(|until| now < until) {
             return Err(TransportError::Closed);
         }
         *self.seed = self.seed.wrapping_mul(6364136223846793005).wrapping_add(1);
@@ -137,6 +140,12 @@ pub struct RemoteNetworkLabs {
     sites: Vec<Site>,
     now: Instant,
     seed: u64,
+    /// Shared backing store of the in-memory journal while durability
+    /// is enabled — the only thing that survives [`Self::crash_server`].
+    journal_store: Option<SharedStore>,
+    /// True between [`Self::crash_server`] and [`Self::recover_server`]:
+    /// the back end is down and every dial attempt is refused.
+    server_down: bool,
 }
 
 impl Default for RemoteNetworkLabs {
@@ -154,6 +163,8 @@ impl RemoteNetworkLabs {
             sites: Vec::new(),
             now: Instant::EPOCH,
             seed: 0x5eed,
+            journal_store: None,
+            server_down: false,
         }
     }
 
@@ -289,6 +300,7 @@ impl RemoteNetworkLabs {
                 impairment: site.impairment,
                 pc_name: &site.pc_name,
                 link_down_until: site.link_down_until,
+                server_down: self.server_down,
             };
             site.supervisor.tick(&mut site.ris, &mut dialer, now)?;
         }
@@ -304,6 +316,72 @@ impl RemoteNetworkLabs {
         }
         self.server.poll(now);
         Ok(())
+    }
+
+    // -----------------------------------------------------------------
+    // Durability: journal, crash, recover
+    // -----------------------------------------------------------------
+
+    /// Turn on crash-safe persistence, backed by an in-memory journal
+    /// whose store outlives the server. An initial snapshot of the
+    /// current state commits immediately; from then on every mutation
+    /// is journaled, so [`Self::crash_server`] followed by
+    /// [`Self::recover_server`] restores the exact back-end state.
+    pub fn enable_durability(&mut self) -> Result<(), LabError> {
+        let journal = MemJournal::new();
+        self.journal_store = Some(journal.store());
+        let now = self.now;
+        Ok(self.server.set_durability(Box::new(journal), now)?)
+    }
+
+    /// Arm (or disarm) a crash-injection point on the server's journal.
+    pub fn arm_server_crash(&mut self, point: Option<CrashPoint>) {
+        self.server.arm_crash(point);
+    }
+
+    /// Kill the back end. Everything in server memory — sessions,
+    /// routing matrix, captures — is gone; only the journal store
+    /// survives. Site tunnels die with it (their server ends drop), and
+    /// every redial is refused until [`Self::recover_server`]. The
+    /// stand-in server keeps the old configuration so recovery can
+    /// re-apply it.
+    pub fn crash_server(&mut self) {
+        let enforce = self.server.reservations_enforced();
+        let grace = self.server.grace_window();
+        let compress = self.server.compress_downstream();
+        self.server = RouteServer::new();
+        self.server.set_enforce_reservations(enforce);
+        self.server.set_grace_window(grace);
+        self.server.set_compress_downstream(compress);
+        self.server_down = true;
+    }
+
+    /// Bring the back end up from the journal: replay snapshot + tail,
+    /// re-apply the configuration, and start accepting dials again. The
+    /// sites' supervisors redial on their own; within the grace window
+    /// their sessions re-adopt the recovered deployments.
+    pub fn recover_server(&mut self) -> Result<(), LabError> {
+        let Some(store) = self.journal_store.clone() else {
+            return Err(LabError::Server(ServerError::Durability(
+                "durability was never enabled".to_string(),
+            )));
+        };
+        let enforce = self.server.reservations_enforced();
+        let grace = self.server.grace_window();
+        let compress = self.server.compress_downstream();
+        let now = self.now;
+        let mut server = RouteServer::recover(Box::new(MemJournal::attached(store)), now)?;
+        server.set_enforce_reservations(enforce);
+        server.set_grace_window(grace);
+        server.set_compress_downstream(compress);
+        self.server = server;
+        self.server_down = false;
+        Ok(())
+    }
+
+    /// Whether the back end is currently crashed (dials refused).
+    pub fn server_down(&self) -> bool {
+        self.server_down
     }
 
     // -----------------------------------------------------------------

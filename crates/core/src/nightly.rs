@@ -101,6 +101,10 @@ pub struct NightlyReport {
     /// reaps, reconnect attempts, shed frames) — nonzero activity only,
     /// so a quiet night stays a quiet log.
     pub resilience: Vec<String>,
+    /// Durability summary lines (journal appends, records replayed,
+    /// torn tails, replay-buffer traffic) — nonzero activity only; a
+    /// night without a crash or a journal stays silent.
+    pub recovery: Vec<String>,
 }
 
 impl NightlyReport {
@@ -142,6 +146,12 @@ impl NightlyReport {
         if !self.resilience.is_empty() {
             out.push_str("  resilience:\n");
             for line in &self.resilience {
+                out.push_str(&format!("    {line}\n"));
+            }
+        }
+        if !self.recovery.is_empty() {
+            out.push_str("  durability:\n");
+            for line in &self.recovery {
                 out.push_str(&format!("    {line}\n"));
             }
         }
@@ -225,11 +235,27 @@ impl NightlySuite {
         if shed > 0 {
             resilience.push(format!("frames shed during grace: {shed}"));
         }
+        // Durability counters, same idiom: a crash-free night with no
+        // journal reports nothing here.
+        let mut recovery = Vec::new();
+        for (name, label) in [
+            ("rnl_server_journal_appends_total", "journal appends"),
+            ("rnl_server_journal_replayed_total", "records replayed"),
+            ("rnl_server_journal_torn_total", "torn records truncated"),
+            ("rnl_server_replay_queued_total", "frames queued for replay"),
+            ("rnl_server_replay_flushed_total", "replayed frames flushed"),
+        ] {
+            let v = obs.counter_sum(name);
+            if v > 0 {
+                recovery.push(format!("{label}: {v}"));
+            }
+        }
         Ok(NightlyReport {
             results,
             metrics,
             lint,
             resilience,
+            recovery,
         })
     }
 }

@@ -16,7 +16,7 @@
 
 use std::time::Instant as WallInstant;
 
-use rnl_net::time::{Duration, Instant};
+use rnl_net::time::Instant;
 use rnl_ris::config::RisConfig;
 use rnl_ris::{BackoffConfig, Ris, RisError, Supervisor, TcpDialer};
 use rnl_tunnel::transport::ClosedTransport;
@@ -70,13 +70,13 @@ fn main() {
     );
 
     let mut was_connected = false;
-    let mut last_heartbeat = now();
     loop {
         let t = now();
+        // The supervisor owns the keepalive schedule: healthy ticks
+        // heartbeat every `DEFAULT_HEARTBEAT_EVERY` on their own.
         match supervisor.tick(&mut ris, &mut dialer, t) {
             Ok(true) => {
                 eprintln!("ris: joined labs (epoch {:?})", ris.epoch());
-                last_heartbeat = t;
             }
             Ok(false) => {}
             // Application-level faults are bugs; do not mask them.
@@ -91,11 +91,6 @@ fn main() {
             eprintln!("ris: lost the route server; redialing with backoff");
         }
         was_connected = connected;
-        if connected && t.since(last_heartbeat) >= Duration::from_secs(10) {
-            last_heartbeat = t;
-            // A failed heartbeat is just an outage the next tick sees.
-            let _ = ris.heartbeat(t);
-        }
         std::thread::sleep(std::time::Duration::from_micros(500));
     }
 }

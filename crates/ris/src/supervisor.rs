@@ -68,6 +68,9 @@ impl Default for BackoffConfig {
     }
 }
 
+/// Default keepalive interval while the tunnel is healthy.
+pub const DEFAULT_HEARTBEAT_EVERY: Duration = Duration::from_secs(10);
+
 /// Drives a RIS's reconnect loop on the virtual clock.
 pub struct Supervisor {
     cfg: BackoffConfig,
@@ -78,6 +81,11 @@ pub struct Supervisor {
     next_attempt: Option<Instant>,
     /// When the current outage began (None while healthy).
     outage_start: Option<Instant>,
+    /// Keepalive interval while healthy.
+    heartbeat_every: Duration,
+    /// When the last heartbeat went out (None until the first healthy
+    /// tick baselines the schedule).
+    last_heartbeat: Option<Instant>,
     m_attempts: Counter,
     m_success: Counter,
     m_failures: Counter,
@@ -101,6 +109,8 @@ impl Supervisor {
             current_delay: cfg.base,
             next_attempt: None,
             outage_start: None,
+            heartbeat_every: DEFAULT_HEARTBEAT_EVERY,
+            last_heartbeat: None,
             m_attempts: registry.counter("rnl_ris_reconnect_attempts_total", labels),
             m_success: registry.counter("rnl_ris_reconnect_success_total", labels),
             m_failures: registry.counter("rnl_ris_reconnect_failures_total", labels),
@@ -113,6 +123,12 @@ impl Supervisor {
         }
     }
 
+    /// Override the keepalive interval (default 10 s). Mostly for
+    /// tests, which run on a compressed virtual clock.
+    pub fn set_heartbeat_every(&mut self, every: Duration) {
+        self.heartbeat_every = every;
+    }
+
     /// Whether the supervisor currently believes the tunnel is down.
     pub fn in_outage(&self) -> bool {
         self.outage_start.is_some()
@@ -123,8 +139,9 @@ impl Supervisor {
         self.next_attempt
     }
 
-    /// One supervision step: poll the RIS while healthy; detect outages;
-    /// when a (jittered, backed-off) attempt is due, dial and rejoin.
+    /// One supervision step: poll the RIS while healthy (sending a
+    /// keepalive heartbeat whenever one is due); detect outages; when a
+    /// (jittered, backed-off) attempt is due, dial and rejoin.
     ///
     /// Returns `Ok(true)` exactly when a reconnect completed this tick.
     /// Transport errors are absorbed into the outage state machine;
@@ -138,7 +155,10 @@ impl Supervisor {
     ) -> Result<bool, RisError> {
         if ris.connected() {
             match ris.poll(now) {
-                Ok(()) => return Ok(false),
+                Ok(()) => {
+                    self.maybe_heartbeat(ris, now);
+                    return Ok(false);
+                }
                 Err(RisError::Transport(_)) => self.note_outage(now),
                 Err(e) => return Err(e),
             }
@@ -165,6 +185,9 @@ impl Supervisor {
                 self.next_attempt = None;
                 self.current_delay = self.cfg.base;
                 self.m_backoff_ms.set(0.0);
+                // `Ris::reconnect` heartbeats as part of re-registering,
+                // so the keepalive schedule restarts from here.
+                self.last_heartbeat = Some(now);
                 Ok(true)
             }
             Err(RisError::Transport(_)) => {
@@ -181,6 +204,21 @@ impl Supervisor {
                 Ok(false)
             }
             Err(e) => Err(e),
+        }
+    }
+
+    /// Send a keepalive when one is due. The first healthy tick only
+    /// baselines the schedule (a connection made outside the supervisor
+    /// has just registered, which proves liveness). A send failure here
+    /// is an outage the next tick's poll will notice — not an error.
+    fn maybe_heartbeat(&mut self, ris: &mut Ris, now: Instant) {
+        match self.last_heartbeat {
+            Some(last) if now.since(last) >= self.heartbeat_every => {
+                self.last_heartbeat = Some(now);
+                let _ = ris.heartbeat(now);
+            }
+            Some(_) => {}
+            None => self.last_heartbeat = Some(now),
         }
     }
 
@@ -311,6 +349,38 @@ mod tests {
                 .counter("rnl_ris_reconnect_failures_total", &[]),
             5
         );
+    }
+
+    #[test]
+    fn healthy_supervisor_heartbeats_on_schedule() {
+        let registry = MetricsRegistry::new();
+        let mut sup = Supervisor::new(5, BackoffConfig::default(), &registry, &[]);
+        sup.set_heartbeat_every(Duration::from_secs(1));
+        let (ris_side, mut server_side) = mem_pair_perfect(901);
+        let mut ris = Ris::new("pc-hb", Box::new(ris_side));
+        let mut dialer = FlakyDialer {
+            up_at: t(u64::MAX / 2_000),
+            seed: 0,
+            server_sides: Vec::new(),
+        };
+        // The first healthy tick baselines the schedule; nothing goes
+        // out before a full interval has elapsed.
+        sup.tick(&mut ris, &mut dialer, t(0)).unwrap();
+        sup.tick(&mut ris, &mut dialer, t(999)).unwrap();
+        assert!(server_side.poll(t(999)).unwrap().is_empty());
+        // From then on: one beat per interval, however often tick runs.
+        let mut beats = Vec::new();
+        let mut now = t(999);
+        for _ in 0..20 {
+            now += Duration::from_millis(100);
+            sup.tick(&mut ris, &mut dialer, now).unwrap();
+            for m in server_side.poll(now).unwrap() {
+                if matches!(m, rnl_tunnel::msg::Msg::Heartbeat { .. }) {
+                    beats.push(now.as_micros() / 1_000);
+                }
+            }
+        }
+        assert_eq!(beats, vec![1_099, 2_099], "one beat per elapsed interval");
     }
 
     #[test]

@@ -14,6 +14,12 @@
 //!   Any connection (an HTTP GET or a bare `nc`) receives the current
 //!   snapshot of every `rnl_*` metric and the connection closes.
 //!
+//! With `--state-dir PATH` the server is crash-safe: every state
+//! mutation is journaled to `PATH/journal.rnl` and compacted into
+//! `PATH/snapshot.rnl` every `--snapshot-every` seconds. On boot the
+//! server replays snapshot + tail, then waits out the grace window for
+//! RIS boxes to redial and re-adopt their recovered deployments.
+//!
 //! ```text
 //! cargo run -p rnl-server --bin routeserver -- --ris-port 4510 --api-port 4511
 //! ```
@@ -26,6 +32,7 @@ use std::sync::mpsc;
 use std::time::Instant as WallInstant;
 
 use rnl_net::time::Instant;
+use rnl_server::journal::FileJournal;
 use rnl_server::{web, RouteServer};
 use rnl_tunnel::transport::TcpTransport;
 
@@ -42,6 +49,8 @@ fn main() {
     let mut api_port = 4511u16;
     let mut metrics_port = 4512u16;
     let mut grace_secs = rnl_server::DEFAULT_GRACE_WINDOW.as_secs();
+    let mut state_dir: Option<String> = None;
+    let mut snapshot_secs = rnl_server::DEFAULT_SNAPSHOT_EVERY.as_secs();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -68,6 +77,18 @@ fn main() {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage("--grace-window needs seconds"));
+            }
+            "--state-dir" => {
+                state_dir = Some(
+                    args.next()
+                        .unwrap_or_else(|| usage("--state-dir needs a path")),
+                );
+            }
+            "--snapshot-every" => {
+                snapshot_secs = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--snapshot-every needs seconds"));
             }
             other => usage(&format!("unknown argument {other:?}")),
         }
@@ -103,7 +124,31 @@ fn main() {
     });
 
     // The single-threaded core loop: sessions, relay, API dispatch.
-    let mut server = RouteServer::new();
+    // With --state-dir the server always boots through recovery: on an
+    // empty directory that is a fresh start with a journal installed;
+    // after a crash it replays snapshot + tail back to the pre-crash
+    // state and waits out the grace window for RIS boxes to redial.
+    let mut server = match &state_dir {
+        Some(dir) => {
+            let wal = FileJournal::open(dir).unwrap_or_else(|e| {
+                eprintln!("routeserver: cannot open state dir {dir}: {e}");
+                std::process::exit(2);
+            });
+            let server = RouteServer::recover(Box::new(wal), now()).unwrap_or_else(|e| {
+                eprintln!("routeserver: recovery from {dir} failed: {e}");
+                std::process::exit(2);
+            });
+            let snap = server.obs().snapshot();
+            eprintln!(
+                "routeserver: durable state in {dir} (replayed {} journal records, {} torn)",
+                snap.counter("rnl_server_journal_replayed_total", &[]),
+                snap.counter("rnl_server_journal_torn_total", &[]),
+            );
+            server
+        }
+        None => RouteServer::new(),
+    };
+    server.set_snapshot_every(rnl_net::time::Duration::from_secs(snapshot_secs));
     server.set_grace_window(rnl_net::time::Duration::from_secs(grace_secs));
     eprintln!("routeserver: session flap grace window {grace_secs}s");
 
@@ -136,6 +181,14 @@ fn main() {
             }
         }
         server.poll(now());
+        if server.crashed() {
+            // The journal could not record a mutation: fail-stop rather
+            // than keep serving state that would be lost on restart.
+            // The supervisor (systemd, a wrapper script) restarts us
+            // and recovery replays to the last durable point.
+            eprintln!("routeserver: journal write failed; fail-stopping (restart to recover)");
+            std::process::exit(1);
+        }
         std::thread::sleep(std::time::Duration::from_micros(500));
     }
 }
@@ -197,7 +250,8 @@ fn serve_metrics_client(mut stream: TcpStream, registry: &rnl_obs::MetricsRegist
 fn usage(msg: &str) -> ! {
     eprintln!("routeserver: {msg}");
     eprintln!(
-        "usage: routeserver [--ris-port N] [--api-port N] [--metrics-port N] [--grace-window SECS]"
+        "usage: routeserver [--ris-port N] [--api-port N] [--metrics-port N] \
+         [--grace-window SECS] [--state-dir PATH] [--snapshot-every SECS]"
     );
     std::process::exit(2);
 }

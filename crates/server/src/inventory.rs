@@ -139,6 +139,28 @@ impl Inventory {
         self.records.values()
     }
 
+    /// The next id that [`Inventory::register`] would assign. Persisted
+    /// by the durability snapshot so reaped ids are never reused across
+    /// a server restart.
+    pub fn next_id(&self) -> u32 {
+        self.next_id
+    }
+
+    /// Restore the id high-water mark from a snapshot (recovery only;
+    /// never lowers it).
+    pub fn set_next_id(&mut self, next: u32) {
+        self.next_id = self.next_id.max(next);
+    }
+
+    /// Reinstate a journaled record under its original global id
+    /// (recovery only). Overwrites any record already under that id —
+    /// replaying a re-adoption moves the record to its new session the
+    /// same way [`Inventory::rebind`] did live.
+    pub fn restore(&mut self, record: InventoryRecord) {
+        self.next_id = self.next_id.max(record.id.0 + 1);
+        self.records.insert(record.id, record);
+    }
+
     /// Number of routers known.
     pub fn len(&self) -> usize {
         self.records.len()

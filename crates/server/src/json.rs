@@ -59,6 +59,13 @@ impl Json {
         Json::Num(n.into())
     }
 
+    /// A full-range u64 carried as a decimal string. JSON numbers ride
+    /// in f64 here (as in JavaScript), which silently rounds integers
+    /// past 2^53 — session tokens and timestamps must not round.
+    pub fn u64_str(v: u64) -> Json {
+        Json::Str(v.to_string())
+    }
+
     /// Field access on objects.
     pub fn get(&self, key: &str) -> Option<&Json> {
         match self {
@@ -89,6 +96,14 @@ impl Json {
             Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
                 Some(*n as u64)
             }
+            _ => None,
+        }
+    }
+
+    /// The value as a full-range u64 encoded by [`Json::u64_str`].
+    pub fn as_u64_str(&self) -> Option<u64> {
+        match self {
+            Json::Str(s) => s.parse().ok(),
             _ => None,
         }
     }
@@ -470,6 +485,18 @@ mod tests {
         assert_eq!(v.get("d").unwrap().as_u64(), None);
         assert_eq!(v.get("d").unwrap().as_f64(), Some(1.5));
         assert!(v.get("zz").is_none());
+    }
+
+    #[test]
+    fn u64_strings_roundtrip_at_full_range() {
+        for v in [0u64, 1, 1 << 53, u64::MAX - 1, u64::MAX] {
+            let encoded = Json::u64_str(v).encode();
+            let parsed = Json::parse(&encoded).unwrap();
+            assert_eq!(parsed.as_u64_str(), Some(v), "value {v}");
+        }
+        // Plain numbers are not silently accepted where a token string
+        // is expected.
+        assert_eq!(Json::num(5).as_u64_str(), None);
     }
 
     #[test]

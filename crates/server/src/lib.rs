@@ -22,14 +22,16 @@ pub mod capture;
 pub mod design;
 pub mod generate;
 pub mod inventory;
+pub mod journal;
 pub mod json;
 pub mod lint;
 pub mod matrix;
 pub mod reserve;
 pub mod shard;
+pub mod snapshot;
 pub mod web;
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 
 use rnl_net::time::{Duration, Instant};
 use rnl_obs::{
@@ -38,14 +40,17 @@ use rnl_obs::{
 };
 use rnl_tunnel::compress::{CompressError, Compressor, Decompressor};
 use rnl_tunnel::msg::{Assignment, Msg, PortId, RouterId, SessionEpoch};
-use rnl_tunnel::transport::{Transport, TransportError};
+use rnl_tunnel::transport::{ClosedTransport, Transport, TransportError};
 
 use capture::{CaptureDir, CaptureHub};
 use design::{Design, DesignError, DesignStore};
 use generate::{Generator, StreamConfig, StreamId};
-use inventory::{Inventory, SessionId};
+use inventory::{Inventory, InventoryRecord, SessionId};
+use journal::{CrashPoint, Durability, JournalError};
+use json::Json;
 use matrix::{DeploymentId, MatrixError, RoutingMatrix};
-use reserve::{Calendar, ReservationId, ReserveError};
+use reserve::{Calendar, Reservation, ReservationId, ReserveError};
+use snapshot::{DeploymentSeed, Op, SessionSeed};
 
 /// Route-server failure.
 #[derive(Debug)]
@@ -67,6 +72,8 @@ pub enum ServerError {
     /// Pre-deploy static analysis found Error-severity diagnostics (the
     /// string is the rendered report). Deploy with force to override.
     Lint(String),
+    /// The write-ahead journal failed (append, snapshot, or recovery).
+    Durability(String),
 }
 
 impl std::fmt::Display for ServerError {
@@ -80,11 +87,18 @@ impl std::fmt::Display for ServerError {
             ServerError::UnknownRouter(r) => write!(f, "unknown router {r}"),
             ServerError::Compression(e) => write!(f, "compression: {e}"),
             ServerError::Lint(report) => write!(f, "rejected by pre-deploy analysis:\n{report}"),
+            ServerError::Durability(m) => write!(f, "durability: {m}"),
         }
     }
 }
 
 impl std::error::Error for ServerError {}
+
+impl From<JournalError> for ServerError {
+    fn from(e: JournalError) -> ServerError {
+        ServerError::Durability(e.to_string())
+    }
+}
 
 impl From<MatrixError> for ServerError {
     fn from(e: MatrixError) -> ServerError {
@@ -146,6 +160,14 @@ pub struct DeploymentRecord {
 /// reservation promptly.
 pub const DEFAULT_GRACE_WINDOW: Duration = Duration::from_secs(10);
 
+/// Default cap on a graced session's replay buffer, in accounted bytes.
+/// `set_replay_cap(0)` disables queueing (frames are shed immediately).
+pub const DEFAULT_REPLAY_CAP: usize = 256 * 1024;
+
+/// Default interval between compacting snapshots when a journal is
+/// installed.
+pub const DEFAULT_SNAPSHOT_EVERY: Duration = Duration::from_secs(30);
+
 struct Session {
     transport: Box<dyn Transport>,
     pc_name: Option<String>,
@@ -156,6 +178,11 @@ struct Session {
     /// When the transport died, starting the flap-grace window. `None`
     /// while healthy.
     graced_at: Option<Instant>,
+    /// Data frames held while graced, replayed in order if the session
+    /// is re-adopted.
+    replay: VecDeque<Msg>,
+    /// Accounted bytes in `replay` (capped by the server's replay cap).
+    replay_bytes: usize,
 }
 
 /// What became of a frame handed to [`RouteServer::send_to_router`].
@@ -166,6 +193,9 @@ enum SendOutcome {
     /// The destination session is in its flap-grace window; the frame
     /// was shed, not errored.
     Graced,
+    /// The destination session is graced but the frame was held in its
+    /// replay buffer for in-order delivery at re-adoption.
+    Queued,
     /// No live session fronts the router.
     Gone,
 }
@@ -208,6 +238,19 @@ pub struct RouteServer {
     /// How long a disconnected session keeps its inventory, matrix
     /// entries and reservation before being reaped.
     grace_window: Duration,
+    /// The write-ahead journal, when durability is enabled. Named `wal`
+    /// because `journal` is the obs frame-event ring above.
+    wal: Option<Box<dyn Durability>>,
+    /// Interval between compacting snapshots.
+    snapshot_every: Duration,
+    /// When the last snapshot committed.
+    last_snapshot: Option<Instant>,
+    /// Fail-stop flag: a journal append or snapshot failed, so further
+    /// mutations could not be recovered. The host process should exit
+    /// and restart through [`RouteServer::recover`].
+    crashed: bool,
+    /// Byte cap per graced session's replay buffer (0 disables).
+    replay_cap: usize,
     m_frames_routed: Counter,
     m_bytes_relayed: Counter,
     m_frames_injected: Counter,
@@ -221,6 +264,14 @@ pub struct RouteServer {
     m_register_imposters: Counter,
     m_sessions_graced: Gauge,
     m_session_recovery_us: Histogram,
+    m_journal_appends: Counter,
+    m_journal_bytes: Counter,
+    m_journal_replayed: Counter,
+    m_journal_torn: Counter,
+    m_replay_queued: Counter,
+    m_replay_flushed: Counter,
+    m_recovery_seconds: Gauge,
+    m_snapshot_age: Gauge,
 }
 
 impl Default for RouteServer {
@@ -257,7 +308,20 @@ impl RouteServer {
                 &[],
                 &LATENCY_BUCKETS_US,
             ),
+            m_journal_appends: obs.counter("rnl_server_journal_appends_total", &[]),
+            m_journal_bytes: obs.counter("rnl_server_journal_bytes_total", &[]),
+            m_journal_replayed: obs.counter("rnl_server_journal_replayed_total", &[]),
+            m_journal_torn: obs.counter("rnl_server_journal_torn_total", &[]),
+            m_replay_queued: obs.counter("rnl_server_replay_queued_total", &[]),
+            m_replay_flushed: obs.counter("rnl_server_replay_flushed_total", &[]),
+            m_recovery_seconds: obs.gauge("rnl_server_recovery_duration_seconds", &[]),
+            m_snapshot_age: obs.gauge("rnl_server_snapshot_age_seconds", &[]),
             grace_window: DEFAULT_GRACE_WINDOW,
+            wal: None,
+            snapshot_every: DEFAULT_SNAPSHOT_EVERY,
+            last_snapshot: None,
+            crashed: false,
+            replay_cap: DEFAULT_REPLAY_CAP,
             obs,
             journal: EventJournal::new(4096),
             wire_metrics: HashMap::new(),
@@ -300,6 +364,305 @@ impl RouteServer {
     /// The configured flap-grace window.
     pub fn grace_window(&self) -> Duration {
         self.grace_window
+    }
+
+    /// Whether deploys currently require a covering reservation (the
+    /// facade re-applies this across a crash — it is config, not state).
+    pub fn reservations_enforced(&self) -> bool {
+        self.enforce_reservations
+    }
+
+    /// Whether the server→RIS leg is compressed.
+    pub fn compress_downstream(&self) -> bool {
+        self.compress_downstream
+    }
+
+    /// Cap the per-session replay buffer (bytes). `0` disables
+    /// queueing: frames toward a graced session are shed immediately,
+    /// the pre-durability behavior.
+    pub fn set_replay_cap(&mut self, bytes: usize) {
+        self.replay_cap = bytes;
+    }
+
+    /// Configure the interval between compacting snapshots.
+    pub fn set_snapshot_every(&mut self, every: Duration) {
+        self.snapshot_every = every;
+    }
+
+    // -----------------------------------------------------------------
+    // Durability: write-ahead journal, snapshots, crash recovery
+    // -----------------------------------------------------------------
+
+    /// Install a write-ahead journal and commit an initial snapshot of
+    /// the current state. Every subsequent state mutation is journaled;
+    /// [`RouteServer::recover`] replays snapshot + tail after a crash.
+    pub fn set_durability(
+        &mut self,
+        wal: Box<dyn Durability>,
+        now: Instant,
+    ) -> Result<(), ServerError> {
+        self.wal = Some(wal);
+        self.snapshot_now(now)
+    }
+
+    /// Arm (or disarm, with `None`) a crash-injection point on the
+    /// installed journal. Test harness hook: the next matching journal
+    /// operation fails exactly there, once.
+    pub fn arm_crash(&mut self, point: Option<CrashPoint>) {
+        if let Some(wal) = self.wal.as_mut() {
+            wal.arm_crash(point);
+        }
+    }
+
+    /// Whether the server fail-stopped because the journal could not
+    /// record a mutation. A crashed server must be discarded and
+    /// rebuilt through [`RouteServer::recover`].
+    pub fn crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// Commit a compacting snapshot now: the durable state replaces the
+    /// snapshot file and the journal tail is truncated. No-op without a
+    /// journal.
+    pub fn snapshot_now(&mut self, now: Instant) -> Result<(), ServerError> {
+        let payload = self.durable_state().encode();
+        let Some(wal) = self.wal.as_mut() else {
+            return Ok(());
+        };
+        match wal.write_snapshot(payload.as_bytes()) {
+            Ok(()) => {
+                self.last_snapshot = Some(now);
+                Ok(())
+            }
+            Err(e) => {
+                self.crashed = true;
+                Err(ServerError::Durability(e.to_string()))
+            }
+        }
+    }
+
+    /// The full durable state as deterministic JSON — what a snapshot
+    /// persists and what recovery reconstructs, byte for byte.
+    pub fn durable_state(&self) -> Json {
+        let sessions: Vec<SessionSeed> = self
+            .sessions
+            .iter()
+            .filter_map(|(sid, s)| match (&s.pc_name, s.epoch) {
+                (Some(pc), Some(epoch)) => Some(SessionSeed {
+                    sid: *sid,
+                    pc_name: pc.clone(),
+                    epoch,
+                }),
+                // A session that never registered has nothing durable.
+                _ => None,
+            })
+            .collect();
+        let deployments: Vec<DeploymentSeed> = self
+            .deployments
+            .values()
+            .map(|d| DeploymentSeed {
+                id: d.id,
+                user: d.user.clone(),
+                design_name: d.design_name.clone(),
+                routers: d.routers.clone(),
+                links: self
+                    .matrix
+                    .links_of(d.id)
+                    .map(|links| links.to_vec())
+                    .unwrap_or_default(),
+            })
+            .collect();
+        snapshot::state_to_json(
+            self.next_session,
+            &sessions,
+            &self.inventory,
+            &self.calendar,
+            self.matrix.next_id(),
+            &deployments,
+        )
+    }
+
+    /// Append one mutation to the journal. The mutation has already
+    /// been applied (redo logging); on append failure the server
+    /// fail-stops rather than continue with unrecoverable state.
+    fn wal_append(&mut self, op: &Op) {
+        let Some(wal) = self.wal.as_mut() else {
+            return;
+        };
+        let payload = op.to_json().encode();
+        match wal.append(payload.as_bytes()) {
+            Ok(written) => {
+                self.m_journal_appends.inc();
+                self.m_journal_bytes.add(written as u64);
+            }
+            Err(_) => {
+                self.crashed = true;
+            }
+        }
+    }
+
+    fn parse_payload(bytes: &[u8]) -> Result<Json, ServerError> {
+        let text = std::str::from_utf8(bytes)
+            .map_err(|_| ServerError::Durability("journal payload is not UTF-8".to_string()))?;
+        Json::parse(text).map_err(|e| ServerError::Durability(format!("journal payload: {e}")))
+    }
+
+    /// Rebuild a server from a journal: load the last snapshot, replay
+    /// the tail, and start every recovered session in its grace window
+    /// so re-registering RIS supervisors re-adopt their hardware onto
+    /// the recovered matrix. Torn trailing records are truncated and
+    /// counted, never fatal; a corrupt *snapshot* is fatal (that is
+    /// disk corruption, not a crash).
+    pub fn recover(mut wal: Box<dyn Durability>, now: Instant) -> Result<RouteServer, ServerError> {
+        let started = std::time::Instant::now();
+        let recovered = wal.load()?;
+        let mut server = RouteServer::new();
+        if let Some(snapshot) = &recovered.snapshot {
+            let state = snapshot::state_from_json(&Self::parse_payload(snapshot)?, now)?;
+            server.next_session = state.next_session;
+            server.inventory = state.inventory;
+            server.calendar = state.calendar;
+            server.matrix.set_next_id(state.matrix_next);
+            for d in state.deployments {
+                server.matrix.restore(d.id, &d.routers, &d.links);
+                server.deployments.insert(
+                    d.id,
+                    DeploymentRecord {
+                        id: d.id,
+                        user: d.user,
+                        design_name: d.design_name,
+                        routers: d.routers,
+                    },
+                );
+            }
+            for s in state.sessions {
+                server.seed_session(s.sid, s.pc_name, s.epoch, now);
+            }
+        }
+        if recovered.torn > 0 {
+            server.m_journal_torn.add(recovered.torn);
+        }
+        for record in &recovered.records {
+            let op = Op::from_json(&Self::parse_payload(record)?)?;
+            server.apply_op(op, now);
+            server.m_journal_replayed.inc();
+        }
+        server.note_graced();
+        server.wal = Some(wal);
+        // Compact immediately: the replayed tail folds into a fresh
+        // snapshot, so a second crash replays from here.
+        server.snapshot_now(now)?;
+        server
+            .m_recovery_seconds
+            .set(started.elapsed().as_secs_f64());
+        Ok(server)
+    }
+
+    /// Insert a recovered session as a graced placeholder: dead
+    /// transport, journaled identity. The ordinary re-adoption path in
+    /// `handle_msg` picks it up when its RIS redials, exactly as after
+    /// a live flap.
+    fn seed_session(&mut self, sid: SessionId, pc_name: String, epoch: SessionEpoch, now: Instant) {
+        self.next_session = self.next_session.max(sid.0 + 1);
+        self.sessions.insert(
+            sid,
+            Session {
+                transport: Box::new(ClosedTransport),
+                pc_name: Some(pc_name),
+                alive: false,
+                epoch: Some(epoch),
+                graced_at: Some(now),
+                replay: VecDeque::new(),
+                replay_bytes: 0,
+            },
+        );
+    }
+
+    /// Re-apply one journaled mutation during recovery. Mirrors the
+    /// live mutation paths but never journals, never touches
+    /// transports, and is idempotent where the live path was (reap
+    /// after teardown, cancel of a cancelled id).
+    fn apply_op(&mut self, op: Op, now: Instant) {
+        match op {
+            Op::Session {
+                sid,
+                pc_name,
+                epoch,
+                replaces,
+                routers,
+            } => {
+                for (id, info) in routers {
+                    self.inventory.restore(InventoryRecord {
+                        id,
+                        session: sid,
+                        pc_name: pc_name.clone(),
+                        info,
+                        last_seen: now,
+                    });
+                }
+                if let Some(old) = replaces {
+                    let leftover = self.inventory.remove_session(old);
+                    for router in leftover {
+                        if let Some(dep) = self.matrix.owner_of(router) {
+                            self.deployments.remove(&dep);
+                            self.matrix.teardown(dep);
+                        }
+                    }
+                    self.sessions.remove(&old);
+                }
+                self.seed_session(sid, pc_name, epoch, now);
+            }
+            Op::Reap { sid } => {
+                self.sessions.remove(&sid);
+                let gone = self.inventory.remove_session(sid);
+                for router in gone {
+                    if let Some(dep) = self.matrix.owner_of(router) {
+                        self.deployments.remove(&dep);
+                        self.matrix.teardown(dep);
+                    }
+                }
+            }
+            Op::Reserve {
+                id,
+                user,
+                routers,
+                start,
+                end,
+            } => {
+                self.calendar.restore(Reservation {
+                    id,
+                    user,
+                    routers,
+                    start,
+                    end,
+                });
+            }
+            Op::Cancel { id } => {
+                self.calendar.cancel(id);
+            }
+            Op::Deploy {
+                id,
+                user,
+                design_name,
+                routers,
+                links,
+            } => {
+                self.matrix.restore(id, &routers, &links);
+                self.deployments.insert(
+                    id,
+                    DeploymentRecord {
+                        id,
+                        user,
+                        design_name,
+                        routers,
+                    },
+                );
+            }
+            Op::Teardown { id } => {
+                self.deployments.remove(&id);
+                self.matrix.teardown(id);
+            }
+        }
     }
 
     /// Counters, computed from the metrics registry.
@@ -375,6 +738,8 @@ impl RouteServer {
                 alive: true,
                 epoch: None,
                 graced_at: None,
+                replay: VecDeque::new(),
+                replay_bytes: 0,
             },
         );
         id
@@ -434,6 +799,22 @@ impl RouteServer {
         for sid in expired {
             self.reap_session(sid);
         }
+        // Periodic compaction: fold the journal tail into a fresh
+        // snapshot and publish how stale the snapshot is.
+        if self.wal.is_some() && !self.crashed {
+            let due = match self.last_snapshot {
+                None => true,
+                Some(at) => now.since(at) >= self.snapshot_every,
+            };
+            if due {
+                // Failure fail-stops via `crashed`; nothing to do here.
+                let _ = self.snapshot_now(now);
+            }
+            if let Some(at) = self.last_snapshot {
+                self.m_snapshot_age
+                    .set(now.since(at).as_micros() as f64 / 1e6);
+            }
+        }
     }
 
     /// Mark a session disconnected and start its grace window. Frames
@@ -452,11 +833,18 @@ impl RouteServer {
     /// inventory, tear down any deployment that used them, and purge
     /// per-router state.
     fn reap_session(&mut self, sid: SessionId) {
-        self.sessions.remove(&sid);
+        if let Some(session) = self.sessions.remove(&sid) {
+            // The replay buffer dies with the session: those frames
+            // were ultimately shed, count them as such.
+            if !session.replay.is_empty() {
+                self.m_unrouted_graced.add(session.replay.len() as u64);
+            }
+        }
         let gone = self.inventory.remove_session(sid);
         self.purge_routers(&gone);
         self.m_sessions_reaped.inc();
         self.note_graced();
+        self.wal_append(&Op::Reap { sid });
     }
 
     /// Tear down deployments owning `routers` and drop their per-router
@@ -512,23 +900,36 @@ impl RouteServer {
                     }
                     None => None,
                 };
+                let pc_name = info.pc_name.clone();
+                let epoch = info.epoch;
                 let mut assignments = Vec::new();
+                let mut journal_routers: Vec<(RouterId, rnl_tunnel::msg::RouterInfo)> = Vec::new();
+                let mut replaces = None;
+                let mut pending_replay: Vec<Msg> = Vec::new();
                 if let Some((old_sid, graced_at)) = readopt {
+                    replaces = Some(old_sid);
                     for router in info.routers {
                         let local_id = router.local_id;
                         let id = match self.inventory.rebind(old_sid, sid, &router, now) {
                             Some(id) => id,
                             // New hardware on the rejoined RIS.
-                            None => self.inventory.register(sid, &info.pc_name, router, now),
+                            None => self.inventory.register(sid, &pc_name, router.clone(), now),
                         };
                         // Compression rings restart from scratch on the
                         // new connection; a stale ring would desync.
                         self.compressors.retain(|(r, _), _| *r != id);
                         self.decompressors.retain(|(r, _), _| *r != id);
+                        journal_routers.push((id, router));
                         assignments.push(Assignment {
                             local_id,
                             router: id,
                         });
+                    }
+                    // Frames held for the graced session flush to the
+                    // rejoined one, after the RegisterAck below.
+                    if let Some(old) = self.sessions.get_mut(&old_sid) {
+                        pending_replay = old.replay.drain(..).collect();
+                        old.replay_bytes = 0;
                     }
                     // Routers the rejoin no longer fronts are gone for
                     // good: free them and their deployments.
@@ -544,7 +945,8 @@ impl RouteServer {
                 } else {
                     for router in info.routers {
                         let local_id = router.local_id;
-                        let id = self.inventory.register(sid, &info.pc_name, router, now);
+                        let id = self.inventory.register(sid, &pc_name, router.clone(), now);
+                        journal_routers.push((id, router));
                         assignments.push(Assignment {
                             local_id,
                             router: id,
@@ -552,9 +954,19 @@ impl RouteServer {
                     }
                 }
                 if let Some(session) = self.sessions.get_mut(&sid) {
-                    session.pc_name = Some(info.pc_name);
-                    session.epoch = Some(info.epoch);
+                    session.pc_name = Some(pc_name.clone());
+                    session.epoch = Some(epoch);
                     let _ = session.transport.send(&Msg::RegisterAck(assignments), now);
+                }
+                self.wal_append(&Op::Session {
+                    sid,
+                    pc_name,
+                    epoch,
+                    replaces,
+                    routers: journal_routers,
+                });
+                if !pending_replay.is_empty() {
+                    self.flush_replay(sid, pending_replay, now);
                 }
             }
             Msg::Data {
@@ -761,6 +1173,11 @@ impl RouteServer {
                     now,
                 );
             }
+            SendOutcome::Queued => {
+                // Held in the replay buffer: neither routed nor
+                // unrouted yet; `rnl_server_replay_queued_total` and
+                // the flush/shed counters settle its fate.
+            }
             SendOutcome::Gone => {
                 self.frame_unrouted(dst_router, dst_port, MissReason::NoSession, span.trace, now);
             }
@@ -775,14 +1192,53 @@ impl RouteServer {
             return SendOutcome::Gone;
         };
         // A graced session's transport is dead but the session is
-        // expected back: shed the frame quietly rather than treating it
-        // as a routing error.
+        // expected back: hold data frames for in-order replay at
+        // re-adoption (up to the replay cap), shed everything else
+        // quietly rather than treating it as a routing error.
         if session.graced_at.is_some() || !session.alive {
+            let cost = match &msg {
+                Msg::Data { frame, .. } => Some(32 + frame.len()),
+                Msg::DataCompressed { encoded, .. } => Some(32 + encoded.len()),
+                // Console pushes, power and link toggles are stale by
+                // the time the session is back; never replayed.
+                _ => None,
+            };
+            if let Some(cost) = cost {
+                if self.replay_cap > 0 && session.replay_bytes + cost <= self.replay_cap {
+                    session.replay_bytes += cost;
+                    session.replay.push_back(msg);
+                    self.m_replay_queued.inc();
+                    return SendOutcome::Queued;
+                }
+            }
             return SendOutcome::Graced;
         }
         match session.transport.send(&msg, now) {
             Ok(()) => SendOutcome::Sent,
             Err(_) => SendOutcome::Gone,
+        }
+    }
+
+    /// Deliver a re-adopted session's held frames in order. A send
+    /// failure sheds the rest — the session just flapped again.
+    fn flush_replay(&mut self, sid: SessionId, queued: Vec<Msg>, now: Instant) {
+        // Pre-cloned handles: `session` mutably borrows `self.sessions`
+        // for the whole loop.
+        let flushed = self.m_replay_flushed.clone();
+        let shed = self.m_unrouted_graced.clone();
+        let Some(session) = self.sessions.get_mut(&sid) else {
+            shed.add(queued.len() as u64);
+            return;
+        };
+        let mut remaining = queued.into_iter();
+        while let Some(msg) = remaining.next() {
+            match session.transport.send(&msg, now) {
+                Ok(()) => flushed.inc(),
+                Err(_) => {
+                    shed.add(1 + remaining.len() as u64);
+                    break;
+                }
+            }
         }
     }
 
@@ -803,7 +1259,25 @@ impl RouteServer {
             .load(design_name)
             .ok_or_else(|| ServerError::UnknownDesign(design_name.to_string()))?;
         let routers: Vec<RouterId> = design.devices().collect();
-        Ok(self.calendar.reserve(user, &routers, start, end)?)
+        let id = self.calendar.reserve(user, &routers, start, end)?;
+        self.wal_append(&Op::Reserve {
+            id,
+            user: user.to_string(),
+            routers,
+            start,
+            end,
+        });
+        Ok(id)
+    }
+
+    /// Cancel a reservation (journaled; prefer this over mutating the
+    /// calendar directly when durability is on).
+    pub fn cancel_reservation(&mut self, id: ReservationId) -> bool {
+        let cancelled = self.calendar.cancel(id);
+        if cancelled {
+            self.wal_append(&Op::Cancel { id });
+        }
+        cancelled
     }
 
     /// Run the pre-deploy static analyzer over a design against this
@@ -939,6 +1413,13 @@ impl RouteServer {
                 routers: routers.clone(),
             },
         );
+        self.wal_append(&Op::Deploy {
+            id,
+            user: user.to_string(),
+            design_name: design.name.clone(),
+            routers: routers.clone(),
+            links: design.links().to_vec(),
+        });
         // Auto-restore saved configurations ("If a router configuration
         // is saved, when the users deploy the design, the configuration
         // file is loaded automatically").
@@ -953,8 +1434,12 @@ impl RouteServer {
 
     /// Tear a deployment down, freeing its routers.
     pub fn teardown(&mut self, id: DeploymentId) -> bool {
-        self.deployments.remove(&id);
-        self.matrix.teardown(id)
+        let had_record = self.deployments.remove(&id).is_some();
+        let torn = self.matrix.teardown(id);
+        if had_record || torn {
+            self.wal_append(&Op::Teardown { id });
+        }
+        torn
     }
 
     /// The matrix (read access for assertions).
@@ -1525,9 +2010,9 @@ mod tests {
         assert_eq!(graced_gauge(&server), 1.0);
     }
 
-    #[test]
-    fn frames_to_graced_session_shed_as_session_graced() {
-        // Two RIS sessions, one wire across them; the far side flaps.
+    /// Server + two RIS sessions (one host each) joined by one cross
+    /// wire — the flap/replay tests all start here.
+    fn cross_ris_lab() -> (RouteServer, Ris, Ris, RouterId, RouterId) {
         let mut server = RouteServer::new();
         server.set_enforce_reservations(false);
         let (a_side, sa) = mem_pair_perfect(19);
@@ -1549,7 +2034,17 @@ mod tests {
         design.add_device(r1);
         design.add_device(r2);
         design.connect((r1, PortId(0)), (r2, PortId(0))).unwrap();
-        let dep = server.deploy_design("alice", &design, t(0)).unwrap();
+        server.deploy_design("alice", &design, t(0)).unwrap();
+        (server, ris_a, ris_b, r1, r2)
+    }
+
+    #[test]
+    fn frames_to_graced_session_shed_as_session_graced() {
+        // Two RIS sessions, one wire across them; the far side flaps.
+        // Replay buffering off: this test pins the pure shed path.
+        let (mut server, mut ris_a, mut ris_b, _r1, _r2) = cross_ris_lab();
+        server.set_replay_cap(0);
+        let dep = server.deployments().next().unwrap().id;
 
         ris_b.sever();
         server.poll(t(100));
@@ -1579,5 +2074,134 @@ mod tests {
         );
         // The wire itself stays deployed throughout.
         assert!(server.deployments().any(|d| d.id == dep));
+    }
+
+    /// Two-RIS cross wire like the shed test, but with the replay
+    /// buffer on: frames toward the flapped side are queued, then
+    /// flushed in order when it rejoins — not lost.
+    #[test]
+    fn frames_to_graced_session_queue_and_flush_on_rejoin() {
+        let (mut server, mut ris_a, mut ris_b, _r1, _r2) = cross_ris_lab();
+
+        ris_b.sever();
+        server.poll(t(100));
+        ris_a
+            .device_mut(0)
+            .unwrap()
+            .console("ping 10.0.1.2 count 2", t(100));
+        let mut ms = 100;
+        while ms <= 2000 {
+            ris_a.poll(t(ms)).unwrap();
+            server.poll(t(ms));
+            ms += 100;
+        }
+        let snap = server.obs().snapshot();
+        let queued = snap.counter("rnl_server_replay_queued_total", &[]);
+        assert!(queued > 0, "frames toward the graced session are held");
+        assert_eq!(
+            snap.counter(
+                "rnl_server_frames_unrouted_total",
+                &[("reason", "session-graced")],
+            ),
+            0,
+            "under the cap nothing is shed"
+        );
+
+        // Rejoin inside the grace window; the queue flushes in order.
+        let (b_side2, sb2) = mem_pair_perfect(29);
+        server.attach(Box::new(sb2));
+        ris_b.reconnect(Box::new(b_side2), t(2100)).unwrap();
+        server.poll(t(2100));
+        ris_b.poll(t(2100)).unwrap();
+        let snap = server.obs().snapshot();
+        assert_eq!(
+            snap.counter("rnl_server_replay_flushed_total", &[]),
+            queued,
+            "every held frame was delivered at re-adoption"
+        );
+        // The replayed ping requests reach s2 and are answered: the
+        // ping completes even though it started during the outage.
+        run(&mut server, &mut ris_b, 2100, 2500, 100);
+        run(&mut server, &mut ris_a, 2500, 4000, 100);
+        let out = ris_a.device_mut(0).unwrap().console("show ping", t(4000));
+        assert!(out.contains("received"), "got: {out}");
+    }
+
+    /// A replay cap of one small frame means the queue overflows:
+    /// overflow frames are shed (counted `session-graced`) exactly as
+    /// with buffering off.
+    #[test]
+    fn replay_buffer_overflow_sheds_beyond_the_cap() {
+        let (mut server, mut ris_a, mut ris_b, _r1, _r2) = cross_ris_lab();
+        server.set_replay_cap(100); // roughly one ARP-sized frame
+        ris_b.sever();
+        server.poll(t(100));
+        ris_a
+            .device_mut(0)
+            .unwrap()
+            .console("ping 10.0.1.2 count 3", t(100));
+        let mut ms = 100;
+        while ms <= 3000 {
+            ris_a.poll(t(ms)).unwrap();
+            server.poll(t(ms));
+            ms += 100;
+        }
+        let snap = server.obs().snapshot();
+        let queued = snap.counter("rnl_server_replay_queued_total", &[]);
+        let shed = snap.counter(
+            "rnl_server_frames_unrouted_total",
+            &[("reason", "session-graced")],
+        );
+        assert!(queued >= 1, "the cap admits the first frame: {queued}");
+        assert!(shed >= 1, "overflow is shed: {shed}");
+        let _ = ris_b;
+    }
+
+    /// Durable-state snapshot → recover yields byte-identical state and
+    /// graced placeholder sessions that re-adopt.
+    #[test]
+    fn crash_and_recover_preserves_state_and_readopts() {
+        use journal::MemJournal;
+
+        let (mut server, mut ris, r1, r2) = two_host_lab();
+        let store = {
+            let wal = MemJournal::new();
+            let store = wal.store();
+            server.set_durability(Box::new(wal), t(0)).unwrap();
+            store
+        };
+        // A post-snapshot journaled mutation that must come back via
+        // the journal tail.
+        let mut probe = Design::new("probe");
+        probe.add_device(r1);
+        server.designs_mut().save(probe);
+        server
+            .reserve_design("alice", "probe", t(50_000), t(60_000))
+            .unwrap();
+        drop(server); // crash: everything volatile is gone
+
+        let mut server =
+            RouteServer::recover(Box::new(MemJournal::attached(store)), t(1000)).unwrap();
+        server.set_enforce_reservations(false);
+        assert_eq!(server.inventory().len(), 2);
+        assert_eq!(server.deployments().count(), 1);
+        assert_eq!(server.calendar().len(), 1, "tail reservation replayed");
+        let snap = server.obs().snapshot();
+        assert_eq!(snap.counter("rnl_server_journal_replayed_total", &[]), 1);
+        // The RIS supervisor redials; the recovered placeholder session
+        // is re-adopted and traffic flows over the same global ids.
+        let (ris_side, server_side) = mem_pair_perfect(31);
+        server.attach(Box::new(server_side));
+        ris.reconnect(Box::new(ris_side), t(1100)).unwrap();
+        server.poll(t(1100));
+        ris.poll(t(1100)).unwrap();
+        assert_eq!(ris.router_id(0), Some(r1));
+        assert_eq!(ris.router_id(1), Some(r2));
+        ris.device_mut(0)
+            .unwrap()
+            .console("ping 10.0.0.2 count 3", t(1200));
+        run(&mut server, &mut ris, 1200, 6000, 100);
+        let out = ris.device_mut(0).unwrap().console("show ping", t(6000));
+        assert!(out.contains("3 sent, 3 received"), "got: {out}");
     }
 }

@@ -86,6 +86,34 @@ impl RoutingMatrix {
         Ok(id)
     }
 
+    /// Reinstate a journaled deployment under its original id (recovery
+    /// only — the mutual-exclusion check passed on the live path, and
+    /// the id high-water mark never lowers so torn-down ids are not
+    /// reused after a restart).
+    pub fn restore(&mut self, id: DeploymentId, routers: &[RouterId], links: &[Link]) {
+        self.next_id = self.next_id.max(id.0 + 1);
+        for &router in routers {
+            self.owner.insert(router, id);
+        }
+        for &(a, b) in links {
+            self.links.insert(a, b);
+            self.links.insert(b, a);
+        }
+        self.deployments.insert(id, links.to_vec());
+    }
+
+    /// The next id that [`RoutingMatrix::deploy`] would assign
+    /// (persisted by the durability snapshot).
+    pub fn next_id(&self) -> u64 {
+        self.next_id
+    }
+
+    /// Restore the id high-water mark from a snapshot (recovery only;
+    /// never lowers it).
+    pub fn set_next_id(&mut self, next: u64) {
+        self.next_id = self.next_id.max(next);
+    }
+
     /// Tear a lab down, freeing its routers and removing its links.
     pub fn teardown(&mut self, id: DeploymentId) -> bool {
         let Some(links) = self.deployments.remove(&id) else {

@@ -186,6 +186,32 @@ impl Calendar {
         booked as f64 / window as f64
     }
 
+    /// All reservations, ordered by id (the durability snapshot and the
+    /// admin views iterate this).
+    pub fn iter(&self) -> impl Iterator<Item = &Reservation> {
+        self.reservations.values()
+    }
+
+    /// The next id that [`Calendar::reserve`] would assign (persisted by
+    /// the durability snapshot).
+    pub fn next_id(&self) -> u64 {
+        self.next_id
+    }
+
+    /// Restore the id high-water mark from a snapshot (recovery only;
+    /// never lowers it).
+    pub fn set_next_id(&mut self, next: u64) {
+        self.next_id = self.next_id.max(next);
+    }
+
+    /// Reinstate a journaled reservation under its original id
+    /// (recovery only — skips the conflict check the live path already
+    /// passed).
+    pub fn restore(&mut self, reservation: Reservation) {
+        self.next_id = self.next_id.max(reservation.id.0 + 1);
+        self.reservations.insert(reservation.id, reservation);
+    }
+
     /// Total number of live reservations.
     pub fn len(&self) -> usize {
         self.reservations.len()

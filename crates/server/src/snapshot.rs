@@ -1,0 +1,856 @@
+//! Serialization of the route server's durable state and of the
+//! journaled mutations that evolve it.
+//!
+//! The durable state is exactly what a restarted server must know to
+//! keep every lab alive: the session seeds (so re-registering RIS
+//! supervisors reconcile against their journaled [`SessionEpoch`]s),
+//! the inventory with its global-id high-water mark, the reservation
+//! calendar, and every live deployment with its matrix links. Volatile
+//! bookkeeping — heartbeat freshness, transport liveness, compression
+//! rings, metric values — is deliberately excluded: recovery re-derives
+//! it ("all recovered sessions start graced at recovery time").
+//!
+//! Everything rides the hand-rolled [`Json`] codec. Object keys are
+//! `BTreeMap`-ordered and map-backed collections are sorted before
+//! encoding, so the same state always encodes to the same bytes — the
+//! property the snapshot-equivalence proptest pins down. Full-range
+//! `u64`s (epoch tokens, microsecond timestamps) travel as decimal
+//! strings because JSON numbers are `f64` here and round past 2^53.
+
+use rnl_net::time::Instant;
+use rnl_tunnel::msg::{ImageRegion, PortId, PortInfo, RouterId, RouterInfo, SessionEpoch};
+
+use crate::design::Link;
+use crate::inventory::{Inventory, InventoryRecord, SessionId};
+use crate::journal::JournalError;
+use crate::json::Json;
+use crate::matrix::DeploymentId;
+use crate::reserve::{Calendar, Reservation, ReservationId};
+
+fn bad(m: &'static str) -> JournalError {
+    JournalError::Decode(m.to_string())
+}
+
+fn instant_to_json(at: Instant) -> Json {
+    Json::u64_str(at.as_micros())
+}
+
+fn instant_from_json(v: &Json) -> Result<Instant, JournalError> {
+    v.as_u64_str()
+        .map(Instant::from_micros)
+        .ok_or_else(|| bad("bad instant"))
+}
+
+fn router_id_from_json(v: &Json) -> Result<RouterId, JournalError> {
+    v.as_u64()
+        .and_then(|n| u32::try_from(n).ok())
+        .map(RouterId)
+        .ok_or_else(|| bad("bad router id"))
+}
+
+fn router_ids_to_json(routers: &[RouterId]) -> Json {
+    Json::Arr(routers.iter().map(|r| Json::num(r.0 as f64)).collect())
+}
+
+fn router_ids_from_json(v: &Json) -> Result<Vec<RouterId>, JournalError> {
+    v.as_arr()
+        .ok_or_else(|| bad("routers not an array"))?
+        .iter()
+        .map(router_id_from_json)
+        .collect()
+}
+
+/// A link as the 4-element array `[a_router, a_port, b_router, b_port]`.
+fn link_to_json(link: &Link) -> Json {
+    let ((ar, ap), (br, bp)) = *link;
+    Json::Arr(vec![
+        Json::num(ar.0 as f64),
+        Json::num(f64::from(ap.0)),
+        Json::num(br.0 as f64),
+        Json::num(f64::from(bp.0)),
+    ])
+}
+
+fn link_from_json(v: &Json) -> Result<Link, JournalError> {
+    let parts = v.as_arr().ok_or_else(|| bad("link not an array"))?;
+    if parts.len() != 4 {
+        return Err(bad("link needs 4 elements"));
+    }
+    let n = |i: usize| parts[i].as_u64().ok_or_else(|| bad("bad link element"));
+    Ok((
+        (
+            RouterId(u32::try_from(n(0)?).map_err(|_| bad("bad link router"))?),
+            PortId(u16::try_from(n(1)?).map_err(|_| bad("bad link port"))?),
+        ),
+        (
+            RouterId(u32::try_from(n(2)?).map_err(|_| bad("bad link router"))?),
+            PortId(u16::try_from(n(3)?).map_err(|_| bad("bad link port"))?),
+        ),
+    ))
+}
+
+fn links_to_json(links: &[Link]) -> Json {
+    Json::Arr(links.iter().map(link_to_json).collect())
+}
+
+fn links_from_json(v: &Json) -> Result<Vec<Link>, JournalError> {
+    v.as_arr()
+        .ok_or_else(|| bad("links not an array"))?
+        .iter()
+        .map(link_from_json)
+        .collect()
+}
+
+fn port_info_to_json(port: &PortInfo) -> Json {
+    Json::obj([
+        ("description", Json::str(&port.description)),
+        ("nic", Json::str(&port.nic)),
+        (
+            "region",
+            Json::Arr(vec![
+                Json::num(f64::from(port.region.x)),
+                Json::num(f64::from(port.region.y)),
+                Json::num(f64::from(port.region.w)),
+                Json::num(f64::from(port.region.h)),
+            ]),
+        ),
+    ])
+}
+
+fn port_info_from_json(v: &Json) -> Result<PortInfo, JournalError> {
+    let region = v
+        .get("region")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| bad("port missing region"))?;
+    if region.len() != 4 {
+        return Err(bad("port region needs 4 elements"));
+    }
+    let r = |i: usize| {
+        region[i]
+            .as_u64()
+            .and_then(|n| u16::try_from(n).ok())
+            .ok_or_else(|| bad("bad region element"))
+    };
+    Ok(PortInfo {
+        description: v
+            .get("description")
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad("port missing description"))?
+            .to_string(),
+        nic: v
+            .get("nic")
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad("port missing nic"))?
+            .to_string(),
+        region: ImageRegion {
+            x: r(0)?,
+            y: r(1)?,
+            w: r(2)?,
+            h: r(3)?,
+        },
+    })
+}
+
+/// The Fig.-3 registration data, persisted so recovered inventory
+/// records are complete before the RIS even redials.
+pub fn router_info_to_json(info: &RouterInfo) -> Json {
+    Json::obj([
+        ("local_id", Json::num(info.local_id as f64)),
+        ("description", Json::str(&info.description)),
+        ("model", Json::str(&info.model)),
+        ("image", Json::str(&info.image)),
+        (
+            "ports",
+            Json::Arr(info.ports.iter().map(port_info_to_json).collect()),
+        ),
+        (
+            "console_com",
+            match &info.console_com {
+                Some(com) => Json::str(com),
+                None => Json::Null,
+            },
+        ),
+    ])
+}
+
+/// Inverse of [`router_info_to_json`].
+pub fn router_info_from_json(v: &Json) -> Result<RouterInfo, JournalError> {
+    Ok(RouterInfo {
+        local_id: v
+            .get("local_id")
+            .and_then(Json::as_u64)
+            .and_then(|n| u32::try_from(n).ok())
+            .ok_or_else(|| bad("router missing local_id"))?,
+        description: v
+            .get("description")
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad("router missing description"))?
+            .to_string(),
+        model: v
+            .get("model")
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad("router missing model"))?
+            .to_string(),
+        image: v
+            .get("image")
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad("router missing image"))?
+            .to_string(),
+        ports: v
+            .get("ports")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| bad("router missing ports"))?
+            .iter()
+            .map(port_info_from_json)
+            .collect::<Result<_, _>>()?,
+        console_com: match v.get("console_com") {
+            None | Some(Json::Null) => None,
+            Some(com) => Some(
+                com.as_str()
+                    .ok_or_else(|| bad("bad console_com"))?
+                    .to_string(),
+            ),
+        },
+    })
+}
+
+fn epoch_to_json(epoch: SessionEpoch) -> Json {
+    Json::obj([
+        ("token", Json::u64_str(epoch.token)),
+        ("gen", Json::u64_str(epoch.generation)),
+    ])
+}
+
+fn epoch_from_json(v: &Json) -> Result<SessionEpoch, JournalError> {
+    Ok(SessionEpoch {
+        token: v
+            .get("token")
+            .and_then(Json::as_u64_str)
+            .ok_or_else(|| bad("epoch missing token"))?,
+        generation: v
+            .get("gen")
+            .and_then(Json::as_u64_str)
+            .ok_or_else(|| bad("epoch missing gen"))?,
+    })
+}
+
+/// What survives of a registered RIS session across a server crash: its
+/// id, the PC it fronts, and the epoch the supervisor will present when
+/// it redials. Recovery rebuilds each seed as a *graced placeholder*
+/// session, so the ordinary re-adoption path picks it up.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionSeed {
+    pub sid: SessionId,
+    pub pc_name: String,
+    pub epoch: SessionEpoch,
+}
+
+fn session_seed_to_json(seed: &SessionSeed) -> Json {
+    Json::obj([
+        ("sid", Json::u64_str(seed.sid.0)),
+        ("pc", Json::str(&seed.pc_name)),
+        ("epoch", epoch_to_json(seed.epoch)),
+    ])
+}
+
+fn session_seed_from_json(v: &Json) -> Result<SessionSeed, JournalError> {
+    Ok(SessionSeed {
+        sid: SessionId(
+            v.get("sid")
+                .and_then(Json::as_u64_str)
+                .ok_or_else(|| bad("session missing sid"))?,
+        ),
+        pc_name: v
+            .get("pc")
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad("session missing pc"))?
+            .to_string(),
+        epoch: epoch_from_json(v.get("epoch").ok_or_else(|| bad("session missing epoch"))?)?,
+    })
+}
+
+/// One live deployment with everything recovery needs to reinstall it:
+/// ownership record plus matrix links.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeploymentSeed {
+    pub id: DeploymentId,
+    pub user: String,
+    pub design_name: String,
+    pub routers: Vec<RouterId>,
+    pub links: Vec<Link>,
+}
+
+fn deployment_seed_to_json(seed: &DeploymentSeed) -> Json {
+    Json::obj([
+        ("id", Json::u64_str(seed.id.0)),
+        ("user", Json::str(&seed.user)),
+        ("design", Json::str(&seed.design_name)),
+        ("routers", router_ids_to_json(&seed.routers)),
+        ("links", links_to_json(&seed.links)),
+    ])
+}
+
+fn deployment_seed_from_json(v: &Json) -> Result<DeploymentSeed, JournalError> {
+    Ok(DeploymentSeed {
+        id: DeploymentId(
+            v.get("id")
+                .and_then(Json::as_u64_str)
+                .ok_or_else(|| bad("deployment missing id"))?,
+        ),
+        user: v
+            .get("user")
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad("deployment missing user"))?
+            .to_string(),
+        design_name: v
+            .get("design")
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad("deployment missing design"))?
+            .to_string(),
+        routers: router_ids_from_json(
+            v.get("routers")
+                .ok_or_else(|| bad("deployment missing routers"))?,
+        )?,
+        links: links_from_json(
+            v.get("links")
+                .ok_or_else(|| bad("deployment missing links"))?,
+        )?,
+    })
+}
+
+fn inventory_record_to_json(rec: &InventoryRecord) -> Json {
+    // `last_seen` is volatile liveness bookkeeping, deliberately not
+    // persisted: recovery stamps every record with recovery time.
+    Json::obj([
+        ("id", Json::num(rec.id.0 as f64)),
+        ("sid", Json::u64_str(rec.session.0)),
+        ("pc", Json::str(&rec.pc_name)),
+        ("info", router_info_to_json(&rec.info)),
+    ])
+}
+
+fn inventory_record_from_json(v: &Json, now: Instant) -> Result<InventoryRecord, JournalError> {
+    Ok(InventoryRecord {
+        id: router_id_from_json(v.get("id").ok_or_else(|| bad("record missing id"))?)?,
+        session: SessionId(
+            v.get("sid")
+                .and_then(Json::as_u64_str)
+                .ok_or_else(|| bad("record missing sid"))?,
+        ),
+        pc_name: v
+            .get("pc")
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad("record missing pc"))?
+            .to_string(),
+        info: router_info_from_json(v.get("info").ok_or_else(|| bad("record missing info"))?)?,
+        last_seen: now,
+    })
+}
+
+/// The inventory as JSON: the records (BTreeMap-ordered) plus the
+/// global-id high-water mark.
+pub fn inventory_to_json(inv: &Inventory) -> Json {
+    Json::obj([
+        ("next", Json::num(inv.next_id() as f64)),
+        (
+            "records",
+            Json::Arr(inv.list().map(inventory_record_to_json).collect()),
+        ),
+    ])
+}
+
+/// Inverse of [`inventory_to_json`]; `now` stamps `last_seen`.
+pub fn inventory_from_json(v: &Json, now: Instant) -> Result<Inventory, JournalError> {
+    let mut inv = Inventory::new();
+    for rec in v
+        .get("records")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| bad("inventory missing records"))?
+    {
+        inv.restore(inventory_record_from_json(rec, now)?);
+    }
+    inv.set_next_id(
+        v.get("next")
+            .and_then(Json::as_u64)
+            .and_then(|n| u32::try_from(n).ok())
+            .ok_or_else(|| bad("inventory missing next"))?,
+    );
+    Ok(inv)
+}
+
+fn reservation_to_json(r: &Reservation) -> Json {
+    Json::obj([
+        ("id", Json::u64_str(r.id.0)),
+        ("user", Json::str(&r.user)),
+        ("routers", router_ids_to_json(&r.routers)),
+        ("start", instant_to_json(r.start)),
+        ("end", instant_to_json(r.end)),
+    ])
+}
+
+fn reservation_from_json(v: &Json) -> Result<Reservation, JournalError> {
+    Ok(Reservation {
+        id: ReservationId(
+            v.get("id")
+                .and_then(Json::as_u64_str)
+                .ok_or_else(|| bad("reservation missing id"))?,
+        ),
+        user: v
+            .get("user")
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad("reservation missing user"))?
+            .to_string(),
+        routers: router_ids_from_json(
+            v.get("routers")
+                .ok_or_else(|| bad("reservation missing routers"))?,
+        )?,
+        start: instant_from_json(
+            v.get("start")
+                .ok_or_else(|| bad("reservation missing start"))?,
+        )?,
+        end: instant_from_json(v.get("end").ok_or_else(|| bad("reservation missing end"))?)?,
+    })
+}
+
+/// The calendar as JSON.
+pub fn calendar_to_json(cal: &Calendar) -> Json {
+    Json::obj([
+        ("next", Json::u64_str(cal.next_id())),
+        (
+            "reservations",
+            Json::Arr(cal.iter().map(reservation_to_json).collect()),
+        ),
+    ])
+}
+
+/// Inverse of [`calendar_to_json`].
+pub fn calendar_from_json(v: &Json) -> Result<Calendar, JournalError> {
+    let mut cal = Calendar::new();
+    for r in v
+        .get("reservations")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| bad("calendar missing reservations"))?
+    {
+        cal.restore(reservation_from_json(r)?);
+    }
+    cal.set_next_id(
+        v.get("next")
+            .and_then(Json::as_u64_str)
+            .ok_or_else(|| bad("calendar missing next"))?,
+    );
+    Ok(cal)
+}
+
+/// The full durable state, decoded from a snapshot. The caller (the
+/// server's `recover`) rebuilds the matrix from the deployment seeds
+/// and the session placeholders from the session seeds.
+#[derive(Debug)]
+pub struct RecoveredState {
+    pub next_session: u64,
+    pub sessions: Vec<SessionSeed>,
+    pub inventory: Inventory,
+    pub calendar: Calendar,
+    pub matrix_next: u64,
+    pub deployments: Vec<DeploymentSeed>,
+}
+
+/// Encode the full durable state. Deployments are sorted by id before
+/// encoding (their live container is a HashMap), so identical state
+/// always yields identical bytes.
+pub fn state_to_json(
+    next_session: u64,
+    sessions: &[SessionSeed],
+    inventory: &Inventory,
+    calendar: &Calendar,
+    matrix_next: u64,
+    deployments: &[DeploymentSeed],
+) -> Json {
+    let mut sessions: Vec<&SessionSeed> = sessions.iter().collect();
+    sessions.sort_by_key(|s| s.sid);
+    let mut deployments: Vec<&DeploymentSeed> = deployments.iter().collect();
+    deployments.sort_by_key(|d| d.id);
+    Json::obj([
+        ("calendar", calendar_to_json(calendar)),
+        (
+            "deployments",
+            Json::Arr(
+                deployments
+                    .iter()
+                    .map(|d| deployment_seed_to_json(d))
+                    .collect(),
+            ),
+        ),
+        ("inventory", inventory_to_json(inventory)),
+        ("matrix_next", Json::u64_str(matrix_next)),
+        ("next_session", Json::u64_str(next_session)),
+        (
+            "sessions",
+            Json::Arr(sessions.iter().map(|s| session_seed_to_json(s)).collect()),
+        ),
+        ("version", Json::num(1)),
+    ])
+}
+
+/// Inverse of [`state_to_json`].
+pub fn state_from_json(v: &Json, now: Instant) -> Result<RecoveredState, JournalError> {
+    Ok(RecoveredState {
+        next_session: v
+            .get("next_session")
+            .and_then(Json::as_u64_str)
+            .ok_or_else(|| bad("state missing next_session"))?,
+        sessions: v
+            .get("sessions")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| bad("state missing sessions"))?
+            .iter()
+            .map(session_seed_from_json)
+            .collect::<Result<_, _>>()?,
+        inventory: inventory_from_json(
+            v.get("inventory")
+                .ok_or_else(|| bad("state missing inventory"))?,
+            now,
+        )?,
+        calendar: calendar_from_json(
+            v.get("calendar")
+                .ok_or_else(|| bad("state missing calendar"))?,
+        )?,
+        matrix_next: v
+            .get("matrix_next")
+            .and_then(Json::as_u64_str)
+            .ok_or_else(|| bad("state missing matrix_next"))?,
+        deployments: v
+            .get("deployments")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| bad("state missing deployments"))?
+            .iter()
+            .map(deployment_seed_from_json)
+            .collect::<Result<_, _>>()?,
+    })
+}
+
+/// One journaled state mutation. Applying the snapshot and then every
+/// op in order reconstructs the exact pre-crash durable state.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// A RIS registered (fresh) or re-adopted a graced session
+    /// (`replaces` carries the old sid). `routers` pairs each assigned
+    /// global id with its registration info.
+    Session {
+        sid: SessionId,
+        pc_name: String,
+        epoch: SessionEpoch,
+        replaces: Option<SessionId>,
+        routers: Vec<(RouterId, RouterInfo)>,
+    },
+    /// Grace expired: the session's hardware left the inventory.
+    Reap { sid: SessionId },
+    /// A calendar booking succeeded.
+    Reserve {
+        id: ReservationId,
+        user: String,
+        routers: Vec<RouterId>,
+        start: Instant,
+        end: Instant,
+    },
+    /// A booking was cancelled.
+    Cancel { id: ReservationId },
+    /// A deployment installed into the matrix.
+    Deploy {
+        id: DeploymentId,
+        user: String,
+        design_name: String,
+        routers: Vec<RouterId>,
+        links: Vec<Link>,
+    },
+    /// A deployment torn down.
+    Teardown { id: DeploymentId },
+}
+
+impl Op {
+    /// Encode as one journal-record payload.
+    pub fn to_json(&self) -> Json {
+        match self {
+            Op::Session {
+                sid,
+                pc_name,
+                epoch,
+                replaces,
+                routers,
+            } => Json::obj([
+                ("op", Json::str("session")),
+                ("sid", Json::u64_str(sid.0)),
+                ("pc", Json::str(pc_name)),
+                ("epoch", epoch_to_json(*epoch)),
+                (
+                    "replaces",
+                    match replaces {
+                        Some(old) => Json::u64_str(old.0),
+                        None => Json::Null,
+                    },
+                ),
+                (
+                    "routers",
+                    Json::Arr(
+                        routers
+                            .iter()
+                            .map(|(id, info)| {
+                                Json::obj([
+                                    ("id", Json::num(id.0 as f64)),
+                                    ("info", router_info_to_json(info)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+            Op::Reap { sid } => {
+                Json::obj([("op", Json::str("reap")), ("sid", Json::u64_str(sid.0))])
+            }
+            Op::Reserve {
+                id,
+                user,
+                routers,
+                start,
+                end,
+            } => Json::obj([
+                ("op", Json::str("reserve")),
+                ("id", Json::u64_str(id.0)),
+                ("user", Json::str(user)),
+                ("routers", router_ids_to_json(routers)),
+                ("start", instant_to_json(*start)),
+                ("end", instant_to_json(*end)),
+            ]),
+            Op::Cancel { id } => {
+                Json::obj([("op", Json::str("cancel")), ("id", Json::u64_str(id.0))])
+            }
+            Op::Deploy {
+                id,
+                user,
+                design_name,
+                routers,
+                links,
+            } => Json::obj([
+                ("op", Json::str("deploy")),
+                ("id", Json::u64_str(id.0)),
+                ("user", Json::str(user)),
+                ("design", Json::str(design_name)),
+                ("routers", router_ids_to_json(routers)),
+                ("links", links_to_json(links)),
+            ]),
+            Op::Teardown { id } => {
+                Json::obj([("op", Json::str("teardown")), ("id", Json::u64_str(id.0))])
+            }
+        }
+    }
+
+    /// Decode one journal-record payload.
+    pub fn from_json(v: &Json) -> Result<Op, JournalError> {
+        let kind = v
+            .get("op")
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad("record missing op"))?;
+        let sid = || {
+            v.get("sid")
+                .and_then(Json::as_u64_str)
+                .map(SessionId)
+                .ok_or_else(|| bad("record missing sid"))
+        };
+        match kind {
+            "session" => Ok(Op::Session {
+                sid: sid()?,
+                pc_name: v
+                    .get("pc")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| bad("session missing pc"))?
+                    .to_string(),
+                epoch: epoch_from_json(
+                    v.get("epoch").ok_or_else(|| bad("session missing epoch"))?,
+                )?,
+                replaces: match v.get("replaces") {
+                    None | Some(Json::Null) => None,
+                    Some(old) => Some(SessionId(
+                        old.as_u64_str().ok_or_else(|| bad("bad replaces"))?,
+                    )),
+                },
+                routers: v
+                    .get("routers")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| bad("session missing routers"))?
+                    .iter()
+                    .map(|entry| {
+                        Ok((
+                            router_id_from_json(
+                                entry
+                                    .get("id")
+                                    .ok_or_else(|| bad("assignment missing id"))?,
+                            )?,
+                            router_info_from_json(
+                                entry
+                                    .get("info")
+                                    .ok_or_else(|| bad("assignment missing info"))?,
+                            )?,
+                        ))
+                    })
+                    .collect::<Result<_, JournalError>>()?,
+            }),
+            "reap" => Ok(Op::Reap { sid: sid()? }),
+            "reserve" => {
+                let r = reservation_from_json(v)?;
+                Ok(Op::Reserve {
+                    id: r.id,
+                    user: r.user,
+                    routers: r.routers,
+                    start: r.start,
+                    end: r.end,
+                })
+            }
+            "cancel" => Ok(Op::Cancel {
+                id: ReservationId(
+                    v.get("id")
+                        .and_then(Json::as_u64_str)
+                        .ok_or_else(|| bad("cancel missing id"))?,
+                ),
+            }),
+            "deploy" => {
+                let d = deployment_seed_from_json(v)?;
+                Ok(Op::Deploy {
+                    id: d.id,
+                    user: d.user,
+                    design_name: d.design_name,
+                    routers: d.routers,
+                    links: d.links,
+                })
+            }
+            "teardown" => Ok(Op::Teardown {
+                id: DeploymentId(
+                    v.get("id")
+                        .and_then(Json::as_u64_str)
+                        .ok_or_else(|| bad("teardown missing id"))?,
+                ),
+            }),
+            _ => Err(bad("unknown op")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rnl_net::time::Duration;
+
+    fn t(ms: u64) -> Instant {
+        Instant::EPOCH + Duration::from_millis(ms)
+    }
+
+    fn info(local: u32) -> RouterInfo {
+        RouterInfo {
+            local_id: local,
+            description: format!("router {local}"),
+            model: "7200".to_string(),
+            image: "back.png".to_string(),
+            ports: vec![PortInfo {
+                description: "uplink".to_string(),
+                nic: "eth0".to_string(),
+                region: ImageRegion {
+                    x: 1,
+                    y: 2,
+                    w: 30,
+                    h: 40,
+                },
+            }],
+            console_com: Some("COM3".to_string()),
+        }
+    }
+
+    #[test]
+    fn every_op_roundtrips_through_json() {
+        let ops = vec![
+            Op::Session {
+                sid: SessionId(3),
+                pc_name: "pc-a".to_string(),
+                epoch: SessionEpoch {
+                    token: u64::MAX - 7,
+                    generation: 4,
+                },
+                replaces: Some(SessionId(1)),
+                routers: vec![(RouterId(9), info(0)), (RouterId(10), info(1))],
+            },
+            Op::Reap { sid: SessionId(2) },
+            Op::Reserve {
+                id: ReservationId(5),
+                user: "alice".to_string(),
+                routers: vec![RouterId(1), RouterId(2)],
+                start: t(100),
+                end: t(900),
+            },
+            Op::Cancel {
+                id: ReservationId(5),
+            },
+            Op::Deploy {
+                id: DeploymentId(7),
+                user: "bob".to_string(),
+                design_name: "cross".to_string(),
+                routers: vec![RouterId(1), RouterId(2)],
+                links: vec![((RouterId(1), PortId(0)), (RouterId(2), PortId(3)))],
+            },
+            Op::Teardown {
+                id: DeploymentId(7),
+            },
+        ];
+        for op in ops {
+            let encoded = op.to_json().encode();
+            let parsed = Json::parse(&encoded).unwrap();
+            assert_eq!(Op::from_json(&parsed).unwrap(), op, "via {encoded}");
+        }
+    }
+
+    #[test]
+    fn state_roundtrips_and_encodes_deterministically() {
+        let mut inv = Inventory::new();
+        inv.register(SessionId(0), "pc-a", info(0), t(5));
+        inv.register(SessionId(0), "pc-a", info(1), t(5));
+        let mut cal = Calendar::new();
+        cal.reserve("alice", &[RouterId(0), RouterId(1)], t(0), t(5_000))
+            .unwrap();
+        let sessions = vec![SessionSeed {
+            sid: SessionId(0),
+            pc_name: "pc-a".to_string(),
+            epoch: SessionEpoch {
+                token: 0xdead_beef_dead_beef,
+                generation: 1,
+            },
+        }];
+        let deployments = vec![DeploymentSeed {
+            id: DeploymentId(0),
+            user: "alice".to_string(),
+            design_name: "pair".to_string(),
+            routers: vec![RouterId(0), RouterId(1)],
+            links: vec![((RouterId(0), PortId(0)), (RouterId(1), PortId(0)))],
+        }];
+        let json = state_to_json(1, &sessions, &inv, &cal, 1, &deployments);
+        let encoded = json.encode();
+        let state = state_from_json(&Json::parse(&encoded).unwrap(), t(9_999)).unwrap();
+        assert_eq!(state.next_session, 1);
+        assert_eq!(state.sessions, sessions);
+        assert_eq!(state.matrix_next, 1);
+        assert_eq!(state.deployments, deployments);
+        assert_eq!(state.inventory.len(), 2);
+        assert_eq!(state.inventory.next_id(), 2);
+        assert_eq!(
+            state.inventory.get(RouterId(1)).unwrap().last_seen,
+            t(9_999)
+        );
+        assert_eq!(state.calendar.len(), 1);
+        assert_eq!(state.calendar.next_id(), 1);
+        // Re-encoding the recovered state yields byte-identical JSON.
+        let again = state_to_json(
+            state.next_session,
+            &state.sessions,
+            &state.inventory,
+            &state.calendar,
+            state.matrix_next,
+            &state.deployments,
+        );
+        assert_eq!(again.encode(), encoded);
+    }
+}

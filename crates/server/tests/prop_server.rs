@@ -1,14 +1,20 @@
 //! Property tests on the back-end data structures: the JSON codec, the
 //! design interchange format, the reservation calendar's no-overlap
-//! invariant and the routing matrix's symmetry/exclusivity invariants.
+//! invariant, the routing matrix's symmetry/exclusivity invariants, and
+//! the write-ahead journal's replay fidelity.
 
 use proptest::prelude::*;
+use rnl_device::host::Host;
 use rnl_net::time::{Duration, Instant};
+use rnl_ris::Ris;
 use rnl_server::design::Design;
+use rnl_server::journal::MemJournal;
 use rnl_server::json::Json;
 use rnl_server::matrix::RoutingMatrix;
 use rnl_server::reserve::Calendar;
+use rnl_server::RouteServer;
 use rnl_tunnel::msg::{PortId, RouterId};
+use rnl_tunnel::transport::mem_pair_perfect;
 
 fn arb_json(depth: u32) -> BoxedStrategy<Json> {
     let leaf = prop_oneof![
@@ -145,5 +151,94 @@ proptest! {
                 prop_assert!(live_ids.contains(&owner), "stale owner {owner:?}");
             }
         }
+    }
+
+    /// The durability contract: for an arbitrary sequence of journaled
+    /// mutations (reserve, cancel, deploy, teardown, compact) against a
+    /// real server with registered sessions, replaying the journal
+    /// reconstructs byte-identical durable state.
+    #[test]
+    fn journal_replay_reconstructs_identical_state(
+        ops in proptest::collection::vec((0u8..5, 0u8..8, 1u64..48), 0..30),
+    ) {
+        let t = |ms: u64| Instant::EPOCH + Duration::from_millis(ms);
+        let wal = MemJournal::new();
+        let store = wal.store();
+        let mut server = RouteServer::new();
+        server.set_enforce_reservations(false);
+        server.set_durability(Box::new(wal), t(0)).unwrap();
+
+        // Three registered sites, one host each.
+        let mut routers = Vec::new();
+        let mut risen = Vec::new();
+        for i in 0u64..3 {
+            let (ris_side, server_side) = mem_pair_perfect(100 + i);
+            server.attach(Box::new(server_side));
+            let mut ris = Ris::new(&format!("pc{i}"), Box::new(ris_side));
+            let mut h = Host::new(&format!("h{i}"), 70 + i as u32);
+            h.set_ip(format!("10.1.0.{}/24", i + 1).parse().unwrap());
+            ris.add_device(Box::new(h), "prop host");
+            ris.join_labs(t(0)).unwrap();
+            server.poll(t(0));
+            ris.poll(t(0)).unwrap();
+            routers.push(ris.router_id(0).unwrap());
+            risen.push(ris);
+        }
+
+        // Saved pair designs the random ops reserve and deploy.
+        let mut designs = Vec::new();
+        for (i, (a, b)) in [(0usize, 1usize), (1, 2), (0, 2)].iter().enumerate() {
+            let mut d = Design::new(&format!("d{i}"));
+            d.add_device(routers[*a]);
+            d.add_device(routers[*b]);
+            d.connect((routers[*a], PortId(0)), (routers[*b], PortId(0)))
+                .unwrap();
+            server.designs_mut().save(d.clone());
+            designs.push(d);
+        }
+
+        let mut live_res = Vec::new();
+        let mut live_deps = Vec::new();
+        for (i, (op, pick, span)) in ops.into_iter().enumerate() {
+            let now = t(1_000 + i as u64);
+            match op {
+                0 => {
+                    // Conflicting reservations fail and journal nothing.
+                    let start = t(100_000) + Duration::from_secs(span * 3_600);
+                    let end = start + Duration::from_secs(3_600);
+                    let name = format!("d{}", pick as usize % designs.len());
+                    if let Ok(id) = server.reserve_design(&format!("u{pick}"), &name, start, end) {
+                        live_res.push(id);
+                    }
+                }
+                1 => {
+                    if let Some(id) = live_res.pop() {
+                        server.cancel_reservation(id);
+                    }
+                }
+                2 => {
+                    // Already-owned routers make this fail harmlessly.
+                    let d = &designs[pick as usize % designs.len()];
+                    if let Ok(id) = server.deploy_design_forced(&format!("u{pick}"), d, now) {
+                        live_deps.push(id);
+                    }
+                }
+                3 => {
+                    if let Some(id) = live_deps.pop() {
+                        server.teardown(id);
+                    }
+                }
+                _ => {
+                    server.snapshot_now(now).unwrap();
+                }
+            }
+            prop_assert!(!server.crashed());
+        }
+
+        let live = server.durable_state().encode();
+        drop(server);
+        let recovered =
+            RouteServer::recover(Box::new(MemJournal::attached(store)), t(999_999)).unwrap();
+        prop_assert_eq!(recovered.durable_state().encode(), live);
     }
 }

@@ -12,8 +12,10 @@
 //!   mid-path partition); sends succeed but nothing arrives, and every
 //!   eaten frame is counted.
 //! * [`FaultKind::Cut`] — the connection drops (modem reset, NAT rebind);
-//!   the endpoint reports closed from the window start onward and a new
-//!   transport must be dialed.
+//!   the endpoint reports closed for the duration of the window and
+//!   comes back when it closes, like a modem finishing its reboot. A
+//!   peer hangup ([`crate::transport::MemTransport`] hard-close) never
+//!   heals — only scheduled cuts do.
 //!
 //! Plans are plain data on the virtual clock, so a chaos schedule either
 //! hand-written or generated from a seed replays identically every run.
@@ -31,12 +33,13 @@ pub enum FaultKind {
     /// Traffic is silently dropped (counted) while the connection stays
     /// nominally up.
     Partition,
-    /// The connection is severed at the window start; it does not heal.
+    /// The connection is severed for the window; it heals (reports
+    /// connected again) when the window closes.
     Cut,
 }
 
 /// One scheduled misbehavior window `[from, until)` on the virtual
-/// clock. For [`FaultKind::Cut`] only `from` matters.
+/// clock.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FaultWindow {
     pub from: Instant,
@@ -103,12 +106,12 @@ impl FaultPlan {
             .map(|w| w.kind)
     }
 
-    /// Whether a cut window has started at or before `now` (cuts do not
-    /// heal — the transport stays dead until replaced).
+    /// Whether a cut window covers `now` (the link is down for the
+    /// window and restores when it closes).
     pub fn cut_by(&self, now: Instant) -> bool {
         self.windows
             .iter()
-            .any(|w| w.kind == FaultKind::Cut && w.from <= now)
+            .any(|w| w.kind == FaultKind::Cut && w.contains(now))
     }
 
     /// Generate a seeded random schedule of `count` non-cut windows
@@ -164,15 +167,19 @@ mod tests {
     }
 
     #[test]
-    fn cut_is_permanent_and_dominates() {
+    fn cut_dominates_during_its_window_then_heals() {
         let mut plan = FaultPlan::new();
         plan.schedule(FaultKind::Partition, t(0), Duration::from_millis(500));
-        plan.schedule(FaultKind::Cut, t(200), Duration::from_millis(1));
+        plan.schedule(FaultKind::Cut, t(200), Duration::from_millis(100));
         assert_eq!(plan.active(t(100)), Some(FaultKind::Partition));
+        // Inside the cut window the cut wins over the partition.
         assert_eq!(plan.active(t(200)), Some(FaultKind::Cut));
-        // Long after the cut "window": still cut.
-        assert_eq!(plan.active(t(10_000)), Some(FaultKind::Cut));
-        assert!(plan.cut_by(t(10_000)));
+        assert_eq!(plan.active(t(299)), Some(FaultKind::Cut));
+        // The window closed: the link is back (still partitioned until
+        // that window closes too).
+        assert!(!plan.cut_by(t(300)));
+        assert_eq!(plan.active(t(300)), Some(FaultKind::Partition));
+        assert_eq!(plan.active(t(10_000)), None);
     }
 
     #[test]

@@ -153,6 +153,9 @@ pub struct MemTransport {
     inbox: VecDeque<(Instant, Vec<u8>)>,
     codec: FrameCodec,
     connected: bool,
+    /// Permanently down: the peer hung up or `disconnect` was called.
+    /// Unlike a scheduled cut window, this never heals.
+    hard_closed: bool,
     metrics: TransportMetrics,
     /// Scheduled misbehavior for this endpoint's *send* direction.
     faults: FaultPlan,
@@ -176,6 +179,7 @@ pub fn mem_pair(a_to_b: Impairment, b_to_a: Impairment, seed: u64) -> (MemTransp
         inbox: VecDeque::new(),
         codec: FrameCodec::new(),
         connected: true,
+        hard_closed: false,
         metrics: TransportMetrics::default(),
         faults: FaultPlan::new(),
         stall_buf: VecDeque::new(),
@@ -188,6 +192,7 @@ pub fn mem_pair(a_to_b: Impairment, b_to_a: Impairment, seed: u64) -> (MemTransp
         inbox: VecDeque::new(),
         codec: FrameCodec::new(),
         connected: true,
+        hard_closed: false,
         metrics: TransportMetrics::default(),
         faults: FaultPlan::new(),
         stall_buf: VecDeque::new(),
@@ -244,6 +249,7 @@ impl Transport for MemTransport {
                 Err(TryRecvError::Disconnected) => {
                     // Peer endpoint dropped; anything buffered is already
                     // in the inbox, so drain it before reporting closed.
+                    self.hard_closed = true;
                     self.connected = false;
                     break;
                 }
@@ -284,8 +290,11 @@ impl MemTransport {
         self.metrics = metrics;
     }
 
-    /// Sever the link (simulates the interface PC losing its uplink).
+    /// Sever the link for good (simulates the interface PC losing its
+    /// uplink). Unlike a scheduled [`FaultKind::Cut`] window, this never
+    /// heals — a new transport must be dialed.
     pub fn disconnect(&mut self) {
+        self.hard_closed = true;
         self.connected = false;
     }
 
@@ -309,13 +318,13 @@ impl MemTransport {
         self.stall_buf.len()
     }
 
-    /// Apply any fault state in force at `now`: a started cut severs the
-    /// link, and a stall window that has ended releases its held frames
-    /// in order *before* any new traffic is scheduled (FIFO preserved).
+    /// Apply any fault state in force at `now`: connectivity is down
+    /// while a cut window covers `now` (and restores when it closes,
+    /// unless hard-closed), and a stall window that has ended releases
+    /// its held frames in order *before* any new traffic is scheduled
+    /// (FIFO preserved).
     fn pump(&mut self, now: Instant) {
-        if self.faults.cut_by(now) {
-            self.connected = false;
-        }
+        self.connected = !self.hard_closed && !self.faults.cut_by(now);
         if !matches!(self.faults.active(now), Some(FaultKind::Stall)) {
             while let Some(bytes) = self.stall_buf.pop_front() {
                 // Delivery errors here mean the peer is gone; the next
@@ -333,6 +342,7 @@ impl MemTransport {
                 h.observe(deliver_at.since(now).as_micros());
             }
             self.tx.send((deliver_at, bytes)).map_err(|_| {
+                self.hard_closed = true;
                 self.connected = false;
                 TransportError::Closed
             })?;
@@ -790,21 +800,40 @@ mod tests {
     }
 
     #[test]
-    fn mem_cut_severs_permanently() {
-        let (mut a, _b) = mem_pair_perfect(23);
+    fn mem_cut_heals_when_its_window_closes() {
+        let (mut a, mut b) = mem_pair_perfect(23);
         let mut plan = FaultPlan::new();
-        plan.schedule(FaultKind::Cut, t(10), Duration::from_millis(1));
+        plan.schedule(FaultKind::Cut, t(10), Duration::from_millis(100));
         a.set_faults(plan);
         a.send(&data(1), t(5)).unwrap();
+        // Inside the window: down, sends fail.
         assert!(matches!(
             a.send(&data(2), t(10)),
             Err(TransportError::Closed)
         ));
         assert!(!a.is_connected());
         assert!(matches!(
-            a.send(&data(3), t(1_000)),
+            a.send(&data(3), t(109)),
             Err(TransportError::Closed)
         ));
+        // The window closed: the same endpoint is back without a
+        // redial, and traffic flows again.
+        a.send(&data(4), t(110)).unwrap();
+        assert!(a.is_connected());
+        assert_eq!(b.poll(t(110)).unwrap(), vec![data(1), data(4)]);
+    }
+
+    #[test]
+    fn mem_disconnect_is_permanent_even_past_cut_windows() {
+        // hard-close dominates: a healed cut schedule cannot resurrect
+        // an endpoint whose peer is actually gone.
+        let (mut a, _b) = mem_pair_perfect(25);
+        a.disconnect();
+        assert!(matches!(
+            a.send(&data(1), t(1_000)),
+            Err(TransportError::Closed)
+        ));
+        assert!(!a.is_connected());
     }
 
     #[test]

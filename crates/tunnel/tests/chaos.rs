@@ -17,8 +17,8 @@ use proptest::prelude::*;
 use rnl_net::time::{Duration, Instant};
 use rnl_tunnel::impair::Impairment;
 use rnl_tunnel::msg::{Msg, PortId, RouterId, Span};
-use rnl_tunnel::transport::{mem_pair, Transport};
-use rnl_tunnel::FaultPlan;
+use rnl_tunnel::transport::{mem_pair, mem_pair_perfect, Transport, TransportError};
+use rnl_tunnel::{FaultKind, FaultPlan};
 
 /// The sent sequence number rides in the frame payload.
 fn frame_with_seq(seq: u32) -> Vec<u8> {
@@ -109,4 +109,50 @@ proptest! {
             prop_assert!(w[0] < w[1], "reordered or duplicated: {} then {}", w[0], w[1]);
         }
     }
+}
+
+/// Deterministic cut-then-restore: a scheduled [`FaultKind::Cut`]
+/// window takes the link down for its duration and the *same* endpoint
+/// comes back when the window closes — no redial. Frames sent during
+/// the outage fail loudly (`Closed`), frames sent after it flow.
+#[test]
+fn cut_window_restores_the_same_transport() {
+    let t = |ms: u64| Instant::EPOCH + Duration::from_millis(ms);
+    let (mut a, mut b) = mem_pair_perfect(77);
+    let mut plan = FaultPlan::new();
+    plan.schedule(FaultKind::Cut, t(100), Duration::from_millis(400));
+    a.set_faults(plan);
+
+    let msg = |seq: u32| Msg::Data {
+        router: RouterId(1),
+        port: PortId(0),
+        span: Span::NONE,
+        frame: frame_with_seq(seq),
+    };
+    a.send(&msg(1), t(50)).unwrap();
+    assert_eq!(b.poll(t(50)).unwrap().len(), 1);
+
+    // During the outage: down, and the caller hears about it.
+    for ms in [100u64, 250, 499] {
+        assert!(matches!(
+            a.send(&msg(2), t(ms)),
+            Err(TransportError::Closed)
+        ));
+        assert!(!a.is_connected());
+    }
+
+    // The window closed: same endpoints, traffic resumes in order.
+    a.send(&msg(3), t(500)).unwrap();
+    a.send(&msg(4), t(501)).unwrap();
+    assert!(a.is_connected());
+    let seqs: Vec<u32> = b
+        .poll(t(501))
+        .unwrap()
+        .into_iter()
+        .filter_map(|m| match m {
+            Msg::Data { frame, .. } => Some(seq_of(&frame)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(seqs, vec![3, 4]);
 }

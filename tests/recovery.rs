@@ -1,0 +1,286 @@
+//! Experiment E18 — crash recovery via the write-ahead journal.
+//!
+//! The route server process dies mid-use; on restart it replays its
+//! last snapshot plus the journal tail back to the exact pre-crash
+//! state, the RIS supervisors redial on their own, their sessions
+//! re-adopt onto the recovered routing matrix within the grace window,
+//! and the same deployment pings again. A deterministic crash-injection
+//! point chooses exactly where the journal fails, so each class of torn
+//! state (nothing written, record written, snapshot half-written)
+//! replays identically every run.
+
+use rnl::device::host::Host;
+use rnl::net::time::{Duration, Instant};
+use rnl::obs::render_prometheus;
+use rnl::ris::Ris;
+use rnl::server::design::Design;
+use rnl::server::journal::{CrashPoint, MemJournal};
+use rnl::server::matrix::DeploymentId;
+use rnl::server::RouteServer;
+use rnl::tunnel::msg::{PortId, RouterId};
+use rnl::tunnel::transport::mem_pair_perfect;
+use rnl::{RemoteNetworkLabs, SiteId};
+
+fn host(name: &str, num: u32, ip: &str) -> Box<Host> {
+    let mut h = Host::new(name, num);
+    h.set_ip(ip.parse().unwrap());
+    Box::new(h)
+}
+
+/// Two sites, one host each, one deployed wire across them — with the
+/// back end journaling every mutation to an in-memory store that
+/// survives [`RemoteNetworkLabs::crash_server`].
+fn durable_lab() -> (
+    RemoteNetworkLabs,
+    SiteId,
+    SiteId,
+    RouterId,
+    RouterId,
+    DeploymentId,
+) {
+    let mut labs = RemoteNetworkLabs::new_unreserved();
+    labs.enable_durability().unwrap();
+    let hq = labs.add_site("hq");
+    let edge = labs.add_site("edge");
+    labs.add_device(hq, host("s1", 1, "10.0.0.1/24"), "hq host")
+        .unwrap();
+    labs.add_device(edge, host("s2", 2, "10.0.0.2/24"), "edge host")
+        .unwrap();
+    let a = labs.join_labs(hq).unwrap()[0];
+    let b = labs.join_labs(edge).unwrap()[0];
+    let mut design = Design::new("cross");
+    design.add_device(a);
+    design.add_device(b);
+    design.connect((a, PortId(0)), (b, PortId(0))).unwrap();
+    let dep = labs.deploy_design("alice", &design).unwrap();
+    (labs, hq, edge, a, b, dep)
+}
+
+fn ping(labs: &mut RemoteNetworkLabs, site: SiteId, from: RouterId, count: u32) -> String {
+    let now = labs.now();
+    labs.device_mut(site, 0)
+        .unwrap()
+        .console(&format!("ping 10.0.0.2 count {count}"), now);
+    labs.run(Duration::from_secs(5)).unwrap();
+    labs.console(from, "show ping").unwrap()
+}
+
+/// The E18 round, parameterized by where the journal fails:
+/// crash → restart → replay → sites rejoin → the same deployment pings.
+fn crash_recover_round(point: CrashPoint) {
+    let (mut labs, hq, edge, a, b, dep) = durable_lab();
+    let out = ping(&mut labs, hq, a, 3);
+    assert!(out.contains("3 sent, 3 received"), "baseline: {out}");
+
+    // Arm the crash point, then poke it with a probe mutation (a
+    // reservation for the append points; a forced compaction for the
+    // snapshot point, which must leave committed state untouched).
+    labs.arm_server_crash(Some(point));
+    let now = labs.now();
+    let probe_start = now + Duration::from_secs(3_600);
+    match point {
+        CrashPoint::BeforeAppend | CrashPoint::AfterAppend => {
+            let mut probe = Design::new("probe");
+            probe.add_device(a);
+            labs.save_design(probe);
+            let _ = labs.reserve(
+                "alice",
+                "probe",
+                probe_start,
+                probe_start + Duration::from_secs(3_600),
+            );
+        }
+        CrashPoint::MidSnapshot => {
+            let _ = labs.server_mut().snapshot_now(now);
+        }
+    }
+    assert!(
+        labs.server().crashed(),
+        "the armed crash point must fail-stop the server"
+    );
+
+    // The process dies. Server memory is gone; only the journal store
+    // survives. Site tunnels die with it and every redial is refused.
+    labs.crash_server();
+    assert!(labs.server_down());
+    labs.run(Duration::from_secs(1)).unwrap();
+    assert!(
+        !labs.site_connected(hq) && !labs.site_connected(edge),
+        "tunnels must die with the server"
+    );
+
+    // Restart: replay snapshot + tail to the exact pre-crash state.
+    labs.recover_server().unwrap();
+    assert!(!labs.server_down());
+    assert!(labs.server().deployments().any(|d| d.id == dep));
+    assert_eq!(labs.server().inventory().len(), 2);
+    let probe_present = labs
+        .server()
+        .calendar()
+        .iter()
+        .any(|r| r.start == probe_start);
+    match point {
+        // The crash fired before any bytes hit the log: durably, the
+        // reservation never happened.
+        CrashPoint::BeforeAppend => {
+            assert!(!probe_present, "un-journaled mutation must not replay");
+        }
+        // The record reached the log before the crash: replay keeps it.
+        CrashPoint::AfterAppend => {
+            assert!(probe_present, "journaled mutation must replay");
+        }
+        // A half-written snapshot is garbage to be ignored; the
+        // previous snapshot + tail still reconstruct everything.
+        CrashPoint::MidSnapshot => {
+            assert!(!probe_present, "no reservation was ever attempted");
+        }
+    }
+
+    // The sites' supervisors redial on their own; within the grace
+    // window the recovered sessions re-adopt, hardware keeps its global
+    // ids, and pings resume over the same wire.
+    labs.run(Duration::from_secs(6)).unwrap();
+    assert!(labs.site_connected(hq) && labs.site_connected(edge));
+    let snap = labs.server_obs().snapshot();
+    assert_eq!(
+        snap.counter("rnl_server_session_readopted_total", &[]),
+        2,
+        "both sites must re-adopt their recovered sessions"
+    );
+    assert_eq!(snap.counter("rnl_server_session_reaped_total", &[]), 0);
+    assert!(labs.server().inventory().get(a).is_some());
+    assert!(labs.server().inventory().get(b).is_some());
+    let out = ping(&mut labs, hq, a, 3);
+    assert!(out.contains("3 sent, 3 received"), "after recovery: {out}");
+
+    // The whole recovery story is scrapable from the *new* process's
+    // registry.
+    let text = render_prometheus(&labs.server_obs().snapshot());
+    for needle in [
+        "rnl_server_journal_appends_total",
+        "rnl_server_journal_replayed_total",
+        "rnl_server_journal_torn_total",
+        "rnl_server_recovery_duration_seconds",
+        "rnl_server_snapshot_age_seconds",
+    ] {
+        assert!(text.contains(needle), "missing {needle} in:\n{text}");
+    }
+}
+
+#[test]
+fn e18_crash_before_append_recovers_without_the_lost_mutation() {
+    crash_recover_round(CrashPoint::BeforeAppend);
+}
+
+#[test]
+fn e18_crash_after_append_replays_the_journaled_mutation() {
+    crash_recover_round(CrashPoint::AfterAppend);
+}
+
+#[test]
+fn e18_crash_mid_snapshot_keeps_committed_state() {
+    crash_recover_round(CrashPoint::MidSnapshot);
+}
+
+/// A torn final record — the classic crash mid-write — is truncated and
+/// counted; replay never panics and everything before the tear applies.
+#[test]
+fn torn_journal_tail_is_truncated_not_fatal() {
+    let t = |ms: u64| Instant::EPOCH + Duration::from_millis(ms);
+    let wal = MemJournal::new();
+    let store = wal.store();
+    let mut server = RouteServer::new();
+    server.set_enforce_reservations(false);
+    server.set_durability(Box::new(wal), t(0)).unwrap();
+
+    // Two journaled mutations: one RIS registration each.
+    for (name, seed, num, ip) in [
+        ("pca", 19u64, 41u32, "10.0.9.1/24"),
+        ("pcb", 23, 42, "10.0.9.2/24"),
+    ] {
+        let (ris_side, server_side) = mem_pair_perfect(seed);
+        server.attach(Box::new(server_side));
+        let mut ris = Ris::new(name, Box::new(ris_side));
+        ris.add_device(host(name, num, ip), name);
+        ris.join_labs(t(0)).unwrap();
+        server.poll(t(0));
+        ris.poll(t(0)).unwrap();
+    }
+    assert_eq!(server.inventory().len(), 2);
+    drop(server);
+
+    // Rip one byte off the end of the log: the second registration's
+    // record is now torn mid-write.
+    let probe = MemJournal::attached(store.clone());
+    assert!(probe.log_len() > 0);
+    probe.chop_log_tail(1);
+
+    let recovered = RouteServer::recover(Box::new(MemJournal::attached(store)), t(1_000)).unwrap();
+    assert_eq!(
+        recovered.inventory().len(),
+        1,
+        "the record before the tear still applies; the torn one is gone"
+    );
+    let snap = recovered.obs().snapshot();
+    assert_eq!(snap.counter("rnl_server_journal_torn_total", &[]), 1);
+    assert_eq!(snap.counter("rnl_server_journal_replayed_total", &[]), 1);
+}
+
+/// Compaction is invisible: the durable state is byte-identical whether
+/// it is reconstructed from snapshot + tail (first recovery) or from
+/// the compacted snapshot that recovery itself wrote (second recovery) —
+/// and both match what the live server reported before it died.
+#[test]
+fn snapshot_compaction_preserves_state_bytes() {
+    let t = |ms: u64| Instant::EPOCH + Duration::from_millis(ms);
+    let wal = MemJournal::new();
+    let store = wal.store();
+    let mut server = RouteServer::new();
+    server.set_enforce_reservations(false);
+    server.set_durability(Box::new(wal), t(0)).unwrap();
+
+    let mut risen = Vec::new();
+    for (name, seed, num, ip) in [
+        ("pca", 51u64, 61u32, "10.0.8.1/24"),
+        ("pcb", 53, 62, "10.0.8.2/24"),
+    ] {
+        let (ris_side, server_side) = mem_pair_perfect(seed);
+        server.attach(Box::new(server_side));
+        let mut ris = Ris::new(name, Box::new(ris_side));
+        ris.add_device(host(name, num, ip), name);
+        ris.join_labs(t(0)).unwrap();
+        server.poll(t(0));
+        ris.poll(t(0)).unwrap();
+        risen.push(ris);
+    }
+    let r1 = risen[0].router_id(0).unwrap();
+    let r2 = risen[1].router_id(0).unwrap();
+    let mut design = Design::new("pair");
+    design.add_device(r1);
+    design.add_device(r2);
+    design.connect((r1, PortId(0)), (r2, PortId(0))).unwrap();
+    server.deploy_design("alice", &design, t(0)).unwrap();
+    server
+        .reserve_design("alice", "pair", t(10_000), t(20_000))
+        .unwrap_err(); // unsaved design: calendar untouched, by design
+    server.designs_mut().save(design);
+    server
+        .reserve_design("alice", "pair", t(10_000), t(20_000))
+        .unwrap();
+
+    let live = server.durable_state().encode();
+    drop(server);
+
+    let first =
+        RouteServer::recover(Box::new(MemJournal::attached(store.clone())), t(500)).unwrap();
+    let from_tail = first.durable_state().encode();
+    assert_eq!(from_tail, live, "replay must reconstruct the live state");
+    drop(first); // its recovery compacted the store: tail → snapshot
+
+    let second = RouteServer::recover(Box::new(MemJournal::attached(store)), t(500)).unwrap();
+    let from_snapshot = second.durable_state().encode();
+    assert_eq!(
+        from_snapshot, from_tail,
+        "compaction must not change a single byte of durable state"
+    );
+}

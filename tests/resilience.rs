@@ -2,10 +2,11 @@
 //!
 //! A RIS uplink that flaps for less than the server's grace window must
 //! not cost the user their lab: the session is graced (matrix,
-//! inventory, and deployment intact; frames shed and counted), the RIS
-//! supervisor redials with jittered exponential backoff, rejoins with a
-//! rotated epoch, and the server re-adopts the session — pings resume
-//! over the very same deployment. A flap longer than the grace window
+//! inventory, and deployment intact; frames queued for replay up to a
+//! byte cap, overflow shed and counted), the RIS supervisor redials
+//! with jittered exponential backoff, rejoins with a rotated epoch, and
+//! the server re-adopts the session — queued frames flush in order and
+//! pings resume over the very same deployment. A flap longer than the grace window
 //! is a real departure: the session is reaped and its hardware freed.
 //! Everything runs on the virtual clock, so the whole story is
 //! deterministic.
@@ -73,16 +74,19 @@ fn flap_shorter_than_grace_recovers_the_deployment() {
     assert!(labs.server().deployments().any(|d| d.id == dep));
     assert_eq!(labs.server().inventory().len(), 2);
 
-    // Frames routed toward the graced session are shed, not errored.
-    let out = ping(&mut labs, hq, a, 2);
-    assert!(out.contains("0 received"), "during outage: {out}");
+    // Frames routed toward the graced session are queued for in-order
+    // replay (bounded by the replay cap), not shed and not errored.
+    let _ = ping(&mut labs, hq, a, 2);
     let snap = labs.server_obs().snapshot();
-    assert!(
+    let queued = snap.counter("rnl_server_replay_queued_total", &[]);
+    assert!(queued > 0, "frames toward a graced session are queued");
+    assert_eq!(
         snap.counter(
             "rnl_server_frames_unrouted_total",
             &[("reason", "session-graced")],
-        ) > 0,
-        "shed frames are counted under their own reason"
+        ),
+        0,
+        "nothing shed while the replay queue has room"
     );
     assert_eq!(
         snap.counter(
@@ -92,12 +96,18 @@ fn flap_shorter_than_grace_recovers_the_deployment() {
         0
     );
 
-    // Link restores; the supervisor redials, rejoins, re-adopts.
+    // Link restores; the supervisor redials, rejoins, re-adopts, and
+    // the replay queue drains onto the fresh tunnel.
     labs.run(Duration::from_secs(6)).unwrap();
     assert!(labs.site_connected(edge), "supervisor must have redialed");
     assert!(!labs.site_in_outage(edge));
     let snap = labs.server_obs().snapshot();
     assert_eq!(snap.counter("rnl_server_session_readopted_total", &[]), 1);
+    assert_eq!(
+        snap.counter("rnl_server_replay_flushed_total", &[]),
+        queued,
+        "every queued frame flushed in order on re-adoption"
+    );
     assert_eq!(snap.counter("rnl_server_session_reaped_total", &[]), 0);
     assert!(
         snap.counter("rnl_ris_reconnect_attempts_total", &[("site", "edge")]) >= 1,
