@@ -27,5 +27,8 @@ cargo run -q --offline -p rnl-bench --bin srclint
 cargo test -q --offline -p rnl-tunnel --test chaos
 cargo test -q --offline -p rnl --test resilience
 cargo test -q --offline -p rnl --test recovery
+# E19 admission control / load shedding, including the storm-plus-flap
+# chaos property test.
+cargo test -q --offline -p rnl --test overload
 
 echo "ci: all checks passed"

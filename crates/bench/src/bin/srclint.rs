@@ -20,6 +20,7 @@ use std::process::ExitCode;
 const HOT_PATHS: &[&str] = &[
     "crates/server/src/lib.rs",
     "crates/server/src/journal.rs",
+    "crates/server/src/overload.rs",
     "crates/server/src/snapshot.rs",
     "crates/ris/src/lib.rs",
     "crates/ris/src/supervisor.rs",

@@ -349,10 +349,12 @@ impl RemoteNetworkLabs {
         let enforce = self.server.reservations_enforced();
         let grace = self.server.grace_window();
         let compress = self.server.compress_downstream();
+        let overload = self.server.overload_config();
         self.server = RouteServer::new();
         self.server.set_enforce_reservations(enforce);
         self.server.set_grace_window(grace);
         self.server.set_compress_downstream(compress);
+        self.server.set_overload_config(overload, self.now);
         self.server_down = true;
     }
 
@@ -369,11 +371,13 @@ impl RemoteNetworkLabs {
         let enforce = self.server.reservations_enforced();
         let grace = self.server.grace_window();
         let compress = self.server.compress_downstream();
+        let overload = self.server.overload_config();
         let now = self.now;
         let mut server = RouteServer::recover(Box::new(MemJournal::attached(store)), now)?;
         server.set_enforce_reservations(enforce);
         server.set_grace_window(grace);
         server.set_compress_downstream(compress);
+        server.set_overload_config(overload, now);
         self.server = server;
         self.server_down = false;
         Ok(())
@@ -505,9 +509,10 @@ impl RemoteNetworkLabs {
     // User journey: design / reserve / deploy / test / teardown
     // -----------------------------------------------------------------
 
-    /// Save a design on the web server.
+    /// Save a design on the web server (journaled when durability is
+    /// enabled, like every other web-surface mutation).
     pub fn save_design(&mut self, design: Design) {
-        self.server.designs_mut().save(design);
+        self.server.save_design(design);
     }
 
     /// Reserve all routers of a saved design.
@@ -591,10 +596,58 @@ impl RemoteNetworkLabs {
             + "\n")
     }
 
+    /// Tune the back end's admission-control policy (global high-water
+    /// mark, per-session quotas, op deadlines). Survives
+    /// [`Self::crash_server`] / [`Self::recover_server`], like the other
+    /// server configuration knobs.
+    pub fn set_overload_config(&mut self, cfg: rnl_server::overload::OverloadConfig) {
+        let now = self.now;
+        self.server.set_overload_config(cfg, now);
+    }
+
+    /// Cap a site supervisor's failed dial attempts per outage
+    /// (`None` = unlimited).
+    pub fn set_site_retry_budget(
+        &mut self,
+        site: SiteId,
+        budget: Option<u32>,
+    ) -> Result<(), LabError> {
+        let s = self
+            .sites
+            .get_mut(site.0)
+            .ok_or(LabError::UnknownSite(site))?;
+        s.supervisor.set_retry_budget(budget);
+        Ok(())
+    }
+
     /// One typed web-services call.
     pub fn api(&mut self, request: Request) -> Response {
         let now = self.now;
         web::handle(&mut self.server, request, now)
+    }
+
+    /// One typed web-services call with a client-side retry budget: an
+    /// overload shed carrying a `retry_after` hint is retried after
+    /// waiting out the hint on the virtual clock, at most `budget`
+    /// times. Every other response — success or hard failure — returns
+    /// immediately; retrying those would only add load.
+    pub fn api_with_retry(&mut self, request: Request, budget: u32) -> Result<Response, LabError> {
+        let mut last = self.api(request.clone());
+        for _ in 0..budget {
+            let Response::Error {
+                retry_after_us: Some(us),
+                ..
+            } = &last
+            else {
+                return Ok(last);
+            };
+            // Honor the hint, capped at a second so a pathological
+            // configuration (refill rate zero) cannot wedge the clock.
+            let wait = Duration::from_micros((*us).min(1_000_000)) + DEFAULT_STEP;
+            self.run(wait)?;
+            last = self.api(request.clone());
+        }
+        Ok(last)
     }
 
     /// One JSON web-services call.

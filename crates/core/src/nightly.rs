@@ -105,6 +105,10 @@ pub struct NightlyReport {
     /// torn tails, replay-buffer traffic) — nonzero activity only; a
     /// night without a crash or a journal stays silent.
     pub recovery: Vec<String>,
+    /// Overload summary lines (ops shed per tier, deadline expiries,
+    /// backlog-policy switches, exhausted retry budgets) — nonzero
+    /// activity only; a night below the high-water mark stays silent.
+    pub overload: Vec<String>,
 }
 
 impl NightlyReport {
@@ -152,6 +156,12 @@ impl NightlyReport {
         if !self.recovery.is_empty() {
             out.push_str("  durability:\n");
             for line in &self.recovery {
+                out.push_str(&format!("    {line}\n"));
+            }
+        }
+        if !self.overload.is_empty() {
+            out.push_str("  overload:\n");
+            for line in &self.overload {
                 out.push_str(&format!("    {line}\n"));
             }
         }
@@ -250,12 +260,41 @@ impl NightlySuite {
                 recovery.push(format!("{label}: {v}"));
             }
         }
+        // Overload counters: sheds, deadline expiries, policy switches.
+        // A night below the high-water mark reports nothing.
+        let mut overload = Vec::new();
+        let snap = obs.snapshot();
+        for tier in ["0", "1", "2"] {
+            for reason in ["hwm", "session-quota"] {
+                let v = snap.counter(
+                    "rnl_server_shed_total",
+                    &[("tier", tier), ("reason", reason)],
+                );
+                if v > 0 {
+                    overload.push(format!("tier-{tier} ops shed ({reason}): {v}"));
+                }
+            }
+        }
+        for (name, label) in [
+            ("rnl_server_deadline_expired_total", "op deadlines expired"),
+            ("rnl_server_backlog_policy_total", "backlog-policy switches"),
+            (
+                "rnl_ris_retry_budget_exhausted_total",
+                "retry budgets exhausted",
+            ),
+        ] {
+            let v = obs.counter_sum(name);
+            if v > 0 {
+                overload.push(format!("{label}: {v}"));
+            }
+        }
         Ok(NightlyReport {
             results,
             metrics,
             lint,
             resilience,
             recovery,
+            overload,
         })
     }
 }

@@ -212,7 +212,7 @@ fn web_deploy_honors_force_flag() {
         design: name.into(),
         force: false,
     });
-    let Response::Error(message) = response else {
+    let Response::Error { message, .. } = response else {
         panic!("expected error, got {response:?}");
     };
     assert!(message.contains("pre-deploy analysis"), "{message}");

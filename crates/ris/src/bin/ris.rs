@@ -22,8 +22,27 @@ use rnl_ris::{BackoffConfig, Ris, RisError, Supervisor, TcpDialer};
 use rnl_tunnel::transport::ClosedTransport;
 
 fn main() {
-    let path = std::env::args().nth(1).unwrap_or_else(|| {
-        eprintln!("usage: ris <config-file>");
+    let mut path: Option<String> = None;
+    let mut retry_budget: Option<u32> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--retry-budget" => {
+                retry_budget =
+                    Some(args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                        eprintln!("ris: --retry-budget needs a count");
+                        std::process::exit(2);
+                    }));
+            }
+            other if path.is_none() => path = Some(other.to_string()),
+            other => {
+                eprintln!("ris: unexpected argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let path = path.unwrap_or_else(|| {
+        eprintln!("usage: ris <config-file> [--retry-budget N]");
         std::process::exit(2);
     });
     let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
@@ -64,6 +83,7 @@ fn main() {
             (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3)
         });
     let mut supervisor = Supervisor::new(seed, BackoffConfig::default(), ris.obs(), &[]);
+    supervisor.set_retry_budget(retry_budget);
     eprintln!(
         "ris: {} supervising uplink to {} …",
         config.pc_name, config.server
@@ -85,6 +105,13 @@ fn main() {
                 std::process::exit(1);
             }
             Err(RisError::Transport(_)) => {}
+        }
+        if supervisor.retry_budget_exhausted() {
+            // Adding more dial attempts to an unreachable (or shedding)
+            // server is how retries become the overload. Exit and let
+            // the process supervisor apply its own restart policy.
+            eprintln!("ris: retry budget exhausted; exiting");
+            std::process::exit(1);
         }
         let connected = ris.connected();
         if was_connected && !connected {

@@ -86,11 +86,18 @@ pub struct Supervisor {
     /// When the last heartbeat went out (None until the first healthy
     /// tick baselines the schedule).
     last_heartbeat: Option<Instant>,
+    /// Failed dial attempts allowed per outage; `None` is unlimited.
+    /// When the budget runs out the supervisor stops dialing — retries
+    /// must not themselves become the overload.
+    retry_budget: Option<u32>,
+    /// Failures so far in the current outage.
+    failed_attempts: u32,
     m_attempts: Counter,
     m_success: Counter,
     m_failures: Counter,
     m_backoff_ms: Gauge,
     m_outage_us: Histogram,
+    m_budget_exhausted: Counter,
 }
 
 impl Supervisor {
@@ -111,6 +118,8 @@ impl Supervisor {
             outage_start: None,
             heartbeat_every: DEFAULT_HEARTBEAT_EVERY,
             last_heartbeat: None,
+            retry_budget: None,
+            failed_attempts: 0,
             m_attempts: registry.counter("rnl_ris_reconnect_attempts_total", labels),
             m_success: registry.counter("rnl_ris_reconnect_success_total", labels),
             m_failures: registry.counter("rnl_ris_reconnect_failures_total", labels),
@@ -120,7 +129,35 @@ impl Supervisor {
                 labels,
                 &LATENCY_BUCKETS_US,
             ),
+            m_budget_exhausted: registry.counter("rnl_ris_retry_budget_exhausted_total", labels),
         }
+    }
+
+    /// Cap failed dial attempts per outage (`None` = unlimited, the
+    /// default). The `ris` binary exposes this as `--retry-budget`.
+    pub fn set_retry_budget(&mut self, budget: Option<u32>) {
+        self.retry_budget = budget;
+    }
+
+    /// Whether the current outage has burned its whole retry budget (the
+    /// supervisor has given up dialing; the operator decides what next).
+    pub fn retry_budget_exhausted(&self) -> bool {
+        self.retry_budget.is_some_and(|b| self.failed_attempts >= b)
+    }
+
+    /// Honor a server-side `Overloaded { retry_after }` hint: push the
+    /// next dial attempt out to at least `now + retry_after`, jittered
+    /// with this supervisor's seeded RNG so a fleet of deferred clients
+    /// does not thunder back in lockstep.
+    pub fn defer_retry(&mut self, retry_after: Duration, now: Instant) {
+        let delay = self.jittered(retry_after);
+        let due = now + delay;
+        let later = match self.next_attempt {
+            Some(cur) if cur.as_micros() >= due.as_micros() => cur,
+            _ => due,
+        };
+        self.next_attempt = Some(later);
+        self.m_backoff_ms.set(delay.as_micros() as f64 / 1_000.0);
     }
 
     /// Override the keepalive interval (default 10 s). Mostly for
@@ -183,6 +220,7 @@ impl Supervisor {
                     self.m_outage_us.observe(now.since(started).as_micros());
                 }
                 self.next_attempt = None;
+                self.failed_attempts = 0;
                 self.current_delay = self.cfg.base;
                 self.m_backoff_ms.set(0.0);
                 // `Ris::reconnect` heartbeats as part of re-registering,
@@ -192,6 +230,15 @@ impl Supervisor {
             }
             Err(RisError::Transport(_)) => {
                 self.m_failures.inc();
+                self.failed_attempts += 1;
+                if self.retry_budget_exhausted() {
+                    // Out of budget: stop dialing rather than add retry
+                    // load to whatever is already wrong.
+                    self.m_budget_exhausted.inc();
+                    self.next_attempt = None;
+                    self.m_backoff_ms.set(0.0);
+                    return Ok(false);
+                }
                 let delay = self.jittered(self.current_delay);
                 self.next_attempt = Some(now + delay);
                 self.m_backoff_ms.set(delay.as_micros() as f64 / 1_000.0);
@@ -229,6 +276,7 @@ impl Supervisor {
             self.outage_start = Some(now);
             self.current_delay = self.cfg.base;
             self.next_attempt = Some(now);
+            self.failed_attempts = 0;
         }
     }
 
@@ -349,6 +397,66 @@ mod tests {
                 .counter("rnl_ris_reconnect_failures_total", &[]),
             5
         );
+    }
+
+    #[test]
+    fn retry_budget_caps_attempts_per_outage() {
+        let cfg = BackoffConfig {
+            base: Duration::from_millis(100),
+            max: Duration::from_millis(800),
+            multiplier: 2,
+            jitter: 0.0,
+        };
+        let registry = MetricsRegistry::new();
+        let mut sup = Supervisor::new(3, cfg, &registry, &[]);
+        sup.set_retry_budget(Some(2));
+        let mut ris = severed_ris();
+        let mut dialer = FlakyDialer {
+            up_at: t(u64::MAX / 2_000),
+            seed: 0,
+            server_sides: Vec::new(),
+        };
+        let mut now = t(0);
+        for _ in 0..100 {
+            sup.tick(&mut ris, &mut dialer, now).unwrap();
+            now += Duration::from_millis(10);
+        }
+        // Two failed dials burned the budget; the supervisor gave up
+        // instead of adding retry load, and says so.
+        assert!(sup.retry_budget_exhausted());
+        assert_eq!(sup.next_attempt(), None);
+        assert!(sup.in_outage());
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("rnl_ris_reconnect_failures_total", &[]), 2);
+        assert_eq!(snap.counter("rnl_ris_retry_budget_exhausted_total", &[]), 1);
+    }
+
+    #[test]
+    fn defer_retry_honors_server_backpressure() {
+        let cfg = BackoffConfig {
+            base: Duration::from_millis(100),
+            max: Duration::from_millis(800),
+            multiplier: 2,
+            jitter: 0.0,
+        };
+        let registry = MetricsRegistry::new();
+        let mut sup = Supervisor::new(9, cfg, &registry, &[]);
+        let mut ris = severed_ris();
+        let mut dialer = FlakyDialer {
+            up_at: t(u64::MAX / 2_000),
+            seed: 0,
+            server_sides: Vec::new(),
+        };
+        // First tick fails: backoff would retry at t(100)…
+        sup.tick(&mut ris, &mut dialer, t(0)).unwrap();
+        assert_eq!(sup.next_attempt(), Some(t(100)));
+        // …but the server said retry_after=500ms, which dominates.
+        sup.defer_retry(Duration::from_millis(500), t(0));
+        assert_eq!(sup.next_attempt(), Some(t(500)));
+        // A hint *earlier* than the already-scheduled attempt is a
+        // no-op: the later of the two wins.
+        sup.defer_retry(Duration::from_millis(200), t(0));
+        assert_eq!(sup.next_attempt(), Some(t(500)));
     }
 
     #[test]

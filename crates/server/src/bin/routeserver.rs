@@ -32,7 +32,8 @@ use std::sync::mpsc;
 use std::time::Instant as WallInstant;
 
 use rnl_net::time::Instant;
-use rnl_server::journal::FileJournal;
+use rnl_server::journal::{FileJournal, FsyncPolicy};
+use rnl_server::overload::OverloadConfig;
 use rnl_server::{web, RouteServer};
 use rnl_tunnel::transport::TcpTransport;
 
@@ -51,6 +52,8 @@ fn main() {
     let mut grace_secs = rnl_server::DEFAULT_GRACE_WINDOW.as_secs();
     let mut state_dir: Option<String> = None;
     let mut snapshot_secs = rnl_server::DEFAULT_SNAPSHOT_EVERY.as_secs();
+    let mut overload = OverloadConfig::default();
+    let mut fsync_policy = FsyncPolicy::EveryAppend;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -89,6 +92,30 @@ fn main() {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage("--snapshot-every needs seconds"));
+            }
+            "--hwm" => {
+                let tokens: u64 = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--hwm needs a token count"));
+                // The refill rate tracks the mark: a server provisioned
+                // for N ops of burst sustains N ops/s.
+                overload.capacity = tokens;
+                overload.refill_per_sec = tokens;
+            }
+            "--op-deadline" => {
+                let secs: u64 = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--op-deadline needs seconds"));
+                overload.op_deadline = rnl_net::time::Duration::from_secs(secs);
+            }
+            "--fsync-every" => {
+                fsync_policy = match args.next().as_deref() {
+                    Some("append") => FsyncPolicy::EveryAppend,
+                    Some("poll") => FsyncPolicy::GroupCommit,
+                    _ => usage("--fsync-every needs \"append\" or \"poll\""),
+                };
             }
             other => usage(&format!("unknown argument {other:?}")),
         }
@@ -130,10 +157,14 @@ fn main() {
     // state and waits out the grace window for RIS boxes to redial.
     let mut server = match &state_dir {
         Some(dir) => {
-            let wal = FileJournal::open(dir).unwrap_or_else(|e| {
+            let mut wal = FileJournal::open(dir).unwrap_or_else(|e| {
                 eprintln!("routeserver: cannot open state dir {dir}: {e}");
                 std::process::exit(2);
             });
+            wal.set_fsync_policy(fsync_policy);
+            if fsync_policy == FsyncPolicy::GroupCommit {
+                eprintln!("routeserver: group-commit fsync (one sync per poll)");
+            }
             let server = RouteServer::recover(Box::new(wal), now()).unwrap_or_else(|e| {
                 eprintln!("routeserver: recovery from {dir} failed: {e}");
                 std::process::exit(2);
@@ -150,7 +181,13 @@ fn main() {
     };
     server.set_snapshot_every(rnl_net::time::Duration::from_secs(snapshot_secs));
     server.set_grace_window(rnl_net::time::Duration::from_secs(grace_secs));
+    server.set_overload_config(overload, now());
     eprintln!("routeserver: session flap grace window {grace_secs}s");
+    eprintln!(
+        "routeserver: admission control: hwm {} tokens, op deadline {}s",
+        overload.capacity,
+        overload.op_deadline.as_micros() / 1_000_000
+    );
 
     // Metrics exposition: the registry clone shares storage with the
     // server's, so this thread serves live values without touching the
@@ -251,7 +288,8 @@ fn usage(msg: &str) -> ! {
     eprintln!("routeserver: {msg}");
     eprintln!(
         "usage: routeserver [--ris-port N] [--api-port N] [--metrics-port N] \
-         [--grace-window SECS] [--state-dir PATH] [--snapshot-every SECS]"
+         [--grace-window SECS] [--state-dir PATH] [--snapshot-every SECS] \
+         [--hwm TOKENS] [--op-deadline SECS] [--fsync-every append|poll]"
     );
     std::process::exit(2);
 }

@@ -125,6 +125,28 @@ pub trait Durability: Send {
     /// operation that reaches the armed point fails with
     /// [`JournalError::Crash`] and the point disarms.
     fn arm_crash(&mut self, point: Option<CrashPoint>);
+
+    /// Make everything appended since the last flush durable (group
+    /// commit). The default is a no-op: backends that sync on every
+    /// append have nothing left to flush. The route server calls this
+    /// once per poll, so under [`FsyncPolicy::GroupCommit`] the loss
+    /// window is bounded by one poll interval.
+    fn flush(&mut self) -> Result<(), JournalError> {
+        Ok(())
+    }
+}
+
+/// When a [`FileJournal`] pushes appended records to stable storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FsyncPolicy {
+    /// `fsync` after every append (the default): a committed op is
+    /// durable before the caller sees the result.
+    #[default]
+    EveryAppend,
+    /// Batch appends and `fsync` once per [`Durability::flush`] — one
+    /// sync per server poll instead of one per op. Crashing between
+    /// flushes can lose at most the ops of the current poll interval.
+    GroupCommit,
 }
 
 /// FNV-1a 64-bit checksum — small, dependency-free, and plenty to catch
@@ -329,6 +351,9 @@ pub struct FileJournal {
     /// Kept open across appends; reopened after truncation.
     log: Option<fs::File>,
     crash: Option<CrashPoint>,
+    fsync: FsyncPolicy,
+    /// Appended-but-not-synced bytes outstanding (group commit only).
+    dirty: bool,
 }
 
 impl FileJournal {
@@ -340,7 +365,19 @@ impl FileJournal {
             dir,
             log: None,
             crash: None,
+            fsync: FsyncPolicy::default(),
+            dirty: false,
         })
+    }
+
+    /// Choose when appends reach stable storage (`--fsync-every`).
+    pub fn set_fsync_policy(&mut self, policy: FsyncPolicy) {
+        self.fsync = policy;
+    }
+
+    /// The active fsync policy.
+    pub fn fsync_policy(&self) -> FsyncPolicy {
+        self.fsync
     }
 
     fn journal_path(&self) -> PathBuf {
@@ -387,11 +424,19 @@ impl Durability for FileJournal {
         }
         let framed = frame_record(payload);
         let n = framed.len();
+        let policy = self.fsync;
         let file = self.log_file()?;
         file.write_all(&framed)
             .map_err(|e| JournalError::Io(e.to_string()))?;
-        file.sync_data()
-            .map_err(|e| JournalError::Io(e.to_string()))?;
+        match policy {
+            FsyncPolicy::EveryAppend => {
+                file.sync_data()
+                    .map_err(|e| JournalError::Io(e.to_string()))?;
+            }
+            FsyncPolicy::GroupCommit => {
+                self.dirty = true;
+            }
+        }
         if self.take_crash(CrashPoint::AfterAppend) {
             return Err(JournalError::Crash(CrashPoint::AfterAppend));
         }
@@ -410,8 +455,10 @@ impl Durability for FileJournal {
         }
         fs::write(&tmp, &framed).map_err(|e| JournalError::Io(e.to_string()))?;
         fs::rename(&tmp, self.snapshot_path()).map_err(|e| JournalError::Io(e.to_string()))?;
-        // The snapshot is durable; the journal restarts empty.
+        // The snapshot is durable; the journal restarts empty. Unsynced
+        // appends were just subsumed by the snapshot.
         self.log = None;
+        self.dirty = false;
         fs::File::create(self.journal_path()).map_err(|e| JournalError::Io(e.to_string()))?;
         Ok(())
     }
@@ -455,6 +502,18 @@ impl Durability for FileJournal {
 
     fn arm_crash(&mut self, point: Option<CrashPoint>) {
         self.crash = point;
+    }
+
+    fn flush(&mut self) -> Result<(), JournalError> {
+        if !self.dirty {
+            return Ok(());
+        }
+        if let Some(file) = self.log.as_mut() {
+            file.sync_data()
+                .map_err(|e| JournalError::Io(e.to_string()))?;
+        }
+        self.dirty = false;
+        Ok(())
     }
 }
 
@@ -595,6 +654,41 @@ mod tests {
             assert_eq!(rec.records, vec![b"two".to_vec(), b"three".to_vec()]);
             assert_eq!(rec.torn, 0);
         }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn group_commit_batches_syncs_and_flush_bounds_the_loss_window() {
+        let dir = std::env::temp_dir().join(format!(
+            "rnl-groupcommit-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        {
+            let mut j = FileJournal::open(&dir).unwrap();
+            assert_eq!(j.fsync_policy(), FsyncPolicy::EveryAppend);
+            j.set_fsync_policy(FsyncPolicy::GroupCommit);
+            // Appends within a poll interval batch into one sync at
+            // flush(): the loss window is whatever sits between two
+            // flush calls, never more.
+            j.append(b"one").unwrap();
+            j.append(b"two").unwrap();
+            j.flush().unwrap();
+            // Nothing dirty: flush again is a no-op.
+            j.flush().unwrap();
+            // A snapshot subsumes unsynced appends, so it also clears
+            // the dirty window.
+            j.append(b"three").unwrap();
+            j.write_snapshot(b"snap").unwrap();
+            j.append(b"four").unwrap();
+            j.flush().unwrap();
+        }
+        let mut j = FileJournal::open(&dir).unwrap();
+        let rec = j.load().unwrap();
+        assert_eq!(rec.snapshot, Some(b"snap".to_vec()));
+        assert_eq!(rec.records, vec![b"four".to_vec()]);
+        assert_eq!(rec.torn, 0);
         let _ = fs::remove_dir_all(&dir);
     }
 

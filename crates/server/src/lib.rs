@@ -26,6 +26,7 @@ pub mod journal;
 pub mod json;
 pub mod lint;
 pub mod matrix;
+pub mod overload;
 pub mod reserve;
 pub mod shard;
 pub mod snapshot;
@@ -40,7 +41,9 @@ use rnl_obs::{
 };
 use rnl_tunnel::compress::{CompressError, Compressor, Decompressor};
 use rnl_tunnel::msg::{Assignment, Msg, PortId, RouterId, SessionEpoch};
-use rnl_tunnel::transport::{ClosedTransport, Transport, TransportError};
+use rnl_tunnel::transport::{
+    ClosedTransport, OverflowPolicy, Transport, TransportError, DEFAULT_TX_HWM,
+};
 
 use capture::{CaptureDir, CaptureHub};
 use design::{Design, DesignError, DesignStore};
@@ -49,6 +52,7 @@ use inventory::{Inventory, InventoryRecord, SessionId};
 use journal::{CrashPoint, Durability, JournalError};
 use json::Json;
 use matrix::{DeploymentId, MatrixError, RoutingMatrix};
+use overload::{Deadline, OverloadConfig, Shedder, Tier};
 use reserve::{Calendar, Reservation, ReservationId, ReserveError};
 use snapshot::{DeploymentSeed, Op, SessionSeed};
 
@@ -74,6 +78,15 @@ pub enum ServerError {
     Lint(String),
     /// The write-ahead journal failed (append, snapshot, or recovery).
     Durability(String),
+    /// The server is above its high-water mark and shed this op; the
+    /// client should retry no sooner than `retry_after`.
+    Overloaded {
+        /// Deterministic back-off hint from the load shedder.
+        retry_after: Duration,
+    },
+    /// The op's deadline budget expired before its RIS round-trip
+    /// completed.
+    DeadlineExceeded,
 }
 
 impl std::fmt::Display for ServerError {
@@ -88,6 +101,30 @@ impl std::fmt::Display for ServerError {
             ServerError::Compression(e) => write!(f, "compression: {e}"),
             ServerError::Lint(report) => write!(f, "rejected by pre-deploy analysis:\n{report}"),
             ServerError::Durability(m) => write!(f, "durability: {m}"),
+            ServerError::Overloaded { retry_after } => {
+                write!(f, "overloaded; retry after {}us", retry_after.as_micros())
+            }
+            ServerError::DeadlineExceeded => write!(f, "operation deadline exceeded"),
+        }
+    }
+}
+
+impl ServerError {
+    /// Stable machine-readable code for the web API's JSON error shape.
+    /// Codes are part of the wire contract: never renamed, only added.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ServerError::Transport(_) => "transport",
+            ServerError::Matrix(_) => "matrix",
+            ServerError::Reservation(_) => "reservation",
+            ServerError::Design(_) => "design",
+            ServerError::UnknownDesign(_) => "unknown-design",
+            ServerError::UnknownRouter(_) => "unknown-router",
+            ServerError::Compression(_) => "compression",
+            ServerError::Lint(_) => "lint",
+            ServerError::Durability(_) => "durability",
+            ServerError::Overloaded { .. } => "overloaded",
+            ServerError::DeadlineExceeded => "deadline-exceeded",
         }
     }
 }
@@ -183,6 +220,11 @@ struct Session {
     replay: VecDeque<Msg>,
     /// Accounted bytes in `replay` (capped by the server's replay cap).
     replay_bytes: usize,
+    /// Transport backlog policy currently applied, derived from the
+    /// session's deployment priority (Disconnect for sessions fronting
+    /// deployed wires — fail fast and re-adopt under grace; DropNewest
+    /// for idle sessions).
+    backlog_policy: OverflowPolicy,
 }
 
 /// What became of a frame handed to [`RouteServer::send_to_router`].
@@ -251,6 +293,15 @@ pub struct RouteServer {
     crashed: bool,
     /// Byte cap per graced session's replay buffer (0 disables).
     replay_cap: usize,
+    /// The priority-aware admission controller for web ops; relay
+    /// traffic registers its load here too so a frame surge sheds
+    /// control ops first.
+    shedder: Shedder,
+    /// Outstanding console round-trips awaiting a reply, with the
+    /// deadline each must meet.
+    console_pending: HashMap<RouterId, Deadline>,
+    /// Outstanding flash round-trips awaiting a result.
+    flash_pending: HashMap<RouterId, Deadline>,
     m_frames_routed: Counter,
     m_bytes_relayed: Counter,
     m_frames_injected: Counter,
@@ -272,6 +323,7 @@ pub struct RouteServer {
     m_replay_flushed: Counter,
     m_recovery_seconds: Gauge,
     m_snapshot_age: Gauge,
+    m_deadline_expired: Counter,
 }
 
 impl Default for RouteServer {
@@ -316,6 +368,10 @@ impl RouteServer {
             m_replay_flushed: obs.counter("rnl_server_replay_flushed_total", &[]),
             m_recovery_seconds: obs.gauge("rnl_server_recovery_duration_seconds", &[]),
             m_snapshot_age: obs.gauge("rnl_server_snapshot_age_seconds", &[]),
+            m_deadline_expired: obs.counter("rnl_server_deadline_expired_total", &[]),
+            shedder: Shedder::new(OverloadConfig::default(), Instant::EPOCH),
+            console_pending: HashMap::new(),
+            flash_pending: HashMap::new(),
             grace_window: DEFAULT_GRACE_WINDOW,
             wal: None,
             snapshot_every: DEFAULT_SNAPSHOT_EVERY,
@@ -387,6 +443,94 @@ impl RouteServer {
     /// Configure the interval between compacting snapshots.
     pub fn set_snapshot_every(&mut self, every: Duration) {
         self.snapshot_every = every;
+    }
+
+    // -----------------------------------------------------------------
+    // Overload policy: admission control, load shedding, deadlines
+    // -----------------------------------------------------------------
+
+    /// Replace the overload policy (high-water mark, per-session quota,
+    /// op deadlines). Buckets reset to full. Config, not state: the
+    /// facade re-applies it across a crash.
+    pub fn set_overload_config(&mut self, cfg: OverloadConfig, now: Instant) {
+        self.shedder.set_config(cfg, now);
+    }
+
+    /// The active overload policy.
+    pub fn overload_config(&self) -> OverloadConfig {
+        self.shedder.config()
+    }
+
+    /// Current global admission-bucket level in whole tokens.
+    pub fn overload_tokens(&self) -> u64 {
+        self.shedder.tokens()
+    }
+
+    /// Admit one op of `tier` on behalf of `principal`, or shed it with
+    /// a retryable [`ServerError::Overloaded`]. Sheds are counted under
+    /// `rnl_server_shed_total{tier,reason}`.
+    pub fn admit(&mut self, tier: Tier, principal: &str, now: Instant) -> Result<(), ServerError> {
+        match self.shedder.admit(tier, principal, now) {
+            Ok(()) => Ok(()),
+            Err(shed) => {
+                self.obs
+                    .counter(
+                        "rnl_server_shed_total",
+                        &[("tier", tier.label()), ("reason", shed.reason)],
+                    )
+                    .inc();
+                Err(ServerError::Overloaded {
+                    retry_after: shed.retry_after,
+                })
+            }
+        }
+    }
+
+    /// Register tier-0 load (a relayed frame or heartbeat) from `sid`.
+    /// Never sheds — relay is the one thing the lab exists to keep
+    /// running — but the deduction makes a frame surge shed control ops
+    /// first.
+    fn admit_relay(&mut self, sid: SessionId, now: Instant) {
+        let pc = self
+            .sessions
+            .get(&sid)
+            .and_then(|s| s.pc_name.clone())
+            .unwrap_or_default();
+        let _ = self.admit(Tier::Relay, &pc, now);
+    }
+
+    /// Derive each session's transport backlog policy from its
+    /// deployment priority: sessions fronting deployed wires fail fast
+    /// (`Disconnect` at the HWM, re-adopting under flap grace) while
+    /// idle sessions quietly shed their newest frames. Policy changes
+    /// count under `rnl_server_backlog_policy_total{policy}`.
+    fn apply_backlog_policies(&mut self) {
+        let mut deployed: Vec<SessionId> = Vec::new();
+        for d in self.deployments.values() {
+            for &router in &d.routers {
+                if let Some(sid) = self.inventory.session_of(router) {
+                    deployed.push(sid);
+                }
+            }
+        }
+        for (sid, session) in self.sessions.iter_mut() {
+            let want = if deployed.contains(sid) {
+                OverflowPolicy::Disconnect
+            } else {
+                OverflowPolicy::DropNewest
+            };
+            if session.backlog_policy != want {
+                session.backlog_policy = want;
+                session.transport.set_backlog_policy(DEFAULT_TX_HWM, want);
+                let label = match want {
+                    OverflowPolicy::Disconnect => "disconnect",
+                    OverflowPolicy::DropNewest => "drop-newest",
+                };
+                self.obs
+                    .counter("rnl_server_backlog_policy_total", &[("policy", label)])
+                    .inc();
+            }
+        }
     }
 
     // -----------------------------------------------------------------
@@ -479,6 +623,7 @@ impl RouteServer {
             &self.calendar,
             self.matrix.next_id(),
             &deployments,
+            &self.designs,
         )
     }
 
@@ -538,6 +683,9 @@ impl RouteServer {
             for s in state.sessions {
                 server.seed_session(s.sid, s.pc_name, s.epoch, now);
             }
+            for design in state.designs {
+                server.designs.save(design);
+            }
         }
         if recovered.torn > 0 {
             server.m_journal_torn.add(recovered.torn);
@@ -574,6 +722,7 @@ impl RouteServer {
                 graced_at: Some(now),
                 replay: VecDeque::new(),
                 replay_bytes: 0,
+                backlog_policy: OverflowPolicy::DropNewest,
             },
         );
     }
@@ -662,6 +811,17 @@ impl RouteServer {
                 self.deployments.remove(&id);
                 self.matrix.teardown(id);
             }
+            Op::SaveDesign { design } => {
+                // A design that journaled but no longer parses is disk
+                // corruption of one artifact, not a reason to refuse the
+                // whole recovery.
+                if let Ok(design) = Design::from_json(&design) {
+                    self.designs.save(design);
+                }
+            }
+            Op::DeleteDesign { name } => {
+                self.designs.delete(&name);
+            }
         }
     }
 
@@ -706,9 +866,40 @@ impl RouteServer {
         &self.designs
     }
 
-    /// Mutable design-store access.
+    /// Mutable design-store access. Raw: mutations made here are NOT
+    /// journaled — use [`RouteServer::save_design`] /
+    /// [`RouteServer::delete_design`] when durability matters.
     pub fn designs_mut(&mut self) -> &mut DesignStore {
         &mut self.designs
+    }
+
+    /// Save (overwrite) a design, journaled: with `--state-dir` on, the
+    /// design survives a crash like every other web-API mutation.
+    pub fn save_design(&mut self, design: Design) {
+        let journaled = design.to_json();
+        self.designs.save(design);
+        self.wal_append(&Op::SaveDesign { design: journaled });
+    }
+
+    /// Delete a design, journaled.
+    pub fn delete_design(&mut self, name: &str) -> bool {
+        let deleted = self.designs.delete(name);
+        if deleted {
+            self.wal_append(&Op::DeleteDesign {
+                name: name.to_string(),
+            });
+        }
+        deleted
+    }
+
+    /// Re-journal a saved design after an in-place mutation (design
+    /// edits through the web API mutate via `load_mut`, then commit the
+    /// result here). No-op for unknown names.
+    pub fn journal_saved_design(&mut self, name: &str) {
+        if let Some(design) = self.designs.load(name) {
+            let journaled = design.to_json();
+            self.wal_append(&Op::SaveDesign { design: journaled });
+        }
     }
 
     /// The capture hub.
@@ -740,6 +931,7 @@ impl RouteServer {
                 graced_at: None,
                 replay: VecDeque::new(),
                 replay_bytes: 0,
+                backlog_policy: OverflowPolicy::DropNewest,
             },
         );
         id
@@ -815,6 +1007,16 @@ impl RouteServer {
                     .set(now.since(at).as_micros() as f64 / 1e6);
             }
         }
+        // Re-derive per-session backlog policy from deployment priority
+        // (deploys, teardowns and re-adoptions all change it).
+        self.apply_backlog_policies();
+        // Group commit: sync everything appended this poll in one go.
+        // With the default `FsyncPolicy::EveryAppend` this is a no-op.
+        if let Some(wal) = self.wal.as_mut() {
+            if !self.crashed && wal.flush().is_err() {
+                self.crashed = true;
+            }
+        }
     }
 
     /// Mark a session disconnected and start its grace window. Frames
@@ -839,6 +1041,10 @@ impl RouteServer {
             if !session.replay.is_empty() {
                 self.m_unrouted_graced.add(session.replay.len() as u64);
             }
+            // Its admission quota dies with it too.
+            if let Some(pc) = &session.pc_name {
+                self.shedder.forget_principal(pc);
+            }
         }
         let gone = self.inventory.remove_session(sid);
         self.purge_routers(&gone);
@@ -856,6 +1062,8 @@ impl RouteServer {
             }
             self.console_mail.remove(&router);
             self.flash_mail.remove(&router);
+            self.console_pending.remove(&router);
+            self.flash_pending.remove(&router);
             self.compressors.retain(|(r, _), _| *r != router);
             self.decompressors.retain(|(r, _), _| *r != router);
         }
@@ -975,6 +1183,7 @@ impl RouteServer {
                 span,
                 frame,
             } => {
+                self.admit_relay(sid, now);
                 self.route_frame(router, port, span, frame, now);
             }
             Msg::DataCompressed {
@@ -983,6 +1192,7 @@ impl RouteServer {
                 span,
                 encoded,
             } => {
+                self.admit_relay(sid, now);
                 let frame = match self
                     .decompressors
                     .entry((router, port))
@@ -1000,6 +1210,8 @@ impl RouteServer {
                 self.route_frame(router, port, span, frame, now);
             }
             Msg::ConsoleReply { router, output } => {
+                // The round-trip completed; its deadline is met.
+                self.console_pending.remove(&router);
                 self.console_mail.entry(router).or_default().push(output);
             }
             Msg::FlashResult {
@@ -1007,12 +1219,14 @@ impl RouteServer {
                 ok,
                 message,
             } => {
+                self.flash_pending.remove(&router);
                 self.flash_mail
                     .entry(router)
                     .or_default()
                     .push((ok, message));
             }
             Msg::Heartbeat { .. } => {
+                self.admit_relay(sid, now);
                 self.inventory.touch_session(sid, now);
             }
             // Server-to-RIS messages arriving upstream are ignored.
@@ -1477,6 +1691,49 @@ impl RouteServer {
         self.console_mail.remove(&router).unwrap_or_default()
     }
 
+    /// [`RouteServer::console`] with a deadline budget attached to the
+    /// round-trip: if no reply arrives before `deadline`, the next
+    /// [`RouteServer::console_replies_deadlined`] poll reports
+    /// [`ServerError::DeadlineExceeded`] instead of hanging forever.
+    pub fn console_with_deadline(
+        &mut self,
+        router: RouterId,
+        line: &str,
+        now: Instant,
+        deadline: Deadline,
+    ) -> Result<(), ServerError> {
+        if deadline.expired(now) {
+            self.m_deadline_expired.inc();
+            return Err(ServerError::DeadlineExceeded);
+        }
+        self.console(router, line, now)?;
+        self.console_pending.insert(router, deadline);
+        Ok(())
+    }
+
+    /// Drain console output, honoring any outstanding round-trip
+    /// deadline: an empty mailbox past the deadline is a structured
+    /// failure, not an indefinite wait.
+    pub fn console_replies_deadlined(
+        &mut self,
+        router: RouterId,
+        now: Instant,
+    ) -> Result<Vec<String>, ServerError> {
+        let replies = self.console_replies(router);
+        if !replies.is_empty() {
+            self.console_pending.remove(&router);
+            return Ok(replies);
+        }
+        match self.console_pending.get(&router) {
+            Some(deadline) if deadline.expired(now) => {
+                self.console_pending.remove(&router);
+                self.m_deadline_expired.inc();
+                Err(ServerError::DeadlineExceeded)
+            }
+            _ => Ok(Vec::new()),
+        }
+    }
+
     /// Replay a configuration dump onto a router's console.
     pub fn restore_config(&mut self, router: RouterId, config: &str, now: Instant) {
         self.send_to_router(
@@ -1580,6 +1837,47 @@ impl RouteServer {
     /// Drain flash results for a router.
     pub fn flash_results(&mut self, router: RouterId) -> Vec<(bool, String)> {
         self.flash_mail.remove(&router).unwrap_or_default()
+    }
+
+    /// [`RouteServer::flash`] with a deadline budget on the round-trip
+    /// (flash gets the longer [`overload::FLASH_DEADLINE_MULTIPLIER`]
+    /// budget — see [`OverloadConfig::deadline_budget`]).
+    pub fn flash_with_deadline(
+        &mut self,
+        router: RouterId,
+        version: &str,
+        now: Instant,
+        deadline: Deadline,
+    ) -> Result<(), ServerError> {
+        if deadline.expired(now) {
+            self.m_deadline_expired.inc();
+            return Err(ServerError::DeadlineExceeded);
+        }
+        self.flash(router, version, now);
+        self.flash_pending.insert(router, deadline);
+        Ok(())
+    }
+
+    /// Drain flash results, honoring any outstanding round-trip
+    /// deadline.
+    pub fn flash_results_deadlined(
+        &mut self,
+        router: RouterId,
+        now: Instant,
+    ) -> Result<Vec<(bool, String)>, ServerError> {
+        let results = self.flash_results(router);
+        if !results.is_empty() {
+            self.flash_pending.remove(&router);
+            return Ok(results);
+        }
+        match self.flash_pending.get(&router) {
+            Some(deadline) if deadline.expired(now) => {
+                self.flash_pending.remove(&router);
+                self.m_deadline_expired.inc();
+                Err(ServerError::DeadlineExceeded)
+            }
+            _ => Ok(Vec::new()),
+        }
     }
 
     // -----------------------------------------------------------------

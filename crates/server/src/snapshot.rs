@@ -20,7 +20,7 @@
 use rnl_net::time::Instant;
 use rnl_tunnel::msg::{ImageRegion, PortId, PortInfo, RouterId, RouterInfo, SessionEpoch};
 
-use crate::design::Link;
+use crate::design::{Design, DesignStore, Link};
 use crate::inventory::{Inventory, InventoryRecord, SessionId};
 use crate::journal::JournalError;
 use crate::json::Json;
@@ -452,6 +452,10 @@ pub struct RecoveredState {
     pub calendar: Calendar,
     pub matrix_next: u64,
     pub deployments: Vec<DeploymentSeed>,
+    /// Saved designs (absent in pre-designs snapshots: decode treats a
+    /// missing `designs` key as an empty store, so old state files
+    /// still recover).
+    pub designs: Vec<Design>,
 }
 
 /// Encode the full durable state. Deployments are sorted by id before
@@ -464,6 +468,7 @@ pub fn state_to_json(
     calendar: &Calendar,
     matrix_next: u64,
     deployments: &[DeploymentSeed],
+    designs: &DesignStore,
 ) -> Json {
     let mut sessions: Vec<&SessionSeed> = sessions.iter().collect();
     sessions.sort_by_key(|s| s.sid);
@@ -477,6 +482,17 @@ pub fn state_to_json(
                 deployments
                     .iter()
                     .map(|d| deployment_seed_to_json(d))
+                    .collect(),
+            ),
+        ),
+        (
+            // Store iteration is BTreeMap-ordered by name: deterministic.
+            "designs",
+            Json::Arr(
+                designs
+                    .names()
+                    .filter_map(|name| designs.load(name))
+                    .map(|d| d.to_json())
                     .collect(),
             ),
         ),
@@ -525,6 +541,16 @@ pub fn state_from_json(v: &Json, now: Instant) -> Result<RecoveredState, Journal
             .iter()
             .map(deployment_seed_from_json)
             .collect::<Result<_, _>>()?,
+        designs: match v.get("designs") {
+            // Pre-designs snapshots have no key: empty store.
+            None => Vec::new(),
+            Some(arr) => arr
+                .as_arr()
+                .ok_or_else(|| bad("designs not an array"))?
+                .iter()
+                .map(|d| Design::from_json(d).map_err(|e| JournalError::Decode(e.to_string())))
+                .collect::<Result<_, _>>()?,
+        },
     })
 }
 
@@ -564,6 +590,11 @@ pub enum Op {
     },
     /// A deployment torn down.
     Teardown { id: DeploymentId },
+    /// A design saved (or overwritten in place) through the web API.
+    /// Carries the design's own JSON interchange form.
+    SaveDesign { design: Json },
+    /// A design deleted.
+    DeleteDesign { name: String },
 }
 
 impl Op {
@@ -640,6 +671,13 @@ impl Op {
             Op::Teardown { id } => {
                 Json::obj([("op", Json::str("teardown")), ("id", Json::u64_str(id.0))])
             }
+            Op::SaveDesign { design } => {
+                Json::obj([("op", Json::str("save_design")), ("design", design.clone())])
+            }
+            Op::DeleteDesign { name } => Json::obj([
+                ("op", Json::str("delete_design")),
+                ("name", Json::str(name)),
+            ]),
         }
     }
 
@@ -728,6 +766,19 @@ impl Op {
                         .ok_or_else(|| bad("teardown missing id"))?,
                 ),
             }),
+            "save_design" => Ok(Op::SaveDesign {
+                design: v
+                    .get("design")
+                    .ok_or_else(|| bad("save_design missing design"))?
+                    .clone(),
+            }),
+            "delete_design" => Ok(Op::DeleteDesign {
+                name: v
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| bad("delete_design missing name"))?
+                    .to_string(),
+            }),
             _ => Err(bad("unknown op")),
         }
     }
@@ -796,6 +847,16 @@ mod tests {
             Op::Teardown {
                 id: DeploymentId(7),
             },
+            Op::SaveDesign {
+                design: {
+                    let mut d = Design::new("probe");
+                    d.add_device(RouterId(1));
+                    d.to_json()
+                },
+            },
+            Op::DeleteDesign {
+                name: "probe".to_string(),
+            },
         ];
         for op in ops {
             let encoded = op.to_json().encode();
@@ -827,13 +888,21 @@ mod tests {
             routers: vec![RouterId(0), RouterId(1)],
             links: vec![((RouterId(0), PortId(0)), (RouterId(1), PortId(0)))],
         }];
-        let json = state_to_json(1, &sessions, &inv, &cal, 1, &deployments);
+        let mut designs = DesignStore::new();
+        let mut pair = Design::new("pair");
+        pair.add_device(RouterId(0));
+        pair.add_device(RouterId(1));
+        pair.connect((RouterId(0), PortId(0)), (RouterId(1), PortId(0)))
+            .unwrap();
+        designs.save(pair.clone());
+        let json = state_to_json(1, &sessions, &inv, &cal, 1, &deployments, &designs);
         let encoded = json.encode();
         let state = state_from_json(&Json::parse(&encoded).unwrap(), t(9_999)).unwrap();
         assert_eq!(state.next_session, 1);
         assert_eq!(state.sessions, sessions);
         assert_eq!(state.matrix_next, 1);
         assert_eq!(state.deployments, deployments);
+        assert_eq!(state.designs, vec![pair]);
         assert_eq!(state.inventory.len(), 2);
         assert_eq!(state.inventory.next_id(), 2);
         assert_eq!(
@@ -843,6 +912,10 @@ mod tests {
         assert_eq!(state.calendar.len(), 1);
         assert_eq!(state.calendar.next_id(), 1);
         // Re-encoding the recovered state yields byte-identical JSON.
+        let mut store_again = DesignStore::new();
+        for d in &state.designs {
+            store_again.save(d.clone());
+        }
         let again = state_to_json(
             state.next_session,
             &state.sessions,
@@ -850,7 +923,21 @@ mod tests {
             &state.calendar,
             state.matrix_next,
             &state.deployments,
+            &store_again,
         );
         assert_eq!(again.encode(), encoded);
+    }
+
+    /// A snapshot written before designs joined the durable state (no
+    /// `designs` key at all) still decodes: the store just starts empty.
+    #[test]
+    fn pre_designs_snapshots_still_decode() {
+        let inv = Inventory::new();
+        let cal = Calendar::new();
+        let json = state_to_json(0, &[], &inv, &cal, 0, &[], &DesignStore::new());
+        // Strip the designs key to fake an old snapshot.
+        let encoded = json.encode().replace("\"designs\":[],", "");
+        let state = state_from_json(&Json::parse(&encoded).unwrap(), t(0)).unwrap();
+        assert!(state.designs.is_empty());
     }
 }

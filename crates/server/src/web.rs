@@ -23,6 +23,7 @@ use crate::design::Design;
 use crate::generate::{StreamConfig, StreamId};
 use crate::json::Json;
 use crate::matrix::DeploymentId;
+use crate::overload::{OpClass, Tier};
 use crate::{RouteServer, ServerError};
 use rnl_net::addr::MacAddr;
 
@@ -109,7 +110,15 @@ pub enum Request {
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
     Ok,
-    Error(String),
+    /// A structured failure: `code` is a stable machine-readable
+    /// identifier (see [`ServerError::code`]; parse failures use
+    /// `"bad-request"`), `message` is human-readable, and
+    /// `retry_after_us` is set only for retryable overload sheds.
+    Error {
+        code: String,
+        message: String,
+        retry_after_us: Option<u64>,
+    },
     Inventory(Vec<InventoryEntry>),
     Designs(Vec<String>),
     DesignJson(Json),
@@ -176,11 +185,116 @@ pub struct InventoryEntry {
     pub online: bool,
 }
 
-/// Dispatch one typed request.
+impl Response {
+    /// A structured error with no retry hint.
+    pub fn error(code: &str, message: impl Into<String>) -> Response {
+        Response::Error {
+            code: code.to_string(),
+            message: message.into(),
+            retry_after_us: None,
+        }
+    }
+}
+
+fn error_response(e: &ServerError) -> Response {
+    let retry_after_us = match e {
+        ServerError::Overloaded { retry_after } => Some(retry_after.as_micros()),
+        _ => None,
+    };
+    Response::Error {
+        code: e.code().to_string(),
+        message: e.to_string(),
+        retry_after_us,
+    }
+}
+
+/// Is this router part of an active deployment?
+fn deployed(server: &RouteServer, router: RouterId) -> bool {
+    server.matrix().owner_of(router).is_some()
+}
+
+/// Shedding tier for a request (§DESIGN.md §11). Reservation-cycle ops
+/// and ops against deployed routers ride tier 1; everything else —
+/// design edits, analysis, capture polls, metrics — is best-effort and
+/// sheds first. (Tier 0, relay + heartbeats, never enters this path: it
+/// is admitted in [`RouteServer::poll`].)
+fn tier_of(server: &RouteServer, request: &Request) -> Tier {
+    match request {
+        Request::Reserve { .. } | Request::Deploy { .. } | Request::Teardown { .. } => {
+            Tier::Deployed
+        }
+        Request::Console { router, .. }
+        | Request::ConsoleReplies { router }
+        | Request::SetPower { router, .. }
+        | Request::Flash { router, .. }
+        | Request::FlashResults { router }
+        | Request::Inject { router, .. } => {
+            if deployed(server, *router) {
+                Tier::Deployed
+            } else {
+                Tier::BestEffort
+            }
+        }
+        Request::StartStream { config } => {
+            if deployed(server, config.router) {
+                Tier::Deployed
+            } else {
+                Tier::BestEffort
+            }
+        }
+        _ => Tier::BestEffort,
+    }
+}
+
+/// Who to charge the per-session token bucket: the named user where the
+/// request carries one, the owning lab PC for router-targeted ops, and
+/// a shared "web" principal for anonymous design-surface traffic.
+fn principal_of(server: &RouteServer, request: &Request) -> String {
+    let router_owner = |router: RouterId| {
+        server
+            .inventory()
+            .get(router)
+            .map(|r| r.pc_name.clone())
+            .unwrap_or_else(|| "web".to_string())
+    };
+    match request {
+        Request::Reserve { user, .. } | Request::Deploy { user, .. } => user.clone(),
+        Request::Console { router, .. }
+        | Request::ConsoleReplies { router }
+        | Request::SetPower { router, .. }
+        | Request::Flash { router, .. }
+        | Request::FlashResults { router }
+        | Request::Inject { router, .. } => router_owner(*router),
+        Request::StartStream { config } => router_owner(config.router),
+        _ => "web".to_string(),
+    }
+}
+
+/// Deadline class: flash round-trips get the ×4 budget, console
+/// round-trips their own bucket, everything else the control default.
+fn op_class(request: &Request) -> OpClass {
+    match request {
+        Request::Flash { .. } | Request::FlashResults { .. } => OpClass::Flash,
+        Request::Console { .. } | Request::ConsoleReplies { .. } => OpClass::Console,
+        _ => OpClass::Control,
+    }
+}
+
+/// Dispatch one typed request: admission control first (a shed op never
+/// touches server state), then execution under a per-class deadline
+/// budget.
 pub fn handle(server: &mut RouteServer, request: Request, now: Instant) -> Response {
-    match handle_inner(server, request, now) {
+    let tier = tier_of(server, &request);
+    let principal = principal_of(server, &request);
+    if let Err(e) = server.admit(tier, &principal, now) {
+        return error_response(&e);
+    }
+    let deadline = server
+        .overload_config()
+        .deadline_for(op_class(&request), now);
+    match handle_inner(server, request, now, deadline) {
         Ok(response) => response,
-        Err(e) => Response::Error(e.to_string()),
+        Err(e) => error_response(&e),
     }
 }
 
@@ -188,6 +302,7 @@ fn handle_inner(
     server: &mut RouteServer,
     request: Request,
     now: Instant,
+    deadline: crate::overload::Deadline,
 ) -> Result<Response, ServerError> {
     Ok(match request {
         Request::ListInventory => Response::Inventory(
@@ -208,26 +323,28 @@ fn handle_inner(
             Response::Designs(server.designs().names().map(String::from).collect())
         }
         Request::CreateDesign { name } => {
-            server.designs_mut().save(Design::new(&name));
+            server.save_design(Design::new(&name));
             Response::Ok
         }
         Request::AddDevice { design, router } => {
             if server.inventory().get(router).is_none() {
                 return Err(ServerError::UnknownRouter(router));
             }
-            let d = server
+            server
                 .designs_mut()
                 .load_mut(&design)
-                .ok_or(ServerError::UnknownDesign(design))?;
-            d.add_device(router);
+                .ok_or_else(|| ServerError::UnknownDesign(design.clone()))?
+                .add_device(router);
+            server.journal_saved_design(&design);
             Response::Ok
         }
         Request::ConnectPorts { design, a, b } => {
-            let d = server
+            server
                 .designs_mut()
                 .load_mut(&design)
-                .ok_or(ServerError::UnknownDesign(design))?;
-            d.connect(a, b)?;
+                .ok_or_else(|| ServerError::UnknownDesign(design.clone()))?
+                .connect(a, b)?;
+            server.journal_saved_design(&design);
             Response::Ok
         }
         Request::ExportDesign { name } => {
@@ -239,7 +356,7 @@ fn handle_inner(
         }
         Request::ImportDesign { json } => {
             let d = Design::from_json(&json)?;
-            server.designs_mut().save(d);
+            server.save_design(d);
             Response::Ok
         }
         Request::Reserve {
@@ -284,21 +401,23 @@ fn handle_inner(
             Response::Ok
         }
         Request::Console { router, line } => {
-            server.console(router, &line, now)?;
+            server.console_with_deadline(router, &line, now, deadline)?;
             Response::Ok
         }
         Request::ConsoleReplies { router } => {
-            Response::ConsoleOutput(server.console_replies(router))
+            Response::ConsoleOutput(server.console_replies_deadlined(router, now)?)
         }
         Request::SetPower { router, on } => {
             server.set_power(router, on, now);
             Response::Ok
         }
         Request::Flash { router, version } => {
-            server.flash(router, &version, now);
+            server.flash_with_deadline(router, &version, now, deadline)?;
             Response::Ok
         }
-        Request::FlashResults { router } => Response::FlashOutcomes(server.flash_results(router)),
+        Request::FlashResults { router } => {
+            Response::FlashOutcomes(server.flash_results_deadlined(router, now)?)
+        }
         Request::Inject {
             router,
             port,
@@ -557,10 +676,21 @@ pub fn parse_request(json: &Json) -> Result<Request, String> {
 pub fn encode_response(response: &Response) -> Json {
     match response {
         Response::Ok => Json::obj([("ok", Json::Bool(true))]),
-        Response::Error(message) => Json::obj([
-            ("ok", Json::Bool(false)),
-            ("error", Json::str(message.clone())),
-        ]),
+        Response::Error {
+            code,
+            message,
+            retry_after_us,
+        } => {
+            let mut fields = vec![
+                ("ok", Json::Bool(false)),
+                ("code", Json::str(code.clone())),
+                ("error", Json::str(message.clone())),
+            ];
+            if let Some(us) = retry_after_us {
+                fields.push(("retry_after_us", Json::u64_str(*us)));
+            }
+            Json::obj(fields)
+        }
         Response::Inventory(rows) => Json::obj([
             ("ok", Json::Bool(true)),
             (
@@ -664,9 +794,9 @@ pub fn handle_json(server: &mut RouteServer, request: &str, now: Instant) -> Str
     let response = match Json::parse(request) {
         Ok(json) => match parse_request(&json) {
             Ok(req) => handle(server, req, now),
-            Err(message) => Response::Error(message),
+            Err(message) => Response::error("bad-request", message),
         },
-        Err(e) => Response::Error(e.to_string()),
+        Err(e) => Response::error("bad-request", e.to_string()),
     };
     encode_response(&response).encode()
 }
@@ -701,7 +831,7 @@ mod tests {
                 },
                 t(0)
             ),
-            Response::Error(_)
+            Response::Error { .. }
         ));
         assert_eq!(
             handle(&mut server, Request::ListDesigns, t(0)),
@@ -771,6 +901,98 @@ mod tests {
             t(0),
         );
         assert!(reply.contains("imported"));
+    }
+
+    #[test]
+    fn every_failing_op_carries_a_stable_error_code() {
+        use crate::overload::OverloadConfig;
+        let mut server = RouteServer::new();
+        // The success shape is untouched by the error-path audit.
+        assert_eq!(
+            handle_json(&mut server, r#"{"op":"create_design","name":"lab"}"#, t(0)),
+            r#"{"ok":true}"#
+        );
+        let cases: &[(&str, &str)] = &[
+            ("not json", "bad-request"),
+            (r#"{"op":"frobnicate"}"#, "bad-request"),
+            (r#"{"op":"console","line":"x"}"#, "bad-request"),
+            (
+                r#"{"op":"inject","router":0,"port":0,"frame_hex":"zz"}"#,
+                "bad-request",
+            ),
+            (
+                r#"{"op":"add_device","design":"lab","router":7}"#,
+                "unknown-router",
+            ),
+            (
+                r#"{"op":"console","router":7,"line":"show ver"}"#,
+                "unknown-router",
+            ),
+            (
+                r#"{"op":"connect_ports","design":"ghost","a_router":0,"a_port":0,"b_router":1,"b_port":0}"#,
+                "unknown-design",
+            ),
+            (r#"{"op":"export_design","name":"ghost"}"#, "unknown-design"),
+            (
+                r#"{"op":"analyze_design","design":"ghost"}"#,
+                "unknown-design",
+            ),
+            (
+                r#"{"op":"deploy","user":"alice","design":"ghost"}"#,
+                "unknown-design",
+            ),
+            (
+                r#"{"op":"reserve","user":"alice","design":"ghost","start_us":0,"end_us":1}"#,
+                "unknown-design",
+            ),
+            (
+                r#"{"op":"next_free_slot","design":"ghost","duration_us":1,"after_us":0}"#,
+                "unknown-design",
+            ),
+            (
+                r#"{"op":"import_design","design":{"bogus":true}}"#,
+                "design",
+            ),
+        ];
+        for (request, code) in cases {
+            let reply = handle_json(&mut server, request, t(0));
+            let parsed = Json::parse(&reply).unwrap();
+            assert_eq!(
+                parsed.get("ok").and_then(Json::as_bool),
+                Some(false),
+                "{request}"
+            );
+            assert_eq!(
+                parsed.get("code").and_then(Json::as_str),
+                Some(*code),
+                "{request} -> {reply}"
+            );
+            assert!(
+                parsed.get("error").and_then(Json::as_str).is_some(),
+                "{reply}"
+            );
+        }
+        // Overload sheds are coded too, and carry a machine-readable
+        // retry hint so clients can back off instead of hammering.
+        let tight = OverloadConfig {
+            capacity: 1,
+            refill_per_sec: 1,
+            ..OverloadConfig::default()
+        };
+        server.set_overload_config(tight, t(0));
+        let reply = handle_json(&mut server, r#"{"op":"list_designs"}"#, t(0));
+        let parsed = Json::parse(&reply).unwrap();
+        assert_eq!(
+            parsed.get("code").and_then(Json::as_str),
+            Some("overloaded")
+        );
+        assert!(
+            parsed
+                .get("retry_after_us")
+                .and_then(Json::as_u64_str)
+                .unwrap_or(0)
+                > 0
+        );
     }
 
     #[test]

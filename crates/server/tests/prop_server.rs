@@ -193,7 +193,7 @@ proptest! {
             d.add_device(routers[*b]);
             d.connect((routers[*a], PortId(0)), (routers[*b], PortId(0)))
                 .unwrap();
-            server.designs_mut().save(d.clone());
+            server.save_design(d.clone());
             designs.push(d);
         }
 

@@ -138,6 +138,12 @@ pub trait Transport: Send {
 
     /// Whether the link is still believed up.
     fn is_connected(&self) -> bool;
+
+    /// Retune the transmit-backlog high-water mark and overflow policy.
+    /// Transports without a bounded backlog (in-memory pairs, the closed
+    /// stub) ignore this; the TCP transport applies it live so the route
+    /// server can re-derive policy from deployment priority.
+    fn set_backlog_policy(&mut self, _bytes: usize, _policy: OverflowPolicy) {}
 }
 
 // ---------------------------------------------------------------------
@@ -576,6 +582,10 @@ impl Transport for TcpTransport {
 
     fn is_connected(&self) -> bool {
         self.connected
+    }
+
+    fn set_backlog_policy(&mut self, bytes: usize, policy: OverflowPolicy) {
+        self.set_backlog_limit(bytes, policy);
     }
 }
 

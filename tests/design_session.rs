@@ -65,7 +65,7 @@ fn full_design_session_via_api() {
             a: (ids[0], PortId(0)),
             b: (ids[1], PortId(0)),
         }),
-        Response::Error(_)
+        Response::Error { .. }
     ));
 
     // Reservation calendar: find the next free slot, book it.
@@ -96,7 +96,7 @@ fn full_design_session_via_api() {
             start: slot,
             end: slot + Duration::from_secs(60),
         }),
-        Response::Error(_)
+        Response::Error { .. }
     ));
     match labs.api(Request::NextFreeSlot {
         design: "lab".into(),

@@ -1,0 +1,358 @@
+//! Experiment E19 — admission control and priority load shedding.
+//!
+//! A seeded storm of best-effort web ops slams the route server while a
+//! deployed lab is mid-ping. The priority shedder must keep the relay
+//! path untouched (tier 0 is never shed — the ping completes), shed the
+//! best-effort storm with structured, retryable errors carrying
+//! `retry_after_us` hints, and recover completely once the storm
+//! passes. Everything runs on the virtual clock from fixed seeds, so
+//! every shed count and every reply byte reproduces run over run.
+//!
+//! The chaos property test at the bottom composes the storm with
+//! E17-style uplink flaps: whatever the interleaving, nothing panics,
+//! tier 0 never sheds, every frame queued for a graced session is
+//! accounted for, and the flapped site re-adopts its session.
+
+use proptest::prelude::*;
+use rnl::device::host::Host;
+use rnl::net::time::Duration;
+use rnl::obs::render_prometheus;
+use rnl::server::design::Design;
+use rnl::server::overload::{OpStorm, OverloadConfig};
+use rnl::server::web::{Request, Response};
+use rnl::tunnel::msg::{PortId, RouterId};
+use rnl::{RemoteNetworkLabs, SiteId};
+
+fn host(name: &str, num: u32, ip: &str) -> Box<Host> {
+    let mut h = Host::new(name, num);
+    h.set_ip(ip.parse().unwrap());
+    Box::new(h)
+}
+
+/// Two sites, one host each, one deployed wire across them — the same
+/// lab as E17/E18, ready to be overloaded.
+fn cross_site_lab() -> (RemoteNetworkLabs, SiteId, SiteId, RouterId, RouterId) {
+    let mut labs = RemoteNetworkLabs::new_unreserved();
+    let hq = labs.add_site("hq");
+    let edge = labs.add_site("edge");
+    labs.add_device(hq, host("s1", 1, "10.0.0.1/24"), "hq host")
+        .unwrap();
+    labs.add_device(edge, host("s2", 2, "10.0.0.2/24"), "edge host")
+        .unwrap();
+    let a = labs.join_labs(hq).unwrap()[0];
+    let b = labs.join_labs(edge).unwrap()[0];
+    let mut design = Design::new("cross");
+    design.add_device(a);
+    design.add_device(b);
+    design.connect((a, PortId(0)), (b, PortId(0))).unwrap();
+    labs.deploy_design("alice", &design).unwrap();
+    (labs, hq, edge, a, b)
+}
+
+/// A tight admission policy: 40 tokens of burst, 5 ops/s sustained.
+/// With the tier floors (best-effort keeps half the bucket in reserve,
+/// deployed an eighth) a seeded storm overruns best-effort in the first
+/// burst while the relay path never even notices.
+fn tight_config() -> OverloadConfig {
+    OverloadConfig {
+        capacity: 40,
+        refill_per_sec: 5,
+        // Generous per-principal quota so the global high-water mark is
+        // the binding constraint and every shed reason is "hwm".
+        session_capacity: 40,
+        session_refill_per_sec: 40,
+        ..OverloadConfig::default()
+    }
+}
+
+/// One full E19 round from `seed`: ping mid-storm, storm of best-effort
+/// ops, then recovery. Returns every observable the determinism test
+/// compares bit-for-bit.
+fn storm_round(seed: u64) -> (u64, u64, u64, String, String) {
+    let (mut labs, hq, _edge, a, b) = cross_site_lab();
+    labs.set_overload_config(tight_config());
+
+    // Start a ping over the deployed wire, then storm while it flies.
+    let now = labs.now();
+    labs.device_mut(hq, 0)
+        .unwrap()
+        .console("ping 10.0.0.2 count 3", now);
+
+    let mut storm = OpStorm::new(seed);
+    let mut overloaded = 0u64;
+    let mut tier1_ok = 0u64;
+    for _ in 0..30 {
+        for _ in 0..6 {
+            let request = match storm.gen_range(3) {
+                0 => Request::ListDesigns,
+                1 => Request::ListInventory,
+                _ => Request::ExportDesign {
+                    name: "ghost".to_string(),
+                },
+            };
+            match labs.api(request) {
+                Response::Error {
+                    code,
+                    retry_after_us,
+                    ..
+                } if code == "overloaded" => {
+                    overloaded += 1;
+                    assert!(
+                        retry_after_us.unwrap_or(0) > 0,
+                        "an overload shed must carry a positive retry hint"
+                    );
+                }
+                _ => {}
+            }
+        }
+        // One deployed-session control op per burst rides above the
+        // best-effort floor.
+        if matches!(
+            labs.api(Request::ConsoleReplies { router: b }),
+            Response::ConsoleOutput(_)
+        ) {
+            tier1_ok += 1;
+        }
+        labs.run(Duration::from_millis(200)).unwrap();
+    }
+    let ping = labs.console(a, "show ping").unwrap();
+
+    let snap = labs.server_obs().snapshot();
+    let shed = |tier: &str, reason: &str| {
+        snap.counter(
+            "rnl_server_shed_total",
+            &[("tier", tier), ("reason", reason)],
+        )
+    };
+    // Tier 0 is structurally unsheddable; the ping proves it end to end.
+    assert_eq!(shed("0", "hwm") + shed("0", "session-quota"), 0);
+    let tier2 = shed("2", "hwm") + shed("2", "session-quota");
+    assert!(tier2 > 0, "the storm must overrun the best-effort floor");
+    assert_eq!(
+        tier2, overloaded,
+        "every shed surfaces as a structured overloaded response"
+    );
+    assert!(
+        tier1_ok > 0,
+        "deployed-session control must keep flowing above the floor"
+    );
+
+    // Graceful degradation, not collapse: once the storm passes and the
+    // bucket refills past the best-effort floor, the same op succeeds.
+    labs.run(Duration::from_secs(25)).unwrap();
+    let recovered = labs.api_json(r#"{"op":"list_designs"}"#);
+    assert!(
+        recovered.contains(r#""ok":true"#),
+        "post-storm recovery: {recovered}"
+    );
+
+    (overloaded, shed("2", "hwm"), tier1_ok, ping, recovered)
+}
+
+#[test]
+fn e19_storm_sheds_best_effort_never_the_relay() {
+    let (overloaded, _, _, ping, _) = storm_round(7);
+    assert!(overloaded > 0);
+    assert!(
+        ping.contains("3 sent, 3 received"),
+        "the deployed ping must fly through the storm: {ping}"
+    );
+}
+
+/// Same seed, same storm: every shed count and every reply byte.
+#[test]
+fn e19_storm_is_bit_for_bit_reproducible() {
+    assert_eq!(storm_round(42), storm_round(42));
+}
+
+/// A client that honors the `retry_after_us` hints gets through once
+/// refill catches up — the retry budget turns sheds into latency, not
+/// failures.
+#[test]
+fn retry_budget_rides_out_the_overload() {
+    let (mut labs, _hq, _edge, _a, _b) = cross_site_lab();
+    labs.set_overload_config(tight_config());
+
+    // Drain the bucket to the best-effort floor.
+    while matches!(labs.api(Request::ListDesigns), Response::Designs(_)) {}
+    let Response::Error { code, .. } = labs.api(Request::ListDesigns) else {
+        panic!("the bucket must be exhausted");
+    };
+    assert_eq!(code, "overloaded");
+
+    let response = labs.api_with_retry(Request::ListDesigns, 20).unwrap();
+    assert!(
+        matches!(response, Response::Designs(_)),
+        "honored hints must eventually admit the op: {response:?}"
+    );
+}
+
+/// Web ops against a graced (unreachable) session fail with a
+/// structured deadline error instead of hanging forever.
+#[test]
+fn op_deadlines_expire_instead_of_hanging() {
+    let (mut labs, _hq, edge, _a, b) = cross_site_lab();
+    labs.set_overload_config(OverloadConfig {
+        op_deadline: Duration::from_secs(2),
+        ..OverloadConfig::default()
+    });
+
+    // Cut the edge uplink (under the grace window: the session is
+    // graced, not reaped) and ask its router a question it cannot
+    // answer in time.
+    labs.flap_site(edge, Duration::from_secs(8)).unwrap();
+    labs.run(Duration::from_millis(100)).unwrap();
+    assert!(matches!(
+        labs.api(Request::Console {
+            router: b,
+            line: "show clock".to_string(),
+        }),
+        Response::Ok
+    ));
+    labs.run(Duration::from_secs(3)).unwrap();
+    let Response::Error { code, .. } = labs.api(Request::ConsoleReplies { router: b }) else {
+        panic!("an expired round-trip must be a structured failure");
+    };
+    assert_eq!(code, "deadline-exceeded");
+    assert!(
+        labs.server_obs()
+            .snapshot()
+            .counter("rnl_server_deadline_expired_total", &[])
+            >= 1
+    );
+}
+
+/// Transport backlog policy follows deployment priority: deploying
+/// flips the fronting sessions to fail-fast `Disconnect`, tearing down
+/// flips them back to `DropNewest`.
+#[test]
+fn backlog_policy_follows_deployment_priority() {
+    let (mut labs, _hq, _edge, a, b) = cross_site_lab();
+    labs.run(Duration::from_millis(50)).unwrap();
+    let snap = labs.server_obs().snapshot();
+    assert_eq!(
+        snap.counter(
+            "rnl_server_backlog_policy_total",
+            &[("policy", "disconnect")]
+        ),
+        2,
+        "both sessions front the deployed wire"
+    );
+
+    let dep = labs.server().deployments().next().unwrap().id;
+    assert!(labs.teardown(dep));
+    labs.run(Duration::from_millis(50)).unwrap();
+    let snap = labs.server_obs().snapshot();
+    assert_eq!(
+        snap.counter(
+            "rnl_server_backlog_policy_total",
+            &[("policy", "drop-newest")]
+        ),
+        2,
+        "teardown demotes the sessions back to quiet shedding"
+    );
+    let _ = (a, b);
+}
+
+/// The whole overload story is scrapable from one exposition.
+#[test]
+fn overload_counters_reach_the_prometheus_endpoint() {
+    let (mut labs, _hq, edge, _a, b) = cross_site_lab();
+    labs.set_overload_config(OverloadConfig {
+        op_deadline: Duration::from_secs(1),
+        ..tight_config()
+    });
+    for _ in 0..80 {
+        let _ = labs.api(Request::ListDesigns);
+    }
+    labs.flap_site(edge, Duration::from_secs(8)).unwrap();
+    labs.run(Duration::from_millis(100)).unwrap();
+    let _ = labs.api(Request::Console {
+        router: b,
+        line: "show clock".to_string(),
+    });
+    labs.run(Duration::from_secs(2)).unwrap();
+    let _ = labs.api(Request::ConsoleReplies { router: b });
+
+    let text = render_prometheus(&labs.server_obs().snapshot());
+    for needle in [
+        r#"rnl_server_shed_total{reason="hwm",tier="2"}"#,
+        "rnl_server_deadline_expired_total",
+        r#"rnl_server_backlog_policy_total{policy="disconnect"}"#,
+    ] {
+        assert!(text.contains(needle), "missing {needle} in:\n{text}");
+    }
+}
+
+proptest! {
+    /// Chaos: a seeded op storm composed with an E17 uplink flap at an
+    /// arbitrary point. Whatever the interleaving: no panic, tier 0
+    /// never sheds, every frame queued for the graced session is
+    /// flushed on re-adoption (none lost, none leaked), and the flapped
+    /// site re-adopts mid-story and answers again afterwards.
+    #[test]
+    fn chaos_storm_with_flaps_keeps_every_invariant(
+        seed in any::<u64>(),
+        flap_at_ms in 0u64..2_000,
+        flap_down_ms in 500u64..3_000,
+    ) {
+        let (mut labs, _hq, edge, a, b) = cross_site_lab();
+        labs.set_overload_config(OverloadConfig {
+            capacity: 60,
+            refill_per_sec: 20,
+            session_capacity: 60,
+            session_refill_per_sec: 60,
+            ..OverloadConfig::default()
+        });
+        let start = labs.now();
+        labs.schedule_flap(
+            edge,
+            start + Duration::from_millis(flap_at_ms),
+            Duration::from_millis(flap_down_ms),
+        ).unwrap();
+
+        let mut storm = OpStorm::new(seed);
+        for _ in 0..40 {
+            for _ in 0..3 {
+                let _ = match storm.gen_range(4) {
+                    0 => labs.api(Request::ListDesigns),
+                    1 => labs.api(Request::ExportDesign { name: "ghost".to_string() }),
+                    2 => labs.api(Request::Console { router: a, line: "show clock".to_string() }),
+                    _ => labs.api(Request::Console { router: b, line: "show clock".to_string() }),
+                };
+            }
+            labs.run(Duration::from_millis(100)).unwrap();
+        }
+        // Let the flap finish, the supervisor redial, and the bucket
+        // refill.
+        labs.run(Duration::from_secs(12)).unwrap();
+
+        let snap = labs.server_obs().snapshot();
+        prop_assert_eq!(
+            snap.counter("rnl_server_shed_total", &[("tier", "0"), ("reason", "hwm")])
+                + snap.counter("rnl_server_shed_total", &[("tier", "0"), ("reason", "session-quota")]),
+            0,
+            "the relay tier is never shed"
+        );
+        // Frame accounting across the grace window: everything queued
+        // for the flapped session flushed in order, nothing was shed.
+        prop_assert_eq!(
+            snap.counter("rnl_server_replay_flushed_total", &[]),
+            snap.counter("rnl_server_replay_queued_total", &[]),
+        );
+        prop_assert_eq!(
+            snap.counter("rnl_server_frames_unrouted_total", &[("reason", "session-graced")]),
+            0
+        );
+        // The flap stayed under the grace window: re-adopted, not reaped.
+        prop_assert_eq!(snap.counter("rnl_server_session_readopted_total", &[]), 1);
+        prop_assert_eq!(snap.counter("rnl_server_session_reaped_total", &[]), 0);
+        prop_assert!(labs.site_connected(edge));
+        prop_assert!(!labs.server().crashed());
+
+        // After storm + flap, the server still answers — with a retry
+        // budget riding out any residual shedding.
+        let response = labs.api_with_retry(Request::ListDesigns, 10).unwrap();
+        prop_assert!(matches!(response, Response::Designs(_)));
+    }
+}

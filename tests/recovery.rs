@@ -74,8 +74,10 @@ fn crash_recover_round(point: CrashPoint) {
 
     // Arm the crash point, then poke it with a probe mutation (a
     // reservation for the append points; a forced compaction for the
-    // snapshot point, which must leave committed state untouched).
-    labs.arm_server_crash(Some(point));
+    // snapshot point, which must leave committed state untouched). The
+    // probe *design* commits durably before arming — saved designs are
+    // journaled too, and replaying it is asserted below — so the armed
+    // crash fires on the reservation's append, not the design's.
     let now = labs.now();
     let probe_start = now + Duration::from_secs(3_600);
     match point {
@@ -83,6 +85,7 @@ fn crash_recover_round(point: CrashPoint) {
             let mut probe = Design::new("probe");
             probe.add_device(a);
             labs.save_design(probe);
+            labs.arm_server_crash(Some(point));
             let _ = labs.reserve(
                 "alice",
                 "probe",
@@ -91,6 +94,7 @@ fn crash_recover_round(point: CrashPoint) {
             );
         }
         CrashPoint::MidSnapshot => {
+            labs.arm_server_crash(Some(point));
             let _ = labs.server_mut().snapshot_now(now);
         }
     }
@@ -134,6 +138,14 @@ fn crash_recover_round(point: CrashPoint) {
         CrashPoint::MidSnapshot => {
             assert!(!probe_present, "no reservation was ever attempted");
         }
+    }
+    if !matches!(point, CrashPoint::MidSnapshot) {
+        // The probe design committed before the crash was armed: it
+        // must replay regardless of where the reservation's append died.
+        assert!(
+            labs.server().designs().load("probe").is_some(),
+            "the journaled saved design must replay"
+        );
     }
 
     // The sites' supervisors redial on their own; within the grace
@@ -226,6 +238,36 @@ fn torn_journal_tail_is_truncated_not_fatal() {
     assert_eq!(snap.counter("rnl_server_journal_replayed_total", &[]), 1);
 }
 
+/// Saved designs are durable state: `save_design` / `delete_design`
+/// journal, and recovery replays the design store exactly — including
+/// a delete that follows a save.
+#[test]
+fn saved_designs_replay_from_the_journal() {
+    let t = |ms: u64| Instant::EPOCH + Duration::from_millis(ms);
+    let wal = MemJournal::new();
+    let store = wal.store();
+    let mut server = RouteServer::new();
+    server.set_durability(Box::new(wal), t(0)).unwrap();
+
+    let mut kept = Design::new("kept");
+    kept.add_device(RouterId(7));
+    kept.add_device(RouterId(8));
+    kept.connect((RouterId(7), PortId(0)), (RouterId(8), PortId(0)))
+        .unwrap();
+    server.save_design(kept.clone());
+    server.save_design(Design::new("dropped"));
+    assert!(server.delete_design("dropped"));
+    assert!(!server.crashed());
+    drop(server);
+
+    let recovered = RouteServer::recover(Box::new(MemJournal::attached(store)), t(100)).unwrap();
+    assert_eq!(recovered.designs().load("kept"), Some(&kept));
+    assert!(
+        recovered.designs().load("dropped").is_none(),
+        "the journaled delete must replay after the save"
+    );
+}
+
 /// Compaction is invisible: the durable state is byte-identical whether
 /// it is reconstructed from snapshot + tail (first recovery) or from
 /// the compacted snapshot that recovery itself wrote (second recovery) —
@@ -263,7 +305,7 @@ fn snapshot_compaction_preserves_state_bytes() {
     server
         .reserve_design("alice", "pair", t(10_000), t(20_000))
         .unwrap_err(); // unsaved design: calendar untouched, by design
-    server.designs_mut().save(design);
+    server.save_design(design);
     server
         .reserve_design("alice", "pair", t(10_000), t(20_000))
         .unwrap();
