@@ -30,5 +30,13 @@ cargo test -q --offline -p rnl --test recovery
 # E19 admission control / load shedding, including the storm-plus-flap
 # chaos property test.
 cargo test -q --offline -p rnl --test overload
+# E20 performance observability: the stall→slow_ops→trace e2e flow.
+cargo test -q --offline -p rnl --test perf
+# Perf-regression gate: prove the comparator bites, then check the four
+# deterministic virtual-clock workloads against the BENCH_*.json
+# baselines at the repo root (regenerate deliberately with
+# `cargo run -p rnl-bench --release --bin bench -- --out .`).
+cargo run -q --offline --release -p rnl-bench --bin bench -- --selftest
+cargo run -q --offline --release -p rnl-bench --bin bench -- --check --tolerance 5
 
 echo "ci: all checks passed"

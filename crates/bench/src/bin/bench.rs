@@ -1,0 +1,195 @@
+//! `bench` — the deterministic perf-regression rig.
+//!
+//! Runs the four virtual-clock workloads (`packet_flow`,
+//! `server_scaling`, `failover_convergence`, `l1_bypass`) and either
+//! writes their reports as `BENCH_<workload>.json` baselines or checks
+//! them against existing baselines:
+//!
+//! ```text
+//! bench --out .                      # (re)generate baselines
+//! bench --check --tolerance 5        # fail (exit 1) on regression
+//! bench --selftest                   # prove the gate catches a
+//!                                    # synthetic regression
+//! bench --check packet_flow          # check a subset
+//! ```
+//!
+//! Every number in a report derives from the virtual clock and seeded
+//! RNGs, so baselines are byte-stable across machines and runs; the
+//! tolerance only absorbs *intentional* behaviour shifts.
+
+use rnl_bench::regress::compare;
+use rnl_bench::workloads::{run_workload, WORKLOADS};
+use rnl_server::json::Json;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+struct Args {
+    check: bool,
+    selftest: bool,
+    tolerance_pct: f64,
+    out_dir: PathBuf,
+    baseline_dir: PathBuf,
+    workloads: Vec<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench [--out DIR] [--check] [--tolerance PCT] \
+         [--baseline-dir DIR] [--selftest] [WORKLOAD...]\n\
+         workloads: {}",
+        WORKLOADS.join(", ")
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        check: false,
+        selftest: false,
+        tolerance_pct: 5.0,
+        out_dir: PathBuf::from("."),
+        baseline_dir: PathBuf::from("."),
+        workloads: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--check" => args.check = true,
+            "--selftest" => args.selftest = true,
+            "--tolerance" => {
+                let Some(v) = it.next().and_then(|v| v.parse().ok()) else {
+                    usage();
+                };
+                args.tolerance_pct = v;
+            }
+            "--out" => {
+                let Some(v) = it.next() else { usage() };
+                args.out_dir = PathBuf::from(v);
+            }
+            "--baseline-dir" => {
+                let Some(v) = it.next() else { usage() };
+                args.baseline_dir = PathBuf::from(v);
+            }
+            "--help" | "-h" => usage(),
+            w if WORKLOADS.contains(&w) => args.workloads.push(w.to_string()),
+            _ => usage(),
+        }
+    }
+    if args.workloads.is_empty() {
+        args.workloads = WORKLOADS.iter().map(|w| w.to_string()).collect();
+    }
+    args
+}
+
+fn baseline_path(dir: &Path, workload: &str) -> PathBuf {
+    dir.join(format!("BENCH_{workload}.json"))
+}
+
+/// `--selftest`: the gate must pass an identical report and fail a
+/// synthetic regression in each direction class — proof the CI wiring
+/// actually bites before anyone trusts a green run.
+fn selftest() -> ExitCode {
+    let base = Json::obj([
+        ("schema", Json::num(1.0)),
+        ("workload", Json::str("selftest")),
+        (
+            "metrics",
+            Json::obj([
+                (
+                    "latency_us",
+                    Json::obj([("dir", Json::str("lower")), ("value", Json::num(100.0))]),
+                ),
+                (
+                    "ops_per_vsec",
+                    Json::obj([("dir", Json::str("higher")), ("value", Json::num(1000.0))]),
+                ),
+                (
+                    "frames",
+                    Json::obj([("dir", Json::str("exact")), ("value", Json::num(42.0))]),
+                ),
+            ]),
+        ),
+    ]);
+    if !compare(&base, &base, 5.0).is_empty() {
+        eprintln!("selftest FAILED: identical report flagged as regression");
+        return ExitCode::FAILURE;
+    }
+    let mut failures = 0;
+    for (metric, bad) in [
+        ("latency_us", 120.0),
+        ("ops_per_vsec", 800.0),
+        ("frames", 50.0),
+    ] {
+        let mut cur = base.clone();
+        if let Some(Json::Obj(metrics)) = match &mut cur {
+            Json::Obj(o) => o.get_mut("metrics"),
+            _ => None,
+        } {
+            if let Some(Json::Obj(m)) = metrics.get_mut(metric) {
+                m.insert("value".to_string(), Json::num(bad));
+            }
+        }
+        let faults = compare(&base, &cur, 5.0);
+        if faults.len() != 1 {
+            eprintln!("selftest FAILED: {metric} regression not caught ({faults:?})");
+            failures += 1;
+        }
+    }
+    if failures == 0 {
+        println!("selftest ok: gate passes clean runs and catches regressions");
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    if args.selftest {
+        return selftest();
+    }
+    let mut regressions = Vec::new();
+    for workload in &args.workloads {
+        let report = run_workload(workload);
+        if args.check {
+            let path = baseline_path(&args.baseline_dir, workload);
+            let text = match std::fs::read_to_string(&path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("bench: cannot read baseline {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+            };
+            let baseline = match Json::parse(&text) {
+                Ok(j) => j,
+                Err(e) => {
+                    eprintln!("bench: bad baseline {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+            };
+            let faults = compare(&baseline, &report, args.tolerance_pct);
+            if faults.is_empty() {
+                println!("bench: {workload} ok (within {}%)", args.tolerance_pct);
+            } else {
+                for f in &faults {
+                    eprintln!("bench: REGRESSION {f}");
+                }
+                regressions.extend(faults);
+            }
+        } else {
+            let path = baseline_path(&args.out_dir, workload);
+            let body = report.encode() + "\n";
+            if let Err(e) = std::fs::write(&path, body) {
+                eprintln!("bench: cannot write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            println!("bench: wrote {}", path.display());
+        }
+    }
+    if regressions.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("bench: {} regression(s)", regressions.len());
+        ExitCode::FAILURE
+    }
+}

@@ -9,6 +9,9 @@
 //! builders here are used by both so the numbers describe one code
 //! base.
 
+pub mod regress;
+pub mod workloads;
+
 use rnl_device::host::Host;
 use rnl_net::time::{Duration, Instant};
 use rnl_ris::Ris;

@@ -1,0 +1,224 @@
+//! The perf-regression gate: compare a freshly-run workload report
+//! against its checked-in `BENCH_<workload>.json` baseline.
+//!
+//! Every metric declares its own regression direction in the report
+//! (`"lower"` / `"higher"` / `"exact"`), so the comparator needs no
+//! out-of-band table and a baseline file is self-describing. Because
+//! workloads are virtual-clock deterministic, any drift at all means
+//! the code changed behaviour; the tolerance exists so an *intentional*
+//! small shift (a protocol field added, a poll reordered) does not
+//! force a re-baseline, while real regressions fail the gate.
+
+use rnl_server::json::Json;
+
+/// One detected problem, human-readable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Regression {
+    /// `"<workload>/<metric>"`, or `"<workload>"` for envelope faults.
+    pub what: String,
+    pub detail: String,
+}
+
+impl std::fmt::Display for Regression {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.what, self.detail)
+    }
+}
+
+fn fault(what: impl Into<String>, detail: impl Into<String>) -> Regression {
+    Regression {
+        what: what.into(),
+        detail: detail.into(),
+    }
+}
+
+/// Compare `current` against `baseline` with a symmetric percentage
+/// tolerance. Returns every regression found (empty = gate passes).
+///
+/// Schema drift — a metric missing from either side, a direction
+/// change, a schema-version bump — fails the gate too: baselines are
+/// regenerated deliberately (`bench --out .`), never silently.
+pub fn compare(baseline: &Json, current: &Json, tolerance_pct: f64) -> Vec<Regression> {
+    let mut out = Vec::new();
+    let name = current
+        .get("workload")
+        .and_then(Json::as_str)
+        .unwrap_or("?")
+        .to_string();
+    for field in ["schema", "workload"] {
+        let b = baseline.get(field);
+        let c = current.get(field);
+        if b != c {
+            out.push(fault(
+                name.clone(),
+                format!("{field} mismatch: baseline {b:?} vs current {c:?}"),
+            ));
+        }
+    }
+    let (Some(Json::Obj(base)), Some(Json::Obj(cur))) =
+        (baseline.get("metrics"), current.get("metrics"))
+    else {
+        out.push(fault(name, "report missing metrics object"));
+        return out;
+    };
+    for key in base.keys() {
+        if !cur.contains_key(key) {
+            out.push(fault(
+                format!("{name}/{key}"),
+                "metric disappeared from current run",
+            ));
+        }
+    }
+    for key in cur.keys() {
+        if !base.contains_key(key) {
+            out.push(fault(
+                format!("{name}/{key}"),
+                "metric absent from baseline (re-baseline with `bench --out .`)",
+            ));
+        }
+    }
+    let tol = tolerance_pct / 100.0;
+    for (key, b) in base {
+        let Some(c) = cur.get(key.as_str()) else {
+            continue;
+        };
+        let what = format!("{name}/{key}");
+        let (Some(b_dir), Some(b_val)) = (
+            b.get("dir").and_then(Json::as_str),
+            b.get("value").and_then(Json::as_f64),
+        ) else {
+            out.push(fault(what, "malformed baseline metric"));
+            continue;
+        };
+        let (Some(c_dir), Some(c_val)) = (
+            c.get("dir").and_then(Json::as_str),
+            c.get("value").and_then(Json::as_f64),
+        ) else {
+            out.push(fault(what, "malformed current metric"));
+            continue;
+        };
+        if b_dir != c_dir {
+            out.push(fault(
+                what,
+                format!("direction changed: {b_dir} -> {c_dir}"),
+            ));
+            continue;
+        }
+        if let Some(detail) = judge(b_dir, b_val, c_val, tol) {
+            out.push(fault(what, detail));
+        }
+    }
+    out
+}
+
+/// Whether `cur` regressed from `base` in direction `dir` given a
+/// fractional tolerance; `Some(detail)` when it did.
+fn judge(dir: &str, base: f64, cur: f64, tol: f64) -> Option<String> {
+    // A zero baseline gives the percentage tolerance nothing to scale;
+    // any movement in the bad direction is then a regression.
+    let slack = base.abs() * tol + 1e-9;
+    let worse = match dir {
+        "lower" => cur > base + slack,
+        "higher" => cur < base - slack,
+        "exact" => (cur - base).abs() > slack,
+        other => return Some(format!("unknown direction {other:?}")),
+    };
+    worse.then(|| {
+        format!(
+            "{cur} vs baseline {base} ({} beyond {}% tolerance, dir={dir})",
+            cur - base,
+            tol * 100.0
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rep(metrics: &[(&'static str, &'static str, f64)]) -> Json {
+        Json::obj([
+            ("schema", Json::num(1.0)),
+            ("workload", Json::str("t")),
+            (
+                "metrics",
+                Json::obj(metrics.iter().map(|&(k, dir, v)| {
+                    (
+                        k,
+                        Json::obj([("dir", Json::str(dir)), ("value", Json::num(v))]),
+                    )
+                })),
+            ),
+        ])
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let r = rep(&[("lat", "lower", 100.0), ("tput", "higher", 50.0)]);
+        assert!(compare(&r, &r, 5.0).is_empty());
+    }
+
+    #[test]
+    fn drift_within_tolerance_passes() {
+        let base = rep(&[("lat", "lower", 100.0), ("tput", "higher", 100.0)]);
+        let cur = rep(&[("lat", "lower", 104.0), ("tput", "higher", 96.0)]);
+        assert!(compare(&base, &cur, 5.0).is_empty());
+    }
+
+    #[test]
+    fn latency_regression_fails() {
+        let base = rep(&[("lat", "lower", 100.0)]);
+        let cur = rep(&[("lat", "lower", 120.0)]);
+        let faults = compare(&base, &cur, 5.0);
+        assert_eq!(faults.len(), 1);
+        assert_eq!(faults[0].what, "t/lat");
+    }
+
+    #[test]
+    fn latency_improvement_passes() {
+        let base = rep(&[("lat", "lower", 100.0)]);
+        let cur = rep(&[("lat", "lower", 10.0)]);
+        assert!(compare(&base, &cur, 5.0).is_empty());
+    }
+
+    #[test]
+    fn throughput_regression_fails_and_improvement_passes() {
+        let base = rep(&[("tput", "higher", 100.0)]);
+        assert!(!compare(&base, &rep(&[("tput", "higher", 80.0)]), 5.0).is_empty());
+        assert!(compare(&base, &rep(&[("tput", "higher", 500.0)]), 5.0).is_empty());
+    }
+
+    #[test]
+    fn exact_drifts_fail_both_ways() {
+        let base = rep(&[("frames", "exact", 1000.0)]);
+        assert!(!compare(&base, &rep(&[("frames", "exact", 900.0)]), 5.0).is_empty());
+        assert!(!compare(&base, &rep(&[("frames", "exact", 1100.0)]), 5.0).is_empty());
+        assert!(compare(&base, &rep(&[("frames", "exact", 1001.0)]), 5.0).is_empty());
+    }
+
+    #[test]
+    fn zero_baseline_tolerates_no_bad_movement() {
+        let base = rep(&[("drops", "lower", 0.0)]);
+        assert!(!compare(&base, &rep(&[("drops", "lower", 1.0)]), 50.0).is_empty());
+        assert!(compare(&base, &rep(&[("drops", "lower", 0.0)]), 50.0).is_empty());
+    }
+
+    #[test]
+    fn missing_and_extra_metrics_fail() {
+        let base = rep(&[("a", "exact", 1.0), ("b", "exact", 1.0)]);
+        let cur = rep(&[("a", "exact", 1.0), ("c", "exact", 1.0)]);
+        let faults = compare(&base, &cur, 5.0);
+        assert_eq!(faults.len(), 2, "{faults:?}");
+    }
+
+    #[test]
+    fn schema_and_direction_changes_fail() {
+        let base = rep(&[("a", "lower", 1.0)]);
+        let mut cur = rep(&[("a", "higher", 1.0)]);
+        assert!(!compare(&base, &cur, 5.0).is_empty());
+        if let Json::Obj(o) = &mut cur {
+            o.insert("schema".to_string(), Json::num(2.0));
+        }
+        assert!(compare(&base, &cur, 5.0).len() >= 2);
+    }
+}

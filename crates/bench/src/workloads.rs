@@ -1,0 +1,367 @@
+//! Deterministic perf workloads behind the `bench` binary.
+//!
+//! Each workload runs entirely on the virtual clock — every number in
+//! its report derives from seeded RNGs and virtual timestamps, so two
+//! runs on any two machines produce byte-identical JSON. That is what
+//! makes the `BENCH_<workload>.json` files at the repo root usable as
+//! regression baselines: a diff means the *code* changed behaviour, not
+//! that the host was busy.
+//!
+//! The four workloads mirror the paper's performance story:
+//!
+//! * `packet_flow` — the Fig. 4 relay path under a metro WAN profile,
+//!   with real [`Span`]s so the server's relay-latency quantile sketch
+//!   is exercised end to end.
+//! * `server_scaling` — the §4 central funnel: many independent labs
+//!   multiplexed through one route server.
+//! * `failover_convergence` — the Fig. 5 FWSM failover lab: virtual
+//!   time from killing the active switch to standby takeover and to
+//!   traffic recovery.
+//! * `l1_bypass` — the Fig. 7 layer-1 bypass vs the software tunnel:
+//!   frame counts and the tunnel's virtual latency distribution (the
+//!   bridge, by construction, adds none).
+
+use crate::bench_frame;
+use rnl_core::scenarios::{fig5_failover_lab, Fig5Options};
+use rnl_net::time::{Duration, Instant};
+use rnl_obs::{Span, TraceIdGen};
+use rnl_server::design::Design;
+use rnl_server::json::Json;
+use rnl_server::RouteServer;
+use rnl_tunnel::impair::Impairment;
+use rnl_tunnel::msg::{Msg, PortId, RouterId};
+use rnl_tunnel::transport::{mem_pair, MemTransport, Transport};
+
+/// Schema version stamped into every report; bump when the metric set
+/// changes shape (renames, removals) so stale baselines fail loudly.
+pub const BENCH_SCHEMA: u64 = 1;
+
+/// The workloads the `bench` binary knows, in run order.
+pub const WORKLOADS: [&str; 4] = [
+    "packet_flow",
+    "server_scaling",
+    "failover_convergence",
+    "l1_bypass",
+];
+
+/// Run one workload by name. Panics on an unknown name — the binary
+/// validates names before calling.
+pub fn run_workload(name: &str) -> Json {
+    match name {
+        "packet_flow" => packet_flow(),
+        "server_scaling" => server_scaling(),
+        "failover_convergence" => failover_convergence(),
+        "l1_bypass" => l1_bypass(),
+        other => panic!("unknown workload {other}"),
+    }
+}
+
+/// One metric in a report: a value plus the direction in which change
+/// is a regression (`"lower"` = lower is better, `"higher"` = higher is
+/// better, `"exact"` = any drift beyond tolerance is a regression).
+fn metric(dir: &'static str, value: f64) -> Json {
+    Json::obj([("dir", Json::str(dir)), ("value", Json::num(value))])
+}
+
+/// Wrap a workload's metrics in the stable report envelope.
+fn report(workload: &'static str, metrics: Vec<(&'static str, Json)>) -> Json {
+    Json::obj([
+        ("schema", Json::num(BENCH_SCHEMA as f64)),
+        ("workload", Json::str(workload)),
+        ("metrics", Json::obj(metrics)),
+    ])
+}
+
+/// A relay pair on one server with a WAN impairment and real spans —
+/// unlike [`crate::RelayRig`], frames here carry trace identities and
+/// ingress timestamps, so the server's latency quantiles fill in.
+struct SpanRig {
+    server: RouteServer,
+    a: MemTransport,
+    b: MemTransport,
+    ra: RouterId,
+    now: Instant,
+    gen: TraceIdGen,
+}
+
+impl SpanRig {
+    fn new(impairment: Impairment, seed: u64) -> SpanRig {
+        let mut server = RouteServer::new();
+        server.set_enforce_reservations(false);
+        let (mut a, sa) = mem_pair(impairment, impairment, seed);
+        let (mut b, sb) = mem_pair(impairment, impairment, seed + 1);
+        server.attach(Box::new(sa));
+        server.attach(Box::new(sb));
+        let mut now = Instant::EPOCH;
+        for (t, name) in [(&mut a, "bench-a"), (&mut b, "bench-b")] {
+            let info = rnl_tunnel::msg::RegisterInfo {
+                pc_name: name.to_string(),
+                epoch: Default::default(),
+                routers: vec![rnl_tunnel::msg::RouterInfo {
+                    local_id: 0,
+                    description: "bench port".to_string(),
+                    model: "bench".to_string(),
+                    image: "bench.png".to_string(),
+                    ports: vec![rnl_tunnel::msg::PortInfo {
+                        description: "p0".to_string(),
+                        nic: "nic0".to_string(),
+                        region: rnl_tunnel::msg::ImageRegion::default(),
+                    }],
+                    console_com: None,
+                }],
+            };
+            t.send(&Msg::Register(info), now).expect("send");
+        }
+        // Registrations cross an impaired link; poll until both land.
+        for _ in 0..1000 {
+            now += Duration::from_millis(1);
+            server.poll(now);
+            if server.inventory().list().count() == 2 {
+                break;
+            }
+        }
+        let ids: Vec<RouterId> = server.inventory().list().map(|r| r.id).collect();
+        assert_eq!(ids.len(), 2, "registration did not converge");
+        let (ra, rb) = (ids[0], ids[1]);
+        let mut design = Design::new("bench");
+        design.add_device(ra);
+        design.add_device(rb);
+        design
+            .connect((ra, PortId(0)), (rb, PortId(0)))
+            .expect("connect");
+        server.deploy_design("bench", &design, now).expect("deploy");
+        // Drain acks so the receive side starts clean.
+        let _ = a.poll(now).expect("ack");
+        let _ = b.poll(now).expect("ack");
+        SpanRig {
+            server,
+            a,
+            b,
+            ra,
+            now,
+            gen: TraceIdGen::new("bench"),
+        }
+    }
+
+    /// Send `count` spanned frames a→b, advancing `step` per frame,
+    /// then drain until every frame has been relayed and received.
+    fn pump(&mut self, count: usize, frame: &[u8], step: Duration) -> u64 {
+        let mut received = 0u64;
+        for _ in 0..count {
+            self.now += step;
+            let span = Span {
+                trace: self.gen.allocate(),
+                origin_us: self.now.as_micros(),
+            };
+            self.a
+                .send(
+                    &Msg::Data {
+                        router: self.ra,
+                        port: PortId(0),
+                        span,
+                        frame: frame.to_vec(),
+                    },
+                    self.now,
+                )
+                .expect("send");
+            self.server.poll(self.now);
+            received += self.recv_data();
+        }
+        // Impairment delays straggle past the last send; drain.
+        for _ in 0..1000 {
+            if received >= count as u64 {
+                break;
+            }
+            self.now += Duration::from_millis(1);
+            self.server.poll(self.now);
+            received += self.recv_data();
+        }
+        received
+    }
+
+    /// Data frames (only) waiting on the receive side.
+    fn recv_data(&mut self) -> u64 {
+        self.b
+            .poll(self.now)
+            .expect("recv")
+            .iter()
+            .filter(|m| matches!(m, Msg::Data { .. } | Msg::DataCompressed { .. }))
+            .count() as u64
+    }
+}
+
+/// Relay-latency quantiles from a server's registry, as report metrics.
+fn relay_quantile_metrics(server: &RouteServer) -> Vec<(&'static str, Json)> {
+    let snap = server.obs().snapshot();
+    let q = snap
+        .quantile("rnl_server_relay_latency_us_quantile", &[])
+        .cloned()
+        .unwrap_or_default();
+    vec![
+        (
+            "relay_p50_us",
+            metric("lower", q.quantile(0.5).unwrap_or(0) as f64),
+        ),
+        (
+            "relay_p99_us",
+            metric("lower", q.quantile(0.99).unwrap_or(0) as f64),
+        ),
+        ("relay_max_us", metric("lower", q.max as f64)),
+    ]
+}
+
+/// `packet_flow` — Fig. 4 path under a metro profile, spans on.
+fn packet_flow() -> Json {
+    let mut rig = SpanRig::new(Impairment::metro(), 0xbe9c);
+    let frame = bench_frame(256);
+    let t0 = rig.now;
+    let received = rig.pump(2_000, &frame, Duration::from_micros(500));
+    let stats = rig.server.stats();
+    let vsecs = rig.now.since(t0).as_micros() as f64 / 1e6;
+    let mut metrics = vec![
+        (
+            "frames_relayed",
+            metric("exact", stats.frames_routed as f64),
+        ),
+        ("frames_received", metric("exact", received as f64)),
+        ("bytes_relayed", metric("exact", stats.bytes_relayed as f64)),
+        (
+            "frames_per_vsec",
+            metric("higher", stats.frames_routed as f64 / vsecs),
+        ),
+    ];
+    metrics.extend(relay_quantile_metrics(&rig.server));
+    report("packet_flow", metrics)
+}
+
+/// `server_scaling` — §4 central funnel: 16 independent labs through
+/// one server.
+fn server_scaling() -> Json {
+    let mut rig = crate::MultiRelayRig::new(16, 0x5ca1e);
+    let frame = bench_frame(256);
+    let t0 = rig.now;
+    rig.pump(200, &frame);
+    let stats = rig.server.stats();
+    let vsecs = rig.now.since(t0).as_micros() as f64 / 1e6;
+    report(
+        "server_scaling",
+        vec![
+            ("labs", metric("exact", rig.labs.len() as f64)),
+            (
+                "frames_relayed",
+                metric("exact", stats.frames_routed as f64),
+            ),
+            ("bytes_relayed", metric("exact", stats.bytes_relayed as f64)),
+            (
+                "frames_per_vsec",
+                metric("higher", stats.frames_routed as f64 / vsecs),
+            ),
+        ],
+    )
+}
+
+/// `failover_convergence` — Fig. 5: virtual milliseconds from killing
+/// the active switch to standby takeover and to restored traffic.
+fn failover_convergence() -> Json {
+    let lab = fig5_failover_lab(Fig5Options::default()).expect("lab");
+    let mut labs = lab.labs;
+    let t_kill = labs.now();
+    labs.set_power(lab.swa, false);
+    let mut takeover_ms = None;
+    for _ in 0..1000 {
+        labs.run(Duration::from_millis(50)).expect("run");
+        labs.console(lab.swb, "enable").expect("console");
+        let out = labs.console(lab.swb, "show firewall").expect("console");
+        if out.contains("Active") {
+            takeover_ms = Some(labs.now().since(t_kill).as_millis());
+            break;
+        }
+    }
+    let takeover_ms = takeover_ms.expect("standby takes over");
+    let mut recovery_ms = None;
+    for _ in 0..60 {
+        let start = labs.now();
+        labs.device_mut(lab.site, lab.local.s2)
+            .expect("device")
+            .console("ping 198.51.100.5 count 1", start);
+        labs.run(Duration::from_secs(2)).expect("run");
+        let out = labs.console(lab.s2, "show ping").expect("console");
+        if out.contains("1 received") {
+            recovery_ms = Some(labs.now().since(t_kill).as_millis());
+            break;
+        }
+    }
+    let recovery_ms = recovery_ms.expect("traffic recovers");
+    report(
+        "failover_convergence",
+        vec![
+            ("takeover_vms", metric("lower", takeover_ms as f64)),
+            ("recovery_vms", metric("lower", recovery_ms as f64)),
+            (
+                "frames_routed",
+                metric("exact", labs.server().stats().frames_routed as f64),
+            ),
+        ],
+    )
+}
+
+/// `l1_bypass` — Fig. 7: the L1 bridge forwards everything with zero
+/// added virtual latency; the tunnel path pays the WAN.
+fn l1_bypass() -> Json {
+    use rnl_l1switch::{L1Output, L1Switch};
+    let mut sw = L1Switch::new(2);
+    sw.bridge(0, 1).expect("bridge");
+    let mut bridged = 0u64;
+    for _ in 0..10_000 {
+        if sw.ingress(0) == L1Output::Port(1) {
+            bridged += 1;
+        }
+    }
+    let mut rig = SpanRig::new(Impairment::metro(), 0x17b);
+    let frame = bench_frame(1518);
+    let received = rig.pump(1_000, &frame, Duration::from_micros(500));
+    let mut metrics = vec![
+        ("l1_frames_bridged", metric("exact", bridged as f64)),
+        ("tunnel_frames_relayed", metric("exact", received as f64)),
+    ];
+    metrics.extend(relay_quantile_metrics(&rig.server));
+    report("l1_bypass", metrics)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reports_are_reproducible() {
+        // Two in-process runs must produce byte-identical JSON — the
+        // property the checked-in baselines rely on. The heavyweight
+        // failover workload is covered by the same mechanism (virtual
+        // clock only) and exercised via the binary; keeping it out of
+        // the unit suite keeps `cargo test` fast.
+        for name in ["packet_flow", "server_scaling", "l1_bypass"] {
+            let a = run_workload(name).encode();
+            let b = run_workload(name).encode();
+            assert_eq!(a, b, "workload {name} not reproducible");
+        }
+    }
+
+    #[test]
+    fn packet_flow_fills_relay_quantiles() {
+        let rep = run_workload("packet_flow");
+        let metrics = rep.get("metrics").expect("metrics");
+        let p50 = metrics
+            .get("relay_p50_us")
+            .and_then(|m| m.get("value"))
+            .and_then(Json::as_f64)
+            .expect("p50");
+        // Metro one-way delay is ~2 ms ± 1 ms.
+        assert!(p50 >= 1_000.0, "p50 {p50} below metro delay");
+        let frames = metrics
+            .get("frames_relayed")
+            .and_then(|m| m.get("value"))
+            .and_then(Json::as_f64)
+            .expect("frames");
+        assert!(frames >= 1_999.0, "lost frames: {frames}");
+    }
+}

@@ -33,7 +33,7 @@ pub mod terminal;
 
 use rnl_device::device::Device;
 use rnl_net::time::{Duration, Instant};
-use rnl_obs::{merge_trace, EventJournal, FrameEvent, MetricsRegistry, TraceId};
+use rnl_obs::{merge_trace, EventJournal, FrameEvent, MetricsRegistry, SlowOp, TraceId};
 use rnl_ris::{BackoffConfig, Dialer, Ris, RisError, Supervisor};
 use rnl_server::design::Design;
 use rnl_server::journal::{CrashPoint, MemJournal, SharedStore};
@@ -41,6 +41,7 @@ use rnl_server::matrix::DeploymentId;
 use rnl_server::reserve::ReservationId;
 use rnl_server::web::{self, Request, Response};
 use rnl_server::{RouteServer, ServerError};
+use rnl_tunnel::faults::FaultPlan;
 use rnl_tunnel::impair::Impairment;
 use rnl_tunnel::msg::{PortId, RouterId};
 use rnl_tunnel::transport::{mem_pair, Transport, TransportError, TransportMetrics};
@@ -97,6 +98,9 @@ struct Site {
     supervisor: Supervisor,
     /// WAN profile applied (both directions) to every dialed tunnel.
     impairment: Impairment,
+    /// Fault schedule installed on the RIS side of every dialed tunnel
+    /// (stalls, partitions, cuts on the virtual clock).
+    faults: FaultPlan,
     pc_name: String,
     /// Scheduled uplink cuts: `(cut at, down for)`.
     pending_flaps: Vec<(Instant, Duration)>,
@@ -112,6 +116,7 @@ struct FacadeDialer<'a> {
     server: &'a mut RouteServer,
     seed: &'a mut u64,
     impairment: Impairment,
+    faults: &'a FaultPlan,
     pc_name: &'a str,
     link_down_until: Option<Instant>,
     /// The back end crashed and has not been recovered: nobody answers.
@@ -124,7 +129,11 @@ impl Dialer for FacadeDialer<'_> {
             return Err(TransportError::Closed);
         }
         *self.seed = self.seed.wrapping_mul(6364136223846793005).wrapping_add(1);
-        let (ris_side, mut server_side) = mem_pair(self.impairment, self.impairment, *self.seed);
+        let (mut ris_side, mut server_side) =
+            mem_pair(self.impairment, self.impairment, *self.seed);
+        if !self.faults.is_empty() {
+            ris_side.set_faults(self.faults.clone());
+        }
         server_side.attach_metrics(TransportMetrics::from_registry(
             self.server.obs(),
             &[("site", self.pc_name)],
@@ -199,8 +208,26 @@ impl RemoteNetworkLabs {
     /// Add a geographically remote site: its tunnel traffic suffers
     /// `impairment` in both directions (§3.5 / §4 delay-and-jitter).
     pub fn add_site_with_impairment(&mut self, pc_name: &str, impairment: Impairment) -> SiteId {
+        self.add_site_with_faults(pc_name, impairment, FaultPlan::new())
+    }
+
+    /// Add a site whose uplink carries both a WAN impairment and a
+    /// scheduled [`FaultPlan`] (stalls / partitions / cuts on the
+    /// virtual clock). The plan is installed on the RIS side of every
+    /// tunnel the site dials — including supervisor redials — so a
+    /// scheduled stall reliably hits whichever tunnel is live when its
+    /// window opens.
+    pub fn add_site_with_faults(
+        &mut self,
+        pc_name: &str,
+        impairment: Impairment,
+        faults: FaultPlan,
+    ) -> SiteId {
         self.seed = self.seed.wrapping_mul(6364136223846793005).wrapping_add(1);
-        let (ris_side, mut server_side) = mem_pair(impairment, impairment, self.seed);
+        let (mut ris_side, mut server_side) = mem_pair(impairment, impairment, self.seed);
+        if !faults.is_empty() {
+            ris_side.set_faults(faults.clone());
+        }
         // The server-side transport reports per-site codec sizes and
         // impairment delays into the server's registry.
         server_side.attach_metrics(TransportMetrics::from_registry(
@@ -221,6 +248,7 @@ impl RemoteNetworkLabs {
             ris: Ris::new(pc_name, Box::new(ris_side)),
             supervisor,
             impairment,
+            faults,
             pc_name: pc_name.to_string(),
             pending_flaps: Vec::new(),
             link_down_until: None,
@@ -298,6 +326,7 @@ impl RemoteNetworkLabs {
                 server: &mut self.server,
                 seed: &mut self.seed,
                 impairment: site.impairment,
+                faults: &site.faults,
                 pc_name: &site.pc_name,
                 link_down_until: site.link_down_until,
                 server_down: self.server_down,
@@ -493,6 +522,20 @@ impl RemoteNetworkLabs {
     /// One site's frame-path journal.
     pub fn site_journal(&self, site: SiteId) -> Option<&EventJournal> {
         self.sites.get(site.0).map(|s| s.ris.journal())
+    }
+
+    /// The back end's slow-op flight recorder contents, oldest first:
+    /// every relay / console / flash whose virtual-clock duration
+    /// crossed its class threshold, each carrying the [`TraceId`] that
+    /// [`Self::trace`] resolves to the full hop path.
+    pub fn slow_ops(&self) -> Vec<SlowOp> {
+        self.server.slow_ops()
+    }
+
+    /// Set the slow-op capture threshold (virtual µs) for one op class
+    /// (`"relay"`, `"console"`, `"flash"`).
+    pub fn set_slow_threshold(&mut self, class: &'static str, threshold_us: u64) {
+        self.server.set_slow_threshold(class, threshold_us);
     }
 
     /// All events for one frame's TraceId, merged across the server and

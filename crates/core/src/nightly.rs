@@ -109,6 +109,11 @@ pub struct NightlyReport {
     /// backlog-policy switches, exhausted retry budgets) — nonzero
     /// activity only; a night below the high-water mark stays silent.
     pub overload: Vec<String>,
+    /// Performance summary lines: one per populated quantile series
+    /// (p50/p99/max of relay latency, op round trips, wire latency)
+    /// plus slow-op captures — nonzero activity only, like the other
+    /// sections.
+    pub perf: Vec<String>,
 }
 
 impl NightlyReport {
@@ -162,6 +167,12 @@ impl NightlyReport {
         if !self.overload.is_empty() {
             out.push_str("  overload:\n");
             for line in &self.overload {
+                out.push_str(&format!("    {line}\n"));
+            }
+        }
+        if !self.perf.is_empty() {
+            out.push_str("  perf:\n");
+            for line in &self.perf {
                 out.push_str(&format!("    {line}\n"));
             }
         }
@@ -288,6 +299,29 @@ impl NightlySuite {
                 overload.push(format!("{label}: {v}"));
             }
         }
+        // Perf: every populated quantile series on the server registry
+        // (latency quantiles but not the wall-clock `rnl_perf_*_ns`
+        // profiles, which are nondeterministic), plus slow-op captures.
+        let mut perf = Vec::new();
+        for point in &snap.metrics {
+            if let rnl_obs::MetricValue::Quantile(q) = &point.value {
+                if q.count == 0 || point.name.ends_with("_ns") {
+                    continue;
+                }
+                perf.push(format!(
+                    "{}: p50={} p99={} max={} (n={})",
+                    point.series_id(),
+                    q.quantile(0.5).unwrap_or(0),
+                    q.quantile(0.99).unwrap_or(0),
+                    q.max,
+                    q.count
+                ));
+            }
+        }
+        let slow = obs.counter_sum("rnl_perf_slow_ops_total");
+        if slow > 0 {
+            perf.push(format!("slow ops captured: {slow}"));
+        }
         Ok(NightlyReport {
             results,
             metrics,
@@ -295,6 +329,7 @@ impl NightlySuite {
             resilience,
             recovery,
             overload,
+            perf,
         })
     }
 }

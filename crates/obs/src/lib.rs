@@ -6,7 +6,7 @@
 //! need. It is dependency-free and driven entirely by the simulation's
 //! virtual clock, so every number it produces is deterministic.
 //!
-//! Three pieces:
+//! Five pieces:
 //!
 //! * [`MetricsRegistry`] — named counters, gauges, and fixed-bucket
 //!   histograms. Handles are `Arc`-shared atomics: incrementing and
@@ -20,6 +20,14 @@
 //! * [`EventJournal`] — a bounded ring buffer of [`FrameEvent`]s, one
 //!   journal per component; [`merge_trace`] stitches the per-component
 //!   journals into a single time-ordered path for a trace.
+//! * [`QuantileSketch`] — a deterministic, mergeable, fixed-memory
+//!   streaming quantile sketch (p50/p90/p99/p999 with a documented
+//!   rank-error bound), registered as `Quantile` series and rendered
+//!   as Prometheus summaries.
+//! * [`PerfPoint`] / [`FlightRecorder`] — hot-path phase timers
+//!   (`rnl_perf_*_ns`) and a bounded ring of [`SlowOp`]s whose
+//!   virtual-clock duration exceeded a per-class threshold, each
+//!   carrying its [`TraceId`] for joining back to the hop trace.
 //!
 //! Exposition: [`render_prometheus`] renders a snapshot in the
 //! Prometheus text format; the JSON form lives in `rnl-server`'s web
@@ -35,11 +43,15 @@
 
 pub mod journal;
 pub mod metrics;
+pub mod profile;
+pub mod quantile;
 pub mod trace;
 
 pub use journal::{merge_trace, EventJournal, FrameEvent, Hop, MissReason};
 pub use metrics::{
     counter_deltas, render_prometheus, Counter, Gauge, Histogram, HistogramSnapshot, MetricPoint,
-    MetricValue, MetricsRegistry, Snapshot, LATENCY_BUCKETS_US, SIZE_BUCKETS,
+    MetricValue, MetricsRegistry, Quantile, Snapshot, LATENCY_BUCKETS_US, SIZE_BUCKETS,
 };
+pub use profile::{FlightRecorder, PerfPoint, PerfScope, SlowOp, DEFAULT_RECORDER_CAP};
+pub use quantile::{QuantileSketch, QuantileSnapshot, DEFAULT_SKETCH_K, QUANTILE_LADDER};
 pub use trace::{Span, TraceId, TraceIdGen};

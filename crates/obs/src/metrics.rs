@@ -9,6 +9,8 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
+use crate::quantile::{QuantileSketch, QuantileSnapshot};
+
 /// Standard latency ladder in virtual microseconds: 50µs to 1s.
 pub const LATENCY_BUCKETS_US: [u64; 12] = [
     50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 1_000_000,
@@ -139,15 +141,62 @@ impl HistogramSnapshot {
     }
 }
 
+/// Streaming quantile series backed by a [`QuantileSketch`]. Unlike the
+/// other handles this one takes a mutex per observation, so it belongs
+/// on per-op paths (relay latency, op round-trips), not per-byte ones.
+#[derive(Clone, Debug)]
+pub struct Quantile {
+    inner: Arc<Mutex<QuantileSketch>>,
+}
+
+impl Quantile {
+    /// Record one observation.
+    pub fn observe(&self, v: u64) {
+        self.inner.lock().expect("quantile poisoned").observe(v);
+    }
+
+    /// Total observations so far.
+    pub fn count(&self) -> u64 {
+        self.inner.lock().expect("quantile poisoned").count()
+    }
+
+    /// Fold another sketch into this series (e.g. a per-worker sketch).
+    pub fn merge_from(&self, other: &QuantileSketch) {
+        self.inner
+            .lock()
+            .expect("quantile poisoned")
+            .merge_from(other);
+    }
+
+    /// Point-in-time summary of the sketch.
+    pub fn snapshot(&self) -> QuantileSnapshot {
+        self.inner.lock().expect("quantile poisoned").snapshot()
+    }
+}
+
 #[derive(Clone, Debug)]
 enum Metric {
     Counter(Counter),
     Gauge(Gauge),
     Histogram(Histogram),
+    Quantile(Quantile),
 }
 
 /// Sorted label pairs identifying one series of a metric family.
 type LabelSet = Vec<(String, String)>;
+
+/// Registration-time hygiene: every metric name must match
+/// `^rnl_[a-z0-9_]+$` so the Prometheus exposition never drifts.
+fn validate_name(name: &str) {
+    let body_ok = !name.is_empty()
+        && name
+            .bytes()
+            .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'_');
+    assert!(
+        name.starts_with("rnl_") && body_ok,
+        "metric name {name:?} violates ^rnl_[a-z0-9_]+$"
+    );
+}
 
 fn label_set(labels: &[(&str, &str)]) -> LabelSet {
     let mut set: LabelSet = labels
@@ -173,8 +222,10 @@ impl MetricsRegistry {
     /// Get or create a counter.
     ///
     /// # Panics
-    /// If the name + label set is already registered as another kind.
+    /// If the name + label set is already registered as another kind,
+    /// or the name violates `^rnl_[a-z0-9_]+$`.
     pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        validate_name(name);
         let key = (name.to_string(), label_set(labels));
         let mut table = self.table.lock().expect("metrics registry poisoned");
         match table.entry(key).or_insert_with(|| {
@@ -190,8 +241,10 @@ impl MetricsRegistry {
     /// Get or create a gauge.
     ///
     /// # Panics
-    /// If the name + label set is already registered as another kind.
+    /// If the name + label set is already registered as another kind,
+    /// or the name violates `^rnl_[a-z0-9_]+$`.
     pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        validate_name(name);
         let key = (name.to_string(), label_set(labels));
         let mut table = self.table.lock().expect("metrics registry poisoned");
         match table.entry(key).or_insert_with(|| {
@@ -208,11 +261,14 @@ impl MetricsRegistry {
     /// increasing). Bounds are fixed at first registration.
     ///
     /// # Panics
-    /// If the name + label set is already registered as another kind.
+    /// If the name + label set is already registered as another kind,
+    /// the name violates `^rnl_[a-z0-9_]+$`, or the bounds are not
+    /// strictly increasing.
     pub fn histogram(&self, name: &str, labels: &[(&str, &str)], bounds: &[u64]) -> Histogram {
+        validate_name(name);
         assert!(
-            bounds.windows(2).all(|w| w[0] < w[1]),
-            "histogram bounds must be strictly increasing"
+            !bounds.is_empty() && bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be non-empty and strictly increasing"
         );
         let key = (name.to_string(), label_set(labels));
         let mut table = self.table.lock().expect("metrics registry poisoned");
@@ -227,6 +283,26 @@ impl MetricsRegistry {
             })
         }) {
             Metric::Histogram(h) => h.clone(),
+            _ => panic!("metric {name} already registered with a different type"),
+        }
+    }
+
+    /// Get or create a streaming quantile series (p50/p90/p99/p999 via
+    /// a deterministic [`QuantileSketch`]).
+    ///
+    /// # Panics
+    /// If the name + label set is already registered as another kind,
+    /// or the name violates `^rnl_[a-z0-9_]+$`.
+    pub fn quantile(&self, name: &str, labels: &[(&str, &str)]) -> Quantile {
+        validate_name(name);
+        let key = (name.to_string(), label_set(labels));
+        let mut table = self.table.lock().expect("metrics registry poisoned");
+        match table.entry(key).or_insert_with(|| {
+            Metric::Quantile(Quantile {
+                inner: Arc::new(Mutex::new(QuantileSketch::default())),
+            })
+        }) {
+            Metric::Quantile(q) => q.clone(),
             _ => panic!("metric {name} already registered with a different type"),
         }
     }
@@ -258,6 +334,7 @@ impl MetricsRegistry {
                         Metric::Counter(c) => MetricValue::Counter(c.get()),
                         Metric::Gauge(g) => MetricValue::Gauge(g.get()),
                         Metric::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+                        Metric::Quantile(q) => MetricValue::Quantile(q.snapshot()),
                     },
                 })
                 .collect(),
@@ -300,6 +377,8 @@ pub enum MetricValue {
     Gauge(f64),
     /// Full histogram state.
     Histogram(HistogramSnapshot),
+    /// Streaming quantile summary.
+    Quantile(QuantileSnapshot),
 }
 
 /// Point-in-time state of a whole registry, deterministically ordered.
@@ -324,6 +403,14 @@ impl Snapshot {
         match self.get(name, labels) {
             Some(MetricValue::Counter(v)) => *v,
             _ => 0,
+        }
+    }
+
+    /// Quantile summary for a series, if present and of that kind.
+    pub fn quantile(&self, name: &str, labels: &[(&str, &str)]) -> Option<&QuantileSnapshot> {
+        match self.get(name, labels) {
+            Some(MetricValue::Quantile(q)) => Some(q),
+            _ => None,
         }
     }
 }
@@ -353,7 +440,23 @@ pub fn counter_deltas(before: &Snapshot, after: &Snapshot) -> Vec<(String, u64)>
         .collect()
 }
 
+/// Escape a label value per the Prometheus text format: backslash,
+/// double-quote and newline must be backslash-escaped.
+fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
 /// Render a snapshot in the Prometheus text exposition format.
+/// Quantile series render as `summary` families with `quantile` labels.
 pub fn render_prometheus(snapshot: &Snapshot) -> String {
     let mut out = String::new();
     let mut last_name = "";
@@ -362,10 +465,10 @@ pub fn render_prometheus(snapshot: &Snapshot) -> String {
             let mut pairs: Vec<String> = point
                 .labels
                 .iter()
-                .map(|(k, v)| format!("{k}=\"{v}\""))
+                .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
                 .collect();
             if let Some((k, v)) = extra {
-                pairs.push(format!("{k}=\"{v}\""));
+                pairs.push(format!("{k}=\"{}\"", escape_label_value(&v)));
             }
             if pairs.is_empty() {
                 String::new()
@@ -378,6 +481,7 @@ pub fn render_prometheus(snapshot: &Snapshot) -> String {
                 MetricValue::Counter(_) => "counter",
                 MetricValue::Gauge(_) => "gauge",
                 MetricValue::Histogram(_) => "histogram",
+                MetricValue::Quantile(_) => "summary",
             };
             out.push_str(&format!("# TYPE {} {}\n", point.name, kind));
             last_name = &point.name;
@@ -411,6 +515,23 @@ pub fn render_prometheus(snapshot: &Snapshot) -> String {
                     point.name,
                     labels(None),
                     h.count
+                ));
+            }
+            MetricValue::Quantile(q) => {
+                for &(quantile, value) in &q.quantiles {
+                    out.push_str(&format!(
+                        "{}{} {}\n",
+                        point.name,
+                        labels(Some(("quantile", format!("{quantile}")))),
+                        value
+                    ));
+                }
+                out.push_str(&format!("{}_sum{} {}\n", point.name, labels(None), q.sum));
+                out.push_str(&format!(
+                    "{}_count{} {}\n",
+                    point.name,
+                    labels(None),
+                    q.count
                 ));
             }
         }
@@ -513,6 +634,100 @@ mod tests {
         assert!(text.contains("rnl_lat_us_bucket{le=\"+Inf\"} 3"));
         assert!(text.contains("rnl_lat_us_sum 1119"));
         assert!(text.contains("rnl_lat_us_count 3"));
+    }
+
+    #[test]
+    fn quantile_series_register_and_snapshot() {
+        let reg = MetricsRegistry::new();
+        let q = reg.quantile("rnl_test_lat_us_quantile", &[("class", "relay")]);
+        for v in 1..=100u64 {
+            q.observe(v);
+        }
+        assert_eq!(q.count(), 100);
+        // Re-registration shares storage.
+        assert_eq!(
+            reg.quantile("rnl_test_lat_us_quantile", &[("class", "relay")])
+                .count(),
+            100
+        );
+        let snap = reg.snapshot();
+        let qs = snap
+            .quantile("rnl_test_lat_us_quantile", &[("class", "relay")])
+            .expect("quantile series present");
+        assert_eq!(qs.count, 100);
+        assert_eq!(qs.min, 1);
+        assert_eq!(qs.max, 100);
+        assert_eq!(qs.quantile(0.5), Some(50));
+    }
+
+    #[test]
+    #[should_panic(expected = "violates")]
+    fn bad_metric_name_prefix_is_rejected() {
+        MetricsRegistry::new().counter("frames_total", &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "violates")]
+    fn bad_metric_name_chars_are_rejected() {
+        MetricsRegistry::new().gauge("rnl_Bad-Name", &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn non_increasing_histogram_bounds_are_rejected() {
+        MetricsRegistry::new().histogram("rnl_test_us", &[], &[10, 10, 20]);
+    }
+
+    #[test]
+    #[should_panic(expected = "different type")]
+    fn kind_conflict_is_rejected() {
+        let reg = MetricsRegistry::new();
+        reg.counter("rnl_clash", &[]);
+        reg.quantile("rnl_clash", &[]);
+    }
+
+    #[test]
+    fn prometheus_golden_rendering() {
+        let reg = MetricsRegistry::new();
+        reg.counter("rnl_a_total", &[("wire", "r1p0-r2p0")]).add(7);
+        reg.gauge("rnl_b_ratio", &[]).set(2.5);
+        let h = reg.histogram("rnl_c_us", &[], &[50, 100]);
+        h.observe(60);
+        h.observe(60);
+        h.observe(999);
+        // 500 observations stay under the sketch's compactor capacity,
+        // so the reported quantiles are exact and the golden is stable.
+        let q = reg.quantile("rnl_d_us_quantile", &[]);
+        for v in 1..=500u64 {
+            q.observe(v);
+        }
+        let text = render_prometheus(&reg.snapshot());
+        let expected = "# TYPE rnl_a_total counter\n\
+                        rnl_a_total{wire=\"r1p0-r2p0\"} 7\n\
+                        # TYPE rnl_b_ratio gauge\n\
+                        rnl_b_ratio 2.5\n\
+                        # TYPE rnl_c_us histogram\n\
+                        rnl_c_us_bucket{le=\"50\"} 0\n\
+                        rnl_c_us_bucket{le=\"100\"} 2\n\
+                        rnl_c_us_bucket{le=\"+Inf\"} 3\n\
+                        rnl_c_us_sum 1119\n\
+                        rnl_c_us_count 3\n\
+                        # TYPE rnl_d_us_quantile summary\n\
+                        rnl_d_us_quantile{quantile=\"0.5\"} 250\n\
+                        rnl_d_us_quantile{quantile=\"0.9\"} 450\n\
+                        rnl_d_us_quantile{quantile=\"0.99\"} 495\n\
+                        rnl_d_us_quantile{quantile=\"0.999\"} 500\n\
+                        rnl_d_us_quantile_sum 125250\n\
+                        rnl_d_us_quantile_count 500\n";
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn prometheus_label_values_are_escaped() {
+        let reg = MetricsRegistry::new();
+        reg.counter("rnl_esc_total", &[("msg", "a\"b\\c\nd")]).inc();
+        let text = render_prometheus(&reg.snapshot());
+        assert!(text.contains("rnl_esc_total{msg=\"a\\\"b\\\\c\\nd\"} 1"));
     }
 
     #[test]

@@ -1,0 +1,327 @@
+//! Hot-path profiling scopes and the slow-op flight recorder.
+//!
+//! Two complementary instruments, both feeding the existing registry:
+//!
+//! * [`PerfPoint`] / [`PerfScope`] — wall-clock phase timers for the
+//!   hot paths (server relay decode → matrix → encode, web-op
+//!   admit → dispatch, RIS forward, journal append/fsync). Each point
+//!   owns one `rnl_perf_<point>_ns` quantile family with a
+//!   `phase="total"` series plus one series per named phase. Scopes are
+//!   near-zero-overhead: a disabled point's scope performs no clock
+//!   reads at all, and an enabled one costs two `Instant::now()` calls
+//!   plus one mutexed sketch insert per phase. Wall-clock numbers are
+//!   for *profiling only* — they are exported through `GetMetrics` and
+//!   the Prometheus endpoint but never enter `BENCH_*.json`, which is
+//!   derived exclusively from the deterministic virtual clock.
+//!
+//! * [`FlightRecorder`] — a bounded ring of [`SlowOp`] records. When an
+//!   op or frame's **virtual-clock** duration exceeds its per-class
+//!   threshold, the recorder captures the op's [`TraceId`] and phase
+//!   breakdown so a slow p99 sample can be joined back to its full
+//!   Fig-4 hop trace (`labs.trace(id)`). Retrieval is the `slow_ops`
+//!   web op and `labs.slow_ops()`.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::{Arc, Mutex};
+
+use crate::metrics::{MetricsRegistry, Quantile};
+use crate::trace::TraceId;
+
+/// Default flight-recorder capacity: enough to hold a burst of slow ops
+/// without unbounded growth.
+pub const DEFAULT_RECORDER_CAP: usize = 256;
+
+#[derive(Debug)]
+struct PointInner {
+    total: Quantile,
+    phases: Vec<(&'static str, Quantile)>,
+}
+
+/// One named profiling site. Cheap to clone; all clones share the
+/// underlying quantile series.
+#[derive(Clone, Debug)]
+pub struct PerfPoint {
+    inner: Option<Arc<PointInner>>,
+}
+
+impl PerfPoint {
+    /// Register a point named `point` with the given phase names. The
+    /// registry gains `rnl_perf_<point>_ns{phase="total"}` plus one
+    /// series per phase.
+    pub fn new(registry: &MetricsRegistry, point: &str, phases: &[&'static str]) -> PerfPoint {
+        let name = format!("rnl_perf_{point}_ns");
+        PerfPoint {
+            inner: Some(Arc::new(PointInner {
+                total: registry.quantile(&name, &[("phase", "total")]),
+                phases: phases
+                    .iter()
+                    .map(|&p| (p, registry.quantile(&name, &[("phase", p)])))
+                    .collect(),
+            })),
+        }
+    }
+
+    /// A point that records nothing and whose scopes never read the
+    /// clock.
+    pub fn disabled() -> PerfPoint {
+        PerfPoint { inner: None }
+    }
+
+    /// True when this point records.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Open a timing scope. The scope records phase durations at each
+    /// [`PerfScope::mark`] and the total on drop (or explicit
+    /// [`PerfScope::finish`]).
+    pub fn scope(&self) -> PerfScope {
+        PerfScope {
+            inner: self.inner.clone(),
+            clocks: self.inner.as_ref().map(|_| {
+                let now = std::time::Instant::now();
+                (now, now)
+            }),
+        }
+    }
+}
+
+/// An open timing scope on a [`PerfPoint`]. Owns shared handles, so it
+/// does not borrow the point (hot paths can hold one across `&mut self`
+/// calls).
+#[derive(Debug)]
+pub struct PerfScope {
+    inner: Option<Arc<PointInner>>,
+    /// `(scope start, last mark)`; absent on disabled points.
+    clocks: Option<(std::time::Instant, std::time::Instant)>,
+}
+
+impl PerfScope {
+    /// Record the time since the previous mark (or scope start) into
+    /// the named phase series. Unknown phase names are ignored.
+    pub fn mark(&mut self, phase: &'static str) {
+        let (Some(inner), Some((_, last))) = (&self.inner, &mut self.clocks) else {
+            return;
+        };
+        let now = std::time::Instant::now();
+        let elapsed_ns = now.duration_since(*last).as_nanos() as u64;
+        *last = now;
+        if let Some((_, q)) = inner.phases.iter().find(|(name, _)| *name == phase) {
+            q.observe(elapsed_ns);
+        }
+    }
+
+    /// Close the scope now, recording the total. Equivalent to drop.
+    pub fn finish(self) {}
+}
+
+impl Drop for PerfScope {
+    fn drop(&mut self) {
+        if let (Some(inner), Some((start, _))) = (&self.inner, &self.clocks) {
+            inner.total.observe(start.elapsed().as_nanos() as u64);
+        }
+    }
+}
+
+/// One captured slow operation: what it was, when (virtual µs), how
+/// long each phase took, and the trace identity that joins it back to
+/// the frame's hop-by-hop journal path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlowOp {
+    /// Operation class, e.g. `relay`, `console`, `flash`, `control`.
+    pub class: &'static str,
+    /// The frame's trace identity; `TraceId::NONE` for ops that carry
+    /// no frame trace (e.g. control-plane round trips).
+    pub trace: TraceId,
+    /// Router the op targeted (0 when not applicable).
+    pub router: u32,
+    /// Port on that router (0 when not applicable).
+    pub port: u16,
+    /// Virtual-clock µs when the op completed.
+    pub at_us: u64,
+    /// Total virtual duration of the op in µs.
+    pub total_us: u64,
+    /// Named phase breakdown, virtual µs per phase.
+    pub phases: Vec<(&'static str, u64)>,
+}
+
+#[derive(Debug)]
+struct RecorderInner {
+    cap: usize,
+    ring: VecDeque<SlowOp>,
+    thresholds: BTreeMap<&'static str, u64>,
+    dropped: u64,
+}
+
+/// Bounded ring buffer of [`SlowOp`]s with per-class virtual-µs
+/// thresholds. Cloning shares the ring.
+#[derive(Clone, Debug)]
+pub struct FlightRecorder {
+    inner: Arc<Mutex<RecorderInner>>,
+}
+
+impl Default for FlightRecorder {
+    fn default() -> FlightRecorder {
+        FlightRecorder::new(DEFAULT_RECORDER_CAP)
+    }
+}
+
+impl FlightRecorder {
+    /// A recorder holding at most `cap` entries; the oldest entry is
+    /// evicted (and counted as dropped) when full.
+    pub fn new(cap: usize) -> FlightRecorder {
+        FlightRecorder {
+            inner: Arc::new(Mutex::new(RecorderInner {
+                cap: cap.max(1),
+                ring: VecDeque::new(),
+                thresholds: BTreeMap::new(),
+                dropped: 0,
+            })),
+        }
+    }
+
+    /// Set the slow threshold for a class, in virtual µs. Ops of a
+    /// class with no threshold are never recorded by
+    /// [`record_if_slow`](FlightRecorder::record_if_slow).
+    pub fn set_threshold(&self, class: &'static str, threshold_us: u64) {
+        self.inner
+            .lock()
+            .expect("flight recorder poisoned")
+            .thresholds
+            .insert(class, threshold_us);
+    }
+
+    /// The threshold for a class, if one is set.
+    pub fn threshold(&self, class: &str) -> Option<u64> {
+        self.inner
+            .lock()
+            .expect("flight recorder poisoned")
+            .thresholds
+            .get(class)
+            .copied()
+    }
+
+    /// Record `op` if its duration meets its class threshold. Returns
+    /// true when the op was captured.
+    pub fn record_if_slow(&self, op: SlowOp) -> bool {
+        let mut inner = self.inner.lock().expect("flight recorder poisoned");
+        match inner.thresholds.get(op.class) {
+            Some(&t) if op.total_us >= t => {
+                if inner.ring.len() >= inner.cap {
+                    inner.ring.pop_front();
+                    inner.dropped += 1;
+                }
+                inner.ring.push_back(op);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// All currently held slow ops, oldest first.
+    pub fn snapshot(&self) -> Vec<SlowOp> {
+        self.inner
+            .lock()
+            .expect("flight recorder poisoned")
+            .ring
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Entries evicted to make room since construction.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().expect("flight recorder poisoned").dropped
+    }
+
+    /// Number of entries currently held.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("flight recorder poisoned")
+            .ring
+            .len()
+    }
+
+    /// True when no slow op has been captured (or all were evicted).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op(class: &'static str, total_us: u64) -> SlowOp {
+        SlowOp {
+            class,
+            trace: TraceId(7),
+            router: 1,
+            port: 0,
+            at_us: 1000,
+            total_us,
+            phases: vec![("only", total_us)],
+        }
+    }
+
+    #[test]
+    fn recorder_applies_per_class_thresholds() {
+        let rec = FlightRecorder::new(8);
+        rec.set_threshold("relay", 100);
+        assert!(!rec.record_if_slow(op("relay", 99)));
+        assert!(rec.record_if_slow(op("relay", 100)));
+        // Class with no threshold is never recorded.
+        assert!(!rec.record_if_slow(op("console", 1_000_000)));
+        assert_eq!(rec.len(), 1);
+        assert_eq!(rec.snapshot()[0].total_us, 100);
+    }
+
+    #[test]
+    fn recorder_ring_is_bounded_and_counts_drops() {
+        let rec = FlightRecorder::new(3);
+        rec.set_threshold("relay", 0);
+        for i in 0..5u64 {
+            assert!(rec.record_if_slow(op("relay", i)));
+        }
+        assert_eq!(rec.len(), 3);
+        assert_eq!(rec.dropped(), 2);
+        let kept: Vec<u64> = rec.snapshot().iter().map(|o| o.total_us).collect();
+        assert_eq!(kept, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn perf_scope_records_total_and_phases() {
+        let reg = MetricsRegistry::new();
+        let point = PerfPoint::new(&reg, "test_path", &["decode", "encode"]);
+        assert!(point.is_enabled());
+        {
+            let mut scope = point.scope();
+            scope.mark("decode");
+            scope.mark("encode");
+            scope.mark("unknown-phase-ignored");
+            scope.finish();
+        }
+        // A second scope closed by drop.
+        drop(point.scope());
+        let snap = reg.snapshot();
+        let total = snap
+            .quantile("rnl_perf_test_path_ns", &[("phase", "total")])
+            .expect("total series");
+        assert_eq!(total.count, 2);
+        let decode = snap
+            .quantile("rnl_perf_test_path_ns", &[("phase", "decode")])
+            .expect("decode series");
+        assert_eq!(decode.count, 1);
+    }
+
+    #[test]
+    fn disabled_point_records_nothing() {
+        let point = PerfPoint::disabled();
+        assert!(!point.is_enabled());
+        let mut scope = point.scope();
+        scope.mark("decode");
+        scope.finish();
+        // No registry involved; nothing to assert beyond not panicking.
+    }
+}

@@ -1,0 +1,418 @@
+//! A dependency-free streaming quantile sketch with bounded rank error.
+//!
+//! Fixed-bucket histograms (see [`crate::metrics::Histogram`]) answer
+//! "how many observations fell under 1 ms" but cannot answer "what is
+//! p99 relay latency" with any precision beyond the bucket ladder. This
+//! module provides the missing piece: a **deterministic compactor
+//! ladder** in the MRL/KLL family, sized in memory independent of the
+//! stream length (up to a logarithmic number of fixed-capacity levels),
+//! mergeable, and — crucially for this repository — free of randomness,
+//! so the same observation sequence yields bit-identical quantiles on
+//! every run. That property is what lets the `bench` perf-regression
+//! rig check its `BENCH_*.json` output byte for byte.
+//!
+//! ## How it works
+//!
+//! Level `l` buffers items that each stand for `2^l` original
+//! observations. New observations enter level 0. When a level reaches
+//! its capacity `k`, it is *compacted*: the buffer is sorted and every
+//! other item (alternating between the odd- and even-indexed halves on
+//! successive compactions) is promoted to the next level with doubled
+//! weight; the rest are discarded. Total weight is conserved exactly —
+//! an odd leftover item simply stays behind in its level.
+//!
+//! ## Error bound
+//!
+//! Each compaction at level `l` perturbs the weighted rank of any value
+//! by at most `2^l`. A level of capacity `k` compacts at most
+//! `2n / (k·2^l)` times over a stream of `n` observations, so the
+//! total rank error is at most `Σ_l 2n/k = 2·H·n/k`, where `H` is the
+//! number of levels (`H ≤ log2(2n/k) + 1`). [`QuantileSketch::rank_error_bound`]
+//! reports this `ε = 2H/k` fraction for the stream seen so far; a
+//! reported quantile `q` is guaranteed to be a value whose true rank
+//! lies in `[(q − ε)·n, (q + ε)·n]`. The alternating compaction parity
+//! makes consecutive errors cancel in practice, so observed error is
+//! typically far below the bound (the property tests in
+//! `tests/prop_quantile.rs` check the bound on uniform, bimodal and
+//! adversarial sorted streams).
+
+/// Default compactor capacity. With `k = 512` a one-million-observation
+/// stream has `H ≈ 13` levels and a worst-case rank error of
+/// `2H/k ≈ 5%`; typical error under alternating compaction is an order
+/// of magnitude smaller. Memory is `k` slots per level.
+pub const DEFAULT_SKETCH_K: usize = 512;
+
+/// The standard quantile ladder every sketch reports: p50, p90, p99,
+/// p999.
+pub const QUANTILE_LADDER: [f64; 4] = [0.5, 0.9, 0.99, 0.999];
+
+/// One compactor level: a buffer of items each standing for `2^level`
+/// observations, plus the parity bit that alternates which half
+/// survives compaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Level {
+    items: Vec<u64>,
+    /// Start index of the surviving half on the next compaction;
+    /// flipped every time so rank errors alternate in sign and cancel.
+    parity: bool,
+}
+
+impl Level {
+    fn new() -> Level {
+        Level {
+            items: Vec::new(),
+            parity: false,
+        }
+    }
+}
+
+/// A deterministic, mergeable, bounded-memory streaming quantile
+/// sketch over `u64` observations (virtual µs, wall ns, bytes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuantileSketch {
+    k: usize,
+    levels: Vec<Level>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for QuantileSketch {
+    fn default() -> QuantileSketch {
+        QuantileSketch::new(DEFAULT_SKETCH_K)
+    }
+}
+
+impl QuantileSketch {
+    /// A sketch with compactor capacity `k` (rounded up to an even
+    /// number, minimum 8). Larger `k` tightens the rank-error bound at
+    /// the cost of `k` slots of memory per level.
+    pub fn new(k: usize) -> QuantileSketch {
+        let k = k.max(8).next_multiple_of(2);
+        QuantileSketch {
+            k,
+            levels: vec![Level::new()],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// The configured compactor capacity.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Observations seen so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest observation, or 0 on an empty sketch.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation, or 0 on an empty sketch.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Record one observation.
+    pub fn observe(&mut self, v: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.levels[0].items.push(v);
+        self.compact_from(0);
+    }
+
+    /// Cascade compactions upward from `level` until every level is
+    /// under capacity.
+    fn compact_from(&mut self, mut level: usize) {
+        while level < self.levels.len() && self.levels[level].items.len() >= self.k {
+            if level + 1 == self.levels.len() {
+                self.levels.push(Level::new());
+            }
+            let lvl = &mut self.levels[level];
+            lvl.items.sort_unstable();
+            let start = usize::from(lvl.parity);
+            lvl.parity = !lvl.parity;
+            // Promote every other item of an even-length prefix; an odd
+            // leftover stays behind so total weight is conserved.
+            let take = lvl.items.len() & !1;
+            let promoted: Vec<u64> = lvl.items[..take]
+                .iter()
+                .copied()
+                .skip(start)
+                .step_by(2)
+                .collect();
+            let leftover: Vec<u64> = lvl.items[take..].to_vec();
+            self.levels[level].items = leftover;
+            self.levels[level + 1].items.extend(promoted);
+            level += 1;
+        }
+    }
+
+    /// Merge another sketch into this one. Equivalent (within the rank
+    /// error bound) to having observed the concatenation of both
+    /// streams. Capacities may differ; the tighter (larger) `k` wins.
+    pub fn merge_from(&mut self, other: &QuantileSketch) {
+        if other.count == 0 {
+            return;
+        }
+        self.k = self.k.max(other.k);
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        while self.levels.len() < other.levels.len() {
+            self.levels.push(Level::new());
+        }
+        for (l, lvl) in other.levels.iter().enumerate() {
+            self.levels[l].items.extend_from_slice(&lvl.items);
+        }
+        for l in 0..self.levels.len() {
+            self.compact_from(l);
+        }
+    }
+
+    /// The value at quantile `q` in `[0, 1]`: the smallest retained
+    /// value whose cumulative weight reaches `q · n`. Returns 0 on an
+    /// empty sketch.
+    pub fn query(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let mut weighted: Vec<(u64, u64)> = Vec::new();
+        for (l, lvl) in self.levels.iter().enumerate() {
+            let w = 1u64 << l;
+            weighted.extend(lvl.items.iter().map(|&v| (v, w)));
+        }
+        weighted.sort_unstable();
+        let total: u64 = weighted.iter().map(|&(_, w)| w).sum();
+        // ceil(q * total), at least 1, so q=0 is the min and q=1 the max.
+        let target = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut acc = 0;
+        for (v, w) in weighted {
+            acc += w;
+            if acc >= target {
+                return v;
+            }
+        }
+        self.max
+    }
+
+    /// The documented worst-case rank error, as a fraction of the
+    /// stream length: `2H/k` where `H` is the number of levels in use.
+    /// Any reported quantile `q` has true rank within
+    /// `[(q − ε)·n, (q + ε)·n]`.
+    pub fn rank_error_bound(&self) -> f64 {
+        2.0 * self.levels.len() as f64 / self.k as f64
+    }
+
+    /// Point-in-time summary: count, sum, min/max and the standard
+    /// quantile ladder.
+    pub fn snapshot(&self) -> QuantileSnapshot {
+        QuantileSnapshot {
+            count: self.count,
+            sum: self.sum,
+            min: self.min(),
+            max: self.max,
+            quantiles: QUANTILE_LADDER
+                .iter()
+                .map(|&q| (q, self.query(q)))
+                .collect(),
+        }
+    }
+}
+
+/// Frozen summary of a [`QuantileSketch`]: the standard ladder plus
+/// count/sum/min/max. This is what registry snapshots carry and what
+/// `GetMetrics` / the Prometheus endpoint render.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct QuantileSnapshot {
+    /// Observations seen.
+    pub count: u64,
+    /// Sum of observations (saturating).
+    pub sum: u64,
+    /// Smallest observation (0 when empty).
+    pub min: u64,
+    /// Largest observation (0 when empty).
+    pub max: u64,
+    /// `(q, value)` pairs for [`QUANTILE_LADDER`], ascending in `q`.
+    pub quantiles: Vec<(f64, u64)>,
+}
+
+impl QuantileSnapshot {
+    /// The value reported for quantile `q`, if it is on the ladder.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        self.quantiles
+            .iter()
+            .find(|&&(lq, _)| (lq - q).abs() < 1e-9)
+            .map(|&(_, v)| v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exact rank band of value `v` in `sorted`: [first index, last
+    /// index] of positions where `v` could sit.
+    fn rank_band(sorted: &[u64], v: u64) -> (usize, usize) {
+        let lo = sorted.partition_point(|&x| x < v);
+        let hi = sorted.partition_point(|&x| x <= v);
+        (lo, hi)
+    }
+
+    fn assert_within_bound(sketch: &QuantileSketch, sorted: &[u64]) {
+        let n = sorted.len() as f64;
+        let eps = sketch.rank_error_bound();
+        for &q in &QUANTILE_LADDER {
+            let v = sketch.query(q);
+            let (lo, hi) = rank_band(sorted, v);
+            let target = q * n;
+            let slack = eps * n + 1.0;
+            assert!(
+                (lo as f64) - slack <= target && target <= (hi as f64) + slack,
+                "q={q}: value {v} has rank band [{lo},{hi}], target {target}, slack {slack}"
+            );
+        }
+    }
+
+    #[test]
+    fn small_streams_are_exact() {
+        let mut s = QuantileSketch::new(64);
+        for v in [5u64, 1, 9, 3, 7] {
+            s.observe(v);
+        }
+        assert_eq!(s.query(0.0), 1);
+        assert_eq!(s.query(0.5), 5);
+        assert_eq!(s.query(1.0), 9);
+        assert_eq!(s.count(), 5);
+        assert_eq!(s.sum(), 25);
+        assert_eq!(s.min(), 1);
+        assert_eq!(s.max(), 9);
+    }
+
+    #[test]
+    fn empty_sketch_is_zeroed() {
+        let s = QuantileSketch::default();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.query(0.5), 0);
+        assert_eq!(s.min(), 0);
+        assert_eq!(s.max(), 0);
+        let snap = s.snapshot();
+        assert_eq!(snap.quantile(0.99), Some(0));
+    }
+
+    #[test]
+    fn long_uniform_stream_within_documented_bound() {
+        let mut s = QuantileSketch::new(256);
+        // Deterministic LCG permutation of 0..n.
+        let n = 50_000u64;
+        let mut x = 1u64;
+        let mut values: Vec<u64> = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let v = x % 1_000_000;
+            s.observe(v);
+            values.push(v);
+        }
+        values.sort_unstable();
+        assert_within_bound(&s, &values);
+    }
+
+    #[test]
+    fn adversarial_sorted_stream_within_bound() {
+        let mut s = QuantileSketch::new(256);
+        let n = 30_000u64;
+        let mut values = Vec::with_capacity(n as usize);
+        for v in 0..n {
+            s.observe(v);
+            values.push(v);
+        }
+        assert_within_bound(&s, &values);
+    }
+
+    #[test]
+    fn determinism_same_stream_same_sketch() {
+        let mut a = QuantileSketch::new(128);
+        let mut b = QuantileSketch::new(128);
+        for v in 0..10_000u64 {
+            let x = (v.wrapping_mul(2654435761)) % 77_777;
+            a.observe(x);
+            b.observe(x);
+        }
+        assert_eq!(a, b);
+        assert_eq!(a.snapshot(), b.snapshot());
+    }
+
+    #[test]
+    fn merge_matches_concatenation_within_bound() {
+        let mut a = QuantileSketch::new(256);
+        let mut b = QuantileSketch::new(256);
+        let mut all = Vec::new();
+        for v in 0..12_000u64 {
+            let x = (v.wrapping_mul(40503)) % 65_536;
+            a.observe(x);
+            all.push(x);
+        }
+        for v in 0..8_000u64 {
+            let x = 70_000 + (v.wrapping_mul(9973)) % 30_000;
+            b.observe(x);
+            all.push(x);
+        }
+        a.merge_from(&b);
+        assert_eq!(a.count(), 20_000);
+        all.sort_unstable();
+        assert_within_bound(&a, &all);
+    }
+
+    #[test]
+    fn weight_is_conserved_through_compaction() {
+        let mut s = QuantileSketch::new(8);
+        for v in 0..1_000u64 {
+            s.observe(v);
+        }
+        let retained: u64 = s
+            .levels
+            .iter()
+            .enumerate()
+            .map(|(l, lvl)| (lvl.items.len() as u64) << l)
+            .sum();
+        assert_eq!(retained, s.count());
+    }
+
+    #[test]
+    fn memory_stays_bounded() {
+        let mut s = QuantileSketch::new(64);
+        for v in 0..200_000u64 {
+            s.observe(v);
+        }
+        for lvl in &s.levels {
+            assert!(lvl.items.len() < 64 + 32, "level over capacity");
+        }
+        assert!(
+            s.levels.len() <= 16,
+            "level count {} too deep",
+            s.levels.len()
+        );
+    }
+}

@@ -28,8 +28,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use rnl_device::device::{Device, LinkState};
 use rnl_net::time::Instant;
 use rnl_obs::{
-    Counter, EventJournal, FrameEvent, Gauge, Histogram, Hop, MetricsRegistry, Span, TraceIdGen,
-    LATENCY_BUCKETS_US,
+    Counter, EventJournal, FrameEvent, Gauge, Histogram, Hop, MetricsRegistry, PerfPoint, Quantile,
+    Span, TraceIdGen, LATENCY_BUCKETS_US,
 };
 use rnl_tunnel::compress::{Compressor, Decompressor};
 use rnl_tunnel::msg::{Msg, PortId, RegisterInfo, RouterId, RouterInfo, SessionEpoch};
@@ -151,6 +151,10 @@ pub struct Ris {
     m_comp_out: Counter,
     m_comp_ratio: Gauge,
     m_wire_latency: Histogram,
+    /// End-to-end wire latency as a streaming quantile (virtual µs).
+    m_wire_latency_q: Quantile,
+    /// Wall-clock profiling of the capture → encode → send forward path.
+    p_forward: PerfPoint,
 }
 
 impl Ris {
@@ -166,6 +170,8 @@ impl Ris {
             m_comp_out: obs.counter("rnl_ris_compress_bytes_out_total", &[]),
             m_comp_ratio: obs.gauge("rnl_ris_compression_ratio", &[]),
             m_wire_latency: obs.histogram("rnl_ris_wire_latency_us", &[], &LATENCY_BUCKETS_US),
+            m_wire_latency_q: obs.quantile("rnl_ris_wire_latency_us_quantile", &[]),
+            p_forward: PerfPoint::new(&obs, "ris_forward", &["encode"]),
             obs,
             journal: EventJournal::new(4096),
             trace_gen: TraceIdGen::new(pc_name),
@@ -460,8 +466,9 @@ impl Ris {
         if span.is_some() {
             // End-to-end wire latency: source-RIS ingress stamp →
             // destination-RIS delivery, on the shared virtual clock.
-            self.m_wire_latency
-                .observe(now.as_micros().saturating_sub(span.origin_us));
+            let latency_us = now.as_micros().saturating_sub(span.origin_us);
+            self.m_wire_latency.observe(latency_us);
+            self.m_wire_latency_q.observe(latency_us);
         }
         let emissions = self.devices[idx]
             .device
@@ -486,6 +493,7 @@ impl Ris {
         let Some(&router) = self.assignments.get(&local_id) else {
             return Ok(());
         };
+        let mut perf = self.p_forward.scope();
         let port = PortId(port as u16);
         // Stamp the frame at ingress: this TraceId rides the tunnel all
         // the way to the destination RIS (Fig. 4), so journals across
@@ -554,6 +562,7 @@ impl Ris {
                 frame,
             }
         };
+        perf.mark("encode");
         self.m_frames_up.inc();
         self.transport.send(&msg, now)?;
         Ok(())

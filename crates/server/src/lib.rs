@@ -36,8 +36,8 @@ use std::collections::{BTreeMap, HashMap, VecDeque};
 
 use rnl_net::time::{Duration, Instant};
 use rnl_obs::{
-    Counter, EventJournal, FrameEvent, Gauge, Histogram, Hop, MetricsRegistry, MissReason, Span,
-    TraceId, LATENCY_BUCKETS_US,
+    Counter, EventJournal, FlightRecorder, FrameEvent, Gauge, Histogram, Hop, MetricsRegistry,
+    MissReason, PerfPoint, PerfScope, Quantile, SlowOp, Span, TraceId, LATENCY_BUCKETS_US,
 };
 use rnl_tunnel::compress::{CompressError, Compressor, Decompressor};
 use rnl_tunnel::msg::{Assignment, Msg, PortId, RouterId, SessionEpoch};
@@ -205,6 +205,18 @@ pub const DEFAULT_REPLAY_CAP: usize = 256 * 1024;
 /// installed.
 pub const DEFAULT_SNAPSHOT_EVERY: Duration = Duration::from_secs(30);
 
+/// Default virtual-µs threshold above which a relayed frame's upstream
+/// latency lands in the slow-op flight recorder. 50 ms is an order of
+/// magnitude beyond any healthy impaired link in the test matrix.
+pub const DEFAULT_SLOW_RELAY_US: u64 = 50_000;
+
+/// Default slow threshold for a console round-trip (virtual µs).
+pub const DEFAULT_SLOW_CONSOLE_US: u64 = 500_000;
+
+/// Default slow threshold for a flash round-trip (virtual µs): flash is
+/// legitimately slow, so only multi-second stalls are captured.
+pub const DEFAULT_SLOW_FLASH_US: u64 = 5_000_000;
+
 struct Session {
     transport: Box<dyn Transport>,
     pc_name: Option<String>,
@@ -297,11 +309,29 @@ pub struct RouteServer {
     /// traffic registers its load here too so a frame surge sheds
     /// control ops first.
     shedder: Shedder,
-    /// Outstanding console round-trips awaiting a reply, with the
-    /// deadline each must meet.
-    console_pending: HashMap<RouterId, Deadline>,
+    /// Outstanding console round-trips awaiting a reply: when each was
+    /// issued (for the round-trip quantile) and the deadline it must
+    /// meet.
+    console_pending: HashMap<RouterId, (Instant, Deadline)>,
     /// Outstanding flash round-trips awaiting a result.
-    flash_pending: HashMap<RouterId, Deadline>,
+    flash_pending: HashMap<RouterId, (Instant, Deadline)>,
+    /// Wall-clock profiling points for the hot paths (`rnl_perf_*_ns`).
+    /// Profiling only — never part of deterministic bench output.
+    p_relay: PerfPoint,
+    p_journal_append: PerfPoint,
+    p_journal_fsync: PerfPoint,
+    p_web_control: PerfPoint,
+    p_web_console: PerfPoint,
+    p_web_flash: PerfPoint,
+    /// Virtual-clock latency quantiles (deterministic).
+    m_relay_latency_q: Quantile,
+    m_op_console_q: Quantile,
+    m_op_flash_q: Quantile,
+    /// Slow-op flight recorder plus per-class capture counters.
+    recorder: FlightRecorder,
+    m_slow_relay: Counter,
+    m_slow_console: Counter,
+    m_slow_flash: Counter,
     m_frames_routed: Counter,
     m_bytes_relayed: Counter,
     m_frames_injected: Counter,
@@ -369,6 +399,25 @@ impl RouteServer {
             m_recovery_seconds: obs.gauge("rnl_server_recovery_duration_seconds", &[]),
             m_snapshot_age: obs.gauge("rnl_server_snapshot_age_seconds", &[]),
             m_deadline_expired: obs.counter("rnl_server_deadline_expired_total", &[]),
+            p_relay: PerfPoint::new(&obs, "server_relay", &["decode", "matrix", "encode"]),
+            p_journal_append: PerfPoint::new(&obs, "journal_append", &[]),
+            p_journal_fsync: PerfPoint::new(&obs, "journal_fsync", &[]),
+            p_web_control: PerfPoint::new(&obs, "web_op_control", &["admit", "dispatch"]),
+            p_web_console: PerfPoint::new(&obs, "web_op_console", &["admit", "dispatch"]),
+            p_web_flash: PerfPoint::new(&obs, "web_op_flash", &["admit", "dispatch"]),
+            m_relay_latency_q: obs.quantile("rnl_server_relay_latency_us_quantile", &[]),
+            m_op_console_q: obs.quantile("rnl_server_op_us_quantile", &[("class", "console")]),
+            m_op_flash_q: obs.quantile("rnl_server_op_us_quantile", &[("class", "flash")]),
+            recorder: {
+                let rec = FlightRecorder::default();
+                rec.set_threshold("relay", DEFAULT_SLOW_RELAY_US);
+                rec.set_threshold("console", DEFAULT_SLOW_CONSOLE_US);
+                rec.set_threshold("flash", DEFAULT_SLOW_FLASH_US);
+                rec
+            },
+            m_slow_relay: obs.counter("rnl_perf_slow_ops_total", &[("class", "relay")]),
+            m_slow_console: obs.counter("rnl_perf_slow_ops_total", &[("class", "console")]),
+            m_slow_flash: obs.counter("rnl_perf_slow_ops_total", &[("class", "flash")]),
             shedder: Shedder::new(OverloadConfig::default(), Instant::EPOCH),
             console_pending: HashMap::new(),
             flash_pending: HashMap::new(),
@@ -631,11 +680,17 @@ impl RouteServer {
     /// been applied (redo logging); on append failure the server
     /// fail-stops rather than continue with unrecoverable state.
     fn wal_append(&mut self, op: &Op) {
+        if self.wal.is_none() {
+            return;
+        }
+        let perf = self.p_journal_append.scope();
         let Some(wal) = self.wal.as_mut() else {
             return;
         };
         let payload = op.to_json().encode();
-        match wal.append(payload.as_bytes()) {
+        let outcome = wal.append(payload.as_bytes());
+        perf.finish();
+        match outcome {
             Ok(written) => {
                 self.m_journal_appends.inc();
                 self.m_journal_bytes.add(written as u64);
@@ -846,6 +901,32 @@ impl RouteServer {
         &self.journal
     }
 
+    /// The slow-op flight recorder.
+    pub fn flight_recorder(&self) -> &FlightRecorder {
+        &self.recorder
+    }
+
+    /// Currently captured slow ops, oldest first.
+    pub fn slow_ops(&self) -> Vec<SlowOp> {
+        self.recorder.snapshot()
+    }
+
+    /// Override the slow threshold for an op class (`relay`, `console`,
+    /// `flash`), in virtual µs.
+    pub fn set_slow_threshold(&mut self, class: &'static str, threshold_us: u64) {
+        self.recorder.set_threshold(class, threshold_us);
+    }
+
+    /// The profiling point for a web-op class (used by the web API to
+    /// time admit → dispatch per class).
+    pub fn web_perf(&self, class: overload::OpClass) -> &PerfPoint {
+        match class {
+            overload::OpClass::Console => &self.p_web_console,
+            overload::OpClass::Flash => &self.p_web_flash,
+            overload::OpClass::Control => &self.p_web_control,
+        }
+    }
+
     /// The inventory (the Fig. 2 left column).
     pub fn inventory(&self) -> &Inventory {
         &self.inventory
@@ -1012,10 +1093,14 @@ impl RouteServer {
         self.apply_backlog_policies();
         // Group commit: sync everything appended this poll in one go.
         // With the default `FsyncPolicy::EveryAppend` this is a no-op.
-        if let Some(wal) = self.wal.as_mut() {
-            if !self.crashed && wal.flush().is_err() {
-                self.crashed = true;
+        if self.wal.is_some() && !self.crashed {
+            let perf = self.p_journal_fsync.scope();
+            if let Some(wal) = self.wal.as_mut() {
+                if wal.flush().is_err() {
+                    self.crashed = true;
+                }
             }
+            perf.finish();
         }
     }
 
@@ -1183,8 +1268,10 @@ impl RouteServer {
                 span,
                 frame,
             } => {
+                let mut perf = self.p_relay.scope();
+                perf.mark("decode"); // uncompressed: decode is a no-op
                 self.admit_relay(sid, now);
-                self.route_frame(router, port, span, frame, now);
+                self.route_frame(router, port, span, frame, now, perf);
             }
             Msg::DataCompressed {
                 router,
@@ -1192,6 +1279,7 @@ impl RouteServer {
                 span,
                 encoded,
             } => {
+                let mut perf = self.p_relay.scope();
                 self.admit_relay(sid, now);
                 let frame = match self
                     .decompressors
@@ -1207,11 +1295,15 @@ impl RouteServer {
                         return;
                     }
                 };
-                self.route_frame(router, port, span, frame, now);
+                perf.mark("decode");
+                self.route_frame(router, port, span, frame, now, perf);
             }
             Msg::ConsoleReply { router, output } => {
-                // The round-trip completed; its deadline is met.
-                self.console_pending.remove(&router);
+                // The round-trip completed; its deadline is met. Feed
+                // the issue-to-reply gap into the console quantile.
+                if let Some((issued, _)) = self.console_pending.remove(&router) {
+                    self.observe_op_round_trip("console", router, issued, now);
+                }
                 self.console_mail.entry(router).or_default().push(output);
             }
             Msg::FlashResult {
@@ -1219,7 +1311,9 @@ impl RouteServer {
                 ok,
                 message,
             } => {
-                self.flash_pending.remove(&router);
+                if let Some((issued, _)) = self.flash_pending.remove(&router) {
+                    self.observe_op_round_trip("flash", router, issued, now);
+                }
                 self.flash_mail
                     .entry(router)
                     .or_default()
@@ -1265,6 +1359,38 @@ impl RouteServer {
         });
     }
 
+    /// Record a completed control-plane round-trip (console/flash) into
+    /// its virtual-latency quantile and, when it crossed the class
+    /// threshold, the flight recorder. Round-trips carry no frame
+    /// trace, so the slow-op entry joins on router id instead.
+    fn observe_op_round_trip(
+        &mut self,
+        class: &'static str,
+        router: RouterId,
+        issued: Instant,
+        now: Instant,
+    ) {
+        let rt_us = now.since(issued).as_micros();
+        let (quantile, slow_counter) = if class == "console" {
+            (&self.m_op_console_q, &self.m_slow_console)
+        } else {
+            (&self.m_op_flash_q, &self.m_slow_flash)
+        };
+        quantile.observe(rt_us);
+        let captured = self.recorder.record_if_slow(SlowOp {
+            class,
+            trace: TraceId::NONE,
+            router: router.0,
+            port: 0,
+            at_us: now.as_micros(),
+            total_us: rt_us,
+            phases: vec![("round-trip", rt_us)],
+        });
+        if captured {
+            slow_counter.inc();
+        }
+    }
+
     /// Cheap `Arc`-clones of the per-wire handles, registering them on
     /// first sight of the wire.
     fn wire_metrics_for(
@@ -1291,6 +1417,9 @@ impl RouteServer {
     }
 
     /// The Fig. 4 packet path: unwrap → matrix lookup → wrap → forward.
+    /// `perf` is the relay profiling scope opened at message receipt
+    /// (its `decode` phase already marked); this marks `matrix` and
+    /// `encode` and records the total when it drops.
     fn route_frame(
         &mut self,
         router: RouterId,
@@ -1298,6 +1427,7 @@ impl RouteServer {
         span: Span,
         frame: Vec<u8>,
         now: Instant,
+        mut perf: PerfScope,
     ) {
         self.journal.record(FrameEvent {
             trace: span.trace,
@@ -1323,6 +1453,7 @@ impl RouteServer {
         });
         self.captures
             .tap(dst_router, dst_port, CaptureDir::ToPort, &frame, now);
+        perf.mark("matrix");
         let bytes = frame.len() as u64;
         self.m_bytes_relayed.add(bytes);
         let wire = self.wire_metrics_for((router, port), (dst_router, dst_port));
@@ -1331,8 +1462,21 @@ impl RouteServer {
         if span.is_some() {
             // Upstream leg latency: RIS ingress stamp → relay, on the
             // shared virtual clock.
-            wire.latency_us
-                .observe(now.as_micros().saturating_sub(span.origin_us));
+            let latency_us = now.as_micros().saturating_sub(span.origin_us);
+            wire.latency_us.observe(latency_us);
+            self.m_relay_latency_q.observe(latency_us);
+            let captured = self.recorder.record_if_slow(SlowOp {
+                class: "relay",
+                trace: span.trace,
+                router: dst_router.0,
+                port: dst_port.0,
+                at_us: now.as_micros(),
+                total_us: latency_us,
+                phases: vec![("tunnel-upstream", latency_us)],
+            });
+            if captured {
+                self.m_slow_relay.inc();
+            }
         }
         if let Some(dep) = self.matrix.owner_of(router) {
             let obs = &self.obs;
@@ -1366,6 +1510,7 @@ impl RouteServer {
                 frame,
             }
         };
+        perf.mark("encode");
         match self.send_to_router(dst_router, msg, now) {
             SendOutcome::Sent => {
                 self.m_frames_routed.inc();
@@ -1707,7 +1852,7 @@ impl RouteServer {
             return Err(ServerError::DeadlineExceeded);
         }
         self.console(router, line, now)?;
-        self.console_pending.insert(router, deadline);
+        self.console_pending.insert(router, (now, deadline));
         Ok(())
     }
 
@@ -1725,7 +1870,7 @@ impl RouteServer {
             return Ok(replies);
         }
         match self.console_pending.get(&router) {
-            Some(deadline) if deadline.expired(now) => {
+            Some((_, deadline)) if deadline.expired(now) => {
                 self.console_pending.remove(&router);
                 self.m_deadline_expired.inc();
                 Err(ServerError::DeadlineExceeded)
@@ -1854,7 +1999,7 @@ impl RouteServer {
             return Err(ServerError::DeadlineExceeded);
         }
         self.flash(router, version, now);
-        self.flash_pending.insert(router, deadline);
+        self.flash_pending.insert(router, (now, deadline));
         Ok(())
     }
 
@@ -1871,7 +2016,7 @@ impl RouteServer {
             return Ok(results);
         }
         match self.flash_pending.get(&router) {
-            Some(deadline) if deadline.expired(now) => {
+            Some((_, deadline)) if deadline.expired(now) => {
                 self.flash_pending.remove(&router);
                 self.m_deadline_expired.inc();
                 Err(ServerError::DeadlineExceeded)

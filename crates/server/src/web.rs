@@ -102,8 +102,14 @@ pub enum Request {
     CaptureStop { router: RouterId, port: PortId },
     /// Fetch (and keep) captured frames of a port.
     Captured { router: RouterId, port: PortId },
-    /// Snapshot every server metric (counters, gauges, histograms).
-    GetMetrics,
+    /// Snapshot server metrics (counters, gauges, histograms,
+    /// quantiles). `prefix`, when set, keeps only series whose name
+    /// starts with it, so pollers stop serializing the whole registry.
+    GetMetrics { prefix: Option<String> },
+    /// The slow-op flight recorder: ops and frames whose virtual
+    /// duration crossed their class threshold, each with its trace id
+    /// and phase breakdown.
+    SlowOps,
 }
 
 /// A typed API response.
@@ -133,6 +139,9 @@ pub enum Response {
     /// A metrics snapshot, already in wire form (see
     /// [`metrics_to_json`]).
     Metrics(Json),
+    /// Captured slow ops, already in wire form (see
+    /// [`slow_ops_to_json`]).
+    SlowOps(Json),
     /// A static-analysis report, already in wire form (see
     /// [`report_to_json`]).
     Analysis(Json),
@@ -282,20 +291,25 @@ fn op_class(request: &Request) -> OpClass {
 
 /// Dispatch one typed request: admission control first (a shed op never
 /// touches server state), then execution under a per-class deadline
-/// budget.
+/// budget. The whole admit → dispatch path is timed under the class's
+/// `rnl_perf_web_op_<class>_ns` profiling point.
 pub fn handle(server: &mut RouteServer, request: Request, now: Instant) -> Response {
+    let class = op_class(&request);
+    let mut perf = server.web_perf(class).scope();
     let tier = tier_of(server, &request);
     let principal = principal_of(server, &request);
     if let Err(e) = server.admit(tier, &principal, now) {
+        perf.mark("admit");
         return error_response(&e);
     }
-    let deadline = server
-        .overload_config()
-        .deadline_for(op_class(&request), now);
-    match handle_inner(server, request, now, deadline) {
+    perf.mark("admit");
+    let deadline = server.overload_config().deadline_for(class, now);
+    let response = match handle_inner(server, request, now, deadline) {
         Ok(response) => response,
         Err(e) => error_response(&e),
-    }
+    };
+    perf.mark("dispatch");
+    response
 }
 
 fn handle_inner(
@@ -451,8 +465,50 @@ fn handle_inner(
                 .map(|f| (f.at, f.frame.clone()))
                 .collect(),
         ),
-        Request::GetMetrics => Response::Metrics(metrics_to_json(&server.obs().snapshot())),
+        Request::GetMetrics { prefix } => {
+            let mut snapshot = server.obs().snapshot();
+            if let Some(prefix) = prefix {
+                snapshot.metrics.retain(|p| p.name.starts_with(&prefix));
+            }
+            Response::Metrics(metrics_to_json(&snapshot))
+        }
+        Request::SlowOps => Response::SlowOps(slow_ops_to_json(&server.slow_ops())),
     })
+}
+
+/// Encode captured slow ops for the wire: one object per op with its
+/// class, `TraceId` (16-hex-digit string, zero for untraced ops),
+/// target router/port, completion time, total duration, and the named
+/// phase breakdown — all durations in virtual µs.
+pub fn slow_ops_to_json(ops: &[rnl_obs::SlowOp]) -> Json {
+    Json::Arr(
+        ops.iter()
+            .map(|op| {
+                Json::obj([
+                    ("class", Json::str(op.class.to_string())),
+                    ("trace", Json::str(op.trace.to_string())),
+                    ("router", Json::num(op.router)),
+                    ("port", Json::num(u32::from(op.port))),
+                    ("at_us", Json::Num(op.at_us as f64)),
+                    ("total_us", Json::Num(op.total_us as f64)),
+                    (
+                        "phases",
+                        Json::Arr(
+                            op.phases
+                                .iter()
+                                .map(|&(name, us)| {
+                                    Json::obj([
+                                        ("phase", Json::str(name.to_string())),
+                                        ("us", Json::Num(us as f64)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect(),
+    )
 }
 
 /// Encode a metrics snapshot as a JSON array, one object per series:
@@ -500,6 +556,25 @@ pub fn metrics_to_json(snapshot: &rnl_obs::Snapshot) -> Json {
                         ));
                         fields.push(("sum".to_string(), Json::Num(h.sum as f64)));
                         fields.push(("count".to_string(), Json::Num(h.count as f64)));
+                    }
+                    MetricValue::Quantile(q) => {
+                        fields.push((
+                            "quantiles".to_string(),
+                            Json::Arr(q.quantiles.iter().map(|&(p, _)| Json::Num(p)).collect()),
+                        ));
+                        fields.push((
+                            "values".to_string(),
+                            Json::Arr(
+                                q.quantiles
+                                    .iter()
+                                    .map(|&(_, v)| Json::Num(v as f64))
+                                    .collect(),
+                            ),
+                        ));
+                        fields.push(("min".to_string(), Json::Num(q.min as f64)));
+                        fields.push(("max".to_string(), Json::Num(q.max as f64)));
+                        fields.push(("sum".to_string(), Json::Num(q.sum as f64)));
+                        fields.push(("count".to_string(), Json::Num(q.count as f64)));
                     }
                 }
                 Json::Obj(fields.into_iter().collect())
@@ -667,7 +742,10 @@ pub fn parse_request(json: &Json) -> Result<Request, String> {
             router: router()?,
             port: port()?,
         },
-        "get_metrics" => Request::GetMetrics,
+        "get_metrics" => Request::GetMetrics {
+            prefix: json.get("prefix").and_then(Json::as_str).map(String::from),
+        },
+        "slow_ops" => Request::SlowOps,
         other => return Err(format!("unknown op {other:?}")),
     })
 }
@@ -766,6 +844,7 @@ pub fn encode_response(response: &Response) -> Json {
         Response::Metrics(metrics) => {
             Json::obj([("ok", Json::Bool(true)), ("metrics", metrics.clone())])
         }
+        Response::SlowOps(ops) => Json::obj([("ok", Json::Bool(true)), ("slow_ops", ops.clone())]),
         Response::Analysis(report) => {
             Json::obj([("ok", Json::Bool(true)), ("analysis", report.clone())])
         }
@@ -878,6 +957,62 @@ mod tests {
             })
             .expect("series present");
         assert_eq!(routed.get("counter").and_then(Json::as_u64), Some(3));
+    }
+
+    #[test]
+    fn get_metrics_prefix_filters_series() {
+        let mut server = RouteServer::new();
+        server
+            .obs()
+            .counter("rnl_server_frames_routed_total", &[])
+            .add(3);
+        let reply = handle_json(
+            &mut server,
+            r#"{"op":"get_metrics","prefix":"rnl_server_frames_"}"#,
+            t(0),
+        );
+        let parsed = Json::parse(&reply).unwrap();
+        let metrics = parsed.get("metrics").and_then(Json::as_arr).unwrap();
+        assert!(!metrics.is_empty());
+        for m in metrics {
+            let name = m.get("metric").and_then(Json::as_str).unwrap();
+            assert!(name.starts_with("rnl_server_frames_"), "leaked: {name}");
+        }
+        // No prefix still returns the whole registry (default unchanged).
+        let full = handle_json(&mut server, r#"{"op":"get_metrics"}"#, t(0));
+        assert!(full.contains("rnl_server_sessions_graced"));
+    }
+
+    #[test]
+    fn slow_ops_op_returns_recorded_entries() {
+        use rnl_obs::{SlowOp, TraceId};
+        let mut server = RouteServer::new();
+        server.set_slow_threshold("relay", 10);
+        server.flight_recorder().record_if_slow(SlowOp {
+            class: "relay",
+            trace: TraceId(0xabcd),
+            router: 3,
+            port: 1,
+            at_us: 5000,
+            total_us: 777,
+            phases: vec![("tunnel-upstream", 777)],
+        });
+        let reply = handle_json(&mut server, r#"{"op":"slow_ops"}"#, t(0));
+        let parsed = Json::parse(&reply).unwrap();
+        assert_eq!(parsed.get("ok").and_then(Json::as_bool), Some(true));
+        let ops = parsed.get("slow_ops").and_then(Json::as_arr).unwrap();
+        assert_eq!(ops.len(), 1);
+        assert_eq!(ops[0].get("class").and_then(Json::as_str), Some("relay"));
+        assert_eq!(
+            ops[0].get("trace").and_then(Json::as_str),
+            Some("000000000000abcd")
+        );
+        assert_eq!(ops[0].get("total_us").and_then(Json::as_u64), Some(777));
+        let phases = ops[0].get("phases").and_then(Json::as_arr).unwrap();
+        assert_eq!(
+            phases[0].get("phase").and_then(Json::as_str),
+            Some("tunnel-upstream")
+        );
     }
 
     #[test]

@@ -1,0 +1,275 @@
+//! Performance observability end to end: a fault-injected stall makes
+//! a relay slow, the slow frame lands in the flight recorder with its
+//! `TraceId`, that id resolves back to the full Fig. 4 hop path, and
+//! the latency shows up in the exported quantile stream — the complete
+//! "why was that op slow" workflow from one run.
+
+use rnl::net::time::{Duration, Instant};
+use rnl::obs::{MetricValue, Span, TraceIdGen};
+use rnl::server::design::Design;
+use rnl::server::json::Json;
+use rnl::server::web::Request;
+use rnl::server::web::Response;
+use rnl::tunnel::faults::{FaultKind, FaultPlan};
+use rnl::tunnel::impair::Impairment;
+use rnl::tunnel::msg::PortId;
+use rnl::RemoteNetworkLabs;
+
+use rnl::device::host::Host;
+
+fn host(name: &str, num: u32, ip: &str) -> Box<Host> {
+    let mut h = Host::new(name, num);
+    h.set_ip(ip.parse().unwrap());
+    Box::new(h)
+}
+
+/// A one-second uplink stall turns an ordinary ping into a slow relay;
+/// the recorder entry's TraceId joins back to the hop-by-hop trace and
+/// the latency lands in the relay quantile stream.
+#[test]
+fn stalled_relay_is_captured_with_resolvable_trace() {
+    let mut labs = RemoteNetworkLabs::new_unreserved();
+    let site_a = labs.add_site("pc-a");
+    // Site B's uplink stalls (stays up, stops moving bytes) for one
+    // second starting at t=10 s.
+    let mut plan = FaultPlan::new();
+    plan.schedule(
+        FaultKind::Stall,
+        Instant::EPOCH + Duration::from_secs(10),
+        Duration::from_secs(1),
+    );
+    let site_b = labs.add_site_with_faults("pc-b", Impairment::PERFECT, plan);
+    labs.add_device(site_a, host("s1", 1, "10.0.0.1/24"), "s1")
+        .unwrap();
+    labs.add_device(site_b, host("s2", 2, "10.0.0.2/24"), "s2")
+        .unwrap();
+    let a = labs.join_labs(site_a).unwrap()[0];
+    let b = labs.join_labs(site_b).unwrap()[0];
+
+    let mut design = Design::new("pair");
+    design.add_device(a);
+    design.add_device(b);
+    design.connect((a, PortId(0)), (b, PortId(0))).unwrap();
+    labs.save_design(design);
+    labs.deploy("alice", "pair").unwrap();
+
+    // Settle, then ping from the soon-to-stall site just after the
+    // window opens: the echo request is held at site B's uplink until
+    // the window closes, arriving ~800 ms after its RIS ingress stamp.
+    while labs.now() < Instant::EPOCH + Duration::from_millis(10_200) {
+        labs.step(Duration::from_millis(10)).unwrap();
+    }
+    assert!(labs.slow_ops().is_empty(), "no slow ops before the stall");
+    let now = labs.now();
+    labs.device_mut(site_b, 0)
+        .unwrap()
+        .console("ping 10.0.0.1 count 1", now);
+    labs.run(Duration::from_secs(3)).unwrap();
+
+    // The stalled frame crossed the default 50 ms relay threshold.
+    let slow = labs.slow_ops();
+    assert!(!slow.is_empty(), "stall produced no slow ops");
+    let op = slow
+        .iter()
+        .filter(|o| o.class == "relay")
+        .max_by_key(|o| o.total_us)
+        .expect("a slow relay");
+    assert!(
+        op.total_us >= 50_000,
+        "captured relay below threshold: {} us",
+        op.total_us
+    );
+    assert!(op.trace.is_some(), "slow relay lost its trace id");
+    assert_eq!(op.phases, vec![("tunnel-upstream", op.total_us)]);
+
+    // The TraceId resolves to the full hop path.
+    let events = labs.trace(op.trace);
+    let hops: Vec<&str> = events.iter().map(|e| e.hop.name()).collect();
+    for want in ["ris-rx", "server-rx", "matrix-hit", "server-tx", "ris-tx"] {
+        assert!(hops.contains(&want), "hop {want} missing from {hops:?}");
+    }
+    // The recorder's duration agrees with the trace: RIS ingress to
+    // server relay is the phase it measured.
+    let rx = events.iter().find(|e| e.hop.name() == "ris-rx").unwrap();
+    let srv = events.iter().find(|e| e.hop.name() == "server-rx").unwrap();
+    assert!(
+        srv.t_us - rx.t_us >= 50_000,
+        "trace disagrees with recorder"
+    );
+
+    // The latency landed in the exported quantile stream.
+    let snap = labs.server_obs().snapshot();
+    let q = snap
+        .quantile("rnl_server_relay_latency_us_quantile", &[])
+        .expect("relay quantile series");
+    assert!(q.count > 0);
+    assert!(
+        q.max >= op.total_us,
+        "sketch max {} below recorded slow op {}",
+        q.max,
+        op.total_us
+    );
+
+    // And the slow_ops web op serves the same entry, trace id included.
+    let resp = labs.api(Request::SlowOps);
+    let Response::SlowOps(json) = resp else {
+        panic!("unexpected response: {resp:?}");
+    };
+    let rendered = json.encode();
+    assert!(
+        rendered.contains(&format!("{}", op.trace)),
+        "web op missing trace {}: {rendered}",
+        op.trace
+    );
+}
+
+/// A tightened threshold via the facade knob captures ops the default
+/// would ignore.
+#[test]
+fn facade_threshold_knob_controls_capture() {
+    let mut labs = RemoteNetworkLabs::new_unreserved();
+    let site_a = labs.add_site("pc-a");
+    let site_b = labs.add_site("pc-b");
+    labs.add_device(site_a, host("s1", 1, "10.0.0.1/24"), "s1")
+        .unwrap();
+    labs.add_device(site_b, host("s2", 2, "10.0.0.2/24"), "s2")
+        .unwrap();
+    let a = labs.join_labs(site_a).unwrap()[0];
+    let b = labs.join_labs(site_b).unwrap()[0];
+    let mut design = Design::new("pair");
+    design.add_device(a);
+    design.add_device(b);
+    design.connect((a, PortId(0)), (b, PortId(0))).unwrap();
+    labs.save_design(design);
+    labs.deploy("alice", "pair").unwrap();
+
+    // Zero threshold: every relay is "slow".
+    labs.set_slow_threshold("relay", 0);
+    let now = labs.now();
+    labs.device_mut(site_a, 0)
+        .unwrap()
+        .console("ping 10.0.0.2 count 1", now);
+    labs.run(Duration::from_secs(2)).unwrap();
+    assert!(
+        labs.slow_ops().iter().any(|o| o.class == "relay"),
+        "zero threshold captured nothing"
+    );
+}
+
+/// Every metric name on every live registry obeys the hygiene contract
+/// (`rnl_` prefix, lowercase snake case) — the registration-time
+/// validator enforced end to end across server and site registries.
+#[test]
+fn live_metric_names_pass_hygiene() {
+    let mut labs = RemoteNetworkLabs::new_unreserved();
+    let site = labs.add_site("pc-a");
+    labs.add_device(site, host("s1", 1, "10.0.0.1/24"), "s1")
+        .unwrap();
+    labs.join_labs(site).unwrap();
+    labs.run(Duration::from_secs(1)).unwrap();
+
+    let mut registries = vec![labs.server_obs().snapshot()];
+    registries.push(labs.site_obs(site).unwrap().snapshot());
+    let mut seen = 0;
+    for snap in &registries {
+        for point in &snap.metrics {
+            seen += 1;
+            assert!(point.name.starts_with("rnl_"), "bad prefix: {}", point.name);
+            assert!(
+                point
+                    .name
+                    .bytes()
+                    .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'_'),
+                "bad characters in metric name: {}",
+                point.name
+            );
+            if let MetricValue::Histogram(h) = &point.value {
+                assert!(
+                    h.bounds.windows(2).all(|w| w[0] < w[1]),
+                    "non-increasing bounds in {}",
+                    point.name
+                );
+            }
+        }
+    }
+    assert!(seen > 10, "suspiciously few metrics: {seen}");
+}
+
+/// The wall-clock profiling scopes fill in during ordinary traffic:
+/// the relay hot path exports per-phase `rnl_perf_*_ns` series whose
+/// counts (not values) are deterministic consequences of the run.
+#[test]
+fn perf_scopes_populate_during_traffic() {
+    let mut labs = RemoteNetworkLabs::new_unreserved();
+    let site_a = labs.add_site("pc-a");
+    let site_b = labs.add_site("pc-b");
+    labs.add_device(site_a, host("s1", 1, "10.0.0.1/24"), "s1")
+        .unwrap();
+    labs.add_device(site_b, host("s2", 2, "10.0.0.2/24"), "s2")
+        .unwrap();
+    let a = labs.join_labs(site_a).unwrap()[0];
+    let b = labs.join_labs(site_b).unwrap()[0];
+    let mut design = Design::new("pair");
+    design.add_device(a);
+    design.add_device(b);
+    design.connect((a, PortId(0)), (b, PortId(0))).unwrap();
+    labs.save_design(design);
+    labs.deploy("alice", "pair").unwrap();
+    let now = labs.now();
+    labs.device_mut(site_a, 0)
+        .unwrap()
+        .console("ping 10.0.0.2 count 3", now);
+    labs.run(Duration::from_secs(5)).unwrap();
+
+    let routed = labs.server().stats().frames_routed;
+    assert!(routed >= 6);
+    let snap = labs.server_obs().snapshot();
+    let total = snap
+        .quantile("rnl_perf_server_relay_ns", &[("phase", "total")])
+        .expect("relay perf total series");
+    assert_eq!(total.count, routed, "one total sample per relayed frame");
+    for phase in ["decode", "matrix", "encode"] {
+        let q = snap
+            .quantile("rnl_perf_server_relay_ns", &[("phase", phase)])
+            .unwrap_or_else(|| panic!("missing relay phase {phase}"));
+        assert!(q.count > 0, "phase {phase} never sampled");
+    }
+}
+
+/// GetMetrics with a prefix narrows the snapshot through the full
+/// facade → web-op path (the op's default stays unfiltered).
+#[test]
+fn get_metrics_prefix_filters_through_facade() {
+    let mut labs = RemoteNetworkLabs::new_unreserved();
+    let site = labs.add_site("pc-a");
+    labs.add_device(site, host("s1", 1, "10.0.0.1/24"), "s1")
+        .unwrap();
+    labs.join_labs(site).unwrap();
+
+    let reply = labs.api_json(r#"{"op":"get_metrics","prefix":"rnl_server_frames_"}"#);
+    let parsed = Json::parse(&reply).unwrap();
+    let metrics = parsed.get("metrics").and_then(Json::as_arr).unwrap();
+    assert!(!metrics.is_empty());
+    assert!(metrics.iter().all(|m| {
+        m.get("metric")
+            .and_then(Json::as_str)
+            .is_some_and(|n| n.starts_with("rnl_server_frames_"))
+    }));
+}
+
+/// Span round-trip sanity for the bench rig's generator: distinct,
+/// non-NONE ids from a deterministic allocator.
+#[test]
+fn trace_id_generator_is_deterministic() {
+    let mut a = TraceIdGen::new("bench");
+    let mut b = TraceIdGen::new("bench");
+    for _ in 0..100 {
+        let (ta, tb) = (a.allocate(), b.allocate());
+        assert_eq!(ta, tb);
+        assert!(Span {
+            trace: ta,
+            origin_us: 0
+        }
+        .is_some());
+    }
+}
