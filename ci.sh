@@ -17,6 +17,10 @@ cargo clippy --offline --workspace --all-targets -- -D warnings \
 # --no-deps keeps the stricter bar off the other crates).
 cargo clippy --offline --no-deps -p rnl-tunnel -p rnl-ris -p rnl-server --lib -- \
     -D warnings -D clippy::unwrap_used -D clippy::expect_used
+# The static analyzer runs inside the deploy gate on arbitrary user
+# configs, so it gets the same no-panic bar.
+cargo clippy --offline --no-deps -p rnl-analysis --lib -- \
+    -D warnings -D clippy::unwrap_used -D clippy::expect_used
 # Source-level gate over the hot-path files (allowlist: tools/srclint-allow.txt).
 cargo run -q --offline -p rnl-bench --bin srclint
 # Fault-injection / resilience / recovery suites, named explicitly so a
@@ -32,6 +36,9 @@ cargo test -q --offline -p rnl --test recovery
 cargo test -q --offline -p rnl --test overload
 # E20 performance observability: the stall→slow_ops→trace e2e flow.
 cargo test -q --offline -p rnl --test perf
+# E21 data-plane verification: the verifier-vs-live-deployment
+# differential oracle over seeded random designs.
+cargo test -q --offline -p rnl --test verify
 # Perf-regression gate: prove the comparator bites, then check the four
 # deterministic virtual-clock workloads against the BENCH_*.json
 # baselines at the repo root (regenerate deliberately with

@@ -515,16 +515,31 @@ fn check_next_hop(input: &AnalysisInput, out: &mut Vec<Diagnostic>) {
                 .iter()
                 .find(|(_, i)| i.ip.is_some_and(|ip| ip.contains(*hop)));
             match via {
-                None => out.push(
-                    Diagnostic::new(
-                        NEXT_HOP_UNREACHABLE,
-                        Severity::Warning,
-                        format!(
-                            "static route to {prefix} points at {hop}, which is on none of the device's subnets"
-                        ),
-                    )
-                    .on(dev.id),
-                ),
+                // Not on a connected subnet: IOS still resolves the hop
+                // recursively through another static route — most often
+                // a default route (`0.0.0.0/0`) — so only flag it when
+                // no covering route leads to a connected subnet either.
+                None => {
+                    let recursively_reachable = config
+                        .static_routes
+                        .iter()
+                        .filter(|(via_prefix, _)| {
+                            via_prefix != prefix && via_prefix.contains(*hop)
+                        })
+                        .any(|(_, via_hop)| config.interface_facing(*via_hop).is_some());
+                    if !recursively_reachable {
+                        out.push(
+                            Diagnostic::new(
+                                NEXT_HOP_UNREACHABLE,
+                                Severity::Warning,
+                                format!(
+                                    "static route to {prefix} points at {hop}, which is on none of the device's subnets and no other route (e.g. a default route) resolves it"
+                                ),
+                            )
+                            .on(dev.id),
+                        );
+                    }
+                }
                 Some((&idx, _)) if !input.port_wired(dev.id, PortId(idx)) => out.push(
                     Diagnostic::new(
                         NEXT_HOP_UNREACHABLE,

@@ -167,7 +167,7 @@ impl Report {
 }
 
 /// Minimal JSON string escaping (quotes, backslashes, control chars).
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {

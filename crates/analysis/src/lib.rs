@@ -16,12 +16,16 @@
 //! from an exported design JSON offline.
 
 pub mod checks;
+pub mod cover;
 pub mod diag;
 pub mod model;
+pub mod verify;
 
 pub use checks::{CheckDef, Layer, REGISTRY};
+pub use cover::{CoverItem, CoverKey, CoverKind, Coverage};
 pub use diag::{Diagnostic, Report, Severity};
 pub use model::{AnalysisInput, DeviceInput, DeviceKind};
+pub use verify::{verify, PairOutcome, VerifyOutcome};
 
 /// Run every registered check over the input.
 pub fn analyze(input: &AnalysisInput) -> Report {
@@ -36,12 +40,15 @@ pub fn analyze(input: &AnalysisInput) -> Report {
 }
 
 /// The check catalog as (code, layer, severity, summary) rows — what
-/// `rnl-lint --catalog` prints and DESIGN.md documents.
+/// `rnl-lint --catalog` prints and DESIGN.md documents. Includes the
+/// verifier's RNL05xx codes after the static-check registry.
 pub fn catalog() -> Vec<(&'static str, &'static str, Severity, &'static str)> {
-    REGISTRY
+    let mut rows: Vec<_> = REGISTRY
         .iter()
         .map(|c| (c.code, c.layer.label(), c.severity, c.summary))
-        .collect()
+        .collect();
+    rows.extend(verify::catalog_rows());
+    rows
 }
 
 #[cfg(test)]
@@ -94,7 +101,14 @@ mod tests {
         for layer in [Layer::Graph, Layer::L2, Layer::L3, Layer::Policy] {
             assert!(REGISTRY.iter().any(|c| c.layer == layer));
         }
-        assert_eq!(catalog().len(), REGISTRY.len());
+        // The verifier's RNL05xx rows ride along in the catalog.
+        assert_eq!(
+            catalog().len(),
+            REGISTRY.len() + verify::catalog_rows().len()
+        );
+        assert!(catalog()
+            .iter()
+            .any(|(code, layer, _, _)| { *code == verify::FORWARDING_LOOP && *layer == "verify" }));
     }
 
     #[test]
@@ -421,6 +435,66 @@ mod tests {
         assert!(!codes(&analyze(&input)).contains(&checks::NEXT_HOP_UNREACHABLE));
     }
 
+    #[test]
+    fn rnl0304_accepts_next_hops_resolved_through_a_default_route() {
+        // Next hop off-subnet, but a default route points at a connected
+        // gateway: IOS resolves it recursively, so no finding.
+        let mut config = ParsedConfig::default();
+        config.interfaces.insert(0, iface("10.0.0.1/24"));
+        config.static_routes.push((
+            "10.2.0.0/16".parse().unwrap(),
+            "172.16.0.9".parse().unwrap(),
+        ));
+        config
+            .static_routes
+            .push(("0.0.0.0/0".parse().unwrap(), "10.0.0.254".parse().unwrap()));
+        let device = DeviceInput {
+            config: Some(config),
+            ..dev(1, DeviceKind::Router)
+        };
+        let input = AnalysisInput {
+            devices: vec![device, dev(2, DeviceKind::Host)],
+            wires: vec![wire((1, 0), (2, 0))],
+            ..AnalysisInput::default()
+        };
+        assert!(
+            !codes(&analyze(&input)).contains(&checks::NEXT_HOP_UNREACHABLE),
+            "{}",
+            analyze(&input).render()
+        );
+
+        // A default route whose own hop is off-subnet does not rescue it.
+        let mut config = ParsedConfig::default();
+        config.interfaces.insert(0, iface("10.0.0.1/24"));
+        config.static_routes.push((
+            "10.2.0.0/16".parse().unwrap(),
+            "172.16.0.9".parse().unwrap(),
+        ));
+        config
+            .static_routes
+            .push(("0.0.0.0/0".parse().unwrap(), "192.168.5.1".parse().unwrap()));
+        let device = DeviceInput {
+            config: Some(config),
+            ..dev(1, DeviceKind::Router)
+        };
+        let input = AnalysisInput {
+            devices: vec![device, dev(2, DeviceKind::Host)],
+            wires: vec![wire((1, 0), (2, 0))],
+            ..AnalysisInput::default()
+        };
+        let report = analyze(&input);
+        // Both the /16 and the default route itself are unresolvable.
+        assert_eq!(
+            codes(&report)
+                .iter()
+                .filter(|&&c| c == checks::NEXT_HOP_UNREACHABLE)
+                .count(),
+            2,
+            "{}",
+            report.render()
+        );
+    }
+
     fn acl_device(id: u32, acl_id: u16, rules: Vec<Rule>) -> DeviceInput {
         let mut config = ParsedConfig::default();
         config.acls.insert(acl_id, rules);
@@ -611,6 +685,305 @@ mod tests {
         assert!(!codes(&analyze(&input)).contains(&SHADOWED_ACL_RULE));
     }
 
+    mod verify_tests {
+        use super::*;
+        use crate::verify::{self, verify};
+
+        /// A router with `(port, ip)` interfaces and `(prefix, hop)`
+        /// static routes.
+        fn router(id: u32, ifaces: &[(u16, &str)], routes: &[(&str, &str)]) -> DeviceInput {
+            let mut config = ParsedConfig::default();
+            for &(port, ip) in ifaces {
+                config.interfaces.insert(port, iface(ip));
+            }
+            for &(prefix, hop) in routes {
+                config
+                    .static_routes
+                    .push((prefix.parse().unwrap(), hop.parse().unwrap()));
+            }
+            DeviceInput {
+                config: Some(config),
+                ..dev(id, DeviceKind::Router)
+            }
+        }
+
+        #[test]
+        fn planted_loop_is_an_error_with_the_cycle_in_the_message() {
+            // r1 and r2 each route 10.2.0.0/16 at the other; the real
+            // 10.2 network hangs off r3, which neither can reach.
+            let input = AnalysisInput {
+                design: "loop".into(),
+                devices: vec![
+                    router(
+                        1,
+                        &[(0, "192.168.0.1/24"), (1, "10.1.0.1/16")],
+                        &[("10.2.0.0/16", "192.168.0.2")],
+                    ),
+                    router(
+                        2,
+                        &[(0, "192.168.0.2/24")],
+                        &[
+                            ("10.2.0.0/16", "192.168.0.1"),
+                            ("10.1.0.0/16", "192.168.0.1"),
+                        ],
+                    ),
+                    router(3, &[(0, "10.2.0.1/16")], &[]),
+                    dev(4, DeviceKind::Host),
+                    dev(5, DeviceKind::Host),
+                ],
+                wires: vec![
+                    wire((1, 0), (2, 0)),
+                    wire((1, 1), (4, 0)),
+                    wire((3, 0), (5, 0)),
+                ],
+                ..AnalysisInput::default()
+            };
+            let outcome = verify(&input);
+            let hit = outcome
+                .report
+                .diagnostics
+                .iter()
+                .find(|d| d.code == verify::FORWARDING_LOOP)
+                .expect("loop finding");
+            assert_eq!(hit.severity, Severity::Error);
+            assert!(hit.message.contains("r1 -> r2 -> r1"), "{}", hit.message);
+            assert!(outcome.report.has_errors());
+        }
+
+        #[test]
+        fn planted_blackhole_is_an_error_with_the_hop_path() {
+            // r1 forwards 10.2.0.0/16 to r2, which has no route for it.
+            let input = AnalysisInput {
+                design: "blackhole".into(),
+                devices: vec![
+                    router(
+                        1,
+                        &[(0, "192.168.0.1/24"), (1, "10.1.0.1/16")],
+                        &[("10.2.0.0/16", "192.168.0.2")],
+                    ),
+                    router(2, &[(0, "192.168.0.2/24")], &[]),
+                    router(3, &[(0, "10.2.0.1/16")], &[]),
+                    dev(4, DeviceKind::Host),
+                    dev(5, DeviceKind::Host),
+                ],
+                wires: vec![
+                    wire((1, 0), (2, 0)),
+                    wire((1, 1), (4, 0)),
+                    wire((3, 0), (5, 0)),
+                ],
+                ..AnalysisInput::default()
+            };
+            let outcome = verify(&input);
+            let hit = outcome
+                .report
+                .diagnostics
+                .iter()
+                .find(|d| d.code == verify::BLACKHOLE)
+                .expect("blackhole finding");
+            assert_eq!(hit.severity, Severity::Error);
+            assert_eq!(hit.device, Some(r(2)));
+            assert!(hit.message.contains("hop path r1 -> r2"), "{}", hit.message);
+        }
+
+        #[test]
+        fn acl_severed_pair_is_a_warning_naming_the_blocking_line() {
+            // Proper routes both ways, but r1's outbound ACL denies the
+            // 10.1 -> 10.2 class on the transit link.
+            let mut r1 = router(
+                1,
+                &[(0, "192.168.0.1/24"), (1, "10.1.0.1/16")],
+                &[("10.2.0.0/16", "192.168.0.2")],
+            );
+            if let Some(config) = r1.config.as_mut() {
+                config.acls.insert(
+                    102,
+                    vec![
+                        Rule::deny_net_to_net(
+                            "10.1.0.0/16".parse().unwrap(),
+                            "10.2.0.0/16".parse().unwrap(),
+                        ),
+                        Rule::permit_any(),
+                    ],
+                );
+                if let Some(iface) = config.interfaces.get_mut(&0) {
+                    iface.acl_out = Some(102);
+                }
+            }
+            let input = AnalysisInput {
+                design: "severed".into(),
+                devices: vec![
+                    r1,
+                    router(
+                        2,
+                        &[(0, "192.168.0.2/24"), (1, "10.2.0.1/16")],
+                        &[("10.1.0.0/16", "192.168.0.1")],
+                    ),
+                    dev(3, DeviceKind::Host),
+                    dev(4, DeviceKind::Host),
+                ],
+                wires: vec![
+                    wire((1, 0), (2, 0)),
+                    wire((1, 1), (3, 0)),
+                    wire((2, 1), (4, 0)),
+                ],
+                ..AnalysisInput::default()
+            };
+            let outcome = verify(&input);
+            assert!(!outcome.report.has_errors(), "{}", outcome.report.render());
+            let hit = outcome
+                .report
+                .diagnostics
+                .iter()
+                .find(|d| d.code == verify::UNREACHABLE_PAIR)
+                .expect("unreachable pair finding");
+            assert_eq!(hit.severity, Severity::Warning);
+            assert!(hit.message.contains("access-list 102"), "{}", hit.message);
+            assert!(hit.message.contains("hop path r1"), "{}", hit.message);
+            // The reverse direction still delivers; the deny rule is
+            // counted as used (it matched traffic).
+            assert!(outcome.pairs.iter().any(|p| p.delivered));
+            assert!(outcome.pairs.iter().any(|p| !p.delivered));
+            let (used_rules, total_rules) = outcome.coverage.counts(CoverKind::AclRule);
+            assert_eq!((used_rules, total_rules), (1, 2));
+        }
+
+        #[test]
+        fn asymmetric_forward_and_return_paths_are_flagged() {
+            // Forward 10.1 -> 10.2 detours through r3; return goes
+            // straight over the r1-r2 link.
+            let input = AnalysisInput {
+                design: "asym".into(),
+                devices: vec![
+                    router(
+                        1,
+                        &[
+                            (0, "192.168.13.1/24"),
+                            (1, "10.1.0.1/16"),
+                            (2, "192.168.12.1/24"),
+                        ],
+                        &[("10.2.0.0/16", "192.168.13.3")],
+                    ),
+                    router(
+                        2,
+                        &[
+                            (0, "192.168.23.2/24"),
+                            (1, "192.168.12.2/24"),
+                            (2, "10.2.0.1/16"),
+                        ],
+                        &[("10.1.0.0/16", "192.168.12.1")],
+                    ),
+                    router(
+                        3,
+                        &[(0, "192.168.13.3/24"), (1, "192.168.23.3/24")],
+                        &[("10.2.0.0/16", "192.168.23.2")],
+                    ),
+                    dev(4, DeviceKind::Host),
+                    dev(5, DeviceKind::Host),
+                ],
+                wires: vec![
+                    wire((1, 0), (3, 0)),
+                    wire((3, 1), (2, 0)),
+                    wire((2, 1), (1, 2)),
+                    wire((1, 1), (4, 0)),
+                    wire((2, 2), (5, 0)),
+                ],
+                ..AnalysisInput::default()
+            };
+            let outcome = verify(&input);
+            assert!(!outcome.report.has_errors(), "{}", outcome.report.render());
+            let hit = outcome
+                .report
+                .diagnostics
+                .iter()
+                .find(|d| d.code == verify::ASYMMETRIC_PATH)
+                .expect("asymmetric path finding");
+            assert!(hit.message.contains("r1 -> r3 -> r2"), "{}", hit.message);
+            assert!(hit.message.contains("r2 -> r1"), "{}", hit.message);
+        }
+
+        #[test]
+        fn symmetric_design_verifies_clean_with_full_coverage() {
+            let input = AnalysisInput {
+                design: "clean".into(),
+                devices: vec![
+                    router(
+                        1,
+                        &[(0, "192.168.0.1/24"), (1, "10.1.0.1/16")],
+                        &[("10.2.0.0/16", "192.168.0.2")],
+                    ),
+                    router(
+                        2,
+                        &[(0, "192.168.0.2/24"), (1, "10.2.0.1/16")],
+                        &[("10.1.0.0/16", "192.168.0.1")],
+                    ),
+                    dev(3, DeviceKind::Host),
+                    dev(4, DeviceKind::Host),
+                ],
+                wires: vec![
+                    wire((1, 0), (2, 0)),
+                    wire((1, 1), (3, 0)),
+                    wire((2, 1), (4, 0)),
+                ],
+                ..AnalysisInput::default()
+            };
+            let outcome = verify(&input);
+            assert!(
+                outcome.report.diagnostics.is_empty(),
+                "{}",
+                outcome.report.render()
+            );
+            assert_eq!(outcome.pairs.len(), 2);
+            assert!(outcome.pairs.iter().all(|p| p.delivered));
+            assert_eq!(
+                outcome.coverage.percent(),
+                100,
+                "{}",
+                outcome.coverage.summary()
+            );
+            let json = outcome.to_json();
+            assert!(json.contains("\"percent\":100"), "{json}");
+            assert!(json.contains("\"delivered\":true"), "{json}");
+        }
+
+        #[test]
+        fn rip_learned_routes_deliver_and_count_as_coverage() {
+            // No static routes at all: both routers run RIP over the
+            // shared transit subnet and learn each other's stub.
+            let make = |id: u32, transit: &str, stub: &str| {
+                let mut d = router(id, &[(0, transit), (1, stub)], &[]);
+                if let Some(config) = d.config.as_mut() {
+                    config.rip_enabled = true;
+                    config.rip_networks.push("10.0.0.0/8".parse().unwrap());
+                }
+                d
+            };
+            let input = AnalysisInput {
+                design: "rip".into(),
+                devices: vec![
+                    make(1, "10.12.0.1/24", "10.1.0.1/16"),
+                    make(2, "10.12.0.2/24", "10.2.0.1/16"),
+                    dev(3, DeviceKind::Host),
+                    dev(4, DeviceKind::Host),
+                ],
+                wires: vec![
+                    wire((1, 0), (2, 0)),
+                    wire((1, 1), (3, 0)),
+                    wire((2, 1), (4, 0)),
+                ],
+                ..AnalysisInput::default()
+            };
+            let outcome = verify(&input);
+            assert!(
+                outcome.report.diagnostics.is_empty(),
+                "{}",
+                outcome.report.render()
+            );
+            assert!(outcome.pairs.iter().all(|p| p.delivered));
+            let (used, total) = outcome.coverage.counts(CoverKind::RipNetwork);
+            assert_eq!((used, total), (2, 2), "{}", outcome.coverage.summary());
+        }
+    }
+
     mod properties {
         use super::*;
         use proptest::prelude::*;
@@ -691,6 +1064,13 @@ mod tests {
                 let _ = report.to_json();
                 let _ = report.summary();
                 prop_assert!(report.count(Severity::Error) <= report.diagnostics.len());
+                // The symbolic verifier must also survive anything a
+                // well-formed design JSON can throw at it.
+                let outcome = verify::verify(&input);
+                let _ = outcome.report.render();
+                let _ = outcome.coverage.summary();
+                let _ = outcome.to_json();
+                prop_assert!(outcome.coverage.percent() <= 100);
             }
         }
     }

@@ -2,9 +2,11 @@
 //!
 //! The relay path (server relay loop, RIS forwarding, tunnel transport)
 //! must not panic: a panicking `unwrap()`/`expect()` there takes the
-//! whole shared facility down with it. This gate scans the hot-path
-//! files for panic-prone constructs in non-test code and fails CI when
-//! it finds one that is not explicitly allowlisted.
+//! whole shared facility down with it. The same rule covers the static
+//! analyzer (`crates/analysis`), which runs inside the deploy gate on
+//! arbitrary user configs. This gate scans the hot-path files for
+//! panic-prone constructs in non-test code and fails CI when it finds
+//! one that is not explicitly allowlisted.
 //!
 //! Allowlist: `tools/srclint-allow.txt`, one entry per line in the form
 //! `<path>: <trimmed source line>`. Stale entries (no longer matching
@@ -26,6 +28,12 @@ const HOT_PATHS: &[&str] = &[
     "crates/ris/src/supervisor.rs",
     "crates/tunnel/src/transport.rs",
     "crates/tunnel/src/faults.rs",
+    "crates/analysis/src/lib.rs",
+    "crates/analysis/src/checks.rs",
+    "crates/analysis/src/diag.rs",
+    "crates/analysis/src/model.rs",
+    "crates/analysis/src/cover.rs",
+    "crates/analysis/src/verify.rs",
 ];
 
 /// Panic-prone constructs the gate rejects.

@@ -603,6 +603,12 @@ impl RemoteNetworkLabs {
         Ok(self.server.analyze_saved_design(design)?)
     }
 
+    /// Run the symbolic data-plane verifier over a saved design:
+    /// RNL05xx findings, host-pair reachability, and config coverage.
+    pub fn verify_design(&self, design: &str) -> Result<rnl_server::lint::VerifyOutcome, LabError> {
+        Ok(self.server.verify_saved_design(design)?)
+    }
+
     /// Tear a deployment down.
     pub fn teardown(&mut self, id: DeploymentId) -> bool {
         self.server.teardown(id)

@@ -97,6 +97,13 @@ pub struct NightlyReport {
     /// (`"<design>: <summary>"`), so the morning log also reports lint
     /// drift when a topology or configuration changed.
     pub lint: Vec<String>,
+    /// Data-plane verification summary lines, one per saved design
+    /// (`"<design>: <summary>; coverage <coverage summary>"`) followed
+    /// by up to three `"<design> gap: …"` lines naming the top
+    /// uncovered config stanzas — so untested routes and rules are
+    /// visible run over run, and coverage deltas show up as diffs of
+    /// the morning log.
+    pub verify: Vec<String>,
     /// Resilience summary lines (session disconnects, re-adoptions,
     /// reaps, reconnect attempts, shed frames) — nonzero activity only,
     /// so a quiet night stays a quiet log.
@@ -149,6 +156,12 @@ impl NightlyReport {
         if !self.lint.is_empty() {
             out.push_str("  pre-deploy analysis:\n");
             for line in &self.lint {
+                out.push_str(&format!("    {line}\n"));
+            }
+        }
+        if !self.verify.is_empty() {
+            out.push_str("  verify:\n");
+            for line in &self.verify {
                 out.push_str(&format!("    {line}\n"));
             }
         }
@@ -227,9 +240,27 @@ impl NightlySuite {
             .map(str::to_string)
             .collect();
         let mut lint = Vec::with_capacity(names.len());
+        // Also run the symbolic data-plane verifier: RNL05xx drift and
+        // config-coverage gaps belong in the same morning log.
+        let mut verify = Vec::new();
         for name in names {
             if let Ok(report) = labs.server().analyze_saved_design(&name) {
                 lint.push(format!("{name}: {}", report.summary()));
+            }
+            if let Ok(outcome) = labs.server().verify_saved_design(&name) {
+                verify.push(format!(
+                    "{name}: {}; coverage {}",
+                    outcome.report.summary(),
+                    outcome.coverage.summary()
+                ));
+                for item in outcome.coverage.unused().take(3) {
+                    verify.push(format!(
+                        "{name} gap: {} {} `{}`",
+                        item.key.device,
+                        item.key.kind.label(),
+                        item.label
+                    ));
+                }
             }
         }
         // Resilience counters: anything nonzero means sessions flapped
@@ -326,6 +357,7 @@ impl NightlySuite {
             results,
             metrics,
             lint,
+            verify,
             resilience,
             recovery,
             overload,

@@ -124,6 +124,34 @@ impl ParsedConfig {
             .filter_map(|i| i.ip)
             .any(|ip| network.contains(ip.addr()))
     }
+
+    /// Next hops of every default route (`ip route 0.0.0.0 0.0.0.0 H`
+    /// or `ip default-gateway H`).
+    pub fn default_routes(&self) -> impl Iterator<Item = Ipv4Addr> + '_ {
+        self.static_routes
+            .iter()
+            .filter(|(prefix, _)| prefix.prefix_len() == 0)
+            .map(|&(_, hop)| hop)
+    }
+
+    /// Longest-prefix match over the static routes (default routes
+    /// included) for one destination address.
+    pub fn lpm_static(&self, dst: Ipv4Addr) -> Option<(Cidr, Ipv4Addr)> {
+        self.static_routes
+            .iter()
+            .filter(|(prefix, _)| prefix.contains(dst))
+            .max_by_key(|(prefix, _)| prefix.prefix_len())
+            .copied()
+    }
+
+    /// The interface (port index) whose subnet contains `addr`, if any —
+    /// shut-down interfaces do not count.
+    pub fn interface_facing(&self, addr: Ipv4Addr) -> Option<u16> {
+        self.interfaces
+            .iter()
+            .find(|(_, i)| !i.shutdown && i.ip.is_some_and(|ip| ip.contains(addr)))
+            .map(|(&idx, _)| idx)
+    }
 }
 
 /// Interface names both device families emit: `FastEthernet0/N`,
@@ -264,6 +292,15 @@ pub fn parse_config(text: &str) -> ParsedConfig {
                 [ip, route, net, mask, hop] if kw(ip, "ip") && kw(route, "route") => {
                     if let (Some(prefix), Ok(next_hop)) =
                         (parse_addr_mask(net, mask), hop.parse::<Ipv4Addr>())
+                    {
+                        out.static_routes.push((prefix, next_hop));
+                    }
+                }
+                // `ip default-gateway H` is the host/switch spelling of a
+                // default route; model it as `0.0.0.0/0 via H`.
+                [ip, dgw, hop] if kw(ip, "ip") && kw(dgw, "default-gateway") => {
+                    if let (Ok(prefix), Ok(next_hop)) =
+                        (Cidr::new(Ipv4Addr::UNSPECIFIED, 0), hop.parse::<Ipv4Addr>())
                     {
                         out.static_routes.push((prefix, next_hop));
                     }
@@ -410,6 +447,39 @@ mod tests {
         assert!(parsed.interfaces[&0].shutdown);
         assert!(parsed.rip_network_covers_interface(&"10.0.0.0/24".parse().unwrap()));
         assert!(!parsed.rip_network_covers_interface(&"192.168.0.0/16".parse().unwrap()));
+    }
+
+    #[test]
+    fn default_routes_and_lpm() {
+        let text = "interface FastEthernet0/0\n \
+                    ip address 10.0.0.1 255.255.255.0\n\
+                    !\n\
+                    ip route 10.2.0.0 255.255.0.0 10.0.0.2\n\
+                    ip route 0.0.0.0 0.0.0.0 10.0.0.254\n\
+                    ip default-gateway 10.0.0.9\n";
+        let parsed = parse_config(text);
+        assert_eq!(parsed.static_routes.len(), 3);
+        let defaults: Vec<_> = parsed.default_routes().collect();
+        assert_eq!(
+            defaults,
+            vec![
+                "10.0.0.254".parse::<Ipv4Addr>().unwrap(),
+                "10.0.0.9".parse().unwrap()
+            ]
+        );
+        // LPM prefers the /16 over the defaults for a covered address.
+        assert_eq!(
+            parsed.lpm_static("10.2.3.4".parse().unwrap()),
+            Some(("10.2.0.0/16".parse().unwrap(), "10.0.0.2".parse().unwrap()))
+        );
+        // Anything else falls through to a default route.
+        let (prefix, _) = parsed.lpm_static("8.8.8.8".parse().unwrap()).unwrap();
+        assert_eq!(prefix.prefix_len(), 0);
+        assert_eq!(
+            parsed.interface_facing("10.0.0.77".parse().unwrap()),
+            Some(0)
+        );
+        assert_eq!(parsed.interface_facing("172.16.0.1".parse().unwrap()), None);
     }
 
     #[test]

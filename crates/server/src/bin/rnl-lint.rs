@@ -1,12 +1,17 @@
 //! `rnl-lint` — offline pre-deploy analysis of an exported design.
 //!
-//! Usage: `rnl-lint [--json] <design.json>...` or `rnl-lint --catalog`.
+//! Usage: `rnl-lint [--json] [--verify] [--coverage] <design.json>...`
+//! or `rnl-lint --catalog`.
 //!
 //! Reads design files in the web API's `export_design` format, runs the
 //! same analyzer the server's deploy gate uses (without an inventory, so
 //! device kinds are inferred from saved config text), and prints each
-//! report. Exit status: 0 when no design has Error findings, 1 when any
-//! does, 2 on usage or parse failure.
+//! report. `--verify` additionally runs the symbolic data-plane
+//! verifier (RNL05xx forwarding loops, blackholes, severed host pairs);
+//! `--coverage` prints the NetCov-style config-coverage summary (and
+//! implies `--verify`, which produces it). Exit status: 0 when no
+//! design has Error findings, 1 when any does, 2 on usage or parse
+//! failure.
 
 use std::process::ExitCode;
 
@@ -15,7 +20,7 @@ use rnl_server::json::Json;
 use rnl_server::lint;
 
 fn usage() -> ExitCode {
-    eprintln!("usage: rnl-lint [--json] <design.json>...");
+    eprintln!("usage: rnl-lint [--json] [--verify] [--coverage] <design.json>...");
     eprintln!("       rnl-lint --catalog");
     ExitCode::from(2)
 }
@@ -29,6 +34,8 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
     let as_json = args.iter().any(|a| a == "--json");
+    let coverage = args.iter().any(|a| a == "--coverage");
+    let run_verify = coverage || args.iter().any(|a| a == "--verify");
     let paths: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
     if paths.is_empty() {
         return usage();
@@ -66,6 +73,26 @@ fn main() -> ExitCode {
             print!("{}", report.render());
         }
         any_errors |= report.has_errors();
+        if run_verify {
+            let outcome = lint::verify_design(&design, None);
+            if as_json {
+                println!("{}", outcome.to_json());
+            } else {
+                print!("{}", outcome.report.render());
+                if coverage {
+                    println!("  coverage: {}", outcome.coverage.summary());
+                    for item in outcome.coverage.unused() {
+                        println!(
+                            "    uncovered: {} {} `{}`",
+                            item.key.device,
+                            item.key.kind.label(),
+                            item.label
+                        );
+                    }
+                }
+            }
+            any_errors |= outcome.report.has_errors();
+        }
     }
     if any_errors {
         ExitCode::FAILURE

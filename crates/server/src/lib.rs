@@ -76,6 +76,10 @@ pub enum ServerError {
     /// Pre-deploy static analysis found Error-severity diagnostics (the
     /// string is the rendered report). Deploy with force to override.
     Lint(String),
+    /// The symbolic data-plane verifier found Error-severity RNL05xx
+    /// findings (the string is the rendered report) and the opt-in
+    /// verify-on-deploy gate is on. Deploy with force to override.
+    Verify(String),
     /// The write-ahead journal failed (append, snapshot, or recovery).
     Durability(String),
     /// The server is above its high-water mark and shed this op; the
@@ -100,6 +104,9 @@ impl std::fmt::Display for ServerError {
             ServerError::UnknownRouter(r) => write!(f, "unknown router {r}"),
             ServerError::Compression(e) => write!(f, "compression: {e}"),
             ServerError::Lint(report) => write!(f, "rejected by pre-deploy analysis:\n{report}"),
+            ServerError::Verify(report) => {
+                write!(f, "rejected by data-plane verification:\n{report}")
+            }
             ServerError::Durability(m) => write!(f, "durability: {m}"),
             ServerError::Overloaded { retry_after } => {
                 write!(f, "overloaded; retry after {}us", retry_after.as_micros())
@@ -122,6 +129,7 @@ impl ServerError {
             ServerError::UnknownRouter(_) => "unknown-router",
             ServerError::Compression(_) => "compression",
             ServerError::Lint(_) => "lint",
+            ServerError::Verify(_) => "verify",
             ServerError::Durability(_) => "durability",
             ServerError::Overloaded { .. } => "overloaded",
             ServerError::DeadlineExceeded => "deadline-exceeded",
@@ -281,6 +289,9 @@ pub struct RouteServer {
     /// Whether deploy requires a covering reservation. On by default —
     /// this is a shared facility; tests may relax it.
     enforce_reservations: bool,
+    /// Opt-in deploy gate: also run the symbolic data-plane verifier
+    /// and reject designs with RNL05xx errors (loops, blackholes).
+    verify_on_deploy: bool,
     /// All server metrics live here; [`ServerStats`] is a view of it.
     obs: MetricsRegistry,
     /// Bounded ring of traced frame events (Fig. 4 hops).
@@ -446,12 +457,25 @@ impl RouteServer {
             compress_downstream: false,
             generator: Generator::new(),
             enforce_reservations: true,
+            verify_on_deploy: false,
         }
     }
 
     /// Relax or enforce the reservation check at deploy time.
     pub fn set_enforce_reservations(&mut self, on: bool) {
         self.enforce_reservations = on;
+    }
+
+    /// Opt in to (or out of) data-plane verification at deploy time:
+    /// RNL05xx errors (forwarding loops, blackholes) reject the deploy
+    /// the same way lint errors do, with the same `force` override.
+    pub fn set_verify_on_deploy(&mut self, on: bool) {
+        self.verify_on_deploy = on;
+    }
+
+    /// Whether the verify-on-deploy gate is on.
+    pub fn verify_on_deploy(&self) -> bool {
+        self.verify_on_deploy
     }
 
     /// Compress relayed frames on the server→RIS leg (§4's bandwidth
@@ -1674,6 +1698,41 @@ impl RouteServer {
         Ok(self.analyze_design(design))
     }
 
+    /// Run the symbolic data-plane verifier over a design against this
+    /// server's inventory, recording verifier metrics.
+    pub fn verify_design(&self, design: &Design) -> rnl_analysis::VerifyOutcome {
+        let outcome = lint::verify_design(design, Some(&self.inventory));
+        self.obs.counter("rnl_server_verify_runs_total", &[]).inc();
+        for severity in [
+            rnl_analysis::Severity::Error,
+            rnl_analysis::Severity::Warning,
+            rnl_analysis::Severity::Info,
+        ] {
+            let n = outcome.report.count(severity) as u64;
+            if n > 0 {
+                self.obs
+                    .counter(
+                        "rnl_server_verify_findings_total",
+                        &[("severity", severity.label())],
+                    )
+                    .add(n);
+            }
+        }
+        outcome
+    }
+
+    /// Verify a saved design by name.
+    pub fn verify_saved_design(
+        &self,
+        design_name: &str,
+    ) -> Result<rnl_analysis::VerifyOutcome, ServerError> {
+        let design = self
+            .designs
+            .load(design_name)
+            .ok_or_else(|| ServerError::UnknownDesign(design_name.to_string()))?;
+        Ok(self.verify_design(design))
+    }
+
     /// Deploy a saved design: validate, check the reservation, install
     /// the routing matrix, and auto-restore saved configurations.
     /// Rejected if static analysis reports Error-severity findings; use
@@ -1750,6 +1809,17 @@ impl RouteServer {
                 .counter("rnl_server_lint_deploys_rejected_total", &[])
                 .inc();
             return Err(ServerError::Lint(report.render()));
+        }
+        // Opt-in data-plane verification: loops and blackholes reject
+        // the deploy like lint errors, with the same force override.
+        if self.verify_on_deploy {
+            let outcome = self.verify_design(design);
+            if outcome.report.has_errors() && !force {
+                self.obs
+                    .counter("rnl_server_verify_deploys_rejected_total", &[])
+                    .inc();
+                return Err(ServerError::Verify(outcome.report.render()));
+            }
         }
         let routers: Vec<RouterId> = design.devices().collect();
         for &router in &routers {

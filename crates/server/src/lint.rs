@@ -6,9 +6,9 @@
 //! operation (and the offline `rnl-lint` binary, which passes no
 //! inventory) produce identical reports for the same design.
 
-pub use rnl_analysis::{AnalysisInput, Report, Severity};
+pub use rnl_analysis::{AnalysisInput, Report, Severity, VerifyOutcome};
 
-use rnl_analysis::{analyze, DeviceInput, DeviceKind};
+use rnl_analysis::{analyze, verify, DeviceInput, DeviceKind};
 use rnl_device::confparse::parse_config;
 
 use crate::design::Design;
@@ -48,6 +48,12 @@ pub fn input_from_design(design: &Design, inventory: Option<&Inventory>) -> Anal
 /// Analyze a design against an optional inventory.
 pub fn analyze_design(design: &Design, inventory: Option<&Inventory>) -> Report {
     analyze(&input_from_design(design, inventory))
+}
+
+/// Run the symbolic data-plane verifier over a design against an
+/// optional inventory: RNL05xx findings plus config coverage.
+pub fn verify_design(design: &Design, inventory: Option<&Inventory>) -> VerifyOutcome {
+    verify(&input_from_design(design, inventory))
 }
 
 #[cfg(test)]

@@ -71,6 +71,9 @@ pub enum Request {
     },
     /// Run pre-deploy static analysis over a saved design.
     AnalyzeDesign { design: String },
+    /// Run the symbolic data-plane verifier over a saved design:
+    /// RNL05xx findings, host-pair outcomes, and config coverage.
+    VerifyDesign { design: String },
     /// Tear a deployment down.
     Teardown { deployment: DeploymentId },
     /// One console line to a router.
@@ -145,6 +148,9 @@ pub enum Response {
     /// A static-analysis report, already in wire form (see
     /// [`report_to_json`]).
     Analysis(Json),
+    /// A data-plane verification outcome, already in wire form (see
+    /// [`verify_to_json`]).
+    Verification(Json),
 }
 
 /// Encode an analysis report for the wire.
@@ -179,6 +185,56 @@ pub fn report_to_json(report: &rnl_analysis::Report) -> Json {
                     })
                     .collect(),
             ),
+        ),
+    ])
+}
+
+/// Encode a verification outcome for the wire: the RNL05xx report, the
+/// per-pair reachability verdicts, and the config-coverage summary.
+pub fn verify_to_json(outcome: &rnl_analysis::VerifyOutcome) -> Json {
+    Json::obj([
+        ("report", report_to_json(&outcome.report)),
+        (
+            "pairs",
+            Json::Arr(
+                outcome
+                    .pairs
+                    .iter()
+                    .map(|p| {
+                        Json::obj([
+                            ("src", Json::str(p.src.to_string())),
+                            ("src_subnet", Json::str(p.src_subnet.to_string())),
+                            ("dst", Json::str(p.dst.to_string())),
+                            ("dst_subnet", Json::str(p.dst_subnet.to_string())),
+                            ("delivered", Json::Bool(p.delivered)),
+                            ("detail", Json::str(p.detail.clone())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "coverage",
+            Json::obj([
+                ("percent", Json::num(outcome.coverage.percent())),
+                ("summary", Json::str(outcome.coverage.summary())),
+                (
+                    "unused",
+                    Json::Arr(
+                        outcome
+                            .coverage
+                            .unused()
+                            .map(|item| {
+                                Json::obj([
+                                    ("device", Json::str(item.key.device.to_string())),
+                                    ("kind", Json::str(item.key.kind.label().to_string())),
+                                    ("stanza", Json::str(item.label.clone())),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
         ),
     ])
 }
@@ -409,6 +465,10 @@ fn handle_inner(
         Request::AnalyzeDesign { design } => {
             let report = server.analyze_saved_design(&design)?;
             Response::Analysis(report_to_json(&report))
+        }
+        Request::VerifyDesign { design } => {
+            let outcome = server.verify_saved_design(&design)?;
+            Response::Verification(verify_to_json(&outcome))
         }
         Request::Teardown { deployment } => {
             server.teardown(deployment);
@@ -679,6 +739,9 @@ pub fn parse_request(json: &Json) -> Result<Request, String> {
         "analyze_design" => Request::AnalyzeDesign {
             design: string("design")?,
         },
+        "verify_design" => Request::VerifyDesign {
+            design: string("design")?,
+        },
         "teardown" => Request::Teardown {
             deployment: DeploymentId(number("deployment")?),
         },
@@ -847,6 +910,9 @@ pub fn encode_response(response: &Response) -> Json {
         Response::SlowOps(ops) => Json::obj([("ok", Json::Bool(true)), ("slow_ops", ops.clone())]),
         Response::Analysis(report) => {
             Json::obj([("ok", Json::Bool(true)), ("analysis", report.clone())])
+        }
+        Response::Verification(outcome) => {
+            Json::obj([("ok", Json::Bool(true)), ("verification", outcome.clone())])
         }
         Response::Frames(frames) => Json::obj([
             ("ok", Json::Bool(true)),
@@ -1039,6 +1105,36 @@ mod tests {
     }
 
     #[test]
+    fn verify_design_returns_report_pairs_and_coverage() {
+        let mut server = RouteServer::new();
+        assert_eq!(
+            handle_json(&mut server, r#"{"op":"create_design","name":"lab"}"#, t(0)),
+            r#"{"ok":true}"#
+        );
+        let reply = handle_json(
+            &mut server,
+            r#"{"op":"verify_design","design":"lab"}"#,
+            t(0),
+        );
+        let parsed = Json::parse(&reply).unwrap();
+        assert_eq!(
+            parsed.get("ok").and_then(Json::as_bool),
+            Some(true),
+            "{reply}"
+        );
+        let verification = parsed.get("verification").expect("verification field");
+        assert!(verification.get("report").is_some(), "{reply}");
+        assert!(verification.get("pairs").is_some(), "{reply}");
+        let coverage = verification.get("coverage").expect("coverage field");
+        // An empty design has nothing uncovered.
+        assert_eq!(
+            coverage.get("percent").and_then(Json::as_f64),
+            Some(100.0),
+            "{reply}"
+        );
+    }
+
+    #[test]
     fn every_failing_op_carries_a_stable_error_code() {
         use crate::overload::OverloadConfig;
         let mut server = RouteServer::new();
@@ -1070,6 +1166,10 @@ mod tests {
             (r#"{"op":"export_design","name":"ghost"}"#, "unknown-design"),
             (
                 r#"{"op":"analyze_design","design":"ghost"}"#,
+                "unknown-design",
+            ),
+            (
+                r#"{"op":"verify_design","design":"ghost"}"#,
                 "unknown-design",
             ),
             (

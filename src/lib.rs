@@ -13,6 +13,8 @@
 //! * [`device`] — simulated equipment: switches (with FWSM failover),
 //!   routers, hosts, traffic generators, all with IOS-style consoles and
 //!   flashable firmware.
+//! * [`analysis`] — the pre-deploy static analyzer (rnl-lint) and the
+//!   symbolic data-plane verifier (rnl-verify) with config coverage.
 //! * [`tunnel`] — wire virtualization: tunnel protocol, transports, WAN
 //!   impairment, template compression.
 //! * [`obs`] — observability: metrics registry, frame-path tracing,
@@ -26,6 +28,7 @@
 //!
 //! Start with `examples/quickstart.rs`.
 
+pub use rnl_analysis as analysis;
 pub use rnl_core as core;
 pub use rnl_device as device;
 pub use rnl_l1switch as l1switch;

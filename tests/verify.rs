@@ -1,0 +1,394 @@
+//! Experiment E21 — differential oracle: the symbolic data-plane
+//! verifier (rnl-verify, RNL05xx) against the live deployment.
+//!
+//! The verifier claims, statically, which edge-subnet pairs can talk.
+//! The deployment is the ground truth: a pair is really reachable iff a
+//! host ping crosses the lab. E21 builds seeded random router chains —
+//! the seed decides which static route (if any) is dropped — and checks
+//! that the two oracles agree in both directions. A planted forwarding
+//! loop must both be caught statically (RNL0501) and, when deployed
+//! anyway, spin the relay's frame accounting until TTL expiry.
+
+use rnl::core::scenarios::{fig5_failover_lab, fig6_policy_lab, Fig5Options};
+use rnl::device::host::Host;
+use rnl::device::router::Router;
+use rnl::net::time::Duration;
+use rnl::server::design::Design;
+use rnl::server::lint::VerifyOutcome;
+use rnl::tunnel::msg::{PortId, RouterId};
+use rnl::RemoteNetworkLabs;
+
+// -------------------------------------------------------------------
+// Harness
+// -------------------------------------------------------------------
+
+/// Deterministic xorshift64 — the only randomness E21 uses, so a seed
+/// reproduces the exact same design everywhere.
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+const HOST_A_IP: &str = "10.1.0.5";
+const HOST_B_IP: &str = "10.2.0.5";
+
+/// A deployed chain lab: host A — r0 — r1 — … — r(n-1) — host B.
+struct ChainLab {
+    labs: RemoteNetworkLabs,
+    host_a: RouterId,
+    host_b: RouterId,
+    /// The static route the seed removed, as (router index, prefix).
+    dropped: Option<(usize, &'static str)>,
+    outcome: VerifyOutcome,
+}
+
+/// Build a chain of `2 + seed%3` routers with a host on each end,
+/// drop one seed-chosen static route (or none), save the design with
+/// the routers' dumped running configs, verify it statically, then
+/// deploy it live.
+fn chain_lab(seed: u64) -> ChainLab {
+    let mut rng = seed
+        .wrapping_mul(2654435761)
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let n = 2 + (xorshift(&mut rng) % 3) as usize;
+
+    // Every static route the chain needs: towards B on all but the
+    // last router, towards A on all but the first.
+    let mut statics: Vec<(usize, &'static str)> = Vec::new();
+    for i in 0..n {
+        if i + 1 < n {
+            statics.push((i, "10.2.0.0/24"));
+        }
+        if i > 0 {
+            statics.push((i, "10.1.0.0/24"));
+        }
+    }
+    let pick = (xorshift(&mut rng) as usize) % (statics.len() + 1);
+    let dropped = statics.get(pick).copied();
+
+    let mut labs = RemoteNetworkLabs::new_unreserved();
+    let site = labs.add_site("e21");
+    let transit = |i: usize| format!("192.168.{}", 10 + i);
+    for i in 0..n {
+        let mut r = Router::new(&format!("r{i}"), 211 + i as u32, 2);
+        if i == 0 {
+            r.set_interface_ip(0, "10.1.0.1/24".parse().expect("valid"));
+        } else {
+            let ip = format!("{}.2/24", transit(i - 1));
+            r.set_interface_ip(0, ip.parse().expect("valid"));
+        }
+        if i + 1 == n {
+            r.set_interface_ip(1, "10.2.0.1/24".parse().expect("valid"));
+        } else {
+            let ip = format!("{}.1/24", transit(i));
+            r.set_interface_ip(1, ip.parse().expect("valid"));
+        }
+        for &(at, prefix) in &statics {
+            if at != i || dropped == Some((at, prefix)) {
+                continue;
+            }
+            let hop = if prefix == "10.2.0.0/24" {
+                format!("{}.2", transit(i))
+            } else {
+                format!("{}.1", transit(i - 1))
+            };
+            r.add_route(prefix.parse().expect("valid"), hop.parse().expect("valid"));
+        }
+        labs.add_device(site, Box::new(r), "chain router")
+            .expect("add");
+    }
+    let mut host_a = Host::new("host-a", 251);
+    host_a.set_ip("10.1.0.5/24".parse().expect("valid"));
+    host_a.set_gateway("10.1.0.1".parse().expect("valid"));
+    let mut host_b = Host::new("host-b", 252);
+    host_b.set_ip("10.2.0.5/24".parse().expect("valid"));
+    host_b.set_gateway("10.2.0.1".parse().expect("valid"));
+    labs.add_device(site, Box::new(host_a), "host A")
+        .expect("add");
+    labs.add_device(site, Box::new(host_b), "host B")
+        .expect("add");
+
+    let ids = labs.join_labs(site).expect("join");
+    let routers: Vec<RouterId> = ids[..n].to_vec();
+    let (host_a, host_b) = (ids[n], ids[n + 1]);
+
+    let mut design = Design::new("e21-chain");
+    for &id in &ids {
+        design.add_device(id);
+    }
+    design
+        .connect((host_a, PortId(0)), (routers[0], PortId(0)))
+        .expect("wire");
+    for w in routers.windows(2) {
+        design
+            .connect((w[0], PortId(1)), (w[1], PortId(0)))
+            .expect("wire");
+    }
+    design
+        .connect((routers[n - 1], PortId(1)), (host_b, PortId(0)))
+        .expect("wire");
+    labs.save_design(design);
+
+    // The §2.1 save path: dump each router's real running config into
+    // the design, so the verifier sees exactly what will be deployed.
+    for &r in &routers {
+        let text = labs.dump_config(r).expect("dump");
+        labs.server_mut()
+            .designs_mut()
+            .load_mut("e21-chain")
+            .expect("saved design")
+            .set_saved_config(r, text)
+            .expect("design member");
+    }
+    let outcome = labs.verify_design("e21-chain").expect("verify");
+
+    labs.deploy("e21", "e21-chain").expect("deploy");
+    labs.run(Duration::from_millis(500)).expect("settle");
+
+    ChainLab {
+        labs,
+        host_a,
+        host_b,
+        dropped,
+        outcome,
+    }
+}
+
+/// Live oracle: ping `dst` from `host` over the deployed lab on the
+/// virtual clock; true iff any echo reply came back.
+fn ping_succeeds(labs: &mut RemoteNetworkLabs, host: RouterId, dst: &str) -> bool {
+    labs.console(host, &format!("ping {dst} count 2"))
+        .expect("console");
+    labs.run(Duration::from_secs(4)).expect("run");
+    let out = labs.console(host, "show ping").expect("console");
+    let received: u32 = out
+        .split(", ")
+        .find_map(|part| part.strip_suffix(" received"))
+        .and_then(|n| n.trim().parse().ok())
+        .unwrap_or_else(|| panic!("unparseable ping summary: {out}"));
+    received > 0
+}
+
+/// Static oracle: the verifier's claim for the ordered pair whose
+/// source segment holds `src` and destination segment holds `dst`.
+fn claimed_delivered(outcome: &VerifyOutcome, src: &str, dst: &str) -> bool {
+    let (src, dst) = (
+        src.parse().expect("valid ip"),
+        dst.parse().expect("valid ip"),
+    );
+    outcome
+        .pairs
+        .iter()
+        .find(|p| p.src_subnet.contains(src) && p.dst_subnet.contains(dst))
+        .unwrap_or_else(|| panic!("no pair {src} -> {dst} in verifier output"))
+        .delivered
+}
+
+// -------------------------------------------------------------------
+// E21 proper: the two oracles agree on seeded random chains
+// -------------------------------------------------------------------
+
+#[test]
+fn verifier_agrees_with_live_ping_on_seeded_chains() {
+    let (mut faulted, mut clean) = (0, 0);
+    for seed in 0..6 {
+        let mut lab = chain_lab(seed);
+        match lab.dropped {
+            Some(_) => faulted += 1,
+            None => clean += 1,
+        }
+        // A ping is a round trip: the verifier must claim both ordered
+        // directions delivered for the live ping to succeed.
+        let statically_reachable = claimed_delivered(&lab.outcome, HOST_A_IP, HOST_B_IP)
+            && claimed_delivered(&lab.outcome, HOST_B_IP, HOST_A_IP);
+        let live_ab = ping_succeeds(&mut lab.labs, lab.host_a, HOST_B_IP);
+        assert_eq!(
+            live_ab,
+            statically_reachable,
+            "seed {seed} (dropped {:?}): A->B ping vs verifier:\n{}",
+            lab.dropped,
+            lab.outcome.report.render()
+        );
+        let live_ba = ping_succeeds(&mut lab.labs, lab.host_b, HOST_A_IP);
+        assert_eq!(
+            live_ba,
+            statically_reachable,
+            "seed {seed} (dropped {:?}): B->A ping vs verifier:\n{}",
+            lab.dropped,
+            lab.outcome.report.render()
+        );
+        // A dropped route must also surface as an RNL05xx finding.
+        if lab.dropped.is_some() {
+            assert!(
+                !lab.outcome.report.diagnostics.is_empty(),
+                "seed {seed}: dropped route produced no finding"
+            );
+        }
+    }
+    // The seed range must exercise both sides of the oracle.
+    assert!(faulted > 0, "no seed dropped a route");
+    assert!(clean > 0, "no seed left the chain intact");
+}
+
+// -------------------------------------------------------------------
+// Planted loop: caught statically, spins the relay when forced through
+// -------------------------------------------------------------------
+
+#[test]
+fn planted_loop_is_flagged_and_spins_the_relay_frame_accounting() {
+    // host A — r1 — r2 — r3 — host B, but r2 routes host B's subnet
+    // *back* to r1: a two-node forwarding loop on the A->B path.
+    let mut labs = RemoteNetworkLabs::new_unreserved();
+    let site = labs.add_site("e21-loop");
+
+    let mut r1 = Router::new("r1", 221, 2);
+    r1.set_interface_ip(0, "10.1.0.1/24".parse().expect("valid"));
+    r1.set_interface_ip(1, "192.168.10.1/24".parse().expect("valid"));
+    r1.add_route(
+        "10.2.0.0/24".parse().expect("valid"),
+        "192.168.10.2".parse().expect("valid"),
+    );
+    let mut r2 = Router::new("r2", 222, 2);
+    r2.set_interface_ip(0, "192.168.10.2/24".parse().expect("valid"));
+    r2.set_interface_ip(1, "192.168.11.1/24".parse().expect("valid"));
+    // The misconfiguration: back towards r1 instead of on to r3.
+    r2.add_route(
+        "10.2.0.0/24".parse().expect("valid"),
+        "192.168.10.1".parse().expect("valid"),
+    );
+    r2.add_route(
+        "10.1.0.0/24".parse().expect("valid"),
+        "192.168.10.1".parse().expect("valid"),
+    );
+    let mut r3 = Router::new("r3", 223, 2);
+    r3.set_interface_ip(0, "192.168.11.2/24".parse().expect("valid"));
+    r3.set_interface_ip(1, "10.2.0.1/24".parse().expect("valid"));
+    r3.add_route(
+        "10.1.0.0/24".parse().expect("valid"),
+        "192.168.11.1".parse().expect("valid"),
+    );
+    let mut host_a = Host::new("host-a", 224);
+    host_a.set_ip("10.1.0.5/24".parse().expect("valid"));
+    host_a.set_gateway("10.1.0.1".parse().expect("valid"));
+    let mut host_b = Host::new("host-b", 225);
+    host_b.set_ip("10.2.0.5/24".parse().expect("valid"));
+    host_b.set_gateway("10.2.0.1".parse().expect("valid"));
+
+    for (dev, label) in [
+        (Box::new(r1) as Box<dyn rnl::device::Device>, "r1"),
+        (Box::new(r2), "r2"),
+        (Box::new(r3), "r3"),
+        (Box::new(host_a), "host A"),
+        (Box::new(host_b), "host B"),
+    ] {
+        labs.add_device(site, dev, label).expect("add");
+    }
+    let ids = labs.join_labs(site).expect("join");
+    let (r1, r2, r3, host_a, _host_b) = (ids[0], ids[1], ids[2], ids[3], ids[4]);
+
+    let mut design = Design::new("e21-loop");
+    for &id in &ids {
+        design.add_device(id);
+    }
+    design
+        .connect((host_a, PortId(0)), (r1, PortId(0)))
+        .expect("wire");
+    design
+        .connect((r1, PortId(1)), (r2, PortId(0)))
+        .expect("wire");
+    design
+        .connect((r2, PortId(1)), (r3, PortId(0)))
+        .expect("wire");
+    design
+        .connect((r3, PortId(1)), (ids[4], PortId(0)))
+        .expect("wire");
+    labs.save_design(design);
+    for &r in &[r1, r2, r3] {
+        let text = labs.dump_config(r).expect("dump");
+        labs.server_mut()
+            .designs_mut()
+            .load_mut("e21-loop")
+            .expect("saved design")
+            .set_saved_config(r, text)
+            .expect("design member");
+    }
+
+    // Static oracle: RNL0501 with the cycle spelled out.
+    let outcome = labs.verify_design("e21-loop").expect("verify");
+    let loop_diag = outcome
+        .report
+        .diagnostics
+        .iter()
+        .find(|d| d.code == rnl::analysis::verify::FORWARDING_LOOP)
+        .unwrap_or_else(|| panic!("no RNL0501:\n{}", outcome.report.render()));
+    let cycle = format!("{r1} -> {r2} -> {r1}");
+    assert!(
+        loop_diag.message.contains(&cycle),
+        "cycle `{cycle}` missing from: {}",
+        loop_diag.message
+    );
+
+    // Live ground truth: deploy anyway; the echo request ping-pongs
+    // between r1 and r2 until its TTL (64) expires, so the relay's
+    // frame accounting spikes far beyond the 3-hop path length.
+    labs.deploy("e21", "e21-loop").expect("deploy");
+    labs.run(Duration::from_millis(500)).expect("settle");
+    let before = labs.server().stats().frames_routed;
+    assert!(!ping_succeeds(&mut labs, host_a, HOST_B_IP));
+    let spun = labs.server().stats().frames_routed - before;
+    assert!(spun >= 40, "loop relayed only {spun} frames");
+}
+
+// -------------------------------------------------------------------
+// Reference designs verify clean
+// -------------------------------------------------------------------
+
+#[test]
+fn fig6_reference_design_verifies_without_errors() {
+    let mut lab = fig6_policy_lab(false).expect("fig6 lab");
+    for router in [lab.r1, lab.r2, lab.r3, lab.r4] {
+        let text = lab.labs.dump_config(router).expect("dump");
+        lab.labs
+            .server_mut()
+            .designs_mut()
+            .load_mut("fig6-policy")
+            .expect("saved design")
+            .set_saved_config(router, text)
+            .expect("design member");
+    }
+    let outcome = lab.labs.verify_design("fig6-policy").expect("verify");
+    assert!(!outcome.report.has_errors(), "{}", outcome.report.render());
+    // The deny policy severs A->B by design: the verifier reports the
+    // severed pair as a warning naming the filter, never as an error.
+    assert!(
+        !claimed_delivered(&outcome, "10.1.0.5", "10.2.0.5"),
+        "the A->B deny policy must hold statically"
+    );
+}
+
+#[test]
+fn fig5_reference_design_verifies_without_errors() {
+    let mut lab = fig5_failover_lab(Fig5Options::default()).expect("fig5 lab");
+    for dev in [
+        lab.swa,
+        lab.swb,
+        lab.intranet_sw,
+        lab.outside_sw,
+        lab.router,
+    ] {
+        let text = lab.labs.dump_config(dev).expect("dump");
+        lab.labs
+            .server_mut()
+            .designs_mut()
+            .load_mut("fig5-failover")
+            .expect("saved design")
+            .set_saved_config(dev, text)
+            .expect("design member");
+    }
+    let outcome = lab.labs.verify_design("fig5-failover").expect("verify");
+    assert!(!outcome.report.has_errors(), "{}", outcome.report.render());
+}
