@@ -14,8 +14,9 @@ cargo clippy --offline --workspace --all-targets -- -D warnings \
     -D clippy::dbg_macro -D clippy::todo -D clippy::unimplemented
 # The frame-relay hot path must not panic: ban unwrap/expect outright in
 # the hot-path crates' non-test code (--lib excludes #[cfg(test)];
-# --no-deps keeps the stricter bar off the other crates).
-cargo clippy --offline --no-deps -p rnl-tunnel -p rnl-ris -p rnl-server --lib -- \
+# --no-deps keeps the stricter bar off the other crates). rnl-l1switch
+# joined the relay path when the Fig.-7 bypass was promoted into it.
+cargo clippy --offline --no-deps -p rnl-tunnel -p rnl-ris -p rnl-server -p rnl-l1switch --lib -- \
     -D warnings -D clippy::unwrap_used -D clippy::expect_used
 # The static analyzer runs inside the deploy gate on arbitrary user
 # configs, so it gets the same no-panic bar.

@@ -24,10 +24,15 @@ const HOT_PATHS: &[&str] = &[
     "crates/server/src/journal.rs",
     "crates/server/src/overload.rs",
     "crates/server/src/snapshot.rs",
+    "crates/server/src/matrix.rs",
+    "crates/server/src/inventory.rs",
     "crates/ris/src/lib.rs",
     "crates/ris/src/supervisor.rs",
     "crates/tunnel/src/transport.rs",
     "crates/tunnel/src/faults.rs",
+    "crates/tunnel/src/codec.rs",
+    "crates/tunnel/src/msg.rs",
+    "crates/l1switch/src/lib.rs",
     "crates/analysis/src/lib.rs",
     "crates/analysis/src/checks.rs",
     "crates/analysis/src/diag.rs",

@@ -72,6 +72,12 @@ fn report(workload: &'static str, metrics: Vec<(&'static str, Json)>) -> Json {
     ])
 }
 
+/// Poll grain for [`SpanRig::pump`], in virtual microseconds. Small
+/// enough that a relayed frame is picked up almost as soon as the
+/// impaired wire delivers it; affordable because the batched relay
+/// made an empty poll nearly free.
+const GRAIN_US: u64 = 10;
+
 /// A relay pair on one server with a WAN impairment and real spans —
 /// unlike [`crate::RelayRig`], frames here carry trace identities and
 /// ingress timestamps, so the server's latency quantiles fill in.
@@ -145,10 +151,28 @@ impl SpanRig {
 
     /// Send `count` spanned frames a→b, advancing `step` per frame,
     /// then drain until every frame has been relayed and received.
+    ///
+    /// The batched relay made polls cheap, so the rig polls on a far
+    /// finer grain than the send cadence: the inter-frame gap is walked
+    /// in [`GRAIN_US`] sub-polls and the drain tail ticks at the same
+    /// grain. Send instants are unchanged — impairment delivery times
+    /// derive from seeded per-frame draws, so only the poll grid moves —
+    /// which means the relay quantiles measure the wire, not poll
+    /// quantization.
     fn pump(&mut self, count: usize, frame: &[u8], step: Duration) -> u64 {
+        let step_us = step.as_micros();
+        let subs = (step_us / GRAIN_US).max(1);
+        let sub = Duration::from_micros(GRAIN_US.min(step_us).max(1));
+        let last =
+            Duration::from_micros(step_us.saturating_sub((subs - 1) * sub.as_micros()).max(1));
         let mut received = 0u64;
         for _ in 0..count {
-            self.now += step;
+            for _ in 0..subs - 1 {
+                self.now += sub;
+                self.server.poll(self.now);
+                received += self.recv_data();
+            }
+            self.now += last;
             let span = Span {
                 trace: self.gen.allocate(),
                 origin_us: self.now.as_micros(),
@@ -168,11 +192,11 @@ impl SpanRig {
             received += self.recv_data();
         }
         // Impairment delays straggle past the last send; drain.
-        for _ in 0..1000 {
+        for _ in 0..40_000 {
             if received >= count as u64 {
                 break;
             }
-            self.now += Duration::from_millis(1);
+            self.now += Duration::from_micros(GRAIN_US);
             self.server.poll(self.now);
             received += self.recv_data();
         }

@@ -91,6 +91,15 @@ impl L1Switch {
         }
     }
 
+    /// Grow the panel to at least `n` device-facing ports (new ports
+    /// dark). Lets an embedding route server add cross-connect capacity
+    /// as co-located wires are deployed, instead of sizing up front.
+    pub fn ensure_ports(&mut self, n: usize) {
+        if self.targets.len() < n {
+            self.targets.resize(n, PortTarget::Dark);
+        }
+    }
+
     /// Number of device-facing ports.
     pub fn num_ports(&self) -> usize {
         self.targets.len()
@@ -197,6 +206,75 @@ impl L1Switch {
     }
 }
 
+/// Maps tunnel-level `(router, port)` endpoints to the compact device
+/// port indices an [`L1Switch`] is programmed with, both directions.
+///
+/// This is the piece that promotes the Fig.-7 bypass into the route
+/// server's general relay path: the server interns each endpoint of a
+/// co-located wire at deploy time, and on the packet path probes the
+/// dense two-level table (router id, then port id — no hashing, no
+/// allocation) to find the switch port a frame enters on.
+#[derive(Debug, Default)]
+pub struct PortIndexer {
+    /// `by_router[router][port]` → compact switch-port index.
+    by_router: Vec<Vec<Option<u32>>>,
+    /// Compact index → the endpoint it stands for.
+    reverse: Vec<(u32, u16)>,
+}
+
+impl PortIndexer {
+    /// Empty indexer.
+    pub fn new() -> PortIndexer {
+        PortIndexer::default()
+    }
+
+    /// The compact index for an endpoint, assigning the next free one on
+    /// first sight (deploy-time only; the packet path uses
+    /// [`PortIndexer::get`]).
+    pub fn intern(&mut self, router: u32, port: u16) -> usize {
+        if let Some(idx) = self.get(router, port) {
+            return idx;
+        }
+        let idx = self.reverse.len();
+        self.reverse.push((router, port));
+        let r = router as usize;
+        if self.by_router.len() <= r {
+            self.by_router.resize_with(r + 1, Vec::new);
+        }
+        let row = &mut self.by_router[r];
+        let p = port as usize;
+        if row.len() <= p {
+            row.resize(p + 1, None);
+        }
+        row[p] = Some(idx as u32);
+        idx
+    }
+
+    /// Packet-path probe: the compact index of an endpoint, if it was
+    /// ever interned. Two array reads, never allocates.
+    #[inline]
+    pub fn get(&self, router: u32, port: u16) -> Option<usize> {
+        let idx = (*self.by_router.get(router as usize)?.get(port as usize)?)?;
+        Some(idx as usize)
+    }
+
+    /// The endpoint behind a compact index.
+    #[inline]
+    pub fn endpoint(&self, idx: usize) -> Option<(u32, u16)> {
+        self.reverse.get(idx).copied()
+    }
+
+    /// Endpoints interned so far.
+    pub fn len(&self) -> usize {
+        self.reverse.len()
+    }
+
+    /// True when nothing was interned.
+    pub fn is_empty(&self) -> bool {
+        self.reverse.is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -254,5 +332,57 @@ mod tests {
         assert_eq!(sw.target(1), Some(PortTarget::Dark));
         sw.patch_to_uplink(0, 0).unwrap();
         assert_eq!(sw.ingress(0), L1Output::Uplink(0));
+    }
+
+    #[test]
+    fn ensure_ports_grows_dark() {
+        let mut sw = L1Switch::new(1);
+        assert_eq!(sw.bridge(0, 3), Err(L1Error::InvalidPort(3)));
+        sw.ensure_ports(4);
+        assert_eq!(sw.num_ports(), 4);
+        assert_eq!(sw.target(3), Some(PortTarget::Dark));
+        sw.bridge(0, 3).unwrap();
+        // Never shrinks.
+        sw.ensure_ports(2);
+        assert_eq!(sw.num_ports(), 4);
+        assert_eq!(sw.ingress(3), L1Output::Port(0));
+    }
+
+    #[test]
+    fn port_indexer_interns_and_probes() {
+        let mut ix = PortIndexer::new();
+        assert!(ix.is_empty());
+        let a = ix.intern(7, 2);
+        let b = ix.intern(9, 0);
+        assert_ne!(a, b);
+        // Idempotent.
+        assert_eq!(ix.intern(7, 2), a);
+        assert_eq!(ix.len(), 2);
+        assert_eq!(ix.get(7, 2), Some(a));
+        assert_eq!(ix.get(9, 0), Some(b));
+        assert_eq!(ix.get(7, 3), None);
+        assert_eq!(ix.get(1000, 0), None);
+        assert_eq!(ix.endpoint(a), Some((7, 2)));
+        assert_eq!(ix.endpoint(b), Some((9, 0)));
+        assert_eq!(ix.endpoint(99), None);
+    }
+
+    #[test]
+    fn indexer_drives_switch_bridging() {
+        // The server-side pattern: intern both endpoints of a co-located
+        // wire, grow the panel, program the bridge, then resolve frames
+        // through index → ingress → endpoint.
+        let mut ix = PortIndexer::new();
+        let mut sw = L1Switch::new(0);
+        let a = ix.intern(3, 1);
+        let b = ix.intern(4, 0);
+        sw.ensure_ports(ix.len());
+        sw.bridge(a, b).unwrap();
+        let entered = ix.get(3, 1).unwrap();
+        match sw.ingress(entered) {
+            L1Output::Port(out) => assert_eq!(ix.endpoint(out), Some((4, 0))),
+            other => panic!("expected bridge, got {other:?}"),
+        }
+        assert_eq!(sw.stats().bridged, 1);
     }
 }

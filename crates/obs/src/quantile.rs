@@ -140,28 +140,37 @@ impl QuantileSketch {
     }
 
     /// Cascade compactions upward from `level` until every level is
-    /// under capacity.
+    /// under capacity. Allocation-free in the steady state: promotion
+    /// pushes straight into the next level's retained buffer and the
+    /// (at most one) leftover item stays in place, so the relay hot
+    /// path's quantile observes never heap-allocate once the level
+    /// buffers have grown.
     fn compact_from(&mut self, mut level: usize) {
         while level < self.levels.len() && self.levels[level].items.len() >= self.k {
             if level + 1 == self.levels.len() {
                 self.levels.push(Level::new());
             }
-            let lvl = &mut self.levels[level];
+            let (head, tail) = self.levels.split_at_mut(level + 1);
+            let lvl = &mut head[level];
+            let next = &mut tail[0];
             lvl.items.sort_unstable();
             let start = usize::from(lvl.parity);
             lvl.parity = !lvl.parity;
             // Promote every other item of an even-length prefix; an odd
             // leftover stays behind so total weight is conserved.
             let take = lvl.items.len() & !1;
-            let promoted: Vec<u64> = lvl.items[..take]
-                .iter()
-                .copied()
-                .skip(start)
-                .step_by(2)
-                .collect();
-            let leftover: Vec<u64> = lvl.items[take..].to_vec();
-            self.levels[level].items = leftover;
-            self.levels[level + 1].items.extend(promoted);
+            let mut i = start;
+            while i < take {
+                next.items.push(lvl.items[i]);
+                i += 2;
+            }
+            if take < lvl.items.len() {
+                let leftover = lvl.items[take];
+                lvl.items.clear();
+                lvl.items.push(leftover);
+            } else {
+                lvl.items.clear();
+            }
             level += 1;
         }
     }

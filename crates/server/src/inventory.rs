@@ -44,6 +44,10 @@ impl InventoryRecord {
 #[derive(Debug, Default)]
 pub struct Inventory {
     records: BTreeMap<RouterId, InventoryRecord>,
+    /// Dense router-id → session mirror of `records`, consulted on the
+    /// relay path: ids are small sequential integers, so the lookup is
+    /// one bounds-checked array read instead of a tree walk.
+    by_router: Vec<Option<SessionId>>,
     next_id: u32,
 }
 
@@ -74,7 +78,20 @@ impl Inventory {
                 last_seen: now,
             },
         );
+        self.cache_session(id, Some(session));
         id
+    }
+
+    /// Keep the dense mirror in sync with `records`.
+    fn cache_session(&mut self, id: RouterId, session: Option<SessionId>) {
+        let slot = id.0 as usize;
+        if self.by_router.len() <= slot {
+            if session.is_none() {
+                return;
+            }
+            self.by_router.resize(slot + 1, None);
+        }
+        self.by_router[slot] = session;
     }
 
     /// Remove every router fronted by a session (the RIS disconnected —
@@ -87,8 +104,9 @@ impl Inventory {
             .filter(|r| r.session == session)
             .map(|r| r.id)
             .collect();
-        for id in &gone {
-            self.records.remove(id);
+        for &id in &gone {
+            self.records.remove(&id);
+            self.cache_session(id, None);
         }
         gone
     }
@@ -112,7 +130,9 @@ impl Inventory {
         record.session = new;
         record.info = info.clone();
         record.last_seen = now;
-        Some(record.id)
+        let id = record.id;
+        self.cache_session(id, Some(new));
+        Some(id)
     }
 
     /// Refresh liveness for every router on a session.
@@ -129,9 +149,11 @@ impl Inventory {
         self.records.get(&id)
     }
 
-    /// The session fronting a router.
+    /// The session fronting a router. Hot on the relay path: one array
+    /// read against the dense mirror, never a tree walk.
+    #[inline]
     pub fn session_of(&self, id: RouterId) -> Option<SessionId> {
-        self.records.get(&id).map(|r| r.session)
+        *self.by_router.get(id.0 as usize)?
     }
 
     /// All records, ordered by id (the inventory listing).
@@ -158,6 +180,7 @@ impl Inventory {
     /// same way [`Inventory::rebind`] did live.
     pub fn restore(&mut self, record: InventoryRecord) {
         self.next_id = self.next_id.max(record.id.0 + 1);
+        self.cache_session(record.id, Some(record.session));
         self.records.insert(record.id, record);
     }
 
@@ -228,6 +251,28 @@ mod tests {
         assert!(inv
             .rebind(SessionId(1), SessionId(9), &info("x"), t(6))
             .is_none());
+    }
+
+    #[test]
+    fn session_of_mirror_tracks_every_mutation() {
+        let mut inv = Inventory::new();
+        let a = inv.register(SessionId(1), "pc1", info("a"), t(0));
+        let b = inv.register(SessionId(2), "pc2", info("b"), t(0));
+        assert_eq!(inv.session_of(a), Some(SessionId(1)));
+        assert_eq!(inv.session_of(b), Some(SessionId(2)));
+        // Out-of-range ids probe safely.
+        assert_eq!(inv.session_of(RouterId(999)), None);
+        inv.rebind(SessionId(1), SessionId(9), &info("a"), t(1));
+        assert_eq!(inv.session_of(a), Some(SessionId(9)));
+        inv.remove_session(SessionId(9));
+        assert_eq!(inv.session_of(a), None);
+        assert_eq!(inv.session_of(b), Some(SessionId(2)));
+        // Recovery reinstates the mirror alongside the record.
+        let record = inv.get(b).unwrap().clone();
+        inv.remove_session(SessionId(2));
+        assert_eq!(inv.session_of(b), None);
+        inv.restore(record);
+        assert_eq!(inv.session_of(b), Some(SessionId(2)));
     }
 
     #[test]

@@ -34,6 +34,7 @@ pub mod web;
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
 
+use rnl_l1switch::{L1Output, L1Switch, PortIndexer, PortTarget};
 use rnl_net::time::{Duration, Instant};
 use rnl_obs::{
     Counter, EventJournal, FlightRecorder, FrameEvent, Gauge, Histogram, Hop, MetricsRegistry,
@@ -42,7 +43,7 @@ use rnl_obs::{
 use rnl_tunnel::compress::{CompressError, Compressor, Decompressor};
 use rnl_tunnel::msg::{Assignment, Msg, PortId, RouterId, SessionEpoch};
 use rnl_tunnel::transport::{
-    ClosedTransport, OverflowPolicy, Transport, TransportError, DEFAULT_TX_HWM,
+    ClosedTransport, FrameBatch, OverflowPolicy, Transport, TransportError, DEFAULT_TX_HWM,
 };
 
 use capture::{CaptureDir, CaptureHub};
@@ -298,6 +299,28 @@ pub struct RouteServer {
     journal: EventJournal,
     /// Cached handles for the hot relay path, keyed by source port.
     wire_metrics: HashMap<(RouterId, PortId), WireMetrics>,
+    /// Reusable receive batch for the zero-copy poll path; taken out of
+    /// the server for the duration of a poll and put back after, so its
+    /// buffers keep their capacity across ticks.
+    batch: FrameBatch,
+    /// Reusable session-id scratch for the poll loop.
+    poll_ids: Vec<SessionId>,
+    /// Reusable scratch for the per-poll backlog-policy derivation.
+    deployed_ids: Vec<SessionId>,
+    /// Relay frames as borrowed framed bytes (patch destination in
+    /// place, never re-encode). On by default; the differential tests
+    /// flip it off to compare against the per-message legacy path.
+    fastpath: bool,
+    /// The Fig. 7 L1 matrix switch, folded into the general relay: a
+    /// wire whose endpoints both front the *same* RIS session is
+    /// bridged here at deploy, so its frames resolve in two array reads
+    /// without consulting the routing matrix at all.
+    l1: L1Switch,
+    /// Compact endpoint index for the L1 panel.
+    l1_index: PortIndexer,
+    /// Bridged panel ports per deployment, unpatched at teardown.
+    l1_bridges: HashMap<DeploymentId, Vec<usize>>,
+    m_frames_bridged: Counter,
     /// Cached per-deployment relay counters.
     deployment_frames: HashMap<DeploymentId, Counter>,
     /// How long a disconnected session keeps its inventory, matrix
@@ -385,6 +408,7 @@ impl RouteServer {
         };
         RouteServer {
             m_frames_routed: obs.counter("rnl_server_frames_routed_total", &[]),
+            m_frames_bridged: obs.counter("rnl_server_frames_bridged_total", &[]),
             m_bytes_relayed: obs.counter("rnl_server_bytes_relayed_total", &[]),
             m_frames_injected: obs.counter("rnl_server_frames_injected_total", &[]),
             m_unrouted_no_matrix: unrouted(MissReason::NoMatrixEntry),
@@ -441,6 +465,13 @@ impl RouteServer {
             obs,
             journal: EventJournal::new(4096),
             wire_metrics: HashMap::new(),
+            batch: FrameBatch::new(),
+            poll_ids: Vec::new(),
+            deployed_ids: Vec::new(),
+            fastpath: true,
+            l1: L1Switch::new(0),
+            l1_index: PortIndexer::new(),
+            l1_bridges: HashMap::new(),
             deployment_frames: HashMap::new(),
             sessions: BTreeMap::new(),
             next_session: 0,
@@ -482,6 +513,24 @@ impl RouteServer {
     /// mitigation; the RIS transparently decompresses).
     pub fn set_compress_downstream(&mut self, on: bool) {
         self.compress_downstream = on;
+    }
+
+    /// Toggle the zero-copy relay path. On by default; off routes every
+    /// frame through the owned per-message decode, which the
+    /// differential tests use as the reference behaviour.
+    pub fn set_fastpath(&mut self, on: bool) {
+        self.fastpath = on;
+    }
+
+    /// Whether the zero-copy relay path is active.
+    pub fn fastpath(&self) -> bool {
+        self.fastpath
+    }
+
+    /// Frames forwarded over the Fig. 7 L1 bridge instead of the
+    /// routing matrix (a subset of `frames_routed`).
+    pub fn frames_bridged(&self) -> u64 {
+        self.m_frames_bridged.get()
     }
 
     /// Configure the flap-grace window (how long a disconnected session
@@ -559,17 +608,14 @@ impl RouteServer {
         }
     }
 
-    /// Register tier-0 load (a relayed frame or heartbeat) from `sid`.
-    /// Never sheds — relay is the one thing the lab exists to keep
-    /// running — but the deduction makes a frame surge shed control ops
-    /// first.
-    fn admit_relay(&mut self, sid: SessionId, now: Instant) {
-        let pc = self
-            .sessions
-            .get(&sid)
-            .and_then(|s| s.pc_name.clone())
-            .unwrap_or_default();
-        let _ = self.admit(Tier::Relay, &pc, now);
+    /// Register tier-0 load (a relayed frame or heartbeat). Never sheds
+    /// — relay is the one thing the lab exists to keep running — but
+    /// the deduction makes a frame surge shed control ops first. Relay
+    /// admission only draws on the *global* bucket ([`Shedder::admit`]
+    /// returns before the per-principal bucket), so the hot path never
+    /// clones the session's pc-name.
+    fn admit_relay(&mut self, now: Instant) {
+        let _ = self.admit(Tier::Relay, "", now);
     }
 
     /// Derive each session's transport backlog policy from its
@@ -578,7 +624,10 @@ impl RouteServer {
     /// idle sessions quietly shed their newest frames. Policy changes
     /// count under `rnl_server_backlog_policy_total{policy}`.
     fn apply_backlog_policies(&mut self) {
-        let mut deployed: Vec<SessionId> = Vec::new();
+        // Reusable scratch: this runs every poll, so it must not
+        // allocate once its capacity has settled.
+        let mut deployed = std::mem::take(&mut self.deployed_ids);
+        deployed.clear();
         for d in self.deployments.values() {
             for &router in &d.routers {
                 if let Some(sid) = self.inventory.session_of(router) {
@@ -604,6 +653,7 @@ impl RouteServer {
                     .inc();
             }
         }
+        self.deployed_ids = deployed;
     }
 
     // -----------------------------------------------------------------
@@ -1046,24 +1096,10 @@ impl RouteServer {
     /// registrations, collect mailboxes, grace newly-dead sessions, and
     /// reap sessions whose grace expired.
     pub fn poll(&mut self, now: Instant) {
-        let ids: Vec<SessionId> = self.sessions.keys().copied().collect();
-        for sid in ids {
-            let msgs = match self.sessions.get_mut(&sid) {
-                Some(session) if session.alive => match session.transport.poll(now) {
-                    Ok(msgs) => msgs,
-                    Err(_) => {
-                        session.alive = false;
-                        Vec::new()
-                    }
-                },
-                _ => Vec::new(),
-            };
-            if !msgs.is_empty() {
-                self.inventory.touch_session(sid, now);
-            }
-            for msg in msgs {
-                self.handle_msg(sid, msg, now);
-            }
+        if self.fastpath {
+            self.poll_sessions_batched(now);
+        } else {
+            self.poll_sessions_legacy(now);
         }
         // Emit due generator traffic into its target ports.
         for (router, port, frame) in self.generator.poll(now) {
@@ -1125,6 +1161,280 @@ impl RouteServer {
                 }
             }
             perf.finish();
+        }
+    }
+
+    /// The pre-fastpath session drain: one owned [`Msg`] per frame.
+    /// Kept verbatim as the reference behaviour the differential tests
+    /// compare the zero-copy path against.
+    fn poll_sessions_legacy(&mut self, now: Instant) {
+        let ids: Vec<SessionId> = self.sessions.keys().copied().collect();
+        for sid in ids {
+            let msgs = match self.sessions.get_mut(&sid) {
+                Some(session) if session.alive => match session.transport.poll(now) {
+                    Ok(msgs) => msgs,
+                    Err(_) => {
+                        session.alive = false;
+                        Vec::new()
+                    }
+                },
+                _ => Vec::new(),
+            };
+            if !msgs.is_empty() {
+                self.inventory.touch_session(sid, now);
+            }
+            for msg in msgs {
+                self.handle_msg(sid, msg, now);
+            }
+        }
+    }
+
+    /// The batched session drain: each transport appends its
+    /// deliverable frames into the reusable [`FrameBatch`] in one call,
+    /// data frames relay as borrowed bytes, and every touched transport
+    /// is flushed once at the end of its burst instead of per message.
+    fn poll_sessions_batched(&mut self, now: Instant) {
+        // Both scratch buffers move out of `self` for the loop (the
+        // handlers re-borrow `self` freely) and back in afterwards, so
+        // their capacity survives across ticks.
+        let mut ids = std::mem::take(&mut self.poll_ids);
+        let mut batch = std::mem::take(&mut self.batch);
+        ids.clear();
+        ids.extend(self.sessions.keys().copied());
+        for &sid in &ids {
+            batch.clear();
+            let appended = match self.sessions.get_mut(&sid) {
+                Some(session) if session.alive => {
+                    match session.transport.poll_into(now, &mut batch) {
+                        Ok(n) => n,
+                        Err(_) => {
+                            session.alive = false;
+                            0
+                        }
+                    }
+                }
+                _ => 0,
+            };
+            if appended == 0 {
+                continue;
+            }
+            self.inventory.touch_session(sid, now);
+            for i in 0..batch.len() {
+                self.handle_frame(sid, &mut batch, i, now);
+            }
+        }
+        // One flush per live transport per tick: the relay burst above
+        // enqueued raw frames without pushing them to the wire.
+        for &sid in &ids {
+            if let Some(session) = self.sessions.get_mut(&sid) {
+                if session.alive && session.transport.flush(now).is_err() {
+                    session.alive = false;
+                }
+            }
+        }
+        batch.clear();
+        self.batch = batch;
+        self.poll_ids = ids;
+    }
+
+    /// Dispatch one received frame: uncompressed data frames take the
+    /// zero-copy relay; everything else (control traffic, compressed
+    /// data, or any relay that must re-encode) falls back to the owned
+    /// decode and [`RouteServer::handle_msg`]. A frame that fails the
+    /// owned decode kills the session, as a protocol error inside
+    /// [`Transport::poll`] did on the legacy path.
+    fn handle_frame(&mut self, sid: SessionId, batch: &mut FrameBatch, i: usize, now: Instant) {
+        let Some(body) = batch.get_mut(i) else {
+            return;
+        };
+        if self.relay_fast(body, now) {
+            return;
+        }
+        match Msg::decode(body) {
+            Ok(msg) => self.handle_msg(sid, msg, now),
+            Err(_) => {
+                if let Some(session) = self.sessions.get_mut(&sid) {
+                    session.alive = false;
+                }
+            }
+        }
+    }
+
+    /// The zero-copy Fig. 4 relay: borrow-decode the data header in
+    /// place, resolve the destination over the L1 bridge or the dense
+    /// matrix, patch the destination into the same bytes, and forward
+    /// the frame without ever materializing a [`Msg`] or re-encoding.
+    /// Returns `false` when the frame is not an uncompressed data frame
+    /// relayable as-is (the caller falls back to the owned path).
+    fn relay_fast(&mut self, body: &mut [u8], now: Instant) -> bool {
+        if self.compress_downstream {
+            // Downstream compression re-encodes every frame; there is
+            // nothing zero-copy about that path.
+            return false;
+        }
+        let Some(data) = Msg::peek_data(body) else {
+            return false;
+        };
+        let (src_router, src_port, span) = (data.router, data.port, data.span);
+        let bytes = data.payload.len() as u64;
+        let mut perf = self.p_relay.scope();
+        perf.mark("decode"); // borrowed header peek: decode is ~free
+        self.admit_relay(now);
+        self.journal.record(FrameEvent {
+            trace: span.trace,
+            t_us: now.as_micros(),
+            hop: Hop::ServerRx,
+            router: src_router.0,
+            port: src_port.0,
+            bytes: bytes as u32,
+        });
+        self.captures.tap(
+            src_router,
+            src_port,
+            CaptureDir::FromPort,
+            data.payload,
+            now,
+        );
+        // Fig. 7 bypass: a co-located wire bridged on the L1 panel
+        // resolves its far end in two array reads. `target` (not
+        // `ingress`) probes first so a torn-down bridge falls through
+        // to the matrix without counting a drop.
+        let bridged = match self.l1_index.get(src_router.0, src_port.0) {
+            Some(idx) => match self.l1.target(idx) {
+                Some(PortTarget::Port(other)) => {
+                    if self.l1.ingress(idx) == L1Output::Port(other) {
+                        self.m_frames_bridged.inc();
+                    }
+                    self.l1_index
+                        .endpoint(other)
+                        .map(|(r, p)| (RouterId(r), PortId(p)))
+                }
+                _ => None,
+            },
+            None => None,
+        };
+        let (dst_router, dst_port) =
+            match bridged.or_else(|| self.matrix.lookup((src_router, src_port))) {
+                Some(dst) => dst,
+                None => {
+                    self.frame_unrouted(
+                        src_router,
+                        src_port,
+                        MissReason::NoMatrixEntry,
+                        span.trace,
+                        now,
+                    );
+                    return true;
+                }
+            };
+        self.journal.record(FrameEvent {
+            trace: span.trace,
+            t_us: now.as_micros(),
+            hop: Hop::MatrixHit,
+            router: dst_router.0,
+            port: dst_port.0,
+            bytes: bytes as u32,
+        });
+        self.captures
+            .tap(dst_router, dst_port, CaptureDir::ToPort, data.payload, now);
+        perf.mark("matrix");
+        self.m_bytes_relayed.add(bytes);
+        let wire = self.wire_metrics_for((src_router, src_port), (dst_router, dst_port));
+        wire.frames.inc();
+        wire.bytes.add(bytes);
+        if span.is_some() {
+            let latency_us = now.as_micros().saturating_sub(span.origin_us);
+            wire.latency_us.observe(latency_us);
+            self.m_relay_latency_q.observe(latency_us);
+            // Threshold pre-check: building a `SlowOp` allocates its
+            // phase vector, so only ops that will be captured pay it.
+            if self
+                .recorder
+                .threshold("relay")
+                .is_some_and(|t| latency_us >= t)
+            {
+                let captured = self.recorder.record_if_slow(SlowOp {
+                    class: "relay",
+                    trace: span.trace,
+                    router: dst_router.0,
+                    port: dst_port.0,
+                    at_us: now.as_micros(),
+                    total_us: latency_us,
+                    phases: vec![("tunnel-upstream", latency_us)],
+                });
+                if captured {
+                    self.m_slow_relay.inc();
+                }
+            }
+        }
+        if let Some(dep) = self.matrix.owner_of(src_router) {
+            let obs = &self.obs;
+            self.deployment_frames
+                .entry(dep)
+                .or_insert_with(|| {
+                    obs.counter(
+                        "rnl_server_deployment_frames_total",
+                        &[("deployment", &dep.0.to_string())],
+                    )
+                })
+                .inc();
+        }
+        let _ = Msg::patch_data_dest(body, dst_router, dst_port);
+        perf.mark("encode"); // in-place patch: encode never copies
+        match self.send_raw_to_router(dst_router, body, now) {
+            SendOutcome::Sent => {
+                self.m_frames_routed.inc();
+                self.journal.record(FrameEvent {
+                    trace: span.trace,
+                    t_us: now.as_micros(),
+                    hop: Hop::ServerTx,
+                    router: dst_router.0,
+                    port: dst_port.0,
+                    bytes: bytes as u32,
+                });
+            }
+            SendOutcome::Graced => {
+                self.frame_unrouted(
+                    dst_router,
+                    dst_port,
+                    MissReason::SessionGraced,
+                    span.trace,
+                    now,
+                );
+            }
+            SendOutcome::Queued => {
+                // Held in the replay buffer; the flush/shed counters
+                // settle its fate, exactly as on the owned path.
+            }
+            SendOutcome::Gone => {
+                self.frame_unrouted(dst_router, dst_port, MissReason::NoSession, span.trace, now);
+            }
+        }
+        true
+    }
+
+    /// [`RouteServer::send_to_router`] for an already-encoded body: the
+    /// live-session path forwards the bytes as-is via
+    /// [`Transport::send_raw`]; graced sessions fall back to the owned
+    /// decode so the replay buffer keeps holding [`Msg`]s.
+    fn send_raw_to_router(&mut self, router: RouterId, body: &[u8], now: Instant) -> SendOutcome {
+        let Some(sid) = self.inventory.session_of(router) else {
+            return SendOutcome::Gone;
+        };
+        let cap = self.replay_cap;
+        let queued = self.m_replay_queued.clone();
+        let Some(session) = self.sessions.get_mut(&sid) else {
+            return SendOutcome::Gone;
+        };
+        if session.graced_at.is_some() || !session.alive {
+            let Ok(msg) = Msg::decode(body) else {
+                return SendOutcome::Gone;
+            };
+            return Self::hold_for_replay(session, cap, &queued, msg);
+        }
+        match session.transport.send_raw(body, now) {
+            Ok(()) => SendOutcome::Sent,
+            Err(_) => SendOutcome::Gone,
         }
     }
 
@@ -1294,7 +1604,7 @@ impl RouteServer {
             } => {
                 let mut perf = self.p_relay.scope();
                 perf.mark("decode"); // uncompressed: decode is a no-op
-                self.admit_relay(sid, now);
+                self.admit_relay(now);
                 self.route_frame(router, port, span, frame, now, perf);
             }
             Msg::DataCompressed {
@@ -1304,7 +1614,7 @@ impl RouteServer {
                 encoded,
             } => {
                 let mut perf = self.p_relay.scope();
-                self.admit_relay(sid, now);
+                self.admit_relay(now);
                 let frame = match self
                     .decompressors
                     .entry((router, port))
@@ -1344,7 +1654,7 @@ impl RouteServer {
                     .push((ok, message));
             }
             Msg::Heartbeat { .. } => {
-                self.admit_relay(sid, now);
+                self.admit_relay(now);
                 self.inventory.touch_session(sid, now);
             }
             // Server-to-RIS messages arriving upstream are ignored.
@@ -1489,17 +1799,25 @@ impl RouteServer {
             let latency_us = now.as_micros().saturating_sub(span.origin_us);
             wire.latency_us.observe(latency_us);
             self.m_relay_latency_q.observe(latency_us);
-            let captured = self.recorder.record_if_slow(SlowOp {
-                class: "relay",
-                trace: span.trace,
-                router: dst_router.0,
-                port: dst_port.0,
-                at_us: now.as_micros(),
-                total_us: latency_us,
-                phases: vec![("tunnel-upstream", latency_us)],
-            });
-            if captured {
-                self.m_slow_relay.inc();
+            // Threshold pre-check: building a `SlowOp` allocates its
+            // phase vector, so only ops that will be captured pay it.
+            if self
+                .recorder
+                .threshold("relay")
+                .is_some_and(|t| latency_us >= t)
+            {
+                let captured = self.recorder.record_if_slow(SlowOp {
+                    class: "relay",
+                    trace: span.trace,
+                    router: dst_router.0,
+                    port: dst_port.0,
+                    at_us: now.as_micros(),
+                    total_us: latency_us,
+                    phases: vec![("tunnel-upstream", latency_us)],
+                });
+                if captured {
+                    self.m_slow_relay.inc();
+                }
             }
         }
         if let Some(dep) = self.matrix.owner_of(router) {
@@ -1571,35 +1889,46 @@ impl RouteServer {
         let Some(sid) = self.inventory.session_of(router) else {
             return SendOutcome::Gone;
         };
+        let cap = self.replay_cap;
+        let queued = self.m_replay_queued.clone();
         let Some(session) = self.sessions.get_mut(&sid) else {
             return SendOutcome::Gone;
         };
-        // A graced session's transport is dead but the session is
-        // expected back: hold data frames for in-order replay at
-        // re-adoption (up to the replay cap), shed everything else
-        // quietly rather than treating it as a routing error.
         if session.graced_at.is_some() || !session.alive {
-            let cost = match &msg {
-                Msg::Data { frame, .. } => Some(32 + frame.len()),
-                Msg::DataCompressed { encoded, .. } => Some(32 + encoded.len()),
-                // Console pushes, power and link toggles are stale by
-                // the time the session is back; never replayed.
-                _ => None,
-            };
-            if let Some(cost) = cost {
-                if self.replay_cap > 0 && session.replay_bytes + cost <= self.replay_cap {
-                    session.replay_bytes += cost;
-                    session.replay.push_back(msg);
-                    self.m_replay_queued.inc();
-                    return SendOutcome::Queued;
-                }
-            }
-            return SendOutcome::Graced;
+            return Self::hold_for_replay(session, cap, &queued, msg);
         }
         match session.transport.send(&msg, now) {
             Ok(()) => SendOutcome::Sent,
             Err(_) => SendOutcome::Gone,
         }
+    }
+
+    /// A graced session's transport is dead but the session is expected
+    /// back: hold data frames for in-order replay at re-adoption (up to
+    /// the replay cap), shed everything else quietly rather than
+    /// treating it as a routing error.
+    fn hold_for_replay(
+        session: &mut Session,
+        cap: usize,
+        queued: &Counter,
+        msg: Msg,
+    ) -> SendOutcome {
+        let cost = match &msg {
+            Msg::Data { frame, .. } => Some(32 + frame.len()),
+            Msg::DataCompressed { encoded, .. } => Some(32 + encoded.len()),
+            // Console pushes, power and link toggles are stale by the
+            // time the session is back; never replayed.
+            _ => None,
+        };
+        if let Some(cost) = cost {
+            if cap > 0 && session.replay_bytes + cost <= cap {
+                session.replay_bytes += cost;
+                session.replay.push_back(msg);
+                queued.inc();
+                return SendOutcome::Queued;
+            }
+        }
+        SendOutcome::Graced
     }
 
     /// Deliver a re-adopted session's held frames in order. A send
@@ -1833,6 +2162,12 @@ impl RouteServer {
             )));
         }
         let id = self.matrix.deploy(&routers, design.links())?;
+        // Fig. 7 promoted into the general relay: wires whose endpoints
+        // both front the same RIS session are bridged on the L1 panel,
+        // so their frames skip even the dense matrix probe. Recovery
+        // rebuilds deployments via `matrix.restore` without bridges —
+        // the bridge is an accelerator, never routing truth.
+        self.bridge_colocated(id, design.links());
         self.deployments.insert(
             id,
             DeploymentRecord {
@@ -1861,8 +2196,36 @@ impl RouteServer {
         Ok(id)
     }
 
+    /// Bridge every co-located wire of a fresh deployment on the L1
+    /// panel. Endpoint indices intern once per (router, port) ever seen
+    /// — router ids are never reused, so stale entries cannot alias.
+    fn bridge_colocated(&mut self, id: DeploymentId, links: &[design::Link]) {
+        let mut bridged: Vec<usize> = Vec::new();
+        for &((ar, ap), (br, bp)) in links {
+            match (self.inventory.session_of(ar), self.inventory.session_of(br)) {
+                (Some(sa), Some(sb)) if sa == sb => {}
+                _ => continue,
+            }
+            let ia = self.l1_index.intern(ar.0, ap.0);
+            let ib = self.l1_index.intern(br.0, bp.0);
+            self.l1.ensure_ports(self.l1_index.len());
+            if self.l1.bridge(ia, ib).is_ok() {
+                // Unpatching either end clears both; hold one.
+                bridged.push(ia);
+            }
+        }
+        if !bridged.is_empty() {
+            self.l1_bridges.insert(id, bridged);
+        }
+    }
+
     /// Tear a deployment down, freeing its routers.
     pub fn teardown(&mut self, id: DeploymentId) -> bool {
+        if let Some(bridged) = self.l1_bridges.remove(&id) {
+            for idx in bridged {
+                let _ = self.l1.unpatch(idx);
+            }
+        }
         let had_record = self.deployments.remove(&id).is_some();
         let torn = self.matrix.teardown(id);
         if had_record || torn {

@@ -6,6 +6,12 @@
 //! by a different user, the routers used in each deployed test lab have
 //! to be mutually exclusive; therefore, their contribution to the
 //! routing matrix should not overlap."
+//!
+//! Two representations, one truth: the `HashMap`s are the control-plane
+//! record (deploy/teardown/recovery, introspection), while the packet
+//! path consults a dense table indexed by router id then port id —
+//! compiled incrementally on deploy/restore/teardown — so a relay
+//! lookup is two array probes with no hashing.
 
 use std::collections::HashMap;
 
@@ -25,6 +31,10 @@ pub enum MatrixError {
         router: RouterId,
         deployment: DeploymentId,
     },
+    /// One port appears in two links of the same design. Previously the
+    /// second `links.insert` silently overwrote the first, leaving the
+    /// deployed lab wired differently than drawn.
+    PortDoubleWired { router: RouterId, port: PortId },
 }
 
 impl std::fmt::Display for MatrixError {
@@ -37,11 +47,24 @@ impl std::fmt::Display for MatrixError {
                     deployment.0
                 )
             }
+            MatrixError::PortDoubleWired { router, port } => {
+                write!(f, "port {router}/{port} is wired into more than one link")
+            }
         }
     }
 }
 
 impl std::error::Error for MatrixError {}
+
+/// Control-plane record of one deployed lab: its drawn links plus every
+/// router it exclusively holds (indexing owners per deployment is what
+/// keeps teardown O(own routers) instead of a scan over every deployed
+/// router).
+#[derive(Debug, Clone)]
+struct DeploymentRecord {
+    links: Vec<Link>,
+    routers: Vec<RouterId>,
+}
 
 /// The port-to-port connection table for all concurrently deployed labs.
 #[derive(Debug, Default)]
@@ -50,8 +73,14 @@ pub struct RoutingMatrix {
     links: HashMap<(RouterId, PortId), (RouterId, PortId)>,
     /// Which deployment owns each router (mutual exclusion).
     owner: HashMap<RouterId, DeploymentId>,
-    deployments: HashMap<DeploymentId, Vec<Link>>,
+    deployments: HashMap<DeploymentId, DeploymentRecord>,
     next_id: u64,
+    /// Packet-path link table: `dense[router.0][port.0]`. Router ids are
+    /// small sequential integers assigned by the inventory, so the outer
+    /// vec stays compact.
+    dense: Vec<Vec<Option<(RouterId, PortId)>>>,
+    /// Packet-path owner table: `dense_owner[router.0]`.
+    dense_owner: Vec<Option<DeploymentId>>,
 }
 
 impl RoutingMatrix {
@@ -62,7 +91,8 @@ impl RoutingMatrix {
 
     /// Install a deployed lab: `routers` is every router the design
     /// uses (even unwired ones — they are still exclusively held), and
-    /// `links` the drawn connections.
+    /// `links` the drawn connections. Fails without installing anything
+    /// when a router is busy or a port is wired into two links.
     pub fn deploy(
         &mut self,
         routers: &[RouterId],
@@ -73,33 +103,85 @@ impl RoutingMatrix {
                 return Err(MatrixError::RouterBusy { router, deployment });
             }
         }
+        // Each endpoint may appear in exactly one link (counting a
+        // self-loop's two ends as two appearances of the same port).
+        for (i, &(a, b)) in links.iter().enumerate() {
+            let earlier = |e: (RouterId, PortId)| -> bool {
+                links[..i].iter().any(|&(x, y)| x == e || y == e)
+            };
+            let dup = if a == b || earlier(a) {
+                Some(a)
+            } else if earlier(b) {
+                Some(b)
+            } else {
+                None
+            };
+            if let Some((router, port)) = dup {
+                return Err(MatrixError::PortDoubleWired { router, port });
+            }
+        }
         let id = DeploymentId(self.next_id);
         self.next_id += 1;
-        for &router in routers {
-            self.owner.insert(router, id);
-        }
-        for &(a, b) in links {
-            self.links.insert(a, b);
-            self.links.insert(b, a);
-        }
-        self.deployments.insert(id, links.to_vec());
+        self.install(id, routers, links);
         Ok(id)
     }
 
     /// Reinstate a journaled deployment under its original id (recovery
     /// only — the mutual-exclusion check passed on the live path, and
     /// the id high-water mark never lowers so torn-down ids are not
-    /// reused after a restart).
+    /// reused after a restart). Tolerates legacy journals written before
+    /// the double-wire check existed: a port wired twice keeps the
+    /// last-written link, the pre-fix behavior, instead of failing
+    /// recovery.
     pub fn restore(&mut self, id: DeploymentId, routers: &[RouterId], links: &[Link]) {
         self.next_id = self.next_id.max(id.0 + 1);
+        self.install(id, routers, links);
+    }
+
+    /// Shared install tail of [`RoutingMatrix::deploy`] and
+    /// [`RoutingMatrix::restore`]: record the deployment and compile its
+    /// entries into both representations.
+    fn install(&mut self, id: DeploymentId, routers: &[RouterId], links: &[Link]) {
         for &router in routers {
             self.owner.insert(router, id);
+            let slot = router.0 as usize;
+            if self.dense_owner.len() <= slot {
+                self.dense_owner.resize(slot + 1, None);
+            }
+            self.dense_owner[slot] = Some(id);
         }
         for &(a, b) in links {
             self.links.insert(a, b);
             self.links.insert(b, a);
+            self.dense_set(a, Some(b));
+            self.dense_set(b, Some(a));
         }
-        self.deployments.insert(id, links.to_vec());
+        self.deployments.insert(
+            id,
+            DeploymentRecord {
+                links: links.to_vec(),
+                routers: routers.to_vec(),
+            },
+        );
+    }
+
+    fn dense_set(&mut self, from: (RouterId, PortId), to: Option<(RouterId, PortId)>) {
+        let r = from.0 .0 as usize;
+        if self.dense.len() <= r {
+            if to.is_none() {
+                return;
+            }
+            self.dense.resize_with(r + 1, Vec::new);
+        }
+        let row = &mut self.dense[r];
+        let p = from.1 .0 as usize;
+        if row.len() <= p {
+            if to.is_none() {
+                return;
+            }
+            row.resize(p + 1, None);
+        }
+        row[p] = to;
     }
 
     /// The next id that [`RoutingMatrix::deploy`] would assign
@@ -115,31 +197,46 @@ impl RoutingMatrix {
     }
 
     /// Tear a lab down, freeing its routers and removing its links.
+    /// Touches only this deployment's own routers and links.
     pub fn teardown(&mut self, id: DeploymentId) -> bool {
-        let Some(links) = self.deployments.remove(&id) else {
+        let Some(record) = self.deployments.remove(&id) else {
             return false;
         };
-        for (a, b) in links {
+        for (a, b) in record.links {
             self.links.remove(&a);
             self.links.remove(&b);
+            self.dense_set(a, None);
+            self.dense_set(b, None);
         }
-        self.owner.retain(|_, d| *d != id);
+        for router in record.routers {
+            self.owner.remove(&router);
+            if let Some(slot) = self.dense_owner.get_mut(router.0 as usize) {
+                *slot = None;
+            }
+        }
         true
     }
 
     /// The matrix lookup on the packet path: where is this port wired?
+    /// Two array probes against the dense table — no hashing.
+    #[inline]
     pub fn lookup(&self, from: (RouterId, PortId)) -> Option<(RouterId, PortId)> {
-        self.links.get(&from).copied()
+        *self
+            .dense
+            .get(from.0 .0 as usize)?
+            .get(from.1 .0 as usize)?
     }
 
-    /// The deployment currently holding a router.
+    /// The deployment currently holding a router (packet path: one array
+    /// probe).
+    #[inline]
     pub fn owner_of(&self, router: RouterId) -> Option<DeploymentId> {
-        self.owner.get(&router).copied()
+        self.dense_owner.get(router.0 as usize).copied().flatten()
     }
 
     /// Links of a live deployment.
     pub fn links_of(&self, id: DeploymentId) -> Option<&[Link]> {
-        self.deployments.get(&id).map(Vec::as_slice)
+        self.deployments.get(&id).map(|d| d.links.as_slice())
     }
 
     /// Number of live deployments.
@@ -166,6 +263,33 @@ mod tests {
         (RouterId(r), PortId(p))
     }
 
+    /// The dense packet-path table must agree with the control-plane
+    /// maps entry for entry.
+    fn assert_consistent(m: &RoutingMatrix) {
+        for (&from, &to) in &m.links {
+            assert_eq!(m.lookup(from), Some(to), "dense missing {from:?}");
+        }
+        for (r, row) in m.dense.iter().enumerate() {
+            for (p, entry) in row.iter().enumerate() {
+                if let Some(to) = entry {
+                    assert_eq!(
+                        m.links.get(&ep(r as u32, p as u16)),
+                        Some(to),
+                        "dense has stale entry at r{r}/p{p}"
+                    );
+                }
+            }
+        }
+        for (&router, &id) in &m.owner {
+            assert_eq!(m.owner_of(router), Some(id));
+        }
+        for (r, entry) in m.dense_owner.iter().enumerate() {
+            if let Some(id) = entry {
+                assert_eq!(m.owner.get(&RouterId(r as u32)), Some(id));
+            }
+        }
+    }
+
     #[test]
     fn lookup_is_bidirectional() {
         let mut m = RoutingMatrix::new();
@@ -176,6 +300,10 @@ mod tests {
         assert_eq!(m.lookup(ep(2, 3)), Some(ep(1, 0)));
         assert_eq!(m.lookup(ep(1, 1)), None);
         assert_eq!(m.owner_of(RouterId(1)), Some(id));
+        // Out-of-range probes (hostile frames) are plain misses.
+        assert_eq!(m.lookup(ep(u32::MAX, u16::MAX)), None);
+        assert_eq!(m.owner_of(RouterId(u32::MAX)), None);
+        assert_consistent(&m);
     }
 
     #[test]
@@ -195,6 +323,72 @@ mod tests {
         m.deploy(&[RouterId(3), RouterId(4)], &[(ep(3, 0), ep(4, 0))])
             .unwrap();
         assert_eq!(m.active_deployments(), 2);
+        assert_consistent(&m);
+    }
+
+    #[test]
+    fn double_wired_port_refused() {
+        let mut m = RoutingMatrix::new();
+        // Port 1/0 drawn into two links: refused, nothing installed.
+        assert_eq!(
+            m.deploy(
+                &[RouterId(1), RouterId(2), RouterId(3)],
+                &[(ep(1, 0), ep(2, 0)), (ep(1, 0), ep(3, 0))],
+            ),
+            Err(MatrixError::PortDoubleWired {
+                router: RouterId(1),
+                port: PortId(0)
+            })
+        );
+        assert!(m.is_empty());
+        assert_eq!(m.owner_of(RouterId(1)), None);
+        // Same port id on different routers is fine; same port as the
+        // *second* endpoint is caught too.
+        assert_eq!(
+            m.deploy(
+                &[RouterId(1), RouterId(2), RouterId(3)],
+                &[(ep(1, 0), ep(3, 2)), (ep(2, 0), ep(3, 2))],
+            ),
+            Err(MatrixError::PortDoubleWired {
+                router: RouterId(3),
+                port: PortId(2)
+            })
+        );
+        // A self-loop wires the port to itself: double-wired.
+        assert_eq!(
+            m.deploy(&[RouterId(1)], &[(ep(1, 0), ep(1, 0))]),
+            Err(MatrixError::PortDoubleWired {
+                router: RouterId(1),
+                port: PortId(0)
+            })
+        );
+        // The legal variant still deploys.
+        m.deploy(
+            &[RouterId(1), RouterId(2), RouterId(3)],
+            &[(ep(1, 0), ep(2, 0)), (ep(1, 1), ep(3, 0))],
+        )
+        .unwrap();
+        assert_consistent(&m);
+    }
+
+    #[test]
+    fn restore_tolerates_legacy_double_wired_journal() {
+        // A journal written before the double-wire check may carry a
+        // port in two links; recovery must not fail, and keeps the
+        // last-written link (the pre-fix overwrite behavior).
+        let mut m = RoutingMatrix::new();
+        m.restore(
+            DeploymentId(5),
+            &[RouterId(1), RouterId(2), RouterId(3)],
+            &[(ep(1, 0), ep(2, 0)), (ep(1, 0), ep(3, 0))],
+        );
+        assert_eq!(m.lookup(ep(1, 0)), Some(ep(3, 0)));
+        assert_eq!(m.owner_of(RouterId(2)), Some(DeploymentId(5)));
+        assert_eq!(m.next_id(), 6);
+        // Teardown still cleans up fully.
+        assert!(m.teardown(DeploymentId(5)));
+        assert!(m.is_empty());
+        assert_eq!(m.lookup(ep(1, 0)), None);
     }
 
     #[test]
@@ -207,8 +401,10 @@ mod tests {
         assert!(!m.teardown(id));
         assert!(m.is_empty());
         assert_eq!(m.lookup(ep(1, 0)), None);
+        assert_eq!(m.owner_of(RouterId(1)), None);
         // Routers are reusable afterwards.
         m.deploy(&[RouterId(1)], &[]).unwrap();
+        assert_consistent(&m);
     }
 
     #[test]
@@ -224,5 +420,36 @@ mod tests {
         assert_eq!(m.lookup(ep(3, 0)), Some(ep(4, 0)));
         assert_eq!(m.owner_of(RouterId(3)), Some(b));
         assert_eq!(m.owner_of(RouterId(1)), None);
+        assert_consistent(&m);
+    }
+
+    #[test]
+    fn dense_table_tracks_deploy_teardown_churn() {
+        let mut m = RoutingMatrix::new();
+        let mut ids = Vec::new();
+        for i in 0..10u32 {
+            let r0 = RouterId(i * 2);
+            let r1 = RouterId(i * 2 + 1);
+            ids.push(
+                m.deploy(&[r0, r1], &[((r0, PortId(0)), (r1, PortId(1)))])
+                    .unwrap(),
+            );
+        }
+        assert_consistent(&m);
+        for id in ids.iter().step_by(2) {
+            assert!(m.teardown(*id));
+        }
+        assert_consistent(&m);
+        // Freed routers redeploy cleanly over the dense table.
+        let id = m
+            .deploy(
+                &[RouterId(0), RouterId(4)],
+                &[((RouterId(0), PortId(3)), (RouterId(4), PortId(2)))],
+            )
+            .unwrap();
+        assert_eq!(m.lookup(ep(0, 3)), Some(ep(4, 2)));
+        assert_eq!(m.lookup(ep(0, 0)), None, "stale entry survived teardown");
+        assert!(m.teardown(id));
+        assert_consistent(&m);
     }
 }

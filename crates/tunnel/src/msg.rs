@@ -176,6 +176,32 @@ impl std::fmt::Display for DecodeError {
 
 impl std::error::Error for DecodeError {}
 
+/// Error building a wire message on the *sender's* side. Previously an
+/// oversize body encoded fine locally and then killed the peer's
+/// connection as `Malformed` on receive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EncodeError {
+    /// The encoded body exceeds [`crate::codec::MAX_FRAME`], or a blob's
+    /// length overflowed its u32 prefix.
+    Oversize {
+        /// Encoded body length (or `usize::MAX` when a blob length
+        /// overflowed before the body size was known).
+        len: usize,
+    },
+}
+
+impl std::fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EncodeError::Oversize { len } => {
+                write!(f, "message body of {len} bytes exceeds the frame limit")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
 mod tag {
     pub const REGISTER: u8 = 1;
     pub const REGISTER_ACK: u8 = 2;
@@ -190,11 +216,78 @@ mod tag {
     pub const HEARTBEAT: u8 = 11;
 }
 
+/// Fixed `Data` body header: tag(1) + router(4) + port(2) + trace(8) +
+/// origin_us(8) + payload length prefix(4). The destination fields sit
+/// at stable offsets, which is what lets the relay patch a frame's
+/// destination in place ([`Msg::patch_data_dest`]) without re-encoding.
+pub const DATA_HEADER: usize = 27;
+
+/// Borrowed view of a [`Msg::Data`] frame body — the zero-copy decode
+/// the relay fast path runs instead of materializing an owned
+/// [`Msg::Data`] with its payload `Vec`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DataRef<'a> {
+    pub router: RouterId,
+    pub port: PortId,
+    pub span: Span,
+    pub payload: &'a [u8],
+}
+
+impl Msg {
+    /// Borrowed decode of a `Data` body. Returns `None` for any other
+    /// tag *and* for a malformed `Data` body (wrong header length or a
+    /// payload length prefix that does not match the remaining bytes),
+    /// so a fast path that falls back to [`Msg::decode`] on `None`
+    /// reports exactly the errors the owned decode would.
+    pub fn peek_data(body: &[u8]) -> Option<DataRef<'_>> {
+        if body.len() < DATA_HEADER || body[0] != tag::DATA {
+            return None;
+        }
+        let len = u32::from_be_bytes([body[23], body[24], body[25], body[26]]) as usize;
+        if body.len() - DATA_HEADER != len {
+            return None;
+        }
+        Some(DataRef {
+            router: RouterId(u32::from_be_bytes([body[1], body[2], body[3], body[4]])),
+            port: PortId(u16::from_be_bytes([body[5], body[6]])),
+            span: Span {
+                trace: TraceId(u64::from_be_bytes([
+                    body[7], body[8], body[9], body[10], body[11], body[12], body[13], body[14],
+                ])),
+                origin_us: u64::from_be_bytes([
+                    body[15], body[16], body[17], body[18], body[19], body[20], body[21], body[22],
+                ]),
+            },
+            payload: &body[DATA_HEADER..],
+        })
+    }
+
+    /// Rewrite the destination router/port of a `Data` or
+    /// `DataCompressed` body in place. Both layouts share the same
+    /// leading offsets and the frame length is unchanged, so a relayed
+    /// frame can be forwarded as the very bytes it arrived in. Returns
+    /// false (body untouched) when the body is not a data frame.
+    pub fn patch_data_dest(body: &mut [u8], router: RouterId, port: PortId) -> bool {
+        if body.len() < DATA_HEADER || (body[0] != tag::DATA && body[0] != tag::DATA_COMPRESSED) {
+            return false;
+        }
+        body[1..5].copy_from_slice(&router.0.to_be_bytes());
+        body[5..7].copy_from_slice(&port.0.to_be_bytes());
+        true
+    }
+}
+
 impl Msg {
     /// Encode into a byte vector (without the outer length prefix, which
-    /// [`crate::codec::FrameCodec`] adds).
+    /// [`crate::codec::FrameCodec`] adds). Infallible for bounded
+    /// inputs; [`Msg::encode_checked`] adds the oversize guards.
     pub fn encode(&self) -> Vec<u8> {
         let mut w = Writer::new();
+        self.encode_into(&mut w);
+        w.into_inner()
+    }
+
+    fn encode_into(&self, w: &mut Writer) {
         match self {
             Msg::Register(info) => {
                 w.u8(tag::REGISTER);
@@ -301,7 +394,23 @@ impl Msg {
                 w.u64(*epoch);
             }
         }
-        w.into_inner()
+    }
+
+    /// [`Msg::encode`] with the sender-side size guards: fails when a
+    /// blob overflowed its u32 length prefix or the body exceeds
+    /// [`crate::codec::MAX_FRAME`]. This is what
+    /// [`crate::codec::FrameCodec::encode`] frames.
+    pub fn encode_checked(&self) -> Result<Vec<u8>, EncodeError> {
+        let mut w = Writer::new();
+        self.encode_into(&mut w);
+        if w.overflowed() {
+            return Err(EncodeError::Oversize { len: usize::MAX });
+        }
+        let body = w.into_inner();
+        if body.len() > crate::codec::MAX_FRAME {
+            return Err(EncodeError::Oversize { len: body.len() });
+        }
+        Ok(body)
     }
 
     /// Decode a message from exactly the bytes produced by
@@ -563,5 +672,123 @@ mod tests {
     fn unknown_tag_rejected() {
         assert_eq!(Msg::decode(&[0xff]), Err(DecodeError::Malformed));
         assert_eq!(Msg::decode(&[]), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn peek_data_matches_owned_decode() {
+        let msg = Msg::Data {
+            router: RouterId(0x01020304),
+            port: PortId(0x0506),
+            span: Span {
+                trace: TraceId(0xdead_beef_cafe_f00d),
+                origin_us: 123_456,
+            },
+            frame: vec![0xab; 60],
+        };
+        let body = msg.encode();
+        let peeked = Msg::peek_data(&body).expect("data body peeks");
+        let Msg::Data {
+            router,
+            port,
+            span,
+            frame,
+        } = Msg::decode(&body).unwrap()
+        else {
+            panic!("decode changed variant");
+        };
+        assert_eq!(peeked.router, router);
+        assert_eq!(peeked.port, port);
+        assert_eq!(peeked.span, span);
+        assert_eq!(peeked.payload, &frame[..]);
+    }
+
+    #[test]
+    fn peek_data_rejects_non_data_and_malformed() {
+        assert!(Msg::peek_data(&Msg::Heartbeat { seq: 1, epoch: 0 }.encode()).is_none());
+        assert!(Msg::peek_data(
+            &Msg::DataCompressed {
+                router: RouterId(1),
+                port: PortId(2),
+                span: Span::NONE,
+                encoded: vec![1, 2, 3],
+            }
+            .encode()
+        )
+        .is_none());
+        let mut body = Msg::Data {
+            router: RouterId(1),
+            port: PortId(2),
+            span: Span::NONE,
+            frame: vec![9; 16],
+        }
+        .encode();
+        // Trailing garbage breaks the length/body agreement, exactly
+        // what Msg::decode rejects as Malformed.
+        body.push(0);
+        assert!(Msg::peek_data(&body).is_none());
+        assert!(Msg::decode(&body).is_err());
+        assert!(Msg::peek_data(&body[..DATA_HEADER - 1]).is_none());
+    }
+
+    #[test]
+    fn patch_data_dest_rewrites_in_place() {
+        for msg in [
+            Msg::Data {
+                router: RouterId(1),
+                port: PortId(2),
+                span: Span {
+                    trace: TraceId(7),
+                    origin_us: 99,
+                },
+                frame: vec![0x55; 40],
+            },
+            Msg::DataCompressed {
+                router: RouterId(1),
+                port: PortId(2),
+                span: Span {
+                    trace: TraceId(7),
+                    origin_us: 99,
+                },
+                encoded: vec![0x55; 40],
+            },
+        ] {
+            let mut body = msg.encode();
+            let before_len = body.len();
+            assert!(Msg::patch_data_dest(&mut body, RouterId(9), PortId(3)));
+            assert_eq!(body.len(), before_len);
+            match Msg::decode(&body).unwrap() {
+                Msg::Data {
+                    router, port, span, ..
+                }
+                | Msg::DataCompressed {
+                    router, port, span, ..
+                } => {
+                    assert_eq!(router, RouterId(9));
+                    assert_eq!(port, PortId(3));
+                    // Span and payload untouched.
+                    assert_eq!(span.trace, TraceId(7));
+                    assert_eq!(span.origin_us, 99);
+                }
+                other => panic!("unexpected variant {other:?}"),
+            }
+        }
+        let mut not_data = Msg::Heartbeat { seq: 1, epoch: 0 }.encode();
+        assert!(!Msg::patch_data_dest(&mut not_data, RouterId(9), PortId(3)));
+    }
+
+    #[test]
+    fn encode_checked_guards_oversize() {
+        let ok = Msg::Heartbeat { seq: 1, epoch: 0 };
+        assert_eq!(ok.encode_checked().unwrap(), ok.encode());
+        let over = Msg::Data {
+            router: RouterId(1),
+            port: PortId(0),
+            span: Span::NONE,
+            frame: vec![0; crate::codec::MAX_FRAME + 1],
+        };
+        assert!(matches!(
+            over.encode_checked(),
+            Err(EncodeError::Oversize { .. })
+        ));
     }
 }

@@ -25,7 +25,7 @@ use rnl_obs::{Counter, Gauge, Histogram, MetricsRegistry, LATENCY_BUCKETS_US, SI
 use crate::codec::FrameCodec;
 use crate::faults::{FaultKind, FaultPlan};
 use crate::impair::{ImpairModel, Impairment};
-use crate::msg::{DecodeError, Msg};
+use crate::msg::{DecodeError, EncodeError, Msg};
 
 /// Optional metric handles a transport updates on its hot path. All
 /// handles default to absent; [`TransportMetrics::from_registry`] wires
@@ -107,6 +107,10 @@ pub enum TransportError {
     Io(std::io::Error),
     /// The byte stream did not decode.
     Protocol(DecodeError),
+    /// The message could not be encoded (sender-side oversize guard).
+    /// Unlike the other variants this is *non-fatal*: the connection
+    /// stays up and only the offending message is refused.
+    Encode(EncodeError),
 }
 
 impl std::fmt::Display for TransportError {
@@ -115,6 +119,7 @@ impl std::fmt::Display for TransportError {
             TransportError::Closed => write!(f, "transport closed"),
             TransportError::Io(e) => write!(f, "transport I/O error: {e}"),
             TransportError::Protocol(e) => write!(f, "protocol error: {e}"),
+            TransportError::Encode(e) => write!(f, "encode refused: {e}"),
         }
     }
 }
@@ -127,6 +132,60 @@ impl From<std::io::Error> for TransportError {
     }
 }
 
+/// A reusable batch of received frame *bodies* (no length prefix),
+/// packed back to back in one flat buffer — the unit the route server's
+/// batched poll drains a transport into. Reusing one batch across polls
+/// means the steady-state receive path performs no per-frame heap
+/// allocation: both the byte buffer and the bounds table retain their
+/// capacity across [`FrameBatch::clear`].
+#[derive(Debug, Default)]
+pub struct FrameBatch {
+    buf: Vec<u8>,
+    bounds: Vec<(u32, u32)>,
+}
+
+impl FrameBatch {
+    /// An empty batch.
+    pub fn new() -> FrameBatch {
+        FrameBatch::default()
+    }
+
+    /// Drop all frames, keeping both buffers' capacity.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.bounds.clear();
+    }
+
+    /// Append one frame body.
+    pub fn push(&mut self, body: &[u8]) {
+        let start = self.buf.len() as u32;
+        self.buf.extend_from_slice(body);
+        self.bounds.push((start, self.buf.len() as u32));
+    }
+
+    /// Number of frames held.
+    pub fn len(&self) -> usize {
+        self.bounds.len()
+    }
+
+    /// True when no frames are held.
+    pub fn is_empty(&self) -> bool {
+        self.bounds.is_empty()
+    }
+
+    /// Body of frame `i`.
+    pub fn get(&self, i: usize) -> Option<&[u8]> {
+        let &(start, end) = self.bounds.get(i)?;
+        Some(&self.buf[start as usize..end as usize])
+    }
+
+    /// Mutable body of frame `i` (destination patching in place).
+    pub fn get_mut(&mut self, i: usize) -> Option<&mut [u8]> {
+        let &(start, end) = self.bounds.get(i)?;
+        Some(&mut self.buf[start as usize..end as usize])
+    }
+}
+
 /// A bidirectional, ordered message channel.
 pub trait Transport: Send {
     /// Enqueue a message. `now` is the sender's virtual clock (used by
@@ -135,6 +194,36 @@ pub trait Transport: Send {
 
     /// Non-blocking receive of everything deliverable at `now`.
     fn poll(&mut self, now: Instant) -> Result<Vec<Msg>, TransportError>;
+
+    /// Batched, allocation-free receive: append the body of every frame
+    /// deliverable at `now` to `batch` (which the caller reuses across
+    /// polls) and return how many were appended. The native transports
+    /// override this to skip the owned [`Msg`] decode entirely; the
+    /// default delegates to [`Transport::poll`] and re-encodes, so any
+    /// third-party transport keeps working unchanged.
+    fn poll_into(&mut self, now: Instant, batch: &mut FrameBatch) -> Result<usize, TransportError> {
+        let msgs = self.poll(now)?;
+        for msg in &msgs {
+            batch.push(&msg.encode());
+        }
+        Ok(msgs.len())
+    }
+
+    /// Enqueue an already-encoded message body as-is — the relay's
+    /// zero-copy forward, which never re-encodes a frame it received.
+    /// The default decodes and delegates to [`Transport::send`] for
+    /// third-party transports.
+    fn send_raw(&mut self, body: &[u8], now: Instant) -> Result<(), TransportError> {
+        let msg = Msg::decode(body).map_err(TransportError::Protocol)?;
+        self.send(&msg, now)
+    }
+
+    /// Push buffered transmit state toward the wire. The batched server
+    /// poll calls this once per session per tick, *after* the burst of
+    /// sends, instead of paying flush work on every message.
+    fn flush(&mut self, _now: Instant) -> Result<(), TransportError> {
+        Ok(())
+    }
 
     /// Whether the link is still believed up.
     fn is_connected(&self) -> bool;
@@ -218,49 +307,25 @@ impl Transport for MemTransport {
         if !self.connected {
             return Err(TransportError::Closed);
         }
-        let bytes = FrameCodec::encode(msg);
-        if let Some(h) = &self.metrics.encoded_bytes {
-            h.observe(bytes.len() as u64);
+        let bytes = FrameCodec::encode(msg).map_err(TransportError::Encode)?;
+        self.send_framed(bytes, now)
+    }
+
+    fn send_raw(&mut self, body: &[u8], now: Instant) -> Result<(), TransportError> {
+        self.pump(now);
+        if !self.connected {
+            return Err(TransportError::Closed);
         }
-        match self.faults.active(now) {
-            Some(FaultKind::Stall) => {
-                // The link is up but not moving bytes: hold the frame for
-                // in-order release when the window closes.
-                self.stall_buf.push_back(bytes);
-                Ok(())
-            }
-            Some(FaultKind::Partition) => {
-                // Mid-path partition: the send "succeeds" but the frame
-                // is eaten — and counted, so chaos tests can account for
-                // every frame.
-                self.fault_drops += 1;
-                if let Some(c) = &self.metrics.fault_dropped {
-                    c.inc();
-                }
-                Ok(())
-            }
-            // Cut was handled by pump() above; anything else delivers.
-            _ => self.dispatch(bytes, now),
-        }
+        // The channel transfers ownership, so an owned framing is built
+        // here either way — but without the decode + re-encode round
+        // trip of the default implementation.
+        let mut bytes = Vec::with_capacity(4 + body.len());
+        FrameCodec::encode_body_into(body, &mut bytes).map_err(TransportError::Encode)?;
+        self.send_framed(bytes, now)
     }
 
     fn poll(&mut self, now: Instant) -> Result<Vec<Msg>, TransportError> {
-        self.pump(now);
-        // Pull everything pending off the channel into the time-ordered
-        // inbox (senders schedule FIFO, so arrival order == time order).
-        loop {
-            match self.rx.try_recv() {
-                Ok(item) => self.inbox.push_back(item),
-                Err(TryRecvError::Empty) => break,
-                Err(TryRecvError::Disconnected) => {
-                    // Peer endpoint dropped; anything buffered is already
-                    // in the inbox, so drain it before reporting closed.
-                    self.hard_closed = true;
-                    self.connected = false;
-                    break;
-                }
-            }
-        }
+        self.recv_pending(now);
         let mut msgs = Vec::new();
         while self.inbox.front().is_some_and(|(at, _)| *at <= now) {
             let Some((_, bytes)) = self.inbox.pop_front() else {
@@ -278,6 +343,28 @@ impl Transport for MemTransport {
             return Err(TransportError::Closed);
         }
         Ok(msgs)
+    }
+
+    fn poll_into(&mut self, now: Instant, batch: &mut FrameBatch) -> Result<usize, TransportError> {
+        self.recv_pending(now);
+        let mut appended = 0usize;
+        while self.inbox.front().is_some_and(|(at, _)| *at <= now) {
+            let Some((_, bytes)) = self.inbox.pop_front() else {
+                break;
+            };
+            if let Some(h) = &self.metrics.decoded_bytes {
+                h.observe(bytes.len() as u64);
+            }
+            self.codec.feed(&bytes);
+            while let Some(body) = self.codec.next_frame().map_err(TransportError::Protocol)? {
+                batch.push(body);
+                appended += 1;
+            }
+        }
+        if appended == 0 && !self.connected {
+            return Err(TransportError::Closed);
+        }
+        Ok(appended)
     }
 
     fn is_connected(&self) -> bool {
@@ -337,6 +424,54 @@ impl MemTransport {
                 // send/poll reports it.
                 let _ = self.dispatch(bytes, now);
             }
+        }
+    }
+
+    /// Pull everything pending off the channel into the time-ordered
+    /// inbox (senders schedule FIFO, so arrival order == time order).
+    fn recv_pending(&mut self, now: Instant) {
+        self.pump(now);
+        loop {
+            match self.rx.try_recv() {
+                Ok(item) => self.inbox.push_back(item),
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => {
+                    // Peer endpoint dropped; anything buffered is already
+                    // in the inbox, so drain it before reporting closed.
+                    self.hard_closed = true;
+                    self.connected = false;
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Fault-window accounting + delivery for one framed message, the
+    /// shared tail of `send` and `send_raw`.
+    fn send_framed(&mut self, bytes: Vec<u8>, now: Instant) -> Result<(), TransportError> {
+        if let Some(h) = &self.metrics.encoded_bytes {
+            h.observe(bytes.len() as u64);
+        }
+        match self.faults.active(now) {
+            Some(FaultKind::Stall) => {
+                // The link is up but not moving bytes: hold the frame for
+                // in-order release when the window closes.
+                self.stall_buf.push_back(bytes);
+                Ok(())
+            }
+            Some(FaultKind::Partition) => {
+                // Mid-path partition: the send "succeeds" but the frame
+                // is eaten — and counted, so chaos tests can account for
+                // every frame.
+                self.fault_drops += 1;
+                if let Some(c) = &self.metrics.fault_dropped {
+                    c.inc();
+                }
+                Ok(())
+            }
+            // Cut was handled by pump() in the caller; anything else
+            // delivers.
+            _ => self.dispatch(bytes, now),
         }
     }
 
@@ -464,6 +599,54 @@ impl TcpTransport {
         }
     }
 
+    /// Apply the high-water mark to a frame of `framed_len` wire bytes.
+    /// `Ok(true)` means the frame was refused (DropNewest) and counted —
+    /// the send reports success, exactly like an impairment loss.
+    fn check_hwm(&mut self, framed_len: usize) -> Result<bool, TransportError> {
+        if self.tx_backlog.len() + framed_len <= self.tx_hwm {
+            return Ok(false);
+        }
+        match self.overflow {
+            OverflowPolicy::DropNewest => {
+                if let Some(c) = &self.metrics.backlog_dropped {
+                    c.inc();
+                }
+                Ok(true)
+            }
+            OverflowPolicy::Disconnect => {
+                if let Some(c) = &self.metrics.backlog_disconnects {
+                    c.inc();
+                }
+                self.connected = false;
+                Err(TransportError::Closed)
+            }
+        }
+    }
+
+    /// Non-blocking read loop: move every byte the kernel has into the
+    /// framing codec.
+    fn fill_codec(&mut self) -> Result<(), TransportError> {
+        loop {
+            match self.stream.read(&mut self.read_buf) {
+                Ok(0) => {
+                    self.connected = false;
+                    break;
+                }
+                Ok(n) => {
+                    let (buf, codec) = (&self.read_buf[..n], &mut self.codec);
+                    codec.feed(buf);
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    self.connected = false;
+                    return Err(e.into());
+                }
+            }
+        }
+        Ok(())
+    }
+
     fn flush_backlog(&mut self) -> Result<(), TransportError> {
         while !self.tx_backlog.is_empty() {
             // Write the contiguous head of the ring; draining from the
@@ -512,28 +695,48 @@ impl Transport for TcpTransport {
         // connection turns out to be dead the caller learns it now, with
         // this message unambiguously not accepted.
         self.flush_backlog()?;
-        let bytes = FrameCodec::encode(msg);
-        if self.tx_backlog.len() + bytes.len() > self.tx_hwm {
-            match self.overflow {
-                OverflowPolicy::DropNewest => {
-                    if let Some(c) = &self.metrics.backlog_dropped {
-                        c.inc();
-                    }
-                    return Ok(());
-                }
-                OverflowPolicy::Disconnect => {
-                    if let Some(c) = &self.metrics.backlog_disconnects {
-                        c.inc();
-                    }
-                    self.connected = false;
-                    return Err(TransportError::Closed);
-                }
-            }
+        let bytes = FrameCodec::encode(msg).map_err(TransportError::Encode)?;
+        if self.check_hwm(bytes.len())? {
+            return Ok(());
         }
         if let Some(h) = &self.metrics.encoded_bytes {
             h.observe(bytes.len() as u64);
         }
         self.tx_backlog.extend(bytes);
+        self.flush_backlog()
+    }
+
+    /// Zero-copy enqueue: the prefix and body go straight into the
+    /// transmit ring with no intermediate `Vec`. Flushing is left to
+    /// [`Transport::flush`] so a relay burst pays one syscall batch.
+    fn send_raw(&mut self, body: &[u8], now: Instant) -> Result<(), TransportError> {
+        let _ = now;
+        if !self.connected {
+            return Err(TransportError::Closed);
+        }
+        if body.len() > crate::codec::MAX_FRAME {
+            return Err(TransportError::Encode(EncodeError::Oversize {
+                len: body.len(),
+            }));
+        }
+        let framed = 4 + body.len();
+        if self.check_hwm(framed)? {
+            return Ok(());
+        }
+        if let Some(h) = &self.metrics.encoded_bytes {
+            h.observe(framed as u64);
+        }
+        self.tx_backlog
+            .extend((body.len() as u32).to_be_bytes().iter().copied());
+        self.tx_backlog.extend(body.iter().copied());
+        self.note_backlog();
+        Ok(())
+    }
+
+    fn flush(&mut self, _now: Instant) -> Result<(), TransportError> {
+        if !self.connected {
+            return Err(TransportError::Closed);
+        }
         self.flush_backlog()
     }
 
@@ -546,24 +749,7 @@ impl Transport for TcpTransport {
         }
         // Opportunistically drain any backlogged writes.
         self.flush_backlog()?;
-        loop {
-            match self.stream.read(&mut self.read_buf) {
-                Ok(0) => {
-                    self.connected = false;
-                    break;
-                }
-                Ok(n) => {
-                    let (buf, codec) = (&self.read_buf[..n], &mut self.codec);
-                    codec.feed(buf);
-                }
-                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
-                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
-                Err(e) => {
-                    self.connected = false;
-                    return Err(e.into());
-                }
-            }
-        }
+        self.fill_codec()?;
         let msgs = self.codec.drain().map_err(TransportError::Protocol)?;
         if !self.connected && self.codec.buffered() > 0 {
             // The peer died mid-frame. A clean close leaves an empty
@@ -578,6 +764,34 @@ impl Transport for TcpTransport {
             self.pending_error = Some(err);
         }
         Ok(msgs)
+    }
+
+    fn poll_into(
+        &mut self,
+        _now: Instant,
+        batch: &mut FrameBatch,
+    ) -> Result<usize, TransportError> {
+        if let Some(e) = self.pending_error.take() {
+            return Err(e);
+        }
+        if !self.connected {
+            return Err(TransportError::Closed);
+        }
+        self.flush_backlog()?;
+        self.fill_codec()?;
+        let mut appended = 0usize;
+        while let Some(body) = self.codec.next_frame().map_err(TransportError::Protocol)? {
+            batch.push(body);
+            appended += 1;
+        }
+        if !self.connected && self.codec.buffered() > 0 {
+            let err = TransportError::Protocol(DecodeError::Truncated);
+            if appended == 0 {
+                return Err(err);
+            }
+            self.pending_error = Some(err);
+        }
+        Ok(appended)
     }
 
     fn is_connected(&self) -> bool {
@@ -950,8 +1164,8 @@ mod tests {
         let mut t_client = TcpTransport::connect(addr).unwrap();
         let (mut peer, _) = listener.accept().unwrap();
         // One whole frame, then the first half of a second one, then EOF.
-        let whole = FrameCodec::encode(&data(1));
-        let torn = FrameCodec::encode(&data(2));
+        let whole = FrameCodec::encode(&data(1)).unwrap();
+        let torn = FrameCodec::encode(&data(2)).unwrap();
         peer.write_all(&whole).unwrap();
         peer.write_all(&torn[..torn.len() / 2]).unwrap();
         drop(peer);
@@ -994,7 +1208,8 @@ mod tests {
         let addr = listener.local_addr().unwrap();
         let mut t_client = TcpTransport::connect(addr).unwrap();
         let (mut peer, _) = listener.accept().unwrap();
-        peer.write_all(&FrameCodec::encode(&data(1))).unwrap();
+        peer.write_all(&FrameCodec::encode(&data(1)).unwrap())
+            .unwrap();
         drop(peer);
         let mut got = Vec::new();
         for _ in 0..1_000 {
@@ -1068,5 +1283,84 @@ mod tests {
             }
         }
         assert!(closed, "peer close not detected");
+    }
+
+    #[test]
+    fn mem_raw_path_matches_msg_path() {
+        let (mut a, mut b) = mem_pair_perfect(31);
+        let msg = data(7);
+        a.send(&msg, t(0)).unwrap();
+        a.send_raw(&msg.encode(), t(0)).unwrap();
+        let mut batch = FrameBatch::new();
+        assert_eq!(b.poll_into(t(0), &mut batch).unwrap(), 2);
+        assert_eq!(batch.len(), 2);
+        for i in 0..2 {
+            assert_eq!(Msg::decode(batch.get(i).unwrap()).unwrap(), msg);
+        }
+        // Reuse keeps the batch consistent.
+        batch.clear();
+        assert!(batch.is_empty());
+        a.send(&msg, t(1)).unwrap();
+        assert_eq!(b.poll_into(t(1), &mut batch).unwrap(), 1);
+        assert_eq!(Msg::decode(batch.get_mut(0).unwrap()).unwrap(), msg);
+    }
+
+    #[test]
+    fn mem_poll_into_reports_closed_like_poll() {
+        let (mut a, mut b) = mem_pair_perfect(32);
+        a.send(&data(1), t(0)).unwrap();
+        drop(a);
+        let mut batch = FrameBatch::new();
+        // In-flight frame drains first, then the close surfaces.
+        assert_eq!(b.poll_into(t(0), &mut batch).unwrap(), 1);
+        assert!(matches!(
+            b.poll_into(t(1), &mut batch),
+            Err(TransportError::Closed)
+        ));
+    }
+
+    #[test]
+    fn oversize_send_is_refused_but_not_fatal() {
+        let (mut a, mut b) = mem_pair_perfect(33);
+        let over = Msg::Data {
+            router: RouterId(1),
+            port: PortId(0),
+            span: crate::msg::Span::NONE,
+            frame: vec![0; crate::codec::MAX_FRAME + 1],
+        };
+        assert!(matches!(
+            a.send(&over, t(0)),
+            Err(TransportError::Encode(_))
+        ));
+        // The connection survives the refused message.
+        assert!(a.is_connected());
+        a.send(&data(1), t(0)).unwrap();
+        assert_eq!(b.poll(t(0)).unwrap(), vec![data(1)]);
+    }
+
+    #[test]
+    fn tcp_send_raw_flushes_on_flush() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut t_client = TcpTransport::connect(addr).unwrap();
+        let mut t_server = TcpTransport::accept(&listener).unwrap();
+        let msg = data(5);
+        t_client.send_raw(&msg.encode(), Instant::EPOCH).unwrap();
+        t_client.flush(Instant::EPOCH).unwrap();
+        let mut batch = FrameBatch::new();
+        for _ in 0..1000 {
+            if t_server.poll_into(Instant::EPOCH, &mut batch).unwrap() > 0 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert_eq!(batch.len(), 1);
+        assert_eq!(Msg::decode(batch.get(0).unwrap()).unwrap(), msg);
+        let huge = vec![0u8; crate::codec::MAX_FRAME + 1];
+        assert!(matches!(
+            t_client.send_raw(&huge, Instant::EPOCH),
+            Err(TransportError::Encode(_))
+        ));
+        assert!(t_client.is_connected());
     }
 }

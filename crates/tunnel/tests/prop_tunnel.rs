@@ -99,7 +99,7 @@ proptest! {
     ) {
         let mut wire = Vec::new();
         for m in &msgs {
-            wire.extend_from_slice(&FrameCodec::encode(m));
+            wire.extend_from_slice(&FrameCodec::encode(m).unwrap());
         }
         let mut codec = FrameCodec::new();
         let mut decoded = Vec::new();
