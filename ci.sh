@@ -40,7 +40,11 @@ cargo test -q --offline -p rnl --test perf
 # E21 data-plane verification: the verifier-vs-live-deployment
 # differential oracle over seeded random designs.
 cargo test -q --offline -p rnl --test verify
-# Perf-regression gate: prove the comparator bites, then check the four
+# E23 shard federation: kill-mid-storm containment (bit-for-bit
+# reproducible), the shard-fault chaos property test, and the front
+# tier's routing table.
+cargo test -q --offline -p rnl --test shard
+# Perf-regression gate: prove the comparator bites, then check the five
 # deterministic virtual-clock workloads against the BENCH_*.json
 # baselines at the repo root (regenerate deliberately with
 # `cargo run -p rnl-bench --release --bin bench -- --out .`).

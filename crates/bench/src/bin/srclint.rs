@@ -26,10 +26,13 @@ const HOT_PATHS: &[&str] = &[
     "crates/server/src/snapshot.rs",
     "crates/server/src/matrix.rs",
     "crates/server/src/inventory.rs",
+    "crates/server/src/shard.rs",
     "crates/ris/src/lib.rs",
     "crates/ris/src/supervisor.rs",
+    "crates/ris/src/dialmap.rs",
     "crates/tunnel/src/transport.rs",
     "crates/tunnel/src/faults.rs",
+    "crates/tunnel/src/ring.rs",
     "crates/tunnel/src/codec.rs",
     "crates/tunnel/src/msg.rs",
     "crates/l1switch/src/lib.rs",

@@ -37,9 +37,10 @@ use rnl_tunnel::transport::{mem_pair, MemTransport, Transport};
 pub const BENCH_SCHEMA: u64 = 1;
 
 /// The workloads the `bench` binary knows, in run order.
-pub const WORKLOADS: [&str; 4] = [
+pub const WORKLOADS: [&str; 5] = [
     "packet_flow",
     "server_scaling",
+    "shard_scaling",
     "failover_convergence",
     "l1_bypass",
 ];
@@ -50,6 +51,7 @@ pub fn run_workload(name: &str) -> Json {
     match name {
         "packet_flow" => packet_flow(),
         "server_scaling" => server_scaling(),
+        "shard_scaling" => shard_scaling(),
         "failover_convergence" => failover_convergence(),
         "l1_bypass" => l1_bypass(),
         other => panic!("unknown workload {other}"),
@@ -284,6 +286,127 @@ fn server_scaling() -> Json {
     )
 }
 
+/// Parse "N sent, M received" console output; sums every `M received`.
+fn received_count(out: &str) -> u64 {
+    let words: Vec<&str> = out.split_whitespace().collect();
+    words
+        .windows(2)
+        .filter(|w| w[1].starts_with("received"))
+        .filter_map(|w| w[0].parse::<u64>().ok())
+        .sum()
+}
+
+/// `shard_scaling` — the federation under load and a mid-run shard
+/// kill: four shards, four cross-shard labs pinging over the trunks,
+/// one shard killed and journal-recovered, then a second ping round
+/// proving the survivors never stalled and the victim came back.
+fn shard_scaling() -> Json {
+    use rnl_core::shardlab::ShardedLabs;
+    use rnl_device::host::Host;
+
+    const SHARDS: usize = 4;
+    const PAIRS: usize = 4;
+    let mut labs = ShardedLabs::new(SHARDS);
+
+    // Scan pc-names for cross-shard pairs so every lab's wire rides a
+    // trunk; the scan is over the deterministic ring, so the pairs (and
+    // everything after) are identical run to run.
+    let mut pairs = Vec::new();
+    let mut i = 0u64;
+    while pairs.len() < PAIRS {
+        let a = format!("pc-{i}");
+        let b = format!("pc-{}", i + 1);
+        i += 2;
+        if labs.owner_of(&a) != labs.owner_of(&b) {
+            pairs.push((a, b));
+        }
+    }
+
+    let mut sites = Vec::new();
+    let mut fed_ids = Vec::new();
+    for (p, (a, b)) in pairs.iter().enumerate() {
+        let sa = labs.add_site(a);
+        let sb = labs.add_site(b);
+        let mut ha = Host::new("ha", 1);
+        ha.set_ip(format!("10.{p}.0.1/24").parse().expect("ip"));
+        let mut hb = Host::new("hb", 2);
+        hb.set_ip(format!("10.{p}.0.2/24").parse().expect("ip"));
+        labs.add_device(sa, Box::new(ha), "ha").expect("site a");
+        labs.add_device(sb, Box::new(hb), "hb").expect("site b");
+        let ra = labs.join_labs(sa).expect("join a")[0];
+        let rb = labs.join_labs(sb).expect("join b")[0];
+        let mut d = Design::new(&format!("lab-{p}"));
+        d.add_device(ra);
+        d.add_device(rb);
+        d.connect((ra, PortId(0)), (rb, PortId(0))).expect("link");
+        labs.save_design(d).expect("save");
+        fed_ids.push(labs.deploy("bench", &format!("lab-{p}")).expect("deploy"));
+        sites.push((sa, sb));
+    }
+
+    // A ping session sends one echo per second; 7 virtual seconds
+    // covers `count 5` plus trunk round trips with slack. `show ping`
+    // reports the current session only, so each round reads fresh.
+    let round = |labs: &mut ShardedLabs, sites: &[(rnl_core::SiteId, rnl_core::SiteId)]| -> u64 {
+        for (p, &(sa, _)) in sites.iter().enumerate() {
+            labs.console(sa, 0, &format!("ping 10.{p}.0.2 count 5"))
+                .expect("ping");
+        }
+        labs.run(Duration::from_secs(7)).expect("round");
+        let mut got = 0u64;
+        for &(sa, _) in sites {
+            let out = labs.console(sa, 0, "show ping").expect("show");
+            got += received_count(&out);
+        }
+        got
+    };
+
+    let t0 = labs.now();
+    // Round one: every pair pings across its trunk.
+    let received = round(&mut labs, &sites);
+
+    // Kill shard 0 mid-run; it journal-recovers and its sessions are
+    // re-adopted inside the grace window while the others keep serving.
+    labs.kill_shard(0, Some(Duration::from_millis(400)));
+    labs.run(Duration::from_secs(2)).expect("recovery window");
+
+    // Round two: same pings again — survivors prove containment, the
+    // victim's labs prove crash-local recovery.
+    let received2 = round(&mut labs, &sites);
+
+    let obs = labs.federation().obs();
+    let vsecs = labs.now().since(t0).as_micros() as f64 / 1e6;
+    let trunk_frames = obs.counter_sum("rnl_server_shard_trunk_frames_total");
+    report(
+        "shard_scaling",
+        vec![
+            ("shards", metric("exact", SHARDS as f64)),
+            ("labs", metric("exact", PAIRS as f64)),
+            ("pings_round1", metric("exact", received as f64)),
+            ("pings_round2", metric("exact", received2 as f64)),
+            ("trunk_frames", metric("exact", trunk_frames as f64)),
+            (
+                "trunk_frames_per_vsec",
+                metric("higher", trunk_frames as f64 / vsecs),
+            ),
+            (
+                "shard_recoveries",
+                metric(
+                    "exact",
+                    obs.counter_sum("rnl_server_shard_recoveries_total") as f64,
+                ),
+            ),
+            (
+                "containment_sheds",
+                metric(
+                    "exact",
+                    obs.counter_sum("rnl_server_shard_containment_sheds_total") as f64,
+                ),
+            ),
+        ],
+    )
+}
+
 /// `failover_convergence` — Fig. 5: virtual milliseconds from killing
 /// the active switch to standby takeover and to restored traffic.
 fn failover_convergence() -> Json {
@@ -363,7 +486,12 @@ mod tests {
         // failover workload is covered by the same mechanism (virtual
         // clock only) and exercised via the binary; keeping it out of
         // the unit suite keeps `cargo test` fast.
-        for name in ["packet_flow", "server_scaling", "l1_bypass"] {
+        for name in [
+            "packet_flow",
+            "server_scaling",
+            "shard_scaling",
+            "l1_bypass",
+        ] {
             let a = run_workload(name).encode();
             let b = run_workload(name).encode();
             assert_eq!(a, b, "workload {name} not reproducible");

@@ -29,6 +29,7 @@
 
 pub mod nightly;
 pub mod scenarios;
+pub mod shardlab;
 pub mod terminal;
 
 use rnl_device::device::Device;

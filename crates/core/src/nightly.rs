@@ -121,6 +121,12 @@ pub struct NightlyReport {
     /// plus slow-op captures — nonzero activity only, like the other
     /// sections.
     pub perf: Vec<String>,
+    /// Shard-federation summary lines (shard kills/recoveries, trunk
+    /// reconnects and drops, cross-shard containment sheds, rebalances)
+    /// — nonzero activity only. Single-server runs report nothing;
+    /// sharded rigs fill this via [`shard_section`] on the federation's
+    /// registry.
+    pub shard: Vec<String>,
 }
 
 impl NightlyReport {
@@ -189,8 +195,50 @@ impl NightlyReport {
                 out.push_str(&format!("    {line}\n"));
             }
         }
+        if !self.shard.is_empty() {
+            out.push_str("  shard:\n");
+            for line in &self.shard {
+                out.push_str(&format!("    {line}\n"));
+            }
+        }
         out
     }
+}
+
+/// Shard-federation summary lines from a metrics registry — the
+/// federation's own ([`rnl_server::shard::Federation::obs`]) for
+/// sharded rigs. Nonzero activity only: a night with no shard faults,
+/// trunk flaps, or rebalances stays silent, like every other section.
+pub fn shard_section(obs: &rnl_obs::MetricsRegistry) -> Vec<String> {
+    let mut lines = Vec::new();
+    for (name, label) in [
+        ("rnl_server_shard_kills_total", "shards killed"),
+        ("rnl_server_shard_recoveries_total", "shards recovered"),
+        ("rnl_server_shard_trunk_frames_total", "trunk frames"),
+        (
+            "rnl_server_shard_trunk_reconnects_total",
+            "trunk reconnects",
+        ),
+        (
+            "rnl_server_shard_trunk_backlog_dropped_total",
+            "trunk backlog drops",
+        ),
+        (
+            "rnl_server_shard_trunk_fault_dropped_total",
+            "trunk fault drops",
+        ),
+        (
+            "rnl_server_shard_containment_sheds_total",
+            "cross-shard frames shed",
+        ),
+        ("rnl_server_shard_rebalances_total", "principals rebalanced"),
+    ] {
+        let v = obs.counter_sum(name);
+        if v > 0 {
+            lines.push(format!("{label}: {v}"));
+        }
+    }
+    lines
 }
 
 /// A list of probes run against one deployed lab.
@@ -353,6 +401,10 @@ impl NightlySuite {
         if slow > 0 {
             perf.push(format!("slow ops captured: {slow}"));
         }
+        // Shard section: single-server runs have no shard counters on
+        // this registry, so the section stays silent here; sharded rigs
+        // overwrite it from the federation's registry.
+        let shard = shard_section(obs);
         Ok(NightlyReport {
             results,
             metrics,
@@ -362,6 +414,7 @@ impl NightlySuite {
             recovery,
             overload,
             perf,
+            shard,
         })
     }
 }

@@ -24,6 +24,10 @@ pub enum MissReason {
     SessionGraced,
     /// A compressed payload failed to decode (template ring desync).
     DecodeError,
+    /// The frame's destination lives on another shard and the
+    /// inter-shard trunk is down — only cross-shard frames are shed
+    /// this way; intra-shard relay keeps flowing.
+    TrunkDown,
 }
 
 impl MissReason {
@@ -34,6 +38,7 @@ impl MissReason {
             MissReason::NoSession => "no-session",
             MissReason::SessionGraced => "session-graced",
             MissReason::DecodeError => "decode-error",
+            MissReason::TrunkDown => "trunk-down",
         }
     }
 }

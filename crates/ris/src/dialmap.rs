@@ -1,0 +1,87 @@
+//! Client-side dial-map: which route-server shard a RIS should dial.
+//!
+//! The federation partitions sessions by consistent hash over the RIS
+//! `pc_name` (the principal). The RIS side holds the same ring, so a
+//! supervisor's redial lands on the owning shard without a round-trip
+//! to any directory service — ownership is a pure function of
+//! (membership, pc_name), identical on both sides of the tunnel.
+//!
+//! After a shard join/leave the server returns a structured
+//! `wrong-shard` error naming the new owner; [`DialMap::note_owner`]
+//! records that hint so the next dial goes straight there even before
+//! the membership refresh lands.
+
+use rnl_tunnel::ring::HashRing;
+use std::collections::BTreeMap;
+
+/// Maps principals to the shard a RIS should dial.
+#[derive(Debug, Clone)]
+pub struct DialMap {
+    ring: HashRing,
+    /// Owner hints learned from `wrong-shard` responses; they shadow
+    /// the ring until the next membership update clears them.
+    hints: BTreeMap<String, usize>,
+}
+
+impl DialMap {
+    /// A map over shards `0..n`.
+    pub fn new(n_shards: usize) -> DialMap {
+        DialMap {
+            ring: HashRing::new(n_shards),
+            hints: BTreeMap::new(),
+        }
+    }
+
+    /// Replace the membership view (a shard joined or left). Learned
+    /// hints are dropped: the fresh ring is authoritative again.
+    pub fn set_membership(&mut self, ring: HashRing) {
+        self.ring = ring;
+        self.hints.clear();
+    }
+
+    /// The membership view.
+    pub fn ring(&self) -> &HashRing {
+        &self.ring
+    }
+
+    /// The shard this principal should dial, or `None` when no shards
+    /// are known.
+    pub fn owning_shard(&self, principal: &str) -> Option<usize> {
+        if let Some(&hinted) = self.hints.get(principal) {
+            return Some(hinted);
+        }
+        self.ring.shard_of(principal)
+    }
+
+    /// Record a `wrong-shard` owner hint for `principal`.
+    pub fn note_owner(&mut self, principal: &str, owner: usize) {
+        self.hints.insert(principal.to_string(), owner);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_agrees_with_the_ring() {
+        let map = DialMap::new(4);
+        let ring = HashRing::new(4);
+        for i in 0..200 {
+            let pc = format!("pc-{i}");
+            assert_eq!(map.owning_shard(&pc), ring.shard_of(&pc));
+        }
+    }
+
+    #[test]
+    fn hints_shadow_the_ring_until_membership_refresh() {
+        let mut map = DialMap::new(4);
+        let pc = "pc-7";
+        let ring_owner = map.owning_shard(pc);
+        let hinted = ring_owner.map(|s| (s + 1) % 4).unwrap_or(0);
+        map.note_owner(pc, hinted);
+        assert_eq!(map.owning_shard(pc), Some(hinted));
+        map.set_membership(HashRing::new(4));
+        assert_eq!(map.owning_shard(pc), ring_owner);
+    }
+}

@@ -19,6 +19,7 @@
 //! corporate firewalls join the labs.
 
 pub mod config;
+pub mod dialmap;
 pub mod mapping;
 pub mod supervisor;
 
@@ -35,6 +36,7 @@ use rnl_tunnel::compress::{Compressor, Decompressor};
 use rnl_tunnel::msg::{Msg, PortId, RegisterInfo, RouterId, RouterInfo, SessionEpoch};
 use rnl_tunnel::transport::{ClosedTransport, Transport, TransportError};
 
+pub use dialmap::DialMap;
 pub use mapping::auto_mapping;
 pub use supervisor::{BackoffConfig, Dialer, Supervisor, TcpDialer};
 

@@ -20,6 +20,13 @@
 //! server replays snapshot + tail, then waits out the grace window for
 //! RIS boxes to redial and re-adopt their recovered deployments.
 //!
+//! With `--shards N` (N > 1) the process runs a federation of N route
+//! servers instead of one: RIS sessions balance round-robin across the
+//! live shards, cross-shard wires relay over supervised in-process
+//! trunks, API requests route through the sharded front tier, and each
+//! shard journals to its own `PATH/shard-<k>/` — a shard whose journal
+//! fails is killed and recovered in place while its siblings serve.
+//!
 //! ```text
 //! cargo run -p rnl-server --bin routeserver -- --ris-port 4510 --api-port 4511
 //! ```
@@ -54,9 +61,17 @@ fn main() {
     let mut snapshot_secs = rnl_server::DEFAULT_SNAPSHOT_EVERY.as_secs();
     let mut overload = OverloadConfig::default();
     let mut fsync_policy = FsyncPolicy::EveryAppend;
+    let mut shards = 1usize;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--shards" => {
+                shards = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| usage("--shards needs a count >= 1"));
+            }
             "--ris-port" => {
                 ris_port = args
                     .next()
@@ -150,6 +165,10 @@ fn main() {
         }
     });
 
+    if shards > 1 {
+        run_sharded(shards, state_dir, grace_secs, metrics_port, rx, now);
+    }
+
     // The single-threaded core loop: sessions, relay, API dispatch.
     // With --state-dir the server always boots through recovery: on an
     // empty directory that is a fresh start with a journal installed;
@@ -230,6 +249,108 @@ fn main() {
     }
 }
 
+/// The `--shards N` core loop: a route-server federation behind the
+/// same three sockets. RIS sessions are balanced round-robin across the
+/// live shards (router-id ownership follows the registering shard's id
+/// range, so cross-shard wires ride the supervised trunks); API
+/// requests go through the sharded front tier; a shard whose journal
+/// fails is killed in place and journal-recovered while its siblings
+/// keep serving — the process no longer fail-stops as a whole.
+fn run_sharded(
+    n: usize,
+    state_dir: Option<String>,
+    grace_secs: u64,
+    metrics_port: u16,
+    rx: mpsc::Receiver<Event>,
+    now: impl Fn() -> Instant,
+) -> ! {
+    use rnl_server::shard::Federation;
+
+    let mut fed = Federation::new(n, 0x5eed);
+    fed.set_grace_window(rnl_net::time::Duration::from_secs(grace_secs));
+    if let Some(dir) = &state_dir {
+        if let Err(e) = fed.enable_file_durability(dir.clone(), now()) {
+            eprintln!("routeserver: cannot open sharded state dir {dir}: {e}");
+            std::process::exit(2);
+        }
+        eprintln!("routeserver: durable shard state under {dir}/shard-<k>/");
+    }
+    eprintln!("routeserver: federation of {n} shards; session flap grace window {grace_secs}s");
+
+    // One exposition page for the whole federation: per-shard server
+    // series tagged `shard="k"` merged with the federation's own. The
+    // core loop refreshes the shared snapshot; the scrape thread only
+    // renders it, so it never touches federation state.
+    let exposition = std::sync::Arc::new(std::sync::Mutex::new(fed.metrics_snapshot()));
+    let metrics_listener = TcpListener::bind(("0.0.0.0", metrics_port)).expect("bind metrics port");
+    eprintln!("routeserver: metrics exposition on :{metrics_port}");
+    {
+        let exposition = std::sync::Arc::clone(&exposition);
+        std::thread::spawn(move || {
+            for stream in metrics_listener.incoming().flatten() {
+                let body = match exposition.lock() {
+                    Ok(snap) => rnl_obs::render_prometheus(&snap),
+                    Err(_) => String::new(),
+                };
+                serve_metrics_body(stream, &body);
+            }
+        });
+    }
+
+    let mut next_shard = 0usize;
+    let mut last_snapshot = now();
+    loop {
+        while let Ok(event) = rx.try_recv() {
+            match event {
+                Event::RisSession(stream) => match TcpTransport::from_stream(stream) {
+                    Ok(transport) => {
+                        let shard = (0..n).map(|i| (next_shard + i) % n).find(|&k| fed.is_up(k));
+                        next_shard = next_shard.wrapping_add(1);
+                        match shard {
+                            Some(k) => match fed.attach_to(k, Box::new(transport)) {
+                                Ok(sid) => eprintln!(
+                                    "routeserver: RIS session {sid:?} attached to shard {k}"
+                                ),
+                                Err(e) => eprintln!("routeserver: attach failed: {e}"),
+                            },
+                            None => {
+                                eprintln!("routeserver: every shard is down; dropping RIS session")
+                            }
+                        }
+                    }
+                    Err(e) => eprintln!("routeserver: bad session: {e}"),
+                },
+                Event::ApiRequest { line, reply } => {
+                    let response = web::handle_json_sharded(&mut fed, &line, now());
+                    let _ = reply.send(response);
+                }
+            }
+        }
+        fed.poll(now());
+        // Crash containment: a shard whose journal failed is killed on
+        // the spot and scheduled for journal recovery; its siblings and
+        // the intra-shard relay keep serving throughout.
+        for k in 0..n {
+            if fed.server(k).is_some_and(RouteServer::crashed) {
+                eprintln!(
+                    "routeserver: shard {k} journal write failed; \
+                     killing and recovering in place"
+                );
+                fed.kill_shard(k, Some(rnl_net::time::Duration::from_secs(5)), now());
+            }
+        }
+        // Refresh the scrape page at most every 250 ms — a snapshot
+        // walks every shard's registry, too heavy for a 500 µs loop.
+        if now().since(last_snapshot) >= rnl_net::time::Duration::from_millis(250) {
+            last_snapshot = now();
+            if let Ok(mut snap) = exposition.lock() {
+                *snap = fed.metrics_snapshot();
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_micros(500));
+    }
+}
+
 fn serve_api_client(stream: TcpStream, tx: mpsc::Sender<Event>) {
     let peer = stream.peer_addr().ok();
     let mut writer = match stream.try_clone() {
@@ -262,8 +383,14 @@ fn serve_api_client(stream: TcpStream, tx: mpsc::Sender<Event>) {
 
 /// Answer one scrape: an HTTP response if the peer spoke HTTP (a
 /// request line ending in a blank line), otherwise the bare text body.
-fn serve_metrics_client(mut stream: TcpStream, registry: &rnl_obs::MetricsRegistry) {
-    let body = rnl_obs::render_prometheus(&registry.snapshot());
+fn serve_metrics_client(stream: TcpStream, registry: &rnl_obs::MetricsRegistry) {
+    serve_metrics_body(stream, &rnl_obs::render_prometheus(&registry.snapshot()));
+}
+
+/// The scrape-answering half of [`serve_metrics_client`], for callers
+/// that already rendered the page (the sharded loop serves a merged
+/// federation snapshot).
+fn serve_metrics_body(mut stream: TcpStream, body: &str) {
     let mut probe = [0u8; 4];
     let spoke_http = {
         use std::io::Read;
@@ -288,8 +415,9 @@ fn usage(msg: &str) -> ! {
     eprintln!("routeserver: {msg}");
     eprintln!(
         "usage: routeserver [--ris-port N] [--api-port N] [--metrics-port N] \
-         [--grace-window SECS] [--state-dir PATH] [--snapshot-every SECS] \
-         [--hwm TOKENS] [--op-deadline SECS] [--fsync-every append|poll]"
+         [--shards N] [--grace-window SECS] [--state-dir PATH] \
+         [--snapshot-every SECS] [--hwm TOKENS] [--op-deadline SECS] \
+         [--fsync-every append|poll]"
     );
     std::process::exit(2);
 }

@@ -92,6 +92,24 @@ pub enum ServerError {
     /// The op's deadline budget expired before its RIS round-trip
     /// completed.
     DeadlineExceeded,
+    /// The op was sent to a shard that does not own its principal —
+    /// the client's dial-map is stale. Retryable against `owner` after
+    /// `retry_after`.
+    WrongShard {
+        /// The shard that owns the op's principal.
+        owner: usize,
+        /// Deterministic back-off hint before re-dispatching.
+        retry_after: Duration,
+    },
+    /// The shard owning the op's principal is down (crashed or
+    /// mid-recovery); siblings keep serving. Retryable after
+    /// `retry_after` — by then the shard has typically replayed its WAL.
+    ShardDown {
+        /// The unavailable shard.
+        shard: usize,
+        /// Deterministic back-off hint covering the expected recovery.
+        retry_after: Duration,
+    },
 }
 
 impl std::fmt::Display for ServerError {
@@ -113,6 +131,16 @@ impl std::fmt::Display for ServerError {
                 write!(f, "overloaded; retry after {}us", retry_after.as_micros())
             }
             ServerError::DeadlineExceeded => write!(f, "operation deadline exceeded"),
+            ServerError::WrongShard { owner, retry_after } => write!(
+                f,
+                "wrong shard: owner is shard {owner}; retry after {}us",
+                retry_after.as_micros()
+            ),
+            ServerError::ShardDown { shard, retry_after } => write!(
+                f,
+                "shard {shard} down; retry after {}us",
+                retry_after.as_micros()
+            ),
         }
     }
 }
@@ -134,6 +162,8 @@ impl ServerError {
             ServerError::Durability(_) => "durability",
             ServerError::Overloaded { .. } => "overloaded",
             ServerError::DeadlineExceeded => "deadline-exceeded",
+            ServerError::WrongShard { .. } => "wrong-shard",
+            ServerError::ShardDown { .. } => "shard-down",
         }
     }
 }
@@ -388,6 +418,30 @@ pub struct RouteServer {
     m_recovery_seconds: Gauge,
     m_snapshot_age: Gauge,
     m_deadline_expired: Counter,
+    /// Cross-shard wiring: local (router, port) endpoints whose far end
+    /// lives on another shard. Consulted only on a matrix miss, so the
+    /// intra-shard fast path pays nothing for federation.
+    remote_routes: HashMap<(RouterId, PortId), (RouterId, PortId)>,
+    /// Encoded, destination-patched frames bound for other shards; the
+    /// federation drains this each poll and forwards over the trunk.
+    trunk_outbox: Vec<TrunkFrame>,
+    m_trunk_out: Counter,
+    m_trunk_in: Counter,
+    m_unrouted_trunk: Counter,
+}
+
+/// A cross-shard frame captured off the relay path: a fully encoded,
+/// destination-patched data message awaiting trunk forwarding. The
+/// federation resolves the owning shard from `dst_router` (shards
+/// allocate router ids in disjoint ranges) and hands `body` to
+/// [`rnl_tunnel::transport::Transport::send_raw`] — the relay stays
+/// zero-decode end to end.
+#[derive(Debug, Clone)]
+pub struct TrunkFrame {
+    /// The remote destination router.
+    pub dst_router: RouterId,
+    /// The encoded `Msg::Data` body, destination already patched.
+    pub body: Vec<u8>,
 }
 
 impl Default for RouteServer {
@@ -415,6 +469,11 @@ impl RouteServer {
             m_unrouted_no_session: unrouted(MissReason::NoSession),
             m_unrouted_graced: unrouted(MissReason::SessionGraced),
             m_unrouted_decode: unrouted(MissReason::DecodeError),
+            m_unrouted_trunk: unrouted(MissReason::TrunkDown),
+            m_trunk_out: obs.counter("rnl_server_trunk_frames_total", &[("dir", "out")]),
+            m_trunk_in: obs.counter("rnl_server_trunk_frames_total", &[("dir", "in")]),
+            remote_routes: HashMap::new(),
+            trunk_outbox: Vec::new(),
             m_session_disconnects: obs.counter("rnl_server_session_disconnects_total", &[]),
             m_sessions_readopted: obs.counter("rnl_server_session_readopted_total", &[]),
             m_sessions_reaped: obs.counter("rnl_server_session_reaped_total", &[]),
@@ -1317,13 +1376,24 @@ impl RouteServer {
             match bridged.or_else(|| self.matrix.lookup((src_router, src_port))) {
                 Some(dst) => dst,
                 None => {
-                    self.frame_unrouted(
-                        src_router,
-                        src_port,
-                        MissReason::NoMatrixEntry,
-                        span.trace,
-                        now,
-                    );
+                    // Cross-shard wire: the far end lives on another
+                    // shard. Patch the destination in place and hand
+                    // the bytes to the trunk outbox — still zero-copy
+                    // up to the single buffer the trunk must own.
+                    if let Some(&(dst_router, dst_port)) =
+                        self.remote_routes.get(&(src_router, src_port))
+                    {
+                        let _ = Msg::patch_data_dest(body, dst_router, dst_port);
+                        self.queue_trunk_frame(dst_router, dst_port, body.to_vec(), span, now);
+                    } else {
+                        self.frame_unrouted(
+                            src_router,
+                            src_port,
+                            MissReason::NoMatrixEntry,
+                            span.trace,
+                            now,
+                        );
+                    }
                     return true;
                 }
             };
@@ -1436,6 +1506,168 @@ impl RouteServer {
             Ok(()) => SendOutcome::Sent,
             Err(_) => SendOutcome::Gone,
         }
+    }
+
+    // -----------------------------------------------------------------
+    // Federation hooks: cross-shard wires, trunk outbox, rebalance
+    // -----------------------------------------------------------------
+
+    /// Install a cross-shard half-wire: frames arriving on the local
+    /// `from` endpoint are re-addressed to the remote `to` endpoint and
+    /// queued for the inter-shard trunk. The far shard installs the
+    /// mirror route for the reverse direction.
+    pub fn add_remote_route(&mut self, from: (RouterId, PortId), to: (RouterId, PortId)) {
+        self.remote_routes.insert(from, to);
+    }
+
+    /// Remove a cross-shard half-wire (teardown of a spanning
+    /// deployment).
+    pub fn remove_remote_route(&mut self, from: (RouterId, PortId)) {
+        self.remote_routes.remove(&from);
+    }
+
+    /// The remote far end of a local endpoint, if any.
+    pub fn remote_route(&self, from: (RouterId, PortId)) -> Option<(RouterId, PortId)> {
+        self.remote_routes.get(&from).copied()
+    }
+
+    /// Drain the frames queued for other shards this poll. The
+    /// federation forwards each over the owning trunk — or sheds it as
+    /// `reason="trunk-down"` via [`RouteServer::shed_trunk_frame`].
+    pub fn take_trunk_outbox(&mut self) -> Vec<TrunkFrame> {
+        std::mem::take(&mut self.trunk_outbox)
+    }
+
+    /// Count one cross-shard frame shed because its trunk was down.
+    /// Only cross-shard frames ever carry this reason: intra-shard
+    /// relay never touches a trunk.
+    pub fn shed_trunk_frame(&mut self, dst_router: RouterId, now: Instant) {
+        self.frame_unrouted(
+            dst_router,
+            PortId(0),
+            MissReason::TrunkDown,
+            TraceId::NONE,
+            now,
+        );
+    }
+
+    /// Deliver a frame that arrived over an inter-shard trunk into the
+    /// local session fronting its destination router. Returns `true`
+    /// when the frame was sent (or held for replay by a graced
+    /// session); sheds are counted exactly like local misses.
+    pub fn deliver_remote(&mut self, body: &[u8], now: Instant) -> bool {
+        self.m_trunk_in.inc();
+        let Some(data) = Msg::peek_data(body) else {
+            return false;
+        };
+        let (dst_router, dst_port, span) = (data.router, data.port, data.span);
+        let bytes = data.payload.len() as u64;
+        match self.send_raw_to_router(dst_router, body, now) {
+            SendOutcome::Sent => {
+                self.m_frames_routed.inc();
+                self.m_bytes_relayed.add(bytes);
+                self.journal.record(FrameEvent {
+                    trace: span.trace,
+                    t_us: now.as_micros(),
+                    hop: Hop::ServerTx,
+                    router: dst_router.0,
+                    port: dst_port.0,
+                    bytes: bytes as u32,
+                });
+                true
+            }
+            SendOutcome::Queued => true,
+            SendOutcome::Graced => {
+                self.frame_unrouted(
+                    dst_router,
+                    dst_port,
+                    MissReason::SessionGraced,
+                    span.trace,
+                    now,
+                );
+                false
+            }
+            SendOutcome::Gone => {
+                self.frame_unrouted(dst_router, dst_port, MissReason::NoSession, span.trace, now);
+                false
+            }
+        }
+    }
+
+    /// Queue one encoded cross-shard frame for the trunk.
+    fn queue_trunk_frame(
+        &mut self,
+        dst_router: RouterId,
+        dst_port: PortId,
+        body: Vec<u8>,
+        span: Span,
+        now: Instant,
+    ) {
+        self.m_trunk_out.inc();
+        self.journal.record(FrameEvent {
+            trace: span.trace,
+            t_us: now.as_micros(),
+            hop: Hop::MatrixHit,
+            router: dst_router.0,
+            port: dst_port.0,
+            bytes: body.len() as u32,
+        });
+        self.trunk_outbox.push(TrunkFrame { dst_router, body });
+    }
+
+    /// Start this shard's router-id allocation at `base`, so shards
+    /// allocate in disjoint ranges and a `RouterId` alone names its
+    /// owning shard. Idempotent and monotonic (never lowers the
+    /// counter); re-applied after recovery.
+    pub fn set_router_id_base(&mut self, base: u32) {
+        self.inventory.set_next_id(base);
+    }
+
+    /// Server-side eviction for shard rebalance: drop the live session
+    /// fronting `pc_name` into its flap-grace window (its transport is
+    /// hard-closed, so the RIS supervisor redials — now landing on the
+    /// shard that took ownership). Returns whether a live session was
+    /// found.
+    pub fn evict_principal(&mut self, pc_name: &str, now: Instant) -> bool {
+        let sid = self
+            .sessions
+            .iter()
+            .find(|(_, s)| s.graced_at.is_none() && s.pc_name.as_deref() == Some(pc_name))
+            .map(|(id, _)| *id);
+        let Some(sid) = sid else {
+            return false;
+        };
+        if let Some(session) = self.sessions.get_mut(&sid) {
+            session.transport = Box::new(ClosedTransport);
+        }
+        self.enter_grace(sid, now);
+        true
+    }
+
+    /// The `pc_name`s of live (non-graced) sessions — what a rebalance
+    /// re-homes.
+    pub fn live_principals(&self) -> Vec<String> {
+        self.sessions
+            .values()
+            .filter(|s| s.alive && s.graced_at.is_none())
+            .filter_map(|s| s.pc_name.clone())
+            .collect()
+    }
+
+    /// Whether a live registered session fronts `pc_name` (rebalance
+    /// completion probe).
+    pub fn has_live_principal(&self, pc_name: &str) -> bool {
+        self.sessions
+            .values()
+            .any(|s| s.alive && s.graced_at.is_none() && s.pc_name.as_deref() == Some(pc_name))
+    }
+
+    /// A second handle onto this server's journal store, captured
+    /// *before* handing the server to a thread so its state can be
+    /// recovered if the thread panics. `None` without durability (or
+    /// when the backend cannot be reattached).
+    pub fn wal_reopen(&self) -> Option<Box<dyn Durability>> {
+        self.wal.as_ref().and_then(|w| w.reopen())
     }
 
     /// Mark a session disconnected and start its grace window. Frames
@@ -1682,6 +1914,7 @@ impl RouteServer {
             MissReason::NoSession => self.m_unrouted_no_session.inc(),
             MissReason::SessionGraced => self.m_unrouted_graced.inc(),
             MissReason::DecodeError => self.m_unrouted_decode.inc(),
+            MissReason::TrunkDown => self.m_unrouted_trunk.inc(),
         }
         self.journal.record(FrameEvent {
             trace,
@@ -1774,7 +2007,20 @@ impl RouteServer {
         self.captures
             .tap(router, port, CaptureDir::FromPort, &frame, now);
         let Some((dst_router, dst_port)) = self.matrix.lookup((router, port)) else {
-            self.frame_unrouted(router, port, MissReason::NoMatrixEntry, span.trace, now);
+            // Cross-shard wire on the owned path: re-address and encode
+            // the frame for the trunk.
+            if let Some(&(dst_router, dst_port)) = self.remote_routes.get(&(router, port)) {
+                let body = Msg::Data {
+                    router: dst_router,
+                    port: dst_port,
+                    span,
+                    frame,
+                }
+                .encode();
+                self.queue_trunk_frame(dst_router, dst_port, body, span, now);
+            } else {
+                self.frame_unrouted(router, port, MissReason::NoMatrixEntry, span.trace, now);
+            }
             return;
         };
         self.journal.record(FrameEvent {

@@ -1,4 +1,4 @@
-//! Per-user route-server sharding (§4, "Ongoing work").
+//! Route-server sharding and federation (§4, "Ongoing work").
 //!
 //! "To simplify implementation, we funnel all traffic through the
 //! central route server in the initial release, so the route server can
@@ -7,24 +7,59 @@
 //! the routing matrices between different users do not overlap, we can
 //! have one route server per user."
 //!
-//! A [`ShardSet`] owns one independent [`RouteServer`] per user.
-//! Equipment is attached to the shard of the user who will drive it (in
-//! the sharded world each user's RISes dial that user's server), and
-//! [`ShardSet::run_parallel`] drives every shard's poll loop on its own
-//! OS thread — which is exactly where the scaling win over the central
-//! funnel comes from (experiment E9).
+//! Two layers live here:
+//!
+//! * [`ShardSet`] — the original per-user split: one independent
+//!   [`RouteServer`] per user, share-nothing, driven in parallel
+//!   (experiment E9). [`ShardSet::run_parallel_recovering`] survives a
+//!   panicked shard thread by rebuilding that shard from its own WAL.
+//! * [`Federation`] — the fault-contained scale-out tier: sessions are
+//!   partitioned across `N` shards by consistent hash over the RIS
+//!   principal ([`HashRing`]), cross-shard wires relay over supervised
+//!   inter-shard trunks, and each shard owns its own journal so a crash
+//!   is recovered locally while siblings keep serving. Partial failure
+//!   is *contained*: a dead trunk sheds only the cross-shard frames
+//!   that needed it (counted `reason="trunk-down"`), never intra-shard
+//!   traffic.
 
 use std::collections::BTreeMap;
+use std::path::PathBuf;
 use std::thread;
 
 use rnl_net::time::{Duration, Instant};
+use rnl_obs::metrics::{Counter, Gauge, Histogram, MetricsRegistry, Snapshot};
+use rnl_tunnel::faults::{ShardFaultKind, ShardFaultPlan};
+use rnl_tunnel::msg::{Msg, PortId, RegisterInfo, RouterId, SessionEpoch};
+use rnl_tunnel::ring::HashRing;
+use rnl_tunnel::transport::{
+    mem_pair_perfect, FrameBatch, MemTransport, OverflowPolicy, Transport,
+};
 
-use crate::{RouteServer, ServerStats};
+use crate::design::Design;
+use crate::journal::{Durability, FileJournal, MemJournal, SharedStore};
+use crate::json::Json;
+use crate::{DeploymentId, RouteServer, ServerError, ServerStats, SessionId};
+
+// ---------------------------------------------------------------------
+// ShardSet: the per-user split (E9)
+// ---------------------------------------------------------------------
 
 /// A set of per-user route servers.
 #[derive(Default)]
 pub struct ShardSet {
     shards: BTreeMap<String, RouteServer>,
+    /// Test hook: the named shard's poll thread panics immediately.
+    #[cfg(test)]
+    panic_shard: Option<String>,
+}
+
+/// What [`ShardSet::run_parallel_recovering`] hands back: the shards
+/// (every one of them — a panicked shard is rebuilt from its WAL, or
+/// reset empty when it had none) plus the names of the shards whose
+/// poll thread panicked, in shard order.
+pub struct ParallelOutcome {
+    pub set: ShardSet,
+    pub panicked: Vec<String>,
 }
 
 impl ShardSet {
@@ -79,29 +114,1325 @@ impl ShardSet {
     /// the §4 distributed architecture: shards share nothing, so they
     /// parallelize perfectly.
     pub fn run_parallel(self, steps: u64, dt: Duration) -> ShardSet {
-        let handles: Vec<thread::JoinHandle<(String, RouteServer)>> = self
+        self.run_parallel_recovering(steps, dt).set
+    }
+
+    /// Like [`ShardSet::run_parallel`], but a panicked shard thread no
+    /// longer silently loses that shard's state: before spawning, each
+    /// shard's journal is reopened on the supervisor side, and a shard
+    /// whose thread panics is rebuilt from that journal (crash-local
+    /// recovery — siblings are unaffected). The panic is surfaced in
+    /// [`ParallelOutcome::panicked`] instead of being swallowed.
+    pub fn run_parallel_recovering(self, steps: u64, dt: Duration) -> ParallelOutcome {
+        let end = Instant::EPOCH + Duration::from_micros(dt.as_micros().saturating_mul(steps));
+        #[cfg(test)]
+        let panic_for = self.panic_shard.clone();
+        type ShardHandle = (
+            String,
+            Option<Box<dyn Durability>>,
+            thread::JoinHandle<RouteServer>,
+        );
+        let handles: Vec<ShardHandle> = self
             .shards
             .into_iter()
             .map(|(user, mut server)| {
-                thread::spawn(move || {
+                // A second handle onto the shard's journal, held by the
+                // supervisor: if the poll thread dies, this is how the
+                // shard's state comes back.
+                let wal = server.wal_reopen();
+                #[cfg(test)]
+                let boom = panic_for.as_deref() == Some(user.as_str());
+                #[cfg(not(test))]
+                let boom = false;
+                let handle = thread::spawn(move || {
+                    if boom {
+                        std::panic::panic_any("injected shard panic");
+                    }
                     let mut now = Instant::EPOCH;
                     for _ in 0..steps {
                         now += dt;
                         server.poll(now);
                     }
-                    (user, server)
-                })
+                    server
+                });
+                (user, wal, handle)
             })
             .collect();
         let mut shards = BTreeMap::new();
-        for handle in handles {
-            // A panicked shard thread loses that shard's servers; the
-            // remaining shards are still returned.
-            if let Ok((user, server)) = handle.join() {
-                shards.insert(user, server);
+        let mut panicked = Vec::new();
+        for (user, wal, handle) in handles {
+            match handle.join() {
+                Ok(server) => {
+                    shards.insert(user, server);
+                }
+                Err(_) => {
+                    let rebuilt = wal
+                        .and_then(|w| RouteServer::recover(w, end).ok())
+                        .unwrap_or_default();
+                    panicked.push(user.clone());
+                    shards.insert(user, rebuilt);
+                }
             }
         }
-        ShardSet { shards }
+        ParallelOutcome {
+            set: ShardSet {
+                shards,
+                #[cfg(test)]
+                panic_shard: None,
+            },
+            panicked,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Federation: hash-partitioned shards with supervised trunks
+// ---------------------------------------------------------------------
+
+/// Router-id range owned by each shard: shard `k` allocates global ids
+/// in `[k * SHARD_ID_STRIDE, (k + 1) * SHARD_ID_STRIDE)`, so the owning
+/// shard of any router is a pure function of its id — no directory
+/// lookup on the relay path.
+pub const SHARD_ID_STRIDE: u32 = 4096;
+
+/// The shard whose id range contains `router`.
+pub fn shard_of_router(router: RouterId) -> usize {
+    (router.0 / SHARD_ID_STRIDE) as usize
+}
+
+/// A design link: two (router, port) endpoints.
+type Link = ((RouterId, PortId), (RouterId, PortId));
+
+/// The federation's own journal file under the `--state-dir` base:
+/// spanning deployments and their cross-shard wires, which no single
+/// shard's journal records.
+const FED_JOURNAL: &str = "federation.rnl";
+
+/// Trunk redial backoff: first attempt is immediate, then delays grow
+/// `base * 2^n` up to `max`, each jittered ±20% so a fleet of trunks
+/// re-dialing after a shared outage does not thundering-herd.
+const TRUNK_BACKOFF_BASE: Duration = Duration::from_millis(100);
+const TRUNK_BACKOFF_MAX: Duration = Duration::from_secs(10);
+const TRUNK_JITTER_PCT: u64 = 20;
+
+/// Default per-poll byte budget of a trunk before its overflow policy
+/// kicks in (the bounded backlog).
+pub const DEFAULT_TRUNK_HWM: usize = 1 << 20;
+
+/// Retry hint handed out when the owner shard is known but down and no
+/// recovery deadline is scheduled.
+const DEFAULT_RETRY_AFTER: Duration = Duration::from_millis(10);
+
+fn lcg(seed: u64) -> u64 {
+    seed.wrapping_mul(6364136223846793005).wrapping_add(1)
+}
+
+fn trunk_key(a: usize, b: usize) -> (usize, usize) {
+    if a < b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// How shard journals are provisioned.
+#[derive(Debug, Clone)]
+enum DurabilityMode {
+    None,
+    Mem,
+    File(PathBuf),
+}
+
+/// One shard slot: the server (absent while the shard is down) plus the
+/// durable handle that outlives it.
+struct ShardSlot {
+    server: Option<RouteServer>,
+    /// Backing store of the in-memory journal — the only thing that
+    /// survives [`Federation::kill_shard`] in mem-durability mode.
+    store: Option<SharedStore>,
+    /// Per-shard state directory in file-durability mode.
+    state_dir: Option<PathBuf>,
+    /// While `Some`, the shard auto-recovers when the clock passes it.
+    down_until: Option<Instant>,
+    m_up: Gauge,
+    m_kills: Counter,
+    m_recoveries: Counter,
+    m_frames: Gauge,
+}
+
+/// A supervised inter-shard trunk: the transport pair cross-shard
+/// frames ride, plus the state that re-establishes it after loss.
+struct Trunk {
+    a: usize,
+    b: usize,
+    /// `(end at shard a, end at shard b)`; `None` while down.
+    link: Option<(MemTransport, MemTransport)>,
+    /// Session identity: generation rotates on every (re)establish so a
+    /// stale hello from a previous incarnation is detectable.
+    token: u64,
+    generation: u64,
+    /// Highest hello generation accepted per end (`[at a, at b]`).
+    peer_gen: [u64; 2],
+    ever_connected: bool,
+    /// While `Some`, redial attempts fail until the clock passes it.
+    partitioned_until: Option<Instant>,
+    /// Current backoff delay; reset to base on establish and on sever.
+    delay: Duration,
+    /// Next redial attempt; `None` while the trunk is up.
+    next_attempt: Option<Instant>,
+    jitter_seed: u64,
+    /// Bytes sent this poll cycle, checked against `hwm`.
+    sent_this_poll: usize,
+    hwm: usize,
+    policy: OverflowPolicy,
+    m_frames: Counter,
+    m_reconnects: Counter,
+    m_backlog_dropped: Counter,
+    m_fault_dropped: Counter,
+    m_stale_hellos: Counter,
+}
+
+impl Trunk {
+    fn new(a: usize, b: usize, token: u64, obs: &MetricsRegistry) -> Trunk {
+        let label = format!("{a}-{b}");
+        let labels: &[(&str, &str)] = &[("trunk", label.as_str())];
+        Trunk {
+            a,
+            b,
+            link: None,
+            token,
+            generation: 0,
+            peer_gen: [0, 0],
+            ever_connected: false,
+            partitioned_until: None,
+            delay: TRUNK_BACKOFF_BASE,
+            next_attempt: Some(Instant::EPOCH),
+            jitter_seed: token,
+            sent_this_poll: 0,
+            hwm: DEFAULT_TRUNK_HWM,
+            policy: OverflowPolicy::DropNewest,
+            m_frames: obs.counter("rnl_server_shard_trunk_frames_total", labels),
+            m_reconnects: obs.counter("rnl_server_shard_trunk_reconnects_total", labels),
+            m_backlog_dropped: obs.counter("rnl_server_shard_trunk_backlog_dropped_total", labels),
+            m_fault_dropped: obs.counter("rnl_server_shard_trunk_fault_dropped_total", labels),
+            m_stale_hellos: obs.counter("rnl_server_shard_trunk_stale_hellos_total", labels),
+        }
+    }
+
+    fn due(&self, now: Instant) -> bool {
+        self.next_attempt.is_some_and(|at| now >= at)
+    }
+
+    /// Tear the link down, draining and counting any in-flight data
+    /// frames (they are lost with the link). The next redial attempt is
+    /// immediate; backoff grows only on *failed* attempts.
+    fn sever(&mut self, now: Instant) {
+        let Some((mut end_a, mut end_b)) = self.link.take() else {
+            return;
+        };
+        let mut scratch = FrameBatch::new();
+        for end in [&mut end_a, &mut end_b] {
+            if end.poll_into(now, &mut scratch).is_ok() {
+                for i in 0..scratch.len() {
+                    if scratch
+                        .get(i)
+                        .is_some_and(|body| Msg::peek_data(body).is_some())
+                    {
+                        self.m_fault_dropped.inc();
+                    }
+                }
+            }
+            scratch.clear();
+        }
+        self.delay = TRUNK_BACKOFF_BASE;
+        self.next_attempt = Some(now);
+    }
+
+    /// A redial attempt failed (endpoint down or partition in force):
+    /// schedule the next one with jittered exponential backoff.
+    fn note_failure(&mut self, now: Instant) {
+        self.jitter_seed = lcg(self.jitter_seed);
+        let span = 2 * TRUNK_JITTER_PCT + 1;
+        let pct = 100 - TRUNK_JITTER_PCT + self.jitter_seed % span;
+        let wait = self.delay.as_micros().saturating_mul(pct) / 100;
+        self.next_attempt = Some(now + Duration::from_micros(wait));
+        let grown = self.delay.as_micros().saturating_mul(2);
+        self.delay = Duration::from_micros(grown.min(TRUNK_BACKOFF_MAX.as_micros()));
+    }
+
+    /// Bring the trunk up: fresh transport pair, rotated epoch
+    /// generation, and a registration hello in each direction so the
+    /// far end can tell this incarnation from a stale one.
+    fn establish(&mut self, seed: u64, now: Instant) {
+        let (mut end_a, mut end_b) = mem_pair_perfect(seed);
+        self.generation += 1;
+        let epoch = SessionEpoch {
+            token: self.token,
+            generation: self.generation,
+        };
+        let hello = |from: usize, to: usize| {
+            Msg::Register(RegisterInfo {
+                pc_name: format!("trunk-{from}-{to}"),
+                epoch,
+                routers: Vec::new(),
+            })
+        };
+        let _ = end_a.send(&hello(self.a, self.b), now);
+        let _ = end_b.send(&hello(self.b, self.a), now);
+        if self.ever_connected {
+            self.m_reconnects.inc();
+        }
+        self.ever_connected = true;
+        self.link = Some((end_a, end_b));
+        self.next_attempt = None;
+        self.delay = TRUNK_BACKOFF_BASE;
+    }
+
+    /// Forward one encoded frame over the trunk. `false` means the
+    /// frame was not sent (trunk down or backlog overflow) — the caller
+    /// sheds it on the source shard.
+    fn forward(&mut self, src_shard: usize, body: &[u8], now: Instant) -> bool {
+        if self.link.is_none() {
+            return false;
+        }
+        if self.sent_this_poll.saturating_add(body.len()) > self.hwm {
+            self.m_backlog_dropped.inc();
+            if matches!(self.policy, OverflowPolicy::Disconnect) {
+                self.sever(now);
+            }
+            return false;
+        }
+        let mut failed = false;
+        if let Some((end_a, end_b)) = self.link.as_mut() {
+            let end = if src_shard == self.a { end_a } else { end_b };
+            match end.send_raw(body, now) {
+                Ok(()) => {
+                    self.sent_this_poll += body.len();
+                    self.m_frames.inc();
+                }
+                Err(_) => failed = true,
+            }
+        }
+        if failed {
+            self.sever(now);
+            return false;
+        }
+        true
+    }
+}
+
+/// A deployment that may span shards: the per-shard sub-deployments
+/// plus the cross-shard links stitched over the trunks.
+#[derive(Debug, Clone)]
+pub struct FedDeployment {
+    /// `(shard, local deployment id)` per participating shard.
+    pub parts: Vec<(usize, DeploymentId)>,
+    /// Cross-shard links; a remote route is installed on both owning
+    /// shards per link.
+    pub cross: Vec<((RouterId, PortId), (RouterId, PortId))>,
+}
+
+/// Encode one federation-journal deploy record.
+fn fed_deployment_to_json(id: u64, fed: &FedDeployment) -> Json {
+    Json::obj([
+        ("op", Json::str("deploy")),
+        ("id", Json::u64_str(id)),
+        (
+            "parts",
+            Json::Arr(
+                fed.parts
+                    .iter()
+                    .map(|&(shard, part)| {
+                        Json::Arr(vec![Json::num(shard as u32), Json::u64_str(part.0)])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "cross",
+            Json::Arr(
+                fed.cross
+                    .iter()
+                    .map(|&((ar, ap), (br, bp))| {
+                        Json::Arr(vec![
+                            Json::num(ar.0),
+                            Json::num(u32::from(ap.0)),
+                            Json::num(br.0),
+                            Json::num(u32::from(bp.0)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Decode one federation-journal deploy record (`None` on any
+/// malformed field — a torn or foreign line is skipped, not fatal).
+fn fed_deployment_from_json(v: &Json) -> Option<FedDeployment> {
+    let parts = v
+        .get("parts")?
+        .as_arr()?
+        .iter()
+        .map(|p| {
+            let p = p.as_arr()?;
+            Some((
+                p.first()?.as_u64()? as usize,
+                DeploymentId(p.get(1)?.as_u64_str()?),
+            ))
+        })
+        .collect::<Option<Vec<_>>>()?;
+    let cross = v
+        .get("cross")?
+        .as_arr()?
+        .iter()
+        .map(|l| {
+            let l = l.as_arr()?;
+            let n = |i: usize| l.get(i).and_then(Json::as_u64);
+            Some((
+                (RouterId(n(0)? as u32), PortId(n(1)? as u16)),
+                (RouterId(n(2)? as u32), PortId(n(3)? as u16)),
+            ))
+        })
+        .collect::<Option<Vec<_>>>()?;
+    Some(FedDeployment { parts, cross })
+}
+
+/// An in-flight session move after a membership change: `pc_name` was
+/// evicted and should re-register on `owner`.
+struct RebalanceTicket {
+    pc_name: String,
+    owner: usize,
+    since: Instant,
+}
+
+/// A fault-contained route-server federation: `N` hash-partitioned
+/// shards, supervised inter-shard trunks, per-shard journals, and a
+/// seeded fault plan for kill/partition experiments.
+pub struct Federation {
+    slots: Vec<ShardSlot>,
+    ring: HashRing,
+    trunks: BTreeMap<(usize, usize), Trunk>,
+    obs: MetricsRegistry,
+    faults: ShardFaultPlan,
+    seed: u64,
+    durability: DurabilityMode,
+    grace_window: Option<Duration>,
+    enforce_reservations: bool,
+    trunk_hwm: usize,
+    trunk_policy: OverflowPolicy,
+    next_fed_id: u64,
+    fed_deployments: BTreeMap<u64, FedDeployment>,
+    pending_rebalance: Vec<RebalanceTicket>,
+    batch: FrameBatch,
+    m_containment_sheds: Counter,
+    m_rebalances: Counter,
+    m_rebalance_us: Histogram,
+}
+
+impl Federation {
+    /// A federation of `n` shards (no durability yet; see
+    /// [`Federation::enable_mem_durability`] /
+    /// [`Federation::enable_file_durability`]). `seed` drives every
+    /// random choice (trunk transports, backoff jitter) so two runs
+    /// with the same seed are bit-identical.
+    pub fn new(n: usize, seed: u64) -> Federation {
+        let obs = MetricsRegistry::new();
+        let mut fed = Federation {
+            slots: Vec::new(),
+            ring: HashRing::new(n),
+            trunks: BTreeMap::new(),
+            faults: ShardFaultPlan::new(),
+            seed,
+            durability: DurabilityMode::None,
+            grace_window: None,
+            enforce_reservations: false,
+            trunk_hwm: DEFAULT_TRUNK_HWM,
+            trunk_policy: OverflowPolicy::DropNewest,
+            next_fed_id: 1,
+            fed_deployments: BTreeMap::new(),
+            pending_rebalance: Vec::new(),
+            batch: FrameBatch::new(),
+            m_containment_sheds: obs.counter("rnl_server_shard_containment_sheds_total", &[]),
+            m_rebalances: obs.counter("rnl_server_shard_rebalances_total", &[]),
+            m_rebalance_us: obs.histogram(
+                "rnl_server_shard_rebalance_duration_us",
+                &[],
+                &[1_000, 10_000, 100_000, 1_000_000, 10_000_000],
+            ),
+            obs,
+        };
+        for k in 0..n {
+            let slot = fed.make_slot(k);
+            fed.slots.push(slot);
+        }
+        for a in 0..n {
+            for b in (a + 1)..n {
+                fed.seed = lcg(fed.seed);
+                let trunk = Trunk::new(a, b, fed.seed, &fed.obs);
+                fed.trunks.insert((a, b), trunk);
+            }
+        }
+        fed
+    }
+
+    fn make_slot(&mut self, k: usize) -> ShardSlot {
+        let mut server = RouteServer::new();
+        server.set_router_id_base(k as u32 * SHARD_ID_STRIDE);
+        server.set_enforce_reservations(self.enforce_reservations);
+        if let Some(window) = self.grace_window {
+            server.set_grace_window(window);
+        }
+        let label = k.to_string();
+        let labels: &[(&str, &str)] = &[("shard", label.as_str())];
+        let slot = ShardSlot {
+            server: Some(server),
+            store: None,
+            state_dir: None,
+            down_until: None,
+            m_up: self.obs.gauge("rnl_server_shard_up", labels),
+            m_kills: self.obs.counter("rnl_server_shard_kills_total", labels),
+            m_recoveries: self
+                .obs
+                .counter("rnl_server_shard_recoveries_total", labels),
+            m_frames: self.obs.gauge("rnl_server_shard_frames_total", labels),
+        };
+        slot.m_up.set(1.0);
+        slot
+    }
+
+    // -- configuration ------------------------------------------------
+
+    /// Give every shard its own in-memory journal (the backing store
+    /// survives [`Federation::kill_shard`], so recovery is crash-local
+    /// and real).
+    pub fn enable_mem_durability(&mut self, now: Instant) -> Result<(), ServerError> {
+        for slot in &mut self.slots {
+            let journal = MemJournal::new();
+            slot.store = Some(journal.store());
+            if let Some(server) = slot.server.as_mut() {
+                server.set_durability(Box::new(journal), now)?;
+            }
+        }
+        self.durability = DurabilityMode::Mem;
+        Ok(())
+    }
+
+    /// Give every shard its own on-disk journal under
+    /// `base/shard-<k>/` — the `--state-dir` layout of the sharded
+    /// `routeserver` binary. `base/federation.rnl` holds the
+    /// federation's own durable state (spanning deployments and their
+    /// cross-shard wires); it is replayed here, after every shard has
+    /// replayed its own journal, so a whole-process restart restores
+    /// the trunk half-wires that no single shard journals.
+    pub fn enable_file_durability(
+        &mut self,
+        base: impl Into<PathBuf>,
+        now: Instant,
+    ) -> Result<(), ServerError> {
+        let base = base.into();
+        for (k, slot) in self.slots.iter_mut().enumerate() {
+            let dir = base.join(format!("shard-{k}"));
+            let journal = FileJournal::open(&dir)?;
+            // Boot through recovery, never over it: an empty directory
+            // replays nothing and is a fresh start with a journal
+            // installed; a prior life's directory replays snapshot +
+            // tail back to the pre-crash shard state. (Installing a
+            // journal into the fresh server instead would snapshot the
+            // empty state over whatever the directory held.)
+            let mut server = RouteServer::recover(Box::new(journal), now)?;
+            server.set_router_id_base(k as u32 * SHARD_ID_STRIDE);
+            server.set_enforce_reservations(self.enforce_reservations);
+            if let Some(window) = self.grace_window {
+                server.set_grace_window(window);
+            }
+            slot.state_dir = Some(dir);
+            slot.server = Some(server);
+        }
+        self.durability = DurabilityMode::File(base);
+        self.replay_fed_journal();
+        self.reinstall_remote_routes();
+        Ok(())
+    }
+
+    /// Append one record to the federation journal (file mode only —
+    /// in mem mode the `Federation` value itself survives shard kills,
+    /// so there is nothing to make durable). Spanning deploys are rare
+    /// control-plane ops, so every append pays a full sync.
+    fn append_fed_journal(&self, record: &Json) {
+        let DurabilityMode::File(base) = &self.durability else {
+            return;
+        };
+        let append = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(base.join(FED_JOURNAL));
+        if let Ok(mut file) = append {
+            use std::io::Write as _;
+            let _ = file.write_all(record.encode().as_bytes());
+            let _ = file.write_all(b"\n");
+            let _ = file.sync_all();
+        }
+    }
+
+    /// Rebuild `fed_deployments` and the id counter from
+    /// `base/federation.rnl`. A torn final line (crash mid-append) is
+    /// skipped, like the per-shard journals' torn tails.
+    fn replay_fed_journal(&mut self) {
+        let DurabilityMode::File(base) = &self.durability else {
+            return;
+        };
+        let Ok(text) = std::fs::read_to_string(base.join(FED_JOURNAL)) else {
+            return;
+        };
+        let mut max_id = 0u64;
+        for line in text.lines() {
+            let Ok(v) = Json::parse(line) else { continue };
+            let Some(id) = v.get("id").and_then(Json::as_u64_str) else {
+                continue;
+            };
+            max_id = max_id.max(id);
+            match v.get("op").and_then(Json::as_str) {
+                Some("deploy") => {
+                    let Some(fed) = fed_deployment_from_json(&v) else {
+                        continue;
+                    };
+                    self.fed_deployments.insert(id, fed);
+                }
+                Some("teardown") => {
+                    self.fed_deployments.remove(&id);
+                }
+                _ => {}
+            }
+        }
+        self.next_fed_id = self.next_fed_id.max(max_id + 1);
+    }
+
+    /// Re-install every live shard's half of every cross-shard wire
+    /// from the (replayed) federation deployments.
+    fn reinstall_remote_routes(&mut self) {
+        for fed in self.fed_deployments.values() {
+            for &(from, to) in &fed.cross {
+                for (local, remote) in [(from, to), (to, from)] {
+                    let shard = shard_of_router(local.0);
+                    if let Some(server) = self.slots.get_mut(shard).and_then(|s| s.server.as_mut())
+                    {
+                        server.add_remote_route(local, remote);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Flap-grace window applied to every shard (present and future).
+    pub fn set_grace_window(&mut self, window: Duration) {
+        self.grace_window = Some(window);
+        for slot in &mut self.slots {
+            if let Some(server) = slot.server.as_mut() {
+                server.set_grace_window(window);
+            }
+        }
+    }
+
+    /// Reservation enforcement on every shard. Spanning deploys place
+    /// their per-shard parts with the forced path, so the calendar is
+    /// only authoritative for single-shard deployments.
+    pub fn set_enforce_reservations(&mut self, on: bool) {
+        self.enforce_reservations = on;
+        for slot in &mut self.slots {
+            if let Some(server) = slot.server.as_mut() {
+                server.set_enforce_reservations(on);
+            }
+        }
+    }
+
+    /// Bounded trunk backlog: per-poll byte budget and what to do when
+    /// it overflows ([`OverflowPolicy::DropNewest`] sheds the frame,
+    /// [`OverflowPolicy::Disconnect`] severs the trunk and lets the
+    /// supervisor redial).
+    pub fn set_trunk_backlog(&mut self, bytes: usize, policy: OverflowPolicy) {
+        self.trunk_hwm = bytes;
+        self.trunk_policy = policy;
+        for trunk in self.trunks.values_mut() {
+            trunk.hwm = bytes;
+            trunk.policy = policy;
+        }
+    }
+
+    /// Install a seeded shard-fault schedule; events fire inside
+    /// [`Federation::poll`] when the virtual clock passes them.
+    pub fn set_fault_plan(&mut self, plan: ShardFaultPlan) {
+        self.faults = plan;
+    }
+
+    // -- introspection ------------------------------------------------
+
+    /// Federation-level metrics (per-shard liveness, trunk health,
+    /// containment sheds, rebalance durations).
+    pub fn obs(&self) -> &MetricsRegistry {
+        &self.obs
+    }
+
+    /// One exposition page for the whole federation: the federation
+    /// registry merged with every live shard's server registry, the
+    /// latter tagged `shard="k"` so per-shard relay/session/journal
+    /// series stay distinct. A down shard contributes nothing until it
+    /// recovers — same containment story as the broadcast front tier.
+    pub fn metrics_snapshot(&self) -> Snapshot {
+        let mut merged = self.obs.snapshot();
+        for (k, slot) in self.slots.iter().enumerate() {
+            let Some(server) = slot.server.as_ref() else {
+                continue;
+            };
+            let shard = k.to_string();
+            for mut point in server.obs().snapshot().metrics {
+                point.labels.push(("shard".to_string(), shard.clone()));
+                point.labels.sort();
+                merged.metrics.push(point);
+            }
+        }
+        merged
+            .metrics
+            .sort_by(|a, b| a.name.cmp(&b.name).then_with(|| a.labels.cmp(&b.labels)));
+        merged
+    }
+
+    /// Number of shard slots (including down and drained ones).
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when the federation has no shards.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// The membership ring (share with [`rnl_ris`]'s `DialMap` so both
+    /// sides agree on ownership).
+    pub fn ring(&self) -> &HashRing {
+        &self.ring
+    }
+
+    /// The shard owning `principal` under the current membership.
+    pub fn shard_of_principal(&self, principal: &str) -> Option<usize> {
+        self.ring.shard_of(principal)
+    }
+
+    /// Is this shard currently serving?
+    pub fn is_up(&self, shard: usize) -> bool {
+        self.slots.get(shard).is_some_and(|s| s.server.is_some())
+    }
+
+    /// Read access to a shard's server.
+    pub fn server(&self, shard: usize) -> Option<&RouteServer> {
+        self.slots.get(shard).and_then(|s| s.server.as_ref())
+    }
+
+    /// Mutable access to a shard's server, or a structured retryable
+    /// [`ServerError::ShardDown`] naming when to come back.
+    pub fn server_mut(&mut self, shard: usize) -> Result<&mut RouteServer, ServerError> {
+        let retry_after = self.retry_hint(shard);
+        match self.slots.get_mut(shard).and_then(|s| s.server.as_mut()) {
+            Some(server) => Ok(server),
+            None => Err(ServerError::ShardDown { shard, retry_after }),
+        }
+    }
+
+    /// How long a caller should wait before retrying an op against
+    /// `shard`: until its scheduled recovery if one is pending, else a
+    /// small default.
+    pub fn retry_hint(&self, shard: usize) -> Duration {
+        match self.slots.get(shard).and_then(|s| s.down_until) {
+            Some(_until) => DEFAULT_RETRY_AFTER + TRUNK_BACKOFF_BASE,
+            None => DEFAULT_RETRY_AFTER,
+        }
+    }
+
+    /// Aggregate relay counters across live shards.
+    pub fn total_stats(&self) -> ServerStats {
+        let mut total = ServerStats::default();
+        for slot in &self.slots {
+            if let Some(server) = slot.server.as_ref() {
+                let s = server.stats();
+                total.frames_routed += s.frames_routed;
+                total.frames_unrouted += s.frames_unrouted;
+                total.bytes_relayed += s.bytes_relayed;
+                total.frames_injected += s.frames_injected;
+            }
+        }
+        total
+    }
+
+    // -- session attachment -------------------------------------------
+
+    /// Attach a dialed transport to `shard` (the caller routed the dial
+    /// via the ring / dial-map). Fails with a retryable
+    /// [`ServerError::ShardDown`] while the shard is down.
+    pub fn attach_to(
+        &mut self,
+        shard: usize,
+        transport: Box<dyn Transport>,
+    ) -> Result<SessionId, ServerError> {
+        Ok(self.server_mut(shard)?.attach(transport))
+    }
+
+    // -- fault injection ----------------------------------------------
+
+    /// Kill a shard: its server (and every session transport it holds)
+    /// is dropped on the spot, trunks touching it are severed, and —
+    /// when `down_for` is set — the shard auto-recovers from its own
+    /// journal once the clock passes `now + down_for`.
+    pub fn kill_shard(&mut self, shard: usize, down_for: Option<Duration>, now: Instant) {
+        let Some(slot) = self.slots.get_mut(shard) else {
+            return;
+        };
+        if slot.server.take().is_none() {
+            return;
+        }
+        slot.down_until = down_for.map(|d| now + d);
+        slot.m_kills.inc();
+        slot.m_up.set(0.0);
+        let keys: Vec<(usize, usize)> = self
+            .trunks
+            .keys()
+            .copied()
+            .filter(|&(a, b)| a == shard || b == shard)
+            .collect();
+        for key in keys {
+            if let Some(trunk) = self.trunks.get_mut(&key) {
+                trunk.sever(now);
+            }
+        }
+    }
+
+    /// Sever the trunk between `a` and `b` and hold it down for `len`:
+    /// redial attempts fail (with backoff) until the window passes.
+    /// Only cross-shard frames between the two shards are affected.
+    pub fn partition_trunk(&mut self, a: usize, b: usize, len: Duration, now: Instant) {
+        if let Some(trunk) = self.trunks.get_mut(&trunk_key(a, b)) {
+            trunk.partitioned_until = Some(now + len);
+            trunk.sever(now);
+        }
+    }
+
+    /// Bring a killed shard back by replaying its own journal
+    /// (snapshot + tail), then re-arming federation-owned state the WAL
+    /// does not carry: config knobs, the id base, and remote routes for
+    /// cross-shard links of spanning deployments.
+    pub fn recover_shard(&mut self, shard: usize, now: Instant) -> Result<(), ServerError> {
+        let base = shard as u32 * SHARD_ID_STRIDE;
+        let journal: Option<Box<dyn Durability>> = {
+            let Some(slot) = self.slots.get(shard) else {
+                return Ok(());
+            };
+            if slot.server.is_some() {
+                return Ok(());
+            }
+            match &self.durability {
+                DurabilityMode::Mem => slot.store.as_ref().map(|store| {
+                    Box::new(MemJournal::attached(store.clone())) as Box<dyn Durability>
+                }),
+                DurabilityMode::File(_) => match &slot.state_dir {
+                    Some(dir) => {
+                        Some(Box::new(FileJournal::open(dir.clone())?) as Box<dyn Durability>)
+                    }
+                    None => None,
+                },
+                DurabilityMode::None => None,
+            }
+        };
+        let mut server = match journal {
+            Some(journal) => RouteServer::recover(journal, now)?,
+            // Without durability there is nothing to replay: the shard
+            // comes back empty (sessions re-register via supervisors).
+            None => RouteServer::new(),
+        };
+        server.set_router_id_base(base);
+        server.set_enforce_reservations(self.enforce_reservations);
+        if let Some(window) = self.grace_window {
+            server.set_grace_window(window);
+        }
+        // Remote routes are federation state, not journaled per shard:
+        // re-install the recovered shard's half of every cross link.
+        for fed in self.fed_deployments.values() {
+            for &(from, to) in &fed.cross {
+                if shard_of_router(from.0) == shard {
+                    server.add_remote_route(from, to);
+                }
+                if shard_of_router(to.0) == shard {
+                    server.add_remote_route(to, from);
+                }
+            }
+        }
+        if let Some(slot) = self.slots.get_mut(shard) {
+            slot.server = Some(server);
+            slot.down_until = None;
+            slot.m_recoveries.inc();
+            slot.m_up.set(1.0);
+        }
+        // The shard is back: trunks touching it may redial immediately.
+        for (&(a, b), trunk) in self.trunks.iter_mut() {
+            if (a == shard || b == shard) && trunk.link.is_none() {
+                trunk.next_attempt = Some(now);
+                trunk.delay = TRUNK_BACKOFF_BASE;
+            }
+        }
+        Ok(())
+    }
+
+    // -- membership ---------------------------------------------------
+
+    /// Grow the federation by one shard. Principals whose ring arc
+    /// moved to the joiner are evicted into their grace window on the
+    /// old owner; their supervisors redial the new owner, and the
+    /// completed move is observed as a rebalance duration.
+    pub fn add_shard(&mut self, now: Instant) -> Result<usize, ServerError> {
+        let k = self.slots.len();
+        let mut slot = self.make_slot(k);
+        match &self.durability {
+            DurabilityMode::Mem => {
+                let journal = MemJournal::new();
+                slot.store = Some(journal.store());
+                if let Some(server) = slot.server.as_mut() {
+                    server.set_durability(Box::new(journal), now)?;
+                }
+            }
+            DurabilityMode::File(base) => {
+                let dir = base.join(format!("shard-{k}"));
+                let journal = FileJournal::open(&dir)?;
+                slot.state_dir = Some(dir);
+                if let Some(server) = slot.server.as_mut() {
+                    server.set_durability(Box::new(journal), now)?;
+                }
+            }
+            DurabilityMode::None => {}
+        }
+        self.slots.push(slot);
+        self.ring.add_shard(k);
+        for other in 0..k {
+            self.seed = lcg(self.seed);
+            let trunk = Trunk::new(other, k, self.seed, &self.obs);
+            let mut trunk = trunk;
+            trunk.hwm = self.trunk_hwm;
+            trunk.policy = self.trunk_policy;
+            trunk.next_attempt = Some(now);
+            self.trunks.insert((other, k), trunk);
+        }
+        self.rebalance(now);
+        Ok(k)
+    }
+
+    /// Drain a shard out of the membership: it stops owning principals
+    /// (its sessions are evicted toward their new owners via the same
+    /// grace path a join uses) but keeps serving its slot so in-flight
+    /// deployments spanning it stay reachable.
+    pub fn remove_shard(&mut self, shard: usize, now: Instant) {
+        self.ring.remove_shard(shard);
+        self.rebalance(now);
+    }
+
+    /// Evict every live principal that is no longer on its owning
+    /// shard; each eviction opens a rebalance ticket that completes
+    /// when the principal re-registers on the new owner.
+    fn rebalance(&mut self, now: Instant) {
+        for s in 0..self.slots.len() {
+            let moves: Vec<(String, usize)> = {
+                let Some(server) = self.slots[s].server.as_ref() else {
+                    continue;
+                };
+                server
+                    .live_principals()
+                    .into_iter()
+                    .filter_map(|pc| {
+                        let owner = self.ring.shard_of(&pc)?;
+                        (owner != s).then_some((pc, owner))
+                    })
+                    .collect()
+            };
+            for (pc, owner) in moves {
+                if let Some(server) = self.slots[s].server.as_mut() {
+                    server.evict_principal(&pc, now);
+                }
+                self.m_rebalances.inc();
+                self.pending_rebalance.push(RebalanceTicket {
+                    pc_name: pc,
+                    owner,
+                    since: now,
+                });
+            }
+        }
+    }
+
+    fn complete_rebalances(&mut self, now: Instant) {
+        let pending = std::mem::take(&mut self.pending_rebalance);
+        for ticket in pending {
+            let adopted = self
+                .slots
+                .get(ticket.owner)
+                .and_then(|s| s.server.as_ref())
+                .is_some_and(|server| server.has_live_principal(&ticket.pc_name));
+            if adopted {
+                self.m_rebalance_us
+                    .observe(now.since(ticket.since).as_micros());
+            } else {
+                self.pending_rebalance.push(ticket);
+            }
+        }
+    }
+
+    // -- the poll loop ------------------------------------------------
+
+    /// One federation tick: fire due fault events, auto-recover shards
+    /// whose down-window passed, supervise trunks (redial with jittered
+    /// backoff), poll every live shard, pump cross-shard frames over
+    /// the trunks (shedding — counted — what a down trunk cannot
+    /// carry), and settle rebalance tickets.
+    pub fn poll(&mut self, now: Instant) {
+        for event in self.faults.take_due(now) {
+            match event.kind {
+                ShardFaultKind::KillShard { shard, down_for } => {
+                    self.kill_shard(shard, Some(down_for), now);
+                }
+                ShardFaultKind::PartitionTrunk { a, b, len } => {
+                    self.partition_trunk(a, b, len, now);
+                }
+            }
+        }
+        for k in 0..self.slots.len() {
+            let due = self.slots[k]
+                .server
+                .is_none()
+                .then(|| self.slots[k].down_until)
+                .flatten()
+                .is_some_and(|until| now >= until);
+            if due && self.recover_shard(k, now).is_err() {
+                // Journal replay failed; push the retry out instead of
+                // spinning on it every tick.
+                if let Some(slot) = self.slots.get_mut(k) {
+                    slot.down_until = Some(now + TRUNK_BACKOFF_BASE);
+                }
+            }
+        }
+        self.supervise_trunks(now);
+        for slot in &mut self.slots {
+            if let Some(server) = slot.server.as_mut() {
+                server.poll(now);
+            }
+        }
+        self.pump_out(now);
+        self.pump_in(now);
+        self.complete_rebalances(now);
+        for slot in &self.slots {
+            if let Some(server) = slot.server.as_ref() {
+                slot.m_frames.set(server.stats().frames_routed as f64);
+            }
+        }
+    }
+
+    fn supervise_trunks(&mut self, now: Instant) {
+        let keys: Vec<(usize, usize)> = self.trunks.keys().copied().collect();
+        for key in keys {
+            let (a, b) = key;
+            let both_up = self.is_up(a) && self.is_up(b);
+            // Advance the seed every iteration (used or not) so the
+            // stream stays aligned across runs regardless of outcomes.
+            self.seed = lcg(self.seed);
+            let seed = self.seed;
+            let Some(trunk) = self.trunks.get_mut(&key) else {
+                continue;
+            };
+            trunk.sent_this_poll = 0;
+            if trunk.link.is_some() {
+                if !both_up {
+                    trunk.sever(now);
+                }
+                continue;
+            }
+            if !trunk.due(now) {
+                continue;
+            }
+            let partitioned = trunk.partitioned_until.is_some_and(|until| now < until);
+            if both_up && !partitioned {
+                trunk.establish(seed, now);
+            } else {
+                trunk.note_failure(now);
+            }
+        }
+    }
+
+    /// Drain each live shard's trunk outbox and forward the frames over
+    /// the owning trunk. Anything that cannot be carried — trunk down,
+    /// backlog overflow, destination shard unknown — is shed on the
+    /// *source* shard, counted `reason="trunk-down"`; intra-shard relay
+    /// never passes through here, so containment is structural.
+    fn pump_out(&mut self, now: Instant) {
+        for s in 0..self.slots.len() {
+            let frames = match self.slots[s].server.as_mut() {
+                Some(server) => server.take_trunk_outbox(),
+                None => continue,
+            };
+            for frame in frames {
+                let dst = shard_of_router(frame.dst_router);
+                let carried = dst != s
+                    && dst < self.slots.len()
+                    && self
+                        .trunks
+                        .get_mut(&trunk_key(s, dst))
+                        .is_some_and(|trunk| trunk.forward(s, &frame.body, now));
+                if !carried {
+                    if let Some(server) = self.slots[s].server.as_mut() {
+                        server.shed_trunk_frame(frame.dst_router, now);
+                    }
+                    self.m_containment_sheds.inc();
+                }
+            }
+        }
+    }
+
+    /// Poll both ends of every live trunk and deliver inbound frames
+    /// into the shard that owns that end. Data frames go straight to
+    /// [`RouteServer::deliver_remote`]; registration hellos rotate the
+    /// trunk's accepted peer generation (stale incarnations are counted
+    /// and ignored).
+    fn pump_in(&mut self, now: Instant) {
+        let keys: Vec<(usize, usize)> = self.trunks.keys().copied().collect();
+        for key in keys {
+            for side in 0..2 {
+                let into = if side == 0 { key.0 } else { key.1 };
+                let mut batch = std::mem::take(&mut self.batch);
+                batch.clear();
+                let polled = {
+                    let Some(trunk) = self.trunks.get_mut(&key) else {
+                        self.batch = batch;
+                        continue;
+                    };
+                    match trunk.link.as_mut() {
+                        Some((end_a, end_b)) => {
+                            let end = if side == 0 { end_a } else { end_b };
+                            end.poll_into(now, &mut batch).is_ok()
+                        }
+                        None => false,
+                    }
+                };
+                if !polled {
+                    self.batch = batch;
+                    continue;
+                }
+                let mut hellos: Vec<u64> = Vec::new();
+                let mut undeliverable = 0u64;
+                for i in 0..batch.len() {
+                    let Some(body) = batch.get(i) else { continue };
+                    if Msg::peek_data(body).is_some() {
+                        let delivered = self.slots.get_mut(into).and_then(|slot| {
+                            slot.server
+                                .as_mut()
+                                .map(|server| server.deliver_remote(body, now))
+                        });
+                        if delivered.is_none() {
+                            // The destination shard died after the
+                            // frame entered the trunk: lost with it.
+                            undeliverable += 1;
+                        }
+                    } else if let Ok(Msg::Register(info)) = Msg::decode(body) {
+                        hellos.push(info.epoch.generation);
+                    }
+                }
+                if let Some(trunk) = self.trunks.get_mut(&key) {
+                    trunk.m_fault_dropped.add(undeliverable);
+                    for generation in hellos {
+                        if generation > trunk.peer_gen[side] {
+                            trunk.peer_gen[side] = generation;
+                        } else {
+                            trunk.m_stale_hellos.inc();
+                        }
+                    }
+                }
+                self.batch = batch;
+            }
+        }
+    }
+
+    // -- spanning deployments -----------------------------------------
+
+    /// Deploy a saved design whose devices may live on several shards.
+    /// The full design is linted on its home shard, split into
+    /// per-shard sub-designs placed with the forced path, and every
+    /// cross-shard link gets a remote route on both owners so the relay
+    /// hot path re-addresses matrix misses onto the trunk. Returns a
+    /// federation-level deployment id for [`Federation::teardown_fed`].
+    pub fn deploy_spanning(
+        &mut self,
+        user: &str,
+        design_name: &str,
+        force: bool,
+        now: Instant,
+    ) -> Result<u64, ServerError> {
+        let home = self
+            .shard_of_principal(design_name)
+            .ok_or(ServerError::ShardDown {
+                shard: 0,
+                retry_after: DEFAULT_RETRY_AFTER,
+            })?;
+        let design: Design = {
+            let server = self.server_mut(home)?;
+            server
+                .designs()
+                .load(design_name)
+                .cloned()
+                .ok_or_else(|| ServerError::UnknownDesign(design_name.to_string()))?
+        };
+        let mut groups: BTreeMap<usize, Vec<RouterId>> = BTreeMap::new();
+        for router in design.devices() {
+            groups
+                .entry(shard_of_router(router))
+                .or_default()
+                .push(router);
+        }
+        for &s in groups.keys() {
+            if !self.is_up(s) {
+                return Err(ServerError::ShardDown {
+                    shard: s,
+                    retry_after: self.retry_hint(s),
+                });
+            }
+        }
+        // Single-shard home deployment keeps full fidelity (calendar
+        // enforcement, full-design lint, saved-design path).
+        if groups.len() == 1 && groups.contains_key(&home) {
+            let server = self.server_mut(home)?;
+            let part = if force {
+                server.deploy_forced(user, design_name, now)?
+            } else {
+                server.deploy(user, design_name, now)?
+            };
+            let id = self.next_fed_id;
+            self.next_fed_id += 1;
+            let fed = FedDeployment {
+                parts: vec![(home, part)],
+                cross: Vec::new(),
+            };
+            self.append_fed_journal(&fed_deployment_to_json(id, &fed));
+            self.fed_deployments.insert(id, fed);
+            return Ok(id);
+        }
+        let mut local_links: BTreeMap<usize, Vec<Link>> = BTreeMap::new();
+        let mut cross = Vec::new();
+        for &link in design.links() {
+            let (end_a, end_b) = link;
+            let (sa, sb) = (shard_of_router(end_a.0), shard_of_router(end_b.0));
+            if sa == sb {
+                local_links.entry(sa).or_default().push(link);
+            } else {
+                cross.push(link);
+            }
+        }
+        let mut parts: Vec<(usize, DeploymentId)> = Vec::new();
+        for (&s, routers) in &groups {
+            let mut sub = Design::new(&format!("{design_name}@shard{s}"));
+            for &router in routers {
+                sub.add_device(router);
+            }
+            if let Some(links) = local_links.get(&s) {
+                for &(end_a, end_b) in links {
+                    sub.connect(end_a, end_b)?;
+                }
+            }
+            // The full design spans inventories, so the lint gate runs
+            // per shard: each sub-design against the inventory and
+            // saved configs of the shard that will host it.
+            let placed = match self.server_mut(s) {
+                Ok(server) => {
+                    if !force {
+                        let report = server.analyze_design(&sub);
+                        if report.count(rnl_analysis::Severity::Error) > 0 {
+                            Err(ServerError::Lint(report.render()))
+                        } else {
+                            server.deploy_design_forced(user, &sub, now)
+                        }
+                    } else {
+                        server.deploy_design_forced(user, &sub, now)
+                    }
+                }
+                Err(e) => Err(e),
+            };
+            match placed {
+                Ok(part) => parts.push((s, part)),
+                Err(e) => {
+                    // Roll back what already landed so a half-placed
+                    // spanning deployment never lingers.
+                    for (ps, pid) in parts {
+                        if let Some(slot) = self.slots.get_mut(ps) {
+                            if let Some(server) = slot.server.as_mut() {
+                                server.teardown(pid);
+                            }
+                        }
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        for &(end_a, end_b) in &cross {
+            let (sa, sb) = (shard_of_router(end_a.0), shard_of_router(end_b.0));
+            if let Ok(server) = self.server_mut(sa) {
+                server.add_remote_route(end_a, end_b);
+            }
+            if let Ok(server) = self.server_mut(sb) {
+                server.add_remote_route(end_b, end_a);
+            }
+        }
+        let id = self.next_fed_id;
+        self.next_fed_id += 1;
+        let fed = FedDeployment { parts, cross };
+        self.append_fed_journal(&fed_deployment_to_json(id, &fed));
+        self.fed_deployments.insert(id, fed);
+        Ok(id)
+    }
+
+    /// Tear down a federation-level deployment: remove its remote
+    /// routes, then its per-shard parts. Every involved shard must be
+    /// up — otherwise nothing is touched and the caller gets a
+    /// retryable [`ServerError::ShardDown`].
+    pub fn teardown_fed(&mut self, id: u64, now: Instant) -> Result<bool, ServerError> {
+        let _ = now;
+        let Some(fed) = self.fed_deployments.get(&id).cloned() else {
+            return Ok(false);
+        };
+        for &(shard, _) in &fed.parts {
+            if !self.is_up(shard) {
+                return Err(ServerError::ShardDown {
+                    shard,
+                    retry_after: self.retry_hint(shard),
+                });
+            }
+        }
+        for &(from, to) in &fed.cross {
+            if let Ok(server) = self.server_mut(shard_of_router(from.0)) {
+                server.remove_remote_route(from);
+            }
+            if let Ok(server) = self.server_mut(shard_of_router(to.0)) {
+                server.remove_remote_route(to);
+            }
+        }
+        let mut all = true;
+        for &(shard, part) in &fed.parts {
+            match self.server_mut(shard) {
+                Ok(server) => {
+                    all &= server.teardown(part);
+                }
+                Err(_) => all = false,
+            }
+        }
+        self.append_fed_journal(&Json::obj([
+            ("op", Json::str("teardown")),
+            ("id", Json::u64_str(id)),
+        ]));
+        self.fed_deployments.remove(&id);
+        Ok(all)
+    }
+
+    /// The registered federation deployment, if any.
+    pub fn fed_deployment(&self, id: u64) -> Option<&FedDeployment> {
+        self.fed_deployments.get(&id)
     }
 }
 
@@ -183,5 +1514,308 @@ mod tests {
         set.shard_mut("c");
         let set = set.run_parallel(10, Duration::from_millis(1));
         assert_eq!(set.len(), 3);
+    }
+
+    #[test]
+    fn panicked_shard_recovers_from_its_wal() {
+        let mut set = ShardSet::new();
+        // Give the doomed shard durable state worth recovering.
+        {
+            let server = set.shard_mut("doomed");
+            server
+                .set_durability(Box::new(MemJournal::new()), t(0))
+                .unwrap();
+            let mut d = Design::new("keepme");
+            d.add_device(RouterId(1));
+            server.save_design(d);
+        }
+        set.shard_mut("healthy");
+        set.panic_shard = Some("doomed".to_string());
+        let outcome = set.run_parallel_recovering(5, Duration::from_millis(1));
+        // The panic is surfaced, not swallowed...
+        assert_eq!(outcome.panicked, vec!["doomed".to_string()]);
+        // ...and both shards come back — the doomed one rebuilt from
+        // its journal, design intact.
+        assert_eq!(outcome.set.len(), 2);
+        let doomed = outcome.set.shard("doomed").unwrap();
+        assert!(doomed.designs().load("keepme").is_some());
+    }
+
+    /// A federation whose shard-0 and shard-1 each host one half of a
+    /// cross-shard pair design. Returns `(fed, ris0, ris1, fed_id)`.
+    fn cross_shard_rig(seed: u64) -> (Federation, Ris, Ris, u64) {
+        let mut fed = Federation::new(2, seed);
+        fed.enable_mem_durability(t(0)).unwrap();
+        let mut rises = Vec::new();
+        for k in 0..2usize {
+            let (ris_side, server_side) = mem_pair_perfect(seed + 10 + k as u64);
+            fed.attach_to(k, Box::new(server_side)).unwrap();
+            let mut ris = Ris::new(&format!("pc-{k}"), Box::new(ris_side));
+            let mut host = Host::new("h", 7);
+            host.set_ip(format!("10.0.0.{}/24", k + 1).parse().unwrap());
+            ris.add_device(Box::new(host), "host");
+            ris.join_labs(t(0)).unwrap();
+            fed.poll(t(0));
+            ris.poll(t(0)).unwrap();
+            rises.push(ris);
+        }
+        let r0 = rises[0].router_id(0).unwrap();
+        let r1 = rises[1].router_id(0).unwrap();
+        assert_eq!(shard_of_router(r0), 0);
+        assert_eq!(shard_of_router(r1), 1);
+        let mut d = Design::new("span");
+        d.add_device(r0);
+        d.add_device(r1);
+        d.connect((r0, PortId(0)), (r1, PortId(0))).unwrap();
+        // Save on the design's home shard, deploy through the
+        // federation.
+        let home = fed.shard_of_principal("span").unwrap();
+        fed.server_mut(home).unwrap().save_design(d);
+        let fed_id = fed.deploy_spanning("user", "span", false, t(0)).unwrap();
+        let mut it = rises.into_iter();
+        let (ris0, ris1) = (it.next().unwrap(), it.next().unwrap());
+        (fed, ris0, ris1, fed_id)
+    }
+
+    fn drive(fed: &mut Federation, ris0: &mut Ris, ris1: &mut Ris, from_ms: u64, to_ms: u64) {
+        for ms in (from_ms..to_ms).step_by(10) {
+            let _ = ris0.poll(t(ms));
+            let _ = ris1.poll(t(ms));
+            fed.poll(t(ms));
+            let _ = ris0.poll(t(ms));
+            let _ = ris1.poll(t(ms));
+        }
+    }
+
+    #[test]
+    fn cross_shard_ping_rides_the_trunk() {
+        let (mut fed, mut ris0, mut ris1, _) = cross_shard_rig(0xfed);
+        ris0.device_mut(0)
+            .unwrap()
+            .console("ping 10.0.0.2 count 3", t(0));
+        drive(&mut fed, &mut ris0, &mut ris1, 10, 5000);
+        let out = ris0.device_mut(0).unwrap().console("show ping", t(5000));
+        assert!(out.contains("3 received"), "cross-shard ping: {out}");
+        // Frames crossed shards over the trunk, both directions.
+        let s0 = fed.server(0).unwrap();
+        let s1 = fed.server(1).unwrap();
+        assert!(s0.obs().counter_sum("rnl_server_trunk_frames_total") > 0);
+        assert!(s1.obs().counter_sum("rnl_server_trunk_frames_total") > 0);
+        assert!(fed.obs().counter_sum("rnl_server_shard_trunk_frames_total") >= 6);
+    }
+
+    #[test]
+    fn trunk_partition_sheds_only_cross_shard_frames() {
+        let (mut fed, mut ris0, mut ris1, _) = cross_shard_rig(0xfed2);
+        // Sever the trunk for good (longer than the test horizon).
+        fed.partition_trunk(0, 1, Duration::from_secs(600), t(10));
+        ris0.device_mut(0)
+            .unwrap()
+            .console("ping 10.0.0.2 count 2", t(10));
+        drive(&mut fed, &mut ris0, &mut ris1, 20, 3000);
+        let out = ris0.device_mut(0).unwrap().console("show ping", t(3000));
+        assert!(out.contains("0 received"), "partitioned ping: {out}");
+        // The sheds are counted with the trunk-down reason on the
+        // source shard, and at the federation level.
+        let s0 = fed.server(0).unwrap();
+        assert!(
+            s0.obs().snapshot().counter(
+                "rnl_server_frames_unrouted_total",
+                &[("reason", "trunk-down")]
+            ) > 0
+        );
+        assert!(
+            fed.obs()
+                .counter_sum("rnl_server_shard_containment_sheds_total")
+                > 0
+        );
+    }
+
+    #[test]
+    fn trunk_reconnects_with_backoff_after_partition() {
+        let (mut fed, mut ris0, mut ris1, _) = cross_shard_rig(0xfed3);
+        fed.partition_trunk(0, 1, Duration::from_millis(500), t(10));
+        drive(&mut fed, &mut ris0, &mut ris1, 20, 3000);
+        // The trunk came back after the window and counted a reconnect.
+        assert!(
+            fed.obs()
+                .counter_sum("rnl_server_shard_trunk_reconnects_total")
+                >= 1
+        );
+        // And traffic flows again end to end.
+        ris0.device_mut(0)
+            .unwrap()
+            .console("ping 10.0.0.2 count 2", t(3000));
+        drive(&mut fed, &mut ris0, &mut ris1, 3010, 8000);
+        let out = ris0.device_mut(0).unwrap().console("show ping", t(8000));
+        assert!(out.contains("2 received"), "post-heal ping: {out}");
+    }
+
+    #[test]
+    fn killed_shard_recovers_from_its_own_journal() {
+        let (mut fed, mut ris0, mut ris1, fed_id) = cross_shard_rig(0xfed4);
+        fed.set_grace_window(Duration::from_secs(60));
+        drive(&mut fed, &mut ris0, &mut ris1, 10, 200);
+        fed.kill_shard(1, Some(Duration::from_millis(300)), t(200));
+        assert!(!fed.is_up(1));
+        assert!(fed.is_up(0));
+        // Ops against the dead shard get a structured retryable error.
+        match fed.server_mut(1) {
+            Err(ServerError::ShardDown { shard, retry_after }) => {
+                assert_eq!(shard, 1);
+                assert!(retry_after.as_micros() > 0);
+            }
+            _ => unreachable!("expected ShardDown"),
+        }
+        // The clock passes the down window: poll auto-recovers it.
+        drive(&mut fed, &mut ris0, &mut ris1, 210, 1000);
+        assert!(fed.is_up(1));
+        assert_eq!(
+            fed.obs().counter_sum("rnl_server_shard_recoveries_total"),
+            1
+        );
+        // The recovered shard still holds its half of the deployment
+        // and its remote route (re-armed by the federation).
+        let part = fed
+            .fed_deployment(fed_id)
+            .unwrap()
+            .parts
+            .iter()
+            .find(|(s, _)| *s == 1)
+            .copied()
+            .unwrap();
+        let s1 = fed.server(1).unwrap();
+        assert!(s1.matrix().links_of(part.1).is_some());
+        let cross = fed.fed_deployment(fed_id).unwrap().cross.clone();
+        let (from, to) = cross[0];
+        assert_eq!(fed.server(1).unwrap().remote_route(to), Some(from));
+    }
+
+    #[test]
+    fn join_rebalances_sessions_through_the_grace_path() {
+        let mut fed = Federation::new(2, 0xfed5);
+        fed.set_grace_window(Duration::from_secs(60));
+        // Attach a handful of principals to their owning shards.
+        let mut owners = Vec::new();
+        for i in 0..6 {
+            let pc = format!("pc-{i}");
+            let owner = fed.shard_of_principal(&pc).unwrap();
+            let (_ris_side, server_side) = mem_pair_perfect(100 + i);
+            fed.attach_to(owner, Box::new(server_side)).unwrap();
+            // Register by name so live_principals sees it.
+            let server = fed.server_mut(owner).unwrap();
+            server.poll(t(0));
+            owners.push((pc, owner));
+        }
+        let k = fed.add_shard(t(10)).unwrap();
+        assert_eq!(k, 2);
+        assert_eq!(fed.ring().members(), &[0, 1, 2]);
+        // Ownership is total and the new member owns some arc.
+        let moved = (0..200)
+            .filter(|i| fed.shard_of_principal(&format!("key-{i}")) == Some(2))
+            .count();
+        assert!(moved > 0, "joiner owns nothing");
+    }
+
+    #[test]
+    fn fault_plan_fires_inside_poll() {
+        let (mut fed, mut ris0, mut ris1, _) = cross_shard_rig(0xfed6);
+        let mut plan = ShardFaultPlan::new();
+        plan.schedule_kill(1, t(100), Duration::from_millis(200));
+        fed.set_fault_plan(plan);
+        drive(&mut fed, &mut ris0, &mut ris1, 10, 150);
+        assert!(!fed.is_up(1), "scheduled kill did not fire");
+        drive(&mut fed, &mut ris0, &mut ris1, 150, 1000);
+        assert!(fed.is_up(1), "scheduled kill did not auto-recover");
+        assert_eq!(fed.obs().counter_sum("rnl_server_shard_kills_total"), 1);
+    }
+
+    #[test]
+    fn fed_journal_restores_cross_wires_after_full_restart() {
+        let dir = std::env::temp_dir().join(format!(
+            "rnl-fed-journal-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        // First life: a file-durable federation with one spanning
+        // deployment, then the whole process "exits" (fed is dropped).
+        let (fed_id, r0, r1);
+        {
+            let mut fed = Federation::new(2, 0xfeed);
+            fed.set_enforce_reservations(false);
+            fed.enable_file_durability(&dir, t(0)).unwrap();
+            let mut rises = Vec::new();
+            for k in 0..2usize {
+                let (ris_side, server_side) = mem_pair_perfect(0xfeed + 10 + k as u64);
+                fed.attach_to(k, Box::new(server_side)).unwrap();
+                let mut ris = Ris::new(&format!("pc-{k}"), Box::new(ris_side));
+                let mut host = Host::new("h", 7);
+                host.set_ip(format!("10.0.0.{}/24", k + 1).parse().unwrap());
+                ris.add_device(Box::new(host), "host");
+                ris.join_labs(t(0)).unwrap();
+                fed.poll(t(0));
+                ris.poll(t(0)).unwrap();
+                rises.push(ris);
+            }
+            r0 = rises[0].router_id(0).unwrap();
+            r1 = rises[1].router_id(0).unwrap();
+            let mut d = Design::new("span");
+            d.add_device(r0);
+            d.add_device(r1);
+            d.connect((r0, PortId(0)), (r1, PortId(0))).unwrap();
+            let home = fed.shard_of_principal("span").unwrap();
+            fed.server_mut(home).unwrap().save_design(d);
+            fed_id = fed.deploy_spanning("user", "span", false, t(0)).unwrap();
+        }
+        // Second life: a fresh federation over the same state dir.
+        // Shard journals restore the per-shard halves; the federation
+        // journal restores the deployment and its cross-shard wires.
+        let mut fed = Federation::new(2, 0xfeed);
+        fed.set_enforce_reservations(false);
+        fed.enable_file_durability(&dir, t(60_000)).unwrap();
+        let deployment = fed.fed_deployment(fed_id).expect("fed journal replayed");
+        assert_eq!(deployment.cross.len(), 1);
+        assert_eq!(
+            fed.server(0).unwrap().remote_route((r0, PortId(0))),
+            Some((r1, PortId(0))),
+            "shard 0 half-wire reinstalled"
+        );
+        assert_eq!(
+            fed.server(1).unwrap().remote_route((r1, PortId(0))),
+            Some((r0, PortId(0))),
+            "shard 1 half-wire reinstalled"
+        );
+        // A pre-restart deployment id remains tearable, and the
+        // teardown removes both half-wires again.
+        assert!(fed.teardown_fed(fed_id, t(60_000)).unwrap());
+        assert_eq!(fed.server(0).unwrap().remote_route((r0, PortId(0))), None);
+        assert!(fed.fed_deployment(fed_id).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn metrics_snapshot_merges_every_live_shard() {
+        let mut fed = Federation::new(2, 7);
+        let snap = fed.metrics_snapshot();
+        // Federation-level series come through untagged…
+        assert!(snap.get("rnl_server_shard_up", &[("shard", "0")]).is_some());
+        // …and each shard's own registry is tagged with its id.
+        for shard in ["0", "1"] {
+            assert!(
+                snap.get("rnl_server_frames_routed_total", &[("shard", shard)])
+                    .is_some(),
+                "missing per-server series for shard {shard}"
+            );
+        }
+        // A down shard drops out of the page until it recovers.
+        fed.kill_shard(0, None, t(0));
+        let snap = fed.metrics_snapshot();
+        assert!(snap
+            .get("rnl_server_frames_routed_total", &[("shard", "0")])
+            .is_none());
+        assert!(snap
+            .get("rnl_server_frames_routed_total", &[("shard", "1")])
+            .is_some());
     }
 }

@@ -262,8 +262,14 @@ impl Response {
 }
 
 fn error_response(e: &ServerError) -> Response {
+    // `wrong-shard` and `shard-down` are retryable exactly like
+    // `overloaded`: the hint tells the caller when (and, for
+    // wrong-shard, implicitly where — the message names the owner) to
+    // come back.
     let retry_after_us = match e {
-        ServerError::Overloaded { retry_after } => Some(retry_after.as_micros()),
+        ServerError::Overloaded { retry_after }
+        | ServerError::WrongShard { retry_after, .. }
+        | ServerError::ShardDown { retry_after, .. } => Some(retry_after.as_micros()),
         _ => None,
     };
     Response::Error {
@@ -944,6 +950,311 @@ pub fn handle_json(server: &mut RouteServer, request: &str, now: Instant) -> Str
         Err(e) => Response::error("bad-request", e.to_string()),
     };
     encode_response(&response).encode()
+}
+
+// ---------------------------------------------------------------------
+// Front tier: routing web ops across a Federation
+// ---------------------------------------------------------------------
+
+use crate::shard::{shard_of_router, Federation};
+
+/// One JSON request line against a sharded deployment — the
+/// federation's counterpart of [`handle_json`], used by the binary's
+/// `--shards N` mode.
+pub fn handle_json_sharded(fed: &mut Federation, request: &str, now: Instant) -> String {
+    let response = match Json::parse(request) {
+        Ok(json) => match parse_request(&json) {
+            Ok(req) => handle_sharded(fed, req, now),
+            Err(message) => Response::error("bad-request", message),
+        },
+        Err(e) => Response::error("bad-request", e.to_string()),
+    };
+    encode_response(&response).encode()
+}
+
+/// Where a web op must execute in a sharded deployment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardKey {
+    /// Owned by the shard this principal (design/user name) hashes to.
+    Principal(String),
+    /// Owned by the shard whose id range contains the router.
+    Router(RouterId),
+    /// Served by merging every live shard's answer.
+    Broadcast,
+    /// Handled at the federation layer itself (spanning deploys).
+    Federation,
+}
+
+/// Classify a request for the front tier. Design- and
+/// reservation-cycle ops hash by design name; router-targeted ops
+/// route by id range; list/metrics ops merge across shards; deploy and
+/// teardown run at the federation layer because one design's routers
+/// may span shards.
+pub fn shard_key(request: &Request) -> ShardKey {
+    match request {
+        Request::ListInventory
+        | Request::ListDesigns
+        | Request::GetMetrics { .. }
+        | Request::SlowOps
+        | Request::StopStream { .. }
+        | Request::StreamStatus { .. } => ShardKey::Broadcast,
+        Request::CreateDesign { name } | Request::ExportDesign { name } => {
+            ShardKey::Principal(name.clone())
+        }
+        Request::AddDevice { design, .. }
+        | Request::ConnectPorts { design, .. }
+        | Request::Reserve { design, .. }
+        | Request::NextFreeSlot { design, .. }
+        | Request::AnalyzeDesign { design }
+        | Request::VerifyDesign { design } => ShardKey::Principal(design.clone()),
+        Request::ImportDesign { json } => ShardKey::Principal(
+            json.get("name")
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_string(),
+        ),
+        Request::Deploy { .. } | Request::Teardown { .. } => ShardKey::Federation,
+        Request::Console { router, .. }
+        | Request::ConsoleReplies { router }
+        | Request::SetPower { router, .. }
+        | Request::Flash { router, .. }
+        | Request::FlashResults { router }
+        | Request::Inject { router, .. }
+        | Request::CaptureStart { router, .. }
+        | Request::CaptureStop { router, .. }
+        | Request::Captured { router, .. } => ShardKey::Router(*router),
+        Request::StartStream { config } => ShardKey::Router(config.router),
+    }
+}
+
+/// Resolve a single-shard key to its owner.
+fn resolve(fed: &Federation, key: &ShardKey) -> Result<usize, ServerError> {
+    match key {
+        ShardKey::Principal(principal) => {
+            fed.shard_of_principal(principal)
+                .ok_or(ServerError::ShardDown {
+                    shard: 0,
+                    retry_after: Duration::from_millis(10),
+                })
+        }
+        ShardKey::Router(router) => {
+            let shard = shard_of_router(*router);
+            if shard < fed.len() {
+                Ok(shard)
+            } else {
+                Err(ServerError::UnknownRouter(*router))
+            }
+        }
+        // Broadcast / Federation keys have no single owner.
+        _ => Err(ServerError::ShardDown {
+            shard: 0,
+            retry_after: Duration::from_millis(10),
+        }),
+    }
+}
+
+/// Add a router to a design held on shard `home`, validating the
+/// router against the inventory of the shard that *owns* it — which
+/// need not be `home`. The single-server [`handle`] path checks its
+/// own inventory, which would reject every cross-shard member; here
+/// the design is the union view, so the check federates too.
+fn add_device_sharded(
+    fed: &mut Federation,
+    home: usize,
+    design: &str,
+    router: RouterId,
+) -> Response {
+    let r_shard = shard_of_router(router);
+    if r_shard >= fed.len() {
+        return error_response(&ServerError::UnknownRouter(router));
+    }
+    if !fed.is_up(r_shard) {
+        return error_response(&ServerError::ShardDown {
+            shard: r_shard,
+            retry_after: fed.retry_hint(r_shard),
+        });
+    }
+    let known = fed
+        .server(r_shard)
+        .is_some_and(|s| s.inventory().get(router).is_some());
+    if !known {
+        return error_response(&ServerError::UnknownRouter(router));
+    }
+    let server = match fed.server_mut(home) {
+        Ok(server) => server,
+        Err(e) => return error_response(&e),
+    };
+    let Some(d) = server.designs_mut().load_mut(design) else {
+        return error_response(&ServerError::UnknownDesign(design.to_string()));
+    };
+    d.add_device(router);
+    server.journal_saved_design(design);
+    Response::Ok
+}
+
+/// The sharded front door: route a web op to the shard that owns it
+/// (retryable `shard-down` while that shard recovers), merge broadcast
+/// ops across live shards, and run spanning deploy/teardown at the
+/// federation layer.
+pub fn handle_sharded(fed: &mut Federation, request: Request, now: Instant) -> Response {
+    match shard_key(&request) {
+        ShardKey::Federation => handle_federated(fed, request, now),
+        ShardKey::Broadcast => handle_broadcast(fed, request, now),
+        key => {
+            let owner = match resolve(fed, &key) {
+                Ok(owner) => owner,
+                Err(e) => return error_response(&e),
+            };
+            if let Request::AddDevice { design, router } = &request {
+                return add_device_sharded(fed, owner, design, *router);
+            }
+            match fed.server_mut(owner) {
+                Ok(server) => handle(server, request, now),
+                Err(e) => error_response(&e),
+            }
+        }
+    }
+}
+
+/// Handle `request` as if the client dialed shard `at` directly
+/// (bypassing the front tier — a stale dial-map does exactly this
+/// after a membership change). Ops owned elsewhere come back as a
+/// structured retryable `wrong-shard` error naming the owner, so the
+/// client re-aims without a directory round-trip.
+pub fn handle_at(fed: &mut Federation, at: usize, request: Request, now: Instant) -> Response {
+    match shard_key(&request) {
+        // Any front door can serve these.
+        ShardKey::Federation | ShardKey::Broadcast => handle_sharded(fed, request, now),
+        key => {
+            let owner = match resolve(fed, &key) {
+                Ok(owner) => owner,
+                Err(e) => return error_response(&e),
+            };
+            if owner != at {
+                return error_response(&ServerError::WrongShard {
+                    owner,
+                    retry_after: fed.retry_hint(owner),
+                });
+            }
+            if let Request::AddDevice { design, router } = &request {
+                return add_device_sharded(fed, owner, design, *router);
+            }
+            match fed.server_mut(owner) {
+                Ok(server) => handle(server, request, now),
+                Err(e) => error_response(&e),
+            }
+        }
+    }
+}
+
+fn handle_federated(fed: &mut Federation, request: Request, now: Instant) -> Response {
+    match request {
+        Request::Deploy {
+            user,
+            design,
+            force,
+        } => match fed.deploy_spanning(&user, &design, force, now) {
+            Ok(id) => Response::Deployment(id),
+            Err(e) => error_response(&e),
+        },
+        Request::Teardown { deployment } => match fed.teardown_fed(deployment.0, now) {
+            Ok(_) => Response::Ok,
+            Err(e) => error_response(&e),
+        },
+        _ => bad_request("not a federation-level op"),
+    }
+}
+
+/// Merge a broadcast op across every live shard. A down shard simply
+/// contributes nothing — its rows come back once it recovers, which is
+/// the containment story applied to the control plane.
+fn handle_broadcast(fed: &mut Federation, request: Request, now: Instant) -> Response {
+    let live: Vec<usize> = (0..fed.len()).filter(|&k| fed.is_up(k)).collect();
+    match request {
+        Request::ListInventory => {
+            let mut rows = Vec::new();
+            for k in live {
+                if let Ok(server) = fed.server_mut(k) {
+                    if let Response::Inventory(mut part) =
+                        handle(server, Request::ListInventory, now)
+                    {
+                        rows.append(&mut part);
+                    }
+                }
+            }
+            Response::Inventory(rows)
+        }
+        Request::ListDesigns => {
+            let mut names = Vec::new();
+            for k in live {
+                if let Ok(server) = fed.server_mut(k) {
+                    if let Response::Designs(mut part) = handle(server, Request::ListDesigns, now) {
+                        names.append(&mut part);
+                    }
+                }
+            }
+            names.sort_unstable();
+            Response::Designs(names)
+        }
+        Request::GetMetrics { ref prefix } => {
+            let mut merged = Vec::new();
+            for k in live {
+                if let Ok(server) = fed.server_mut(k) {
+                    let req = Request::GetMetrics {
+                        prefix: prefix.clone(),
+                    };
+                    if let Response::Metrics(Json::Arr(mut part)) = handle(server, req, now) {
+                        merged.append(&mut part);
+                    }
+                }
+            }
+            Response::Metrics(Json::Arr(merged))
+        }
+        Request::SlowOps => {
+            let mut merged = Vec::new();
+            for k in live {
+                if let Ok(server) = fed.server_mut(k) {
+                    if let Response::SlowOps(Json::Arr(mut part)) =
+                        handle(server, Request::SlowOps, now)
+                    {
+                        merged.append(&mut part);
+                    }
+                }
+            }
+            Response::SlowOps(Json::Arr(merged))
+        }
+        Request::StopStream { .. } => {
+            // Stream ids are shard-local; stopping is idempotent, so
+            // every live shard gets the word.
+            for k in live {
+                if let Ok(server) = fed.server_mut(k) {
+                    handle(server, request.clone(), now);
+                }
+            }
+            Response::Ok
+        }
+        Request::StreamStatus { .. } => {
+            for k in live {
+                let response = match fed.server_mut(k) {
+                    Ok(server) => handle(server, request.clone(), now),
+                    Err(_) => continue,
+                };
+                if matches!(response, Response::StreamSent(Some(_))) {
+                    return response;
+                }
+            }
+            Response::StreamSent(None)
+        }
+        _ => bad_request("not a broadcast op"),
+    }
+}
+
+fn bad_request(message: &str) -> Response {
+    Response::Error {
+        code: "bad-request".to_string(),
+        message: message.to_string(),
+        retry_after_us: None,
+    }
 }
 
 #[cfg(test)]

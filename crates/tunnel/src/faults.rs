@@ -148,6 +148,129 @@ impl FaultPlan {
     }
 }
 
+/// A shard-level fault: what a federation does to itself, as opposed to
+/// the per-transport misbehavior in [`FaultKind`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardFaultKind {
+    /// Fail-stop the shard at the event time; the federation recovers
+    /// it from its own WAL after `down_for`.
+    KillShard { shard: usize, down_for: Duration },
+    /// Sever the inter-shard trunk between `a` and `b` for `len`: the
+    /// trunk supervisor's redials fail until the window closes, then
+    /// succeed under a rotated epoch.
+    PartitionTrunk { a: usize, b: usize, len: Duration },
+}
+
+/// One scheduled shard-level fault on the virtual clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardFaultEvent {
+    pub at: Instant,
+    pub kind: ShardFaultKind,
+}
+
+/// A deterministic schedule of shard-level faults. The federation
+/// drains due events each poll; like [`FaultPlan`], a schedule either
+/// hand-written or seeded replays identically every run.
+#[derive(Debug, Clone, Default)]
+pub struct ShardFaultPlan {
+    events: Vec<ShardFaultEvent>,
+    /// Index of the first event not yet fired.
+    cursor: usize,
+}
+
+impl ShardFaultPlan {
+    /// An empty plan.
+    pub fn new() -> ShardFaultPlan {
+        ShardFaultPlan::default()
+    }
+
+    /// Schedule a shard kill at `at`, recovered after `down_for`.
+    pub fn schedule_kill(&mut self, shard: usize, at: Instant, down_for: Duration) -> &mut Self {
+        self.push(ShardFaultEvent {
+            at,
+            kind: ShardFaultKind::KillShard { shard, down_for },
+        })
+    }
+
+    /// Schedule a trunk partition between shards `a` and `b` at `at`
+    /// lasting `len`.
+    pub fn schedule_partition(
+        &mut self,
+        a: usize,
+        b: usize,
+        at: Instant,
+        len: Duration,
+    ) -> &mut Self {
+        self.push(ShardFaultEvent {
+            at,
+            kind: ShardFaultKind::PartitionTrunk { a, b, len },
+        })
+    }
+
+    fn push(&mut self, event: ShardFaultEvent) -> &mut Self {
+        self.events.push(event);
+        // Keep events time-ordered past the cursor so `take_due` fires
+        // them in schedule order regardless of insertion order. Sorting
+        // is stable, so simultaneous events keep insertion order.
+        self.events[self.cursor..].sort_by_key(|e| e.at);
+        self
+    }
+
+    /// All scheduled events, fired or not.
+    pub fn events(&self) -> &[ShardFaultEvent] {
+        &self.events
+    }
+
+    /// Drain every event due at or before `now`, in schedule order.
+    /// Each event fires exactly once.
+    pub fn take_due(&mut self, now: Instant) -> Vec<ShardFaultEvent> {
+        let start = self.cursor;
+        while self.cursor < self.events.len() && self.events[self.cursor].at <= now {
+            self.cursor += 1;
+        }
+        self.events[start..self.cursor].to_vec()
+    }
+
+    /// Generate a seeded random schedule of `count` shard-level faults
+    /// over `n_shards` shards inside `[start, start + horizon)`. Kills
+    /// and trunk partitions are equally likely; outage lengths are
+    /// uniform in `[1, max_len]`. Identical seeds produce identical
+    /// schedules.
+    pub fn random(
+        seed: u64,
+        n_shards: usize,
+        start: Instant,
+        horizon: Duration,
+        count: usize,
+        max_len: Duration,
+    ) -> ShardFaultPlan {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut plan = ShardFaultPlan::new();
+        if n_shards == 0 {
+            return plan;
+        }
+        let horizon_us = horizon.as_micros().max(1);
+        let max_len_us = max_len.as_micros().max(1);
+        for _ in 0..count {
+            let at = start + Duration::from_micros(rng.gen_range(0..horizon_us));
+            let len = Duration::from_micros(rng.gen_range(1..=max_len_us));
+            let kind = if rng.gen_bool(0.5) || n_shards < 2 {
+                ShardFaultKind::KillShard {
+                    shard: rng.gen_range(0..n_shards),
+                    down_for: len,
+                }
+            } else {
+                let a = rng.gen_range(0..n_shards);
+                // A distinct second shard, deterministically.
+                let b = (a + rng.gen_range(1..n_shards)) % n_shards;
+                ShardFaultKind::PartitionTrunk { a, b, len }
+            };
+            plan.push(ShardFaultEvent { at, kind });
+        }
+        plan
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -180,6 +303,52 @@ mod tests {
         assert!(!plan.cut_by(t(300)));
         assert_eq!(plan.active(t(300)), Some(FaultKind::Partition));
         assert_eq!(plan.active(t(10_000)), None);
+    }
+
+    #[test]
+    fn shard_fault_events_fire_once_in_order() {
+        let mut plan = ShardFaultPlan::new();
+        plan.schedule_partition(0, 1, t(300), Duration::from_millis(100));
+        plan.schedule_kill(2, t(100), Duration::from_millis(50));
+        assert!(plan.take_due(t(50)).is_empty());
+        let first = plan.take_due(t(100));
+        assert_eq!(first.len(), 1);
+        assert!(matches!(
+            first[0].kind,
+            ShardFaultKind::KillShard { shard: 2, .. }
+        ));
+        // Already-fired events never fire again.
+        assert!(plan.take_due(t(100)).is_empty());
+        let second = plan.take_due(t(1_000));
+        assert_eq!(second.len(), 1);
+        assert!(matches!(
+            second[0].kind,
+            ShardFaultKind::PartitionTrunk { a: 0, b: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn shard_fault_plans_are_seed_deterministic() {
+        let mk = |seed| {
+            ShardFaultPlan::random(
+                seed,
+                4,
+                t(0),
+                Duration::from_secs(5),
+                6,
+                Duration::from_millis(400),
+            )
+        };
+        assert_eq!(mk(7).events(), mk(7).events());
+        assert_ne!(mk(7).events(), mk(8).events());
+        for e in mk(7).events() {
+            match e.kind {
+                ShardFaultKind::KillShard { shard, .. } => assert!(shard < 4),
+                ShardFaultKind::PartitionTrunk { a, b, .. } => {
+                    assert!(a < 4 && b < 4 && a != b);
+                }
+            }
+        }
     }
 
     #[test]

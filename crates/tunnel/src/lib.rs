@@ -21,16 +21,22 @@
 //! * [`compress`] — template packet compression (§4: "By exploiting the
 //!   similarities across packets, we could achieve a high compression
 //!   ratio").
+//! * [`ring`] — the consistent-hash ring mapping principals to
+//!   route-server shards (§4: one route server per user, generalized).
 
 pub mod codec;
 pub mod compress;
 pub mod faults;
 pub mod impair;
 pub mod msg;
+pub mod ring;
 pub mod transport;
 
-pub use faults::{FaultKind, FaultPlan, FaultWindow};
+pub use faults::{
+    FaultKind, FaultPlan, FaultWindow, ShardFaultEvent, ShardFaultKind, ShardFaultPlan,
+};
 pub use msg::{Msg, PortId, RouterId};
+pub use ring::HashRing;
 pub use transport::{
     ClosedTransport, MemTransport, OverflowPolicy, TcpTransport, Transport, TransportError,
 };
