@@ -44,7 +44,11 @@ cargo test -q --offline -p rnl --test verify
 # reproducible), the shard-fault chaos property test, and the front
 # tier's routing table.
 cargo test -q --offline -p rnl --test shard
-# Perf-regression gate: prove the comparator bites, then check the five
+# E24 mesh: the direct site-to-site data plane — relay counters flat
+# while paths are healthy, seeded-cut failover within the bounded
+# window, zero frames lost in accounting, failback after the heal.
+cargo test -q --offline -p rnl --test mesh
+# Perf-regression gate: prove the comparator bites, then check the six
 # deterministic virtual-clock workloads against the BENCH_*.json
 # baselines at the repo root (regenerate deliberately with
 # `cargo run -p rnl-bench --release --bin bench -- --out .`).

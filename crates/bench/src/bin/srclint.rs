@@ -30,6 +30,9 @@ const HOT_PATHS: &[&str] = &[
     "crates/ris/src/lib.rs",
     "crates/ris/src/supervisor.rs",
     "crates/ris/src/dialmap.rs",
+    "crates/ris/src/mesh.rs",
+    "crates/server/src/mesh.rs",
+    "crates/tunnel/src/mesh.rs",
     "crates/tunnel/src/transport.rs",
     "crates/tunnel/src/faults.rs",
     "crates/tunnel/src/ring.rs",

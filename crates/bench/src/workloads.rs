@@ -20,6 +20,10 @@
 //! * `l1_bypass` — the Fig. 7 layer-1 bypass vs the software tunnel:
 //!   frame counts and the tunnel's virtual latency distribution (the
 //!   bridge, by construction, adds none).
+//! * `mesh_failover` — the direct site-to-site data plane (E24): pings
+//!   off the relay while the peer path is healthy, a seeded cut forcing
+//!   relay fallback within a bounded window, and the failback after the
+//!   heal.
 
 use crate::bench_frame;
 use rnl_core::scenarios::{fig5_failover_lab, Fig5Options};
@@ -37,12 +41,13 @@ use rnl_tunnel::transport::{mem_pair, MemTransport, Transport};
 pub const BENCH_SCHEMA: u64 = 1;
 
 /// The workloads the `bench` binary knows, in run order.
-pub const WORKLOADS: [&str; 5] = [
+pub const WORKLOADS: [&str; 6] = [
     "packet_flow",
     "server_scaling",
     "shard_scaling",
     "failover_convergence",
     "l1_bypass",
+    "mesh_failover",
 ];
 
 /// Run one workload by name. Panics on an unknown name — the binary
@@ -54,6 +59,7 @@ pub fn run_workload(name: &str) -> Json {
         "shard_scaling" => shard_scaling(),
         "failover_convergence" => failover_convergence(),
         "l1_bypass" => l1_bypass(),
+        "mesh_failover" => mesh_failover(),
         other => panic!("unknown workload {other}"),
     }
 }
@@ -475,6 +481,137 @@ fn l1_bypass() -> Json {
     report("l1_bypass", metrics)
 }
 
+/// `mesh_failover` — E24: pings ride the direct site-to-site path
+/// (relay counters flat), a seeded cut forces relay fallback within the
+/// supervisor's bounded window, and the path fails back after the heal.
+/// Every number derives from the virtual clock and seeded RNGs.
+fn mesh_failover() -> Json {
+    use rnl_core::RemoteNetworkLabs;
+    use rnl_device::host::Host;
+    use rnl_tunnel::faults::{FaultKind, FaultPlan};
+    use rnl_tunnel::mesh::PathState;
+
+    let mut labs = RemoteNetworkLabs::new_unreserved();
+    let hq = labs.add_site("hq");
+    let edge = labs.add_site("edge");
+    let mut ha = Host::new("ha", 1);
+    ha.set_ip("10.0.0.1/24".parse().expect("ip"));
+    let mut hb = Host::new("hb", 2);
+    hb.set_ip("10.0.0.2/24".parse().expect("ip"));
+    labs.add_device(hq, Box::new(ha), "hq host")
+        .expect("site a");
+    labs.add_device(edge, Box::new(hb), "edge host")
+        .expect("site b");
+    let ra = labs.join_labs(hq).expect("join a")[0];
+    let rb = labs.join_labs(edge).expect("join b")[0];
+    let mut design = Design::new("mesh-bench");
+    design.add_device(ra);
+    design.add_device(rb);
+    design
+        .connect((ra, PortId(0)), (rb, PortId(0)))
+        .expect("link");
+    labs.deploy_design("bench", &design).expect("deploy");
+
+    // The cut rides the hq end of the peer transport from its first
+    // frame: down from t0+8s for 8s.
+    let t0 = labs.now();
+    let cut_at = t0 + Duration::from_secs(8);
+    let heal_at = cut_at + Duration::from_secs(8);
+    let mut plan = FaultPlan::new();
+    plan.schedule(FaultKind::Cut, cut_at, Duration::from_secs(8));
+    labs.set_site_mesh_faults(hq, plan).expect("faults");
+    labs.set_mesh(true);
+    labs.run(Duration::from_secs(1)).expect("establish");
+
+    let all_state = |labs: &RemoteNetworkLabs, want: PathState| -> bool {
+        [hq, edge].iter().all(|&s| {
+            labs.site_mesh(s)
+                .map(|m| {
+                    let mut paths = m.paths().peekable();
+                    paths.peek().is_some() && paths.all(|p| p.state() == want)
+                })
+                .unwrap_or(false)
+        })
+    };
+    let ping = |labs: &mut RemoteNetworkLabs| -> u64 {
+        let now = labs.now();
+        labs.device_mut(hq, 0)
+            .expect("device")
+            .console("ping 10.0.0.2 count 5", now);
+        labs.run(Duration::from_secs(7)).expect("round");
+        let out = labs.console(ra, "show ping").expect("show");
+        received_count(&out)
+    };
+    assert!(all_state(&labs, PathState::Direct), "paths establish");
+
+    // Direct phase: the relay's frame counter must stay flat.
+    let routed_before = labs.server().stats().frames_routed;
+    let pings_direct = ping(&mut labs);
+    let relay_while_direct = labs.server().stats().frames_routed - routed_before;
+
+    // The cut lands; walk the clock until both ends have failed over
+    // and measure the window from the cut instant.
+    let mut failover_vms = None;
+    for _ in 0..1_000 {
+        labs.run(Duration::from_millis(10)).expect("step");
+        if labs.now() >= cut_at && all_state(&labs, PathState::Relay) {
+            failover_vms = Some(labs.now().since(cut_at).as_millis());
+            break;
+        }
+    }
+    let failover_vms = failover_vms.expect("both ends fail over");
+
+    // Relay phase: pings still flow, counted as fallback volume.
+    let pings_relay = ping(&mut labs);
+
+    // Heal: walk until both ends fail back.
+    let mut failback_vms = None;
+    for _ in 0..1_000 {
+        labs.run(Duration::from_millis(10)).expect("step");
+        if labs.now() >= heal_at && all_state(&labs, PathState::Direct) {
+            failback_vms = Some(labs.now().since(heal_at).as_millis());
+            break;
+        }
+    }
+    let failback_vms = failback_vms.expect("both ends fail back");
+    let pings_healed = ping(&mut labs);
+
+    let obs = labs.server_obs();
+    report(
+        "mesh_failover",
+        vec![
+            ("pings_direct", metric("exact", pings_direct as f64)),
+            ("pings_relay", metric("exact", pings_relay as f64)),
+            ("pings_healed", metric("exact", pings_healed as f64)),
+            (
+                "relay_frames_while_direct",
+                metric("exact", relay_while_direct as f64),
+            ),
+            (
+                "relay_fallback_frames",
+                metric("exact", labs.server().mesh_relay_fallback_frames() as f64),
+            ),
+            (
+                "direct_frames",
+                metric(
+                    "exact",
+                    obs.counter_sum("rnl_mesh_direct_frames_total") as f64,
+                ),
+            ),
+            ("failover_vms", metric("lower", failover_vms as f64)),
+            ("failback_vms", metric("lower", failback_vms as f64)),
+            (
+                "failovers",
+                metric("exact", obs.counter_sum("rnl_mesh_failovers_total") as f64),
+            ),
+            (
+                "failbacks",
+                metric("exact", obs.counter_sum("rnl_mesh_failbacks_total") as f64),
+            ),
+        ],
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -491,6 +628,7 @@ mod tests {
             "server_scaling",
             "shard_scaling",
             "l1_bypass",
+            "mesh_failover",
         ] {
             let a = run_workload(name).encode();
             let b = run_workload(name).encode();

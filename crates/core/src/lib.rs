@@ -32,6 +32,8 @@ pub mod scenarios;
 pub mod shardlab;
 pub mod terminal;
 
+use std::collections::HashMap;
+
 use rnl_device::device::Device;
 use rnl_net::time::{Duration, Instant};
 use rnl_obs::{merge_trace, EventJournal, FrameEvent, MetricsRegistry, SlowOp, TraceId};
@@ -102,6 +104,10 @@ struct Site {
     /// Fault schedule installed on the RIS side of every dialed tunnel
     /// (stalls, partitions, cuts on the virtual clock).
     faults: FaultPlan,
+    /// Fault schedule installed on this site's end of every *mesh peer*
+    /// transport the facade builds — the E17-style knob for cutting a
+    /// direct path mid-storm and forcing relay fallback.
+    mesh_faults: FaultPlan,
     pc_name: String,
     /// Scheduled uplink cuts: `(cut at, down for)`.
     pending_flaps: Vec<(Instant, Duration)>,
@@ -156,6 +162,11 @@ pub struct RemoteNetworkLabs {
     /// True between [`Self::crash_server`] and [`Self::recover_server`]:
     /// the back end is down and every dial attempt is refused.
     server_down: bool,
+    /// Half-paired mesh dials: wire id → the site index that asked
+    /// first. The peer transport is built only once *both* endpoints
+    /// have their offer (and thus their dial queued), so neither end
+    /// probes into a void.
+    pending_mesh: HashMap<u64, usize>,
 }
 
 impl Default for RemoteNetworkLabs {
@@ -175,6 +186,7 @@ impl RemoteNetworkLabs {
             seed: 0x5eed,
             journal_store: None,
             server_down: false,
+            pending_mesh: HashMap::new(),
         }
     }
 
@@ -250,6 +262,7 @@ impl RemoteNetworkLabs {
             supervisor,
             impairment,
             faults,
+            mesh_faults: FaultPlan::new(),
             pc_name: pc_name.to_string(),
             pending_flaps: Vec::new(),
             link_down_until: None,
@@ -345,7 +358,59 @@ impl RemoteNetworkLabs {
             }
         }
         self.server.poll(now);
+        // Satisfy mesh dials queued by the RIS agents this step. The
+        // facade plays the network: it builds the peer transport a real
+        // deployment would get from a direct TCP dial.
+        self.pair_mesh_dials(now);
         Ok(())
+    }
+
+    /// Pair queued mesh dials into peer transports. A wire's transport
+    /// is built only once *both* endpoints have dialed (each dial
+    /// implies its offer arrived), so the two paths install on the same
+    /// step and neither end probes into a void. Each end gets its own
+    /// site's WAN impairment outbound and its site's mesh fault plan.
+    fn pair_mesh_dials(&mut self, now: Instant) {
+        let mut dials: Vec<(usize, u64)> = Vec::new();
+        for (i, site) in self.sites.iter_mut().enumerate() {
+            for dial in site.ris.take_pending_mesh_dials() {
+                dials.push((i, dial.wire));
+            }
+        }
+        for (i, wire) in dials {
+            match self.pending_mesh.remove(&wire) {
+                Some(j) if j != i => {
+                    let obs = self.server.obs().clone();
+                    self.seed = self.seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    let pair_seed = self.seed;
+                    let (lo, hi) = (j.min(i), j.max(i));
+                    let (head, tail) = self.sites.split_at_mut(hi);
+                    let (sl, sh) = (&mut head[lo], &mut tail[0]);
+                    let (mut lo_end, mut hi_end) =
+                        mem_pair(sl.impairment, sh.impairment, pair_seed);
+                    if !sl.mesh_faults.is_empty() {
+                        lo_end.set_faults(sl.mesh_faults.clone());
+                    }
+                    if !sh.mesh_faults.is_empty() {
+                        hi_end.set_faults(sh.mesh_faults.clone());
+                    }
+                    sl.ris
+                        .install_mesh_path(wire, Box::new(lo_end), pair_seed, &obs, now);
+                    sh.ris.install_mesh_path(
+                        wire,
+                        Box::new(hi_end),
+                        pair_seed.wrapping_add(1),
+                        &obs,
+                        now,
+                    );
+                }
+                // A repeat dial from the same site (rotated secret while
+                // the peer lags) just keeps waiting for the peer.
+                _ => {
+                    self.pending_mesh.insert(wire, i);
+                }
+            }
+        }
     }
 
     // -----------------------------------------------------------------
@@ -380,11 +445,15 @@ impl RemoteNetworkLabs {
         let grace = self.server.grace_window();
         let compress = self.server.compress_downstream();
         let overload = self.server.overload_config();
+        let mesh = self.server.mesh_enabled();
         self.server = RouteServer::new();
         self.server.set_enforce_reservations(enforce);
         self.server.set_grace_window(grace);
         self.server.set_compress_downstream(compress);
         self.server.set_overload_config(overload, self.now);
+        self.server.set_mesh_enabled(mesh);
+        // Half-paired dials reference the dead server's wire ids.
+        self.pending_mesh.clear();
         self.server_down = true;
     }
 
@@ -402,12 +471,14 @@ impl RemoteNetworkLabs {
         let grace = self.server.grace_window();
         let compress = self.server.compress_downstream();
         let overload = self.server.overload_config();
+        let mesh = self.server.mesh_enabled();
         let now = self.now;
         let mut server = RouteServer::recover(Box::new(MemJournal::attached(store)), now)?;
         server.set_enforce_reservations(enforce);
         server.set_grace_window(grace);
         server.set_compress_downstream(compress);
         server.set_overload_config(overload, now);
+        server.set_mesh_enabled(mesh);
         self.server = server;
         self.server_down = false;
         Ok(())
@@ -496,6 +567,46 @@ impl RemoteNetworkLabs {
     /// Enable server→RIS template compression for relayed frames (§4).
     pub fn set_downstream_compression(&mut self, on: bool) {
         self.server.set_compress_downstream(on);
+    }
+
+    // -----------------------------------------------------------------
+    // Mesh: the direct site-to-site data plane
+    // -----------------------------------------------------------------
+
+    /// Turn the direct site-to-site data plane on or off (the `--mesh`
+    /// flag). Enabling offers a peer path for every cross-session wire
+    /// of every live deployment; the sites dial each other on the next
+    /// step and frames skip the relay while the paths stay healthy.
+    pub fn set_mesh(&mut self, on: bool) {
+        self.server.set_mesh_enabled(on);
+    }
+
+    /// Whether the mesh is on.
+    pub fn mesh_enabled(&self) -> bool {
+        self.server.mesh_enabled()
+    }
+
+    /// Install a fault schedule on `site`'s end of every mesh peer
+    /// transport built from now on (stalls / partitions / cuts on the
+    /// virtual clock). Set it *before* enabling the mesh or deploying,
+    /// so the plan rides the transport from its first frame.
+    pub fn set_site_mesh_faults(
+        &mut self,
+        site: SiteId,
+        faults: FaultPlan,
+    ) -> Result<(), LabError> {
+        let s = self
+            .sites
+            .get_mut(site.0)
+            .ok_or(LabError::UnknownSite(site))?;
+        s.mesh_faults = faults;
+        Ok(())
+    }
+
+    /// A site's mesh agent (path states, per-path accounting) — the
+    /// read side experiments assert against.
+    pub fn site_mesh(&self, site: SiteId) -> Option<&rnl_ris::MeshAgent> {
+        self.sites.get(site.0).map(|s| s.ris.mesh())
     }
 
     /// Mutable access to a device behind a site (test instrumentation —

@@ -127,6 +127,10 @@ pub struct NightlyReport {
     /// sharded rigs fill this via [`shard_section`] on the federation's
     /// registry.
     pub shard: Vec<String>,
+    /// Mesh summary lines (wires meshed, offers/revokes, direct frames,
+    /// failovers/failbacks, relay-fallback volume) — nonzero activity
+    /// only; a relay-only night stays silent.
+    pub mesh: Vec<String>,
 }
 
 impl NightlyReport {
@@ -201,8 +205,42 @@ impl NightlyReport {
                 out.push_str(&format!("    {line}\n"));
             }
         }
+        if !self.mesh.is_empty() {
+            out.push_str("  mesh:\n");
+            for line in &self.mesh {
+                out.push_str(&format!("    {line}\n"));
+            }
+        }
         out
     }
+}
+
+/// Mesh summary lines from a metrics registry — the server's, where
+/// every path registers its per-wire series. Nonzero activity only: a
+/// night with the mesh off (or no cross-session wires) stays silent.
+pub fn mesh_section(obs: &rnl_obs::MetricsRegistry) -> Vec<String> {
+    let mut lines = Vec::new();
+    let wires = obs.gauge("rnl_mesh_wires", &[]).get();
+    if wires > 0.0 {
+        lines.push(format!("wires meshed: {wires}"));
+    }
+    for (name, label) in [
+        ("rnl_mesh_offers_total", "paths offered"),
+        ("rnl_mesh_revokes_total", "paths revoked"),
+        ("rnl_mesh_direct_frames_total", "frames sent direct"),
+        ("rnl_mesh_failovers_total", "failovers to relay"),
+        ("rnl_mesh_failbacks_total", "failbacks to direct"),
+        (
+            "rnl_mesh_relay_fallback_frames_total",
+            "relay-fallback frames",
+        ),
+    ] {
+        let v = obs.counter_sum(name);
+        if v > 0 {
+            lines.push(format!("{label}: {v}"));
+        }
+    }
+    lines
 }
 
 /// Shard-federation summary lines from a metrics registry — the
@@ -405,6 +443,9 @@ impl NightlySuite {
         // this registry, so the section stays silent here; sharded rigs
         // overwrite it from the federation's registry.
         let shard = shard_section(obs);
+        // Mesh section: which wires skipped the relay tonight, and what
+        // the supervisors did about the ones that could not.
+        let mesh = mesh_section(obs);
         Ok(NightlyReport {
             results,
             metrics,
@@ -415,6 +456,7 @@ impl NightlySuite {
             overload,
             perf,
             shard,
+            mesh,
         })
     }
 }

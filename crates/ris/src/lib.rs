@@ -21,6 +21,7 @@
 pub mod config;
 pub mod dialmap;
 pub mod mapping;
+pub mod mesh;
 pub mod supervisor;
 
 use std::collections::HashMap;
@@ -38,6 +39,7 @@ use rnl_tunnel::transport::{ClosedTransport, Transport, TransportError};
 
 pub use dialmap::DialMap;
 pub use mapping::auto_mapping;
+pub use mesh::{MeshAgent, MeshDial};
 pub use supervisor::{BackoffConfig, Dialer, Supervisor, TcpDialer};
 
 /// Process-wide salt so two RIS instances with the same `pc_name` still
@@ -145,6 +147,9 @@ pub struct Ris {
     trace_gen: TraceIdGen,
     /// Per-NIC handles, keyed by (local device id, port index).
     nic_metrics: HashMap<(u32, u16), NicMetrics>,
+    /// Direct peer paths for meshed wires (offers, dial queue, per-wire
+    /// `Direct ↔ Relay` supervisors).
+    mesh: mesh::MeshAgent,
     m_frames_up: Counter,
     m_frames_down: Counter,
     m_console_lines: Counter,
@@ -178,6 +183,7 @@ impl Ris {
             journal: EventJournal::new(4096),
             trace_gen: TraceIdGen::new(pc_name),
             nic_metrics: HashMap::new(),
+            mesh: mesh::MeshAgent::new(),
             pc_name: pc_name.to_string(),
             devices: Vec::new(),
             transport,
@@ -276,6 +282,24 @@ impl Ris {
         for msg in self.transport.poll(now)? {
             self.handle_msg(msg, now)?;
         }
+        // Tick every mesh path (probes + state machine) and deliver the
+        // frames that arrived site-to-site. A frame referencing a
+        // router this RIS no longer fronts (a stale in-flight direct
+        // frame straddling an epoch rotation) is skipped, not fatal.
+        for msg in self.mesh.tick(now) {
+            if let Msg::Data {
+                router,
+                port,
+                span,
+                frame,
+            } = msg
+            {
+                match self.deliver(router, port, span, frame, now) {
+                    Ok(()) | Err(RisError::UnknownRouter(_)) => {}
+                    Err(e) => return Err(e),
+                }
+            }
+        }
         // Tick devices and capture their transmissions.
         for idx in 0..self.devices.len() {
             let emissions = self.devices[idx].device.tick(now);
@@ -307,6 +331,10 @@ impl Ris {
         self.reverse.clear();
         self.compressors.clear();
         self.decompressors.clear();
+        // Mesh secrets are epoch-scoped: every live path scores an
+        // `epoch-rotated` failover and drops. The server re-offers
+        // with fresh secrets once the rejoin is adopted.
+        self.mesh.clear_for_epoch();
         self.epoch.generation += 1;
         self.join_labs(now)?;
         self.heartbeat(now)
@@ -407,10 +435,17 @@ impl Ris {
                     now,
                 )?;
             }
+            Msg::MeshOffer(offer) => {
+                self.mesh.offer(offer);
+            }
+            Msg::MeshRevoke { wire } => {
+                self.mesh.revoke(wire);
+            }
             // Upstream-only messages arriving here are protocol misuse;
-            // ignore rather than kill the forwarding loop.
+            // ignore rather than kill the forwarding loop. Probes only
+            // make sense on a peer path, never on the uplink.
             Msg::Register(_) | Msg::ConsoleReply { .. } | Msg::FlashResult { .. } => {}
-            Msg::Heartbeat { .. } => {}
+            Msg::Heartbeat { .. } | Msg::MeshProbe { .. } => {}
         }
         Ok(())
     }
@@ -518,6 +553,41 @@ impl Ris {
             port: port.0,
             bytes: frame.len() as u32,
         });
+        // Meshed wire in `Direct`: forward straight to the peer RIS,
+        // destination rewritten to the far end so the peer delivers it
+        // exactly like a relayed frame. A refused send (path relaying,
+        // or cut mid-handoff) falls through to the uplink below — the
+        // frame is never dropped in the transition.
+        let frame = match self.mesh.route_for(router, port) {
+            Some((wire, peer_router, peer_port)) => {
+                let frame_len = frame.len();
+                let msg = Msg::Data {
+                    router: peer_router,
+                    port: peer_port,
+                    span,
+                    frame,
+                };
+                if self.mesh.send_direct(wire, &msg, now) {
+                    self.m_bytes_up.add(frame_len as u64);
+                    self.journal.record(FrameEvent {
+                        trace: span.trace,
+                        t_us: now.as_micros(),
+                        hop: Hop::Encode,
+                        router: router.0,
+                        port: port.0,
+                        bytes: frame_len as u32,
+                    });
+                    perf.mark("encode");
+                    self.m_frames_up.inc();
+                    return Ok(());
+                }
+                let Msg::Data { frame, .. } = msg else {
+                    return Ok(());
+                };
+                frame
+            }
+            None => frame,
+        };
         let frame_len = frame.len();
         let msg = if self.compression {
             let encoded = self
@@ -568,6 +638,37 @@ impl Ris {
         self.m_frames_up.inc();
         self.transport.send(&msg, now)?;
         Ok(())
+    }
+
+    // -----------------------------------------------------------------
+    // Mesh: direct peer paths
+    // -----------------------------------------------------------------
+
+    /// Drain the mesh dial queue: one entry per [`Msg::MeshOffer`] the
+    /// server sent whose peer path is not yet dialed. The host (facade
+    /// or a TCP deployment's dial loop) satisfies each dial and hands
+    /// the transport back via [`Ris::install_mesh_path`].
+    pub fn take_pending_mesh_dials(&mut self) -> Vec<mesh::MeshDial> {
+        self.mesh.take_pending()
+    }
+
+    /// Install a dialed peer transport for a meshed wire. `obs` is the
+    /// registry the path's `rnl_mesh_*` series register on — the host
+    /// passes the route server's so one scrape covers every wire.
+    pub fn install_mesh_path(
+        &mut self,
+        wire: u64,
+        peer: Box<dyn Transport>,
+        seed: u64,
+        obs: &MetricsRegistry,
+        now: Instant,
+    ) {
+        self.mesh.install(wire, peer, seed, obs, now);
+    }
+
+    /// The mesh agent (path states and accounting, for assertions).
+    pub fn mesh(&self) -> &mesh::MeshAgent {
+        &self.mesh
     }
 }
 

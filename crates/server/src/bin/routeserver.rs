@@ -27,6 +27,14 @@
 //! shard journals to its own `PATH/shard-<k>/` — a shard whose journal
 //! fails is killed and recovered in place while its siblings serve.
 //!
+//! With `--mesh` the server negotiates a direct peer path for every
+//! deployed cross-session wire (each endpoint gets the peer's pc-name
+//! plus an epoch-scoped secret) so the data plane skips the relay while
+//! the paths stay healthy; a per-path supervisor on each RIS falls back
+//! to the relay within a bounded window when the path dies and fails
+//! back when it heals. Can also be toggled at runtime via the
+//! `set_mesh` web op.
+//!
 //! ```text
 //! cargo run -p rnl-server --bin routeserver -- --ris-port 4510 --api-port 4511
 //! ```
@@ -62,9 +70,11 @@ fn main() {
     let mut overload = OverloadConfig::default();
     let mut fsync_policy = FsyncPolicy::EveryAppend;
     let mut shards = 1usize;
+    let mut mesh = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--mesh" => mesh = true,
             "--shards" => {
                 shards = args
                     .next()
@@ -166,7 +176,7 @@ fn main() {
     });
 
     if shards > 1 {
-        run_sharded(shards, state_dir, grace_secs, metrics_port, rx, now);
+        run_sharded(shards, state_dir, grace_secs, mesh, metrics_port, rx, now);
     }
 
     // The single-threaded core loop: sessions, relay, API dispatch.
@@ -201,6 +211,10 @@ fn main() {
     server.set_snapshot_every(rnl_net::time::Duration::from_secs(snapshot_secs));
     server.set_grace_window(rnl_net::time::Duration::from_secs(grace_secs));
     server.set_overload_config(overload, now());
+    if mesh {
+        server.set_mesh_enabled(true);
+        eprintln!("routeserver: mesh on (cross-session wires get direct peer paths)");
+    }
     eprintln!("routeserver: session flap grace window {grace_secs}s");
     eprintln!(
         "routeserver: admission control: hwm {} tokens, op deadline {}s",
@@ -260,6 +274,7 @@ fn run_sharded(
     n: usize,
     state_dir: Option<String>,
     grace_secs: u64,
+    mesh: bool,
     metrics_port: u16,
     rx: mpsc::Receiver<Event>,
     now: impl Fn() -> Instant,
@@ -268,6 +283,17 @@ fn run_sharded(
 
     let mut fed = Federation::new(n, 0x5eed);
     fed.set_grace_window(rnl_net::time::Duration::from_secs(grace_secs));
+    if mesh {
+        // Mesh negotiation is per shard: wires whose two sessions landed
+        // on the same shard get direct paths; cross-shard wires stay on
+        // the supervised trunks.
+        for k in 0..n {
+            if let Ok(server) = fed.server_mut(k) {
+                server.set_mesh_enabled(true);
+            }
+        }
+        eprintln!("routeserver: mesh on (same-shard cross-session wires get direct peer paths)");
+    }
     if let Some(dir) = &state_dir {
         if let Err(e) = fed.enable_file_durability(dir.clone(), now()) {
             eprintln!("routeserver: cannot open sharded state dir {dir}: {e}");
@@ -415,7 +441,7 @@ fn usage(msg: &str) -> ! {
     eprintln!("routeserver: {msg}");
     eprintln!(
         "usage: routeserver [--ris-port N] [--api-port N] [--metrics-port N] \
-         [--shards N] [--grace-window SECS] [--state-dir PATH] \
+         [--shards N] [--mesh] [--grace-window SECS] [--state-dir PATH] \
          [--snapshot-every SECS] [--hwm TOKENS] [--op-deadline SECS] \
          [--fsync-every append|poll]"
     );

@@ -26,6 +26,7 @@ pub mod journal;
 pub mod json;
 pub mod lint;
 pub mod matrix;
+pub mod mesh;
 pub mod overload;
 pub mod reserve;
 pub mod shard;
@@ -41,7 +42,7 @@ use rnl_obs::{
     MissReason, PerfPoint, PerfScope, Quantile, SlowOp, Span, TraceId, LATENCY_BUCKETS_US,
 };
 use rnl_tunnel::compress::{CompressError, Compressor, Decompressor};
-use rnl_tunnel::msg::{Assignment, Msg, PortId, RouterId, SessionEpoch};
+use rnl_tunnel::msg::{Assignment, MeshOffer, Msg, PortId, RouterId, SessionEpoch};
 use rnl_tunnel::transport::{
     ClosedTransport, FrameBatch, OverflowPolicy, Transport, TransportError, DEFAULT_TX_HWM,
 };
@@ -53,6 +54,7 @@ use inventory::{Inventory, InventoryRecord, SessionId};
 use journal::{CrashPoint, Durability, JournalError};
 use json::Json;
 use matrix::{DeploymentId, MatrixError, RoutingMatrix};
+use mesh::MeshControl;
 use overload::{Deadline, OverloadConfig, Shedder, Tier};
 use reserve::{Calendar, Reservation, ReservationId, ReserveError};
 use snapshot::{DeploymentSeed, Op, SessionSeed};
@@ -428,6 +430,19 @@ pub struct RouteServer {
     m_trunk_out: Counter,
     m_trunk_in: Counter,
     m_unrouted_trunk: Counter,
+    /// Mesh control plane: which wires have a direct peer path and the
+    /// epoch-scoped secrets that authenticate them.
+    mesh: MeshControl,
+    /// Mesh control messages (offers, revokes) awaiting the next poll,
+    /// so paths without a `now` in hand (teardown, reap) can still
+    /// revoke deterministically on the virtual clock.
+    mesh_outbox: Vec<(RouterId, Msg)>,
+    m_mesh_offers: Counter,
+    m_mesh_revokes: Counter,
+    /// Frames that crossed the relay for a *meshed* wire — the
+    /// fallback volume. Near zero while direct paths are healthy.
+    m_mesh_relay_fallback: Counter,
+    m_mesh_wires: Gauge,
 }
 
 /// A cross-shard frame captured off the relay path: a fully encoded,
@@ -472,6 +487,12 @@ impl RouteServer {
             m_unrouted_trunk: unrouted(MissReason::TrunkDown),
             m_trunk_out: obs.counter("rnl_server_trunk_frames_total", &[("dir", "out")]),
             m_trunk_in: obs.counter("rnl_server_trunk_frames_total", &[("dir", "in")]),
+            mesh: MeshControl::new(0x6d65_7368),
+            mesh_outbox: Vec::new(),
+            m_mesh_offers: obs.counter("rnl_mesh_offers_total", &[]),
+            m_mesh_revokes: obs.counter("rnl_mesh_revokes_total", &[]),
+            m_mesh_relay_fallback: obs.counter("rnl_mesh_relay_fallback_frames_total", &[]),
+            m_mesh_wires: obs.gauge("rnl_mesh_wires", &[]),
             remote_routes: HashMap::new(),
             trunk_outbox: Vec::new(),
             m_session_disconnects: obs.counter("rnl_server_session_disconnects_total", &[]),
@@ -1155,6 +1176,15 @@ impl RouteServer {
     /// registrations, collect mailboxes, grace newly-dead sessions, and
     /// reap sessions whose grace expired.
     pub fn poll(&mut self, now: Instant) {
+        // Mesh control traffic queued since the last poll (offers from
+        // deploys and re-adoptions, revokes from teardowns) goes out
+        // first, on this poll's virtual timestamp.
+        if !self.mesh_outbox.is_empty() {
+            let outbox = std::mem::take(&mut self.mesh_outbox);
+            for (router, msg) in outbox {
+                self.send_to_router(router, msg, now);
+            }
+        }
         if self.fastpath {
             self.poll_sessions_batched(now);
         } else {
@@ -1408,6 +1438,11 @@ impl RouteServer {
         self.captures
             .tap(dst_router, dst_port, CaptureDir::ToPort, data.payload, now);
         perf.mark("matrix");
+        // A meshed wire's frame on the relay is the fallback path in
+        // action — count it so "direct" is provable from one scrape.
+        if self.mesh.is_meshed((src_router, src_port)) {
+            self.m_mesh_relay_fallback.inc();
+        }
         self.m_bytes_relayed.add(bytes);
         let wire = self.wire_metrics_for((src_router, src_port), (dst_router, dst_port));
         wire.frames.inc();
@@ -1761,6 +1796,7 @@ impl RouteServer {
                 };
                 let pc_name = info.pc_name.clone();
                 let epoch = info.epoch;
+                let mut adopted: Vec<RouterId> = Vec::new();
                 let mut assignments = Vec::new();
                 let mut journal_routers: Vec<(RouterId, rnl_tunnel::msg::RouterInfo)> = Vec::new();
                 let mut replaces = None;
@@ -1779,6 +1815,7 @@ impl RouteServer {
                         self.compressors.retain(|(r, _), _| *r != id);
                         self.decompressors.retain(|(r, _), _| *r != id);
                         journal_routers.push((id, router));
+                        adopted.push(id);
                         assignments.push(Assignment {
                             local_id,
                             router: id,
@@ -1826,6 +1863,11 @@ impl RouteServer {
                 });
                 if !pending_replay.is_empty() {
                     self.flush_replay(sid, pending_replay, now);
+                }
+                // The rejoined session's epoch is new, so its mesh
+                // secrets are stale on both ends: rotate and re-offer.
+                if !adopted.is_empty() {
+                    self.reoffer_mesh_for_routers(&adopted);
                 }
             }
             Msg::Data {
@@ -1889,12 +1931,17 @@ impl RouteServer {
                 self.admit_relay(now);
                 self.inventory.touch_session(sid, now);
             }
-            // Server-to-RIS messages arriving upstream are ignored.
+            // Server-to-RIS messages arriving upstream are ignored, as
+            // are mesh messages — those travel peer-to-peer, never up
+            // the tunnel.
             Msg::RegisterAck(_)
             | Msg::Console { .. }
             | Msg::SetPower { .. }
             | Msg::SetLink { .. }
-            | Msg::Flash { .. } => {}
+            | Msg::Flash { .. }
+            | Msg::MeshOffer(_)
+            | Msg::MeshRevoke { .. }
+            | Msg::MeshProbe { .. } => {}
         }
     }
 
@@ -2035,6 +2082,9 @@ impl RouteServer {
             .tap(dst_router, dst_port, CaptureDir::ToPort, &frame, now);
         perf.mark("matrix");
         let bytes = frame.len() as u64;
+        if self.mesh.is_meshed((router, port)) {
+            self.m_mesh_relay_fallback.inc();
+        }
         self.m_bytes_relayed.add(bytes);
         let wire = self.wire_metrics_for((router, port), (dst_router, dst_port));
         wire.frames.inc();
@@ -2414,6 +2464,9 @@ impl RouteServer {
         // rebuilds deployments via `matrix.restore` without bridges —
         // the bridge is an accelerator, never routing truth.
         self.bridge_colocated(id, design.links());
+        // Cross-session wires get a direct-path offer when the mesh is
+        // on; frames skip the relay entirely once both ends dial.
+        self.offer_deployment_mesh(id);
         self.deployments.insert(
             id,
             DeploymentRecord {
@@ -2472,6 +2525,10 @@ impl RouteServer {
                 let _ = self.l1.unpatch(idx);
             }
         }
+        let revoked = self.mesh.remove_dep(id);
+        if !revoked.is_empty() {
+            self.revoke_mesh_wires(revoked);
+        }
         let had_record = self.deployments.remove(&id).is_some();
         let torn = self.matrix.teardown(id);
         if had_record || torn {
@@ -2483,6 +2540,153 @@ impl RouteServer {
     /// The matrix (read access for assertions).
     pub fn matrix(&self) -> &RoutingMatrix {
         &self.matrix
+    }
+
+    // -----------------------------------------------------------------
+    // Mesh negotiation: the direct site-to-site data plane
+    // -----------------------------------------------------------------
+
+    /// Turn the mesh on or off. Enabling sweeps every live deployment
+    /// and offers a direct path for each cross-session wire; disabling
+    /// revokes every offered wire, putting all frames back through the
+    /// relay.
+    pub fn set_mesh_enabled(&mut self, on: bool) {
+        if on == self.mesh.enabled() {
+            return;
+        }
+        self.mesh.set_enabled(on);
+        if on {
+            let mut ids: Vec<DeploymentId> = self.deployments.keys().copied().collect();
+            ids.sort_by_key(|d| d.0);
+            for id in ids {
+                self.offer_deployment_mesh(id);
+            }
+        } else {
+            let wires = self.mesh.drain_all();
+            self.revoke_mesh_wires(wires);
+        }
+    }
+
+    /// Whether mesh negotiation is on.
+    pub fn mesh_enabled(&self) -> bool {
+        self.mesh.enabled()
+    }
+
+    /// How many wires currently have a direct-path offer outstanding.
+    pub fn mesh_wire_count(&self) -> usize {
+        self.mesh.len()
+    }
+
+    /// Frames that crossed the relay for meshed wires (the fallback
+    /// volume — near zero while direct paths are healthy).
+    pub fn mesh_relay_fallback_frames(&self) -> u64 {
+        self.m_mesh_relay_fallback.get()
+    }
+
+    /// Offer a direct path for every cross-session wire of `id`.
+    /// Co-located wires stay on the L1 bridge; wires with a graced or
+    /// anonymous endpoint stay on the relay until re-adoption re-offers
+    /// them.
+    fn offer_deployment_mesh(&mut self, id: DeploymentId) {
+        if !self.mesh.enabled() {
+            return;
+        }
+        let Some(links) = self.matrix.links_of(id) else {
+            return;
+        };
+        let links: Vec<design::Link> = links.to_vec();
+        for ((ar, ap), (br, bp)) in links {
+            let a = (ar, ap);
+            let b = (br, bp);
+            if self.mesh.wire_for_port(a).is_some() {
+                continue;
+            }
+            let (sa, sb) = match (self.inventory.session_of(ar), self.inventory.session_of(br)) {
+                (Some(sa), Some(sb)) => (sa, sb),
+                _ => continue,
+            };
+            if sa == sb {
+                continue;
+            }
+            let pc_a = self.sessions.get(&sa).and_then(|s| s.pc_name.clone());
+            let pc_b = self.sessions.get(&sb).and_then(|s| s.pc_name.clone());
+            let (Some(pc_a), Some(pc_b)) = (pc_a, pc_b) else {
+                continue;
+            };
+            let (wire, secret) = self.mesh.allocate(id, a, b);
+            self.queue_mesh_offer(wire, secret, a, b, pc_b);
+            self.queue_mesh_offer(wire, secret, b, a, pc_a);
+        }
+        self.m_mesh_wires.set(self.mesh.len() as f64);
+    }
+
+    /// Queue one endpoint's offer on the mesh outbox (sent next poll).
+    fn queue_mesh_offer(
+        &mut self,
+        wire: u64,
+        secret: u64,
+        local: (RouterId, PortId),
+        peer: (RouterId, PortId),
+        peer_pc: String,
+    ) {
+        self.mesh_outbox.push((
+            local.0,
+            Msg::MeshOffer(MeshOffer {
+                wire,
+                secret,
+                local_router: local.0,
+                local_port: local.1,
+                peer_router: peer.0,
+                peer_port: peer.1,
+                peer_pc,
+            }),
+        ));
+        self.m_mesh_offers.inc();
+    }
+
+    /// Queue revocations for wires already removed from the control.
+    fn revoke_mesh_wires(&mut self, wires: Vec<mesh::MeshWire>) {
+        for w in wires {
+            self.mesh_outbox
+                .push((w.a.0, Msg::MeshRevoke { wire: w.id }));
+            self.mesh_outbox
+                .push((w.b.0, Msg::MeshRevoke { wire: w.id }));
+            self.m_mesh_revokes.add(2);
+        }
+        self.m_mesh_wires.set(self.mesh.len() as f64);
+    }
+
+    /// A session re-adopted: every mesh secret it held is scoped to the
+    /// dead epoch. Rotate and re-offer (to both ends — the peer must
+    /// learn the new secret too) every wire touching its routers.
+    fn reoffer_mesh_for_routers(&mut self, routers: &[RouterId]) {
+        if !self.mesh.enabled() || self.mesh.is_empty() {
+            return;
+        }
+        for id in self.mesh.wires_touching(routers) {
+            let Some(secret) = self.mesh.rotate(id) else {
+                continue;
+            };
+            let Some(w) = self.mesh.wire(id) else {
+                continue;
+            };
+            let (a, b) = (w.a, w.b);
+            let pc_a = self
+                .inventory
+                .session_of(a.0)
+                .and_then(|sid| self.sessions.get(&sid))
+                .and_then(|s| s.pc_name.clone());
+            let pc_b = self
+                .inventory
+                .session_of(b.0)
+                .and_then(|sid| self.sessions.get(&sid))
+                .and_then(|s| s.pc_name.clone());
+            let (Some(pc_a), Some(pc_b)) = (pc_a, pc_b) else {
+                continue;
+            };
+            self.queue_mesh_offer(id, secret, a, b, pc_b);
+            self.queue_mesh_offer(id, secret, b, a, pc_a);
+        }
     }
 
     // -----------------------------------------------------------------

@@ -113,6 +113,13 @@ pub enum Request {
     /// duration crossed their class threshold, each with its trace id
     /// and phase breakdown.
     SlowOps,
+    /// Turn the direct site-to-site data plane on or off. Enabling
+    /// offers a peer path for every cross-session wire of every live
+    /// deployment; disabling revokes them all.
+    SetMesh { on: bool },
+    /// The mesh control plane's view: enabled flag, offered wire
+    /// count, and the relay-fallback frame counter.
+    MeshStatus,
 }
 
 /// A typed API response.
@@ -151,6 +158,21 @@ pub enum Response {
     /// A data-plane verification outcome, already in wire form (see
     /// [`verify_to_json`]).
     Verification(Json),
+    /// Mesh control-plane status, already in wire form (see
+    /// [`mesh_status_json`]).
+    MeshStatus(Json),
+}
+
+/// Encode one server's mesh status for the wire.
+pub fn mesh_status_json(server: &RouteServer) -> Json {
+    Json::obj([
+        ("enabled", Json::Bool(server.mesh_enabled())),
+        ("wires", Json::num(server.mesh_wire_count() as u32)),
+        (
+            "relay_fallback_frames",
+            Json::Num(server.mesh_relay_fallback_frames() as f64),
+        ),
+    ])
 }
 
 /// Encode an analysis report for the wire.
@@ -539,6 +561,11 @@ fn handle_inner(
             Response::Metrics(metrics_to_json(&snapshot))
         }
         Request::SlowOps => Response::SlowOps(slow_ops_to_json(&server.slow_ops())),
+        Request::SetMesh { on } => {
+            server.set_mesh_enabled(on);
+            Response::Ok
+        }
+        Request::MeshStatus => Response::MeshStatus(mesh_status_json(server)),
     })
 }
 
@@ -815,6 +842,10 @@ pub fn parse_request(json: &Json) -> Result<Request, String> {
             prefix: json.get("prefix").and_then(Json::as_str).map(String::from),
         },
         "slow_ops" => Request::SlowOps,
+        "set_mesh" => Request::SetMesh {
+            on: json.get("on").and_then(Json::as_bool).ok_or("missing on")?,
+        },
+        "mesh_status" => Request::MeshStatus,
         other => return Err(format!("unknown op {other:?}")),
     })
 }
@@ -920,6 +951,9 @@ pub fn encode_response(response: &Response) -> Json {
         Response::Verification(outcome) => {
             Json::obj([("ok", Json::Bool(true)), ("verification", outcome.clone())])
         }
+        Response::MeshStatus(status) => {
+            Json::obj([("ok", Json::Bool(true)), ("mesh", status.clone())])
+        }
         Response::Frames(frames) => Json::obj([
             ("ok", Json::Bool(true)),
             (
@@ -997,7 +1031,9 @@ pub fn shard_key(request: &Request) -> ShardKey {
         | Request::GetMetrics { .. }
         | Request::SlowOps
         | Request::StopStream { .. }
-        | Request::StreamStatus { .. } => ShardKey::Broadcast,
+        | Request::StreamStatus { .. }
+        | Request::SetMesh { .. }
+        | Request::MeshStatus => ShardKey::Broadcast,
         Request::CreateDesign { name } | Request::ExportDesign { name } => {
             ShardKey::Principal(name.clone())
         }
@@ -1244,6 +1280,34 @@ fn handle_broadcast(fed: &mut Federation, request: Request, now: Instant) -> Res
                 }
             }
             Response::StreamSent(None)
+        }
+        Request::SetMesh { .. } => {
+            // The mesh toggle is config; every live shard flips. A down
+            // shard re-learns it when the facade re-applies config
+            // after recovery, like every other toggle.
+            for k in live {
+                if let Ok(server) = fed.server_mut(k) {
+                    handle(server, request.clone(), now);
+                }
+            }
+            Response::Ok
+        }
+        Request::MeshStatus => {
+            let mut enabled = false;
+            let mut wires: u64 = 0;
+            let mut fallback: u64 = 0;
+            for k in live {
+                if let Ok(server) = fed.server_mut(k) {
+                    enabled |= server.mesh_enabled();
+                    wires += server.mesh_wire_count() as u64;
+                    fallback += server.mesh_relay_fallback_frames();
+                }
+            }
+            Response::MeshStatus(Json::obj([
+                ("enabled", Json::Bool(enabled)),
+                ("wires", Json::Num(wires as f64)),
+                ("relay_fallback_frames", Json::Num(fallback as f64)),
+            ]))
         }
         _ => bad_request("not a broadcast op"),
     }
@@ -1539,6 +1603,28 @@ mod tests {
                 .unwrap_or(0)
                 > 0
         );
+    }
+
+    #[test]
+    fn set_mesh_and_mesh_status_roundtrip() {
+        let mut server = RouteServer::new();
+        let reply = handle_json(&mut server, r#"{"op":"mesh_status"}"#, t(0));
+        let parsed = Json::parse(&reply).unwrap();
+        let mesh = parsed.get("mesh").expect("mesh field");
+        assert_eq!(mesh.get("enabled").and_then(Json::as_bool), Some(false));
+        assert_eq!(
+            handle_json(&mut server, r#"{"op":"set_mesh","on":true}"#, t(0)),
+            r#"{"ok":true}"#
+        );
+        assert!(server.mesh_enabled());
+        let reply = handle_json(&mut server, r#"{"op":"mesh_status"}"#, t(0));
+        let parsed = Json::parse(&reply).unwrap();
+        let mesh = parsed.get("mesh").expect("mesh field");
+        assert_eq!(mesh.get("enabled").and_then(Json::as_bool), Some(true));
+        assert_eq!(mesh.get("wires").and_then(Json::as_u64), Some(0));
+        // Missing the flag degrades to a structured parse error.
+        let reply = handle_json(&mut server, r#"{"op":"set_mesh"}"#, t(0));
+        assert!(reply.contains("missing on"));
     }
 
     #[test]

@@ -28,6 +28,7 @@ pub mod codec;
 pub mod compress;
 pub mod faults;
 pub mod impair;
+pub mod mesh;
 pub mod msg;
 pub mod ring;
 pub mod transport;

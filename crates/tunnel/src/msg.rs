@@ -85,6 +85,29 @@ pub struct SessionEpoch {
     pub generation: u64,
 }
 
+/// A direct-path grant for one deployed wire: the route server (which
+/// stays the control plane) hands each endpoint RIS the far end's
+/// identity plus an epoch-scoped shared secret. Frames forwarded on
+/// the direct path carry the *remote* (router, port) so the receiving
+/// RIS delivers them exactly as it would a server-relayed frame; the
+/// secret gates probe acceptance so a stale path from a previous epoch
+/// cannot masquerade as healthy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MeshOffer {
+    /// Server-assigned wire id, unique across the deployment's life.
+    pub wire: u64,
+    /// Epoch-scoped key; rotated whenever either session re-registers.
+    pub secret: u64,
+    /// This RIS's end of the wire.
+    pub local_router: RouterId,
+    pub local_port: PortId,
+    /// The far end, used as the destination of direct data frames.
+    pub peer_router: RouterId,
+    pub peer_port: PortId,
+    /// The peer site's PC name — the "address" a RIS dials.
+    pub peer_pc: String,
+}
+
 /// The registration a RIS submits when the lab manager clicks
 /// "Join Labs".
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -154,6 +177,16 @@ pub enum Msg {
     /// sender's current epoch generation so the server's liveness
     /// bookkeeping can ignore beats from a superseded connection.
     Heartbeat { seq: u64, epoch: u64 },
+    /// Server → RIS: negotiate a direct peer path for one deployed
+    /// wire (see [`MeshOffer`]).
+    MeshOffer(MeshOffer),
+    /// Server → RIS: the direct path for `wire` is withdrawn (teardown
+    /// or reap); frames go back through the relay.
+    MeshRevoke { wire: u64 },
+    /// RIS ↔ RIS, on the peer path only: seeded jittered liveness
+    /// probe. The receiver accepts it as a health signal only when the
+    /// secret matches its current [`MeshOffer`] for the wire.
+    MeshProbe { wire: u64, secret: u64, seq: u64 },
 }
 
 /// Error decoding a message.
@@ -214,6 +247,9 @@ mod tag {
     pub const FLASH: u8 = 9;
     pub const FLASH_RESULT: u8 = 10;
     pub const HEARTBEAT: u8 = 11;
+    pub const MESH_OFFER: u8 = 12;
+    pub const MESH_REVOKE: u8 = 13;
+    pub const MESH_PROBE: u8 = 14;
 }
 
 /// Fixed `Data` body header: tag(1) + router(4) + port(2) + trace(8) +
@@ -393,6 +429,26 @@ impl Msg {
                 w.u64(*seq);
                 w.u64(*epoch);
             }
+            Msg::MeshOffer(offer) => {
+                w.u8(tag::MESH_OFFER);
+                w.u64(offer.wire);
+                w.u64(offer.secret);
+                w.u32(offer.local_router.0);
+                w.u16(offer.local_port.0);
+                w.u32(offer.peer_router.0);
+                w.u16(offer.peer_port.0);
+                w.string(&offer.peer_pc);
+            }
+            Msg::MeshRevoke { wire } => {
+                w.u8(tag::MESH_REVOKE);
+                w.u64(*wire);
+            }
+            Msg::MeshProbe { wire, secret, seq } => {
+                w.u8(tag::MESH_PROBE);
+                w.u64(*wire);
+                w.u64(*secret);
+                w.u64(*seq);
+            }
         }
     }
 
@@ -524,6 +580,21 @@ impl Msg {
                 seq: r.u64()?,
                 epoch: r.u64()?,
             },
+            tag::MESH_OFFER => Msg::MeshOffer(MeshOffer {
+                wire: r.u64()?,
+                secret: r.u64()?,
+                local_router: RouterId(r.u32()?),
+                local_port: PortId(r.u16()?),
+                peer_router: RouterId(r.u32()?),
+                peer_port: PortId(r.u16()?),
+                peer_pc: r.string()?,
+            }),
+            tag::MESH_REVOKE => Msg::MeshRevoke { wire: r.u64()? },
+            tag::MESH_PROBE => Msg::MeshProbe {
+                wire: r.u64()?,
+                secret: r.u64()?,
+                seq: r.u64()?,
+            },
             _ => return Err(DecodeError::Malformed),
         };
         if !r.is_empty() {
@@ -647,6 +718,21 @@ mod tests {
         roundtrip(Msg::Heartbeat {
             seq: u64::MAX,
             epoch: 17,
+        });
+        roundtrip(Msg::MeshOffer(MeshOffer {
+            wire: 3,
+            secret: 0xcafe_f00d_dead_beef,
+            local_router: RouterId(7),
+            local_port: PortId(1),
+            peer_router: RouterId(9),
+            peer_port: PortId(0),
+            peer_pc: "edge-pc".to_string(),
+        }));
+        roundtrip(Msg::MeshRevoke { wire: 3 });
+        roundtrip(Msg::MeshProbe {
+            wire: 3,
+            secret: 42,
+            seq: u64::MAX,
         });
     }
 

@@ -186,6 +186,24 @@ impl FrameBatch {
     }
 }
 
+/// Delivery-accounting counters a transport can report about its own
+/// *send* direction. Everything a sender ever handed to the transport is
+/// exactly one of: delivered, dropped by the impairment model, eaten by
+/// a fault window, or still in flight — the conservation law the chaos
+/// suites assert across direct↔relay failovers. Transports without such
+/// bookkeeping (TCP, the closed stub) report the empty default.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransportStats {
+    /// Messages the impairment model delivered (or scheduled).
+    pub impair_delivered: u64,
+    /// Messages the impairment model dropped (random loss).
+    pub impair_dropped: u64,
+    /// Messages eaten by partition fault windows.
+    pub fault_dropped: u64,
+    /// Messages currently held by an in-force stall window.
+    pub stalled: u64,
+}
+
 /// A bidirectional, ordered message channel.
 pub trait Transport: Send {
     /// Enqueue a message. `now` is the sender's virtual clock (used by
@@ -233,6 +251,12 @@ pub trait Transport: Send {
     /// stub) ignore this; the TCP transport applies it live so the route
     /// server can re-derive policy from deployment priority.
     fn set_backlog_policy(&mut self, _bytes: usize, _policy: OverflowPolicy) {}
+
+    /// Send-direction delivery accounting (see [`TransportStats`]).
+    /// Defaults to all-zero for transports without such bookkeeping.
+    fn stats(&self) -> TransportStats {
+        TransportStats::default()
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -369,6 +393,16 @@ impl Transport for MemTransport {
 
     fn is_connected(&self) -> bool {
         self.connected
+    }
+
+    fn stats(&self) -> TransportStats {
+        let (impair_delivered, impair_dropped) = self.impair.counters();
+        TransportStats {
+            impair_delivered,
+            impair_dropped,
+            fault_dropped: self.fault_drops,
+            stalled: self.stall_buf.len() as u64,
+        }
     }
 }
 

@@ -1,0 +1,397 @@
+//! Experiment E24 — the direct site-to-site data plane (rnl-mesh).
+//!
+//! With the mesh enabled the route server stays the control plane: per
+//! deployed cross-session wire it hands both endpoints a peer address
+//! and an epoch-scoped secret, and the sites dial each other directly.
+//! A per-path supervisor probes health on the virtual clock and drives
+//! a `Direct ↔ Relay` state machine: frames skip the relay while the
+//! path is healthy, fail over to the server relay within a bounded
+//! window when probes miss or the path faults, and fail back once the
+//! path heals — with every frame accounted for across each transition.
+//! A seeded [`FaultPlan`] cut makes the whole failover a replayable
+//! experiment.
+
+use rnl::device::host::Host;
+use rnl::net::time::Duration;
+use rnl::obs::render_prometheus;
+use rnl::server::design::Design;
+use rnl::tunnel::faults::{FaultKind, FaultPlan};
+use rnl::tunnel::mesh::PathState;
+use rnl::tunnel::msg::{PortId, RouterId};
+use rnl::{RemoteNetworkLabs, SiteId};
+
+fn host(name: &str, num: u32, ip: &str) -> Box<Host> {
+    let mut h = Host::new(name, num);
+    h.set_ip(ip.parse().unwrap());
+    Box::new(h)
+}
+
+/// Two sites, one host each, one deployed wire across them.
+fn cross_site_lab() -> (
+    RemoteNetworkLabs,
+    SiteId,
+    SiteId,
+    RouterId,
+    RouterId,
+    rnl::server::matrix::DeploymentId,
+) {
+    let mut labs = RemoteNetworkLabs::new_unreserved();
+    let hq = labs.add_site("hq");
+    let edge = labs.add_site("edge");
+    labs.add_device(hq, host("s1", 1, "10.0.0.1/24"), "hq host")
+        .unwrap();
+    labs.add_device(edge, host("s2", 2, "10.0.0.2/24"), "edge host")
+        .unwrap();
+    let a = labs.join_labs(hq).unwrap()[0];
+    let b = labs.join_labs(edge).unwrap()[0];
+    let mut design = Design::new("cross");
+    design.add_device(a);
+    design.add_device(b);
+    design.connect((a, PortId(0)), (b, PortId(0))).unwrap();
+    let dep = labs.deploy_design("alice", &design).unwrap();
+    (labs, hq, edge, a, b, dep)
+}
+
+fn ping(labs: &mut RemoteNetworkLabs, site: SiteId, from: RouterId, count: u32) -> String {
+    let now = labs.now();
+    labs.device_mut(site, 0)
+        .unwrap()
+        .console(&format!("ping 10.0.0.2 count {count}"), now);
+    labs.run(Duration::from_secs(5)).unwrap();
+    labs.console(from, "show ping").unwrap()
+}
+
+/// Every path state on one site, for "all direct" / "all relay" checks.
+fn path_states(labs: &RemoteNetworkLabs, site: SiteId) -> Vec<PathState> {
+    labs.site_mesh(site)
+        .map(|m| m.paths().map(|p| p.state()).collect())
+        .unwrap_or_default()
+}
+
+/// The zero-loss ledger for one site's paths: every frame accepted onto
+/// a peer transport is delivered, impairment-dropped, fault-dropped, or
+/// stalled in flight — never silently lost.
+fn assert_ledger_balances(labs: &RemoteNetworkLabs, site: SiteId, label: &str) {
+    let mesh = labs.site_mesh(site).unwrap();
+    for path in mesh.paths() {
+        let accepted = path.probes_sent() + path.data_sent();
+        let s = path.peer_stats();
+        let accounted = s.impair_delivered + s.impair_dropped + s.fault_dropped + s.stalled;
+        assert_eq!(
+            accepted,
+            accounted,
+            "{label}: wire {} accepted {accepted} frames but accounted {accounted} \
+             (delivered {} + impair-dropped {} + fault-dropped {} + stalled {})",
+            path.wire(),
+            s.impair_delivered,
+            s.impair_dropped,
+            s.fault_dropped,
+            s.stalled,
+        );
+    }
+}
+
+#[test]
+fn meshed_wire_carries_pings_off_the_relay() {
+    let (mut labs, hq, edge, a, _b, _dep) = cross_site_lab();
+
+    // Baseline through the relay.
+    let out = ping(&mut labs, hq, a, 3);
+    assert!(out.contains("3 sent, 3 received"), "relay baseline: {out}");
+    let routed_via_relay = labs
+        .server_obs()
+        .snapshot()
+        .counter("rnl_server_frames_routed_total", &[]);
+    assert!(routed_via_relay > 0, "baseline pings cross the relay");
+
+    // Enable the mesh: the server offers the cross-session wire, both
+    // sites dial, and the facade pairs the dials into a peer transport.
+    labs.set_mesh(true);
+    assert!(labs.mesh_enabled());
+    labs.run(Duration::from_secs(1)).unwrap();
+    assert_eq!(labs.server().mesh_wire_count(), 1);
+    assert_eq!(path_states(&labs, hq), vec![PathState::Direct]);
+    assert_eq!(path_states(&labs, edge), vec![PathState::Direct]);
+
+    // Pings now flow site-to-site: the relay's frame counter stays
+    // flat and no meshed frame falls back through it.
+    let snap = labs.server_obs().snapshot();
+    let routed_before = snap.counter("rnl_server_frames_routed_total", &[]);
+    let fallback_before = labs.server().mesh_relay_fallback_frames();
+    let out = ping(&mut labs, hq, a, 3);
+    assert!(out.contains("3 sent, 3 received"), "direct: {out}");
+    let snap = labs.server_obs().snapshot();
+    assert_eq!(
+        snap.counter("rnl_server_frames_routed_total", &[]),
+        routed_before,
+        "relay frame counters stay flat while the path is direct"
+    );
+    assert_eq!(labs.server().mesh_relay_fallback_frames(), fallback_before);
+    assert!(
+        snap.counter("rnl_mesh_direct_frames_total", &[("wire", "1")]) > 0,
+        "data frames ride the direct path"
+    );
+    let hq_mesh = labs.site_mesh(hq).unwrap();
+    let hq_path = hq_mesh.paths().next().unwrap();
+    assert!(hq_path.data_sent() > 0, "hq forwarded data directly");
+    assert!(hq_path.probes_heard() > 0, "probes flow both ways");
+    assert_ledger_balances(&labs, hq, "healthy");
+    assert_ledger_balances(&labs, edge, "healthy");
+}
+
+#[test]
+fn seeded_cut_fails_over_to_relay_and_back_with_zero_loss() {
+    let (mut labs, hq, edge, a, _b, _dep) = cross_site_lab();
+    let t0 = labs.now();
+
+    // Schedule the cut *before* enabling the mesh so the plan rides the
+    // hq end of the peer transport from its first frame: down from
+    // t0+8s for 8s, the replayable E17-style impairment.
+    let mut plan = FaultPlan::new();
+    plan.schedule(
+        FaultKind::Cut,
+        t0 + Duration::from_secs(8),
+        Duration::from_secs(8),
+    );
+    labs.set_site_mesh_faults(hq, plan).unwrap();
+    labs.set_mesh(true);
+
+    // Direct phase.
+    labs.run(Duration::from_secs(1)).unwrap();
+    assert_eq!(path_states(&labs, hq), vec![PathState::Direct]);
+    assert_eq!(path_states(&labs, edge), vec![PathState::Direct]);
+    let out = ping(&mut labs, hq, a, 3);
+    assert!(out.contains("3 sent, 3 received"), "direct phase: {out}");
+    // now = t0 + 6s; still direct on both ends.
+    assert_eq!(path_states(&labs, hq), vec![PathState::Direct]);
+
+    // The cut lands at t0+8s. The hq end sees the dead transport at
+    // once; the edge end goes quiet and must fail over within the
+    // bounded window (miss window 1s + probe interval ≤ 300ms).
+    labs.run(Duration::from_millis(3_500)).unwrap(); // → t0 + 9.5s
+    assert_eq!(
+        path_states(&labs, hq),
+        vec![PathState::Relay],
+        "hq fails over when the path faults"
+    );
+    assert_eq!(
+        path_states(&labs, edge),
+        vec![PathState::Relay],
+        "edge fails over within the miss window"
+    );
+    let snap = labs.server_obs().snapshot();
+    let failed_over = snap.counter(
+        "rnl_mesh_failovers_total",
+        &[("reason", "fault"), ("wire", "1")],
+    ) + snap.counter(
+        "rnl_mesh_failovers_total",
+        &[("reason", "probe-miss"), ("wire", "1")],
+    ) + snap.counter(
+        "rnl_mesh_failovers_total",
+        &[("reason", "send-error"), ("wire", "1")],
+    );
+    assert!(
+        failed_over >= 2,
+        "both ends score a failover: {failed_over}"
+    );
+
+    // Relay phase: pings still flow — through the server — and the
+    // fallback accounting sees them.
+    let routed_before = labs
+        .server_obs()
+        .snapshot()
+        .counter("rnl_server_frames_routed_total", &[]);
+    let fallback_before = labs.server().mesh_relay_fallback_frames();
+    let out = ping(&mut labs, hq, a, 3);
+    assert!(out.contains("3 sent, 3 received"), "relay phase: {out}");
+    // now = t0 + 14.5s, still inside the cut window.
+    let snap = labs.server_obs().snapshot();
+    assert!(
+        snap.counter("rnl_server_frames_routed_total", &[]) > routed_before,
+        "failed-over frames cross the relay"
+    );
+    assert!(
+        labs.server().mesh_relay_fallback_frames() > fallback_before,
+        "fallback frames for meshed wires are counted"
+    );
+
+    // Heal at t0+16s: probes resume, both ends fail back, and pings
+    // leave the relay again.
+    labs.run(Duration::from_secs(3)).unwrap(); // → t0 + 17.5s
+    assert_eq!(path_states(&labs, hq), vec![PathState::Direct]);
+    assert_eq!(path_states(&labs, edge), vec![PathState::Direct]);
+    let snap = labs.server_obs().snapshot();
+    assert!(
+        snap.counter("rnl_mesh_failbacks_total", &[("wire", "1")]) >= 2,
+        "both ends fail back after the heal"
+    );
+    let routed_before = snap.counter("rnl_server_frames_routed_total", &[]);
+    let out = ping(&mut labs, hq, a, 3);
+    assert!(out.contains("3 sent, 3 received"), "healed phase: {out}");
+    assert_eq!(
+        labs.server_obs()
+            .snapshot()
+            .counter("rnl_server_frames_routed_total", &[]),
+        routed_before,
+        "after failback the relay is flat again"
+    );
+
+    // Zero frames lost in accounting, across every transition: the
+    // per-path ledgers balance, and every ping round-tripped.
+    assert_ledger_balances(&labs, hq, "after cut");
+    assert_ledger_balances(&labs, edge, "after cut");
+}
+
+#[test]
+fn failover_experiment_replays_bit_for_bit() {
+    // The whole story — offer, dial, probes, cut, failover, failback —
+    // runs on seeded RNGs over the virtual clock, so two runs of the
+    // same scenario agree on every counter.
+    let run_once = || {
+        let (mut labs, hq, _edge, a, _b, _dep) = cross_site_lab();
+        let t0 = labs.now();
+        let mut plan = FaultPlan::new();
+        plan.schedule(
+            FaultKind::Cut,
+            t0 + Duration::from_secs(4),
+            Duration::from_secs(3),
+        );
+        labs.set_site_mesh_faults(hq, plan).unwrap();
+        labs.set_mesh(true);
+        labs.run(Duration::from_secs(1)).unwrap();
+        let _ = ping(&mut labs, hq, a, 3);
+        labs.run(Duration::from_secs(4)).unwrap();
+        let snap = labs.server_obs().snapshot();
+        let mesh = labs.site_mesh(hq).unwrap();
+        let path = mesh.paths().next().unwrap();
+        (
+            path.probes_sent(),
+            path.probes_heard(),
+            path.data_sent(),
+            snap.counter("rnl_mesh_failbacks_total", &[("wire", "1")]),
+            snap.counter("rnl_mesh_direct_frames_total", &[("wire", "1")]),
+            labs.server().mesh_relay_fallback_frames(),
+        )
+    };
+    let first = run_once();
+    let second = run_once();
+    assert_eq!(first, second, "same seeds, same failover experiment");
+    assert!(first.0 > 0 && first.2 > 0);
+}
+
+#[test]
+fn uplink_flap_rotates_the_epoch_and_reoffers_the_wire() {
+    let (mut labs, hq, edge, a, _b, _dep) = cross_site_lab();
+    labs.set_mesh(true);
+    labs.run(Duration::from_secs(1)).unwrap();
+    assert_eq!(path_states(&labs, hq), vec![PathState::Direct]);
+    assert_eq!(path_states(&labs, edge), vec![PathState::Direct]);
+    let offers_before = labs
+        .server_obs()
+        .snapshot()
+        .counter("rnl_mesh_offers_total", &[]);
+
+    // Flap the edge uplink for 2s — inside the grace window, so the
+    // session rejoins with a rotated epoch and the server re-adopts it.
+    labs.flap_site(edge, Duration::from_secs(2)).unwrap();
+    labs.run(Duration::from_secs(6)).unwrap();
+    assert!(labs.site_connected(edge));
+
+    let snap = labs.server_obs().snapshot();
+    assert!(
+        snap.counter(
+            "rnl_mesh_failovers_total",
+            &[("reason", "epoch-rotated"), ("wire", "1")],
+        ) >= 1,
+        "the stale-epoch path scores an epoch-rotated failover"
+    );
+    assert!(
+        snap.counter("rnl_mesh_offers_total", &[]) >= offers_before + 2,
+        "re-adoption re-offers both ends with a fresh secret"
+    );
+
+    // The re-offered wire is direct again and carries frames.
+    assert_eq!(path_states(&labs, hq), vec![PathState::Direct]);
+    assert_eq!(path_states(&labs, edge), vec![PathState::Direct]);
+    let routed_before = labs
+        .server_obs()
+        .snapshot()
+        .counter("rnl_server_frames_routed_total", &[]);
+    let out = ping(&mut labs, hq, a, 3);
+    assert!(out.contains("3 sent, 3 received"), "after rejoin: {out}");
+    assert_eq!(
+        labs.server_obs()
+            .snapshot()
+            .counter("rnl_server_frames_routed_total", &[]),
+        routed_before,
+        "the fresh-epoch path keeps the relay flat"
+    );
+}
+
+#[test]
+fn teardown_revokes_the_direct_path() {
+    let (mut labs, hq, edge, a, _b, dep) = cross_site_lab();
+    labs.set_mesh(true);
+    labs.run(Duration::from_secs(1)).unwrap();
+    assert_eq!(labs.server().mesh_wire_count(), 1);
+    let out = ping(&mut labs, hq, a, 3);
+    assert!(out.contains("3 sent, 3 received"), "direct: {out}");
+
+    assert!(labs.teardown(dep));
+    labs.run(Duration::from_secs(1)).unwrap();
+    assert_eq!(labs.server().mesh_wire_count(), 0);
+    assert!(path_states(&labs, hq).is_empty(), "hq path revoked");
+    assert!(path_states(&labs, edge).is_empty(), "edge path revoked");
+    let snap = labs.server_obs().snapshot();
+    assert_eq!(snap.counter("rnl_mesh_revokes_total", &[]), 2);
+}
+
+#[test]
+fn nightly_mesh_section_reports_the_direct_plane() {
+    let (mut labs, hq, _edge, a, _b, _dep) = cross_site_lab();
+    // Mesh off, no mesh activity: the section stays silent, like every
+    // other quiet-night section.
+    assert!(rnl::core::nightly::mesh_section(labs.server_obs()).is_empty());
+
+    labs.set_mesh(true);
+    labs.run(Duration::from_secs(1)).unwrap();
+    let out = ping(&mut labs, hq, a, 3);
+    assert!(out.contains("3 sent, 3 received"), "direct: {out}");
+    let lines = rnl::core::nightly::mesh_section(labs.server_obs());
+    let joined = lines.join("\n");
+    for needle in ["wires meshed: 1", "paths offered: 2", "frames sent direct"] {
+        assert!(joined.contains(needle), "missing {needle} in:\n{joined}");
+    }
+}
+
+#[test]
+fn mesh_counters_reach_the_prometheus_endpoint() {
+    let (mut labs, hq, _edge, a, _b, _dep) = cross_site_lab();
+    let t0 = labs.now();
+    let mut plan = FaultPlan::new();
+    plan.schedule(
+        FaultKind::Cut,
+        t0 + Duration::from_secs(2),
+        Duration::from_secs(2),
+    );
+    labs.set_site_mesh_faults(hq, plan).unwrap();
+    labs.set_mesh(true);
+    labs.run(Duration::from_secs(1)).unwrap();
+    let _ = ping(&mut labs, hq, a, 3);
+    labs.run(Duration::from_secs(2)).unwrap();
+
+    let text = render_prometheus(&labs.server_obs().snapshot());
+    for needle in [
+        "rnl_mesh_wires",
+        "rnl_mesh_offers_total",
+        "rnl_mesh_path_state",
+        "rnl_mesh_failovers_total",
+        "rnl_mesh_failbacks_total",
+        "rnl_mesh_direct_frames_total",
+        "rnl_mesh_relay_fallback_frames_total",
+        r#"state="direct""#,
+        r#"wire="1""#,
+    ] {
+        assert!(text.contains(needle), "missing {needle} in:\n{text}");
+    }
+}
